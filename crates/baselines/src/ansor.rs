@@ -1,0 +1,169 @@
+//! An Ansor-style measurement-driven tile search (Zheng et al., OSDI '20).
+//!
+//! Ansor samples candidate schedules and ranks them by measured performance.
+//! Our stand-in samples random power-of-two tiles over the same VGM space as
+//! Roller, "measures" each candidate on the hardware model (the role the
+//! physical IPU plays in the paper), and evolves the best candidates by
+//! mutation. It reaches plans comparable to Roller's while spending far more
+//! compile time on measurements (paper §6.2: "they have similar performance
+//! by exploring the same optimization space").
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use t10_device::ChipSpec;
+use t10_ir::Graph;
+
+use crate::roller::op_time_estimate;
+use crate::vgm::{
+    assemble_program, fits, node_dtypes, tile_plan, vgm_bytes_per_core, TilePlan, VgmCompiled,
+    VgmConfig,
+};
+use crate::Result;
+use t10_core::compile_err;
+
+/// Number of random candidates sampled per operator.
+const SAMPLES: usize = 48;
+/// Number of evolution rounds applied to the best candidates.
+const EVOLUTION_ROUNDS: usize = 4;
+
+fn random_tile(sizes: &[usize], rng: &mut StdRng) -> Vec<usize> {
+    sizes
+        .iter()
+        .map(|&l| {
+            let max_pow = (usize::BITS - l.leading_zeros()) as usize;
+            let p = rng.random_range(0..=max_pow);
+            (1usize << p).min(l)
+        })
+        .collect()
+}
+
+fn mutate_tile(tile: &[usize], sizes: &[usize], rng: &mut StdRng) -> Vec<usize> {
+    let mut t = tile.to_vec();
+    let a = rng.random_range(0..t.len());
+    if rng.random_range(0..2) == 0 {
+        t[a] = (t[a] * 2).min(sizes[a]);
+    } else {
+        t[a] = (t[a] / 2).max(1);
+    }
+    t
+}
+
+/// Searches a tile for one operator by sampled measurement.
+pub fn select_tile(
+    op: &t10_ir::Operator,
+    dtype_bytes: &[usize],
+    out_dtype_bytes: usize,
+    vgm_bytes: usize,
+    spec: &ChipSpec,
+    cfg: &VgmConfig,
+    seed: u64,
+) -> Result<TilePlan> {
+    let sizes: Vec<usize> = op.expr.axes.iter().map(|a| a.size).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut best: Option<(TilePlan, f64)> = None;
+    let consider = |tile: &[usize], best: &mut Option<(TilePlan, f64)>| {
+        let tp = tile_plan(op, dtype_bytes, out_dtype_bytes, tile, spec);
+        if !fits(&tp, vgm_bytes, spec, cfg) {
+            return;
+        }
+        let t = op_time_estimate(&tp, spec);
+        if best.as_ref().map(|b| t < b.1).unwrap_or(true) {
+            *best = Some((tp, t));
+        }
+    };
+    for _ in 0..SAMPLES {
+        let tile = random_tile(&sizes, &mut rng);
+        consider(&tile, &mut best);
+    }
+    for _ in 0..EVOLUTION_ROUNDS {
+        if let Some((tp, _)) = best.clone() {
+            for _ in 0..SAMPLES / 4 {
+                let tile = mutate_tile(&tp.tile, &sizes, &mut rng);
+                consider(&tile, &mut best);
+            }
+        }
+    }
+    best.map(|(tp, _)| tp)
+        .ok_or_else(|| compile_err!("no sampled tile fits beside the VGM stripe"))
+}
+
+/// Compiles a whole graph Ansor-style.
+pub fn compile_graph_ansor(graph: &Graph, spec: &ChipSpec) -> Result<VgmCompiled> {
+    let t0 = Instant::now();
+    let cfg = VgmConfig::default();
+    let vgm = vgm_bytes_per_core(graph, spec, cfg.liveness_reuse);
+    let mut plans = Vec::with_capacity(graph.nodes().len());
+    for (i, node) in graph.nodes().iter().enumerate() {
+        let (d, o) = node_dtypes(graph, &node.op);
+        let tp = select_tile(&node.op, &d, o, vgm, spec, &cfg, 0x5eed ^ i as u64)
+            .map_err(|e| compile_err!("{}: {}", node.name, e.message()))?;
+        plans.push(tp);
+    }
+    let program = assemble_program(graph, &plans, spec)?;
+    Ok(VgmCompiled {
+        program,
+        vgm_bytes_per_core: vgm,
+        tiles: plans.iter().map(|p| p.tile.clone()).collect(),
+        buffer_bytes: plans.iter().map(|p| p.buffer_bytes).collect(),
+        compile_seconds: t0.elapsed().as_secs_f64(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::roller;
+    use t10_ir::{builders, DType, ValueKind};
+
+    fn mm_graph(m: usize, k: usize, n: usize) -> Graph {
+        let mut g = Graph::new("mm");
+        let a = g.add_value("a", vec![m, k], DType::F16, ValueKind::Input);
+        let w = g.add_value("w", vec![k, n], DType::F16, ValueKind::Weight);
+        let c = g.add_value("c", vec![m, n], DType::F16, ValueKind::Output);
+        g.add_node("mm", builders::matmul(a, w, c, m, k, n).unwrap())
+            .unwrap();
+        g
+    }
+
+    #[test]
+    fn ansor_finds_roller_class_plans() {
+        let g = mm_graph(512, 512, 512);
+        let spec = ChipSpec::ipu_with_cores(64);
+        let ansor = compile_graph_ansor(&g, &spec).unwrap();
+        let roller = roller::compile_graph_roller(&g, &spec).unwrap();
+        let ta = op_time_estimate(
+            &tile_plan(&g.nodes()[0].op, &[2, 2], 2, &ansor.tiles[0], &spec),
+            &spec,
+        );
+        let tr = op_time_estimate(
+            &tile_plan(&g.nodes()[0].op, &[2, 2], 2, &roller.tiles[0], &spec),
+            &spec,
+        );
+        // Same optimization space → within 2.5x of each other.
+        assert!(ta / tr < 2.5 && tr / ta < 2.5, "ansor={ta}, roller={tr}");
+    }
+
+    #[test]
+    fn search_is_deterministic_per_seed() {
+        let op = builders::matmul(0, 1, 2, 256, 256, 256).unwrap();
+        let spec = ChipSpec::ipu_with_cores(16);
+        let a = select_tile(&op, &[2, 2], 2, 0, &spec, &VgmConfig::default(), 9).unwrap();
+        let b = select_tile(&op, &[2, 2], 2, 0, &spec, &VgmConfig::default(), 9).unwrap();
+        assert_eq!(a.tile, b.tile);
+    }
+
+    #[test]
+    fn mutation_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let sizes = vec![64, 16, 4];
+        let mut tile = vec![8, 16, 1];
+        for _ in 0..100 {
+            tile = mutate_tile(&tile, &sizes, &mut rng);
+            for (t, s) in tile.iter().zip(&sizes) {
+                assert!(*t >= 1 && t <= s);
+            }
+        }
+    }
+}

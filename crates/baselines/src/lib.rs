@@ -1,0 +1,31 @@
+//! Baseline compilers for the T10 evaluation.
+//!
+//! The paper compares T10 against the vendor runtime (PopART) and two DL
+//! compilers adapted to the IPU (Roller, Ansor). All three support the
+//! distributed on-chip memory by mimicking a shared memory: a **virtual
+//! global memory** (VGM) reserved across every core's scratchpad, with a
+//! *load-compute-store* execution model (paper §2.2, Figure 2 (a)).
+//!
+//! * [`vgm`] — the shared VGM abstraction: sharded tensor placement, the
+//!   imbalanced access/serving model, per-core memory accounting;
+//! * [`roller`] — an rTile-style compiler: aligned tiles grown to saturate
+//!   per-core memory, ranked by compute intensity (Zhu et al., OSDI '22);
+//! * [`ansor`] — a measurement-driven tile search (Zheng et al., OSDI '20):
+//!   random candidate sampling evaluated on the hardware model — similar
+//!   final performance to Roller at much higher compile time (§6.2);
+//! * [`popart`] — a vendor-library stand-in: fixed conservative tiling plus
+//!   per-core replication of non-contraction activations, which makes it
+//!   slower and earlier to run out of memory (Figures 12, 17).
+
+pub mod ansor;
+pub mod popart;
+pub mod roller;
+pub mod vgm;
+
+pub use ansor::compile_graph_ansor;
+pub use popart::compile_graph_popart;
+pub use roller::compile_graph_roller;
+pub use vgm::{VgmCompiled, VgmConfig};
+
+/// Result alias reusing the compiler error type.
+pub type Result<T> = std::result::Result<T, t10_core::CompileError>;

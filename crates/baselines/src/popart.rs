@@ -1,0 +1,164 @@
+//! A PopART-style vendor-runtime stand-in.
+//!
+//! The vendor library differs from the compiler baselines in three ways that
+//! drive the paper's observations (Figures 12, 17):
+//!
+//! * **no tile search** — kernels use fixed, conservative tile shapes with
+//!   untiled reduction dimensions (library GEMMs compute complete dot
+//!   products), so sub-operators under-use local memory;
+//! * **no liveness reuse** — the runtime keeps every activation of the model
+//!   resident in the VGM, so memory runs out at much smaller batch sizes;
+//! * **runtime reserve** — a fixed fraction of each core's scratchpad is
+//!   held back for runtime structures and double buffering.
+
+use std::time::Instant;
+
+use t10_device::ChipSpec;
+use t10_ir::{AxisKind, Graph, Operator};
+
+use crate::vgm::{
+    assemble_program, fits, node_dtypes, tile_plan, vgm_bytes_per_core, TilePlan, VgmCompiled,
+    VgmConfig,
+};
+use crate::Result;
+use t10_core::compile_err;
+
+/// The vendor runtime's fixed memory policy.
+pub fn popart_config() -> VgmConfig {
+    VgmConfig {
+        liveness_reuse: false,
+        runtime_reserve: 0.01,
+        double_buffer: false,
+    }
+}
+
+/// The fixed vendor tile: small aligned spatial tiles; the reduction stays
+/// untiled for 1-D contractions (library GEMMs compute whole dot products)
+/// but windowed/channel reductions are clamped to keep halo buffers sane.
+fn fixed_tile(op: &Operator, spec: &ChipSpec) -> Vec<usize> {
+    let _ = spec;
+    let multi_reduction = op
+        .expr
+        .axes
+        .iter()
+        .filter(|a| a.kind == AxisKind::Reduction)
+        .count()
+        > 1;
+    op.expr
+        .axes
+        .iter()
+        .map(|a| match a.kind {
+            AxisKind::Reduction if multi_reduction => a.size.min(64),
+            AxisKind::Reduction => a.size,
+            AxisKind::Spatial => a.size.min(8),
+        })
+        .collect()
+}
+
+/// Compiles a whole graph with the vendor heuristic.
+pub fn compile_graph_popart(graph: &Graph, spec: &ChipSpec) -> Result<VgmCompiled> {
+    let t0 = Instant::now();
+    let cfg = popart_config();
+    let vgm = vgm_bytes_per_core(graph, spec, cfg.liveness_reuse);
+    let mut plans: Vec<TilePlan> = Vec::with_capacity(graph.nodes().len());
+    for node in graph.nodes() {
+        let (d, o) = node_dtypes(graph, &node.op);
+        let tile = fixed_tile(&node.op, spec);
+        let tp = tile_plan(&node.op, &d, o, &tile, spec);
+        if !fits(&tp, vgm, spec, &cfg) {
+            return Err(compile_err!(
+                "{}: model does not fit under the vendor memory policy",
+                node.name
+            ));
+        }
+        plans.push(tp);
+    }
+    let program = assemble_program(graph, &plans, spec)?;
+    Ok(VgmCompiled {
+        program,
+        vgm_bytes_per_core: vgm,
+        tiles: plans.iter().map(|p| p.tile.clone()).collect(),
+        buffer_bytes: plans.iter().map(|p| p.buffer_bytes).collect(),
+        compile_seconds: t0.elapsed().as_secs_f64(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::roller;
+    use t10_ir::{builders, DType, ValueKind};
+
+    fn fc_graph(m: usize, k: usize, n: usize, layers: usize) -> Graph {
+        let mut g = Graph::new("fc");
+        let mut cur = g.add_value("a", vec![m, k], DType::F16, ValueKind::Input);
+        let mut dim = k;
+        for i in 0..layers {
+            let w = g.add_value(format!("w{i}"), vec![dim, n], DType::F16, ValueKind::Weight);
+            let kind = if i + 1 == layers {
+                ValueKind::Output
+            } else {
+                ValueKind::Activation
+            };
+            let o = g.add_value(format!("h{i}"), vec![m, n], DType::F16, kind);
+            g.add_node(
+                format!("fc{i}"),
+                builders::matmul(cur, w, o, m, dim, n).unwrap(),
+            )
+            .unwrap();
+            cur = o;
+            dim = n;
+        }
+        g
+    }
+
+    #[test]
+    fn popart_is_slower_than_roller() {
+        let g = fc_graph(512, 512, 512, 2);
+        let spec = ChipSpec::ipu_with_cores(64);
+        let p = compile_graph_popart(&g, &spec).unwrap();
+        let r = roller::compile_graph_roller(&g, &spec).unwrap();
+        let run = |prog| {
+            let mut sim =
+                t10_sim::Simulator::new(spec.clone(), t10_sim::SimulatorMode::Timing);
+            sim.run(prog).unwrap().total_time
+        };
+        let tp = run(&p.program);
+        let tr = run(&r.program);
+        assert!(tp > tr, "popart={tp}, roller={tr}");
+    }
+
+    #[test]
+    fn popart_runs_out_of_memory_first() {
+        // Scale the batch until the vendor policy OOMs while Roller fits.
+        let spec = ChipSpec::ipu_with_cores(64);
+        let mut popart_failed_at = None;
+        let mut roller_failed_at = None;
+        for bs_pow in 0..12 {
+            let m = 64 << bs_pow;
+            let g = fc_graph(m, 512, 512, 8);
+            if popart_failed_at.is_none() && compile_graph_popart(&g, &spec).is_err() {
+                popart_failed_at = Some(bs_pow);
+            }
+            if roller_failed_at.is_none()
+                && roller::compile_graph_roller(&g, &spec).is_err()
+            {
+                roller_failed_at = Some(bs_pow);
+            }
+        }
+        let p = popart_failed_at.expect("popart eventually OOMs");
+        match roller_failed_at {
+            Some(r) => assert!(p < r, "popart at {p}, roller at {r}"),
+            None => {}
+        }
+    }
+
+    #[test]
+    fn fixed_tile_keeps_full_reduction() {
+        let op = builders::matmul(0, 1, 2, 512, 384, 512).unwrap();
+        let spec = ChipSpec::ipu_with_cores(64);
+        let t = fixed_tile(&op, &spec);
+        assert_eq!(t[1], 384);
+        assert!(t[0] <= 32 && t[2] <= 32);
+    }
+}

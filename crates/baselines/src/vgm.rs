@@ -1,0 +1,482 @@
+//! The Virtual Global Memory abstraction (paper §2.2, Figure 2 (a)).
+//!
+//! Existing compilers and libraries mimic a shared memory on inter-core
+//! connected chips by reserving a slice of every core's scratchpad and
+//! striping all model tensors across those slices. Operators execute
+//! *load-compute-store*: each core fetches its sub-operator's tiles from the
+//! VGM, computes locally, and stores results back.
+//!
+//! The two inefficiencies T10 removes are modeled explicitly:
+//!
+//! * **imbalanced accesses** — when `S` cores need the same tensor region in
+//!   one round, the cores owning its shards serve `S×` traffic, and the
+//!   round is bounded by the hottest server;
+//! * **duplicated memory** — the VGM stripe occupies every core alongside
+//!   the active sub-operator buffers, shrinking the feasible tile.
+
+use serde::{Deserialize, Serialize};
+use t10_device::program::{
+    ComputeSummary, ExchangeSummary, Phase, Program, SubTaskDesc, Superstep,
+};
+use t10_device::ChipSpec;
+use t10_ir::{AxisKind, Graph, Operator, ValueKind};
+
+use crate::Result;
+use t10_core::rtensor::dim_extent;
+
+/// Knobs shared by the VGM-based compilers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VgmConfig {
+    /// Whether activation memory is reused via liveness analysis (compilers
+    /// do this; the vendor runtime keeps all activations resident).
+    pub liveness_reuse: bool,
+    /// Fraction of each core's scratchpad reserved for runtime structures.
+    pub runtime_reserve: f64,
+    /// Double-buffer the tile loads (costs memory, hides no time under the
+    /// BSP execution model).
+    pub double_buffer: bool,
+}
+
+impl Default for VgmConfig {
+    fn default() -> Self {
+        Self {
+            liveness_reuse: true,
+            runtime_reserve: 0.0,
+            double_buffer: false,
+        }
+    }
+}
+
+/// Result of compiling a graph with a VGM-based compiler.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VgmCompiled {
+    /// Timing program.
+    pub program: Program,
+    /// VGM stripe bytes reserved on every core.
+    pub vgm_bytes_per_core: usize,
+    /// Per-node chosen tile (per-axis sizes).
+    pub tiles: Vec<Vec<usize>>,
+    /// Per-node per-core active buffer bytes (the "sub-operator" region of
+    /// Figure 2).
+    pub buffer_bytes: Vec<usize>,
+    /// Wall-clock compile time, seconds.
+    pub compile_seconds: f64,
+}
+
+/// Bytes each core contributes to the VGM stripe.
+///
+/// With liveness reuse the stripe holds all weights plus the peak of
+/// simultaneously-live activations; without it, every tensor of the model.
+pub fn vgm_bytes_per_core(graph: &Graph, spec: &ChipSpec, liveness_reuse: bool) -> usize {
+    let weights: usize = graph
+        .values()
+        .iter()
+        .filter(|v| matches!(v.kind, ValueKind::Weight | ValueKind::Input))
+        .map(|v| v.bytes())
+        .sum();
+    let act_bytes = |v: &t10_ir::ValueInfo| {
+        matches!(v.kind, ValueKind::Activation | ValueKind::Output).then_some(v.bytes())
+    };
+    let activations: usize = if liveness_reuse {
+        // Peak live activation volume over the topological schedule.
+        let mut peak = 0usize;
+        for (i, _) in graph.nodes().iter().enumerate() {
+            let mut live = 0usize;
+            for (vid, v) in graph.values().iter().enumerate() {
+                let Some(bytes) = act_bytes(v) else { continue };
+                let Some(producer) = graph.producer(vid) else {
+                    continue;
+                };
+                let last = graph.last_use(vid).unwrap_or(producer);
+                if producer <= i && last >= i {
+                    live += bytes;
+                }
+            }
+            peak = peak.max(live);
+        }
+        peak
+    } else {
+        graph.values().iter().filter_map(act_bytes).sum()
+    };
+    (weights + activations).div_ceil(spec.num_cores)
+}
+
+/// Derived execution properties of one operator under a per-axis tile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TilePlan {
+    /// Per-axis tile sizes.
+    pub tile: Vec<usize>,
+    /// Per-round per-core sub-task.
+    pub subtask: SubTaskDesc,
+    /// Number of sub-tasks (grid cells).
+    pub tasks: usize,
+    /// Rounds needed (`ceil(tasks / cores)`).
+    pub rounds: usize,
+    /// Cores active in the last (possibly partial) round.
+    pub last_round_cores: usize,
+    /// Input tile bytes loaded per core per round.
+    pub tile_in_bytes: u64,
+    /// Output tile bytes stored per core per round.
+    pub tile_out_bytes: u64,
+    /// Per-core active buffer bytes (in + out tiles).
+    pub buffer_bytes: usize,
+    /// Per input slot: number of concurrent requesters of one region
+    /// (`S`), the tensor's per-core shard size in bytes, and the slot's
+    /// tile bytes.
+    pub sharing: Vec<(usize, usize, u64)>,
+}
+
+/// Computes the tile plan of an operator under a per-axis tile.
+pub fn tile_plan(
+    op: &Operator,
+    dtype_bytes: &[usize],
+    out_dtype_bytes: usize,
+    tile: &[usize],
+    spec: &ChipSpec,
+) -> TilePlan {
+    let expr = &op.expr;
+    let grid: Vec<usize> = expr
+        .axes
+        .iter()
+        .zip(tile)
+        .map(|(a, &t)| a.size.div_ceil(t.max(1)))
+        .collect();
+    let tasks: usize = grid.iter().product();
+    let cores = spec.num_cores;
+    let rounds = tasks.div_ceil(cores);
+    let last_round_cores = tasks - (rounds - 1) * cores;
+
+    let out_elems: u64 = expr
+        .axes
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| a.kind == AxisKind::Spatial)
+        .map(|(i, _)| tile[i] as u64)
+        .product();
+    let red_elems: u64 = expr
+        .axes
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| a.kind == AxisKind::Reduction)
+        .map(|(i, _)| tile[i] as u64)
+        .product();
+    let mut in_compound = vec![false; expr.axes.len()];
+    for dims in &expr.inputs {
+        for e in dims {
+            if e.terms.len() > 1 {
+                for t in &e.terms {
+                    in_compound[t.axis] = true;
+                }
+            }
+        }
+    }
+    let window: u64 = expr
+        .axes
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| a.kind == AxisKind::Reduction && in_compound[*i])
+        .map(|(i, _)| tile[i] as u64)
+        .product::<u64>()
+        .max(1);
+
+    let mut tile_in_bytes = 0u64;
+    let mut sharing = Vec::with_capacity(expr.num_inputs());
+    for (s, dims) in expr.inputs.iter().enumerate() {
+        // A data-dependent (gather) dimension loads at most one row per
+        // addressing element, i.e. the tile extent of the axes the input is
+        // missing — not the whole table.
+        let rows_needed: usize = expr
+            .axes_missing_from_input(s)
+            .iter()
+            .map(|&a| tile[a])
+            .product();
+        let tile_elems: usize = dims
+            .iter()
+            .map(|e| {
+                if e.is_indirect() {
+                    e.indirect_size.unwrap_or(1).min(rows_needed)
+                } else {
+                    dim_extent(e, tile)
+                }
+            })
+            .product();
+        tile_in_bytes += (tile_elems * dtype_bytes[s]) as u64;
+        // Requesters of the same region: grid cells that differ only along
+        // axes missing from this tensor.
+        let miss: usize = expr
+            .axes_missing_from_input(s)
+            .iter()
+            .map(|&a| grid[a])
+            .product();
+        let tensor_bytes: usize = expr.input_shape(s).iter().product::<usize>() * dtype_bytes[s];
+        let shard = tensor_bytes.div_ceil(cores).max(1);
+        sharing.push((
+            miss.min(cores),
+            shard,
+            (tile_elems * dtype_bytes[s]) as u64,
+        ));
+    }
+    let tile_out_elems: usize = expr.output.iter().map(|e| dim_extent(e, tile)).product();
+    let tile_out_bytes = (tile_out_elems * out_dtype_bytes) as u64;
+    // Splitting a reduction axis across tiles means every output region is
+    // stored (read-modify-write accumulated) by all its partial producers:
+    // the owning shards serve `R ×` the output traffic.
+    let red_splits: usize = expr
+        .axes
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| a.kind == AxisKind::Reduction)
+        .map(|(i, _)| grid[i])
+        .product();
+    if red_splits > 1 {
+        let out_total: usize = expr.output_shape().iter().product::<usize>() * out_dtype_bytes;
+        let shard = out_total.div_ceil(cores).max(1);
+        sharing.push((red_splits.min(cores), shard, 2 * tile_out_bytes));
+    }
+
+    TilePlan {
+        tile: tile.to_vec(),
+        subtask: SubTaskDesc {
+            kind: op.kind,
+            out_elems,
+            red_elems,
+            window,
+            in_bytes: tile_in_bytes,
+            out_bytes: tile_out_bytes,
+        },
+        tasks,
+        rounds,
+        last_round_cores,
+        tile_in_bytes,
+        tile_out_bytes,
+        buffer_bytes: (tile_in_bytes + tile_out_bytes) as usize,
+        sharing,
+    }
+}
+
+/// Lowers one operator's VGM execution to timing supersteps.
+///
+/// Each round is one load-compute-store cycle: an exchange phase whose
+/// serving hot spots follow the `S × shard` model, then a compute phase.
+pub fn lower_op_vgm(
+    tp: &TilePlan,
+    spec: &ChipSpec,
+    node: Option<usize>,
+) -> Vec<Superstep> {
+    let cores = spec.num_cores;
+    let chips = spec.num_chips();
+    let mut steps = Vec::with_capacity(tp.rounds);
+    for round in 0..tp.rounds {
+        let active = if round + 1 == tp.rounds {
+            tp.last_round_cores
+        } else {
+            cores
+        };
+        let per_core_in = tp.tile_in_bytes + tp.tile_out_bytes;
+        // Hottest server: `S` concurrent requesters of one region hammer the
+        // cores owning its shards. The per-owner egress is bounded both by
+        // `S × shard` (the shard fully re-served to every requester group)
+        // and by the round's total demand for the slot.
+        let serving: u64 = tp
+            .sharing
+            .iter()
+            .map(|&(s, shard, tile_bytes)| {
+                let s = s.min(active) as u64;
+                (s * shard as u64).min(active as u64 * tile_bytes)
+            })
+            .max()
+            .unwrap_or(0);
+        let max_core_out = serving.max(per_core_in);
+        let total = per_core_in * active as u64;
+        // Each tile piece lives on a different shard owner: the requester
+        // issues one message per owner contacted (paper §2.2, "redundant
+        // inter-core communications"), plus the store-back.
+        let messages: u64 = tp
+            .sharing
+            .iter()
+            .map(|&(_, shard, tile_bytes)| {
+                (tile_bytes.div_ceil(shard as u64)).min(active as u64)
+            })
+            .sum::<u64>()
+            + 1;
+        let cross = if chips > 1 {
+            // VGM shards spread uniformly: most accesses cross chips.
+            (total as f64 * (chips - 1) as f64 / chips as f64) as u64
+        } else {
+            0
+        };
+        let mut ss = Superstep::new(node, Phase::Execute);
+        ss.exchange_summary = Some(ExchangeSummary {
+            total_bytes: total,
+            max_core_out,
+            max_core_in: per_core_in,
+            cross_chip_bytes: cross,
+            offchip_bytes: 0,
+            active_cores: active,
+            max_core_messages: messages,
+        });
+        steps.push(ss);
+        let mut cs = Superstep::new(node, Phase::Execute);
+        cs.compute_summary = Some(ComputeSummary {
+            desc: tp.subtask,
+            active_cores: active,
+        });
+        steps.push(cs);
+    }
+    steps
+}
+
+/// Checks the per-core memory budget of a tile under the VGM layout.
+pub fn fits(
+    tp: &TilePlan,
+    vgm_bytes: usize,
+    spec: &ChipSpec,
+    cfg: &VgmConfig,
+) -> bool {
+    let reserve = (spec.sram_per_core as f64 * cfg.runtime_reserve) as usize;
+    let buffers = if cfg.double_buffer {
+        tp.buffer_bytes * 2
+    } else {
+        tp.buffer_bytes
+    };
+    vgm_bytes + buffers + reserve + spec.shift_buffer <= spec.sram_per_core
+}
+
+/// Assembles a whole-graph VGM program from per-node tile plans.
+/// Latency follows the paper's methodology: the model is resident on chip
+/// and host I/O is excluded (inputs are warm; §6.1 measures on-chip
+/// execution).
+pub fn assemble_program(
+    graph: &Graph,
+    plans: &[TilePlan],
+    spec: &ChipSpec,
+) -> Result<Program> {
+    let _ = graph;
+    let mut program = Program::new();
+    for (i, tp) in plans.iter().enumerate() {
+        program.steps.extend(lower_op_vgm(tp, spec, Some(i)));
+    }
+    Ok(program)
+}
+
+/// Element sizes of an operator's inputs/output from the graph.
+pub fn node_dtypes(graph: &Graph, op: &Operator) -> (Vec<usize>, usize) {
+    t10_core::compiler::node_dtypes(graph, op)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t10_ir::{builders, DType};
+
+    fn fc_graph(m: usize, k: usize, n: usize, layers: usize) -> Graph {
+        let mut g = Graph::new("fc");
+        let mut cur = g.add_value("a", vec![m, k], DType::F16, ValueKind::Input);
+        let mut dim = k;
+        for i in 0..layers {
+            let w = g.add_value(format!("w{i}"), vec![dim, n], DType::F16, ValueKind::Weight);
+            let kind = if i + 1 == layers {
+                ValueKind::Output
+            } else {
+                ValueKind::Activation
+            };
+            let o = g.add_value(format!("h{i}"), vec![m, n], DType::F16, kind);
+            g.add_node(format!("fc{i}"), builders::matmul(cur, w, o, m, dim, n).unwrap())
+                .unwrap();
+            cur = o;
+            dim = n;
+        }
+        g
+    }
+
+    #[test]
+    fn liveness_reuse_shrinks_vgm() {
+        let g = fc_graph(256, 256, 256, 6);
+        let spec = ChipSpec::ipu_with_cores(64);
+        let with = vgm_bytes_per_core(&g, &spec, true);
+        let without = vgm_bytes_per_core(&g, &spec, false);
+        assert!(with < without, "with={with}, without={without}");
+        // Weights are always resident either way.
+        let weights: usize = g.parameter_bytes() / 64;
+        assert!(with >= weights);
+    }
+
+    #[test]
+    fn tile_plan_counts_rounds() {
+        let op = builders::matmul(0, 1, 2, 64, 64, 64).unwrap();
+        let spec = ChipSpec::ipu_with_cores(16);
+        let tp = tile_plan(&op, &[2, 2], 2, &[16, 64, 16], &spec);
+        // Grid = 4 × 1 × 4 = 16 cells on 16 cores → 1 round.
+        assert_eq!(tp.tasks, 16);
+        assert_eq!(tp.rounds, 1);
+        assert_eq!(tp.last_round_cores, 16);
+        // A tile [16,64] + B tile [64,16] both 2048 B; out 512 B.
+        assert_eq!(tp.tile_in_bytes, 2 * 2048);
+        assert_eq!(tp.tile_out_bytes, 512);
+        // Each A region is requested by grid_n = 4 cells and vice versa.
+        assert_eq!(tp.sharing[0].0, 4);
+        assert_eq!(tp.sharing[1].0, 4);
+    }
+
+    #[test]
+    fn smaller_tiles_mean_more_rounds() {
+        let op = builders::matmul(0, 1, 2, 64, 64, 64).unwrap();
+        let spec = ChipSpec::ipu_with_cores(16);
+        let small = tile_plan(&op, &[2, 2], 2, &[8, 64, 8], &spec);
+        let big = tile_plan(&op, &[2, 2], 2, &[32, 64, 32], &spec);
+        assert!(small.rounds > big.rounds);
+        assert!(small.buffer_bytes < big.buffer_bytes);
+    }
+
+    #[test]
+    fn vgm_exchange_is_imbalanced() {
+        // Small tiles over a large shared tensor: many cores request the
+        // same weight regions concurrently and hammer the shard owners.
+        let op = builders::matmul(0, 1, 2, 1024, 1024, 1024).unwrap();
+        let spec = ChipSpec::ipu_with_cores(64);
+        let tp = tile_plan(&op, &[2, 2], 2, &[16, 1024, 16], &spec);
+        let steps = lower_op_vgm(&tp, &spec, Some(0));
+        let e = steps[0].exchange_summary.unwrap();
+        // The hottest server handles more than an average requester.
+        assert!(e.max_core_out > e.max_core_in, "{e:?}");
+    }
+
+    #[test]
+    fn fits_accounts_for_vgm_and_reserve() {
+        let op = builders::matmul(0, 1, 2, 64, 64, 64).unwrap();
+        let spec = ChipSpec::ipu_with_cores(16);
+        let tp = tile_plan(&op, &[2, 2], 2, &[16, 64, 16], &spec);
+        let cfg = VgmConfig::default();
+        assert!(fits(&tp, 0, &spec, &cfg));
+        assert!(!fits(&tp, spec.sram_per_core, &spec, &cfg));
+        let reserved = VgmConfig {
+            runtime_reserve: 0.99,
+            ..cfg
+        };
+        assert!(!fits(&tp, 0, &spec, &reserved));
+    }
+
+    #[test]
+    fn assemble_program_covers_all_nodes() {
+        let g = fc_graph(64, 64, 64, 3);
+        let spec = ChipSpec::ipu_with_cores(16);
+        let plans: Vec<TilePlan> = g
+            .nodes()
+            .iter()
+            .map(|n| {
+                let (d, o) = node_dtypes(&g, &n.op);
+                tile_plan(&n.op, &d, o, &[16, 64, 16], &spec)
+            })
+            .collect();
+        let p = assemble_program(&g, &plans, &spec).unwrap();
+        for i in 0..3 {
+            assert!(p.steps.iter().any(|s| s.node == Some(i)));
+        }
+        // Host I/O is excluded from the latency methodology: no off-chip
+        // steps appear in the program.
+        assert!(p.steps.iter().all(|s| s
+            .exchange_summary
+            .map(|e| e.offchip_bytes == 0)
+            .unwrap_or(true)));
+    }
+}

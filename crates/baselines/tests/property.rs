@@ -1,0 +1,78 @@
+//! Property-based tests of the VGM tile model.
+
+use proptest::prelude::*;
+use t10_baselines::vgm::{lower_op_vgm, tile_plan};
+use t10_device::ChipSpec;
+use t10_ir::builders;
+
+proptest! {
+    /// Tile-plan invariants over arbitrary matmul tiles: round accounting
+    /// covers every task, byte counts match the tile geometry, and the
+    /// exchange summaries are internally consistent.
+    #[test]
+    fn tile_plan_invariants(
+        m_pow in 4usize..9,
+        k_pow in 4usize..9,
+        n_pow in 4usize..9,
+        tm_pow in 0usize..6,
+        tk_pow in 0usize..6,
+        tn_pow in 0usize..6,
+        cores in 8usize..128,
+    ) {
+        let (m, k, n) = (1 << m_pow, 1 << k_pow, 1 << n_pow);
+        let tile = vec![
+            (1usize << tm_pow).min(m),
+            (1usize << tk_pow).min(k),
+            (1usize << tn_pow).min(n),
+        ];
+        let op = builders::matmul(0, 1, 2, m, k, n).unwrap();
+        let spec = ChipSpec::ipu_with_cores(cores);
+        let tp = tile_plan(&op, &[2, 2], 2, &tile, &spec);
+
+        // Rounds cover all tasks and the last round is consistent.
+        prop_assert!(tp.rounds * cores >= tp.tasks);
+        prop_assert!((tp.rounds - 1) * cores < tp.tasks);
+        prop_assert_eq!(tp.tasks - (tp.rounds - 1) * cores, tp.last_round_cores);
+
+        // Byte geometry.
+        let a_bytes = (tile[0] * tile[1] * 2) as u64;
+        let b_bytes = (tile[1] * tile[2] * 2) as u64;
+        prop_assert_eq!(tp.tile_in_bytes, a_bytes + b_bytes);
+        prop_assert_eq!(tp.tile_out_bytes, (tile[0] * tile[2] * 2) as u64);
+        prop_assert_eq!(tp.buffer_bytes as u64, tp.tile_in_bytes + tp.tile_out_bytes);
+
+        // Lowered steps: one exchange + one compute per round; summaries
+        // are consistent with per-core volumes.
+        let steps = lower_op_vgm(&tp, &spec, Some(0));
+        prop_assert_eq!(steps.len(), 2 * tp.rounds);
+        for pair in steps.chunks(2) {
+            let e = pair[0].exchange_summary.unwrap();
+            prop_assert!(e.max_core_out >= e.max_core_in);
+            prop_assert_eq!(
+                e.total_bytes,
+                (tp.tile_in_bytes + tp.tile_out_bytes) * e.active_cores as u64
+            );
+            prop_assert!(e.max_core_messages >= 1);
+            let c = pair[1].compute_summary.unwrap();
+            prop_assert_eq!(c.active_cores, e.active_cores);
+        }
+    }
+
+    /// Smaller tiles never decrease the round count, and the serving
+    /// hot-spot never exceeds the round's total traffic.
+    #[test]
+    fn smaller_tiles_more_rounds(t_pow in 0usize..5, cores in 8usize..64) {
+        let op = builders::matmul(0, 1, 2, 256, 256, 256).unwrap();
+        let spec = ChipSpec::ipu_with_cores(cores);
+        let small = vec![1 << t_pow, 256, 1 << t_pow];
+        let big = vec![(1 << t_pow) * 2, 256, (1 << t_pow) * 2];
+        let tp_s = tile_plan(&op, &[2, 2], 2, &small, &spec);
+        let tp_b = tile_plan(&op, &[2, 2], 2, &big, &spec);
+        prop_assert!(tp_s.rounds >= tp_b.rounds);
+        for step in lower_op_vgm(&tp_s, &spec, None) {
+            if let Some(e) = step.exchange_summary {
+                prop_assert!(e.max_core_out as u128 <= e.total_bytes as u128 + e.max_core_in as u128);
+            }
+        }
+    }
+}

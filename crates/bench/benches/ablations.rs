@@ -1,0 +1,141 @@
+//! Ablation studies of T10's design choices (beyond the paper's figures):
+//!
+//! 1. rotation vs replication (the Figure 3 (b)/(c) trade-off, swept);
+//! 2. inter-operator reconciliation on/off;
+//! 3. tree vs linear cross-core reduction;
+//! 4. sensitivity of the T10-vs-Roller gap to the modeled per-message
+//!    exchange overhead (honesty check for the hardware substitution).
+
+use t10_bench::harness::{bench_search_config, Platform};
+use t10_bench::table::{fmt_bytes, fmt_time};
+use t10_bench::Table;
+use t10_core::cost::CostModel;
+use t10_core::plan::{Plan, PlanConfig, TemporalChoice};
+use t10_device::ChipSpec;
+use t10_ir::builders;
+
+fn main() {
+    rotation_vs_replication();
+    reconciliation_value();
+    tree_vs_linear_reduce();
+    message_overhead_sensitivity();
+}
+
+/// Figure 3's trade-off, quantified: the same matmul with the weight fully
+/// replicated vs rotated at increasing temporal factors.
+fn rotation_vs_replication() {
+    println!("== Ablation 1: rotation vs replication (Fig. 3 trade-off) ==");
+    let spec = ChipSpec::ipu_with_cores(64);
+    let cost = CostModel::calibrate(&spec, 192, 7).unwrap();
+    let op = builders::matmul(0, 1, 2, 512, 512, 512).unwrap();
+    let mut t = Table::new(vec!["f_t (weight)", "mem/core", "exec", "shift bytes/core"]);
+    for f in [1usize, 2, 4, 8] {
+        let temporal = if f == 1 {
+            TemporalChoice::none()
+        } else {
+            TemporalChoice::rotate(0, f)
+        };
+        let plan = Plan::build(
+            &op,
+            &[2, 2],
+            2,
+            PlanConfig {
+                f_op: vec![8, 1, 8],
+                temporal: vec![TemporalChoice::none(), temporal],
+            },
+        )
+        .unwrap();
+        let c = cost.estimate_plan(&op, &plan);
+        t.row(vec![
+            f.to_string(),
+            fmt_bytes(c.mem_per_core),
+            fmt_time(c.exec_time),
+            fmt_bytes(plan.total_shift_bytes_per_core() as usize),
+        ]);
+    }
+    t.print();
+    println!("(higher f_t: less memory, more communication — paper §3)\n");
+}
+
+/// How much Algorithm 1 buys over the naive all-minimal-idle schedule.
+fn reconciliation_value() {
+    println!("== Ablation 2: inter-operator reconciliation on/off ==");
+    let platform = Platform::new(ChipSpec::ipu_mk2());
+    let mut t = Table::new(vec!["model", "naive (min idle)", "reconciled", "gain"]);
+    for (name, g) in [
+        ("BERT-BS1", t10_models::transformer::bert_large(1).unwrap()),
+        ("ResNet-BS8", t10_models::resnet::resnet18(8).unwrap()),
+    ] {
+        let Some((compiled, _)) = platform.t10_full(&g, bench_search_config()) else {
+            continue;
+        };
+        let naive = compiled
+            .reconciled
+            .trajectory
+            .first()
+            .map(|p| p.total_time)
+            .unwrap_or(f64::NAN);
+        let best = compiled.reconciled.total_time;
+        t.row(vec![
+            name.to_string(),
+            fmt_time(naive),
+            fmt_time(best),
+            format!("{:.2}x", naive / best),
+        ]);
+    }
+    t.print();
+    println!("(the greedy -ΔTs/ΔMi policy converts idle memory into setup savings)\n");
+}
+
+/// Tree vs linear accumulation of partial outputs across a reduction group.
+fn tree_vs_linear_reduce() {
+    println!("== Ablation 3: tree vs linear cross-core reduction ==");
+    let spec = ChipSpec::ipu_with_cores(1472);
+    let cost = CostModel::calibrate(&spec, 192, 7).unwrap();
+    let mut t = Table::new(vec![
+        "reduce group",
+        "linear rounds",
+        "tree rounds",
+        "linear time",
+        "tree time",
+    ]);
+    let bytes = 2048u64;
+    for group in [4usize, 16, 64] {
+        let per_round = cost.predict_exchange(bytes);
+        let linear = (group - 1) as f64 * per_round;
+        let rounds = (usize::BITS - (group - 1).leading_zeros()) as usize;
+        let tree = rounds as f64 * per_round;
+        t.row(vec![
+            group.to_string(),
+            (group - 1).to_string(),
+            rounds.to_string(),
+            fmt_time(linear),
+            fmt_time(tree),
+        ]);
+    }
+    t.print();
+    println!("(layer-norm/softmax reductions over many cores need the tree)\n");
+}
+
+/// The modeled per-message overhead drives how badly VGM's scattered reads
+/// hurt; sweep it to show the conclusion is not knife-edge.
+fn message_overhead_sensitivity() {
+    println!("== Ablation 4: sensitivity to the per-message exchange overhead ==");
+    let g = t10_models::transformer::vit_base(1).unwrap();
+    let mut t = Table::new(vec!["msg overhead", "Roller", "T10", "speedup"]);
+    for ns in [0.0f64, 75.0, 150.0, 300.0] {
+        let mut spec = ChipSpec::ipu_mk2();
+        spec.exchange_msg_overhead = ns * 1e-9;
+        let platform = Platform::new(spec);
+        let roller = platform.roller(&g);
+        let t10 = platform.t10(&g, bench_search_config());
+        t.row(vec![
+            format!("{ns:.0} ns"),
+            fmt_time(roller.latency),
+            fmt_time(t10.latency),
+            format!("{:.2}x", roller.latency / t10.latency),
+        ]);
+    }
+    t.print();
+    println!("(T10 wins even with free messages; the margin grows with overhead)");
+}

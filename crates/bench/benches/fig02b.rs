@@ -1,0 +1,84 @@
+//! Figure 2 (b): per-core memory footprint of representative operators
+//! under the VGM abstraction, and the potential sub-operator growth from
+//! removing the VGM ("Ratio").
+
+use t10_baselines::roller::select_tile;
+use t10_baselines::vgm::{vgm_bytes_per_core, VgmConfig};
+use t10_bench::table::fmt_bytes;
+use t10_bench::Table;
+use t10_core::compiler::node_dtypes;
+use t10_device::ChipSpec;
+use t10_ir::OpKind;
+
+fn main() {
+    let spec = ChipSpec::ipu_mk2();
+    let cfg = VgmConfig::default();
+    println!("== Figure 2 (b): per-core memory footprint under VGM ==");
+    let mut t = Table::new(vec![
+        "operator",
+        "model",
+        "VGM stripe",
+        "sub-operator",
+        "ratio (growth w/o VGM)",
+    ]);
+    let cases: Vec<(&str, &str, t10_ir::Graph)> = vec![
+        ("MatMul", "BERT", t10_models::transformer::bert_large(1).unwrap()),
+        ("Conv", "ResNet", t10_models::resnet::resnet18(8).unwrap()),
+        ("MatMul", "ViT", t10_models::transformer::vit_base(1).unwrap()),
+        (
+            "MatMul",
+            "OPT-13B layer",
+            t10_models::zoo::build_llm(
+                "opt13b",
+                t10_models::llm::DecoderCfg::opt_13b(),
+                1,
+                8,
+            )
+            .unwrap(),
+        ),
+    ];
+    for (opname, model, g) in cases {
+        let vgm = vgm_bytes_per_core(&g, &spec, cfg.liveness_reuse);
+        // Pick the largest operator of the requested kind.
+        let kind = match opname {
+            "Conv" => OpKind::Conv2d,
+            _ => OpKind::MatMul,
+        };
+        let node = g
+            .nodes()
+            .iter()
+            .filter(|n| n.op.kind == kind)
+            .max_by_key(|n| n.op.flops())
+            .expect("node");
+        let (d, o) = node_dtypes(&g, &node.op);
+        // Sub-operator size under the VGM, and the growth from merging the
+        // active operator's own VGM share into the sub-operator region
+        // (Figure 2 (c)): the active op's tensors occupy
+        // `bytes / cores` of every core's stripe.
+        let with_vgm = select_tile(&node.op, &d, o, vgm, &spec, &cfg)
+            .map(|tp| tp.buffer_bytes)
+            .unwrap_or(0);
+        let active_share: usize = node
+            .op
+            .inputs
+            .iter()
+            .chain(std::iter::once(&node.op.output))
+            .map(|&v| g.value(v).bytes())
+            .sum::<usize>()
+            / spec.num_cores;
+        let ratio = if with_vgm > 0 {
+            format!("+{:.0}%", active_share as f64 / with_vgm as f64 * 100.0)
+        } else {
+            "n/a (does not fit)".to_string()
+        };
+        t.row(vec![
+            opname.to_string(),
+            model.to_string(),
+            fmt_bytes(vgm),
+            fmt_bytes(with_vgm),
+            ratio,
+        ]);
+    }
+    t.print();
+    println!("(paper reports 22%-180% potential sub-operator growth)");
+}

@@ -1,0 +1,51 @@
+//! Figure 8: cost-model accuracy — measured vs predicted execution time of
+//! random sub-tasks, per operator type.
+
+use t10_bench::Table;
+use t10_core::cost::CostModel;
+use t10_device::ChipSpec;
+use t10_ir::OpKind;
+
+fn main() {
+    let spec = ChipSpec::ipu_mk2();
+    let model = CostModel::calibrate(&spec, 256, 42).expect("calibrate");
+    println!("== Figure 8: cost model accuracy (measured vs predicted) ==");
+    let mut t = Table::new(vec![
+        "operator",
+        "samples",
+        "R^2",
+        "mean abs err",
+        "p95 rel err",
+    ]);
+    for kind in [
+        OpKind::MatMul,
+        OpKind::Conv2d,
+        OpKind::Elementwise,
+        OpKind::Reduce,
+        OpKind::Pool,
+        OpKind::Gather,
+    ] {
+        let pairs = model.accuracy_eval(kind, 300, 99);
+        let n = pairs.len() as f64;
+        let mean = pairs.iter().map(|p| p.0).sum::<f64>() / n;
+        let ss_tot: f64 = pairs.iter().map(|p| (p.0 - mean).powi(2)).sum();
+        let ss_res: f64 = pairs.iter().map(|p| (p.0 - p.1).powi(2)).sum();
+        let r2 = 1.0 - ss_res / ss_tot;
+        let mae = pairs.iter().map(|p| (p.0 - p.1).abs()).sum::<f64>() / n;
+        let mut rel: Vec<f64> = pairs.iter().map(|p| (p.0 - p.1).abs() / p.0).collect();
+        rel.sort_by(f64::total_cmp);
+        let p95 = rel[(rel.len() * 95) / 100];
+        t.row(vec![
+            format!("{kind}"),
+            format!("{}", pairs.len()),
+            format!("{r2:.4}"),
+            format!("{:.2} us", mae * 1e6),
+            format!("{:.1}%", p95 * 100.0),
+        ]);
+    }
+    t.print();
+    println!(
+        "(paper: near-perfect accuracy for all types except conv, whose\n\
+         vendor kernel applies black-box optimizations)"
+    );
+}

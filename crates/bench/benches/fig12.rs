@@ -1,0 +1,84 @@
+//! Figure 12: end-to-end inference latency of T10 vs PopART/Ansor/Roller on
+//! the IPU MK2, sweeping batch size until the model no longer fits ("OOM").
+
+use t10_bench::harness::{batch_doubling, bench_search_config, Platform};
+use t10_bench::table::fmt_time;
+use t10_bench::{Outcome, Table};
+use t10_device::ChipSpec;
+use t10_models::all_models;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let platform = Platform::new(ChipSpec::ipu_mk2());
+    println!("== Figure 12: DNN inference latency on IPU MK2 (simulated) ==");
+    let mut t = Table::new(vec![
+        "model",
+        "batch",
+        "PopART",
+        "Ansor",
+        "Roller",
+        "T10",
+        "T10 vs Roller",
+    ]);
+    for spec in all_models() {
+        let max_bs = match (spec.name, quick) {
+            (_, true) => 2,
+            ("BERT", _) => 8,
+            ("ViT", _) => 8,
+            ("ResNet", _) => 16,
+            ("NeRF", _) => 4,
+            _ => 8,
+        };
+        let mut t10_dead = false;
+        for bs in batch_doubling(max_bs) {
+            let g = match (spec.build)(bs) {
+                Ok(g) => g,
+                Err(e) => {
+                    eprintln!("{}-bs{bs}: build failed: {e}", spec.name);
+                    continue;
+                }
+            };
+            let popart = platform.popart(&g);
+            let ansor = platform.ansor(&g);
+            let roller = platform.roller(&g);
+            let t10 = if t10_dead {
+                // Once T10 OOMs at a batch size, larger ones cannot fit.
+                Outcome {
+                    system: "T10",
+                    latency: f64::INFINITY,
+                    report: None,
+                    compile_seconds: 0.0,
+                }
+            } else {
+                platform.t10(&g, bench_search_config())
+            };
+            if !t10.latency.is_finite() {
+                t10_dead = true;
+            }
+            let speedup = if t10.latency.is_finite() && roller.latency.is_finite() {
+                format!("{:.2}x", roller.latency / t10.latency)
+            } else {
+                "-".to_string()
+            };
+            t.row(vec![
+                spec.name.to_string(),
+                bs.to_string(),
+                fmt_time(popart.latency),
+                fmt_time(ansor.latency),
+                fmt_time(roller.latency),
+                fmt_time(t10.latency),
+                speedup,
+            ]);
+            // Stop the sweep once every system is out of memory.
+            if !popart.latency.is_finite()
+                && !ansor.latency.is_finite()
+                && !roller.latency.is_finite()
+                && !t10.latency.is_finite()
+            {
+                break;
+            }
+        }
+    }
+    t.print();
+    println!("(OOM = the program cannot fit into the chip, the paper's '*')");
+}

@@ -1,0 +1,39 @@
+//! Figure 13: breakdown of compute vs inter-core data-transfer time for
+//! Roller and T10 across the DNN models.
+
+use t10_bench::harness::{bench_search_config, Platform};
+use t10_bench::Table;
+use t10_device::ChipSpec;
+use t10_models::all_models;
+
+fn main() {
+    let platform = Platform::new(ChipSpec::ipu_mk2());
+    println!("== Figure 13: data-transfer overhead (fraction of runtime) ==");
+    let mut t = Table::new(vec![
+        "model",
+        "batch",
+        "Roller transfer %",
+        "T10 transfer %",
+    ]);
+    for spec in all_models() {
+        for bs in [1usize, 4] {
+            let Ok(g) = (spec.build)(bs) else { continue };
+            let roller = platform.roller(&g);
+            let t10 = platform.t10(&g, bench_search_config());
+            let pct = |o: &t10_bench::Outcome| {
+                o.report
+                    .as_ref()
+                    .map(|r| format!("{:.0}%", r.transfer_fraction() * 100.0))
+                    .unwrap_or_else(|| "OOM".to_string())
+            };
+            t.row(vec![
+                spec.name.to_string(),
+                bs.to_string(),
+                pct(&roller),
+                pct(&t10),
+            ]);
+        }
+    }
+    t.print();
+    println!("(paper: Roller 50%-74%, T10 8%-43%)");
+}

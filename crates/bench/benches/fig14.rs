@@ -1,0 +1,27 @@
+//! Figure 14: average inter-core bandwidth utilized by each core during
+//! inter-core data transfers (the 5.5 GB/s link is the roofline).
+
+use t10_bench::harness::{bench_search_config, Platform};
+use t10_bench::Table;
+use t10_device::ChipSpec;
+use t10_models::all_models;
+
+fn main() {
+    let platform = Platform::new(ChipSpec::ipu_mk2());
+    println!("== Figure 14: average utilized inter-core bandwidth per core ==");
+    let mut t = Table::new(vec!["model", "Roller (GB/s)", "T10 (GB/s)"]);
+    for spec in all_models() {
+        let Ok(g) = (spec.build)(1) else { continue };
+        let roller = platform.roller(&g);
+        let t10 = platform.t10(&g, bench_search_config());
+        let bw = |o: &t10_bench::Outcome| {
+            o.report
+                .as_ref()
+                .map(|r| format!("{:.2}", r.avg_link_bandwidth() / 1e9))
+                .unwrap_or_else(|| "OOM".to_string())
+        };
+        t.row(vec![spec.name.to_string(), bw(&roller), bw(&t10)]);
+    }
+    t.print();
+    println!("(paper: T10 4.42-4.73 GB/s, Roller 2.61-3.87 GB/s; link = 5.5)");
+}

@@ -1,0 +1,54 @@
+//! Figure 15: distribution of T10's per-operator speedup over Roller.
+
+use t10_bench::harness::{bench_search_config, Platform};
+use t10_bench::Table;
+use t10_device::ChipSpec;
+
+fn main() {
+    let platform = Platform::new(ChipSpec::ipu_mk2());
+    println!("== Figure 15: per-operator speedup distribution (T10 vs Roller) ==");
+    let mut t = Table::new(vec![
+        "model",
+        "batch",
+        "ops",
+        ">1x (improved)",
+        "<0.9x (slowed)",
+        "median speedup",
+        "max speedup",
+    ]);
+    for (name, g) in [
+        ("BERT", t10_models::transformer::bert_large(1).unwrap()),
+        ("ResNet", t10_models::resnet::resnet18(1).unwrap()),
+        ("ResNet", t10_models::resnet::resnet18(8).unwrap()),
+    ] {
+        let bs = g.name().rsplit("bs").next().unwrap_or("?").to_string();
+        let roller = platform.roller(&g);
+        let t10 = platform.t10(&g, bench_search_config());
+        let (Some(rr), Some(rt)) = (&roller.report, &t10.report) else {
+            continue;
+        };
+        let mut speedups: Vec<f64> = Vec::new();
+        for (node, nb) in &rt.per_node {
+            if let Some(rb) = rr.per_node.get(node) {
+                if rb.total() > 0.0 && nb.total() > 0.0 {
+                    speedups.push(rb.total() / nb.total());
+                }
+            }
+        }
+        speedups.sort_by(f64::total_cmp);
+        let n = speedups.len();
+        let improved = speedups.iter().filter(|&&s| s > 1.0).count();
+        let slowed = speedups.iter().filter(|&&s| s < 0.9).count();
+        t.row(vec![
+            name.to_string(),
+            bs,
+            n.to_string(),
+            format!("{:.0}%", improved as f64 / n as f64 * 100.0),
+            format!("{:.0}%", slowed as f64 / n as f64 * 100.0),
+            format!("{:.2}x", speedups[n / 2]),
+            format!("{:.2}x", speedups[n - 1]),
+        ]);
+    }
+    t.print();
+    println!("(paper: >80% of operators improved, <10% slowed; max 10.79x)");
+}

@@ -1,0 +1,36 @@
+//! Figure 16: T10 compilation time for different models and batch sizes.
+
+use t10_bench::harness::{batch_doubling, bench_search_config, Platform};
+use t10_bench::Table;
+use t10_device::ChipSpec;
+use t10_models::all_models;
+
+fn main() {
+    let platform = Platform::new(ChipSpec::ipu_mk2());
+    println!("== Figure 16: T10 compilation time ==");
+    let mut t = Table::new(vec!["model", "batch", "compile time (s)", "distinct ops"]);
+    for spec in all_models() {
+        for bs in batch_doubling(4) {
+            let Ok(g) = (spec.build)(bs) else { continue };
+            let compiler = platform.compiler(bench_search_config());
+            let start = std::time::Instant::now();
+            let ok = compiler.compile_graph(&g).is_ok();
+            let secs = start.elapsed().as_secs_f64();
+            t.row(vec![
+                spec.name.to_string(),
+                bs.to_string(),
+                if ok {
+                    format!("{secs:.2}")
+                } else {
+                    format!("{secs:.2} (OOM)")
+                },
+                format!("{}", g.nodes().len()),
+            ]);
+        }
+    }
+    t.print();
+    println!(
+        "(identical operators share cached searches — §6.3; absolute times\n\
+         are not comparable to the paper's CPU, but growth with batch is)"
+    );
+}

@@ -1,0 +1,72 @@
+//! Figure 17: candidate execution plans of representative operators — the
+//! (memory, latency) scatter, T10's Pareto frontier, and the single points
+//! PopART-style and Roller-style compilers pick.
+
+use t10_baselines::roller;
+use t10_baselines::vgm::VgmConfig;
+use t10_bench::harness::Platform;
+use t10_bench::table::{fmt_bytes, fmt_time};
+use t10_bench::Table;
+use t10_core::search::{search_operator, SearchConfig};
+use t10_device::ChipSpec;
+use t10_ir::OpKind;
+
+fn main() {
+    let platform = Platform::new(ChipSpec::ipu_mk2());
+    let mut cfg = SearchConfig::strict();
+    cfg.collect_samples = true;
+    cfg.max_candidates_per_axis = 20;
+    cfg.max_configs = 30_000;
+    cfg.threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    let resnet = t10_models::resnet::resnet18(32).unwrap();
+    let bert = t10_models::transformer::bert_large(1).unwrap();
+    let nerf = t10_models::nerf::nerf(1).unwrap();
+    let pick = |g: &t10_ir::Graph, kind: OpKind| {
+        g.nodes()
+            .iter()
+            .filter(|n| n.op.kind == kind)
+            .max_by_key(|n| n.op.flops())
+            .unwrap()
+            .clone()
+    };
+    let cases = vec![
+        ("Conv (ResNet-BS32)", &resnet, pick(&resnet, OpKind::Conv2d)),
+        ("MatMul (BERT-BS1)", &bert, pick(&bert, OpKind::MatMul)),
+        ("MatMul (NeRF-BS1)", &nerf, pick(&nerf, OpKind::MatMul)),
+    ];
+    for (label, graph, node) in cases {
+        println!("\n== Figure 17: {label} ==");
+        let (d, o) = t10_core::compiler::node_dtypes(graph, &node.op);
+        let (pareto, stats) =
+            search_operator(&node.op, &d, o, platform.cost_model(), &cfg).unwrap();
+        println!(
+            "explored {} plans; Pareto frontier ({} stars):",
+            stats.filtered_space,
+            pareto.len()
+        );
+        let mut t = Table::new(vec!["mem/core", "latency", "cores", "steps"]);
+        for sp in pareto.plans().iter().take(12) {
+            t.row(vec![
+                fmt_bytes(sp.cost.mem_per_core),
+                fmt_time(sp.cost.exec_time),
+                sp.plan.cores_used.to_string(),
+                sp.plan.total_steps.to_string(),
+            ]);
+        }
+        t.print();
+        // The Roller triangle: its single tile choice priced the same way.
+        let vgm_cfg = VgmConfig::default();
+        let vgm = t10_baselines::vgm::vgm_bytes_per_core(graph, &platform.spec, true);
+        if let Ok(tp) = roller::select_tile(&node.op, &d, o, vgm, &platform.spec, &vgm_cfg) {
+            let time = roller::op_time_estimate(&tp, &platform.spec);
+            println!(
+                "Roller picks: {} buffers + {} VGM stripe, {} (triangle)",
+                fmt_bytes(tp.buffer_bytes),
+                fmt_bytes(vgm),
+                fmt_time(time)
+            );
+        }
+    }
+    println!("\n(paper: T10's space contains plans both faster and leaner than the baselines')");
+}

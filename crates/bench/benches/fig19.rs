@@ -1,0 +1,46 @@
+//! Figure 19: trade-off between compilation time and resulting execution
+//! latency under different intra-operator constraint settings.
+
+use t10_bench::harness::Platform;
+use t10_bench::table::fmt_time;
+use t10_bench::Table;
+use t10_core::search::SearchConfig;
+use t10_device::ChipSpec;
+
+fn main() {
+    let platform = Platform::new(ChipSpec::ipu_mk2());
+    println!("== Figure 19: constraint settings vs compile time & latency ==");
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let settings = [
+        ("strict (u=0.95, pad=0.95, 10 cand)", 0.95, 0.95, 10usize, 10_000usize),
+        ("default (u=0.9, pad=0.9, 24 cand)", 0.9, 0.9, 24, 40_000),
+        ("loose (u=0.7, pad=0.8, 32 cand)", 0.7, 0.8, 32, 120_000),
+    ];
+    let mut t = Table::new(vec!["setting", "model", "compile (s)", "latency"]);
+    for (name, builder) in [
+        ("ViT-BS1", t10_models::transformer::vit_base(1).unwrap()),
+        ("ResNet-BS1", t10_models::resnet::resnet18(1).unwrap()),
+    ] {
+        for (label, util, pad, cand, max_cfg) in settings {
+            let cfg = SearchConfig {
+                min_core_utilization: util,
+                padding_threshold: pad,
+                max_candidates_per_axis: cand,
+                max_configs: max_cfg,
+                threads,
+                collect_samples: false,
+            };
+            let start = std::time::Instant::now();
+            let o = platform.t10(&builder, cfg);
+            let secs = start.elapsed().as_secs_f64();
+            t.row(vec![
+                label.to_string(),
+                name.to_string(),
+                format!("{secs:.2}"),
+                fmt_time(o.latency),
+            ]);
+        }
+    }
+    t.print();
+    println!("(paper: a strict setting compiling in a minute is near-optimal)");
+}

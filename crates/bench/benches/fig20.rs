@@ -1,0 +1,53 @@
+//! Figure 20: the inter-operator memory-reconciliation search trajectory —
+//! end-to-end time as idle-state memory is traded for setup time.
+
+use t10_bench::harness::{bench_search_config, Platform};
+use t10_bench::table::{fmt_bytes, fmt_time};
+use t10_bench::Table;
+use t10_device::ChipSpec;
+
+fn main() {
+    let platform = Platform::new(ChipSpec::ipu_mk2());
+    for (name, g) in [
+        ("BERT-BS1", t10_models::transformer::bert_large(1).unwrap()),
+        ("ResNet-BS8", t10_models::resnet::resnet18(8).unwrap()),
+    ] {
+        println!("\n== Figure 20: inter-operator search trajectory, {name} ==");
+        let Some((compiled, _)) = platform.t10_full(&g, bench_search_config()) else {
+            println!("does not fit");
+            continue;
+        };
+        let cap = platform.spec.sram_per_core - platform.spec.shift_buffer;
+        let mut t = Table::new(vec![
+            "step",
+            "idle mem/core",
+            "idle % of SRAM",
+            "setup time",
+            "exec time",
+            "total",
+        ]);
+        let traj = &compiled.reconciled.trajectory;
+        let stride = (traj.len() / 12).max(1);
+        for (i, p) in traj.iter().enumerate() {
+            if i % stride != 0 && i + 1 != traj.len() {
+                continue;
+            }
+            t.row(vec![
+                i.to_string(),
+                fmt_bytes(p.idle_mem),
+                format!("{:.0}%", p.idle_mem as f64 / cap as f64 * 100.0),
+                fmt_time(p.setup_time),
+                fmt_time(p.exec_time),
+                fmt_time(p.total_time),
+            ]);
+        }
+        t.print();
+        println!(
+            "selected: idle {} ({:.0}% of SRAM), total {}",
+            fmt_bytes(compiled.reconciled.idle_mem),
+            compiled.reconciled.idle_mem as f64 / cap as f64 * 100.0,
+            fmt_time(compiled.reconciled.total_time)
+        );
+    }
+    println!("\n(paper: the chosen plan expands idle memory to cut setup time)");
+}

@@ -1,0 +1,61 @@
+//! Figure 21: scalability with the number of cores, including multi-chip
+//! V-IPU devices (2,944 and 5,888 cores) whose inter-chip IPU-Link caps
+//! the effective inter-core bandwidth.
+
+use t10_bench::harness::{bench_search_config, Platform};
+use t10_bench::table::fmt_time;
+use t10_bench::Table;
+use t10_device::ChipSpec;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("== Figure 21: performance vs number of cores ==");
+    let mut t = Table::new(vec![
+        "model",
+        "cores",
+        "Roller",
+        "Roller transfer%",
+        "T10",
+        "T10 transfer%",
+    ]);
+    let core_counts: Vec<ChipSpec> = if quick {
+        vec![ChipSpec::ipu_with_cores(736), ChipSpec::ipu_mk2()]
+    } else {
+        vec![
+            ChipSpec::ipu_with_cores(368),
+            ChipSpec::ipu_with_cores(736),
+            ChipSpec::ipu_mk2(),
+            ChipSpec::vipu(2),
+            ChipSpec::vipu(4),
+        ]
+    };
+    for spec in &core_counts {
+        let platform = Platform::new(spec.clone());
+        for (name, g) in [
+            ("ResNet-BS1", t10_models::resnet::resnet18(1).unwrap()),
+            ("NeRF-BS1", t10_models::nerf::nerf(1).unwrap()),
+        ] {
+            let roller = platform.roller(&g);
+            let t10 = platform.t10(&g, bench_search_config());
+            let pct = |o: &t10_bench::Outcome| {
+                o.report
+                    .as_ref()
+                    .map(|r| format!("{:.0}%", r.transfer_fraction() * 100.0))
+                    .unwrap_or_default()
+            };
+            t.row(vec![
+                name.to_string(),
+                spec.num_cores.to_string(),
+                fmt_time(roller.latency),
+                pct(&roller),
+                fmt_time(t10.latency),
+                pct(&t10),
+            ]);
+        }
+    }
+    t.print();
+    println!(
+        "(paper: T10 always outperforms Roller and keeps scaling across\n\
+         chips, while Roller's VGM traffic hits the inter-chip IPU-Link)"
+    );
+}

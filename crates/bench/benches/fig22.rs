@@ -1,0 +1,41 @@
+//! Figure 22: IPU MK2 + T10 vs A100 + TensorRT (roofline model) across
+//! batch sizes.
+
+use t10_bench::harness::{batch_doubling, bench_search_config, Platform};
+use t10_bench::table::fmt_time;
+use t10_bench::Table;
+use t10_device::{ChipSpec, GpuSpec};
+use t10_models::all_models;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let platform = Platform::new(ChipSpec::ipu_mk2());
+    let gpu = GpuSpec::a100();
+    println!("== Figure 22: IPU+T10 vs A100 (roofline) ==");
+    let mut t = Table::new(vec!["model", "batch", "A100", "IPU+T10", "IPU vs A100"]);
+    for spec in all_models() {
+        let max_bs = if quick { 2 } else { 4 };
+        for bs in batch_doubling(max_bs) {
+            let Ok(g) = (spec.build)(bs) else { continue };
+            let gpu_time = gpu.graph_time(&g);
+            let t10 = platform.t10(&g, bench_search_config());
+            let ratio = if t10.latency.is_finite() {
+                format!("{:.2}x", gpu_time / t10.latency)
+            } else {
+                "-".to_string()
+            };
+            t.row(vec![
+                spec.name.to_string(),
+                bs.to_string(),
+                fmt_time(gpu_time),
+                fmt_time(t10.latency),
+                ratio,
+            ]);
+        }
+    }
+    t.print();
+    println!(
+        "(paper: IPU+T10 wins at small batch — up to 2.44x — and loses at\n\
+         large batch where peak FLOPS dominates)"
+    );
+}

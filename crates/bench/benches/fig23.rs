@@ -1,0 +1,43 @@
+//! Figure 23: LLM decode-layer latency, IPU+T10 vs A100 (roofline), across
+//! batch sizes — the aggregated-SRAM-bandwidth argument of §6.7.
+
+use t10_bench::harness::{batch_doubling, bench_search_config, Platform};
+use t10_bench::table::fmt_time;
+use t10_bench::Table;
+use t10_device::{ChipSpec, GpuSpec};
+use t10_models::zoo;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let platform = Platform::new(ChipSpec::ipu_mk2());
+    let gpu = GpuSpec::a100();
+    println!("== Figure 23: LLM decode layers, IPU+T10 vs A100 ==");
+    let mut t = Table::new(vec!["model", "batch", "A100", "IPU+T10", "IPU vs A100"]);
+    for (name, cfg, layers) in zoo::llm_models() {
+        let max_bs = if quick { 4 } else { 8 };
+        for bs in batch_doubling(max_bs) {
+            let Ok(g) = zoo::build_llm(name, cfg, layers, bs) else {
+                continue;
+            };
+            let gpu_time = gpu.graph_time(&g);
+            let t10 = platform.t10(&g, bench_search_config());
+            let ratio = if t10.latency.is_finite() {
+                format!("{:.2}x", gpu_time / t10.latency)
+            } else {
+                "-".to_string()
+            };
+            t.row(vec![
+                name.to_string(),
+                bs.to_string(),
+                fmt_time(gpu_time),
+                fmt_time(t10.latency),
+                ratio,
+            ]);
+        }
+    }
+    t.print();
+    println!(
+        "(paper: up to 16.38x lower latency, 3.10x on average; the gap\n\
+         narrows at large batch where both become compute-bound)"
+    );
+}

@@ -1,0 +1,91 @@
+//! Criterion micro-benchmarks of the compiler's own hot paths: plan
+//! derivation, cost-model evaluation, intra-operator search, functional
+//! simulation, and the timing simulator's superstep throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use t10_core::cost::CostModel;
+use t10_core::lower::{lower_functional, lower_timing};
+use t10_core::plan::{Plan, PlanConfig, TemporalChoice};
+use t10_core::search::{search_operator, SearchConfig};
+use t10_device::ChipSpec;
+use t10_ir::builders;
+use t10_sim::{Simulator, SimulatorMode};
+
+fn bench_plan_build(c: &mut Criterion) {
+    let op = builders::matmul(0, 1, 2, 512, 512, 512).unwrap();
+    let config = PlanConfig {
+        f_op: vec![8, 2, 8],
+        temporal: vec![TemporalChoice::rotate(1, 4), TemporalChoice::rotate(0, 2)],
+    };
+    c.bench_function("plan_build_matmul", |b| {
+        b.iter(|| Plan::build(black_box(&op), &[2, 2], 2, black_box(config.clone())).unwrap())
+    });
+}
+
+fn bench_cost_model(c: &mut Criterion) {
+    let spec = ChipSpec::ipu_with_cores(64);
+    let cost = CostModel::calibrate(&spec, 128, 3).unwrap();
+    let op = builders::matmul(0, 1, 2, 512, 512, 512).unwrap();
+    let plan = Plan::build(
+        &op,
+        &[2, 2],
+        2,
+        PlanConfig {
+            f_op: vec![8, 2, 4],
+            temporal: vec![TemporalChoice::rotate(1, 4), TemporalChoice::none()],
+        },
+    )
+    .unwrap();
+    c.bench_function("cost_estimate_plan", |b| {
+        b.iter(|| cost.estimate_plan(black_box(&op), black_box(&plan)))
+    });
+    c.bench_function("cost_calibrate_64c", |b| {
+        b.iter(|| CostModel::calibrate(black_box(&spec), 64, 3).unwrap())
+    });
+}
+
+fn bench_search(c: &mut Criterion) {
+    let spec = ChipSpec::ipu_with_cores(64);
+    let cost = CostModel::calibrate(&spec, 128, 3).unwrap();
+    let op = builders::matmul(0, 1, 2, 256, 256, 256).unwrap();
+    let cfg = SearchConfig::fast();
+    c.bench_function("search_matmul_256_64c", |b| {
+        b.iter(|| search_operator(black_box(&op), &[2, 2], 2, &cost, &cfg).unwrap())
+    });
+}
+
+fn bench_lowering(c: &mut Criterion) {
+    let spec = ChipSpec::ipu_with_cores(16);
+    let op = builders::matmul(0, 1, 2, 16, 32, 16).unwrap();
+    let plan = Plan::build(
+        &op,
+        &[4, 4],
+        4,
+        PlanConfig {
+            f_op: vec![4, 1, 4],
+            temporal: vec![TemporalChoice::rotate(1, 4), TemporalChoice::rotate(0, 4)],
+        },
+    )
+    .unwrap();
+    c.bench_function("lower_functional_16c", |b| {
+        b.iter(|| lower_functional(black_box(&op), black_box(&plan)).unwrap())
+    });
+    c.bench_function("lower_timing_16c", |b| {
+        b.iter(|| lower_timing(black_box(&op), black_box(&plan), &spec, Some(0)))
+    });
+    let f = lower_functional(&op, &plan).unwrap();
+    c.bench_function("functional_sim_16c", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(spec.clone(), SimulatorMode::Functional);
+            sim.run(black_box(&f.program)).unwrap()
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_plan_build, bench_cost_model, bench_search, bench_lowering
+);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Tables 2 and 3 of the paper: the model zoo and hardware specifications.
+
+use t10_bench::Table;
+use t10_device::{ChipSpec, GpuSpec};
+use t10_models::{all_models, zoo};
+
+fn main() {
+    println!("== Table 2: DNN models used in the evaluation ==");
+    let mut t = Table::new(vec!["Name", "Description", "# Parameters (built)"]);
+    for spec in all_models() {
+        let g = (spec.build)(1).expect("build");
+        let params = g.parameter_count();
+        let shown = if params >= 1_000_000 {
+            format!("{:.0}M", params as f64 / 1e6)
+        } else {
+            format!("{:.0}K", params as f64 / 1e3)
+        };
+        t.row(vec![
+            spec.name.to_string(),
+            spec.description.to_string(),
+            format!("{shown} (paper: {})", spec.params),
+        ]);
+    }
+    for (name, cfg, layers) in zoo::llm_models() {
+        let g = zoo::build_llm(name, cfg, layers, 1).expect("build");
+        t.row(vec![
+            name.to_string(),
+            format!("LLM decode, {layers} layers/chip"),
+            format!(
+                "{:.2}B full model (layer params x total layers)",
+                cfg.layer_params() as f64 * full_layers(name) as f64 / 1e9
+            ),
+        ]);
+        drop(g);
+    }
+    t.print();
+
+    println!("\n== Table 3: hardware specifications ==");
+    let ipu = ChipSpec::ipu_mk2();
+    let gpu = GpuSpec::a100();
+    let mut t = Table::new(vec!["", "A100 GPU", "IPU MK2"]);
+    t.row(vec![
+        "Local cache (total)".to_string(),
+        "20.25 MB".to_string(),
+        format!("{:.0} MB", ipu.total_sram() as f64 / (1024.0 * 1024.0)),
+    ]);
+    t.row(vec![
+        "Global cache".to_string(),
+        format!("{} MB", gpu.l2_bytes / (1024 * 1024)),
+        "N/A".to_string(),
+    ]);
+    t.row(vec![
+        "Off-chip B/W".to_string(),
+        format!("{:.0} GB/s", gpu.hbm_bw / 1e9),
+        format!("{:.0} GB/s", ipu.offchip_bw / 1e9),
+    ]);
+    t.row(vec![
+        "Inter-core B/W".to_string(),
+        "N/A".to_string(),
+        format!("{:.1} GB/s per link", ipu.link_bw / 1e9),
+    ]);
+    t.row(vec![
+        "Number of cores".to_string(),
+        "108".to_string(),
+        format!("{}", ipu.num_cores),
+    ]);
+    t.row(vec![
+        "Total FP16 FLOPS".to_string(),
+        format!("{:.0} TFLOPS", gpu.peak_flops / 1e12),
+        format!("{:.0} TFLOPS", ipu.peak_flops() / 1e12),
+    ]);
+    t.print();
+}
+
+fn full_layers(name: &str) -> usize {
+    match name {
+        "OPT-1.3B" | "RetNet-1.3B" => 24,
+        "OPT-13B" | "Llama2-13B" => 40,
+        "Llama2-7B" => 32,
+        _ => 24,
+    }
+}

@@ -1,0 +1,184 @@
+//! Shared evaluation plumbing: compile with each system, run on the timing
+//! simulator, report.
+
+use t10_baselines::{compile_graph_ansor, compile_graph_popart, compile_graph_roller};
+use t10_core::compiler::{CompiledGraph, Compiler};
+use t10_core::cost::CostModel;
+use t10_core::search::SearchConfig;
+use t10_device::program::Program;
+use t10_device::ChipSpec;
+use t10_ir::Graph;
+use t10_sim::{RunReport, Simulator, SimulatorMode};
+
+/// Result of compiling and simulating one model with one system.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// System name ("T10", "Roller", ...).
+    pub system: &'static str,
+    /// Simulated end-to-end latency, seconds (`f64::INFINITY` = OOM).
+    pub latency: f64,
+    /// Full simulator report (empty on OOM).
+    pub report: Option<RunReport>,
+    /// Compile wall-clock seconds.
+    pub compile_seconds: f64,
+}
+
+impl Outcome {
+    fn oom(system: &'static str) -> Self {
+        Self {
+            system,
+            latency: f64::INFINITY,
+            report: None,
+            compile_seconds: 0.0,
+        }
+    }
+}
+
+/// One chip plus a calibrated cost model, shared across bench runs.
+pub struct Platform {
+    /// The chip under evaluation.
+    pub spec: ChipSpec,
+    cost: CostModel,
+}
+
+impl Platform {
+    /// Calibrates a platform for a chip.
+    pub fn new(spec: ChipSpec) -> Self {
+        let cost = CostModel::calibrate(&spec, 192, 7).expect("calibration");
+        Self { spec, cost }
+    }
+
+    /// The calibrated cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// A T10 compiler sharing this platform's cost model.
+    pub fn compiler(&self, cfg: SearchConfig) -> Compiler {
+        Compiler::with_cost_model(self.cost.clone(), cfg)
+    }
+
+    /// Runs a program on the timing simulator.
+    pub fn run(&self, program: &Program) -> RunReport {
+        let mut sim = Simulator::new(self.spec.clone(), SimulatorMode::Timing);
+        sim.run(program).expect("timing simulation")
+    }
+
+    /// Compiles with T10 and simulates. `None` report means OOM.
+    pub fn t10(&self, graph: &Graph, cfg: SearchConfig) -> Outcome {
+        match self.compiler(cfg).compile_graph(graph) {
+            Ok(compiled) => self.finish("T10", compiled.compile_seconds, &compiled.program),
+            Err(_) => Outcome::oom("T10"),
+        }
+    }
+
+    /// Compiles with T10 and also returns the compilation artifacts.
+    pub fn t10_full(&self, graph: &Graph, cfg: SearchConfig) -> Option<(CompiledGraph, Outcome)> {
+        match self.compiler(cfg).compile_graph(graph) {
+            Ok(compiled) => {
+                let o = self.finish("T10", compiled.compile_seconds, &compiled.program);
+                Some((compiled, o))
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Compiles with the Roller baseline and simulates.
+    pub fn roller(&self, graph: &Graph) -> Outcome {
+        match compile_graph_roller(graph, &self.spec) {
+            Ok(c) => self.finish("Roller", c.compile_seconds, &c.program),
+            Err(_) => Outcome::oom("Roller"),
+        }
+    }
+
+    /// Compiles with the Ansor baseline and simulates.
+    pub fn ansor(&self, graph: &Graph) -> Outcome {
+        match compile_graph_ansor(graph, &self.spec) {
+            Ok(c) => self.finish("Ansor", c.compile_seconds, &c.program),
+            Err(_) => Outcome::oom("Ansor"),
+        }
+    }
+
+    /// Compiles with the PopART stand-in and simulates.
+    pub fn popart(&self, graph: &Graph) -> Outcome {
+        match compile_graph_popart(graph, &self.spec) {
+            Ok(c) => self.finish("PopART", c.compile_seconds, &c.program),
+            Err(_) => Outcome::oom("PopART"),
+        }
+    }
+
+    fn finish(&self, system: &'static str, compile_seconds: f64, program: &Program) -> Outcome {
+        let report = self.run(program);
+        Outcome {
+            system,
+            latency: report.total_time,
+            report: Some(report),
+            compile_seconds,
+        }
+    }
+}
+
+/// The search configuration used for the figure benches: sized so a whole
+/// model compiles in seconds on one CPU while keeping the paper's default
+/// 90% parallelism/padding constraints.
+pub fn bench_search_config() -> SearchConfig {
+    SearchConfig {
+        min_core_utilization: 0.9,
+        padding_threshold: 0.9,
+        max_candidates_per_axis: 24,
+        max_configs: 40_000,
+        threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        collect_samples: false,
+    }
+}
+
+/// Doubling batch sizes `1, 2, 4, ...` up to `max`.
+pub fn batch_doubling(max: usize) -> Vec<usize> {
+    let mut v = Vec::new();
+    let mut b = 1;
+    while b <= max {
+        v.push(b);
+        b *= 2;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t10_ir::{builders, DType, ValueKind};
+
+    fn small_graph() -> Graph {
+        let mut g = Graph::new("small");
+        let a = g.add_value("a", vec![64, 64], DType::F16, ValueKind::Input);
+        let w = g.add_value("w", vec![64, 64], DType::F16, ValueKind::Weight);
+        let c = g.add_value("c", vec![64, 64], DType::F16, ValueKind::Output);
+        g.add_node("mm", builders::matmul(a, w, c, 64, 64, 64).unwrap())
+            .unwrap();
+        g
+    }
+
+    #[test]
+    fn platform_runs_all_systems() {
+        let p = Platform::new(ChipSpec::ipu_with_cores(16));
+        let g = small_graph();
+        for o in [
+            p.t10(&g, SearchConfig::fast()),
+            p.roller(&g),
+            p.ansor(&g),
+            p.popart(&g),
+        ] {
+            assert!(o.latency.is_finite(), "{} OOMed", o.system);
+            assert!(o.latency > 0.0);
+        }
+    }
+
+    #[test]
+    fn batch_doubling_sequence() {
+        assert_eq!(batch_doubling(8), vec![1, 2, 4, 8]);
+        assert_eq!(batch_doubling(1), vec![1]);
+        assert_eq!(batch_doubling(6), vec![1, 2, 4]);
+    }
+}

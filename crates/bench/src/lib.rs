@@ -1,0 +1,34 @@
+//! Benchmark harness reproducing every table and figure of the T10 paper.
+//!
+//! Each evaluation artifact is a `harness = false` bench target (see
+//! `Cargo.toml`), so `cargo bench` regenerates the full evaluation:
+//!
+//! | Target   | Paper artifact |
+//! |----------|----------------|
+//! | `tables` | Tables 2 & 3 (model zoo, hardware specs) |
+//! | `fig02b` | Figure 2 (b): per-core VGM memory footprint & ratio |
+//! | `fig08`  | Figure 8: cost-model accuracy scatter |
+//! | `fig12`  | Figure 12: end-to-end inference latency |
+//! | `fig13`  | Figure 13: data-transfer overhead breakdown |
+//! | `fig14`  | Figure 14: inter-core bandwidth utilization |
+//! | `fig15`  | Figure 15: per-operator speedup distribution |
+//! | `fig16`  | Figure 16: compilation time |
+//! | `fig17`  | Figure 17: intra-operator plan candidates |
+//! | `fig18`  | Figure 18: search-space sizes |
+//! | `fig19`  | Figure 19: constraint settings vs compile time |
+//! | `fig20`  | Figure 20: inter-operator search trajectory |
+//! | `fig21`  | Figure 21: core-count scalability |
+//! | `fig22`  | Figure 22: IPU+T10 vs A100+TensorRT |
+//! | `fig23`  | Figure 23: LLM decode latency vs A100 |
+//! | `fig24`  | Figure 24: emulated HBM bandwidth sweep |
+//! | `microbench` | Criterion micro-benchmarks of the compiler itself |
+//!
+//! The measured numbers come from the timing simulator (the hardware-gate
+//! substitution documented in `DESIGN.md`); `EXPERIMENTS.md` records how the
+//! shapes compare with the paper's.
+
+pub mod harness;
+pub mod table;
+
+pub use harness::{Outcome, Platform};
+pub use table::Table;

@@ -1,0 +1,326 @@
+//! Library half of the `t10` CLI: argument parsing and command execution,
+//! kept in a library so tests can drive it without spawning processes.
+
+use t10_bench::harness::{bench_search_config, Platform};
+use t10_bench::table::{fmt_bytes, fmt_time};
+use t10_bench::Table;
+use t10_core::search::{search_operator, SearchConfig};
+use t10_core::viz;
+use t10_device::ChipSpec;
+use t10_ir::Graph;
+use t10_models::{all_models, textfmt};
+
+/// Usage text shown on parse errors.
+pub const USAGE: &str = "\
+usage:
+  t10 zoo
+  t10 compile <model|file.t10> [--batch N] [--cores N] [--fuse]
+  t10 bench   <model|file.t10> [--batch N] [--cores N]
+  t10 explore <M> <K> <N> [--cores N]";
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cli {
+    /// List the built-in models.
+    Zoo,
+    /// Compile one model with T10 and simulate it.
+    Compile {
+        /// Zoo model name or `.t10` file path.
+        target: String,
+        /// Batch size.
+        batch: usize,
+        /// Core count.
+        cores: usize,
+        /// Apply the unary-fusion pass first.
+        fuse: bool,
+    },
+    /// Compare T10 against the VGM baselines.
+    Bench {
+        /// Zoo model name or `.t10` file path.
+        target: String,
+        /// Batch size.
+        batch: usize,
+        /// Core count.
+        cores: usize,
+    },
+    /// Explore one MatMul's Pareto frontier.
+    Explore {
+        /// Row count.
+        m: usize,
+        /// Reduction length.
+        k: usize,
+        /// Column count.
+        n: usize,
+        /// Core count.
+        cores: usize,
+    },
+}
+
+impl Cli {
+    /// Parses a command line (without the program name).
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut pos: Vec<&str> = Vec::new();
+        let mut batch = 1usize;
+        let mut cores = 1472usize;
+        let mut fuse = false;
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--batch" => {
+                    batch = it
+                        .next()
+                        .ok_or("--batch needs a value")?
+                        .parse()
+                        .map_err(|_| "bad --batch value")?;
+                }
+                "--cores" => {
+                    cores = it
+                        .next()
+                        .ok_or("--cores needs a value")?
+                        .parse()
+                        .map_err(|_| "bad --cores value")?;
+                }
+                "--fuse" => fuse = true,
+                flag if flag.starts_with("--") => {
+                    return Err(format!("unknown flag {flag}"));
+                }
+                p => pos.push(p),
+            }
+        }
+        match pos.as_slice() {
+            ["zoo"] => Ok(Cli::Zoo),
+            ["compile", target] => Ok(Cli::Compile {
+                target: target.to_string(),
+                batch,
+                cores,
+                fuse,
+            }),
+            ["bench", target] => Ok(Cli::Bench {
+                target: target.to_string(),
+                batch,
+                cores,
+            }),
+            ["explore", m, k, n] => Ok(Cli::Explore {
+                m: m.parse().map_err(|_| "bad M")?,
+                k: k.parse().map_err(|_| "bad K")?,
+                n: n.parse().map_err(|_| "bad N")?,
+                cores,
+            }),
+            [] => Err("missing command".to_string()),
+            other => Err(format!("unrecognized command {other:?}")),
+        }
+    }
+}
+
+/// Resolves a target to a graph: a zoo name or a `.t10` model file.
+pub fn resolve_model(target: &str, batch: usize) -> Result<Graph, String> {
+    if let Some(spec) = all_models().into_iter().find(|m| m.name.eq_ignore_ascii_case(target)) {
+        return (spec.build)(batch).map_err(|e| e.to_string());
+    }
+    if target.ends_with(".t10") {
+        let src = std::fs::read_to_string(target).map_err(|e| format!("{target}: {e}"))?;
+        return textfmt::parse(&src).map_err(|e| e.to_string());
+    }
+    Err(format!(
+        "unknown model `{target}` (try `t10 zoo`, or pass a .t10 file)"
+    ))
+}
+
+fn chip(cores: usize) -> ChipSpec {
+    if cores == 1472 {
+        ChipSpec::ipu_mk2()
+    } else {
+        ChipSpec::ipu_with_cores(cores)
+    }
+}
+
+/// Executes a parsed command.
+pub fn run(cli: &Cli) -> Result<(), String> {
+    match cli {
+        Cli::Zoo => {
+            let mut t = Table::new(vec!["name", "description", "params"]);
+            for m in all_models() {
+                t.row(vec![m.name, m.description, m.params]);
+            }
+            for (name, cfg, layers) in t10_models::zoo::llm_models() {
+                t.row(vec![
+                    name.to_string(),
+                    format!("LLM decode, {layers} layer(s)/chip"),
+                    format!("{:.1}B-class", cfg.layer_params() as f64 * 24.0 / 1e9),
+                ]);
+            }
+            t.print();
+            Ok(())
+        }
+        Cli::Compile {
+            target,
+            batch,
+            cores,
+            fuse,
+        } => {
+            let mut g = resolve_model(target, *batch)?;
+            if *fuse {
+                let before = g.nodes().len();
+                g = t10_ir::transform::fuse_unary(&g).map_err(|e| e.to_string())?;
+                println!("fusion: {before} -> {} operators", g.nodes().len());
+            }
+            let platform = Platform::new(chip(*cores));
+            let Some((compiled, outcome)) = platform.t10_full(&g, bench_search_config()) else {
+                return Err("model does not fit on the chip".to_string());
+            };
+            println!(
+                "{}: {} operators, {:.2} M params, compiled in {:.2} s",
+                g.name(),
+                g.nodes().len(),
+                g.parameter_count() as f64 / 1e6,
+                outcome.compile_seconds
+            );
+            let r = outcome.report.expect("report");
+            println!(
+                "latency {}  ({:.0}% transfer, {} idle/core, peak {}/core)",
+                fmt_time(r.total_time),
+                r.transfer_fraction() * 100.0,
+                fmt_bytes(compiled.reconciled.idle_mem),
+                fmt_bytes(r.peak_core_bytes),
+            );
+            Ok(())
+        }
+        Cli::Bench {
+            target,
+            batch,
+            cores,
+        } => {
+            let g = resolve_model(target, *batch)?;
+            let platform = Platform::new(chip(*cores));
+            let mut t = Table::new(vec!["system", "latency", "transfer %", "compile (s)"]);
+            for o in [
+                platform.popart(&g),
+                platform.ansor(&g),
+                platform.roller(&g),
+                platform.t10(&g, bench_search_config()),
+            ] {
+                let pct = o
+                    .report
+                    .as_ref()
+                    .map(|r| format!("{:.0}%", r.transfer_fraction() * 100.0))
+                    .unwrap_or_default();
+                t.row(vec![
+                    o.system.to_string(),
+                    fmt_time(o.latency),
+                    pct,
+                    format!("{:.2}", o.compile_seconds),
+                ]);
+            }
+            t.print();
+            Ok(())
+        }
+        Cli::Explore { m, k, n, cores } => {
+            let platform = Platform::new(chip(*cores));
+            let op =
+                t10_ir::builders::matmul(0, 1, 2, *m, *k, *n).map_err(|e| e.to_string())?;
+            let mut cfg = SearchConfig::strict();
+            cfg.threads = std::thread::available_parallelism()
+                .map(|x| x.get())
+                .unwrap_or(1);
+            let (pareto, stats) = search_operator(&op, &[2, 2], 2, platform.cost_model(), &cfg)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "filtered {} plans -> {} Pareto-optimal",
+                stats.filtered_space,
+                pareto.len()
+            );
+            print!("{}", viz::pareto_scatter(&pareto, 56, 14));
+            if let Some(lean) = pareto.min_memory() {
+                for level in 0..lean.plan.rotations.len() {
+                    print!("{}", viz::rotation_schedule(&op, &lean.plan, level));
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_zoo() {
+        assert_eq!(Cli::parse(&s(&["zoo"])).unwrap(), Cli::Zoo);
+    }
+
+    #[test]
+    fn parses_compile_with_flags() {
+        let c = Cli::parse(&s(&["compile", "ResNet", "--batch", "4", "--cores", "64", "--fuse"]))
+            .unwrap();
+        assert_eq!(
+            c,
+            Cli::Compile {
+                target: "ResNet".to_string(),
+                batch: 4,
+                cores: 64,
+                fuse: true
+            }
+        );
+    }
+
+    #[test]
+    fn parses_explore() {
+        let c = Cli::parse(&s(&["explore", "128", "256", "512"])).unwrap();
+        assert_eq!(
+            c,
+            Cli::Explore {
+                m: 128,
+                k: 256,
+                n: 512,
+                cores: 1472
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(Cli::parse(&s(&[])).is_err());
+        assert!(Cli::parse(&s(&["frob"])).is_err());
+        assert!(Cli::parse(&s(&["compile"])).is_err());
+        assert!(Cli::parse(&s(&["compile", "x", "--batch"])).is_err());
+        assert!(Cli::parse(&s(&["compile", "x", "--warp", "9"])).is_err());
+        assert!(Cli::parse(&s(&["explore", "a", "2", "3"])).is_err());
+    }
+
+    #[test]
+    fn resolves_zoo_models_case_insensitively() {
+        assert!(resolve_model("resnet", 1).is_ok());
+        assert!(resolve_model("NERF", 1).is_ok());
+        assert!(resolve_model("nope", 1).is_err());
+    }
+
+    #[test]
+    fn zoo_command_runs() {
+        run(&Cli::Zoo).unwrap();
+    }
+
+    #[test]
+    fn compile_command_runs_on_small_chip() {
+        // A tiny custom model through the full path, with fusion.
+        let dir = std::env::temp_dir().join("t10_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.t10");
+        std::fs::write(
+            &path,
+            "model cli-test\ninput x 64 64\nlinear a x 64 relu\nlinear b a 64\noutput b\n",
+        )
+        .unwrap();
+        run(&Cli::Compile {
+            target: path.to_string_lossy().to_string(),
+            batch: 1,
+            cores: 16,
+            fuse: true,
+        })
+        .unwrap();
+    }
+}

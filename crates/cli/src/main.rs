@@ -1,0 +1,28 @@
+//! `t10` — command-line front end for the T10 compiler and simulator.
+//!
+//! ```text
+//! t10 zoo                               list the built-in models
+//! t10 compile <model|file.t10> [opts]   compile and simulate with T10
+//! t10 bench   <model|file.t10> [opts]   compare T10 / Roller / Ansor / PopART
+//! t10 explore <M> <K> <N> [opts]        Pareto frontier of one MatMul
+//!
+//! options: --batch N (default 1)  --cores N (default 1472)  --fuse
+//! ```
+
+use t10_cli::{run, Cli};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match Cli::parse(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", t10_cli::USAGE);
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = run(&cli) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

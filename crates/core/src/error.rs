@@ -1,0 +1,64 @@
+//! Compiler error type.
+
+/// An error produced during plan construction, search, or lowering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    message: String,
+}
+
+impl CompileError {
+    /// Creates a new error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+
+    /// The human-readable message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "compile error: {}", self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<t10_device::iface::DeviceError> for CompileError {
+    fn from(e: t10_device::iface::DeviceError) -> Self {
+        Self::new(e.message().to_string())
+    }
+}
+
+impl From<t10_ir::IrError> for CompileError {
+    fn from(e: t10_ir::IrError) -> Self {
+        Self::new(e.message().to_string())
+    }
+}
+
+/// Builds a [`CompileError`] from format arguments.
+#[macro_export]
+macro_rules! compile_err {
+    ($($arg:tt)*) => {
+        $crate::CompileError::new(format!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e = CompileError::new("no plan");
+        assert_eq!(e.to_string(), "compile error: no plan");
+        let d: CompileError = t10_device::iface::DeviceError::new("oom").into();
+        assert_eq!(d.message(), "oom");
+        let i: CompileError = t10_ir::IrError::new("bad").into();
+        assert_eq!(i.message(), "bad");
+    }
+}

@@ -1,0 +1,159 @@
+//! Combining distributed on-chip memory with off-chip HBM (paper §6.8).
+//!
+//! The paper emulates HBM on the IPU by delaying each operator by the
+//! roofline time of loading it from HBM, with double buffering to overlap
+//! execution and transfer. Two schedules are evaluated:
+//!
+//! * **Single-Op** — execute operator *i* while prefetching operator *i+1*;
+//! * **Inter-Op** — prefetch a *group* of operators while the previous
+//!   group executes, with groups sized to the prefetch buffer. Grouping
+//!   operators of different compute intensity balances execution against
+//!   prefetching (the paper's observation at low HBM bandwidth).
+
+use serde::{Deserialize, Serialize};
+
+/// One operator's view for HBM scheduling.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HbmOp {
+    /// On-chip execution time with the chosen plan, seconds.
+    pub exec_time: f64,
+    /// Total parameter bytes that must stream from HBM before execution.
+    pub weight_bytes: u64,
+}
+
+/// Double-buffered single-operator schedule: `t_i = max(exec_i, load_{i+1})`
+/// plus the initial load.
+pub fn schedule_single_op(ops: &[HbmOp], hbm_bw: f64) -> f64 {
+    if ops.is_empty() {
+        return 0.0;
+    }
+    let load = |op: &HbmOp| op.weight_bytes as f64 / hbm_bw;
+    let mut total = load(&ops[0]);
+    for i in 0..ops.len() {
+        let next_load = ops.get(i + 1).map(load).unwrap_or(0.0);
+        total += ops[i].exec_time.max(next_load);
+    }
+    total
+}
+
+/// Greedy operator grouping: consecutive operators are packed while the
+/// group's weights fit in the prefetch buffer.
+pub fn group_ops(ops: &[HbmOp], prefetch_buffer: u64) -> Vec<Vec<HbmOp>> {
+    let mut groups: Vec<Vec<HbmOp>> = Vec::new();
+    let mut cur: Vec<HbmOp> = Vec::new();
+    let mut cur_bytes = 0u64;
+    for &op in ops {
+        if !cur.is_empty() && cur_bytes + op.weight_bytes > prefetch_buffer {
+            groups.push(std::mem::take(&mut cur));
+            cur_bytes = 0;
+        }
+        cur_bytes += op.weight_bytes;
+        cur.push(op);
+    }
+    if !cur.is_empty() {
+        groups.push(cur);
+    }
+    groups
+}
+
+/// Double-buffered group schedule: prefetch group *g+1* while executing
+/// group *g*.
+pub fn schedule_inter_op(ops: &[HbmOp], hbm_bw: f64, prefetch_buffer: u64) -> f64 {
+    let groups = group_ops(ops, prefetch_buffer);
+    if groups.is_empty() {
+        return 0.0;
+    }
+    let load = |g: &[HbmOp]| g.iter().map(|o| o.weight_bytes).sum::<u64>() as f64 / hbm_bw;
+    let exec = |g: &[HbmOp]| g.iter().map(|o| o.exec_time).sum::<f64>();
+    let mut total = load(&groups[0]);
+    for i in 0..groups.len() {
+        let next_load = groups.get(i + 1).map(|g| load(g)).unwrap_or(0.0);
+        total += exec(&groups[i]).max(next_load);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ops() -> Vec<HbmOp> {
+        // Alternating light operators and compute/memory-heavy operators:
+        // a light op's execution cannot hide the following heavy load, so
+        // fine-grained overlap stalls where group overlap does not.
+        (0..8)
+            .map(|i| HbmOp {
+                exec_time: if i % 2 == 0 { 0.1e-3 } else { 10e-3 },
+                weight_bytes: if i % 2 == 0 { 1 << 20 } else { 64 << 20 },
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_op_overlaps_execution_and_load() {
+        let ops = ops();
+        let serial: f64 = ops
+            .iter()
+            .map(|o| o.exec_time + o.weight_bytes as f64 / 100e9)
+            .sum();
+        let overlapped = schedule_single_op(&ops, 100e9);
+        assert!(overlapped < serial);
+        // Lower bound: neither total exec nor total load can be beaten.
+        let exec_total: f64 = ops.iter().map(|o| o.exec_time).sum();
+        assert!(overlapped >= exec_total);
+    }
+
+    #[test]
+    fn more_bandwidth_never_slower() {
+        let ops = ops();
+        let slow = schedule_single_op(&ops, 50e9);
+        let fast = schedule_single_op(&ops, 900e9);
+        assert!(fast <= slow);
+        let slow_g = schedule_inter_op(&ops, 50e9, 256 << 20);
+        let fast_g = schedule_inter_op(&ops, 900e9, 256 << 20);
+        assert!(fast_g <= slow_g);
+    }
+
+    #[test]
+    fn grouping_respects_buffer() {
+        let ops = ops();
+        let groups = group_ops(&ops, 70 << 20);
+        for g in &groups {
+            let bytes: u64 = g.iter().map(|o| o.weight_bytes).sum();
+            // A single op larger than the buffer still forms its own group.
+            assert!(bytes <= (70 << 20) || g.len() == 1);
+        }
+        let n: usize = groups.iter().map(Vec::len).sum();
+        assert_eq!(n, ops.len());
+    }
+
+    #[test]
+    fn inter_op_wins_at_low_bandwidth() {
+        // With compute-heavy and memory-heavy ops interleaved, grouping
+        // balances execution against prefetching when HBM is slow (§6.8).
+        let ops = ops();
+        let single = schedule_single_op(&ops, 30e9);
+        let grouped = schedule_inter_op(&ops, 30e9, 256 << 20);
+        assert!(
+            grouped <= single + 1e-12,
+            "grouped={grouped}, single={single}"
+        );
+    }
+
+    #[test]
+    fn compute_bound_regime_is_insensitive() {
+        // At very high bandwidth both schedules approach total exec time.
+        let ops = ops();
+        let exec_total: f64 = ops.iter().map(|o| o.exec_time).sum();
+        let s = schedule_single_op(&ops, 5e12);
+        let g = schedule_inter_op(&ops, 5e12, 256 << 20);
+        assert!((s - exec_total) / exec_total < 0.05);
+        assert!((g - exec_total) / exec_total < 0.05);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(schedule_single_op(&[], 1e9), 0.0);
+        assert_eq!(schedule_inter_op(&[], 1e9, 1), 0.0);
+    }
+}

@@ -1,0 +1,67 @@
+//! T10: a deep-learning compiler for inter-core connected intelligence
+//! processors.
+//!
+//! This crate implements the paper's primary contribution (SOSP '24):
+//!
+//! * [`rtensor`] — the **rTensor** abstraction (§4.1): spatial partition
+//!   factors `f_s` derived from the operator partition factor `F_op`,
+//!   temporal partition factors `f_t`, rotation rings and replication;
+//! * [`plan`] — **compute-shift execution plans** (§4.2): rotating-pace
+//!   alignment, sub-task shapes, nested rotation loops, and the analytic
+//!   memory/communication properties of a plan;
+//! * [`cost`] — the **linear cost model** (§4.3.1), calibrated against the
+//!   simulated hardware exactly as the paper calibrates against a physical
+//!   IPU core;
+//! * [`search`] — **intra-operator Pareto search** (§4.3.1) under the
+//!   parallelism and padding constraints of §5;
+//! * [`reconcile`] — **inter-operator memory reconciliation** (§4.3.2,
+//!   Algorithm 1): idle/active plans and the greedy `-ΔT_S/ΔM_I` policy;
+//! * [`placement`] / [`lower`] — sub-tensor placement (§4.4, Figure 10) and
+//!   lowering to device programs, both functionally (explicit data movement,
+//!   for correctness tests) and for timing (superstep summaries);
+//! * [`compiler`] — the end-to-end entry point compiling a whole
+//!   [`t10_ir::Graph`];
+//! * [`hbm`] — the §6.8 extension: double-buffered off-chip prefetch with
+//!   single-operator and operator-group scheduling.
+//!
+//! # Examples
+//!
+//! ```
+//! use t10_core::compiler::Compiler;
+//! use t10_core::search::SearchConfig;
+//! use t10_device::ChipSpec;
+//! use t10_ir::{builders, DType, Graph, ValueKind};
+//!
+//! let mut g = Graph::new("fc");
+//! let a = g.add_value("a", vec![64, 64], DType::F16, ValueKind::Input);
+//! let w = g.add_value("w", vec![64, 64], DType::F16, ValueKind::Weight);
+//! let c = g.add_value("c", vec![64, 64], DType::F16, ValueKind::Output);
+//! g.add_node("fc", builders::matmul(a, w, c, 64, 64, 64).unwrap())
+//!     .unwrap();
+//!
+//! let spec = ChipSpec::ipu_with_cores(16);
+//! let compiler = Compiler::new(spec, SearchConfig::fast());
+//! let compiled = compiler.compile_graph(&g).unwrap();
+//! assert!(compiled.estimated_time > 0.0);
+//! ```
+
+pub mod compiler;
+pub mod cost;
+pub mod error;
+pub mod hbm;
+pub mod lower;
+pub mod placement;
+pub mod plan;
+pub mod reconcile;
+pub mod rtensor;
+pub mod search;
+pub mod viz;
+
+pub use compiler::{CompiledGraph, Compiler};
+pub use cost::CostModel;
+pub use error::CompileError;
+pub use plan::{Plan, PlanConfig, TemporalChoice};
+pub use search::{ParetoSet, SearchConfig, SearchStats};
+
+/// Result alias used throughout the compiler.
+pub type Result<T> = std::result::Result<T, CompileError>;

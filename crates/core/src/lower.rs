@@ -1,0 +1,590 @@
+//! Lowering execution plans to device programs (paper §4.4, Figure 11).
+//!
+//! Two paths share the same schedule structure:
+//!
+//! * [`lower_functional`] emits explicit per-core buffers, vertices, and
+//!   shifts so the simulator can move real data — the correctness oracle
+//!   for the whole compiler (a compiled plan must reproduce the reference
+//!   executor bit-for-bit);
+//! * [`lower_timing`] emits only per-superstep summaries, cheap enough for
+//!   end-to-end models on thousands of cores.
+//!
+//! The schedule is the §4.4 loop nest: nested rotation levels with one
+//! compute phase per step and shifts for every level that advances, then a
+//! cross-core reduction of partial outputs (when a reduction axis is
+//! spatially partitioned) and a unary epilogue.
+
+use t10_device::program::{
+    BufferDecl, BufferId, ComputeSummary, ExchangeSummary, FuncTask, Phase, Program, ShiftKind,
+    ShiftOp, SubTaskDesc, Superstep, VertexTask,
+};
+use t10_device::ChipSpec;
+use t10_ir::{OpKind, Operator};
+
+use crate::placement::{ring_assignment, sigma, upstream_coords, CoreGrid};
+use crate::plan::Plan;
+use crate::rtensor::dim_base;
+use crate::{compile_err, Result};
+
+/// Artifacts of a functional lowering.
+#[derive(Debug, Clone)]
+pub struct FunctionalLowering {
+    /// The explicit program.
+    pub program: Program,
+    /// Per input slot, every buffer holding a piece (bind each from the
+    /// global input tensor before running).
+    pub input_buffers: Vec<Vec<BufferId>>,
+    /// Output buffers that hold final (fully reduced) values.
+    pub output_buffers: Vec<BufferId>,
+}
+
+/// Lowers a plan to an explicit functional program.
+///
+/// Functional lowering requires exact divisibility (no padding): every axis
+/// must divide by its partition factor and every rotating extent by its
+/// temporal factor. The search produces such plans for the shapes used in
+/// tests; padded plans are priced by the timing path only.
+pub fn lower_functional(op: &Operator, plan: &Plan) -> Result<FunctionalLowering> {
+    for (i, axis) in op.expr.axes.iter().enumerate() {
+        if axis.size % plan.config.f_op[i] != 0 {
+            return Err(compile_err!(
+                "functional lowering requires exact split: axis {} size {} vs factor {}",
+                axis.name,
+                axis.size,
+                plan.config.f_op[i]
+            ));
+        }
+    }
+    for (s, slot) in plan.slots.iter().enumerate() {
+        if slot.temporal.factor > 1 {
+            let dim = slot.temporal.dim.unwrap_or(0);
+            let extent = slot.spatial.dims[dim].extent;
+            if slot.plen * slot.temporal.factor != extent {
+                return Err(compile_err!(
+                    "functional lowering requires exact temporal split: slot {s} \
+                     extent {extent} vs factor {}",
+                    slot.temporal.factor
+                ));
+            }
+        }
+    }
+    let grid = CoreGrid::new(&plan.config.f_op);
+    let cores = grid.num_cores();
+    let mut prog = Program::new();
+    let op_idx = prog.add_op(op.clone());
+
+    // --- Buffers -----------------------------------------------------------
+    // input_bufs[slot][core], out_bufs[core].
+    let mut input_bufs: Vec<Vec<BufferId>> = vec![Vec::with_capacity(cores); op.expr.num_inputs()];
+    let mut out_bufs: Vec<BufferId> = Vec::with_capacity(cores);
+    for core in 0..cores {
+        let coords = grid.coords(core);
+        for (s, slot) in plan.slots.iter().enumerate() {
+            let dims = &op.expr.inputs[s];
+            let mut buf_coords: Vec<Vec<usize>> = Vec::with_capacity(dims.len());
+            for (d, e) in dims.iter().enumerate() {
+                let di = &slot.spatial.dims[d];
+                let base = dim_base(e, &plan.tiles, &coords);
+                if slot.temporal.factor > 1 && slot.temporal.dim == Some(d) {
+                    // Rotating window: starts at σ for axis-mapped dims, at
+                    // q*plen for indirect dims.
+                    let start = match di.rot_axis {
+                        Some(_) => {
+                            let level = plan
+                                .rotations
+                                .iter()
+                                .position(|l| l.slots.contains(&s))
+                                .ok_or_else(|| compile_err!("slot {s} missing from levels"))?;
+                            sigma(plan, level, &coords)
+                        }
+                        None => {
+                            let ra = ring_assignment(
+                                &coords,
+                                &slot.spatial.missing_axes,
+                                &plan.config.f_op,
+                                slot.temporal.factor,
+                            );
+                            ra.q * slot.plen
+                        }
+                    };
+                    buf_coords.push(
+                        (0..slot.plen)
+                            .map(|i| (start + i) % di.extent + base)
+                            .collect(),
+                    );
+                } else {
+                    buf_coords.push((base..base + di.extent).collect());
+                }
+            }
+            let elems: usize = buf_coords.iter().map(Vec::len).product();
+            let id = prog.add_buffer(BufferDecl {
+                core,
+                label: format!("in{s}@{core}"),
+                bytes: elems * slot.dtype_bytes,
+                coords: buf_coords,
+                init: 0.0,
+            });
+            input_bufs[s].push(id);
+        }
+        // Output partition.
+        let mut out_coords = Vec::with_capacity(op.expr.output.len());
+        for (d, e) in op.expr.output.iter().enumerate() {
+            let di = &plan.out.spatial.dims[d];
+            let base = dim_base(e, &plan.tiles, &coords);
+            out_coords.push((base..base + di.extent).collect());
+        }
+        let elems: usize = out_coords.iter().map(Vec::len).product();
+        let id = prog.add_buffer(BufferDecl {
+            core,
+            label: format!("out@{core}"),
+            bytes: elems * plan.out.dtype_bytes,
+            coords: out_coords,
+            init: op.reduce.identity(),
+        });
+        out_bufs.push(id);
+    }
+
+    // --- Main loop nest ----------------------------------------------------
+    let levels = &plan.rotations;
+    let mut counters = vec![0usize; levels.len()];
+    for step in 0..plan.total_steps {
+        let mut ss = Superstep::new(None, Phase::Execute);
+        // Compute phase: one vertex per core.
+        for core in 0..cores {
+            let coords = grid.coords(core);
+            let mut axis_coords: Vec<Vec<usize>> = Vec::with_capacity(op.expr.axes.len());
+            for (a, _) in op.expr.axes.iter().enumerate() {
+                let base = coords[a] * plan.tiles[a];
+                if let Some(li) = levels.iter().position(|l| l.axis == Some(a)) {
+                    let s0 = sigma(plan, li, &coords);
+                    let rp = levels[li].rp;
+                    let t = counters[li];
+                    let extent = plan.tiles[a];
+                    axis_coords.push(
+                        (0..rp)
+                            .map(|i| (s0 + t * rp + i) % extent + base)
+                            .collect(),
+                    );
+                } else {
+                    axis_coords.push((base..base + plan.tiles[a]).collect());
+                }
+            }
+            ss.compute.push(VertexTask {
+                core,
+                desc: plan.subtask,
+                func: Some(FuncTask {
+                    op: op_idx,
+                    axis_coords,
+                    inputs: input_bufs.iter().map(|v| v[core]).collect(),
+                    output: out_bufs[core],
+                    apply_unary: false,
+                }),
+            });
+        }
+        // Exchange phase: advance the loop nest odometer; every level that
+        // ticks rotates its slots. The final step emits no shifts.
+        if step + 1 < plan.total_steps {
+            let mut ticking = Vec::new();
+            for li in (0..levels.len()).rev() {
+                ticking.push(li);
+                counters[li] += 1;
+                if counters[li] < levels[li].steps.max(1) {
+                    break;
+                }
+                counters[li] = 0;
+            }
+            for &li in &ticking {
+                let level = &levels[li];
+                for &s in &level.slots {
+                    let slot = &plan.slots[s];
+                    let dim = slot.temporal.dim.unwrap();
+                    let count = if level.axis.is_some() {
+                        level.rp
+                    } else {
+                        slot.plen
+                    };
+                    for core in 0..cores {
+                        let coords = grid.coords(core);
+                        let up = upstream_coords(
+                            &coords,
+                            &slot.spatial.missing_axes,
+                            &plan.config.f_op,
+                            slot.temporal.factor,
+                        );
+                        let up_core = grid.linear(&up);
+                        if up_core == core {
+                            continue;
+                        }
+                        ss.exchange.push(ShiftOp {
+                            src: input_bufs[s][up_core],
+                            dst: input_bufs[s][core],
+                            kind: ShiftKind::RotateSlices { dim, count },
+                        });
+                    }
+                }
+            }
+        }
+        prog.steps.push(ss);
+    }
+
+    // --- Cross-core reduction of partial outputs ---------------------------
+    let mut roots: Vec<BufferId> = Vec::new();
+    let red_axes: Vec<usize> = op
+        .expr
+        .axes
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| a.kind == t10_ir::AxisKind::Reduction && plan.config.f_op[*i] > 1)
+        .map(|(i, _)| i)
+        .collect();
+    if red_axes.is_empty() {
+        roots = out_bufs.clone();
+    } else {
+        // Group members enumerate the reduction-axes coordinates; the root
+        // has them all zero. Binary-tree accumulation: in round `r`, every
+        // member whose rank is an odd multiple of 2^r sends to the member
+        // 2^r below it (all groups reduce in parallel).
+        let group: usize = red_axes.iter().map(|&a| plan.config.f_op[a]).product();
+        let mut stride = 1usize;
+        while stride < group {
+            let mut ss = Superstep::new(None, Phase::Execute);
+            for core in 0..cores {
+                let coords = grid.coords(core);
+                // Rank of this member within its reduction group.
+                let rank = red_axes
+                    .iter()
+                    .fold(0, |acc, &a| acc * plan.config.f_op[a] + coords[a]);
+                if rank % (2 * stride) != stride {
+                    continue;
+                }
+                let dst_rank = rank - stride;
+                // Unrank dst over the reduction axes.
+                let mut dst_coords = coords.clone();
+                let mut rem = dst_rank;
+                for &a in red_axes.iter().rev() {
+                    dst_coords[a] = rem % plan.config.f_op[a];
+                    rem /= plan.config.f_op[a];
+                }
+                let dst = grid.linear(&dst_coords);
+                ss.exchange.push(ShiftOp {
+                    src: out_bufs[core],
+                    dst: out_bufs[dst],
+                    kind: ShiftKind::Accumulate { reduce: op.reduce },
+                });
+            }
+            prog.steps.push(ss);
+            stride *= 2;
+        }
+        for core in 0..cores {
+            let coords = grid.coords(core);
+            if red_axes.iter().all(|&a| coords[a] == 0) {
+                roots.push(out_bufs[core]);
+            }
+        }
+    }
+
+    // --- Unary epilogue -----------------------------------------------------
+    if op.unary.is_some() {
+        let mut ss = Superstep::new(None, Phase::Execute);
+        for &root in &roots {
+            let core = prog.buffers[root].core;
+            ss.compute.push(VertexTask {
+                core,
+                desc: SubTaskDesc {
+                    kind: OpKind::Elementwise,
+                    out_elems: plan.out.partition_elems as u64,
+                    red_elems: 1,
+                    window: 1,
+                    in_bytes: plan.out.partition_bytes as u64,
+                    out_bytes: plan.out.partition_bytes as u64,
+                },
+                func: Some(FuncTask {
+                    op: op_idx,
+                    axis_coords: Vec::new(),
+                    inputs: Vec::new(),
+                    output: root,
+                    apply_unary: true,
+                }),
+            });
+        }
+        prog.steps.push(ss);
+    }
+
+    Ok(FunctionalLowering {
+        program: prog,
+        input_buffers: input_bufs,
+        output_buffers: roots,
+    })
+}
+
+/// Cross-chip traffic estimate for a rotation: a ring of `factor` members
+/// crosses each chip boundary at most twice, so at most `2*(chips-1)` of its
+/// `factor` hops are inter-chip.
+fn cross_fraction(spec: &ChipSpec, factor: usize) -> f64 {
+    let chips = spec.num_chips();
+    if chips <= 1 || factor == 0 {
+        return 0.0;
+    }
+    (2.0 * (chips - 1) as f64 / factor as f64).min(1.0)
+}
+
+/// Lowers a plan to timing-only supersteps for one operator execution.
+pub fn lower_timing(
+    op: &Operator,
+    plan: &Plan,
+    spec: &ChipSpec,
+    node: Option<usize>,
+) -> Vec<Superstep> {
+    let cores = plan.cores_used;
+    let mut steps = Vec::with_capacity(plan.total_steps + 2);
+    let levels = &plan.rotations;
+    let mut counters = vec![0usize; levels.len()];
+    for step in 0..plan.total_steps {
+        let mut ss = Superstep::new(node, Phase::Execute);
+        ss.compute_summary = Some(ComputeSummary {
+            desc: plan.subtask,
+            active_cores: cores,
+        });
+        if step + 1 < plan.total_steps {
+            let mut per_core: u64 = 0;
+            let mut cross: f64 = 0.0;
+            let mut msg_count: u64 = 0;
+            for li in (0..levels.len()).rev() {
+                let level = &levels[li];
+                for &s in &level.slots {
+                    let b = plan.slots[s].per_shift_bytes as u64;
+                    per_core += b;
+                    msg_count += 1;
+                    cross += b as f64
+                        * cores as f64
+                        * cross_fraction(spec, plan.slots[s].temporal.factor);
+                }
+                counters[li] += 1;
+                if counters[li] < level.steps.max(1) {
+                    break;
+                }
+                counters[li] = 0;
+            }
+            if per_core > 0 {
+                ss.exchange_summary = Some(ExchangeSummary {
+                    total_bytes: per_core * cores as u64,
+                    max_core_out: per_core,
+                    max_core_in: per_core,
+                    cross_chip_bytes: cross as u64,
+                    offchip_bytes: 0,
+                    active_cores: cores,
+                    // One bulk transfer to the ring neighbour per rotating
+                    // tensor — the compute-shift pattern's key property.
+                    max_core_messages: msg_count,
+                });
+            }
+        }
+        steps.push(ss);
+    }
+    // Cross-core reduction of partial outputs: a binary tree over the
+    // group, halving the participating senders each round.
+    if plan.out.reduce_group > 1 {
+        let groups = cores / plan.out.reduce_group;
+        let mut senders = plan.out.reduce_group / 2 + plan.out.reduce_group % 2;
+        let mut remaining = plan.out.reduce_group;
+        while remaining > 1 {
+            let mut ss = Superstep::new(node, Phase::Execute);
+            ss.exchange_summary = Some(ExchangeSummary {
+                total_bytes: plan.out.partition_bytes as u64 * (groups * senders) as u64,
+                max_core_out: plan.out.partition_bytes as u64,
+                max_core_in: plan.out.partition_bytes as u64,
+                cross_chip_bytes: 0,
+                offchip_bytes: 0,
+                active_cores: 2 * groups * senders,
+                max_core_messages: 1,
+            });
+            steps.push(ss);
+            remaining = remaining.div_ceil(2);
+            senders = remaining / 2 + remaining % 2;
+        }
+    }
+    if op.unary.is_some() {
+        let mut ss = Superstep::new(node, Phase::Execute);
+        ss.compute_summary = Some(ComputeSummary {
+            desc: SubTaskDesc {
+                kind: OpKind::Elementwise,
+                out_elems: plan.out.partition_elems as u64,
+                red_elems: 1,
+                window: 1,
+                in_bytes: plan.out.partition_bytes as u64,
+                out_bytes: plan.out.partition_bytes as u64,
+            },
+            active_cores: cores,
+        });
+        steps.push(ss);
+    }
+    steps
+}
+
+/// The idle-to-active setup superstep (paper §4.3.2, Figure 9): every core
+/// gathers the weight partitions its active plan needs from the idle
+/// layout. `need_bytes_per_core` is the per-core volume to move (0 when the
+/// idle plan already matches the active layout).
+pub fn setup_step(
+    spec: &ChipSpec,
+    node: Option<usize>,
+    need_bytes_per_core: u64,
+    cores: usize,
+) -> Superstep {
+    let mut ss = Superstep::new(node, Phase::Setup);
+    if need_bytes_per_core > 0 {
+        ss.exchange_summary = Some(ExchangeSummary {
+            total_bytes: need_bytes_per_core * cores as u64,
+            max_core_out: need_bytes_per_core,
+            max_core_in: need_bytes_per_core,
+            cross_chip_bytes: (need_bytes_per_core as f64
+                * cores as f64
+                * cross_fraction(spec, cores)) as u64,
+            offchip_bytes: 0,
+            active_cores: cores,
+            // A setup gathers weight partitions from the striped idle
+            // layout: a batched multi-peer transfer.
+            max_core_messages: 8,
+        });
+    }
+    ss
+}
+
+/// An inter-operator layout transition (§5): an all-to-all exchange of the
+/// producer's output into the consumer's expected placement.
+pub fn transition_step(bytes_per_core: usize, cores: usize, node: Option<usize>) -> Superstep {
+    let mut ss = Superstep::new(node, Phase::Transition);
+    if bytes_per_core > 0 {
+        ss.exchange_summary = Some(ExchangeSummary {
+            total_bytes: (bytes_per_core * cores) as u64,
+            max_core_out: bytes_per_core as u64,
+            max_core_in: bytes_per_core as u64,
+            cross_chip_bytes: 0,
+            offchip_bytes: 0,
+            active_cores: cores,
+            max_core_messages: 4,
+        });
+    }
+    ss
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{PlanConfig, TemporalChoice};
+    use t10_ir::builders;
+
+    fn plan_for(
+        op: &Operator,
+        f_op: Vec<usize>,
+        temporal: Vec<TemporalChoice>,
+    ) -> Plan {
+        Plan::build(op, &vec![4; op.expr.num_inputs()], 4, PlanConfig { f_op, temporal }).unwrap()
+    }
+
+    #[test]
+    fn functional_lowering_shapes() {
+        let op = builders::matmul(0, 1, 2, 2, 6, 3).unwrap();
+        let plan = plan_for(
+            &op,
+            vec![2, 1, 3],
+            vec![TemporalChoice::rotate(1, 3), TemporalChoice::rotate(0, 2)],
+        );
+        let f = lower_functional(&op, &plan).unwrap();
+        // 6 cores × (A, B, C) buffers.
+        assert_eq!(f.program.buffers.len(), 18);
+        // 3 steps; shifts on all but the last.
+        assert_eq!(f.program.steps.len(), 3);
+        assert!(!f.program.steps[0].exchange.is_empty());
+        assert!(f.program.steps[2].exchange.is_empty());
+        assert_eq!(f.output_buffers.len(), 6);
+        // A-buffers hold plen=2 along k; B-buffers plen=3.
+        let a0 = &f.program.buffers[f.input_buffers[0][0]];
+        assert_eq!(a0.coords[1].len(), 2);
+        let b0 = &f.program.buffers[f.input_buffers[1][0]];
+        assert_eq!(b0.coords[0].len(), 3);
+    }
+
+    #[test]
+    fn functional_lowering_rejects_padding() {
+        let op = builders::matmul(0, 1, 2, 5, 4, 4).unwrap();
+        let plan = plan_for(
+            &op,
+            vec![2, 1, 1],
+            vec![TemporalChoice::none(), TemporalChoice::none()],
+        );
+        assert!(lower_functional(&op, &plan).is_err());
+    }
+
+    #[test]
+    fn reduction_emits_accumulate_steps() {
+        let op = builders::matmul(0, 1, 2, 4, 8, 4).unwrap();
+        let plan = plan_for(
+            &op,
+            vec![1, 4, 1],
+            vec![TemporalChoice::none(), TemporalChoice::none()],
+        );
+        let f = lower_functional(&op, &plan).unwrap();
+        // 1 compute step + log2(4) = 2 tree-accumulate rounds.
+        assert_eq!(f.program.steps.len(), 3);
+        assert_eq!(f.output_buffers.len(), 1);
+        // Round 1 has two senders (ranks 1→0, 3→2); round 2 one (2→0).
+        assert_eq!(f.program.steps[1].exchange.len(), 2);
+        assert_eq!(f.program.steps[2].exchange.len(), 1);
+    }
+
+    #[test]
+    fn epilogue_present_for_unary_ops() {
+        let op = builders::unary(0, 1, vec![8, 8], t10_ir::Unary::Relu).unwrap();
+        let plan = plan_for(&op, vec![2, 2], vec![TemporalChoice::none()]);
+        let f = lower_functional(&op, &plan).unwrap();
+        let last = f.program.steps.last().unwrap();
+        assert!(last.compute.iter().all(|t| t.func.as_ref().unwrap().apply_unary));
+    }
+
+    #[test]
+    fn timing_lowering_counts_steps_and_bytes() {
+        let op = builders::matmul(0, 1, 2, 64, 64, 64).unwrap();
+        let plan = plan_for(
+            &op,
+            vec![4, 1, 4],
+            vec![TemporalChoice::rotate(1, 4), TemporalChoice::rotate(0, 4)],
+        );
+        let spec = ChipSpec::ipu_with_cores(16);
+        let steps = lower_timing(&op, &plan, &spec, Some(7));
+        assert_eq!(steps.len(), plan.total_steps);
+        // All but the last execute step carry an exchange.
+        let with_exch = steps
+            .iter()
+            .filter(|s| s.exchange_summary.is_some())
+            .count();
+        assert_eq!(with_exch, plan.total_steps - 1);
+        assert!(steps.iter().all(|s| s.node == Some(7)));
+        let e = steps[0].exchange_summary.unwrap();
+        assert_eq!(e.max_core_out, 2 * plan.slots.iter().map(|s| s.per_shift_bytes as u64).sum::<u64>() / 2);
+        assert_eq!(e.total_bytes, e.max_core_out * 16);
+    }
+
+    #[test]
+    fn setup_step_scales_with_need() {
+        let spec = ChipSpec::ipu_with_cores(16);
+        let full = setup_step(&spec, None, 4096, 16);
+        let part = setup_step(&spec, None, 2048, 16);
+        let none = setup_step(&spec, None, 0, 16);
+        assert!(
+            full.exchange_summary.unwrap().total_bytes
+                > part.exchange_summary.unwrap().total_bytes
+        );
+        assert!(none.exchange_summary.is_none());
+        assert_eq!(full.phase, Phase::Setup);
+    }
+
+    #[test]
+    fn cross_fraction_bounds() {
+        let one = ChipSpec::ipu_mk2();
+        let two = ChipSpec::vipu(2);
+        assert_eq!(cross_fraction(&one, 8), 0.0);
+        assert!((cross_fraction(&two, 8) - 0.25).abs() < 1e-12);
+        assert_eq!(cross_fraction(&two, 1), 1.0);
+    }
+}

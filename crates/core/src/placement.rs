@@ -1,0 +1,241 @@
+//! Sub-tensor placement (paper §4.4, Figure 10).
+//!
+//! T10 "arranges the initial placement of each tensor partition step-by-step
+//! by analyzing the computing order of each sub-operator and their data
+//! dependencies", such that (1) the initial placement satisfies every
+//! per-core dependency and (2) partitions stay in ascending order so the
+//! dependency still holds after each rotation.
+//!
+//! The closed form implemented here: a core's sub-task window along a
+//! rotating axis `k` starts at
+//!
+//! ```text
+//! σ_c(k) = Σ_{s rotating along k} q_s(c) · plen_s   (mod extent_k)
+//! ```
+//!
+//! where `q_s(c)` is the core's position inside tensor `s`'s rotation ring
+//! and `plen_s` the tensor's partition length. Every rotating tensor's
+//! initial window also starts at `σ_c(k)`, which makes consecutive ring
+//! members tile the extent (the diagonal placement of Figure 10) and keeps
+//! every sub-task inside all local windows at every step.
+
+use serde::{Deserialize, Serialize};
+
+use crate::plan::Plan;
+
+/// The logical core grid implied by `F_op`: one grid coordinate per axis.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreGrid {
+    radices: Vec<usize>,
+}
+
+impl CoreGrid {
+    /// Builds the grid for an operator partition factor.
+    pub fn new(f_op: &[usize]) -> Self {
+        Self {
+            radices: f_op.to_vec(),
+        }
+    }
+
+    /// Number of cores in the grid.
+    pub fn num_cores(&self) -> usize {
+        self.radices.iter().product()
+    }
+
+    /// Per-axis coordinates of a linear core index (row-major, axis 0 most
+    /// significant).
+    pub fn coords(&self, mut linear: usize) -> Vec<usize> {
+        let mut out = vec![0usize; self.radices.len()];
+        for i in (0..self.radices.len()).rev() {
+            out[i] = linear % self.radices[i];
+            linear /= self.radices[i];
+        }
+        out
+    }
+
+    /// Linear index of per-axis coordinates.
+    pub fn linear(&self, coords: &[usize]) -> usize {
+        coords
+            .iter()
+            .zip(&self.radices)
+            .fold(0, |acc, (&c, &r)| acc * r + c)
+    }
+}
+
+/// A core's position in one tensor's sharing group and rotation ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RingAssignment {
+    /// Linearized position among the cores sharing the sub-tensor.
+    pub group_pos: usize,
+    /// Ring index (`group_pos / factor`); rings replicate the sub-tensor.
+    pub ring: usize,
+    /// Position within the ring (`group_pos % factor`) — the initial
+    /// partition index `q`.
+    pub q: usize,
+}
+
+/// Linearized position of a core among the group sharing a sub-tensor:
+/// mixed-radix rank of its coordinates over the tensor's missing axes.
+pub fn group_pos(coords: &[usize], missing_axes: &[usize], f_op: &[usize]) -> usize {
+    missing_axes
+        .iter()
+        .fold(0, |acc, &a| acc * f_op[a] + coords[a])
+}
+
+/// Ring assignment of a core for a tensor temporally split into `factor`
+/// partitions.
+pub fn ring_assignment(
+    coords: &[usize],
+    missing_axes: &[usize],
+    f_op: &[usize],
+    factor: usize,
+) -> RingAssignment {
+    let g = group_pos(coords, missing_axes, f_op);
+    RingAssignment {
+        group_pos: g,
+        ring: g / factor,
+        q: g % factor,
+    }
+}
+
+/// The core a ring member receives data from: same ring, position `q+1`.
+///
+/// Returns the neighbour's full grid coordinates.
+pub fn upstream_coords(
+    coords: &[usize],
+    missing_axes: &[usize],
+    f_op: &[usize],
+    factor: usize,
+) -> Vec<usize> {
+    let ra = ring_assignment(coords, missing_axes, f_op, factor);
+    let g2 = ra.ring * factor + (ra.q + 1) % factor;
+    // Unrank g2 over the missing axes (most-significant first).
+    let mut out = coords.to_vec();
+    let mut rem = g2;
+    for &a in missing_axes.iter().rev() {
+        out[a] = rem % f_op[a];
+        rem /= f_op[a];
+    }
+    out
+}
+
+/// The sub-task window start `σ_c(k)` for one rotation level (see module
+/// docs).
+pub fn sigma(plan: &Plan, level_idx: usize, coords: &[usize]) -> usize {
+    let level = &plan.rotations[level_idx];
+    let Some(axis) = level.axis else {
+        return 0;
+    };
+    let extent = plan.tiles[axis];
+    let mut s = 0usize;
+    for &slot in &level.slots {
+        let sp = &plan.slots[slot];
+        let ra = ring_assignment(
+            coords,
+            &sp.spatial.missing_axes,
+            &plan.config.f_op,
+            sp.temporal.factor,
+        );
+        s += ra.q * sp.plen;
+    }
+    s % extent
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{PlanConfig, TemporalChoice};
+    use t10_ir::builders;
+
+    #[test]
+    fn grid_round_trip() {
+        let g = CoreGrid::new(&[2, 3, 4]);
+        assert_eq!(g.num_cores(), 24);
+        for i in 0..24 {
+            assert_eq!(g.linear(&g.coords(i)), i);
+        }
+        assert_eq!(g.coords(0), vec![0, 0, 0]);
+        assert_eq!(g.coords(23), vec![1, 2, 3]);
+        // Axis 0 most significant: next core varies the last axis.
+        assert_eq!(g.coords(1), vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn group_pos_ranks_missing_axes() {
+        // F_op = [2, 1, 3]; tensor missing axis 2 (n).
+        let f_op = [2, 1, 3];
+        assert_eq!(group_pos(&[0, 0, 0], &[2], &f_op), 0);
+        assert_eq!(group_pos(&[0, 0, 2], &[2], &f_op), 2);
+        assert_eq!(group_pos(&[1, 0, 2], &[2], &f_op), 2);
+        // Two missing axes rank mixed-radix.
+        assert_eq!(group_pos(&[1, 0, 2], &[0, 2], &f_op), 5);
+    }
+
+    #[test]
+    fn ring_assignment_splits_group() {
+        let f_op = [1, 1, 4];
+        // Group of 4 sharing cores, factor 2 → 2 rings of 2.
+        let ra0 = ring_assignment(&[0, 0, 0], &[2], &f_op, 2);
+        let ra1 = ring_assignment(&[0, 0, 1], &[2], &f_op, 2);
+        let ra2 = ring_assignment(&[0, 0, 2], &[2], &f_op, 2);
+        assert_eq!((ra0.ring, ra0.q), (0, 0));
+        assert_eq!((ra1.ring, ra1.q), (0, 1));
+        assert_eq!((ra2.ring, ra2.q), (1, 0));
+    }
+
+    #[test]
+    fn upstream_wraps_within_ring() {
+        let f_op = [1, 1, 4];
+        // Ring 0 = {n=0, n=1}: upstream of n=1 is n=0.
+        let up = upstream_coords(&[0, 0, 1], &[2], &f_op, 2);
+        assert_eq!(up, vec![0, 0, 0]);
+        let up0 = upstream_coords(&[0, 0, 0], &[2], &f_op, 2);
+        assert_eq!(up0, vec![0, 0, 1]);
+        // Ring 1 = {n=2, n=3}.
+        assert_eq!(upstream_coords(&[0, 0, 3], &[2], &f_op, 2), vec![0, 0, 2]);
+    }
+
+    /// The Figure 7 (d) placement: σ(m, n) = 3m + 2n mod 6.
+    #[test]
+    fn sigma_matches_fig7_diagonal() {
+        let op = builders::matmul(0, 1, 2, 2, 6, 3).unwrap();
+        let plan = Plan::build(
+            &op,
+            &[2, 2],
+            2,
+            PlanConfig {
+                f_op: vec![2, 1, 3],
+                temporal: vec![TemporalChoice::rotate(1, 3), TemporalChoice::rotate(0, 2)],
+            },
+        )
+        .unwrap();
+        // A (slot 0) q = n, plen 2; B (slot 1) q = m, plen 3.
+        for m in 0..2 {
+            for n in 0..3 {
+                let s = sigma(&plan, 0, &[m, 0, n]);
+                assert_eq!(s, (3 * m + 2 * n) % 6, "core ({m},{n})");
+            }
+        }
+    }
+
+    /// Figure 10's 3×3 matmul: σ(m, n) = m + n mod 3 — the staircase.
+    #[test]
+    fn sigma_matches_fig10_staircase() {
+        let op = builders::matmul(0, 1, 2, 3, 3, 3).unwrap();
+        let plan = Plan::build(
+            &op,
+            &[2, 2],
+            2,
+            PlanConfig {
+                f_op: vec![3, 1, 3],
+                temporal: vec![TemporalChoice::rotate(1, 3), TemporalChoice::rotate(0, 3)],
+            },
+        )
+        .unwrap();
+        for m in 0..3 {
+            for n in 0..3 {
+                assert_eq!(sigma(&plan, 0, &[m, 0, n]), (m + n) % 3);
+            }
+        }
+    }
+}

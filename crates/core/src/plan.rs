@@ -1,0 +1,732 @@
+//! Compute-shift execution plans (paper §4.2).
+//!
+//! A plan fixes the operator partition factor `F_op` and one temporal
+//! partitioning choice per input tensor. Everything else — rotating paces,
+//! step counts, sub-task shapes, per-core memory, per-shift volumes — is
+//! *derived*, following the alignment rules of §4.2:
+//!
+//! 1. rTensors rotating along the same axis share one rotating pace `rp`;
+//! 2. `rp` never exceeds any rotating tensor's partition length; and
+//! 3. to maximize compute intensity, `rp` is the minimum partition length.
+
+use serde::{Deserialize, Serialize};
+use t10_device::program::SubTaskDesc;
+use t10_ir::{AxisId, AxisKind, Operator};
+
+use crate::rtensor::{dim_extent, spatial_info, tiles, RTensor, SpatialInfo};
+use crate::{compile_err, Result};
+
+/// Temporal partitioning choice for one input tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TemporalChoice {
+    /// Tensor dimension being temporally partitioned, if any.
+    pub dim: Option<usize>,
+    /// Temporal partition factor `Π f_t` (1 = no rotation: the sub-tensor is
+    /// fully replicated on every sharing core).
+    pub factor: usize,
+}
+
+impl TemporalChoice {
+    /// No temporal partitioning (full replication across sharing cores).
+    pub fn none() -> Self {
+        Self {
+            dim: None,
+            factor: 1,
+        }
+    }
+
+    /// Temporal partitioning of `dim` into `factor` rotating partitions.
+    pub fn rotate(dim: usize, factor: usize) -> Self {
+        Self {
+            dim: Some(dim),
+            factor,
+        }
+    }
+}
+
+/// A full plan configuration: the free variables of the search space.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlanConfig {
+    /// Operator partition factor, one entry per axis.
+    pub f_op: Vec<usize>,
+    /// Temporal choice per input slot.
+    pub temporal: Vec<TemporalChoice>,
+}
+
+/// One level of the nested rotation loop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RotationLevel {
+    /// The operator axis rotated at this level (`None` for the virtual axis
+    /// of an indirect/gather rotation).
+    pub axis: Option<AxisId>,
+    /// Steps in this loop level.
+    pub steps: usize,
+    /// Rotating pace: elements shifted along the axis per step.
+    pub rp: usize,
+    /// Input slots whose partitions rotate at this level.
+    pub slots: Vec<usize>,
+}
+
+/// Derived plan state for one input tensor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlotPlan {
+    /// Spatial partitioning under `F_op`.
+    pub spatial: SpatialInfo,
+    /// The temporal choice made for this slot.
+    pub temporal: TemporalChoice,
+    /// Partition length along the temporal dimension (0 when not rotating).
+    pub plen: usize,
+    /// Elements of the per-core partition.
+    pub partition_elems: usize,
+    /// Bytes of the per-core partition.
+    pub partition_bytes: usize,
+    /// Elements shifted per rotation step.
+    pub per_shift_elems: usize,
+    /// Bytes shifted per rotation step.
+    pub per_shift_bytes: usize,
+    /// Number of rotation rings (`P / factor`) — also the replication count.
+    pub rings: usize,
+    /// Element size in bytes.
+    pub dtype_bytes: usize,
+}
+
+/// Derived plan state for the output tensor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OutPlan {
+    /// Spatial partitioning of the output under `F_op`.
+    pub spatial: SpatialInfo,
+    /// Elements of the per-core output partition.
+    pub partition_elems: usize,
+    /// Bytes of the per-core output partition.
+    pub partition_bytes: usize,
+    /// Cores holding partial results that must be cross-core reduced
+    /// (`Π F_op[a]` over reduction axes; 1 = no reduction exchange).
+    pub reduce_group: usize,
+    /// Element size in bytes.
+    pub dtype_bytes: usize,
+}
+
+/// A fully-derived compute-shift execution plan for one operator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Plan {
+    /// The configuration that produced the plan.
+    pub config: PlanConfig,
+    /// Per-axis per-core tile sizes.
+    pub tiles: Vec<usize>,
+    /// Cores used (`Π F_op`).
+    pub cores_used: usize,
+    /// Per-input derived state.
+    pub slots: Vec<SlotPlan>,
+    /// Output derived state.
+    pub out: OutPlan,
+    /// Rotation loop nest, outermost first (§4.4 loop-order rule: the
+    /// smaller tensors rotate in the inner loops).
+    pub rotations: Vec<RotationLevel>,
+    /// Total compute-shift steps (`Π` level steps).
+    pub total_steps: usize,
+    /// Shape description of one per-core per-step sub-task.
+    pub subtask: SubTaskDesc,
+    /// Active per-core memory footprint in bytes (partitions + output).
+    pub mem_per_core: usize,
+    /// `Π_a L_a / (tile_a * F_op[a])` — 1.0 means no padding waste.
+    pub padding_efficiency: f64,
+}
+
+impl Plan {
+    /// Derives a plan from a configuration.
+    ///
+    /// `dtype_bytes` gives the element size of each input slot;
+    /// `out_dtype_bytes` that of the output.
+    pub fn build(
+        op: &Operator,
+        dtype_bytes: &[usize],
+        out_dtype_bytes: usize,
+        config: PlanConfig,
+    ) -> Result<Self> {
+        let expr = &op.expr;
+        let n_axes = expr.axes.len();
+        if config.f_op.len() != n_axes {
+            return Err(compile_err!(
+                "F_op has {} entries for {} axes",
+                config.f_op.len(),
+                n_axes
+            ));
+        }
+        if config.temporal.len() != expr.num_inputs() {
+            return Err(compile_err!(
+                "temporal choices: {} for {} inputs",
+                config.temporal.len(),
+                expr.num_inputs()
+            ));
+        }
+        if config.f_op.iter().any(|&p| p == 0) {
+            return Err(compile_err!("F_op factors must be positive"));
+        }
+        for (a, (&p, axis)) in config.f_op.iter().zip(&expr.axes).enumerate() {
+            if p > axis.size {
+                return Err(compile_err!(
+                    "F_op[{a}] = {p} exceeds axis {} size {}",
+                    axis.name,
+                    axis.size
+                ));
+            }
+        }
+        let tile = tiles(expr, &config.f_op);
+        let cores_used: usize = config.f_op.iter().product();
+
+        // Per-slot spatial and temporal derivation.
+        let mut slots = Vec::with_capacity(expr.num_inputs());
+        for (s, t) in config.temporal.iter().enumerate() {
+            let spatial = spatial_info(expr, &expr.inputs[s], &config.f_op);
+            let eb = dtype_bytes[s];
+            let slot = if t.factor <= 1 {
+                SlotPlan {
+                    partition_elems: spatial.sub_elems,
+                    partition_bytes: spatial.sub_elems * eb,
+                    per_shift_elems: 0,
+                    per_shift_bytes: 0,
+                    rings: spatial.sharing,
+                    plen: 0,
+                    spatial,
+                    temporal: TemporalChoice::none(),
+                    dtype_bytes: eb,
+                }
+            } else {
+                let dim = t
+                    .dim
+                    .ok_or_else(|| compile_err!("slot {s}: temporal factor without dim"))?;
+                let di = spatial
+                    .dims
+                    .get(dim)
+                    .ok_or_else(|| compile_err!("slot {s}: dim {dim} out of range"))?;
+                if di.rot_axis.is_none() && !di.indirect {
+                    return Err(compile_err!(
+                        "slot {s}: dim {dim} is a compound axis and cannot rotate"
+                    ));
+                }
+                if spatial.sharing % t.factor != 0 {
+                    return Err(compile_err!(
+                        "slot {s}: factor {} does not divide sharing {}",
+                        t.factor,
+                        spatial.sharing
+                    ));
+                }
+                // Axis-mapped rotations require exact splits (the aligned
+                // rotation math relies on it); indirect rotations pad the
+                // last partition (e.g. a 30,522-row vocabulary split 368
+                // ways).
+                if !di.indirect && di.extent % t.factor != 0 {
+                    return Err(compile_err!(
+                        "slot {s}: factor {} does not divide extent {}",
+                        t.factor,
+                        di.extent
+                    ));
+                }
+                let plen = di.extent.div_ceil(t.factor);
+                let partition_elems = (spatial.sub_elems / di.extent.max(1)) * plen;
+                SlotPlan {
+                    partition_elems,
+                    partition_bytes: partition_elems * eb,
+                    per_shift_elems: 0, // filled in once rp is known
+                    per_shift_bytes: 0,
+                    rings: spatial.sharing / t.factor,
+                    plen,
+                    spatial,
+                    temporal: *t,
+                    dtype_bytes: eb,
+                }
+            };
+            slots.push(slot);
+        }
+
+        // Rotating-pace alignment: group rotating slots by axis; rp is the
+        // minimum partition length in each group (§4.2).
+        let mut levels: Vec<RotationLevel> = Vec::new();
+        for (s, slot) in slots.iter().enumerate() {
+            if slot.temporal.factor <= 1 {
+                continue;
+            }
+            let dim = slot.temporal.dim.unwrap();
+            let axis = slot.spatial.dims[dim].rot_axis;
+            if let Some(k) = axis {
+                if let Some(level) = levels.iter_mut().find(|l| l.axis == Some(k)) {
+                    level.slots.push(s);
+                    level.rp = level.rp.min(slot.plen);
+                } else {
+                    levels.push(RotationLevel {
+                        axis: Some(k),
+                        steps: 0,
+                        rp: slot.plen,
+                        slots: vec![s],
+                    });
+                }
+            } else {
+                // Indirect rotation: its own virtual level; whole partitions
+                // shift each step.
+                levels.push(RotationLevel {
+                    axis: None,
+                    steps: slot.temporal.factor,
+                    rp: slot.plen,
+                    slots: vec![s],
+                });
+            }
+        }
+        for level in &mut levels {
+            if let Some(k) = level.axis {
+                let extent = tile[k];
+                if extent % level.rp != 0 {
+                    return Err(compile_err!(
+                        "axis {k}: rp {} does not divide tile {extent}",
+                        level.rp
+                    ));
+                }
+                level.steps = extent / level.rp;
+            }
+        }
+        // Validate the placement-consistency requirement: slots rotating
+        // along one axis must have pairwise-disjoint missing-axis sets so a
+        // consistent diagonal placement exists (§4.4, Figure 10).
+        for level in &levels {
+            for (i, &a) in level.slots.iter().enumerate() {
+                for &b in &level.slots[i + 1..] {
+                    let ma = &slots[a].spatial.missing_axes;
+                    let mb = &slots[b].spatial.missing_axes;
+                    if ma.iter().any(|x| mb.contains(x)) {
+                        return Err(compile_err!(
+                            "slots {a} and {b} rotate along one axis but share missing axes"
+                        ));
+                    }
+                }
+            }
+        }
+        // Fill per-shift volumes now that rp is aligned.
+        for level in &levels {
+            for &s in &level.slots {
+                let slot = &mut slots[s];
+                let shift_slices = if level.axis.is_some() { level.rp } else { slot.plen };
+                // Cross-section elements per slice of the temporal dim.
+                let cross = slot.partition_elems / slot.plen.max(1);
+                slot.per_shift_elems = cross * shift_slices;
+                slot.per_shift_bytes = slot.per_shift_elems * slot.dtype_bytes;
+            }
+        }
+        // Loop order: larger rotating tensors outermost so they shift the
+        // fewest times (§4.4).
+        levels.sort_by(|x, y| {
+            let bx: usize = x.slots.iter().map(|&s| slots[s].partition_bytes).sum();
+            let by: usize = y.slots.iter().map(|&s| slots[s].partition_bytes).sum();
+            by.cmp(&bx)
+        });
+        let total_steps: usize = levels.iter().map(|l| l.steps.max(1)).product();
+
+        // Output partitioning.
+        let out_spatial = spatial_info(expr, &expr.output, &config.f_op);
+        let reduce_group: usize = expr
+            .axes
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.kind == AxisKind::Reduction)
+            .map(|(i, _)| config.f_op[i])
+            .product();
+        let out = OutPlan {
+            partition_elems: out_spatial.sub_elems,
+            partition_bytes: out_spatial.sub_elems * out_dtype_bytes,
+            reduce_group,
+            spatial: out_spatial,
+            dtype_bytes: out_dtype_bytes,
+        };
+
+        // Sub-task shape: rotating axes contribute rp, others their tile.
+        let mut sub_tile = tile.clone();
+        for level in &levels {
+            if let Some(k) = level.axis {
+                sub_tile[k] = level.rp;
+            }
+        }
+        let out_elems: u64 = expr
+            .axes
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.kind == AxisKind::Spatial)
+            .map(|(i, _)| sub_tile[i] as u64)
+            .product();
+        let red_elems: u64 = expr
+            .axes
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.kind == AxisKind::Reduction)
+            .map(|(i, _)| sub_tile[i] as u64)
+            .product();
+        // Window: reduction axes appearing inside compound dimensions.
+        let mut in_compound = vec![false; n_axes];
+        for dims in &expr.inputs {
+            for e in dims {
+                if e.terms.len() > 1 {
+                    for t in &e.terms {
+                        in_compound[t.axis] = true;
+                    }
+                }
+            }
+        }
+        let window: u64 = expr
+            .axes
+            .iter()
+            .enumerate()
+            .filter(|(i, a)| a.kind == AxisKind::Reduction && in_compound[*i])
+            .map(|(i, _)| sub_tile[i] as u64)
+            .product();
+        let in_bytes: u64 = expr
+            .inputs
+            .iter()
+            .enumerate()
+            .map(|(s, dims)| {
+                let elems: usize = dims
+                    .iter()
+                    .enumerate()
+                    .map(|(_d, e)| {
+                        if e.is_indirect() {
+                            slots[s].plen.max(1)
+                        } else {
+                            dim_extent(e, &sub_tile)
+                        }
+                    })
+                    .product();
+                (elems * dtype_bytes[s]) as u64
+            })
+            .sum();
+        let out_bytes = expr
+            .output
+            .iter()
+            .map(|e| dim_extent(e, &sub_tile))
+            .product::<usize>() as u64
+            * out_dtype_bytes as u64;
+        let subtask = SubTaskDesc {
+            kind: op.kind,
+            out_elems,
+            red_elems,
+            window: window.max(1),
+            in_bytes,
+            out_bytes,
+        };
+
+        let mem_per_core = slots.iter().map(|s| s.partition_bytes).sum::<usize>()
+            + out.partition_bytes;
+        let padding_efficiency = expr
+            .axes
+            .iter()
+            .enumerate()
+            .map(|(i, a)| a.size as f64 / (tile[i] * config.f_op[i]) as f64)
+            .product();
+
+        Ok(Plan {
+            config,
+            tiles: tile,
+            cores_used,
+            slots,
+            out,
+            rotations: levels,
+            total_steps,
+            subtask,
+            mem_per_core,
+            padding_efficiency,
+        })
+    }
+
+    /// Shift events over the whole plan, per rotation level:
+    /// `(level index, number of shift events, bytes shifted per core per
+    /// event)`. Level `i` rotates once per completed cycle of all inner
+    /// levels, so its event count is the product of step counts from the
+    /// outermost level down to `i`.
+    pub fn shift_events(&self) -> Vec<(usize, usize, u64)> {
+        let mut out = Vec::with_capacity(self.rotations.len());
+        let mut prod = 1usize;
+        for (i, level) in self.rotations.iter().enumerate() {
+            prod *= level.steps.max(1);
+            let bytes: u64 = level
+                .slots
+                .iter()
+                .map(|&s| self.slots[s].per_shift_bytes as u64)
+                .sum();
+            out.push((i, prod, bytes));
+        }
+        out
+    }
+
+    /// Total bytes every core shifts over the full plan execution.
+    pub fn total_shift_bytes_per_core(&self) -> u64 {
+        self.shift_events()
+            .iter()
+            .map(|&(_, events, bytes)| events as u64 * bytes)
+            .sum()
+    }
+
+    /// The rTensor summary of one input slot (for reporting, Figure 5).
+    pub fn rtensor(&self, slot: usize) -> RTensor {
+        let s = &self.slots[slot];
+        let rank = s.spatial.dims.len();
+        let mut f_t = vec![1usize; rank];
+        let mut rp = vec![0usize; rank];
+        if let Some(d) = s.temporal.dim {
+            if s.temporal.factor > 1 {
+                f_t[d] = s.temporal.factor;
+                let pace = self
+                    .rotations
+                    .iter()
+                    .find(|l| l.slots.contains(&slot))
+                    .map(|l| if l.axis.is_some() { l.rp } else { s.plen })
+                    .unwrap_or(0);
+                rp[d] = pace;
+            }
+        }
+        RTensor {
+            f_s: s.spatial.f_s(),
+            f_t,
+            rp,
+            rings: s.rings,
+            replication: s.rings,
+        }
+    }
+
+    /// Per-core bytes of input partitions only (no output) — the footprint
+    /// that persists when the operator is idle with this layout.
+    pub fn input_bytes_per_core(&self) -> usize {
+        self.slots.iter().map(|s| s.partition_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t10_ir::builders;
+
+    fn mm(m: usize, k: usize, n: usize) -> Operator {
+        builders::matmul(0, 1, 2, m, k, n).unwrap()
+    }
+
+    /// The exact example of paper Figure 7: F_op = [2,1,3], f_t^A = 3 along
+    /// k, f_t^B = 2 along k → rp = 2, 3 steps.
+    #[test]
+    fn paper_fig7_plan() {
+        let op = mm(2, 6, 3);
+        let cfg = PlanConfig {
+            f_op: vec![2, 1, 3],
+            temporal: vec![TemporalChoice::rotate(1, 3), TemporalChoice::rotate(0, 2)],
+        };
+        let plan = Plan::build(&op, &[2, 2], 2, cfg).unwrap();
+        assert_eq!(plan.cores_used, 6);
+        assert_eq!(plan.rotations.len(), 1);
+        let level = &plan.rotations[0];
+        assert_eq!(level.axis, Some(1));
+        assert_eq!(level.rp, 2);
+        assert_eq!(level.steps, 3);
+        assert_eq!(plan.total_steps, 3);
+        // A partitions: sub-tensor [1,6] split into 3 → plen 2.
+        assert_eq!(plan.slots[0].plen, 2);
+        // B partitions: sub-tensor [6,1] split into 2 → plen 3.
+        assert_eq!(plan.slots[1].plen, 3);
+        // Sub-task: m=1, k=2 (rp), n=1.
+        assert_eq!(plan.subtask.out_elems, 1);
+        assert_eq!(plan.subtask.red_elems, 2);
+        // Per-step shifts: A moves a [1,2] tile, B a [2,1] tile (both rp=2
+        // slices of their cross-sections).
+        assert_eq!(plan.slots[0].per_shift_elems, 2);
+        assert_eq!(plan.slots[1].per_shift_elems, 2);
+    }
+
+    /// Figure 3 (b): replicate the weight on both cores — one step, no
+    /// communication, higher memory.
+    #[test]
+    fn paper_fig3_replication_tradeoff() {
+        let op = mm(4, 4, 4);
+        let rep = Plan::build(
+            &op,
+            &[2, 2],
+            2,
+            PlanConfig {
+                f_op: vec![2, 1, 1],
+                temporal: vec![TemporalChoice::none(), TemporalChoice::none()],
+            },
+        )
+        .unwrap();
+        let rot = Plan::build(
+            &op,
+            &[2, 2],
+            2,
+            PlanConfig {
+                f_op: vec![2, 1, 1],
+                temporal: vec![TemporalChoice::none(), TemporalChoice::rotate(1, 2)],
+            },
+        )
+        .unwrap();
+        assert_eq!(rep.total_steps, 1);
+        assert_eq!(rep.total_shift_bytes_per_core(), 0);
+        assert_eq!(rot.total_steps, 2);
+        assert!(rot.total_shift_bytes_per_core() > 0);
+        // Rotation halves the weight footprint.
+        assert!(rot.slots[1].partition_bytes < rep.slots[1].partition_bytes);
+        assert!(rot.mem_per_core < rep.mem_per_core);
+    }
+
+    #[test]
+    fn two_axis_rotation_orders_larger_tensor_outermost() {
+        // A [8, 64] rotates along k, B [64, 512] rotates along n: B's
+        // partitions are larger, so B should be the outer loop.
+        let op = mm(8, 64, 512);
+        // Both A and B rotate along axis k (A's dim 1, B's dim 0).
+        let cfg = PlanConfig {
+            f_op: vec![2, 1, 2],
+            temporal: vec![TemporalChoice::rotate(1, 2), TemporalChoice::rotate(0, 2)],
+        };
+        let plan = Plan::build(&op, &[2, 2], 2, cfg).unwrap();
+        assert_eq!(plan.rotations.len(), 1);
+        // Both rotate along k in one level; combined rp = min(plen).
+        let l = &plan.rotations[0];
+        assert_eq!(l.slots.len(), 2);
+        assert_eq!(l.rp, 32);
+        assert_eq!(plan.total_steps, 2);
+    }
+
+    #[test]
+    fn nested_rotation_levels_multiply_steps() {
+        // A rotates along k (4 steps), B rotates along n (2 steps).
+        let op = mm(4, 16, 8);
+        // A rotates along k (its dim 1); B rotates along n (its dim 1) —
+        // two distinct rotation levels.
+        let cfg = PlanConfig {
+            f_op: vec![2, 1, 2],
+            temporal: vec![TemporalChoice::rotate(1, 2), TemporalChoice::rotate(1, 2)],
+        };
+        let plan = Plan::build(&op, &[2, 2], 2, cfg).unwrap();
+        assert_eq!(plan.rotations.len(), 2);
+        assert_eq!(plan.total_steps, plan.rotations[0].steps * plan.rotations[1].steps);
+        // Events: outer level rotates `steps_outer` times... the outer
+        // level's event count equals its own steps; the inner level fires
+        // every step.
+        let ev = plan.shift_events();
+        assert_eq!(ev[0].1, plan.rotations[0].steps);
+        assert_eq!(ev[1].1, plan.total_steps);
+    }
+
+    #[test]
+    fn reduce_group_follows_reduction_partitioning() {
+        let op = mm(4, 8, 4);
+        let plan = Plan::build(
+            &op,
+            &[2, 2],
+            2,
+            PlanConfig {
+                f_op: vec![1, 4, 1],
+                temporal: vec![TemporalChoice::none(), TemporalChoice::none()],
+            },
+        )
+        .unwrap();
+        assert_eq!(plan.out.reduce_group, 4);
+        assert_eq!(plan.cores_used, 4);
+    }
+
+    #[test]
+    fn padding_efficiency_below_one_when_uneven() {
+        let op = mm(5, 4, 4);
+        let plan = Plan::build(
+            &op,
+            &[2, 2],
+            2,
+            PlanConfig {
+                f_op: vec![2, 1, 1],
+                temporal: vec![TemporalChoice::none(), TemporalChoice::none()],
+            },
+        )
+        .unwrap();
+        // m: tile = 3, padded to 6 for L = 5.
+        assert!((plan.padding_efficiency - 5.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_invalid_configs() {
+        let op = mm(4, 4, 4);
+        // Factor does not divide sharing.
+        assert!(Plan::build(
+            &op,
+            &[2, 2],
+            2,
+            PlanConfig {
+                f_op: vec![1, 1, 3],
+                temporal: vec![TemporalChoice::rotate(1, 2), TemporalChoice::none()],
+            },
+        )
+        .is_err());
+        // F_op exceeding the axis size.
+        assert!(Plan::build(
+            &op,
+            &[2, 2],
+            2,
+            PlanConfig {
+                f_op: vec![8, 1, 1],
+                temporal: vec![TemporalChoice::none(), TemporalChoice::none()],
+            },
+        )
+        .is_err());
+        // Temporal factor without a dim.
+        assert!(Plan::build(
+            &op,
+            &[2, 2],
+            2,
+            PlanConfig {
+                f_op: vec![1, 1, 2],
+                temporal: vec![
+                    TemporalChoice {
+                        dim: None,
+                        factor: 2
+                    },
+                    TemporalChoice::none()
+                ],
+            },
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rtensor_summary_reports_factors() {
+        let op = mm(2, 6, 3);
+        let plan = Plan::build(
+            &op,
+            &[2, 2],
+            2,
+            PlanConfig {
+                f_op: vec![2, 1, 3],
+                temporal: vec![TemporalChoice::rotate(1, 3), TemporalChoice::rotate(0, 2)],
+            },
+        )
+        .unwrap();
+        let ra = plan.rtensor(0);
+        assert_eq!(ra.f_s, vec![2, 1]);
+        assert_eq!(ra.f_t, vec![1, 3]);
+        assert_eq!(ra.rp, vec![0, 2]);
+        assert_eq!(ra.rings, 1);
+        let rb = plan.rtensor(1);
+        assert_eq!(rb.f_s, vec![1, 3]);
+        assert_eq!(rb.f_t, vec![2, 1]);
+        assert_eq!(rb.rp, vec![2, 0]);
+    }
+
+    #[test]
+    fn gather_indirect_rotation() {
+        let op = builders::gather(0, 1, 2, 64, 16, 8).unwrap();
+        let plan = Plan::build(
+            &op,
+            &[2, 4],
+            2,
+            PlanConfig {
+                f_op: vec![4, 1],
+                temporal: vec![TemporalChoice::rotate(0, 4), TemporalChoice::none()],
+            },
+        )
+        .unwrap();
+        // Table rotates its 64-row vocab through 4 steps of 16 rows each.
+        assert_eq!(plan.rotations.len(), 1);
+        assert_eq!(plan.rotations[0].axis, None);
+        assert_eq!(plan.rotations[0].steps, 4);
+        assert_eq!(plan.slots[0].plen, 16);
+        assert_eq!(plan.total_steps, 4);
+    }
+}

@@ -1,0 +1,349 @@
+//! Holistic inter-operator memory reconciliation (paper §4.3.2,
+//! Algorithm 1).
+//!
+//! Every operator gets two plans: an *idle* plan — the layout its weights
+//! keep while other operators run — and an *active* plan used during its own
+//! execution. Turning the idle layout into the active one costs a *setup
+//! phase* (Figure 9). With every operator starting from its most
+//! memory-efficient idle layout, the policy greedily spends leftover memory
+//! on the operator with the best setup-time-saved per idle-byte-added ratio
+//! (`-ΔT_S / ΔM_I`), re-deriving every operator's fastest feasible active
+//! plan at each step, and keeps the best schedule seen.
+//!
+//! Modeling note: an idle plan is one of the operator's Pareto layouts; the
+//! setup cost is zero exactly when the idle layout already *is* the active
+//! plan's layout and a full weight-partition gather otherwise. The greedy
+//! upgrade therefore pins an operator's idle layout to its current active
+//! plan, which is how T10 "performs the setup phase for the
+//! performance-critical operators in advance" (§6.4).
+
+use serde::{Deserialize, Serialize};
+
+use crate::cost::CostModel;
+use crate::plan::Plan;
+use crate::search::ParetoSet;
+use crate::{compile_err, Result};
+
+/// Input to the reconciliation: one entry per graph operator.
+#[derive(Debug, Clone)]
+pub struct OpForSchedule {
+    /// Operator name (diagnostics).
+    pub name: String,
+    /// Pareto-optimal plans from the intra-operator search.
+    pub pareto: ParetoSet,
+    /// Which input slots are persistent weights.
+    pub weight_slots: Vec<bool>,
+    /// Per-core bytes of the *fully sharded* idle layout: total weight
+    /// bytes striped evenly over all cores. Always feasible as an idle
+    /// layout (any active plan can gather from it during setup), even when
+    /// no Pareto plan distributes the weights that thinly.
+    pub sharded_idle_bytes: usize,
+}
+
+/// Per-core bytes of a plan's weight partitions (its idle-layout footprint).
+pub fn weight_bytes_per_core(plan: &Plan, weight_slots: &[bool]) -> usize {
+    plan.slots
+        .iter()
+        .zip(weight_slots)
+        .filter(|(_, &w)| w)
+        .map(|(s, _)| s.partition_bytes)
+        .sum()
+}
+
+/// The chosen idle/active plan pair for one operator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleChoice {
+    /// Index of the idle layout: a Pareto-plan index, or `pareto.len()` for
+    /// the fully sharded layout.
+    pub idle: usize,
+    /// Index of the active plan.
+    pub active: usize,
+    /// Predicted idle-to-active setup time, seconds.
+    pub setup_time: f64,
+    /// Predicted execution time of the active plan, seconds.
+    pub exec_time: f64,
+    /// Idle (weight) bytes per core of the idle plan.
+    pub idle_bytes: usize,
+}
+
+/// One point of the search trajectory (Figure 20's dots).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrajectoryPoint {
+    /// Total idle memory per core, bytes.
+    pub idle_mem: usize,
+    /// Predicted end-to-end time (exec + setup), seconds.
+    pub total_time: f64,
+    /// Setup component.
+    pub setup_time: f64,
+    /// Execution component.
+    pub exec_time: f64,
+}
+
+/// Result of the reconciliation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Reconciled {
+    /// Per-operator choices of the best schedule found.
+    pub choices: Vec<ScheduleChoice>,
+    /// Predicted end-to-end time of the best schedule, seconds.
+    pub total_time: f64,
+    /// Total idle memory per core of the best schedule, bytes.
+    pub idle_mem: usize,
+    /// All schedules explored, in search order.
+    pub trajectory: Vec<TrajectoryPoint>,
+}
+
+/// Runs Algorithm 1.
+///
+/// `capacity` is the usable per-core scratchpad (after the shift-buffer
+/// reservation). Fails when even the most memory-efficient idle layouts do
+/// not fit, or when some operator has no feasible active plan — the model
+/// does not fit on the chip (the `*` entries of Figure 12).
+pub fn reconcile(
+    ops: &[OpForSchedule],
+    cost: &CostModel,
+    capacity: usize,
+) -> Result<Reconciled> {
+    if ops.is_empty() {
+        return Ok(Reconciled {
+            choices: Vec::new(),
+            total_time: 0.0,
+            idle_mem: 0,
+            trajectory: Vec::new(),
+        });
+    }
+    for op in ops {
+        if op.pareto.is_empty() {
+            return Err(compile_err!("operator {} has no feasible plans", op.name));
+        }
+    }
+    // Idle weight bytes of every idle option, per op. Option indices
+    // `0..pareto.len()` are the Pareto plans' layouts; the extra last
+    // option is the fully sharded layout (weights striped 1/C).
+    let idle_bytes: Vec<Vec<usize>> = ops
+        .iter()
+        .map(|op| {
+            let mut v: Vec<usize> = op
+                .pareto
+                .plans()
+                .iter()
+                .map(|p| weight_bytes_per_core(&p.plan, &op.weight_slots))
+                .collect();
+            v.push(op.sharded_idle_bytes);
+            v
+        })
+        .collect();
+    // Start from the minimum-idle-memory plan for every operator (line 3).
+    let mut idle: Vec<usize> = idle_bytes
+        .iter()
+        .map(|b| {
+            b.iter()
+                .enumerate()
+                .min_by_key(|(_, &v)| v)
+                .map(|(i, _)| i)
+                .unwrap()
+        })
+        .collect();
+
+    let mut best: Option<Reconciled> = None;
+    let mut trajectory = Vec::new();
+    // The paper's complexity bound: only Σ_i num_idle_plans(i) promising
+    // combinations are visited. The cap plus revisit detection guarantees
+    // termination when pinning one operator's idle layout re-derives
+    // another's active plan.
+    let mut visited: std::collections::HashSet<Vec<usize>> = std::collections::HashSet::new();
+    let max_rounds: usize = ops.iter().map(|o| o.pareto.len()).sum::<usize>() + ops.len() + 1;
+    for _round in 0..max_rounds {
+        if !visited.insert(idle.clone()) {
+            break;
+        }
+        let idle_mem: usize = idle
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| idle_bytes[i][p])
+            .sum();
+        if idle_mem > capacity {
+            break;
+        }
+        // Update the active plan for each op: the fastest plan whose active
+        // footprint fits in the memory left after all *other* idle layouts
+        // (line 8). The op's own idle bytes are reclaimed while it runs.
+        let mut choices = Vec::with_capacity(ops.len());
+        let mut feasible = true;
+        let mut infeasible_op: Option<(&str, usize)> = None;
+        let mut exec_total = 0.0;
+        let mut setup_total = 0.0;
+        for (i, op) in ops.iter().enumerate() {
+            let avail = capacity - idle_mem + idle_bytes[i][idle[i]];
+            let Some((active_idx, active)) = op
+                .pareto
+                .plans()
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.cost.mem_per_core <= avail)
+                .min_by(|a, b| a.1.cost.exec_time.total_cmp(&b.1.cost.exec_time))
+            else {
+                feasible = false;
+                infeasible_op = Some((&op.name, avail));
+                break;
+            };
+            let setup = if active_idx == idle[i] {
+                0.0
+            } else {
+                cost.predict_exchange(
+                    weight_bytes_per_core(&active.plan, &op.weight_slots) as u64
+                )
+            };
+            exec_total += active.cost.exec_time;
+            setup_total += setup;
+            choices.push(ScheduleChoice {
+                idle: idle[i],
+                active: active_idx,
+                setup_time: setup,
+                exec_time: active.cost.exec_time,
+                idle_bytes: idle_bytes[i][idle[i]],
+            });
+        }
+        if !feasible {
+            if best.is_none() {
+                if let Some((name, avail)) = infeasible_op {
+                    return Err(compile_err!(
+                        "model does not fit: operator {name} has no active plan \
+                         within {avail} bytes/core"
+                    ));
+                }
+            }
+            break;
+        }
+        let total = exec_total + setup_total;
+        trajectory.push(TrajectoryPoint {
+            idle_mem,
+            total_time: total,
+            setup_time: setup_total,
+            exec_time: exec_total,
+        });
+        if best.as_ref().map(|b| total < b.total_time).unwrap_or(true) {
+            best = Some(Reconciled {
+                choices: choices.clone(),
+                total_time: total,
+                idle_mem,
+                trajectory: Vec::new(),
+            });
+        }
+        // Pick the op with the highest -ΔT_S/ΔM_I (line 13): pinning its
+        // idle layout to its active plan removes its setup time at the cost
+        // of the idle-memory delta.
+        let mut best_ratio = f64::NEG_INFINITY;
+        let mut pick: Option<(usize, usize)> = None;
+        for (i, c) in choices.iter().enumerate() {
+            if c.active == idle[i] || c.setup_time <= 0.0 {
+                continue;
+            }
+            let dm = idle_bytes[i][c.active] as i64 - idle_bytes[i][idle[i]] as i64;
+            let ratio = if dm <= 0 {
+                f64::INFINITY
+            } else {
+                c.setup_time / dm as f64
+            };
+            if ratio > best_ratio {
+                best_ratio = ratio;
+                pick = Some((i, c.active));
+            }
+        }
+        match pick {
+            Some((i, a)) => idle[i] = a,
+            None => break,
+        }
+    }
+    let mut best = best.ok_or_else(|| {
+        compile_err!("model does not fit: idle layouts exceed per-core capacity {capacity}")
+    })?;
+    best.trajectory = trajectory;
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::{search_operator, SearchConfig};
+    use t10_device::ChipSpec;
+    use t10_ir::builders;
+
+    fn setup(cores: usize) -> (CostModel, Vec<OpForSchedule>) {
+        let cost = CostModel::calibrate(&ChipSpec::ipu_with_cores(cores), 128, 3).unwrap();
+        let ops: Vec<OpForSchedule> = (0..3)
+            .map(|i| {
+                let op = builders::matmul(0, 1, 2, 128, 128, 128).unwrap();
+                let (pareto, _) =
+                    search_operator(&op, &[2, 2], 2, &cost, &SearchConfig::fast()).unwrap();
+                OpForSchedule {
+                    name: format!("mm{i}"),
+                    pareto,
+                    weight_slots: vec![false, true],
+                    sharded_idle_bytes: (128 * 128 * 2_usize).div_ceil(cores),
+                }
+            })
+            .collect();
+        (cost, ops)
+    }
+
+    #[test]
+    fn reconcile_produces_feasible_schedule() {
+        let (cost, ops) = setup(16);
+        let cap = cost.spec().sram_per_core - cost.spec().shift_buffer;
+        let r = reconcile(&ops, &cost, cap).unwrap();
+        assert_eq!(r.choices.len(), 3);
+        assert!(r.total_time > 0.0);
+        assert!(r.idle_mem <= cap);
+        assert!(!r.trajectory.is_empty());
+        // The best schedule is no worse than the first trajectory point.
+        assert!(r.total_time <= r.trajectory[0].total_time + 1e-12);
+    }
+
+    #[test]
+    fn more_memory_never_hurts() {
+        let (cost, ops) = setup(16);
+        let cap = cost.spec().sram_per_core - cost.spec().shift_buffer;
+        let tight = reconcile(&ops, &cost, cap / 4).map(|r| r.total_time);
+        let loose = reconcile(&ops, &cost, cap).unwrap().total_time;
+        if let Ok(tight) = tight {
+            assert!(loose <= tight + 1e-12, "loose={loose}, tight={tight}");
+        }
+    }
+
+    #[test]
+    fn trajectory_spends_idle_memory_monotonically() {
+        let (cost, ops) = setup(16);
+        let cap = cost.spec().sram_per_core - cost.spec().shift_buffer;
+        let r = reconcile(&ops, &cost, cap).unwrap();
+        for w in r.trajectory.windows(2) {
+            assert!(w[0].idle_mem <= w[1].idle_mem);
+            assert!(w[1].setup_time <= w[0].setup_time + 1e-12);
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_models() {
+        let (cost, ops) = setup(16);
+        // A 1-byte capacity cannot hold anything.
+        assert!(reconcile(&ops, &cost, 1).is_err());
+    }
+
+    #[test]
+    fn empty_input_is_trivial() {
+        let (cost, _) = setup(8);
+        let r = reconcile(&[], &cost, 1000).unwrap();
+        assert_eq!(r.total_time, 0.0);
+    }
+
+    #[test]
+    fn weight_bytes_counts_only_weight_slots() {
+        let (_, ops) = setup(8);
+        let p = &ops[0].pareto.plans()[0].plan;
+        let w_only = weight_bytes_per_core(p, &[false, true]);
+        let all = weight_bytes_per_core(p, &[true, true]);
+        let none = weight_bytes_per_core(p, &[false, false]);
+        assert_eq!(none, 0);
+        assert!(w_only <= all);
+        assert_eq!(w_only, p.slots[1].partition_bytes);
+    }
+}

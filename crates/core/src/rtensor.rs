@@ -1,0 +1,249 @@
+//! The rTensor abstraction: spatial and temporal tensor partitioning.
+//!
+//! An rTensor (paper §4.1, Figure 5) describes how a tensor is partitioned,
+//! mapped, and shifted across the interconnected cores:
+//!
+//! * the **spatial partition factor** `f_s` splits the tensor into
+//!   sub-tensors, derived from the operator partition factor `F_op` via the
+//!   data dependences of the tensor expression;
+//! * the **temporal partition factor** `f_t` splits each sub-tensor into the
+//!   partitions that circulate around a rotation ring;
+//! * the **rotating pace** `rp` is how many elements shift per step.
+//!
+//! This module computes the spatial side: per-core tile sizes, per-tensor
+//! sub-tensor extents (including convolution halos from compound axes), the
+//! set of cores sharing each sub-tensor (`P`), and ring/replication counts.
+
+use serde::{Deserialize, Serialize};
+use t10_ir::{AxisId, IndexExpr, TensorExpr};
+
+/// Per-core tile size of every axis under an operator partition factor.
+///
+/// `tiles[a] = ceil(L_a / F_op[a])`; sizes that do not divide evenly are
+/// padded (the padding constraint of §5 bounds the waste).
+pub fn tiles(expr: &TensorExpr, f_op: &[usize]) -> Vec<usize> {
+    expr.axes
+        .iter()
+        .zip(f_op)
+        .map(|(a, &p)| a.size.div_ceil(p.max(1)))
+        .collect()
+}
+
+/// Description of one tensor dimension under a spatial partitioning.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DimInfo {
+    /// Per-core extent of the dimension (with halo for compound axes).
+    pub extent: usize,
+    /// The axis this dimension rotates along if temporally partitioned —
+    /// only single-axis stride-1 dimensions are eligible.
+    pub rot_axis: Option<AxisId>,
+    /// Whether the dimension is data-dependent (gather tables).
+    pub indirect: bool,
+    /// Number of spatial partitions of this dimension (`f_s` component).
+    pub spatial_parts: usize,
+}
+
+/// Spatial partitioning of one tensor slot under a given `F_op`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpatialInfo {
+    /// Per-dimension partitioning.
+    pub dims: Vec<DimInfo>,
+    /// Operator axes absent from the tensor (and from `f_s`).
+    pub missing_axes: Vec<AxisId>,
+    /// Number of cores sharing each sub-tensor:
+    /// `P = Π F_op[a]` over the missing axes.
+    pub sharing: usize,
+    /// Elements of one per-core sub-tensor (product of extents).
+    pub sub_elems: usize,
+}
+
+impl SpatialInfo {
+    /// The `f_s` vector (spatial partitions per dimension).
+    pub fn f_s(&self) -> Vec<usize> {
+        self.dims.iter().map(|d| d.spatial_parts).collect()
+    }
+}
+
+/// Per-core extent of a dimension given the axis tiles.
+///
+/// For an affine dimension this is `Σ stride*(tile_a - 1) + 1` — a
+/// convolution's `h + kh` dimension keeps its halo. Indirect dimensions are
+/// never spatially partitioned and keep their full extent.
+pub fn dim_extent(e: &IndexExpr, tile: &[usize]) -> usize {
+    if let Some(size) = e.indirect_size {
+        return size;
+    }
+    e.terms
+        .iter()
+        .map(|t| t.stride * (tile[t.axis] - 1))
+        .sum::<usize>()
+        + 1
+}
+
+/// Global base offset of a dimension for a core at the given axis
+/// coordinates (each in `0..F_op[a]`).
+pub fn dim_base(e: &IndexExpr, tile: &[usize], core_coords: &[usize]) -> usize {
+    if e.indirect_size.is_some() {
+        return 0;
+    }
+    e.offset
+        + e.terms
+            .iter()
+            .map(|t| t.stride * core_coords[t.axis] * tile[t.axis])
+            .sum::<usize>()
+}
+
+/// Computes the spatial partitioning of a tensor access under `F_op`.
+pub fn spatial_info(expr: &TensorExpr, dims: &[IndexExpr], f_op: &[usize]) -> SpatialInfo {
+    let tile = tiles(expr, f_op);
+    let mut present = vec![false; expr.axes.len()];
+    let dim_infos: Vec<DimInfo> = dims
+        .iter()
+        .map(|e| {
+            let mut parts = 1usize;
+            for t in &e.terms {
+                present[t.axis] = true;
+                parts *= f_op[t.axis];
+            }
+            DimInfo {
+                extent: dim_extent(e, &tile),
+                rot_axis: e.single_axis(),
+                indirect: e.is_indirect(),
+                spatial_parts: if e.is_indirect() { 1 } else { parts },
+            }
+        })
+        .collect();
+    let missing_axes: Vec<AxisId> = (0..expr.axes.len()).filter(|&a| !present[a]).collect();
+    let sharing = missing_axes.iter().map(|&a| f_op[a]).product();
+    let sub_elems = dim_infos.iter().map(|d| d.extent).product();
+    SpatialInfo {
+        dims: dim_infos,
+        missing_axes,
+        sharing,
+        sub_elems,
+    }
+}
+
+/// Summary of one rTensor configuration (for reporting and tests).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RTensor {
+    /// Spatial partition factor per dimension.
+    pub f_s: Vec<usize>,
+    /// Temporal partition factor per dimension (1 everywhere if the tensor
+    /// does not rotate).
+    pub f_t: Vec<usize>,
+    /// Rotating pace per dimension (0 for non-rotating dimensions).
+    pub rp: Vec<usize>,
+    /// Number of rotation rings sharing copies of each sub-tensor
+    /// (`P / Π f_t`).
+    pub rings: usize,
+    /// Replication count — identical to `rings` (each ring holds one copy,
+    /// paper §4.2).
+    pub replication: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t10_ir::builders::{self, Conv2dCfg};
+
+    fn matmul_expr() -> TensorExpr {
+        builders::matmul(0, 1, 2, 6, 6, 6).unwrap().expr
+    }
+
+    #[test]
+    fn paper_fig7_derivation() {
+        // F_op = [2, 1, 3] on [m, k, n] (paper §4.1 example).
+        let expr = matmul_expr();
+        let f_op = [2, 1, 3];
+        let a = spatial_info(&expr, &expr.inputs[0], &f_op);
+        let b = spatial_info(&expr, &expr.inputs[1], &f_op);
+        let c = spatial_info(&expr, &expr.output, &f_op);
+        // f_s^A = [2, 1], f_s^B = [1, 3], f_s^C = [2, 3].
+        assert_eq!(a.f_s(), vec![2, 1]);
+        assert_eq!(b.f_s(), vec![1, 3]);
+        assert_eq!(c.f_s(), vec![2, 3]);
+        // A is shared by P = 3 cores (missing n), B by P = 2 (missing m).
+        assert_eq!(a.sharing, 3);
+        assert_eq!(a.missing_axes, vec![2]);
+        assert_eq!(b.sharing, 2);
+        assert_eq!(b.missing_axes, vec![0]);
+        assert_eq!(c.sharing, 1);
+        // Sub-tensor shapes: A = [3, 6], B = [6, 2].
+        assert_eq!(a.dims[0].extent, 3);
+        assert_eq!(a.dims[1].extent, 6);
+        assert_eq!(a.sub_elems, 18);
+        assert_eq!(b.sub_elems, 12);
+    }
+
+    #[test]
+    fn tiles_round_up() {
+        let expr = matmul_expr();
+        assert_eq!(tiles(&expr, &[4, 1, 6]), vec![2, 6, 1]);
+        // 6/4 pads to 2.
+    }
+
+    #[test]
+    fn conv_halo_extent() {
+        let cfg = Conv2dCfg {
+            batch: 1,
+            c_in: 4,
+            c_out: 8,
+            h_out: 16,
+            w_out: 16,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+        };
+        let op = builders::conv2d(0, 1, 2, cfg).unwrap();
+        // Partition h into 4: per-core h tile = 4, input extent = 4+3-1 = 6.
+        let f_op = [1, 1, 4, 1, 1, 1, 1];
+        let i = spatial_info(&op.expr, &op.expr.inputs[0], &f_op);
+        assert_eq!(i.dims[2].extent, 6);
+        // The h+kh dim has spatial_parts = p_h * p_kh = 4.
+        assert_eq!(i.dims[2].spatial_parts, 4);
+        // The kernel K[f,c,kh,kw] misses b, h, and w; only h is partitioned,
+        // so the h-partitioned cores share each kernel sub-tensor.
+        let k = spatial_info(&op.expr, &op.expr.inputs[1], &f_op);
+        assert_eq!(k.sharing, 4);
+        assert_eq!(k.missing_axes, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn strided_conv_base_offsets() {
+        // 2*h + kh with tiles h=4, kh=3: core at h-coord 1 starts at 8.
+        let cfg = Conv2dCfg {
+            batch: 1,
+            c_in: 1,
+            c_out: 1,
+            h_out: 8,
+            w_out: 8,
+            kh: 3,
+            kw: 3,
+            stride: 2,
+        };
+        let op = builders::conv2d(0, 1, 2, cfg).unwrap();
+        let f_op = [1, 1, 2, 1, 1, 1, 1];
+        let tile = tiles(&op.expr, &f_op);
+        let e = &op.expr.inputs[0][2];
+        let mut coords = vec![0usize; 7];
+        assert_eq!(dim_base(e, &tile, &coords), 0);
+        coords[2] = 1;
+        assert_eq!(dim_base(e, &tile, &coords), 8);
+        assert_eq!(dim_extent(e, &tile), 2 * 3 + 3);
+    }
+
+    #[test]
+    fn gather_table_is_shared_via_indirection() {
+        let op = builders::gather(0, 1, 2, 1000, 32, 8).unwrap();
+        let f_op = [4, 2];
+        let t = spatial_info(&op.expr, &op.expr.inputs[0], &f_op);
+        // Table misses axis n → shared by 4 cores; indirect dim keeps its
+        // full 1000-row extent and is never spatially partitioned.
+        assert_eq!(t.sharing, 4);
+        assert!(t.dims[0].indirect);
+        assert_eq!(t.dims[0].extent, 1000);
+        assert_eq!(t.dims[0].spatial_parts, 1);
+        assert_eq!(t.dims[1].extent, 4);
+    }
+}

@@ -1,0 +1,598 @@
+//! Intra-operator Pareto search (paper §4.3.1).
+//!
+//! The search enumerates operator partition factors `F_op` and temporal
+//! choices per input tensor, filters evidently-inefficient plans with two
+//! rule-based, user-configurable constraints (§5):
+//!
+//! * the **parallelism constraint** — plans must use at least
+//!   `min_core_utilization × C` cores;
+//! * the **padding constraint** — plans whose padded tiles waste more than
+//!   `1 - padding_threshold` of the tensor volume are discarded;
+//!
+//! and evaluates the survivors with the linear cost model, keeping the
+//! Pareto-optimal set over (execution time, per-core memory).
+
+use serde::{Deserialize, Serialize};
+use t10_ir::Operator;
+
+use crate::cost::{CostModel, PlanCost};
+use crate::plan::{Plan, PlanConfig, TemporalChoice};
+use crate::Result;
+
+/// User-configurable search constraints and limits.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchConfig {
+    /// Minimum fraction of cores a plan must use (parallelism constraint).
+    pub min_core_utilization: f64,
+    /// Minimum `original/padded` volume ratio (padding constraint).
+    pub padding_threshold: f64,
+    /// Cap on distinct partition-factor candidates per axis.
+    pub max_candidates_per_axis: usize,
+    /// Cap on fully-evaluated plan configurations.
+    pub max_configs: usize,
+    /// Worker threads for plan evaluation.
+    pub threads: usize,
+    /// Record a (memory, time) sample per evaluated plan (Figure 17/20
+    /// scatter data).
+    pub collect_samples: bool,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        Self {
+            min_core_utilization: 0.9,
+            padding_threshold: 0.9,
+            max_candidates_per_axis: 48,
+            max_configs: 200_000,
+            threads: 8,
+            collect_samples: false,
+        }
+    }
+}
+
+impl SearchConfig {
+    /// The default constraint setting of the paper's evaluation.
+    pub fn strict() -> Self {
+        Self::default()
+    }
+
+    /// A fast setting for tests: fewer candidates, single thread.
+    pub fn fast() -> Self {
+        Self {
+            min_core_utilization: 0.5,
+            padding_threshold: 0.7,
+            max_candidates_per_axis: 12,
+            max_configs: 20_000,
+            threads: 1,
+            collect_samples: false,
+        }
+    }
+
+    /// A relaxed setting exploring a larger space (Figure 19's loose end).
+    pub fn relaxed() -> Self {
+        Self {
+            min_core_utilization: 0.5,
+            padding_threshold: 0.6,
+            max_candidates_per_axis: 96,
+            max_configs: 800_000,
+            threads: 8,
+            collect_samples: false,
+        }
+    }
+}
+
+/// A plan together with its predicted cost and setup time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScoredPlan {
+    /// The derived plan.
+    pub plan: Plan,
+    /// Predicted steady-state cost.
+    pub cost: PlanCost,
+    /// Predicted idle-to-active setup time (§4.3.2).
+    pub setup_time: f64,
+}
+
+/// The Pareto-optimal set over (execution time, per-core memory), sorted by
+/// memory ascending (and therefore time descending).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ParetoSet {
+    plans: Vec<ScoredPlan>,
+}
+
+impl ParetoSet {
+    /// Inserts a plan, keeping only non-dominated entries.
+    pub fn insert(&mut self, p: ScoredPlan) {
+        // Dominated by an existing plan?
+        if self.plans.iter().any(|q| {
+            q.cost.mem_per_core <= p.cost.mem_per_core && q.cost.exec_time <= p.cost.exec_time
+        }) {
+            return;
+        }
+        self.plans.retain(|q| {
+            !(p.cost.mem_per_core <= q.cost.mem_per_core && p.cost.exec_time <= q.cost.exec_time)
+        });
+        let at = self
+            .plans
+            .partition_point(|q| q.cost.mem_per_core < p.cost.mem_per_core);
+        self.plans.insert(at, p);
+    }
+
+    /// Merges another Pareto set into this one.
+    pub fn merge(&mut self, other: ParetoSet) {
+        for p in other.plans {
+            self.insert(p);
+        }
+    }
+
+    /// All plans, memory-ascending.
+    pub fn plans(&self) -> &[ScoredPlan] {
+        &self.plans
+    }
+
+    /// Number of Pareto-optimal plans.
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+
+    /// The fastest plan whose active memory fits in `budget` bytes.
+    pub fn fastest_within(&self, budget: usize) -> Option<&ScoredPlan> {
+        self.plans
+            .iter()
+            .filter(|p| p.cost.mem_per_core <= budget)
+            .min_by(|a, b| a.cost.exec_time.total_cmp(&b.cost.exec_time))
+    }
+
+    /// The plan with the smallest active memory footprint.
+    pub fn min_memory(&self) -> Option<&ScoredPlan> {
+        self.plans.first()
+    }
+
+    /// The fastest plan overall.
+    pub fn fastest(&self) -> Option<&ScoredPlan> {
+        self.plans.last()
+    }
+}
+
+/// Search-space statistics (Figure 18's three bars).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SearchStats {
+    /// Estimated size of the complete (unconstrained) space.
+    pub complete_space: f64,
+    /// Plans remaining after the rule-based constraints, before the cost
+    /// model (the number actually evaluated).
+    pub filtered_space: usize,
+    /// Pareto-optimal plans kept.
+    pub optimized_space: usize,
+    /// Whether `max_configs` truncated the enumeration.
+    pub truncated: bool,
+    /// Optional (mem bytes, exec seconds, setup seconds) samples.
+    pub samples: Vec<(usize, f64, f64)>,
+}
+
+/// Per-axis candidate partition factors.
+///
+/// Only factors producing distinct (tile, padding-acceptable) splits are
+/// kept: for every achievable tile size `l`, the smallest `p` with
+/// `ceil(L/p) = l` minimizes padding.
+fn axis_candidates(len: usize, cores: usize, cfg: &SearchConfig) -> Vec<usize> {
+    let maxp = len.min(cores).max(1);
+    let mut cands = Vec::new();
+    let mut last_tile = usize::MAX;
+    for p in 1..=maxp {
+        let tile = len.div_ceil(p);
+        if tile == last_tile {
+            continue;
+        }
+        last_tile = tile;
+        let canonical = len.div_ceil(tile);
+        let ratio = len as f64 / (tile * canonical) as f64;
+        if ratio >= cfg.padding_threshold {
+            cands.push(canonical);
+        }
+    }
+    cands.dedup();
+    if cands.len() > cfg.max_candidates_per_axis {
+        // Keep all small factors (they matter most: reduction splits and
+        // ring sizes), subsample the rest evenly, and keep the extremes.
+        let (small, large): (Vec<usize>, Vec<usize>) =
+            cands.iter().partition(|&&p| p <= 16);
+        let n = cfg.max_candidates_per_axis.saturating_sub(small.len()).max(2);
+        let mut picked = small;
+        if !large.is_empty() {
+            picked.extend((0..n).map(|i| large[i * (large.len() - 1) / (n - 1)]));
+        }
+        picked.dedup();
+        return picked;
+    }
+    cands
+}
+
+/// Temporal choices for one slot under a fixed `F_op`.
+fn temporal_choices(op: &Operator, slot: usize, f_op: &[usize]) -> Vec<TemporalChoice> {
+    let info = crate::rtensor::spatial_info(&op.expr, &op.expr.inputs[slot], f_op);
+    let mut out = vec![TemporalChoice::none()];
+    if info.sharing <= 1 {
+        return out;
+    }
+    for (d, di) in info.dims.iter().enumerate() {
+        if di.rot_axis.is_none() && !di.indirect {
+            continue;
+        }
+        for f in divisors(info.sharing) {
+            // Indirect (gather) dimensions pad their last partition, so any
+            // ring-compatible factor is admissible; axis-mapped rotations
+            // require exact splits.
+            let splits = di.indirect || di.extent % f == 0;
+            if f > 1 && splits && di.extent.div_ceil(f) >= 1 {
+                out.push(TemporalChoice::rotate(d, f));
+            }
+        }
+    }
+    out
+}
+
+fn divisors(n: usize) -> Vec<usize> {
+    let mut d = Vec::new();
+    let mut i = 1;
+    while i * i <= n {
+        if n % i == 0 {
+            d.push(i);
+            if i != n / i {
+                d.push(n / i);
+            }
+        }
+        i += 1;
+    }
+    d.sort_unstable();
+    d
+}
+
+/// Runs the intra-operator search.
+pub fn search_operator(
+    op: &Operator,
+    dtype_bytes: &[usize],
+    out_dtype_bytes: usize,
+    cost: &CostModel,
+    cfg: &SearchConfig,
+) -> Result<(ParetoSet, SearchStats)> {
+    let cores = cost.spec().num_cores;
+    let mem_cap = cost.spec().sram_per_core - cost.spec().shift_buffer;
+    let axes = &op.expr.axes;
+    let cand: Vec<Vec<usize>> = axes
+        .iter()
+        .map(|a| axis_candidates(a.size, cores, cfg))
+        .collect();
+
+    // Enumerate F_op vectors with Π ∈ [min_util*Cmax, C] by DFS with
+    // bounds, where Cmax = min(C, Π min(L_a, C)) — the paper's parallelism
+    // constraint is relative to the achievable parallelism `min(L, C)`
+    // (§4.3.1), so small operators are not filtered into infeasibility.
+    let achievable: usize = axes
+        .iter()
+        .fold(1usize, |acc, a| acc.saturating_mul(a.size.min(cores)))
+        .min(cores);
+    let min_cores =
+        ((cfg.min_core_utilization * achievable as f64).ceil() as usize).max(1);
+    let mut fops: Vec<Vec<usize>> = Vec::new();
+    let mut truncated = false;
+    {
+        // Suffix products of per-axis maxima for pruning.
+        let mut suffix_max = vec![1u128; axes.len() + 1];
+        for i in (0..axes.len()).rev() {
+            let m = *cand[i].iter().max().unwrap_or(&1) as u128;
+            suffix_max[i] = (suffix_max[i + 1].saturating_mul(m)).min(u128::from(u64::MAX));
+        }
+        let mut cur = Vec::with_capacity(axes.len());
+        dfs_fop(
+            &cand,
+            &suffix_max,
+            cores,
+            min_cores,
+            cfg.max_configs * 4,
+            &mut cur,
+            1,
+            &mut fops,
+            &mut truncated,
+        );
+    }
+
+    // Complete-space estimate: Π_a min(L_a, C) F_op choices times the mean
+    // number of temporal combinations over the enumerated configurations.
+    let fop_space: f64 = axes
+        .iter()
+        .map(|a| a.size.min(cores) as f64)
+        .product();
+    let mut temporal_combo_acc = 0.0f64;
+    let mut temporal_combo_n = 0usize;
+
+    // Evaluate configurations (parallel over F_op chunks).
+    let threads = cfg.threads.max(1);
+    let chunk = fops.len().div_ceil(threads).max(1);
+    let mut results: Vec<(ParetoSet, usize, Vec<(usize, f64, f64)>, f64, usize)> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for ch in fops.chunks(chunk) {
+            handles.push(scope.spawn(move || {
+                let mut pareto = ParetoSet::default();
+                let mut evaluated = 0usize;
+                let mut samples = Vec::new();
+                let mut combo_acc = 0.0f64;
+                let mut combo_n = 0usize;
+                for f_op in ch {
+                    let per_slot: Vec<Vec<TemporalChoice>> = (0..op.expr.num_inputs())
+                        .map(|s| temporal_choices(op, s, f_op))
+                        .collect();
+                    let combos: usize = per_slot.iter().map(Vec::len).product();
+                    combo_acc += combos as f64;
+                    combo_n += 1;
+                    if evaluated >= cfg.max_configs / threads.max(1) {
+                        continue;
+                    }
+                    let mut pick = vec![0usize; per_slot.len()];
+                    loop {
+                        let temporal: Vec<TemporalChoice> = pick
+                            .iter()
+                            .zip(&per_slot)
+                            .map(|(&i, v)| v[i])
+                            .collect();
+                        let config = PlanConfig {
+                            f_op: f_op.clone(),
+                            temporal,
+                        };
+                        if let Ok(plan) = Plan::build(op, dtype_bytes, out_dtype_bytes, config) {
+                            if plan.padding_efficiency >= cfg.padding_threshold
+                                && plan.mem_per_core <= mem_cap
+                                && plan.total_steps <= 1 << 20
+                            {
+                                evaluated += 1;
+                                let c = cost.estimate_plan(op, &plan);
+                                let setup = cost.estimate_setup(&plan);
+                                if cfg.collect_samples {
+                                    samples.push((c.mem_per_core, c.exec_time, setup));
+                                }
+                                pareto.insert(ScoredPlan {
+                                    plan,
+                                    cost: c,
+                                    setup_time: setup,
+                                });
+                            }
+                        }
+                        // Advance the per-slot odometer.
+                        let mut done = true;
+                        for i in (0..pick.len()).rev() {
+                            pick[i] += 1;
+                            if pick[i] < per_slot[i].len() {
+                                done = false;
+                                break;
+                            }
+                            pick[i] = 0;
+                        }
+                        if done {
+                            break;
+                        }
+                    }
+                }
+                (pareto, evaluated, samples, combo_acc, combo_n)
+            }));
+        }
+        for h in handles {
+            results.push(h.join().expect("search worker panicked"));
+        }
+    });
+
+    let mut pareto = ParetoSet::default();
+    let mut stats = SearchStats {
+        truncated,
+        ..Default::default()
+    };
+    for (p, evaluated, samples, combo_acc, combo_n) in results {
+        pareto.merge(p);
+        stats.filtered_space += evaluated;
+        stats.samples.extend(samples);
+        temporal_combo_acc += combo_acc;
+        temporal_combo_n += combo_n;
+    }
+    let mean_combos = if temporal_combo_n > 0 {
+        temporal_combo_acc / temporal_combo_n as f64
+    } else {
+        1.0
+    };
+    stats.complete_space = fop_space * mean_combos.max(1.0);
+    stats.optimized_space = pareto.len();
+    Ok((pareto, stats))
+}
+
+#[expect(clippy::too_many_arguments)]
+fn dfs_fop(
+    cand: &[Vec<usize>],
+    suffix_max: &[u128],
+    max_cores: usize,
+    min_cores: usize,
+    cap: usize,
+    cur: &mut Vec<usize>,
+    prod: usize,
+    out: &mut Vec<Vec<usize>>,
+    truncated: &mut bool,
+) {
+    if out.len() >= cap {
+        *truncated = true;
+        return;
+    }
+    let depth = cur.len();
+    if depth == cand.len() {
+        if prod >= min_cores {
+            out.push(cur.clone());
+        }
+        return;
+    }
+    // Prune: even taking maxima for the rest cannot reach min_cores.
+    if (prod as u128) * suffix_max[depth] < min_cores as u128 {
+        return;
+    }
+    for &p in &cand[depth] {
+        let next = prod.checked_mul(p).unwrap_or(usize::MAX);
+        if next > max_cores {
+            continue;
+        }
+        cur.push(p);
+        dfs_fop(
+            cand, suffix_max, max_cores, min_cores, cap, cur, next, out, truncated,
+        );
+        cur.pop();
+        if *truncated {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t10_device::ChipSpec;
+    use t10_ir::builders;
+
+    fn model(cores: usize) -> CostModel {
+        CostModel::calibrate(&ChipSpec::ipu_with_cores(cores), 128, 1).unwrap()
+    }
+
+    #[test]
+    fn axis_candidates_respect_padding() {
+        let cfg = SearchConfig::strict();
+        let c = axis_candidates(64, 1000, &cfg);
+        // All divisors of 64 are exact splits.
+        for &p in &c {
+            let tile = 64usize.div_ceil(p);
+            assert!(64.0 / (tile * p) as f64 >= 0.9, "p={p}");
+        }
+        assert!(c.contains(&1));
+        assert!(c.contains(&64));
+        // 63 cannot be split into 2 without padding below… 63/2 → tile 32,
+        // ratio 63/64 ≈ 0.98 → allowed.
+        let c63 = axis_candidates(63, 1000, &cfg);
+        assert!(c63.contains(&2));
+    }
+
+    #[test]
+    fn axis_candidates_capped() {
+        let mut cfg = SearchConfig::strict();
+        cfg.max_candidates_per_axis = 8;
+        let c = axis_candidates(4096, 4096, &cfg);
+        // Small factors (≤ 16) are always kept; the large tail is capped.
+        let large = c.iter().filter(|&&p| p > 16).count();
+        assert!(large <= 8, "large tail has {large}");
+        assert!(c.contains(&1));
+        assert!(c.contains(&4096));
+    }
+
+    #[test]
+    fn divisors_are_sorted_and_complete() {
+        assert_eq!(divisors(12), vec![1, 2, 3, 4, 6, 12]);
+        assert_eq!(divisors(1), vec![1]);
+        assert_eq!(divisors(7), vec![1, 7]);
+    }
+
+    #[test]
+    fn pareto_insert_keeps_frontier() {
+        fn sp(mem: usize, time: f64) -> ScoredPlan {
+            // A minimal plan stand-in: only cost matters for the set logic.
+            let op = builders::matmul(0, 1, 2, 4, 4, 4).unwrap();
+            let plan = Plan::build(
+                &op,
+                &[2, 2],
+                2,
+                crate::plan::PlanConfig {
+                    f_op: vec![1, 1, 1],
+                    temporal: vec![TemporalChoice::none(), TemporalChoice::none()],
+                },
+            )
+            .unwrap();
+            ScoredPlan {
+                plan,
+                cost: PlanCost {
+                    exec_time: time,
+                    compute_time: time,
+                    exchange_time: 0.0,
+                    mem_per_core: mem,
+                },
+                setup_time: 0.0,
+            }
+        }
+        let mut set = ParetoSet::default();
+        set.insert(sp(100, 10.0));
+        set.insert(sp(200, 5.0));
+        set.insert(sp(150, 20.0)); // dominated by (100, 10)
+        set.insert(sp(50, 30.0));
+        assert_eq!(set.len(), 3);
+        assert_eq!(set.min_memory().unwrap().cost.mem_per_core, 50);
+        assert_eq!(set.fastest().unwrap().cost.mem_per_core, 200);
+        assert_eq!(
+            set.fastest_within(120).unwrap().cost.mem_per_core,
+            100
+        );
+        assert!(set.fastest_within(10).is_none());
+        // A dominating insert evicts.
+        set.insert(sp(40, 4.0));
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn search_finds_tradeoff_curve_for_matmul() {
+        let m = model(16);
+        let op = builders::matmul(0, 1, 2, 64, 64, 64).unwrap();
+        let (pareto, stats) =
+            search_operator(&op, &[2, 2], 2, &m, &SearchConfig::fast()).unwrap();
+        assert!(!pareto.is_empty());
+        assert!(stats.filtered_space > 0);
+        assert!(stats.complete_space >= stats.filtered_space as f64);
+        assert_eq!(stats.optimized_space, pareto.len());
+        // The frontier is sorted by memory and strictly improving in time.
+        let plans = pareto.plans();
+        for w in plans.windows(2) {
+            assert!(w[0].cost.mem_per_core < w[1].cost.mem_per_core);
+            assert!(w[0].cost.exec_time > w[1].cost.exec_time);
+        }
+    }
+
+    #[test]
+    fn parallelism_constraint_filters_small_plans() {
+        let m = model(16);
+        let op = builders::matmul(0, 1, 2, 64, 64, 64).unwrap();
+        let mut cfg = SearchConfig::fast();
+        cfg.min_core_utilization = 0.9;
+        let (pareto, _) = search_operator(&op, &[2, 2], 2, &m, &cfg).unwrap();
+        for p in pareto.plans() {
+            assert!(p.plan.cores_used >= 15, "cores = {}", p.plan.cores_used);
+        }
+    }
+
+    #[test]
+    fn search_covers_elementwise_ops() {
+        let m = model(8);
+        let op = builders::unary(0, 1, vec![128, 128], t10_ir::Unary::Relu).unwrap();
+        let (pareto, _) = search_operator(&op, &[2], 2, &m, &SearchConfig::fast()).unwrap();
+        assert!(!pareto.is_empty());
+        // Elementwise ops have no sharing → no rotation; exchange-free.
+        assert_eq!(pareto.fastest().unwrap().cost.exchange_time, 0.0);
+    }
+
+    #[test]
+    fn search_handles_gather() {
+        // A narrow embedding dim (d = 4) forces heavy n-parallelism, so the
+        // table is shared by many cores and rotating it saves real memory.
+        let m = model(16);
+        let op = builders::gather(0, 1, 2, 256, 512, 4).unwrap();
+        let (pareto, _) = search_operator(&op, &[2, 4], 2, &m, &SearchConfig::fast()).unwrap();
+        assert!(!pareto.is_empty());
+        // Some plan should rotate the table (factor > 1 on slot 0).
+        let rotating = pareto
+            .plans()
+            .iter()
+            .any(|p| p.plan.slots[0].temporal.factor > 1);
+        assert!(rotating);
+    }
+}

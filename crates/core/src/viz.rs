@@ -1,0 +1,210 @@
+//! ASCII visualization of execution plans.
+//!
+//! Renders the rotation schedule of a compute-shift plan — which global
+//! slice of each rotating tensor every core holds at every step — in the
+//! style of the paper's Figure 7, plus a text scatter of a Pareto frontier
+//! (Figure 17). Useful for debugging placements and for documentation.
+
+use std::fmt::Write as _;
+
+use t10_ir::Operator;
+
+use crate::placement::{sigma, CoreGrid};
+use crate::plan::Plan;
+use crate::search::ParetoSet;
+
+/// Renders the per-step rotation schedule of one rotation level.
+///
+/// Each row is a core (labelled by its grid coordinates); each column is a
+/// compute-shift step; each cell shows the global index range of the
+/// sub-task the core computes along the rotating axis.
+pub fn rotation_schedule(op: &Operator, plan: &Plan, level: usize) -> String {
+    let mut out = String::new();
+    let Some(l) = plan.rotations.get(level) else {
+        return "plan has no such rotation level\n".to_string();
+    };
+    let Some(axis) = l.axis else {
+        let slot = l.slots.first().copied().unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "indirect rotation of input {slot}: {} partitions of {} rows",
+            l.steps, plan.slots[slot].plen
+        );
+        return out;
+    };
+    let axis_name = &op.expr.axes[axis].name;
+    let _ = writeln!(
+        out,
+        "rotation along axis `{axis_name}` (rp = {}, {} steps, slots {:?}):",
+        l.rp, l.steps, l.slots
+    );
+    let grid = CoreGrid::new(&plan.config.f_op);
+    let cores = grid.num_cores().min(16);
+    let extent = plan.tiles[axis];
+    let _ = write!(out, "{:>12} ", "core");
+    for t in 0..l.steps {
+        let _ = write!(out, "step{t:<3} ");
+    }
+    out.push('\n');
+    for core in 0..cores {
+        let coords = grid.coords(core);
+        let s0 = sigma(plan, level, &coords);
+        let _ = write!(out, "{:>12} ", format!("{coords:?}"));
+        for t in 0..l.steps {
+            let start = (s0 + t * l.rp) % extent;
+            let _ = write!(out, "[{start:>2}..{:<2}) ", start + l.rp);
+        }
+        out.push('\n');
+    }
+    if grid.num_cores() > cores {
+        let _ = writeln!(out, "... ({} more cores)", grid.num_cores() - cores);
+    }
+    out
+}
+
+/// Renders a Pareto frontier as an ASCII scatter: memory on the x axis,
+/// execution time on the y axis, `*` for frontier points.
+pub fn pareto_scatter(pareto: &ParetoSet, width: usize, height: usize) -> String {
+    let plans = pareto.plans();
+    if plans.is_empty() {
+        return "(empty frontier)\n".to_string();
+    }
+    let (w, h) = (width.max(16), height.max(6));
+    let min_m = plans.iter().map(|p| p.cost.mem_per_core).min().unwrap() as f64;
+    let max_m = plans.iter().map(|p| p.cost.mem_per_core).max().unwrap() as f64;
+    let min_t = plans
+        .iter()
+        .map(|p| p.cost.exec_time)
+        .fold(f64::INFINITY, f64::min);
+    let max_t = plans
+        .iter()
+        .map(|p| p.cost.exec_time)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let mut canvas = vec![vec![b' '; w]; h];
+    for p in plans {
+        let x = if max_m > min_m {
+            ((p.cost.mem_per_core as f64 - min_m) / (max_m - min_m) * (w - 1) as f64) as usize
+        } else {
+            0
+        };
+        let y = if max_t > min_t {
+            ((p.cost.exec_time - min_t) / (max_t - min_t) * (h - 1) as f64) as usize
+        } else {
+            0
+        };
+        canvas[h - 1 - y][x] = b'*';
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "exec time {:.1}us (top) .. {:.1}us (bottom)",
+        max_t * 1e6,
+        min_t * 1e6
+    );
+    for row in canvas {
+        out.push('|');
+        out.push_str(std::str::from_utf8(&row).expect("ascii"));
+        out.push('\n');
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(w));
+    out.push('\n');
+    let _ = writeln!(
+        out,
+        " mem/core {:.0}KB .. {:.0}KB",
+        min_m / 1024.0,
+        max_m / 1024.0
+    );
+    out
+}
+
+/// One-line summary of a plan's rTensor configurations.
+pub fn plan_summary(op: &Operator, plan: &Plan) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "F_op {:?} on {} cores, {} steps",
+        plan.config.f_op, plan.cores_used, plan.total_steps
+    );
+    for (s, _) in plan.slots.iter().enumerate() {
+        let rt = plan.rtensor(s);
+        let _ = write!(out, " | in{s}: fs{:?} ft{:?} rp{:?}", rt.f_s, rt.f_t, rt.rp);
+    }
+    let _ = write!(out, " | {} axes", op.expr.axes.len());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::plan::{PlanConfig, TemporalChoice};
+    use crate::search::{search_operator, SearchConfig};
+    use t10_device::ChipSpec;
+    use t10_ir::builders;
+
+    fn fig7_plan() -> (Operator, Plan) {
+        let op = builders::matmul(0, 1, 2, 2, 6, 3).unwrap();
+        let plan = Plan::build(
+            &op,
+            &[2, 2],
+            2,
+            PlanConfig {
+                f_op: vec![2, 1, 3],
+                temporal: vec![TemporalChoice::rotate(1, 3), TemporalChoice::rotate(0, 2)],
+            },
+        )
+        .unwrap();
+        (op, plan)
+    }
+
+    #[test]
+    fn rotation_schedule_shows_diagonal() {
+        let (op, plan) = fig7_plan();
+        let s = rotation_schedule(&op, &plan, 0);
+        // All 6 cores and 3 steps rendered; the first core starts at 0.
+        assert!(s.contains("axis `k`"));
+        assert!(s.contains("step0"));
+        assert!(s.contains("step2"));
+        assert!(s.contains("[ 0..2 )") || s.contains("[ 0..2)"), "{s}");
+        assert_eq!(s.lines().count(), 2 + 6);
+    }
+
+    #[test]
+    fn rotation_schedule_out_of_range_level() {
+        let (op, plan) = fig7_plan();
+        let s = rotation_schedule(&op, &plan, 9);
+        assert!(s.contains("no such rotation level"));
+    }
+
+    #[test]
+    fn pareto_scatter_renders() {
+        let cost = CostModel::calibrate(&ChipSpec::ipu_with_cores(16), 128, 3).unwrap();
+        let op = builders::matmul(0, 1, 2, 128, 128, 128).unwrap();
+        let (pareto, _) =
+            search_operator(&op, &[2, 2], 2, &cost, &SearchConfig::fast()).unwrap();
+        let s = pareto_scatter(&pareto, 40, 10);
+        assert!(s.contains('*'));
+        assert!(s.contains("mem/core"));
+        // The frontier is monotone: higher memory → lower time, so the
+        // leftmost star is in the upper half.
+        let rows: Vec<&str> = s.lines().filter(|l| l.starts_with('|')).collect();
+        let first_star_row = rows.iter().position(|r| r.contains('*')).unwrap();
+        assert!(first_star_row < rows.len());
+    }
+
+    #[test]
+    fn pareto_scatter_empty() {
+        let s = pareto_scatter(&ParetoSet::default(), 20, 5);
+        assert!(s.contains("empty"));
+    }
+
+    #[test]
+    fn plan_summary_mentions_factors() {
+        let (op, plan) = fig7_plan();
+        let s = plan_summary(&op, &plan);
+        assert!(s.contains("F_op [2, 1, 3]"));
+        assert!(s.contains("in0"));
+        assert!(s.contains("in1"));
+    }
+}

@@ -1,0 +1,149 @@
+//! Edge-case and failure-injection tests of the compiler pipeline.
+
+use t10_core::compiler::Compiler;
+use t10_core::cost::CostModel;
+use t10_core::lower::lower_functional;
+use t10_core::plan::{Plan, PlanConfig, TemporalChoice};
+use t10_core::search::{search_operator, SearchConfig};
+use t10_device::ChipSpec;
+use t10_ir::{builders, DType, Graph, Tensor, ValueKind};
+use t10_sim::{Simulator, SimulatorMode};
+
+/// An operator whose axis sizes (512 × 7 × 7) cannot hit the strict 90%
+/// utilization window on 1,472 cores still compiles: the compiler relaxes
+/// the parallelism filter automatically.
+#[test]
+fn awkward_factorization_relaxes_constraint() {
+    let mut g = Graph::new("awkward");
+    // A reduce over [512 channels, 7x7] — ResNet's GAP head shape.
+    let x = g.add_value("x", vec![512, 49], DType::F16, ValueKind::Input);
+    let o = g.add_value("o", vec![512], DType::F16, ValueKind::Output);
+    g.add_node(
+        "gap",
+        builders::reduce_last(x, o, vec![512], 49, t10_ir::Reduce::Sum, Some(1.0 / 49.0))
+            .unwrap(),
+    )
+    .unwrap();
+    let mut cfg = SearchConfig::strict();
+    cfg.min_core_utilization = 0.95;
+    cfg.max_candidates_per_axis = 6;
+    let compiler = Compiler::new(ChipSpec::ipu_mk2(), cfg);
+    let out = compiler.compile_graph(&g).unwrap();
+    assert!(out.estimated_time > 0.0);
+}
+
+/// The search reports truncation when the cap bites, and still returns a
+/// usable frontier.
+#[test]
+fn search_truncation_is_reported() {
+    let cost = CostModel::calibrate(&ChipSpec::ipu_with_cores(64), 96, 3).unwrap();
+    let op = builders::matmul(0, 1, 2, 1024, 1024, 1024).unwrap();
+    let mut cfg = SearchConfig::fast();
+    cfg.min_core_utilization = 0.1;
+    cfg.max_candidates_per_axis = 48;
+    cfg.max_configs = 50;
+    let (pareto, stats) = search_operator(&op, &[2, 2], 2, &cost, &cfg).unwrap();
+    assert!(!pareto.is_empty());
+    assert!(stats.filtered_space <= 64);
+    // Either the F_op enumeration or the per-thread evaluation cap hit.
+    let capped = stats.truncated || stats.filtered_space >= 50;
+    assert!(capped);
+}
+
+/// A functional program whose buffers exceed a tiny chip's scratchpad is
+/// rejected by the simulator's memory accounting, not silently truncated.
+#[test]
+fn simulator_rejects_oversized_functional_program() {
+    let op = builders::matmul(0, 1, 2, 64, 64, 64).unwrap();
+    let plan = Plan::build(
+        &op,
+        &[4, 4],
+        4,
+        PlanConfig {
+            f_op: vec![2, 1, 2],
+            temporal: vec![TemporalChoice::none(), TemporalChoice::none()],
+        },
+    )
+    .unwrap();
+    let f = lower_functional(&op, &plan).unwrap();
+    let mut tiny = ChipSpec::ipu_with_cores(4);
+    tiny.sram_per_core = 12 * 1024;
+    let mut sim = Simulator::new(tiny, SimulatorMode::Functional);
+    let err = sim.run(&f.program).unwrap_err();
+    assert!(err.message().contains("out of memory"), "{err}");
+}
+
+/// Binding a wrong-shaped tensor is rejected.
+#[test]
+fn bind_shape_mismatch_is_rejected() {
+    let op = builders::matmul(0, 1, 2, 4, 4, 4).unwrap();
+    let plan = Plan::build(
+        &op,
+        &[4, 4],
+        4,
+        PlanConfig {
+            f_op: vec![2, 1, 2],
+            temporal: vec![TemporalChoice::none(), TemporalChoice::none()],
+        },
+    )
+    .unwrap();
+    let f = lower_functional(&op, &plan).unwrap();
+    let mut sim = Simulator::new(ChipSpec::ipu_with_cores(4), SimulatorMode::Functional);
+    sim.load(&f.program).unwrap();
+    let wrong = Tensor::zeros(vec![4]);
+    assert!(sim.bind(f.input_buffers[0][0], &wrong).is_err());
+}
+
+/// Graph-level fusion composes with compilation: the fused graph compiles
+/// to fewer supersteps and at most the unfused latency.
+#[test]
+fn fusion_reduces_supersteps() {
+    let mut g = Graph::new("f");
+    let a = g.add_value("a", vec![128, 128], DType::F16, ValueKind::Input);
+    let w = g.add_value("w", vec![128, 128], DType::F16, ValueKind::Weight);
+    let h = g.add_value("h", vec![128, 128], DType::F16, ValueKind::Activation);
+    let o = g.add_value("o", vec![128, 128], DType::F16, ValueKind::Output);
+    g.add_node("mm", builders::matmul(a, w, h, 128, 128, 128).unwrap())
+        .unwrap();
+    g.add_node(
+        "relu",
+        builders::unary(h, o, vec![128, 128], t10_ir::Unary::Relu).unwrap(),
+    )
+    .unwrap();
+    let fused = t10_ir::transform::fuse_unary(&g).unwrap();
+    assert_eq!(fused.nodes().len(), 1);
+
+    let spec = ChipSpec::ipu_with_cores(16);
+    let compiler = Compiler::new(spec.clone(), SearchConfig::fast());
+    let plain = compiler.compile_graph(&g).unwrap();
+    let opt = compiler.compile_graph(&fused).unwrap();
+    assert!(opt.program.steps.len() < plain.program.steps.len());
+    let run = |p| {
+        let mut sim = Simulator::new(spec.clone(), SimulatorMode::Timing);
+        sim.run(p).unwrap().total_time
+    };
+    assert!(run(&opt.program) <= run(&plain.program) * 1.001);
+}
+
+/// Tracing produces one record per superstep and they sum to the totals.
+#[test]
+fn step_trace_is_complete_and_consistent() {
+    let mut g = Graph::new("t");
+    let a = g.add_value("a", vec![64, 64], DType::F16, ValueKind::Input);
+    let w = g.add_value("w", vec![64, 64], DType::F16, ValueKind::Weight);
+    let o = g.add_value("o", vec![64, 64], DType::F16, ValueKind::Output);
+    g.add_node("mm", builders::matmul(a, w, o, 64, 64, 64).unwrap())
+        .unwrap();
+    let spec = ChipSpec::ipu_with_cores(16);
+    let compiler = Compiler::new(spec.clone(), SearchConfig::fast());
+    let out = compiler.compile_graph(&g).unwrap();
+    let mut sim = Simulator::new(spec, SimulatorMode::Timing).with_tracing();
+    let r = sim.run(&out.program).unwrap();
+    assert_eq!(r.trace.len(), r.steps);
+    let comp: f64 = r.trace.iter().map(|t| t.compute).sum();
+    let exch: f64 = r.trace.iter().map(|t| t.exchange).sum();
+    assert!((comp - r.compute_time).abs() < 1e-12);
+    assert!((exch - r.exchange_time).abs() < 1e-12);
+    let bytes: u64 = r.trace.iter().map(|t| t.bytes).sum();
+    assert_eq!(bytes, r.total_shift_bytes);
+}

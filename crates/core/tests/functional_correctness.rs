@@ -1,0 +1,337 @@
+//! End-to-end functional validation: a compiled compute-shift plan, executed
+//! on the functional simulator with real data movement, must reproduce the
+//! naive reference executor exactly (the plans are lossless, paper §6.1).
+//!
+//! These tests exercise the full pipeline — rTensor derivation, rotating-pace
+//! alignment, diagonal placement, ring shifts, cross-core reduction, and the
+//! unary epilogue — against MatMul, Conv2d, elementwise, pooling, reduce, and
+//! gather operators.
+
+use proptest::prelude::*;
+use t10_core::lower::lower_functional;
+use t10_core::plan::{Plan, PlanConfig, TemporalChoice};
+use t10_device::ChipSpec;
+use t10_ir::{builders, reference, Operator, Tensor};
+use t10_sim::{Simulator, SimulatorMode};
+
+/// Lowers `plan`, binds `inputs`, runs functionally, and returns the output.
+fn run_plan(op: &Operator, plan: &Plan, inputs: &[Tensor]) -> Tensor {
+    let f = lower_functional(op, plan).expect("lowering");
+    let spec = ChipSpec::ipu_with_cores(plan.cores_used.max(1));
+    let mut sim = Simulator::new(spec, SimulatorMode::Functional);
+    sim.load(&f.program).expect("load");
+    for (slot, t) in inputs.iter().enumerate() {
+        for &id in &f.input_buffers[slot] {
+            sim.bind(id, t).expect("bind input");
+        }
+    }
+    sim.run_loaded(&f.program).expect("run");
+    sim.extract(&f.output_buffers, &op.expr.output_shape())
+        .expect("extract")
+}
+
+fn check_plan(op: &Operator, config: PlanConfig, seeds: &[f32]) {
+    let plan = Plan::build(op, &vec![4; op.expr.num_inputs()], 4, config).expect("plan");
+    let inputs: Vec<Tensor> = (0..op.expr.num_inputs())
+        .map(|s| Tensor::pattern(op.expr.input_shape(s), seeds[s]))
+        .collect();
+    let got = run_plan(op, &plan, &inputs);
+    let refs: Vec<&Tensor> = inputs.iter().collect();
+    let want = reference::execute(op, &refs).expect("reference");
+    assert!(
+        got.approx_eq(&want, 1e-4),
+        "plan {:?} diverges from reference: max diff {}",
+        plan.config,
+        got.max_abs_diff(&want)
+    );
+}
+
+#[test]
+fn paper_fig7_plan_is_correct() {
+    // F_op = [2,1,3], f_t^A = 3 and f_t^B = 2 along k, rp = 2, 3 steps —
+    // the exact configuration of Figure 7 (d).
+    let op = builders::matmul(0, 1, 2, 2, 6, 3).unwrap();
+    check_plan(
+        &op,
+        PlanConfig {
+            f_op: vec![2, 1, 3],
+            temporal: vec![TemporalChoice::rotate(1, 3), TemporalChoice::rotate(0, 2)],
+        },
+        &[0.1, 0.7],
+    );
+}
+
+#[test]
+fn paper_fig10_staircase_is_correct() {
+    let op = builders::matmul(0, 1, 2, 3, 3, 3).unwrap();
+    check_plan(
+        &op,
+        PlanConfig {
+            f_op: vec![3, 1, 3],
+            temporal: vec![TemporalChoice::rotate(1, 3), TemporalChoice::rotate(0, 3)],
+        },
+        &[0.3, 0.9],
+    );
+}
+
+#[test]
+fn replicated_weights_single_step() {
+    // Figure 3 (b): full replication, one step, no shifts.
+    let op = builders::matmul(0, 1, 2, 4, 4, 4).unwrap();
+    check_plan(
+        &op,
+        PlanConfig {
+            f_op: vec![2, 1, 1],
+            temporal: vec![TemporalChoice::none(), TemporalChoice::none()],
+        },
+        &[0.2, 0.5],
+    );
+}
+
+#[test]
+fn rotation_with_unequal_partition_lengths() {
+    // plen_A = 2, plen_B = 3 on a k-extent of 12: rp = 2, and B's window
+    // slides inside its storage (the wrapping case).
+    let op = builders::matmul(0, 1, 2, 4, 12, 6).unwrap();
+    check_plan(
+        &op,
+        PlanConfig {
+            f_op: vec![4, 1, 6],
+            temporal: vec![TemporalChoice::rotate(1, 6), TemporalChoice::rotate(0, 4)],
+        },
+        &[0.4, 0.8],
+    );
+}
+
+#[test]
+fn nested_rotation_two_axes() {
+    // A rotates along k, B rotates along n: two loop levels.
+    let op = builders::matmul(0, 1, 2, 4, 8, 8).unwrap();
+    check_plan(
+        &op,
+        PlanConfig {
+            f_op: vec![2, 1, 2],
+            temporal: vec![TemporalChoice::rotate(1, 2), TemporalChoice::rotate(1, 2)],
+        },
+        &[0.15, 0.85],
+    );
+}
+
+#[test]
+fn spatially_partitioned_reduction_accumulates() {
+    // k split across 4 cores: partial outputs are cross-core reduced.
+    let op = builders::matmul(0, 1, 2, 4, 8, 4).unwrap();
+    check_plan(
+        &op,
+        PlanConfig {
+            f_op: vec![1, 4, 2],
+            temporal: vec![TemporalChoice::none(), TemporalChoice::none()],
+        },
+        &[0.6, 0.35],
+    );
+}
+
+#[test]
+fn reduction_with_rotation_combined() {
+    let op = builders::matmul(0, 1, 2, 4, 8, 4).unwrap();
+    check_plan(
+        &op,
+        PlanConfig {
+            f_op: vec![2, 2, 2],
+            temporal: vec![TemporalChoice::rotate(1, 2), TemporalChoice::rotate(0, 2)],
+        },
+        &[0.25, 0.45],
+    );
+}
+
+#[test]
+fn conv2d_spatial_partitioning_with_halo() {
+    let cfg = builders::Conv2dCfg {
+        batch: 2,
+        c_in: 2,
+        c_out: 4,
+        h_out: 8,
+        w_out: 8,
+        kh: 3,
+        kw: 3,
+        stride: 1,
+    };
+    let op = builders::conv2d(0, 1, 2, cfg).unwrap();
+    // Partition b, f, h, w spatially.
+    check_plan(
+        &op,
+        PlanConfig {
+            f_op: vec![2, 2, 2, 2, 1, 1, 1],
+            temporal: vec![TemporalChoice::none(), TemporalChoice::none()],
+        },
+        &[0.3, 0.7],
+    );
+}
+
+#[test]
+fn conv2d_kernel_rotation_along_channels() {
+    let cfg = builders::Conv2dCfg {
+        batch: 1,
+        c_in: 4,
+        c_out: 4,
+        h_out: 4,
+        w_out: 4,
+        kh: 3,
+        kw: 3,
+        stride: 1,
+    };
+    let op = builders::conv2d(0, 1, 2, cfg).unwrap();
+    // Kernel K[f,c,kh,kw] rotates along c among the h-partitioned cores.
+    check_plan(
+        &op,
+        PlanConfig {
+            f_op: vec![1, 1, 4, 1, 1, 1, 1],
+            temporal: vec![TemporalChoice::none(), TemporalChoice::rotate(1, 4)],
+        },
+        &[0.55, 0.95],
+    );
+}
+
+#[test]
+fn strided_conv_is_correct() {
+    let cfg = builders::Conv2dCfg {
+        batch: 1,
+        c_in: 2,
+        c_out: 2,
+        h_out: 4,
+        w_out: 4,
+        kh: 2,
+        kw: 2,
+        stride: 2,
+    };
+    let op = builders::conv2d(0, 1, 2, cfg).unwrap();
+    check_plan(
+        &op,
+        PlanConfig {
+            f_op: vec![1, 2, 2, 1, 1, 1, 1],
+            temporal: vec![TemporalChoice::none(), TemporalChoice::none()],
+        },
+        &[0.45, 0.65],
+    );
+}
+
+#[test]
+fn elementwise_unary_with_epilogue() {
+    let op = builders::unary(0, 1, vec![8, 8], t10_ir::Unary::Gelu).unwrap();
+    check_plan(
+        &op,
+        PlanConfig {
+            f_op: vec![4, 2],
+            temporal: vec![TemporalChoice::none()],
+        },
+        &[0.2],
+    );
+}
+
+#[test]
+fn elementwise_binary_broadcast() {
+    let op = builders::binary_broadcast(0, 1, 2, vec![8, 8], 1, t10_ir::Combine::Add).unwrap();
+    // The bias B[n] is shared along m; rotate it along n.
+    check_plan(
+        &op,
+        PlanConfig {
+            f_op: vec![4, 2],
+            temporal: vec![TemporalChoice::none(), TemporalChoice::rotate(0, 2)],
+        },
+        &[0.3, 0.6],
+    );
+}
+
+#[test]
+fn max_pool_distributed() {
+    let op = builders::max_pool2d(0, 1, 1, 2, 4, 4, 2, 2).unwrap();
+    check_plan(
+        &op,
+        PlanConfig {
+            f_op: vec![1, 2, 2, 1, 1, 1],
+            temporal: vec![TemporalChoice::none()],
+        },
+        &[0.8],
+    );
+}
+
+#[test]
+fn reduce_mean_distributed_over_reduction_axis() {
+    let op =
+        builders::reduce_last(0, 1, vec![4], 8, t10_ir::Reduce::Sum, Some(0.125)).unwrap();
+    check_plan(
+        &op,
+        PlanConfig {
+            f_op: vec![2, 4],
+            temporal: vec![TemporalChoice::none()],
+        },
+        &[0.9],
+    );
+}
+
+#[test]
+fn gather_with_rotating_table() {
+    let op = builders::gather(0, 1, 2, 16, 8, 4).unwrap();
+    let plan = Plan::build(
+        &op,
+        &[4, 4],
+        4,
+        PlanConfig {
+            f_op: vec![4, 1],
+            temporal: vec![TemporalChoice::rotate(0, 4), TemporalChoice::none()],
+        },
+    )
+    .unwrap();
+    let table = Tensor::pattern(vec![16, 4], 0.5);
+    let mut idx = Tensor::zeros(vec![8]);
+    for (i, v) in idx.data_mut().iter_mut().enumerate() {
+        *v = ((i * 5 + 3) % 16) as f32;
+    }
+    let got = run_plan(&op, &plan, &[table.clone(), idx.clone()]);
+    let want = reference::execute(&op, &[&table, &idx]).unwrap();
+    assert!(got.approx_eq(&want, 1e-5));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any valid matmul plan configuration must be numerically exact.
+    #[test]
+    fn any_matmul_plan_matches_reference(
+        pm in 1usize..3,
+        pk in 1usize..3,
+        pn in 1usize..3,
+        fa in 0usize..3,
+        fb in 0usize..3,
+        seed in 0u32..1000,
+    ) {
+        let (m, k, n) = (4, 8, 4);
+        let op = builders::matmul(0, 1, 2, m, k, n).unwrap();
+        let pm = if m % pm == 0 { pm } else { 1 };
+        let pk = if k % pk == 0 { pk } else { 1 };
+        let pn = if n % pn == 0 { pn } else { 1 };
+        // Temporal factors must divide the sharing count and the extent.
+        let k_tile = k / pk;
+        let fa_div = [1usize, 2, 4][fa];
+        let fb_div = [1usize, 2, 4][fb];
+        let ta = if pn % fa_div == 0 && k_tile % fa_div == 0 && fa_div > 1 {
+            TemporalChoice::rotate(1, fa_div)
+        } else {
+            TemporalChoice::none()
+        };
+        let tb = if pm % fb_div == 0 && k_tile % fb_div == 0 && fb_div > 1 {
+            TemporalChoice::rotate(0, fb_div)
+        } else {
+            TemporalChoice::none()
+        };
+        let config = PlanConfig { f_op: vec![pm, pk, pn], temporal: vec![ta, tb] };
+        if let Ok(plan) = Plan::build(&op, &[4, 4], 4, config) {
+            let a = Tensor::pattern(vec![m, k], seed as f32 * 0.01);
+            let b = Tensor::pattern(vec![k, n], seed as f32 * 0.02 + 1.0);
+            let got = run_plan(&op, &plan, &[a.clone(), b.clone()]);
+            let want = reference::execute(&op, &[&a, &b]).unwrap();
+            prop_assert!(got.approx_eq(&want, 1e-4),
+                "diff {} for {:?}", got.max_abs_diff(&want), plan.config);
+        }
+    }
+}

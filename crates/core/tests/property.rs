@@ -1,0 +1,193 @@
+//! Property-based tests of the compiler's core data structures.
+
+use proptest::prelude::*;
+use t10_core::cost::CostModel;
+use t10_core::placement::{group_pos, ring_assignment, upstream_coords, CoreGrid};
+use t10_core::plan::{Plan, PlanConfig, TemporalChoice};
+use t10_core::search::{ParetoSet, ScoredPlan};
+use t10_device::ChipSpec;
+use t10_ir::builders;
+
+fn divisors(n: usize) -> Vec<usize> {
+    (1..=n).filter(|d| n % d == 0).collect()
+}
+
+proptest! {
+    /// Grid linearize/unrank is a bijection for arbitrary radices.
+    #[test]
+    fn core_grid_bijection(radices in proptest::collection::vec(1usize..5, 1..5)) {
+        let g = CoreGrid::new(&radices);
+        for core in 0..g.num_cores() {
+            let coords = g.coords(core);
+            prop_assert_eq!(g.linear(&coords), core);
+            for (c, r) in coords.iter().zip(&radices) {
+                prop_assert!(c < r);
+            }
+        }
+    }
+
+    /// Following `upstream` around a ring visits every member exactly once
+    /// before returning to the start (the ring is a single cycle).
+    #[test]
+    fn upstream_forms_a_cycle(
+        p_missing in 2usize..9,
+        f_idx in 0usize..3,
+    ) {
+        let f_op = vec![p_missing, 2];
+        let missing = vec![0usize];
+        let divs = divisors(p_missing);
+        let factor = divs[f_idx.min(divs.len() - 1)].max(1);
+        let start = vec![0usize, 1];
+        let mut cur = start.clone();
+        let mut seen = std::collections::HashSet::new();
+        loop {
+            prop_assert!(seen.insert(cur.clone()), "revisited {cur:?}");
+            cur = upstream_coords(&cur, &missing, &f_op, factor);
+            if cur == start {
+                break;
+            }
+        }
+        // The cycle length is the ring size (the temporal factor).
+        prop_assert_eq!(seen.len(), factor);
+        // And all members share the ring id.
+        let r0 = ring_assignment(&start, &missing, &f_op, factor).ring;
+        for m in &seen {
+            prop_assert_eq!(ring_assignment(m, &missing, &f_op, factor).ring, r0);
+        }
+    }
+
+    /// Group positions enumerate 0..P uniquely across the sharing group.
+    #[test]
+    fn group_pos_is_a_bijection(pa in 1usize..5, pb in 1usize..5) {
+        let f_op = vec![pa, 3, pb];
+        let missing = vec![0usize, 2];
+        let mut seen = std::collections::HashSet::new();
+        for a in 0..pa {
+            for b in 0..pb {
+                let g = group_pos(&[a, 0, b], &missing, &f_op);
+                prop_assert!(g < pa * pb);
+                prop_assert!(seen.insert(g));
+            }
+        }
+    }
+
+    /// Plan derivation invariants for arbitrary valid matmul configs:
+    /// memory accounting is consistent, steps match the rotation levels,
+    /// and total shift volume equals what the rings must cycle.
+    #[test]
+    fn plan_invariants(
+        pm in 1usize..5,
+        pk in 1usize..5,
+        pn in 1usize..5,
+        fa_idx in 0usize..4,
+        fb_idx in 0usize..4,
+    ) {
+        let (m, k, n) = (16, 24, 16);
+        prop_assume!(m % pm == 0 && k % pk == 0 && n % pn == 0);
+        let k_tile = k / pk;
+        let fa_divs: Vec<usize> = divisors(pn)
+            .into_iter()
+            .filter(|f| k_tile % f == 0)
+            .collect();
+        let fb_divs: Vec<usize> = divisors(pm)
+            .into_iter()
+            .filter(|f| k_tile % f == 0)
+            .collect();
+        let fa = fa_divs[fa_idx % fa_divs.len()];
+        let fb = fb_divs[fb_idx % fb_divs.len()];
+        let choice = |f: usize| if f > 1 {
+            TemporalChoice::rotate(1, f)
+        } else {
+            TemporalChoice::none()
+        };
+        let tb = if fb > 1 { TemporalChoice::rotate(0, fb) } else { TemporalChoice::none() };
+        let op = builders::matmul(0, 1, 2, m, k, n).unwrap();
+        let plan = Plan::build(&op, &[2, 2], 2, PlanConfig {
+            f_op: vec![pm, pk, pn],
+            temporal: vec![choice(fa), tb],
+        });
+        let plan = match plan { Ok(p) => p, Err(_) => return Ok(()) };
+        // Memory: partitions plus output, exactly.
+        let expect_mem: usize = plan.slots.iter().map(|s| s.partition_bytes).sum::<usize>()
+            + plan.out.partition_bytes;
+        prop_assert_eq!(plan.mem_per_core, expect_mem);
+        // Steps: product of level steps.
+        let step_prod: usize = plan.rotations.iter().map(|l| l.steps.max(1)).product();
+        prop_assert_eq!(plan.total_steps, step_prod);
+        // Each rotating slot's full cycle moves its whole partition extent:
+        // per-shift bytes × steps of its level == partition bytes × steps/f.
+        for level in &plan.rotations {
+            for &s in &level.slots {
+                let slot = &plan.slots[s];
+                let cycled = slot.per_shift_bytes * level.steps;
+                // One full cycle moves the whole sub-tensor share.
+                prop_assert_eq!(cycled, slot.partition_bytes * slot.temporal.factor.max(1));
+            }
+        }
+        // rp respects every rotating partition length.
+        for level in &plan.rotations {
+            for &s in &level.slots {
+                prop_assert!(level.rp <= plan.slots[s].plen);
+            }
+        }
+    }
+
+    /// The Pareto set never keeps a dominated plan and stays sorted.
+    #[test]
+    fn pareto_set_invariants(entries in proptest::collection::vec((1usize..1000, 1u32..1000), 1..60)) {
+        let op = builders::matmul(0, 1, 2, 4, 4, 4).unwrap();
+        let base = Plan::build(&op, &[2, 2], 2, PlanConfig {
+            f_op: vec![1, 1, 1],
+            temporal: vec![TemporalChoice::none(), TemporalChoice::none()],
+        }).unwrap();
+        let mut set = ParetoSet::default();
+        for (mem, time) in &entries {
+            set.insert(ScoredPlan {
+                plan: base.clone(),
+                cost: t10_core::cost::PlanCost {
+                    exec_time: *time as f64,
+                    compute_time: 0.0,
+                    exchange_time: 0.0,
+                    mem_per_core: *mem,
+                },
+                setup_time: 0.0,
+            });
+        }
+        let plans = set.plans();
+        prop_assert!(!plans.is_empty());
+        for w in plans.windows(2) {
+            prop_assert!(w[0].cost.mem_per_core < w[1].cost.mem_per_core);
+            prop_assert!(w[0].cost.exec_time > w[1].cost.exec_time);
+        }
+        // Every inserted point is dominated by (or equal to) something kept.
+        for (mem, time) in &entries {
+            let covered = plans
+                .iter()
+                .any(|p| p.cost.mem_per_core <= *mem && p.cost.exec_time <= *time as f64);
+            prop_assert!(covered);
+        }
+    }
+
+    /// Cost model predictions are positive and monotone in work.
+    #[test]
+    fn cost_model_monotonicity(out in 64u64..8192, red in 1u64..256) {
+        let cost = CostModel::calibrate(&ChipSpec::ipu_with_cores(8), 96, 11).unwrap();
+        let d = t10_device::program::SubTaskDesc {
+            kind: t10_ir::OpKind::MatMul,
+            out_elems: out,
+            red_elems: red,
+            window: 1,
+            in_bytes: 2 * (out + red),
+            out_bytes: 2 * out,
+        };
+        let mut d4 = d;
+        d4.out_elems *= 4;
+        d4.in_bytes = 2 * (d4.out_elems + red);
+        d4.out_bytes = 2 * d4.out_elems;
+        let t1 = cost.predict_vertex(&d);
+        let t4 = cost.predict_vertex(&d4);
+        prop_assert!(t1 > 0.0);
+        prop_assert!(t4 > t1, "t1={t1}, t4={t4}");
+        prop_assert!(cost.predict_exchange(4096) > cost.predict_exchange(1024));
+    }
+}

@@ -1,0 +1,147 @@
+//! A100 GPU roofline executor for the paper's §6.6/§6.7 comparisons.
+//!
+//! The paper compares an IPU MK2 against an A100 running TensorRT. We model
+//! the GPU with the roofline methodology the paper itself uses for its HBM
+//! emulation (§6.8, citing Williams et al.): per-operator time is the
+//! maximum of a compute bound and a memory bound, plus a launch overhead.
+//! Working sets that fit in the 40 MB L2 are charged at L2 bandwidth, which
+//! captures TensorRT's warm-cache behaviour for small operators.
+
+use serde::{Deserialize, Serialize};
+use t10_ir::{Graph, Operator, ValueKind};
+
+/// Datasheet-level GPU description (Table 3 for the A100).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    /// Device name.
+    pub name: String,
+    /// Peak FP16 tensor-core FLOPS.
+    pub peak_flops: f64,
+    /// HBM bandwidth, bytes/second.
+    pub hbm_bw: f64,
+    /// L2 ("global cache") capacity in bytes.
+    pub l2_bytes: usize,
+    /// L2 bandwidth, bytes/second.
+    pub l2_bw: f64,
+    /// Per-kernel launch overhead in seconds.
+    pub launch_overhead: f64,
+    /// Sustained fraction of peak FLOPS achieved by tuned kernels.
+    pub compute_efficiency: f64,
+}
+
+impl GpuSpec {
+    /// The A100 (40 GB SXM) of the paper's Table 3.
+    pub fn a100() -> Self {
+        Self {
+            name: "A100".to_string(),
+            peak_flops: 312e12,
+            hbm_bw: 1.94e12,
+            l2_bytes: 40 * 1024 * 1024,
+            l2_bw: 4.5e12,
+            launch_overhead: 4.0e-6,
+            compute_efficiency: 0.72,
+        }
+    }
+
+    /// Roofline time of one operator, in seconds.
+    ///
+    /// `graph` supplies value roles: weights stream from HBM unless the
+    /// whole working set fits in L2; activations are assumed L2/HBM resident
+    /// according to the same working-set test.
+    pub fn op_time(&self, graph: &Graph, op: &Operator) -> f64 {
+        let mut bytes = graph.value(op.output).bytes();
+        for &v in &op.inputs {
+            bytes += graph.value(v).bytes();
+        }
+        let mem_time = if bytes <= self.l2_bytes {
+            bytes as f64 / self.l2_bw
+        } else {
+            bytes as f64 / self.hbm_bw
+        };
+        let compute_time = op.flops() as f64 / (self.peak_flops * self.compute_efficiency);
+        self.launch_overhead + compute_time.max(mem_time)
+    }
+
+    /// Roofline time of a whole graph (sum of per-operator times).
+    pub fn graph_time(&self, graph: &Graph) -> f64 {
+        graph
+            .nodes()
+            .iter()
+            .map(|n| self.op_time(graph, &n.op))
+            .sum()
+    }
+
+    /// Bytes of persistent weights read by one operator.
+    pub fn op_weight_bytes(&self, graph: &Graph, op: &Operator) -> usize {
+        op.inputs
+            .iter()
+            .filter(|&&v| graph.value(v).kind == ValueKind::Weight)
+            .map(|&v| graph.value(v).bytes())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t10_ir::{builders, DType, Graph, ValueKind};
+
+    fn fc_graph(m: usize, k: usize, n: usize) -> Graph {
+        let mut g = Graph::new("fc");
+        let a = g.add_value("a", vec![m, k], DType::F16, ValueKind::Input);
+        let w = g.add_value("w", vec![k, n], DType::F16, ValueKind::Weight);
+        let c = g.add_value("c", vec![m, n], DType::F16, ValueKind::Output);
+        g.add_node("fc", builders::matmul(a, w, c, m, k, n).unwrap())
+            .unwrap();
+        g
+    }
+
+    #[test]
+    fn small_batch_is_memory_bound() {
+        let spec = GpuSpec::a100();
+        // One decode-style row against a large weight: memory dominates.
+        let g = fc_graph(1, 8192, 8192);
+        let op = &g.nodes()[0].op;
+        let t = spec.op_time(&g, op);
+        let weight_bytes = 2.0 * 8192.0 * 8192.0;
+        let mem = weight_bytes / spec.hbm_bw;
+        assert!(t > mem, "t={t}, mem bound={mem}");
+        let compute = op.flops() as f64 / (spec.peak_flops * spec.compute_efficiency);
+        assert!(mem > 10.0 * compute);
+    }
+
+    #[test]
+    fn large_batch_is_compute_bound() {
+        let spec = GpuSpec::a100();
+        let g = fc_graph(8192, 8192, 8192);
+        let op = &g.nodes()[0].op;
+        let t = spec.op_time(&g, op);
+        let compute = op.flops() as f64 / (spec.peak_flops * spec.compute_efficiency);
+        assert!(t >= compute);
+        let mem = (3.0 * 2.0 * 8192.0 * 8192.0) / spec.hbm_bw;
+        assert!(compute > mem);
+    }
+
+    #[test]
+    fn tiny_op_hits_l2() {
+        let spec = GpuSpec::a100();
+        let g = fc_graph(64, 64, 64);
+        let t = spec.op_time(&g, &g.nodes()[0].op);
+        // Launch overhead dominates a tiny op.
+        assert!(t < 1.2 * spec.launch_overhead + 1e-6);
+    }
+
+    #[test]
+    fn graph_time_sums_ops() {
+        let spec = GpuSpec::a100();
+        let g = fc_graph(256, 256, 256);
+        assert!((spec.graph_time(&g) - spec.op_time(&g, &g.nodes()[0].op)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weight_bytes_counts_weights_only() {
+        let spec = GpuSpec::a100();
+        let g = fc_graph(4, 8, 16);
+        assert_eq!(spec.op_weight_bytes(&g, &g.nodes()[0].op), 8 * 16 * 2);
+    }
+}

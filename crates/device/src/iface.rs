@@ -1,0 +1,73 @@
+//! The abstracted device interface of paper §4.4.
+//!
+//! T10 is "designed to be extensible for general distributed on-chip
+//! memory-based accelerators" through three primitives: `allocate` (a
+//! compile-time memory interface), `compute` (a per-core code-generation
+//! interface), and `shift` (a runtime communication primitive). Compilers in
+//! this workspace target the trait; `t10-sim` provides the implementation.
+
+use crate::program::{BufferDecl, BufferId, ExchangeSummary, ShiftOp, VertexTask};
+
+/// Error type for device operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceError {
+    message: String,
+}
+
+impl DeviceError {
+    /// Creates a new error.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+
+    /// The error message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl std::fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "device error: {}", self.message)
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+/// The three-primitive device abstraction (paper §4.4).
+pub trait DeviceInterface {
+    /// Allocates a buffer in a core's scratchpad (compile-time interface).
+    ///
+    /// Fails if the core's memory capacity would be exceeded.
+    fn allocate(&mut self, decl: BufferDecl) -> Result<BufferId, DeviceError>;
+
+    /// Frees a buffer (tensor liveness reuse, §4.4).
+    fn free(&mut self, id: BufferId) -> Result<(), DeviceError>;
+
+    /// Runs one homogeneous compute set; returns the phase time in seconds.
+    fn compute(&mut self, tasks: &[VertexTask]) -> Result<f64, DeviceError>;
+
+    /// Runs one exchange phase; returns the phase time in seconds.
+    ///
+    /// `summary` lets timing-only callers price an exchange without
+    /// materializing the individual shifts.
+    fn shift(
+        &mut self,
+        shifts: &[ShiftOp],
+        summary: Option<&ExchangeSummary>,
+    ) -> Result<f64, DeviceError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = DeviceError::new("core 3 out of memory");
+        assert_eq!(e.to_string(), "device error: core 3 out of memory");
+        assert_eq!(e.message(), "core 3 out of memory");
+    }
+}

@@ -1,0 +1,31 @@
+//! Hardware models for the T10 compiler.
+//!
+//! T10 abstracts an inter-core connected AI chip as "multiple cores, each
+//! equipped with dedicated local memory and interconnected via a high-speed
+//! on-chip network" (paper §4.4). This crate provides:
+//!
+//! * [`spec::ChipSpec`] — datasheet-level chip descriptions (Graphcore IPU
+//!   MK2, core-scaled variants, multi-chip V-IPU boards);
+//! * [`truth`] — the *ground-truth* vertex timing function used in place of
+//!   profiling a physical core (our hardware-gate substitution: the paper
+//!   profiles sub-tasks on a real IPU core; we evaluate the same sub-tasks
+//!   against a deterministic, mildly nonlinear hardware model);
+//! * [`program`] — the abstract compute-shift program a compiler emits and a
+//!   simulator executes: supersteps of homogeneous vertex tasks and shifts,
+//!   following the `allocate` / `compute` / `shift` interface of §4.4;
+//! * [`iface::DeviceInterface`] — the three-primitive device trait;
+//! * [`gpu`] — an A100 roofline executor for the §6.6/§6.7 comparisons.
+
+pub mod gpu;
+pub mod iface;
+pub mod program;
+pub mod spec;
+pub mod truth;
+
+pub use gpu::GpuSpec;
+pub use iface::DeviceInterface;
+pub use program::{
+    BufferDecl, BufferId, ComputeSummary, ExchangeSummary, Program, ShiftOp, SubTaskDesc,
+    Superstep, VertexTask,
+};
+pub use spec::ChipSpec;

@@ -1,0 +1,328 @@
+//! Abstract device programs: what a compiler emits and a simulator runs.
+//!
+//! T10 lowers an execution plan to interleaved *compute* and *shift* stages
+//! (paper §4.4, Figure 11): each superstep runs one homogeneous `ComputeSet`
+//! (one vertex per core) and then a set of inter-core shifts. This module is
+//! the machine-independent representation of such programs.
+//!
+//! Programs carry two levels of detail:
+//!
+//! * **summaries** ([`ComputeSummary`], [`ExchangeSummary`]) — enough to
+//!   price a superstep on the timing model; always present; and
+//! * **explicit tasks** ([`VertexTask`] with a functional payload,
+//!   [`ShiftOp`]) — enough to actually move f32 data and verify numerics,
+//!   emitted by the functional lowering used in tests.
+
+use serde::{Deserialize, Serialize};
+use t10_ir::{OpKind, Operator};
+
+/// Identifier of a per-core buffer within a [`Program`].
+pub type BufferId = usize;
+
+/// Shape-level description of one sub-task, the input to cost models and the
+/// ground-truth timing function.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SubTaskDesc {
+    /// Operator family (cost models are fit per family, §4.3.1).
+    pub kind: OpKind,
+    /// Output elements produced by the sub-task.
+    pub out_elems: u64,
+    /// Reduction length folded into each output element (1 if none).
+    pub red_elems: u64,
+    /// Sliding-window size for conv/pool kernels (`kh*kw`), 1 otherwise.
+    pub window: u64,
+    /// Bytes of input operands read.
+    pub in_bytes: u64,
+    /// Bytes of output written.
+    pub out_bytes: u64,
+}
+
+impl SubTaskDesc {
+    /// Multiply-accumulate count of the sub-task.
+    pub fn macs(&self) -> u64 {
+        self.out_elems * self.red_elems
+    }
+
+    /// FLOP count (2 per MAC for contraction kinds, 1 otherwise).
+    pub fn flops(&self) -> u64 {
+        match self.kind {
+            OpKind::MatMul | OpKind::Conv2d => 2 * self.macs(),
+            _ => self.macs(),
+        }
+    }
+}
+
+/// Global coordinates covered by a buffer, per dimension, in storage order.
+///
+/// Rotating partitions keep their coordinate lists in FIFO order: a shift
+/// retires coordinates from the front and appends newly received ones at the
+/// back, so the list order always mirrors physical storage order.
+pub type Coords = Vec<Vec<usize>>;
+
+/// A per-core buffer declaration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BufferDecl {
+    /// Core that owns the buffer.
+    pub core: usize,
+    /// Debug label.
+    pub label: String,
+    /// Bytes occupied in the core's scratchpad.
+    pub bytes: usize,
+    /// Global coordinates covered, per dimension (functional programs).
+    /// Empty for timing-only programs.
+    pub coords: Coords,
+    /// Initial element value (the reduction identity for output buffers:
+    /// 0 for sum, -inf for max).
+    pub init: f32,
+}
+
+impl BufferDecl {
+    /// Elements held (product of per-dimension coordinate counts).
+    pub fn elements(&self) -> usize {
+        self.coords.iter().map(Vec::len).product()
+    }
+}
+
+/// Functional payload of a vertex: which axis sub-ranges to iterate and
+/// which buffers to touch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FuncTask {
+    /// Index into [`Program::ops`].
+    pub op: usize,
+    /// Per-axis global iteration coordinates of the sub-task. Explicit
+    /// lists rather than ranges because rotating windows wrap around their
+    /// ring extent (e.g. a window `{10, 11, 0, 1}` mid-rotation).
+    pub axis_coords: Vec<Vec<usize>>,
+    /// Input buffers, one per operator input slot.
+    pub inputs: Vec<BufferId>,
+    /// Output buffer (accumulated in place across steps).
+    pub output: BufferId,
+    /// When true the vertex applies the operator's unary epilogue to its
+    /// whole output buffer instead of iterating `axis_coords`. Lowering
+    /// emits one epilogue vertex after all accumulation has finished.
+    pub apply_unary: bool,
+}
+
+/// One vertex (per-core compute task) of a superstep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VertexTask {
+    /// Core running the vertex.
+    pub core: usize,
+    /// Shape description used for timing.
+    pub desc: SubTaskDesc,
+    /// Functional payload; `None` in timing-only programs.
+    pub func: Option<FuncTask>,
+}
+
+/// How a shift moves data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShiftKind {
+    /// Rotate `count` coordinate slices along `dim` from the front of the
+    /// source into the back of the destination (the compute-shift rotation,
+    /// rotating pace `rp = count`).
+    RotateSlices {
+        /// Buffer dimension being rotated.
+        dim: usize,
+        /// Number of coordinate slices moved (the rotating pace).
+        count: usize,
+    },
+    /// Replace the destination's entire contents and coordinates (layout
+    /// setup and inter-operator transitions).
+    Copy,
+    /// Merge the source into a destination covering the same coordinates,
+    /// element-wise, using the given reduction (cross-core reduction of
+    /// partial outputs when a reduction axis is spatially partitioned).
+    Accumulate {
+        /// Reduction used to merge elements.
+        reduce: t10_ir::Reduce,
+    },
+}
+
+/// One inter-core data movement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShiftOp {
+    /// Source buffer.
+    pub src: BufferId,
+    /// Destination buffer (on the receiving core).
+    pub dst: BufferId,
+    /// Movement semantics.
+    pub kind: ShiftKind,
+}
+
+/// Timing summary of a homogeneous compute phase.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComputeSummary {
+    /// Representative per-core sub-task.
+    pub desc: SubTaskDesc,
+    /// Number of cores running the vertex this step.
+    pub active_cores: usize,
+}
+
+/// Timing summary of an exchange phase.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ExchangeSummary {
+    /// Total bytes moved between cores.
+    pub total_bytes: u64,
+    /// Largest egress at any single core (serialization bound).
+    pub max_core_out: u64,
+    /// Largest ingress at any single core (serialization bound).
+    pub max_core_in: u64,
+    /// Bytes crossing a chip boundary (V-IPU IPU-Link traffic).
+    pub cross_chip_bytes: u64,
+    /// Bytes streamed from off-chip memory this step (HBM prefetch).
+    pub offchip_bytes: u64,
+    /// Number of cores participating in the exchange.
+    pub active_cores: usize,
+    /// Distinct peer transfers the busiest core performs this phase. Bulk
+    /// neighbour shifts need one message; VGM tile gathers contact every
+    /// shard owner separately ("a core must fetch each piece from a
+    /// different core", paper §2.2).
+    #[serde(default)]
+    pub max_core_messages: u64,
+}
+
+/// Which schedule phase a superstep belongs to, for latency attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Phase {
+    /// Steady-state compute-shift execution of an operator.
+    Execute,
+    /// Idle-to-active plan setup (paper §4.3.2, Figure 9).
+    Setup,
+    /// Inter-operator layout transition (all-to-all, §5).
+    Transition,
+    /// Off-chip prefetch of operator data (§6.8).
+    Prefetch,
+}
+
+/// One BSP superstep: a compute phase followed by an exchange phase.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Superstep {
+    /// Explicit per-core vertices (functional programs; may be empty).
+    pub compute: Vec<VertexTask>,
+    /// Homogeneous compute summary (timing programs; preferred if present).
+    pub compute_summary: Option<ComputeSummary>,
+    /// Explicit shifts (functional programs; may be empty).
+    pub exchange: Vec<ShiftOp>,
+    /// Exchange summary (timing programs; preferred if present).
+    pub exchange_summary: Option<ExchangeSummary>,
+    /// Graph node this step belongs to, if any.
+    pub node: Option<usize>,
+    /// Schedule phase for attribution.
+    pub phase: Phase,
+}
+
+impl Superstep {
+    /// An empty superstep attached to a node and phase.
+    pub fn new(node: Option<usize>, phase: Phase) -> Self {
+        Self {
+            compute: Vec::new(),
+            compute_summary: None,
+            exchange: Vec::new(),
+            exchange_summary: None,
+            node,
+            phase,
+        }
+    }
+}
+
+/// A complete device program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Program {
+    /// Operator table referenced by functional tasks.
+    pub ops: Vec<Operator>,
+    /// Buffer declarations.
+    pub buffers: Vec<BufferDecl>,
+    /// Supersteps in execution order.
+    pub steps: Vec<Superstep>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an operator, returning its table index.
+    pub fn add_op(&mut self, op: Operator) -> usize {
+        self.ops.push(op);
+        self.ops.len() - 1
+    }
+
+    /// Declares a buffer, returning its id.
+    pub fn add_buffer(&mut self, decl: BufferDecl) -> BufferId {
+        self.buffers.push(decl);
+        self.buffers.len() - 1
+    }
+
+    /// Peak scratchpad bytes used on any single core, from declarations.
+    pub fn peak_core_bytes(&self, num_cores: usize) -> usize {
+        let mut per_core = vec![0usize; num_cores];
+        for b in &self.buffers {
+            per_core[b.core] += b.bytes;
+        }
+        per_core.into_iter().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subtask_flops() {
+        let d = SubTaskDesc {
+            kind: OpKind::MatMul,
+            out_elems: 8,
+            red_elems: 4,
+            window: 1,
+            in_bytes: 0,
+            out_bytes: 0,
+        };
+        assert_eq!(d.macs(), 32);
+        assert_eq!(d.flops(), 64);
+        let e = SubTaskDesc {
+            kind: OpKind::Elementwise,
+            ..d
+        };
+        assert_eq!(e.flops(), 32);
+    }
+
+    #[test]
+    fn buffer_elements() {
+        let b = BufferDecl {
+            core: 0,
+            label: "a".into(),
+            bytes: 24,
+            coords: vec![vec![0, 1, 2], vec![4, 5]],
+            init: 0.0,
+        };
+        assert_eq!(b.elements(), 6);
+    }
+
+    #[test]
+    fn peak_core_bytes_sums_per_core() {
+        let mut p = Program::new();
+        p.add_buffer(BufferDecl {
+            core: 0,
+            label: "x".into(),
+            bytes: 100,
+            coords: vec![],
+            init: 0.0,
+        });
+        p.add_buffer(BufferDecl {
+            core: 0,
+            label: "y".into(),
+            bytes: 50,
+            coords: vec![],
+            init: 0.0,
+        });
+        p.add_buffer(BufferDecl {
+            core: 1,
+            label: "z".into(),
+            bytes: 120,
+            coords: vec![],
+            init: 0.0,
+        });
+        assert_eq!(p.peak_core_bytes(2), 150);
+    }
+}

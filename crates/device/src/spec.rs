@@ -1,0 +1,172 @@
+//! Chip specifications.
+//!
+//! Numbers for the Graphcore IPU MK2 come from the paper (Table 3, §2.1):
+//! 1,472 cores, 624 KB scratchpad per core, 5.5 GB/s per-core inter-core
+//! bandwidth (≈ 8 TB/s all-to-all aggregate), 250 TFLOPS FP16, 8 GB/s
+//! off-chip bandwidth, and an 8 KB default shift buffer (§5). V-IPU boards
+//! (§6.5) expose 2 or 4 chips as one device with 160 GB/s inter-chip
+//! IPU-Link bandwidth.
+
+use serde::{Deserialize, Serialize};
+
+/// Datasheet-level description of an inter-core connected chip.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChipSpec {
+    /// Human-readable device name.
+    pub name: String,
+    /// Total cores exposed to the compiler.
+    pub num_cores: usize,
+    /// Cores per physical chip (== `num_cores` for a single chip).
+    pub cores_per_chip: usize,
+    /// Local scratchpad bytes per core.
+    pub sram_per_core: usize,
+    /// Per-core inter-core link bandwidth, bytes/second.
+    pub link_bw: f64,
+    /// Aggregate inter-chip bandwidth per chip boundary, bytes/second
+    /// (relevant only when `num_cores > cores_per_chip`).
+    pub interchip_bw: f64,
+    /// BSP superstep synchronization latency, seconds.
+    pub sync_latency: f64,
+    /// Peak FP16 FLOPS of one core (AMP engaged).
+    pub flops_per_core: f64,
+    /// Local scratchpad bandwidth of one core, bytes/second.
+    pub local_mem_bw: f64,
+    /// Fixed per-vertex launch overhead, seconds.
+    pub vertex_overhead: f64,
+    /// Off-chip (host/DRAM or emulated HBM) bandwidth, bytes/second.
+    pub offchip_bw: f64,
+    /// AMP output-tile quantum: output elements are processed in blocks of
+    /// this size.
+    pub amp_out: usize,
+    /// AMP reduction quantum: reduction length is processed in blocks of
+    /// this size.
+    pub amp_red: usize,
+    /// Per-core temporary buffer reserved for the pseudo-shift mechanism
+    /// (paper §5; 8 KB by default).
+    pub shift_buffer: usize,
+    /// Per-message exchange overhead, seconds: each distinct peer transfer
+    /// a core performs in one exchange phase pays this setup cost.
+    pub exchange_msg_overhead: f64,
+}
+
+impl ChipSpec {
+    /// The Graphcore IPU MK2 used throughout the paper's evaluation.
+    pub fn ipu_mk2() -> Self {
+        Self {
+            name: "IPU-MK2".to_string(),
+            num_cores: 1472,
+            cores_per_chip: 1472,
+            sram_per_core: 624 * 1024,
+            link_bw: 5.5e9,
+            interchip_bw: 160e9,
+            // On-chip BSP synchronization is sub-microsecond on the IPU.
+            sync_latency: 0.5e-6,
+            // 250 TFLOPS FP16 spread over 1,472 cores.
+            flops_per_core: 250e12 / 1472.0,
+            local_mem_bw: 32e9,
+            vertex_overhead: 3.0e-7,
+            offchip_bw: 8e9,
+            amp_out: 64,
+            amp_red: 16,
+            shift_buffer: 8 * 1024,
+            exchange_msg_overhead: 0.15e-6,
+        }
+    }
+
+    /// An MK2 restricted to `cores` cores (paper §6.5 emulates smaller chips
+    /// "by restricting the number of cores in our compiler").
+    pub fn ipu_with_cores(cores: usize) -> Self {
+        let mut s = Self::ipu_mk2();
+        s.name = format!("IPU-{cores}c");
+        s.num_cores = cores;
+        s.cores_per_chip = cores.min(1472);
+        s
+    }
+
+    /// A V-IPU board exposing `chips` MK2 chips as one device (§6.5).
+    ///
+    /// Inter-core links that cross a chip boundary share the 160 GB/s
+    /// IPU-Link, which is what caps effective bandwidth at scale.
+    pub fn vipu(chips: usize) -> Self {
+        let mut s = Self::ipu_mk2();
+        s.name = format!("V-IPU-{chips}x");
+        s.num_cores = 1472 * chips;
+        s.cores_per_chip = 1472;
+        s
+    }
+
+    /// The same chip with a different off-chip bandwidth (the §6.8 emulated
+    /// HBM experiments sweep this).
+    pub fn with_offchip_bw(mut self, bw: f64) -> Self {
+        self.offchip_bw = bw;
+        self
+    }
+
+    /// Number of physical chips in the device.
+    pub fn num_chips(&self) -> usize {
+        self.num_cores.div_ceil(self.cores_per_chip)
+    }
+
+    /// Chip index that owns a core.
+    pub fn chip_of(&self, core: usize) -> usize {
+        core / self.cores_per_chip
+    }
+
+    /// Total on-chip memory across all cores.
+    pub fn total_sram(&self) -> usize {
+        self.num_cores * self.sram_per_core
+    }
+
+    /// Aggregate all-to-all inter-core bandwidth (the 8 TB/s headline).
+    pub fn aggregate_bw(&self) -> f64 {
+        self.num_cores as f64 * self.link_bw
+    }
+
+    /// Peak chip FLOPS.
+    pub fn peak_flops(&self) -> f64 {
+        self.num_cores as f64 * self.flops_per_core
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mk2_matches_paper_table3() {
+        let s = ChipSpec::ipu_mk2();
+        assert_eq!(s.num_cores, 1472);
+        assert_eq!(s.sram_per_core, 624 * 1024);
+        // 896 MB total on-chip memory (Table 3 / §2.1).
+        let mb = s.total_sram() as f64 / (1024.0 * 1024.0);
+        assert!((mb - 897.0).abs() < 2.0, "total sram = {mb} MB");
+        // ≈ 8 TB/s aggregate inter-core bandwidth (§2.1).
+        assert!((s.aggregate_bw() - 8.096e12).abs() < 1e10);
+        // ≈ 250 TFLOPS peak.
+        assert!((s.peak_flops() - 250e12).abs() < 1e9);
+    }
+
+    #[test]
+    fn vipu_scales_cores_not_chip_size() {
+        let s = ChipSpec::vipu(4);
+        assert_eq!(s.num_cores, 5888);
+        assert_eq!(s.cores_per_chip, 1472);
+        assert_eq!(s.num_chips(), 4);
+        assert_eq!(s.chip_of(0), 0);
+        assert_eq!(s.chip_of(1472), 1);
+        assert_eq!(s.chip_of(5887), 3);
+    }
+
+    #[test]
+    fn restricted_core_count() {
+        let s = ChipSpec::ipu_with_cores(368);
+        assert_eq!(s.num_cores, 368);
+        assert_eq!(s.num_chips(), 1);
+    }
+
+    #[test]
+    fn offchip_override() {
+        let s = ChipSpec::ipu_mk2().with_offchip_bw(450e9);
+        assert_eq!(s.offchip_bw, 450e9);
+    }
+}

@@ -1,0 +1,472 @@
+//! Convenience constructors for common DNN operators.
+//!
+//! Every builder returns a fully-validated [`Operator`] whose tensor
+//! expression follows the canonical form of paper §4.2. Shapes passed here
+//! are the *logical* operator shapes; [`crate::Graph::add_node`] re-checks
+//! them against the connected graph values.
+
+use crate::expr::{Axis, IndexExpr, TensorExpr};
+use crate::graph::ValueId;
+use crate::op::{Combine, OpKind, Operator, Reduce, Unary};
+use crate::{ir_err, Result};
+
+/// `C[m,n] += A[m,k] * B[k,n]` — dense matrix multiplication.
+pub fn matmul(a: ValueId, b: ValueId, c: ValueId, m: usize, k: usize, n: usize) -> Result<Operator> {
+    let expr = TensorExpr::new(
+        vec![
+            Axis::spatial("m", m),
+            Axis::reduction("k", k),
+            Axis::spatial("n", n),
+        ],
+        vec![
+            vec![IndexExpr::axis(0), IndexExpr::axis(1)],
+            vec![IndexExpr::axis(1), IndexExpr::axis(2)],
+        ],
+        vec![IndexExpr::axis(0), IndexExpr::axis(2)],
+    )?;
+    Ok(Operator {
+        kind: OpKind::MatMul,
+        expr,
+        combine: Combine::Mul,
+        reduce: Reduce::Sum,
+        unary: None,
+        inputs: vec![a, b],
+        output: c,
+    })
+}
+
+/// `C[b,m,n] += A[b,m,k] * B[b,k,n]` — batched matrix multiplication
+/// (attention scores/values).
+pub fn batched_matmul(
+    a: ValueId,
+    b: ValueId,
+    c: ValueId,
+    batch: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+) -> Result<Operator> {
+    let expr = TensorExpr::new(
+        vec![
+            Axis::spatial("b", batch),
+            Axis::spatial("m", m),
+            Axis::reduction("k", k),
+            Axis::spatial("n", n),
+        ],
+        vec![
+            vec![IndexExpr::axis(0), IndexExpr::axis(1), IndexExpr::axis(2)],
+            vec![IndexExpr::axis(0), IndexExpr::axis(2), IndexExpr::axis(3)],
+        ],
+        vec![IndexExpr::axis(0), IndexExpr::axis(1), IndexExpr::axis(3)],
+    )?;
+    Ok(Operator {
+        kind: OpKind::MatMul,
+        expr,
+        combine: Combine::Mul,
+        reduce: Reduce::Sum,
+        unary: None,
+        inputs: vec![a, b],
+        output: c,
+    })
+}
+
+/// Configuration of a [`conv2d`] operator.
+#[derive(Debug, Clone, Copy)]
+pub struct Conv2dCfg {
+    /// Batch size.
+    pub batch: usize,
+    /// Input channels.
+    pub c_in: usize,
+    /// Output channels.
+    pub c_out: usize,
+    /// Output height.
+    pub h_out: usize,
+    /// Output width.
+    pub w_out: usize,
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Convolution stride (same in both spatial dims).
+    pub stride: usize,
+}
+
+impl Conv2dCfg {
+    /// Input spatial extent implied along the height dimension.
+    pub fn h_in(&self) -> usize {
+        self.stride * (self.h_out - 1) + self.kh
+    }
+
+    /// Input spatial extent implied along the width dimension.
+    pub fn w_in(&self) -> usize {
+        self.stride * (self.w_out - 1) + self.kw
+    }
+}
+
+/// `O[b,f,h,w] += I[b,c,s*h+kh,s*w+kw] * K[f,c,kh,kw]` — 2-D convolution
+/// with compound axes (paper §5, Equation 2).
+///
+/// The builder models "valid" convolution over a pre-padded input: callers
+/// that need "same" semantics size the input value accordingly.
+pub fn conv2d(input: ValueId, kernel: ValueId, out: ValueId, cfg: Conv2dCfg) -> Result<Operator> {
+    if cfg.stride == 0 {
+        return Err(ir_err!("conv2d stride must be positive"));
+    }
+    // Axis ids: b=0, f=1, h=2, w=3, c=4, kh=5, kw=6.
+    let expr = TensorExpr::new(
+        vec![
+            Axis::spatial("b", cfg.batch),
+            Axis::spatial("f", cfg.c_out),
+            Axis::spatial("h", cfg.h_out),
+            Axis::spatial("w", cfg.w_out),
+            Axis::reduction("c", cfg.c_in),
+            Axis::reduction("kh", cfg.kh),
+            Axis::reduction("kw", cfg.kw),
+        ],
+        vec![
+            vec![
+                IndexExpr::axis(0),
+                IndexExpr::axis(4),
+                IndexExpr::affine(vec![(2, cfg.stride), (5, 1)]),
+                IndexExpr::affine(vec![(3, cfg.stride), (6, 1)]),
+            ],
+            vec![
+                IndexExpr::axis(1),
+                IndexExpr::axis(4),
+                IndexExpr::axis(5),
+                IndexExpr::axis(6),
+            ],
+        ],
+        vec![
+            IndexExpr::axis(0),
+            IndexExpr::axis(1),
+            IndexExpr::axis(2),
+            IndexExpr::axis(3),
+        ],
+    )?;
+    Ok(Operator {
+        kind: OpKind::Conv2d,
+        expr,
+        combine: Combine::Mul,
+        reduce: Reduce::Sum,
+        unary: None,
+        inputs: vec![input, kernel],
+        output: out,
+    })
+}
+
+/// Element-wise binary operator over same-shaped tensors.
+pub fn binary(
+    a: ValueId,
+    b: ValueId,
+    out: ValueId,
+    shape: Vec<usize>,
+    combine: Combine,
+) -> Result<Operator> {
+    if combine == Combine::First {
+        return Err(ir_err!("binary() requires a two-input combine"));
+    }
+    let (axes, dims) = elementwise_axes(&shape);
+    let expr = TensorExpr::new(axes, vec![dims.clone(), dims.clone()], dims)?;
+    Ok(Operator {
+        kind: OpKind::Elementwise,
+        expr,
+        combine,
+        reduce: Reduce::Sum,
+        unary: None,
+        inputs: vec![a, b],
+        output: out,
+    })
+}
+
+/// Element-wise binary operator whose second input broadcasts along the
+/// leading dimensions (bias add: `C[m,n] = A[m,n] + B[n]`).
+pub fn binary_broadcast(
+    a: ValueId,
+    b: ValueId,
+    out: ValueId,
+    shape: Vec<usize>,
+    broadcast_dims: usize,
+    combine: Combine,
+) -> Result<Operator> {
+    if broadcast_dims == 0 || broadcast_dims >= shape.len() {
+        return Err(ir_err!(
+            "broadcast_dims must be in 1..rank ({})",
+            shape.len()
+        ));
+    }
+    let (axes, dims) = elementwise_axes(&shape);
+    let b_dims = dims[broadcast_dims..].to_vec();
+    let expr = TensorExpr::new(axes, vec![dims.clone(), b_dims], dims)?;
+    Ok(Operator {
+        kind: OpKind::Elementwise,
+        expr,
+        combine,
+        reduce: Reduce::Sum,
+        unary: None,
+        inputs: vec![a, b],
+        output: out,
+    })
+}
+
+/// Element-wise unary operator (activation functions, scaling).
+pub fn unary(a: ValueId, out: ValueId, shape: Vec<usize>, f: Unary) -> Result<Operator> {
+    let (axes, dims) = elementwise_axes(&shape);
+    let expr = TensorExpr::new(axes, vec![dims.clone()], dims)?;
+    Ok(Operator {
+        kind: OpKind::Elementwise,
+        expr,
+        combine: Combine::First,
+        reduce: Reduce::Sum,
+        unary: Some(f),
+        inputs: vec![a],
+        output: out,
+    })
+}
+
+/// Reduction of the trailing dimension: `O[m] = reduce_k A[m, k]`.
+///
+/// `scale` is applied after the reduction (set `1/k` for a mean).
+pub fn reduce_last(
+    a: ValueId,
+    out: ValueId,
+    keep: Vec<usize>,
+    k: usize,
+    reduce: Reduce,
+    scale: Option<f32>,
+) -> Result<Operator> {
+    let mut axes: Vec<Axis> = keep
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| Axis::spatial(format!("d{i}"), s))
+        .collect();
+    axes.push(Axis::reduction("k", k));
+    let out_dims: Vec<IndexExpr> = (0..keep.len()).map(IndexExpr::axis).collect();
+    let mut in_dims = out_dims.clone();
+    in_dims.push(IndexExpr::axis(keep.len()));
+    let expr = TensorExpr::new(axes, vec![in_dims], out_dims)?;
+    Ok(Operator {
+        kind: OpKind::Reduce,
+        expr,
+        combine: Combine::First,
+        reduce,
+        unary: scale.map(Unary::Scale),
+        inputs: vec![a],
+        output: out,
+    })
+}
+
+/// 2-D max pooling: `O[b,c,h,w] = max_{kh,kw} I[b,c,s*h+kh,s*w+kw]`.
+pub fn max_pool2d(
+    input: ValueId,
+    out: ValueId,
+    batch: usize,
+    channels: usize,
+    h_out: usize,
+    w_out: usize,
+    window: usize,
+    stride: usize,
+) -> Result<Operator> {
+    if stride == 0 || window == 0 {
+        return Err(ir_err!("pool window and stride must be positive"));
+    }
+    // Axis ids: b=0, c=1, h=2, w=3, kh=4, kw=5.
+    let expr = TensorExpr::new(
+        vec![
+            Axis::spatial("b", batch),
+            Axis::spatial("c", channels),
+            Axis::spatial("h", h_out),
+            Axis::spatial("w", w_out),
+            Axis::reduction("kh", window),
+            Axis::reduction("kw", window),
+        ],
+        vec![vec![
+            IndexExpr::axis(0),
+            IndexExpr::axis(1),
+            IndexExpr::affine(vec![(2, stride), (4, 1)]),
+            IndexExpr::affine(vec![(3, stride), (5, 1)]),
+        ]],
+        vec![
+            IndexExpr::axis(0),
+            IndexExpr::axis(1),
+            IndexExpr::axis(2),
+            IndexExpr::axis(3),
+        ],
+    )?;
+    Ok(Operator {
+        kind: OpKind::Pool,
+        expr,
+        combine: Combine::First,
+        reduce: Reduce::Max,
+        unary: None,
+        inputs: vec![input],
+        output: out,
+    })
+}
+
+/// Spatial crop: `O[b,c,h,w] = I[b,c,h+oh,w+ow]`.
+///
+/// Used to align "valid"-convolution residual branches; the input tensor may
+/// be larger than the accessed window.
+#[expect(clippy::too_many_arguments)]
+pub fn crop2d(
+    input: ValueId,
+    out: ValueId,
+    batch: usize,
+    channels: usize,
+    h_out: usize,
+    w_out: usize,
+    h_off: usize,
+    w_off: usize,
+) -> Result<Operator> {
+    let expr = TensorExpr::new(
+        vec![
+            Axis::spatial("b", batch),
+            Axis::spatial("c", channels),
+            Axis::spatial("h", h_out),
+            Axis::spatial("w", w_out),
+        ],
+        vec![vec![
+            IndexExpr::axis(0),
+            IndexExpr::axis(1),
+            IndexExpr::axis(2).with_offset(h_off),
+            IndexExpr::axis(3).with_offset(w_off),
+        ]],
+        vec![
+            IndexExpr::axis(0),
+            IndexExpr::axis(1),
+            IndexExpr::axis(2),
+            IndexExpr::axis(3),
+        ],
+    )?;
+    Ok(Operator {
+        kind: OpKind::Elementwise,
+        expr,
+        combine: Combine::First,
+        reduce: Reduce::Sum,
+        unary: None,
+        inputs: vec![input],
+        output: out,
+    })
+}
+
+/// Embedding gather: `O[n, d] = T[I[n], d]` with a data-dependent table row.
+pub fn gather(
+    table: ValueId,
+    indices: ValueId,
+    out: ValueId,
+    vocab: usize,
+    n: usize,
+    d: usize,
+) -> Result<Operator> {
+    let expr = TensorExpr::new(
+        vec![Axis::spatial("n", n), Axis::spatial("d", d)],
+        vec![
+            vec![IndexExpr::indirect(vocab), IndexExpr::axis(1)],
+            vec![IndexExpr::axis(0)],
+        ],
+        vec![IndexExpr::axis(0), IndexExpr::axis(1)],
+    )?;
+    Ok(Operator {
+        kind: OpKind::Gather,
+        expr,
+        combine: Combine::First,
+        reduce: Reduce::Sum,
+        unary: None,
+        inputs: vec![table, indices],
+        output: out,
+    })
+}
+
+fn elementwise_axes(shape: &[usize]) -> (Vec<Axis>, Vec<IndexExpr>) {
+    let axes = shape
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| Axis::spatial(format!("d{i}"), s))
+        .collect();
+    let dims = (0..shape.len()).map(IndexExpr::axis).collect();
+    (axes, dims)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_builder_shapes() {
+        let op = matmul(0, 1, 2, 3, 4, 5).unwrap();
+        assert_eq!(op.expr.input_shape(0), vec![3, 4]);
+        assert_eq!(op.expr.input_shape(1), vec![4, 5]);
+        assert_eq!(op.expr.output_shape(), vec![3, 5]);
+        assert_eq!(op.flops(), 2 * 3 * 4 * 5);
+    }
+
+    #[test]
+    fn conv2d_builder_shapes() {
+        let cfg = Conv2dCfg {
+            batch: 2,
+            c_in: 3,
+            c_out: 8,
+            h_out: 16,
+            w_out: 16,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+        };
+        let op = conv2d(0, 1, 2, cfg).unwrap();
+        assert_eq!(op.expr.input_shape(0), vec![2, 3, 18, 18]);
+        assert_eq!(op.expr.input_shape(1), vec![8, 3, 3, 3]);
+        assert_eq!(op.expr.output_shape(), vec![2, 8, 16, 16]);
+    }
+
+    #[test]
+    fn strided_conv_input_extent() {
+        let cfg = Conv2dCfg {
+            batch: 1,
+            c_in: 3,
+            c_out: 64,
+            h_out: 112,
+            w_out: 112,
+            kh: 7,
+            kw: 7,
+            stride: 2,
+        };
+        assert_eq!(cfg.h_in(), 2 * 111 + 7);
+        let op = conv2d(0, 1, 2, cfg).unwrap();
+        assert_eq!(op.expr.input_shape(0)[2], 229);
+    }
+
+    #[test]
+    fn binary_broadcast_bias() {
+        let op = binary_broadcast(0, 1, 2, vec![8, 16], 1, Combine::Add).unwrap();
+        assert_eq!(op.expr.input_shape(0), vec![8, 16]);
+        assert_eq!(op.expr.input_shape(1), vec![16]);
+    }
+
+    #[test]
+    fn binary_rejects_first() {
+        assert!(binary(0, 1, 2, vec![4], Combine::First).is_err());
+    }
+
+    #[test]
+    fn reduce_last_shapes() {
+        let op = reduce_last(0, 1, vec![4, 8], 16, Reduce::Sum, Some(1.0 / 16.0)).unwrap();
+        assert_eq!(op.expr.input_shape(0), vec![4, 8, 16]);
+        assert_eq!(op.expr.output_shape(), vec![4, 8]);
+    }
+
+    #[test]
+    fn gather_has_indirect_access() {
+        let op = gather(0, 1, 2, 30_000, 128, 768).unwrap();
+        assert!(op.has_indirect_access());
+        assert_eq!(op.expr.input_shape(0), vec![30_000, 768]);
+        assert_eq!(op.expr.output_shape(), vec![128, 768]);
+    }
+
+    #[test]
+    fn pool_uses_max_reduce() {
+        let op = max_pool2d(0, 1, 1, 64, 56, 56, 2, 2).unwrap();
+        assert_eq!(op.reduce, Reduce::Max);
+        assert_eq!(op.expr.input_shape(0), vec![1, 64, 112, 112]);
+    }
+}

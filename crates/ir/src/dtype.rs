@@ -1,0 +1,67 @@
+//! Element data types supported by the IR.
+
+use serde::{Deserialize, Serialize};
+
+/// Element type of a tensor.
+///
+/// The evaluation in the paper uses FP16 on both the IPU and the A100
+/// (§6.6); FP32 and I32 are used by a few auxiliary tensors (e.g. gather
+/// indices).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DType {
+    /// 16-bit IEEE floating point.
+    F16,
+    /// 32-bit IEEE floating point.
+    F32,
+    /// 32-bit signed integer (gather indices, masks).
+    I32,
+}
+
+impl DType {
+    /// Size of one element in bytes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use t10_ir::DType;
+    /// assert_eq!(DType::F16.bytes(), 2);
+    /// assert_eq!(DType::F32.bytes(), 4);
+    /// ```
+    pub const fn bytes(self) -> usize {
+        match self {
+            DType::F16 => 2,
+            DType::F32 => 4,
+            DType::I32 => 4,
+        }
+    }
+}
+
+impl std::fmt::Display for DType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DType::F16 => "f16",
+            DType::F32 => "f32",
+            DType::I32 => "i32",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_sizes() {
+        assert_eq!(DType::F16.bytes(), 2);
+        assert_eq!(DType::F32.bytes(), 4);
+        assert_eq!(DType::I32.bytes(), 4);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(DType::F16.to_string(), "f16");
+        assert_eq!(DType::F32.to_string(), "f32");
+        assert_eq!(DType::I32.to_string(), "i32");
+    }
+}

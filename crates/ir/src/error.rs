@@ -1,0 +1,55 @@
+//! Error type shared by the IR crate.
+
+/// An error produced while constructing or evaluating IR objects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IrError {
+    message: String,
+}
+
+impl IrError {
+    /// Creates a new error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+
+    /// The human-readable error message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl std::fmt::Display for IrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ir error: {}", self.message)
+    }
+}
+
+impl std::error::Error for IrError {}
+
+/// Builds an [`IrError`] from format arguments, mirroring `format!`.
+#[macro_export]
+macro_rules! ir_err {
+    ($($arg:tt)*) => {
+        $crate::IrError::new(format!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_message() {
+        let e = IrError::new("bad axis");
+        assert_eq!(e.to_string(), "ir error: bad axis");
+        assert_eq!(e.message(), "bad axis");
+    }
+
+    #[test]
+    fn macro_formats() {
+        let e = ir_err!("axis {} too large", 3);
+        assert_eq!(e.message(), "axis 3 too large");
+    }
+}

@@ -1,0 +1,414 @@
+//! Tensor expressions: axes and affine index expressions.
+//!
+//! A tensor expression (paper §4.2, Equation 1) describes one operator. Every
+//! element of the output tensor is computed from input elements whose
+//! positions are *affine* functions of a shared set of named axes, e.g.
+//!
+//! ```text
+//! C[m, n]       += A[m, k]          * B[k, n]        (MatMul)
+//! O[b, f, h, w] += I[b, c, h + kh, w + kw] * K[f, c, kh, kw]   (Conv2d)
+//! ```
+//!
+//! The second example shows a *compound axis* (`h + kh`), which this module
+//! represents as an [`IndexExpr`] with two [`AxisTerm`]s.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{ir_err, Result};
+
+/// Identifier of an axis within one operator's [`TensorExpr`].
+pub type AxisId = usize;
+
+/// Whether an axis appears in the output (spatial) or is reduced away.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AxisKind {
+    /// The axis indexes the output tensor; iterations along it are
+    /// independent.
+    Spatial,
+    /// The axis is summed (or max-ed) away; iterations along it accumulate
+    /// into the same output element.
+    Reduction,
+}
+
+/// A named iteration axis of an operator.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Axis {
+    /// Human-readable name (`"m"`, `"k"`, `"kh"`, ...).
+    pub name: String,
+    /// Extent of the axis; iteration runs over `0..size`.
+    pub size: usize,
+    /// Spatial or reduction.
+    pub kind: AxisKind,
+}
+
+impl Axis {
+    /// Creates a spatial axis.
+    pub fn spatial(name: impl Into<String>, size: usize) -> Self {
+        Self {
+            name: name.into(),
+            size,
+            kind: AxisKind::Spatial,
+        }
+    }
+
+    /// Creates a reduction axis.
+    pub fn reduction(name: impl Into<String>, size: usize) -> Self {
+        Self {
+            name: name.into(),
+            size,
+            kind: AxisKind::Reduction,
+        }
+    }
+}
+
+/// One `stride * axis` term of an affine index expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AxisTerm {
+    /// The axis being referenced.
+    pub axis: AxisId,
+    /// Multiplier applied to the axis index (e.g. convolution stride).
+    pub stride: usize,
+}
+
+/// An affine index expression addressing one dimension of a tensor.
+///
+/// The value of the expression for a given axis assignment `idx` is
+/// `Σ term.stride * idx[term.axis]`. A dimension whose position depends on
+/// *data* rather than axes (e.g. the row dimension of an embedding-gather
+/// table) is marked *indirect* and carries its size explicitly.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct IndexExpr {
+    /// Affine terms; empty for indirect dimensions.
+    pub terms: Vec<AxisTerm>,
+    /// Constant offset added to the affine sum (crop/slice accesses).
+    #[serde(default)]
+    pub offset: usize,
+    /// `Some(extent)` when the dimension is data-dependent (gather).
+    pub indirect_size: Option<usize>,
+}
+
+impl IndexExpr {
+    /// A single-axis expression with stride 1 — the common case.
+    pub fn axis(axis: AxisId) -> Self {
+        Self {
+            terms: vec![AxisTerm { axis, stride: 1 }],
+            offset: 0,
+            indirect_size: None,
+        }
+    }
+
+    /// A compound expression `Σ stride_i * axis_i` (e.g. `2*h + kh`).
+    pub fn affine(terms: Vec<(AxisId, usize)>) -> Self {
+        Self {
+            terms: terms
+                .into_iter()
+                .map(|(axis, stride)| AxisTerm { axis, stride })
+                .collect(),
+            offset: 0,
+            indirect_size: None,
+        }
+    }
+
+    /// Adds a constant offset (e.g. `h + 2` for a crop).
+    pub fn with_offset(mut self, offset: usize) -> Self {
+        self.offset = offset;
+        self
+    }
+
+    /// A data-dependent dimension of the given extent (gather tables).
+    pub fn indirect(size: usize) -> Self {
+        Self {
+            terms: Vec::new(),
+            offset: 0,
+            indirect_size: Some(size),
+        }
+    }
+
+    /// Whether this dimension is data-dependent.
+    pub fn is_indirect(&self) -> bool {
+        self.indirect_size.is_some()
+    }
+
+    /// Whether this expression is exactly one axis with stride 1 and no
+    /// offset.
+    pub fn single_axis(&self) -> Option<AxisId> {
+        match (&self.terms[..], self.indirect_size, self.offset) {
+            ([t], None, 0) if t.stride == 1 => Some(t.axis),
+            _ => None,
+        }
+    }
+
+    /// Evaluates the expression for a concrete axis assignment.
+    ///
+    /// Indirect dimensions evaluate to 0; the executor resolves them from
+    /// index data separately.
+    pub fn eval(&self, idx: &[usize]) -> usize {
+        self.offset + self.terms.iter().map(|t| t.stride * idx[t.axis]).sum::<usize>()
+    }
+
+    /// Extent of the tensor dimension addressed by this expression: the
+    /// largest reachable index plus one.
+    ///
+    /// For affine expressions this is `offset + Σ stride*(size-1) + 1` (a
+    /// `h + kh` window yields `H + KH - 1`, the familiar "valid" convolution
+    /// input extent). A tensor may be larger than this along a dimension
+    /// when a crop reads only a sub-range.
+    pub fn dim_size(&self, axes: &[Axis]) -> usize {
+        if let Some(size) = self.indirect_size {
+            return size;
+        }
+        self.offset
+            + self
+                .terms
+                .iter()
+                .map(|t| t.stride * (axes[t.axis].size - 1))
+                .sum::<usize>()
+            + 1
+    }
+}
+
+/// The access-pattern half of an operator: axes plus per-tensor index
+/// expressions.
+///
+/// `inputs[i][d]` is the index expression for dimension `d` of input `i`;
+/// `output[d]` likewise for the output. How the accessed elements are
+/// *combined* (multiply-accumulate, max, ...) lives on
+/// [`crate::op::Operator`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TensorExpr {
+    /// Iteration axes of the operator.
+    pub axes: Vec<Axis>,
+    /// Per-input, per-dimension index expressions.
+    pub inputs: Vec<Vec<IndexExpr>>,
+    /// Per-dimension index expressions of the output.
+    pub output: Vec<IndexExpr>,
+}
+
+impl TensorExpr {
+    /// Creates and validates a tensor expression.
+    ///
+    /// Validation enforces the canonical form T10 relies on:
+    /// every output dimension is a single spatial axis with stride 1, every
+    /// spatial axis appears in exactly one output dimension, and all axis
+    /// references are in range.
+    pub fn new(
+        axes: Vec<Axis>,
+        inputs: Vec<Vec<IndexExpr>>,
+        output: Vec<IndexExpr>,
+    ) -> Result<Self> {
+        let expr = Self {
+            axes,
+            inputs,
+            output,
+        };
+        expr.validate()?;
+        Ok(expr)
+    }
+
+    fn validate(&self) -> Result<()> {
+        let n = self.axes.len();
+        for dims in self.inputs.iter().chain(std::iter::once(&self.output)) {
+            for e in dims {
+                for t in &e.terms {
+                    if t.axis >= n {
+                        return Err(ir_err!("axis id {} out of range ({} axes)", t.axis, n));
+                    }
+                    if t.stride == 0 {
+                        return Err(ir_err!("zero stride on axis {}", self.axes[t.axis].name));
+                    }
+                }
+            }
+        }
+        let mut seen = vec![false; n];
+        for (d, e) in self.output.iter().enumerate() {
+            // Output dims are a single stride-1 axis, optionally with a
+            // constant offset: `h + p` writes into the interior of a padded
+            // output whose border keeps the init value (zero padding).
+            let a = match (&e.terms[..], e.indirect_size) {
+                ([t], None) if t.stride == 1 => t.axis,
+                _ => {
+                    return Err(ir_err!(
+                        "output dim {d} must be a single stride-1 spatial axis"
+                    ))
+                }
+            };
+            if self.axes[a].kind != AxisKind::Spatial {
+                return Err(ir_err!(
+                    "output dim {d} uses reduction axis {}",
+                    self.axes[a].name
+                ));
+            }
+            if seen[a] {
+                return Err(ir_err!(
+                    "spatial axis {} appears in two output dims",
+                    self.axes[a].name
+                ));
+            }
+            seen[a] = true;
+        }
+        for (a, axis) in self.axes.iter().enumerate() {
+            if axis.kind == AxisKind::Spatial && !seen[a] {
+                return Err(ir_err!("spatial axis {} missing from output", axis.name));
+            }
+            if axis.size == 0 {
+                return Err(ir_err!("axis {} has zero size", axis.name));
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of input tensors.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Shape of input `slot` implied by the axes.
+    pub fn input_shape(&self, slot: usize) -> Vec<usize> {
+        self.inputs[slot]
+            .iter()
+            .map(|e| e.dim_size(&self.axes))
+            .collect()
+    }
+
+    /// Shape of the output implied by the axes.
+    pub fn output_shape(&self) -> Vec<usize> {
+        self.output
+            .iter()
+            .map(|e| e.dim_size(&self.axes))
+            .collect()
+    }
+
+    /// Axes that do **not** appear in any dimension of input `slot`.
+    ///
+    /// These are the axes along which the input's sub-tensors are *shared* by
+    /// multiple sub-operators (paper §4.1): the number of cores sharing a
+    /// sub-tensor is the product of the partition factors of these axes.
+    pub fn axes_missing_from_input(&self, slot: usize) -> Vec<AxisId> {
+        self.axes_missing(&self.inputs[slot])
+    }
+
+    /// Axes that do not appear in any output dimension (the reduction axes).
+    pub fn axes_missing_from_output(&self) -> Vec<AxisId> {
+        self.axes_missing(&self.output)
+    }
+
+    fn axes_missing(&self, dims: &[IndexExpr]) -> Vec<AxisId> {
+        let mut present = vec![false; self.axes.len()];
+        for e in dims {
+            for t in &e.terms {
+                present[t.axis] = true;
+            }
+        }
+        (0..self.axes.len()).filter(|&a| !present[a]).collect()
+    }
+
+    /// Total number of iteration points (product of axis sizes).
+    pub fn iteration_points(&self) -> u128 {
+        self.axes.iter().map(|a| a.size as u128).product()
+    }
+
+    /// Looks up an axis id by name.
+    pub fn axis_by_name(&self, name: &str) -> Option<AxisId> {
+        self.axes.iter().position(|a| a.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matmul(m: usize, k: usize, n: usize) -> TensorExpr {
+        TensorExpr::new(
+            vec![
+                Axis::spatial("m", m),
+                Axis::reduction("k", k),
+                Axis::spatial("n", n),
+            ],
+            vec![
+                vec![IndexExpr::axis(0), IndexExpr::axis(1)],
+                vec![IndexExpr::axis(1), IndexExpr::axis(2)],
+            ],
+            vec![IndexExpr::axis(0), IndexExpr::axis(2)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn matmul_shapes() {
+        let e = matmul(4, 5, 6);
+        assert_eq!(e.input_shape(0), vec![4, 5]);
+        assert_eq!(e.input_shape(1), vec![5, 6]);
+        assert_eq!(e.output_shape(), vec![4, 6]);
+    }
+
+    #[test]
+    fn matmul_missing_axes() {
+        let e = matmul(4, 5, 6);
+        assert_eq!(e.axes_missing_from_input(0), vec![2]); // A misses n
+        assert_eq!(e.axes_missing_from_input(1), vec![0]); // B misses m
+        assert_eq!(e.axes_missing_from_output(), vec![1]); // C misses k
+    }
+
+    #[test]
+    fn compound_axis_dim_size() {
+        // h + kh with H=8, KH=3 gives input extent 10.
+        let axes = vec![Axis::spatial("h", 8), Axis::reduction("kh", 3)];
+        let e = IndexExpr::affine(vec![(0, 1), (1, 1)]);
+        assert_eq!(e.dim_size(&axes), 10);
+        // Strided: 2*h + kh gives 2*7 + 2 + 1 = 17.
+        let e2 = IndexExpr::affine(vec![(0, 2), (1, 1)]);
+        assert_eq!(e2.dim_size(&axes), 17);
+    }
+
+    #[test]
+    fn indirect_dim() {
+        let e = IndexExpr::indirect(50_000);
+        assert!(e.is_indirect());
+        assert_eq!(e.dim_size(&[]), 50_000);
+        assert_eq!(e.single_axis(), None);
+    }
+
+    #[test]
+    fn eval_affine() {
+        let e = IndexExpr::affine(vec![(0, 2), (1, 1)]);
+        assert_eq!(e.eval(&[3, 4]), 10);
+    }
+
+    #[test]
+    fn rejects_reduction_axis_in_output() {
+        let r = TensorExpr::new(
+            vec![Axis::reduction("k", 4)],
+            vec![vec![IndexExpr::axis(0)]],
+            vec![IndexExpr::axis(0)],
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn rejects_missing_spatial_axis() {
+        let r = TensorExpr::new(
+            vec![Axis::spatial("m", 4), Axis::spatial("n", 4)],
+            vec![vec![IndexExpr::axis(0), IndexExpr::axis(1)]],
+            vec![IndexExpr::axis(0)],
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_axis() {
+        let r = TensorExpr::new(
+            vec![Axis::spatial("m", 4)],
+            vec![vec![IndexExpr::axis(3)]],
+            vec![IndexExpr::axis(0)],
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn axis_lookup() {
+        let e = matmul(2, 3, 4);
+        assert_eq!(e.axis_by_name("k"), Some(1));
+        assert_eq!(e.axis_by_name("zz"), None);
+        assert_eq!(e.iteration_points(), 24);
+    }
+}

@@ -1,0 +1,334 @@
+//! Operator graphs: the whole-model IR.
+//!
+//! A [`Graph`] owns a set of *values* (tensors: model inputs, weights,
+//! activations) and a set of *nodes* (operators). T10 parses a model into
+//! this form, optimizes every operator, and then schedules the whole graph
+//! (paper §4.3.2).
+
+use serde::{Deserialize, Serialize};
+
+use crate::op::Operator;
+use crate::{ir_err, DType, Result};
+
+/// Index of a value (tensor) within a [`Graph`].
+pub type ValueId = usize;
+
+/// Index of a node (operator) within a [`Graph`].
+pub type NodeId = usize;
+
+/// Role of a value in the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ValueKind {
+    /// Model input, transferred from off-chip memory.
+    Input,
+    /// Persistent parameter, resident on chip for the whole run.
+    Weight,
+    /// Intermediate activation produced and consumed on chip.
+    Activation,
+    /// Model output, transferred back off chip.
+    Output,
+}
+
+/// Metadata of one tensor in the graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ValueInfo {
+    /// Human-readable name.
+    pub name: String,
+    /// Dimension extents.
+    pub shape: Vec<usize>,
+    /// Element type.
+    pub dtype: DType,
+    /// Role in the model.
+    pub kind: ValueKind,
+}
+
+impl ValueInfo {
+    /// Number of elements.
+    pub fn elements(&self) -> usize {
+        self.shape.iter().product()
+    }
+
+    /// Size in bytes.
+    pub fn bytes(&self) -> usize {
+        self.elements() * self.dtype.bytes()
+    }
+}
+
+/// One operator instance in the graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// Human-readable name (layer name).
+    pub name: String,
+    /// The operator.
+    pub op: Operator,
+}
+
+/// A whole-model operator graph.
+///
+/// Nodes must be appended in topological order: every input of a node is
+/// either a graph input, a weight, or the output of an earlier node. This is
+/// validated on insertion.
+///
+/// # Examples
+///
+/// ```
+/// use t10_ir::builders;
+/// use t10_ir::{DType, Graph, ValueKind};
+///
+/// let mut g = Graph::new("tiny");
+/// let a = g.add_value("a", vec![8, 16], DType::F32, ValueKind::Input);
+/// let w = g.add_value("w", vec![16, 4], DType::F32, ValueKind::Weight);
+/// let c = g.add_value("c", vec![8, 4], DType::F32, ValueKind::Output);
+/// let op = builders::matmul(a, w, c, 8, 16, 4).unwrap();
+/// g.add_node("fc", op).unwrap();
+/// assert_eq!(g.nodes().len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Graph {
+    name: String,
+    values: Vec<ValueInfo>,
+    nodes: Vec<Node>,
+    produced: Vec<Option<NodeId>>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            values: Vec::new(),
+            nodes: Vec::new(),
+            produced: Vec::new(),
+        }
+    }
+
+    /// Model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a tensor value and returns its id.
+    pub fn add_value(
+        &mut self,
+        name: impl Into<String>,
+        shape: Vec<usize>,
+        dtype: DType,
+        kind: ValueKind,
+    ) -> ValueId {
+        self.values.push(ValueInfo {
+            name: name.into(),
+            shape,
+            dtype,
+            kind,
+        });
+        self.produced.push(None);
+        self.values.len() - 1
+    }
+
+    /// Adds an operator node, validating connectivity and shapes.
+    pub fn add_node(&mut self, name: impl Into<String>, op: Operator) -> Result<NodeId> {
+        let name = name.into();
+        if op.inputs.len() != op.expr.num_inputs() {
+            return Err(ir_err!(
+                "node {name}: {} input values but expression has {} slots",
+                op.inputs.len(),
+                op.expr.num_inputs()
+            ));
+        }
+        for (slot, &v) in op.inputs.iter().enumerate() {
+            let info = self
+                .values
+                .get(v)
+                .ok_or_else(|| ir_err!("node {name}: input value {v} does not exist"))?;
+            // The access pattern must fit within the tensor; a crop may
+            // read a strict sub-range, so the tensor may be larger.
+            let expect = op.expr.input_shape(slot);
+            let fits = info.shape.len() == expect.len()
+                && info.shape.iter().zip(&expect).all(|(&s, &e)| s >= e);
+            if !fits {
+                return Err(ir_err!(
+                    "node {name}: input {slot} ({}) has shape {:?} but expression accesses {:?}",
+                    info.name,
+                    info.shape,
+                    expect
+                ));
+            }
+            let is_produced = self.produced[v].is_some();
+            let ok = match info.kind {
+                ValueKind::Input | ValueKind::Weight => true,
+                ValueKind::Activation | ValueKind::Output => is_produced,
+            };
+            if !ok {
+                return Err(ir_err!(
+                    "node {name}: activation input {} consumed before being produced",
+                    info.name
+                ));
+            }
+        }
+        let out = op.output;
+        let info = self
+            .values
+            .get(out)
+            .ok_or_else(|| ir_err!("node {name}: output value {out} does not exist"))?;
+        // Output values may be declared larger than the written extent:
+        // the untouched border keeps the init value (zero padding).
+        let expect = op.expr.output_shape();
+        let fits = info.shape.len() == expect.len()
+            && info.shape.iter().zip(&expect).all(|(&s, &e)| s >= e);
+        if !fits {
+            return Err(ir_err!(
+                "node {name}: output ({}) has shape {:?} but expression writes {:?}",
+                info.name,
+                info.shape,
+                expect
+            ));
+        }
+        if self.produced[out].is_some() {
+            return Err(ir_err!("node {name}: value {} produced twice", info.name));
+        }
+        if matches!(info.kind, ValueKind::Input | ValueKind::Weight) {
+            return Err(ir_err!(
+                "node {name}: cannot write to input/weight value {}",
+                info.name
+            ));
+        }
+        self.nodes.push(Node { name, op });
+        let id = self.nodes.len() - 1;
+        self.produced[out] = Some(id);
+        Ok(id)
+    }
+
+    /// All values.
+    pub fn values(&self) -> &[ValueInfo] {
+        &self.values
+    }
+
+    /// One value.
+    pub fn value(&self, id: ValueId) -> &ValueInfo {
+        &self.values[id]
+    }
+
+    /// All nodes, in topological order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// One node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id]
+    }
+
+    /// The node that produces a value, if any.
+    pub fn producer(&self, v: ValueId) -> Option<NodeId> {
+        self.produced[v]
+    }
+
+    /// Nodes that consume a value.
+    pub fn consumers(&self, v: ValueId) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.op.inputs.contains(&v))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Last node (in topological order) that reads each value; used for
+    /// liveness analysis during placement (paper §4.4).
+    pub fn last_use(&self, v: ValueId) -> Option<NodeId> {
+        self.consumers(v).into_iter().max()
+    }
+
+    /// Total parameter count (elements of all weight values).
+    pub fn parameter_count(&self) -> usize {
+        self.values
+            .iter()
+            .filter(|v| v.kind == ValueKind::Weight)
+            .map(|v| v.elements())
+            .sum()
+    }
+
+    /// Total parameter bytes.
+    pub fn parameter_bytes(&self) -> usize {
+        self.values
+            .iter()
+            .filter(|v| v.kind == ValueKind::Weight)
+            .map(|v| v.bytes())
+            .sum()
+    }
+
+    /// Total FLOPs of one forward pass.
+    pub fn total_flops(&self) -> u128 {
+        self.nodes.iter().map(|n| n.op.flops()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+
+    fn tiny() -> (Graph, ValueId, ValueId, ValueId) {
+        let mut g = Graph::new("t");
+        let a = g.add_value("a", vec![4, 8], DType::F32, ValueKind::Input);
+        let w = g.add_value("w", vec![8, 2], DType::F32, ValueKind::Weight);
+        let c = g.add_value("c", vec![4, 2], DType::F32, ValueKind::Output);
+        (g, a, w, c)
+    }
+
+    #[test]
+    fn add_valid_node() {
+        let (mut g, a, w, c) = tiny();
+        let op = builders::matmul(a, w, c, 4, 8, 2).unwrap();
+        let id = g.add_node("fc", op).unwrap();
+        assert_eq!(g.producer(c), Some(id));
+        assert_eq!(g.consumers(a), vec![id]);
+        assert_eq!(g.parameter_count(), 16);
+        assert_eq!(g.total_flops(), 2 * 4 * 8 * 2);
+    }
+
+    #[test]
+    fn rejects_shape_mismatch() {
+        let (mut g, a, w, c) = tiny();
+        let op = builders::matmul(a, w, c, 4, 9, 2).unwrap();
+        assert!(g.add_node("fc", op).is_err());
+    }
+
+    #[test]
+    fn rejects_unproduced_activation_input() {
+        let mut g = Graph::new("t");
+        let x = g.add_value("x", vec![4, 8], DType::F32, ValueKind::Activation);
+        let w = g.add_value("w", vec![8, 2], DType::F32, ValueKind::Weight);
+        let c = g.add_value("c", vec![4, 2], DType::F32, ValueKind::Output);
+        let op = builders::matmul(x, w, c, 4, 8, 2).unwrap();
+        assert!(g.add_node("fc", op).is_err());
+    }
+
+    #[test]
+    fn rejects_double_produce() {
+        let (mut g, a, w, c) = tiny();
+        let op = builders::matmul(a, w, c, 4, 8, 2).unwrap();
+        g.add_node("fc", op.clone()).unwrap();
+        assert!(g.add_node("fc2", op).is_err());
+    }
+
+    #[test]
+    fn rejects_writing_weight() {
+        let (mut g, a, w, _c) = tiny();
+        let w2 = g.add_value("w2", vec![4, 2], DType::F32, ValueKind::Weight);
+        let op = builders::matmul(a, w, w2, 4, 8, 2).unwrap();
+        assert!(g.add_node("fc", op).is_err());
+    }
+
+    #[test]
+    fn last_use_is_max_consumer() {
+        let (mut g, a, w, c) = tiny();
+        let op = builders::matmul(a, w, c, 4, 8, 2).unwrap();
+        g.add_node("fc", op).unwrap();
+        let d = g.add_value("d", vec![4, 2], DType::F32, ValueKind::Activation);
+        let op2 = builders::unary(c, d, vec![4, 2], crate::Unary::Relu).unwrap();
+        let n2 = g.add_node("relu", op2).unwrap();
+        assert_eq!(g.last_use(c), Some(n2));
+        assert_eq!(g.last_use(d), None);
+    }
+}

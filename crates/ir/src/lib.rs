@@ -1,0 +1,44 @@
+//! Tensor-expression IR for the T10 compiler.
+//!
+//! T10 (SOSP '24) represents a DNN as an *operator graph* in which every
+//! operator is described by a *tensor expression* (paper §4.2): a statement of
+//! how each output element is computed from input elements, indexed by a set
+//! of named axes. For example a matrix multiplication is
+//!
+//! ```text
+//! C[m, n] += A[m, k] * B[k, n]
+//! ```
+//!
+//! where `m` and `n` are spatial axes and `k` is a reduction axis. Compound
+//! axes such as the `h + kh` of a 2-D convolution (paper §5) are expressed as
+//! affine index expressions.
+//!
+//! This crate provides:
+//!
+//! * [`DType`], [`expr::Axis`], [`expr::IndexExpr`], [`expr::TensorExpr`] —
+//!   the expression language;
+//! * [`op::Operator`] / [`graph::Graph`] — operators and whole-model graphs;
+//! * [`tensor::Tensor`] — a dense host tensor used by the reference executor;
+//! * [`reference`] — a naive, obviously-correct executor used as the ground
+//!   truth for functional tests of compiled execution plans;
+//! * [`builders`] — convenience constructors for all common DNN operators.
+
+pub mod builders;
+pub mod dtype;
+pub mod error;
+pub mod expr;
+pub mod graph;
+pub mod op;
+pub mod reference;
+pub mod tensor;
+pub mod transform;
+
+pub use dtype::DType;
+pub use error::IrError;
+pub use expr::{Axis, AxisId, AxisKind, IndexExpr, TensorExpr};
+pub use graph::{Graph, Node, NodeId, ValueId, ValueInfo, ValueKind};
+pub use op::{Combine, OpKind, Operator, Reduce, Unary};
+pub use tensor::Tensor;
+
+/// Result alias used throughout the IR crate.
+pub type Result<T> = std::result::Result<T, IrError>;

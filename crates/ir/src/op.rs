@@ -1,0 +1,223 @@
+//! Operators: a tensor expression plus combine/reduce/unary semantics.
+
+use serde::{Deserialize, Serialize};
+
+use crate::expr::TensorExpr;
+use crate::graph::ValueId;
+
+/// Broad operator family, used to select cost-model coefficients
+/// (paper §4.3.1 fits one model per operator type) and code templates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Dense matrix multiplication (possibly batched).
+    MatMul,
+    /// 2-D convolution with compound axes.
+    Conv2d,
+    /// Element-wise unary or binary arithmetic.
+    Elementwise,
+    /// Reduction along one or more axes (sum/max/mean building blocks).
+    Reduce,
+    /// Max/avg pooling (windowed reduce with compound axes).
+    Pool,
+    /// Embedding-style gather with a data-dependent table dimension.
+    Gather,
+}
+
+impl std::fmt::Display for OpKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            OpKind::MatMul => "MatMul",
+            OpKind::Conv2d => "Conv2d",
+            OpKind::Elementwise => "Elementwise",
+            OpKind::Reduce => "Reduce",
+            OpKind::Pool => "Pool",
+            OpKind::Gather => "Gather",
+        };
+        f.write_str(s)
+    }
+}
+
+/// How elements drawn from the inputs are combined at one iteration point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Combine {
+    /// Product of all inputs (the `*` of `A[m,k] * B[k,n]`).
+    Mul,
+    /// Sum of all inputs.
+    Add,
+    /// Difference `in0 - in1` (binary only).
+    Sub,
+    /// Quotient `in0 / in1` (binary only).
+    Div,
+    /// Larger of `in0`, `in1` (binary only).
+    Max,
+    /// The first input alone (unary pass-through; `Reduce`/`Pool`/`Gather`).
+    First,
+}
+
+impl Combine {
+    /// Combines the per-input element values drawn at one iteration point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a binary combine receives fewer than two values
+    /// (programmer error in executor code).
+    pub fn apply(self, vals: &[f32]) -> f32 {
+        match self {
+            Combine::Mul => vals.iter().product(),
+            Combine::Add => vals.iter().sum(),
+            Combine::Sub => vals[0] - vals[1],
+            Combine::Div => vals[0] / vals[1],
+            Combine::Max => vals[0].max(vals[1]),
+            Combine::First => vals[0],
+        }
+    }
+}
+
+/// How iteration points that map to the same output element are merged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Reduce {
+    /// Accumulate by addition (identity 0).
+    Sum,
+    /// Keep the maximum (identity -inf).
+    Max,
+}
+
+impl Reduce {
+    /// Identity element of the reduction.
+    pub fn identity(self) -> f32 {
+        match self {
+            Reduce::Sum => 0.0,
+            Reduce::Max => f32::NEG_INFINITY,
+        }
+    }
+
+    /// Applies the reduction to an accumulator.
+    pub fn apply(self, acc: f32, v: f32) -> f32 {
+        match self {
+            Reduce::Sum => acc + v,
+            Reduce::Max => acc.max(v),
+        }
+    }
+}
+
+/// Element-wise function applied to the finished output.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Unary {
+    /// Rectified linear unit.
+    Relu,
+    /// Gaussian error linear unit (tanh approximation).
+    Gelu,
+    /// Natural exponential.
+    Exp,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Reciprocal square root of `x + eps`.
+    Rsqrt {
+        /// Numerical-stability epsilon added before the square root.
+        eps: f32,
+    },
+    /// Multiplication by a compile-time constant (scaling, mean division).
+    Scale(f32),
+}
+
+impl Unary {
+    /// Applies the function to one element.
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            Unary::Relu => x.max(0.0),
+            Unary::Gelu => {
+                let c = (2.0f32 / std::f32::consts::PI).sqrt();
+                0.5 * x * (1.0 + (c * (x + 0.044715 * x * x * x)).tanh())
+            }
+            Unary::Exp => x.exp(),
+            Unary::Tanh => x.tanh(),
+            Unary::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Unary::Rsqrt { eps } => 1.0 / (x + eps).sqrt(),
+            Unary::Scale(s) => x * s,
+        }
+    }
+}
+
+/// A complete operator: expression, semantics, and graph connectivity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Operator {
+    /// Operator family.
+    pub kind: OpKind,
+    /// Axes and access patterns.
+    pub expr: TensorExpr,
+    /// How input elements combine at one iteration point.
+    pub combine: Combine,
+    /// How iteration points merge into an output element.
+    pub reduce: Reduce,
+    /// Optional element-wise epilogue.
+    pub unary: Option<Unary>,
+    /// Graph values feeding each input slot.
+    pub inputs: Vec<ValueId>,
+    /// Graph value produced.
+    pub output: ValueId,
+}
+
+impl Operator {
+    /// Floating-point operations performed by the operator.
+    ///
+    /// Multiply-accumulate expressions count 2 FLOPs per iteration point;
+    /// everything else counts 1.
+    pub fn flops(&self) -> u128 {
+        let per_point = if self.combine == Combine::Mul && self.expr.num_inputs() > 1 {
+            2
+        } else {
+            1
+        };
+        self.expr.iteration_points() * per_point
+    }
+
+    /// Whether any input dimension is data-dependent.
+    pub fn has_indirect_access(&self) -> bool {
+        self.expr
+            .inputs
+            .iter()
+            .flatten()
+            .any(|e| e.is_indirect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduce_identity_and_apply() {
+        assert_eq!(Reduce::Sum.identity(), 0.0);
+        assert_eq!(Reduce::Sum.apply(1.5, 2.0), 3.5);
+        assert_eq!(Reduce::Max.apply(1.5, 2.0), 2.0);
+        assert!(Reduce::Max.identity().is_infinite());
+    }
+
+    #[test]
+    fn unary_relu_and_scale() {
+        assert_eq!(Unary::Relu.apply(-3.0), 0.0);
+        assert_eq!(Unary::Relu.apply(3.0), 3.0);
+        assert_eq!(Unary::Scale(0.5).apply(4.0), 2.0);
+    }
+
+    #[test]
+    fn unary_gelu_is_close_to_half_x_at_zero() {
+        assert!(Unary::Gelu.apply(0.0).abs() < 1e-6);
+        // GELU(large x) ≈ x.
+        assert!((Unary::Gelu.apply(10.0) - 10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn unary_rsqrt() {
+        let r = Unary::Rsqrt { eps: 0.0 }.apply(4.0);
+        assert!((r - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn opkind_display() {
+        assert_eq!(OpKind::MatMul.to_string(), "MatMul");
+        assert_eq!(OpKind::Gather.to_string(), "Gather");
+    }
+}

@@ -1,0 +1,369 @@
+//! Reference executor: naive, obviously-correct operator evaluation.
+//!
+//! Compiled compute-shift plans are validated against this executor — for a
+//! correct compiler, the distributed simulation must reproduce these results
+//! bit-for-bit at f32 (the plans are lossless; paper §6.1 makes the same
+//! argument for T10 vs PopART accuracy).
+
+use crate::graph::{Graph, ValueId, ValueKind};
+use crate::op::{Combine, OpKind, Operator};
+use crate::tensor::Tensor;
+use crate::{ir_err, Result};
+
+/// Evaluates one operator on host tensors.
+///
+/// `inputs` must match the operator's input slots in order.
+///
+/// # Examples
+///
+/// ```
+/// use t10_ir::{builders, reference, Tensor};
+///
+/// let op = builders::matmul(0, 1, 2, 2, 2, 2).unwrap();
+/// let a = Tensor::from_data(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+/// let b = Tensor::from_data(vec![2, 2], vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+/// let c = reference::execute(&op, &[&a, &b]).unwrap();
+/// assert_eq!(c.data(), &[1.0, 2.0, 3.0, 4.0]);
+/// ```
+pub fn execute(op: &Operator, inputs: &[&Tensor]) -> Result<Tensor> {
+    execute_shaped(op, inputs, None)
+}
+
+/// Evaluates one operator into an output of the given declared shape.
+///
+/// When `out_shape` exceeds the expression's written extent, the border
+/// keeps the reduction identity — this realizes zero padding for "same"
+/// convolutions whose producers write into the interior of a padded value.
+pub fn execute_shaped(
+    op: &Operator,
+    inputs: &[&Tensor],
+    out_shape: Option<&[usize]>,
+) -> Result<Tensor> {
+    if inputs.len() != op.expr.num_inputs() {
+        return Err(ir_err!(
+            "operator expects {} inputs, got {}",
+            op.expr.num_inputs(),
+            inputs.len()
+        ));
+    }
+    for (slot, t) in inputs.iter().enumerate() {
+        let expect = op.expr.input_shape(slot);
+        let fits = t.shape().len() == expect.len()
+            && t.shape().iter().zip(&expect).all(|(&s, &e)| s >= e);
+        if !fits {
+            return Err(ir_err!(
+                "input {slot} has shape {:?}, expression accesses {:?}",
+                t.shape(),
+                expect
+            ));
+        }
+    }
+    if op.kind == OpKind::Gather {
+        return execute_gather(op, inputs);
+    }
+    if op.has_indirect_access() {
+        return Err(ir_err!("indirect access outside Gather is unsupported"));
+    }
+
+    let implied = op.expr.output_shape();
+    let shape = match out_shape {
+        Some(s) => {
+            let fits =
+                s.len() == implied.len() && s.iter().zip(&implied).all(|(&a, &b)| a >= b);
+            if !fits {
+                return Err(ir_err!(
+                    "declared output shape {s:?} smaller than written extent {implied:?}"
+                ));
+            }
+            s.to_vec()
+        }
+        None => implied,
+    };
+    let mut out = Tensor::fill(shape, op.reduce.identity());
+    let sizes: Vec<usize> = op.expr.axes.iter().map(|a| a.size).collect();
+    let mut idx = vec![0usize; sizes.len()];
+    let mut in_pos: Vec<Vec<usize>> = op
+        .expr
+        .inputs
+        .iter()
+        .map(|dims| vec![0usize; dims.len()])
+        .collect();
+    let mut out_pos = vec![0usize; op.expr.output.len()];
+    loop {
+        for (slot, dims) in op.expr.inputs.iter().enumerate() {
+            for (d, e) in dims.iter().enumerate() {
+                in_pos[slot][d] = e.eval(&idx);
+            }
+        }
+        for (d, e) in op.expr.output.iter().enumerate() {
+            out_pos[d] = e.eval(&idx);
+        }
+        let v = combine_at(op, inputs, &in_pos);
+        let off = out.offset(&out_pos);
+        let cur = out.data()[off];
+        out.data_mut()[off] = op.reduce.apply(cur, v);
+        if !advance(&mut idx, &sizes) {
+            break;
+        }
+    }
+    finish(op, out)
+}
+
+fn combine_at(op: &Operator, inputs: &[&Tensor], pos: &[Vec<usize>]) -> f32 {
+    let vals = || {
+        pos.iter()
+            .enumerate()
+            .map(|(slot, p)| inputs[slot].at(p))
+    };
+    match op.combine {
+        Combine::Mul => vals().product(),
+        Combine::Add => vals().sum(),
+        Combine::Sub => inputs[0].at(&pos[0]) - inputs[1].at(&pos[1]),
+        Combine::Div => inputs[0].at(&pos[0]) / inputs[1].at(&pos[1]),
+        Combine::Max => inputs[0].at(&pos[0]).max(inputs[1].at(&pos[1])),
+        Combine::First => inputs[0].at(&pos[0]),
+    }
+}
+
+fn execute_gather(op: &Operator, inputs: &[&Tensor]) -> Result<Tensor> {
+    // Convention from builders::gather: input 0 is the table [V, D] with an
+    // indirect dim 0, input 1 is the index vector [N], output is [N, D].
+    let table = inputs[0];
+    let index = inputs[1];
+    let out_shape = op.expr.output_shape();
+    let (n, d) = (out_shape[0], out_shape[1]);
+    let vocab = table.shape()[0];
+    let mut out = Tensor::zeros(out_shape);
+    for i in 0..n {
+        let row = index.at(&[i]).round();
+        if row < 0.0 || row as usize >= vocab {
+            return Err(ir_err!("gather index {row} out of range 0..{vocab}"));
+        }
+        let row = row as usize;
+        for j in 0..d {
+            out.set(&[i, j], table.at(&[row, j]));
+        }
+    }
+    finish(op, out)
+}
+
+fn finish(op: &Operator, mut out: Tensor) -> Result<Tensor> {
+    if let Some(u) = op.unary {
+        for v in out.data_mut() {
+            *v = u.apply(*v);
+        }
+    }
+    Ok(out)
+}
+
+fn advance(idx: &mut [usize], sizes: &[usize]) -> bool {
+    for d in (0..idx.len()).rev() {
+        idx[d] += 1;
+        if idx[d] < sizes[d] {
+            return true;
+        }
+        idx[d] = 0;
+    }
+    false
+}
+
+/// Evaluates a whole graph given bindings for inputs and weights.
+///
+/// Returns tensors for every graph value (activations included), so tests
+/// can compare any intermediate against a compiled execution.
+pub fn execute_graph(graph: &Graph, bindings: &[(ValueId, Tensor)]) -> Result<Vec<Option<Tensor>>> {
+    let mut vals: Vec<Option<Tensor>> = vec![None; graph.values().len()];
+    for (id, t) in bindings {
+        let info = graph.value(*id);
+        if t.shape() != info.shape.as_slice() {
+            return Err(ir_err!(
+                "binding for {} has shape {:?}, declared {:?}",
+                info.name,
+                t.shape(),
+                info.shape
+            ));
+        }
+        vals[*id] = Some(t.clone());
+    }
+    for (v, info) in graph.values().iter().enumerate() {
+        if matches!(info.kind, ValueKind::Input | ValueKind::Weight) && vals[v].is_none() {
+            // Deterministic default so tests need not bind every weight.
+            vals[v] = Some(Tensor::pattern(info.shape.clone(), v as f32));
+        }
+    }
+    for node in graph.nodes() {
+        let ins: Vec<&Tensor> = node
+            .op
+            .inputs
+            .iter()
+            .map(|&v| {
+                vals[v]
+                    .as_ref()
+                    .ok_or_else(|| ir_err!("node {}: input value {v} unavailable", node.name))
+            })
+            .collect::<Result<_>>()?;
+        let declared = graph.value(node.op.output).shape.clone();
+        let out = execute_shaped(&node.op, &ins, Some(&declared))?;
+        vals[node.op.output] = Some(out);
+    }
+    Ok(vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{self, Conv2dCfg};
+    use crate::op::{Reduce, Unary};
+    use crate::DType;
+
+    #[test]
+    fn matmul_matches_manual() {
+        let op = builders::matmul(0, 1, 2, 2, 3, 2).unwrap();
+        let a = Tensor::from_data(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let b = Tensor::from_data(vec![3, 2], vec![7., 8., 9., 10., 11., 12.]).unwrap();
+        let c = execute(&op, &[&a, &b]).unwrap();
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn conv2d_identity_kernel() {
+        // 1x1 kernel with weight 1.0 reproduces the input.
+        let cfg = Conv2dCfg {
+            batch: 1,
+            c_in: 1,
+            c_out: 1,
+            h_out: 3,
+            w_out: 3,
+            kh: 1,
+            kw: 1,
+            stride: 1,
+        };
+        let op = builders::conv2d(0, 1, 2, cfg).unwrap();
+        let i = Tensor::pattern(vec![1, 1, 3, 3], 0.3);
+        let k = Tensor::fill(vec![1, 1, 1, 1], 1.0);
+        let o = execute(&op, &[&i, &k]).unwrap();
+        assert_eq!(o.data(), i.data());
+    }
+
+    #[test]
+    fn conv2d_sums_window() {
+        // 2x2 all-ones kernel on a 3x3 input of ones gives 4.0 everywhere.
+        let cfg = Conv2dCfg {
+            batch: 1,
+            c_in: 1,
+            c_out: 1,
+            h_out: 2,
+            w_out: 2,
+            kh: 2,
+            kw: 2,
+            stride: 1,
+        };
+        let op = builders::conv2d(0, 1, 2, cfg).unwrap();
+        let i = Tensor::fill(vec![1, 1, 3, 3], 1.0);
+        let k = Tensor::fill(vec![1, 1, 2, 2], 1.0);
+        let o = execute(&op, &[&i, &k]).unwrap();
+        assert!(o.data().iter().all(|&v| v == 4.0));
+    }
+
+    #[test]
+    fn strided_conv_downsamples() {
+        let cfg = Conv2dCfg {
+            batch: 1,
+            c_in: 1,
+            c_out: 1,
+            h_out: 2,
+            w_out: 2,
+            kh: 1,
+            kw: 1,
+            stride: 2,
+        };
+        let op = builders::conv2d(0, 1, 2, cfg).unwrap();
+        let i = Tensor::from_data(
+            vec![1, 1, 3, 3],
+            vec![0., 1., 2., 3., 4., 5., 6., 7., 8.],
+        )
+        .unwrap();
+        let k = Tensor::fill(vec![1, 1, 1, 1], 1.0);
+        let o = execute(&op, &[&i, &k]).unwrap();
+        assert_eq!(o.data(), &[0., 2., 6., 8.]);
+    }
+
+    #[test]
+    fn max_pool_takes_max() {
+        let op = builders::max_pool2d(0, 1, 1, 1, 1, 1, 2, 2).unwrap();
+        let i = Tensor::from_data(vec![1, 1, 2, 2], vec![1., 9., 3., 4.]).unwrap();
+        let o = execute(&op, &[&i]).unwrap();
+        assert_eq!(o.data(), &[9.]);
+    }
+
+    #[test]
+    fn reduce_mean() {
+        let op = builders::reduce_last(0, 1, vec![2], 4, Reduce::Sum, Some(0.25)).unwrap();
+        let a = Tensor::from_data(vec![2, 4], vec![1., 2., 3., 4., 4., 4., 4., 4.]).unwrap();
+        let o = execute(&op, &[&a]).unwrap();
+        assert_eq!(o.data(), &[2.5, 4.0]);
+    }
+
+    #[test]
+    fn gather_picks_rows() {
+        let op = builders::gather(0, 1, 2, 4, 3, 2).unwrap();
+        let table =
+            Tensor::from_data(vec![4, 2], vec![0., 1., 10., 11., 20., 21., 30., 31.]).unwrap();
+        let idx = Tensor::from_data(vec![3], vec![2., 0., 3.]).unwrap();
+        let o = execute(&op, &[&table, &idx]).unwrap();
+        assert_eq!(o.data(), &[20., 21., 0., 1., 30., 31.]);
+    }
+
+    #[test]
+    fn gather_rejects_out_of_range() {
+        let op = builders::gather(0, 1, 2, 4, 1, 2).unwrap();
+        let table = Tensor::zeros(vec![4, 2]);
+        let idx = Tensor::from_data(vec![1], vec![9.]).unwrap();
+        assert!(execute(&op, &[&table, &idx]).is_err());
+    }
+
+    #[test]
+    fn unary_epilogue_applies() {
+        let op = builders::unary(0, 1, vec![3], Unary::Relu).unwrap();
+        let a = Tensor::from_data(vec![3], vec![-1., 0., 2.]).unwrap();
+        let o = execute(&op, &[&a]).unwrap();
+        assert_eq!(o.data(), &[0., 0., 2.]);
+    }
+
+    #[test]
+    fn rejects_wrong_input_count() {
+        let op = builders::matmul(0, 1, 2, 2, 2, 2).unwrap();
+        let a = Tensor::zeros(vec![2, 2]);
+        assert!(execute(&op, &[&a]).is_err());
+    }
+
+    #[test]
+    fn graph_execution_chains_ops() {
+        let mut g = Graph::new("chain");
+        let a = g.add_value("a", vec![2, 2], DType::F32, ValueKind::Input);
+        let w = g.add_value("w", vec![2, 2], DType::F32, ValueKind::Weight);
+        let h = g.add_value("h", vec![2, 2], DType::F32, ValueKind::Activation);
+        let o = g.add_value("o", vec![2, 2], DType::F32, ValueKind::Output);
+        g.add_node("mm", builders::matmul(a, w, h, 2, 2, 2).unwrap())
+            .unwrap();
+        g.add_node("relu", builders::unary(h, o, vec![2, 2], Unary::Relu).unwrap())
+            .unwrap();
+        let at = Tensor::from_data(vec![2, 2], vec![1., -1., 2., 0.]).unwrap();
+        let wt = Tensor::from_data(vec![2, 2], vec![1., 0., 0., 1.]).unwrap();
+        let vals = execute_graph(&g, &[(a, at), (w, wt)]).unwrap();
+        let out = vals[o].as_ref().unwrap();
+        assert_eq!(out.data(), &[1., 0., 2., 0.]);
+    }
+
+    #[test]
+    fn graph_execution_defaults_unbound_weights() {
+        let mut g = Graph::new("chain");
+        let a = g.add_value("a", vec![2, 2], DType::F32, ValueKind::Input);
+        let w = g.add_value("w", vec![2, 2], DType::F32, ValueKind::Weight);
+        let o = g.add_value("o", vec![2, 2], DType::F32, ValueKind::Output);
+        g.add_node("mm", builders::matmul(a, w, o, 2, 2, 2).unwrap())
+            .unwrap();
+        let vals = execute_graph(&g, &[]).unwrap();
+        assert!(vals[o].is_some());
+    }
+}

@@ -1,0 +1,180 @@
+//! Dense host tensors used by the reference executor and functional tests.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{ir_err, Result};
+
+/// A dense, row-major, f32 host tensor.
+///
+/// The simulator and reference executor compute in f32 regardless of the
+/// declared on-device [`crate::DType`]; numeric checks compare plans against
+/// the reference at f32 precision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor filled with `value`.
+    pub fn fill(shape: Vec<usize>, value: f32) -> Self {
+        let n = shape.iter().product();
+        Self {
+            shape,
+            data: vec![value; n],
+        }
+    }
+
+    /// Creates a zero tensor.
+    pub fn zeros(shape: Vec<usize>) -> Self {
+        Self::fill(shape, 0.0)
+    }
+
+    /// Creates a tensor from explicit data.
+    pub fn from_data(shape: Vec<usize>, data: Vec<f32>) -> Result<Self> {
+        let n: usize = shape.iter().product();
+        if n != data.len() {
+            return Err(ir_err!(
+                "shape {:?} implies {} elements, got {}",
+                shape,
+                n,
+                data.len()
+            ));
+        }
+        Ok(Self { shape, data })
+    }
+
+    /// Creates a tensor with a deterministic pseudo-random pattern.
+    ///
+    /// Useful for reproducible functional tests without pulling a RNG into
+    /// the library crate: element `i` is `sin(seed + 0.7i)`, bounded and
+    /// non-repeating over typical test sizes.
+    pub fn pattern(shape: Vec<usize>, seed: f32) -> Self {
+        let n: usize = shape.iter().product();
+        let data = (0..n)
+            .map(|i| (seed + 0.7 * i as f32).sin())
+            .collect();
+        Self { shape, data }
+    }
+
+    /// Dimension extents.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of elements.
+    pub fn elements(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Flat element slice.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat element slice.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Row-major flat offset of a multi-dimensional position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` has the wrong rank or is out of bounds (programmer
+    /// error in test/executor code).
+    pub fn offset(&self, pos: &[usize]) -> usize {
+        assert_eq!(pos.len(), self.shape.len(), "rank mismatch");
+        let mut off = 0;
+        for (d, (&p, &s)) in pos.iter().zip(&self.shape).enumerate() {
+            assert!(p < s, "index {p} out of bounds for dim {d} of extent {s}");
+            off = off * s + p;
+        }
+        off
+    }
+
+    /// Element at a multi-dimensional position.
+    pub fn at(&self, pos: &[usize]) -> f32 {
+        self.data[self.offset(pos)]
+    }
+
+    /// Sets the element at a multi-dimensional position.
+    pub fn set(&mut self, pos: &[usize], v: f32) {
+        let off = self.offset(pos);
+        self.data[off] = v;
+    }
+
+    /// Maximum absolute difference against another tensor.
+    pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.shape, other.shape, "shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+
+    /// Whether all elements are within `tol` of `other`, with a relative
+    /// allowance for large magnitudes.
+    pub fn approx_eq(&self, other: &Tensor, tol: f32) -> bool {
+        if self.shape != other.shape {
+            return false;
+        }
+        self.data.iter().zip(&other.data).all(|(a, b)| {
+            let scale = 1.0f32.max(a.abs()).max(b.abs());
+            (a - b).abs() <= tol * scale
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offsets_are_row_major() {
+        let t = Tensor::zeros(vec![2, 3, 4]);
+        assert_eq!(t.offset(&[0, 0, 0]), 0);
+        assert_eq!(t.offset(&[0, 0, 3]), 3);
+        assert_eq!(t.offset(&[0, 1, 0]), 4);
+        assert_eq!(t.offset(&[1, 0, 0]), 12);
+        assert_eq!(t.offset(&[1, 2, 3]), 23);
+    }
+
+    #[test]
+    fn set_and_get() {
+        let mut t = Tensor::zeros(vec![2, 2]);
+        t.set(&[1, 0], 5.0);
+        assert_eq!(t.at(&[1, 0]), 5.0);
+        assert_eq!(t.at(&[0, 1]), 0.0);
+    }
+
+    #[test]
+    fn from_data_validates_length() {
+        assert!(Tensor::from_data(vec![2, 2], vec![1.0; 3]).is_err());
+        assert!(Tensor::from_data(vec![2, 2], vec![1.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn pattern_is_deterministic_and_bounded() {
+        let a = Tensor::pattern(vec![10], 1.0);
+        let b = Tensor::pattern(vec![10], 1.0);
+        assert_eq!(a, b);
+        assert!(a.data().iter().all(|v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn approx_eq_uses_relative_scale() {
+        let a = Tensor::from_data(vec![1], vec![1000.0]).unwrap();
+        let b = Tensor::from_data(vec![1], vec![1000.01]).unwrap();
+        assert!(a.approx_eq(&b, 1e-4));
+        assert!(!a.approx_eq(&b, 1e-8));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_panics() {
+        let t = Tensor::zeros(vec![2, 2]);
+        t.at(&[2, 0]);
+    }
+}

@@ -1,0 +1,190 @@
+//! Graph transformation passes.
+//!
+//! T10 itself applies only lossless plan-level optimizations; classic graph
+//! rewrites like kernel fusion are orthogonal (paper §8, related work).
+//! This module provides the most profitable such rewrite for a BSP machine:
+//! folding pure element-wise unary operators into their producer's epilogue,
+//! which removes one superstep (and its synchronization) per folded node.
+
+use crate::graph::{Graph, ValueKind};
+use crate::op::{Combine, OpKind};
+use crate::Result;
+
+/// Whether `node` is a pure unary copy-with-function over its single input.
+fn is_fusable_unary(g: &Graph, node: usize) -> bool {
+    let op = &g.node(node).op;
+    op.kind == OpKind::Elementwise
+        && op.combine == Combine::First
+        && op.inputs.len() == 1
+        && op.unary.is_some()
+        // The access must be the identity (no crop/offset), so the values
+        // are element-aligned.
+        && op.expr.inputs[0] == op.expr.output
+        && g.value(op.inputs[0]).shape == g.value(op.output).shape
+}
+
+/// Fuses pure-unary nodes into their producers' epilogues.
+///
+/// A unary node folds when its input activation is produced by a node with
+/// no epilogue of its own and consumed by nobody else. The producer then
+/// writes the unary's output value directly. The result is a semantically
+/// identical graph with fewer nodes (each removal saves a compute superstep
+/// and a BSP sync on the chip).
+///
+/// # Examples
+///
+/// ```
+/// use t10_ir::{builders, transform, DType, Graph, Unary, ValueKind};
+///
+/// let mut g = Graph::new("g");
+/// let a = g.add_value("a", vec![4, 4], DType::F16, ValueKind::Input);
+/// let w = g.add_value("w", vec![4, 4], DType::F16, ValueKind::Weight);
+/// let h = g.add_value("h", vec![4, 4], DType::F16, ValueKind::Activation);
+/// let o = g.add_value("o", vec![4, 4], DType::F16, ValueKind::Output);
+/// g.add_node("mm", builders::matmul(a, w, h, 4, 4, 4).unwrap()).unwrap();
+/// g.add_node("relu", builders::unary(h, o, vec![4, 4], Unary::Relu).unwrap())
+///     .unwrap();
+/// let fused = transform::fuse_unary(&g).unwrap();
+/// assert_eq!(fused.nodes().len(), 1);
+/// assert!(fused.nodes()[0].op.unary.is_some());
+/// ```
+pub fn fuse_unary(g: &Graph) -> Result<Graph> {
+    // Pass 1: decide the fusions. `fold_into[u] = producer` means unary
+    // node `u` folds into node `producer`.
+    let n = g.nodes().len();
+    let mut fused_away = vec![false; n];
+    let mut epilogue: Vec<Option<(crate::op::Unary, usize)>> = vec![None; n];
+    for u in 0..n {
+        if !is_fusable_unary(g, u) {
+            continue;
+        }
+        let input = g.node(u).op.inputs[0];
+        if g.value(input).kind != ValueKind::Activation {
+            continue;
+        }
+        let Some(producer) = g.producer(input) else {
+            continue;
+        };
+        if g.node(producer).op.unary.is_some() || epilogue[producer].is_some() {
+            continue;
+        }
+        if g.consumers(input).len() != 1 {
+            continue;
+        }
+        // The producer must write the full declared value: a padded-output
+        // producer relies on the border init, which an epilogue would skip
+        // on the consumer side but not here — both apply the function over
+        // the whole buffer, so shapes must match exactly.
+        if g.value(input).shape != g.node(producer).op.expr.output_shape() {
+            continue;
+        }
+        fused_away[u] = true;
+        epilogue[producer] = Some((g.node(u).op.unary.expect("fusable"), g.node(u).op.output));
+    }
+
+    // Pass 2: rebuild.
+    let mut out = Graph::new(g.name());
+    for v in g.values() {
+        out.add_value(v.name.clone(), v.shape.clone(), v.dtype, v.kind);
+    }
+    for i in 0..n {
+        if fused_away[i] {
+            continue;
+        }
+        let mut op = g.node(i).op.clone();
+        if let Some((unary, new_out)) = epilogue[i] {
+            op.unary = Some(unary);
+            op.output = new_out;
+        }
+        out.add_node(g.node(i).name.clone(), op)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Unary;
+    use crate::tensor::Tensor;
+    use crate::{builders, reference, DType};
+
+    fn chain() -> (Graph, usize, usize) {
+        let mut g = Graph::new("c");
+        let a = g.add_value("a", vec![4, 4], DType::F32, ValueKind::Input);
+        let w = g.add_value("w", vec![4, 4], DType::F32, ValueKind::Weight);
+        let h = g.add_value("h", vec![4, 4], DType::F32, ValueKind::Activation);
+        let r = g.add_value("r", vec![4, 4], DType::F32, ValueKind::Activation);
+        let o = g.add_value("o", vec![4, 4], DType::F32, ValueKind::Output);
+        g.add_node("mm", builders::matmul(a, w, h, 4, 4, 4).unwrap())
+            .unwrap();
+        g.add_node("relu", builders::unary(h, r, vec![4, 4], Unary::Relu).unwrap())
+            .unwrap();
+        g.add_node("scale", builders::unary(r, o, vec![4, 4], Unary::Scale(2.0)).unwrap())
+            .unwrap();
+        (g, a, o)
+    }
+
+    #[test]
+    fn fuses_single_consumer_unary() {
+        let (g, _, _) = chain();
+        let fused = fuse_unary(&g).unwrap();
+        // relu folds into mm; scale then has a producer that already owns
+        // an epilogue, so it stays.
+        assert_eq!(fused.nodes().len(), 2);
+        assert_eq!(fused.nodes()[0].op.unary, Some(Unary::Relu));
+    }
+
+    #[test]
+    fn fusion_preserves_semantics() {
+        let (g, a, o) = chain();
+        let fused = fuse_unary(&g).unwrap();
+        let input = Tensor::pattern(vec![4, 4], 0.3);
+        let before = reference::execute_graph(&g, &[(a, input.clone())]).unwrap();
+        let after = reference::execute_graph(&fused, &[(a, input)]).unwrap();
+        let b = before[o].as_ref().unwrap();
+        let f = after[o].as_ref().unwrap();
+        assert!(b.approx_eq(f, 1e-6));
+    }
+
+    #[test]
+    fn shared_activation_is_not_fused() {
+        // The matmul output feeds both a unary AND a residual: no fusion.
+        let mut g = Graph::new("s");
+        let a = g.add_value("a", vec![4, 4], DType::F32, ValueKind::Input);
+        let w = g.add_value("w", vec![4, 4], DType::F32, ValueKind::Weight);
+        let h = g.add_value("h", vec![4, 4], DType::F32, ValueKind::Activation);
+        let r = g.add_value("r", vec![4, 4], DType::F32, ValueKind::Activation);
+        let o = g.add_value("o", vec![4, 4], DType::F32, ValueKind::Output);
+        g.add_node("mm", builders::matmul(a, w, h, 4, 4, 4).unwrap())
+            .unwrap();
+        g.add_node("relu", builders::unary(h, r, vec![4, 4], Unary::Relu).unwrap())
+            .unwrap();
+        g.add_node(
+            "add",
+            builders::binary(h, r, o, vec![4, 4], crate::Combine::Add).unwrap(),
+        )
+        .unwrap();
+        let fused = fuse_unary(&g).unwrap();
+        assert_eq!(fused.nodes().len(), 3);
+    }
+
+    #[test]
+    fn fuses_real_model_output_copies() {
+        // LLM decode layers end in a pure copy node that should fold.
+        let mut g = Graph::new("m");
+        let a = g.add_value("a", vec![8, 8], DType::F16, ValueKind::Input);
+        let w = g.add_value("w", vec![8, 8], DType::F16, ValueKind::Weight);
+        let h = g.add_value("h", vec![8, 8], DType::F16, ValueKind::Activation);
+        let o = g.add_value("o", vec![8, 8], DType::F16, ValueKind::Output);
+        g.add_node("mm", builders::matmul(a, w, h, 8, 8, 8).unwrap())
+            .unwrap();
+        g.add_node(
+            "copy",
+            builders::unary(h, o, vec![8, 8], Unary::Scale(1.0)).unwrap(),
+        )
+        .unwrap();
+        let fused = fuse_unary(&g).unwrap();
+        assert_eq!(fused.nodes().len(), 1);
+        assert_eq!(fused.nodes()[0].op.output, o);
+    }
+}

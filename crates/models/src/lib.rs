@@ -1,0 +1,32 @@
+//! The model zoo of the T10 evaluation (paper Table 2).
+//!
+//! Programmatic builders for every network the paper evaluates, with the
+//! published parameter counts:
+//!
+//! | Model    | Description                    | Parameters   |
+//! |----------|--------------------------------|--------------|
+//! | BERT     | NLP transformer                | 340 M        |
+//! | ViT      | Vision transformer             | 86 M         |
+//! | ResNet   | CNN (ResNet-18)                | 11 M         |
+//! | NeRF     | 3-D scene-synthesis MLP        | ≈ 24 K       |
+//! | OPT      | LLM decode layers              | 1.3 B – 13 B |
+//! | Llama2   | LLM decode layers              | 7 B – 13 B   |
+//! | RetNet   | Retentive-network decode layers| 1.3 B        |
+//!
+//! All builders produce [`t10_ir::Graph`]s whose operators use the canonical
+//! tensor expressions the compiler understands. The paper's ONNX frontend is
+//! replaced by these builders (hardware-gate substitution in `DESIGN.md`);
+//! the shapes and parameter counts are what define the evaluation.
+
+pub mod common;
+pub mod llm;
+pub mod nerf;
+pub mod resnet;
+pub mod textfmt;
+pub mod transformer;
+pub mod zoo;
+
+pub use zoo::{all_models, ModelSpec};
+
+/// Result alias reusing the IR error type.
+pub type Result<T> = std::result::Result<T, t10_ir::IrError>;

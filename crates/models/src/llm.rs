@@ -1,0 +1,265 @@
+//! LLM decode layers: OPT, Llama2, RetNet (Table 2, paper §6.7).
+//!
+//! The paper serves LLMs by running "a subset of layers for each LLM" on one
+//! chip (the whole model pipelines across chips, §6.7). These builders
+//! produce `layers` decode-step layers: each token generates one new
+//! position attending to a KV cache of `KV_LEN` entries, so the matmuls are
+//! skinny (`tokens × d` activations against `d × d`/`d × ffn` weights) and
+//! execution is dominated by weight traffic — exactly the regime where the
+//! 8 TB/s inter-core fabric beats HBM (Figure 23).
+
+use t10_ir::{Combine, DType, Graph, Unary, ValueKind};
+
+use crate::common::Builder;
+use crate::Result;
+
+/// Decode-time KV-cache length.
+pub const KV_LEN: usize = 1024;
+
+/// A decoder-family configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct DecoderCfg {
+    /// Hidden width.
+    pub d: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Feed-forward inner width.
+    pub ffn: usize,
+    /// Gated FFN (SwiGLU: three projections) as in Llama2.
+    pub gated_ffn: bool,
+    /// Retention-style decay gating as in RetNet.
+    pub retention: bool,
+}
+
+impl DecoderCfg {
+    /// OPT-1.3B: 24 layers of d=2048 (we build a per-chip subset).
+    pub fn opt_1_3b() -> Self {
+        Self {
+            d: 2048,
+            heads: 32,
+            ffn: 8192,
+            gated_ffn: false,
+            retention: false,
+        }
+    }
+
+    /// OPT-6.7B: d=4096.
+    pub fn opt_6_7b() -> Self {
+        Self {
+            d: 4096,
+            heads: 32,
+            ffn: 16384,
+            gated_ffn: false,
+            retention: false,
+        }
+    }
+
+    /// OPT-13B: d=5120.
+    pub fn opt_13b() -> Self {
+        Self {
+            d: 5120,
+            heads: 40,
+            ffn: 20480,
+            gated_ffn: false,
+            retention: false,
+        }
+    }
+
+    /// Llama2-7B: d=4096, SwiGLU FFN of 11008.
+    pub fn llama2_7b() -> Self {
+        Self {
+            d: 4096,
+            heads: 32,
+            ffn: 11008,
+            gated_ffn: true,
+            retention: false,
+        }
+    }
+
+    /// Llama2-13B: d=5120, SwiGLU FFN of 13824.
+    pub fn llama2_13b() -> Self {
+        Self {
+            d: 5120,
+            heads: 40,
+            ffn: 13824,
+            gated_ffn: true,
+            retention: false,
+        }
+    }
+
+    /// RetNet-1.3B: d=2048 with retention instead of softmax attention.
+    pub fn retnet_1_3b() -> Self {
+        Self {
+            d: 2048,
+            heads: 8,
+            ffn: 4096,
+            gated_ffn: true,
+            retention: true,
+        }
+    }
+
+    /// Parameters of one layer (weights only, no embeddings).
+    pub fn layer_params(&self) -> usize {
+        let attn = 4 * self.d * self.d;
+        let ffn = if self.gated_ffn {
+            3 * self.d * self.ffn
+        } else {
+            2 * self.d * self.ffn
+        };
+        attn + ffn
+    }
+}
+
+/// One decode layer over `[tokens, d]`.
+fn decode_layer(
+    b: &mut Builder<'_>,
+    tag: &str,
+    x: usize,
+    cfg: &DecoderCfg,
+    tokens: usize,
+) -> Result<usize> {
+    let d = cfg.d;
+    let ln1 = b.layer_norm(&format!("{tag}_ln1"), x, tokens, d)?;
+    let mixed = if cfg.retention {
+        // Retention (RetNet): a decayed linear attention. The decode-step
+        // compute is the same dense projections plus an element-wise decay
+        // gate — no softmax over the cache.
+        let q = b.linear(&format!("{tag}_q"), ln1, tokens, d, d, false, None)?;
+        let state = b.weight(&format!("{tag}_state"), vec![d, d]);
+        let s = b.activation(&format!("{tag}_ret"), vec![tokens, d]);
+        b.graph.add_node(
+            format!("{tag}_ret_mm"),
+            t10_ir::builders::matmul(q, state, s, tokens, d, d)?,
+        )?;
+        let g = b.linear(
+            &format!("{tag}_g"),
+            ln1,
+            tokens,
+            d,
+            d,
+            false,
+            Some(Unary::Sigmoid),
+        )?;
+        let gated = b.activation(&format!("{tag}_gated"), vec![tokens, d]);
+        b.graph.add_node(
+            format!("{tag}_gate"),
+            t10_ir::builders::binary(s, g, gated, vec![tokens, d], Combine::Mul)?,
+        )?;
+        b.linear(&format!("{tag}_wo"), gated, tokens, d, d, false, None)?
+    } else {
+        b.attention(&format!("{tag}_attn"), ln1, tokens, d, cfg.heads, KV_LEN)?
+    };
+    let res1 = b.residual(&format!("{tag}_r1"), x, mixed, vec![tokens, d])?;
+    let ln2 = b.layer_norm(&format!("{tag}_ln2"), res1, tokens, d)?;
+    let ff = if cfg.gated_ffn {
+        let up = b.linear(&format!("{tag}_up"), ln2, tokens, d, cfg.ffn, false, None)?;
+        let gate = b.linear(
+            &format!("{tag}_gate"),
+            ln2,
+            tokens,
+            d,
+            cfg.ffn,
+            false,
+            Some(Unary::Sigmoid),
+        )?;
+        let act = b.activation(&format!("{tag}_swiglu"), vec![tokens, cfg.ffn]);
+        b.graph.add_node(
+            format!("{tag}_mulgate"),
+            t10_ir::builders::binary(up, gate, act, vec![tokens, cfg.ffn], Combine::Mul)?,
+        )?;
+        b.linear(&format!("{tag}_down"), act, tokens, cfg.ffn, d, false, None)?
+    } else {
+        let up = b.linear(
+            &format!("{tag}_up"),
+            ln2,
+            tokens,
+            d,
+            cfg.ffn,
+            true,
+            Some(Unary::Relu),
+        )?;
+        b.linear(&format!("{tag}_down"), up, tokens, cfg.ffn, d, true, None)?
+    };
+    b.residual(&format!("{tag}_r2"), res1, ff, vec![tokens, d])
+}
+
+/// Builds `layers` decode layers for `batch` concurrent sequences.
+pub fn decoder_layers(
+    name: &str,
+    cfg: DecoderCfg,
+    layers: usize,
+    batch: usize,
+) -> Result<Graph> {
+    let mut g = Graph::new(format!("{name}-l{layers}-bs{batch}"));
+    let x0 = g.add_value("x", vec![batch, cfg.d], DType::F16, ValueKind::Input);
+    let mut b = Builder::new(&mut g, DType::F16);
+    let mut x = x0;
+    for l in 0..layers {
+        x = decode_layer(&mut b, &format!("l{l}"), x, &cfg, batch)?;
+    }
+    // Final copy to the output value.
+    let out = b
+        .graph
+        .add_value("out", vec![batch, cfg.d], DType::F16, ValueKind::Output);
+    b.graph.add_node(
+        "out_copy",
+        t10_ir::builders::unary(x, out, vec![batch, cfg.d], Unary::Scale(1.0))?,
+    )?;
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_parameter_counts_match_models() {
+        // Full-model totals: layer params × layer count ≈ Table 2 sizes
+        // (embeddings excluded).
+        let cases = [
+            (DecoderCfg::opt_1_3b(), 24, 1.3e9, 0.75),
+            (DecoderCfg::opt_13b(), 40, 13e9, 0.75),
+            (DecoderCfg::llama2_7b(), 32, 7e9, 0.8),
+            (DecoderCfg::llama2_13b(), 40, 13e9, 0.8),
+            (DecoderCfg::retnet_1_3b(), 24, 1.3e9, 0.6),
+        ];
+        for (cfg, layers, total, min_frac) in cases {
+            let model_params = cfg.layer_params() as f64 * layers as f64;
+            let frac = model_params / total;
+            assert!(
+                frac > min_frac && frac < 1.2,
+                "layer params cover {frac:.2} of the model"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_layer_builds_and_has_kv_cache() {
+        let g = decoder_layers("opt-1.3b", DecoderCfg::opt_1_3b(), 2, 4).unwrap();
+        // Persistent weights include the KV caches.
+        let kv_bytes = 2 * 2 * 2048 * KV_LEN * 2; // 2 layers × K+V × d × kv × f16
+        assert!(g.parameter_bytes() > kv_bytes);
+        assert!(g.nodes().len() > 20);
+    }
+
+    #[test]
+    fn retnet_has_no_softmax() {
+        let g = decoder_layers("retnet", DecoderCfg::retnet_1_3b(), 1, 2).unwrap();
+        // Softmax decomposes into a Reduce::Max node; retention has none.
+        let has_max_reduce = g.nodes().iter().any(|n| {
+            n.op.kind == t10_ir::OpKind::Reduce && n.op.reduce == t10_ir::Reduce::Max
+        });
+        assert!(!has_max_reduce);
+    }
+
+    #[test]
+    fn gated_ffn_has_three_projections() {
+        let llama = decoder_layers("llama", DecoderCfg::llama2_7b(), 1, 2).unwrap();
+        let opt = decoder_layers("opt", DecoderCfg::opt_6_7b(), 1, 2).unwrap();
+        // Same hidden width; Llama2's SwiGLU adds a projection but its ffn
+        // width is smaller — parameter counts stay within 2x.
+        let lw = llama.parameter_count();
+        let ow = opt.parameter_count();
+        assert!(lw as f64 / ow as f64 > 0.5 && (lw as f64 / ow as f64) < 2.0);
+    }
+}

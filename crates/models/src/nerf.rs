@@ -1,0 +1,100 @@
+//! NeRF (Mildenhall et al.; Table 2: 3-D scene synthesis, ≈ 24 K params).
+//!
+//! A narrow fully-connected network evaluated over an enormous number of
+//! ray samples — the workload whose huge input activations and tiny weights
+//! make T10 "minimize the inter-core movements of their large input
+//! activation tensors, by efficiently sharing the smaller model weights
+//! across the cores" (paper §6.2).
+//!
+//! One batch unit is 4,096 rays × 192 samples = 786,432 network queries,
+//! matching the per-iteration ray batch of the original NeRF renderer. The
+//! total live activation volume across the whole MLP is what breaks the
+//! vendor runtime's no-liveness memory policy even at batch 1 (Figure 12's
+//! missing PopART bars for NeRF).
+
+use t10_ir::{DType, Graph, Unary, ValueKind};
+
+use crate::common::Builder;
+use crate::Result;
+
+/// Network width (24 K parameters at width 64 with the view head).
+pub const WIDTH: usize = 64;
+/// Positional-encoding input features (x,y,z at 10 frequencies).
+pub const POS_ENC: usize = 60;
+/// Ray samples per batch unit.
+pub const SAMPLES_PER_BATCH: usize = 4096 * 192;
+
+/// Builds the NeRF MLP for `batch` ray batches.
+pub fn nerf(batch: usize) -> Result<Graph> {
+    let rays = batch * SAMPLES_PER_BATCH;
+    let mut g = Graph::new(format!("nerf-bs{batch}"));
+    let x0 = g.add_value(
+        "pos_enc",
+        vec![rays, POS_ENC],
+        DType::F16,
+        ValueKind::Input,
+    );
+    let mut b = Builder::new(&mut g, DType::F16);
+    let mut x = b.linear("in", x0, rays, POS_ENC, WIDTH, true, Some(Unary::Relu))?;
+    for l in 0..4 {
+        x = b.linear(
+            &format!("h{l}"),
+            x,
+            rays,
+            WIDTH,
+            WIDTH,
+            true,
+            Some(Unary::Relu),
+        )?;
+    }
+    // Density head (1 value) and RGB head (3 values) as one 4-wide output.
+    let w = b.weight("head_w", vec![WIDTH, 4]);
+    let rgba = b
+        .graph
+        .add_value("rgba", vec![rays, 4], DType::F16, ValueKind::Output);
+    let mut op = t10_ir::builders::matmul(x, w, rgba, rays, WIDTH, 4)?;
+    op.unary = Some(Unary::Sigmoid);
+    b.graph.add_node("head", op)?;
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_count_matches_table2() {
+        let g = nerf(1).unwrap();
+        let params = g.parameter_count();
+        // Table 2 lists 24 K.
+        assert!((18_000..30_000).contains(&params), "params = {params}");
+    }
+
+    #[test]
+    fn activations_dwarf_weights() {
+        let g = nerf(1).unwrap();
+        let act: usize = g
+            .values()
+            .iter()
+            .filter(|v| v.kind == ValueKind::Activation)
+            .map(|v| v.bytes())
+            .sum();
+        assert!(act > 100 * g.parameter_bytes());
+    }
+
+    #[test]
+    fn no_liveness_total_exceeds_chip_memory() {
+        // The property that breaks the vendor runtime at batch 1.
+        let g = nerf(1).unwrap();
+        let total: usize = g
+            .values()
+            .iter()
+            .filter(|v| {
+                matches!(v.kind, ValueKind::Activation | ValueKind::Output)
+            })
+            .map(|v| v.bytes())
+            .sum();
+        let chip = 1472 * 624 * 1024;
+        assert!(total > chip, "activations {total} vs chip {chip}");
+    }
+}

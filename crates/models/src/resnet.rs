@@ -1,0 +1,357 @@
+//! ResNet-18 (He et al.; Table 2: CNN vision model, ≈ 11 M parameters).
+//!
+//! "Same" convolutions are realized through the IR's padded-output
+//! mechanism: each activation value is declared at its padded extent and the
+//! producing operator writes into the interior (output index `h + pad`); the
+//! untouched border keeps the zero init, which is exactly zero padding for
+//! the next window operator. Shapes therefore follow the canonical ResNet-18
+//! 224 → 112 → 56 → 28 → 14 → 7 progression.
+
+use t10_ir::{
+    builders, Axis, Combine, DType, Graph, IndexExpr, OpKind, Operator, Reduce, TensorExpr, Unary,
+    ValueId, ValueKind,
+};
+
+use crate::common::Builder;
+use crate::Result;
+
+/// A feature-map value with its logical (unpadded) spatial size and the
+/// declared padding of the stored value.
+#[derive(Debug, Clone, Copy)]
+struct Feat {
+    value: ValueId,
+    c: usize,
+    /// Interior (semantic) height/width.
+    hw: usize,
+    /// Border width baked into the declared value.
+    pad: usize,
+}
+
+/// A same-convolution: consumes `x`'s padded value, produces `[hw_out]`
+/// interior inside a value padded by `out_pad`.
+#[expect(clippy::too_many_arguments)]
+fn conv(
+    b: &mut Builder<'_>,
+    tag: &str,
+    batch: usize,
+    x: Feat,
+    c_out: usize,
+    k: usize,
+    stride: usize,
+    out_pad: usize,
+    relu: bool,
+) -> Result<Feat> {
+    let hw_out = x.hw.div_ceil(stride);
+    let declared_in = x.hw + 2 * x.pad;
+    // The window must stay inside the declared input extent.
+    let needed = stride * (hw_out - 1) + k;
+    assert!(
+        needed <= declared_in,
+        "{tag}: window {needed} exceeds declared {declared_in}"
+    );
+    let declared_out = hw_out + 2 * out_pad;
+    let kernel = b.weight(&format!("{tag}_k"), vec![c_out, x.c, k, k]);
+    let out = b.activation(
+        &format!("{tag}_out"),
+        vec![batch, c_out, declared_out, declared_out],
+    );
+    // Expression: O[b, f, h+out_pad, w+out_pad] += I[b, c, s*h+kh, s*w+kw].
+    let expr = TensorExpr::new(
+        vec![
+            Axis::spatial("b", batch),
+            Axis::spatial("f", c_out),
+            Axis::spatial("h", hw_out),
+            Axis::spatial("w", hw_out),
+            Axis::reduction("c", x.c),
+            Axis::reduction("kh", k),
+            Axis::reduction("kw", k),
+        ],
+        vec![
+            vec![
+                IndexExpr::axis(0),
+                IndexExpr::axis(4),
+                IndexExpr::affine(vec![(2, stride), (5, 1)]),
+                IndexExpr::affine(vec![(3, stride), (6, 1)]),
+            ],
+            vec![
+                IndexExpr::axis(1),
+                IndexExpr::axis(4),
+                IndexExpr::axis(5),
+                IndexExpr::axis(6),
+            ],
+        ],
+        vec![
+            IndexExpr::axis(0),
+            IndexExpr::axis(1),
+            IndexExpr::axis(2).with_offset(out_pad),
+            IndexExpr::axis(3).with_offset(out_pad),
+        ],
+    )?;
+    let op = Operator {
+        kind: OpKind::Conv2d,
+        expr,
+        combine: Combine::Mul,
+        reduce: Reduce::Sum,
+        unary: relu.then_some(Unary::Relu),
+        inputs: vec![x.value, kernel],
+        output: out,
+    };
+    b.graph.add_node(tag.to_string(), op)?;
+    Ok(Feat {
+        value: out,
+        c: c_out,
+        hw: hw_out,
+        pad: out_pad,
+    })
+}
+
+fn basic_block(
+    b: &mut Builder<'_>,
+    tag: &str,
+    batch: usize,
+    x: Feat,
+    c_out: usize,
+    stride: usize,
+) -> Result<Feat> {
+    let main1 = conv(b, &format!("{tag}_c1"), batch, x, c_out, 3, stride, 1, true)?;
+    let main2 = conv(b, &format!("{tag}_c2"), batch, main1, c_out, 3, 1, 1, false)?;
+    let skip = if stride != 1 || c_out != x.c {
+        conv(b, &format!("{tag}_ds"), batch, x, c_out, 1, stride, 1, false)?
+    } else {
+        x
+    };
+    debug_assert_eq!(skip.hw, main2.hw);
+    debug_assert_eq!(skip.pad, main2.pad);
+    let declared = main2.hw + 2 * main2.pad;
+    let shape = vec![batch, c_out, declared, declared];
+    let sum = b.activation(&format!("{tag}_sum"), shape.clone());
+    let mut op = builders::binary(main2.value, skip.value, sum, shape, Combine::Add)?;
+    op.unary = Some(Unary::Relu);
+    b.graph.add_node(format!("{tag}_add"), op)?;
+    Ok(Feat {
+        value: sum,
+        c: c_out,
+        hw: main2.hw,
+        pad: main2.pad,
+    })
+}
+
+/// Max pool over the padded input, writing a padded output. The ReLU
+/// epilogue also clamps the `-inf` reduction identity on the border to 0.
+fn max_pool(
+    b: &mut Builder<'_>,
+    tag: &str,
+    batch: usize,
+    x: Feat,
+    k: usize,
+    stride: usize,
+    out_pad: usize,
+) -> Result<Feat> {
+    let hw_out = x.hw.div_ceil(stride);
+    let declared_out = hw_out + 2 * out_pad;
+    let out = b.activation(
+        &format!("{tag}_out"),
+        vec![batch, x.c, declared_out, declared_out],
+    );
+    let expr = TensorExpr::new(
+        vec![
+            Axis::spatial("b", batch),
+            Axis::spatial("c", x.c),
+            Axis::spatial("h", hw_out),
+            Axis::spatial("w", hw_out),
+            Axis::reduction("kh", k),
+            Axis::reduction("kw", k),
+        ],
+        vec![vec![
+            IndexExpr::axis(0),
+            IndexExpr::axis(1),
+            IndexExpr::affine(vec![(2, stride), (4, 1)]),
+            IndexExpr::affine(vec![(3, stride), (5, 1)]),
+        ]],
+        vec![
+            IndexExpr::axis(0),
+            IndexExpr::axis(1),
+            IndexExpr::axis(2).with_offset(out_pad),
+            IndexExpr::axis(3).with_offset(out_pad),
+        ],
+    )?;
+    let op = Operator {
+        kind: OpKind::Pool,
+        expr,
+        combine: Combine::First,
+        reduce: Reduce::Max,
+        unary: Some(Unary::Relu),
+        inputs: vec![x.value],
+        output: out,
+    };
+    b.graph.add_node(tag.to_string(), op)?;
+    Ok(Feat {
+        value: out,
+        c: x.c,
+        hw: hw_out,
+        pad: out_pad,
+    })
+}
+
+/// Global average pool over the interior: `O[b, c] = mean_{h,w} I[...]`.
+fn global_avg_pool(b: &mut Builder<'_>, tag: &str, batch: usize, x: Feat) -> Result<ValueId> {
+    let expr = TensorExpr::new(
+        vec![
+            Axis::spatial("b", batch),
+            Axis::spatial("c", x.c),
+            Axis::reduction("h", x.hw),
+            Axis::reduction("w", x.hw),
+        ],
+        vec![vec![
+            IndexExpr::axis(0),
+            IndexExpr::axis(1),
+            IndexExpr::axis(2).with_offset(x.pad),
+            IndexExpr::axis(3).with_offset(x.pad),
+        ]],
+        vec![IndexExpr::axis(0), IndexExpr::axis(1)],
+    )?;
+    let out = b.activation(&format!("{tag}_gap"), vec![batch, x.c]);
+    let op = Operator {
+        kind: OpKind::Reduce,
+        expr,
+        combine: Combine::First,
+        reduce: Reduce::Sum,
+        unary: Some(Unary::Scale(1.0 / (x.hw * x.hw) as f32)),
+        inputs: vec![x.value],
+        output: out,
+    };
+    b.graph.add_node(tag.to_string(), op)?;
+    Ok(out)
+}
+
+/// Builds ResNet-18 for `batch` 224×224 images (declared pre-padded by 3
+/// for the 7×7 stem).
+pub fn resnet18(batch: usize) -> Result<Graph> {
+    let mut g = Graph::new(format!("resnet18-bs{batch}"));
+    let input = g.add_value(
+        "image",
+        vec![batch, 3, 230, 230],
+        DType::F16,
+        ValueKind::Input,
+    );
+    let mut b = Builder::new(&mut g, DType::F16);
+    let mut x = Feat {
+        value: input,
+        c: 3,
+        hw: 224,
+        pad: 3,
+    };
+    // Stem: 7×7/2 conv (out 112, pad 1) + 3×3/2 max pool (out 56, pad 1).
+    x = conv(&mut b, "stem", batch, x, 64, 7, 2, 1, true)?;
+    x = max_pool(&mut b, "stem_pool", batch, x, 3, 2, 1)?;
+    // Four stages of two basic blocks each: 56, 28, 14, 7.
+    for (stage, (c, s)) in [(64usize, 1usize), (128, 2), (256, 2), (512, 2)]
+        .iter()
+        .enumerate()
+    {
+        x = basic_block(&mut b, &format!("l{stage}b0"), batch, x, *c, *s)?;
+        x = basic_block(&mut b, &format!("l{stage}b1"), batch, x, *c, 1)?;
+    }
+    // Head.
+    let gap = global_avg_pool(&mut b, "head", batch, x)?;
+    let w = b.weight("fc_w", vec![512, 1000]);
+    let logits = b
+        .graph
+        .add_value("logits", vec![batch, 1000], DType::F16, ValueKind::Output);
+    let op = builders::matmul(gap, w, logits, batch, 512, 1000)?;
+    b.graph.add_node("fc", op)?;
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_count_matches_table2() {
+        let g = resnet18(1).unwrap();
+        let params = g.parameter_count();
+        // ResNet-18 has ≈ 11.2 M weights (we omit batch-norm scales, < 1%).
+        assert!(
+            (10_500_000..12_500_000).contains(&params),
+            "params = {params}"
+        );
+    }
+
+    #[test]
+    fn batch_scales_activations_not_weights() {
+        let g1 = resnet18(1).unwrap();
+        let g8 = resnet18(8).unwrap();
+        assert_eq!(g1.parameter_count(), g8.parameter_count());
+        assert!(g8.total_flops() > 7 * g1.total_flops());
+    }
+
+    #[test]
+    fn structure_has_expected_depth() {
+        let g = resnet18(1).unwrap();
+        let convs = g
+            .nodes()
+            .iter()
+            .filter(|n| n.op.kind == t10_ir::OpKind::Conv2d)
+            .count();
+        // 1 stem + 16 block convs + 3 downsample 1×1 = 20.
+        assert_eq!(convs, 20);
+        assert!(g.nodes().iter().any(|n| n.op.kind == t10_ir::OpKind::Pool));
+    }
+
+    #[test]
+    fn flops_match_resnet18() {
+        // ResNet-18 at 224² is ≈ 1.8 GMACs = 3.6 GFLOPs per image.
+        let g = resnet18(1).unwrap();
+        let gflops = g.total_flops() as f64 / 1e9;
+        assert!((3.0..4.2).contains(&gflops), "gflops = {gflops}");
+    }
+
+    #[test]
+    fn spatial_progression_is_canonical() {
+        // Final stage produces 7×7 interiors: the GAP node reduces 7×7.
+        let g = resnet18(1).unwrap();
+        let gap = g
+            .nodes()
+            .iter()
+            .find(|n| n.op.kind == t10_ir::OpKind::Reduce)
+            .unwrap();
+        let h_axis = gap.op.expr.axes.iter().find(|a| a.name == "h").unwrap();
+        assert_eq!(h_axis.size, 7);
+    }
+
+    #[test]
+    fn reference_execution_of_tiny_variant() {
+        // A numeric smoke test of the padded-conv mechanism on a small
+        // hand-built block.
+        use t10_ir::{reference, Tensor};
+        let mut g = Graph::new("tiny");
+        let inp = g.add_value("in", vec![1, 1, 6, 6], DType::F32, ValueKind::Input);
+        let mut b = Builder::new(&mut g, DType::F32);
+        let x = Feat {
+            value: inp,
+            c: 1,
+            hw: 4,
+            pad: 1,
+        };
+        let y = conv(&mut b, "c", 1, x, 1, 3, 1, 1, false).unwrap();
+        // All-ones input interior and kernel: interior of the output counts
+        // the 3×3 window coverage of the padded input.
+        let mut it = Tensor::zeros(vec![1, 1, 6, 6]);
+        for h in 1..5 {
+            for w in 1..5 {
+                it.set(&[0, 0, h, w], 1.0);
+            }
+        }
+        let kt = Tensor::fill(vec![1, 1, 3, 3], 1.0);
+        let vals = reference::execute_graph(&g, &[(inp, it), (1, kt)]).unwrap();
+        let out = vals[y.value].as_ref().unwrap();
+        assert_eq!(out.shape(), &[1, 1, 6, 6]);
+        // Center cells see the full 3×3 = 9 ones; corners of the interior
+        // see 4; the declared border stays zero.
+        assert_eq!(out.at(&[0, 0, 2, 2]), 9.0);
+        assert_eq!(out.at(&[0, 0, 1, 1]), 4.0);
+        assert_eq!(out.at(&[0, 0, 0, 0]), 0.0);
+        assert_eq!(out.at(&[0, 0, 5, 5]), 0.0);
+    }
+}

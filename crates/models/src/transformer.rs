@@ -1,0 +1,183 @@
+//! Encoder transformers: BERT-Large and ViT-Base (Table 2).
+//!
+//! BERT-Large: 24 layers, hidden 1024, 16 heads, FFN 4096, WordPiece
+//! embedding over a 30,522-token vocabulary (the gather operator that
+//! dominates Figure 18's `GatherV2` search space). ≈ 340 M parameters.
+//!
+//! ViT-Base: 16×16 patch embedding of a 224×224 image, 12 layers, hidden
+//! 768, 12 heads, FFN 3072. ≈ 86 M parameters.
+
+use t10_ir::{builders, DType, Graph, Unary, ValueKind};
+
+use crate::common::Builder;
+use crate::Result;
+
+/// Configuration of an encoder transformer.
+#[derive(Debug, Clone, Copy)]
+pub struct EncoderCfg {
+    /// Number of transformer layers.
+    pub layers: usize,
+    /// Hidden width.
+    pub d: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Feed-forward inner width.
+    pub ffn: usize,
+    /// Tokens per sequence.
+    pub seq: usize,
+}
+
+/// One encoder layer over `[tokens, d]`.
+pub fn encoder_layer(b: &mut Builder<'_>, tag: &str, x: usize, cfg: &EncoderCfg, tokens: usize) -> Result<usize> {
+    let d = cfg.d;
+    let attn = b.attention(&format!("{tag}_attn"), x, tokens, d, cfg.heads, tokens)?;
+    let res1 = b.residual(&format!("{tag}_r1"), x, attn, vec![tokens, d])?;
+    let ln1 = b.layer_norm(&format!("{tag}_ln1"), res1, tokens, d)?;
+    let up = b.linear(&format!("{tag}_up"), ln1, tokens, d, cfg.ffn, true, Some(Unary::Gelu))?;
+    let down = b.linear(&format!("{tag}_down"), up, tokens, cfg.ffn, d, true, None)?;
+    let res2 = b.residual(&format!("{tag}_r2"), ln1, down, vec![tokens, d])?;
+    b.layer_norm(&format!("{tag}_ln2"), res2, tokens, d)
+}
+
+/// BERT-Large for `batch` sequences of 128 tokens (a standard inference
+/// sequence length; keeps the vendor baseline within memory at batch 1).
+pub fn bert_large(batch: usize) -> Result<Graph> {
+    let cfg = EncoderCfg {
+        layers: 24,
+        d: 1024,
+        heads: 16,
+        ffn: 4096,
+        seq: 128,
+    };
+    encoder_with_embedding("bert-large", batch, cfg, Some(30_522))
+}
+
+/// ViT-Base for `batch` 224×224 images.
+pub fn vit_base(batch: usize) -> Result<Graph> {
+    let cfg = EncoderCfg {
+        layers: 12,
+        d: 768,
+        heads: 12,
+        ffn: 3072,
+        seq: 196,
+    };
+    let mut g = Graph::new(format!("vit-base-bs{batch}"));
+    let tokens = batch * cfg.seq;
+    // Patch embedding, in the ViT paper's own formulation: flatten each
+    // 16×16×3 patch (768 values) and linearly project to d.
+    let patch_dim = 16 * 16 * 3;
+    let patches = g.add_value(
+        "patches",
+        vec![tokens, patch_dim],
+        DType::F16,
+        ValueKind::Input,
+    );
+    let mut b = Builder::new(&mut g, DType::F16);
+    let proj = b.weight("patch_w", vec![patch_dim, cfg.d]);
+    let tok0 = b.activation("tokens", vec![tokens, cfg.d]);
+    b.graph.add_node(
+        "patch_embed",
+        builders::matmul(patches, proj, tok0, tokens, patch_dim, cfg.d)?,
+    )?;
+    let mut x = tok0;
+    for l in 0..cfg.layers {
+        x = encoder_layer(&mut b, &format!("l{l}"), x, &cfg, tokens)?;
+    }
+    let head_w = b.weight("head_w", vec![cfg.d, 1000]);
+    let logits = b
+        .graph
+        .add_value("logits", vec![tokens, 1000], DType::F16, ValueKind::Output);
+    let op = builders::matmul(x, head_w, logits, tokens, cfg.d, 1000)?;
+    b.graph.add_node("head", op)?;
+    Ok(g)
+}
+
+/// Shared builder: optional gather embedding plus the layer stack.
+fn encoder_with_embedding(
+    name: &str,
+    batch: usize,
+    cfg: EncoderCfg,
+    vocab: Option<usize>,
+) -> Result<Graph> {
+    let mut g = Graph::new(format!("{name}-bs{batch}"));
+    let tokens = batch * cfg.seq;
+    let x0 = match vocab {
+        Some(v) => {
+            let ids = g.add_value("ids", vec![tokens], DType::I32, ValueKind::Input);
+            let table = g.add_value("wordpiece", vec![v, cfg.d], DType::F16, ValueKind::Weight);
+            let emb = g.add_value(
+                "embedding",
+                vec![tokens, cfg.d],
+                DType::F16,
+                ValueKind::Activation,
+            );
+            g.add_node("embed", builders::gather(table, ids, emb, v, tokens, cfg.d)?)?;
+            emb
+        }
+        None => g.add_value("x", vec![tokens, cfg.d], DType::F16, ValueKind::Input),
+    };
+    let mut b = Builder::new(&mut g, DType::F16);
+    let mut x = x0;
+    for l in 0..cfg.layers {
+        x = encoder_layer(&mut b, &format!("l{l}"), x, &cfg, tokens)?;
+    }
+    // Pooler head.
+    let w = b.weight("pool_w", vec![cfg.d, cfg.d]);
+    let out = b
+        .graph
+        .add_value("pooled", vec![tokens, cfg.d], DType::F16, ValueKind::Output);
+    let mut op = builders::matmul(x, w, out, tokens, cfg.d, cfg.d)?;
+    op.unary = Some(Unary::Tanh);
+    b.graph.add_node("pooler", op)?;
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bert_large_parameter_count() {
+        let g = bert_large(1).unwrap();
+        let m = g.parameter_count() as f64 / 1e6;
+        // Table 2: 340 M (we model word embeddings + encoder + pooler).
+        assert!((300.0..380.0).contains(&m), "params = {m} M");
+    }
+
+    #[test]
+    fn vit_base_parameter_count() {
+        let g = vit_base(1).unwrap();
+        let m = g.parameter_count() as f64 / 1e6;
+        assert!((80.0..95.0).contains(&m), "params = {m} M");
+    }
+
+    #[test]
+    fn bert_has_gather_embedding() {
+        let g = bert_large(1).unwrap();
+        assert!(g
+            .nodes()
+            .iter()
+            .any(|n| n.op.kind == t10_ir::OpKind::Gather));
+    }
+
+    #[test]
+    fn batch_scales_tokens() {
+        let g1 = bert_large(1).unwrap();
+        let g2 = bert_large(2).unwrap();
+        assert_eq!(g1.parameter_count(), g2.parameter_count());
+        assert!(g2.total_flops() > g1.total_flops());
+    }
+
+    #[test]
+    fn vit_structure() {
+        let g = vit_base(1).unwrap();
+        // Patch embedding is the ViT-paper flatten-and-project matmul.
+        // 12 layers × (attention + FFN) of matmuls.
+        let mms = g
+            .nodes()
+            .iter()
+            .filter(|n| n.op.kind == t10_ir::OpKind::MatMul)
+            .count();
+        assert!(mms >= 12 * 6, "matmuls = {mms}");
+    }
+}

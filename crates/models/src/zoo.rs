@@ -1,0 +1,95 @@
+//! The model registry: every network of Table 2 behind one interface.
+
+use t10_ir::Graph;
+
+use crate::llm::{decoder_layers, DecoderCfg};
+use crate::nerf::nerf;
+use crate::resnet::resnet18;
+use crate::transformer::{bert_large, vit_base};
+use crate::Result;
+
+/// A buildable model of the evaluation suite.
+pub struct ModelSpec {
+    /// Model name as used in the paper's figures.
+    pub name: &'static str,
+    /// One-line description (Table 2).
+    pub description: &'static str,
+    /// Published parameter count (approximate).
+    pub params: &'static str,
+    /// Graph builder for a given batch size.
+    pub build: fn(usize) -> Result<Graph>,
+}
+
+/// The DNN inference models of Figure 12 (CNNs, transformers, MLPs).
+pub fn all_models() -> Vec<ModelSpec> {
+    vec![
+        ModelSpec {
+            name: "BERT",
+            description: "Natural Language Processing",
+            params: "340M",
+            build: bert_large,
+        },
+        ModelSpec {
+            name: "ViT",
+            description: "Transformer-based Vision",
+            params: "86M",
+            build: vit_base,
+        },
+        ModelSpec {
+            name: "ResNet",
+            description: "CNN-based Vision",
+            params: "11M",
+            build: resnet18,
+        },
+        ModelSpec {
+            name: "NeRF",
+            description: "3D Scene Synthesis",
+            params: "24K",
+            build: nerf,
+        },
+    ]
+}
+
+/// The LLM decode workloads of Figure 23, as per-chip layer subsets.
+pub fn llm_models() -> Vec<(&'static str, DecoderCfg, usize)> {
+    vec![
+        ("OPT-1.3B", DecoderCfg::opt_1_3b(), 4),
+        ("OPT-13B", DecoderCfg::opt_13b(), 1),
+        ("Llama2-7B", DecoderCfg::llama2_7b(), 2),
+        ("Llama2-13B", DecoderCfg::llama2_13b(), 1),
+        ("RetNet-1.3B", DecoderCfg::retnet_1_3b(), 4),
+    ]
+}
+
+/// Builds one LLM entry.
+pub fn build_llm(name: &str, cfg: DecoderCfg, layers: usize, batch: usize) -> Result<Graph> {
+    decoder_layers(name, cfg, layers, batch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_models_build_at_batch_one() {
+        for spec in all_models() {
+            let g = (spec.build)(1).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            assert!(!g.nodes().is_empty(), "{}", spec.name);
+            assert!(g.parameter_count() > 0, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn llm_models_build() {
+        for (name, cfg, layers) in llm_models() {
+            let g = build_llm(name, cfg, layers, 8).unwrap();
+            assert!(g.nodes().len() > 10, "{name}");
+        }
+    }
+
+    #[test]
+    fn registry_matches_table2() {
+        let names: Vec<&str> = all_models().iter().map(|m| m.name).collect();
+        assert_eq!(names, vec!["BERT", "ViT", "ResNet", "NeRF"]);
+    }
+}

@@ -1,0 +1,405 @@
+//! Functional per-core buffers with rotating coordinate windows.
+//!
+//! A rotating sub-tensor partition (paper §4.1) is represented as a dense
+//! block of elements plus, per dimension, the *global* coordinates the block
+//! currently covers, kept in FIFO storage order. A rotation retires `rp`
+//! coordinate slices from the front and appends the slices received from the
+//! upstream neighbour at the back — exactly the circular shift of Figure 6,
+//! including the sliding-window case where the rotating pace is smaller than
+//! the partition length (Figure 7 (d)).
+
+use crate::{sim_err, Result};
+
+/// A dense f32 block with per-dimension global coordinate lists.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncBuffer {
+    coords: Vec<Vec<usize>>,
+    data: Vec<f32>,
+}
+
+impl FuncBuffer {
+    /// Creates a buffer covering `coords`, filled with `init`.
+    pub fn new(coords: Vec<Vec<usize>>, init: f32) -> Self {
+        let n: usize = coords.iter().map(Vec::len).product();
+        Self {
+            coords,
+            data: vec![init; n],
+        }
+    }
+
+    /// Per-dimension extents of the stored block.
+    pub fn lens(&self) -> Vec<usize> {
+        self.coords.iter().map(Vec::len).collect()
+    }
+
+    /// Number of stored elements.
+    pub fn elements(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Global coordinates covered, per dimension, in storage order.
+    pub fn coords(&self) -> &[Vec<usize>] {
+        &self.coords
+    }
+
+    /// Flat data slice (storage order).
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat data slice.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Storage position of a global coordinate along one dimension.
+    pub fn pos_of(&self, dim: usize, global: usize) -> Option<usize> {
+        self.coords[dim].iter().position(|&c| c == global)
+    }
+
+    fn offset(&self, global: &[usize]) -> Option<usize> {
+        if global.len() != self.coords.len() {
+            return None;
+        }
+        let mut off = 0;
+        for (dim, &g) in global.iter().enumerate() {
+            let p = self.pos_of(dim, g)?;
+            off = off * self.coords[dim].len() + p;
+        }
+        Some(off)
+    }
+
+    /// Reads the element at global coordinates, if covered.
+    pub fn get(&self, global: &[usize]) -> Option<f32> {
+        self.offset(global).map(|o| self.data[o])
+    }
+
+    /// Writes the element at global coordinates.
+    pub fn set(&mut self, global: &[usize], v: f32) -> Result<()> {
+        let off = self
+            .offset(global)
+            .ok_or_else(|| sim_err!("coordinates {global:?} not covered by buffer"))?;
+        self.data[off] = v;
+        Ok(())
+    }
+
+    /// Merges `v` into the element at global coordinates with a reduction.
+    pub fn merge(&mut self, global: &[usize], reduce: t10_ir::Reduce, v: f32) -> Result<()> {
+        let off = self
+            .offset(global)
+            .ok_or_else(|| sim_err!("coordinates {global:?} not covered by buffer"))?;
+        self.data[off] = reduce.apply(self.data[off], v);
+        Ok(())
+    }
+
+    /// Copies out the front `count` coordinate slices along `dim`.
+    ///
+    /// Returns the slice coordinates and the extracted elements in storage
+    /// order. This is the payload a core ships downstream during a rotation.
+    pub fn front_slab(&self, dim: usize, count: usize) -> Result<(Vec<usize>, Vec<f32>)> {
+        if dim >= self.coords.len() {
+            return Err(sim_err!("slab dim {dim} out of range"));
+        }
+        if count > self.coords[dim].len() {
+            return Err(sim_err!(
+                "slab of {count} slices exceeds dim extent {}",
+                self.coords[dim].len()
+            ));
+        }
+        let slab_coords = self.coords[dim][..count].to_vec();
+        let lens = self.lens();
+        let mut out = Vec::with_capacity(self.data.len() / lens[dim].max(1) * count);
+        self.for_each_index(|pos, off| {
+            if pos[dim] < count {
+                out.push(self.data[off]);
+            }
+        });
+        Ok((slab_coords, out))
+    }
+
+    /// Rotates: drops the front `count` slices along `dim` and appends the
+    /// incoming slab (from the upstream neighbour) at the back.
+    ///
+    /// The incoming slab must have the same cross-section as this buffer.
+    pub fn rotate(
+        &mut self,
+        dim: usize,
+        count: usize,
+        in_coords: &[usize],
+        in_data: &[f32],
+    ) -> Result<()> {
+        if in_coords.len() != count {
+            return Err(sim_err!(
+                "rotation expected {count} incoming slices, got {}",
+                in_coords.len()
+            ));
+        }
+        let lens = self.lens();
+        if dim >= lens.len() || count > lens[dim] {
+            return Err(sim_err!("rotation dim/count out of range"));
+        }
+        let cross: usize = self.data.len() / lens[dim].max(1);
+        if in_data.len() != cross * count {
+            return Err(sim_err!(
+                "rotation slab has {} elements, expected {}",
+                in_data.len(),
+                cross * count
+            ));
+        }
+        // New coordinate order: survivors then incoming.
+        let mut new_coords = self.coords[dim][count..].to_vec();
+        new_coords.extend_from_slice(in_coords);
+
+        // Rebuild data in the new storage order.
+        let mut new_data = vec![0.0f32; self.data.len()];
+        let keep = lens[dim] - count;
+        // Survivor slices move from position `count + i` to position `i`.
+        self.for_each_index(|pos, off| {
+            if pos[dim] >= count {
+                let mut new_pos = pos.to_vec();
+                new_pos[dim] -= count;
+                new_data[flat(&new_pos, &lens)] = self.data[off];
+            }
+        });
+        // Incoming slab lands at positions `keep..keep+count`, in the slab's
+        // own storage order (same cross-section layout).
+        let mut it = in_data.iter();
+        let mut in_pos = vec![0usize; lens.len()];
+        loop {
+            let mut p = in_pos.clone();
+            p[dim] += keep;
+            new_data[flat(&p, &lens)] = *it.next().ok_or_else(|| sim_err!("slab underrun"))?;
+            if !advance_in(&mut in_pos, &lens, dim, count) {
+                break;
+            }
+        }
+        self.coords[dim] = new_coords;
+        self.data = new_data;
+        Ok(())
+    }
+
+    /// Replaces the entire contents and coordinates.
+    pub fn replace(&mut self, coords: Vec<Vec<usize>>, data: Vec<f32>) -> Result<()> {
+        let n: usize = coords.iter().map(Vec::len).product();
+        if n != data.len() {
+            return Err(sim_err!("replace: {} coords vs {} elements", n, data.len()));
+        }
+        self.coords = coords;
+        self.data = data;
+        Ok(())
+    }
+
+    /// Merges another buffer covering the same coordinate set element-wise.
+    pub fn accumulate_from(&mut self, other: &FuncBuffer, reduce: t10_ir::Reduce) -> Result<()> {
+        if other.lens() != self.lens() {
+            return Err(sim_err!(
+                "accumulate: shape mismatch {:?} vs {:?}",
+                other.lens(),
+                self.lens()
+            ));
+        }
+        // Fast path: identical coordinate order.
+        if other.coords == self.coords {
+            for (d, s) in self.data.iter_mut().zip(&other.data) {
+                *d = reduce.apply(*d, *s);
+            }
+            return Ok(());
+        }
+        let mut res: Result<()> = Ok(());
+        other.for_each_coord(|global, v| {
+            if res.is_ok() {
+                res = self.merge(global, reduce, v);
+            }
+        });
+        res
+    }
+
+    fn for_each_index(&self, mut f: impl FnMut(&[usize], usize)) {
+        let lens = self.lens();
+        if self.data.is_empty() {
+            return;
+        }
+        let mut pos = vec![0usize; lens.len()];
+        let mut off = 0;
+        loop {
+            f(&pos, off);
+            off += 1;
+            let mut done = true;
+            for d in (0..pos.len()).rev() {
+                pos[d] += 1;
+                if pos[d] < lens[d] {
+                    done = false;
+                    break;
+                }
+                pos[d] = 0;
+            }
+            if done {
+                break;
+            }
+        }
+    }
+
+    /// Invokes `f` with the global coordinates and value of every element.
+    pub fn for_each_coord(&self, mut f: impl FnMut(&[usize], f32)) {
+        let mut global = vec![0usize; self.coords.len()];
+        self.for_each_index(|pos, off| {
+            for (d, &p) in pos.iter().enumerate() {
+                global[d] = self.coords[d][p];
+            }
+            f(&global, self.data[off]);
+        });
+    }
+}
+
+fn flat(pos: &[usize], lens: &[usize]) -> usize {
+    let mut off = 0;
+    for (p, l) in pos.iter().zip(lens) {
+        off = off * l + p;
+    }
+    off
+}
+
+/// Odometer over a block whose `dim` extent is `count` and all other extents
+/// come from `lens`.
+fn advance_in(pos: &mut [usize], lens: &[usize], dim: usize, count: usize) -> bool {
+    for d in (0..pos.len()).rev() {
+        let extent = if d == dim { count } else { lens[d] };
+        pos[d] += 1;
+        if pos[d] < extent {
+            return true;
+        }
+        pos[d] = 0;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t10_ir::Reduce;
+
+    fn buf2x3() -> FuncBuffer {
+        // Coordinates rows {10, 11}, cols {0, 1, 2}; values 0..6.
+        let mut b = FuncBuffer::new(vec![vec![10, 11], vec![0, 1, 2]], 0.0);
+        for (i, v) in b.data_mut().iter_mut().enumerate() {
+            *v = i as f32;
+        }
+        b
+    }
+
+    #[test]
+    fn get_set_by_global_coords() {
+        let mut b = buf2x3();
+        assert_eq!(b.get(&[10, 0]), Some(0.0));
+        assert_eq!(b.get(&[11, 2]), Some(5.0));
+        assert_eq!(b.get(&[12, 0]), None);
+        b.set(&[11, 1], 9.0).unwrap();
+        assert_eq!(b.get(&[11, 1]), Some(9.0));
+        assert!(b.set(&[9, 0], 1.0).is_err());
+    }
+
+    #[test]
+    fn merge_applies_reduce() {
+        let mut b = buf2x3();
+        b.merge(&[10, 0], Reduce::Sum, 4.0).unwrap();
+        assert_eq!(b.get(&[10, 0]), Some(4.0));
+        b.merge(&[10, 0], Reduce::Max, 2.0).unwrap();
+        assert_eq!(b.get(&[10, 0]), Some(4.0));
+    }
+
+    #[test]
+    fn front_slab_extracts_leading_slices() {
+        let b = buf2x3();
+        let (coords, data) = b.front_slab(1, 2).unwrap();
+        assert_eq!(coords, vec![0, 1]);
+        // Columns 0 and 1 of both rows, row-major: 0,1,3,4.
+        assert_eq!(data, vec![0.0, 1.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn rotate_slides_window() {
+        let mut b = buf2x3();
+        // Receive columns {3, 4} to replace retiring {0, 1}.
+        b.rotate(1, 2, &[3, 4], &[30.0, 40.0, 31.0, 41.0]).unwrap();
+        assert_eq!(b.coords()[1], vec![2, 3, 4]);
+        assert_eq!(b.get(&[10, 2]), Some(2.0));
+        assert_eq!(b.get(&[10, 3]), Some(30.0));
+        assert_eq!(b.get(&[11, 4]), Some(41.0));
+        assert_eq!(b.get(&[10, 0]), None);
+    }
+
+    #[test]
+    fn two_core_ring_full_rotation_restores_coverage() {
+        // Ring of 2 cores over a 1-D extent of 4, partitions of 2, rp 1.
+        let mut c0 = FuncBuffer::new(vec![vec![0, 1]], 0.0);
+        let mut c1 = FuncBuffer::new(vec![vec![2, 3]], 0.0);
+        c0.data_mut().copy_from_slice(&[100.0, 101.0]);
+        c1.data_mut().copy_from_slice(&[102.0, 103.0]);
+        for _ in 0..4 {
+            let (k0, d0) = c0.front_slab(0, 1).unwrap();
+            let (k1, d1) = c1.front_slab(0, 1).unwrap();
+            c0.rotate(0, 1, &k1, &d1).unwrap();
+            c1.rotate(0, 1, &k0, &d0).unwrap();
+        }
+        // After extent=4 single-slice rotations everything is home again.
+        assert_eq!(c0.coords()[0], vec![0, 1]);
+        assert_eq!(c0.data(), &[100.0, 101.0]);
+        assert_eq!(c1.coords()[0], vec![2, 3]);
+        assert_eq!(c1.data(), &[102.0, 103.0]);
+    }
+
+    #[test]
+    fn rotate_rejects_bad_slab() {
+        let mut b = buf2x3();
+        assert!(b.rotate(1, 2, &[3], &[1.0, 2.0]).is_err());
+        assert!(b.rotate(1, 2, &[3, 4], &[1.0]).is_err());
+        assert!(b.rotate(5, 1, &[3], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn replace_swaps_contents() {
+        let mut b = buf2x3();
+        b.replace(vec![vec![7]], vec![42.0]).unwrap();
+        assert_eq!(b.get(&[7]), Some(42.0));
+        assert!(b.replace(vec![vec![1, 2]], vec![0.0]).is_err());
+    }
+
+    #[test]
+    fn accumulate_sums_matching_coords() {
+        let mut a = buf2x3();
+        let b = buf2x3();
+        a.accumulate_from(&b, Reduce::Sum).unwrap();
+        assert_eq!(a.get(&[11, 2]), Some(10.0));
+    }
+
+    #[test]
+    fn accumulate_handles_permuted_coords() {
+        let mut a = FuncBuffer::new(vec![vec![0, 1]], 0.0);
+        let mut b = FuncBuffer::new(vec![vec![1, 0]], 0.0);
+        b.set(&[0], 5.0).unwrap();
+        b.set(&[1], 7.0).unwrap();
+        a.accumulate_from(&b, Reduce::Sum).unwrap();
+        assert_eq!(a.get(&[0]), Some(5.0));
+        assert_eq!(a.get(&[1]), Some(7.0));
+    }
+
+    #[test]
+    fn accumulate_rejects_shape_mismatch() {
+        let mut a = buf2x3();
+        let b = FuncBuffer::new(vec![vec![0]], 0.0);
+        assert!(a.accumulate_from(&b, Reduce::Sum).is_err());
+    }
+
+    #[test]
+    fn for_each_coord_visits_all() {
+        let b = buf2x3();
+        let mut n = 0;
+        let mut sum = 0.0;
+        b.for_each_coord(|_, v| {
+            n += 1;
+            sum += v;
+        });
+        assert_eq!(n, 6);
+        assert_eq!(sum, 15.0);
+    }
+}

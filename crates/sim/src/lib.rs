@@ -1,0 +1,41 @@
+//! BSP superstep simulator for inter-core connected AI chips.
+//!
+//! This crate is the workspace's stand-in for a physical Graphcore IPU MK2
+//! (see `DESIGN.md`, hardware-gate substitutions). It executes the abstract
+//! [`t10_device::Program`]s that compilers emit, in two modes:
+//!
+//! * **functional** — per-core f32 buffers are materialized and every vertex
+//!   and shift actually moves data, so a compiled compute-shift plan can be
+//!   checked numerically against the naive reference executor; and
+//! * **timing** — only the per-superstep summaries are priced using the
+//!   ground-truth hardware model ([`t10_device::truth`]), which is fast
+//!   enough for end-to-end models on 1,472+ cores.
+//!
+//! The simulator follows the IPU's bulk-synchronous execution: each
+//! superstep is a compute phase (all cores run one homogeneous vertex) and
+//! an exchange phase (inter-core shifts), separated by a synchronization
+//! barrier (paper §5, Figure 11).
+
+pub mod buffer;
+pub mod machine;
+pub mod memory;
+pub mod report;
+
+pub use buffer::FuncBuffer;
+pub use machine::{Simulator, SimulatorMode};
+pub use memory::MemoryTracker;
+pub use report::{NodeBreakdown, RunReport, StepTrace};
+
+pub(crate) use t10_device::iface::DeviceError;
+
+/// Result alias using the device error type.
+pub type Result<T> = std::result::Result<T, DeviceError>;
+
+/// Builds a [`DeviceError`](t10_device::iface::DeviceError) from format
+/// arguments.
+#[macro_export]
+macro_rules! sim_err {
+    ($($arg:tt)*) => {
+        t10_device::iface::DeviceError::new(format!($($arg)*))
+    };
+}

@@ -1,0 +1,793 @@
+//! The simulator: executes abstract device programs on a modeled chip.
+
+use t10_device::iface::{DeviceError, DeviceInterface};
+use t10_device::program::{
+    BufferDecl, BufferId, ExchangeSummary, Program, ShiftKind, ShiftOp, VertexTask,
+};
+use t10_device::{truth, ChipSpec};
+use t10_ir::Tensor;
+
+use crate::buffer::FuncBuffer;
+use crate::memory::MemoryTracker;
+use crate::report::RunReport;
+use crate::{sim_err, Result};
+
+/// Level of detail at which programs are executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimulatorMode {
+    /// Materialize f32 buffers and execute every vertex and shift; used by
+    /// correctness tests on small shapes.
+    Functional,
+    /// Price supersteps on the timing model only; used by benchmarks.
+    Timing,
+}
+
+/// A simulated inter-core connected chip.
+pub struct Simulator {
+    spec: ChipSpec,
+    mode: SimulatorMode,
+    mem: MemoryTracker,
+    decls: Vec<BufferDecl>,
+    bufs: Vec<Option<FuncBuffer>>,
+    tracing: bool,
+}
+
+impl Simulator {
+    /// Creates a simulator for `spec` in the given mode.
+    ///
+    /// The per-core shift buffer (paper §5) is reserved up front, so usable
+    /// capacity is `sram_per_core - shift_buffer`.
+    pub fn new(spec: ChipSpec, mode: SimulatorMode) -> Self {
+        let usable = spec.sram_per_core - spec.shift_buffer;
+        let cores = spec.num_cores;
+        Self {
+            spec,
+            mode,
+            mem: MemoryTracker::new(cores, usable),
+            decls: Vec::new(),
+            bufs: Vec::new(),
+            tracing: false,
+        }
+    }
+
+    /// Enables per-superstep tracing: [`RunReport::trace`] records every
+    /// step's compute/exchange time and bytes moved (time-series export).
+    pub fn with_tracing(mut self) -> Self {
+        self.tracing = true;
+        self
+    }
+
+    /// The chip being simulated.
+    pub fn spec(&self) -> &ChipSpec {
+        &self.spec
+    }
+
+    /// Read access to a functional buffer.
+    pub fn buffer(&self, id: BufferId) -> Option<&FuncBuffer> {
+        self.bufs.get(id).and_then(Option::as_ref)
+    }
+
+    /// Overwrites a functional buffer's contents (binding model inputs).
+    pub fn write_buffer(&mut self, id: BufferId, data: &[f32]) -> Result<()> {
+        let b = self
+            .bufs
+            .get_mut(id)
+            .and_then(Option::as_mut)
+            .ok_or_else(|| sim_err!("buffer {id} not materialized"))?;
+        if b.elements() != data.len() {
+            return Err(sim_err!(
+                "buffer {id} holds {} elements, got {}",
+                b.elements(),
+                data.len()
+            ));
+        }
+        b.data_mut().copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Binds a global tensor's values into a buffer according to the
+    /// buffer's coordinate coverage (loading inputs and weights).
+    pub fn bind(&mut self, id: BufferId, tensor: &Tensor) -> Result<()> {
+        let b = self
+            .bufs
+            .get_mut(id)
+            .and_then(Option::as_mut)
+            .ok_or_else(|| sim_err!("buffer {id} not materialized"))?;
+        let coords: Vec<Vec<usize>> = b.coords().to_vec();
+        if coords.len() != tensor.shape().len() {
+            return Err(sim_err!(
+                "buffer {id} has rank {}, tensor rank {}",
+                coords.len(),
+                tensor.shape().len()
+            ));
+        }
+        let mut res: Result<()> = Ok(());
+        let mut vals = Vec::with_capacity(b.elements());
+        let lens: Vec<usize> = coords.iter().map(Vec::len).collect();
+        let mut pos = vec![0usize; lens.len()];
+        if b.elements() > 0 {
+            loop {
+                let global: Vec<usize> = pos
+                    .iter()
+                    .enumerate()
+                    .map(|(d, &p)| coords[d][p])
+                    .collect();
+                if global.iter().zip(tensor.shape()).any(|(&g, &s)| g >= s) {
+                    res = Err(sim_err!(
+                        "buffer {id} coordinate {global:?} outside tensor shape {:?}",
+                        tensor.shape()
+                    ));
+                    break;
+                }
+                vals.push(tensor.at(&global));
+                let mut done = true;
+                for d in (0..pos.len()).rev() {
+                    pos[d] += 1;
+                    if pos[d] < lens[d] {
+                        done = false;
+                        break;
+                    }
+                    pos[d] = 0;
+                }
+                if done {
+                    break;
+                }
+            }
+        }
+        res?;
+        b.data_mut().copy_from_slice(&vals);
+        Ok(())
+    }
+
+    /// Reassembles a global tensor from a set of distributed buffers.
+    ///
+    /// Every listed buffer writes its elements at its coordinates; buffers
+    /// may overlap (replicas), in which case they must agree.
+    pub fn extract(&self, ids: &[BufferId], shape: &[usize]) -> Result<Tensor> {
+        let mut t = Tensor::zeros(shape.to_vec());
+        let mut written = vec![false; t.elements()];
+        for &id in ids {
+            let b = self
+                .buffer(id)
+                .ok_or_else(|| sim_err!("buffer {id} not materialized"))?;
+            let mut res: Result<()> = Ok(());
+            b.for_each_coord(|global, v| {
+                if res.is_ok() {
+                    if global.iter().zip(shape).any(|(&g, &s)| g >= s) {
+                        res = Err(sim_err!(
+                            "buffer {id} coordinate {global:?} outside shape {shape:?}"
+                        ));
+                        return;
+                    }
+                    let off = t.offset(global);
+                    t.data_mut()[off] = v;
+                    written[off] = true;
+                }
+            });
+            res?;
+        }
+        if let Some(miss) = written.iter().position(|&w| !w) {
+            return Err(sim_err!(
+                "extraction left element {miss} of {:?} uncovered",
+                shape
+            ));
+        }
+        Ok(t)
+    }
+
+    /// Allocates a program's buffers without executing it, so callers can
+    /// bind input data before [`Simulator::run_loaded`].
+    ///
+    /// The simulator must be fresh: program-internal buffer ids are indices
+    /// into its own declaration list, so loading on top of existing
+    /// allocations would misalign every task's references.
+    pub fn load(&mut self, prog: &Program) -> Result<Vec<BufferId>> {
+        if !self.decls.is_empty() {
+            return Err(sim_err!(
+                "program loaded into a non-empty simulator: buffer ids would misalign"
+            ));
+        }
+        let mut ids = Vec::with_capacity(prog.buffers.len());
+        for decl in &prog.buffers {
+            ids.push(self.allocate(decl.clone())?);
+        }
+        Ok(ids)
+    }
+
+    /// Executes a whole program (allocating its buffers first) and returns
+    /// its report.
+    pub fn run(&mut self, prog: &Program) -> Result<RunReport> {
+        self.load(prog)?;
+        self.run_loaded(prog)
+    }
+
+    /// Executes the steps of an already-loaded program.
+    pub fn run_loaded(&mut self, prog: &Program) -> Result<RunReport> {
+        let mut report = RunReport::default();
+        for step in &prog.steps {
+            let comp = self.compute_phase(prog, step)?;
+            let (exch, summary) = self.exchange_phase(step)?;
+            report.charge(step.phase, step.node, comp, exch);
+            report.total_shift_bytes += summary.total_bytes;
+            report.offchip_bytes += summary.offchip_bytes;
+            if summary.total_bytes > 0 && exch > 0.0 {
+                // Utilization counts only the time the links are wired-busy
+                // (the phase lasts as long as the busiest core's transfer);
+                // sync and message setup are excluded, so the metric reads
+                // as per-core balance × link speed (Figure 14 measures
+                // during inter-core data transfers).
+                let busy = summary.max_core_in.max(summary.max_core_out) as f64
+                    / self.spec.link_bw
+                    + summary.max_core_messages.saturating_sub(1) as f64
+                        * self.spec.exchange_msg_overhead;
+                report.bw_bytes_acc += summary.total_bytes as f64;
+                report.bw_core_seconds_acc += busy * summary.active_cores.max(1) as f64;
+            }
+            if self.tracing {
+                report.trace.push(crate::report::StepTrace {
+                    step: report.steps,
+                    node: step.node,
+                    phase: step.phase,
+                    compute: comp,
+                    exchange: exch,
+                    bytes: summary.total_bytes,
+                });
+            }
+            report.steps += 1;
+        }
+        report.peak_core_bytes = self.mem.peak_any_core();
+        Ok(report)
+    }
+
+    fn compute_phase(
+        &mut self,
+        prog: &Program,
+        step: &t10_device::program::Superstep,
+    ) -> Result<f64> {
+        if self.mode == SimulatorMode::Functional {
+            for task in &step.compute {
+                self.exec_task(prog, task)?;
+            }
+        }
+        if let Some(cs) = &step.compute_summary {
+            if cs.active_cores == 0 {
+                return Ok(0.0);
+            }
+            return Ok(truth::vertex_time(&self.spec, &cs.desc));
+        }
+        Ok(step
+            .compute
+            .iter()
+            .map(|t| truth::vertex_time(&self.spec, &t.desc))
+            .fold(0.0, f64::max))
+    }
+
+    fn exchange_phase(
+        &mut self,
+        step: &t10_device::program::Superstep,
+    ) -> Result<(f64, ExchangeSummary)> {
+        let summary = match &step.exchange_summary {
+            Some(s) => *s,
+            None => self.summarize_shifts(&step.exchange)?,
+        };
+        if self.mode == SimulatorMode::Functional && !step.exchange.is_empty() {
+            self.apply_shifts(&step.exchange)?;
+        }
+        Ok((truth::exchange_time(&self.spec, &summary), summary))
+    }
+
+    /// Derives an exchange summary from explicit shifts.
+    fn summarize_shifts(&self, shifts: &[ShiftOp]) -> Result<ExchangeSummary> {
+        let mut s = ExchangeSummary::default();
+        let mut out_bytes = std::collections::HashMap::new();
+        let mut in_bytes = std::collections::HashMap::new();
+        for op in shifts {
+            let src = self
+                .decls
+                .get(op.src)
+                .ok_or_else(|| sim_err!("shift src {} undeclared", op.src))?;
+            let dst = self
+                .decls
+                .get(op.dst)
+                .ok_or_else(|| sim_err!("shift dst {} undeclared", op.dst))?;
+            if src.core == dst.core {
+                continue;
+            }
+            let elems = src.elements().max(1);
+            let elem_bytes = (src.bytes / elems).max(1);
+            let moved_elems = match op.kind {
+                ShiftKind::RotateSlices { dim, count } => {
+                    let len = src.coords.get(dim).map(Vec::len).unwrap_or(1).max(1);
+                    elems / len * count
+                }
+                ShiftKind::Copy | ShiftKind::Accumulate { .. } => elems,
+            };
+            let bytes = (moved_elems * elem_bytes) as u64;
+            s.total_bytes += bytes;
+            *out_bytes.entry(src.core).or_insert(0u64) += bytes;
+            *in_bytes.entry(dst.core).or_insert(0u64) += bytes;
+            if self.spec.chip_of(src.core) != self.spec.chip_of(dst.core) {
+                s.cross_chip_bytes += bytes;
+            }
+        }
+        s.max_core_out = out_bytes.values().copied().max().unwrap_or(0);
+        s.max_core_in = in_bytes.values().copied().max().unwrap_or(0);
+        let mut cores: Vec<usize> = out_bytes.keys().chain(in_bytes.keys()).copied().collect();
+        cores.sort_unstable();
+        cores.dedup();
+        s.active_cores = cores.len();
+        Ok(s)
+    }
+
+    /// Applies a set of shifts atomically: all payloads are read before any
+    /// destination is written, modeling the temporary-buffer pseudo-shift of
+    /// paper §5.
+    fn apply_shifts(&mut self, shifts: &[ShiftOp]) -> Result<()> {
+        enum Payload {
+            Rotate {
+                dim: usize,
+                count: usize,
+                coords: Vec<usize>,
+                data: Vec<f32>,
+            },
+            Whole(FuncBuffer),
+        }
+        let mut staged: Vec<(BufferId, ShiftKind, Payload)> = Vec::with_capacity(shifts.len());
+        for op in shifts {
+            let src = self
+                .buffer(op.src)
+                .ok_or_else(|| sim_err!("shift src {} not materialized", op.src))?;
+            let payload = match op.kind {
+                ShiftKind::RotateSlices { dim, count } => {
+                    let (coords, data) = src.front_slab(dim, count)?;
+                    Payload::Rotate {
+                        dim,
+                        count,
+                        coords,
+                        data,
+                    }
+                }
+                ShiftKind::Copy | ShiftKind::Accumulate { .. } => Payload::Whole(src.clone()),
+            };
+            staged.push((op.dst, op.kind, payload));
+        }
+        for (dst, kind, payload) in staged {
+            let buf = self
+                .bufs
+                .get_mut(dst)
+                .and_then(Option::as_mut)
+                .ok_or_else(|| sim_err!("shift dst {dst} not materialized"))?;
+            match (kind, payload) {
+                (
+                    ShiftKind::RotateSlices { .. },
+                    Payload::Rotate {
+                        dim,
+                        count,
+                        coords,
+                        data,
+                    },
+                ) => buf.rotate(dim, count, &coords, &data)?,
+                (ShiftKind::Copy, Payload::Whole(src)) => {
+                    buf.replace(src.coords().to_vec(), src.data().to_vec())?
+                }
+                (ShiftKind::Accumulate { reduce }, Payload::Whole(src)) => {
+                    buf.accumulate_from(&src, reduce)?
+                }
+                _ => return Err(sim_err!("internal: payload/kind mismatch")),
+            }
+        }
+        Ok(())
+    }
+
+    /// Functionally executes one vertex.
+    fn exec_task(&mut self, prog: &Program, task: &VertexTask) -> Result<()> {
+        let Some(f) = &task.func else {
+            return Ok(());
+        };
+        let op = prog
+            .ops
+            .get(f.op)
+            .ok_or_else(|| sim_err!("vertex references unknown op {}", f.op))?;
+        if f.apply_unary {
+            if let Some(u) = op.unary {
+                let buf = self
+                    .bufs
+                    .get_mut(f.output)
+                    .and_then(Option::as_mut)
+                    .ok_or_else(|| sim_err!("epilogue output {} missing", f.output))?;
+                for v in buf.data_mut() {
+                    *v = u.apply(*v);
+                }
+            }
+            return Ok(());
+        }
+        let coords = &f.axis_coords;
+        if coords.len() != op.expr.axes.len() {
+            return Err(sim_err!(
+                "vertex has {} axis coordinate lists for {} axes",
+                coords.len(),
+                op.expr.axes.len()
+            ));
+        }
+        if coords.iter().any(Vec::is_empty) {
+            return Ok(());
+        }
+        let mut pos = vec![0usize; coords.len()];
+        let mut idx: Vec<usize> = coords.iter().map(|c| c[0]).collect();
+        let num_inputs = op.expr.num_inputs();
+        let mut vals = vec![0.0f32; num_inputs];
+        let mut pos_buf: Vec<usize> = Vec::new();
+        loop {
+            let mut skip = false;
+            for slot in 0..num_inputs {
+                pos_buf.clear();
+                let mut indirect_miss = false;
+                for e in &op.expr.inputs[slot] {
+                    if e.is_indirect() {
+                        // Resolve the data-dependent coordinate from the
+                        // last input slot (the index tensor).
+                        let iv = self.read_input(op, f, num_inputs - 1, &idx)?;
+                        let row = iv.round();
+                        if row < 0.0 {
+                            return Err(sim_err!("negative gather index {row}"));
+                        }
+                        pos_buf.push(row as usize);
+                        // Presence is checked below; a miss means the row
+                        // has not rotated past this core yet.
+                        indirect_miss = true;
+                    } else {
+                        pos_buf.push(e.eval(&idx));
+                    }
+                }
+                let b = self
+                    .buffer(f.inputs[slot])
+                    .ok_or_else(|| sim_err!("vertex input {} missing", f.inputs[slot]))?;
+                match b.get(&pos_buf) {
+                    Some(v) => vals[slot] = v,
+                    None if indirect_miss => {
+                        skip = true;
+                        break;
+                    }
+                    None => {
+                        return Err(sim_err!(
+                            "misaligned plan: core {} step needs {:?} of input {slot} \
+                             but local window covers {:?}",
+                            task.core,
+                            pos_buf,
+                            b.coords()
+                        ));
+                    }
+                }
+            }
+            if !skip {
+                let v = op.combine.apply(&vals);
+                let out_pos: Vec<usize> = op.expr.output.iter().map(|e| e.eval(&idx)).collect();
+                let buf = self
+                    .bufs
+                    .get_mut(f.output)
+                    .and_then(Option::as_mut)
+                    .ok_or_else(|| sim_err!("vertex output {} missing", f.output))?;
+                buf.merge(&out_pos, op.reduce, v)?;
+            }
+            if !advance_coords(&mut pos, &mut idx, coords) {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    fn read_input(
+        &self,
+        op: &t10_ir::Operator,
+        f: &t10_device::program::FuncTask,
+        slot: usize,
+        idx: &[usize],
+    ) -> Result<f32> {
+        let pos: Vec<usize> = op.expr.inputs[slot].iter().map(|e| e.eval(idx)).collect();
+        let b = self
+            .buffer(f.inputs[slot])
+            .ok_or_else(|| sim_err!("vertex input {} missing", f.inputs[slot]))?;
+        b.get(&pos)
+            .ok_or_else(|| sim_err!("index tensor coordinate {pos:?} not local"))
+    }
+}
+
+fn advance_coords(pos: &mut [usize], idx: &mut [usize], coords: &[Vec<usize>]) -> bool {
+    for d in (0..pos.len()).rev() {
+        pos[d] += 1;
+        if pos[d] < coords[d].len() {
+            idx[d] = coords[d][pos[d]];
+            return true;
+        }
+        pos[d] = 0;
+        idx[d] = coords[d][0];
+    }
+    false
+}
+
+impl DeviceInterface for Simulator {
+    fn allocate(&mut self, decl: BufferDecl) -> std::result::Result<BufferId, DeviceError> {
+        if decl.core >= self.spec.num_cores {
+            return Err(sim_err!(
+                "core {} out of range ({} cores)",
+                decl.core,
+                self.spec.num_cores
+            ));
+        }
+        self.mem.allocate(decl.core, decl.bytes)?;
+        let id = self.decls.len();
+        if self.mode == SimulatorMode::Functional {
+            self.bufs
+                .push(Some(FuncBuffer::new(decl.coords.clone(), decl.init)));
+        } else {
+            self.bufs.push(None);
+        }
+        self.decls.push(decl);
+        Ok(id)
+    }
+
+    fn free(&mut self, id: BufferId) -> std::result::Result<(), DeviceError> {
+        let decl = self
+            .decls
+            .get(id)
+            .ok_or_else(|| sim_err!("free of unknown buffer {id}"))?
+            .clone();
+        self.mem.free(decl.core, decl.bytes)?;
+        if let Some(slot) = self.bufs.get_mut(id) {
+            *slot = None;
+        }
+        Ok(())
+    }
+
+    fn compute(&mut self, tasks: &[VertexTask]) -> std::result::Result<f64, DeviceError> {
+        // Standalone compute sets need an owning program for op lookup, so
+        // this entry point only supports timing. `run` drives functional
+        // execution with full program context.
+        Ok(tasks
+            .iter()
+            .map(|t| truth::vertex_time(&self.spec, &t.desc))
+            .fold(0.0, f64::max))
+    }
+
+    fn shift(
+        &mut self,
+        shifts: &[ShiftOp],
+        summary: Option<&ExchangeSummary>,
+    ) -> std::result::Result<f64, DeviceError> {
+        let s = match summary {
+            Some(s) => *s,
+            None => self.summarize_shifts(shifts)?,
+        };
+        if self.mode == SimulatorMode::Functional && !shifts.is_empty() {
+            self.apply_shifts(shifts)?;
+        }
+        Ok(truth::exchange_time(&self.spec, &s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t10_device::program::{ComputeSummary, FuncTask, Phase, SubTaskDesc, Superstep};
+    use t10_ir::{builders, OpKind};
+
+    fn small_spec(cores: usize) -> ChipSpec {
+        ChipSpec::ipu_with_cores(cores)
+    }
+
+    fn decl(core: usize, coords: Vec<Vec<usize>>) -> BufferDecl {
+        let elems: usize = coords.iter().map(Vec::len).product();
+        BufferDecl {
+            core,
+            label: "t".into(),
+            bytes: elems * 4,
+            coords,
+            init: 0.0,
+        }
+    }
+
+    #[test]
+    fn allocate_enforces_capacity() {
+        let mut sim = Simulator::new(small_spec(2), SimulatorMode::Timing);
+        let cap = sim.spec().sram_per_core - sim.spec().shift_buffer;
+        let big = BufferDecl {
+            core: 0,
+            label: "big".into(),
+            bytes: cap + 1,
+            coords: vec![],
+            init: 0.0,
+        };
+        assert!(sim.allocate(big).is_err());
+        let ok = BufferDecl {
+            core: 0,
+            label: "ok".into(),
+            bytes: cap,
+            coords: vec![],
+            init: 0.0,
+        };
+        let id = sim.allocate(ok).unwrap();
+        sim.free(id).unwrap();
+    }
+
+    #[test]
+    fn timing_run_prices_summaries() {
+        let mut sim = Simulator::new(small_spec(4), SimulatorMode::Timing);
+        let mut prog = Program::new();
+        let mut step = Superstep::new(Some(0), Phase::Execute);
+        step.compute_summary = Some(ComputeSummary {
+            desc: SubTaskDesc {
+                kind: OpKind::MatMul,
+                out_elems: 1024,
+                red_elems: 128,
+                window: 1,
+                in_bytes: 4096,
+                out_bytes: 2048,
+            },
+            active_cores: 4,
+        });
+        step.exchange_summary = Some(ExchangeSummary {
+            total_bytes: 4 * 1024,
+            max_core_out: 1024,
+            max_core_in: 1024,
+            cross_chip_bytes: 0,
+            offchip_bytes: 0,
+            active_cores: 4,
+            max_core_messages: 1,
+        });
+        prog.steps.push(step);
+        let r = sim.run(&prog).unwrap();
+        assert!(r.compute_time > 0.0);
+        assert!(r.exchange_time > 0.0);
+        assert_eq!(r.total_shift_bytes, 4096);
+        assert_eq!(r.steps, 1);
+        assert!(r.avg_link_bandwidth() > 0.0);
+    }
+
+    #[test]
+    fn functional_single_core_matmul_matches_reference() {
+        // One core computes a whole 2x3x2 matmul from local buffers.
+        let mut sim = Simulator::new(small_spec(1), SimulatorMode::Functional);
+        let op = builders::matmul(0, 1, 2, 2, 3, 2).unwrap();
+        let mut prog = Program::new();
+        let oi = prog.add_op(op.clone());
+        let a = prog.add_buffer(decl(0, vec![vec![0, 1], vec![0, 1, 2]]));
+        let b = prog.add_buffer(decl(0, vec![vec![0, 1, 2], vec![0, 1]]));
+        let c = prog.add_buffer(decl(0, vec![vec![0, 1], vec![0, 1]]));
+        let mut step = Superstep::new(Some(0), Phase::Execute);
+        step.compute.push(VertexTask {
+            core: 0,
+            desc: SubTaskDesc {
+                kind: OpKind::MatMul,
+                out_elems: 4,
+                red_elems: 3,
+                window: 1,
+                in_bytes: 0,
+                out_bytes: 0,
+            },
+            func: Some(FuncTask {
+                op: oi,
+                axis_coords: vec![vec![0, 1], vec![0, 1, 2], vec![0, 1]],
+                inputs: vec![a, b],
+                output: c,
+                apply_unary: false,
+            }),
+        });
+        prog.steps.push(step);
+
+        let at = Tensor::pattern(vec![2, 3], 0.1);
+        let bt = Tensor::pattern(vec![3, 2], 0.9);
+        // Allocate by running a zero-step program first? Simpler: run
+        // allocates, so bind inputs after allocation via a manual path.
+        for d in &prog.buffers {
+            sim.allocate(d.clone()).unwrap();
+        }
+        sim.write_buffer(a, at.data()).unwrap();
+        sim.write_buffer(b, bt.data()).unwrap();
+        for step in &prog.steps {
+            for t in step.compute.clone() {
+                sim.exec_task(&prog, &t).unwrap();
+            }
+        }
+        let got = sim.extract(&[c], &[2, 2]).unwrap();
+        let want = t10_ir::reference::execute(&op, &[&at, &bt]).unwrap();
+        assert!(got.approx_eq(&want, 1e-5));
+    }
+
+    #[test]
+    fn misaligned_plan_is_detected() {
+        let mut sim = Simulator::new(small_spec(1), SimulatorMode::Functional);
+        let op = builders::matmul(0, 1, 2, 2, 2, 2).unwrap();
+        let mut prog = Program::new();
+        let oi = prog.add_op(op);
+        // Buffer A only covers k in {0}, but the vertex iterates k in 0..2.
+        let a = prog.add_buffer(decl(0, vec![vec![0, 1], vec![0]]));
+        let b = prog.add_buffer(decl(0, vec![vec![0, 1], vec![0, 1]]));
+        let c = prog.add_buffer(decl(0, vec![vec![0, 1], vec![0, 1]]));
+        for d in &prog.buffers {
+            sim.allocate(d.clone()).unwrap();
+        }
+        let task = VertexTask {
+            core: 0,
+            desc: SubTaskDesc {
+                kind: OpKind::MatMul,
+                out_elems: 4,
+                red_elems: 2,
+                window: 1,
+                in_bytes: 0,
+                out_bytes: 0,
+            },
+            func: Some(FuncTask {
+                op: oi,
+                axis_coords: vec![vec![0, 1], vec![0, 1], vec![0, 1]],
+                inputs: vec![a, b],
+                output: c,
+                apply_unary: false,
+            }),
+        };
+        let err = sim.exec_task(&prog, &task).unwrap_err();
+        assert!(err.message().contains("misaligned"), "{err}");
+    }
+
+    #[test]
+    fn shift_summary_skips_local_moves() {
+        let mut sim = Simulator::new(small_spec(2), SimulatorMode::Timing);
+        let b0 = sim.allocate(decl(0, vec![vec![0, 1]])).unwrap();
+        let b1 = sim.allocate(decl(0, vec![vec![2, 3]])).unwrap();
+        let b2 = sim.allocate(decl(1, vec![vec![4, 5]])).unwrap();
+        let local = ShiftOp {
+            src: b0,
+            dst: b1,
+            kind: ShiftKind::Copy,
+        };
+        let remote = ShiftOp {
+            src: b0,
+            dst: b2,
+            kind: ShiftKind::Copy,
+        };
+        let s = sim.summarize_shifts(&[local, remote]).unwrap();
+        assert_eq!(s.total_bytes, 8);
+        assert_eq!(s.max_core_out, 8);
+        assert_eq!(s.active_cores, 2);
+    }
+
+    #[test]
+    fn cross_chip_bytes_detected_on_vipu() {
+        let mut sim = Simulator::new(ChipSpec::vipu(2), SimulatorMode::Timing);
+        let b0 = sim.allocate(decl(0, vec![vec![0]])).unwrap();
+        let b1 = sim.allocate(decl(1500, vec![vec![1]])).unwrap();
+        let s = sim
+            .summarize_shifts(&[ShiftOp {
+                src: b0,
+                dst: b1,
+                kind: ShiftKind::Copy,
+            }])
+            .unwrap();
+        assert_eq!(s.cross_chip_bytes, 4);
+    }
+
+    #[test]
+    fn ring_rotation_via_program_runs() {
+        // Two cores rotate a 1-D tensor of 4 elements, partitions of 2.
+        let mut sim = Simulator::new(small_spec(2), SimulatorMode::Functional);
+        let mut prog = Program::new();
+        let p0 = prog.add_buffer(decl(0, vec![vec![0, 1]]));
+        let p1 = prog.add_buffer(decl(1, vec![vec![2, 3]]));
+        let mut step = Superstep::new(None, Phase::Execute);
+        step.exchange.push(ShiftOp {
+            src: p0,
+            dst: p1,
+            kind: ShiftKind::RotateSlices { dim: 0, count: 2 },
+        });
+        step.exchange.push(ShiftOp {
+            src: p1,
+            dst: p0,
+            kind: ShiftKind::RotateSlices { dim: 0, count: 2 },
+        });
+        prog.steps.push(step);
+        let r = sim.run(&prog).unwrap();
+        assert_eq!(r.steps, 1);
+        assert_eq!(sim.buffer(p0).unwrap().coords()[0], vec![2, 3]);
+        assert_eq!(sim.buffer(p1).unwrap().coords()[0], vec![0, 1]);
+        assert_eq!(r.total_shift_bytes, 16);
+    }
+}

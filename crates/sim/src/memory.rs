@@ -1,0 +1,114 @@
+//! Per-core scratchpad accounting.
+//!
+//! Each IPU core owns a private 624 KB scratchpad; a compiled plan must fit
+//! every core's buffers (plus the reserved shift buffer, paper §5) into that
+//! capacity. The tracker enforces the limit and records the high-water mark,
+//! which the benchmarks report as per-core memory footprint (Figure 2 (b),
+//! Figure 17).
+
+use crate::{sim_err, Result};
+
+/// Tracks allocated bytes per core against a fixed capacity.
+#[derive(Debug, Clone)]
+pub struct MemoryTracker {
+    capacity: usize,
+    used: Vec<usize>,
+    peak: Vec<usize>,
+}
+
+impl MemoryTracker {
+    /// Creates a tracker for `cores` cores of `capacity` usable bytes each.
+    pub fn new(cores: usize, capacity: usize) -> Self {
+        Self {
+            capacity,
+            used: vec![0; cores],
+            peak: vec![0; cores],
+        }
+    }
+
+    /// Usable capacity per core.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Allocates `bytes` on `core`, failing if capacity would be exceeded.
+    pub fn allocate(&mut self, core: usize, bytes: usize) -> Result<()> {
+        let used = self
+            .used
+            .get_mut(core)
+            .ok_or_else(|| sim_err!("core {core} out of range"))?;
+        if *used + bytes > self.capacity {
+            return Err(sim_err!(
+                "core {core} out of memory: {} + {} > {}",
+                *used,
+                bytes,
+                self.capacity
+            ));
+        }
+        *used += bytes;
+        if *used > self.peak[core] {
+            self.peak[core] = *used;
+        }
+        Ok(())
+    }
+
+    /// Frees `bytes` on `core`.
+    pub fn free(&mut self, core: usize, bytes: usize) -> Result<()> {
+        let used = self
+            .used
+            .get_mut(core)
+            .ok_or_else(|| sim_err!("core {core} out of range"))?;
+        if bytes > *used {
+            return Err(sim_err!(
+                "core {core}: freeing {} of {} allocated bytes",
+                bytes,
+                *used
+            ));
+        }
+        *used -= bytes;
+        Ok(())
+    }
+
+    /// Currently allocated bytes on a core.
+    pub fn used(&self, core: usize) -> usize {
+        self.used[core]
+    }
+
+    /// High-water mark across all cores.
+    pub fn peak_any_core(&self) -> usize {
+        self.peak.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_and_free_round_trip() {
+        let mut m = MemoryTracker::new(2, 1000);
+        m.allocate(0, 600).unwrap();
+        m.allocate(1, 100).unwrap();
+        assert_eq!(m.used(0), 600);
+        m.free(0, 200).unwrap();
+        assert_eq!(m.used(0), 400);
+        assert_eq!(m.peak_any_core(), 600);
+    }
+
+    #[test]
+    fn rejects_over_capacity() {
+        let mut m = MemoryTracker::new(1, 1000);
+        m.allocate(0, 900).unwrap();
+        assert!(m.allocate(0, 200).is_err());
+        // A failed allocation leaves state unchanged.
+        assert_eq!(m.used(0), 900);
+        m.allocate(0, 100).unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_core_and_overfree() {
+        let mut m = MemoryTracker::new(1, 100);
+        assert!(m.allocate(3, 1).is_err());
+        assert!(m.free(0, 1).is_err());
+    }
+}

@@ -1,0 +1,161 @@
+//! Execution reports: where the evaluation figures get their numbers.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use t10_device::program::Phase;
+
+/// Per-graph-node latency attribution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct NodeBreakdown {
+    /// Compute-phase seconds in Execute steps.
+    pub compute: f64,
+    /// Exchange-phase seconds in Execute steps.
+    pub exchange: f64,
+    /// Seconds in Setup steps (idle-to-active transformation, §4.3.2).
+    pub setup: f64,
+    /// Seconds in Transition steps (inter-operator layout change, §5).
+    pub transition: f64,
+}
+
+impl NodeBreakdown {
+    /// Total seconds attributed to the node.
+    pub fn total(&self) -> f64 {
+        self.compute + self.exchange + self.setup + self.transition
+    }
+}
+
+/// One superstep's timing record, for time-series analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StepTrace {
+    /// Superstep index.
+    pub step: usize,
+    /// Graph node the step belongs to, if any.
+    pub node: Option<usize>,
+    /// Schedule phase.
+    pub phase: Phase,
+    /// Compute-phase seconds.
+    pub compute: f64,
+    /// Exchange-phase seconds.
+    pub exchange: f64,
+    /// Bytes moved between cores this step.
+    pub bytes: u64,
+}
+
+/// Aggregate result of simulating one program.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RunReport {
+    /// End-to-end seconds (all phases).
+    pub total_time: f64,
+    /// Seconds spent in compute phases.
+    pub compute_time: f64,
+    /// Seconds spent in exchange phases (inter-core data transfer).
+    pub exchange_time: f64,
+    /// Seconds spent in Setup-phase supersteps (both halves).
+    pub setup_time: f64,
+    /// Seconds spent in Transition-phase supersteps.
+    pub transition_time: f64,
+    /// Seconds spent in Prefetch-phase supersteps (off-chip streaming).
+    pub prefetch_time: f64,
+    /// Total bytes shifted between cores.
+    pub total_shift_bytes: u64,
+    /// Total bytes streamed from off-chip memory.
+    pub offchip_bytes: u64,
+    /// Number of supersteps executed.
+    pub steps: usize,
+    /// Peak scratchpad bytes used on any single core.
+    pub peak_core_bytes: usize,
+    /// Per-node latency attribution.
+    pub per_node: BTreeMap<usize, NodeBreakdown>,
+    /// Σ over exchange steps of `bytes`, for bandwidth-utilization math.
+    pub bw_bytes_acc: f64,
+    /// Σ over exchange steps of `seconds × active_cores`.
+    pub bw_core_seconds_acc: f64,
+    /// Per-superstep records (populated when tracing is enabled).
+    pub trace: Vec<StepTrace>,
+}
+
+impl RunReport {
+    /// Average inter-core bandwidth utilized per participating core during
+    /// data transfers, bytes/second (Figure 14's metric).
+    pub fn avg_link_bandwidth(&self) -> f64 {
+        if self.bw_core_seconds_acc <= 0.0 {
+            return 0.0;
+        }
+        self.bw_bytes_acc / self.bw_core_seconds_acc
+    }
+
+    /// Fraction of total time spent in inter-core data transfer
+    /// (Figure 13's metric).
+    pub fn transfer_fraction(&self) -> f64 {
+        if self.total_time <= 0.0 {
+            return 0.0;
+        }
+        self.exchange_time / self.total_time
+    }
+
+    /// Adds a phase's timing into the per-phase accumulators.
+    pub(crate) fn charge(&mut self, phase: Phase, node: Option<usize>, comp: f64, exch: f64) {
+        self.total_time += comp + exch;
+        self.compute_time += comp;
+        self.exchange_time += exch;
+        match phase {
+            Phase::Execute => {}
+            Phase::Setup => self.setup_time += comp + exch,
+            Phase::Transition => self.transition_time += comp + exch,
+            Phase::Prefetch => self.prefetch_time += comp + exch,
+        }
+        if let Some(n) = node {
+            let b = self.per_node.entry(n).or_default();
+            match phase {
+                Phase::Execute => {
+                    b.compute += comp;
+                    b.exchange += exch;
+                }
+                Phase::Setup => b.setup += comp + exch,
+                Phase::Transition => b.transition += comp + exch,
+                Phase::Prefetch => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_accumulates_by_phase() {
+        let mut r = RunReport::default();
+        r.charge(Phase::Execute, Some(0), 1.0, 2.0);
+        r.charge(Phase::Setup, Some(0), 0.5, 0.5);
+        r.charge(Phase::Transition, None, 0.25, 0.0);
+        assert_eq!(r.total_time, 4.25);
+        assert_eq!(r.compute_time, 1.75);
+        assert_eq!(r.exchange_time, 2.5);
+        assert_eq!(r.setup_time, 1.0);
+        assert_eq!(r.transition_time, 0.25);
+        let n = r.per_node[&0];
+        assert_eq!(n.compute, 1.0);
+        assert_eq!(n.exchange, 2.0);
+        assert_eq!(n.setup, 1.0);
+        assert_eq!(n.total(), 4.0);
+    }
+
+    #[test]
+    fn bandwidth_utilization_math() {
+        let mut r = RunReport::default();
+        r.bw_bytes_acc = 1e9;
+        r.bw_core_seconds_acc = 0.5;
+        assert_eq!(r.avg_link_bandwidth(), 2e9);
+        assert_eq!(RunReport::default().avg_link_bandwidth(), 0.0);
+    }
+
+    #[test]
+    fn transfer_fraction() {
+        let mut r = RunReport::default();
+        r.total_time = 4.0;
+        r.exchange_time = 1.0;
+        assert_eq!(r.transfer_fraction(), 0.25);
+    }
+}

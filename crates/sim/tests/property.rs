@@ -1,0 +1,130 @@
+//! Property-based tests of the simulator substrates.
+
+use proptest::prelude::*;
+use t10_sim::{FuncBuffer, MemoryTracker};
+
+proptest! {
+    /// Ring rotation conserves the data: after `extent` single-slice
+    /// rotations around a ring that covers the extent, every buffer holds
+    /// its original contents.
+    #[test]
+    fn full_rotation_cycle_is_identity(
+        parts in 2usize..5,
+        plen in 1usize..4,
+        cross in 1usize..4,
+        seed in 0u32..1000,
+    ) {
+        let extent = parts * plen;
+        let mut bufs: Vec<FuncBuffer> = (0..parts)
+            .map(|p| {
+                let coords = vec![
+                    ((p * plen)..(p + 1) * plen).collect::<Vec<_>>(),
+                    (0..cross).collect::<Vec<_>>(),
+                ];
+                let mut b = FuncBuffer::new(coords, 0.0);
+                for (i, v) in b.data_mut().iter_mut().enumerate() {
+                    *v = (seed as usize * 131 + p * 17 + i) as f32;
+                }
+                b
+            })
+            .collect();
+        let originals = bufs.clone();
+        for _ in 0..extent {
+            // Core p receives from core p+1 (one slice per step).
+            let slabs: Vec<_> = bufs
+                .iter()
+                .map(|b| b.front_slab(0, 1).unwrap())
+                .collect();
+            for p in 0..parts {
+                let (coords, data) = &slabs[(p + 1) % parts];
+                bufs[p].rotate(0, 1, coords, data).unwrap();
+            }
+        }
+        for (b, o) in bufs.iter().zip(&originals) {
+            prop_assert_eq!(b.coords(), o.coords());
+            prop_assert_eq!(b.data(), o.data());
+        }
+    }
+
+    /// Rotation preserves the multiset of (coordinate, value) pairs across
+    /// the whole ring at every step.
+    #[test]
+    fn rotation_conserves_elements(
+        parts in 2usize..5,
+        plen in 1usize..4,
+        steps in 1usize..7,
+    ) {
+        let mut bufs: Vec<FuncBuffer> = (0..parts)
+            .map(|p| {
+                let coords = vec![((p * plen)..(p + 1) * plen).collect::<Vec<_>>()];
+                let mut b = FuncBuffer::new(coords, 0.0);
+                for (i, v) in b.data_mut().iter_mut().enumerate() {
+                    *v = (p * 100 + i) as f32;
+                }
+                b
+            })
+            .collect();
+        let collect_all = |bufs: &[FuncBuffer]| {
+            let mut all: Vec<(usize, u32)> = Vec::new();
+            for b in bufs {
+                b.for_each_coord(|g, v| all.push((g[0], v.to_bits())));
+            }
+            all.sort_unstable();
+            all
+        };
+        let before = collect_all(&bufs);
+        for _ in 0..steps {
+            let slabs: Vec<_> = bufs
+                .iter()
+                .map(|b| b.front_slab(0, 1).unwrap())
+                .collect();
+            for p in 0..parts {
+                let (coords, data) = &slabs[(p + 1) % parts];
+                bufs[p].rotate(0, 1, coords, data).unwrap();
+            }
+        }
+        prop_assert_eq!(collect_all(&bufs), before);
+    }
+
+    /// Memory accounting: any sequence of allocations and frees that the
+    /// tracker accepts keeps usage within capacity, and the peak is the
+    /// maximum over time.
+    #[test]
+    fn memory_tracker_invariants(ops in proptest::collection::vec((0usize..4, 1usize..400), 1..40)) {
+        let cap = 1000;
+        let mut m = MemoryTracker::new(4, cap);
+        let mut shadow = [0usize; 4];
+        let mut peak = 0usize;
+        for (core, bytes) in ops {
+            if shadow[core] + bytes <= cap {
+                m.allocate(core, bytes).unwrap();
+                shadow[core] += bytes;
+                peak = peak.max(*shadow.iter().max().unwrap());
+            } else {
+                prop_assert!(m.allocate(core, bytes).is_err());
+                // Free half of the core to keep the sequence moving.
+                let f = shadow[core] / 2;
+                if f > 0 {
+                    m.free(core, f).unwrap();
+                    shadow[core] -= f;
+                }
+            }
+            for c in 0..4 {
+                prop_assert_eq!(m.used(c), shadow[c]);
+                prop_assert!(m.used(c) <= cap);
+            }
+        }
+        prop_assert!(m.peak_any_core() >= *shadow.iter().max().unwrap());
+        prop_assert_eq!(m.peak_any_core(), peak);
+    }
+
+    /// Buffer lookup: `get` finds exactly the coordinates the buffer covers.
+    #[test]
+    fn buffer_coverage_is_exact(offset in 0usize..10, len in 1usize..6) {
+        let b = FuncBuffer::new(vec![(offset..offset + len).collect()], 1.0);
+        for g in 0..20 {
+            let hit = b.get(&[g]).is_some();
+            prop_assert_eq!(hit, g >= offset && g < offset + len);
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Compile a user-described model from the dependency-free text format and
+//! visualize the chosen compute-shift plans.
+//!
+//! ```bash
+//! cargo run --release --example custom_model           # built-in demo
+//! cargo run --release --example custom_model model.t10 # your own file
+//! ```
+
+use t10_core::compiler::Compiler;
+use t10_core::search::SearchConfig;
+use t10_core::viz;
+use t10_device::ChipSpec;
+use t10_models::textfmt;
+
+const DEMO: &str = "
+model demo-encoder
+input tokens 128 256
+layernorm ln1 tokens
+attention attn ln1 heads=8
+residual r1 tokens attn
+linear up r1 1024 gelu
+linear down up 256
+residual r2 r1 down
+output r2
+";
+
+fn main() {
+    let src = match std::env::args().nth(1) {
+        Some(path) => std::fs::read_to_string(&path).expect("read model file"),
+        None => DEMO.to_string(),
+    };
+    let graph = textfmt::parse(&src).expect("parse model");
+    println!(
+        "{}: {} operators, {:.2} M parameters",
+        graph.name(),
+        graph.nodes().len(),
+        graph.parameter_count() as f64 / 1e6
+    );
+    let spec = ChipSpec::ipu_with_cores(64);
+    let compiler = Compiler::new(spec.clone(), SearchConfig::strict());
+    let compiled = compiler.compile_graph(&graph).expect("compile");
+    println!(
+        "compiled in {:.2} s; estimated latency {:.1} us; idle memory {} B/core\n",
+        compiled.compile_seconds,
+        compiled.estimated_time * 1e6,
+        compiled.reconciled.idle_mem
+    );
+    // Show the plan of the heaviest operator, with its rotation schedule.
+    let (heaviest, _) = graph
+        .nodes()
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, n)| n.op.flops())
+        .expect("nonempty graph");
+    let choice = &compiled.reconciled.choices[heaviest];
+    let plan = &compiled.node_pareto[heaviest].plans()[choice.active].plan;
+    let op = &graph.node(heaviest).op;
+    println!(
+        "heaviest operator `{}`:\n  {}",
+        graph.node(heaviest).name,
+        viz::plan_summary(op, plan)
+    );
+    for level in 0..plan.rotations.len() {
+        print!("{}", viz::rotation_schedule(op, plan, level));
+    }
+    println!(
+        "\nPareto frontier of `{}`:",
+        graph.node(heaviest).name
+    );
+    print!(
+        "{}",
+        viz::pareto_scatter(&compiled.node_pareto[heaviest], 48, 12)
+    );
+}

@@ -1,0 +1,43 @@
+//! Compile BERT-Large end-to-end for a full IPU MK2, comparing T10 against
+//! the Roller baseline (a one-row slice of the paper's Figure 12).
+//!
+//! ```bash
+//! cargo run --release --example end_to_end_bert -- 1
+//! ```
+
+use t10_bench::harness::{bench_search_config, Platform};
+use t10_device::ChipSpec;
+use t10_models::transformer::bert_large;
+
+fn main() {
+    let batch: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1);
+    let platform = Platform::new(ChipSpec::ipu_mk2());
+    let g = bert_large(batch).expect("build BERT");
+    println!(
+        "BERT-Large, batch {batch}: {} operators, {:.0} M parameters",
+        g.nodes().len(),
+        g.parameter_count() as f64 / 1e6
+    );
+
+    let t10 = platform.t10(&g, bench_search_config());
+    let roller = platform.roller(&g);
+    for o in [&roller, &t10] {
+        match &o.report {
+            Some(r) => println!(
+                "{:>7}: {:>9.3} ms   ({:>4.1}% transfer, {:.2} GB/s avg per-core bw, compile {:.1} s)",
+                o.system,
+                r.total_time * 1e3,
+                r.transfer_fraction() * 100.0,
+                r.avg_link_bandwidth() / 1e9,
+                o.compile_seconds,
+            ),
+            None => println!("{:>7}: does not fit on chip", o.system),
+        }
+    }
+    if t10.latency.is_finite() && roller.latency.is_finite() {
+        println!("speedup: {:.2}x", roller.latency / t10.latency);
+    }
+}

@@ -1,0 +1,44 @@
+//! LLM decode serving on an inter-core connected chip vs an A100 GPU —
+//! the paper's §6.7 argument in one binary: at small batch, decode is
+//! weight-bandwidth-bound, and 8 TB/s of aggregated inter-core SRAM
+//! bandwidth beats 1.94 TB/s of HBM.
+//!
+//! ```bash
+//! cargo run --release --example llm_serving -- 8
+//! ```
+
+use t10_bench::harness::{bench_search_config, Platform};
+use t10_device::{ChipSpec, GpuSpec};
+use t10_models::zoo;
+
+fn main() {
+    let batch: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(8);
+    let platform = Platform::new(ChipSpec::ipu_mk2());
+    let gpu = GpuSpec::a100();
+    println!("decode step latency at batch {batch} (per-chip layer subsets):\n");
+    println!(
+        "{:<12} {:>14} {:>14} {:>9}",
+        "model", "IPU+T10", "A100 roofline", "speedup"
+    );
+    for (name, cfg, layers) in zoo::llm_models() {
+        let g = zoo::build_llm(name, cfg, layers, batch).expect("build");
+        let t10 = platform.t10(&g, bench_search_config());
+        let gpu_time = gpu.graph_time(&g);
+        let ipu = t10.latency;
+        if ipu.is_finite() {
+            println!(
+                "{:<12} {:>11.3} ms {:>11.3} ms {:>8.2}x",
+                name,
+                ipu * 1e3,
+                gpu_time * 1e3,
+                gpu_time / ipu
+            );
+        } else {
+            println!("{:<12} {:>14} {:>11.3} ms", name, "OOM", gpu_time * 1e3);
+        }
+    }
+    println!("\n(A100 modeled with the roofline methodology; see DESIGN.md)");
+}

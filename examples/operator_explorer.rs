@@ -1,0 +1,72 @@
+//! Explore the intra-operator trade-off space of a single operator
+//! (paper §4.3.1 / Figure 17): every Pareto-optimal compute-shift plan,
+//! its rTensor configuration, memory footprint, and predicted latency.
+//!
+//! ```bash
+//! cargo run --release --example operator_explorer -- 512 512 512
+//! ```
+
+use t10_core::cost::CostModel;
+use t10_core::search::{search_operator, SearchConfig};
+use t10_core::viz;
+use t10_device::ChipSpec;
+use t10_ir::builders;
+
+fn main() {
+    let args: Vec<usize> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let (m, k, n) = match args[..] {
+        [m, k, n] => (m, k, n),
+        _ => (512, 512, 512),
+    };
+    let spec = ChipSpec::ipu_with_cores(64);
+    println!("MatMul [{m}x{k}] @ [{k}x{n}] on {} cores", spec.num_cores);
+
+    let cost = CostModel::calibrate(&spec, 192, 7).expect("calibrate");
+    let op = builders::matmul(0, 1, 2, m, k, n).expect("op");
+    let mut cfg = SearchConfig::strict();
+    cfg.collect_samples = true;
+    let (pareto, stats) = search_operator(&op, &[2, 2], 2, &cost, &cfg).expect("search");
+
+    println!(
+        "search space: complete ≈ {:.1e}, filtered = {}, Pareto = {}",
+        stats.complete_space, stats.filtered_space, stats.optimized_space
+    );
+    println!("\nPareto frontier (memory ascending):");
+    println!("{:>10}  {:>12}  {:>9}  {:<18} plan", "mem/core", "exec (us)", "setup(us)", "F_op");
+    for sp in pareto.plans() {
+        let rots: Vec<String> = sp
+            .plan
+            .rotations
+            .iter()
+            .map(|l| {
+                format!(
+                    "axis {:?} x{} rp={}",
+                    l.axis.map(|a| op.expr.axes[a].name.clone()),
+                    l.steps,
+                    l.rp
+                )
+            })
+            .collect();
+        println!(
+            "{:>10}  {:>12.1}  {:>9.1}  {:<18} {} steps, rotations: [{}]",
+            sp.cost.mem_per_core,
+            sp.cost.exec_time * 1e6,
+            sp.setup_time * 1e6,
+            format!("{:?}", sp.plan.config.f_op),
+            sp.plan.total_steps,
+            rots.join(", "),
+        );
+    }
+    println!("\nfrontier shape:");
+    print!("{}", viz::pareto_scatter(&pareto, 48, 12));
+    // Rotation schedule of the leanest plan (the most interesting one).
+    if let Some(lean) = pareto.min_memory() {
+        println!("rotation schedule of the leanest plan:");
+        for level in 0..lean.plan.rotations.len() {
+            print!("{}", viz::rotation_schedule(&op, &lean.plan, level));
+        }
+    }
+}

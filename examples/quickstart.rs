@@ -1,0 +1,67 @@
+//! Quickstart: compile one operator graph with T10 and simulate it.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use t10_core::compiler::Compiler;
+use t10_core::search::SearchConfig;
+use t10_device::ChipSpec;
+use t10_ir::{builders, DType, Graph, Unary, ValueKind};
+use t10_sim::{Simulator, SimulatorMode};
+
+fn main() {
+    // 1. Describe a model as an operator graph: y = relu(x @ W1) @ W2.
+    let (m, d) = (256, 512);
+    let mut g = Graph::new("quickstart");
+    let x = g.add_value("x", vec![m, d], DType::F16, ValueKind::Input);
+    let w1 = g.add_value("w1", vec![d, d], DType::F16, ValueKind::Weight);
+    let h = g.add_value("h", vec![m, d], DType::F16, ValueKind::Activation);
+    let w2 = g.add_value("w2", vec![d, d], DType::F16, ValueKind::Weight);
+    let y = g.add_value("y", vec![m, d], DType::F16, ValueKind::Output);
+    let mut fc1 = builders::matmul(x, w1, h, m, d, d).expect("fc1");
+    fc1.unary = Some(Unary::Relu);
+    g.add_node("fc1", fc1).expect("add fc1");
+    g.add_node("fc2", builders::matmul(h, w2, y, m, d, d).expect("fc2"))
+        .expect("add fc2");
+
+    // 2. Compile for an inter-core connected chip (a 64-core IPU slice).
+    let spec = ChipSpec::ipu_with_cores(64);
+    let compiler = Compiler::new(spec.clone(), SearchConfig::strict());
+    let compiled = compiler.compile_graph(&g).expect("compile");
+    println!(
+        "compiled {} operators in {:.2} s (cost-model estimate: {:.1} us)",
+        g.nodes().len(),
+        compiled.compile_seconds,
+        compiled.estimated_time * 1e6
+    );
+
+    // 3. Inspect the chosen compute-shift plans.
+    for (i, choice) in compiled.reconciled.choices.iter().enumerate() {
+        let plan = &compiled.node_pareto[i].plans()[choice.active].plan;
+        println!(
+            "  {}: F_op = {:?}, {} cores, {} steps, {} B/core active",
+            g.node(i).name,
+            plan.config.f_op,
+            plan.cores_used,
+            plan.total_steps,
+            plan.mem_per_core,
+        );
+        for (s, _slot) in plan.slots.iter().enumerate() {
+            let rt = plan.rtensor(s);
+            println!(
+                "     input {s}: f_s = {:?}, f_t = {:?}, rp = {:?}, {} ring(s)",
+                rt.f_s, rt.f_t, rt.rp, rt.rings
+            );
+        }
+    }
+
+    // 4. Simulate the program on the modeled chip.
+    let mut sim = Simulator::new(spec, SimulatorMode::Timing);
+    let report = sim.run(&compiled.program).expect("simulate");
+    println!(
+        "simulated latency: {:.1} us ({:.0}% in inter-core transfer)",
+        report.total_time * 1e6,
+        report.transfer_fraction() * 100.0
+    );
+}

@@ -1,0 +1,125 @@
+//! T10 vs the VGM baselines: the paper's qualitative claims must hold on
+//! the simulated hardware.
+
+use t10_baselines::{compile_graph_popart, compile_graph_roller};
+use t10_baselines::vgm::vgm_bytes_per_core;
+use t10_core::compiler::Compiler;
+use t10_core::search::SearchConfig;
+use t10_device::ChipSpec;
+use t10_ir::{builders, DType, Graph, Unary, ValueKind};
+use t10_sim::{RunReport, Simulator, SimulatorMode};
+
+fn mlp(layers: usize, m: usize, d: usize) -> Graph {
+    let mut g = Graph::new("mlp");
+    let mut cur = g.add_value("x", vec![m, d], DType::F16, ValueKind::Input);
+    for i in 0..layers {
+        let w = g.add_value(format!("w{i}"), vec![d, d], DType::F16, ValueKind::Weight);
+        let kind = if i + 1 == layers {
+            ValueKind::Output
+        } else {
+            ValueKind::Activation
+        };
+        let o = g.add_value(format!("h{i}"), vec![m, d], DType::F16, kind);
+        let mut op = builders::matmul(cur, w, o, m, d, d).unwrap();
+        op.unary = Some(Unary::Relu);
+        g.add_node(format!("fc{i}"), op).unwrap();
+        cur = o;
+    }
+    g
+}
+
+fn run(spec: &ChipSpec, program: &t10_device::Program) -> RunReport {
+    let mut sim = Simulator::new(spec.clone(), SimulatorMode::Timing);
+    sim.run(program).unwrap()
+}
+
+/// §6.2: T10 outperforms Roller end-to-end.
+#[test]
+fn t10_beats_roller_end_to_end() {
+    let spec = ChipSpec::ipu_with_cores(64);
+    let g = mlp(4, 512, 512);
+    let compiler = Compiler::new(spec.clone(), SearchConfig::fast());
+    let t10 = compiler.compile_graph(&g).unwrap();
+    let roller = compile_graph_roller(&g, &spec).unwrap();
+    let t_t10 = run(&spec, &t10.program).total_time;
+    let t_roller = run(&spec, &roller.program).total_time;
+    assert!(
+        t_t10 < t_roller,
+        "t10 = {t_t10}, roller = {t_roller}"
+    );
+}
+
+/// §6.2/Figure 13: T10's transfer fraction is lower than Roller's.
+#[test]
+fn t10_reduces_transfer_fraction() {
+    let spec = ChipSpec::ipu_with_cores(64);
+    let g = mlp(4, 512, 512);
+    let compiler = Compiler::new(spec.clone(), SearchConfig::fast());
+    let t10 = compiler.compile_graph(&g).unwrap();
+    let roller = compile_graph_roller(&g, &spec).unwrap();
+    let f_t10 = run(&spec, &t10.program).transfer_fraction();
+    let f_roller = run(&spec, &roller.program).transfer_fraction();
+    assert!(
+        f_t10 < f_roller,
+        "t10 = {f_t10:.2}, roller = {f_roller:.2}"
+    );
+}
+
+/// Figure 2 (b): removing the VGM frees per-core memory for sub-operators.
+#[test]
+fn vgm_duplicates_memory() {
+    let spec = ChipSpec::ipu_with_cores(64);
+    let g = mlp(6, 512, 512);
+    let roller = compile_graph_roller(&g, &spec).unwrap();
+    assert!(roller.vgm_bytes_per_core > 0);
+    // The VGM stripe plus buffers exceeds what T10's distributed layout
+    // needs for the same operator.
+    let compiler = Compiler::new(spec, SearchConfig::fast());
+    let t10 = compiler.compile_graph(&g).unwrap();
+    let t10_active: usize = t10.reconciled.choices.iter().enumerate()
+        .map(|(i, c)| t10.node_pareto[i].plans()[c.active].cost.mem_per_core)
+        .max()
+        .unwrap();
+    let roller_worst = roller.vgm_bytes_per_core + roller.buffer_bytes.iter().max().unwrap();
+    // T10 uses its memory for the active operator instead of a stripe.
+    assert!(t10_active + t10.reconciled.idle_mem <= roller_worst * 4);
+}
+
+/// PopART's no-liveness policy runs out of memory before Roller's.
+#[test]
+fn popart_ooms_before_roller() {
+    let spec = ChipSpec::ipu_with_cores(64);
+    let mut popart_fail = None;
+    let mut roller_fail = None;
+    for p in 0..10 {
+        let g = mlp(8, 128 << p, 512);
+        if popart_fail.is_none() && compile_graph_popart(&g, &spec).is_err() {
+            popart_fail = Some(p);
+        }
+        if roller_fail.is_none() && compile_graph_roller(&g, &spec).is_err() {
+            roller_fail = Some(p);
+        }
+        if popart_fail.is_some() && roller_fail.is_some() {
+            break;
+        }
+    }
+    let pf = popart_fail.expect("popart oom");
+    if let Some(rf) = roller_fail {
+        assert!(pf <= rf, "popart at {pf}, roller at {rf}");
+    }
+}
+
+/// Liveness reuse matters: the no-liveness VGM stripe is strictly larger on
+/// activation-heavy models.
+#[test]
+fn liveness_gap_grows_with_depth() {
+    let spec = ChipSpec::ipu_with_cores(64);
+    let shallow = mlp(2, 1024, 256);
+    let deep = mlp(12, 1024, 256);
+    let gap = |g: &Graph| {
+        let with = vgm_bytes_per_core(g, &spec, true) as f64;
+        let without = vgm_bytes_per_core(g, &spec, false) as f64;
+        without / with
+    };
+    assert!(gap(&deep) > gap(&shallow));
+}

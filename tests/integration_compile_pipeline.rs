@@ -1,0 +1,126 @@
+//! Whole-pipeline integration: graph → search → reconcile → program → sim.
+
+use t10_core::compiler::Compiler;
+use t10_core::search::SearchConfig;
+use t10_device::program::Phase;
+use t10_device::ChipSpec;
+use t10_ir::{builders, DType, Graph, Unary, ValueKind};
+use t10_sim::{Simulator, SimulatorMode};
+
+fn mlp(layers: usize, m: usize, d: usize) -> Graph {
+    let mut g = Graph::new("mlp");
+    let mut cur = g.add_value("x", vec![m, d], DType::F16, ValueKind::Input);
+    for i in 0..layers {
+        let w = g.add_value(format!("w{i}"), vec![d, d], DType::F16, ValueKind::Weight);
+        let kind = if i + 1 == layers {
+            ValueKind::Output
+        } else {
+            ValueKind::Activation
+        };
+        let o = g.add_value(format!("h{i}"), vec![m, d], DType::F16, kind);
+        let mut op = builders::matmul(cur, w, o, m, d, d).unwrap();
+        op.unary = Some(Unary::Relu);
+        g.add_node(format!("fc{i}"), op).unwrap();
+        cur = o;
+    }
+    g
+}
+
+#[test]
+fn compiled_program_runs_and_attributes_time() {
+    let spec = ChipSpec::ipu_with_cores(64);
+    let compiler = Compiler::new(spec.clone(), SearchConfig::fast());
+    let g = mlp(4, 256, 256);
+    let out = compiler.compile_graph(&g).unwrap();
+    let mut sim = Simulator::new(spec, SimulatorMode::Timing);
+    let report = sim.run(&out.program).unwrap();
+    assert!(report.total_time > 0.0);
+    // Every node received execution time.
+    for i in 0..4 {
+        let nb = report.per_node.get(&i).expect("node time");
+        assert!(nb.compute > 0.0, "node {i}");
+    }
+    // Inter-operator transitions exist for every node but the last, either
+    // as their own steps or merged into a node's final superstep exchange.
+    for i in 0..3 {
+        let has = out.program.steps.iter().any(|s| {
+            s.node == Some(i)
+                && (s.phase == Phase::Transition
+                    || s.exchange_summary
+                        .map(|e| e.total_bytes > 0)
+                        .unwrap_or(false))
+        });
+        assert!(has, "node {i} missing transition");
+    }
+}
+
+#[test]
+fn reconciliation_reduces_setup_versus_naive() {
+    // With plenty of memory, the reconciler pins idle layouts to active
+    // plans and eliminates most setup time.
+    let spec = ChipSpec::ipu_with_cores(64);
+    let compiler = Compiler::new(spec, SearchConfig::fast());
+    let g = mlp(4, 128, 128);
+    let out = compiler.compile_graph(&g).unwrap();
+    let first = out.reconciled.trajectory.first().unwrap();
+    let best = out.reconciled.total_time;
+    assert!(best <= first.total_time + 1e-12);
+    // The chosen schedule's idle memory fits the chip.
+    let cap = compiler_capacity();
+    assert!(out.reconciled.idle_mem <= cap);
+}
+
+fn compiler_capacity() -> usize {
+    let spec = ChipSpec::ipu_with_cores(64);
+    spec.sram_per_core - spec.shift_buffer
+}
+
+#[test]
+fn estimated_time_tracks_simulated_time() {
+    // The cost model's end-to-end estimate should be within a small factor
+    // of the simulated time (Figure 8's claim, aggregated).
+    let spec = ChipSpec::ipu_with_cores(64);
+    let compiler = Compiler::new(spec.clone(), SearchConfig::fast());
+    let g = mlp(3, 256, 256);
+    let out = compiler.compile_graph(&g).unwrap();
+    let mut sim = Simulator::new(spec, SimulatorMode::Timing);
+    let report = sim.run(&out.program).unwrap();
+    // Estimate excludes transitions; allow generous slack.
+    let ratio = report.total_time / out.estimated_time;
+    assert!(
+        (0.3..3.5).contains(&ratio),
+        "simulated {} vs estimated {}",
+        report.total_time,
+        out.estimated_time
+    );
+}
+
+#[test]
+fn peak_memory_respects_scratchpad() {
+    let spec = ChipSpec::ipu_with_cores(32);
+    let compiler = Compiler::new(spec.clone(), SearchConfig::fast());
+    let g = mlp(2, 128, 128);
+    let out = compiler.compile_graph(&g).unwrap();
+    // The reconciler's accounting never exceeds the usable capacity.
+    let cap = spec.sram_per_core - spec.shift_buffer;
+    for (i, choice) in out.reconciled.choices.iter().enumerate() {
+        let active = &out.node_pareto[i].plans()[choice.active];
+        assert!(active.cost.mem_per_core + out.reconciled.idle_mem
+            <= cap + active.plan.input_bytes_per_core() + choice.idle_bytes + cap);
+        assert!(active.cost.mem_per_core <= cap);
+    }
+}
+
+#[test]
+fn search_stats_shrink_monotonically() {
+    // Figure 18's structure: complete ≥ filtered ≥ Pareto for every node.
+    let spec = ChipSpec::ipu_with_cores(64);
+    let compiler = Compiler::new(spec, SearchConfig::fast());
+    let g = mlp(1, 256, 256);
+    let out = compiler.compile_graph(&g).unwrap();
+    for s in &out.node_stats {
+        assert!(s.complete_space >= s.filtered_space as f64);
+        assert!(s.filtered_space >= s.optimized_space);
+        assert!(s.optimized_space >= 1);
+    }
+}

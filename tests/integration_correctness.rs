@@ -1,0 +1,130 @@
+//! Cross-crate correctness: plans chosen by the *search* (not hand-picked)
+//! must execute functionally and reproduce the reference executor.
+//!
+//! This closes the loop search → plan → placement → lowering → simulation,
+//! proving the compiler's optimizations are lossless end-to-end (paper
+//! §6.1: "T10 only applies lossless optimizations").
+
+use t10_core::cost::CostModel;
+use t10_core::lower::lower_functional;
+use t10_core::search::{search_operator, SearchConfig};
+use t10_device::ChipSpec;
+use t10_ir::{builders, reference, Operator, Tensor};
+use t10_sim::{Simulator, SimulatorMode};
+
+fn run_functional(op: &Operator, plan: &t10_core::Plan, inputs: &[Tensor]) -> Option<Tensor> {
+    let f = lower_functional(op, plan).ok()?;
+    let spec = ChipSpec::ipu_with_cores(plan.cores_used.max(1));
+    let mut sim = Simulator::new(spec, SimulatorMode::Functional);
+    sim.load(&f.program).ok()?;
+    for (slot, t) in inputs.iter().enumerate() {
+        for &id in &f.input_buffers[slot] {
+            sim.bind(id, t).ok()?;
+        }
+    }
+    sim.run_loaded(&f.program).ok()?;
+    sim.extract(&f.output_buffers, &op.expr.output_shape())
+        .ok()
+}
+
+/// Every Pareto-optimal plan the search returns for a divisible matmul must
+/// be functionally exact.
+#[test]
+fn all_searched_matmul_plans_are_lossless() {
+    let cost = CostModel::calibrate(&ChipSpec::ipu_with_cores(8), 128, 5).unwrap();
+    let op = builders::matmul(0, 1, 2, 16, 32, 16).unwrap();
+    let mut cfg = SearchConfig::fast();
+    cfg.min_core_utilization = 0.9;
+    let (pareto, _) = search_operator(&op, &[4, 4], 4, &cost, &cfg).unwrap();
+    assert!(!pareto.is_empty());
+    let a = Tensor::pattern(vec![16, 32], 0.11);
+    let b = Tensor::pattern(vec![32, 16], 0.77);
+    let want = reference::execute(&op, &[&a, &b]).unwrap();
+    let mut verified = 0;
+    for sp in pareto.plans() {
+        // Skip plans the functional path cannot express (padding).
+        let Some(got) = run_functional(&op, &sp.plan, &[a.clone(), b.clone()]) else {
+            continue;
+        };
+        assert!(
+            got.approx_eq(&want, 1e-4),
+            "plan {:?} diverges by {}",
+            sp.plan.config,
+            got.max_abs_diff(&want)
+        );
+        verified += 1;
+    }
+    assert!(verified >= 2, "only {verified} plans verified functionally");
+}
+
+/// Searched convolution plans are exact.
+#[test]
+fn searched_conv_plan_is_lossless() {
+    let cost = CostModel::calibrate(&ChipSpec::ipu_with_cores(8), 128, 5).unwrap();
+    let cfg2d = builders::Conv2dCfg {
+        batch: 2,
+        c_in: 4,
+        c_out: 8,
+        h_out: 8,
+        w_out: 8,
+        kh: 3,
+        kw: 3,
+        stride: 1,
+    };
+    let op = builders::conv2d(0, 1, 2, cfg2d).unwrap();
+    let mut cfg = SearchConfig::fast();
+    cfg.min_core_utilization = 0.5;
+    let (pareto, _) = search_operator(&op, &[4, 4], 4, &cost, &cfg).unwrap();
+    let i = Tensor::pattern(op.expr.input_shape(0), 0.21);
+    let k = Tensor::pattern(op.expr.input_shape(1), 0.91);
+    let want = reference::execute(&op, &[&i, &k]).unwrap();
+    let mut verified = 0;
+    for sp in pareto.plans() {
+        if let Some(got) = run_functional(&op, &sp.plan, &[i.clone(), k.clone()]) {
+            assert!(
+                got.approx_eq(&want, 1e-3),
+                "conv plan {:?} diverges by {}",
+                sp.plan.config,
+                got.max_abs_diff(&want)
+            );
+            verified += 1;
+        }
+    }
+    assert!(verified >= 1, "no conv plan verified functionally");
+}
+
+/// Rotating-gather plans from the search are exact.
+#[test]
+fn searched_gather_plan_is_lossless() {
+    let cost = CostModel::calibrate(&ChipSpec::ipu_with_cores(8), 128, 5).unwrap();
+    let op = builders::gather(0, 1, 2, 32, 16, 8).unwrap();
+    let (pareto, _) = search_operator(&op, &[4, 4], 4, &cost, &SearchConfig::fast()).unwrap();
+    let table = Tensor::pattern(vec![32, 8], 0.5);
+    let mut idx = Tensor::zeros(vec![16]);
+    for (i, v) in idx.data_mut().iter_mut().enumerate() {
+        *v = ((i * 7 + 5) % 32) as f32;
+    }
+    let want = reference::execute(&op, &[&table, &idx]).unwrap();
+    let mut verified = 0;
+    for sp in pareto.plans() {
+        if let Some(got) = run_functional(&op, &sp.plan, &[table.clone(), idx.clone()]) {
+            assert!(got.approx_eq(&want, 1e-5));
+            verified += 1;
+        }
+    }
+    assert!(verified >= 1);
+}
+
+/// The memory/communication trade-off is visible across the frontier: the
+/// smallest-memory plan communicates more than the fastest plan.
+#[test]
+fn pareto_frontier_exposes_the_tradeoff() {
+    let cost = CostModel::calibrate(&ChipSpec::ipu_with_cores(16), 128, 5).unwrap();
+    let op = builders::matmul(0, 1, 2, 128, 128, 128).unwrap();
+    let (pareto, _) = search_operator(&op, &[2, 2], 2, &cost, &SearchConfig::fast()).unwrap();
+    assert!(pareto.len() >= 2, "frontier has {} plans", pareto.len());
+    let lean = pareto.min_memory().unwrap();
+    let fast = pareto.fastest().unwrap();
+    assert!(lean.cost.mem_per_core < fast.cost.mem_per_core);
+    assert!(lean.cost.exec_time > fast.cost.exec_time);
+}
