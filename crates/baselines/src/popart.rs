@@ -119,8 +119,7 @@ mod tests {
         let p = compile_graph_popart(&g, &spec).unwrap();
         let r = roller::compile_graph_roller(&g, &spec).unwrap();
         let run = |prog| {
-            let mut sim =
-                t10_sim::Simulator::new(spec.clone(), t10_sim::SimulatorMode::Timing);
+            let mut sim = t10_sim::Simulator::new(spec.clone(), t10_sim::SimulatorMode::Timing);
             sim.run(prog).unwrap().total_time
         };
         let tp = run(&p.program);
@@ -140,16 +139,13 @@ mod tests {
             if popart_failed_at.is_none() && compile_graph_popart(&g, &spec).is_err() {
                 popart_failed_at = Some(bs_pow);
             }
-            if roller_failed_at.is_none()
-                && roller::compile_graph_roller(&g, &spec).is_err()
-            {
+            if roller_failed_at.is_none() && roller::compile_graph_roller(&g, &spec).is_err() {
                 roller_failed_at = Some(bs_pow);
             }
         }
         let p = popart_failed_at.expect("popart eventually OOMs");
-        match roller_failed_at {
-            Some(r) => assert!(p < r, "popart at {p}, roller at {r}"),
-            None => {}
+        if let Some(r) = roller_failed_at {
+            assert!(p < r, "popart at {p}, roller at {r}");
         }
     }
 

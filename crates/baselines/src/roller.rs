@@ -112,9 +112,8 @@ pub fn compile_graph_roller(graph: &Graph, spec: &ChipSpec) -> Result<VgmCompile
     let mut plans = Vec::with_capacity(graph.nodes().len());
     for node in graph.nodes() {
         let (d, o) = node_dtypes(graph, &node.op);
-        let tp = select_tile(&node.op, &d, o, vgm, spec, &cfg).map_err(|e| {
-            compile_err!("{}: {}", node.name, e.message())
-        })?;
+        let tp = select_tile(&node.op, &d, o, vgm, spec, &cfg)
+            .map_err(|e| compile_err!("{}: {}", node.name, e.message()))?;
         plans.push(tp);
     }
     let program = assemble_program(graph, &plans, spec)?;
@@ -147,14 +146,13 @@ mod tests {
         let g = mm_graph(512, 512, 512);
         let spec = ChipSpec::ipu_with_cores(64);
         let out = compile_graph_roller(&g, &spec).unwrap();
-        let tp = tile_plan(
-            &g.nodes()[0].op,
-            &[2, 2],
-            2,
-            &out.tiles[0],
+        let tp = tile_plan(&g.nodes()[0].op, &[2, 2], 2, &out.tiles[0], &spec);
+        assert!(fits(
+            &tp,
+            out.vgm_bytes_per_core,
             &spec,
-        );
-        assert!(fits(&tp, out.vgm_bytes_per_core, &spec, &VgmConfig::default()));
+            &VgmConfig::default()
+        ));
         // Roller grows well past the minimal aligned tile.
         assert!(out.tiles[0].iter().product::<usize>() > 8 * 16 * 8);
     }

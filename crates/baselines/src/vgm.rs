@@ -210,11 +210,7 @@ pub fn tile_plan(
             .product();
         let tensor_bytes: usize = expr.input_shape(s).iter().product::<usize>() * dtype_bytes[s];
         let shard = tensor_bytes.div_ceil(cores).max(1);
-        sharing.push((
-            miss.min(cores),
-            shard,
-            (tile_elems * dtype_bytes[s]) as u64,
-        ));
+        sharing.push((miss.min(cores), shard, (tile_elems * dtype_bytes[s]) as u64));
     }
     let tile_out_elems: usize = expr.output.iter().map(|e| dim_extent(e, tile)).product();
     let tile_out_bytes = (tile_out_elems * out_dtype_bytes) as u64;
@@ -258,11 +254,7 @@ pub fn tile_plan(
 ///
 /// Each round is one load-compute-store cycle: an exchange phase whose
 /// serving hot spots follow the `S × shard` model, then a compute phase.
-pub fn lower_op_vgm(
-    tp: &TilePlan,
-    spec: &ChipSpec,
-    node: Option<usize>,
-) -> Vec<Superstep> {
+pub fn lower_op_vgm(tp: &TilePlan, spec: &ChipSpec, node: Option<usize>) -> Vec<Superstep> {
     let cores = spec.num_cores;
     let chips = spec.num_chips();
     let mut steps = Vec::with_capacity(tp.rounds);
@@ -294,9 +286,7 @@ pub fn lower_op_vgm(
         let messages: u64 = tp
             .sharing
             .iter()
-            .map(|&(_, shard, tile_bytes)| {
-                (tile_bytes.div_ceil(shard as u64)).min(active as u64)
-            })
+            .map(|&(_, shard, tile_bytes)| (tile_bytes.div_ceil(shard as u64)).min(active as u64))
             .sum::<u64>()
             + 1;
         let cross = if chips > 1 {
@@ -327,12 +317,7 @@ pub fn lower_op_vgm(
 }
 
 /// Checks the per-core memory budget of a tile under the VGM layout.
-pub fn fits(
-    tp: &TilePlan,
-    vgm_bytes: usize,
-    spec: &ChipSpec,
-    cfg: &VgmConfig,
-) -> bool {
+pub fn fits(tp: &TilePlan, vgm_bytes: usize, spec: &ChipSpec, cfg: &VgmConfig) -> bool {
     let reserve = (spec.sram_per_core as f64 * cfg.runtime_reserve) as usize;
     let buffers = if cfg.double_buffer {
         tp.buffer_bytes * 2
@@ -346,11 +331,7 @@ pub fn fits(
 /// Latency follows the paper's methodology: the model is resident on chip
 /// and host I/O is excluded (inputs are warm; §6.1 measures on-chip
 /// execution).
-pub fn assemble_program(
-    graph: &Graph,
-    plans: &[TilePlan],
-    spec: &ChipSpec,
-) -> Result<Program> {
+pub fn assemble_program(graph: &Graph, plans: &[TilePlan], spec: &ChipSpec) -> Result<Program> {
     let _ = graph;
     let mut program = Program::new();
     for (i, tp) in plans.iter().enumerate() {
@@ -381,8 +362,11 @@ mod tests {
                 ValueKind::Activation
             };
             let o = g.add_value(format!("h{i}"), vec![m, n], DType::F16, kind);
-            g.add_node(format!("fc{i}"), builders::matmul(cur, w, o, m, dim, n).unwrap())
-                .unwrap();
+            g.add_node(
+                format!("fc{i}"),
+                builders::matmul(cur, w, o, m, dim, n).unwrap(),
+            )
+            .unwrap();
             cur = o;
             dim = n;
         }

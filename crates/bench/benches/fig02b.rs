@@ -22,19 +22,22 @@ fn main() {
         "ratio (growth w/o VGM)",
     ]);
     let cases: Vec<(&str, &str, t10_ir::Graph)> = vec![
-        ("MatMul", "BERT", t10_models::transformer::bert_large(1).unwrap()),
+        (
+            "MatMul",
+            "BERT",
+            t10_models::transformer::bert_large(1).unwrap(),
+        ),
         ("Conv", "ResNet", t10_models::resnet::resnet18(8).unwrap()),
-        ("MatMul", "ViT", t10_models::transformer::vit_base(1).unwrap()),
+        (
+            "MatMul",
+            "ViT",
+            t10_models::transformer::vit_base(1).unwrap(),
+        ),
         (
             "MatMul",
             "OPT-13B layer",
-            t10_models::zoo::build_llm(
-                "opt13b",
-                t10_models::llm::DecoderCfg::opt_13b(),
-                1,
-                8,
-            )
-            .unwrap(),
+            t10_models::zoo::build_llm("opt13b", t10_models::llm::DecoderCfg::opt_13b(), 1, 8)
+                .unwrap(),
         ),
     ];
     for (opname, model, g) in cases {

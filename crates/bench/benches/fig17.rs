@@ -17,7 +17,9 @@ fn main() {
     cfg.collect_samples = true;
     cfg.max_candidates_per_axis = 20;
     cfg.max_configs = 30_000;
-    cfg.threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    cfg.threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
 
     let resnet = t10_models::resnet::resnet18(32).unwrap();
     let bert = t10_models::transformer::bert_large(1).unwrap();

@@ -17,7 +17,9 @@ fn main() {
         "Pareto-optimal",
     ]);
     let mut cfg = SearchConfig::strict();
-    cfg.threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    cfg.threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     cfg.max_candidates_per_axis = 20;
     cfg.max_configs = 60_000;
 
@@ -53,7 +55,11 @@ fn main() {
             search_operator(&node.op, &d, o, platform.cost_model(), &cfg).unwrap();
         t.row(vec![
             label.to_string(),
-            format!("{:.2e}{}", stats.complete_space, if stats.truncated { " (trunc)" } else { "" }),
+            format!(
+                "{:.2e}{}",
+                stats.complete_space,
+                if stats.truncated { " (trunc)" } else { "" }
+            ),
             format!("{}", stats.filtered_space),
             format!("{}", pareto.len()),
         ]);

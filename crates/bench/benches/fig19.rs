@@ -10,9 +10,17 @@ use t10_device::ChipSpec;
 fn main() {
     let platform = Platform::new(ChipSpec::ipu_mk2());
     println!("== Figure 19: constraint settings vs compile time & latency ==");
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let settings = [
-        ("strict (u=0.95, pad=0.95, 10 cand)", 0.95, 0.95, 10usize, 10_000usize),
+        (
+            "strict (u=0.95, pad=0.95, 10 cand)",
+            0.95,
+            0.95,
+            10usize,
+            10_000usize,
+        ),
         ("default (u=0.9, pad=0.9, 24 cand)", 0.9, 0.9, 24, 40_000),
         ("loose (u=0.7, pad=0.8, 32 cand)", 0.7, 0.8, 32, 120_000),
     ];
@@ -29,6 +37,7 @@ fn main() {
                 max_configs: max_cfg,
                 threads,
                 collect_samples: false,
+                ..SearchConfig::default()
             };
             let start = std::time::Instant::now();
             let o = platform.t10(&builder, cfg);

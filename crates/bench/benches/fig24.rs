@@ -12,13 +12,8 @@ use t10_ir::ValueKind;
 fn main() {
     let platform = Platform::new(ChipSpec::ipu_mk2());
     // An OPT-13B layer pair at batch 8: the LLM workload of §6.8.
-    let g = t10_models::zoo::build_llm(
-        "opt-13b",
-        t10_models::llm::DecoderCfg::opt_13b(),
-        1,
-        8,
-    )
-    .unwrap();
+    let g = t10_models::zoo::build_llm("opt-13b", t10_models::llm::DecoderCfg::opt_13b(), 1, 8)
+        .unwrap();
     // Per-op exec time from each compiler + per-op weight bytes.
     let weights_of = |i: usize| -> u64 {
         g.node(i)

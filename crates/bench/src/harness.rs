@@ -131,6 +131,7 @@ pub fn bench_search_config() -> SearchConfig {
             .map(|n| n.get())
             .unwrap_or(1),
         collect_samples: false,
+        ..SearchConfig::default()
     }
 }
 

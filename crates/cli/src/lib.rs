@@ -1,22 +1,82 @@
 //! Library half of the `t10` CLI: argument parsing and command execution,
 //! kept in a library so tests can drive it without spawning processes.
 
+use std::time::Duration;
+
 use t10_bench::harness::{bench_search_config, Platform};
 use t10_bench::table::{fmt_bytes, fmt_time};
 use t10_bench::Table;
 use t10_core::search::{search_operator, SearchConfig};
-use t10_core::viz;
+use t10_core::{viz, CompileError, CompileOptions};
 use t10_device::ChipSpec;
 use t10_ir::Graph;
 use t10_models::{all_models, textfmt};
+use t10_sim::{FaultPlan, Simulator, SimulatorMode};
 
 /// Usage text shown on parse errors.
 pub const USAGE: &str = "\
 usage:
   t10 zoo
   t10 compile <model|file.t10> [--batch N] [--cores N] [--fuse]
+              [--faults SPEC] [--deadline-ms N]
   t10 bench   <model|file.t10> [--batch N] [--cores N]
-  t10 explore <M> <K> <N> [--cores N]";
+  t10 explore <M> <K> <N> [--cores N]
+
+fault spec: comma-separated entries, e.g. seed=7,degrade=0.1@0.5,shrink=3@0.5
+  seed=N  degrade=FRAC@MULT  lose=FRAC  slow=FRAC@MULT
+  link=CORE@MULT  core=CORE@MULT  shrink=CORE@FRAC
+
+exit codes: 1 generic, 2 usage, 3 infeasible plan, 4 out of memory,
+  5 deadline exceeded, 6 worker panicked, 7 device/IR fault";
+
+/// A CLI failure: a message plus the process exit code to report.
+///
+/// Compile errors map to distinct codes so scripts (and the fault-injection
+/// harness) can react to *why* a compile failed without parsing stderr.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliError {
+    /// Human-readable description, printed to stderr.
+    pub message: String,
+    /// Process exit code.
+    pub code: i32,
+}
+
+impl CliError {
+    /// A usage error (exit code 2).
+    pub fn usage(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            code: 2,
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        Self { message, code: 1 }
+    }
+}
+
+impl From<CompileError> for CliError {
+    fn from(e: CompileError) -> Self {
+        Self {
+            message: e.to_string(),
+            code: compile_exit_code(&e),
+        }
+    }
+}
+
+/// The exit code for one compile-error variant.
+pub fn compile_exit_code(e: &CompileError) -> i32 {
+    match e {
+        CompileError::PlanInfeasible { .. } => 3,
+        CompileError::OutOfMemory { .. } => 4,
+        CompileError::DeadlineExceeded { .. } => 5,
+        CompileError::WorkerPanicked { .. } => 6,
+        CompileError::Device(_) | CompileError::Ir(_) => 7,
+        CompileError::Internal { .. } => 1,
+    }
+}
 
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,6 +93,10 @@ pub enum Cli {
         cores: usize,
         /// Apply the unary-fusion pass first.
         fuse: bool,
+        /// Fault specification (see [`FaultPlan::parse`]), if any.
+        faults: Option<String>,
+        /// Compile deadline in milliseconds (anytime search), if any.
+        deadline_ms: Option<u64>,
     },
     /// Compare T10 against the VGM baselines.
     Bench {
@@ -63,6 +127,8 @@ impl Cli {
         let mut batch = 1usize;
         let mut cores = 1472usize;
         let mut fuse = false;
+        let mut faults: Option<String> = None;
+        let mut deadline_ms: Option<u64> = None;
         let mut it = args.iter();
         while let Some(a) = it.next() {
             match a.as_str() {
@@ -81,11 +147,25 @@ impl Cli {
                         .map_err(|_| "bad --cores value")?;
                 }
                 "--fuse" => fuse = true,
+                "--faults" => {
+                    faults = Some(it.next().ok_or("--faults needs a value")?.clone());
+                }
+                "--deadline-ms" => {
+                    deadline_ms = Some(
+                        it.next()
+                            .ok_or("--deadline-ms needs a value")?
+                            .parse()
+                            .map_err(|_| "bad --deadline-ms value")?,
+                    );
+                }
                 flag if flag.starts_with("--") => {
                     return Err(format!("unknown flag {flag}"));
                 }
                 p => pos.push(p),
             }
+        }
+        if (faults.is_some() || deadline_ms.is_some()) && pos.first() != Some(&"compile") {
+            return Err("--faults and --deadline-ms only apply to `compile`".into());
         }
         match pos.as_slice() {
             ["zoo"] => Ok(Cli::Zoo),
@@ -94,6 +174,8 @@ impl Cli {
                 batch,
                 cores,
                 fuse,
+                faults,
+                deadline_ms,
             }),
             ["bench", target] => Ok(Cli::Bench {
                 target: target.to_string(),
@@ -114,7 +196,10 @@ impl Cli {
 
 /// Resolves a target to a graph: a zoo name or a `.t10` model file.
 pub fn resolve_model(target: &str, batch: usize) -> Result<Graph, String> {
-    if let Some(spec) = all_models().into_iter().find(|m| m.name.eq_ignore_ascii_case(target)) {
+    if let Some(spec) = all_models()
+        .into_iter()
+        .find(|m| m.name.eq_ignore_ascii_case(target))
+    {
         return (spec.build)(batch).map_err(|e| e.to_string());
     }
     if target.ends_with(".t10") {
@@ -135,7 +220,7 @@ fn chip(cores: usize) -> ChipSpec {
 }
 
 /// Executes a parsed command.
-pub fn run(cli: &Cli) -> Result<(), String> {
+pub fn run(cli: &Cli) -> Result<(), CliError> {
     match cli {
         Cli::Zoo => {
             let mut t = Table::new(vec!["name", "description", "params"]);
@@ -157,6 +242,8 @@ pub fn run(cli: &Cli) -> Result<(), String> {
             batch,
             cores,
             fuse,
+            faults,
+            deadline_ms,
         } => {
             let mut g = resolve_model(target, *batch)?;
             if *fuse {
@@ -164,18 +251,31 @@ pub fn run(cli: &Cli) -> Result<(), String> {
                 g = t10_ir::transform::fuse_unary(&g).map_err(|e| e.to_string())?;
                 println!("fusion: {before} -> {} operators", g.nodes().len());
             }
-            let platform = Platform::new(chip(*cores));
-            let Some((compiled, outcome)) = platform.t10_full(&g, bench_search_config()) else {
-                return Err("model does not fit on the chip".to_string());
+            let spec = chip(*cores);
+            let fault_plan = match faults {
+                Some(s) => Some(FaultPlan::parse(s, spec.num_cores).map_err(CliError::usage)?),
+                None => None,
             };
+            let opts = CompileOptions {
+                deadline: deadline_ms.map(Duration::from_millis),
+                faults: fault_plan.clone(),
+            };
+            let platform = Platform::new(spec.clone());
+            let compiled = platform
+                .compiler(bench_search_config())
+                .compile_graph_with(&g, &opts)?;
             println!(
                 "{}: {} operators, {:.2} M params, compiled in {:.2} s",
                 g.name(),
                 g.nodes().len(),
                 g.parameter_count() as f64 / 1e6,
-                outcome.compile_seconds
+                compiled.compile_seconds
             );
-            let r = outcome.report.expect("report");
+            let mut sim = Simulator::new(spec, SimulatorMode::Timing);
+            if let Some(plan) = fault_plan {
+                sim = sim.with_fault_plan(plan).map_err(|e| e.to_string())?;
+            }
+            let r = sim.run(&compiled.program).map_err(|e| e.to_string())?;
             println!(
                 "latency {}  ({:.0}% transfer, {} idle/core, peak {}/core)",
                 fmt_time(r.total_time),
@@ -183,6 +283,19 @@ pub fn run(cli: &Cli) -> Result<(), String> {
                 fmt_bytes(compiled.reconciled.idle_mem),
                 fmt_bytes(r.peak_core_bytes),
             );
+            if let Some(f) = &r.faults {
+                println!(
+                    "faults: {} degraded / {} lost links, {} slow cores, {} shrunk cores \
+                     -> +{} overhead ({} compute, {} exchange)",
+                    f.degraded_links,
+                    f.lost_links,
+                    f.slowed_cores,
+                    f.shrunk_cores,
+                    fmt_time(r.fault_overhead()),
+                    fmt_time(r.fault_compute_overhead),
+                    fmt_time(r.fault_exchange_overhead),
+                );
+            }
             Ok(())
         }
         Cli::Bench {
@@ -216,8 +329,7 @@ pub fn run(cli: &Cli) -> Result<(), String> {
         }
         Cli::Explore { m, k, n, cores } => {
             let platform = Platform::new(chip(*cores));
-            let op =
-                t10_ir::builders::matmul(0, 1, 2, *m, *k, *n).map_err(|e| e.to_string())?;
+            let op = t10_ir::builders::matmul(0, 1, 2, *m, *k, *n).map_err(|e| e.to_string())?;
             let mut cfg = SearchConfig::strict();
             cfg.threads = std::thread::available_parallelism()
                 .map(|x| x.get())
@@ -255,17 +367,89 @@ mod tests {
 
     #[test]
     fn parses_compile_with_flags() {
-        let c = Cli::parse(&s(&["compile", "ResNet", "--batch", "4", "--cores", "64", "--fuse"]))
-            .unwrap();
+        let c = Cli::parse(&s(&[
+            "compile", "ResNet", "--batch", "4", "--cores", "64", "--fuse",
+        ]))
+        .unwrap();
         assert_eq!(
             c,
             Cli::Compile {
                 target: "ResNet".to_string(),
                 batch: 4,
                 cores: 64,
-                fuse: true
+                fuse: true,
+                faults: None,
+                deadline_ms: None,
             }
         );
+    }
+
+    #[test]
+    fn parses_fault_and_deadline_flags() {
+        let c = Cli::parse(&s(&[
+            "compile",
+            "ResNet",
+            "--faults",
+            "seed=7,degrade=0.1@0.5",
+            "--deadline-ms",
+            "50",
+        ]))
+        .unwrap();
+        match c {
+            Cli::Compile {
+                faults,
+                deadline_ms,
+                ..
+            } => {
+                assert_eq!(faults.as_deref(), Some("seed=7,degrade=0.1@0.5"));
+                assert_eq!(deadline_ms, Some(50));
+            }
+            other => panic!("unexpected parse {other:?}"),
+        }
+        assert!(Cli::parse(&s(&["compile", "x", "--faults"])).is_err());
+        assert!(Cli::parse(&s(&["compile", "x", "--deadline-ms", "soon"])).is_err());
+        // Fault flags on other subcommands are rejected, not silently
+        // dropped (a "faulted" bench would otherwise report healthy numbers).
+        assert!(Cli::parse(&s(&["bench", "x", "--faults", "lose=0.5"])).is_err());
+        assert!(Cli::parse(&s(&["explore", "8", "8", "8", "--deadline-ms", "9"])).is_err());
+    }
+
+    #[test]
+    fn compile_errors_map_to_distinct_exit_codes() {
+        use t10_device::iface::DeviceError;
+        let cases = [
+            (CompileError::infeasible("x"), 3),
+            (CompileError::out_of_memory(None, 2, 1, "x"), 4),
+            (CompileError::deadline(50, "x"), 5),
+            (CompileError::worker_panicked("x"), 6),
+            (CompileError::from(DeviceError::fault("link dark")), 7),
+            (CompileError::internal("x"), 1),
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for (e, want) in cases {
+            assert_eq!(compile_exit_code(&e), want, "{e}");
+            seen.insert(want);
+        }
+        assert_eq!(seen.len(), 6); // codes 1 and 3..=7; 2 is reserved for usage
+        let cli: CliError = CompileError::deadline(10, "late").into();
+        assert_eq!(cli.code, 5);
+        let usage = CliError::usage("bad spec");
+        assert_eq!(usage.code, 2);
+    }
+
+    #[test]
+    fn bad_fault_spec_is_a_usage_error() {
+        let err = run(&Cli::Compile {
+            target: "resnet".to_string(),
+            batch: 1,
+            cores: 16,
+            fuse: false,
+            faults: Some("bogus=1".to_string()),
+            deadline_ms: None,
+        })
+        .unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("fault spec"));
     }
 
     #[test]
@@ -320,6 +504,29 @@ mod tests {
             batch: 1,
             cores: 16,
             fuse: true,
+            faults: None,
+            deadline_ms: None,
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn compile_command_runs_under_faults_and_deadline() {
+        let dir = std::env::temp_dir().join("t10_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("faulty.t10");
+        std::fs::write(
+            &path,
+            "model cli-fault-test\ninput x 64 64\nlinear a x 64 relu\noutput a\n",
+        )
+        .unwrap();
+        run(&Cli::Compile {
+            target: path.to_string_lossy().to_string(),
+            batch: 1,
+            cores: 16,
+            fuse: false,
+            faults: Some("seed=3,degrade=0.2@0.5,shrink=1@0.5".to_string()),
+            deadline_ms: Some(10_000),
         })
         .unwrap();
     }

@@ -7,6 +7,11 @@
 //! t10 explore <M> <K> <N> [opts]        Pareto frontier of one MatMul
 //!
 //! options: --batch N (default 1)  --cores N (default 1472)  --fuse
+//!          --faults SPEC  --deadline-ms N
+//!
+//! Exit codes distinguish failure classes: 1 generic, 2 usage, 3 infeasible
+//! plan, 4 out of memory, 5 deadline exceeded, 6 worker panicked,
+//! 7 device/IR fault.
 //! ```
 
 use t10_cli::{run, Cli};
@@ -22,7 +27,7 @@ fn main() {
         }
     };
     if let Err(e) = run(&cli) {
-        eprintln!("error: {e}");
-        std::process::exit(1);
+        eprintln!("error: {}", e.message);
+        std::process::exit(e.code);
     }
 }

@@ -7,18 +7,55 @@
 //! supersteps that the simulator prices.
 
 use std::collections::HashMap;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 use t10_device::program::Program;
 use t10_device::ChipSpec;
 use t10_ir::{Graph, NodeId, Operator, ValueKind};
+use t10_sim::FaultPlan;
 
 use crate::cost::CostModel;
 use crate::lower::{lower_timing, setup_step, transition_step};
 use crate::reconcile::{reconcile, weight_bytes_per_core, OpForSchedule, Reconciled};
 use crate::search::{search_operator, ParetoSet, SearchConfig, SearchStats};
-use crate::{compile_err, Result};
+use crate::{compile_err, CompileError, Result};
+
+/// Per-run compilation knobs, beyond the persistent [`SearchConfig`].
+///
+/// The defaults reproduce the unconstrained compile exactly: no deadline,
+/// no faults, full nominal capacity.
+#[derive(Debug, Clone, Default)]
+pub struct CompileOptions {
+    /// Wall-clock budget for the whole compile. The search becomes
+    /// *anytime*: workers stop enumerating once the budget passes and the
+    /// compiler returns the best plan found so far, falling back to a small
+    /// emergency search if nothing was found in time.
+    pub deadline: Option<Duration>,
+    /// Fault plan the target chip is running under. SRAM faults lower the
+    /// per-core capacity the compiler plans against (a uniform plan must
+    /// fit the most constrained core); link and compute faults don't change
+    /// plan feasibility, only simulated timing.
+    pub faults: Option<FaultPlan>,
+}
+
+impl CompileOptions {
+    /// Options with a compile deadline only.
+    pub fn with_deadline(deadline: Duration) -> Self {
+        Self {
+            deadline: Some(deadline),
+            ..Self::default()
+        }
+    }
+
+    /// Options with a fault plan only.
+    pub fn with_faults(faults: FaultPlan) -> Self {
+        Self {
+            faults: Some(faults),
+            ..Self::default()
+        }
+    }
+}
 
 /// The T10 compiler for one chip configuration.
 pub struct Compiler {
@@ -83,14 +120,107 @@ impl Compiler {
 
     /// Runs the intra-operator search for one graph node.
     pub fn compile_node(&self, graph: &Graph, node: NodeId) -> Result<(ParetoSet, SearchStats)> {
+        self.compile_node_with(graph, node, &CompileOptions::default())
+    }
+
+    /// Runs the intra-operator search for one graph node under per-run
+    /// options, with the same fallback chain [`Compiler::compile_graph_with`]
+    /// uses.
+    pub fn compile_node_with(
+        &self,
+        graph: &Graph,
+        node: NodeId,
+        opts: &CompileOptions,
+    ) -> Result<(ParetoSet, SearchStats)> {
+        let base = self.base_config(opts, Instant::now())?;
         let op = &graph.node(node).op;
         let (dtypes, out_dtype) = node_dtypes(graph, op);
-        search_operator(op, &dtypes, out_dtype, &self.cost, &self.cfg)
+        self.search_with_fallback(op, &dtypes, out_dtype, &base)
     }
 
     /// Compiles a whole graph into a timing program.
     pub fn compile_graph(&self, graph: &Graph) -> Result<CompiledGraph> {
+        self.compile_graph_with(graph, &CompileOptions::default())
+    }
+
+    /// Resolves the search configuration for one run: the deadline becomes
+    /// an absolute instant, and an injected SRAM fault lowers the per-core
+    /// memory cap to the most constrained core's capacity.
+    fn base_config(&self, opts: &CompileOptions, t0: Instant) -> Result<SearchConfig> {
+        let mut cfg = self.cfg.clone();
+        cfg.deadline = opts.deadline.map(|d| t0 + d);
+        if let Some(faults) = &opts.faults {
+            if faults.num_cores() != self.spec.num_cores {
+                return Err(compile_err!(
+                    "fault plan covers {} cores, chip has {}",
+                    faults.num_cores(),
+                    self.spec.num_cores
+                ));
+            }
+            cfg.mem_cap_override =
+                Some(faults.min_capacity(self.spec.sram_per_core, self.spec.shift_buffer));
+        }
+        Ok(cfg)
+    }
+
+    /// The per-core capacity the whole compile plans against.
+    fn effective_capacity(&self, cfg: &SearchConfig) -> usize {
+        cfg.mem_cap_override.unwrap_or_else(|| {
+            self.spec
+                .sram_per_core
+                .saturating_sub(self.spec.shift_buffer)
+        })
+    }
+
+    /// Searches one operator with graceful degradation: the configured
+    /// search first, then progressively relaxed constraints, then a small
+    /// unconstrained emergency pass.
+    ///
+    /// The parallelism and padding constraints are compile-time filters,
+    /// not feasibility rules: when an operator's awkward factorization
+    /// leaves the constrained window empty, relaxing them trades plan
+    /// quality for a plan at all (the paper's constraints are
+    /// user-configurable for exactly this trade-off, §5). The emergency
+    /// rung runs without a deadline so an anytime compile still returns a
+    /// valid plan whenever one exists in its reduced candidate set.
+    fn search_with_fallback(
+        &self,
+        op: &Operator,
+        dtypes: &[usize],
+        out_dtype: usize,
+        base: &SearchConfig,
+    ) -> Result<(ParetoSet, SearchStats)> {
+        let mut cfg = base.clone();
+        let mut r = search_operator(op, dtypes, out_dtype, &self.cost, &cfg)?;
+        while r.0.is_empty() && cfg.min_core_utilization > 0.05 {
+            cfg.min_core_utilization /= 2.0;
+            r = search_operator(op, dtypes, out_dtype, &self.cost, &cfg)?;
+        }
+        if r.0.is_empty() && cfg.padding_threshold > 0.5 {
+            cfg.min_core_utilization = 0.0;
+            cfg.padding_threshold = 0.5;
+            r = search_operator(op, dtypes, out_dtype, &self.cost, &cfg)?;
+        }
+        if r.0.is_empty() {
+            let mut em = SearchConfig::emergency();
+            em.mem_cap_override = base.mem_cap_override;
+            let mut rescue = search_operator(op, dtypes, out_dtype, &self.cost, &em)?;
+            rescue.1.truncated |= r.1.truncated;
+            r = rescue;
+        }
+        Ok(r)
+    }
+
+    /// Compiles a whole graph under per-run options: an optional wall-clock
+    /// deadline (anytime compilation) and an optional fault plan (plans are
+    /// fitted to the degraded chip's capacity).
+    pub fn compile_graph_with(
+        &self,
+        graph: &Graph,
+        opts: &CompileOptions,
+    ) -> Result<CompiledGraph> {
         let t0 = Instant::now();
+        let base_cfg = self.base_config(opts, t0)?;
         // Intra-operator search, cached across identical operators.
         let mut cache: HashMap<String, (ParetoSet, SearchStats)> = HashMap::new();
         let mut node_pareto = Vec::with_capacity(graph.nodes().len());
@@ -101,23 +231,25 @@ impl Compiler {
             let entry = match cache.get(&key) {
                 Some(hit) => hit.clone(),
                 None => {
-                    // The parallelism constraint is a compile-time filter,
-                    // not a feasibility rule: when an operator's awkward
-                    // factorization leaves the [0.9·C, C] window empty,
-                    // progressively relax it (the paper's constraints are
-                    // user-configurable for exactly this trade-off, §5).
-                    let mut cfg = self.cfg.clone();
-                    let mut r =
-                        search_operator(&node.op, &dtypes, out_dtype, &self.cost, &cfg)?;
-                    while r.0.is_empty() && cfg.min_core_utilization > 0.05 {
-                        cfg.min_core_utilization /= 2.0;
-                        r = search_operator(&node.op, &dtypes, out_dtype, &self.cost, &cfg)?;
-                    }
+                    let r = self.search_with_fallback(&node.op, &dtypes, out_dtype, &base_cfg)?;
                     cache.insert(key, r.clone());
                     r
                 }
             };
             if entry.0.is_empty() {
+                // With an expired deadline, infeasibility was never
+                // established — the search was cut short.
+                if let Some(budget) = opts.deadline {
+                    if t0.elapsed() >= budget {
+                        return Err(CompileError::deadline(
+                            budget.as_millis() as u64,
+                            format!(
+                                "operator {} still unplanned when the budget expired",
+                                node.name
+                            ),
+                        ));
+                    }
+                }
                 return Err(compile_err!(
                     "operator {} has no feasible execution plan (does not fit on chip)",
                     node.name
@@ -128,35 +260,76 @@ impl Compiler {
         }
 
         // Inter-operator reconciliation.
-        let ops: Vec<OpForSchedule> = graph
-            .nodes()
-            .iter()
-            .zip(&node_pareto)
-            .map(|(node, pareto)| {
-                let weight_slots: Vec<bool> = node
-                    .op
-                    .inputs
-                    .iter()
-                    .map(|&v| graph.value(v).kind == ValueKind::Weight)
-                    .collect();
-                let weight_total: usize = node
-                    .op
-                    .inputs
-                    .iter()
-                    .zip(&weight_slots)
-                    .filter(|(_, &w)| w)
-                    .map(|(&v, _)| graph.value(v).bytes())
-                    .sum();
-                OpForSchedule {
-                    name: node.name.clone(),
-                    pareto: pareto.clone(),
-                    weight_slots,
-                    sharded_idle_bytes: weight_total.div_ceil(self.spec.num_cores),
+        let build_ops = |node_pareto: &[ParetoSet]| -> Vec<OpForSchedule> {
+            graph
+                .nodes()
+                .iter()
+                .zip(node_pareto)
+                .map(|(node, pareto)| {
+                    let weight_slots: Vec<bool> = node
+                        .op
+                        .inputs
+                        .iter()
+                        .map(|&v| graph.value(v).kind == ValueKind::Weight)
+                        .collect();
+                    let weight_total: usize = node
+                        .op
+                        .inputs
+                        .iter()
+                        .zip(&weight_slots)
+                        .filter(|(_, &w)| w)
+                        .map(|(&v, _)| graph.value(v).bytes())
+                        .sum();
+                    OpForSchedule {
+                        name: node.name.clone(),
+                        pareto: pareto.clone(),
+                        weight_slots,
+                        sharded_idle_bytes: weight_total.div_ceil(self.spec.num_cores),
+                    }
+                })
+                .collect()
+        };
+        let mut ops = build_ops(&node_pareto);
+        let capacity = self.effective_capacity(&base_cfg);
+        let reconciled = match reconcile(&ops, &self.cost, capacity) {
+            Ok(r) => r,
+            Err(oom @ CompileError::OutOfMemory { .. }) => {
+                // Reconciliation walks each operator's Pareto frontier from
+                // fastest toward smallest, so this failure means even the
+                // frontier's smallest plans don't coexist. Re-search every
+                // operator with the emergency configuration (parallelism
+                // and padding constraints dropped), which admits
+                // smaller-footprint plans the constrained search filtered
+                // out, and reconcile once more.
+                let mut em = SearchConfig::emergency();
+                em.mem_cap_override = base_cfg.mem_cap_override;
+                let mut cache: HashMap<String, (ParetoSet, SearchStats)> = HashMap::new();
+                let mut retry_pareto = Vec::with_capacity(graph.nodes().len());
+                let mut retry_stats = Vec::with_capacity(graph.nodes().len());
+                for node in graph.nodes() {
+                    let (dtypes, out_dtype) = node_dtypes(graph, &node.op);
+                    let key = op_cache_key(&node.op, &dtypes, out_dtype);
+                    let entry = match cache.get(&key) {
+                        Some(hit) => hit.clone(),
+                        None => {
+                            let r = search_operator(&node.op, &dtypes, out_dtype, &self.cost, &em)?;
+                            cache.insert(key, r.clone());
+                            r
+                        }
+                    };
+                    if entry.0.is_empty() {
+                        return Err(oom);
+                    }
+                    retry_pareto.push(entry.0);
+                    retry_stats.push(entry.1);
                 }
-            })
-            .collect();
-        let capacity = self.spec.sram_per_core - self.spec.shift_buffer;
-        let reconciled = reconcile(&ops, &self.cost, capacity)?;
+                node_pareto = retry_pareto;
+                node_stats = retry_stats;
+                ops = build_ops(&node_pareto);
+                reconcile(&ops, &self.cost, capacity)?
+            }
+            Err(e) => return Err(e),
+        };
 
         // Assemble the timing program. Latency follows the paper's
         // methodology: the model is resident on chip and host I/O is
@@ -258,7 +431,9 @@ mod tests {
         let has_transition = out.program.steps.iter().any(|s| {
             s.phase == Phase::Transition
                 || (s.node == Some(0)
-                    && s.exchange_summary.map(|e| e.total_bytes > 0).unwrap_or(false))
+                    && s.exchange_summary
+                        .map(|e| e.total_bytes > 0)
+                        .unwrap_or(false))
         });
         assert!(has_transition);
         let exec0 = out
@@ -297,10 +472,8 @@ mod tests {
         let g = two_layer_graph(64, 64, 64);
         let c = Compiler::new(ChipSpec::ipu_with_cores(16), SearchConfig::fast());
         let out = c.compile_graph(&g).unwrap();
-        let mut sim = t10_sim::Simulator::new(
-            ChipSpec::ipu_with_cores(16),
-            t10_sim::SimulatorMode::Timing,
-        );
+        let mut sim =
+            t10_sim::Simulator::new(ChipSpec::ipu_with_cores(16), t10_sim::SimulatorMode::Timing);
         let report = sim.run(&out.program).unwrap();
         assert!(report.total_time > 0.0);
         assert!(report.per_node.contains_key(&0));

@@ -19,7 +19,7 @@ use t10_device::{truth, ChipSpec};
 use t10_ir::{OpKind, Operator};
 
 use crate::plan::Plan;
-use crate::{compile_err, Result};
+use crate::{CompileError, Result};
 
 /// All operator families the model is fitted for.
 pub const ALL_KINDS: [OpKind; 6] = [
@@ -59,7 +59,9 @@ impl LinearModel {
 fn fit(xs: &[Vec<f64>], ys: &[f64]) -> Result<LinearModel> {
     let n = xs.first().map(Vec::len).unwrap_or(0);
     if n == 0 || xs.len() < n {
-        return Err(compile_err!("not enough samples to fit {n} coefficients"));
+        return Err(CompileError::internal(format!(
+            "not enough samples to fit {n} coefficients"
+        )));
     }
     // Build X^T X and X^T y.
     let mut a = vec![vec![0.0f64; n + 1]; n];
@@ -87,15 +89,16 @@ fn fit(xs: &[Vec<f64>], ys: &[f64]) -> Result<LinearModel> {
         a.swap(col, pivot);
         let p = a[col][col];
         if p.abs() < 1e-30 {
-            return Err(compile_err!("singular normal equations"));
+            return Err(CompileError::internal("singular normal equations"));
         }
-        for r in 0..n {
+        let pivot_row = a[col].clone();
+        for (r, row) in a.iter_mut().enumerate() {
             if r == col {
                 continue;
             }
-            let f = a[r][col] / p;
-            for c in col..=n {
-                a[r][c] -= f * a[col][c];
+            let f = row[col] / p;
+            for (av, pv) in row.iter_mut().zip(&pivot_row).skip(col) {
+                *av -= f * pv;
             }
         }
     }
@@ -207,8 +210,7 @@ impl CostModel {
             // Cross-core reduction of partial outputs runs as a binary
             // tree: ceil(log2(group)) exchange rounds.
             let rounds = usize::BITS - (plan.out.reduce_group - 1).leading_zeros();
-            exchange +=
-                rounds as f64 * self.predict_exchange(plan.out.partition_bytes as u64);
+            exchange += rounds as f64 * self.predict_exchange(plan.out.partition_bytes as u64);
         }
         let mut compute_extra = 0.0;
         if op.unary.is_some() {

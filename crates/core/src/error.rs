@@ -1,50 +1,157 @@
-//! Compiler error type.
+//! Compiler error taxonomy.
+//!
+//! Errors are structured so callers can react programmatically: the fallback
+//! chain in `compiler.rs` retries on [`CompileError::OutOfMemory`] and
+//! [`CompileError::PlanInfeasible`], the anytime search surfaces
+//! [`CompileError::DeadlineExceeded`] only when *no* plan was found in time,
+//! and the CLI maps each variant to a distinct exit code.
+
+use t10_device::iface::DeviceError;
+use t10_ir::IrError;
 
 /// An error produced during plan construction, search, or lowering.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct CompileError {
-    message: String,
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// A required allocation exceeds per-core SRAM. `core` is `Some` when a
+    /// specific core is the binding constraint (e.g. under an injected SRAM
+    /// fault); `None` when the limit applies uniformly to all cores.
+    OutOfMemory {
+        core: Option<usize>,
+        needed: usize,
+        available: usize,
+        context: String,
+    },
+    /// No execution plan satisfies the structural, placement, or diagonal
+    /// constraints (independent of memory capacity).
+    PlanInfeasible { detail: String },
+    /// The compile deadline expired before any feasible plan was found.
+    DeadlineExceeded { budget_ms: u64, detail: String },
+    /// A search worker thread panicked; the panic payload is preserved.
+    WorkerPanicked { detail: String },
+    /// The device layer rejected an operation.
+    Device(DeviceError),
+    /// The IR layer rejected the graph or expression.
+    Ir(IrError),
+    /// An internal invariant failed (cost-model fitting, bookkeeping).
+    Internal { detail: String },
 }
 
 impl CompileError {
-    /// Creates a new error with the given message.
-    pub fn new(message: impl Into<String>) -> Self {
-        Self {
-            message: message.into(),
+    /// Creates an out-of-memory error.
+    pub fn out_of_memory(
+        core: Option<usize>,
+        needed: usize,
+        available: usize,
+        context: impl Into<String>,
+    ) -> Self {
+        Self::OutOfMemory {
+            core,
+            needed,
+            available,
+            context: context.into(),
         }
     }
 
-    /// The human-readable message.
-    pub fn message(&self) -> &str {
-        &self.message
+    /// Creates an infeasible-plan error.
+    pub fn infeasible(detail: impl Into<String>) -> Self {
+        Self::PlanInfeasible {
+            detail: detail.into(),
+        }
+    }
+
+    /// Creates a deadline-exceeded error.
+    pub fn deadline(budget_ms: u64, detail: impl Into<String>) -> Self {
+        Self::DeadlineExceeded {
+            budget_ms,
+            detail: detail.into(),
+        }
+    }
+
+    /// Creates a worker-panicked error.
+    pub fn worker_panicked(detail: impl Into<String>) -> Self {
+        Self::WorkerPanicked {
+            detail: detail.into(),
+        }
+    }
+
+    /// Creates an internal-invariant error.
+    pub fn internal(detail: impl Into<String>) -> Self {
+        Self::Internal {
+            detail: detail.into(),
+        }
+    }
+
+    /// The human-readable message (without the "compile error:" prefix).
+    pub fn message(&self) -> String {
+        match self {
+            Self::OutOfMemory {
+                core,
+                needed,
+                available,
+                context,
+            } => {
+                let where_ = match core {
+                    Some(c) => format!("core {c}"),
+                    None => "every core".to_string(),
+                };
+                format!(
+                    "{context}: out of memory on {where_} (need {needed} B, {available} B available)"
+                )
+            }
+            Self::PlanInfeasible { detail } => detail.clone(),
+            Self::DeadlineExceeded { budget_ms, detail } => {
+                format!("compile deadline of {budget_ms} ms exceeded: {detail}")
+            }
+            Self::WorkerPanicked { detail } => {
+                format!("search worker panicked: {detail}")
+            }
+            Self::Device(e) => e.message(),
+            Self::Ir(e) => e.message().to_string(),
+            Self::Internal { detail } => detail.clone(),
+        }
     }
 }
 
 impl std::fmt::Display for CompileError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "compile error: {}", self.message)
+        write!(f, "compile error: {}", self.message())
     }
 }
 
 impl std::error::Error for CompileError {}
 
-impl From<t10_device::iface::DeviceError> for CompileError {
-    fn from(e: t10_device::iface::DeviceError) -> Self {
-        Self::new(e.message().to_string())
+impl From<DeviceError> for CompileError {
+    fn from(e: DeviceError) -> Self {
+        match e {
+            // A device-side OOM is a capacity problem the fallback chain can
+            // act on; lift it into the structured compiler variant.
+            DeviceError::OutOfMemory {
+                core,
+                needed,
+                available,
+            } => Self::OutOfMemory {
+                core: Some(core),
+                needed,
+                available,
+                context: "device allocation".to_string(),
+            },
+            other => Self::Device(other),
+        }
     }
 }
 
-impl From<t10_ir::IrError> for CompileError {
-    fn from(e: t10_ir::IrError) -> Self {
-        Self::new(e.message().to_string())
+impl From<IrError> for CompileError {
+    fn from(e: IrError) -> Self {
+        Self::Ir(e)
     }
 }
 
-/// Builds a [`CompileError`] from format arguments.
+/// Builds a [`CompileError::PlanInfeasible`] from format arguments — sugar
+/// for the by-far most common error class (structural feasibility checks).
 #[macro_export]
 macro_rules! compile_err {
     ($($arg:tt)*) => {
-        $crate::CompileError::new(format!($($arg)*))
+        $crate::CompileError::infeasible(format!($($arg)*))
     };
 }
 
@@ -54,11 +161,36 @@ mod tests {
 
     #[test]
     fn display_and_conversions() {
-        let e = CompileError::new("no plan");
+        let e = CompileError::infeasible("no plan");
         assert_eq!(e.to_string(), "compile error: no plan");
-        let d: CompileError = t10_device::iface::DeviceError::new("oom").into();
-        assert_eq!(d.message(), "oom");
-        let i: CompileError = t10_ir::IrError::new("bad").into();
+        let d: CompileError = DeviceError::new("link dark").into();
+        assert_eq!(d.message(), "link dark");
+        let i: CompileError = IrError::new("bad").into();
         assert_eq!(i.message(), "bad");
+    }
+
+    #[test]
+    fn device_oom_lifts_to_compiler_oom() {
+        let e: CompileError = DeviceError::out_of_memory(5, 2048, 1024).into();
+        match &e {
+            CompileError::OutOfMemory {
+                core,
+                needed,
+                available,
+                ..
+            } => assert_eq!((*core, *needed, *available), (Some(5), 2048, 1024)),
+            other => panic!("unexpected variant {other:?}"),
+        }
+        assert!(e.message().contains("out of memory"));
+    }
+
+    #[test]
+    fn deadline_message_names_the_budget() {
+        let e = CompileError::deadline(50, "0 of 3 operators searched");
+        assert!(e.message().contains("50 ms"));
+        assert!(matches!(
+            e,
+            CompileError::DeadlineExceeded { budget_ms: 50, .. }
+        ));
     }
 }

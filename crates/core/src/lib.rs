@@ -57,7 +57,7 @@ pub mod rtensor;
 pub mod search;
 pub mod viz;
 
-pub use compiler::{CompiledGraph, Compiler};
+pub use compiler::{CompileOptions, CompiledGraph, Compiler};
 pub use cost::CostModel;
 pub use error::CompileError;
 pub use plan::{Plan, PlanConfig, TemporalChoice};

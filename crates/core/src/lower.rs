@@ -95,7 +95,7 @@ pub fn lower_functional(op: &Operator, plan: &Plan) -> Result<FunctionalLowering
                                 .iter()
                                 .position(|l| l.slots.contains(&s))
                                 .ok_or_else(|| compile_err!("slot {s} missing from levels"))?;
-                            sigma(plan, level, &coords)
+                            sigma(plan, level, &coords)?
                         }
                         None => {
                             let ra = ring_assignment(
@@ -156,15 +156,11 @@ pub fn lower_functional(op: &Operator, plan: &Plan) -> Result<FunctionalLowering
             for (a, _) in op.expr.axes.iter().enumerate() {
                 let base = coords[a] * plan.tiles[a];
                 if let Some(li) = levels.iter().position(|l| l.axis == Some(a)) {
-                    let s0 = sigma(plan, li, &coords);
+                    let s0 = sigma(plan, li, &coords)?;
                     let rp = levels[li].rp;
                     let t = counters[li];
                     let extent = plan.tiles[a];
-                    axis_coords.push(
-                        (0..rp)
-                            .map(|i| (s0 + t * rp + i) % extent + base)
-                            .collect(),
-                    );
+                    axis_coords.push((0..rp).map(|i| (s0 + t * rp + i) % extent + base).collect());
                 } else {
                     axis_coords.push((base..base + plan.tiles[a]).collect());
                 }
@@ -275,10 +271,10 @@ pub fn lower_functional(op: &Operator, plan: &Plan) -> Result<FunctionalLowering
             prog.steps.push(ss);
             stride *= 2;
         }
-        for core in 0..cores {
+        for (core, &buf) in out_bufs.iter().enumerate() {
             let coords = grid.coords(core);
             if red_axes.iter().all(|&a| coords[a] == 0) {
-                roots.push(out_bufs[core]);
+                roots.push(buf);
             }
         }
     }
@@ -474,12 +470,14 @@ mod tests {
     use crate::plan::{PlanConfig, TemporalChoice};
     use t10_ir::builders;
 
-    fn plan_for(
-        op: &Operator,
-        f_op: Vec<usize>,
-        temporal: Vec<TemporalChoice>,
-    ) -> Plan {
-        Plan::build(op, &vec![4; op.expr.num_inputs()], 4, PlanConfig { f_op, temporal }).unwrap()
+    fn plan_for(op: &Operator, f_op: Vec<usize>, temporal: Vec<TemporalChoice>) -> Plan {
+        Plan::build(
+            op,
+            &vec![4; op.expr.num_inputs()],
+            4,
+            PlanConfig { f_op, temporal },
+        )
+        .unwrap()
     }
 
     #[test]
@@ -539,7 +537,10 @@ mod tests {
         let plan = plan_for(&op, vec![2, 2], vec![TemporalChoice::none()]);
         let f = lower_functional(&op, &plan).unwrap();
         let last = f.program.steps.last().unwrap();
-        assert!(last.compute.iter().all(|t| t.func.as_ref().unwrap().apply_unary));
+        assert!(last
+            .compute
+            .iter()
+            .all(|t| t.func.as_ref().unwrap().apply_unary));
     }
 
     #[test]
@@ -561,7 +562,15 @@ mod tests {
         assert_eq!(with_exch, plan.total_steps - 1);
         assert!(steps.iter().all(|s| s.node == Some(7)));
         let e = steps[0].exchange_summary.unwrap();
-        assert_eq!(e.max_core_out, 2 * plan.slots.iter().map(|s| s.per_shift_bytes as u64).sum::<u64>() / 2);
+        assert_eq!(
+            e.max_core_out,
+            2 * plan
+                .slots
+                .iter()
+                .map(|s| s.per_shift_bytes as u64)
+                .sum::<u64>()
+                / 2
+        );
         assert_eq!(e.total_bytes, e.max_core_out * 16);
     }
 
@@ -572,8 +581,7 @@ mod tests {
         let part = setup_step(&spec, None, 2048, 16);
         let none = setup_step(&spec, None, 0, 16);
         assert!(
-            full.exchange_summary.unwrap().total_bytes
-                > part.exchange_summary.unwrap().total_bytes
+            full.exchange_summary.unwrap().total_bytes > part.exchange_summary.unwrap().total_bytes
         );
         assert!(none.exchange_summary.is_none());
         assert_eq!(full.phase, Phase::Setup);

@@ -22,6 +22,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::plan::Plan;
+use crate::{CompileError, Result};
 
 /// The logical core grid implied by `F_op`: one grid coordinate per axis.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -121,15 +122,28 @@ pub fn upstream_coords(
 
 /// The sub-task window start `σ_c(k)` for one rotation level (see module
 /// docs).
-pub fn sigma(plan: &Plan, level_idx: usize, coords: &[usize]) -> usize {
-    let level = &plan.rotations[level_idx];
+pub fn sigma(plan: &Plan, level_idx: usize, coords: &[usize]) -> Result<usize> {
+    let level = plan.rotations.get(level_idx).ok_or_else(|| {
+        CompileError::internal(format!("rotation level {level_idx} out of range"))
+    })?;
     let Some(axis) = level.axis else {
-        return 0;
+        return Ok(0);
     };
-    let extent = plan.tiles[axis];
+    let extent = *plan
+        .tiles
+        .get(axis)
+        .ok_or_else(|| CompileError::internal(format!("rotation axis {axis} has no tile")))?;
+    if extent == 0 {
+        return Err(CompileError::internal(format!(
+            "rotation axis {axis} has zero tile extent"
+        )));
+    }
     let mut s = 0usize;
     for &slot in &level.slots {
-        let sp = &plan.slots[slot];
+        let sp = plan
+            .slots
+            .get(slot)
+            .ok_or_else(|| CompileError::internal(format!("rotation slot {slot} out of range")))?;
         let ra = ring_assignment(
             coords,
             &sp.spatial.missing_axes,
@@ -138,7 +152,7 @@ pub fn sigma(plan: &Plan, level_idx: usize, coords: &[usize]) -> usize {
         );
         s += ra.q * sp.plen;
     }
-    s % extent
+    Ok(s % extent)
 }
 
 #[cfg(test)]
@@ -212,7 +226,7 @@ mod tests {
         // A (slot 0) q = n, plen 2; B (slot 1) q = m, plen 3.
         for m in 0..2 {
             for n in 0..3 {
-                let s = sigma(&plan, 0, &[m, 0, n]);
+                let s = sigma(&plan, 0, &[m, 0, n]).unwrap();
                 assert_eq!(s, (3 * m + 2 * n) % 6, "core ({m},{n})");
             }
         }
@@ -234,7 +248,7 @@ mod tests {
         .unwrap();
         for m in 0..3 {
             for n in 0..3 {
-                assert_eq!(sigma(&plan, 0, &[m, 0, n]), (m + n) % 3);
+                assert_eq!(sigma(&plan, 0, &[m, 0, n]).unwrap(), (m + n) % 3);
             }
         }
     }

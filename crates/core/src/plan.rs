@@ -159,7 +159,7 @@ impl Plan {
                 expr.num_inputs()
             ));
         }
-        if config.f_op.iter().any(|&p| p == 0) {
+        if config.f_op.contains(&0) {
             return Err(compile_err!("F_op factors must be positive"));
         }
         for (a, (&p, axis)) in config.f_op.iter().zip(&expr.axes).enumerate() {
@@ -204,7 +204,7 @@ impl Plan {
                         "slot {s}: dim {dim} is a compound axis and cannot rotate"
                     ));
                 }
-                if spatial.sharing % t.factor != 0 {
+                if !spatial.sharing.is_multiple_of(t.factor) {
                     return Err(compile_err!(
                         "slot {s}: factor {} does not divide sharing {}",
                         t.factor,
@@ -274,7 +274,7 @@ impl Plan {
         for level in &mut levels {
             if let Some(k) = level.axis {
                 let extent = tile[k];
-                if extent % level.rp != 0 {
+                if !extent.is_multiple_of(level.rp) {
                     return Err(compile_err!(
                         "axis {k}: rp {} does not divide tile {extent}",
                         level.rp
@@ -303,7 +303,11 @@ impl Plan {
         for level in &levels {
             for &s in &level.slots {
                 let slot = &mut slots[s];
-                let shift_slices = if level.axis.is_some() { level.rp } else { slot.plen };
+                let shift_slices = if level.axis.is_some() {
+                    level.rp
+                } else {
+                    slot.plen
+                };
                 // Cross-section elements per slice of the temporal dim.
                 let cross = slot.partition_elems / slot.plen.max(1);
                 slot.per_shift_elems = cross * shift_slices;
@@ -382,8 +386,7 @@ impl Plan {
             .map(|(s, dims)| {
                 let elems: usize = dims
                     .iter()
-                    .enumerate()
-                    .map(|(_d, e)| {
+                    .map(|e| {
                         if e.is_indirect() {
                             slots[s].plen.max(1)
                         } else {
@@ -409,8 +412,8 @@ impl Plan {
             out_bytes,
         };
 
-        let mem_per_core = slots.iter().map(|s| s.partition_bytes).sum::<usize>()
-            + out.partition_bytes;
+        let mem_per_core =
+            slots.iter().map(|s| s.partition_bytes).sum::<usize>() + out.partition_bytes;
         let padding_efficiency = expr
             .axes
             .iter()
@@ -598,7 +601,10 @@ mod tests {
         };
         let plan = Plan::build(&op, &[2, 2], 2, cfg).unwrap();
         assert_eq!(plan.rotations.len(), 2);
-        assert_eq!(plan.total_steps, plan.rotations[0].steps * plan.rotations[1].steps);
+        assert_eq!(
+            plan.total_steps,
+            plan.rotations[0].steps * plan.rotations[1].steps
+        );
         // Events: outer level rotates `steps_outer` times... the outer
         // level's event count equals its own steps; the inner level fires
         // every step.

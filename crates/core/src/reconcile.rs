@@ -22,7 +22,7 @@ use serde::{Deserialize, Serialize};
 use crate::cost::CostModel;
 use crate::plan::Plan;
 use crate::search::ParetoSet;
-use crate::{compile_err, Result};
+use crate::{compile_err, CompileError, Result};
 
 /// Input to the reconciliation: one entry per graph operator.
 #[derive(Debug, Clone)]
@@ -98,11 +98,7 @@ pub struct Reconciled {
 /// reservation). Fails when even the most memory-efficient idle layouts do
 /// not fit, or when some operator has no feasible active plan — the model
 /// does not fit on the chip (the `*` entries of Figure 12).
-pub fn reconcile(
-    ops: &[OpForSchedule],
-    cost: &CostModel,
-    capacity: usize,
-) -> Result<Reconciled> {
+pub fn reconcile(ops: &[OpForSchedule], cost: &CostModel, capacity: usize) -> Result<Reconciled> {
     if ops.is_empty() {
         return Ok(Reconciled {
             choices: Vec::new(),
@@ -169,7 +165,7 @@ pub fn reconcile(
         // (line 8). The op's own idle bytes are reclaimed while it runs.
         let mut choices = Vec::with_capacity(ops.len());
         let mut feasible = true;
-        let mut infeasible_op: Option<(&str, usize)> = None;
+        let mut infeasible_op: Option<(&str, usize, usize)> = None;
         let mut exec_total = 0.0;
         let mut setup_total = 0.0;
         for (i, op) in ops.iter().enumerate() {
@@ -183,15 +179,20 @@ pub fn reconcile(
                 .min_by(|a, b| a.1.cost.exec_time.total_cmp(&b.1.cost.exec_time))
             else {
                 feasible = false;
-                infeasible_op = Some((&op.name, avail));
+                let needed = op
+                    .pareto
+                    .plans()
+                    .iter()
+                    .map(|p| p.cost.mem_per_core)
+                    .min()
+                    .unwrap_or(0);
+                infeasible_op = Some((&op.name, avail, needed));
                 break;
             };
             let setup = if active_idx == idle[i] {
                 0.0
             } else {
-                cost.predict_exchange(
-                    weight_bytes_per_core(&active.plan, &op.weight_slots) as u64
-                )
+                cost.predict_exchange(weight_bytes_per_core(&active.plan, &op.weight_slots) as u64)
             };
             exec_total += active.cost.exec_time;
             setup_total += setup;
@@ -205,10 +206,12 @@ pub fn reconcile(
         }
         if !feasible {
             if best.is_none() {
-                if let Some((name, avail)) = infeasible_op {
-                    return Err(compile_err!(
-                        "model does not fit: operator {name} has no active plan \
-                         within {avail} bytes/core"
+                if let Some((name, avail, needed)) = infeasible_op {
+                    return Err(CompileError::out_of_memory(
+                        None,
+                        needed,
+                        avail,
+                        format!("model does not fit: operator {name} has no active plan"),
                     ));
                 }
             }
@@ -255,7 +258,17 @@ pub fn reconcile(
         }
     }
     let mut best = best.ok_or_else(|| {
-        compile_err!("model does not fit: idle layouts exceed per-core capacity {capacity}")
+        // The cheapest possible resident set still exceeds capacity.
+        let min_idle: usize = idle_bytes
+            .iter()
+            .map(|v| v.iter().copied().min().unwrap_or(0))
+            .sum();
+        CompileError::out_of_memory(
+            None,
+            min_idle,
+            capacity,
+            "model does not fit: idle layouts exceed per-core capacity".to_string(),
+        )
     })?;
     best.trajectory = trajectory;
     Ok(best)

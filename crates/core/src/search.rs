@@ -17,7 +17,7 @@ use t10_ir::Operator;
 
 use crate::cost::{CostModel, PlanCost};
 use crate::plan::{Plan, PlanConfig, TemporalChoice};
-use crate::Result;
+use crate::{CompileError, Result};
 
 /// User-configurable search constraints and limits.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -35,6 +35,15 @@ pub struct SearchConfig {
     /// Record a (memory, time) sample per evaluated plan (Figure 17/20
     /// scatter data).
     pub collect_samples: bool,
+    /// Override of the per-core memory cap used to filter plans, bytes.
+    /// `None` uses the chip's SRAM minus the shift-buffer reservation; the
+    /// compiler lowers it when an injected SRAM fault shrinks a core.
+    pub mem_cap_override: Option<usize>,
+    /// Wall-clock deadline for the search ("anytime" mode): workers stop
+    /// picking up new configurations once it passes and return whatever
+    /// frontier they accumulated.
+    #[serde(skip)]
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Default for SearchConfig {
@@ -46,6 +55,8 @@ impl Default for SearchConfig {
             max_configs: 200_000,
             threads: 8,
             collect_samples: false,
+            mem_cap_override: None,
+            deadline: None,
         }
     }
 }
@@ -65,6 +76,7 @@ impl SearchConfig {
             max_configs: 20_000,
             threads: 1,
             collect_samples: false,
+            ..Self::default()
         }
     }
 
@@ -77,6 +89,22 @@ impl SearchConfig {
             max_configs: 800_000,
             threads: 8,
             collect_samples: false,
+            ..Self::default()
+        }
+    }
+
+    /// A minimal emergency setting: tiny candidate caps, single thread.
+    /// Used as the last rung of the compiler's fallback chain so even a
+    /// near-expired deadline yields *some* valid plan.
+    pub fn emergency() -> Self {
+        Self {
+            min_core_utilization: 0.0,
+            padding_threshold: 0.5,
+            max_candidates_per_axis: 4,
+            max_configs: 256,
+            threads: 1,
+            collect_samples: false,
+            ..Self::default()
         }
     }
 }
@@ -199,9 +227,11 @@ fn axis_candidates(len: usize, cores: usize, cfg: &SearchConfig) -> Vec<usize> {
     if cands.len() > cfg.max_candidates_per_axis {
         // Keep all small factors (they matter most: reduction splits and
         // ring sizes), subsample the rest evenly, and keep the extremes.
-        let (small, large): (Vec<usize>, Vec<usize>) =
-            cands.iter().partition(|&&p| p <= 16);
-        let n = cfg.max_candidates_per_axis.saturating_sub(small.len()).max(2);
+        let (small, large): (Vec<usize>, Vec<usize>) = cands.iter().partition(|&&p| p <= 16);
+        let n = cfg
+            .max_candidates_per_axis
+            .saturating_sub(small.len())
+            .max(2);
         let mut picked = small;
         if !large.is_empty() {
             picked.extend((0..n).map(|i| large[i * (large.len() - 1) / (n - 1)]));
@@ -240,7 +270,7 @@ fn divisors(n: usize) -> Vec<usize> {
     let mut d = Vec::new();
     let mut i = 1;
     while i * i <= n {
-        if n % i == 0 {
+        if n.is_multiple_of(i) {
             d.push(i);
             if i != n / i {
                 d.push(n / i);
@@ -261,7 +291,11 @@ pub fn search_operator(
     cfg: &SearchConfig,
 ) -> Result<(ParetoSet, SearchStats)> {
     let cores = cost.spec().num_cores;
-    let mem_cap = cost.spec().sram_per_core - cost.spec().shift_buffer;
+    let mem_cap = cfg.mem_cap_override.unwrap_or_else(|| {
+        cost.spec()
+            .sram_per_core
+            .saturating_sub(cost.spec().shift_buffer)
+    });
     let axes = &op.expr.axes;
     let cand: Vec<Vec<usize>> = axes
         .iter()
@@ -276,8 +310,7 @@ pub fn search_operator(
         .iter()
         .fold(1usize, |acc, a| acc.saturating_mul(a.size.min(cores)))
         .min(cores);
-    let min_cores =
-        ((cfg.min_core_utilization * achievable as f64).ceil() as usize).max(1);
+    let min_cores = ((cfg.min_core_utilization * achievable as f64).ceil() as usize).max(1);
     let mut fops: Vec<Vec<usize>> = Vec::new();
     let mut truncated = false;
     {
@@ -303,17 +336,16 @@ pub fn search_operator(
 
     // Complete-space estimate: Π_a min(L_a, C) F_op choices times the mean
     // number of temporal combinations over the enumerated configurations.
-    let fop_space: f64 = axes
-        .iter()
-        .map(|a| a.size.min(cores) as f64)
-        .product();
+    let fop_space: f64 = axes.iter().map(|a| a.size.min(cores) as f64).product();
     let mut temporal_combo_acc = 0.0f64;
     let mut temporal_combo_n = 0usize;
 
     // Evaluate configurations (parallel over F_op chunks).
     let threads = cfg.threads.max(1);
     let chunk = fops.len().div_ceil(threads).max(1);
-    let mut results: Vec<(ParetoSet, usize, Vec<(usize, f64, f64)>, f64, usize)> = Vec::new();
+    type WorkerResult = (ParetoSet, usize, Vec<(usize, f64, f64)>, f64, usize, bool);
+    let mut results: Vec<WorkerResult> = Vec::new();
+    let mut worker_panic: Option<String> = None;
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for ch in fops.chunks(chunk) {
@@ -323,7 +355,12 @@ pub fn search_operator(
                 let mut samples = Vec::new();
                 let mut combo_acc = 0.0f64;
                 let mut combo_n = 0usize;
+                let mut expired = false;
                 for f_op in ch {
+                    if cfg.deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+                        expired = true;
+                        break;
+                    }
                     let per_slot: Vec<Vec<TemporalChoice>> = (0..op.expr.num_inputs())
                         .map(|s| temporal_choices(op, s, f_op))
                         .collect();
@@ -334,12 +371,20 @@ pub fn search_operator(
                         continue;
                     }
                     let mut pick = vec![0usize; per_slot.len()];
+                    let mut since_check = 0u32;
                     loop {
-                        let temporal: Vec<TemporalChoice> = pick
-                            .iter()
-                            .zip(&per_slot)
-                            .map(|(&i, v)| v[i])
-                            .collect();
+                        // Re-check the deadline inside long odometer runs so
+                        // a single huge F_op cannot blow the budget.
+                        since_check += 1;
+                        if since_check >= 256 {
+                            since_check = 0;
+                            if cfg.deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+                                expired = true;
+                                break;
+                            }
+                        }
+                        let temporal: Vec<TemporalChoice> =
+                            pick.iter().zip(&per_slot).map(|(&i, v)| v[i]).collect();
                         let config = PlanConfig {
                             f_op: f_op.clone(),
                             temporal,
@@ -376,24 +421,43 @@ pub fn search_operator(
                             break;
                         }
                     }
+                    if expired {
+                        break;
+                    }
                 }
-                (pareto, evaluated, samples, combo_acc, combo_n)
+                (pareto, evaluated, samples, combo_acc, combo_n, expired)
             }));
         }
         for h in handles {
-            results.push(h.join().expect("search worker panicked"));
+            // A panicking worker must not take down the process: surface it
+            // as a typed error and let the healthy workers' results stand.
+            match h.join() {
+                Ok(r) => results.push(r),
+                Err(payload) => {
+                    let detail = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".to_string());
+                    worker_panic.get_or_insert(detail);
+                }
+            }
         }
     });
+    if let Some(detail) = worker_panic {
+        return Err(CompileError::worker_panicked(detail));
+    }
 
     let mut pareto = ParetoSet::default();
     let mut stats = SearchStats {
         truncated,
         ..Default::default()
     };
-    for (p, evaluated, samples, combo_acc, combo_n) in results {
+    for (p, evaluated, samples, combo_acc, combo_n, expired) in results {
         pareto.merge(p);
         stats.filtered_space += evaluated;
         stats.samples.extend(samples);
+        stats.truncated |= expired;
         temporal_combo_acc += combo_acc;
         temporal_combo_n += combo_n;
     }
@@ -435,7 +499,7 @@ fn dfs_fop(
         return;
     }
     for &p in &cand[depth] {
-        let next = prod.checked_mul(p).unwrap_or(usize::MAX);
+        let next = prod.saturating_mul(p);
         if next > max_cores {
             continue;
         }
@@ -530,10 +594,7 @@ mod tests {
         assert_eq!(set.len(), 3);
         assert_eq!(set.min_memory().unwrap().cost.mem_per_core, 50);
         assert_eq!(set.fastest().unwrap().cost.mem_per_core, 200);
-        assert_eq!(
-            set.fastest_within(120).unwrap().cost.mem_per_core,
-            100
-        );
+        assert_eq!(set.fastest_within(120).unwrap().cost.mem_per_core, 100);
         assert!(set.fastest_within(10).is_none());
         // A dominating insert evicts.
         set.insert(sp(40, 4.0));
@@ -544,8 +605,7 @@ mod tests {
     fn search_finds_tradeoff_curve_for_matmul() {
         let m = model(16);
         let op = builders::matmul(0, 1, 2, 64, 64, 64).unwrap();
-        let (pareto, stats) =
-            search_operator(&op, &[2, 2], 2, &m, &SearchConfig::fast()).unwrap();
+        let (pareto, stats) = search_operator(&op, &[2, 2], 2, &m, &SearchConfig::fast()).unwrap();
         assert!(!pareto.is_empty());
         assert!(stats.filtered_space > 0);
         assert!(stats.complete_space >= stats.filtered_space as f64);

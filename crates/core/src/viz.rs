@@ -48,7 +48,9 @@ pub fn rotation_schedule(op: &Operator, plan: &Plan, level: usize) -> String {
     out.push('\n');
     for core in 0..cores {
         let coords = grid.coords(core);
-        let s0 = sigma(plan, level, &coords);
+        // Display-only: an inconsistent plan renders as window 0 rather
+        // than aborting the dump.
+        let s0 = sigma(plan, level, &coords).unwrap_or(0);
         let _ = write!(out, "{:>12} ", format!("{coords:?}"));
         for t in 0..l.steps {
             let start = (s0 + t * l.rp) % extent;
@@ -181,8 +183,7 @@ mod tests {
     fn pareto_scatter_renders() {
         let cost = CostModel::calibrate(&ChipSpec::ipu_with_cores(16), 128, 3).unwrap();
         let op = builders::matmul(0, 1, 2, 128, 128, 128).unwrap();
-        let (pareto, _) =
-            search_operator(&op, &[2, 2], 2, &cost, &SearchConfig::fast()).unwrap();
+        let (pareto, _) = search_operator(&op, &[2, 2], 2, &cost, &SearchConfig::fast()).unwrap();
         let s = pareto_scatter(&pareto, 40, 10);
         assert!(s.contains('*'));
         assert!(s.contains("mem/core"));

@@ -20,8 +20,7 @@ fn awkward_factorization_relaxes_constraint() {
     let o = g.add_value("o", vec![512], DType::F16, ValueKind::Output);
     g.add_node(
         "gap",
-        builders::reduce_last(x, o, vec![512], 49, t10_ir::Reduce::Sum, Some(1.0 / 49.0))
-            .unwrap(),
+        builders::reduce_last(x, o, vec![512], 49, t10_ir::Reduce::Sum, Some(1.0 / 49.0)).unwrap(),
     )
     .unwrap();
     let mut cfg = SearchConfig::strict();

@@ -257,8 +257,7 @@ fn max_pool_distributed() {
 
 #[test]
 fn reduce_mean_distributed_over_reduction_axis() {
-    let op =
-        builders::reduce_last(0, 1, vec![4], 8, t10_ir::Reduce::Sum, Some(0.125)).unwrap();
+    let op = builders::reduce_last(0, 1, vec![4], 8, t10_ir::Reduce::Sum, Some(0.125)).unwrap();
     check_plan(
         &op,
         PlanConfig {

@@ -9,7 +9,7 @@ use t10_device::ChipSpec;
 use t10_ir::builders;
 
 fn divisors(n: usize) -> Vec<usize> {
-    (1..=n).filter(|d| n % d == 0).collect()
+    (1..=n).filter(|&d| n.is_multiple_of(d)).collect()
 }
 
 proptest! {
@@ -189,5 +189,65 @@ proptest! {
         prop_assert!(t1 > 0.0);
         prop_assert!(t4 > t1, "t1={t1}, t4={t4}");
         prop_assert!(cost.predict_exchange(4096) > cost.predict_exchange(1024));
+    }
+
+    /// Graceful degradation under an SRAM fault: whenever the shrunk chip
+    /// still admits a feasible plan, the fallback chain finds one that fits
+    /// the reduced capacity, and the plan stays numerically exact — the
+    /// functional simulator (running under the same fault) reproduces the
+    /// reference executor.
+    #[test]
+    fn sram_fault_fallback_compiles_and_matches_reference(
+        frac_pct in 40usize..100,
+        mi in 1usize..4,
+        seed in 0u32..1000,
+    ) {
+        use t10_core::compiler::CompileOptions;
+        use t10_core::lower::lower_functional;
+        use t10_core::Compiler;
+        use t10_ir::{DType, Graph, Tensor, ValueKind};
+        use t10_sim::{FaultPlan, Simulator, SimulatorMode};
+
+        let cores = 4;
+        let spec = ChipSpec::ipu_with_cores(cores);
+        let (m, k, n) = (8 * mi, 16, 8);
+        let mut g = Graph::new("fault-prop");
+        let a = g.add_value("a", vec![m, k], DType::F32, ValueKind::Input);
+        let w = g.add_value("w", vec![k, n], DType::F32, ValueKind::Weight);
+        let o = g.add_value("o", vec![m, n], DType::F32, ValueKind::Output);
+        let op = builders::matmul(a, w, o, m, k, n).unwrap();
+        let node = g.add_node("mm", op.clone()).unwrap();
+
+        let fault = FaultPlan::new(cores).shrink_sram(0, frac_pct as f64 / 100.0);
+        let compiler = Compiler::new(spec.clone(), t10_core::SearchConfig::fast());
+        let opts = CompileOptions::with_faults(fault.clone());
+        let (pareto, _) = compiler.compile_node_with(&g, node, &opts).unwrap();
+        prop_assume!(!pareto.is_empty());
+
+        // Every surviving plan respects the shrunk core's capacity.
+        let cap = fault.min_capacity(spec.sram_per_core, spec.shift_buffer);
+        for p in pareto.plans() {
+            prop_assert!(p.cost.mem_per_core <= cap,
+                "plan uses {} B of {cap} B", p.cost.mem_per_core);
+        }
+
+        let scored = pareto.min_memory().unwrap();
+        let f = lower_functional(&op, &scored.plan).unwrap();
+        let mut sim = Simulator::new(spec, SimulatorMode::Functional)
+            .with_fault_plan(fault)
+            .unwrap();
+        sim.load(&f.program).unwrap();
+        let at = Tensor::pattern(vec![m, k], seed as f32 * 0.01);
+        let wt = Tensor::pattern(vec![k, n], seed as f32 * 0.02 + 1.0);
+        for (slot, t) in [&at, &wt].into_iter().enumerate() {
+            for &id in &f.input_buffers[slot] {
+                sim.bind(id, t).unwrap();
+            }
+        }
+        sim.run_loaded(&f.program).unwrap();
+        let got = sim.extract(&f.output_buffers, &op.expr.output_shape()).unwrap();
+        let want = t10_ir::reference::execute(&op, &[&at, &wt]).unwrap();
+        prop_assert!(got.approx_eq(&want, 1e-4),
+            "degraded-chip plan diverges: max diff {}", got.max_abs_diff(&want));
     }
 }

@@ -9,28 +9,87 @@
 use crate::program::{BufferDecl, BufferId, ExchangeSummary, ShiftOp, VertexTask};
 
 /// Error type for device operations.
+///
+/// Structured variants carry the fields callers need to react programmatically
+/// (e.g. the compiler's fallback chain keys on [`DeviceError::OutOfMemory`]);
+/// everything else is classified by kind with a human-readable detail string.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct DeviceError {
-    message: String,
+pub enum DeviceError {
+    /// An allocation exceeded a core's scratchpad capacity.
+    OutOfMemory {
+        core: usize,
+        needed: usize,
+        available: usize,
+    },
+    /// A lowered program violated a structural invariant (misaligned shift,
+    /// shape mismatch, payload/kind confusion).
+    MisalignedPlan { detail: String },
+    /// A program referenced an unknown or unmaterialized buffer/op.
+    InvalidReference { detail: String },
+    /// An injected hardware fault made the operation impossible.
+    Fault { detail: String },
+    /// Uncategorized device-level failure.
+    Other { detail: String },
 }
 
 impl DeviceError {
-    /// Creates a new error.
+    /// Creates an uncategorized error (legacy constructor kept for the
+    /// `sim_err!` macro and ad-hoc call sites).
     pub fn new(message: impl Into<String>) -> Self {
-        Self {
-            message: message.into(),
+        Self::Other {
+            detail: message.into(),
         }
     }
 
-    /// The error message.
-    pub fn message(&self) -> &str {
-        &self.message
+    /// Creates an out-of-memory error for `core`.
+    pub fn out_of_memory(core: usize, needed: usize, available: usize) -> Self {
+        Self::OutOfMemory {
+            core,
+            needed,
+            available,
+        }
+    }
+
+    /// Creates a structural-invariant violation.
+    pub fn misaligned(detail: impl Into<String>) -> Self {
+        Self::MisalignedPlan {
+            detail: detail.into(),
+        }
+    }
+
+    /// Creates a dangling-reference error.
+    pub fn invalid_reference(detail: impl Into<String>) -> Self {
+        Self::InvalidReference {
+            detail: detail.into(),
+        }
+    }
+
+    /// Creates an injected-fault error.
+    pub fn fault(detail: impl Into<String>) -> Self {
+        Self::Fault {
+            detail: detail.into(),
+        }
+    }
+
+    /// The human-readable message (without the "device error:" prefix).
+    pub fn message(&self) -> String {
+        match self {
+            Self::OutOfMemory {
+                core,
+                needed,
+                available,
+            } => format!("core {core} out of memory: need {needed} B, {available} B available"),
+            Self::MisalignedPlan { detail }
+            | Self::InvalidReference { detail }
+            | Self::Fault { detail }
+            | Self::Other { detail } => detail.clone(),
+        }
     }
 }
 
 impl std::fmt::Display for DeviceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "device error: {}", self.message)
+        write!(f, "device error: {}", self.message())
     }
 }
 
@@ -66,8 +125,25 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = DeviceError::new("core 3 out of memory");
-        assert_eq!(e.to_string(), "device error: core 3 out of memory");
-        assert_eq!(e.message(), "core 3 out of memory");
+        let e = DeviceError::new("link 3 went dark");
+        assert_eq!(e.to_string(), "device error: link 3 went dark");
+        assert_eq!(e.message(), "link 3 went dark");
+    }
+
+    #[test]
+    fn out_of_memory_is_structured() {
+        let e = DeviceError::out_of_memory(3, 1024, 512);
+        match &e {
+            DeviceError::OutOfMemory {
+                core,
+                needed,
+                available,
+            } => {
+                assert_eq!((*core, *needed, *available), (3, 1024, 512));
+            }
+            other => panic!("unexpected variant {other:?}"),
+        }
+        assert!(e.message().contains("out of memory"));
+        assert!(e.message().contains("core 3"));
     }
 }

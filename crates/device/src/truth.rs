@@ -51,11 +51,9 @@ pub fn vertex_time(spec: &ChipSpec, d: &SubTaskDesc) -> f64 {
             // expressible as a linear function of the features the cost
             // model sees.
             let jitter = 0.12
-                * (0.13 * d.out_elems as f64 + 0.71 * d.window as f64
-                    + 0.041 * d.red_elems as f64)
+                * (0.13 * d.out_elems as f64 + 0.71 * d.window as f64 + 0.041 * d.red_elems as f64)
                     .sin();
-            let rearrange = (d.window as f64).sqrt() * d.out_elems as f64 * 4.0
-                / spec.local_mem_bw;
+            let rearrange = (d.window as f64).sqrt() * d.out_elems as f64 * 4.0 / spec.local_mem_bw;
             base * (1.15 + jitter) + rearrange
         }
         OpKind::Elementwise => {

@@ -11,7 +11,14 @@ use crate::op::{Combine, OpKind, Operator, Reduce, Unary};
 use crate::{ir_err, Result};
 
 /// `C[m,n] += A[m,k] * B[k,n]` — dense matrix multiplication.
-pub fn matmul(a: ValueId, b: ValueId, c: ValueId, m: usize, k: usize, n: usize) -> Result<Operator> {
+pub fn matmul(
+    a: ValueId,
+    b: ValueId,
+    c: ValueId,
+    m: usize,
+    k: usize,
+    n: usize,
+) -> Result<Operator> {
     let expr = TensorExpr::new(
         vec![
             Axis::spatial("m", m),
@@ -257,6 +264,7 @@ pub fn reduce_last(
 }
 
 /// 2-D max pooling: `O[b,c,h,w] = max_{kh,kw} I[b,c,s*h+kh,s*w+kw]`.
+#[expect(clippy::too_many_arguments, reason = "mirrors the pooling signature")]
 pub fn max_pool2d(
     input: ValueId,
     out: ValueId,

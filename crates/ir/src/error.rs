@@ -1,28 +1,55 @@
 //! Error type shared by the IR crate.
 
 /// An error produced while constructing or evaluating IR objects.
+///
+/// The kinds mirror the compiler's typed taxonomy: shape/axis violations and
+/// dangling references are distinguished so downstream layers can react
+/// without string matching; everything else is `Invalid`.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct IrError {
-    message: String,
+pub enum IrError {
+    /// A shape, axis, or size constraint was violated.
+    Shape { detail: String },
+    /// A name or id referred to a value/node that does not exist.
+    UnknownId { detail: String },
+    /// Malformed expression, operator, or graph construction.
+    Invalid { detail: String },
 }
 
 impl IrError {
-    /// Creates a new error with the given message.
+    /// Creates an `Invalid` error (legacy constructor kept for `ir_err!`).
     pub fn new(message: impl Into<String>) -> Self {
-        Self {
-            message: message.into(),
+        Self::Invalid {
+            detail: message.into(),
         }
     }
 
-    /// The human-readable error message.
+    /// Creates a shape/axis violation.
+    pub fn shape(detail: impl Into<String>) -> Self {
+        Self::Shape {
+            detail: detail.into(),
+        }
+    }
+
+    /// Creates a dangling-reference error.
+    pub fn unknown_id(detail: impl Into<String>) -> Self {
+        Self::UnknownId {
+            detail: detail.into(),
+        }
+    }
+
+    /// The human-readable error message (without the "ir error:" prefix).
     pub fn message(&self) -> &str {
-        &self.message
+        match self {
+            Self::Shape { detail } | Self::UnknownId { detail } | Self::Invalid { detail } => {
+                detail
+            }
+        }
     }
 }
 
 impl std::fmt::Display for IrError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "ir error: {}", self.message)
+        write!(f, "ir error: {}", self.message())
     }
 }
 
@@ -51,5 +78,17 @@ mod tests {
     fn macro_formats() {
         let e = ir_err!("axis {} too large", 3);
         assert_eq!(e.message(), "axis 3 too large");
+    }
+
+    #[test]
+    fn kinds_are_distinguishable() {
+        assert!(matches!(
+            IrError::shape("rank mismatch"),
+            IrError::Shape { .. }
+        ));
+        assert!(matches!(
+            IrError::unknown_id("value v3"),
+            IrError::UnknownId { .. }
+        ));
     }
 }

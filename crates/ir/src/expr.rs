@@ -143,7 +143,12 @@ impl IndexExpr {
     /// Indirect dimensions evaluate to 0; the executor resolves them from
     /// index data separately.
     pub fn eval(&self, idx: &[usize]) -> usize {
-        self.offset + self.terms.iter().map(|t| t.stride * idx[t.axis]).sum::<usize>()
+        self.offset
+            + self
+                .terms
+                .iter()
+                .map(|t| t.stride * idx[t.axis])
+                .sum::<usize>()
     }
 
     /// Extent of the tensor dimension addressed by this expression: the
@@ -272,10 +277,7 @@ impl TensorExpr {
 
     /// Shape of the output implied by the axes.
     pub fn output_shape(&self) -> Vec<usize> {
-        self.output
-            .iter()
-            .map(|e| e.dim_size(&self.axes))
-            .collect()
+        self.output.iter().map(|e| e.dim_size(&self.axes)).collect()
     }
 
     /// Axes that do **not** appear in any dimension of input `slot`.

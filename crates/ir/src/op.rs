@@ -175,11 +175,7 @@ impl Operator {
 
     /// Whether any input dimension is data-dependent.
     pub fn has_indirect_access(&self) -> bool {
-        self.expr
-            .inputs
-            .iter()
-            .flatten()
-            .any(|e| e.is_indirect())
+        self.expr.inputs.iter().flatten().any(|e| e.is_indirect())
     }
 }
 

@@ -48,8 +48,8 @@ pub fn execute_shaped(
     }
     for (slot, t) in inputs.iter().enumerate() {
         let expect = op.expr.input_shape(slot);
-        let fits = t.shape().len() == expect.len()
-            && t.shape().iter().zip(&expect).all(|(&s, &e)| s >= e);
+        let fits =
+            t.shape().len() == expect.len() && t.shape().iter().zip(&expect).all(|(&s, &e)| s >= e);
         if !fits {
             return Err(ir_err!(
                 "input {slot} has shape {:?}, expression accesses {:?}",
@@ -68,8 +68,7 @@ pub fn execute_shaped(
     let implied = op.expr.output_shape();
     let shape = match out_shape {
         Some(s) => {
-            let fits =
-                s.len() == implied.len() && s.iter().zip(&implied).all(|(&a, &b)| a >= b);
+            let fits = s.len() == implied.len() && s.iter().zip(&implied).all(|(&a, &b)| a >= b);
             if !fits {
                 return Err(ir_err!(
                     "declared output shape {s:?} smaller than written extent {implied:?}"
@@ -110,11 +109,7 @@ pub fn execute_shaped(
 }
 
 fn combine_at(op: &Operator, inputs: &[&Tensor], pos: &[Vec<usize>]) -> f32 {
-    let vals = || {
-        pos.iter()
-            .enumerate()
-            .map(|(slot, p)| inputs[slot].at(p))
-    };
+    let vals = || pos.iter().enumerate().map(|(slot, p)| inputs[slot].at(p));
     match op.combine {
         Combine::Mul => vals().product(),
         Combine::Add => vals().sum(),
@@ -278,11 +273,8 @@ mod tests {
             stride: 2,
         };
         let op = builders::conv2d(0, 1, 2, cfg).unwrap();
-        let i = Tensor::from_data(
-            vec![1, 1, 3, 3],
-            vec![0., 1., 2., 3., 4., 5., 6., 7., 8.],
-        )
-        .unwrap();
+        let i =
+            Tensor::from_data(vec![1, 1, 3, 3], vec![0., 1., 2., 3., 4., 5., 6., 7., 8.]).unwrap();
         let k = Tensor::fill(vec![1, 1, 1, 1], 1.0);
         let o = execute(&op, &[&i, &k]).unwrap();
         assert_eq!(o.data(), &[0., 2., 6., 8.]);
@@ -346,8 +338,11 @@ mod tests {
         let o = g.add_value("o", vec![2, 2], DType::F32, ValueKind::Output);
         g.add_node("mm", builders::matmul(a, w, h, 2, 2, 2).unwrap())
             .unwrap();
-        g.add_node("relu", builders::unary(h, o, vec![2, 2], Unary::Relu).unwrap())
-            .unwrap();
+        g.add_node(
+            "relu",
+            builders::unary(h, o, vec![2, 2], Unary::Relu).unwrap(),
+        )
+        .unwrap();
         let at = Tensor::from_data(vec![2, 2], vec![1., -1., 2., 0.]).unwrap();
         let wt = Tensor::from_data(vec![2, 2], vec![1., 0., 0., 1.]).unwrap();
         let vals = execute_graph(&g, &[(a, at), (w, wt)]).unwrap();

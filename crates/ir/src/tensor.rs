@@ -51,9 +51,7 @@ impl Tensor {
     /// non-repeating over typical test sizes.
     pub fn pattern(shape: Vec<usize>, seed: f32) -> Self {
         let n: usize = shape.iter().product();
-        let data = (0..n)
-            .map(|i| (seed + 0.7 * i as f32).sin())
-            .collect();
+        let data = (0..n).map(|i| (seed + 0.7 * i as f32).sin()).collect();
         Self { shape, data }
     }
 

@@ -54,7 +54,7 @@ pub fn fuse_unary(g: &Graph) -> Result<Graph> {
     let n = g.nodes().len();
     let mut fused_away = vec![false; n];
     let mut epilogue: Vec<Option<(crate::op::Unary, usize)>> = vec![None; n];
-    for u in 0..n {
+    for (u, fused) in fused_away.iter_mut().enumerate() {
         if !is_fusable_unary(g, u) {
             continue;
         }
@@ -78,7 +78,7 @@ pub fn fuse_unary(g: &Graph) -> Result<Graph> {
         if g.value(input).shape != g.node(producer).op.expr.output_shape() {
             continue;
         }
-        fused_away[u] = true;
+        *fused = true;
         epilogue[producer] = Some((g.node(u).op.unary.expect("fusable"), g.node(u).op.output));
     }
 
@@ -117,10 +117,16 @@ mod tests {
         let o = g.add_value("o", vec![4, 4], DType::F32, ValueKind::Output);
         g.add_node("mm", builders::matmul(a, w, h, 4, 4, 4).unwrap())
             .unwrap();
-        g.add_node("relu", builders::unary(h, r, vec![4, 4], Unary::Relu).unwrap())
-            .unwrap();
-        g.add_node("scale", builders::unary(r, o, vec![4, 4], Unary::Scale(2.0)).unwrap())
-            .unwrap();
+        g.add_node(
+            "relu",
+            builders::unary(h, r, vec![4, 4], Unary::Relu).unwrap(),
+        )
+        .unwrap();
+        g.add_node(
+            "scale",
+            builders::unary(r, o, vec![4, 4], Unary::Scale(2.0)).unwrap(),
+        )
+        .unwrap();
         (g, a, o)
     }
 
@@ -157,8 +163,11 @@ mod tests {
         let o = g.add_value("o", vec![4, 4], DType::F32, ValueKind::Output);
         g.add_node("mm", builders::matmul(a, w, h, 4, 4, 4).unwrap())
             .unwrap();
-        g.add_node("relu", builders::unary(h, r, vec![4, 4], Unary::Relu).unwrap())
-            .unwrap();
+        g.add_node(
+            "relu",
+            builders::unary(h, r, vec![4, 4], Unary::Relu).unwrap(),
+        )
+        .unwrap();
         g.add_node(
             "add",
             builders::binary(h, r, o, vec![4, 4], crate::Combine::Add).unwrap(),

@@ -54,6 +54,7 @@ impl<'a> Builder<'a> {
     /// `y = x @ W (+ b) (unary)` — the workhorse dense layer.
     ///
     /// `x` has shape `[m, k]`, the result `[m, n]`.
+    #[expect(clippy::too_many_arguments, reason = "mirrors the layer signature")]
     pub fn linear(
         &mut self,
         tag: &str,

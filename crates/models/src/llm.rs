@@ -184,12 +184,7 @@ fn decode_layer(
 }
 
 /// Builds `layers` decode layers for `batch` concurrent sequences.
-pub fn decoder_layers(
-    name: &str,
-    cfg: DecoderCfg,
-    layers: usize,
-    batch: usize,
-) -> Result<Graph> {
+pub fn decoder_layers(name: &str, cfg: DecoderCfg, layers: usize, batch: usize) -> Result<Graph> {
     let mut g = Graph::new(format!("{name}-l{layers}-bs{batch}"));
     let x0 = g.add_value("x", vec![batch, cfg.d], DType::F16, ValueKind::Input);
     let mut b = Builder::new(&mut g, DType::F16);
@@ -246,9 +241,10 @@ mod tests {
     fn retnet_has_no_softmax() {
         let g = decoder_layers("retnet", DecoderCfg::retnet_1_3b(), 1, 2).unwrap();
         // Softmax decomposes into a Reduce::Max node; retention has none.
-        let has_max_reduce = g.nodes().iter().any(|n| {
-            n.op.kind == t10_ir::OpKind::Reduce && n.op.reduce == t10_ir::Reduce::Max
-        });
+        let has_max_reduce = g
+            .nodes()
+            .iter()
+            .any(|n| n.op.kind == t10_ir::OpKind::Reduce && n.op.reduce == t10_ir::Reduce::Max);
         assert!(!has_max_reduce);
     }
 

@@ -28,12 +28,7 @@ pub const SAMPLES_PER_BATCH: usize = 4096 * 192;
 pub fn nerf(batch: usize) -> Result<Graph> {
     let rays = batch * SAMPLES_PER_BATCH;
     let mut g = Graph::new(format!("nerf-bs{batch}"));
-    let x0 = g.add_value(
-        "pos_enc",
-        vec![rays, POS_ENC],
-        DType::F16,
-        ValueKind::Input,
-    );
+    let x0 = g.add_value("pos_enc", vec![rays, POS_ENC], DType::F16, ValueKind::Input);
     let mut b = Builder::new(&mut g, DType::F16);
     let mut x = b.linear("in", x0, rays, POS_ENC, WIDTH, true, Some(Unary::Relu))?;
     for l in 0..4 {
@@ -89,9 +84,7 @@ mod tests {
         let total: usize = g
             .values()
             .iter()
-            .filter(|v| {
-                matches!(v.kind, ValueKind::Activation | ValueKind::Output)
-            })
+            .filter(|v| matches!(v.kind, ValueKind::Activation | ValueKind::Output))
             .map(|v| v.bytes())
             .sum();
         let chip = 1472 * 624 * 1024;

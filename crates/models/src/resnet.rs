@@ -116,7 +116,17 @@ fn basic_block(
     let main1 = conv(b, &format!("{tag}_c1"), batch, x, c_out, 3, stride, 1, true)?;
     let main2 = conv(b, &format!("{tag}_c2"), batch, main1, c_out, 3, 1, 1, false)?;
     let skip = if stride != 1 || c_out != x.c {
-        conv(b, &format!("{tag}_ds"), batch, x, c_out, 1, stride, 1, false)?
+        conv(
+            b,
+            &format!("{tag}_ds"),
+            batch,
+            x,
+            c_out,
+            1,
+            stride,
+            1,
+            false,
+        )?
     } else {
         x
     };

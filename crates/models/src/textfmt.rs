@@ -70,8 +70,7 @@ pub fn parse(src: &str) -> Result<Graph> {
                 };
                 let rows: usize = rows.parse().map_err(|_| err("bad rows"))?;
                 let d: usize = d.parse().map_err(|_| err("bad width"))?;
-                let v =
-                    graph.add_value(*name, vec![rows, d], DType::F16, ValueKind::Input);
+                let v = graph.add_value(*name, vec![rows, d], DType::F16, ValueKind::Input);
                 env.insert(name.to_string(), (v, rows, d));
             }
             "linear" => {
@@ -198,10 +197,8 @@ mod tests {
 
     #[test]
     fn parses_an_mlp() {
-        let g = parse(
-            "model m\ninput x 16 32\nlinear a x 64 relu\nlinear b a 32\noutput b\n",
-        )
-        .unwrap();
+        let g =
+            parse("model m\ninput x 16 32\nlinear a x 64 relu\nlinear b a 32\noutput b\n").unwrap();
         assert_eq!(g.name(), "m");
         // 2 linears × (mm + bias) + output copy.
         assert_eq!(g.nodes().len(), 5);
@@ -229,8 +226,8 @@ output sm
 
     #[test]
     fn comments_and_blanks_ignored() {
-        let g = parse("# header\n\nmodel m\ninput x 4 8 # shape\nlinear y x 8\noutput y\n")
-            .unwrap();
+        let g =
+            parse("# header\n\nmodel m\ninput x 4 8 # shape\nlinear y x 8\noutput y\n").unwrap();
         assert_eq!(g.nodes().len(), 3);
     }
 
@@ -251,8 +248,8 @@ output sm
 
     #[test]
     fn parsed_graph_compiles() {
-        let g = parse("model m\ninput x 64 64\nlinear a x 64 relu\nlinear b a 64\noutput b\n")
-            .unwrap();
+        let g =
+            parse("model m\ninput x 64 64\nlinear a x 64 relu\nlinear b a 64\noutput b\n").unwrap();
         let compiler = t10_core::Compiler::new(
             t10_device::ChipSpec::ipu_with_cores(16),
             t10_core::SearchConfig::fast(),

@@ -28,12 +28,26 @@ pub struct EncoderCfg {
 }
 
 /// One encoder layer over `[tokens, d]`.
-pub fn encoder_layer(b: &mut Builder<'_>, tag: &str, x: usize, cfg: &EncoderCfg, tokens: usize) -> Result<usize> {
+pub fn encoder_layer(
+    b: &mut Builder<'_>,
+    tag: &str,
+    x: usize,
+    cfg: &EncoderCfg,
+    tokens: usize,
+) -> Result<usize> {
     let d = cfg.d;
     let attn = b.attention(&format!("{tag}_attn"), x, tokens, d, cfg.heads, tokens)?;
     let res1 = b.residual(&format!("{tag}_r1"), x, attn, vec![tokens, d])?;
     let ln1 = b.layer_norm(&format!("{tag}_ln1"), res1, tokens, d)?;
-    let up = b.linear(&format!("{tag}_up"), ln1, tokens, d, cfg.ffn, true, Some(Unary::Gelu))?;
+    let up = b.linear(
+        &format!("{tag}_up"),
+        ln1,
+        tokens,
+        d,
+        cfg.ffn,
+        true,
+        Some(Unary::Gelu),
+    )?;
     let down = b.linear(&format!("{tag}_down"), up, tokens, cfg.ffn, d, true, None)?;
     let res2 = b.residual(&format!("{tag}_r2"), ln1, down, vec![tokens, d])?;
     b.layer_norm(&format!("{tag}_ln2"), res2, tokens, d)
@@ -111,7 +125,10 @@ fn encoder_with_embedding(
                 DType::F16,
                 ValueKind::Activation,
             );
-            g.add_node("embed", builders::gather(table, ids, emb, v, tokens, cfg.d)?)?;
+            g.add_node(
+                "embed",
+                builders::gather(table, ids, emb, v, tokens, cfg.d)?,
+            )?;
             emb
         }
         None => g.add_value("x", vec![tokens, cfg.d], DType::F16, ValueKind::Input),

@@ -1,0 +1,449 @@
+//! Deterministic fault injection for the simulated chip.
+//!
+//! A [`FaultPlan`] describes a degraded machine: per-link bandwidth loss,
+//! per-core compute slowdown, and per-core SRAM shrinkage. Plans are built
+//! either programmatically (explicit per-core entries) or from a seeded
+//! random specification, and the same seed always yields the same plan, so
+//! degraded runs are reproducible bit-for-bit.
+//!
+//! The simulator threads the plan through all three cost paths:
+//!
+//! * **exchange** — a core with a degraded outgoing link takes `1/m` times
+//!   as long to push the same bytes; a *lost* link forces traffic to detour
+//!   through a neighbour (two hops plus contention), modeled as a fixed
+//!   [`REROUTE_MULTIPLIER`] on effective bandwidth.
+//! * **compute** — the BSP barrier gates every superstep on its slowest
+//!   participant, so a slowed core stretches the whole compute phase.
+//! * **memory** — a shrunk core's scratchpad capacity drops below nominal;
+//!   allocations that no longer fit fail with a structured out-of-memory
+//!   error that the compiler's fallback chain can react to.
+
+use serde::{Deserialize, Serialize};
+
+/// Effective-bandwidth multiplier for traffic whose direct link is lost:
+/// the payload detours through an adjacent core (two hops) and shares that
+/// core's own link time slots, so roughly a third of nominal bandwidth
+/// survives.
+pub const REROUTE_MULTIPLIER: f64 = 1.0 / 3.0;
+
+/// Fault on one core's inter-core link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LinkFault {
+    /// The link runs at `multiplier` × nominal bandwidth (0 < m < 1).
+    Degraded { multiplier: f64 },
+    /// The link is dead; traffic reroutes at [`REROUTE_MULTIPLIER`].
+    Lost,
+}
+
+/// A deterministic description of which parts of the chip are degraded.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    seed: u64,
+    rng_state: u64,
+    links: Vec<Option<LinkFault>>,
+    /// Compute-time multiplier per core (1.0 = healthy, 2.0 = half speed).
+    slowdowns: Vec<f64>,
+    /// Fraction of nominal SRAM that survives per core (1.0 = healthy).
+    sram_frac: Vec<f64>,
+}
+
+impl FaultPlan {
+    /// A healthy plan for `num_cores` cores (seed 0).
+    pub fn new(num_cores: usize) -> Self {
+        Self::seeded(num_cores, 0)
+    }
+
+    /// A healthy plan whose random selections will derive from `seed`.
+    pub fn seeded(num_cores: usize, seed: u64) -> Self {
+        Self {
+            seed,
+            // splitmix-style scramble so seed 0 still produces a useful
+            // stream.
+            rng_state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            links: vec![None; num_cores],
+            slowdowns: vec![1.0; num_cores],
+            sram_frac: vec![1.0; num_cores],
+        }
+    }
+
+    /// The seed this plan was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of cores the plan covers.
+    pub fn num_cores(&self) -> usize {
+        self.links.len()
+    }
+
+    /// True when no fault is present anywhere.
+    pub fn is_healthy(&self) -> bool {
+        self.links.iter().all(Option::is_none)
+            && self.slowdowns.iter().all(|&m| m == 1.0)
+            && self.sram_frac.iter().all(|&f| f == 1.0)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // xorshift64*: small, deterministic, good enough for fault sampling.
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Picks exactly `ceil(frac × num_cores)` distinct cores via a partial
+    /// Fisher–Yates shuffle of the core ids, so a requested fraction is hit
+    /// exactly rather than in expectation.
+    fn pick_cores(&mut self, frac: f64) -> Vec<usize> {
+        let n = self.num_cores();
+        let count = ((frac * n as f64).ceil() as usize).min(n);
+        let mut ids: Vec<usize> = (0..n).collect();
+        for i in 0..count {
+            let j = i + (self.next_u64() as usize) % (n - i);
+            ids.swap(i, j);
+        }
+        ids.truncate(count);
+        ids
+    }
+
+    /// Degrades a random `frac` of links to `multiplier` × bandwidth.
+    pub fn degrade_links(mut self, frac: f64, multiplier: f64) -> Self {
+        for c in self.pick_cores(frac) {
+            self.links[c] = Some(LinkFault::Degraded { multiplier });
+        }
+        self
+    }
+
+    /// Kills a random `frac` of links outright.
+    pub fn lose_links(mut self, frac: f64) -> Self {
+        for c in self.pick_cores(frac) {
+            self.links[c] = Some(LinkFault::Lost);
+        }
+        self
+    }
+
+    /// Slows a random `frac` of cores by `multiplier` (≥ 1).
+    pub fn slow_cores(mut self, frac: f64, multiplier: f64) -> Self {
+        for c in self.pick_cores(frac) {
+            self.slowdowns[c] = multiplier;
+        }
+        self
+    }
+
+    /// Sets one core's link fault explicitly.
+    pub fn set_link_fault(mut self, core: usize, fault: Option<LinkFault>) -> Self {
+        if core < self.links.len() {
+            self.links[core] = fault;
+        }
+        self
+    }
+
+    /// Sets one core's compute slowdown explicitly.
+    pub fn set_slowdown(mut self, core: usize, multiplier: f64) -> Self {
+        if core < self.slowdowns.len() {
+            self.slowdowns[core] = multiplier.max(1.0);
+        }
+        self
+    }
+
+    /// Shrinks one core's SRAM to `frac` of nominal.
+    pub fn shrink_sram(mut self, core: usize, frac: f64) -> Self {
+        if core < self.sram_frac.len() {
+            self.sram_frac[core] = frac.clamp(0.0, 1.0);
+        }
+        self
+    }
+
+    /// Effective-bandwidth multiplier of one core's link (1.0 = healthy).
+    pub fn link_multiplier(&self, core: usize) -> f64 {
+        match self.links.get(core).copied().flatten() {
+            Some(LinkFault::Degraded { multiplier }) => multiplier.clamp(f64::MIN_POSITIVE, 1.0),
+            Some(LinkFault::Lost) => REROUTE_MULTIPLIER,
+            None => 1.0,
+        }
+    }
+
+    /// The worst (smallest) link multiplier on the chip.
+    pub fn worst_link_multiplier(&self) -> f64 {
+        (0..self.num_cores())
+            .map(|c| self.link_multiplier(c))
+            .fold(1.0, f64::min)
+    }
+
+    /// Compute-time multiplier of one core (1.0 = healthy, larger = slower).
+    pub fn compute_multiplier(&self, core: usize) -> f64 {
+        self.slowdowns.get(core).copied().unwrap_or(1.0)
+    }
+
+    /// The worst (largest) compute multiplier on the chip. The BSP barrier
+    /// gates every superstep on its slowest participant.
+    pub fn worst_compute_multiplier(&self) -> f64 {
+        self.slowdowns.iter().copied().fold(1.0, f64::max)
+    }
+
+    /// One core's usable scratchpad after faults: the SRAM fraction applies
+    /// to the nominal SRAM size, then the reserved shift buffer is carved
+    /// out of what survives.
+    pub fn sram_capacity(&self, core: usize, sram_per_core: usize, shift_buffer: usize) -> usize {
+        let frac = self.sram_frac.get(core).copied().unwrap_or(1.0);
+        let sram = (sram_per_core as f64 * frac) as usize;
+        sram.saturating_sub(shift_buffer)
+    }
+
+    /// Usable capacity of every core (input to the memory tracker).
+    pub fn capacities(&self, sram_per_core: usize, shift_buffer: usize) -> Vec<usize> {
+        (0..self.num_cores())
+            .map(|c| self.sram_capacity(c, sram_per_core, shift_buffer))
+            .collect()
+    }
+
+    /// Usable capacity of the most constrained core — the bound a uniform
+    /// (SPMD) plan must fit under.
+    pub fn min_capacity(&self, sram_per_core: usize, shift_buffer: usize) -> usize {
+        self.capacities(sram_per_core, shift_buffer)
+            .into_iter()
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Aggregate statistics for the run report.
+    pub fn summary(&self) -> FaultSummary {
+        FaultSummary {
+            degraded_links: self
+                .links
+                .iter()
+                .filter(|f| matches!(f, Some(LinkFault::Degraded { .. })))
+                .count(),
+            lost_links: self
+                .links
+                .iter()
+                .filter(|f| matches!(f, Some(LinkFault::Lost)))
+                .count(),
+            slowed_cores: self.slowdowns.iter().filter(|&&m| m > 1.0).count(),
+            shrunk_cores: self.sram_frac.iter().filter(|&&f| f < 1.0).count(),
+            worst_link_multiplier: self.worst_link_multiplier(),
+            worst_compute_multiplier: self.worst_compute_multiplier(),
+            min_sram_frac: self.sram_frac.iter().copied().fold(1.0, f64::min),
+        }
+    }
+
+    /// Parses a comma-separated fault specification (the CLI's `--faults`).
+    ///
+    /// Entries, applied left to right after an optional `seed`:
+    ///
+    /// * `seed=N` — seed for random selections (default 0)
+    /// * `degrade=FRAC@MULT` — random FRAC of links run at MULT × bandwidth
+    /// * `lose=FRAC` — random FRAC of links die (reroute penalty)
+    /// * `slow=FRAC@MULT` — random FRAC of cores slowed by MULT (≥ 1)
+    /// * `link=CORE@MULT` — one specific link degraded
+    /// * `core=CORE@MULT` — one specific core slowed
+    /// * `shrink=CORE@FRAC` — one core's SRAM reduced to FRAC of nominal
+    ///
+    /// Example: `seed=7,degrade=0.1@0.5,shrink=3@0.5`
+    pub fn parse(spec: &str, num_cores: usize) -> std::result::Result<Self, String> {
+        let entries: Vec<&str> = spec
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .collect();
+        let mut seed = 0u64;
+        for e in &entries {
+            if let Some(v) = e.strip_prefix("seed=") {
+                seed = v
+                    .parse::<u64>()
+                    .map_err(|_| format!("fault spec: bad seed {v:?}"))?;
+            }
+        }
+        let mut plan = Self::seeded(num_cores, seed);
+        for e in entries {
+            let (key, val) = e
+                .split_once('=')
+                .ok_or_else(|| format!("fault spec: entry {e:?} is not key=value"))?;
+            match key {
+                "seed" => {}
+                "degrade" => {
+                    let (frac, mult) = parse_pair(val)?;
+                    check_frac("degrade", frac)?;
+                    check_range("degrade multiplier", mult, 0.0, 1.0)?;
+                    plan = plan.degrade_links(frac, mult);
+                }
+                "lose" => {
+                    let frac = parse_num(val)?;
+                    check_frac("lose", frac)?;
+                    plan = plan.lose_links(frac);
+                }
+                "slow" => {
+                    let (frac, mult) = parse_pair(val)?;
+                    check_frac("slow", frac)?;
+                    if mult < 1.0 {
+                        return Err(format!("fault spec: slow multiplier {mult} must be ≥ 1"));
+                    }
+                    plan = plan.slow_cores(frac, mult);
+                }
+                "link" => {
+                    let (core, mult) = parse_core_pair(val, num_cores)?;
+                    check_range("link multiplier", mult, 0.0, 1.0)?;
+                    plan =
+                        plan.set_link_fault(core, Some(LinkFault::Degraded { multiplier: mult }));
+                }
+                "core" => {
+                    let (core, mult) = parse_core_pair(val, num_cores)?;
+                    if mult < 1.0 {
+                        return Err(format!("fault spec: core slowdown {mult} must be ≥ 1"));
+                    }
+                    plan = plan.set_slowdown(core, mult);
+                }
+                "shrink" => {
+                    let (core, frac) = parse_core_pair(val, num_cores)?;
+                    check_range("shrink fraction", frac, 0.0, 1.0)?;
+                    plan = plan.shrink_sram(core, frac);
+                }
+                other => return Err(format!("fault spec: unknown key {other:?}")),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+fn parse_num(s: &str) -> std::result::Result<f64, String> {
+    s.parse::<f64>()
+        .map_err(|_| format!("fault spec: bad number {s:?}"))
+}
+
+fn parse_pair(s: &str) -> std::result::Result<(f64, f64), String> {
+    let (a, b) = s
+        .split_once('@')
+        .ok_or_else(|| format!("fault spec: {s:?} is not A@B"))?;
+    Ok((parse_num(a)?, parse_num(b)?))
+}
+
+fn parse_core_pair(s: &str, num_cores: usize) -> std::result::Result<(usize, f64), String> {
+    let (a, b) = s
+        .split_once('@')
+        .ok_or_else(|| format!("fault spec: {s:?} is not CORE@VALUE"))?;
+    let core = a
+        .parse::<usize>()
+        .map_err(|_| format!("fault spec: bad core id {a:?}"))?;
+    if core >= num_cores {
+        return Err(format!(
+            "fault spec: core {core} out of range ({num_cores} cores)"
+        ));
+    }
+    Ok((core, parse_num(b)?))
+}
+
+fn check_frac(what: &str, frac: f64) -> std::result::Result<(), String> {
+    if !(0.0..=1.0).contains(&frac) {
+        return Err(format!("fault spec: {what} fraction {frac} not in [0, 1]"));
+    }
+    Ok(())
+}
+
+fn check_range(what: &str, v: f64, lo: f64, hi: f64) -> std::result::Result<(), String> {
+    if v <= lo || v > hi {
+        return Err(format!("fault spec: {what} {v} not in ({lo}, {hi}]"));
+    }
+    Ok(())
+}
+
+/// Aggregate fault statistics, embedded in [`crate::RunReport`] so degraded
+/// runs are self-describing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultSummary {
+    /// Links running below nominal bandwidth.
+    pub degraded_links: usize,
+    /// Links that are dead (traffic reroutes).
+    pub lost_links: usize,
+    /// Cores computing slower than nominal.
+    pub slowed_cores: usize,
+    /// Cores with reduced SRAM.
+    pub shrunk_cores: usize,
+    /// Smallest effective-bandwidth multiplier on the chip.
+    pub worst_link_multiplier: f64,
+    /// Largest compute-time multiplier on the chip.
+    pub worst_compute_multiplier: f64,
+    /// Smallest surviving SRAM fraction on the chip.
+    pub min_sram_frac: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_plan() {
+        let a = FaultPlan::seeded(64, 42)
+            .degrade_links(0.25, 0.5)
+            .lose_links(0.1);
+        let b = FaultPlan::seeded(64, 42)
+            .degrade_links(0.25, 0.5)
+            .lose_links(0.1);
+        assert_eq!(a, b);
+        let c = FaultPlan::seeded(64, 43)
+            .degrade_links(0.25, 0.5)
+            .lose_links(0.1);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn fractions_are_exact() {
+        let p = FaultPlan::seeded(100, 1).degrade_links(0.1, 0.5);
+        assert_eq!(p.summary().degraded_links, 10);
+        let p = FaultPlan::seeded(7, 1).lose_links(0.5);
+        assert_eq!(p.summary().lost_links, 4); // ceil(3.5)
+    }
+
+    #[test]
+    fn multipliers_and_capacities() {
+        let p = FaultPlan::new(4)
+            .set_link_fault(1, Some(LinkFault::Degraded { multiplier: 0.25 }))
+            .set_link_fault(2, Some(LinkFault::Lost))
+            .set_slowdown(3, 2.0)
+            .shrink_sram(0, 0.5);
+        assert_eq!(p.link_multiplier(0), 1.0);
+        assert_eq!(p.link_multiplier(1), 0.25);
+        assert_eq!(p.link_multiplier(2), REROUTE_MULTIPLIER);
+        assert_eq!(p.worst_link_multiplier(), 0.25);
+        assert_eq!(p.worst_compute_multiplier(), 2.0);
+        assert_eq!(p.sram_capacity(0, 1000, 100), 400);
+        assert_eq!(p.sram_capacity(1, 1000, 100), 900);
+        assert_eq!(p.min_capacity(1000, 100), 400);
+        assert!(!p.is_healthy());
+        assert!(FaultPlan::new(4).is_healthy());
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        let p = FaultPlan::parse("seed=7,degrade=0.1@0.5,shrink=3@0.5,core=1@1.5", 32).unwrap();
+        assert_eq!(p.seed(), 7);
+        let s = p.summary();
+        assert_eq!(s.degraded_links, 4); // ceil(3.2)
+        assert_eq!(s.shrunk_cores, 1);
+        assert_eq!(s.slowed_cores, 1);
+        assert_eq!(s.min_sram_frac, 0.5);
+        // Same spec parses to the same plan.
+        assert_eq!(
+            p,
+            FaultPlan::parse("seed=7,degrade=0.1@0.5,shrink=3@0.5,core=1@1.5", 32).unwrap()
+        );
+    }
+
+    #[test]
+    fn parse_rejects_bad_specs() {
+        assert!(FaultPlan::parse("degrade=1.5@0.5", 8).is_err());
+        assert!(FaultPlan::parse("degrade=0.5@0.0", 8).is_err());
+        assert!(FaultPlan::parse("slow=0.5@0.5", 8).is_err());
+        assert!(FaultPlan::parse("shrink=9@0.5", 8).is_err());
+        assert!(FaultPlan::parse("bogus=1", 8).is_err());
+        assert!(FaultPlan::parse("noequals", 8).is_err());
+        assert!(FaultPlan::parse("seed=x", 8).is_err());
+    }
+
+    #[test]
+    fn healthy_plan_parses_empty() {
+        let p = FaultPlan::parse("", 8).unwrap();
+        assert!(p.is_healthy());
+    }
+}

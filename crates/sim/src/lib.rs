@@ -17,11 +17,13 @@
 //! barrier (paper §5, Figure 11).
 
 pub mod buffer;
+pub mod fault;
 pub mod machine;
 pub mod memory;
 pub mod report;
 
 pub use buffer::FuncBuffer;
+pub use fault::{FaultPlan, FaultSummary, LinkFault};
 pub use machine::{Simulator, SimulatorMode};
 pub use memory::MemoryTracker;
 pub use report::{NodeBreakdown, RunReport, StepTrace};

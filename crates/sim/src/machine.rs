@@ -8,6 +8,7 @@ use t10_device::{truth, ChipSpec};
 use t10_ir::Tensor;
 
 use crate::buffer::FuncBuffer;
+use crate::fault::FaultPlan;
 use crate::memory::MemoryTracker;
 use crate::report::RunReport;
 use crate::{sim_err, Result};
@@ -30,6 +31,7 @@ pub struct Simulator {
     decls: Vec<BufferDecl>,
     bufs: Vec<Option<FuncBuffer>>,
     tracing: bool,
+    faults: Option<FaultPlan>,
 }
 
 impl Simulator {
@@ -38,7 +40,7 @@ impl Simulator {
     /// The per-core shift buffer (paper §5) is reserved up front, so usable
     /// capacity is `sram_per_core - shift_buffer`.
     pub fn new(spec: ChipSpec, mode: SimulatorMode) -> Self {
-        let usable = spec.sram_per_core - spec.shift_buffer;
+        let usable = spec.sram_per_core.saturating_sub(spec.shift_buffer);
         let cores = spec.num_cores;
         Self {
             spec,
@@ -47,6 +49,7 @@ impl Simulator {
             decls: Vec::new(),
             bufs: Vec::new(),
             tracing: false,
+            faults: None,
         }
     }
 
@@ -55,6 +58,33 @@ impl Simulator {
     pub fn with_tracing(mut self) -> Self {
         self.tracing = true;
         self
+    }
+
+    /// Injects a fault plan: degraded/lost links stretch exchange phases,
+    /// slowed cores stretch compute phases, and shrunk SRAM lowers per-core
+    /// allocation capacity. Must be called on a fresh simulator (before any
+    /// buffers are allocated) so memory accounting stays consistent.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Result<Self> {
+        if plan.num_cores() != self.spec.num_cores {
+            return Err(sim_err!(
+                "fault plan covers {} cores, chip has {}",
+                plan.num_cores(),
+                self.spec.num_cores
+            ));
+        }
+        if !self.decls.is_empty() {
+            return Err(sim_err!("fault plan injected after buffers were allocated"));
+        }
+        self.mem = MemoryTracker::with_capacities(
+            plan.capacities(self.spec.sram_per_core, self.spec.shift_buffer),
+        );
+        self.faults = Some(plan);
+        Ok(self)
+    }
+
+    /// The active fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
     }
 
     /// The chip being simulated.
@@ -107,11 +137,8 @@ impl Simulator {
         let mut pos = vec![0usize; lens.len()];
         if b.elements() > 0 {
             loop {
-                let global: Vec<usize> = pos
-                    .iter()
-                    .enumerate()
-                    .map(|(d, &p)| coords[d][p])
-                    .collect();
+                let global: Vec<usize> =
+                    pos.iter().enumerate().map(|(d, &p)| coords[d][p]).collect();
                 if global.iter().zip(tensor.shape()).any(|(&g, &s)| g >= s) {
                     res = Err(sim_err!(
                         "buffer {id} coordinate {global:?} outside tensor shape {:?}",
@@ -203,10 +230,15 @@ impl Simulator {
 
     /// Executes the steps of an already-loaded program.
     pub fn run_loaded(&mut self, prog: &Program) -> Result<RunReport> {
-        let mut report = RunReport::default();
+        let mut report = RunReport {
+            faults: self.faults.as_ref().map(FaultPlan::summary),
+            ..RunReport::default()
+        };
         for step in &prog.steps {
-            let comp = self.compute_phase(prog, step)?;
-            let (exch, summary) = self.exchange_phase(step)?;
+            let (comp, comp_healthy) = self.compute_phase(prog, step)?;
+            let (exch, exch_healthy, summary) = self.exchange_phase(step)?;
+            report.fault_compute_overhead += comp - comp_healthy;
+            report.fault_exchange_overhead += exch - exch_healthy;
             report.charge(step.phase, step.node, comp, exch);
             report.total_shift_bytes += summary.total_bytes;
             report.offchip_bytes += summary.offchip_bytes;
@@ -216,8 +248,7 @@ impl Simulator {
                 // sync and message setup are excluded, so the metric reads
                 // as per-core balance × link speed (Figure 14 measures
                 // during inter-core data transfers).
-                let busy = summary.max_core_in.max(summary.max_core_out) as f64
-                    / self.spec.link_bw
+                let busy = summary.max_core_in.max(summary.max_core_out) as f64 / self.spec.link_bw
                     + summary.max_core_messages.saturating_sub(1) as f64
                         * self.spec.exchange_msg_overhead;
                 report.bw_bytes_acc += summary.total_bytes as f64;
@@ -239,11 +270,13 @@ impl Simulator {
         Ok(report)
     }
 
+    /// Prices one compute phase, returning `(faulted, healthy)` seconds.
+    /// With no fault plan the two are identical.
     fn compute_phase(
         &mut self,
         prog: &Program,
         step: &t10_device::program::Superstep,
-    ) -> Result<f64> {
+    ) -> Result<(f64, f64)> {
         if self.mode == SimulatorMode::Functional {
             for task in &step.compute {
                 self.exec_task(prog, task)?;
@@ -251,21 +284,46 @@ impl Simulator {
         }
         if let Some(cs) = &step.compute_summary {
             if cs.active_cores == 0 {
-                return Ok(0.0);
+                return Ok((0.0, 0.0));
             }
-            return Ok(truth::vertex_time(&self.spec, &cs.desc));
+            let healthy = truth::vertex_time(&self.spec, &cs.desc);
+            // Summary steps don't name their cores, and the BSP barrier
+            // gates every superstep on its slowest participant, so the
+            // worst slowdown on the chip applies (exact for SPMD plans
+            // that occupy every core, conservative otherwise).
+            let mult = self
+                .faults
+                .as_ref()
+                .map_or(1.0, FaultPlan::worst_compute_multiplier);
+            return Ok((healthy * mult, healthy));
         }
-        Ok(step
+        let healthy = step
             .compute
             .iter()
             .map(|t| truth::vertex_time(&self.spec, &t.desc))
-            .fold(0.0, f64::max))
+            .fold(0.0, f64::max);
+        let faulted = match &self.faults {
+            // Explicit tasks name their cores, so the slowdown is exact:
+            // the phase lasts as long as the slowest task, slowdowns
+            // included.
+            Some(f) => step
+                .compute
+                .iter()
+                .map(|t| truth::vertex_time(&self.spec, &t.desc) * f.compute_multiplier(t.core))
+                .fold(0.0, f64::max),
+            None => healthy,
+        };
+        Ok((faulted, healthy))
     }
 
+    /// Prices one exchange phase, returning `(faulted, healthy)` seconds
+    /// and the effective summary used for bandwidth accounting. Byte counts
+    /// in the summary are real bytes moved; only the per-core maxima are
+    /// inflated to reflect slower links.
     fn exchange_phase(
         &mut self,
         step: &t10_device::program::Superstep,
-    ) -> Result<(f64, ExchangeSummary)> {
+    ) -> Result<(f64, f64, ExchangeSummary)> {
         let summary = match &step.exchange_summary {
             Some(s) => *s,
             None => self.summarize_shifts(&step.exchange)?,
@@ -273,7 +331,27 @@ impl Simulator {
         if self.mode == SimulatorMode::Functional && !step.exchange.is_empty() {
             self.apply_shifts(&step.exchange)?;
         }
-        Ok((truth::exchange_time(&self.spec, &summary), summary))
+        let healthy = truth::exchange_time(&self.spec, &summary);
+        let eff = self.degrade_exchange(&summary);
+        let faulted = truth::exchange_time(&self.spec, &eff);
+        Ok((faulted, healthy, eff))
+    }
+
+    /// Inflates a summary's per-core transfer maxima by the worst link
+    /// fault: the exchange phase lasts as long as the busiest core's
+    /// transfer, and under faults we conservatively assume the heaviest
+    /// transfer rides the slowest surviving link. Total bytes are left
+    /// untouched — the data moved doesn't change, only how long it takes.
+    fn degrade_exchange(&self, s: &ExchangeSummary) -> ExchangeSummary {
+        let Some(f) = &self.faults else { return *s };
+        let m = f.worst_link_multiplier();
+        if m >= 1.0 || s.total_bytes == 0 {
+            return *s;
+        }
+        let mut d = *s;
+        d.max_core_in = (s.max_core_in as f64 / m).ceil() as u64;
+        d.max_core_out = (s.max_core_out as f64 / m).ceil() as u64;
+        d
     }
 
     /// Derives an exchange summary from explicit shifts.
@@ -415,11 +493,18 @@ impl Simulator {
         let mut pos = vec![0usize; coords.len()];
         let mut idx: Vec<usize> = coords.iter().map(|c| c[0]).collect();
         let num_inputs = op.expr.num_inputs();
+        if f.inputs.len() < num_inputs {
+            return Err(sim_err!(
+                "vertex provides {} input buffers for op expecting {}",
+                f.inputs.len(),
+                num_inputs
+            ));
+        }
         let mut vals = vec![0.0f32; num_inputs];
         let mut pos_buf: Vec<usize> = Vec::new();
         loop {
             let mut skip = false;
-            for slot in 0..num_inputs {
+            for (slot, val) in vals.iter_mut().enumerate() {
                 pos_buf.clear();
                 let mut indirect_miss = false;
                 for e in &op.expr.inputs[slot] {
@@ -443,7 +528,7 @@ impl Simulator {
                     .buffer(f.inputs[slot])
                     .ok_or_else(|| sim_err!("vertex input {} missing", f.inputs[slot]))?;
                 match b.get(&pos_buf) {
-                    Some(v) => vals[slot] = v,
+                    Some(v) => *val = v,
                     None if indirect_miss => {
                         skip = true;
                         break;
@@ -545,7 +630,13 @@ impl DeviceInterface for Simulator {
         // execution with full program context.
         Ok(tasks
             .iter()
-            .map(|t| truth::vertex_time(&self.spec, &t.desc))
+            .map(|t| {
+                let mult = self
+                    .faults
+                    .as_ref()
+                    .map_or(1.0, |f| f.compute_multiplier(t.core));
+                truth::vertex_time(&self.spec, &t.desc) * mult
+            })
             .fold(0.0, f64::max))
     }
 
@@ -561,7 +652,7 @@ impl DeviceInterface for Simulator {
         if self.mode == SimulatorMode::Functional && !shifts.is_empty() {
             self.apply_shifts(shifts)?;
         }
-        Ok(truth::exchange_time(&self.spec, &s))
+        Ok(truth::exchange_time(&self.spec, &self.degrade_exchange(&s)))
     }
 }
 
@@ -763,6 +854,89 @@ mod tests {
             }])
             .unwrap();
         assert_eq!(s.cross_chip_bytes, 4);
+    }
+
+    #[test]
+    fn fault_plan_stretches_timing_and_reports_overhead() {
+        let mut prog = Program::new();
+        let mut step = Superstep::new(Some(0), Phase::Execute);
+        step.compute_summary = Some(ComputeSummary {
+            desc: SubTaskDesc {
+                kind: OpKind::MatMul,
+                out_elems: 1024,
+                red_elems: 128,
+                window: 1,
+                in_bytes: 4096,
+                out_bytes: 2048,
+            },
+            active_cores: 4,
+        });
+        step.exchange_summary = Some(ExchangeSummary {
+            total_bytes: 4 * 1024,
+            max_core_out: 1024,
+            max_core_in: 1024,
+            cross_chip_bytes: 0,
+            offchip_bytes: 0,
+            active_cores: 4,
+            max_core_messages: 1,
+        });
+        prog.steps.push(step);
+
+        let mut healthy_sim = Simulator::new(small_spec(4), SimulatorMode::Timing);
+        let healthy = healthy_sim.run(&prog).unwrap();
+        assert_eq!(healthy.fault_overhead(), 0.0);
+        assert!(healthy.faults.is_none());
+
+        let plan = crate::fault::FaultPlan::new(4)
+            .set_link_fault(
+                1,
+                Some(crate::fault::LinkFault::Degraded { multiplier: 0.5 }),
+            )
+            .set_slowdown(2, 2.0);
+        let mut sim = Simulator::new(small_spec(4), SimulatorMode::Timing)
+            .with_fault_plan(plan)
+            .unwrap();
+        let degraded = sim.run(&prog).unwrap();
+        assert!(degraded.total_time > healthy.total_time);
+        assert!(degraded.fault_compute_overhead > 0.0);
+        assert!(degraded.fault_exchange_overhead > 0.0);
+        // Bytes moved are real bytes, not inflated.
+        assert_eq!(degraded.total_shift_bytes, healthy.total_shift_bytes);
+        let s = degraded.faults.unwrap();
+        assert_eq!(s.degraded_links, 1);
+        assert_eq!(s.slowed_cores, 1);
+    }
+
+    #[test]
+    fn sram_fault_lowers_allocation_capacity() {
+        let spec = small_spec(2);
+        let nominal = spec.sram_per_core - spec.shift_buffer;
+        let plan = crate::fault::FaultPlan::new(2).shrink_sram(1, 0.5);
+        let mut sim = Simulator::new(spec.clone(), SimulatorMode::Timing)
+            .with_fault_plan(plan)
+            .unwrap();
+        // Core 0 is untouched, core 1 lost half its SRAM.
+        assert!(sim.allocate(decl_bytes(0, nominal)).is_ok());
+        let err = sim.allocate(decl_bytes(1, nominal)).unwrap_err();
+        assert!(err.message().contains("out of memory"), "{err}");
+    }
+
+    fn decl_bytes(core: usize, bytes: usize) -> BufferDecl {
+        BufferDecl {
+            core,
+            label: "t".into(),
+            bytes,
+            coords: vec![],
+            init: 0.0,
+        }
+    }
+
+    #[test]
+    fn fault_plan_rejects_core_count_mismatch() {
+        let plan = crate::fault::FaultPlan::new(8);
+        assert!(Simulator::new(small_spec(4), SimulatorMode::Timing)
+            .with_fault_plan(plan)
+            .is_err());
     }
 
     #[test]

@@ -4,14 +4,17 @@
 //! every core's buffers (plus the reserved shift buffer, paper §5) into that
 //! capacity. The tracker enforces the limit and records the high-water mark,
 //! which the benchmarks report as per-core memory footprint (Figure 2 (b),
-//! Figure 17).
+//! Figure 17). Capacities are per-core so an injected SRAM fault can shrink
+//! individual cores below the nominal size.
+
+use t10_device::iface::DeviceError;
 
 use crate::{sim_err, Result};
 
-/// Tracks allocated bytes per core against a fixed capacity.
+/// Tracks allocated bytes per core against per-core capacities.
 #[derive(Debug, Clone)]
 pub struct MemoryTracker {
-    capacity: usize,
+    capacities: Vec<usize>,
     used: Vec<usize>,
     peak: Vec<usize>,
 }
@@ -19,31 +22,38 @@ pub struct MemoryTracker {
 impl MemoryTracker {
     /// Creates a tracker for `cores` cores of `capacity` usable bytes each.
     pub fn new(cores: usize, capacity: usize) -> Self {
+        Self::with_capacities(vec![capacity; cores])
+    }
+
+    /// Creates a tracker with an explicit capacity per core (SRAM faults).
+    pub fn with_capacities(capacities: Vec<usize>) -> Self {
+        let cores = capacities.len();
         Self {
-            capacity,
+            capacities,
             used: vec![0; cores],
             peak: vec![0; cores],
         }
     }
 
-    /// Usable capacity per core.
+    /// Usable capacity of the most constrained core.
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.capacities.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Usable capacity of one core (0 if out of range).
+    pub fn capacity_of(&self, core: usize) -> usize {
+        self.capacities.get(core).copied().unwrap_or(0)
     }
 
     /// Allocates `bytes` on `core`, failing if capacity would be exceeded.
     pub fn allocate(&mut self, core: usize, bytes: usize) -> Result<()> {
-        let used = self
-            .used
-            .get_mut(core)
+        let cap = *self
+            .capacities
+            .get(core)
             .ok_or_else(|| sim_err!("core {core} out of range"))?;
-        if *used + bytes > self.capacity {
-            return Err(sim_err!(
-                "core {core} out of memory: {} + {} > {}",
-                *used,
-                bytes,
-                self.capacity
-            ));
+        let used = &mut self.used[core];
+        if *used + bytes > cap {
+            return Err(DeviceError::out_of_memory(core, *used + bytes, cap));
         }
         *used += bytes;
         if *used > self.peak[core] {
@@ -69,9 +79,9 @@ impl MemoryTracker {
         Ok(())
     }
 
-    /// Currently allocated bytes on a core.
+    /// Currently allocated bytes on a core (0 if out of range).
     pub fn used(&self, core: usize) -> usize {
-        self.used[core]
+        self.used.get(core).copied().unwrap_or(0)
     }
 
     /// High-water mark across all cores.
@@ -99,7 +109,15 @@ mod tests {
     fn rejects_over_capacity() {
         let mut m = MemoryTracker::new(1, 1000);
         m.allocate(0, 900).unwrap();
-        assert!(m.allocate(0, 200).is_err());
+        let err = m.allocate(0, 200).unwrap_err();
+        match err {
+            DeviceError::OutOfMemory {
+                core,
+                needed,
+                available,
+            } => assert_eq!((core, needed, available), (0, 1100, 1000)),
+            other => panic!("unexpected variant {other:?}"),
+        }
         // A failed allocation leaves state unchanged.
         assert_eq!(m.used(0), 900);
         m.allocate(0, 100).unwrap();
@@ -110,5 +128,15 @@ mod tests {
         let mut m = MemoryTracker::new(1, 100);
         assert!(m.allocate(3, 1).is_err());
         assert!(m.free(0, 1).is_err());
+    }
+
+    #[test]
+    fn per_core_capacities_bind_individually() {
+        let mut m = MemoryTracker::with_capacities(vec![1000, 500]);
+        assert_eq!(m.capacity(), 500);
+        assert_eq!(m.capacity_of(0), 1000);
+        m.allocate(0, 800).unwrap();
+        assert!(m.allocate(1, 800).is_err());
+        m.allocate(1, 400).unwrap();
     }
 }

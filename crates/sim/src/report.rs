@@ -5,6 +5,8 @@ use std::collections::BTreeMap;
 use serde::{Deserialize, Serialize};
 use t10_device::program::Phase;
 
+use crate::fault::FaultSummary;
+
 /// Per-graph-node latency attribution.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct NodeBreakdown {
@@ -73,6 +75,12 @@ pub struct RunReport {
     pub bw_core_seconds_acc: f64,
     /// Per-superstep records (populated when tracing is enabled).
     pub trace: Vec<StepTrace>,
+    /// Extra compute seconds attributable to injected core slowdowns.
+    pub fault_compute_overhead: f64,
+    /// Extra exchange seconds attributable to injected link faults.
+    pub fault_exchange_overhead: f64,
+    /// The fault plan's aggregate statistics, when one was active.
+    pub faults: Option<FaultSummary>,
 }
 
 impl RunReport {
@@ -83,6 +91,13 @@ impl RunReport {
             return 0.0;
         }
         self.bw_bytes_acc / self.bw_core_seconds_acc
+    }
+
+    /// Total extra seconds attributable to injected faults (compute and
+    /// exchange combined), i.e. how much slower the degraded chip ran than
+    /// a healthy one executing the same program.
+    pub fn fault_overhead(&self) -> f64 {
+        self.fault_compute_overhead + self.fault_exchange_overhead
     }
 
     /// Fraction of total time spent in inter-core data transfer
@@ -144,18 +159,22 @@ mod tests {
 
     #[test]
     fn bandwidth_utilization_math() {
-        let mut r = RunReport::default();
-        r.bw_bytes_acc = 1e9;
-        r.bw_core_seconds_acc = 0.5;
+        let r = RunReport {
+            bw_bytes_acc: 1e9,
+            bw_core_seconds_acc: 0.5,
+            ..RunReport::default()
+        };
         assert_eq!(r.avg_link_bandwidth(), 2e9);
         assert_eq!(RunReport::default().avg_link_bandwidth(), 0.0);
     }
 
     #[test]
     fn transfer_fraction() {
-        let mut r = RunReport::default();
-        r.total_time = 4.0;
-        r.exchange_time = 1.0;
+        let r = RunReport {
+            total_time: 4.0,
+            exchange_time: 1.0,
+            ..RunReport::default()
+        };
         assert_eq!(r.transfer_fraction(), 0.25);
     }
 }

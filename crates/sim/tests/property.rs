@@ -109,8 +109,8 @@ proptest! {
                     shadow[core] -= f;
                 }
             }
-            for c in 0..4 {
-                prop_assert_eq!(m.used(c), shadow[c]);
+            for (c, &s) in shadow.iter().enumerate() {
+                prop_assert_eq!(m.used(c), s);
                 prop_assert!(m.used(c) <= cap);
             }
         }
@@ -126,5 +126,78 @@ proptest! {
             let hit = b.get(&[g]).is_some();
             prop_assert_eq!(hit, g >= offset && g < offset + len);
         }
+    }
+
+    /// Fault injection is deterministic: the same seed and spec produce the
+    /// same plan, and two fresh simulators running the same program under
+    /// that plan produce bit-identical reports.
+    #[test]
+    fn same_fault_seed_gives_bit_identical_reports(
+        seed in 0u64..10_000,
+        steps in 1usize..6,
+        out_elems in 1u64..4096,
+        bytes in 1u64..65_536,
+    ) {
+        use t10_device::program::{ComputeSummary, ExchangeSummary, Phase, Program, SubTaskDesc, Superstep};
+        use t10_ir::OpKind;
+        use t10_sim::{FaultPlan, Simulator, SimulatorMode};
+
+        let cores = 16;
+        let spec = t10_device::ChipSpec::ipu_with_cores(cores);
+        let mut prog = Program::new();
+        for i in 0..steps {
+            let mut step = Superstep::new(Some(0), Phase::Execute);
+            step.compute_summary = Some(ComputeSummary {
+                desc: SubTaskDesc {
+                    kind: OpKind::MatMul,
+                    out_elems: out_elems + i as u64,
+                    red_elems: 32,
+                    window: 1,
+                    in_bytes: bytes,
+                    out_bytes: bytes / 2,
+                },
+                active_cores: cores,
+            });
+            step.exchange_summary = Some(ExchangeSummary {
+                total_bytes: bytes * cores as u64,
+                max_core_out: bytes,
+                max_core_in: bytes,
+                cross_chip_bytes: 0,
+                offchip_bytes: 0,
+                active_cores: cores,
+                max_core_messages: 1,
+            });
+            prog.steps.push(step);
+        }
+
+        let build = || {
+            FaultPlan::seeded(cores, seed)
+                .degrade_links(0.3, 0.5)
+                .lose_links(0.1)
+                .slow_cores(0.2, 2.0)
+                .shrink_sram(seed as usize % cores, 0.75)
+        };
+        prop_assert_eq!(build(), build());
+
+        let run = || {
+            let mut sim = Simulator::new(spec.clone(), SimulatorMode::Timing)
+                .with_fault_plan(build())
+                .unwrap();
+            sim.run(&prog).unwrap()
+        };
+        let (a, b) = (run(), run());
+        prop_assert_eq!(a.total_time.to_bits(), b.total_time.to_bits());
+        prop_assert_eq!(a.compute_time.to_bits(), b.compute_time.to_bits());
+        prop_assert_eq!(a.exchange_time.to_bits(), b.exchange_time.to_bits());
+        prop_assert_eq!(
+            a.fault_compute_overhead.to_bits(),
+            b.fault_compute_overhead.to_bits()
+        );
+        prop_assert_eq!(
+            a.fault_exchange_overhead.to_bits(),
+            b.fault_exchange_overhead.to_bits()
+        );
+        prop_assert_eq!(a.total_shift_bytes, b.total_shift_bytes);
+        prop_assert_eq!(a.faults, b.faults);
     }
 }

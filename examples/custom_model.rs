@@ -63,10 +63,7 @@ fn main() {
     for level in 0..plan.rotations.len() {
         print!("{}", viz::rotation_schedule(op, plan, level));
     }
-    println!(
-        "\nPareto frontier of `{}`:",
-        graph.node(heaviest).name
-    );
+    println!("\nPareto frontier of `{}`:", graph.node(heaviest).name);
     print!(
         "{}",
         viz::pareto_scatter(&compiled.node_pareto[heaviest], 48, 12)

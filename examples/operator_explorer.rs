@@ -35,7 +35,10 @@ fn main() {
         stats.complete_space, stats.filtered_space, stats.optimized_space
     );
     println!("\nPareto frontier (memory ascending):");
-    println!("{:>10}  {:>12}  {:>9}  {:<18} plan", "mem/core", "exec (us)", "setup(us)", "F_op");
+    println!(
+        "{:>10}  {:>12}  {:>9}  {:<18} plan",
+        "mem/core", "exec (us)", "setup(us)", "F_op"
+    );
     for sp in pareto.plans() {
         let rots: Vec<String> = sp
             .plan

@@ -1,0 +1,145 @@
+//! Offline minimal stand-in for `rand`.
+//!
+//! The workspace only ever seeds an [`rngs::StdRng`] from a `u64` and draws
+//! uniform integers from half-open or inclusive ranges, so this shim provides
+//! exactly that surface over a SplitMix64 generator. It is deterministic by
+//! construction (every RNG in the workspace is explicitly seeded), which the
+//! reproducibility tests rely on.
+
+/// Low-level source of pseudo-random `u64`s.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng::seed_from_u64`.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// SplitMix64 generator: tiny, fast, and statistically adequate for the
+    /// calibration sampling and search-space mutation done in this workspace.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Integer types the uniform sampler understands (a stand-in for
+/// `rand::distr::uniform::SampleUniform`).
+pub trait SampleUniform: Copy + PartialOrd {
+    fn to_u128(self) -> u128;
+    fn from_u128(v: u128) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn to_u128(self) -> u128 {
+                self as u128
+            }
+            fn from_u128(v: u128) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize);
+
+// Signed integers map through an order-preserving bias into u128.
+macro_rules! impl_sample_uniform_signed {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn to_u128(self) -> u128 {
+                (self as i128 as u128) ^ (1 << 127)
+            }
+            fn from_u128(v: u128) -> Self {
+                (v ^ (1 << 127)) as i128 as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_signed!(i8, i16, i32, i64, isize);
+
+/// A range that can be sampled uniformly, mirroring `rand::distr::uniform`.
+///
+/// These are blanket impls over [`SampleUniform`] (as in real rand) so that
+/// unsuffixed integer literals in ranges unify with the surrounding
+/// expression's type instead of falling back to `i32`.
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (self.start.to_u128(), self.end.to_u128());
+        assert!(lo < hi, "empty range in random_range");
+        T::from_u128(lo + (rng.next_u64() as u128) % (hi - lo))
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (self.start().to_u128(), self.end().to_u128());
+        assert!(lo <= hi, "empty range in random_range");
+        T::from_u128(lo + (rng.next_u64() as u128) % (hi - lo + 1))
+    }
+}
+
+/// Convenience sampling methods, mirroring `rand::Rng` / `RngExt`.
+pub trait RngExt: RngCore {
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn seeded_sequences_are_reproducible() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(
+                a.random_range(0usize..1_000_000),
+                b.random_range(0usize..1_000_000)
+            );
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.random_range(10u64..20);
+            assert!((10..20).contains(&x));
+            let y = rng.random_range(3usize..=5);
+            assert!((3..=5).contains(&y));
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no crates.io access, and the workspace only uses
+//! serde's derives as inert annotations (nothing is ever serialized). These
+//! derives accept the `#[serde(...)]` helper attribute and expand to nothing;
+//! the matching marker traits live in the sibling `serde` shim.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

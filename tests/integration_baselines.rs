@@ -1,8 +1,8 @@
 //! T10 vs the VGM baselines: the paper's qualitative claims must hold on
 //! the simulated hardware.
 
-use t10_baselines::{compile_graph_popart, compile_graph_roller};
 use t10_baselines::vgm::vgm_bytes_per_core;
+use t10_baselines::{compile_graph_popart, compile_graph_roller};
 use t10_core::compiler::Compiler;
 use t10_core::search::SearchConfig;
 use t10_device::ChipSpec;
@@ -43,10 +43,7 @@ fn t10_beats_roller_end_to_end() {
     let roller = compile_graph_roller(&g, &spec).unwrap();
     let t_t10 = run(&spec, &t10.program).total_time;
     let t_roller = run(&spec, &roller.program).total_time;
-    assert!(
-        t_t10 < t_roller,
-        "t10 = {t_t10}, roller = {t_roller}"
-    );
+    assert!(t_t10 < t_roller, "t10 = {t_t10}, roller = {t_roller}");
 }
 
 /// §6.2/Figure 13: T10's transfer fraction is lower than Roller's.
@@ -59,10 +56,7 @@ fn t10_reduces_transfer_fraction() {
     let roller = compile_graph_roller(&g, &spec).unwrap();
     let f_t10 = run(&spec, &t10.program).transfer_fraction();
     let f_roller = run(&spec, &roller.program).transfer_fraction();
-    assert!(
-        f_t10 < f_roller,
-        "t10 = {f_t10:.2}, roller = {f_roller:.2}"
-    );
+    assert!(f_t10 < f_roller, "t10 = {f_t10:.2}, roller = {f_roller:.2}");
 }
 
 /// Figure 2 (b): removing the VGM frees per-core memory for sub-operators.
@@ -76,7 +70,11 @@ fn vgm_duplicates_memory() {
     // needs for the same operator.
     let compiler = Compiler::new(spec, SearchConfig::fast());
     let t10 = compiler.compile_graph(&g).unwrap();
-    let t10_active: usize = t10.reconciled.choices.iter().enumerate()
+    let t10_active: usize = t10
+        .reconciled
+        .choices
+        .iter()
+        .enumerate()
         .map(|(i, c)| t10.node_pareto[i].plans()[c.active].cost.mem_per_core)
         .max()
         .unwrap();

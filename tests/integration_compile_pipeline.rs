@@ -105,8 +105,10 @@ fn peak_memory_respects_scratchpad() {
     let cap = spec.sram_per_core - spec.shift_buffer;
     for (i, choice) in out.reconciled.choices.iter().enumerate() {
         let active = &out.node_pareto[i].plans()[choice.active];
-        assert!(active.cost.mem_per_core + out.reconciled.idle_mem
-            <= cap + active.plan.input_bytes_per_core() + choice.idle_bytes + cap);
+        assert!(
+            active.cost.mem_per_core + out.reconciled.idle_mem
+                <= cap + active.plan.input_bytes_per_core() + choice.idle_bytes + cap
+        );
         assert!(active.cost.mem_per_core <= cap);
     }
 }

@@ -23,8 +23,7 @@ fn run_functional(op: &Operator, plan: &t10_core::Plan, inputs: &[Tensor]) -> Op
         }
     }
     sim.run_loaded(&f.program).ok()?;
-    sim.extract(&f.output_buffers, &op.expr.output_shape())
-        .ok()
+    sim.extract(&f.output_buffers, &op.expr.output_shape()).ok()
 }
 
 /// Every Pareto-optimal plan the search returns for a divisible matmul must

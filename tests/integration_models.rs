@@ -38,16 +38,21 @@ fn tiny_retention_layer_reference_executes() {
     let g = decoder_layers("tiny-ret", cfg, 1, 2).unwrap();
     let vals = reference::execute_graph(&g, &[]).unwrap();
     let out = g.values().len() - 1;
-    assert!(vals[out].as_ref().unwrap().data().iter().all(|v| v.is_finite()));
+    assert!(vals[out]
+        .as_ref()
+        .unwrap()
+        .data()
+        .iter()
+        .all(|v| v.is_finite()));
 }
 
 /// All Table 2 models compile with T10 on a full MK2... is covered by the
 /// fig12 bench; here a scaled-down encoder compiles on a small chip.
 #[test]
 fn small_encoder_compiles_end_to_end() {
+    use t10_ir::{DType, Graph, ValueKind};
     use t10_models::common::Builder;
     use t10_models::transformer::{encoder_layer, EncoderCfg};
-    use t10_ir::{DType, Graph, ValueKind};
     let cfg = EncoderCfg {
         layers: 2,
         d: 64,
