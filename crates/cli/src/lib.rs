@@ -6,12 +6,13 @@ use std::time::Duration;
 use t10_bench::harness::{bench_search_config, Platform};
 use t10_bench::table::{fmt_bytes, fmt_time};
 use t10_bench::Table;
+use t10_core::recovery::{RecoveryController, RecoveryPolicy, RecoveryUnit};
 use t10_core::search::{search_operator, SearchConfig};
-use t10_core::{viz, CompileError, CompileOptions};
+use t10_core::{viz, CompileError, CompileOptions, Compiler};
 use t10_device::ChipSpec;
 use t10_ir::Graph;
 use t10_models::{all_models, textfmt};
-use t10_sim::{FaultPlan, Simulator, SimulatorMode};
+use t10_sim::{FaultPlan, FaultTimeline, Simulator, SimulatorMode};
 
 /// Usage text shown on parse errors.
 pub const USAGE: &str = "\
@@ -19,6 +20,9 @@ usage:
   t10 zoo
   t10 compile <model|file.t10> [--batch N] [--cores N] [--fuse]
               [--faults SPEC] [--deadline-ms N]
+  t10 run     <model|file.t10> [--batch N] [--cores N] [--fuse]
+              [--faults SPEC] [--fault-timeline SPEC]
+              [--checkpoint-every N] [--max-retries K]
   t10 bench   <model|file.t10> [--batch N] [--cores N]
   t10 explore <M> <K> <N> [--cores N]
 
@@ -26,8 +30,15 @@ fault spec: comma-separated entries, e.g. seed=7,degrade=0.1@0.5,shrink=3@0.5
   seed=N  degrade=FRAC@MULT  lose=FRAC  slow=FRAC@MULT
   link=CORE@MULT  core=CORE@MULT  shrink=CORE@FRAC
 
+fault timeline: events fired at superstep boundaries during `t10 run`, e.g.
+  seed=7,drop=3@1,down=8@2,random=4@32
+  drop=STEP@CORE (transient link)  stall=STEP@CORE (transient core)
+  down=STEP@CORE (link dies)       kill=STEP@CORE (core dies)
+  degrade=STEP@CORE@MULT  slow=STEP@CORE@MULT  random=COUNT@MAXSTEP
+
 exit codes: 1 generic, 2 usage, 3 infeasible plan, 4 out of memory,
-  5 deadline exceeded, 6 worker panicked, 7 device/IR fault";
+  5 deadline exceeded, 6 worker panicked, 7 device/IR fault,
+  8 run completed after recovering from mid-run faults, 9 unrecoverable";
 
 /// A CLI failure: a message plus the process exit code to report.
 ///
@@ -74,6 +85,7 @@ pub fn compile_exit_code(e: &CompileError) -> i32 {
         CompileError::DeadlineExceeded { .. } => 5,
         CompileError::WorkerPanicked { .. } => 6,
         CompileError::Device(_) | CompileError::Ir(_) => 7,
+        CompileError::Unrecoverable { .. } => 9,
         CompileError::Internal { .. } => 1,
     }
 }
@@ -97,6 +109,26 @@ pub enum Cli {
         faults: Option<String>,
         /// Compile deadline in milliseconds (anytime search), if any.
         deadline_ms: Option<u64>,
+    },
+    /// Compile one model, then execute it under a mid-run fault timeline
+    /// with checkpoint-based recovery.
+    Run {
+        /// Zoo model name or `.t10` file path.
+        target: String,
+        /// Batch size.
+        batch: usize,
+        /// Core count.
+        cores: usize,
+        /// Apply the unary-fusion pass first.
+        fuse: bool,
+        /// Static fault specification (see [`FaultPlan::parse`]), if any.
+        faults: Option<String>,
+        /// Mid-run fault timeline (see [`FaultTimeline::parse`]), if any.
+        fault_timeline: Option<String>,
+        /// Checkpoint interval in supersteps (0 = policy default).
+        checkpoint_every: Option<usize>,
+        /// Recovery budget: retries + re-plans before giving up.
+        max_retries: Option<usize>,
     },
     /// Compare T10 against the VGM baselines.
     Bench {
@@ -129,6 +161,9 @@ impl Cli {
         let mut fuse = false;
         let mut faults: Option<String> = None;
         let mut deadline_ms: Option<u64> = None;
+        let mut fault_timeline: Option<String> = None;
+        let mut checkpoint_every: Option<usize> = None;
+        let mut max_retries: Option<usize> = None;
         let mut it = args.iter();
         while let Some(a) = it.next() {
             match a.as_str() {
@@ -158,14 +193,45 @@ impl Cli {
                             .map_err(|_| "bad --deadline-ms value")?,
                     );
                 }
+                "--fault-timeline" => {
+                    fault_timeline =
+                        Some(it.next().ok_or("--fault-timeline needs a value")?.clone());
+                }
+                "--checkpoint-every" => {
+                    checkpoint_every = Some(
+                        it.next()
+                            .ok_or("--checkpoint-every needs a value")?
+                            .parse()
+                            .map_err(|_| "bad --checkpoint-every value")?,
+                    );
+                }
+                "--max-retries" => {
+                    max_retries = Some(
+                        it.next()
+                            .ok_or("--max-retries needs a value")?
+                            .parse()
+                            .map_err(|_| "bad --max-retries value")?,
+                    );
+                }
                 flag if flag.starts_with("--") => {
                     return Err(format!("unknown flag {flag}"));
                 }
                 p => pos.push(p),
             }
         }
-        if (faults.is_some() || deadline_ms.is_some()) && pos.first() != Some(&"compile") {
-            return Err("--faults and --deadline-ms only apply to `compile`".into());
+        let sub = pos.first().copied();
+        if faults.is_some() && sub != Some("compile") && sub != Some("run") {
+            return Err("--faults only applies to `compile` and `run`".into());
+        }
+        if deadline_ms.is_some() && sub != Some("compile") {
+            return Err("--deadline-ms only applies to `compile`".into());
+        }
+        if (fault_timeline.is_some() || checkpoint_every.is_some() || max_retries.is_some())
+            && sub != Some("run")
+        {
+            return Err(
+                "--fault-timeline, --checkpoint-every and --max-retries only apply to `run`".into(),
+            );
         }
         match pos.as_slice() {
             ["zoo"] => Ok(Cli::Zoo),
@@ -176,6 +242,16 @@ impl Cli {
                 fuse,
                 faults,
                 deadline_ms,
+            }),
+            ["run", target] => Ok(Cli::Run {
+                target: target.to_string(),
+                batch,
+                cores,
+                fuse,
+                faults,
+                fault_timeline,
+                checkpoint_every,
+                max_retries,
             }),
             ["bench", target] => Ok(Cli::Bench {
                 target: target.to_string(),
@@ -219,8 +295,12 @@ fn chip(cores: usize) -> ChipSpec {
     }
 }
 
-/// Executes a parsed command.
-pub fn run(cli: &Cli) -> Result<(), CliError> {
+/// Executes a parsed command, returning the process exit code on success.
+///
+/// Most commands return 0. `t10 run` returns 8 when the run completed but
+/// needed at least one recovery (retry or re-plan) along the way, so scripts
+/// can distinguish "clean" from "healed" without parsing stdout.
+pub fn run(cli: &Cli) -> Result<i32, CliError> {
     match cli {
         Cli::Zoo => {
             let mut t = Table::new(vec!["name", "description", "params"]);
@@ -235,7 +315,7 @@ pub fn run(cli: &Cli) -> Result<(), CliError> {
                 ]);
             }
             t.print();
-            Ok(())
+            Ok(0)
         }
         Cli::Compile {
             target,
@@ -259,6 +339,7 @@ pub fn run(cli: &Cli) -> Result<(), CliError> {
             let opts = CompileOptions {
                 deadline: deadline_ms.map(Duration::from_millis),
                 faults: fault_plan.clone(),
+                warm_start: None,
             };
             let platform = Platform::new(spec.clone());
             let compiled = platform
@@ -296,7 +377,105 @@ pub fn run(cli: &Cli) -> Result<(), CliError> {
                     fmt_time(r.fault_exchange_overhead),
                 );
             }
-            Ok(())
+            Ok(0)
+        }
+        Cli::Run {
+            target,
+            batch,
+            cores,
+            fuse,
+            faults,
+            fault_timeline,
+            checkpoint_every,
+            max_retries,
+        } => {
+            let mut g = resolve_model(target, *batch)?;
+            if *fuse {
+                g = t10_ir::transform::fuse_unary(&g).map_err(|e| e.to_string())?;
+            }
+            let spec = chip(*cores);
+            let fault_plan = match faults {
+                Some(s) => FaultPlan::parse(s, spec.num_cores).map_err(CliError::usage)?,
+                None => FaultPlan::new(spec.num_cores),
+            };
+            let timeline = match fault_timeline {
+                Some(s) => Some(FaultTimeline::parse(s, spec.num_cores).map_err(CliError::usage)?),
+                None => None,
+            };
+            let mut policy = RecoveryPolicy::default();
+            if let Some(n) = checkpoint_every {
+                policy.checkpoint_every = (*n).max(1);
+            }
+            if let Some(k) = max_retries {
+                policy.max_retries = *k;
+            }
+            let controller = RecoveryController::new(SimulatorMode::Timing, policy);
+            let graph = g.clone();
+            let cfg = bench_search_config();
+            let recovered =
+                controller.execute(&spec, fault_plan, timeline, 0, &[], |spec, faults, warm| {
+                    let opts = CompileOptions {
+                        deadline: None,
+                        faults: Some(faults.clone()),
+                        warm_start: warm.map(<[_]>::to_vec),
+                    };
+                    let compiled = Compiler::new(spec.clone(), cfg.clone())
+                        .compile_graph_with(&graph, &opts)?;
+                    Ok(RecoveryUnit {
+                        program: compiled.program,
+                        pareto: compiled.node_pareto,
+                        input_buffers: vec![],
+                        output_buffers: vec![],
+                    })
+                })?;
+            let r = &recovered.report;
+            println!(
+                "{}: latency {} over {} supersteps ({:.0}% transfer, peak {}/core)",
+                g.name(),
+                fmt_time(r.total_time),
+                r.steps,
+                r.transfer_fraction() * 100.0,
+                fmt_bytes(r.peak_core_bytes),
+            );
+            println!(
+                "checkpoints: {} taken ({} staged, {} staging/core, {} overhead)",
+                r.checkpoints_taken,
+                fmt_bytes(r.checkpoint_bytes as usize),
+                fmt_bytes(r.checkpoint_staging_bytes),
+                fmt_time(r.checkpoint_time),
+            );
+            let healed = match &r.recovery {
+                Some(rec) if rec.recoveries() > 0 => {
+                    println!(
+                        "recovery: {} transient retr{}, {} re-plan(s), {} superstep(s) lost, \
+                         {} migrated, {} backoff",
+                        rec.transient_retries,
+                        if rec.transient_retries == 1 {
+                            "y"
+                        } else {
+                            "ies"
+                        },
+                        rec.recompiles,
+                        rec.supersteps_lost,
+                        fmt_bytes(rec.migrated_bytes as usize),
+                        fmt_time(rec.backoff_time),
+                    );
+                    for ev in &rec.events {
+                        println!("  healed: {ev}");
+                    }
+                    true
+                }
+                _ => {
+                    if r.timeline_events > 0 {
+                        println!(
+                            "absorbed {} non-fatal timeline event(s) without replay",
+                            r.timeline_events
+                        );
+                    }
+                    false
+                }
+            };
+            Ok(if healed { 8 } else { 0 })
         }
         Cli::Bench {
             target,
@@ -325,7 +504,7 @@ pub fn run(cli: &Cli) -> Result<(), CliError> {
                 ]);
             }
             t.print();
-            Ok(())
+            Ok(0)
         }
         Cli::Explore { m, k, n, cores } => {
             let platform = Platform::new(chip(*cores));
@@ -347,7 +526,7 @@ pub fn run(cli: &Cli) -> Result<(), CliError> {
                     print!("{}", viz::rotation_schedule(&op, &lean.plan, level));
                 }
             }
-            Ok(())
+            Ok(0)
         }
     }
 }
@@ -415,6 +594,44 @@ mod tests {
     }
 
     #[test]
+    fn parses_run_with_recovery_flags() {
+        let c = Cli::parse(&s(&[
+            "run",
+            "ResNet",
+            "--cores",
+            "16",
+            "--faults",
+            "seed=3",
+            "--fault-timeline",
+            "seed=7,drop=2@1",
+            "--checkpoint-every",
+            "2",
+            "--max-retries",
+            "5",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Cli::Run {
+                target: "ResNet".to_string(),
+                batch: 1,
+                cores: 16,
+                fuse: false,
+                faults: Some("seed=3".to_string()),
+                fault_timeline: Some("seed=7,drop=2@1".to_string()),
+                checkpoint_every: Some(2),
+                max_retries: Some(5),
+            }
+        );
+        // Timeline flags only make sense for `run`.
+        assert!(Cli::parse(&s(&["compile", "x", "--fault-timeline", "drop=1@0"])).is_err());
+        assert!(Cli::parse(&s(&["bench", "x", "--checkpoint-every", "4"])).is_err());
+        assert!(Cli::parse(&s(&["zoo", "--max-retries", "2"])).is_err());
+        assert!(Cli::parse(&s(&["run", "x", "--deadline-ms", "50"])).is_err());
+        assert!(Cli::parse(&s(&["run", "x", "--checkpoint-every", "soon"])).is_err());
+    }
+
+    #[test]
     fn compile_errors_map_to_distinct_exit_codes() {
         use t10_device::iface::DeviceError;
         let cases = [
@@ -423,6 +640,7 @@ mod tests {
             (CompileError::deadline(50, "x"), 5),
             (CompileError::worker_panicked("x"), 6),
             (CompileError::from(DeviceError::fault("link dark")), 7),
+            (CompileError::unrecoverable("budget spent"), 9),
             (CompileError::internal("x"), 1),
         ];
         let mut seen = std::collections::HashSet::new();
@@ -430,7 +648,8 @@ mod tests {
             assert_eq!(compile_exit_code(&e), want, "{e}");
             seen.insert(want);
         }
-        assert_eq!(seen.len(), 6); // codes 1 and 3..=7; 2 is reserved for usage
+        // Codes 1, 3..=7 and 9; 2 is reserved for usage, 8 for healed runs.
+        assert_eq!(seen.len(), 7);
         let cli: CliError = CompileError::deadline(10, "late").into();
         assert_eq!(cli.code, 5);
         let usage = CliError::usage("bad spec");
@@ -529,5 +748,83 @@ mod tests {
             deadline_ms: Some(10_000),
         })
         .unwrap();
+    }
+
+    fn write_run_model() -> String {
+        let dir = std::env::temp_dir().join("t10_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("recover.t10");
+        std::fs::write(
+            &path,
+            "model cli-run-test\ninput x 64 64\nlinear a x 64 relu\nlinear b a 64\noutput b\n",
+        )
+        .unwrap();
+        path.to_string_lossy().to_string()
+    }
+
+    #[test]
+    fn run_command_without_faults_exits_clean() {
+        let code = run(&Cli::Run {
+            target: write_run_model(),
+            batch: 1,
+            cores: 16,
+            fuse: false,
+            faults: None,
+            fault_timeline: None,
+            checkpoint_every: Some(2),
+            max_retries: None,
+        })
+        .unwrap();
+        assert_eq!(code, 0);
+    }
+
+    #[test]
+    fn run_command_heals_a_mid_run_link_loss_and_exits_8() {
+        let code = run(&Cli::Run {
+            target: write_run_model(),
+            batch: 1,
+            cores: 16,
+            fuse: false,
+            faults: None,
+            fault_timeline: Some("down=1@2".to_string()),
+            checkpoint_every: Some(1),
+            max_retries: Some(3),
+        })
+        .unwrap();
+        assert_eq!(code, 8);
+    }
+
+    #[test]
+    fn run_command_with_exhausted_budget_is_unrecoverable() {
+        let err = run(&Cli::Run {
+            target: write_run_model(),
+            batch: 1,
+            cores: 16,
+            fuse: false,
+            faults: None,
+            fault_timeline: Some("drop=1@2".to_string()),
+            checkpoint_every: Some(1),
+            max_retries: Some(0),
+        })
+        .unwrap_err();
+        assert_eq!(err.code, 9);
+        assert!(err.message.contains("unrecoverable"));
+    }
+
+    #[test]
+    fn bad_timeline_spec_is_a_usage_error() {
+        let err = run(&Cli::Run {
+            target: write_run_model(),
+            batch: 1,
+            cores: 16,
+            fuse: false,
+            faults: None,
+            fault_timeline: Some("frob=1@2".to_string()),
+            checkpoint_every: None,
+            max_retries: None,
+        })
+        .unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("fault timeline"));
     }
 }

@@ -3,15 +3,17 @@
 //! ```text
 //! t10 zoo                               list the built-in models
 //! t10 compile <model|file.t10> [opts]   compile and simulate with T10
+//! t10 run     <model|file.t10> [opts]   execute under a mid-run fault timeline
 //! t10 bench   <model|file.t10> [opts]   compare T10 / Roller / Ansor / PopART
 //! t10 explore <M> <K> <N> [opts]        Pareto frontier of one MatMul
 //!
 //! options: --batch N (default 1)  --cores N (default 1472)  --fuse
-//!          --faults SPEC  --deadline-ms N
+//!          --faults SPEC  --deadline-ms N  --fault-timeline SPEC
+//!          --checkpoint-every N  --max-retries K
 //!
 //! Exit codes distinguish failure classes: 1 generic, 2 usage, 3 infeasible
 //! plan, 4 out of memory, 5 deadline exceeded, 6 worker panicked,
-//! 7 device/IR fault.
+//! 7 device/IR fault, 8 run recovered from mid-run faults, 9 unrecoverable.
 //! ```
 
 use t10_cli::{run, Cli};
@@ -26,8 +28,12 @@ fn main() {
             std::process::exit(2);
         }
     };
-    if let Err(e) = run(&cli) {
-        eprintln!("error: {}", e.message);
-        std::process::exit(e.code);
+    match run(&cli) {
+        Ok(0) => {}
+        Ok(code) => std::process::exit(code),
+        Err(e) => {
+            eprintln!("error: {}", e.message);
+            std::process::exit(e.code);
+        }
     }
 }

@@ -37,6 +37,12 @@ pub struct CompileOptions {
     /// fit the most constrained core); link and compute faults don't change
     /// plan feasibility, only simulated timing.
     pub faults: Option<FaultPlan>,
+    /// Per-node Pareto frontiers from a previous compile of the same graph
+    /// (index = node id). Plans that remain feasible on the current target
+    /// are reused directly instead of searching from scratch — the fast
+    /// path when recompiling mid-run for a degraded chip, where the graph
+    /// is unchanged and only the capacity/core count moved.
+    pub warm_start: Option<Vec<ParetoSet>>,
 }
 
 impl CompileOptions {
@@ -133,9 +139,41 @@ impl Compiler {
         opts: &CompileOptions,
     ) -> Result<(ParetoSet, SearchStats)> {
         let base = self.base_config(opts, Instant::now())?;
+        if let Some(warm) = self.warm_plans(opts, node, &base) {
+            return Ok((warm, SearchStats::default()));
+        }
         let op = &graph.node(node).op;
         let (dtypes, out_dtype) = node_dtypes(graph, op);
         self.search_with_fallback(op, &dtypes, out_dtype, &base)
+    }
+
+    /// The still-feasible subset of a warm-start frontier for `node`, or
+    /// `None` when no warm plans survive (fall through to a full search).
+    ///
+    /// Feasibility on the new target is a per-plan filter: the plan must
+    /// fit the (possibly shrunken) per-core capacity and not use more cores
+    /// than survive. Link and compute faults don't invalidate plans — they
+    /// only change timing — so after a pure link loss the entire previous
+    /// frontier carries over.
+    fn warm_plans(
+        &self,
+        opts: &CompileOptions,
+        node: NodeId,
+        cfg: &SearchConfig,
+    ) -> Option<ParetoSet> {
+        let frontier = opts.warm_start.as_ref()?.get(node)?;
+        let capacity = self.effective_capacity(cfg);
+        let mut kept = ParetoSet::default();
+        for sp in frontier.plans() {
+            if sp.cost.mem_per_core <= capacity && sp.plan.cores_used <= self.spec.num_cores {
+                kept.insert(sp.clone());
+            }
+        }
+        if kept.is_empty() {
+            None
+        } else {
+            Some(kept)
+        }
     }
 
     /// Compiles a whole graph into a timing program.
@@ -225,7 +263,12 @@ impl Compiler {
         let mut cache: HashMap<String, (ParetoSet, SearchStats)> = HashMap::new();
         let mut node_pareto = Vec::with_capacity(graph.nodes().len());
         let mut node_stats = Vec::with_capacity(graph.nodes().len());
-        for node in graph.nodes() {
+        for (i, node) in graph.nodes().iter().enumerate() {
+            if let Some(warm) = self.warm_plans(opts, i, &base_cfg) {
+                node_pareto.push(warm);
+                node_stats.push(SearchStats::default());
+                continue;
+            }
             let (dtypes, out_dtype) = node_dtypes(graph, &node.op);
             let key = op_cache_key(&node.op, &dtypes, out_dtype);
             let entry = match cache.get(&key) {

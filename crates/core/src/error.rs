@@ -28,6 +28,9 @@ pub enum CompileError {
     DeadlineExceeded { budget_ms: u64, detail: String },
     /// A search worker thread panicked; the panic payload is preserved.
     WorkerPanicked { detail: String },
+    /// Runtime recovery was exhausted: the retry budget ran out, or the
+    /// surviving machine cannot execute the program at all.
+    Unrecoverable { detail: String },
     /// The device layer rejected an operation.
     Device(DeviceError),
     /// The IR layer rejected the graph or expression.
@@ -74,6 +77,13 @@ impl CompileError {
         }
     }
 
+    /// Creates an unrecoverable-run error.
+    pub fn unrecoverable(detail: impl Into<String>) -> Self {
+        Self::Unrecoverable {
+            detail: detail.into(),
+        }
+    }
+
     /// Creates an internal-invariant error.
     pub fn internal(detail: impl Into<String>) -> Self {
         Self::Internal {
@@ -104,6 +114,9 @@ impl CompileError {
             }
             Self::WorkerPanicked { detail } => {
                 format!("search worker panicked: {detail}")
+            }
+            Self::Unrecoverable { detail } => {
+                format!("unrecoverable: {detail}")
             }
             Self::Device(e) => e.message(),
             Self::Ir(e) => e.message().to_string(),

@@ -53,6 +53,7 @@ pub mod lower;
 pub mod placement;
 pub mod plan;
 pub mod reconcile;
+pub mod recovery;
 pub mod rtensor;
 pub mod search;
 pub mod viz;
@@ -61,6 +62,7 @@ pub use compiler::{CompileOptions, CompiledGraph, Compiler};
 pub use cost::CostModel;
 pub use error::CompileError;
 pub use plan::{Plan, PlanConfig, TemporalChoice};
+pub use recovery::{MigrationMap, Recovered, RecoveryController, RecoveryPolicy, RecoveryUnit};
 pub use search::{ParetoSet, SearchConfig, SearchStats};
 
 /// Result alias used throughout the compiler.

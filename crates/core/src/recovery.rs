@@ -1,0 +1,402 @@
+//! Self-healing execution: retry, re-plan, migrate, resume.
+//!
+//! The [`RecoveryController`] supervises a program running on the simulator
+//! under a [`FaultTimeline`]. Failures surface at BSP barriers as typed
+//! [`DeviceError::RuntimeFault`]s, and the controller's response depends on
+//! the fault class:
+//!
+//! * **transient** — the machine is fine, the superstep wasn't. Roll back
+//!   to the last checkpoint, wait out a capped exponential backoff, and
+//!   replay. Replayed supersteps recompute the same f32 values on the same
+//!   state, so the run stays numerically identical to a healthy one.
+//! * **persistent** (link death, core death) — the compiled plan no longer
+//!   matches the machine. Derive the surviving [`ChipSpec`]/[`FaultPlan`],
+//!   recompile through the fallback chain — warm-starting from the prior
+//!   Pareto frontier, since link faults don't change plan feasibility —
+//!   salvage the distributed *input* state from the last checkpoint
+//!   (rotation is a permutation, so the full global input reconstructs at
+//!   any barrier), compute the sub-tensor migration map from the old
+//!   placement to the new, and restart the operator on the surviving chip.
+//!   Output partial sums are tied to the dead placement and are discarded;
+//!   the supersteps they took are counted as lost.
+//!
+//! Everything the run survived is folded into a
+//! [`RecoveryReport`](t10_sim::RecoveryReport) inside the final
+//! [`RunReport`].
+
+use std::collections::BTreeMap;
+
+use t10_device::program::{BufferId, Program};
+use t10_device::ChipSpec;
+use t10_ir::Tensor;
+use t10_sim::timeline::FaultEventKind;
+use t10_sim::{
+    FaultPlan, FaultTimeline, LinkFault, RecoveryReport, RunReport, Simulator, SimulatorMode,
+};
+
+use crate::search::ParetoSet;
+use crate::{CompileError, Result};
+
+/// Knobs governing how hard the controller tries before giving up.
+#[derive(Debug, Clone)]
+pub struct RecoveryPolicy {
+    /// Total recovery events (retries + recompiles) allowed before the run
+    /// is declared unrecoverable.
+    pub max_retries: usize,
+    /// Checkpoint interval in supersteps (minimum 1: a baseline checkpoint
+    /// is always taken right after inputs are bound).
+    pub checkpoint_every: usize,
+    /// First-retry backoff in seconds; doubles per consecutive retry.
+    pub backoff_base: f64,
+    /// Backoff ceiling in seconds.
+    pub backoff_cap: f64,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            checkpoint_every: 4,
+            backoff_base: 1e-3,
+            backoff_cap: 8e-3,
+        }
+    }
+}
+
+/// One compiled, runnable unit: the program plus the metadata recovery
+/// needs — the Pareto frontiers to warm-start a recompile from, and the
+/// buffer lists to salvage inputs and read outputs.
+///
+/// Produced by the `recompile` closure passed to
+/// [`RecoveryController::execute`]; for functional execution the buffer
+/// lists come from `lower_functional`, for timing execution they may be
+/// empty.
+pub struct RecoveryUnit {
+    /// The device program to execute.
+    pub program: Program,
+    /// Per-node Pareto frontiers the program was chosen from (warm-start
+    /// input for the next recompile).
+    pub pareto: Vec<ParetoSet>,
+    /// Per input slot, the buffers holding its distributed pieces.
+    pub input_buffers: Vec<Vec<BufferId>>,
+    /// Buffers holding final output values.
+    pub output_buffers: Vec<BufferId>,
+}
+
+/// Where live sub-tensor state must move when a re-plan changes placement:
+/// bytes per (old core → new core) pair, at element granularity.
+#[derive(Debug, Clone, Default)]
+pub struct MigrationMap {
+    /// Bytes to move per (source core, destination core) pair. Elements
+    /// whose owner did not change are not listed.
+    pub moves: BTreeMap<(usize, usize), u64>,
+    /// Total bytes crossing cores.
+    pub total_bytes: u64,
+}
+
+impl MigrationMap {
+    /// Element-wise owner diff between two placements of the same input
+    /// tensors. An element owned by the same core in both placements stays
+    /// put; everything else is charged as a move.
+    pub fn between(
+        old_prog: &Program,
+        old_inputs: &[Vec<BufferId>],
+        new_prog: &Program,
+        new_inputs: &[Vec<BufferId>],
+    ) -> Self {
+        let mut map = Self::default();
+        for (slot, old_ids) in old_inputs.iter().enumerate() {
+            let Some(new_ids) = new_inputs.get(slot) else {
+                continue;
+            };
+            let old_owners = owners(old_prog, old_ids);
+            let new_owners = owners(new_prog, new_ids);
+            for (coord, (old_core, bytes)) in &old_owners {
+                if let Some(&(new_core, _)) = new_owners.get(coord) {
+                    if new_core != *old_core {
+                        *map.moves.entry((*old_core, new_core)).or_insert(0) += *bytes;
+                        map.total_bytes += *bytes;
+                    }
+                }
+            }
+        }
+        map
+    }
+}
+
+/// First-owner core and per-element bytes for every coordinate a buffer set
+/// covers (replicas resolve to the lowest buffer id, matching extract's
+/// "replicas must agree" rule).
+fn owners(prog: &Program, ids: &[BufferId]) -> BTreeMap<Vec<usize>, (usize, u64)> {
+    let mut map = BTreeMap::new();
+    for &id in ids {
+        let Some(decl) = prog.buffers.get(id) else {
+            continue;
+        };
+        let elems: usize = decl.coords.iter().map(Vec::len).product();
+        if elems == 0 {
+            continue;
+        }
+        let elem_bytes = (decl.bytes / elems).max(1) as u64;
+        let lens: Vec<usize> = decl.coords.iter().map(Vec::len).collect();
+        let mut pos = vec![0usize; lens.len()];
+        loop {
+            let coord: Vec<usize> = pos
+                .iter()
+                .enumerate()
+                .map(|(d, &p)| decl.coords[d][p])
+                .collect();
+            map.entry(coord).or_insert((decl.core, elem_bytes));
+            let mut done = true;
+            for d in (0..pos.len()).rev() {
+                pos[d] += 1;
+                if pos[d] < lens[d] {
+                    done = false;
+                    break;
+                }
+                pos[d] = 0;
+            }
+            if done {
+                break;
+            }
+        }
+    }
+    map
+}
+
+/// The outcome of a supervised run: the final report (recovery statistics
+/// folded in) plus everything needed to keep going — the simulator holding
+/// final output state, the unit that produced it, and the surviving
+/// machine/timeline to thread into the next unit.
+pub struct Recovered {
+    /// Cumulative run report; `report.recovery` is always `Some`.
+    pub report: RunReport,
+    /// The simulator after the final superstep (extract outputs from it).
+    pub sim: Simulator,
+    /// The unit that ultimately completed (its `output_buffers` index into
+    /// `sim`).
+    pub unit: RecoveryUnit,
+    /// The chip that survived (shrunk if cores died).
+    pub spec: ChipSpec,
+    /// The fault plan the surviving chip runs under.
+    pub faults: FaultPlan,
+    /// The timeline with all fired events consumed, for the next unit.
+    pub timeline: Option<FaultTimeline>,
+    /// Global superstep numbering for the next unit.
+    pub next_step_offset: usize,
+}
+
+/// Supervises execution of compiled units, recovering from mid-run faults.
+pub struct RecoveryController {
+    mode: SimulatorMode,
+    policy: RecoveryPolicy,
+}
+
+impl RecoveryController {
+    /// A controller executing in `mode` under `policy`.
+    pub fn new(mode: SimulatorMode, policy: RecoveryPolicy) -> Self {
+        Self { mode, policy }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> &RecoveryPolicy {
+        &self.policy
+    }
+
+    /// Runs one unit to completion under a fault timeline, recovering as
+    /// needed.
+    ///
+    /// `recompile` builds a [`RecoveryUnit`] for a given machine; it is
+    /// called once up front and again after every persistent fault, with
+    /// the previous Pareto frontiers offered for warm-starting. `inputs`
+    /// are the unit's global input tensors (bound into the distributed
+    /// placement in functional mode; unused in timing mode).
+    ///
+    /// On success the returned [`Recovered`] carries the report (with
+    /// `recovery` statistics), the simulator holding output state, and the
+    /// surviving machine. Exhausting the retry budget, or losing the last
+    /// core, yields [`CompileError::Unrecoverable`].
+    pub fn execute<F>(
+        &self,
+        spec: &ChipSpec,
+        faults: FaultPlan,
+        timeline: Option<FaultTimeline>,
+        step_offset: usize,
+        inputs: &[Tensor],
+        mut recompile: F,
+    ) -> Result<Recovered>
+    where
+        F: FnMut(&ChipSpec, &FaultPlan, Option<&[ParetoSet]>) -> Result<RecoveryUnit>,
+    {
+        let mut spec = spec.clone();
+        let mut faults = faults;
+        let mut inputs: Vec<Tensor> = inputs.to_vec();
+        let mut unit = recompile(&spec, &faults, None)?;
+        let mut sim = self.build_sim(&spec, &faults, timeline, step_offset, &unit, &inputs)?;
+        let mut rr = RecoveryReport::default();
+        loop {
+            let err = match sim.resume(&unit.program) {
+                Ok(mut report) => {
+                    report.total_time += rr.backoff_time;
+                    rr.checkpoint_bytes = report.checkpoint_bytes;
+                    rr.checkpoint_time = report.checkpoint_time;
+                    report.recovery = Some(rr);
+                    let next_step_offset = sim.global_step();
+                    let timeline = sim.take_fault_timeline();
+                    return Ok(Recovered {
+                        report,
+                        sim,
+                        unit,
+                        spec,
+                        faults,
+                        timeline,
+                        next_step_offset,
+                    });
+                }
+                Err(e) => e,
+            };
+            let Some(ev) = sim.take_pending_fault() else {
+                // Not a timeline fault — a genuine program/device error that
+                // no amount of retrying fixes.
+                return Err(err.into());
+            };
+            if rr.recoveries() >= self.policy.max_retries {
+                return Err(CompileError::unrecoverable(format!(
+                    "recovery budget of {} exhausted at {}",
+                    self.policy.max_retries,
+                    ev.describe()
+                )));
+            }
+            rr.events.push(ev.describe());
+            if ev.kind.is_transient() {
+                // The machine is intact: roll back to the last checkpoint,
+                // back off, replay.
+                rr.transient_retries += 1;
+                let backoff = (self.policy.backoff_base
+                    * 2f64.powi(rr.transient_retries as i32 - 1))
+                .min(self.policy.backoff_cap);
+                rr.backoff_time += backoff;
+                let ck = sim
+                    .last_checkpoint()
+                    .cloned()
+                    .ok_or_else(|| CompileError::internal("no checkpoint to retry from"))?;
+                rr.supersteps_lost += sim.cursor() - ck.step();
+                sim.restore(&ck)?;
+                continue;
+            }
+            // Persistent fault: the plan is dead. Everything this unit
+            // computed is tied to the old placement's partial sums and is
+            // discarded; the inputs, though, reconstruct from the last
+            // consistent snapshot and migrate to the new placement.
+            rr.recompiles += 1;
+            rr.supersteps_lost += sim.cursor();
+            let fault_global = sim.global_step();
+            let ck = sim
+                .last_checkpoint()
+                .cloned()
+                .ok_or_else(|| CompileError::internal("no checkpoint to re-plan from"))?;
+            sim.restore(&ck)?;
+            if self.mode == SimulatorMode::Functional {
+                // Rotation permutes input windows without destroying them,
+                // so the full global input reassembles at any barrier.
+                let mut salvaged = Vec::with_capacity(inputs.len());
+                for (slot, ids) in unit.input_buffers.iter().enumerate() {
+                    salvaged.push(sim.extract(ids, inputs[slot].shape())?);
+                }
+                inputs = salvaged;
+            }
+            let mut timeline = sim.take_fault_timeline();
+            match ev.kind {
+                FaultEventKind::LinkDown { core } => {
+                    // The chip keeps all cores; the plan must route around
+                    // the dead link from now on.
+                    faults = faults.set_link_fault(core, Some(LinkFault::Lost));
+                }
+                FaultEventKind::CoreDead { core } => {
+                    if spec.num_cores <= 1 {
+                        return Err(CompileError::unrecoverable("last surviving core died"));
+                    }
+                    let old_n = spec.num_cores;
+                    spec.num_cores -= 1;
+                    spec.cores_per_chip = spec.cores_per_chip.min(spec.num_cores).max(1);
+                    faults = faults.without_core(core);
+                    if let Some(tl) = timeline.as_mut() {
+                        let map: Vec<Option<usize>> = (0..old_n)
+                            .map(|c| match c.cmp(&core) {
+                                std::cmp::Ordering::Less => Some(c),
+                                std::cmp::Ordering::Equal => None,
+                                std::cmp::Ordering::Greater => Some(c - 1),
+                            })
+                            .collect();
+                        tl.retarget(&map);
+                    }
+                }
+                // Transient and absorbable kinds never reach here.
+                _ => {
+                    return Err(CompileError::internal(format!(
+                        "unexpected fatal event {}",
+                        ev.describe()
+                    )))
+                }
+            }
+            let prev = std::mem::take(&mut unit.pareto);
+            let new_unit = recompile(&spec, &faults, Some(&prev))?;
+            let migration = MigrationMap::between(
+                &unit.program,
+                &unit.input_buffers,
+                &new_unit.program,
+                &new_unit.input_buffers,
+            );
+            rr.migrated_bytes += if self.mode == SimulatorMode::Functional {
+                migration.total_bytes
+            } else {
+                // Timing units carry no buffer lists; model the re-plan as a
+                // full redistribution of the program's input state.
+                new_unit
+                    .program
+                    .buffers
+                    .iter()
+                    .map(|d| d.bytes as u64)
+                    .sum()
+            };
+            unit = new_unit;
+            sim = self.build_sim(&spec, &faults, timeline, fault_global, &unit, &inputs)?;
+        }
+    }
+
+    /// Builds a simulator for one unit: fault plan installed, checkpoint
+    /// staging reserved, timeline attached, program loaded, inputs bound
+    /// (functional mode), and the baseline checkpoint taken.
+    fn build_sim(
+        &self,
+        spec: &ChipSpec,
+        faults: &FaultPlan,
+        timeline: Option<FaultTimeline>,
+        step_offset: usize,
+        unit: &RecoveryUnit,
+        inputs: &[Tensor],
+    ) -> Result<Simulator> {
+        let mut sim = Simulator::new(spec.clone(), self.mode)
+            .with_fault_plan(faults.clone())?
+            .with_checkpointing(self.policy.checkpoint_every.max(1))?
+            .with_step_offset(step_offset);
+        if let Some(tl) = timeline {
+            sim = sim.with_fault_timeline(tl);
+        }
+        sim.load(&unit.program)?;
+        if self.mode == SimulatorMode::Functional {
+            for (slot, ids) in unit.input_buffers.iter().enumerate() {
+                let tensor = inputs.get(slot).ok_or_else(|| {
+                    CompileError::internal(format!("no input tensor for slot {slot}"))
+                })?;
+                for &id in ids {
+                    sim.bind(id, tensor)?;
+                }
+            }
+        }
+        // The baseline checkpoint: even a fault at superstep 0 has a
+        // consistent snapshot to recover from.
+        sim.checkpoint();
+        Ok(sim)
+    }
+}

@@ -1,0 +1,274 @@
+//! The heart of the recovery test suite: every recovered run must be
+//! numerically equivalent to the healthy reference executor.
+//!
+//! A Table-2-style two-layer FFN (matmul+relu, matmul) is executed
+//! operator-by-operator on the functional simulator under a
+//! [`RecoveryController`], with [`FaultTimeline`]s that drop packets, kill
+//! links, and kill cores mid-run. Whatever the controller had to do —
+//! retry from a checkpoint, recompile for the surviving machine, migrate
+//! sub-tensors — the extracted outputs must match `reference::execute`.
+
+use t10_core::lower::lower_functional;
+use t10_core::search::SearchConfig;
+use t10_core::{
+    CompileError, CompileOptions, Compiler, RecoveryController, RecoveryPolicy, RecoveryUnit,
+};
+use t10_device::ChipSpec;
+use t10_ir::{builders, reference, DType, Graph, Operator, Tensor, Unary, ValueKind};
+use t10_sim::{FaultPlan, FaultTimeline, RunReport, SimulatorMode};
+
+const CORES: usize = 8;
+
+/// The demo model: x[16,32] -> matmul+relu [32,32] -> matmul [32,16].
+fn ffn_ops() -> Vec<Operator> {
+    let mut fc1 = builders::matmul(0, 1, 2, 16, 32, 32).unwrap();
+    fc1.unary = Some(Unary::Relu);
+    let fc2 = builders::matmul(2, 3, 4, 16, 32, 16).unwrap();
+    vec![fc1, fc2]
+}
+
+/// Wraps one operator in a single-node graph so the intra-operator search
+/// (and its warm-start path) can run on it.
+fn single_node_graph(op: &Operator) -> Graph {
+    let mut g = Graph::new("node");
+    let n_in = op.expr.num_inputs();
+    for slot in 0..n_in {
+        let kind = if slot == 0 {
+            ValueKind::Input
+        } else {
+            ValueKind::Weight
+        };
+        g.add_value(
+            format!("in{slot}"),
+            op.expr.input_shape(slot),
+            DType::F32,
+            kind,
+        );
+    }
+    g.add_value("out", op.expr.output_shape(), DType::F32, ValueKind::Output);
+    let mut op = op.clone();
+    op.inputs = (0..n_in).collect();
+    op.output = n_in;
+    g.add_node("n", op).unwrap();
+    g
+}
+
+/// Executes the FFN operator-by-operator under a recovery controller,
+/// threading the surviving machine, fault plan, timeline, and global step
+/// numbering from one operator to the next. Returns the final output and
+/// the per-operator reports.
+fn run_ffn(
+    timeline_spec: Option<&str>,
+    policy: RecoveryPolicy,
+) -> Result<(Tensor, Vec<RunReport>, ChipSpec), CompileError> {
+    let ops = ffn_ops();
+    let x = Tensor::pattern(vec![16, 32], 0.3);
+    let w1 = Tensor::pattern(vec![32, 32], 0.7);
+    let w2 = Tensor::pattern(vec![32, 16], 0.5);
+
+    let controller = RecoveryController::new(SimulatorMode::Functional, policy);
+    let mut spec = ChipSpec::ipu_with_cores(CORES);
+    let mut faults = FaultPlan::new(CORES);
+    let mut timeline = match timeline_spec {
+        Some(s) => Some(FaultTimeline::parse(s, CORES).map_err(CompileError::internal)?),
+        None => None,
+    };
+    let mut offset = 0usize;
+    let mut reports = Vec::new();
+    let mut activations = vec![x];
+    let weights = [w1, w2];
+
+    for (i, op) in ops.iter().enumerate() {
+        let inputs = vec![activations.pop().unwrap(), weights[i].clone()];
+        let graph = single_node_graph(op);
+        let recovered = controller.execute(
+            &spec,
+            faults.clone(),
+            timeline.take(),
+            offset,
+            &inputs,
+            |spec, faults, warm| {
+                let compiler = Compiler::new(spec.clone(), SearchConfig::fast());
+                let opts = CompileOptions {
+                    deadline: None,
+                    faults: Some(faults.clone()),
+                    warm_start: warm.map(<[_]>::to_vec),
+                };
+                let (pareto, _) = compiler.compile_node_with(&graph, 0, &opts)?;
+                for sp in pareto.plans() {
+                    if let Ok(f) = lower_functional(op, &sp.plan) {
+                        return Ok(RecoveryUnit {
+                            program: f.program,
+                            pareto: vec![pareto.clone()],
+                            input_buffers: f.input_buffers,
+                            output_buffers: f.output_buffers,
+                        });
+                    }
+                }
+                Err(CompileError::infeasible("no functionally-lowerable plan"))
+            },
+        )?;
+        let out = recovered
+            .sim
+            .extract(&recovered.unit.output_buffers, &op.expr.output_shape())?;
+        activations.push(out);
+        reports.push(recovered.report);
+        spec = recovered.spec;
+        faults = recovered.faults;
+        timeline = recovered.timeline;
+        offset = recovered.next_step_offset;
+    }
+    Ok((activations.pop().unwrap(), reports, spec))
+}
+
+/// The healthy reference: the same FFN through the naive executor.
+fn reference_output() -> Tensor {
+    let ops = ffn_ops();
+    let x = Tensor::pattern(vec![16, 32], 0.3);
+    let w1 = Tensor::pattern(vec![32, 32], 0.7);
+    let w2 = Tensor::pattern(vec![32, 16], 0.5);
+    let h = reference::execute(&ops[0], &[&x, &w1]).unwrap();
+    reference::execute(&ops[1], &[&h, &w2]).unwrap()
+}
+
+fn total_recoveries(reports: &[RunReport]) -> (usize, usize, usize) {
+    let mut retries = 0;
+    let mut recompiles = 0;
+    let mut events = 0;
+    for r in reports {
+        if let Some(rec) = &r.recovery {
+            retries += rec.transient_retries;
+            recompiles += rec.recompiles;
+            events += rec.events.len();
+        }
+    }
+    (retries, recompiles, events)
+}
+
+#[test]
+fn healthy_run_matches_reference_with_zero_recoveries() {
+    let (out, reports, spec) = run_ffn(None, RecoveryPolicy::default()).unwrap();
+    let want = reference_output();
+    assert!(
+        out.approx_eq(&want, 1e-4),
+        "healthy run diverges: {}",
+        out.max_abs_diff(&want)
+    );
+    let (retries, recompiles, _) = total_recoveries(&reports);
+    assert_eq!((retries, recompiles), (0, 0));
+    assert_eq!(spec.num_cores, CORES);
+    // Checkpoints were taken even though none were needed.
+    assert!(reports.iter().any(|r| r.checkpoints_taken > 0));
+}
+
+#[test]
+fn transient_drop_retries_from_checkpoint_and_matches() {
+    let (out, reports, _) = run_ffn(Some("drop=1@2"), RecoveryPolicy::default()).unwrap();
+    let want = reference_output();
+    assert!(
+        out.approx_eq(&want, 1e-4),
+        "recovered run diverges: {}",
+        out.max_abs_diff(&want)
+    );
+    let (retries, recompiles, events) = total_recoveries(&reports);
+    assert!(retries >= 1, "expected a transient retry");
+    assert_eq!(recompiles, 0, "a transient fault must not force a re-plan");
+    assert!(events >= 1);
+    let backoff: f64 = reports
+        .iter()
+        .filter_map(|r| r.recovery.as_ref())
+        .map(|rec| rec.backoff_time)
+        .sum();
+    assert!(backoff > 0.0, "retries pay backoff");
+}
+
+#[test]
+fn mid_run_link_death_replans_and_matches() {
+    // This is the acceptance demo: a link dies mid-run, the controller
+    // recompiles for the degraded machine (warm-starting from the prior
+    // frontier), salvages the inputs from the checkpoint, and the final
+    // output is still numerically the reference's.
+    let (out, reports, spec) = run_ffn(Some("down=1@2"), RecoveryPolicy::default()).unwrap();
+    let want = reference_output();
+    assert!(
+        out.approx_eq(&want, 1e-4),
+        "recovered run diverges: {}",
+        out.max_abs_diff(&want)
+    );
+    let (_, recompiles, events) = total_recoveries(&reports);
+    assert!(recompiles >= 1, "a dead link must force a re-plan");
+    assert!(events >= 1, "the recovery report must record the event");
+    assert_eq!(spec.num_cores, CORES, "no core died, none removed");
+    let healed = reports.iter().filter_map(|r| r.recovery.as_ref());
+    assert!(healed.clone().any(|rec| rec.recoveries() >= 1));
+    assert!(healed
+        .clone()
+        .flat_map(|rec| rec.events.iter())
+        .any(|e| e.contains("link")));
+}
+
+#[test]
+fn core_death_shrinks_the_chip_and_matches() {
+    let (out, reports, spec) = run_ffn(Some("kill=1@3"), RecoveryPolicy::default()).unwrap();
+    let want = reference_output();
+    assert!(
+        out.approx_eq(&want, 1e-4),
+        "recovered run diverges: {}",
+        out.max_abs_diff(&want)
+    );
+    let (_, recompiles, _) = total_recoveries(&reports);
+    assert!(recompiles >= 1, "a dead core must force a re-plan");
+    assert_eq!(spec.num_cores, CORES - 1, "the dead core is removed");
+}
+
+#[test]
+fn recovery_is_deterministic_for_a_seeded_timeline() {
+    let policy = RecoveryPolicy {
+        max_retries: 8,
+        ..RecoveryPolicy::default()
+    };
+    let (out_a, reports_a, _) = run_ffn(Some("seed=5,random=3@4"), policy.clone()).unwrap();
+    let (out_b, reports_b, _) = run_ffn(Some("seed=5,random=3@4"), policy).unwrap();
+    assert_eq!(reports_a, reports_b, "same seed, same recovery history");
+    assert!(out_a.approx_eq(&out_b, 0.0), "same seed, same bits");
+    let want = reference_output();
+    assert!(out_a.approx_eq(&want, 1e-4));
+}
+
+#[test]
+fn exhausted_retry_budget_is_unrecoverable() {
+    let policy = RecoveryPolicy {
+        max_retries: 0,
+        ..RecoveryPolicy::default()
+    };
+    let err = run_ffn(Some("down=1@2"), policy).unwrap_err();
+    assert!(
+        matches!(err, CompileError::Unrecoverable { .. }),
+        "expected Unrecoverable, got {err}"
+    );
+}
+
+#[test]
+fn warm_start_skips_the_search_when_plans_survive() {
+    let op = builders::matmul(0, 1, 2, 16, 32, 32).unwrap();
+    let graph = single_node_graph(&op);
+    let spec = ChipSpec::ipu_with_cores(CORES);
+    let compiler = Compiler::new(spec, SearchConfig::fast());
+    let (cold, cold_stats) = compiler.compile_node(&graph, 0).unwrap();
+    assert!(
+        cold_stats.filtered_space > 0,
+        "cold compile really searched"
+    );
+
+    let opts = CompileOptions {
+        deadline: None,
+        faults: None,
+        warm_start: Some(vec![cold.clone()]),
+    };
+    let (warm, warm_stats) = compiler.compile_node_with(&graph, 0, &opts).unwrap();
+    assert_eq!(warm, cold, "surviving frontier carries over verbatim");
+    assert_eq!(
+        warm_stats.filtered_space, 0,
+        "warm start skipped the search"
+    );
+}

@@ -28,6 +28,17 @@ pub enum DeviceError {
     InvalidReference { detail: String },
     /// An injected hardware fault made the operation impossible.
     Fault { detail: String },
+    /// A fault event fired mid-run at a superstep boundary. `transient`
+    /// faults clear on their own (a retry from the last checkpoint
+    /// suffices); persistent faults require re-planning for the surviving
+    /// machine. Recovery controllers key on this variant.
+    RuntimeFault {
+        /// Global superstep the fault surfaced at.
+        step: usize,
+        /// True when the fault clears after firing once.
+        transient: bool,
+        detail: String,
+    },
     /// Uncategorized device-level failure.
     Other { detail: String },
 }
@@ -71,6 +82,15 @@ impl DeviceError {
         }
     }
 
+    /// Creates a mid-run fault-event error.
+    pub fn runtime_fault(step: usize, transient: bool, detail: impl Into<String>) -> Self {
+        Self::RuntimeFault {
+            step,
+            transient,
+            detail: detail.into(),
+        }
+    }
+
     /// The human-readable message (without the "device error:" prefix).
     pub fn message(&self) -> String {
         match self {
@@ -79,6 +99,18 @@ impl DeviceError {
                 needed,
                 available,
             } => format!("core {core} out of memory: need {needed} B, {available} B available"),
+            Self::RuntimeFault {
+                step,
+                transient,
+                detail,
+            } => {
+                let class = if *transient {
+                    "transient"
+                } else {
+                    "persistent"
+                };
+                format!("{class} fault at superstep {step}: {detail}")
+            }
             Self::MisalignedPlan { detail }
             | Self::InvalidReference { detail }
             | Self::Fault { detail }

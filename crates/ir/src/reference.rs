@@ -64,6 +64,13 @@ pub fn execute_shaped(
     if op.has_indirect_access() {
         return Err(ir_err!("indirect access outside Gather is unsupported"));
     }
+    if matches!(op.combine, Combine::Sub | Combine::Div | Combine::Max) && inputs.len() < 2 {
+        return Err(ir_err!(
+            "combine {:?} requires 2 inputs, got {}",
+            op.combine,
+            inputs.len()
+        ));
+    }
 
     let implied = op.expr.output_shape();
     let shape = match out_shape {
@@ -123,9 +130,21 @@ fn combine_at(op: &Operator, inputs: &[&Tensor], pos: &[Vec<usize>]) -> f32 {
 fn execute_gather(op: &Operator, inputs: &[&Tensor]) -> Result<Tensor> {
     // Convention from builders::gather: input 0 is the table [V, D] with an
     // indirect dim 0, input 1 is the index vector [N], output is [N, D].
+    if inputs.len() < 2 {
+        return Err(ir_err!("gather requires 2 inputs, got {}", inputs.len()));
+    }
     let table = inputs[0];
     let index = inputs[1];
     let out_shape = op.expr.output_shape();
+    if out_shape.len() != 2 || table.shape().len() != 2 || index.shape().len() != 1 {
+        return Err(ir_err!(
+            "gather expects table [V, D], index [N], output [N, D]; \
+             got table {:?}, index {:?}, output {:?}",
+            table.shape(),
+            index.shape(),
+            out_shape
+        ));
+    }
     let (n, d) = (out_shape[0], out_shape[1]);
     let vocab = table.shape()[0];
     let mut out = Tensor::zeros(out_shape);
@@ -327,6 +346,28 @@ mod tests {
         let op = builders::matmul(0, 1, 2, 2, 2, 2).unwrap();
         let a = Tensor::zeros(vec![2, 2]);
         assert!(execute(&op, &[&a]).is_err());
+    }
+
+    #[test]
+    fn two_input_combine_on_single_input_is_typed_error() {
+        // A hand-built (malformed) operator: unary expression but a combine
+        // that reads a second input. Must error, not index out of bounds.
+        let mut op = builders::unary(0, 1, vec![3], Unary::Relu).unwrap();
+        op.combine = Combine::Sub;
+        let a = Tensor::zeros(vec![3]);
+        let err = execute(&op, &[&a]).unwrap_err();
+        assert!(err.message().contains("requires 2 inputs"), "{err}");
+    }
+
+    #[test]
+    fn gather_kind_on_malformed_expression_is_typed_error() {
+        // Flipping an op's kind to Gather without the table/index structure
+        // must error, not panic on missing inputs or ranks.
+        let mut op = builders::unary(0, 1, vec![3], Unary::Relu).unwrap();
+        op.kind = OpKind::Gather;
+        let a = Tensor::zeros(vec![3]);
+        let err = execute(&op, &[&a]).unwrap_err();
+        assert!(err.message().contains("gather"), "{err}");
     }
 
     #[test]

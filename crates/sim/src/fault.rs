@@ -208,6 +208,29 @@ impl FaultPlan {
             .unwrap_or(0)
     }
 
+    /// The plan for the chip that survives losing `core` entirely: every
+    /// other core keeps its own faults, renumbered past the gap. Used by
+    /// recovery when a core dies mid-run and the chip shrinks by one.
+    pub fn without_core(&self, core: usize) -> Self {
+        let keep = |i: &usize| *i != core;
+        Self {
+            seed: self.seed,
+            rng_state: self.rng_state,
+            links: (0..self.links.len())
+                .filter(keep)
+                .map(|i| self.links[i])
+                .collect(),
+            slowdowns: (0..self.slowdowns.len())
+                .filter(keep)
+                .map(|i| self.slowdowns[i])
+                .collect(),
+            sram_frac: (0..self.sram_frac.len())
+                .filter(keep)
+                .map(|i| self.sram_frac[i])
+                .collect(),
+        }
+    }
+
     /// Aggregate statistics for the run report.
     pub fn summary(&self) -> FaultSummary {
         FaultSummary {
@@ -257,6 +280,21 @@ impl FaultPlan {
             }
         }
         let mut plan = Self::seeded(num_cores, seed);
+        // Each explicit per-core key may name a core only once: a duplicate
+        // silently overwriting an earlier entry is almost always a typo.
+        let mut seen_link: Vec<usize> = Vec::new();
+        let mut seen_core: Vec<usize> = Vec::new();
+        let mut seen_shrink: Vec<usize> = Vec::new();
+        let claim = |seen: &mut Vec<usize>, key: &str, core: usize| {
+            if seen.contains(&core) {
+                return Err(format!(
+                    "fault spec: duplicate {key}= entry for core {core}; \
+                     each core may appear once per key"
+                ));
+            }
+            seen.push(core);
+            Ok(())
+        };
         for e in entries {
             let (key, val) = e
                 .split_once('=')
@@ -284,12 +322,14 @@ impl FaultPlan {
                 }
                 "link" => {
                     let (core, mult) = parse_core_pair(val, num_cores)?;
+                    claim(&mut seen_link, "link", core)?;
                     check_range("link multiplier", mult, 0.0, 1.0)?;
                     plan =
                         plan.set_link_fault(core, Some(LinkFault::Degraded { multiplier: mult }));
                 }
                 "core" => {
                     let (core, mult) = parse_core_pair(val, num_cores)?;
+                    claim(&mut seen_core, "core", core)?;
                     if mult < 1.0 {
                         return Err(format!("fault spec: core slowdown {mult} must be ≥ 1"));
                     }
@@ -297,6 +337,7 @@ impl FaultPlan {
                 }
                 "shrink" => {
                     let (core, frac) = parse_core_pair(val, num_cores)?;
+                    claim(&mut seen_shrink, "shrink", core)?;
                     check_range("shrink fraction", frac, 0.0, 1.0)?;
                     plan = plan.shrink_sram(core, frac);
                 }
@@ -308,8 +349,13 @@ impl FaultPlan {
 }
 
 fn parse_num(s: &str) -> std::result::Result<f64, String> {
-    s.parse::<f64>()
-        .map_err(|_| format!("fault spec: bad number {s:?}"))
+    let v = s
+        .parse::<f64>()
+        .map_err(|_| format!("fault spec: bad number {s:?}"))?;
+    if !v.is_finite() {
+        return Err(format!("fault spec: non-finite number {s:?}"));
+    }
+    Ok(v)
 }
 
 fn parse_pair(s: &str) -> std::result::Result<(f64, f64), String> {
@@ -342,7 +388,8 @@ fn check_frac(what: &str, frac: f64) -> std::result::Result<(), String> {
 }
 
 fn check_range(what: &str, v: f64, lo: f64, hi: f64) -> std::result::Result<(), String> {
-    if v <= lo || v > hi {
+    // Written positively so NaN (which fails every comparison) is rejected.
+    if !(v > lo && v <= hi) {
         return Err(format!("fault spec: {what} {v} not in ({lo}, {hi}]"));
     }
     Ok(())
@@ -439,6 +486,48 @@ mod tests {
         assert!(FaultPlan::parse("bogus=1", 8).is_err());
         assert!(FaultPlan::parse("noequals", 8).is_err());
         assert!(FaultPlan::parse("seed=x", 8).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_non_finite_and_negative() {
+        assert!(FaultPlan::parse("degrade=NaN@0.5", 8).is_err());
+        assert!(FaultPlan::parse("degrade=0.5@NaN", 8).is_err());
+        assert!(FaultPlan::parse("lose=inf", 8).is_err());
+        assert!(FaultPlan::parse("lose=-0.5", 8).is_err());
+        assert!(FaultPlan::parse("slow=0.5@nan", 8).is_err());
+        assert!(FaultPlan::parse("link=1@nan", 8).is_err());
+        assert!(FaultPlan::parse("link=1@-0.5", 8).is_err());
+        assert!(FaultPlan::parse("core=1@-inf", 8).is_err());
+        assert!(FaultPlan::parse("shrink=1@nan", 8).is_err());
+        assert!(FaultPlan::parse("shrink=1@-0.1", 8).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_duplicate_cores_with_actionable_message() {
+        let err = FaultPlan::parse("link=2@0.5,link=2@0.25", 8).unwrap_err();
+        assert!(err.contains("duplicate link= entry for core 2"), "{err}");
+        assert!(FaultPlan::parse("core=1@2.0,core=1@3.0", 8).is_err());
+        assert!(FaultPlan::parse("shrink=0@0.5,shrink=0@0.25", 8).is_err());
+        // Distinct cores under one key, and the same core under different
+        // keys, are both fine.
+        assert!(FaultPlan::parse("link=1@0.5,link=2@0.5", 8).is_ok());
+        assert!(FaultPlan::parse("link=1@0.5,core=1@2.0,shrink=1@0.5", 8).is_ok());
+    }
+
+    #[test]
+    fn without_core_shifts_faults_past_the_gap() {
+        let p = FaultPlan::new(4)
+            .set_link_fault(1, Some(LinkFault::Lost))
+            .set_slowdown(3, 2.0)
+            .shrink_sram(3, 0.5);
+        let q = p.without_core(1);
+        assert_eq!(q.num_cores(), 3);
+        assert_eq!(q.link_multiplier(0), 1.0);
+        // Old core 2 (healthy) became core 1; old core 3 became core 2.
+        assert_eq!(q.link_multiplier(1), 1.0);
+        assert_eq!(q.compute_multiplier(2), 2.0);
+        assert_eq!(q.sram_capacity(2, 1000, 0), 500);
+        assert_eq!(q.summary().lost_links, 0);
     }
 
     #[test]

@@ -16,17 +16,25 @@
 //! an exchange phase (inter-core shifts), separated by a synchronization
 //! barrier (paper §5, Figure 11).
 
+// Library paths must fail with typed errors, never panic: a mid-run fault
+// is survivable only if it surfaces as a Result the recovery controller can
+// catch. Tests may unwrap freely.
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod buffer;
 pub mod fault;
 pub mod machine;
 pub mod memory;
 pub mod report;
+pub mod timeline;
 
 pub use buffer::FuncBuffer;
 pub use fault::{FaultPlan, FaultSummary, LinkFault};
-pub use machine::{Simulator, SimulatorMode};
+pub use machine::{Checkpoint, Simulator, SimulatorMode};
 pub use memory::MemoryTracker;
-pub use report::{NodeBreakdown, RunReport, StepTrace};
+pub use report::{NodeBreakdown, RecoveryReport, RunReport, StepTrace};
+pub use timeline::{FaultEvent, FaultEventKind, FaultTimeline};
 
 pub(crate) use t10_device::iface::DeviceError;
 

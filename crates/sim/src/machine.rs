@@ -8,9 +8,10 @@ use t10_device::{truth, ChipSpec};
 use t10_ir::Tensor;
 
 use crate::buffer::FuncBuffer;
-use crate::fault::FaultPlan;
+use crate::fault::{FaultPlan, LinkFault};
 use crate::memory::MemoryTracker;
 use crate::report::RunReport;
+use crate::timeline::{FaultEvent, FaultEventKind, FaultTimeline};
 use crate::{sim_err, Result};
 
 /// Level of detail at which programs are executed.
@@ -23,6 +24,33 @@ pub enum SimulatorMode {
     Timing,
 }
 
+/// A consistent snapshot of the machine at a BSP barrier: the distributed
+/// sub-tensor state (functional mode), the memory tracker, the report so
+/// far, and the superstep to resume from. Taken by
+/// [`Simulator::checkpoint`], re-installed by [`Simulator::restore`].
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// Program-local superstep index the snapshot was taken at (execution
+    /// resumes from this step).
+    step: usize,
+    report: RunReport,
+    bufs: Vec<Option<FuncBuffer>>,
+    mem: MemoryTracker,
+    bytes: u64,
+}
+
+impl Checkpoint {
+    /// The program-local superstep the checkpoint resumes from.
+    pub fn step(&self) -> usize {
+        self.step
+    }
+
+    /// Live scratchpad bytes snapshotted (summed over cores).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
 /// A simulated inter-core connected chip.
 pub struct Simulator {
     spec: ChipSpec,
@@ -32,6 +60,22 @@ pub struct Simulator {
     bufs: Vec<Option<FuncBuffer>>,
     tracing: bool,
     faults: Option<FaultPlan>,
+    timeline: Option<FaultTimeline>,
+    /// Checkpoint interval in supersteps (0 = checkpointing off).
+    ckpt_every: usize,
+    /// Per-core bytes reserved as checkpoint staging.
+    ckpt_staging: usize,
+    last_ck: Option<Checkpoint>,
+    /// The fault event that aborted the current run, for the recovery
+    /// controller to inspect.
+    pending_fault: Option<FaultEvent>,
+    /// Program-local superstep index of the next step to execute.
+    cursor: usize,
+    /// The report accumulated so far (survives abort/restore/resume).
+    acc: RunReport,
+    /// Global superstep numbering starts here: after a re-plan, the new
+    /// program continues the old run's timeline rather than restarting it.
+    step_offset: usize,
 }
 
 impl Simulator {
@@ -50,6 +94,14 @@ impl Simulator {
             bufs: Vec::new(),
             tracing: false,
             faults: None,
+            timeline: None,
+            ckpt_every: 0,
+            ckpt_staging: 0,
+            last_ck: None,
+            pending_fault: None,
+            cursor: 0,
+            acc: RunReport::default(),
+            step_offset: 0,
         }
     }
 
@@ -76,15 +128,140 @@ impl Simulator {
             return Err(sim_err!("fault plan injected after buffers were allocated"));
         }
         self.mem = MemoryTracker::with_capacities(
-            plan.capacities(self.spec.sram_per_core, self.spec.shift_buffer),
+            plan.capacities(self.spec.sram_per_core, self.spec.shift_buffer)
+                .into_iter()
+                .map(|c| c.saturating_sub(self.ckpt_staging))
+                .collect(),
         );
         self.faults = Some(plan);
         Ok(self)
     }
 
+    /// Enables superstep checkpointing: a consistent snapshot of the
+    /// distributed state is taken every `every` supersteps (at the BSP
+    /// barrier, where all cores agree). `every = 0` disables checkpointing.
+    ///
+    /// Checkpointing is not free: each core reserves a shift-buffer-sized
+    /// staging region for draining its scratchpad off-chip, carved out of
+    /// usable capacity — honest memory accounting means a plan that barely
+    /// fits without checkpointing may not fit with it. Must be called on a
+    /// fresh simulator (before any buffers are allocated).
+    pub fn with_checkpointing(mut self, every: usize) -> Result<Self> {
+        if !self.decls.is_empty() {
+            return Err(sim_err!(
+                "checkpointing enabled after buffers were allocated"
+            ));
+        }
+        let staging = if every > 0 { self.spec.shift_buffer } else { 0 };
+        let caps: Vec<usize> = (0..self.spec.num_cores)
+            .map(|c| (self.mem.capacity_of(c) + self.ckpt_staging).saturating_sub(staging))
+            .collect();
+        self.mem = MemoryTracker::with_capacities(caps);
+        self.ckpt_every = every;
+        self.ckpt_staging = staging;
+        Ok(self)
+    }
+
+    /// Attaches a fault timeline: events fire at the scheduled global
+    /// superstep boundaries as execution passes them.
+    pub fn with_fault_timeline(mut self, timeline: FaultTimeline) -> Self {
+        self.timeline = Some(timeline);
+        self
+    }
+
+    /// Offsets global superstep numbering, so a program compiled mid-run
+    /// (after a re-plan) continues the original run's timeline instead of
+    /// restarting it at step 0.
+    pub fn with_step_offset(mut self, offset: usize) -> Self {
+        self.step_offset = offset;
+        self
+    }
+
     /// The active fault plan, if any.
     pub fn fault_plan(&self) -> Option<&FaultPlan> {
         self.faults.as_ref()
+    }
+
+    /// The attached fault timeline, if any.
+    pub fn fault_timeline(&self) -> Option<&FaultTimeline> {
+        self.timeline.as_ref()
+    }
+
+    /// Detaches the fault timeline (to carry it into a recompiled run).
+    pub fn take_fault_timeline(&mut self) -> Option<FaultTimeline> {
+        self.timeline.take()
+    }
+
+    /// The fault event that aborted the last run, consumed by the recovery
+    /// controller when it decides how to recover.
+    pub fn take_pending_fault(&mut self) -> Option<FaultEvent> {
+        self.pending_fault.take()
+    }
+
+    /// Program-local index of the next superstep to execute.
+    pub fn cursor(&self) -> usize {
+        self.cursor
+    }
+
+    /// Global superstep index of the next step (offset + cursor).
+    pub fn global_step(&self) -> usize {
+        self.step_offset + self.cursor
+    }
+
+    /// The most recent checkpoint, if one was taken.
+    pub fn last_checkpoint(&self) -> Option<&Checkpoint> {
+        self.last_ck.as_ref()
+    }
+
+    /// Takes a consistent snapshot at the current BSP barrier and charges
+    /// its cost: the live scratchpad state drains off-chip through each
+    /// core's staging buffer, priced at the off-chip bandwidth.
+    pub fn checkpoint(&mut self) -> Checkpoint {
+        let bytes: u64 = (0..self.spec.num_cores)
+            .map(|c| self.mem.used(c) as u64)
+            .sum();
+        let secs = if self.spec.offchip_bw > 0.0 {
+            bytes as f64 / self.spec.offchip_bw
+        } else {
+            0.0
+        };
+        // Charge before snapshotting, so the stored report already includes
+        // this checkpoint's cost: replaying from the snapshot then re-charges
+        // later steps identically, keeping restored runs bit-identical to
+        // uninterrupted ones.
+        self.acc.checkpoints_taken += 1;
+        self.acc.checkpoint_bytes += bytes;
+        self.acc.checkpoint_time += secs;
+        self.acc.total_time += secs;
+        let ck = Checkpoint {
+            step: self.cursor,
+            report: self.acc.clone(),
+            bufs: self.bufs.clone(),
+            mem: self.mem.clone(),
+            bytes,
+        };
+        self.last_ck = Some(ck.clone());
+        ck
+    }
+
+    /// Re-installs a checkpoint: distributed buffers, memory accounting,
+    /// report, and cursor all roll back to the snapshot, and execution will
+    /// resume from its superstep.
+    pub fn restore(&mut self, ck: &Checkpoint) -> Result<()> {
+        if ck.bufs.len() != self.decls.len() {
+            return Err(sim_err!(
+                "checkpoint covers {} buffers, program declares {}",
+                ck.bufs.len(),
+                self.decls.len()
+            ));
+        }
+        self.bufs = ck.bufs.clone();
+        self.mem = ck.mem.clone();
+        self.acc = ck.report.clone();
+        self.cursor = ck.step;
+        self.last_ck = Some(ck.clone());
+        self.pending_fault = None;
+        Ok(())
     }
 
     /// The chip being simulated.
@@ -228,20 +405,64 @@ impl Simulator {
         self.run_loaded(prog)
     }
 
-    /// Executes the steps of an already-loaded program.
+    /// Executes the steps of an already-loaded program from the beginning.
+    ///
+    /// With a fault timeline attached, a fatal event aborts with
+    /// [`DeviceError::RuntimeFault`]; the aborted progress survives in the
+    /// simulator, so a caller can [`Simulator::restore`] a checkpoint and
+    /// [`Simulator::resume`].
     pub fn run_loaded(&mut self, prog: &Program) -> Result<RunReport> {
-        let mut report = RunReport {
-            faults: self.faults.as_ref().map(FaultPlan::summary),
-            ..RunReport::default()
-        };
-        for step in &prog.steps {
+        self.cursor = 0;
+        self.acc = RunReport::default();
+        self.last_ck = None;
+        self.pending_fault = None;
+        self.advance(prog)
+    }
+
+    /// Continues executing from the current cursor (after a
+    /// [`Simulator::restore`], or after absorbing a fault), returning the
+    /// cumulative report when the program completes.
+    pub fn resume(&mut self, prog: &Program) -> Result<RunReport> {
+        self.advance(prog)
+    }
+
+    fn advance(&mut self, prog: &Program) -> Result<RunReport> {
+        while self.cursor < prog.steps.len() {
+            let g = self.cursor;
+            // 1. Fire timeline events due at this barrier. Non-fatal events
+            // are absorbed into the active fault plan; fatal events abort
+            // with a typed error for the recovery controller.
+            let global = self.step_offset + g;
+            while let Some(ev) = self.timeline.as_mut().and_then(|t| t.pop_due(global)) {
+                if ev.kind.is_fatal() {
+                    self.pending_fault = Some(ev);
+                    return Err(DeviceError::runtime_fault(
+                        global,
+                        ev.kind.is_transient(),
+                        ev.describe(),
+                    ));
+                }
+                self.absorb_event(ev);
+            }
+            // 2. Auto-checkpoint at the interval. Skipped when the last
+            // checkpoint is already at this step (i.e. we just restored to
+            // here), so a replayed run charges the same checkpoint sequence
+            // as an uninterrupted one.
+            if self.ckpt_every > 0
+                && g.is_multiple_of(self.ckpt_every)
+                && self.last_ck.as_ref().is_none_or(|c| c.step != g)
+            {
+                self.checkpoint();
+            }
+            // 3. Execute the superstep.
+            let step = &prog.steps[g];
             let (comp, comp_healthy) = self.compute_phase(prog, step)?;
             let (exch, exch_healthy, summary) = self.exchange_phase(step)?;
-            report.fault_compute_overhead += comp - comp_healthy;
-            report.fault_exchange_overhead += exch - exch_healthy;
-            report.charge(step.phase, step.node, comp, exch);
-            report.total_shift_bytes += summary.total_bytes;
-            report.offchip_bytes += summary.offchip_bytes;
+            self.acc.fault_compute_overhead += comp - comp_healthy;
+            self.acc.fault_exchange_overhead += exch - exch_healthy;
+            self.acc.charge(step.phase, step.node, comp, exch);
+            self.acc.total_shift_bytes += summary.total_bytes;
+            self.acc.offchip_bytes += summary.offchip_bytes;
             if summary.total_bytes > 0 && exch > 0.0 {
                 // Utilization counts only the time the links are wired-busy
                 // (the phase lasts as long as the busiest core's transfer);
@@ -251,12 +472,12 @@ impl Simulator {
                 let busy = summary.max_core_in.max(summary.max_core_out) as f64 / self.spec.link_bw
                     + summary.max_core_messages.saturating_sub(1) as f64
                         * self.spec.exchange_msg_overhead;
-                report.bw_bytes_acc += summary.total_bytes as f64;
-                report.bw_core_seconds_acc += busy * summary.active_cores.max(1) as f64;
+                self.acc.bw_bytes_acc += summary.total_bytes as f64;
+                self.acc.bw_core_seconds_acc += busy * summary.active_cores.max(1) as f64;
             }
             if self.tracing {
-                report.trace.push(crate::report::StepTrace {
-                    step: report.steps,
+                self.acc.trace.push(crate::report::StepTrace {
+                    step: self.acc.steps,
                     node: step.node,
                     phase: step.phase,
                     compute: comp,
@@ -264,10 +485,33 @@ impl Simulator {
                     bytes: summary.total_bytes,
                 });
             }
-            report.steps += 1;
+            self.acc.steps += 1;
+            self.cursor += 1;
         }
-        report.peak_core_bytes = self.mem.peak_any_core();
-        Ok(report)
+        self.acc.peak_core_bytes = self.mem.peak_any_core();
+        // Summarized at the end (not the start) so faults absorbed from the
+        // timeline mid-run are reflected.
+        self.acc.faults = self.faults.as_ref().map(FaultPlan::summary);
+        self.acc.checkpoint_staging_bytes = self.ckpt_staging;
+        Ok(self.acc.clone())
+    }
+
+    /// Folds a non-fatal persistent fault event into the active fault plan:
+    /// the machine keeps running, just degraded from this barrier on.
+    fn absorb_event(&mut self, ev: FaultEvent) {
+        let plan = self
+            .faults
+            .take()
+            .unwrap_or_else(|| FaultPlan::new(self.spec.num_cores));
+        self.faults = Some(match ev.kind {
+            FaultEventKind::LinkDegrade { core, multiplier } => {
+                plan.set_link_fault(core, Some(LinkFault::Degraded { multiplier }))
+            }
+            FaultEventKind::CoreSlow { core, multiplier } => plan.set_slowdown(core, multiplier),
+            // Fatal kinds never reach here.
+            _ => plan,
+        });
+        self.acc.timeline_events += 1;
     }
 
     /// Prices one compute phase, returning `(faulted, healthy)` seconds.

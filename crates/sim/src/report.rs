@@ -44,8 +44,38 @@ pub struct StepTrace {
     pub bytes: u64,
 }
 
+/// What it cost to survive a run: retries, recompiles, and checkpoint
+/// overhead, folded into [`RunReport`] by the recovery controller.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryReport {
+    /// Retries from the last checkpoint after transient faults.
+    pub transient_retries: usize,
+    /// Recompilations for a surviving (shrunken/degraded) machine.
+    pub recompiles: usize,
+    /// Supersteps of completed work discarded by rollbacks.
+    pub supersteps_lost: usize,
+    /// Seconds spent waiting in exponential backoff before retries.
+    pub backoff_time: f64,
+    /// Total bytes drained to stable storage across all checkpoints.
+    pub checkpoint_bytes: u64,
+    /// Seconds spent draining checkpoints.
+    pub checkpoint_time: f64,
+    /// Bytes of live sub-tensor state migrated between placements after a
+    /// re-plan.
+    pub migrated_bytes: u64,
+    /// Human-readable log of every recovery event, in order.
+    pub events: Vec<String>,
+}
+
+impl RecoveryReport {
+    /// Total recovery events survived (retries plus re-plans).
+    pub fn recoveries(&self) -> usize {
+        self.transient_retries + self.recompiles
+    }
+}
+
 /// Aggregate result of simulating one program.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct RunReport {
     /// End-to-end seconds (all phases).
     pub total_time: f64,
@@ -81,6 +111,21 @@ pub struct RunReport {
     pub fault_exchange_overhead: f64,
     /// The fault plan's aggregate statistics, when one was active.
     pub faults: Option<FaultSummary>,
+    /// Checkpoints taken during the run.
+    pub checkpoints_taken: usize,
+    /// Total bytes snapshotted across all checkpoints.
+    pub checkpoint_bytes: u64,
+    /// Seconds spent draining checkpoints off-chip (included in
+    /// `total_time`).
+    pub checkpoint_time: f64,
+    /// Per-core scratchpad bytes reserved as checkpoint staging (carved out
+    /// of usable capacity while checkpointing is enabled).
+    pub checkpoint_staging_bytes: usize,
+    /// Timeline fault events absorbed mid-run without aborting (link
+    /// degradation, core slowdown).
+    pub timeline_events: usize,
+    /// Recovery statistics, when a recovery controller supervised the run.
+    pub recovery: Option<RecoveryReport>,
 }
 
 impl RunReport {

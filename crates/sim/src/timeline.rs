@@ -1,0 +1,550 @@
+//! Mid-run fault timelines: faults that *happen*, not faults that *are*.
+//!
+//! A [`crate::FaultPlan`] describes a chip that is already degraded before a
+//! program starts. A [`FaultTimeline`] instead schedules fault *events* at
+//! superstep boundaries — the BSP barrier is the only point where the whole
+//! machine agrees on a consistent state, so that is where faults surface,
+//! where checkpoints are taken, and where recovery restarts.
+//!
+//! Events come in three behavioural classes:
+//!
+//! * **transient** ([`FaultEventKind::TransientLinkDrop`],
+//!   [`FaultEventKind::TransientStall`]) — the superstep at the event's
+//!   boundary fails once and the condition clears. The executor aborts with a
+//!   typed [`t10_device::iface::DeviceError::RuntimeFault`]; retrying from
+//!   the last checkpoint succeeds.
+//! * **persistent, absorbed** ([`FaultEventKind::LinkDegrade`],
+//!   [`FaultEventKind::CoreSlow`]) — the machine keeps running but slower.
+//!   The simulator folds the event into its active fault plan at the barrier
+//!   and execution continues; no recovery is required.
+//! * **persistent, fatal** ([`FaultEventKind::LinkDown`],
+//!   [`FaultEventKind::CoreDead`]) — the compiled plan no longer matches the
+//!   machine. Execution aborts and a recovery controller must derive the
+//!   surviving chip, recompile, migrate state, and resume.
+//!
+//! Timelines are seeded and deterministic (same spec + seed → same events,
+//! same run, same report) and parse from a compact text spec, mirroring
+//! [`crate::FaultPlan::parse`].
+
+use serde::{Deserialize, Serialize};
+
+/// What happens at one fault event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultEventKind {
+    /// One core's link drops traffic for a single barrier, then recovers.
+    TransientLinkDrop {
+        /// The core whose link glitches.
+        core: usize,
+    },
+    /// One core misses a single barrier (ECC scrub, clock hiccup), then
+    /// recovers.
+    TransientStall {
+        /// The stalled core.
+        core: usize,
+    },
+    /// One core's link dies permanently; traffic must be re-planned around
+    /// it (the surviving plan sees [`crate::LinkFault::Lost`]).
+    LinkDown {
+        /// The core whose link died.
+        core: usize,
+    },
+    /// One core's link permanently degrades to `multiplier` × nominal
+    /// bandwidth. Absorbed at the barrier without aborting the run.
+    LinkDegrade {
+        /// The core whose link degraded.
+        core: usize,
+        /// Surviving bandwidth fraction (0 < m ≤ 1).
+        multiplier: f64,
+    },
+    /// One core permanently computes `multiplier` × slower. Absorbed at the
+    /// barrier without aborting the run.
+    CoreSlow {
+        /// The slowed core.
+        core: usize,
+        /// Compute-time multiplier (≥ 1).
+        multiplier: f64,
+    },
+    /// One core dies outright; the chip shrinks and the plan must change.
+    CoreDead {
+        /// The dead core.
+        core: usize,
+    },
+}
+
+impl FaultEventKind {
+    /// The core the event targets.
+    pub fn core(&self) -> usize {
+        match *self {
+            Self::TransientLinkDrop { core }
+            | Self::TransientStall { core }
+            | Self::LinkDown { core }
+            | Self::LinkDegrade { core, .. }
+            | Self::CoreSlow { core, .. }
+            | Self::CoreDead { core } => core,
+        }
+    }
+
+    /// True for events that clear after firing once (retry suffices).
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            Self::TransientLinkDrop { .. } | Self::TransientStall { .. }
+        )
+    }
+
+    /// True for events that abort execution (transient glitches and fatal
+    /// persistent faults); false for events the simulator absorbs in-run.
+    pub fn is_fatal(&self) -> bool {
+        !matches!(self, Self::LinkDegrade { .. } | Self::CoreSlow { .. })
+    }
+}
+
+/// One scheduled fault: a kind and the superstep boundary it fires at.
+///
+/// `step` counts *global* supersteps across the whole execution (surviving
+/// recompiles and resumes), not indices into any one program.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Global superstep boundary the event fires at.
+    pub step: usize,
+    /// What happens.
+    pub kind: FaultEventKind,
+}
+
+impl FaultEvent {
+    /// Human-readable one-liner for reports and error details.
+    pub fn describe(&self) -> String {
+        let s = self.step;
+        match self.kind {
+            FaultEventKind::TransientLinkDrop { core } => {
+                format!("step {s}: transient link drop on core {core}")
+            }
+            FaultEventKind::TransientStall { core } => {
+                format!("step {s}: transient stall on core {core}")
+            }
+            FaultEventKind::LinkDown { core } => {
+                format!("step {s}: link down on core {core}")
+            }
+            FaultEventKind::LinkDegrade { core, multiplier } => {
+                format!("step {s}: link on core {core} degraded to {multiplier}x")
+            }
+            FaultEventKind::CoreSlow { core, multiplier } => {
+                format!("step {s}: core {core} slowed {multiplier}x")
+            }
+            FaultEventKind::CoreDead { core } => {
+                format!("step {s}: core {core} died")
+            }
+        }
+    }
+}
+
+/// A deterministic schedule of fault events over global supersteps.
+///
+/// Events are consumed in order as execution passes their boundaries; a
+/// consumed event never refires, which is what makes a transient fault
+/// survivable by replaying from a checkpoint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultTimeline {
+    seed: u64,
+    rng_state: u64,
+    events: Vec<FaultEvent>,
+    /// Index of the first unconsumed event.
+    cursor: usize,
+}
+
+impl Default for FaultTimeline {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FaultTimeline {
+    /// An empty timeline (seed 0).
+    pub fn new() -> Self {
+        Self::seeded(0)
+    }
+
+    /// An empty timeline whose random event generation derives from `seed`.
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            seed,
+            // Same splitmix-style scramble as FaultPlan, so seed 0 still
+            // yields a useful stream.
+            rng_state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            events: Vec::new(),
+            cursor: 0,
+        }
+    }
+
+    /// The seed the timeline was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Schedules one event, keeping the list sorted by step (stable: equal
+    /// steps preserve insertion order).
+    pub fn push(mut self, step: usize, kind: FaultEventKind) -> Self {
+        let at = self.events.partition_point(|e| e.step <= step);
+        self.events.insert(at, FaultEvent { step, kind });
+        self
+    }
+
+    /// All scheduled events, fired and pending.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Events not yet consumed.
+    pub fn pending(&self) -> &[FaultEvent] {
+        &self.events[self.cursor.min(self.events.len())..]
+    }
+
+    /// True when every event has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.cursor >= self.events.len()
+    }
+
+    /// Consumes and returns the next event due at or before `global_step`,
+    /// if any. The simulator calls this at every BSP barrier.
+    pub fn pop_due(&mut self, global_step: usize) -> Option<FaultEvent> {
+        let ev = *self.events.get(self.cursor)?;
+        if ev.step > global_step {
+            return None;
+        }
+        self.cursor += 1;
+        Some(ev)
+    }
+
+    /// Renumbers the cores of *pending* events after the chip shrank:
+    /// `map[old_core]` is the surviving logical id, or `None` for a core
+    /// that no longer exists (its pending events are dropped — a dead core
+    /// cannot fault again). Fired events keep their original ids for the
+    /// historical record.
+    pub fn retarget(&mut self, map: &[Option<usize>]) {
+        let cursor = self.cursor.min(self.events.len());
+        let mut kept: Vec<FaultEvent> = self.events[..cursor].to_vec();
+        for ev in &self.events[cursor..] {
+            let old = ev.kind.core();
+            let Some(Some(new)) = map.get(old).copied() else {
+                continue;
+            };
+            let kind = match ev.kind {
+                FaultEventKind::TransientLinkDrop { .. } => {
+                    FaultEventKind::TransientLinkDrop { core: new }
+                }
+                FaultEventKind::TransientStall { .. } => {
+                    FaultEventKind::TransientStall { core: new }
+                }
+                FaultEventKind::LinkDown { .. } => FaultEventKind::LinkDown { core: new },
+                FaultEventKind::LinkDegrade { multiplier, .. } => FaultEventKind::LinkDegrade {
+                    core: new,
+                    multiplier,
+                },
+                FaultEventKind::CoreSlow { multiplier, .. } => FaultEventKind::CoreSlow {
+                    core: new,
+                    multiplier,
+                },
+                FaultEventKind::CoreDead { .. } => FaultEventKind::CoreDead { core: new },
+            };
+            kept.push(FaultEvent {
+                step: ev.step,
+                kind,
+            });
+        }
+        self.events = kept;
+        self.cursor = cursor;
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // xorshift64*: matches FaultPlan's generator.
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn next_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Appends `count` seeded-random events with steps in `[0, max_step)`.
+    ///
+    /// The palette cycles over survivable kinds (transient glitches, link
+    /// death, degradation, slowdown); core death is only ever scheduled
+    /// explicitly, so a random soak cannot shrink the chip to nothing.
+    pub fn random_events(mut self, count: usize, max_step: usize, num_cores: usize) -> Self {
+        for _ in 0..count {
+            let step = (self.next_u64() as usize) % max_step.max(1);
+            let core = (self.next_u64() as usize) % num_cores.max(1);
+            let kind = match self.next_u64() % 5 {
+                0 => FaultEventKind::TransientLinkDrop { core },
+                1 => FaultEventKind::TransientStall { core },
+                2 => FaultEventKind::LinkDown { core },
+                3 => {
+                    let multiplier = 0.25 + 0.5 * self.next_unit();
+                    FaultEventKind::LinkDegrade { core, multiplier }
+                }
+                _ => {
+                    let multiplier = 1.5 + 2.0 * self.next_unit();
+                    FaultEventKind::CoreSlow { core, multiplier }
+                }
+            };
+            self = self.push(step, kind);
+        }
+        self
+    }
+
+    /// Parses a comma-separated timeline specification (the CLI's
+    /// `--fault-timeline`).
+    ///
+    /// Entries, applied left to right after an optional `seed`:
+    ///
+    /// * `seed=N` — seed for `random` event generation (default 0)
+    /// * `drop=STEP@CORE` — transient link drop (one barrier, then clears)
+    /// * `stall=STEP@CORE` — transient core stall
+    /// * `down=STEP@CORE` — permanent link death (forces a re-plan)
+    /// * `degrade=STEP@CORE@MULT` — link permanently at MULT × bandwidth
+    /// * `slow=STEP@CORE@MULT` — core permanently slowed by MULT (≥ 1)
+    /// * `kill=STEP@CORE` — core death (chip shrinks, forces a re-plan)
+    /// * `random=COUNT@MAXSTEP` — COUNT seeded-random survivable events
+    ///
+    /// Example: `seed=7,drop=3@1,down=8@2,random=4@32`
+    pub fn parse(spec: &str, num_cores: usize) -> std::result::Result<Self, String> {
+        let entries: Vec<&str> = spec
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .collect();
+        let mut seed = 0u64;
+        for e in &entries {
+            if let Some(v) = e.strip_prefix("seed=") {
+                seed = v
+                    .parse::<u64>()
+                    .map_err(|_| format!("fault timeline: bad seed {v:?}"))?;
+            }
+        }
+        let mut tl = Self::seeded(seed);
+        for e in entries {
+            let (key, val) = e
+                .split_once('=')
+                .ok_or_else(|| format!("fault timeline: entry {e:?} is not key=value"))?;
+            match key {
+                "seed" => {}
+                "drop" => {
+                    let (step, core) = parse_step_core(val, num_cores)?;
+                    tl = tl.push(step, FaultEventKind::TransientLinkDrop { core });
+                }
+                "stall" => {
+                    let (step, core) = parse_step_core(val, num_cores)?;
+                    tl = tl.push(step, FaultEventKind::TransientStall { core });
+                }
+                "down" => {
+                    let (step, core) = parse_step_core(val, num_cores)?;
+                    tl = tl.push(step, FaultEventKind::LinkDown { core });
+                }
+                "kill" => {
+                    let (step, core) = parse_step_core(val, num_cores)?;
+                    tl = tl.push(step, FaultEventKind::CoreDead { core });
+                }
+                "degrade" => {
+                    let (step, core, m) = parse_step_core_num(val, num_cores)?;
+                    if m <= 0.0 || m > 1.0 {
+                        return Err(format!(
+                            "fault timeline: degrade multiplier {m} not in (0, 1]"
+                        ));
+                    }
+                    tl = tl.push(
+                        step,
+                        FaultEventKind::LinkDegrade {
+                            core,
+                            multiplier: m,
+                        },
+                    );
+                }
+                "slow" => {
+                    let (step, core, m) = parse_step_core_num(val, num_cores)?;
+                    if m < 1.0 {
+                        return Err(format!("fault timeline: slow multiplier {m} must be ≥ 1"));
+                    }
+                    tl = tl.push(
+                        step,
+                        FaultEventKind::CoreSlow {
+                            core,
+                            multiplier: m,
+                        },
+                    );
+                }
+                "random" => {
+                    let (count, max_step) = val
+                        .split_once('@')
+                        .ok_or_else(|| format!("fault timeline: {val:?} is not COUNT@MAXSTEP"))?;
+                    let count: usize = count
+                        .parse()
+                        .map_err(|_| format!("fault timeline: bad count {count:?}"))?;
+                    let max_step: usize = max_step
+                        .parse()
+                        .map_err(|_| format!("fault timeline: bad max step {max_step:?}"))?;
+                    if max_step == 0 && count > 0 {
+                        return Err("fault timeline: random needs MAXSTEP ≥ 1".into());
+                    }
+                    tl = tl.random_events(count, max_step, num_cores);
+                }
+                other => return Err(format!("fault timeline: unknown key {other:?}")),
+            }
+        }
+        Ok(tl)
+    }
+}
+
+fn parse_step_core(s: &str, num_cores: usize) -> std::result::Result<(usize, usize), String> {
+    let (step, core) = s
+        .split_once('@')
+        .ok_or_else(|| format!("fault timeline: {s:?} is not STEP@CORE"))?;
+    let step: usize = step
+        .parse()
+        .map_err(|_| format!("fault timeline: bad step {step:?}"))?;
+    let core: usize = core
+        .parse()
+        .map_err(|_| format!("fault timeline: bad core id {core:?}"))?;
+    if core >= num_cores {
+        return Err(format!(
+            "fault timeline: core {core} out of range ({num_cores} cores)"
+        ));
+    }
+    Ok((step, core))
+}
+
+fn parse_step_core_num(
+    s: &str,
+    num_cores: usize,
+) -> std::result::Result<(usize, usize, f64), String> {
+    let (head, num) = s
+        .rsplit_once('@')
+        .ok_or_else(|| format!("fault timeline: {s:?} is not STEP@CORE@VALUE"))?;
+    let (step, core) = parse_step_core(head, num_cores)?;
+    let v: f64 = num
+        .parse()
+        .map_err(|_| format!("fault timeline: bad number {num:?}"))?;
+    if !v.is_finite() {
+        return Err(format!("fault timeline: non-finite number {num:?}"));
+    }
+    Ok((step, core, v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_step_order_and_only_once() {
+        let mut tl = FaultTimeline::new()
+            .push(5, FaultEventKind::LinkDown { core: 1 })
+            .push(2, FaultEventKind::TransientStall { core: 0 });
+        assert_eq!(tl.pending().len(), 2);
+        assert!(tl.pop_due(1).is_none());
+        let first = tl.pop_due(2).unwrap();
+        assert_eq!(first.step, 2);
+        assert!(first.kind.is_transient());
+        // Consumed events never refire, even when the step is revisited
+        // after a checkpoint restore.
+        assert!(tl.pop_due(2).is_none());
+        let second = tl.pop_due(9).unwrap();
+        assert_eq!(second.kind, FaultEventKind::LinkDown { core: 1 });
+        assert!(tl.is_exhausted());
+    }
+
+    #[test]
+    fn classification() {
+        assert!(FaultEventKind::TransientLinkDrop { core: 0 }.is_fatal());
+        assert!(FaultEventKind::LinkDown { core: 0 }.is_fatal());
+        assert!(FaultEventKind::CoreDead { core: 0 }.is_fatal());
+        assert!(!FaultEventKind::CoreSlow {
+            core: 0,
+            multiplier: 2.0
+        }
+        .is_fatal());
+        assert!(!FaultEventKind::LinkDegrade {
+            core: 0,
+            multiplier: 0.5
+        }
+        .is_transient());
+    }
+
+    #[test]
+    fn parse_round_trip_is_deterministic() {
+        let a = FaultTimeline::parse("seed=5,drop=3@1,random=6@20", 16).unwrap();
+        let b = FaultTimeline::parse("seed=5,drop=3@1,random=6@20", 16).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.events().len(), 7);
+        let c = FaultTimeline::parse("seed=6,drop=3@1,random=6@20", 16).unwrap();
+        assert_ne!(a, c);
+        // Sorted by step.
+        assert!(a.events().windows(2).all(|w| w[0].step <= w[1].step));
+    }
+
+    #[test]
+    fn parse_rejects_bad_specs() {
+        assert!(FaultTimeline::parse("drop=3", 8).is_err());
+        assert!(FaultTimeline::parse("drop=3@9", 8).is_err());
+        assert!(FaultTimeline::parse("degrade=3@1@0.0", 8).is_err());
+        assert!(FaultTimeline::parse("degrade=3@1@NaN", 8).is_err());
+        assert!(FaultTimeline::parse("degrade=3@1@1.5", 8).is_err());
+        assert!(FaultTimeline::parse("slow=3@1@0.5", 8).is_err());
+        assert!(FaultTimeline::parse("slow=3@1@inf", 8).is_err());
+        assert!(FaultTimeline::parse("kill=x@1", 8).is_err());
+        assert!(FaultTimeline::parse("random=2@0", 8).is_err());
+        assert!(FaultTimeline::parse("bogus=1@2", 8).is_err());
+        assert!(FaultTimeline::parse("seed=-1", 8).is_err());
+    }
+
+    #[test]
+    fn empty_spec_is_empty_timeline() {
+        let tl = FaultTimeline::parse("", 8).unwrap();
+        assert!(tl.is_exhausted());
+    }
+
+    #[test]
+    fn retarget_renumbers_pending_and_drops_dead_core_events() {
+        let mut tl = FaultTimeline::new()
+            .push(1, FaultEventKind::CoreDead { core: 2 })
+            .push(
+                5,
+                FaultEventKind::CoreSlow {
+                    core: 3,
+                    multiplier: 2.0,
+                },
+            )
+            .push(6, FaultEventKind::TransientStall { core: 2 })
+            .push(7, FaultEventKind::LinkDown { core: 1 });
+        // Fire the core-death event, then renumber around the dead core 2.
+        let dead = tl.pop_due(1).unwrap();
+        assert_eq!(dead.kind, FaultEventKind::CoreDead { core: 2 });
+        let map: Vec<Option<usize>> = vec![Some(0), Some(1), None, Some(2)];
+        tl.retarget(&map);
+        // Core 3 became core 2; core 2's pending stall vanished; core 1
+        // stayed; the fired event is preserved verbatim.
+        let pending: Vec<_> = tl.pending().to_vec();
+        assert_eq!(pending.len(), 2);
+        assert_eq!(
+            pending[0].kind,
+            FaultEventKind::CoreSlow {
+                core: 2,
+                multiplier: 2.0
+            }
+        );
+        assert_eq!(pending[1].kind, FaultEventKind::LinkDown { core: 1 });
+        assert_eq!(tl.events()[0].kind, FaultEventKind::CoreDead { core: 2 });
+    }
+
+    #[test]
+    fn random_events_respect_bounds() {
+        let tl = FaultTimeline::seeded(9).random_events(32, 10, 4);
+        for e in tl.events() {
+            assert!(e.step < 10);
+            assert!(e.kind.core() < 4);
+            assert!(!matches!(e.kind, FaultEventKind::CoreDead { .. }));
+        }
+    }
+}

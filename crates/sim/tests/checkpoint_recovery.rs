@@ -1,0 +1,198 @@
+//! Superstep checkpointing properties: restore + replay must be invisible.
+//!
+//! The recovery protocol leans on one invariant — a run that restores a
+//! checkpoint and resumes produces the *bit-identical* `RunReport` (and, in
+//! functional mode, buffer state) of a run that never restored. These tests
+//! pin that invariant down, plus the honest memory accounting for the
+//! checkpoint staging reservation and the determinism of seeded timelines.
+
+use proptest::prelude::*;
+use t10_device::program::{
+    BufferDecl, ComputeSummary, ExchangeSummary, Phase, Program, ShiftKind, ShiftOp, SubTaskDesc,
+    Superstep,
+};
+use t10_device::{ChipSpec, DeviceInterface};
+use t10_ir::OpKind;
+use t10_sim::{FaultTimeline, Simulator, SimulatorMode};
+
+/// A timing program of `n` supersteps with per-step varying work, so any
+/// replay misalignment shows up as a time mismatch, not just a count.
+fn timing_program(n: usize) -> Program {
+    let mut prog = Program::new();
+    // Resident state so checkpoints have something to stage.
+    prog.add_buffer(BufferDecl {
+        core: 0,
+        label: "resident".into(),
+        bytes: 4096,
+        coords: vec![],
+        init: 0.0,
+    });
+    for i in 0..n {
+        let mut step = Superstep::new(Some(0), Phase::Execute);
+        step.compute_summary = Some(ComputeSummary {
+            desc: SubTaskDesc {
+                kind: OpKind::MatMul,
+                out_elems: 256 + 64 * i as u64,
+                red_elems: 32 + i as u64,
+                window: 1,
+                in_bytes: 1024,
+                out_bytes: 512,
+            },
+            active_cores: 4,
+        });
+        step.exchange_summary = Some(ExchangeSummary {
+            total_bytes: 2048 + 256 * i as u64,
+            max_core_out: 512,
+            max_core_in: 512,
+            cross_chip_bytes: 0,
+            offchip_bytes: 0,
+            active_cores: 4,
+            max_core_messages: 1,
+        });
+        prog.steps.push(step);
+    }
+    prog
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Restoring the last checkpoint and resuming yields the exact report
+    /// of an uninterrupted run — checkpoint charges included.
+    #[test]
+    fn restore_and_resume_is_bit_identical(steps in 1usize..12, every in 1usize..5) {
+        let spec = ChipSpec::ipu_with_cores(4);
+        let prog = timing_program(steps);
+
+        let mut healthy = Simulator::new(spec.clone(), SimulatorMode::Timing)
+            .with_checkpointing(every)
+            .unwrap();
+        let reference = healthy.run(&prog).unwrap();
+
+        let mut replayed = Simulator::new(spec, SimulatorMode::Timing)
+            .with_checkpointing(every)
+            .unwrap();
+        let first_pass = replayed.run(&prog).unwrap();
+        prop_assert_eq!(&reference, &first_pass);
+
+        let ck = replayed.last_checkpoint().cloned().expect("a checkpoint was taken");
+        prop_assert!(ck.step() <= steps);
+        replayed.restore(&ck).unwrap();
+        let second_pass = replayed.resume(&prog).unwrap();
+        prop_assert_eq!(&reference, &second_pass);
+        prop_assert!(reference.checkpoints_taken >= 1);
+    }
+}
+
+#[test]
+fn functional_restore_rewinds_buffer_contents() {
+    // Two cores rotate a 1-D tensor; a checkpoint at step 0 must capture the
+    // pre-rotation placement, and restore + resume must land on the same
+    // final placement as the uninterrupted run.
+    let decl = |core: usize, coords: Vec<usize>| BufferDecl {
+        core,
+        label: "t".into(),
+        bytes: coords.len() * 4,
+        coords: vec![coords],
+        init: 0.0,
+    };
+    let mut prog = Program::new();
+    let p0 = prog.add_buffer(decl(0, vec![0, 1]));
+    let p1 = prog.add_buffer(decl(1, vec![2, 3]));
+    let mut step = Superstep::new(None, Phase::Execute);
+    step.exchange.push(ShiftOp {
+        src: p0,
+        dst: p1,
+        kind: ShiftKind::RotateSlices { dim: 0, count: 2 },
+    });
+    step.exchange.push(ShiftOp {
+        src: p1,
+        dst: p0,
+        kind: ShiftKind::RotateSlices { dim: 0, count: 2 },
+    });
+    prog.steps.push(step);
+
+    let mut sim = Simulator::new(ChipSpec::ipu_with_cores(2), SimulatorMode::Functional)
+        .with_checkpointing(1)
+        .unwrap();
+    let first = sim.run(&prog).unwrap();
+    assert_eq!(sim.buffer(p0).unwrap().coords()[0], vec![2, 3]);
+
+    let ck = sim.last_checkpoint().cloned().unwrap();
+    sim.restore(&ck).unwrap();
+    // The checkpoint predates the rotation: state is rewound...
+    assert_eq!(sim.buffer(p0).unwrap().coords()[0], vec![0, 1]);
+    let second = sim.resume(&prog).unwrap();
+    // ...and replay reaches the same final placement and report.
+    assert_eq!(sim.buffer(p0).unwrap().coords()[0], vec![2, 3]);
+    assert_eq!(sim.buffer(p1).unwrap().coords()[0], vec![0, 1]);
+    assert_eq!(first, second);
+}
+
+#[test]
+fn checkpoint_staging_is_carved_out_of_core_capacity() {
+    let spec = ChipSpec::ipu_with_cores(2);
+    let nominal = spec.sram_per_core - spec.shift_buffer;
+    let decl = |bytes: usize| BufferDecl {
+        core: 0,
+        label: "t".into(),
+        bytes,
+        coords: vec![],
+        init: 0.0,
+    };
+
+    // Without checkpointing, the full nominal capacity is available.
+    let mut plain = Simulator::new(spec.clone(), SimulatorMode::Timing);
+    assert!(plain.allocate(decl(nominal)).is_ok());
+
+    // With checkpointing, the staging reservation shrinks what fits.
+    let mut ck = Simulator::new(spec.clone(), SimulatorMode::Timing)
+        .with_checkpointing(2)
+        .unwrap();
+    let err = ck.allocate(decl(nominal)).unwrap_err();
+    assert!(err.message().contains("out of memory"), "{err}");
+    assert!(ck.allocate(decl(nominal - spec.shift_buffer)).is_ok());
+
+    // The reservation is reported honestly after a run.
+    let mut sim = Simulator::new(spec.clone(), SimulatorMode::Timing)
+        .with_checkpointing(2)
+        .unwrap();
+    let r = sim.run(&timing_program(3)).unwrap();
+    assert_eq!(r.checkpoint_staging_bytes, spec.shift_buffer);
+    assert!(r.checkpoint_bytes > 0);
+    assert!(r.checkpoint_time > 0.0);
+}
+
+#[test]
+fn absorbed_timeline_events_are_deterministic_and_slow_the_run() {
+    let spec = ChipSpec::ipu_with_cores(4);
+    let prog = timing_program(6);
+    let mut healthy = Simulator::new(spec.clone(), SimulatorMode::Timing);
+    let base = healthy.run(&prog).unwrap();
+
+    let run_once = || {
+        let tl = FaultTimeline::parse("degrade=2@1@0.5,slow=4@0@2.0", spec.num_cores).unwrap();
+        let mut sim = Simulator::new(spec.clone(), SimulatorMode::Timing).with_fault_timeline(tl);
+        sim.run(&prog).unwrap()
+    };
+    let a = run_once();
+    let b = run_once();
+    assert_eq!(a, b, "same timeline, same report");
+    assert_eq!(a.timeline_events, 2);
+    assert!(
+        a.total_time > base.total_time,
+        "absorbed faults must cost time: {} vs {}",
+        a.total_time,
+        base.total_time
+    );
+}
+
+#[test]
+fn seeded_random_timelines_are_reproducible() {
+    let a = FaultTimeline::parse("seed=7,random=6@40", 8).unwrap();
+    let b = FaultTimeline::parse("seed=7,random=6@40", 8).unwrap();
+    assert_eq!(a.events(), b.events());
+    assert_eq!(a.events().len(), 6);
+    let c = FaultTimeline::parse("seed=8,random=6@40", 8).unwrap();
+    assert_ne!(a.events(), c.events(), "different seed, different timeline");
+}
