@@ -17,6 +17,9 @@
 //!   per-core replication of non-contraction activations, which makes it
 //!   slower and earlier to run out of memory (Figures 12, 17).
 
+// Tests may unwrap freely; library code must not (workspace lint).
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod ansor;
 pub mod popart;
 pub mod roller;

@@ -1,5 +1,7 @@
 //! Property-based tests of the VGM tile model.
 
+#![allow(clippy::unwrap_used)]
+
 use proptest::prelude::*;
 use t10_baselines::vgm::{lower_op_vgm, tile_plan};
 use t10_device::ChipSpec;

@@ -6,6 +6,8 @@
 //! 4. sensitivity of the T10-vs-Roller gap to the modeled per-message
 //!    exchange overhead (honesty check for the hardware substitution).
 
+#![allow(clippy::unwrap_used)]
+
 use t10_bench::harness::{bench_search_config, Platform};
 use t10_bench::table::{fmt_bytes, fmt_time};
 use t10_bench::Table;

@@ -2,6 +2,8 @@
 //! under the VGM abstraction, and the potential sub-operator growth from
 //! removing the VGM ("Ratio").
 
+#![allow(clippy::unwrap_used)]
+
 use t10_baselines::roller::select_tile;
 use t10_baselines::vgm::{vgm_bytes_per_core, VgmConfig};
 use t10_bench::table::fmt_bytes;

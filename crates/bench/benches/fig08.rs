@@ -1,6 +1,8 @@
 //! Figure 8: cost-model accuracy — measured vs predicted execution time of
 //! random sub-tasks, per operator type.
 
+#![allow(clippy::unwrap_used)]
+
 use t10_bench::Table;
 use t10_core::cost::CostModel;
 use t10_device::ChipSpec;

@@ -1,6 +1,8 @@
 //! Figure 12: end-to-end inference latency of T10 vs PopART/Ansor/Roller on
 //! the IPU MK2, sweeping batch size until the model no longer fits ("OOM").
 
+#![allow(clippy::unwrap_used)]
+
 use t10_bench::harness::{batch_doubling, bench_search_config, Platform};
 use t10_bench::table::fmt_time;
 use t10_bench::{Outcome, Table};

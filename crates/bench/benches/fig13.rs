@@ -1,6 +1,8 @@
 //! Figure 13: breakdown of compute vs inter-core data-transfer time for
 //! Roller and T10 across the DNN models.
 
+#![allow(clippy::unwrap_used)]
+
 use t10_bench::harness::{bench_search_config, Platform};
 use t10_bench::Table;
 use t10_device::ChipSpec;

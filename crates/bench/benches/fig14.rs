@@ -1,6 +1,8 @@
 //! Figure 14: average inter-core bandwidth utilized by each core during
 //! inter-core data transfers (the 5.5 GB/s link is the roofline).
 
+#![allow(clippy::unwrap_used)]
+
 use t10_bench::harness::{bench_search_config, Platform};
 use t10_bench::Table;
 use t10_device::ChipSpec;

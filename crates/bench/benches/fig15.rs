@@ -1,5 +1,7 @@
 //! Figure 15: distribution of T10's per-operator speedup over Roller.
 
+#![allow(clippy::unwrap_used)]
+
 use t10_bench::harness::{bench_search_config, Platform};
 use t10_bench::Table;
 use t10_device::ChipSpec;

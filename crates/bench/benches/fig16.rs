@@ -1,5 +1,7 @@
 //! Figure 16: T10 compilation time for different models and batch sizes.
 
+#![allow(clippy::unwrap_used)]
+
 use t10_bench::harness::{batch_doubling, bench_search_config, Platform};
 use t10_bench::Table;
 use t10_device::ChipSpec;

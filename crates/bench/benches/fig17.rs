@@ -2,6 +2,8 @@
 //! (memory, latency) scatter, T10's Pareto frontier, and the single points
 //! PopART-style and Roller-style compilers pick.
 
+#![allow(clippy::unwrap_used)]
+
 use t10_baselines::roller;
 use t10_baselines::vgm::VgmConfig;
 use t10_bench::harness::Platform;

@@ -1,6 +1,8 @@
 //! Figure 18: intra-operator search-space sizes — complete space, the
 //! filtered space after the §5 constraints, and the Pareto-optimal space.
 
+#![allow(clippy::unwrap_used)]
+
 use t10_bench::harness::Platform;
 use t10_bench::Table;
 use t10_core::search::{search_operator, SearchConfig};

@@ -1,6 +1,8 @@
 //! Figure 19: trade-off between compilation time and resulting execution
 //! latency under different intra-operator constraint settings.
 
+#![allow(clippy::unwrap_used)]
+
 use t10_bench::harness::Platform;
 use t10_bench::table::fmt_time;
 use t10_bench::Table;

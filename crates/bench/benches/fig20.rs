@@ -1,6 +1,8 @@
 //! Figure 20: the inter-operator memory-reconciliation search trajectory —
 //! end-to-end time as idle-state memory is traded for setup time.
 
+#![allow(clippy::unwrap_used)]
+
 use t10_bench::harness::{bench_search_config, Platform};
 use t10_bench::table::{fmt_bytes, fmt_time};
 use t10_bench::Table;

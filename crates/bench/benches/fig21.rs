@@ -2,6 +2,8 @@
 //! V-IPU devices (2,944 and 5,888 cores) whose inter-chip IPU-Link caps
 //! the effective inter-core bandwidth.
 
+#![allow(clippy::unwrap_used)]
+
 use t10_bench::harness::{bench_search_config, Platform};
 use t10_bench::table::fmt_time;
 use t10_bench::Table;

@@ -1,6 +1,8 @@
 //! Figure 22: IPU MK2 + T10 vs A100 + TensorRT (roofline model) across
 //! batch sizes.
 
+#![allow(clippy::unwrap_used)]
+
 use t10_bench::harness::{batch_doubling, bench_search_config, Platform};
 use t10_bench::table::fmt_time;
 use t10_bench::Table;

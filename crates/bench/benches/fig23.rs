@@ -1,6 +1,8 @@
 //! Figure 23: LLM decode-layer latency, IPU+T10 vs A100 (roofline), across
 //! batch sizes — the aggregated-SRAM-bandwidth argument of §6.7.
 
+#![allow(clippy::unwrap_used)]
+
 use t10_bench::harness::{batch_doubling, bench_search_config, Platform};
 use t10_bench::table::fmt_time;
 use t10_bench::Table;

@@ -2,6 +2,8 @@
 //! comparing Roller vs T10 under Single-Op and Inter-Op prefetch
 //! scheduling (paper §6.8).
 
+#![allow(clippy::unwrap_used)]
+
 use t10_bench::harness::{bench_search_config, Platform};
 use t10_bench::table::fmt_time;
 use t10_bench::Table;

@@ -2,6 +2,8 @@
 //! derivation, cost-model evaluation, intra-operator search, functional
 //! simulation, and the timing simulator's superstep throughput.
 
+#![allow(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use t10_core::cost::CostModel;

@@ -1,5 +1,7 @@
 //! Tables 2 and 3 of the paper: the model zoo and hardware specifications.
 
+#![allow(clippy::unwrap_used)]
+
 use t10_bench::Table;
 use t10_device::{ChipSpec, GpuSpec};
 use t10_models::{all_models, zoo};

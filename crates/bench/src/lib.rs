@@ -27,6 +27,9 @@
 //! substitution documented in `DESIGN.md`); `EXPERIMENTS.md` records how the
 //! shapes compare with the paper's.
 
+// Tests may unwrap freely; library code must not (workspace lint).
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod harness;
 pub mod table;
 

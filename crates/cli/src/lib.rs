@@ -1,30 +1,46 @@
 //! Library half of the `t10` CLI: argument parsing and command execution,
 //! kept in a library so tests can drive it without spawning processes.
 
+// Tests may unwrap freely; library code must not (workspace lint).
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 use std::time::Duration;
 
 use t10_bench::harness::{bench_search_config, Platform};
 use t10_bench::table::{fmt_bytes, fmt_time};
 use t10_bench::Table;
+use t10_core::compiler::emit_accuracy_events;
 use t10_core::recovery::{RecoveryController, RecoveryPolicy, RecoveryUnit};
 use t10_core::search::{search_operator, SearchConfig};
-use t10_core::{viz, CompileError, CompileOptions, Compiler};
+use t10_core::{viz, CompileError, CompileOptions, CompiledGraph, Compiler};
 use t10_device::ChipSpec;
 use t10_ir::Graph;
 use t10_models::{all_models, textfmt};
-use t10_sim::{FaultPlan, FaultTimeline, Simulator, SimulatorMode};
+use t10_sim::{FaultPlan, FaultTimeline, RunReport, Simulator, SimulatorMode};
+use t10_trace::{parse_chrome_trace, render_summary, write_chrome_trace, Metrics, Trace};
 
 /// Usage text shown on parse errors.
 pub const USAGE: &str = "\
 usage:
   t10 zoo
   t10 compile <model|file.t10> [--batch N] [--cores N] [--fuse]
-              [--faults SPEC] [--deadline-ms N]
+              [--faults SPEC] [--deadline-ms N] [trace opts]
   t10 run     <model|file.t10> [--batch N] [--cores N] [--fuse]
               [--faults SPEC] [--fault-timeline SPEC]
-              [--checkpoint-every N] [--max-retries K]
+              [--checkpoint-every N] [--max-retries K] [trace opts]
   t10 bench   <model|file.t10> [--batch N] [--cores N]
   t10 explore <M> <K> <N> [--cores N]
+  t10 trace   <trace.json>
+
+trace opts (`compile` and `run`):
+  --trace-out FILE    write a Chrome trace-event JSON (load in Perfetto,
+                      or summarize with `t10 trace FILE`)
+  --metrics-out FILE  write a flat metrics JSON (sorted keys, diffable)
+  --trace-clock wall|logical
+                      compiler-span timestamps: wall microseconds
+                      (default) or a deterministic logical counter —
+                      `logical` makes same-seed traces byte-identical
+  --trace-cores N     record per-core spans for cores 0..N (default 16)
 
 fault spec: comma-separated entries, e.g. seed=7,degrade=0.1@0.5,shrink=3@0.5
   seed=N  degrade=FRAC@MULT  lose=FRAC  slow=FRAC@MULT
@@ -90,6 +106,41 @@ pub fn compile_exit_code(e: &CompileError) -> i32 {
     }
 }
 
+/// Structured-event options shared by `compile` and `run`.
+///
+/// Tracing stays disabled (a no-op sink, no allocation on the simulator's
+/// hot path) unless at least one output path is requested.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TraceArgs {
+    /// Chrome trace-event JSON output path, if any.
+    pub trace_out: Option<String>,
+    /// Flat metrics JSON output path, if any.
+    pub metrics_out: Option<String>,
+    /// Use the deterministic logical clock for compiler-side timestamps.
+    pub logical_clock: bool,
+    /// Per-core track cap override.
+    pub trace_cores: Option<usize>,
+}
+
+impl TraceArgs {
+    /// Whether any trace output was requested.
+    pub fn active(&self) -> bool {
+        self.trace_out.is_some() || self.metrics_out.is_some()
+    }
+
+    /// Builds the recording handle: disabled when no output is requested,
+    /// otherwise wall- or logical-clocked per `--trace-clock`.
+    pub fn make_trace(&self) -> Trace {
+        if !self.active() {
+            Trace::disabled()
+        } else if self.logical_clock {
+            Trace::logical()
+        } else {
+            Trace::wall()
+        }
+    }
+}
+
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Cli {
@@ -109,6 +160,8 @@ pub enum Cli {
         faults: Option<String>,
         /// Compile deadline in milliseconds (anytime search), if any.
         deadline_ms: Option<u64>,
+        /// Structured-event outputs.
+        trace: TraceArgs,
     },
     /// Compile one model, then execute it under a mid-run fault timeline
     /// with checkpoint-based recovery.
@@ -129,6 +182,8 @@ pub enum Cli {
         checkpoint_every: Option<usize>,
         /// Recovery budget: retries + re-plans before giving up.
         max_retries: Option<usize>,
+        /// Structured-event outputs.
+        trace: TraceArgs,
     },
     /// Compare T10 against the VGM baselines.
     Bench {
@@ -150,6 +205,11 @@ pub enum Cli {
         /// Core count.
         cores: usize,
     },
+    /// Summarize a previously recorded Chrome trace file.
+    Trace {
+        /// Path to a `--trace-out` JSON file.
+        file: String,
+    },
 }
 
 impl Cli {
@@ -164,6 +224,7 @@ impl Cli {
         let mut fault_timeline: Option<String> = None;
         let mut checkpoint_every: Option<usize> = None;
         let mut max_retries: Option<usize> = None;
+        let mut trace = TraceArgs::default();
         let mut it = args.iter();
         while let Some(a) = it.next() {
             match a.as_str() {
@@ -213,6 +274,26 @@ impl Cli {
                             .map_err(|_| "bad --max-retries value")?,
                     );
                 }
+                "--trace-out" => {
+                    trace.trace_out = Some(it.next().ok_or("--trace-out needs a path")?.clone());
+                }
+                "--metrics-out" => {
+                    trace.metrics_out =
+                        Some(it.next().ok_or("--metrics-out needs a path")?.clone());
+                }
+                "--trace-clock" => match it.next().ok_or("--trace-clock needs a value")?.as_str() {
+                    "wall" => trace.logical_clock = false,
+                    "logical" => trace.logical_clock = true,
+                    other => return Err(format!("bad --trace-clock value `{other}`")),
+                },
+                "--trace-cores" => {
+                    trace.trace_cores = Some(
+                        it.next()
+                            .ok_or("--trace-cores needs a value")?
+                            .parse()
+                            .map_err(|_| "bad --trace-cores value")?,
+                    );
+                }
                 flag if flag.starts_with("--") => {
                     return Err(format!("unknown flag {flag}"));
                 }
@@ -233,6 +314,9 @@ impl Cli {
                 "--fault-timeline, --checkpoint-every and --max-retries only apply to `run`".into(),
             );
         }
+        if (trace != TraceArgs::default()) && sub != Some("compile") && sub != Some("run") {
+            return Err("trace options only apply to `compile` and `run`".into());
+        }
         match pos.as_slice() {
             ["zoo"] => Ok(Cli::Zoo),
             ["compile", target] => Ok(Cli::Compile {
@@ -242,6 +326,7 @@ impl Cli {
                 fuse,
                 faults,
                 deadline_ms,
+                trace,
             }),
             ["run", target] => Ok(Cli::Run {
                 target: target.to_string(),
@@ -252,6 +337,10 @@ impl Cli {
                 fault_timeline,
                 checkpoint_every,
                 max_retries,
+                trace,
+            }),
+            ["trace", file] => Ok(Cli::Trace {
+                file: file.to_string(),
             }),
             ["bench", target] => Ok(Cli::Bench {
                 target: target.to_string(),
@@ -295,6 +384,85 @@ fn chip(cores: usize) -> ChipSpec {
     }
 }
 
+/// Flat metrics document for one simulated run: report totals, recovery
+/// counts, and the aggregate cost-model accuracy when available.
+///
+/// `include_wall` gates wall-clock values (compile seconds): they are
+/// dropped under `--trace-clock logical` so same-seed metrics files are
+/// byte-identical, like the traces.
+fn run_metrics(
+    graph: &Graph,
+    compiled: Option<&CompiledGraph>,
+    r: &RunReport,
+    include_wall: bool,
+) -> Metrics {
+    let mut m = Metrics::new();
+    m.set_str("model.name", graph.name());
+    m.set_u64("model.operators", graph.nodes().len() as u64);
+    m.set_f64("sim.total_time_us", r.total_time * 1e6);
+    m.set_u64("sim.supersteps", r.steps as u64);
+    m.set_f64("sim.compute_time_us", r.compute_time * 1e6);
+    m.set_f64("sim.exchange_time_us", r.exchange_time * 1e6);
+    m.set_f64("sim.transfer_fraction", r.transfer_fraction());
+    m.set_u64("sim.total_shift_bytes", r.total_shift_bytes);
+    m.set_u64("sim.peak_core_bytes", r.peak_core_bytes as u64);
+    m.set_u64("checkpoint.taken", r.checkpoints_taken as u64);
+    m.set_f64("checkpoint.time_us", r.checkpoint_time * 1e6);
+    if let Some(rec) = &r.recovery {
+        m.set_u64("recovery.transient_retries", rec.transient_retries as u64);
+        m.set_u64("recovery.recompiles", rec.recompiles as u64);
+        m.set_u64("recovery.supersteps_lost", rec.supersteps_lost as u64);
+        m.set_u64("recovery.migrated_bytes", rec.migrated_bytes);
+        m.set_f64("recovery.backoff_time_us", rec.backoff_time * 1e6);
+    }
+    if let Some(compiled) = compiled {
+        m.set_f64("compiler.estimated_time_us", compiled.estimated_time * 1e6);
+        if include_wall {
+            m.set_f64("compiler.compile_seconds", compiled.compile_seconds);
+        }
+        m.set_u64(
+            "compiler.idle_mem_per_core",
+            compiled.reconciled.idle_mem as u64,
+        );
+        let samples = t10_core::compiler::accuracy_samples(graph, compiled, r);
+        let acc = t10_trace::AccuracyReport::from_samples(&samples);
+        m.set_u64("accuracy.operators", acc.count as u64);
+        m.set_f64("accuracy.mape", acc.mape);
+        if let Some(s) = acc.spearman {
+            m.set_f64("accuracy.spearman", s);
+        }
+    }
+    m
+}
+
+/// Writes the requested `--trace-out` / `--metrics-out` files. Trace files
+/// are validated by round-trip (parse what was written, byte-compare the
+/// re-emission) so a malformed export fails loudly here, not in the viewer.
+fn write_trace_outputs(
+    trace: &Trace,
+    targs: &TraceArgs,
+    graph: &Graph,
+    compiled: Option<&CompiledGraph>,
+    r: &RunReport,
+) -> Result<(), CliError> {
+    if let Some(path) = &targs.trace_out {
+        let json = write_chrome_trace(&trace.snapshot());
+        let parsed = parse_chrome_trace(&json)
+            .map_err(|e| format!("internal: emitted trace does not parse: {e}"))?;
+        if write_chrome_trace(&parsed) != json {
+            return Err("internal: trace round-trip mismatch".to_string().into());
+        }
+        std::fs::write(path, &json).map_err(|e| format!("{path}: {e}"))?;
+        println!("trace: {} events -> {path}", trace.len());
+    }
+    if let Some(path) = &targs.metrics_out {
+        let m = run_metrics(graph, compiled, r, !targs.logical_clock);
+        std::fs::write(path, m.to_json()).map_err(|e| format!("{path}: {e}"))?;
+        println!("metrics: {} values -> {path}", m.len());
+    }
+    Ok(())
+}
+
 /// Executes a parsed command, returning the process exit code on success.
 ///
 /// Most commands return 0. `t10 run` returns 8 when the run completed but
@@ -324,6 +492,7 @@ pub fn run(cli: &Cli) -> Result<i32, CliError> {
             fuse,
             faults,
             deadline_ms,
+            trace: targs,
         } => {
             let mut g = resolve_model(target, *batch)?;
             if *fuse {
@@ -336,10 +505,12 @@ pub fn run(cli: &Cli) -> Result<i32, CliError> {
                 Some(s) => Some(FaultPlan::parse(s, spec.num_cores).map_err(CliError::usage)?),
                 None => None,
             };
+            let trace = targs.make_trace();
             let opts = CompileOptions {
                 deadline: deadline_ms.map(Duration::from_millis),
                 faults: fault_plan.clone(),
                 warm_start: None,
+                trace: trace.clone(),
             };
             let platform = Platform::new(spec.clone());
             let compiled = platform
@@ -352,11 +523,16 @@ pub fn run(cli: &Cli) -> Result<i32, CliError> {
                 g.parameter_count() as f64 / 1e6,
                 compiled.compile_seconds
             );
-            let mut sim = Simulator::new(spec, SimulatorMode::Timing);
+            let mut sim = Simulator::new(spec, SimulatorMode::Timing).with_trace(trace.clone());
+            if let Some(cap) = targs.trace_cores {
+                sim = sim.with_trace_cores(cap);
+            }
             if let Some(plan) = fault_plan {
                 sim = sim.with_fault_plan(plan).map_err(|e| e.to_string())?;
             }
             let r = sim.run(&compiled.program).map_err(|e| e.to_string())?;
+            emit_accuracy_events(&trace, &g, &compiled, &r);
+            write_trace_outputs(&trace, targs, &g, Some(&compiled), &r)?;
             println!(
                 "latency {}  ({:.0}% transfer, {} idle/core, peak {}/core)",
                 fmt_time(r.total_time),
@@ -388,6 +564,7 @@ pub fn run(cli: &Cli) -> Result<i32, CliError> {
             fault_timeline,
             checkpoint_every,
             max_retries,
+            trace: targs,
         } => {
             let mut g = resolve_model(target, *batch)?;
             if *fuse {
@@ -409,26 +586,41 @@ pub fn run(cli: &Cli) -> Result<i32, CliError> {
             if let Some(k) = max_retries {
                 policy.max_retries = *k;
             }
-            let controller = RecoveryController::new(SimulatorMode::Timing, policy);
+            let trace = targs.make_trace();
+            let mut controller =
+                RecoveryController::new(SimulatorMode::Timing, policy).with_trace(trace.clone());
+            if let Some(cap) = targs.trace_cores {
+                controller = controller.with_trace_cores(cap);
+            }
             let graph = g.clone();
             let cfg = bench_search_config();
+            // The last unit to run is the one the final report describes;
+            // keep it for the predicted-vs-simulated accuracy pairing.
+            let mut last_compiled: Option<CompiledGraph> = None;
             let recovered =
                 controller.execute(&spec, fault_plan, timeline, 0, &[], |spec, faults, warm| {
                     let opts = CompileOptions {
                         deadline: None,
                         faults: Some(faults.clone()),
                         warm_start: warm.map(<[_]>::to_vec),
+                        trace: trace.clone(),
                     };
                     let compiled = Compiler::new(spec.clone(), cfg.clone())
                         .compile_graph_with(&graph, &opts)?;
-                    Ok(RecoveryUnit {
-                        program: compiled.program,
-                        pareto: compiled.node_pareto,
+                    let unit = RecoveryUnit {
+                        program: compiled.program.clone(),
+                        pareto: compiled.node_pareto.clone(),
                         input_buffers: vec![],
                         output_buffers: vec![],
-                    })
+                    };
+                    last_compiled = Some(compiled);
+                    Ok(unit)
                 })?;
             let r = &recovered.report;
+            if let Some(compiled) = &last_compiled {
+                emit_accuracy_events(&trace, &graph, compiled, r);
+            }
+            write_trace_outputs(&trace, targs, &graph, last_compiled.as_ref(), r)?;
             println!(
                 "{}: latency {} over {} supersteps ({:.0}% transfer, peak {}/core)",
                 g.name(),
@@ -506,6 +698,13 @@ pub fn run(cli: &Cli) -> Result<i32, CliError> {
             t.print();
             Ok(0)
         }
+        Cli::Trace { file } => {
+            let src = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+            let events =
+                parse_chrome_trace(&src).map_err(|e| CliError::usage(format!("{file}: {e}")))?;
+            print!("{}", render_summary(&events));
+            Ok(0)
+        }
         Cli::Explore { m, k, n, cores } => {
             let platform = Platform::new(chip(*cores));
             let op = t10_ir::builders::matmul(0, 1, 2, *m, *k, *n).map_err(|e| e.to_string())?;
@@ -559,6 +758,7 @@ mod tests {
                 fuse: true,
                 faults: None,
                 deadline_ms: None,
+                trace: TraceArgs::default(),
             }
         );
     }
@@ -621,6 +821,7 @@ mod tests {
                 fault_timeline: Some("seed=7,drop=2@1".to_string()),
                 checkpoint_every: Some(2),
                 max_retries: Some(5),
+                trace: TraceArgs::default(),
             }
         );
         // Timeline flags only make sense for `run`.
@@ -665,6 +866,7 @@ mod tests {
             fuse: false,
             faults: Some("bogus=1".to_string()),
             deadline_ms: None,
+            trace: TraceArgs::default(),
         })
         .unwrap_err();
         assert_eq!(err.code, 2);
@@ -725,6 +927,7 @@ mod tests {
             fuse: true,
             faults: None,
             deadline_ms: None,
+            trace: TraceArgs::default(),
         })
         .unwrap();
     }
@@ -746,6 +949,7 @@ mod tests {
             fuse: false,
             faults: Some("seed=3,degrade=0.2@0.5,shrink=1@0.5".to_string()),
             deadline_ms: Some(10_000),
+            trace: TraceArgs::default(),
         })
         .unwrap();
     }
@@ -773,6 +977,7 @@ mod tests {
             fault_timeline: None,
             checkpoint_every: Some(2),
             max_retries: None,
+            trace: TraceArgs::default(),
         })
         .unwrap();
         assert_eq!(code, 0);
@@ -789,6 +994,7 @@ mod tests {
             fault_timeline: Some("down=1@2".to_string()),
             checkpoint_every: Some(1),
             max_retries: Some(3),
+            trace: TraceArgs::default(),
         })
         .unwrap();
         assert_eq!(code, 8);
@@ -805,10 +1011,145 @@ mod tests {
             fault_timeline: Some("drop=1@2".to_string()),
             checkpoint_every: Some(1),
             max_retries: Some(0),
+            trace: TraceArgs::default(),
         })
         .unwrap_err();
         assert_eq!(err.code, 9);
         assert!(err.message.contains("unrecoverable"));
+    }
+
+    #[test]
+    fn parses_trace_flags() {
+        let c = Cli::parse(&s(&[
+            "run",
+            "ResNet",
+            "--trace-out",
+            "t.json",
+            "--metrics-out",
+            "m.json",
+            "--trace-clock",
+            "logical",
+            "--trace-cores",
+            "8",
+        ]))
+        .unwrap();
+        match c {
+            Cli::Run { trace, .. } => {
+                assert_eq!(trace.trace_out.as_deref(), Some("t.json"));
+                assert_eq!(trace.metrics_out.as_deref(), Some("m.json"));
+                assert!(trace.logical_clock);
+                assert_eq!(trace.trace_cores, Some(8));
+            }
+            other => panic!("unexpected parse {other:?}"),
+        }
+        assert_eq!(
+            Cli::parse(&s(&["trace", "t.json"])).unwrap(),
+            Cli::Trace {
+                file: "t.json".to_string()
+            }
+        );
+        // Trace flags only make sense where a run happens.
+        assert!(Cli::parse(&s(&["bench", "x", "--trace-out", "t.json"])).is_err());
+        assert!(Cli::parse(&s(&["zoo", "--metrics-out", "m.json"])).is_err());
+        assert!(Cli::parse(&s(&["run", "x", "--trace-clock", "sundial"])).is_err());
+        assert!(Cli::parse(&s(&["run", "x", "--trace-cores"])).is_err());
+    }
+
+    #[test]
+    fn run_with_trace_out_writes_a_loadable_deterministic_trace() {
+        let dir = std::env::temp_dir().join("t10_cli_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let model = write_run_model();
+        let run_once = |tag: &str| {
+            let trace_path = dir.join(format!("t_{tag}.json"));
+            let metrics_path = dir.join(format!("m_{tag}.json"));
+            let code = run(&Cli::Run {
+                target: model.clone(),
+                batch: 1,
+                cores: 16,
+                fuse: false,
+                faults: None,
+                fault_timeline: Some("seed=5,drop=1@2".to_string()),
+                checkpoint_every: Some(1),
+                max_retries: Some(3),
+                trace: TraceArgs {
+                    trace_out: Some(trace_path.to_string_lossy().to_string()),
+                    metrics_out: Some(metrics_path.to_string_lossy().to_string()),
+                    logical_clock: true,
+                    trace_cores: Some(4),
+                },
+            })
+            .unwrap();
+            assert_eq!(code, 8, "the drop forces one healed retry");
+            (
+                std::fs::read_to_string(&trace_path).unwrap(),
+                std::fs::read_to_string(&metrics_path).unwrap(),
+                trace_path,
+            )
+        };
+
+        let (trace_json, metrics_json, trace_path) = run_once("a");
+
+        // The trace file parses and carries per-core sim spans, compiler
+        // search spans, recovery instants, and accuracy samples.
+        let events = parse_chrome_trace(&trace_json).unwrap();
+        let has = |name: &str| events.iter().any(|e| e.name == name);
+        // (`idle` spans appear only when cores are imbalanced; this uniform
+        // SPMD model keeps every core busy, so compute + shift is the check.)
+        assert!(has("compute") && has("shift"), "core spans");
+        assert!(
+            events.iter().any(|e| e.name == "process_name"
+                && e.pid == t10_trace::PID_SIM
+                && e.arg_str("name") == Some("t10 chip (sim time)")),
+            "sim track metadata"
+        );
+        assert!(
+            events.iter().any(|e| e.name.starts_with("search:")),
+            "compiler spans"
+        );
+        assert!(has("retry") && has("rollback"), "recovery instants");
+        assert!(
+            events.iter().any(|e| e.cat == "accuracy"),
+            "accuracy samples"
+        );
+        // The per-core track cap is respected (tid < 4 or the chip track).
+        assert!(events
+            .iter()
+            .filter(|e| e.pid == t10_trace::PID_SIM)
+            .all(|e| e.tid < 4 || e.tid == t10_trace::CHIP_TID));
+
+        // The metrics file parses and records the run + accuracy aggregate.
+        let m = Metrics::parse(&metrics_json).unwrap();
+        assert!(m.get_f64("sim.total_time_us").unwrap() > 0.0);
+        assert!(m.get_f64("recovery.transient_retries").unwrap() >= 1.0);
+        assert!(m.get_f64("accuracy.operators").unwrap() >= 1.0);
+
+        // `t10 trace` renders the file.
+        assert_eq!(
+            run(&Cli::Trace {
+                file: trace_path.to_string_lossy().to_string()
+            })
+            .unwrap(),
+            0
+        );
+
+        // Same seed + logical clock => byte-identical outputs.
+        let (trace_b, metrics_b, _) = run_once("b");
+        assert_eq!(trace_json, trace_b, "trace files are byte-identical");
+        assert_eq!(metrics_json, metrics_b, "metrics files are byte-identical");
+    }
+
+    #[test]
+    fn trace_command_rejects_garbage() {
+        let dir = std::env::temp_dir().join("t10_cli_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.json");
+        std::fs::write(&path, "{\"traceEvents\": 42}").unwrap();
+        let err = run(&Cli::Trace {
+            file: path.to_string_lossy().to_string(),
+        })
+        .unwrap_err();
+        assert_eq!(err.code, 2);
     }
 
     #[test]
@@ -822,6 +1163,7 @@ mod tests {
             fault_timeline: Some("frob=1@2".to_string()),
             checkpoint_every: None,
             max_retries: None,
+            trace: TraceArgs::default(),
         })
         .unwrap_err();
         assert_eq!(err.code, 2);

@@ -6,10 +6,13 @@
 //! t10 run     <model|file.t10> [opts]   execute under a mid-run fault timeline
 //! t10 bench   <model|file.t10> [opts]   compare T10 / Roller / Ansor / PopART
 //! t10 explore <M> <K> <N> [opts]        Pareto frontier of one MatMul
+//! t10 trace   <trace.json>              summarize a recorded trace file
 //!
 //! options: --batch N (default 1)  --cores N (default 1472)  --fuse
 //!          --faults SPEC  --deadline-ms N  --fault-timeline SPEC
 //!          --checkpoint-every N  --max-retries K
+//!          --trace-out FILE  --metrics-out FILE
+//!          --trace-clock wall|logical  --trace-cores N
 //!
 //! Exit codes distinguish failure classes: 1 generic, 2 usage, 3 infeasible
 //! plan, 4 out of memory, 5 deadline exceeded, 6 worker panicked,

@@ -13,11 +13,12 @@ use serde::{Deserialize, Serialize};
 use t10_device::program::Program;
 use t10_device::ChipSpec;
 use t10_ir::{Graph, NodeId, Operator, ValueKind};
-use t10_sim::FaultPlan;
+use t10_sim::{FaultPlan, RunReport};
+use t10_trace::{Trace, Value, CHIP_TID, PID_COMPILER, PID_SIM};
 
 use crate::cost::CostModel;
 use crate::lower::{lower_timing, setup_step, transition_step};
-use crate::reconcile::{reconcile, weight_bytes_per_core, OpForSchedule, Reconciled};
+use crate::reconcile::{reconcile_traced, weight_bytes_per_core, OpForSchedule, Reconciled};
 use crate::search::{search_operator, ParetoSet, SearchConfig, SearchStats};
 use crate::{compile_err, CompileError, Result};
 
@@ -43,6 +44,15 @@ pub struct CompileOptions {
     /// path when recompiling mid-run for a degraded chip, where the graph
     /// is unchanged and only the capacity/core count moved.
     pub warm_start: Option<Vec<ParetoSet>>,
+    /// Structured event sink. When enabled, every operator search emits a
+    /// span (plans enumerated/filtered/kept), every frontier a `pareto`
+    /// snapshot instant, and every reconciler round its score — all on the
+    /// compiler's track in **trace time** ([`Trace::now_us`]): wall
+    /// microseconds by default, or a deterministic logical counter when the
+    /// handle came from [`Trace::logical`]. The threaded search workers
+    /// themselves never touch the clock, so logical-clock traces stay
+    /// byte-identical across same-seed runs.
+    pub trace: Trace,
 }
 
 impl CompileOptions {
@@ -258,6 +268,12 @@ impl Compiler {
         opts: &CompileOptions,
     ) -> Result<CompiledGraph> {
         let t0 = Instant::now();
+        let trace = &opts.trace;
+        let compile_start = trace.now_us();
+        if trace.enabled() {
+            trace.meta("process_name", PID_COMPILER, 0, "t10 compiler (trace time)");
+            trace.meta("thread_name", PID_COMPILER, CHIP_TID, "reconciler");
+        }
         let base_cfg = self.base_config(opts, t0)?;
         // Intra-operator search, cached across identical operators.
         let mut cache: HashMap<String, (ParetoSet, SearchStats)> = HashMap::new();
@@ -265,12 +281,30 @@ impl Compiler {
         let mut node_stats = Vec::with_capacity(graph.nodes().len());
         for (i, node) in graph.nodes().iter().enumerate() {
             if let Some(warm) = self.warm_plans(opts, i, &base_cfg) {
+                if trace.enabled() {
+                    let ts = trace.now_us();
+                    trace.span(
+                        format!("search:{}", node.name),
+                        "compiler",
+                        PID_COMPILER,
+                        i as u32,
+                        ts,
+                        0.0,
+                        vec![
+                            ("warm", Value::Bool(true)),
+                            ("kept", Value::U64(warm.len() as u64)),
+                        ],
+                    );
+                    emit_pareto_snapshot(trace, i, &node.name, &warm);
+                }
                 node_pareto.push(warm);
                 node_stats.push(SearchStats::default());
                 continue;
             }
             let (dtypes, out_dtype) = node_dtypes(graph, &node.op);
             let key = op_cache_key(&node.op, &dtypes, out_dtype);
+            let search_start = trace.now_us();
+            let cached = cache.contains_key(&key);
             let entry = match cache.get(&key) {
                 Some(hit) => hit.clone(),
                 None => {
@@ -279,6 +313,25 @@ impl Compiler {
                     r
                 }
             };
+            if trace.enabled() {
+                let end = trace.now_us();
+                trace.span(
+                    format!("search:{}", node.name),
+                    "compiler",
+                    PID_COMPILER,
+                    i as u32,
+                    search_start,
+                    end - search_start,
+                    vec![
+                        ("enumerated", Value::U64(entry.1.complete_space as u64)),
+                        ("filtered", Value::U64(entry.1.filtered_space as u64)),
+                        ("kept", Value::U64(entry.0.len() as u64)),
+                        ("truncated", Value::Bool(entry.1.truncated)),
+                        ("cached", Value::Bool(cached)),
+                    ],
+                );
+                emit_pareto_snapshot(trace, i, &node.name, &entry.0);
+            }
             if entry.0.is_empty() {
                 // With an expired deadline, infeasibility was never
                 // established — the search was cut short.
@@ -334,7 +387,7 @@ impl Compiler {
         };
         let mut ops = build_ops(&node_pareto);
         let capacity = self.effective_capacity(&base_cfg);
-        let reconciled = match reconcile(&ops, &self.cost, capacity) {
+        let reconciled = match reconcile_traced(&ops, &self.cost, capacity, trace) {
             Ok(r) => r,
             Err(oom @ CompileError::OutOfMemory { .. }) => {
                 // Reconciliation walks each operator's Pareto frontier from
@@ -349,9 +402,11 @@ impl Compiler {
                 let mut cache: HashMap<String, (ParetoSet, SearchStats)> = HashMap::new();
                 let mut retry_pareto = Vec::with_capacity(graph.nodes().len());
                 let mut retry_stats = Vec::with_capacity(graph.nodes().len());
-                for node in graph.nodes() {
+                for (i, node) in graph.nodes().iter().enumerate() {
                     let (dtypes, out_dtype) = node_dtypes(graph, &node.op);
                     let key = op_cache_key(&node.op, &dtypes, out_dtype);
+                    let search_start = trace.now_us();
+                    let cached = cache.contains_key(&key);
                     let entry = match cache.get(&key) {
                         Some(hit) => hit.clone(),
                         None => {
@@ -360,6 +415,26 @@ impl Compiler {
                             r
                         }
                     };
+                    if trace.enabled() {
+                        let end = trace.now_us();
+                        trace.span(
+                            format!("search:{}", node.name),
+                            "compiler",
+                            PID_COMPILER,
+                            i as u32,
+                            search_start,
+                            end - search_start,
+                            vec![
+                                ("enumerated", Value::U64(entry.1.complete_space as u64)),
+                                ("filtered", Value::U64(entry.1.filtered_space as u64)),
+                                ("kept", Value::U64(entry.0.len() as u64)),
+                                ("truncated", Value::Bool(entry.1.truncated)),
+                                ("cached", Value::Bool(cached)),
+                                ("emergency", Value::Bool(true)),
+                            ],
+                        );
+                        emit_pareto_snapshot(trace, i, &node.name, &entry.0);
+                    }
                     if entry.0.is_empty() {
                         return Err(oom);
                     }
@@ -369,7 +444,7 @@ impl Compiler {
                 node_pareto = retry_pareto;
                 node_stats = retry_stats;
                 ops = build_ops(&node_pareto);
-                reconcile(&ops, &self.cost, capacity)?
+                reconcile_traced(&ops, &self.cost, capacity, trace)?
             }
             Err(e) => return Err(e),
         };
@@ -411,6 +486,26 @@ impl Compiler {
                 }
             }
         }
+        if trace.enabled() {
+            let end = trace.now_us();
+            trace.span(
+                "compile_graph".to_string(),
+                "compiler",
+                PID_COMPILER,
+                CHIP_TID,
+                compile_start,
+                end - compile_start,
+                vec![
+                    ("nodes", Value::U64(graph.nodes().len() as u64)),
+                    ("estimated_us", Value::F64(reconciled.total_time * 1e6)),
+                    ("idle_mem", Value::U64(reconciled.idle_mem as u64)),
+                    (
+                        "reconcile_rounds",
+                        Value::U64(reconciled.trajectory.len() as u64),
+                    ),
+                ],
+            );
+        }
         Ok(CompiledGraph {
             program,
             estimated_time: reconciled.total_time,
@@ -419,6 +514,98 @@ impl Compiler {
             node_stats,
             compile_seconds: t0.elapsed().as_secs_f64(),
         })
+    }
+}
+
+/// Emits a `pareto` frontier snapshot for one operator onto the compiler
+/// track: frontier size, the fastest plan's predicted time, and the smallest
+/// per-core footprint. A sequence of these instants reconstructs how the
+/// frontier evolved across the graph (and across the emergency re-search).
+fn emit_pareto_snapshot(trace: &Trace, node: usize, name: &str, pareto: &ParetoSet) {
+    let best_exec = pareto
+        .plans()
+        .iter()
+        .map(|p| p.cost.exec_time)
+        .fold(f64::INFINITY, f64::min);
+    let min_mem = pareto
+        .plans()
+        .iter()
+        .map(|p| p.cost.mem_per_core)
+        .min()
+        .unwrap_or(0);
+    trace.instant(
+        "pareto".to_string(),
+        "compiler",
+        PID_COMPILER,
+        node as u32,
+        trace.now_us(),
+        vec![
+            ("node", Value::Str(name.to_string())),
+            ("size", Value::U64(pareto.len() as u64)),
+            (
+                "best_exec_us",
+                Value::F64(if best_exec.is_finite() {
+                    best_exec * 1e6
+                } else {
+                    0.0
+                }),
+            ),
+            ("min_mem", Value::U64(min_mem as u64)),
+        ],
+    );
+}
+
+/// Pairs each operator's predicted time (cost model: active-plan execution +
+/// idle-to-active setup) with its simulated time from a [`RunReport`] — the
+/// data behind the paper's Figure 15 accuracy study. Nodes the report never
+/// attributed time to (e.g. elided by plan degradation) are skipped.
+pub fn accuracy_samples(
+    graph: &Graph,
+    compiled: &CompiledGraph,
+    report: &RunReport,
+) -> Vec<t10_trace::AccuracySample> {
+    graph
+        .nodes()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, node)| {
+            let choice = compiled.reconciled.choices.get(i)?;
+            let sim = report.per_node.get(&i)?;
+            Some(t10_trace::AccuracySample {
+                name: node.name.clone(),
+                predicted_us: (choice.exec_time + choice.setup_time) * 1e6,
+                simulated_us: (sim.compute + sim.exchange + sim.setup) * 1e6,
+            })
+        })
+        .collect()
+}
+
+/// Records the predicted-vs-simulated pair of every operator as `op_time`
+/// instants (category `accuracy`) on the simulator's aggregate track, so a
+/// trace file carries everything `t10 trace` needs to print the aggregate
+/// MAPE / Spearman figures. No-op when the trace is disabled.
+pub fn emit_accuracy_events(
+    trace: &Trace,
+    graph: &Graph,
+    compiled: &CompiledGraph,
+    report: &RunReport,
+) {
+    if !trace.enabled() {
+        return;
+    }
+    for s in accuracy_samples(graph, compiled, report) {
+        trace.instant(
+            "op_time".to_string(),
+            "accuracy",
+            PID_SIM,
+            CHIP_TID,
+            report.total_time * 1e6,
+            vec![
+                ("node", Value::Str(s.name)),
+                ("predicted_us", Value::F64(s.predicted_us)),
+                ("simulated_us", Value::F64(s.simulated_us)),
+            ],
+        );
     }
 }
 
@@ -521,6 +708,76 @@ mod tests {
         assert!(report.total_time > 0.0);
         assert!(report.per_node.contains_key(&0));
         assert!(report.per_node.contains_key(&1));
+    }
+
+    #[test]
+    fn traced_compile_emits_search_and_accuracy_events() {
+        let g = two_layer_graph(64, 64, 64);
+        let c = Compiler::new(ChipSpec::ipu_with_cores(16), SearchConfig::fast());
+
+        let compile_once = || {
+            let trace = Trace::logical();
+            let opts = CompileOptions {
+                trace: trace.clone(),
+                ..CompileOptions::default()
+            };
+            let out = c.compile_graph_with(&g, &opts).unwrap();
+            (trace, out)
+        };
+        let (trace, out) = compile_once();
+        let events = trace.snapshot();
+
+        // One search span per node, each with an evolved frontier snapshot.
+        let searches: Vec<_> = events
+            .iter()
+            .filter(|e| e.name.starts_with("search:"))
+            .collect();
+        assert_eq!(searches.len(), 2);
+        assert!(searches[0].arg_f64("enumerated").unwrap() >= 1.0);
+        let cached = searches[1]
+            .args
+            .iter()
+            .find(|(k, _)| *k == "cached")
+            .map(|(_, v)| v.clone());
+        assert_eq!(cached, Some(t10_trace::Value::Bool(true))); // fc2 hits cache
+        let paretos: Vec<_> = events.iter().filter(|e| e.name == "pareto").collect();
+        assert_eq!(paretos.len(), 2);
+        assert!(paretos[0].arg_f64("size").unwrap() >= 1.0);
+
+        // Reconciler rounds carry monotone scores; the compile span wraps it.
+        assert!(events.iter().any(|e| e.name == "reconcile_round"));
+        let compile_span = events
+            .iter()
+            .find(|e| e.name == "compile_graph")
+            .expect("compile span");
+        assert_eq!(
+            compile_span.arg_f64("reconcile_rounds").unwrap() as usize,
+            out.reconciled.trajectory.len()
+        );
+
+        // Accuracy pairing: every node has a sample, both times positive.
+        let mut sim =
+            t10_sim::Simulator::new(ChipSpec::ipu_with_cores(16), t10_sim::SimulatorMode::Timing);
+        let report = sim.run(&out.program).unwrap();
+        let samples = accuracy_samples(&g, &out, &report);
+        assert_eq!(samples.len(), 2);
+        assert!(samples.iter().all(|s| s.predicted_us > 0.0));
+        assert!(samples.iter().all(|s| s.simulated_us > 0.0));
+        emit_accuracy_events(&trace, &g, &out, &report);
+        let acc = trace
+            .snapshot()
+            .iter()
+            .filter(|e| e.cat == "accuracy")
+            .count();
+        assert_eq!(acc, 2);
+
+        // Logical-clock compiles are deterministic: two identical compiles
+        // serialize to byte-identical Chrome traces.
+        let (trace2, _) = compile_once();
+        assert_eq!(
+            t10_trace::write_chrome_trace(&events),
+            t10_trace::write_chrome_trace(&trace2.snapshot())
+        );
     }
 
     #[test]

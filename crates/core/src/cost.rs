@@ -85,7 +85,7 @@ fn fit(xs: &[Vec<f64>], ys: &[f64]) -> Result<LinearModel> {
             .skip(col)
             .map(|(r, row)| (r, row[col].abs()))
             .max_by(|x, y| x.1.total_cmp(&y.1))
-            .unwrap();
+            .expect("n > 0: at least one row remains");
         a.swap(col, pivot);
         let p = a[col][col];
         if p.abs() < 1e-30 {

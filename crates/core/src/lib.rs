@@ -45,6 +45,9 @@
 //! assert!(compiled.estimated_time > 0.0);
 //! ```
 
+// Tests may unwrap freely; library code must not (workspace lint).
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod compiler;
 pub mod cost;
 pub mod error;

@@ -193,7 +193,10 @@ pub fn lower_functional(op: &Operator, plan: &Plan) -> Result<FunctionalLowering
                 let level = &levels[li];
                 for &s in &level.slots {
                     let slot = &plan.slots[s];
-                    let dim = slot.temporal.dim.unwrap();
+                    let dim = slot
+                        .temporal
+                        .dim
+                        .expect("temporal factor > 1 implies a dim");
                     let count = if level.axis.is_some() {
                         level.rp
                     } else {

@@ -246,7 +246,10 @@ impl Plan {
             if slot.temporal.factor <= 1 {
                 continue;
             }
-            let dim = slot.temporal.dim.unwrap();
+            let dim = slot
+                .temporal
+                .dim
+                .expect("temporal factor > 1 implies a dim");
             let axis = slot.spatial.dims[dim].rot_axis;
             if let Some(k) = axis {
                 if let Some(level) = levels.iter_mut().find(|l| l.axis == Some(k)) {

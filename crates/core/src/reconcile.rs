@@ -18,6 +18,7 @@
 //! performance-critical operators in advance" (§6.4).
 
 use serde::{Deserialize, Serialize};
+use t10_trace::{Trace, Value, CHIP_TID, PID_COMPILER};
 
 use crate::cost::CostModel;
 use crate::plan::Plan;
@@ -99,6 +100,19 @@ pub struct Reconciled {
 /// not fit, or when some operator has no feasible active plan — the model
 /// does not fit on the chip (the `*` entries of Figure 12).
 pub fn reconcile(ops: &[OpForSchedule], cost: &CostModel, capacity: usize) -> Result<Reconciled> {
+    reconcile_traced(ops, cost, capacity, &Trace::disabled())
+}
+
+/// [`reconcile`] with a structured event sink: every greedy round emits a
+/// `reconcile_round` instant (idle memory, predicted total/setup/exec time)
+/// and every upgrade a `reconcile_pick` instant carrying the winning
+/// operator and its `-ΔT_S/ΔM_I` score, on the compiler's aggregate track.
+pub fn reconcile_traced(
+    ops: &[OpForSchedule],
+    cost: &CostModel,
+    capacity: usize,
+    trace: &Trace,
+) -> Result<Reconciled> {
     if ops.is_empty() {
         return Ok(Reconciled {
             choices: Vec::new(),
@@ -136,7 +150,7 @@ pub fn reconcile(ops: &[OpForSchedule], cost: &CostModel, capacity: usize) -> Re
                 .enumerate()
                 .min_by_key(|(_, &v)| v)
                 .map(|(i, _)| i)
-                .unwrap()
+                .unwrap_or(0)
         })
         .collect();
 
@@ -148,7 +162,7 @@ pub fn reconcile(ops: &[OpForSchedule], cost: &CostModel, capacity: usize) -> Re
     // another's active plan.
     let mut visited: std::collections::HashSet<Vec<usize>> = std::collections::HashSet::new();
     let max_rounds: usize = ops.iter().map(|o| o.pareto.len()).sum::<usize>() + ops.len() + 1;
-    for _round in 0..max_rounds {
+    for round in 0..max_rounds {
         if !visited.insert(idle.clone()) {
             break;
         }
@@ -224,6 +238,22 @@ pub fn reconcile(ops: &[OpForSchedule], cost: &CostModel, capacity: usize) -> Re
             setup_time: setup_total,
             exec_time: exec_total,
         });
+        if trace.enabled() {
+            trace.instant(
+                "reconcile_round",
+                "compiler",
+                PID_COMPILER,
+                CHIP_TID,
+                trace.now_us(),
+                vec![
+                    ("round", Value::U64(round as u64)),
+                    ("idle_mem", Value::U64(idle_mem as u64)),
+                    ("total_us", Value::F64(total * 1e6)),
+                    ("setup_us", Value::F64(setup_total * 1e6)),
+                    ("exec_us", Value::F64(exec_total * 1e6)),
+                ],
+            );
+        }
         if best.as_ref().map(|b| total < b.total_time).unwrap_or(true) {
             best = Some(Reconciled {
                 choices: choices.clone(),
@@ -253,7 +283,24 @@ pub fn reconcile(ops: &[OpForSchedule], cost: &CostModel, capacity: usize) -> Re
             }
         }
         match pick {
-            Some((i, a)) => idle[i] = a,
+            Some((i, a)) => {
+                if trace.enabled() {
+                    trace.instant(
+                        "reconcile_pick",
+                        "compiler",
+                        PID_COMPILER,
+                        CHIP_TID,
+                        trace.now_us(),
+                        vec![
+                            ("op", Value::Str(ops[i].name.clone())),
+                            // -ΔT_S/ΔM_I in seconds per byte; a free upgrade
+                            // (ΔM_I ≤ 0) is scored +∞ and clamps for export.
+                            ("ratio", Value::F64(best_ratio.min(1e30))),
+                        ],
+                    );
+                }
+                idle[i] = a;
+            }
             None => break,
         }
     }
@@ -332,6 +379,36 @@ mod tests {
             assert!(w[0].idle_mem <= w[1].idle_mem);
             assert!(w[1].setup_time <= w[0].setup_time + 1e-12);
         }
+    }
+
+    #[test]
+    fn traced_reconcile_emits_rounds_and_matches_untraced() {
+        let (cost, ops) = setup(16);
+        let cap = cost.spec().sram_per_core - cost.spec().shift_buffer;
+        let trace = Trace::logical();
+        let traced = reconcile_traced(&ops, &cost, cap, &trace).unwrap();
+        let events = trace.snapshot();
+        let rounds = events
+            .iter()
+            .filter(|e| e.name == "reconcile_round")
+            .count();
+        assert_eq!(rounds, traced.trajectory.len());
+        // Rounds report monotonically non-decreasing idle memory.
+        let idle: Vec<f64> = events
+            .iter()
+            .filter(|e| e.name == "reconcile_round")
+            .filter_map(|e| e.arg_f64("idle_mem"))
+            .collect();
+        assert!(idle.windows(2).all(|w| w[0] <= w[1]));
+        // Each pick carries a score.
+        for pick in events.iter().filter(|e| e.name == "reconcile_pick") {
+            assert!(pick.arg_str("op").is_some());
+            assert!(pick.arg_f64("ratio").is_some());
+        }
+        // Tracing must not change the result.
+        let plain = reconcile(&ops, &cost, cap).unwrap();
+        assert_eq!(plain.total_time, traced.total_time);
+        assert_eq!(plain.choices, traced.choices);
     }
 
     #[test]

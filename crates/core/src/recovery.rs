@@ -33,6 +33,7 @@ use t10_sim::timeline::FaultEventKind;
 use t10_sim::{
     FaultPlan, FaultTimeline, LinkFault, RecoveryReport, RunReport, Simulator, SimulatorMode,
 };
+use t10_trace::{Trace, Value, PID_RECOVERY};
 
 use crate::search::ParetoSet;
 use crate::{CompileError, Result};
@@ -190,12 +191,36 @@ pub struct Recovered {
 pub struct RecoveryController {
     mode: SimulatorMode,
     policy: RecoveryPolicy,
+    trace: Trace,
+    trace_cores: Option<usize>,
 }
 
 impl RecoveryController {
     /// A controller executing in `mode` under `policy`.
     pub fn new(mode: SimulatorMode, policy: RecoveryPolicy) -> Self {
-        Self { mode, policy }
+        Self {
+            mode,
+            policy,
+            trace: Trace::disabled(),
+            trace_cores: None,
+        }
+    }
+
+    /// Attaches a structured event sink. The same handle is passed to every
+    /// simulator the controller builds, so one trace file interleaves the
+    /// per-superstep spans with the controller's `retry` / `rollback` /
+    /// `replan` / `migrate` instants — all stamped in **sim time**, hence
+    /// deterministic under a fixed seed.
+    pub fn with_trace(mut self, trace: Trace) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Caps how many per-core span tracks each simulator records (default
+    /// [`t10_sim::DEFAULT_TRACE_CORES`]).
+    pub fn with_trace_cores(mut self, cores: usize) -> Self {
+        self.trace_cores = Some(cores);
+        self
     }
 
     /// The active policy.
@@ -280,7 +305,35 @@ impl RecoveryController {
                     .last_checkpoint()
                     .cloned()
                     .ok_or_else(|| CompileError::internal("no checkpoint to retry from"))?;
-                rr.supersteps_lost += sim.cursor() - ck.step();
+                let lost = sim.cursor() - ck.step();
+                rr.supersteps_lost += lost;
+                if self.trace.enabled() {
+                    let now_us = sim.elapsed_sim_time() * 1e6;
+                    self.trace.instant(
+                        "retry",
+                        "recovery",
+                        PID_RECOVERY,
+                        0,
+                        now_us,
+                        vec![
+                            ("step", Value::U64(sim.global_step() as u64)),
+                            ("fault", Value::Str(ev.describe())),
+                            ("backoff_us", Value::F64(backoff * 1e6)),
+                        ],
+                    );
+                    self.trace.instant(
+                        "rollback",
+                        "recovery",
+                        PID_RECOVERY,
+                        0,
+                        now_us,
+                        vec![
+                            ("from_step", Value::U64(sim.global_step() as u64)),
+                            ("to_step", Value::U64((sim.global_step() - lost) as u64)),
+                            ("supersteps_lost", Value::U64(lost as u64)),
+                        ],
+                    );
+                }
                 sim.restore(&ck)?;
                 continue;
             }
@@ -291,6 +344,21 @@ impl RecoveryController {
             rr.recompiles += 1;
             rr.supersteps_lost += sim.cursor();
             let fault_global = sim.global_step();
+            let replan_ts_us = sim.elapsed_sim_time() * 1e6;
+            if self.trace.enabled() {
+                self.trace.instant(
+                    "replan",
+                    "recovery",
+                    PID_RECOVERY,
+                    0,
+                    replan_ts_us,
+                    vec![
+                        ("step", Value::U64(fault_global as u64)),
+                        ("fault", Value::Str(ev.describe())),
+                        ("supersteps_lost", Value::U64(sim.cursor() as u64)),
+                    ],
+                );
+            }
             let ck = sim
                 .last_checkpoint()
                 .cloned()
@@ -347,7 +415,7 @@ impl RecoveryController {
                 &new_unit.program,
                 &new_unit.input_buffers,
             );
-            rr.migrated_bytes += if self.mode == SimulatorMode::Functional {
+            let moved = if self.mode == SimulatorMode::Functional {
                 migration.total_bytes
             } else {
                 // Timing units carry no buffer lists; model the re-plan as a
@@ -359,6 +427,20 @@ impl RecoveryController {
                     .map(|d| d.bytes as u64)
                     .sum()
             };
+            rr.migrated_bytes += moved;
+            if self.trace.enabled() {
+                self.trace.instant(
+                    "migrate",
+                    "recovery",
+                    PID_RECOVERY,
+                    0,
+                    replan_ts_us,
+                    vec![
+                        ("bytes", Value::U64(moved)),
+                        ("pairs", Value::U64(migration.moves.len() as u64)),
+                    ],
+                );
+            }
             unit = new_unit;
             sim = self.build_sim(&spec, &faults, timeline, fault_global, &unit, &inputs)?;
         }
@@ -376,7 +458,11 @@ impl RecoveryController {
         unit: &RecoveryUnit,
         inputs: &[Tensor],
     ) -> Result<Simulator> {
-        let mut sim = Simulator::new(spec.clone(), self.mode)
+        let mut sim = Simulator::new(spec.clone(), self.mode).with_trace(self.trace.clone());
+        if let Some(cap) = self.trace_cores {
+            sim = sim.with_trace_cores(cap);
+        }
+        let mut sim = sim
             .with_fault_plan(faults.clone())?
             .with_checkpointing(self.policy.checkpoint_every.max(1))?
             .with_step_offset(step_offset);

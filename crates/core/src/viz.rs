@@ -72,8 +72,8 @@ pub fn pareto_scatter(pareto: &ParetoSet, width: usize, height: usize) -> String
         return "(empty frontier)\n".to_string();
     }
     let (w, h) = (width.max(16), height.max(6));
-    let min_m = plans.iter().map(|p| p.cost.mem_per_core).min().unwrap() as f64;
-    let max_m = plans.iter().map(|p| p.cost.mem_per_core).max().unwrap() as f64;
+    let min_m = plans.iter().map(|p| p.cost.mem_per_core).min().unwrap_or(0) as f64;
+    let max_m = plans.iter().map(|p| p.cost.mem_per_core).max().unwrap_or(0) as f64;
     let min_t = plans
         .iter()
         .map(|p| p.cost.exec_time)

@@ -1,5 +1,7 @@
 //! Edge-case and failure-injection tests of the compiler pipeline.
 
+#![allow(clippy::unwrap_used)]
+
 use t10_core::compiler::Compiler;
 use t10_core::cost::CostModel;
 use t10_core::lower::lower_functional;

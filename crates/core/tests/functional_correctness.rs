@@ -7,6 +7,8 @@
 //! unary epilogue — against MatMul, Conv2d, elementwise, pooling, reduce, and
 //! gather operators.
 
+#![allow(clippy::unwrap_used)]
+
 use proptest::prelude::*;
 use t10_core::lower::lower_functional;
 use t10_core::plan::{Plan, PlanConfig, TemporalChoice};

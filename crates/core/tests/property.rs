@@ -1,5 +1,7 @@
 //! Property-based tests of the compiler's core data structures.
 
+#![allow(clippy::unwrap_used)]
+
 use proptest::prelude::*;
 use t10_core::cost::CostModel;
 use t10_core::placement::{group_pos, ring_assignment, upstream_coords, CoreGrid};

@@ -8,6 +8,8 @@
 //! retry from a checkpoint, recompile for the surviving machine, migrate
 //! sub-tensors — the extracted outputs must match `reference::execute`.
 
+#![allow(clippy::unwrap_used)]
+
 use t10_core::lower::lower_functional;
 use t10_core::search::SearchConfig;
 use t10_core::{
@@ -16,6 +18,7 @@ use t10_core::{
 use t10_device::ChipSpec;
 use t10_ir::{builders, reference, DType, Graph, Operator, Tensor, Unary, ValueKind};
 use t10_sim::{FaultPlan, FaultTimeline, RunReport, SimulatorMode};
+use t10_trace::Trace;
 
 const CORES: usize = 8;
 
@@ -61,12 +64,21 @@ fn run_ffn(
     timeline_spec: Option<&str>,
     policy: RecoveryPolicy,
 ) -> Result<(Tensor, Vec<RunReport>, ChipSpec), CompileError> {
+    run_ffn_traced(timeline_spec, policy, Trace::disabled())
+}
+
+/// [`run_ffn`] with a structured-event sink attached to the controller.
+fn run_ffn_traced(
+    timeline_spec: Option<&str>,
+    policy: RecoveryPolicy,
+    trace: Trace,
+) -> Result<(Tensor, Vec<RunReport>, ChipSpec), CompileError> {
     let ops = ffn_ops();
     let x = Tensor::pattern(vec![16, 32], 0.3);
     let w1 = Tensor::pattern(vec![32, 32], 0.7);
     let w2 = Tensor::pattern(vec![32, 16], 0.5);
 
-    let controller = RecoveryController::new(SimulatorMode::Functional, policy);
+    let controller = RecoveryController::new(SimulatorMode::Functional, policy).with_trace(trace);
     let mut spec = ChipSpec::ipu_with_cores(CORES);
     let mut faults = FaultPlan::new(CORES);
     let mut timeline = match timeline_spec {
@@ -93,6 +105,7 @@ fn run_ffn(
                     deadline: None,
                     faults: Some(faults.clone()),
                     warm_start: warm.map(<[_]>::to_vec),
+                    ..CompileOptions::default()
                 };
                 let (pareto, _) = compiler.compile_node_with(&graph, 0, &opts)?;
                 for sp in pareto.plans() {
@@ -236,6 +249,48 @@ fn recovery_is_deterministic_for_a_seeded_timeline() {
 }
 
 #[test]
+fn recovery_trace_records_faults_and_is_deterministic() {
+    let policy = RecoveryPolicy {
+        max_retries: 8,
+        ..RecoveryPolicy::default()
+    };
+    let run = |spec: &str| {
+        let trace = Trace::logical();
+        run_ffn_traced(Some(spec), policy.clone(), trace.clone()).unwrap();
+        trace
+    };
+
+    // A transient drop leaves retry + rollback instants on the recovery
+    // track, plus the checkpoints the simulator took along the way.
+    let trace = run("drop=1@2");
+    let events = trace.snapshot();
+    let named = |n: &str| events.iter().filter(|e| e.name == n).count();
+    assert!(named("retry") >= 1, "transient fault emits a retry");
+    assert!(named("rollback") >= 1, "retry rolls back to a checkpoint");
+    assert!(named("checkpoint") >= 1, "simulator checkpoints are traced");
+    assert_eq!(named("replan"), 0, "no re-plan for a transient fault");
+    let retry = events.iter().find(|e| e.name == "retry").unwrap();
+    assert_eq!(retry.pid, t10_trace::PID_RECOVERY);
+    assert!(retry.arg_f64("backoff_us").unwrap() > 0.0);
+
+    // A dead link forces a re-plan and a migration.
+    let trace = run("down=1@2");
+    let events = trace.snapshot();
+    let replans: Vec<_> = events.iter().filter(|e| e.name == "replan").collect();
+    assert!(!replans.is_empty(), "link death emits a replan");
+    assert!(replans[0].arg_str("fault").unwrap().contains("link"));
+    assert!(
+        events.iter().any(|e| e.name == "migrate"),
+        "re-plan emits its migration volume"
+    );
+
+    // Same seed, byte-identical trace file.
+    let a = t10_trace::write_chrome_trace(&run("seed=5,random=3@4").snapshot());
+    let b = t10_trace::write_chrome_trace(&run("seed=5,random=3@4").snapshot());
+    assert_eq!(a, b, "same timeline seed, same trace bytes");
+}
+
+#[test]
 fn exhausted_retry_budget_is_unrecoverable() {
     let policy = RecoveryPolicy {
         max_retries: 0,
@@ -264,6 +319,7 @@ fn warm_start_skips_the_search_when_plans_survive() {
         deadline: None,
         faults: None,
         warm_start: Some(vec![cold.clone()]),
+        ..CompileOptions::default()
     };
     let (warm, warm_stats) = compiler.compile_node_with(&graph, 0, &opts).unwrap();
     assert_eq!(warm, cold, "surviving frontier carries over verbatim");

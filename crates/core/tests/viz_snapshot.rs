@@ -1,0 +1,122 @@
+//! Snapshot tests for the ASCII plan visualizations.
+//!
+//! The renders in `viz` are documentation-facing output: the Figure-7-style
+//! rotation schedule and the Figure-17-style Pareto scatter. These tests pin
+//! the exact byte-for-byte output on small, hand-built plans so incidental
+//! formatting drift shows up as a reviewable diff (update the expected
+//! string deliberately when the format is meant to change).
+
+#![allow(clippy::unwrap_used)]
+
+use t10_core::cost::PlanCost;
+use t10_core::plan::{Plan, PlanConfig, TemporalChoice};
+use t10_core::search::{ParetoSet, ScoredPlan};
+use t10_core::viz;
+use t10_ir::builders;
+
+/// The paper's Figure 7 setting: a 2x6x3 matmul on a [2,1,3] core grid with
+/// the reduction axis rotating in 3 steps.
+fn fig7() -> (t10_ir::Operator, Plan) {
+    let op = builders::matmul(0, 1, 2, 2, 6, 3).unwrap();
+    let plan = Plan::build(
+        &op,
+        &[2, 2],
+        2,
+        PlanConfig {
+            f_op: vec![2, 1, 3],
+            temporal: vec![TemporalChoice::rotate(1, 3), TemporalChoice::rotate(0, 2)],
+        },
+    )
+    .unwrap();
+    (op, plan)
+}
+
+#[test]
+fn rotation_schedule_snapshot() {
+    let (op, plan) = fig7();
+    let got = viz::rotation_schedule(&op, &plan, 0);
+    // Escaped literal: the render pads every cell, so rows carry trailing
+    // spaces that editors would silently strip from a raw snapshot. The
+    // second half of the grid starts its rotation window offset by σ = 3,
+    // the paper's diagonal-alignment trick (no two cores fetch the same
+    // window at the same step).
+    let want = "rotation along axis `k` (rp = 2, 3 steps, slots [0, 1]):\n\
+                \x20       core step0   step1   step2   \n\
+                \x20  [0, 0, 0] [ 0..2 ) [ 2..4 ) [ 4..6 ) \n\
+                \x20  [0, 0, 1] [ 2..4 ) [ 4..6 ) [ 0..2 ) \n\
+                \x20  [0, 0, 2] [ 4..6 ) [ 0..2 ) [ 2..4 ) \n\
+                \x20  [1, 0, 0] [ 3..5 ) [ 5..7 ) [ 1..3 ) \n\
+                \x20  [1, 0, 1] [ 5..7 ) [ 1..3 ) [ 3..5 ) \n\
+                \x20  [1, 0, 2] [ 1..3 ) [ 3..5 ) [ 5..7 ) \n";
+    assert_eq!(got, want, "rotation schedule drifted:\n{got}");
+}
+
+/// A hand-built three-point frontier with fixed costs, so the scatter is
+/// fully deterministic (no search, no calibration).
+fn tiny_frontier() -> ParetoSet {
+    let (_, plan) = fig7();
+    let mut set = ParetoSet::default();
+    for (exec_us, mem_kb) in [(30.0, 16), (20.0, 32), (10.0, 64)] {
+        set.insert(ScoredPlan {
+            plan: plan.clone(),
+            cost: PlanCost {
+                exec_time: exec_us * 1e-6,
+                compute_time: exec_us * 0.6e-6,
+                exchange_time: exec_us * 0.4e-6,
+                mem_per_core: mem_kb * 1024,
+            },
+            setup_time: 0.0,
+        });
+    }
+    set
+}
+
+#[test]
+fn pareto_scatter_snapshot() {
+    let set = tiny_frontier();
+    assert_eq!(set.len(), 3, "all three points are Pareto-optimal");
+    let got = viz::pareto_scatter(&set, 24, 7);
+    // The canvas is fully padded, so each `|` row is exactly 24 cells wide.
+    // The frontier's trade-off shape reads off the plot: slowest/leanest
+    // plan top-left, fastest/fattest bottom-right.
+    let want = "exec time 30.0us (top) .. 10.0us (bottom)\n\
+                |*                       \n\
+                |                        \n\
+                |                        \n\
+                |       *                \n\
+                |                        \n\
+                |                        \n\
+                |                       *\n\
+                +------------------------\n\
+                \x20mem/core 16KB .. 64KB\n";
+    assert_eq!(got, want, "pareto scatter drifted:\n{got}");
+}
+
+#[test]
+fn pareto_scatter_single_point_snapshot() {
+    let (_, plan) = fig7();
+    let mut set = ParetoSet::default();
+    set.insert(ScoredPlan {
+        plan,
+        cost: PlanCost {
+            exec_time: 5e-6,
+            compute_time: 4e-6,
+            exchange_time: 1e-6,
+            mem_per_core: 8 * 1024,
+        },
+        setup_time: 0.0,
+    });
+    let got = viz::pareto_scatter(&set, 16, 6);
+    // A degenerate (single-point) frontier pins the star to the
+    // bottom-left corner.
+    let want = "exec time 5.0us (top) .. 5.0us (bottom)\n\
+                |                \n\
+                |                \n\
+                |                \n\
+                |                \n\
+                |                \n\
+                |*               \n\
+                +----------------\n\
+                \x20mem/core 8KB .. 8KB\n";
+    assert_eq!(got, want, "single-point scatter drifted:\n{got}");
+}

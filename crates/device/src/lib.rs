@@ -16,6 +16,9 @@
 //! * [`iface::DeviceInterface`] — the three-primitive device trait;
 //! * [`gpu`] — an A100 roofline executor for the §6.6/§6.7 comparisons.
 
+// Tests may unwrap freely; library code must not (workspace lint).
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod gpu;
 pub mod iface;
 pub mod program;

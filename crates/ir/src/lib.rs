@@ -23,6 +23,9 @@
 //!   truth for functional tests of compiled execution plans;
 //! * [`builders`] — convenience constructors for all common DNN operators.
 
+// Tests may unwrap freely; library code must not (workspace lint).
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod builders;
 pub mod dtype;
 pub mod error;

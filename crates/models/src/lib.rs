@@ -18,6 +18,9 @@
 //! replaced by these builders (hardware-gate substitution in `DESIGN.md`);
 //! the shapes and parameter counts are what define the evaluation.
 
+// Tests may unwrap freely; library code must not (workspace lint).
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod common;
 pub mod llm;
 pub mod nerf;

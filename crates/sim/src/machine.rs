@@ -6,6 +6,7 @@ use t10_device::program::{
 };
 use t10_device::{truth, ChipSpec};
 use t10_ir::Tensor;
+use t10_trace::{Trace, Value, CHIP_TID, PID_RECOVERY, PID_SIM};
 
 use crate::buffer::FuncBuffer;
 use crate::fault::{FaultPlan, LinkFault};
@@ -51,6 +52,13 @@ impl Checkpoint {
     }
 }
 
+/// Default number of cores that get dedicated span tracks in a structured
+/// trace (see [`Simulator::with_trace_cores`]).
+pub const DEFAULT_TRACE_CORES: usize = 16;
+
+/// One core's exchange totals: `(core, bytes in, bytes out)`.
+type CoreShiftBytes = (usize, u64, u64);
+
 /// A simulated inter-core connected chip.
 pub struct Simulator {
     spec: ChipSpec,
@@ -59,6 +67,16 @@ pub struct Simulator {
     decls: Vec<BufferDecl>,
     bufs: Vec<Option<FuncBuffer>>,
     tracing: bool,
+    /// Structured event sink ([`t10_trace`]); disabled by default, so the
+    /// hot loop pays one branch per potential event.
+    trace: Trace,
+    /// Number of low-indexed cores that get their own span track in the
+    /// structured trace; the chip-aggregate track always exists.
+    trace_cores: usize,
+    /// Whether this simulator already named its trace tracks (done once,
+    /// lazily, so the `resume`-only path of the recovery controller still
+    /// gets viewer metadata).
+    trace_meta_emitted: bool,
     faults: Option<FaultPlan>,
     timeline: Option<FaultTimeline>,
     /// Checkpoint interval in supersteps (0 = checkpointing off).
@@ -93,6 +111,9 @@ impl Simulator {
             decls: Vec::new(),
             bufs: Vec::new(),
             tracing: false,
+            trace: Trace::disabled(),
+            trace_cores: DEFAULT_TRACE_CORES,
+            trace_meta_emitted: false,
             faults: None,
             timeline: None,
             ckpt_every: 0,
@@ -110,6 +131,36 @@ impl Simulator {
     pub fn with_tracing(mut self) -> Self {
         self.tracing = true;
         self
+    }
+
+    /// Attaches a structured event sink: every superstep emits per-core
+    /// compute/shift/idle spans, chip-level phase spans, link-byte and SRAM
+    /// high-water counters, and checkpoint/fault instants, all stamped in
+    /// **sim time** (simulated seconds × 10⁶), so the trace is
+    /// deterministic under a fixed seed. A [`Trace::disabled`] handle (the
+    /// default) records nothing and costs one branch per event site.
+    pub fn with_trace(mut self, trace: Trace) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Caps how many low-indexed cores get their own span track in the
+    /// structured trace (the chip-aggregate track is unaffected). Keeps
+    /// traces of 1000+-core chips loadable in a viewer.
+    pub fn with_trace_cores(mut self, cores: usize) -> Self {
+        self.trace_cores = cores;
+        self
+    }
+
+    /// The attached structured event sink (disabled unless
+    /// [`Simulator::with_trace`] was called).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Simulated seconds elapsed so far in the current run.
+    pub fn elapsed_sim_time(&self) -> f64 {
+        self.acc.total_time
     }
 
     /// Injects a fault plan: degraded/lost links stretch exchange phases,
@@ -225,6 +276,20 @@ impl Simulator {
         } else {
             0.0
         };
+        if self.trace.enabled() {
+            self.trace.instant(
+                "checkpoint",
+                "recovery",
+                PID_RECOVERY,
+                0,
+                self.acc.total_time * 1e6,
+                vec![
+                    ("step", Value::U64(self.global_step() as u64)),
+                    ("bytes", Value::U64(bytes)),
+                    ("drain_us", Value::F64(secs * 1e6)),
+                ],
+            );
+        }
         // Charge before snapshotting, so the stored report already includes
         // this checkpoint's cost: replaying from the snapshot then re-charges
         // later steps identically, keeping restored runs bit-identical to
@@ -427,6 +492,10 @@ impl Simulator {
     }
 
     fn advance(&mut self, prog: &Program) -> Result<RunReport> {
+        if self.trace.enabled() && !self.trace_meta_emitted {
+            self.emit_track_metadata();
+            self.trace_meta_emitted = true;
+        }
         while self.cursor < prog.steps.len() {
             let g = self.cursor;
             // 1. Fire timeline events due at this barrier. Non-fatal events
@@ -435,6 +504,19 @@ impl Simulator {
             let global = self.step_offset + g;
             while let Some(ev) = self.timeline.as_mut().and_then(|t| t.pop_due(global)) {
                 if ev.kind.is_fatal() {
+                    if self.trace.enabled() {
+                        self.trace.instant(
+                            "fault_fatal",
+                            "recovery",
+                            PID_RECOVERY,
+                            0,
+                            self.acc.total_time * 1e6,
+                            vec![
+                                ("step", Value::U64(global as u64)),
+                                ("reason", Value::Str(ev.describe())),
+                            ],
+                        );
+                    }
                     self.pending_fault = Some(ev);
                     return Err(DeviceError::runtime_fault(
                         global,
@@ -456,6 +538,7 @@ impl Simulator {
             }
             // 3. Execute the superstep.
             let step = &prog.steps[g];
+            let step_start = self.acc.total_time;
             let (comp, comp_healthy) = self.compute_phase(prog, step)?;
             let (exch, exch_healthy, summary) = self.exchange_phase(step)?;
             self.acc.fault_compute_overhead += comp - comp_healthy;
@@ -483,7 +566,13 @@ impl Simulator {
                     compute: comp,
                     exchange: exch,
                     bytes: summary.total_bytes,
+                    max_core_in: summary.max_core_in,
+                    max_core_out: summary.max_core_out,
+                    sram_peak: self.mem.peak_any_core(),
                 });
+            }
+            if self.trace.enabled() {
+                self.emit_step_events(step, global, step_start, comp, exch, &summary);
             }
             self.acc.steps += 1;
             self.cursor += 1;
@@ -499,6 +588,19 @@ impl Simulator {
     /// Folds a non-fatal persistent fault event into the active fault plan:
     /// the machine keeps running, just degraded from this barrier on.
     fn absorb_event(&mut self, ev: FaultEvent) {
+        if self.trace.enabled() {
+            self.trace.instant(
+                "fault_absorbed",
+                "recovery",
+                PID_RECOVERY,
+                0,
+                self.acc.total_time * 1e6,
+                vec![
+                    ("step", Value::U64(self.global_step() as u64)),
+                    ("reason", Value::Str(ev.describe())),
+                ],
+            );
+        }
         let plan = self
             .faults
             .take()
@@ -600,6 +702,16 @@ impl Simulator {
 
     /// Derives an exchange summary from explicit shifts.
     fn summarize_shifts(&self, shifts: &[ShiftOp]) -> Result<ExchangeSummary> {
+        Ok(self.summarize_shifts_full(shifts)?.0)
+    }
+
+    /// Derives an exchange summary from explicit shifts, plus each active
+    /// core's `(core, in_bytes, out_bytes)` totals (sorted by core index)
+    /// for per-link trace counters.
+    fn summarize_shifts_full(
+        &self,
+        shifts: &[ShiftOp],
+    ) -> Result<(ExchangeSummary, Vec<CoreShiftBytes>)> {
         let mut s = ExchangeSummary::default();
         let mut out_bytes = std::collections::HashMap::new();
         let mut in_bytes = std::collections::HashMap::new();
@@ -638,7 +750,205 @@ impl Simulator {
         cores.sort_unstable();
         cores.dedup();
         s.active_cores = cores.len();
-        Ok(s)
+        let links = cores
+            .iter()
+            .map(|&c| {
+                (
+                    c,
+                    in_bytes.get(&c).copied().unwrap_or(0),
+                    out_bytes.get(&c).copied().unwrap_or(0),
+                )
+            })
+            .collect();
+        Ok((s, links))
+    }
+
+    /// Names the trace's processes and tracks for the viewer.
+    fn emit_track_metadata(&self) {
+        self.trace
+            .meta("process_name", PID_SIM, 0, "t10 chip (sim time)");
+        self.trace
+            .meta("thread_name", PID_SIM, CHIP_TID, "chip aggregate");
+        for c in 0..self.trace_cores.min(self.spec.num_cores) {
+            self.trace
+                .meta("thread_name", PID_SIM, c as u32, format!("core {c}"));
+        }
+        self.trace
+            .meta("process_name", PID_RECOVERY, 0, "t10 recovery (sim time)");
+    }
+
+    /// Emits one executed superstep's structured events: chip-track phase
+    /// spans and counters, plus per-core compute/shift/idle spans for cores
+    /// with index below the [`Simulator::with_trace_cores`] cap. Explicit
+    /// vertex tasks give exact per-core times; summary-only steps
+    /// approximate by showing the first `active_cores` tracks at the
+    /// healthy time scaled by each core's fault multiplier (exact for SPMD
+    /// plans that occupy every core).
+    #[allow(clippy::too_many_arguments)]
+    fn emit_step_events(
+        &self,
+        step: &t10_device::program::Superstep,
+        global: usize,
+        t0: f64,
+        comp: f64,
+        exch: f64,
+        summary: &ExchangeSummary,
+    ) {
+        const US: f64 = 1e6;
+        let ts0 = t0 * US;
+        let ts1 = ts0 + comp * US;
+        let step_u = global as u64;
+        let mut chip_args = vec![("step", Value::U64(step_u))];
+        if let Some(n) = step.node {
+            chip_args.push(("node", Value::U64(n as u64)));
+        }
+        if comp > 0.0 {
+            self.trace.span(
+                "compute",
+                "sim",
+                PID_SIM,
+                CHIP_TID,
+                ts0,
+                comp * US,
+                chip_args.clone(),
+            );
+        }
+        if exch > 0.0 {
+            let mut args = chip_args.clone();
+            args.push(("bytes", Value::U64(summary.total_bytes)));
+            self.trace
+                .span("exchange", "sim", PID_SIM, CHIP_TID, ts1, exch * US, args);
+        }
+        if summary.total_bytes > 0 {
+            self.trace.counter(
+                "link_bytes",
+                "sim",
+                PID_SIM,
+                CHIP_TID,
+                ts1,
+                vec![
+                    ("total", Value::U64(summary.total_bytes)),
+                    ("max_core_in", Value::U64(summary.max_core_in)),
+                    ("max_core_out", Value::U64(summary.max_core_out)),
+                    ("cross_chip", Value::U64(summary.cross_chip_bytes)),
+                ],
+            );
+        }
+        self.trace.counter(
+            "sram_high_water",
+            "sim",
+            PID_SIM,
+            CHIP_TID,
+            ts0,
+            vec![("bytes", Value::U64(self.mem.peak_any_core() as u64))],
+        );
+        let cap = self.trace_cores.min(self.spec.num_cores);
+        // Per-core compute times for the dedicated tracks.
+        let mut core_times: Vec<(usize, f64)> = Vec::new();
+        if !step.compute.is_empty() {
+            let mut per: std::collections::BTreeMap<usize, f64> = std::collections::BTreeMap::new();
+            for t in &step.compute {
+                let mult = self
+                    .faults
+                    .as_ref()
+                    .map_or(1.0, |f| f.compute_multiplier(t.core));
+                let time = truth::vertex_time(&self.spec, &t.desc) * mult;
+                let slot = per.entry(t.core).or_insert(0.0);
+                if time > *slot {
+                    *slot = time;
+                }
+            }
+            core_times = per.into_iter().filter(|(c, _)| *c < cap).collect();
+        } else if let Some(cs) = &step.compute_summary {
+            if cs.active_cores > 0 {
+                let healthy = truth::vertex_time(&self.spec, &cs.desc);
+                for c in 0..cs.active_cores.min(cap) {
+                    let mult = self
+                        .faults
+                        .as_ref()
+                        .map_or(1.0, |f| f.compute_multiplier(c));
+                    core_times.push((c, (healthy * mult).min(comp)));
+                }
+            }
+        }
+        let shift_cores: Vec<usize> = if core_times.is_empty() && exch > 0.0 {
+            (0..summary.active_cores.min(cap)).collect()
+        } else {
+            core_times.iter().map(|(c, _)| *c).collect()
+        };
+        for &(core, time) in &core_times {
+            let tid = core as u32;
+            if time > 0.0 {
+                self.trace.span(
+                    "compute",
+                    "sim",
+                    PID_SIM,
+                    tid,
+                    ts0,
+                    time * US,
+                    vec![("step", Value::U64(step_u))],
+                );
+            }
+            // The BSP barrier holds every core until the slowest finishes.
+            let idle = comp - time;
+            if idle > 0.0 {
+                self.trace.span(
+                    "idle",
+                    "sim",
+                    PID_SIM,
+                    tid,
+                    ts0 + time * US,
+                    idle * US,
+                    vec![("step", Value::U64(step_u))],
+                );
+            }
+        }
+        if exch > 0.0 {
+            for &core in &shift_cores {
+                self.trace.span(
+                    "shift",
+                    "sim",
+                    PID_SIM,
+                    core as u32,
+                    ts1,
+                    exch * US,
+                    vec![("step", Value::U64(step_u))],
+                );
+            }
+        }
+        // Per-core link-byte counters (explicit shifts only: summaries
+        // don't name their cores).
+        if !step.exchange.is_empty() {
+            if let Ok((_, links)) = self.summarize_shifts_full(&step.exchange) {
+                for (core, inb, outb) in links {
+                    if core >= cap {
+                        continue;
+                    }
+                    self.trace.counter(
+                        "core_link_bytes",
+                        "sim",
+                        PID_SIM,
+                        core as u32,
+                        ts1,
+                        vec![("in", Value::U64(inb)), ("out", Value::U64(outb))],
+                    );
+                }
+            }
+        }
+        // Per-core SRAM high-water counters.
+        for c in 0..cap {
+            let peak = self.mem.peak_of(c);
+            if peak > 0 {
+                self.trace.counter(
+                    "sram_peak",
+                    "sim",
+                    PID_SIM,
+                    c as u32,
+                    ts0,
+                    vec![("bytes", Value::U64(peak as u64))],
+                );
+            }
+        }
     }
 
     /// Applies a set of shifts atomically: all payloads are read before any
@@ -1181,6 +1491,82 @@ mod tests {
         assert!(Simulator::new(small_spec(4), SimulatorMode::Timing)
             .with_fault_plan(plan)
             .is_err());
+    }
+
+    #[test]
+    fn structured_trace_emits_spans_and_is_deterministic() {
+        let mut prog = Program::new();
+        for _ in 0..3 {
+            let mut step = Superstep::new(Some(0), Phase::Execute);
+            step.compute_summary = Some(ComputeSummary {
+                desc: SubTaskDesc {
+                    kind: OpKind::MatMul,
+                    out_elems: 1024,
+                    red_elems: 128,
+                    window: 1,
+                    in_bytes: 4096,
+                    out_bytes: 2048,
+                },
+                active_cores: 4,
+            });
+            step.exchange_summary = Some(ExchangeSummary {
+                total_bytes: 4 * 1024,
+                max_core_out: 1024,
+                max_core_in: 1024,
+                cross_chip_bytes: 0,
+                offchip_bytes: 0,
+                active_cores: 4,
+                max_core_messages: 1,
+            });
+            prog.steps.push(step);
+        }
+        let run = || {
+            let trace = t10_trace::Trace::logical();
+            let mut sim =
+                Simulator::new(small_spec(4), SimulatorMode::Timing).with_trace(trace.clone());
+            sim.run(&prog).unwrap();
+            t10_trace::chrome::write_chrome_trace(&trace.snapshot())
+        };
+        let a = run();
+        let b = run();
+        // Sim events are stamped in sim time, so two identical runs emit
+        // byte-identical traces.
+        assert_eq!(a, b);
+        let events = t10_trace::chrome::parse_chrome_trace(&a).unwrap();
+        use t10_trace::CHIP_TID;
+        assert!(events
+            .iter()
+            .any(|e| e.name == "compute" && e.tid == CHIP_TID));
+        assert!(events
+            .iter()
+            .any(|e| e.name == "exchange" && e.tid == CHIP_TID));
+        assert!(events
+            .iter()
+            .any(|e| e.name == "compute" && e.tid < CHIP_TID));
+        assert!(events.iter().any(|e| e.name == "shift" && e.tid < CHIP_TID));
+        assert!(events.iter().any(|e| e.name == "link_bytes"));
+        assert!(events.iter().any(|e| e.name == "sram_high_water"));
+        // Chip-track spans reconstruct the run's total time.
+        let report_total: f64 = {
+            let mut sim = Simulator::new(small_spec(4), SimulatorMode::Timing);
+            sim.run(&prog).unwrap().total_time
+        };
+        let span_total: f64 = events
+            .iter()
+            .filter(|e| e.tid == CHIP_TID)
+            .filter_map(|e| e.dur_us())
+            .sum();
+        assert!((span_total / 1e6 - report_total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disabled_trace_emits_nothing() {
+        let mut prog = Program::new();
+        prog.steps.push(Superstep::new(Some(0), Phase::Execute));
+        let mut sim = Simulator::new(small_spec(2), SimulatorMode::Timing);
+        sim.run(&prog).unwrap();
+        assert!(sim.trace().is_empty());
+        assert!(!sim.trace().enabled());
     }
 
     #[test]

@@ -84,6 +84,11 @@ impl MemoryTracker {
         self.used.get(core).copied().unwrap_or(0)
     }
 
+    /// High-water mark of one core (0 if out of range).
+    pub fn peak_of(&self, core: usize) -> usize {
+        self.peak.get(core).copied().unwrap_or(0)
+    }
+
     /// High-water mark across all cores.
     pub fn peak_any_core(&self) -> usize {
         self.peak.iter().copied().max().unwrap_or(0)

@@ -42,6 +42,12 @@ pub struct StepTrace {
     pub exchange: f64,
     /// Bytes moved between cores this step.
     pub bytes: u64,
+    /// Busiest core's inbound bytes this step (after link-fault inflation).
+    pub max_core_in: u64,
+    /// Busiest core's outbound bytes this step.
+    pub max_core_out: u64,
+    /// Scratchpad high-water mark across cores as of this step, bytes.
+    pub sram_peak: usize,
 }
 
 /// What it cost to survive a run: retries, recompiles, and checkpoint
@@ -135,7 +141,12 @@ impl RunReport {
         if self.bw_core_seconds_acc <= 0.0 {
             return 0.0;
         }
-        self.bw_bytes_acc / self.bw_core_seconds_acc
+        let bw = self.bw_bytes_acc / self.bw_core_seconds_acc;
+        if bw.is_finite() {
+            bw
+        } else {
+            0.0
+        }
     }
 
     /// Total extra seconds attributable to injected faults (compute and
@@ -151,7 +162,12 @@ impl RunReport {
         if self.total_time <= 0.0 {
             return 0.0;
         }
-        self.exchange_time / self.total_time
+        let frac = self.exchange_time / self.total_time;
+        if frac.is_finite() {
+            frac
+        } else {
+            0.0
+        }
     }
 
     /// Adds a phase's timing into the per-phase accumulators.
@@ -221,5 +237,32 @@ mod tests {
             ..RunReport::default()
         };
         assert_eq!(r.transfer_fraction(), 0.25);
+    }
+
+    #[test]
+    fn zero_step_report_stays_finite() {
+        // A run with no supersteps must not divide by zero: both derived
+        // metrics are defined as 0, not NaN/inf.
+        let r = RunReport::default();
+        assert_eq!(r.steps, 0);
+        assert_eq!(r.transfer_fraction(), 0.0);
+        assert_eq!(r.avg_link_bandwidth(), 0.0);
+        assert!(r.transfer_fraction().is_finite());
+        assert!(r.avg_link_bandwidth().is_finite());
+    }
+
+    #[test]
+    fn poisoned_accumulators_stay_finite() {
+        // Even if upstream accounting goes NaN, the derived metrics clamp
+        // to 0 rather than propagating non-finite values into reports.
+        let r = RunReport {
+            total_time: 1.0,
+            exchange_time: f64::NAN,
+            bw_bytes_acc: f64::INFINITY,
+            bw_core_seconds_acc: 1e-300,
+            ..RunReport::default()
+        };
+        assert_eq!(r.transfer_fraction(), 0.0);
+        assert_eq!(r.avg_link_bandwidth(), 0.0);
     }
 }

@@ -6,6 +6,8 @@
 //! pin that invariant down, plus the honest memory accounting for the
 //! checkpoint staging reservation and the determinism of seeded timelines.
 
+#![allow(clippy::unwrap_used)]
+
 use proptest::prelude::*;
 use t10_device::program::{
     BufferDecl, ComputeSummary, ExchangeSummary, Phase, Program, ShiftKind, ShiftOp, SubTaskDesc,

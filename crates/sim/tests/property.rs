@@ -1,5 +1,7 @@
 //! Property-based tests of the simulator substrates.
 
+#![allow(clippy::unwrap_used)]
+
 use proptest::prelude::*;
 use t10_sim::{FuncBuffer, MemoryTracker};
 

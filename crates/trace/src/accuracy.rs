@@ -1,0 +1,207 @@
+//! Cost-model accuracy telemetry (the paper's Figure 15 methodology).
+//!
+//! T10 only needs its linear cost model to be accurate enough to *rank*
+//! candidate compute-shift plans; the paper evaluates this by comparing
+//! predicted and measured operator times and checking rank agreement. This
+//! module collects per-operator (predicted, simulated) time pairs and
+//! aggregates them into a mean absolute percentage error and a Spearman
+//! rank correlation (with average ranks for ties).
+
+/// One operator's predicted-vs-simulated time pair, in microseconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccuracySample {
+    /// Operator label (graph node name).
+    pub name: String,
+    /// Cost-model prediction, µs.
+    pub predicted_us: f64,
+    /// Simulated execution time, µs.
+    pub simulated_us: f64,
+}
+
+impl AccuracySample {
+    /// Absolute percentage error of the prediction against the simulation,
+    /// or `None` when the simulated time is zero.
+    pub fn ape(&self) -> Option<f64> {
+        if self.simulated_us.abs() > 0.0 {
+            Some((self.predicted_us - self.simulated_us).abs() / self.simulated_us.abs())
+        } else {
+            None
+        }
+    }
+}
+
+/// Aggregate accuracy over a set of samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccuracyReport {
+    /// Number of samples aggregated.
+    pub count: usize,
+    /// Mean absolute percentage error over samples with nonzero simulated
+    /// time (0 when none qualify).
+    pub mape: f64,
+    /// Spearman rank correlation between predicted and simulated times
+    /// (`None` with fewer than two samples or zero rank variance).
+    pub spearman: Option<f64>,
+}
+
+impl AccuracyReport {
+    /// Aggregates samples into MAPE + Spearman rank correlation.
+    pub fn from_samples(samples: &[AccuracySample]) -> Self {
+        let apes: Vec<f64> = samples.iter().filter_map(AccuracySample::ape).collect();
+        let mape = if apes.is_empty() {
+            0.0
+        } else {
+            apes.iter().sum::<f64>() / apes.len() as f64
+        };
+        let predicted: Vec<f64> = samples.iter().map(|s| s.predicted_us).collect();
+        let simulated: Vec<f64> = samples.iter().map(|s| s.simulated_us).collect();
+        AccuracyReport {
+            count: samples.len(),
+            mape,
+            spearman: spearman(&predicted, &simulated),
+        }
+    }
+
+    /// One-line human rendering, e.g.
+    /// `n=12 MAPE=7.3% Spearman=0.98`.
+    pub fn render(&self) -> String {
+        match self.spearman {
+            Some(rho) => format!(
+                "n={} MAPE={:.1}% Spearman={:.3}",
+                self.count,
+                self.mape * 100.0,
+                rho
+            ),
+            None => format!(
+                "n={} MAPE={:.1}% Spearman=n/a",
+                self.count,
+                self.mape * 100.0
+            ),
+        }
+    }
+}
+
+/// Average ranks (1-based), with tied values sharing the mean of the ranks
+/// they span.
+fn average_ranks(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && values[order[j + 1]] == values[order[i]] {
+            j += 1;
+        }
+        // Positions i..=j (0-based) share the average 1-based rank.
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Spearman rank correlation: Pearson correlation of the average ranks.
+/// `None` with fewer than two points or when either side has zero rank
+/// variance (all values tied).
+pub fn spearman(a: &[f64], b: &[f64]) -> Option<f64> {
+    if a.len() != b.len() || a.len() < 2 {
+        return None;
+    }
+    let ra = average_ranks(a);
+    let rb = average_ranks(b);
+    let n = ra.len() as f64;
+    let mean_a = ra.iter().sum::<f64>() / n;
+    let mean_b = rb.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut var_a = 0.0;
+    let mut var_b = 0.0;
+    for (x, y) in ra.iter().zip(rb.iter()) {
+        let dx = x - mean_a;
+        let dy = y - mean_b;
+        cov += dx * dy;
+        var_a += dx * dx;
+        var_b += dy * dy;
+    }
+    if var_a <= 0.0 || var_b <= 0.0 {
+        return None;
+    }
+    Some(cov / (var_a.sqrt() * var_b.sqrt()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(name: &str, p: f64, s: f64) -> AccuracySample {
+        AccuracySample {
+            name: name.into(),
+            predicted_us: p,
+            simulated_us: s,
+        }
+    }
+
+    #[test]
+    fn perfect_prediction() {
+        let samples = vec![
+            sample("a", 1.0, 1.0),
+            sample("b", 2.0, 2.0),
+            sample("c", 3.0, 3.0),
+        ];
+        let report = AccuracyReport::from_samples(&samples);
+        assert_eq!(report.count, 3);
+        assert!(report.mape.abs() < 1e-12);
+        assert!((report.spearman.unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_ranking() {
+        let samples = vec![
+            sample("a", 3.0, 1.0),
+            sample("b", 2.0, 2.0),
+            sample("c", 1.0, 3.0),
+        ];
+        let report = AccuracyReport::from_samples(&samples);
+        assert!((report.spearman.unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mape_skips_zero_simulated() {
+        let samples = vec![sample("a", 1.0, 0.0), sample("b", 1.1, 1.0)];
+        let report = AccuracyReport::from_samples(&samples);
+        // Only sample b contributes: |1.1 - 1.0| / 1.0 = 0.1.
+        assert!((report.mape - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_use_average_ranks() {
+        // [1, 2, 2, 4]: the two 2s get rank (2+3)/2 = 2.5.
+        let ranks = average_ranks(&[1.0, 2.0, 2.0, 4.0]);
+        assert_eq!(ranks, vec![1.0, 2.5, 2.5, 4.0]);
+        // All tied on one side → no rank variance → None.
+        assert_eq!(spearman(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), None);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(spearman(&[], &[]), None);
+        assert_eq!(spearman(&[1.0], &[1.0]), None);
+        assert_eq!(spearman(&[1.0, 2.0], &[1.0]), None);
+        let report = AccuracyReport::from_samples(&[]);
+        assert_eq!(report.count, 0);
+        assert_eq!(report.mape, 0.0);
+        assert_eq!(report.spearman, None);
+        assert!(report.render().contains("n/a"));
+    }
+
+    #[test]
+    fn render_formats() {
+        let samples = vec![sample("a", 1.1, 1.0), sample("b", 2.0, 2.0)];
+        let report = AccuracyReport::from_samples(&samples);
+        let line = report.render();
+        assert!(line.starts_with("n=2 MAPE=5.0%"), "{line}");
+        assert!(line.contains("Spearman=1.000"), "{line}");
+    }
+}

@@ -1,0 +1,342 @@
+//! Chrome trace-event JSON export and import.
+//!
+//! The writer emits the ["JSON object format"] understood by Perfetto and
+//! `chrome://tracing`: a top-level object with a `traceEvents` array, one
+//! event object per line. Field order, float formatting, and argument order
+//! are all fixed, so a trace recorded against a deterministic clock is
+//! byte-identical across same-seed runs, and `parse → emit` reproduces the
+//! input exactly (the round-trip property the CI schema check relies on).
+//!
+//! ["JSON object format"]:
+//!     https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+//!
+//! Phases used: `X` (complete span), `C` (counter), `i` (instant, thread
+//! scope), `M` (metadata: `process_name` / `thread_name`).
+
+use crate::event::{Event, EventKind, Value};
+use crate::json::{self, Json};
+use std::collections::HashMap;
+
+/// Serializes events to a Chrome trace-event JSON document (one event per
+/// line, trailing newline).
+pub fn write_chrome_trace(events: &[Event]) -> String {
+    if events.is_empty() {
+        return "{\"traceEvents\":[]}\n".to_string();
+    }
+    let mut out = String::with_capacity(events.len() * 96);
+    out.push_str("{\"traceEvents\":[\n");
+    for (i, ev) in events.iter().enumerate() {
+        write_event(&mut out, ev);
+        if i + 1 < events.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]}\n");
+    out
+}
+
+fn write_event(out: &mut String, ev: &Event) {
+    out.push_str("{\"name\":\"");
+    json::escape_into(out, &ev.name);
+    out.push_str("\",\"cat\":\"");
+    json::escape_into(out, ev.cat);
+    out.push_str("\",\"ph\":\"");
+    out.push_str(match ev.kind {
+        EventKind::Complete { .. } => "X",
+        EventKind::Counter => "C",
+        EventKind::Instant => "i",
+        EventKind::Meta => "M",
+    });
+    out.push_str("\",\"ts\":");
+    out.push_str(&json::fmt_f64(ev.ts_us));
+    if let EventKind::Complete { dur_us } = ev.kind {
+        out.push_str(",\"dur\":");
+        out.push_str(&json::fmt_f64(dur_us));
+    }
+    if matches!(ev.kind, EventKind::Instant) {
+        // Instants need an explicit scope; thread scope renders as a tick.
+        out.push_str(",\"s\":\"t\"");
+    }
+    out.push_str(",\"pid\":");
+    out.push_str(&ev.pid.to_string());
+    out.push_str(",\"tid\":");
+    out.push_str(&ev.tid.to_string());
+    out.push_str(",\"args\":{");
+    for (i, (key, value)) in ev.args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        json::escape_into(out, key);
+        out.push_str("\":");
+        match value {
+            Value::U64(v) => out.push_str(&v.to_string()),
+            Value::I64(v) => out.push_str(&v.to_string()),
+            Value::F64(v) => out.push_str(&json::fmt_f64(*v)),
+            Value::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+            Value::Str(s) => {
+                out.push('"');
+                json::escape_into(out, s);
+                out.push('"');
+            }
+        }
+    }
+    out.push_str("}}");
+}
+
+/// Categories the stack itself emits; parsing interns onto these without
+/// leaking.
+const KNOWN_STRS: &[&str] = &[
+    "compiler",
+    "sim",
+    "recovery",
+    "accuracy",
+    "__metadata",
+    // Common argument keys (kept in sync opportunistically — unknown keys
+    // still parse, via a one-time leak per unique string).
+    "name",
+    "step",
+    "node",
+    "op",
+    "bytes",
+    "value",
+    "cores",
+    "label",
+    "predicted_us",
+    "simulated_us",
+    "round",
+    "ratio",
+    "reason",
+    "kept",
+    "pruned",
+    "enumerated",
+];
+
+/// Interns a parsed string as `&'static str`: known strings map to
+/// constants; novel ones leak once per unique string per parse call. Parsing
+/// is a CLI/test-time path, so the leak is bounded and deliberate (the
+/// [`Event`] model keys categories and argument names as `&'static str` to
+/// keep the recording hot path allocation-free).
+fn intern(s: &str, cache: &mut HashMap<String, &'static str>) -> &'static str {
+    if let Some(k) = KNOWN_STRS.iter().find(|k| **k == s) {
+        return k;
+    }
+    if let Some(k) = cache.get(s) {
+        return k;
+    }
+    let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+    cache.insert(s.to_string(), leaked);
+    leaked
+}
+
+/// Parses a Chrome trace-event JSON document back into [`Event`]s.
+///
+/// Accepts documents produced by [`write_chrome_trace`]; re-emitting the
+/// result is byte-identical to the input. Returns a schema error for
+/// anything malformed (missing fields, wrong phase, non-object args).
+pub fn parse_chrome_trace(src: &str) -> Result<Vec<Event>, String> {
+    let doc = json::parse(src)?;
+    let events_json = doc
+        .get("traceEvents")
+        .ok_or("missing `traceEvents` array")?
+        .as_arr()
+        .ok_or("`traceEvents` is not an array")?;
+    let mut cache: HashMap<String, &'static str> = HashMap::new();
+    let mut events = Vec::with_capacity(events_json.len());
+    for (i, ev) in events_json.iter().enumerate() {
+        events.push(parse_event(ev, &mut cache).map_err(|e| format!("event {i}: {e}"))?);
+    }
+    Ok(events)
+}
+
+fn parse_event(ev: &Json, cache: &mut HashMap<String, &'static str>) -> Result<Event, String> {
+    let name = ev
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or("missing `name`")?
+        .to_string();
+    let cat = intern(
+        ev.get("cat")
+            .and_then(Json::as_str)
+            .ok_or("missing `cat`")?,
+        cache,
+    );
+    let ts_us = ev.get("ts").and_then(Json::as_f64).ok_or("missing `ts`")?;
+    let pid = ev
+        .get("pid")
+        .and_then(Json::as_f64)
+        .ok_or("missing `pid`")? as u32;
+    let tid = ev
+        .get("tid")
+        .and_then(Json::as_f64)
+        .ok_or("missing `tid`")? as u32;
+    let kind = match ev.get("ph").and_then(Json::as_str).ok_or("missing `ph`")? {
+        "X" => EventKind::Complete {
+            dur_us: ev
+                .get("dur")
+                .and_then(Json::as_f64)
+                .ok_or("`X` without `dur`")?,
+        },
+        "C" => EventKind::Counter,
+        "i" => EventKind::Instant,
+        "M" => EventKind::Meta,
+        other => return Err(format!("unsupported phase {other:?}")),
+    };
+    let mut args = Vec::new();
+    match ev.get("args") {
+        Some(Json::Obj(members)) => {
+            for (key, value) in members {
+                args.push((intern(key, cache), parse_value(value)?));
+            }
+        }
+        Some(_) => return Err("`args` is not an object".to_string()),
+        None => {}
+    }
+    Ok(Event {
+        name,
+        cat,
+        kind,
+        ts_us,
+        pid,
+        tid,
+        args,
+    })
+}
+
+/// Maps a JSON scalar onto a [`Value`]. Integral non-negative numbers become
+/// `U64`, integral negatives `I64`, everything else `F64`; `Display` prints
+/// all three identically for integral values, which is what makes
+/// parse → emit byte-stable.
+fn parse_value(v: &Json) -> Result<Value, String> {
+    const EXACT: f64 = 9_007_199_254_740_992.0; // 2^53
+    match v {
+        Json::Bool(b) => Ok(Value::Bool(*b)),
+        Json::Str(s) => Ok(Value::Str(s.clone())),
+        Json::Num(n) => {
+            if n.fract() == 0.0 && n.abs() < EXACT {
+                if *n >= 0.0 {
+                    Ok(Value::U64(*n as u64))
+                } else {
+                    Ok(Value::I64(*n as i64))
+                }
+            } else {
+                Ok(Value::F64(*n))
+            }
+        }
+        Json::Null | Json::Arr(_) | Json::Obj(_) => {
+            Err("unsupported arg value (null/array/object)".to_string())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{CHIP_TID, PID_COMPILER, PID_SIM};
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event {
+                name: "process_name".into(),
+                cat: "__metadata",
+                kind: EventKind::Meta,
+                ts_us: 0.0,
+                pid: PID_SIM,
+                tid: 0,
+                args: vec![("name", Value::Str("t10 chip (sim time)".into()))],
+            },
+            Event {
+                name: "compute".into(),
+                cat: "sim",
+                kind: EventKind::Complete { dur_us: 12.5 },
+                ts_us: 3.0,
+                pid: PID_SIM,
+                tid: 7,
+                args: vec![("step", Value::U64(4)), ("scale", Value::F64(0.75))],
+            },
+            Event {
+                name: "sram_high_water".into(),
+                cat: "sim",
+                kind: EventKind::Counter,
+                ts_us: 15.5,
+                pid: PID_SIM,
+                tid: CHIP_TID,
+                args: vec![("bytes", Value::U64(65_536))],
+            },
+            Event {
+                name: "pareto \"snapshot\"".into(),
+                cat: "compiler",
+                kind: EventKind::Instant,
+                ts_us: 2.0,
+                pid: PID_COMPILER,
+                tid: 1,
+                args: vec![
+                    ("kept", Value::U64(3)),
+                    ("delta", Value::I64(-2)),
+                    ("done", Value::Bool(false)),
+                ],
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trip_is_byte_identical() {
+        let events = sample_events();
+        let text = write_chrome_trace(&events);
+        let parsed = parse_chrome_trace(&text).unwrap();
+        assert_eq!(parsed, events);
+        assert_eq!(write_chrome_trace(&parsed), text);
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let text = write_chrome_trace(&[]);
+        assert_eq!(text, "{\"traceEvents\":[]}\n");
+        assert!(parse_chrome_trace(&text).unwrap().is_empty());
+    }
+
+    #[test]
+    fn output_is_valid_json_with_expected_phases() {
+        let text = write_chrome_trace(&sample_events());
+        let doc = json::parse(&text).unwrap();
+        let arr = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(arr.len(), 4);
+        let phases: Vec<_> = arr
+            .iter()
+            .map(|e| e.get("ph").unwrap().as_str().unwrap().to_string())
+            .collect();
+        assert_eq!(phases, ["M", "X", "C", "i"]);
+        // Complete spans carry dur; instants carry scope.
+        assert_eq!(arr[1].get("dur").unwrap().as_f64(), Some(12.5));
+        assert_eq!(arr[3].get("s").unwrap().as_str(), Some("t"));
+    }
+
+    #[test]
+    fn schema_errors_are_reported() {
+        assert!(parse_chrome_trace("{}").is_err());
+        assert!(parse_chrome_trace("{\"traceEvents\":1}").is_err());
+        let missing_dur = r#"{"traceEvents":[{"name":"a","cat":"sim","ph":"X","ts":0,"pid":0,"tid":0,"args":{}}]}"#;
+        assert!(parse_chrome_trace(missing_dur).is_err());
+        let bad_phase = r#"{"traceEvents":[{"name":"a","cat":"sim","ph":"B","ts":0,"pid":0,"tid":0,"args":{}}]}"#;
+        assert!(parse_chrome_trace(bad_phase).is_err());
+    }
+
+    #[test]
+    fn non_finite_floats_export_as_zero() {
+        let ev = Event {
+            name: "bad".into(),
+            cat: "sim",
+            kind: EventKind::Complete { dur_us: f64::NAN },
+            ts_us: f64::INFINITY,
+            pid: 0,
+            tid: 0,
+            args: vec![("v", Value::F64(f64::NEG_INFINITY))],
+        };
+        let text = write_chrome_trace(&[ev]);
+        let parsed = parse_chrome_trace(&text).unwrap();
+        assert_eq!(parsed[0].ts_us, 0.0);
+        assert_eq!(parsed[0].dur_us(), Some(0.0));
+        assert_eq!(parsed[0].arg_f64("v"), Some(0.0));
+    }
+}

@@ -1,0 +1,149 @@
+//! The structured event model shared by every exporter.
+
+/// Chrome "process" id of the simulated chip. All events on this pid carry
+/// **sim-time** timestamps (simulated seconds × 10⁶), so they are
+/// deterministic under a fixed seed.
+pub const PID_SIM: u32 = 0;
+
+/// Chrome "process" id of the compiler. Events here carry **trace-time**
+/// timestamps ([`crate::Trace::now_us`]): wall microseconds, or a logical
+/// counter when the handle was built with [`crate::Trace::logical`].
+pub const PID_COMPILER: u32 = 1;
+
+/// Chrome "process" id of the recovery controller (sim-time timestamps).
+pub const PID_RECOVERY: u32 = 2;
+
+/// Track ("thread") id for chip-wide aggregate events on [`PID_SIM`].
+/// Per-core tracks use the core index directly, so this sits far above any
+/// realistic core count.
+pub const CHIP_TID: u32 = 1_000_000;
+
+/// What flavour of record an [`Event`] is; maps onto a Chrome trace-event
+/// phase.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A complete span (`ph: "X"`) covering `[ts_us, ts_us + dur_us)`.
+    Complete {
+        /// Duration in microseconds.
+        dur_us: f64,
+    },
+    /// A counter sample (`ph: "C"`); series values live in `args`.
+    Counter,
+    /// A zero-duration instant (`ph: "i"`).
+    Instant,
+    /// Viewer metadata, e.g. process/thread names (`ph: "M"`).
+    Meta,
+}
+
+/// A typed argument value; keeps exports deterministic (no map ordering or
+/// float-formatting surprises).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer (byte counts, step indices).
+    U64(u64),
+    /// Signed integer (deltas).
+    I64(i64),
+    /// Floating point; non-finite values export as 0 (JSON has no NaN).
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// The value as f64, when numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::U64(v) => Some(*v as f64),
+            Value::I64(v) => Some(*v as f64),
+            Value::F64(v) => Some(*v),
+            Value::Bool(_) | Value::Str(_) => None,
+        }
+    }
+}
+
+/// One structured trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Event name (span label, counter series, instant label).
+    pub name: String,
+    /// Category: `"compiler"`, `"sim"`, `"recovery"`, `"accuracy"`, or
+    /// `"__metadata"`.
+    pub cat: &'static str,
+    /// Span / counter / instant / metadata.
+    pub kind: EventKind,
+    /// Timestamp in microseconds (see the pid's clock domain).
+    pub ts_us: f64,
+    /// Chrome process id — the layer ([`PID_SIM`] etc.).
+    pub pid: u32,
+    /// Chrome thread id — the track (core index, [`CHIP_TID`], node id…).
+    pub tid: u32,
+    /// Named arguments, exported in order.
+    pub args: Vec<(&'static str, Value)>,
+}
+
+impl Event {
+    /// Looks up a numeric argument by name.
+    pub fn arg_f64(&self, name: &str) -> Option<f64> {
+        self.args
+            .iter()
+            .find(|(k, _)| *k == name)
+            .and_then(|(_, v)| v.as_f64())
+    }
+
+    /// Looks up a string argument by name.
+    pub fn arg_str(&self, name: &str) -> Option<&str> {
+        self.args
+            .iter()
+            .find(|(k, _)| *k == name)
+            .and_then(|(_, v)| {
+                if let Value::Str(s) = v {
+                    Some(s.as_str())
+                } else {
+                    None
+                }
+            })
+    }
+
+    /// The span duration, when this is a complete span.
+    pub fn dur_us(&self) -> Option<f64> {
+        match self.kind {
+            EventKind::Complete { dur_us } => Some(dur_us),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arg_lookup() {
+        let ev = Event {
+            name: "compute".into(),
+            cat: "sim",
+            kind: EventKind::Complete { dur_us: 2.0 },
+            ts_us: 1.0,
+            pid: PID_SIM,
+            tid: 3,
+            args: vec![
+                ("bytes", Value::U64(64)),
+                ("label", Value::Str("mm".into())),
+            ],
+        };
+        assert_eq!(ev.arg_f64("bytes"), Some(64.0));
+        assert_eq!(ev.arg_str("label"), Some("mm"));
+        assert_eq!(ev.arg_f64("nope"), None);
+        assert_eq!(ev.dur_us(), Some(2.0));
+    }
+
+    #[test]
+    fn value_as_f64() {
+        assert_eq!(Value::I64(-2).as_f64(), Some(-2.0));
+        assert_eq!(Value::F64(0.5).as_f64(), Some(0.5));
+        assert_eq!(Value::Str("x".into()).as_f64(), None);
+        assert_eq!(Value::Bool(true).as_f64(), None);
+    }
+}

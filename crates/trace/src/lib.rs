@@ -1,0 +1,302 @@
+//! Structured tracing for the T10 stack: spans, counters, and instant
+//! events, with exporters for Chrome trace-event JSON (Perfetto /
+//! `chrome://tracing`), a flat metrics JSON, and a human text summary.
+//!
+//! Every layer of the stack records into the same [`Trace`] handle:
+//!
+//! * the **compiler** records per-operator search spans (plans enumerated,
+//!   pruned, kept), Pareto-frontier snapshots, and reconciler rounds with
+//!   their `-ΔT_setup/ΔM_idle` scores;
+//! * the **simulator** records per-superstep, per-core compute/shift/idle
+//!   spans, per-link byte counters, and SRAM high-water counters;
+//! * the **recovery controller** records checkpoint, rollback, retry, and
+//!   re-plan events so healed runs are auditable;
+//! * **accuracy telemetry** pairs every operator's predicted (cost-model)
+//!   time with its simulated time, reproducing the paper's Figure 15
+//!   methodology ([`accuracy`]).
+//!
+//! # Clock domains
+//!
+//! Events carry timestamps in microseconds from one of two domains:
+//!
+//! * **sim time** — the simulated chip's BSP clock (seconds of modeled
+//!   execution × 10⁶). Simulator and recovery events live here and are
+//!   fully deterministic under a fixed seed.
+//! * **trace time** — the [`Trace`] handle's own clock, read via
+//!   [`Trace::now_us`]: either a monotonic wall clock (profiling real
+//!   compile time) or a logical counter ([`Trace::logical`]) that makes
+//!   whole traces byte-identical across same-seed runs, so they can be
+//!   diffed in tests and CI.
+//!
+//! The two domains are kept apart by track: each layer owns a Chrome "pid"
+//! ([`PID_SIM`], [`PID_COMPILER`], [`PID_RECOVERY`]).
+//!
+//! # Cost when disabled
+//!
+//! [`Trace::disabled`] is an empty handle: no buffer is allocated, every
+//! record call is a branch on an `Option`, and callers are expected to gate
+//! argument construction behind [`Trace::enabled`], so the hot paths of the
+//! simulator and search pay nothing when tracing is off.
+
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+pub mod accuracy;
+pub mod chrome;
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod summary;
+
+pub use accuracy::{AccuracyReport, AccuracySample};
+pub use chrome::{parse_chrome_trace, write_chrome_trace};
+pub use event::{Event, EventKind, Value, CHIP_TID, PID_COMPILER, PID_RECOVERY, PID_SIM};
+pub use metrics::Metrics;
+pub use summary::{accuracy_samples, core_utilization, render_summary, step_costs, CoreUtil};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// The trace clock: wall time for profiling, a logical counter for
+/// byte-identical (diffable) traces.
+#[derive(Debug)]
+enum Clock {
+    /// Microseconds since the handle was created.
+    Wall(Instant),
+    /// A counter incremented on every read: deterministic, ordered, fake.
+    Logical(AtomicU64),
+}
+
+#[derive(Debug)]
+struct Shared {
+    events: Mutex<Vec<Event>>,
+    clock: Clock,
+}
+
+/// A shared, cloneable recorder of trace events.
+///
+/// Cloning is cheap (an `Arc`); all clones append to the same buffer. A
+/// disabled handle ([`Trace::disabled`], also [`Default`]) holds nothing and
+/// records nothing.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    shared: Option<Arc<Shared>>,
+}
+
+impl Trace {
+    /// A no-op handle: nothing is allocated, nothing is recorded.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// An enabled handle whose [`Trace::now_us`] reads a monotonic wall
+    /// clock (microseconds since creation).
+    pub fn wall() -> Self {
+        Self {
+            shared: Some(Arc::new(Shared {
+                events: Mutex::new(Vec::new()),
+                clock: Clock::Wall(Instant::now()),
+            })),
+        }
+    }
+
+    /// An enabled handle whose [`Trace::now_us`] is a logical counter:
+    /// every read returns the next integer. Traces recorded against it are
+    /// byte-identical across same-seed runs.
+    pub fn logical() -> Self {
+        Self {
+            shared: Some(Arc::new(Shared {
+                events: Mutex::new(Vec::new()),
+                clock: Clock::Logical(AtomicU64::new(0)),
+            })),
+        }
+    }
+
+    /// Whether events are being recorded. Callers should gate any
+    /// argument-building work on this.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// The current trace-domain timestamp in microseconds (0 when
+    /// disabled).
+    pub fn now_us(&self) -> f64 {
+        match &self.shared {
+            None => 0.0,
+            Some(s) => match &s.clock {
+                Clock::Wall(t0) => t0.elapsed().as_secs_f64() * 1e6,
+                Clock::Logical(n) => n.fetch_add(1, Ordering::Relaxed) as f64,
+            },
+        }
+    }
+
+    /// Appends one event (dropped when disabled).
+    pub fn record(&self, ev: Event) {
+        if let Some(s) = &self.shared {
+            if let Ok(mut events) = s.events.lock() {
+                events.push(ev);
+            }
+        }
+    }
+
+    /// Records a complete span: `[ts_us, ts_us + dur_us)`.
+    #[allow(clippy::too_many_arguments)] // mirrors the Chrome "X" record
+    pub fn span(
+        &self,
+        name: impl Into<String>,
+        cat: &'static str,
+        pid: u32,
+        tid: u32,
+        ts_us: f64,
+        dur_us: f64,
+        args: Vec<(&'static str, Value)>,
+    ) {
+        if self.enabled() {
+            self.record(Event {
+                name: name.into(),
+                cat,
+                kind: EventKind::Complete { dur_us },
+                ts_us,
+                pid,
+                tid,
+                args,
+            });
+        }
+    }
+
+    /// Records a counter sample.
+    pub fn counter(
+        &self,
+        name: impl Into<String>,
+        cat: &'static str,
+        pid: u32,
+        tid: u32,
+        ts_us: f64,
+        args: Vec<(&'static str, Value)>,
+    ) {
+        if self.enabled() {
+            self.record(Event {
+                name: name.into(),
+                cat,
+                kind: EventKind::Counter,
+                ts_us,
+                pid,
+                tid,
+                args,
+            });
+        }
+    }
+
+    /// Records an instant event.
+    pub fn instant(
+        &self,
+        name: impl Into<String>,
+        cat: &'static str,
+        pid: u32,
+        tid: u32,
+        ts_us: f64,
+        args: Vec<(&'static str, Value)>,
+    ) {
+        if self.enabled() {
+            self.record(Event {
+                name: name.into(),
+                cat,
+                kind: EventKind::Instant,
+                ts_us,
+                pid,
+                tid,
+                args,
+            });
+        }
+    }
+
+    /// Records a metadata event (process/thread naming for the viewer).
+    pub fn meta(&self, name: &'static str, pid: u32, tid: u32, value: impl Into<String>) {
+        if self.enabled() {
+            self.record(Event {
+                name: name.to_string(),
+                cat: "__metadata",
+                kind: EventKind::Meta,
+                ts_us: 0.0,
+                pid,
+                tid,
+                args: vec![("name", Value::Str(value.into()))],
+            });
+        }
+    }
+
+    /// A copy of every event recorded so far, in insertion order.
+    pub fn snapshot(&self) -> Vec<Event> {
+        match &self.shared {
+            None => Vec::new(),
+            Some(s) => s.events.lock().map(|e| e.clone()).unwrap_or_default(),
+        }
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        match &self.shared {
+            None => 0,
+            Some(s) => s.events.lock().map(|e| e.len()).unwrap_or(0),
+        }
+    }
+
+    /// Whether no events have been recorded (always true when disabled).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_records_nothing() {
+        let t = Trace::disabled();
+        assert!(!t.enabled());
+        t.span("x", "sim", PID_SIM, 0, 0.0, 1.0, vec![]);
+        t.instant("y", "sim", PID_SIM, 0, 0.0, vec![]);
+        assert!(t.is_empty());
+        assert_eq!(t.now_us(), 0.0);
+    }
+
+    #[test]
+    fn logical_clock_is_deterministic_and_ordered() {
+        let t = Trace::logical();
+        let a = t.now_us();
+        let b = t.now_us();
+        assert_eq!(a, 0.0);
+        assert_eq!(b, 1.0);
+        let t2 = Trace::logical();
+        assert_eq!(t2.now_us(), 0.0);
+    }
+
+    #[test]
+    fn clones_share_one_buffer() {
+        let t = Trace::logical();
+        let c = t.clone();
+        c.instant("from-clone", "sim", PID_SIM, 0, 0.0, vec![]);
+        t.counter(
+            "from-orig",
+            "sim",
+            PID_SIM,
+            0,
+            1.0,
+            vec![("v", Value::U64(1))],
+        );
+        assert_eq!(t.len(), 2);
+        let events = t.snapshot();
+        assert_eq!(events[0].name, "from-clone");
+        assert_eq!(events[1].name, "from-orig");
+    }
+
+    #[test]
+    fn wall_clock_advances() {
+        let t = Trace::wall();
+        let a = t.now_us();
+        let b = t.now_us();
+        assert!(b >= a);
+    }
+}

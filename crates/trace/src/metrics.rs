@@ -1,0 +1,178 @@
+//! A flat, deterministic metrics document.
+//!
+//! `Metrics` is an ordered map of dotted metric names
+//! (`sim.total_time_us`, `compiler.plans_kept`, …) to scalar values,
+//! exported as a single flat JSON object with sorted keys — trivially
+//! diffable and greppable, and round-trippable through [`Metrics::parse`].
+
+use crate::event::Value;
+use crate::json::{self, Json};
+use std::collections::BTreeMap;
+
+/// A flat string→scalar metrics map with sorted-key JSON export.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Metrics {
+    values: BTreeMap<String, Value>,
+}
+
+impl Metrics {
+    /// An empty metrics map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts (or overwrites) a metric.
+    pub fn set(&mut self, name: impl Into<String>, value: Value) {
+        self.values.insert(name.into(), value);
+    }
+
+    /// Convenience for f64 metrics.
+    pub fn set_f64(&mut self, name: impl Into<String>, value: f64) {
+        self.set(name, Value::F64(value));
+    }
+
+    /// Convenience for integer metrics.
+    pub fn set_u64(&mut self, name: impl Into<String>, value: u64) {
+        self.set(name, Value::U64(value));
+    }
+
+    /// Convenience for string metrics.
+    pub fn set_str(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        self.set(name, Value::Str(value.into()));
+    }
+
+    /// Reads a metric back.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.values.get(name)
+    }
+
+    /// Reads a numeric metric back.
+    pub fn get_f64(&self, name: &str) -> Option<f64> {
+        self.values.get(name).and_then(Value::as_f64)
+    }
+
+    /// Number of metrics.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterates metrics in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Serializes to a flat JSON object, one metric per line, keys sorted.
+    pub fn to_json(&self) -> String {
+        if self.values.is_empty() {
+            return "{}\n".to_string();
+        }
+        let mut out = String::with_capacity(self.values.len() * 32);
+        out.push_str("{\n");
+        for (i, (key, value)) in self.values.iter().enumerate() {
+            out.push_str("  \"");
+            json::escape_into(&mut out, key);
+            out.push_str("\": ");
+            match value {
+                Value::U64(v) => out.push_str(&v.to_string()),
+                Value::I64(v) => out.push_str(&v.to_string()),
+                Value::F64(v) => out.push_str(&json::fmt_f64(*v)),
+                Value::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+                Value::Str(s) => {
+                    out.push('"');
+                    json::escape_into(&mut out, s);
+                    out.push('"');
+                }
+            }
+            if i + 1 < self.values.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Parses a flat JSON object back into a metrics map.
+    pub fn parse(src: &str) -> Result<Self, String> {
+        let doc = json::parse(src)?;
+        let members = match doc {
+            Json::Obj(members) => members,
+            _ => return Err("metrics document is not a JSON object".to_string()),
+        };
+        let mut metrics = Metrics::new();
+        for (key, value) in members {
+            let value = match value {
+                Json::Bool(b) => Value::Bool(b),
+                Json::Str(s) => Value::Str(s),
+                Json::Num(n) => {
+                    const EXACT: f64 = 9_007_199_254_740_992.0; // 2^53
+                    if n.fract() == 0.0 && n.abs() < EXACT {
+                        if n >= 0.0 {
+                            Value::U64(n as u64)
+                        } else {
+                            Value::I64(n as i64)
+                        }
+                    } else {
+                        Value::F64(n)
+                    }
+                }
+                _ => return Err(format!("metric `{key}` has a non-scalar value")),
+            };
+            metrics.set(key, value);
+        }
+        Ok(metrics)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_deterministic_export() {
+        let mut m = Metrics::new();
+        m.set_u64("z.last", 3);
+        m.set_f64("a.first", 1.5);
+        m.set_str("m.middle", "hi");
+        let text = m.to_json();
+        let a = text.find("a.first").unwrap();
+        let mid = text.find("m.middle").unwrap();
+        let z = text.find("z.last").unwrap();
+        assert!(a < mid && mid < z);
+        assert_eq!(text, m.to_json());
+    }
+
+    #[test]
+    fn round_trip() {
+        let mut m = Metrics::new();
+        m.set_u64("count", 42);
+        m.set_f64("frac", 0.25);
+        m.set_str("name", "matmul \"big\"");
+        m.set("neg", Value::I64(-7));
+        m.set("flag", Value::Bool(true));
+        let parsed = Metrics::parse(&m.to_json()).unwrap();
+        assert_eq!(parsed, m);
+        assert_eq!(parsed.to_json(), m.to_json());
+    }
+
+    #[test]
+    fn empty_and_errors() {
+        assert_eq!(Metrics::new().to_json(), "{}\n");
+        assert!(Metrics::parse("{}").unwrap().is_empty());
+        assert!(Metrics::parse("[1]").is_err());
+        assert!(Metrics::parse("{\"a\":[1]}").is_err());
+    }
+
+    #[test]
+    fn non_finite_guard() {
+        let mut m = Metrics::new();
+        m.set_f64("bad", f64::NAN);
+        let parsed = Metrics::parse(&m.to_json()).unwrap();
+        assert_eq!(parsed.get_f64("bad"), Some(0.0));
+    }
+}

@@ -1,0 +1,418 @@
+//! Human text summary of a recorded trace: per-core utilization, the
+//! superstep critical path, recovery events, and cost-model accuracy.
+//!
+//! Works on any `&[Event]` — freshly recorded or re-loaded from a Chrome
+//! trace file via [`crate::chrome::parse_chrome_trace`] (this is what
+//! `t10 trace <file>` renders).
+
+use crate::accuracy::{AccuracyReport, AccuracySample};
+use crate::event::{Event, EventKind, CHIP_TID, PID_RECOVERY, PID_SIM};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Busy/idle breakdown for one core track, in microseconds.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CoreUtil {
+    /// Core index (the trace tid).
+    pub core: u32,
+    /// Total compute-span time.
+    pub compute_us: f64,
+    /// Total shift-span time.
+    pub shift_us: f64,
+    /// Total idle-span time.
+    pub idle_us: f64,
+}
+
+impl CoreUtil {
+    /// Busy fraction: (compute + shift) / (compute + shift + idle).
+    /// 0 when the core recorded no time at all.
+    pub fn utilization(&self) -> f64 {
+        let busy = self.compute_us + self.shift_us;
+        let total = busy + self.idle_us;
+        if total > 0.0 {
+            busy / total
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Per-core busy/idle totals from the sim pid's per-core span tracks,
+/// sorted by core index.
+pub fn core_utilization(events: &[Event]) -> Vec<CoreUtil> {
+    let mut cores: BTreeMap<u32, CoreUtil> = BTreeMap::new();
+    for ev in events {
+        if ev.pid != PID_SIM || ev.tid >= CHIP_TID {
+            continue;
+        }
+        let Some(dur) = ev.dur_us() else { continue };
+        let entry = cores.entry(ev.tid).or_insert_with(|| CoreUtil {
+            core: ev.tid,
+            ..CoreUtil::default()
+        });
+        match ev.name.as_str() {
+            "compute" => entry.compute_us += dur,
+            "shift" => entry.shift_us += dur,
+            "idle" => entry.idle_us += dur,
+            _ => {}
+        }
+    }
+    cores.into_values().collect()
+}
+
+/// One superstep's chip-track phase totals.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StepCost {
+    /// Superstep index (from the span's `step` argument).
+    pub step: u64,
+    /// Chip-track compute-phase time, µs.
+    pub compute_us: f64,
+    /// Chip-track exchange-phase time, µs.
+    pub exchange_us: f64,
+}
+
+/// Per-superstep chip-track phase durations, in step order. The sum over
+/// steps is the BSP critical path (each phase is a barrier, so the chip
+/// span *is* the slowest core's time).
+pub fn step_costs(events: &[Event]) -> Vec<StepCost> {
+    let mut steps: BTreeMap<u64, StepCost> = BTreeMap::new();
+    for ev in events {
+        if ev.pid != PID_SIM || ev.tid != CHIP_TID {
+            continue;
+        }
+        let Some(dur) = ev.dur_us() else { continue };
+        let Some(step) = ev.arg_f64("step") else {
+            continue;
+        };
+        let entry = steps.entry(step as u64).or_insert_with(|| StepCost {
+            step: step as u64,
+            ..StepCost::default()
+        });
+        match ev.name.as_str() {
+            "compute" => entry.compute_us += dur,
+            "exchange" => entry.exchange_us += dur,
+            _ => {}
+        }
+    }
+    steps.into_values().collect()
+}
+
+/// Extracts the per-operator accuracy samples (`cat: "accuracy"` instants).
+pub fn accuracy_samples(events: &[Event]) -> Vec<AccuracySample> {
+    events
+        .iter()
+        .filter(|ev| ev.cat == "accuracy" && matches!(ev.kind, EventKind::Instant))
+        .filter_map(|ev| {
+            Some(AccuracySample {
+                name: ev.arg_str("node").unwrap_or(&ev.name).to_string(),
+                predicted_us: ev.arg_f64("predicted_us")?,
+                simulated_us: ev.arg_f64("simulated_us")?,
+            })
+        })
+        .collect()
+}
+
+/// Maximum number of core rows printed before eliding.
+const MAX_CORE_ROWS: usize = 32;
+/// Number of top supersteps shown in the critical-path section.
+const TOP_STEPS: usize = 5;
+/// Maximum recovery events listed before eliding.
+const MAX_RECOVERY_ROWS: usize = 20;
+
+/// Renders the full text summary.
+pub fn render_summary(events: &[Event]) -> String {
+    let mut out = String::new();
+    let sim_end = events
+        .iter()
+        .filter(|ev| ev.pid == PID_SIM)
+        .map(|ev| ev.ts_us + ev.dur_us().unwrap_or(0.0))
+        .fold(0.0_f64, f64::max);
+    let steps = step_costs(events);
+    let _ = writeln!(
+        out,
+        "trace: {} events, {} supersteps, sim end {:.3} us",
+        events.len(),
+        steps.len(),
+        sim_end
+    );
+
+    // Per-core utilization.
+    let cores = core_utilization(events);
+    if cores.is_empty() {
+        out.push_str("\nper-core utilization: no per-core spans in trace\n");
+    } else {
+        out.push_str("\nper-core utilization:\n");
+        out.push_str("  core     compute_us       shift_us        idle_us   util\n");
+        for util in cores.iter().take(MAX_CORE_ROWS) {
+            let _ = writeln!(
+                out,
+                "  {:>4} {:>14.3} {:>14.3} {:>14.3} {:>5.1}%",
+                util.core,
+                util.compute_us,
+                util.shift_us,
+                util.idle_us,
+                util.utilization() * 100.0
+            );
+        }
+        if cores.len() > MAX_CORE_ROWS {
+            let _ = writeln!(out, "  … and {} more cores", cores.len() - MAX_CORE_ROWS);
+        }
+        let n = cores.len() as f64;
+        let mean = cores.iter().map(CoreUtil::utilization).sum::<f64>() / n;
+        let _ = writeln!(
+            out,
+            "  mean utilization over {} cores: {:.1}%",
+            cores.len(),
+            mean * 100.0
+        );
+    }
+
+    // Critical path (chip track = slowest core per BSP phase).
+    if !steps.is_empty() {
+        let total: f64 = steps.iter().map(|s| s.compute_us + s.exchange_us).sum();
+        let compute: f64 = steps.iter().map(|s| s.compute_us).sum();
+        let exchange: f64 = steps.iter().map(|s| s.exchange_us).sum();
+        out.push_str("\ncritical path (chip track):\n");
+        let _ = writeln!(
+            out,
+            "  total {:.3} us = compute {:.3} us + exchange {:.3} us",
+            total, compute, exchange
+        );
+        let mut ranked: Vec<&StepCost> = steps.iter().collect();
+        ranked.sort_by(|a, b| {
+            (b.compute_us + b.exchange_us)
+                .total_cmp(&(a.compute_us + a.exchange_us))
+                .then(a.step.cmp(&b.step))
+        });
+        for step in ranked.iter().take(TOP_STEPS) {
+            let share = if total > 0.0 {
+                (step.compute_us + step.exchange_us) / total * 100.0
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "  step {:>4}: {:>12.3} us ({:>4.1}%)  compute {:.3} + exchange {:.3}",
+                step.step,
+                step.compute_us + step.exchange_us,
+                share,
+                step.compute_us,
+                step.exchange_us
+            );
+        }
+    }
+
+    // Recovery events.
+    let recovery: Vec<&Event> = events
+        .iter()
+        .filter(|ev| ev.pid == PID_RECOVERY && matches!(ev.kind, EventKind::Instant))
+        .collect();
+    if !recovery.is_empty() {
+        let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+        for ev in &recovery {
+            *counts.entry(ev.name.as_str()).or_insert(0) += 1;
+        }
+        out.push_str("\nrecovery events:\n");
+        let summary = counts
+            .iter()
+            .map(|(name, n)| format!("{name}×{n}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(out, "  {summary}");
+        for ev in recovery.iter().take(MAX_RECOVERY_ROWS) {
+            let detail = ev
+                .arg_str("reason")
+                .or_else(|| ev.arg_str("label"))
+                .unwrap_or("");
+            let _ = writeln!(out, "  {:>12.3} us  {}  {}", ev.ts_us, ev.name, detail);
+        }
+        if recovery.len() > MAX_RECOVERY_ROWS {
+            let _ = writeln!(
+                out,
+                "  … and {} more events",
+                recovery.len() - MAX_RECOVERY_ROWS
+            );
+        }
+    }
+
+    // Cost-model accuracy (Figure 15 methodology).
+    let samples = accuracy_samples(events);
+    if !samples.is_empty() {
+        let report = AccuracyReport::from_samples(&samples);
+        out.push_str("\ncost-model accuracy (predicted vs simulated):\n");
+        let _ = writeln!(out, "  {}", report.render());
+        let mut worst: Vec<&AccuracySample> = samples.iter().collect();
+        worst.sort_by(|a, b| {
+            b.ape()
+                .unwrap_or(0.0)
+                .total_cmp(&a.ape().unwrap_or(0.0))
+                .then(a.name.cmp(&b.name))
+        });
+        for sample in worst.iter().take(TOP_STEPS) {
+            let _ = writeln!(
+                out,
+                "  {:<24} predicted {:>12.3} us  simulated {:>12.3} us  ape {:>5.1}%",
+                sample.name,
+                sample.predicted_us,
+                sample.simulated_us,
+                sample.ape().unwrap_or(0.0) * 100.0
+            );
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Value;
+    use crate::Trace;
+
+    /// Builds a small synthetic trace: 2 supersteps, 2 cores, one recovery
+    /// event, two accuracy samples.
+    fn synthetic() -> Vec<Event> {
+        let t = Trace::logical();
+        for step in 0..2u64 {
+            let t0 = step as f64 * 100.0;
+            // Chip track phases.
+            t.span(
+                "compute",
+                "sim",
+                PID_SIM,
+                CHIP_TID,
+                t0,
+                60.0,
+                vec![("step", Value::U64(step))],
+            );
+            t.span(
+                "exchange",
+                "sim",
+                PID_SIM,
+                CHIP_TID,
+                t0 + 60.0,
+                40.0,
+                vec![("step", Value::U64(step))],
+            );
+            // Core 0 is the slow one; core 1 idles half the compute phase.
+            t.span(
+                "compute",
+                "sim",
+                PID_SIM,
+                0,
+                t0,
+                60.0,
+                vec![("step", Value::U64(step))],
+            );
+            t.span(
+                "compute",
+                "sim",
+                PID_SIM,
+                1,
+                t0,
+                30.0,
+                vec![("step", Value::U64(step))],
+            );
+            t.span(
+                "idle",
+                "sim",
+                PID_SIM,
+                1,
+                t0 + 30.0,
+                30.0,
+                vec![("step", Value::U64(step))],
+            );
+            for core in 0..2 {
+                t.span(
+                    "shift",
+                    "sim",
+                    PID_SIM,
+                    core,
+                    t0 + 60.0,
+                    40.0,
+                    vec![("step", Value::U64(step))],
+                );
+            }
+        }
+        t.instant(
+            "retry",
+            "recovery",
+            PID_RECOVERY,
+            0,
+            150.0,
+            vec![("reason", Value::Str("transient fault".into()))],
+        );
+        t.instant(
+            "op_time",
+            "accuracy",
+            PID_SIM,
+            CHIP_TID,
+            0.0,
+            vec![
+                ("node", Value::Str("matmul".into())),
+                ("predicted_us", Value::F64(110.0)),
+                ("simulated_us", Value::F64(100.0)),
+            ],
+        );
+        t.instant(
+            "op_time",
+            "accuracy",
+            PID_SIM,
+            CHIP_TID,
+            0.0,
+            vec![
+                ("node", Value::Str("relu".into())),
+                ("predicted_us", Value::F64(40.0)),
+                ("simulated_us", Value::F64(50.0)),
+            ],
+        );
+        t.snapshot()
+    }
+
+    #[test]
+    fn utilization_math() {
+        let utils = core_utilization(&synthetic());
+        assert_eq!(utils.len(), 2);
+        // Core 0: fully busy.
+        assert!((utils[0].utilization() - 1.0).abs() < 1e-12);
+        // Core 1: busy 70/100 per step.
+        assert!((utils[1].utilization() - 0.7).abs() < 1e-12);
+        assert_eq!(utils[1].idle_us, 60.0);
+    }
+
+    #[test]
+    fn step_costs_cover_both_phases() {
+        let steps = step_costs(&synthetic());
+        assert_eq!(steps.len(), 2);
+        assert_eq!(steps[0].compute_us, 60.0);
+        assert_eq!(steps[0].exchange_us, 40.0);
+    }
+
+    #[test]
+    fn accuracy_extraction() {
+        let samples = accuracy_samples(&synthetic());
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0].name, "matmul");
+        let report = AccuracyReport::from_samples(&samples);
+        assert_eq!(report.count, 2);
+        assert!(report.spearman.unwrap() > 0.99);
+    }
+
+    #[test]
+    fn render_mentions_all_sections() {
+        let text = render_summary(&synthetic());
+        assert!(text.contains("per-core utilization"), "{text}");
+        assert!(text.contains("critical path"), "{text}");
+        assert!(text.contains("recovery events"), "{text}");
+        assert!(text.contains("retry×1"), "{text}");
+        assert!(text.contains("cost-model accuracy"), "{text}");
+        assert!(text.contains("MAPE"), "{text}");
+    }
+
+    #[test]
+    fn empty_trace_renders() {
+        let text = render_summary(&[]);
+        assert!(text.contains("0 events"));
+        assert!(text.contains("no per-core spans"));
+    }
+}

@@ -1,5 +1,7 @@
 //! Whole-pipeline integration: graph → search → reconcile → program → sim.
 
+#![allow(clippy::unwrap_used)]
+
 use t10_core::compiler::Compiler;
 use t10_core::search::SearchConfig;
 use t10_device::program::Phase;

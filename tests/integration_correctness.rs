@@ -5,6 +5,8 @@
 //! proving the compiler's optimizations are lossless end-to-end (paper
 //! §6.1: "T10 only applies lossless optimizations").
 
+#![allow(clippy::unwrap_used)]
+
 use t10_core::cost::CostModel;
 use t10_core::lower::lower_functional;
 use t10_core::search::{search_operator, SearchConfig};

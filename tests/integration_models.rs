@@ -1,6 +1,8 @@
 //! Model-zoo integration: the Table 2 networks compile and the small ones
 //! execute numerically.
 
+#![allow(clippy::unwrap_used)]
+
 use t10_core::compiler::Compiler;
 use t10_core::search::SearchConfig;
 use t10_device::ChipSpec;
