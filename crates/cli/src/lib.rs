@@ -28,6 +28,8 @@ usage:
   t10 run     <model|file.t10> [--batch N] [--cores N] [--fuse]
               [--faults SPEC] [--fault-timeline SPEC]
               [--checkpoint-every N] [--max-retries K] [trace opts]
+  t10 check   <model|file.t10|all> [--batch N] [--cores N] [--fuse]
+              [--faults SPEC] [--json FILE]
   t10 bench   <model|file.t10> [--batch N] [--cores N]
   t10 explore <M> <K> <N> [--cores N]
   t10 trace   <trace.json>
@@ -52,9 +54,14 @@ fault timeline: events fired at superstep boundaries during `t10 run`, e.g.
   down=STEP@CORE (link dies)       kill=STEP@CORE (core dies)
   degrade=STEP@CORE@MULT  slow=STEP@CORE@MULT  random=COUNT@MAXSTEP
 
+`check` compiles each target and statically verifies the artifact: capacity
+proofs, rotation-ring consistency, BSP deadlock/race freedom, cost sanity.
+`--json FILE` writes the machine-readable diagnostics; `all` checks the zoo.
+
 exit codes: 1 generic, 2 usage, 3 infeasible plan, 4 out of memory,
   5 deadline exceeded, 6 worker panicked, 7 device/IR fault,
-  8 run completed after recovering from mid-run faults, 9 unrecoverable";
+  8 run completed after recovering from mid-run faults, 9 unrecoverable,
+  10 static verification refuted the artifact";
 
 /// A CLI failure: a message plus the process exit code to report.
 ///
@@ -102,6 +109,7 @@ pub fn compile_exit_code(e: &CompileError) -> i32 {
         CompileError::WorkerPanicked { .. } => 6,
         CompileError::Device(_) | CompileError::Ir(_) => 7,
         CompileError::Unrecoverable { .. } => 9,
+        CompileError::Verification { .. } => 10,
         CompileError::Internal { .. } => 1,
     }
 }
@@ -185,6 +193,23 @@ pub enum Cli {
         /// Structured-event outputs.
         trace: TraceArgs,
     },
+    /// Compile one target (or the whole zoo) and statically verify the
+    /// artifact without simulating it.
+    Check {
+        /// Zoo model name, `.t10` file path, or `all` for the whole zoo.
+        target: String,
+        /// Batch size.
+        batch: usize,
+        /// Core count.
+        cores: usize,
+        /// Apply the unary-fusion pass first.
+        fuse: bool,
+        /// Fault specification (see [`FaultPlan::parse`]), if any: the
+        /// verifier proves capacity against the *degraded* chip.
+        faults: Option<String>,
+        /// Write machine-readable diagnostics JSON to this path.
+        json: Option<String>,
+    },
     /// Compare T10 against the VGM baselines.
     Bench {
         /// Zoo model name or `.t10` file path.
@@ -224,6 +249,7 @@ impl Cli {
         let mut fault_timeline: Option<String> = None;
         let mut checkpoint_every: Option<usize> = None;
         let mut max_retries: Option<usize> = None;
+        let mut json: Option<String> = None;
         let mut trace = TraceArgs::default();
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -274,6 +300,9 @@ impl Cli {
                             .map_err(|_| "bad --max-retries value")?,
                     );
                 }
+                "--json" => {
+                    json = Some(it.next().ok_or("--json needs a path")?.clone());
+                }
                 "--trace-out" => {
                     trace.trace_out = Some(it.next().ok_or("--trace-out needs a path")?.clone());
                 }
@@ -301,8 +330,12 @@ impl Cli {
             }
         }
         let sub = pos.first().copied();
-        if faults.is_some() && sub != Some("compile") && sub != Some("run") {
-            return Err("--faults only applies to `compile` and `run`".into());
+        if faults.is_some() && sub != Some("compile") && sub != Some("run") && sub != Some("check")
+        {
+            return Err("--faults only applies to `compile`, `run` and `check`".into());
+        }
+        if json.is_some() && sub != Some("check") {
+            return Err("--json only applies to `check`".into());
         }
         if deadline_ms.is_some() && sub != Some("compile") {
             return Err("--deadline-ms only applies to `compile`".into());
@@ -338,6 +371,14 @@ impl Cli {
                 checkpoint_every,
                 max_retries,
                 trace,
+            }),
+            ["check", target] => Ok(Cli::Check {
+                target: target.to_string(),
+                batch,
+                cores,
+                fuse,
+                faults,
+                json,
             }),
             ["trace", file] => Ok(Cli::Trace {
                 file: file.to_string(),
@@ -461,6 +502,40 @@ fn write_trace_outputs(
         println!("metrics: {} values -> {path}", m.len());
     }
     Ok(())
+}
+
+/// Statically verifies a compiled graph end to end: the assembled device
+/// program (capacity, rings, BSP safety, cost sanity) plus every node's
+/// active plan (plan-level footprint and rotating-pace rules), against the
+/// optionally fault-degraded chip. This re-proves, standalone, exactly what
+/// the compiler's mandatory post-pass proved before releasing the artifact.
+pub fn check_compiled(
+    spec: &ChipSpec,
+    faults: Option<&FaultPlan>,
+    graph: &Graph,
+    compiled: &CompiledGraph,
+) -> t10_verify::Report {
+    let mut verifier = t10_verify::Verifier::new(spec);
+    if let Some(f) = faults {
+        verifier = verifier.with_faults(f);
+    }
+    // The compiler plans against the most constrained core (an injected SRAM
+    // fault lowers the memory cap chip-wide); prove against the same bound.
+    let capacity = verifier.capacities().iter().copied().min().unwrap_or(0);
+    let mut report = verifier.verify_program(&compiled.program);
+    for (i, node) in graph.nodes().iter().enumerate() {
+        let active = compiled
+            .reconciled
+            .choices
+            .get(i)
+            .and_then(|c| compiled.node_pareto.get(i)?.plans().get(c.active));
+        if let Some(active) = active {
+            report.merge(
+                t10_core::verify_plan(&node.op, &active.plan, capacity, spec.num_cores).tag_node(i),
+            );
+        }
+    }
+    report
 }
 
 /// Executes a parsed command, returning the process exit code on success.
@@ -669,6 +744,120 @@ pub fn run(cli: &Cli) -> Result<i32, CliError> {
             };
             Ok(if healed { 8 } else { 0 })
         }
+        Cli::Check {
+            target,
+            batch,
+            cores,
+            fuse,
+            faults,
+            json,
+        } => {
+            let spec = chip(*cores);
+            let fault_plan = match faults {
+                Some(s) => Some(FaultPlan::parse(s, spec.num_cores).map_err(CliError::usage)?),
+                None => None,
+            };
+            let names: Vec<String> = if target == "all" {
+                all_models()
+                    .into_iter()
+                    .map(|m| m.name.to_string())
+                    .collect()
+            } else {
+                vec![target.clone()]
+            };
+            let mut t = Table::new(vec![
+                "model",
+                "steps",
+                "buffers",
+                "shifts",
+                "peak/core",
+                "errors",
+                "verify (\u{b5}s)",
+                "status",
+            ]);
+            let mut json_targets: Vec<(String, String)> = Vec::new();
+            let mut first_failure: Option<String> = None;
+            let mut total_verify = Duration::ZERO;
+            for name in &names {
+                let mut g = resolve_model(name, *batch)?;
+                if *fuse {
+                    g = t10_ir::transform::fuse_unary(&g).map_err(|e| e.to_string())?;
+                }
+                let opts = CompileOptions {
+                    deadline: None,
+                    faults: fault_plan.clone(),
+                    warm_start: None,
+                    trace: Trace::disabled(),
+                };
+                // The compile itself runs the mandatory post-pass; a refuted
+                // artifact surfaces here as CompileError::Verification (10).
+                let compiled = Compiler::new(spec.clone(), bench_search_config())
+                    .compile_graph_with(&g, &opts)?;
+                // Re-prove standalone, on the released artifact, and report.
+                let t0 = std::time::Instant::now();
+                let report = check_compiled(&spec, fault_plan.as_ref(), &g, &compiled);
+                let dt = t0.elapsed();
+                total_verify += dt;
+                let status = if report.is_ok() {
+                    "ok".to_string()
+                } else {
+                    format!("FAIL ({})", report.violated_rules().join(","))
+                };
+                if !report.is_ok() && first_failure.is_none() {
+                    first_failure = Some(match report.diagnostics.first() {
+                        Some(d) => format!("{name}: {}", d.render()),
+                        None => name.clone(),
+                    });
+                }
+                for d in &report.diagnostics {
+                    println!("{name}: {}", d.render());
+                }
+                t.row(vec![
+                    g.name().to_string(),
+                    report.stats.steps.to_string(),
+                    report.stats.buffers.to_string(),
+                    report.stats.shifts.to_string(),
+                    fmt_bytes(report.stats.peak_core_bytes),
+                    report.error_count().to_string(),
+                    format!("{:.0}", dt.as_secs_f64() * 1e6),
+                    status,
+                ]);
+                json_targets.push((g.name().to_string(), report.to_json()));
+            }
+            let all_ok = first_failure.is_none();
+            t.print();
+            println!(
+                "checked {} target(s) in {:.1} ms total verify time: {}",
+                names.len(),
+                total_verify.as_secs_f64() * 1e3,
+                if all_ok { "all ok" } else { "VIOLATIONS FOUND" },
+            );
+            if let Some(path) = json {
+                let mut out = String::from("{\"ok\":");
+                out.push_str(if all_ok { "true" } else { "false" });
+                out.push_str(",\"targets\":[");
+                for (i, (name, rj)) in json_targets.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str("{\"name\":\"");
+                    t10_trace::json::escape_into(&mut out, name);
+                    out.push_str("\",\"report\":");
+                    out.push_str(rj);
+                    out.push('}');
+                }
+                out.push_str("]}\n");
+                std::fs::write(path, &out).map_err(|e| format!("{path}: {e}"))?;
+                println!("diagnostics: {} target(s) -> {path}", json_targets.len());
+            }
+            match first_failure {
+                None => Ok(0),
+                Some(msg) => Err(CliError {
+                    message: format!("static verification failed: {msg}"),
+                    code: 10,
+                }),
+            }
+        }
         Cli::Bench {
             target,
             batch,
@@ -842,6 +1031,13 @@ mod tests {
             (CompileError::worker_panicked("x"), 6),
             (CompileError::from(DeviceError::fault("link dark")), 7),
             (CompileError::unrecoverable("budget spent"), 9),
+            (
+                CompileError::verification(vec![t10_verify::Diagnostic::error(
+                    t10_verify::RuleId::SramOverflow,
+                    "core 0 over budget",
+                )]),
+                10,
+            ),
             (CompileError::internal("x"), 1),
         ];
         let mut seen = std::collections::HashSet::new();
@@ -849,8 +1045,9 @@ mod tests {
             assert_eq!(compile_exit_code(&e), want, "{e}");
             seen.insert(want);
         }
-        // Codes 1, 3..=7 and 9; 2 is reserved for usage, 8 for healed runs.
-        assert_eq!(seen.len(), 7);
+        // Codes 1, 3..=7, 9 and 10; 2 is reserved for usage, 8 for healed
+        // runs.
+        assert_eq!(seen.len(), 8);
         let cli: CliError = CompileError::deadline(10, "late").into();
         assert_eq!(cli.code, 5);
         let usage = CliError::usage("bad spec");
@@ -871,6 +1068,97 @@ mod tests {
         .unwrap_err();
         assert_eq!(err.code, 2);
         assert!(err.message.contains("fault spec"));
+    }
+
+    #[test]
+    fn parses_check_with_flags() {
+        let c = Cli::parse(&s(&[
+            "check",
+            "all",
+            "--cores",
+            "64",
+            "--faults",
+            "seed=1,shrink=0@0.5",
+            "--json",
+            "diag.json",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Cli::Check {
+                target: "all".to_string(),
+                batch: 1,
+                cores: 64,
+                fuse: false,
+                faults: Some("seed=1,shrink=0@0.5".to_string()),
+                json: Some("diag.json".to_string()),
+            }
+        );
+        // --json is check-only; trace flags don't apply to check.
+        assert!(Cli::parse(&s(&["compile", "x", "--json", "d.json"])).is_err());
+        assert!(Cli::parse(&s(&["check", "x", "--trace-out", "t.json"])).is_err());
+        assert!(Cli::parse(&s(&["check", "x", "--json"])).is_err());
+    }
+
+    #[test]
+    fn check_command_passes_a_clean_model_and_writes_json() {
+        let dir = std::env::temp_dir().join("t10_cli_check_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let model = dir.join("chk.t10");
+        std::fs::write(
+            &model,
+            "model cli-check-test\ninput x 64 64\nlinear a x 64 relu\nlinear b a 64\noutput b\n",
+        )
+        .unwrap();
+        let json_path = dir.join("diag.json");
+        let code = run(&Cli::Check {
+            target: model.to_string_lossy().to_string(),
+            batch: 1,
+            cores: 16,
+            fuse: true,
+            faults: None,
+            json: Some(json_path.to_string_lossy().to_string()),
+        })
+        .unwrap();
+        assert_eq!(code, 0);
+        let doc = std::fs::read_to_string(&json_path).unwrap();
+        let v = t10_trace::json::parse(&doc).unwrap();
+        assert_eq!(v.get("ok").and_then(|o| o.as_bool()), Some(true));
+        let targets = v.get("targets").and_then(|t| t.as_arr()).unwrap();
+        assert_eq!(targets.len(), 1);
+        let report = targets[0].get("report").unwrap();
+        assert_eq!(report.get("ok").and_then(|o| o.as_bool()), Some(true));
+        assert_eq!(
+            report
+                .get("stats")
+                .and_then(|s| s.get("rules_checked"))
+                .and_then(|r| r.as_f64()),
+            Some(t10_verify::RuleId::ALL.len() as f64)
+        );
+    }
+
+    #[test]
+    fn check_command_survives_fault_degraded_chips() {
+        let dir = std::env::temp_dir().join("t10_cli_check_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let model = dir.join("chk_faulty.t10");
+        std::fs::write(
+            &model,
+            "model cli-check-fault\ninput x 64 64\nlinear a x 64\noutput a\n",
+        )
+        .unwrap();
+        // The compiler plans against the shrunk capacity, so the artifact it
+        // releases still proves out on the degraded chip.
+        let code = run(&Cli::Check {
+            target: model.to_string_lossy().to_string(),
+            batch: 1,
+            cores: 16,
+            fuse: false,
+            faults: Some("seed=3,shrink=1@0.5".to_string()),
+            json: None,
+        })
+        .unwrap();
+        assert_eq!(code, 0);
     }
 
     #[test]

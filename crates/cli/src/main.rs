@@ -4,6 +4,7 @@
 //! t10 zoo                               list the built-in models
 //! t10 compile <model|file.t10> [opts]   compile and simulate with T10
 //! t10 run     <model|file.t10> [opts]   execute under a mid-run fault timeline
+//! t10 check   <model|file.t10|all> [opts]  statically verify compiled artifacts
 //! t10 bench   <model|file.t10> [opts]   compare T10 / Roller / Ansor / PopART
 //! t10 explore <M> <K> <N> [opts]        Pareto frontier of one MatMul
 //! t10 trace   <trace.json>              summarize a recorded trace file
@@ -12,11 +13,12 @@
 //!          --faults SPEC  --deadline-ms N  --fault-timeline SPEC
 //!          --checkpoint-every N  --max-retries K
 //!          --trace-out FILE  --metrics-out FILE
-//!          --trace-clock wall|logical  --trace-cores N
+//!          --trace-clock wall|logical  --trace-cores N  --json FILE
 //!
 //! Exit codes distinguish failure classes: 1 generic, 2 usage, 3 infeasible
 //! plan, 4 out of memory, 5 deadline exceeded, 6 worker panicked,
-//! 7 device/IR fault, 8 run recovered from mid-run faults, 9 unrecoverable.
+//! 7 device/IR fault, 8 run recovered from mid-run faults, 9 unrecoverable,
+//! 10 static verification refuted the artifact.
 //! ```
 
 use t10_cli::{run, Cli};

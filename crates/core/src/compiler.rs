@@ -486,6 +486,25 @@ impl Compiler {
                 }
             }
         }
+        // Mandatory static post-pass (pure analysis, no simulation): prove
+        // the assembled program and every chosen plan before handing the
+        // compile out. A violation here is a compiler bug or a corrupted
+        // warm-start, and must surface as a typed error rather than a
+        // mid-run OOM or deadlock.
+        let mut verifier = t10_verify::Verifier::new(&self.spec).with_trace(opts.trace.clone());
+        if let Some(faults) = &opts.faults {
+            verifier = verifier.with_faults(faults);
+        }
+        let mut report = verifier.verify_program(&program);
+        for (i, node) in graph.nodes().iter().enumerate() {
+            let choice = &reconciled.choices[i];
+            let active = &node_pareto[i].plans()[choice.active];
+            report.merge(
+                crate::verify::verify_plan(&node.op, &active.plan, capacity, self.spec.num_cores)
+                    .tag_node(i),
+            );
+        }
+        crate::verify::require(report)?;
         if trace.enabled() {
             let end = trace.now_us();
             trace.span(

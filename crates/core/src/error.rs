@@ -35,6 +35,12 @@ pub enum CompileError {
     Device(DeviceError),
     /// The IR layer rejected the graph or expression.
     Ir(IrError),
+    /// The static verifier refuted the compiled artifact: one or more
+    /// invariants (capacity, ring consistency, BSP safety, cost sanity) do
+    /// not hold. Carries the typed findings.
+    Verification {
+        diagnostics: Vec<t10_verify::Diagnostic>,
+    },
     /// An internal invariant failed (cost-model fitting, bookkeeping).
     Internal { detail: String },
 }
@@ -91,6 +97,11 @@ impl CompileError {
         }
     }
 
+    /// Creates a verification-failure error from the verifier's findings.
+    pub fn verification(diagnostics: Vec<t10_verify::Diagnostic>) -> Self {
+        Self::Verification { diagnostics }
+    }
+
     /// The human-readable message (without the "compile error:" prefix).
     pub fn message(&self) -> String {
         match self {
@@ -120,6 +131,20 @@ impl CompileError {
             }
             Self::Device(e) => e.message(),
             Self::Ir(e) => e.message().to_string(),
+            Self::Verification { diagnostics } => {
+                let first = diagnostics
+                    .iter()
+                    .find(|d| d.severity == t10_verify::Severity::Error)
+                    .or_else(|| diagnostics.first());
+                match first {
+                    Some(d) => format!(
+                        "static verification failed ({} finding(s)); first: {}",
+                        diagnostics.len(),
+                        d.render()
+                    ),
+                    None => "static verification failed".to_string(),
+                }
+            }
             Self::Internal { detail } => detail.clone(),
         }
     }

@@ -59,6 +59,7 @@ pub mod reconcile;
 pub mod recovery;
 pub mod rtensor;
 pub mod search;
+pub mod verify;
 pub mod viz;
 
 pub use compiler::{CompileOptions, CompiledGraph, Compiler};
@@ -67,6 +68,7 @@ pub use error::CompileError;
 pub use plan::{Plan, PlanConfig, TemporalChoice};
 pub use recovery::{MigrationMap, Recovered, RecoveryController, RecoveryPolicy, RecoveryUnit};
 pub use search::{ParetoSet, SearchConfig, SearchStats};
+pub use verify::{verify_lowering, verify_plan};
 
 /// Result alias used throughout the compiler.
 pub type Result<T> = std::result::Result<T, CompileError>;

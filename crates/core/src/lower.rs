@@ -57,8 +57,26 @@ pub fn lower_functional(op: &Operator, plan: &Plan) -> Result<FunctionalLowering
     }
     for (s, slot) in plan.slots.iter().enumerate() {
         if slot.temporal.factor > 1 {
-            let dim = slot.temporal.dim.unwrap_or(0);
-            let extent = slot.spatial.dims[dim].extent;
+            let dim = slot.temporal.dim.ok_or_else(|| {
+                crate::verify::invariant(
+                    t10_verify::RuleId::FactorSharing,
+                    format!(
+                        "slot {s}: temporal factor {} without a rotating dim",
+                        slot.temporal.factor
+                    ),
+                )
+            })?;
+            let extent = slot
+                .spatial
+                .dims
+                .get(dim)
+                .ok_or_else(|| {
+                    crate::verify::invariant(
+                        t10_verify::RuleId::FactorSharing,
+                        format!("slot {s}: rotating dim {dim} out of range"),
+                    )
+                })?
+                .extent;
             if slot.plen * slot.temporal.factor != extent {
                 return Err(compile_err!(
                     "functional lowering requires exact temporal split: slot {s} \
@@ -193,10 +211,12 @@ pub fn lower_functional(op: &Operator, plan: &Plan) -> Result<FunctionalLowering
                 let level = &levels[li];
                 for &s in &level.slots {
                     let slot = &plan.slots[s];
-                    let dim = slot
-                        .temporal
-                        .dim
-                        .expect("temporal factor > 1 implies a dim");
+                    let dim = slot.temporal.dim.ok_or_else(|| {
+                        crate::verify::invariant(
+                            t10_verify::RuleId::FactorSharing,
+                            format!("slot {s}: rotating slot lost its temporal dim"),
+                        )
+                    })?;
                     let count = if level.axis.is_some() {
                         level.rp
                     } else {

@@ -246,11 +246,26 @@ impl Plan {
             if slot.temporal.factor <= 1 {
                 continue;
             }
-            let dim = slot
-                .temporal
-                .dim
-                .expect("temporal factor > 1 implies a dim");
-            let axis = slot.spatial.dims[dim].rot_axis;
+            let dim = slot.temporal.dim.ok_or_else(|| {
+                crate::verify::invariant(
+                    t10_verify::RuleId::FactorSharing,
+                    format!(
+                        "slot {s}: temporal factor {} without a rotating dim",
+                        slot.temporal.factor
+                    ),
+                )
+            })?;
+            let axis = slot
+                .spatial
+                .dims
+                .get(dim)
+                .ok_or_else(|| {
+                    crate::verify::invariant(
+                        t10_verify::RuleId::FactorSharing,
+                        format!("slot {s}: rotating dim {dim} out of range"),
+                    )
+                })?
+                .rot_axis;
             if let Some(k) = axis {
                 if let Some(level) = levels.iter_mut().find(|l| l.axis == Some(k)) {
                     level.slots.push(s);

@@ -257,6 +257,7 @@ impl RecoveryController {
         let mut faults = faults;
         let mut inputs: Vec<Tensor> = inputs.to_vec();
         let mut unit = recompile(&spec, &faults, None)?;
+        self.verify_unit(&spec, &faults, &unit)?;
         let mut sim = self.build_sim(&spec, &faults, timeline, step_offset, &unit, &inputs)?;
         let mut rr = RecoveryReport::default();
         loop {
@@ -409,6 +410,7 @@ impl RecoveryController {
             }
             let prev = std::mem::take(&mut unit.pareto);
             let new_unit = recompile(&spec, &faults, Some(&prev))?;
+            self.verify_unit(&spec, &faults, &new_unit)?;
             let migration = MigrationMap::between(
                 &unit.program,
                 &unit.input_buffers,
@@ -444,6 +446,22 @@ impl RecoveryController {
             unit = new_unit;
             sim = self.build_sim(&spec, &faults, timeline, fault_global, &unit, &inputs)?;
         }
+    }
+
+    /// Statically verifies a freshly (re)compiled unit against the
+    /// *surviving* machine before any execution starts: the fault plan's
+    /// degraded per-core capacities apply, plus the checkpoint staging the
+    /// controller always reserves (`with_checkpointing` holds one
+    /// shift-buffer's worth per core). A warm-started recompile that reuses
+    /// a stale Pareto plan no longer fitting the shrunk chip is rejected
+    /// here as a typed [`CompileError::Verification`] instead of surfacing
+    /// mid-run as a device OOM.
+    fn verify_unit(&self, spec: &ChipSpec, faults: &FaultPlan, unit: &RecoveryUnit) -> Result<()> {
+        let verifier = t10_verify::Verifier::new(spec)
+            .with_faults(faults)
+            .with_reserved(spec.shift_buffer)
+            .with_trace(self.trace.clone());
+        crate::verify::require(verifier.verify_program(&unit.program))
     }
 
     /// Builds a simulator for one unit: fault plan installed, checkpoint

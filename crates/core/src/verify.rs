@@ -1,0 +1,487 @@
+//! Plan-level static verification: the rules that need [`Plan`] itself.
+//!
+//! `t10-verify` owns the diagnostic vocabulary and every program-level rule
+//! (it sees only `t10-device` programs, so this crate can depend on it and
+//! run it as a mandatory post-pass). The invariants below need the plan —
+//! rotating paces, temporal factors, the diagonal placement — so they live
+//! here and speak the same [`t10_verify::Diagnostic`] language:
+//!
+//! * **CAP03 / CAP01** — the plan's active footprint fits the capacity the
+//!   search was bounded by, and its `F_op` product fits the chip;
+//! * **RING01–RING03** — paces tile their axes, align to the minimum
+//!   partition length (§4.2), and temporal factors divide their sharing;
+//! * **RING07** — every lowered rotation's source core is the placement's
+//!   upstream of its destination (the diagonal sigma, §4.4 Figure 10);
+//! * **BSP04** — the lowered output buffers cover every output coordinate
+//!   exactly once.
+
+use std::collections::{HashMap, HashSet};
+
+use t10_device::program::ShiftKind;
+use t10_ir::Operator;
+use t10_verify::{Diagnostic, Report, RuleId};
+
+use crate::lower::FunctionalLowering;
+use crate::placement::{upstream_coords, CoreGrid};
+use crate::plan::Plan;
+use crate::rtensor::dim_extent;
+use crate::{CompileError, Result};
+
+/// Output spaces larger than this are checked by element counts only;
+/// smaller ones get exact coordinate-coverage enumeration. Functional
+/// lowerings (the only path with output buffers) stay well under it.
+const COVERAGE_ENUM_LIMIT: usize = 1 << 20;
+
+/// Proves or refutes the plan-level rule inventory for one operator's plan.
+///
+/// `capacity` is the per-core byte budget the plan must fit (the compiler's
+/// effective, fault-aware capacity); `num_cores` the physical core count.
+pub fn verify_plan(op: &Operator, plan: &Plan, capacity: usize, num_cores: usize) -> Report {
+    let mut report = Report::new();
+    report.stats.rules_checked = RuleId::ALL.len();
+    if plan.cores_used > num_cores {
+        report.push(
+            Diagnostic::error(
+                RuleId::CoreOutOfRange,
+                format!(
+                    "plan partitions {} onto {} cores but the chip has {num_cores}",
+                    op.kind, plan.cores_used
+                ),
+            )
+            .hint("the F_op product must not exceed the (surviving) core count"),
+        );
+    }
+    if plan.mem_per_core > capacity {
+        report.push(
+            Diagnostic::error(
+                RuleId::PlanMemOverflow,
+                format!(
+                    "plan for {} needs {} B per core but the capacity bound is {capacity} B",
+                    op.kind, plan.mem_per_core
+                ),
+            )
+            .hint("raise a temporal factor (smaller partitions, more rotation steps)"),
+        );
+    }
+    // RING03: temporal factors must agree with their spatial sharing.
+    for (s, slot) in plan.slots.iter().enumerate() {
+        if slot.temporal.factor <= 1 {
+            continue;
+        }
+        let factor = slot.temporal.factor;
+        let Some(dim) = slot.temporal.dim else {
+            report.push(
+                Diagnostic::error(
+                    RuleId::FactorSharing,
+                    format!("slot {s}: temporal factor {factor} without a tensor dimension"),
+                )
+                .hint("a rotating rTensor names the dimension its f_t partitions"),
+            );
+            continue;
+        };
+        let sharing = slot.spatial.sharing;
+        if sharing % factor != 0 {
+            report.push(
+                Diagnostic::error(
+                    RuleId::FactorSharing,
+                    format!("slot {s}: temporal factor {factor} does not divide sharing {sharing}"),
+                )
+                .hint("f_t must divide the number of cores sharing the sub-tensor (§4.2)"),
+            );
+        } else if slot.rings != sharing / factor {
+            report.push(
+                Diagnostic::error(
+                    RuleId::FactorSharing,
+                    format!(
+                        "slot {s}: {} rings recorded for sharing {sharing} / factor {factor}",
+                        slot.rings
+                    ),
+                )
+                .hint("rings = sharing / f_t; rebuild the plan"),
+            );
+        }
+        match slot.spatial.dims.get(dim) {
+            None => report.push(
+                Diagnostic::error(
+                    RuleId::FactorSharing,
+                    format!("slot {s}: temporal dimension {dim} out of range"),
+                )
+                .hint("the rotating dimension must exist on the tensor"),
+            ),
+            Some(di) => {
+                if !di.indirect && slot.plen * factor != di.extent {
+                    report.push(
+                        Diagnostic::error(
+                            RuleId::FactorSharing,
+                            format!(
+                                "slot {s}: plen {} × factor {factor} ≠ extent {}",
+                                slot.plen, di.extent
+                            ),
+                        )
+                        .hint("axis-mapped rotations require an exact temporal split"),
+                    );
+                }
+            }
+        }
+    }
+    // RING01 / RING02 per rotation level. Alignment (RING02) is only
+    // meaningful once the pace tiles the axis, so a level failing RING01
+    // reports that alone.
+    for (li, level) in plan.rotations.iter().enumerate() {
+        match level.axis {
+            Some(k) => {
+                let extent = plan.tiles.get(k).copied().unwrap_or(0);
+                if level.rp == 0 || extent % level.rp != 0 || level.steps * level.rp != extent {
+                    report.push(
+                        Diagnostic::error(
+                            RuleId::PaceDividesExtent,
+                            format!(
+                                "level {li}: pace {} × {} steps does not tile axis {k}'s \
+                                 temporal extent {extent}",
+                                level.rp, level.steps
+                            ),
+                        )
+                        .hint("rp must divide the per-core tile so the rotation closes (§4.2)"),
+                    );
+                    continue;
+                }
+                let min_plen = level
+                    .slots
+                    .iter()
+                    .filter_map(|&s| plan.slots.get(s).map(|sl| sl.plen))
+                    .min();
+                if let Some(min_plen) = min_plen {
+                    if level.rp != min_plen {
+                        report.push(
+                            Diagnostic::error(
+                                RuleId::PaceAlignment,
+                                format!(
+                                    "level {li}: pace {} but the smallest rotating partition \
+                                     has length {min_plen}",
+                                    level.rp
+                                ),
+                            )
+                            .hint(
+                                "rTensors rotating along one axis share rp = min(plen) \
+                                 (§4.2 rules 1–3)",
+                            ),
+                        );
+                    }
+                }
+            }
+            None => {
+                // Indirect (virtual-axis) rotation: exactly one slot, whole
+                // partitions shift each step.
+                for &s in &level.slots {
+                    let Some(slot) = plan.slots.get(s) else {
+                        continue;
+                    };
+                    if level.steps != slot.temporal.factor || level.rp != slot.plen {
+                        report.push(
+                            Diagnostic::error(
+                                RuleId::PaceDividesExtent,
+                                format!(
+                                    "level {li}: indirect rotation of slot {s} runs {} steps \
+                                     at pace {} (expected {} steps at plen {})",
+                                    level.steps, level.rp, slot.temporal.factor, slot.plen
+                                ),
+                            )
+                            .hint("an indirect rotation shifts one whole partition per step"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Proves or refutes the lowering-level rules for one functional lowering:
+/// RING07 (rotations follow the placement's upstream) and BSP04 (output
+/// coverage).
+pub fn verify_lowering(op: &Operator, plan: &Plan, lowering: &FunctionalLowering) -> Report {
+    let mut report = Report::new();
+    report.stats.rules_checked = RuleId::ALL.len();
+    let grid = CoreGrid::new(&plan.config.f_op);
+
+    // RING07: map each input buffer back to its (slot, core) and require
+    // every rotation's source to be the placement's upstream neighbour.
+    let mut owner: HashMap<usize, (usize, usize)> = HashMap::new();
+    for (s, bufs) in lowering.input_buffers.iter().enumerate() {
+        for (core, &b) in bufs.iter().enumerate() {
+            owner.insert(b, (s, core));
+        }
+    }
+    for (step, ss) in lowering.program.steps.iter().enumerate() {
+        for shift in &ss.exchange {
+            if !matches!(shift.kind, ShiftKind::RotateSlices { .. }) {
+                continue;
+            }
+            let (Some(&(src_slot, src_core)), Some(&(dst_slot, dst_core))) =
+                (owner.get(&shift.src), owner.get(&shift.dst))
+            else {
+                continue; // rotations only ever touch input buffers
+            };
+            if src_slot != dst_slot {
+                report.push(
+                    Diagnostic::error(
+                        RuleId::SigmaMismatch,
+                        format!(
+                            "superstep {step}: rotation moves slot {src_slot}'s partition into \
+                             slot {dst_slot}'s buffer"
+                        ),
+                    )
+                    .at_step(step)
+                    .at_buffer(shift.dst)
+                    .hint("a ring rotates one rTensor; shifts never cross tensors"),
+                );
+                continue;
+            }
+            let Some(slot) = plan.slots.get(src_slot) else {
+                continue;
+            };
+            let expected = grid.linear(&upstream_coords(
+                &grid.coords(dst_core),
+                &slot.spatial.missing_axes,
+                &plan.config.f_op,
+                slot.temporal.factor,
+            ));
+            if src_core != expected {
+                report.push(
+                    Diagnostic::error(
+                        RuleId::SigmaMismatch,
+                        format!(
+                            "superstep {step}: core {dst_core} receives slot {src_slot}'s \
+                             rotation from core {src_core}, but the diagonal placement's \
+                             upstream is core {expected}"
+                        ),
+                    )
+                    .at_step(step)
+                    .at_core(dst_core)
+                    .at_buffer(shift.dst)
+                    .hint("shift endpoints must follow σ's ring order (§4.4, Figure 10)"),
+                );
+            }
+        }
+    }
+
+    // BSP04: the roots must cover every output coordinate exactly once.
+    let sizes: Vec<usize> = op.expr.axes.iter().map(|a| a.size).collect();
+    let expected: usize = op
+        .expr
+        .output
+        .iter()
+        .map(|e| dim_extent(e, &sizes))
+        .product();
+    let mut total = 0usize;
+    let mut seen: HashSet<Vec<usize>> = HashSet::new();
+    let mut duplicated = false;
+    let enumerate = expected <= COVERAGE_ENUM_LIMIT;
+    for &root in &lowering.output_buffers {
+        let Some(b) = lowering.program.buffers.get(root) else {
+            continue; // dangling roots are BSP02 at program level
+        };
+        total += b.elements();
+        if enumerate {
+            for tuple in CoordIter::new(&b.coords) {
+                duplicated |= !seen.insert(tuple);
+            }
+        }
+    }
+    let covered = if enumerate { seen.len() } else { total };
+    if duplicated {
+        report.push(
+            Diagnostic::error(
+                RuleId::OutputCoverage,
+                format!(
+                    "{}: an output coordinate is produced by two root buffers",
+                    op.kind
+                ),
+            )
+            .hint("every output sub-tensor has exactly one final owner"),
+        );
+    }
+    if covered != expected {
+        report.push(
+            Diagnostic::error(
+                RuleId::OutputCoverage,
+                format!(
+                    "{}: root buffers cover {covered} of {expected} output elements",
+                    op.kind
+                ),
+            )
+            .hint("the reduction roots must tile the whole output exactly once"),
+        );
+    }
+    report
+}
+
+/// Fails compilation when a report carries error findings.
+pub fn require(report: Report) -> Result<()> {
+    if report.is_ok() {
+        Ok(())
+    } else {
+        Err(CompileError::verification(report.diagnostics))
+    }
+}
+
+/// A single-finding verification error: the typed replacement for what used
+/// to be an `assert!`/`expect` in plan construction and lowering.
+pub(crate) fn invariant(rule: RuleId, message: impl Into<String>) -> CompileError {
+    CompileError::verification(vec![Diagnostic::error(rule, message)])
+}
+
+/// Odometer over a buffer's per-dimension coordinate lists, yielding global
+/// coordinate tuples.
+struct CoordIter<'a> {
+    coords: &'a [Vec<usize>],
+    idx: Vec<usize>,
+    done: bool,
+}
+
+impl<'a> CoordIter<'a> {
+    fn new(coords: &'a [Vec<usize>]) -> Self {
+        Self {
+            coords,
+            idx: vec![0; coords.len()],
+            done: coords.iter().any(|c| c.is_empty()),
+        }
+    }
+}
+
+impl Iterator for CoordIter<'_> {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        let tuple: Vec<usize> = self
+            .idx
+            .iter()
+            .zip(self.coords)
+            .map(|(&i, c)| c.get(i).copied().unwrap_or(0))
+            .collect();
+        // Tick the odometer, last dimension fastest.
+        self.done = true;
+        for (slot, c) in self.idx.iter_mut().zip(self.coords).rev() {
+            *slot += 1;
+            if *slot < c.len() {
+                self.done = false;
+                break;
+            }
+            *slot = 0;
+        }
+        Some(tuple)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_functional;
+    use crate::plan::{PlanConfig, TemporalChoice};
+    use t10_ir::builders;
+
+    fn fig7() -> (Operator, Plan) {
+        let op = builders::matmul(0, 1, 2, 2, 6, 3).unwrap();
+        let cfg = PlanConfig {
+            f_op: vec![2, 1, 3],
+            temporal: vec![TemporalChoice::rotate(1, 3), TemporalChoice::rotate(0, 2)],
+        };
+        let plan = Plan::build(&op, &[2, 2], 2, cfg).unwrap();
+        (op, plan)
+    }
+
+    #[test]
+    fn valid_plan_and_lowering_verify_clean() {
+        let (op, plan) = fig7();
+        let r = verify_plan(&op, &plan, usize::MAX, 6);
+        assert!(r.is_ok(), "plan diagnostics: {:?}", r.diagnostics);
+        let lowering = lower_functional(&op, &plan).unwrap();
+        let r = verify_lowering(&op, &plan, &lowering);
+        assert!(r.is_ok(), "lowering diagnostics: {:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn corrupted_pace_is_ring01() {
+        let (op, mut plan) = fig7();
+        plan.rotations[0].rp = 5; // does not divide the k-tile of 6
+        let r = verify_plan(&op, &plan, usize::MAX, 6);
+        assert_eq!(r.violated_rules(), vec!["RING01"]);
+    }
+
+    #[test]
+    fn misaligned_pace_is_ring02() {
+        let (op, mut plan) = fig7();
+        // rp 1 still tiles the extent (6 = 6×1) but violates min-plen
+        // alignment (min plen is 2).
+        plan.rotations[0].rp = 1;
+        plan.rotations[0].steps = 6;
+        let r = verify_plan(&op, &plan, usize::MAX, 6);
+        assert_eq!(r.violated_rules(), vec!["RING02"]);
+    }
+
+    #[test]
+    fn corrupted_factor_is_ring03() {
+        let (op, mut plan) = fig7();
+        plan.slots[1].temporal.factor = 4; // sharing is 2 per ring grouping
+        let r = verify_plan(&op, &plan, usize::MAX, 6);
+        assert!(r.violated_rules().contains(&"RING03"));
+    }
+
+    #[test]
+    fn undersized_capacity_is_cap03_and_small_chip_is_cap01() {
+        let (op, plan) = fig7();
+        let r = verify_plan(&op, &plan, 1, 6);
+        assert_eq!(r.violated_rules(), vec!["CAP03"]);
+        let r = verify_plan(&op, &plan, usize::MAX, 4);
+        assert_eq!(r.violated_rules(), vec!["CAP01"]);
+    }
+
+    #[test]
+    fn swapped_ring_destinations_are_ring07() {
+        let (op, plan) = fig7();
+        let mut lowering = lower_functional(&op, &plan).unwrap();
+        // Swap the destinations of the first two rotations in step 0: the
+        // per-step degrees stay 1-in/1-out (RING04/05 are blind to it) but
+        // the ring no longer follows the placement's σ.
+        let step = &mut lowering.program.steps[0];
+        let rotates: Vec<usize> = step
+            .exchange
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s.kind, ShiftKind::RotateSlices { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        assert!(rotates.len() >= 2, "fig7 rotates on every non-final step");
+        let (a, b) = (rotates[0], rotates[1]);
+        let tmp = step.exchange[a].dst;
+        step.exchange[a].dst = step.exchange[b].dst;
+        step.exchange[b].dst = tmp;
+        let r = verify_lowering(&op, &plan, &lowering);
+        assert_eq!(r.violated_rules(), vec!["RING07"]);
+    }
+
+    #[test]
+    fn dropped_root_is_bsp04() {
+        let (op, plan) = fig7();
+        let mut lowering = lower_functional(&op, &plan).unwrap();
+        lowering.output_buffers.pop();
+        let r = verify_lowering(&op, &plan, &lowering);
+        assert_eq!(r.violated_rules(), vec!["BSP04"]);
+    }
+
+    #[test]
+    fn require_surfaces_diagnostics_as_compile_error() {
+        let (op, plan) = fig7();
+        let err = require(verify_plan(&op, &plan, 1, 6)).unwrap_err();
+        match err {
+            CompileError::Verification { diagnostics } => {
+                assert_eq!(diagnostics.len(), 1);
+                assert_eq!(diagnostics[0].rule, RuleId::PlanMemOverflow);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -255,12 +255,19 @@ impl Program {
     }
 
     /// Peak scratchpad bytes used on any single core, from declarations.
+    /// Buffers declared on out-of-range cores (a malformed program the
+    /// verifier reports as CAP01) still count toward the peak rather than
+    /// panicking here.
     pub fn peak_core_bytes(&self, num_cores: usize) -> usize {
         let mut per_core = vec![0usize; num_cores];
+        let mut stray = 0usize;
         for b in &self.buffers {
-            per_core[b.core] += b.bytes;
+            match per_core.get_mut(b.core) {
+                Some(slot) => *slot += b.bytes,
+                None => stray += b.bytes,
+            }
         }
-        per_core.into_iter().max().unwrap_or(0)
+        per_core.into_iter().max().unwrap_or(0).max(stray)
     }
 }
 

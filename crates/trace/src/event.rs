@@ -13,6 +13,9 @@ pub const PID_COMPILER: u32 = 1;
 /// Chrome "process" id of the recovery controller (sim-time timestamps).
 pub const PID_RECOVERY: u32 = 2;
 
+/// Chrome "process" id of the static verifier (trace-time timestamps).
+pub const PID_VERIFY: u32 = 3;
+
 /// Track ("thread") id for chip-wide aggregate events on [`PID_SIM`].
 /// Per-core tracks use the core index directly, so this sits far above any
 /// realistic core count.

@@ -42,6 +42,14 @@ impl Json {
         }
     }
 
+    /// The value as bool, when a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
     /// The value as &str, when a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {

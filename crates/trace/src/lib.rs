@@ -49,7 +49,9 @@ pub mod summary;
 
 pub use accuracy::{AccuracyReport, AccuracySample};
 pub use chrome::{parse_chrome_trace, write_chrome_trace};
-pub use event::{Event, EventKind, Value, CHIP_TID, PID_COMPILER, PID_RECOVERY, PID_SIM};
+pub use event::{
+    Event, EventKind, Value, CHIP_TID, PID_COMPILER, PID_RECOVERY, PID_SIM, PID_VERIFY,
+};
 pub use metrics::Metrics;
 pub use summary::{accuracy_samples, core_utilization, render_summary, step_costs, CoreUtil};
 

@@ -1,0 +1,126 @@
+//! BSP race- and deadlock-freedom (§2.1, §4.4): well-formed references,
+//! single-writer exchanges, and the double-buffering discipline.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use t10_device::program::Program;
+
+use crate::diag::{Diagnostic, Report, RuleId};
+
+pub(crate) fn check(program: &Program, report: &mut Report) {
+    let num_bufs = program.buffers.len();
+    let num_ops = program.ops.len();
+    for (step, ss) in program.steps.iter().enumerate() {
+        // BSP02: dangling references.
+        for vtx in &ss.compute {
+            if let Some(func) = &vtx.func {
+                if func.op >= num_ops {
+                    report.push(
+                        Diagnostic::error(
+                            RuleId::DanglingReference,
+                            format!(
+                                "superstep {step} vertex references operator {} of {num_ops}",
+                                func.op
+                            ),
+                        )
+                        .at_step(step)
+                        .at_core(vtx.core)
+                        .hint("register the operator with Program::add_op before lowering tasks"),
+                    );
+                }
+                for &b in func.inputs.iter().chain(std::iter::once(&func.output)) {
+                    if b >= num_bufs {
+                        report.push(
+                            Diagnostic::error(
+                                RuleId::DanglingReference,
+                                format!(
+                                    "superstep {step} vertex references buffer {b} of {num_bufs}"
+                                ),
+                            )
+                            .at_step(step)
+                            .at_core(vtx.core)
+                            .at_buffer(b)
+                            .hint("declare the buffer before referencing it"),
+                        );
+                    }
+                }
+            }
+        }
+        for op in &ss.exchange {
+            for (what, b) in [("source", op.src), ("destination", op.dst)] {
+                if b >= num_bufs {
+                    report.push(
+                        Diagnostic::error(
+                            RuleId::DanglingReference,
+                            format!(
+                                "superstep {step} shift {what} references buffer {b} of {num_bufs}"
+                            ),
+                        )
+                        .at_step(step)
+                        .at_buffer(b)
+                        .hint("declare the buffer before shifting into it"),
+                    );
+                }
+            }
+        }
+
+        // BSP01: a buffer must receive at most one shift per exchange phase
+        // (duplicates counted with multiplicity — an exact duplicate op is
+        // still two racing writers).
+        let mut dst_count: BTreeMap<usize, usize> = BTreeMap::new();
+        for op in &ss.exchange {
+            if op.dst < num_bufs {
+                *dst_count.entry(op.dst).or_insert(0) += 1;
+            }
+        }
+        for (buf, count) in dst_count {
+            if count > 1 {
+                let core = program.buffers.get(buf).map(|b| b.core);
+                let mut d = Diagnostic::error(
+                    RuleId::DuplicateWriter,
+                    format!("superstep {step} shifts into buffer {buf} {count} times"),
+                )
+                .at_step(step)
+                .at_buffer(buf)
+                .hint("one receive per buffer per exchange phase; merge or re-step the shifts");
+                if let Some(c) = core {
+                    d = d.at_core(c);
+                }
+                report.push(d);
+            }
+        }
+
+        // BSP03: buffers written by this step's compute phase must not also
+        // be shift endpoints in the same superstep. Compute outputs
+        // accumulate in place; a same-step exchange would race with the
+        // accumulation (input rotations are fine — the exchange phase runs
+        // after compute reads them, which is the compute-shift overlap
+        // itself).
+        let written: BTreeSet<usize> = ss
+            .compute
+            .iter()
+            .filter_map(|v| v.func.as_ref().map(|f| f.output))
+            .collect();
+        for op in &ss.exchange {
+            for (what, b) in [("source", op.src), ("destination", op.dst)] {
+                if written.contains(&b) {
+                    report.push(
+                        Diagnostic::error(
+                            RuleId::ComputeShiftOverlap,
+                            format!(
+                                "superstep {step} computes into buffer {b} and uses it as a \
+                                 shift {what} in the same step"
+                            ),
+                        )
+                        .at_step(step)
+                        .at_buffer(b)
+                        .hint(
+                            "move the exchange to its own superstep (reductions run on \
+                             compute-free steps)",
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Capacity safety (§4.1): every core's declared buffers must fit its
+//! usable SRAM under the given fault plan and reservation.
+//!
+//! The proof mirrors the simulator's accounting exactly: `Simulator::load`
+//! allocates every declared buffer up front and never frees during a
+//! program, so the per-core high-water equals the per-core sum of declared
+//! bytes. A separate liveness pass (first use → last use per buffer)
+//! computes the lower bound a freeing allocator could reach; the gap is
+//! reported as reclaimable headroom in [`crate::Stats`], not as a
+//! violation.
+
+use t10_device::program::Program;
+
+use crate::diag::{Diagnostic, Report, RuleId};
+use crate::Verifier;
+
+pub(crate) fn check(v: &Verifier, program: &Program, report: &mut Report) {
+    let num_cores = v.spec().num_cores;
+    let mut per_core = vec![0usize; num_cores];
+    for (id, b) in program.buffers.iter().enumerate() {
+        match per_core.get_mut(b.core) {
+            Some(slot) => *slot = slot.saturating_add(b.bytes),
+            None => report.push(
+                Diagnostic::error(
+                    RuleId::CoreOutOfRange,
+                    format!(
+                        "buffer {id} ({}) is placed on core {} but the chip has {num_cores} cores",
+                        b.label, b.core
+                    ),
+                )
+                .at_core(b.core)
+                .at_buffer(id)
+                .hint("re-lower against the surviving core count before loading"),
+            ),
+        }
+    }
+    for (step, ss) in program.steps.iter().enumerate() {
+        for vtx in &ss.compute {
+            if vtx.core >= num_cores {
+                report.push(
+                    Diagnostic::error(
+                        RuleId::CoreOutOfRange,
+                        format!(
+                            "superstep {step} schedules a vertex on core {} of {num_cores}",
+                            vtx.core
+                        ),
+                    )
+                    .at_step(step)
+                    .at_core(vtx.core)
+                    .hint("re-lower against the surviving core count"),
+                );
+            }
+        }
+        if let Some(cs) = &ss.compute_summary {
+            if cs.active_cores > num_cores {
+                report.push(
+                    Diagnostic::error(
+                        RuleId::CoreOutOfRange,
+                        format!(
+                            "superstep {step} claims {} active compute cores of {num_cores}",
+                            cs.active_cores
+                        ),
+                    )
+                    .at_step(step)
+                    .hint("the plan's F_op product exceeds the chip; re-search"),
+                );
+            }
+        }
+    }
+    for (core, &bytes) in per_core.iter().enumerate() {
+        let cap = v.capacity_of(core);
+        if bytes > cap {
+            report.push(
+                Diagnostic::error(
+                    RuleId::SramOverflow,
+                    format!(
+                        "core {core} declares {bytes} B of buffers but only {cap} B of \
+                         scratchpad are usable"
+                    ),
+                )
+                .at_core(core)
+                .hint(
+                    "raise a temporal factor to shrink the per-core partition, or drop the \
+                     checkpoint reservation",
+                ),
+            );
+        }
+    }
+    report.stats.peak_core_bytes = per_core.iter().copied().max().unwrap_or(0);
+    report.stats.live_high_water = live_high_water(program, num_cores);
+}
+
+/// Liveness-based high-water: each buffer is live from its first to its
+/// last referencing superstep (buffers never referenced stay live for the
+/// whole program, matching allocate-at-load semantics). Returns the peak,
+/// over supersteps, of the largest per-core live-byte sum.
+fn live_high_water(program: &Program, num_cores: usize) -> usize {
+    let steps = program.steps.len();
+    if steps == 0 || program.buffers.is_empty() {
+        return 0;
+    }
+    let whole = (0usize, steps.saturating_sub(1));
+    let mut interval: Vec<Option<(usize, usize)>> = vec![None; program.buffers.len()];
+    let mut touch = |buf: usize, step: usize| {
+        if let Some(slot) = interval.get_mut(buf) {
+            *slot = Some(match *slot {
+                None => (step, step),
+                Some((lo, hi)) => (lo.min(step), hi.max(step)),
+            });
+        }
+    };
+    for (step, ss) in program.steps.iter().enumerate() {
+        for vtx in &ss.compute {
+            if let Some(func) = &vtx.func {
+                for &b in &func.inputs {
+                    touch(b, step);
+                }
+                touch(func.output, step);
+            }
+        }
+        for op in &ss.exchange {
+            touch(op.src, step);
+            touch(op.dst, step);
+        }
+    }
+    // Per-core difference arrays over steps: O(buffers + cores·steps).
+    let mut delta = vec![vec![0i64; steps + 1]; num_cores];
+    for (id, b) in program.buffers.iter().enumerate() {
+        let Some(core_delta) = delta.get_mut(b.core) else {
+            continue; // out-of-range core: reported as CAP01 already
+        };
+        let (lo, hi) = interval.get(id).copied().flatten().unwrap_or(whole);
+        if let Some(slot) = core_delta.get_mut(lo) {
+            *slot += b.bytes as i64;
+        }
+        if let Some(slot) = core_delta.get_mut(hi + 1) {
+            *slot -= b.bytes as i64;
+        }
+    }
+    let mut peak = 0i64;
+    for core_delta in &delta {
+        let mut live = 0i64;
+        for d in core_delta {
+            live += d;
+            peak = peak.max(live);
+        }
+    }
+    peak.max(0) as usize
+}

@@ -1,0 +1,150 @@
+//! Cost-model sanity (§4.3): every superstep must price to a finite,
+//! nonnegative time, and exchange summaries must conserve bytes — both
+//! internally (per-core maxima bounded by the total) and against the
+//! explicit ring traffic when a step carries both representations.
+
+use t10_device::program::{Program, ShiftKind, Superstep};
+use t10_device::truth;
+
+use crate::diag::{Diagnostic, Report, RuleId};
+use crate::ring::elem_bytes;
+use crate::Verifier;
+
+pub(crate) fn check(v: &Verifier, program: &Program, report: &mut Report) {
+    for (step, ss) in program.steps.iter().enumerate() {
+        if let Some(cs) = &ss.compute_summary {
+            let t = truth::vertex_time(v.spec(), &cs.desc);
+            if !t.is_finite() || t < 0.0 {
+                report.push(
+                    Diagnostic::error(
+                        RuleId::NonfiniteTime,
+                        format!("superstep {step} compute prices to {t}"),
+                    )
+                    .at_step(step)
+                    .hint("check the sub-task shape and the chip's compute throughput"),
+                );
+            }
+        }
+        if let Some(es) = &ss.exchange_summary {
+            let t = truth::exchange_time(v.spec(), es);
+            if !t.is_finite() || t < 0.0 {
+                report.push(
+                    Diagnostic::error(
+                        RuleId::NonfiniteTime,
+                        format!("superstep {step} exchange prices to {t}"),
+                    )
+                    .at_step(step)
+                    .hint("check the summary volumes and the chip's link bandwidth"),
+                );
+            }
+            check_summary(step, es, report);
+        }
+        if ss.exchange_summary.is_some() && !ss.exchange.is_empty() {
+            cross_check(v, program, step, ss, report);
+        }
+    }
+}
+
+/// Internal conservation of one summary: maxima and cross-chip bytes are
+/// bounded by the total, and bytes only move when cores participate. The
+/// bounds must hold for every emitter (rotation, reduction tree, setup,
+/// transition), so they are deliberately loose: e.g. a reduction step's
+/// `active_cores` counts both senders and receivers.
+fn check_summary(step: usize, es: &t10_device::program::ExchangeSummary, report: &mut Report) {
+    let mut flag = |msg: String| {
+        report.push(
+            Diagnostic::error(RuleId::ByteConservation, format!("superstep {step} {msg}"))
+                .at_step(step)
+                .hint("the summary fields disagree with each other; recompute them"),
+        );
+    };
+    if es.max_core_out > es.total_bytes {
+        flag(format!(
+            "max_core_out {} exceeds total_bytes {}",
+            es.max_core_out, es.total_bytes
+        ));
+    }
+    if es.max_core_in > es.total_bytes {
+        flag(format!(
+            "max_core_in {} exceeds total_bytes {}",
+            es.max_core_in, es.total_bytes
+        ));
+    }
+    if es.cross_chip_bytes > es.total_bytes {
+        flag(format!(
+            "cross_chip_bytes {} exceeds total_bytes {}",
+            es.cross_chip_bytes, es.total_bytes
+        ));
+    }
+    if es.total_bytes > 0 && es.active_cores == 0 {
+        flag(format!("moves {} B with zero active cores", es.total_bytes));
+    }
+    let bound = (es.active_cores as u64).saturating_mul(es.max_core_out.max(es.max_core_in));
+    if es.total_bytes > bound {
+        flag(format!(
+            "total_bytes {} exceeds active_cores × max per-core volume {bound}",
+            es.total_bytes
+        ));
+    }
+}
+
+/// When a step carries both explicit shifts and a summary, recompute the
+/// totals with the simulator's exact accounting (same-core shifts free,
+/// rotations move `count` of `len(dim)` slices) and require agreement.
+fn cross_check(v: &Verifier, program: &Program, step: usize, ss: &Superstep, report: &mut Report) {
+    let Some(es) = &ss.exchange_summary else {
+        return;
+    };
+    let mut total = 0u64;
+    let mut cross = 0u64;
+    for op in &ss.exchange {
+        let (Some(src), Some(dst)) = (program.buffers.get(op.src), program.buffers.get(op.dst))
+        else {
+            return; // dangling refs: BSP02 already refutes the program
+        };
+        if src.core == dst.core {
+            continue;
+        }
+        let elems = src.elements().max(1);
+        let eb = elem_bytes(src.bytes, elems);
+        let moved = match op.kind {
+            ShiftKind::RotateSlices { dim, count } => {
+                let len = src.coords.get(dim).map(Vec::len).unwrap_or(1).max(1);
+                elems / len * count
+            }
+            ShiftKind::Copy | ShiftKind::Accumulate { .. } => elems,
+        };
+        let bytes = (moved * eb) as u64;
+        total += bytes;
+        if v.spec().chip_of(src.core) != v.spec().chip_of(dst.core) {
+            cross += bytes;
+        }
+    }
+    if es.total_bytes != total {
+        report.push(
+            Diagnostic::error(
+                RuleId::ByteConservation,
+                format!(
+                    "superstep {step} summary claims {} B but the explicit shifts move {total} B",
+                    es.total_bytes
+                ),
+            )
+            .at_step(step)
+            .hint("recompute the summary from the shift list (the simulator will)"),
+        );
+    }
+    if es.cross_chip_bytes != cross {
+        report.push(
+            Diagnostic::error(
+                RuleId::ByteConservation,
+                format!(
+                    "superstep {step} summary claims {} cross-chip B but the shifts cross \
+                     {cross} B",
+                    es.cross_chip_bytes
+                ),
+            )
+            .at_step(step)
+            .hint("recompute cross-chip traffic from the shift endpoints"),
+        );
+    }
+}

@@ -1,0 +1,488 @@
+//! The diagnostic vocabulary: rule ids, severities, locations, and the
+//! report a verification pass returns.
+//!
+//! Every rule has a stable string id (`CAP02`, `RING05`, …) so tests,
+//! tooling, and CI artifacts can match on it without depending on message
+//! wording.
+
+use serde::{Deserialize, Serialize};
+use t10_trace::json::escape_into;
+
+/// The fixed rule inventory. Ids are stable; new rules append, never renumber.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RuleId {
+    /// CAP01 — a buffer, vertex, or plan references a core the chip does
+    /// not have.
+    CoreOutOfRange,
+    /// CAP02 — a core's declared buffers exceed its usable SRAM (fault- and
+    /// reservation-aware), i.e. the program cannot even be loaded.
+    SramOverflow,
+    /// CAP03 — a plan's active per-core footprint exceeds the capacity the
+    /// search was bounded by.
+    PlanMemOverflow,
+    /// RING01 — a rotation level's pace does not tile its axis: `rp` must
+    /// divide the temporal extent and `steps * rp` must cover it (§4.2).
+    PaceDividesExtent,
+    /// RING02 — rTensors rotating along one axis disagree on the pace: `rp`
+    /// must be the minimum partition length in the level (§4.2 rules 1–3).
+    PaceAlignment,
+    /// RING03 — a temporal factor incompatible with its spatial sharing
+    /// (factor must divide the sharing count and the rotated extent).
+    FactorSharing,
+    /// RING04 — a buffer is the source of more than one rotation in a
+    /// single exchange phase (a ring node has exactly one successor).
+    RotateFanOut,
+    /// RING05 — a rotation send with no matching receive (or vice versa):
+    /// some buffer's ring in/out degree is 0 where its peer's is 1, so the
+    /// BSP exchange would deadlock waiting on it.
+    BrokenRing,
+    /// RING06 — a rotation whose shape disagrees with its endpoints: bad
+    /// dimension index, pace exceeding the partition length, or mismatched
+    /// element sizes.
+    PaceMismatch,
+    /// RING07 — a rotation's source core is not the placement's upstream of
+    /// its destination core: the shift contradicts the diagonal placement
+    /// sigma (§4.4, Figure 10).
+    SigmaMismatch,
+    /// BSP01 — a buffer receives more than one shift in a single exchange
+    /// phase; the last writer would win nondeterministically.
+    DuplicateWriter,
+    /// BSP02 — a task or shift references a buffer or operator that is not
+    /// declared in the program.
+    DanglingReference,
+    /// BSP03 — a buffer written by a compute vertex is also a shift
+    /// endpoint in the same superstep, violating the double-buffering
+    /// discipline (compute outputs accumulate in place; exchanging them in
+    /// the same step races with the accumulation).
+    ComputeShiftOverlap,
+    /// BSP04 — the final output buffers do not cover every output
+    /// coordinate exactly once (a sub-tensor is dropped or written twice).
+    OutputCoverage,
+    /// COST01 — a superstep prices to a negative or non-finite time on the
+    /// ground-truth cost model.
+    NonfiniteTime,
+    /// COST02 — an exchange summary is not conserved: per-core maxima or
+    /// cross-chip bytes exceed the total, bytes move with no active cores,
+    /// or the summary disagrees with the explicit ring traffic.
+    ByteConservation,
+}
+
+impl RuleId {
+    /// Every rule, in id order. The inventory the verifier proves.
+    pub const ALL: [RuleId; 16] = [
+        RuleId::CoreOutOfRange,
+        RuleId::SramOverflow,
+        RuleId::PlanMemOverflow,
+        RuleId::PaceDividesExtent,
+        RuleId::PaceAlignment,
+        RuleId::FactorSharing,
+        RuleId::RotateFanOut,
+        RuleId::BrokenRing,
+        RuleId::PaceMismatch,
+        RuleId::SigmaMismatch,
+        RuleId::DuplicateWriter,
+        RuleId::DanglingReference,
+        RuleId::ComputeShiftOverlap,
+        RuleId::OutputCoverage,
+        RuleId::NonfiniteTime,
+        RuleId::ByteConservation,
+    ];
+
+    /// The stable string id.
+    pub fn id(&self) -> &'static str {
+        match self {
+            RuleId::CoreOutOfRange => "CAP01",
+            RuleId::SramOverflow => "CAP02",
+            RuleId::PlanMemOverflow => "CAP03",
+            RuleId::PaceDividesExtent => "RING01",
+            RuleId::PaceAlignment => "RING02",
+            RuleId::FactorSharing => "RING03",
+            RuleId::RotateFanOut => "RING04",
+            RuleId::BrokenRing => "RING05",
+            RuleId::PaceMismatch => "RING06",
+            RuleId::SigmaMismatch => "RING07",
+            RuleId::DuplicateWriter => "BSP01",
+            RuleId::DanglingReference => "BSP02",
+            RuleId::ComputeShiftOverlap => "BSP03",
+            RuleId::OutputCoverage => "BSP04",
+            RuleId::NonfiniteTime => "COST01",
+            RuleId::ByteConservation => "COST02",
+        }
+    }
+
+    /// One-line description for tables and docs.
+    pub fn title(&self) -> &'static str {
+        match self {
+            RuleId::CoreOutOfRange => "core index out of range",
+            RuleId::SramOverflow => "per-core SRAM budget exceeded",
+            RuleId::PlanMemOverflow => "plan footprint exceeds capacity",
+            RuleId::PaceDividesExtent => "rotating pace does not tile the axis",
+            RuleId::PaceAlignment => "rotating pace not aligned across rTensors",
+            RuleId::FactorSharing => "temporal factor incompatible with sharing",
+            RuleId::RotateFanOut => "rotation source has multiple successors",
+            RuleId::BrokenRing => "unmatched send/receive in a rotation ring",
+            RuleId::PaceMismatch => "rotation shape disagrees with its buffers",
+            RuleId::SigmaMismatch => "shift contradicts the diagonal placement",
+            RuleId::DuplicateWriter => "buffer written twice in one exchange",
+            RuleId::DanglingReference => "reference to an undeclared buffer/op",
+            RuleId::ComputeShiftOverlap => "compute output shifted in the same step",
+            RuleId::OutputCoverage => "output coordinates not covered exactly once",
+            RuleId::NonfiniteTime => "superstep prices to a non-finite time",
+            RuleId::ByteConservation => "exchange summary bytes not conserved",
+        }
+    }
+
+    /// The paper section the invariant comes from.
+    pub fn paper(&self) -> &'static str {
+        match self {
+            RuleId::CoreOutOfRange | RuleId::SramOverflow | RuleId::PlanMemOverflow => "§4.1",
+            RuleId::PaceDividesExtent | RuleId::PaceAlignment | RuleId::FactorSharing => "§4.2",
+            RuleId::RotateFanOut
+            | RuleId::BrokenRing
+            | RuleId::PaceMismatch
+            | RuleId::SigmaMismatch => "§4.4",
+            RuleId::DuplicateWriter | RuleId::DanglingReference | RuleId::ComputeShiftOverlap => {
+                "§2.1"
+            }
+            RuleId::OutputCoverage => "§4.4",
+            RuleId::NonfiniteTime | RuleId::ByteConservation => "§4.3",
+        }
+    }
+}
+
+impl std::fmt::Display for RuleId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// How bad a finding is. Only `Error` findings refute a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Severity {
+    /// Suspicious but not refuting (the program can still run).
+    Warning,
+    /// The invariant is violated; running the program would OOM, race,
+    /// deadlock, or mis-price.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label for tables and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// Where in the plan/program a finding points. All fields optional — a
+/// plan-level finding has no superstep, a program-wide one no core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Location {
+    /// Graph node (operator) index.
+    pub node: Option<usize>,
+    /// Superstep index within the program.
+    pub step: Option<usize>,
+    /// Core index.
+    pub core: Option<usize>,
+    /// Buffer id within the program.
+    pub buffer: Option<usize>,
+}
+
+/// One typed, machine-readable finding.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// Which invariant.
+    pub rule: RuleId,
+    /// Error (refuting) or warning.
+    pub severity: Severity,
+    /// Human-readable statement of the violation, with concrete numbers.
+    pub message: String,
+    /// Where it was found.
+    pub location: Location,
+    /// How to fix it (empty when no hint applies).
+    pub hint: String,
+}
+
+impl Diagnostic {
+    /// An error-severity finding.
+    pub fn error(rule: RuleId, message: impl Into<String>) -> Self {
+        Self {
+            rule,
+            severity: Severity::Error,
+            message: message.into(),
+            location: Location::default(),
+            hint: String::new(),
+        }
+    }
+
+    /// A warning-severity finding.
+    pub fn warning(rule: RuleId, message: impl Into<String>) -> Self {
+        Self {
+            severity: Severity::Warning,
+            ..Self::error(rule, message)
+        }
+    }
+
+    /// Attaches a graph-node location.
+    pub fn at_node(mut self, node: usize) -> Self {
+        self.location.node = Some(node);
+        self
+    }
+
+    /// Attaches a superstep location.
+    pub fn at_step(mut self, step: usize) -> Self {
+        self.location.step = Some(step);
+        self
+    }
+
+    /// Attaches a core location.
+    pub fn at_core(mut self, core: usize) -> Self {
+        self.location.core = Some(core);
+        self
+    }
+
+    /// Attaches a buffer location.
+    pub fn at_buffer(mut self, buffer: usize) -> Self {
+        self.location.buffer = Some(buffer);
+        self
+    }
+
+    /// Attaches a fix hint.
+    pub fn hint(mut self, hint: impl Into<String>) -> Self {
+        self.hint = hint.into();
+        self
+    }
+
+    /// `[CAP02] error @ step 3 core 1: message` — one line for logs.
+    pub fn render(&self) -> String {
+        let mut loc = String::new();
+        if let Some(n) = self.location.node {
+            loc.push_str(&format!(" node {n}"));
+        }
+        if let Some(s) = self.location.step {
+            loc.push_str(&format!(" step {s}"));
+        }
+        if let Some(c) = self.location.core {
+            loc.push_str(&format!(" core {c}"));
+        }
+        if let Some(b) = self.location.buffer {
+            loc.push_str(&format!(" buffer {b}"));
+        }
+        let at = if loc.is_empty() {
+            String::new()
+        } else {
+            format!(" @{loc}")
+        };
+        format!(
+            "[{}] {}{at}: {}",
+            self.rule.id(),
+            self.severity.label(),
+            self.message
+        )
+    }
+}
+
+/// Size statistics of the artifact a report covers, plus the capacity proof
+/// numbers (per-core high-water vs budget).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Stats {
+    /// Supersteps examined.
+    pub steps: usize,
+    /// Buffer declarations examined.
+    pub buffers: usize,
+    /// Explicit shifts examined.
+    pub shifts: usize,
+    /// Explicit compute vertices examined.
+    pub vertices: usize,
+    /// Peak declared bytes on any core — what the simulator's memory
+    /// tracker will account at load time (all buffers live for the whole
+    /// program).
+    pub peak_core_bytes: usize,
+    /// Liveness-based high-water: the peak a freeing allocator could reach
+    /// given each buffer's first-to-last-use interval. Always ≤
+    /// `peak_core_bytes`; the headroom between them is reclaimable.
+    pub live_high_water: usize,
+    /// Rules in the inventory this pass proved or refuted.
+    pub rules_checked: usize,
+}
+
+/// The outcome of a verification pass: findings plus proof statistics.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Report {
+    /// All findings, in discovery order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Artifact statistics and capacity-proof numbers.
+    pub stats: Stats,
+}
+
+impl Report {
+    /// An empty (passing) report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a finding.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    /// Whether the artifact is proven: no error-severity findings.
+    pub fn is_ok(&self) -> bool {
+        !self
+            .diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Sorted, deduplicated ids of the violated (error) rules.
+    pub fn violated_rules(&self) -> Vec<&'static str> {
+        let mut ids: Vec<&'static str> = self
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .map(|d| d.rule.id())
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Folds another report in: findings append, statistics add.
+    pub fn merge(&mut self, other: Report) {
+        self.diagnostics.extend(other.diagnostics);
+        self.stats.steps += other.stats.steps;
+        self.stats.buffers += other.stats.buffers;
+        self.stats.shifts += other.stats.shifts;
+        self.stats.vertices += other.stats.vertices;
+        self.stats.peak_core_bytes = self.stats.peak_core_bytes.max(other.stats.peak_core_bytes);
+        self.stats.live_high_water = self.stats.live_high_water.max(other.stats.live_high_water);
+        self.stats.rules_checked = self.stats.rules_checked.max(other.stats.rules_checked);
+    }
+
+    /// Tags every finding with a graph-node location (for per-node plan
+    /// reports merged into a whole-graph one).
+    pub fn tag_node(mut self, node: usize) -> Self {
+        for d in &mut self.diagnostics {
+            if d.location.node.is_none() {
+                d.location.node = Some(node);
+            }
+        }
+        self
+    }
+
+    /// Deterministic JSON rendering (fixed field order, no external deps).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.diagnostics.len() * 160);
+        out.push_str(&format!(
+            "{{\"ok\":{},\"errors\":{},\"stats\":{{\"steps\":{},\"buffers\":{},\"shifts\":{},\
+             \"vertices\":{},\"peak_core_bytes\":{},\"live_high_water\":{},\"rules_checked\":{}}},\
+             \"diagnostics\":[",
+            self.is_ok(),
+            self.error_count(),
+            self.stats.steps,
+            self.stats.buffers,
+            self.stats.shifts,
+            self.stats.vertices,
+            self.stats.peak_core_bytes,
+            self.stats.live_high_water,
+            self.stats.rules_checked,
+        ));
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"rule\":\"{}\",\"severity\":\"{}\",",
+                d.rule.id(),
+                d.severity.label()
+            ));
+            out.push_str("\"message\":\"");
+            escape_into(&mut out, &d.message);
+            out.push_str("\",");
+            for (key, v) in [
+                ("node", d.location.node),
+                ("step", d.location.step),
+                ("core", d.location.core),
+                ("buffer", d.location.buffer),
+            ] {
+                match v {
+                    Some(v) => out.push_str(&format!("\"{key}\":{v},")),
+                    None => out.push_str(&format!("\"{key}\":null,")),
+                }
+            }
+            out.push_str("\"hint\":\"");
+            escape_into(&mut out, &d.hint);
+            out.push_str("\"}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_ids_are_unique_and_stable() {
+        let mut ids: Vec<&str> = RuleId::ALL.iter().map(|r| r.id()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), RuleId::ALL.len());
+        assert_eq!(RuleId::SramOverflow.id(), "CAP02");
+        assert_eq!(RuleId::BrokenRing.id(), "RING05");
+    }
+
+    #[test]
+    fn report_ok_ignores_warnings() {
+        let mut r = Report::new();
+        r.push(Diagnostic::warning(RuleId::ByteConservation, "suspicious"));
+        assert!(r.is_ok());
+        r.push(Diagnostic::error(RuleId::SramOverflow, "over").at_core(3));
+        assert!(!r.is_ok());
+        assert_eq!(r.error_count(), 1);
+        assert_eq!(r.violated_rules(), vec!["CAP02"]);
+    }
+
+    #[test]
+    fn render_includes_rule_and_location() {
+        let d = Diagnostic::error(RuleId::DuplicateWriter, "two writers")
+            .at_step(4)
+            .at_buffer(7);
+        let line = d.render();
+        assert!(line.contains("[BSP01]"));
+        assert!(line.contains("step 4"));
+        assert!(line.contains("buffer 7"));
+    }
+
+    #[test]
+    fn json_is_well_formed() {
+        let mut r = Report::new();
+        r.stats.steps = 2;
+        r.push(
+            Diagnostic::error(RuleId::SramOverflow, "core \"x\" over")
+                .at_core(1)
+                .hint("shrink the partition"),
+        );
+        let js = r.to_json();
+        let parsed = t10_trace::json::parse(&js).expect("parses");
+        assert_eq!(parsed.get("ok").and_then(|v| v.as_f64()), None); // bool, not number
+        let diags = parsed
+            .get("diagnostics")
+            .and_then(|v| v.as_arr())
+            .expect("array");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].get("rule").and_then(|v| v.as_str()), Some("CAP02"));
+        assert_eq!(diags[0].get("core").and_then(|v| v.as_f64()), Some(1.0));
+    }
+}

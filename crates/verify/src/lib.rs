@@ -1,0 +1,355 @@
+//! Static verification of T10 device programs (and, via `t10-core`'s
+//! plan-level pass, execution plans): proves or refutes a fixed inventory
+//! of invariants without simulating a single superstep.
+//!
+//! The paper states the invariants (§4–§5) but the compiler historically
+//! only discovered violations by running the simulator and watching it OOM
+//! or wedge — on-device trial and error, the thing T10 exists to avoid.
+//! This crate is the compile-time answer. Four rule families:
+//!
+//! * **capacity safety** (CAP01–CAP02 here, CAP03 at plan level) — every
+//!   core's declared buffers fit its usable SRAM under the given fault
+//!   plan and reservation, mirroring the simulator's memory accounting
+//!   byte-for-byte;
+//! * **rotation-ring consistency** (RING04–RING06 here, RING01–RING03 and
+//!   RING07 at plan level) — per exchange phase, rotations decompose into
+//!   disjoint rings and agree with their buffers' shapes;
+//! * **BSP deadlock- and race-freedom** (BSP01–BSP03 here, BSP04 at plan
+//!   level) — single-writer exchanges, no dangling references, and the
+//!   double-buffering discipline;
+//! * **cost-model sanity** (COST01–COST02) — finite nonnegative superstep
+//!   times and byte-conserving exchange summaries.
+//!
+//! Diagnostics are typed and machine-readable ([`Diagnostic`]: rule id,
+//! severity, location, fix hint); [`Report::to_json`] renders them for CI
+//! artifacts. The layering is deliberate: this crate sees only
+//! `t10-device` programs (plus `t10-sim`'s fault model for capacities), so
+//! `t10-core` can depend on it and run it as a mandatory post-pass; the
+//! plan-level rules that need `Plan` itself live in `t10_core::verify` and
+//! speak the same diagnostic vocabulary.
+
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::indexing_slicing))]
+
+pub mod bsp;
+pub mod capacity;
+pub mod cost;
+pub mod diag;
+pub mod ring;
+
+pub use diag::{Diagnostic, Location, Report, RuleId, Severity, Stats};
+
+use t10_device::program::Program;
+use t10_device::ChipSpec;
+use t10_sim::FaultPlan;
+use t10_trace::{Trace, Value, PID_VERIFY};
+
+/// A configured verification pass: the chip it proves against, the
+/// per-core capacities (fault- and reservation-aware), and an optional
+/// trace sink.
+#[derive(Debug, Clone)]
+pub struct Verifier {
+    spec: ChipSpec,
+    capacities: Vec<usize>,
+    trace: Trace,
+}
+
+impl Verifier {
+    /// A verifier for a healthy chip: every core's capacity is its nominal
+    /// SRAM minus the reserved shift buffer — exactly what the simulator's
+    /// memory tracker enforces at load.
+    pub fn new(spec: &ChipSpec) -> Self {
+        let cap = spec.sram_per_core.saturating_sub(spec.shift_buffer);
+        Self {
+            capacities: vec![cap; spec.num_cores],
+            spec: spec.clone(),
+            trace: Trace::disabled(),
+        }
+    }
+
+    /// Degrades the per-core capacities to a fault plan's surviving SRAM
+    /// (mirrors `Simulator::with_fault_plan`).
+    pub fn with_faults(mut self, faults: &FaultPlan) -> Self {
+        self.capacities = faults.capacities(self.spec.sram_per_core, self.spec.shift_buffer);
+        self.capacities.resize(
+            self.spec.num_cores,
+            self.spec
+                .sram_per_core
+                .saturating_sub(self.spec.shift_buffer),
+        );
+        self
+    }
+
+    /// Carves `bytes` out of every core (the checkpoint staging the
+    /// simulator reserves under `with_checkpointing`).
+    pub fn with_reserved(mut self, bytes: usize) -> Self {
+        for c in &mut self.capacities {
+            *c = c.saturating_sub(bytes);
+        }
+        self
+    }
+
+    /// Records a verification span and counters into `trace`.
+    pub fn with_trace(mut self, trace: Trace) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// The chip being proved against.
+    pub fn spec(&self) -> &ChipSpec {
+        &self.spec
+    }
+
+    /// Usable capacity of one core (0 when out of range).
+    pub fn capacity_of(&self, core: usize) -> usize {
+        self.capacities.get(core).copied().unwrap_or(0)
+    }
+
+    /// The full per-core capacity vector the proof runs against.
+    pub fn capacities(&self) -> &[usize] {
+        &self.capacities
+    }
+
+    /// Runs the program-level rule inventory. Pure analysis: no superstep
+    /// is simulated, no data moves; cost is linear in the program size.
+    pub fn verify_program(&self, program: &Program) -> Report {
+        let t0 = self.trace.now_us();
+        let mut report = Report::new();
+        report.stats.steps = program.steps.len();
+        report.stats.buffers = program.buffers.len();
+        report.stats.shifts = program.steps.iter().map(|s| s.exchange.len()).sum();
+        report.stats.vertices = program.steps.iter().map(|s| s.compute.len()).sum();
+        report.stats.rules_checked = RuleId::ALL.len();
+        capacity::check(self, program, &mut report);
+        bsp::check(program, &mut report);
+        ring::check(program, &mut report);
+        cost::check(self, program, &mut report);
+        if self.trace.enabled() {
+            let t1 = self.trace.now_us();
+            self.trace.span(
+                "verify_program",
+                "verify",
+                PID_VERIFY,
+                0,
+                t0,
+                (t1 - t0).max(0.0),
+                vec![
+                    ("steps", Value::U64(report.stats.steps as u64)),
+                    ("buffers", Value::U64(report.stats.buffers as u64)),
+                    ("shifts", Value::U64(report.stats.shifts as u64)),
+                    ("errors", Value::U64(report.error_count() as u64)),
+                    ("ok", Value::Bool(report.is_ok())),
+                ],
+            );
+            self.trace.counter(
+                "verify.violations",
+                "verify",
+                PID_VERIFY,
+                0,
+                t1,
+                vec![("errors", Value::U64(report.error_count() as u64))],
+            );
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t10_device::program::{
+        BufferDecl, FuncTask, Phase, Program, ShiftKind, ShiftOp, SubTaskDesc, Superstep,
+        VertexTask,
+    };
+    use t10_ir::OpKind;
+
+    fn spec4() -> ChipSpec {
+        let mut spec = ChipSpec::ipu_with_cores(4);
+        spec.sram_per_core = 4096;
+        spec.shift_buffer = 256;
+        spec
+    }
+
+    fn buf(core: usize, bytes: usize, coords: Vec<Vec<usize>>) -> BufferDecl {
+        BufferDecl {
+            core,
+            label: format!("b@{core}"),
+            bytes,
+            coords,
+            init: 0.0,
+        }
+    }
+
+    /// A 4-core ring rotating one slice of a 2-slice partition per step.
+    fn ring_program() -> Program {
+        let mut p = Program::new();
+        for core in 0..4 {
+            p.add_buffer(buf(core, 32, vec![vec![2 * core, 2 * core + 1], vec![0]]));
+        }
+        let mut ss = Superstep::new(None, Phase::Execute);
+        for core in 0..4usize {
+            ss.exchange.push(ShiftOp {
+                src: (core + 1) % 4,
+                dst: core,
+                kind: ShiftKind::RotateSlices { dim: 0, count: 1 },
+            });
+        }
+        p.steps.push(ss);
+        p
+    }
+
+    #[test]
+    fn clean_ring_passes() {
+        let report = Verifier::new(&spec4()).verify_program(&ring_program());
+        assert!(report.is_ok(), "diagnostics: {:?}", report.diagnostics);
+        assert_eq!(report.stats.peak_core_bytes, 32);
+        assert_eq!(report.stats.rules_checked, RuleId::ALL.len());
+    }
+
+    #[test]
+    fn overflow_is_cap02() {
+        let mut spec = spec4();
+        spec.sram_per_core = 40; // capacity 40 - 256 → 0
+        let report = Verifier::new(&spec).verify_program(&ring_program());
+        assert_eq!(report.violated_rules(), vec!["CAP02"]);
+    }
+
+    #[test]
+    fn reservation_tightens_capacity() {
+        let spec = spec4();
+        let v = Verifier::new(&spec).with_reserved(4096 - 256 - 16);
+        assert_eq!(v.capacity_of(0), 16);
+        let report = v.verify_program(&ring_program());
+        assert_eq!(report.violated_rules(), vec!["CAP02"]);
+    }
+
+    #[test]
+    fn dropped_receive_is_ring05() {
+        let mut p = ring_program();
+        p.steps[0].exchange.remove(0);
+        let report = Verifier::new(&spec4()).verify_program(&p);
+        assert_eq!(report.violated_rules(), vec!["RING05"]);
+    }
+
+    #[test]
+    fn duplicated_shift_is_bsp01() {
+        let mut p = ring_program();
+        let dup = p.steps[0].exchange[0];
+        p.steps[0].exchange.push(dup);
+        let report = Verifier::new(&spec4()).verify_program(&p);
+        // The duplicate also fans out its source ring node.
+        assert!(report.violated_rules().contains(&"BSP01"));
+    }
+
+    #[test]
+    fn compute_shift_overlap_is_bsp03() {
+        let mut p = ring_program();
+        let desc = SubTaskDesc {
+            kind: OpKind::Elementwise,
+            out_elems: 2,
+            red_elems: 1,
+            window: 1,
+            in_bytes: 8,
+            out_bytes: 8,
+        };
+        p.ops
+            .push(t10_ir::builders::unary(0, 1, vec![8], t10_ir::Unary::Relu).unwrap());
+        p.steps[0].compute.push(VertexTask {
+            core: 0,
+            desc,
+            func: Some(FuncTask {
+                op: 0,
+                axis_coords: vec![vec![0, 1]],
+                inputs: vec![],
+                output: 0, // also the dst of a rotation this step
+                apply_unary: true,
+            }),
+        });
+        let report = Verifier::new(&spec4()).verify_program(&p);
+        assert!(report.violated_rules().contains(&"BSP03"));
+    }
+
+    #[test]
+    fn liveness_high_water_is_below_peak() {
+        // Two buffers on core 0 with disjoint lifetimes: peak counts both,
+        // the live high-water only the larger.
+        let mut p = Program::new();
+        p.add_buffer(buf(0, 100, vec![vec![0]]));
+        p.add_buffer(buf(0, 60, vec![vec![1]]));
+        p.add_buffer(buf(1, 10, vec![vec![2]]));
+        let mut s0 = Superstep::new(None, Phase::Execute);
+        s0.exchange.push(ShiftOp {
+            src: 0,
+            dst: 2,
+            kind: ShiftKind::Copy,
+        });
+        let mut s1 = Superstep::new(None, Phase::Execute);
+        s1.exchange.push(ShiftOp {
+            src: 1,
+            dst: 2,
+            kind: ShiftKind::Copy,
+        });
+        p.steps.push(s0);
+        p.steps.push(s1);
+        let report = Verifier::new(&spec4()).verify_program(&p);
+        // Two distinct writes into buffer 2 across steps are fine (one per
+        // phase); capacity counts declarations.
+        assert!(report.is_ok(), "diagnostics: {:?}", report.diagnostics);
+        assert_eq!(report.stats.peak_core_bytes, 160);
+        assert_eq!(report.stats.live_high_water, 100);
+    }
+
+    #[test]
+    fn summary_violations_are_cost02() {
+        let mut p = Program::new();
+        let mut ss = Superstep::new(None, Phase::Execute);
+        ss.exchange_summary = Some(t10_device::program::ExchangeSummary {
+            total_bytes: 64,
+            max_core_out: 128, // exceeds total
+            max_core_in: 16,
+            cross_chip_bytes: 0,
+            offchip_bytes: 0,
+            active_cores: 4,
+            max_core_messages: 1,
+        });
+        p.steps.push(ss);
+        let report = Verifier::new(&spec4()).verify_program(&p);
+        assert_eq!(report.violated_rules(), vec!["COST02"]);
+    }
+
+    #[test]
+    fn summary_must_match_explicit_shifts() {
+        let mut p = ring_program();
+        // Each rotation moves 1 of 2 slices of a 32 B partition = 16 B,
+        // from 4 cores → 64 B total. Claim 32.
+        p.steps[0].exchange_summary = Some(t10_device::program::ExchangeSummary {
+            total_bytes: 32,
+            max_core_out: 16,
+            max_core_in: 16,
+            cross_chip_bytes: 0,
+            offchip_bytes: 0,
+            active_cores: 4,
+            max_core_messages: 1,
+        });
+        let report = Verifier::new(&spec4()).verify_program(&p);
+        assert_eq!(report.violated_rules(), vec!["COST02"]);
+        // Correct summary passes.
+        if let Some(es) = &mut p.steps[0].exchange_summary {
+            es.total_bytes = 64;
+        }
+        let report = Verifier::new(&spec4()).verify_program(&p);
+        assert!(report.is_ok(), "diagnostics: {:?}", report.diagnostics);
+    }
+
+    #[test]
+    fn trace_records_verify_span() {
+        let trace = Trace::logical();
+        let _ = Verifier::new(&spec4())
+            .with_trace(trace.clone())
+            .verify_program(&ring_program());
+        let events = trace.snapshot();
+        assert!(events.iter().any(|e| e.name == "verify_program"));
+        assert!(events
+            .iter()
+            .all(|e| e.pid == PID_VERIFY || e.cat == "__metadata"));
+    }
+}

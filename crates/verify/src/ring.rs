@@ -1,0 +1,148 @@
+//! Rotation-ring consistency (§4.4): per exchange phase, the rotation
+//! shifts must form disjoint rings, and each rotation's shape must agree
+//! with the buffers it connects.
+//!
+//! A set of rotations is a union of valid rings exactly when every
+//! participating buffer has rotate out-degree 1 and in-degree 1; together
+//! with [`crate::bsp`]'s duplicate-writer rule this decomposes into:
+//!
+//! * **RING04** — out-degree > 1 (one source feeding two receivers);
+//! * **RING05** — degree 0 paired with degree 1 (a dropped send or
+//!   receive, which would deadlock the BSP exchange);
+//! * in-degree > 1 is already **BSP01** (two racing writers).
+//!
+//! Whether each ring also matches the placement's diagonal sigma is a
+//! plan-level question answered by `t10-core`'s `verify_lowering` (RING07),
+//! which can see the [`crate::Verifier`]-invisible `Plan`.
+
+use std::collections::BTreeMap;
+
+use t10_device::program::{Program, ShiftKind};
+
+use crate::diag::{Diagnostic, Report, RuleId};
+
+pub(crate) fn check(program: &Program, report: &mut Report) {
+    let num_bufs = program.buffers.len();
+    for (step, ss) in program.steps.iter().enumerate() {
+        let mut out_deg: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut in_deg: BTreeMap<usize, usize> = BTreeMap::new();
+        for op in &ss.exchange {
+            let ShiftKind::RotateSlices { dim, count } = op.kind else {
+                continue;
+            };
+            if op.src < num_bufs && op.dst < num_bufs {
+                *out_deg.entry(op.src).or_insert(0) += 1;
+                *in_deg.entry(op.dst).or_insert(0) += 1;
+            }
+            // RING06: the rotation's shape must agree with both endpoints.
+            let (Some(src), Some(dst)) = (program.buffers.get(op.src), program.buffers.get(op.dst))
+            else {
+                continue; // dangling: reported as BSP02
+            };
+            let src_len = src.coords.get(dim).map(Vec::len);
+            let dst_len = dst.coords.get(dim).map(Vec::len);
+            let mismatch = match (src_len, dst_len) {
+                (None, _) | (_, None) => Some(format!(
+                    "rotates dimension {dim} but the buffers have {} and {} dimensions",
+                    src.coords.len(),
+                    dst.coords.len()
+                )),
+                (Some(s), Some(d)) if s != d => Some(format!(
+                    "rotates {count} slices between partitions of unequal length {s} vs {d}"
+                )),
+                (Some(s), Some(_)) if count == 0 || count > s => Some(format!(
+                    "rotating pace {count} outside 1..={s} (the partition length)"
+                )),
+                _ => None,
+            };
+            if let Some(msg) = mismatch {
+                report.push(
+                    Diagnostic::error(
+                        RuleId::PaceMismatch,
+                        format!("superstep {step} shift {}→{} {msg}", op.src, op.dst),
+                    )
+                    .at_step(step)
+                    .at_buffer(op.dst)
+                    .hint("rp must be the level's aligned pace, ≤ every rotating plen (§4.2)"),
+                );
+            } else {
+                let src_eb = elem_bytes(src.bytes, src.elements());
+                let dst_eb = elem_bytes(dst.bytes, dst.elements());
+                if src_eb != dst_eb {
+                    report.push(
+                        Diagnostic::error(
+                            RuleId::PaceMismatch,
+                            format!(
+                                "superstep {step} shift {}→{} moves {src_eb} B elements into a \
+                                 {dst_eb} B-element buffer",
+                                op.src, op.dst
+                            ),
+                        )
+                        .at_step(step)
+                        .at_buffer(op.dst)
+                        .hint("a ring rotates one tensor; element sizes must match"),
+                    );
+                }
+            }
+        }
+        // RING04 / RING05 over the per-step rotate graph.
+        for (&buf, &deg) in &out_deg {
+            if deg > 1 {
+                report.push(
+                    Diagnostic::error(
+                        RuleId::RotateFanOut,
+                        format!("superstep {step} rotates buffer {buf} to {deg} destinations"),
+                    )
+                    .at_step(step)
+                    .at_buffer(buf)
+                    .hint("a ring node has exactly one successor; drop the extra shift"),
+                );
+            }
+        }
+        for (&buf, &deg) in out_deg.iter().chain(in_deg.iter()) {
+            if deg == 0 {
+                continue;
+            }
+            let (ins, outs) = (
+                in_deg.get(&buf).copied().unwrap_or(0),
+                out_deg.get(&buf).copied().unwrap_or(0),
+            );
+            // Fan-out and duplicate writes are reported above / by BSP01;
+            // here we flag the deadlocking 0-vs-1 mismatches once per buffer.
+            if (ins == 0) != (outs == 0) && ins <= 1 && outs <= 1 {
+                let core = program.buffers.get(buf).map(|b| b.core);
+                let (have, miss) = if ins == 0 {
+                    ("sends", "receive")
+                } else {
+                    ("receives", "send")
+                };
+                let mut d = Diagnostic::error(
+                    RuleId::BrokenRing,
+                    format!(
+                        "superstep {step}: buffer {buf} {have} in a rotation ring but has no \
+                         matching {miss} — the BSP exchange would deadlock"
+                    ),
+                )
+                .at_step(step)
+                .at_buffer(buf)
+                .hint("every ring member both sends to and receives from a neighbour");
+                if let Some(c) = core {
+                    d = d.at_core(c);
+                }
+                // Both degree maps iterate the buffer; report it once.
+                if !report.diagnostics.iter().any(|p| {
+                    p.rule == RuleId::BrokenRing
+                        && p.location.step == Some(step)
+                        && p.location.buffer == Some(buf)
+                }) {
+                    report.push(d);
+                }
+            }
+        }
+    }
+}
+
+/// Element size the simulator derives for shift accounting.
+pub(crate) fn elem_bytes(bytes: usize, elements: usize) -> usize {
+    (bytes / elements.max(1)).max(1)
+}

@@ -1,0 +1,189 @@
+//! Differential validation of the static verifier against the simulator.
+//!
+//! The property the verifier promises: `verify(program).is_ok()` implies
+//! the simulator completes the program without a capacity or deadlock
+//! error. Here that implication is exercised over the whole model zoo
+//! (timing programs) and over searched matmul plans (functional programs),
+//! plus the wiring the verifier rides in on: the compiler's mandatory
+//! post-pass, the recovery controller's recompile gate, and the trace.
+
+#![allow(clippy::unwrap_used)]
+
+use std::time::{Duration, Instant};
+
+use t10_bench::harness::bench_search_config;
+use t10_core::compiler::Compiler;
+use t10_core::recovery::{RecoveryController, RecoveryPolicy, RecoveryUnit};
+use t10_core::search::{search_operator, SearchConfig};
+use t10_core::{lower, verify_lowering, verify_plan, CompileError, CompileOptions, CostModel};
+use t10_device::program::BufferDecl;
+use t10_device::ChipSpec;
+use t10_ir::{builders, Tensor};
+use t10_models::all_models;
+use t10_sim::{FaultPlan, Simulator, SimulatorMode};
+use t10_trace::Trace;
+use t10_verify::Verifier;
+
+/// Every zoo model's compiled timing program is verifier-clean, and the
+/// timing simulator then completes it without a capacity or deadlock
+/// error. The verification itself stays under the 1 s whole-zoo budget —
+/// it is pure analysis, no superstep is simulated.
+#[test]
+fn zoo_programs_verify_clean_and_simulate_clean() {
+    let spec = ChipSpec::ipu_mk2();
+    let mut verify_time = Duration::ZERO;
+    let mut checked = 0usize;
+    for model in all_models() {
+        let g = (model.build)(1).unwrap();
+        let compiled = Compiler::new(spec.clone(), bench_search_config())
+            .compile_graph(&g)
+            .unwrap();
+        let t0 = Instant::now();
+        let report = Verifier::new(&spec).verify_program(&compiled.program);
+        verify_time += t0.elapsed();
+        assert!(
+            report.is_ok(),
+            "{}: verifier refuted a released artifact: {:?}",
+            model.name,
+            report.diagnostics
+        );
+        assert!(report.stats.steps > 0, "{}: empty program", model.name);
+        // The accepted program must also run: no OOM, no wedge.
+        let r = Simulator::new(spec.clone(), SimulatorMode::Timing)
+            .run(&compiled.program)
+            .unwrap();
+        assert!(r.total_time > 0.0, "{}: empty run", model.name);
+        checked += 1;
+    }
+    assert!(checked >= 4, "zoo shrank to {checked} models");
+    assert!(
+        verify_time < Duration::from_secs(1),
+        "whole-zoo verification took {verify_time:?}"
+    );
+}
+
+/// Functional differential: every searched matmul plan the verifier
+/// accepts (plan, lowering, and program level) executes to completion on
+/// the functional simulator. Acceptance is not vacuous — the search
+/// produces several lowerable plans for this shape.
+#[test]
+fn accepted_functional_lowerings_execute() {
+    let spec = ChipSpec::ipu_with_cores(16);
+    let cost = CostModel::calibrate(&spec, 128, 5).unwrap();
+    let op = builders::matmul(0, 1, 2, 16, 32, 16).unwrap();
+    let mut cfg = SearchConfig::fast();
+    cfg.min_core_utilization = 0.9;
+    let (pareto, _) = search_operator(&op, &[4, 4], 4, &cost, &cfg).unwrap();
+    let capacity = spec.sram_per_core - spec.shift_buffer;
+    let a = Tensor::pattern(vec![16, 32], 0.11);
+    let b = Tensor::pattern(vec![32, 16], 0.77);
+    let mut accepted = 0usize;
+    for sp in pareto.plans() {
+        let Ok(f) = lower::lower_functional(&op, &sp.plan) else {
+            continue; // padded plans are priced by the timing path only
+        };
+        assert!(
+            verify_plan(&op, &sp.plan, capacity, spec.num_cores).is_ok(),
+            "plan {:?} refuted",
+            sp.plan.config
+        );
+        assert!(
+            verify_lowering(&op, &sp.plan, &f).is_ok(),
+            "lowering for {:?} refuted",
+            sp.plan.config
+        );
+        let run_spec = ChipSpec::ipu_with_cores(sp.plan.cores_used.max(1));
+        assert!(
+            Verifier::new(&run_spec).verify_program(&f.program).is_ok(),
+            "program for {:?} refuted",
+            sp.plan.config
+        );
+        let mut sim = Simulator::new(run_spec, SimulatorMode::Functional);
+        sim.load(&f.program).unwrap();
+        for (slot, t) in [&a, &b].iter().enumerate() {
+            for &id in &f.input_buffers[slot] {
+                sim.bind(id, t).unwrap();
+            }
+        }
+        sim.run_loaded(&f.program).unwrap();
+        accepted += 1;
+    }
+    assert!(accepted >= 2, "only {accepted} lowerings accepted");
+}
+
+/// The compiler's mandatory post-pass emits verifier spans into the trace
+/// alongside the search and reconcile spans.
+#[test]
+fn compile_trace_carries_verifier_spans() {
+    let g = (all_models()
+        .into_iter()
+        .find(|m| m.name == "NeRF")
+        .unwrap()
+        .build)(1)
+    .unwrap();
+    let trace = Trace::logical();
+    let opts = CompileOptions {
+        deadline: None,
+        faults: None,
+        warm_start: None,
+        trace: trace.clone(),
+    };
+    Compiler::new(ChipSpec::ipu_mk2(), bench_search_config())
+        .compile_graph_with(&g, &opts)
+        .unwrap();
+    let events = trace.snapshot();
+    assert!(
+        events
+            .iter()
+            .any(|e| e.name == "verify_program" && e.pid == t10_trace::PID_VERIFY),
+        "no verifier span in the compile trace"
+    );
+    assert!(
+        events.iter().any(|e| e.name == "verify.violations"),
+        "no verifier counter in the compile trace"
+    );
+}
+
+/// The recovery controller refuses to execute a recompiled unit that does
+/// not fit the surviving machine: the verifier's capacity gate fires
+/// before a single superstep runs, surfacing a typed
+/// [`CompileError::Verification`] instead of a mid-run device OOM.
+#[test]
+fn recovery_rejects_oversized_recompiled_unit() {
+    let spec = ChipSpec::ipu_with_cores(4);
+    let controller = RecoveryController::new(SimulatorMode::Timing, RecoveryPolicy::default());
+    let faults = FaultPlan::new(4).shrink_sram(1, 0.001);
+    let result = controller.execute(&spec, faults, None, 0, &[], |spec, _, _| {
+        // A "recompile" that ignores the degraded capacity: one buffer
+        // on the shrunk core the size of the whole nominal SRAM.
+        let mut program = t10_device::program::Program::new();
+        program.add_buffer(BufferDecl {
+            core: 1,
+            label: "oversized".to_string(),
+            bytes: spec.sram_per_core,
+            coords: vec![vec![0]],
+            init: 0.0,
+        });
+        Ok(RecoveryUnit {
+            program,
+            pareto: vec![],
+            input_buffers: vec![],
+            output_buffers: vec![],
+        })
+    });
+    let err = match result {
+        Ok(_) => panic!("the oversized unit must be rejected"),
+        Err(e) => e,
+    };
+    match &err {
+        CompileError::Verification { diagnostics } => {
+            assert!(
+                diagnostics
+                    .iter()
+                    .any(|d| d.rule == t10_verify::RuleId::SramOverflow),
+                "expected a CAP02 finding, got {diagnostics:?}"
+            );
+        }
+        other => panic!("expected a verification error, got {other:?}"),
+    }
+}
