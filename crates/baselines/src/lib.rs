@@ -17,6 +17,10 @@
 //!   per-core replication of non-contraction activations, which makes it
 //!   slower and earlier to run out of memory (Figures 12, 17).
 
+// Baseline planners index their own candidate tables and the shapes
+// validated at IR construction. The analysis crates (`t10-verify`,
+// `t10-prove`) stay index-hardened.
+#![allow(clippy::indexing_slicing)]
 // Tests may unwrap freely; library code must not (workspace lint).
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 

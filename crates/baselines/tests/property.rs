@@ -1,6 +1,6 @@
 //! Property-based tests of the VGM tile model.
 
-#![allow(clippy::unwrap_used)]
+#![allow(clippy::unwrap_used, clippy::indexing_slicing)]
 
 use proptest::prelude::*;
 use t10_baselines::vgm::{lower_op_vgm, tile_plan};

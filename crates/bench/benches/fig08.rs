@@ -1,7 +1,7 @@
 //! Figure 8: cost-model accuracy — measured vs predicted execution time of
 //! random sub-tasks, per operator type.
 
-#![allow(clippy::unwrap_used)]
+#![allow(clippy::unwrap_used, clippy::indexing_slicing)]
 
 use t10_bench::Table;
 use t10_core::cost::CostModel;

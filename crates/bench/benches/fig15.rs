@@ -1,6 +1,6 @@
 //! Figure 15: distribution of T10's per-operator speedup over Roller.
 
-#![allow(clippy::unwrap_used)]
+#![allow(clippy::unwrap_used, clippy::indexing_slicing)]
 
 use t10_bench::harness::{bench_search_config, Platform};
 use t10_bench::Table;

@@ -1,6 +1,9 @@
 //! Library half of the `t10` CLI: argument parsing and command execution,
 //! kept in a library so tests can drive it without spawning processes.
 
+// Argument vectors are length-checked before positional access. The
+// analysis crates (`t10-verify`, `t10-prove`) stay index-hardened.
+#![allow(clippy::indexing_slicing)]
 // Tests may unwrap freely; library code must not (workspace lint).
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
@@ -12,7 +15,9 @@ use t10_bench::Table;
 use t10_core::compiler::emit_accuracy_events;
 use t10_core::recovery::{RecoveryController, RecoveryPolicy, RecoveryUnit};
 use t10_core::search::{search_operator, SearchConfig};
-use t10_core::{viz, CompileError, CompileOptions, CompiledGraph, Compiler};
+use t10_core::{
+    prove_plan, viz, CompileError, CompileOptions, CompiledGraph, Compiler, ProveOutcome,
+};
 use t10_device::ChipSpec;
 use t10_ir::Graph;
 use t10_models::{all_models, textfmt};
@@ -24,12 +29,12 @@ pub const USAGE: &str = "\
 usage:
   t10 zoo
   t10 compile <model|file.t10> [--batch N] [--cores N] [--fuse]
-              [--faults SPEC] [--deadline-ms N] [trace opts]
+              [--faults SPEC] [--deadline-ms N] [--prove] [trace opts]
   t10 run     <model|file.t10> [--batch N] [--cores N] [--fuse]
               [--faults SPEC] [--fault-timeline SPEC]
               [--checkpoint-every N] [--max-retries K] [trace opts]
   t10 check   <model|file.t10|all> [--batch N] [--cores N] [--fuse]
-              [--faults SPEC] [--json FILE]
+              [--faults SPEC] [--json FILE] [--prove] [--prove-cert FILE]
   t10 bench   <model|file.t10> [--batch N] [--cores N]
   t10 explore <M> <K> <N> [--cores N]
   t10 trace   <trace.json>
@@ -56,7 +61,12 @@ fault timeline: events fired at superstep boundaries during `t10 run`, e.g.
 
 `check` compiles each target and statically verifies the artifact: capacity
 proofs, rotation-ring consistency, BSP deadlock/race freedom, cost sanity.
-`--json FILE` writes the machine-readable diagnostics; `all` checks the zoo.
+`--json FILE` writes the machine-readable diagnostics (the file is written
+on failures too); `all` checks the zoo. `--prove` additionally runs the
+translation validator over every node's functional lowering — exactly-once
+coverage, rotation provenance, reduction flow, dataflow lints — and
+`--prove-cert FILE` writes the machine-readable proof certificates.
+`compile --prove` runs the same validator as an opt-in compile post-pass.
 
 exit codes: 1 generic, 2 usage, 3 infeasible plan, 4 out of memory,
   5 deadline exceeded, 6 worker panicked, 7 device/IR fault,
@@ -168,6 +178,9 @@ pub enum Cli {
         faults: Option<String>,
         /// Compile deadline in milliseconds (anytime search), if any.
         deadline_ms: Option<u64>,
+        /// Run the translation-validation post-pass (`t10-prove`) on every
+        /// node's functional lowering before releasing the artifact.
+        prove: bool,
         /// Structured-event outputs.
         trace: TraceArgs,
     },
@@ -207,8 +220,16 @@ pub enum Cli {
         /// Fault specification (see [`FaultPlan::parse`]), if any: the
         /// verifier proves capacity against the *degraded* chip.
         faults: Option<String>,
-        /// Write machine-readable diagnostics JSON to this path.
+        /// Write machine-readable diagnostics JSON to this path. The file
+        /// is always written — also when verification refutes a target or
+        /// a compile fails — so CI can archive it unconditionally.
         json: Option<String>,
+        /// Also run the symbolic dataflow prover (`t10-prove`) over every
+        /// node's functional lowering.
+        prove: bool,
+        /// Write the machine-readable proof certificates to this path
+        /// (requires `--prove`).
+        prove_cert: Option<String>,
     },
     /// Compare T10 against the VGM baselines.
     Bench {
@@ -250,6 +271,8 @@ impl Cli {
         let mut checkpoint_every: Option<usize> = None;
         let mut max_retries: Option<usize> = None;
         let mut json: Option<String> = None;
+        let mut prove = false;
+        let mut prove_cert: Option<String> = None;
         let mut trace = TraceArgs::default();
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -303,6 +326,10 @@ impl Cli {
                 "--json" => {
                     json = Some(it.next().ok_or("--json needs a path")?.clone());
                 }
+                "--prove" => prove = true,
+                "--prove-cert" => {
+                    prove_cert = Some(it.next().ok_or("--prove-cert needs a path")?.clone());
+                }
                 "--trace-out" => {
                     trace.trace_out = Some(it.next().ok_or("--trace-out needs a path")?.clone());
                 }
@@ -337,6 +364,12 @@ impl Cli {
         if json.is_some() && sub != Some("check") {
             return Err("--json only applies to `check`".into());
         }
+        if prove && sub != Some("check") && sub != Some("compile") {
+            return Err("--prove only applies to `check` and `compile`".into());
+        }
+        if prove_cert.is_some() && (sub != Some("check") || !prove) {
+            return Err("--prove-cert requires `check --prove`".into());
+        }
         if deadline_ms.is_some() && sub != Some("compile") {
             return Err("--deadline-ms only applies to `compile`".into());
         }
@@ -359,6 +392,7 @@ impl Cli {
                 fuse,
                 faults,
                 deadline_ms,
+                prove,
                 trace,
             }),
             ["run", target] => Ok(Cli::Run {
@@ -379,6 +413,8 @@ impl Cli {
                 fuse,
                 faults,
                 json,
+                prove,
+                prove_cert,
             }),
             ["trace", file] => Ok(Cli::Trace {
                 file: file.to_string(),
@@ -538,6 +574,187 @@ pub fn check_compiled(
     report
 }
 
+/// One proved (or skipped) graph node's certificate, for `--prove-cert`.
+#[derive(Debug)]
+pub struct NodeCert {
+    /// Graph node index.
+    pub node: usize,
+    /// Operator family label.
+    pub kind: String,
+    /// The certificate JSON, when the plan was actually interpreted.
+    pub cert: Option<String>,
+    /// Why the prover declined, when it did (padded partitions).
+    pub skipped: Option<String>,
+}
+
+/// What `t10 check` learned about one target: a verification report, or the
+/// error that prevented one from existing.
+#[derive(Debug)]
+pub enum CheckOutcome {
+    /// The target compiled; the report may still carry violations.
+    Checked {
+        /// Target (graph) name.
+        name: String,
+        /// Merged structural + semantic report.
+        report: t10_verify::Report,
+        /// Per-node proof certificates (`--prove` only).
+        certs: Vec<NodeCert>,
+    },
+    /// The target never produced an artifact to verify.
+    Failed {
+        /// Target name as given.
+        name: String,
+        /// The compile (or resolve) error.
+        error: CliError,
+    },
+}
+
+impl CheckOutcome {
+    /// A verified target.
+    pub fn checked(name: String, report: t10_verify::Report, certs: Vec<NodeCert>) -> Self {
+        CheckOutcome::Checked {
+            name,
+            report,
+            certs,
+        }
+    }
+
+    /// A target that failed before verification.
+    pub fn failed(name: String, error: CliError) -> Self {
+        CheckOutcome::Failed { name, error }
+    }
+
+    /// Whether this target is fully clean.
+    pub fn is_ok(&self) -> bool {
+        match self {
+            CheckOutcome::Checked { report, .. } => report.is_ok(),
+            CheckOutcome::Failed { .. } => false,
+        }
+    }
+}
+
+/// Renders the `t10 check --json` document. Emitted unconditionally — an
+/// all-clean run produces `"ok":true` with an empty `violations` array, so
+/// CI artifact steps never 404 on success.
+pub fn check_diagnostics_json(outcomes: &[CheckOutcome]) -> String {
+    let all_ok = outcomes.iter().all(CheckOutcome::is_ok);
+    let mut violations: Vec<&'static str> = outcomes
+        .iter()
+        .filter_map(|o| match o {
+            CheckOutcome::Checked { report, .. } => Some(report.violated_rules()),
+            CheckOutcome::Failed { .. } => None,
+        })
+        .flatten()
+        .collect();
+    violations.sort_unstable();
+    violations.dedup();
+    let mut out = String::from("{\"ok\":");
+    out.push_str(if all_ok { "true" } else { "false" });
+    out.push_str(",\"violations\":[");
+    for (i, v) in violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(v);
+        out.push('"');
+    }
+    out.push_str("],\"targets\":[");
+    for (i, o) in outcomes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":\"");
+        match o {
+            CheckOutcome::Checked { name, report, .. } => {
+                t10_trace::json::escape_into(&mut out, name);
+                out.push_str("\",\"report\":");
+                out.push_str(&report.to_json());
+            }
+            CheckOutcome::Failed { name, error } => {
+                t10_trace::json::escape_into(&mut out, name);
+                out.push_str("\",\"error\":{\"code\":");
+                out.push_str(&error.code.to_string());
+                out.push_str(",\"message\":\"");
+                t10_trace::json::escape_into(&mut out, &error.message);
+                out.push_str("\"}");
+            }
+        }
+        out.push('}');
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Renders the `t10 check --prove-cert` document: per target, per graph
+/// node, the proof certificate (or the skip reason).
+pub fn check_certificates_json(outcomes: &[CheckOutcome]) -> String {
+    let mut out = String::from("{\"targets\":[");
+    let mut first = true;
+    for o in outcomes {
+        let CheckOutcome::Checked { name, certs, .. } = o else {
+            continue;
+        };
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("{\"name\":\"");
+        t10_trace::json::escape_into(&mut out, name);
+        out.push_str("\",\"nodes\":[");
+        for (i, c) in certs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"node\":{},\"op\":\"", c.node));
+            t10_trace::json::escape_into(&mut out, &c.kind);
+            out.push('"');
+            if let Some(cert) = &c.cert {
+                out.push_str(",\"cert\":");
+                out.push_str(cert);
+            }
+            if let Some(reason) = &c.skipped {
+                out.push_str(",\"skipped\":\"");
+                t10_trace::json::escape_into(&mut out, reason);
+                out.push('"');
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// The final exit verdict of a `check` invocation, after the diagnostics
+/// and certificate files are on disk: verification findings exit 10; a
+/// target that failed to compile propagates its own exit code (a refuted
+/// mandatory post-pass is already 10); a clean sweep exits 0.
+pub fn check_verdict(outcomes: &[CheckOutcome]) -> Result<i32, Box<CliError>> {
+    for o in outcomes {
+        match o {
+            CheckOutcome::Checked { name, report, .. } if !report.is_ok() => {
+                let msg = match report.diagnostics.first() {
+                    Some(d) => format!("{name}: {}", d.render()),
+                    None => name.clone(),
+                };
+                return Err(Box::new(CliError {
+                    message: format!("static verification failed: {msg}"),
+                    code: 10,
+                }));
+            }
+            CheckOutcome::Failed { name, error } => {
+                return Err(Box::new(CliError {
+                    message: format!("{name}: {}", error.message),
+                    code: error.code,
+                }));
+            }
+            CheckOutcome::Checked { .. } => {}
+        }
+    }
+    Ok(0)
+}
+
 /// Executes a parsed command, returning the process exit code on success.
 ///
 /// Most commands return 0. `t10 run` returns 8 when the run completed but
@@ -567,6 +784,7 @@ pub fn run(cli: &Cli) -> Result<i32, CliError> {
             fuse,
             faults,
             deadline_ms,
+            prove,
             trace: targs,
         } => {
             let mut g = resolve_model(target, *batch)?;
@@ -586,6 +804,7 @@ pub fn run(cli: &Cli) -> Result<i32, CliError> {
                 faults: fault_plan.clone(),
                 warm_start: None,
                 trace: trace.clone(),
+                prove: *prove,
             };
             let platform = Platform::new(spec.clone());
             let compiled = platform
@@ -679,6 +898,7 @@ pub fn run(cli: &Cli) -> Result<i32, CliError> {
                         faults: Some(faults.clone()),
                         warm_start: warm.map(<[_]>::to_vec),
                         trace: trace.clone(),
+                        prove: false,
                     };
                     let compiled = Compiler::new(spec.clone(), cfg.clone())
                         .compile_graph_with(&graph, &opts)?;
@@ -751,6 +971,8 @@ pub fn run(cli: &Cli) -> Result<i32, CliError> {
             fuse,
             faults,
             json,
+            prove,
+            prove_cert,
         } => {
             let spec = chip(*cores);
             let fault_plan = match faults {
@@ -772,30 +994,100 @@ pub fn run(cli: &Cli) -> Result<i32, CliError> {
                 "shifts",
                 "peak/core",
                 "errors",
+                "proved",
                 "verify (\u{b5}s)",
                 "status",
             ]);
-            let mut json_targets: Vec<(String, String)> = Vec::new();
-            let mut first_failure: Option<String> = None;
+            let mut outcomes: Vec<CheckOutcome> = Vec::new();
             let mut total_verify = Duration::ZERO;
             for name in &names {
-                let mut g = resolve_model(name, *batch)?;
-                if *fuse {
-                    g = t10_ir::transform::fuse_unary(&g).map_err(|e| e.to_string())?;
-                }
-                let opts = CompileOptions {
-                    deadline: None,
-                    faults: fault_plan.clone(),
-                    warm_start: None,
-                    trace: Trace::disabled(),
+                let compiled: Result<(Graph, CompiledGraph), CliError> = (|| {
+                    let mut g = resolve_model(name, *batch)?;
+                    if *fuse {
+                        g = t10_ir::transform::fuse_unary(&g).map_err(|e| e.to_string())?;
+                    }
+                    let opts = CompileOptions {
+                        deadline: None,
+                        faults: fault_plan.clone(),
+                        warm_start: None,
+                        trace: Trace::disabled(),
+                        prove: false,
+                    };
+                    // The compile itself runs the mandatory structural
+                    // post-pass; a refuted artifact surfaces here as
+                    // CompileError::Verification (exit 10). The prover runs
+                    // standalone below so its certificates are collected.
+                    let compiled = Compiler::new(spec.clone(), bench_search_config())
+                        .compile_graph_with(&g, &opts)?;
+                    Ok((g, compiled))
+                })();
+                let (g, compiled) = match compiled {
+                    Ok(pair) => pair,
+                    Err(e) => {
+                        // A target that will not even compile still lands in
+                        // the table and the diagnostics file.
+                        t.row(vec![
+                            name.clone(),
+                            "-".into(),
+                            "-".into(),
+                            "-".into(),
+                            "-".into(),
+                            "-".into(),
+                            "-".into(),
+                            "-".into(),
+                            format!("FAIL (exit {})", e.code),
+                        ]);
+                        println!("{name}: {}", e.message);
+                        outcomes.push(CheckOutcome::failed(name.clone(), e));
+                        continue;
+                    }
                 };
-                // The compile itself runs the mandatory post-pass; a refuted
-                // artifact surfaces here as CompileError::Verification (10).
-                let compiled = Compiler::new(spec.clone(), bench_search_config())
-                    .compile_graph_with(&g, &opts)?;
                 // Re-prove standalone, on the released artifact, and report.
                 let t0 = std::time::Instant::now();
-                let report = check_compiled(&spec, fault_plan.as_ref(), &g, &compiled);
+                let mut report = check_compiled(&spec, fault_plan.as_ref(), &g, &compiled);
+                let mut proved_col = "-".to_string();
+                let mut certs: Vec<NodeCert> = Vec::new();
+                if *prove {
+                    let (mut proved, mut skipped) = (0usize, 0usize);
+                    for (i, node) in g.nodes().iter().enumerate() {
+                        let active = compiled
+                            .reconciled
+                            .choices
+                            .get(i)
+                            .and_then(|c| compiled.node_pareto.get(i)?.plans().get(c.active));
+                        let Some(active) = active else { continue };
+                        match prove_plan(&node.op, &active.plan, &Trace::disabled()) {
+                            ProveOutcome::Checked(p) => {
+                                if p.proved() {
+                                    proved += 1;
+                                }
+                                certs.push(NodeCert {
+                                    node: i,
+                                    kind: format!("{:?}", node.op.kind),
+                                    cert: Some(p.cert.to_json()),
+                                    skipped: None,
+                                });
+                                report.merge(p.report.tag_node(i));
+                            }
+                            ProveOutcome::Skipped { reason } => {
+                                skipped += 1;
+                                certs.push(NodeCert {
+                                    node: i,
+                                    kind: format!("{:?}", node.op.kind),
+                                    cert: None,
+                                    skipped: Some(reason),
+                                });
+                            }
+                        }
+                    }
+                    proved_col = format!("{proved}/{}", g.nodes().len());
+                    if skipped > 0 {
+                        proved_col.push_str(&format!(" ({skipped} skipped)"));
+                    }
+                    // Structural + semantic passes together prove the full
+                    // rule inventory.
+                    report.stats.rules_checked = t10_verify::RuleId::ALL.len();
+                }
                 let dt = t0.elapsed();
                 total_verify += dt;
                 let status = if report.is_ok() {
@@ -803,12 +1095,6 @@ pub fn run(cli: &Cli) -> Result<i32, CliError> {
                 } else {
                     format!("FAIL ({})", report.violated_rules().join(","))
                 };
-                if !report.is_ok() && first_failure.is_none() {
-                    first_failure = Some(match report.diagnostics.first() {
-                        Some(d) => format!("{name}: {}", d.render()),
-                        None => name.clone(),
-                    });
-                }
                 for d in &report.diagnostics {
                     println!("{name}: {}", d.render());
                 }
@@ -819,13 +1105,14 @@ pub fn run(cli: &Cli) -> Result<i32, CliError> {
                     report.stats.shifts.to_string(),
                     fmt_bytes(report.stats.peak_core_bytes),
                     report.error_count().to_string(),
+                    proved_col,
                     format!("{:.0}", dt.as_secs_f64() * 1e6),
                     status,
                 ]);
-                json_targets.push((g.name().to_string(), report.to_json()));
+                outcomes.push(CheckOutcome::checked(g.name().to_string(), report, certs));
             }
-            let all_ok = first_failure.is_none();
             t.print();
+            let all_ok = outcomes.iter().all(CheckOutcome::is_ok);
             println!(
                 "checked {} target(s) in {:.1} ms total verify time: {}",
                 names.len(),
@@ -833,30 +1120,16 @@ pub fn run(cli: &Cli) -> Result<i32, CliError> {
                 if all_ok { "all ok" } else { "VIOLATIONS FOUND" },
             );
             if let Some(path) = json {
-                let mut out = String::from("{\"ok\":");
-                out.push_str(if all_ok { "true" } else { "false" });
-                out.push_str(",\"targets\":[");
-                for (i, (name, rj)) in json_targets.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push_str("{\"name\":\"");
-                    t10_trace::json::escape_into(&mut out, name);
-                    out.push_str("\",\"report\":");
-                    out.push_str(rj);
-                    out.push('}');
-                }
-                out.push_str("]}\n");
-                std::fs::write(path, &out).map_err(|e| format!("{path}: {e}"))?;
-                println!("diagnostics: {} target(s) -> {path}", json_targets.len());
+                std::fs::write(path, check_diagnostics_json(&outcomes))
+                    .map_err(|e| format!("{path}: {e}"))?;
+                println!("diagnostics: {} target(s) -> {path}", outcomes.len());
             }
-            match first_failure {
-                None => Ok(0),
-                Some(msg) => Err(CliError {
-                    message: format!("static verification failed: {msg}"),
-                    code: 10,
-                }),
+            if let Some(path) = prove_cert {
+                std::fs::write(path, check_certificates_json(&outcomes))
+                    .map_err(|e| format!("{path}: {e}"))?;
+                println!("certificates: {} target(s) -> {path}", outcomes.len());
             }
+            check_verdict(&outcomes).map_err(|e| *e)
         }
         Cli::Bench {
             target,
@@ -947,6 +1220,7 @@ mod tests {
                 fuse: true,
                 faults: None,
                 deadline_ms: None,
+                prove: false,
                 trace: TraceArgs::default(),
             }
         );
@@ -1063,6 +1337,7 @@ mod tests {
             fuse: false,
             faults: Some("bogus=1".to_string()),
             deadline_ms: None,
+            prove: false,
             trace: TraceArgs::default(),
         })
         .unwrap_err();
@@ -1092,12 +1367,31 @@ mod tests {
                 fuse: false,
                 faults: Some("seed=1,shrink=0@0.5".to_string()),
                 json: Some("diag.json".to_string()),
+                prove: false,
+                prove_cert: None,
             }
         );
         // --json is check-only; trace flags don't apply to check.
         assert!(Cli::parse(&s(&["compile", "x", "--json", "d.json"])).is_err());
         assert!(Cli::parse(&s(&["check", "x", "--trace-out", "t.json"])).is_err());
         assert!(Cli::parse(&s(&["check", "x", "--json"])).is_err());
+        // --prove applies to check and compile; --prove-cert needs --prove.
+        let c = Cli::parse(&s(&["check", "x", "--prove", "--prove-cert", "c.json"])).unwrap();
+        assert!(matches!(
+            c,
+            Cli::Check {
+                prove: true,
+                ref prove_cert,
+                ..
+            } if prove_cert.as_deref() == Some("c.json")
+        ));
+        assert!(matches!(
+            Cli::parse(&s(&["compile", "x", "--prove"])).unwrap(),
+            Cli::Compile { prove: true, .. }
+        ));
+        assert!(Cli::parse(&s(&["run", "x", "--prove"])).is_err());
+        assert!(Cli::parse(&s(&["check", "x", "--prove-cert", "c.json"])).is_err());
+        assert!(Cli::parse(&s(&["check", "x", "--prove-cert"])).is_err());
     }
 
     #[test]
@@ -1111,6 +1405,7 @@ mod tests {
         )
         .unwrap();
         let json_path = dir.join("diag.json");
+        let cert_path = dir.join("certs.json");
         let code = run(&Cli::Check {
             target: model.to_string_lossy().to_string(),
             batch: 1,
@@ -1118,12 +1413,20 @@ mod tests {
             fuse: true,
             faults: None,
             json: Some(json_path.to_string_lossy().to_string()),
+            prove: true,
+            prove_cert: Some(cert_path.to_string_lossy().to_string()),
         })
         .unwrap();
         assert_eq!(code, 0);
+        // The clean run still writes the diagnostics file, with an empty
+        // violations array — CI archives it unconditionally.
         let doc = std::fs::read_to_string(&json_path).unwrap();
         let v = t10_trace::json::parse(&doc).unwrap();
         assert_eq!(v.get("ok").and_then(|o| o.as_bool()), Some(true));
+        assert_eq!(
+            v.get("violations").and_then(|a| a.as_arr()).map(<[_]>::len),
+            Some(0)
+        );
         let targets = v.get("targets").and_then(|t| t.as_arr()).unwrap();
         assert_eq!(targets.len(), 1);
         let report = targets[0].get("report").unwrap();
@@ -1134,6 +1437,72 @@ mod tests {
                 .and_then(|s| s.get("rules_checked"))
                 .and_then(|r| r.as_f64()),
             Some(t10_verify::RuleId::ALL.len() as f64)
+        );
+        // And the proof certificates.
+        let certs = std::fs::read_to_string(&cert_path).unwrap();
+        let c = t10_trace::json::parse(&certs).unwrap();
+        let nodes = c
+            .get("targets")
+            .and_then(|t| t.as_arr())
+            .and_then(|t| t.first())
+            .and_then(|t| t.get("nodes"))
+            .and_then(|n| n.as_arr())
+            .unwrap();
+        assert!(!nodes.is_empty());
+        assert!(nodes.iter().all(|n| {
+            n.get("cert")
+                .and_then(|c| c.get("status"))
+                .and_then(|s| s.as_str())
+                .map(|s| s == "proved" || s == "vacuous")
+                .unwrap_or(false)
+                || n.get("skipped").is_some()
+        }));
+    }
+
+    #[test]
+    fn check_verdict_surfaces_violations_as_exit_10_with_json_on_disk() {
+        // A refuted target must exit 10 — and the diagnostics document is
+        // rendered (and written by `run`) regardless of the verdict.
+        let mut report = t10_verify::Report::new();
+        report.push(t10_verify::Diagnostic::error(
+            t10_verify::RuleId::ProveCoverageMissing,
+            "iteration point [0, 1] is never computed",
+        ));
+        let outcomes = vec![
+            CheckOutcome::checked("clean".to_string(), t10_verify::Report::new(), vec![]),
+            CheckOutcome::checked("broken".to_string(), report, vec![]),
+        ];
+        let err = check_verdict(&outcomes).unwrap_err();
+        assert_eq!(err.code, 10);
+        assert!(err.message.contains("broken"));
+        let doc = check_diagnostics_json(&outcomes);
+        let v = t10_trace::json::parse(&doc).unwrap();
+        assert_eq!(v.get("ok").and_then(|o| o.as_bool()), Some(false));
+        let viols = v.get("violations").and_then(|a| a.as_arr()).unwrap();
+        assert_eq!(viols.len(), 1);
+        assert_eq!(viols[0].as_str(), Some("PROVE01"));
+        // A compile failure also lands in the document, with its exit code.
+        let outcomes = vec![CheckOutcome::failed(
+            "wedged".to_string(),
+            CliError {
+                message: "no feasible plan".to_string(),
+                code: 3,
+            },
+        )];
+        let err = check_verdict(&outcomes).unwrap_err();
+        assert_eq!(err.code, 3);
+        let v = t10_trace::json::parse(&check_diagnostics_json(&outcomes)).unwrap();
+        let target = v
+            .get("targets")
+            .and_then(|t| t.as_arr())
+            .and_then(|t| t.first())
+            .unwrap();
+        assert_eq!(
+            target
+                .get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(|c| c.as_f64()),
+            Some(3.0)
         );
     }
 
@@ -1156,6 +1525,8 @@ mod tests {
             fuse: false,
             faults: Some("seed=3,shrink=1@0.5".to_string()),
             json: None,
+            prove: false,
+            prove_cert: None,
         })
         .unwrap();
         assert_eq!(code, 0);
@@ -1215,6 +1586,7 @@ mod tests {
             fuse: true,
             faults: None,
             deadline_ms: None,
+            prove: true,
             trace: TraceArgs::default(),
         })
         .unwrap();
@@ -1237,6 +1609,7 @@ mod tests {
             fuse: false,
             faults: Some("seed=3,degrade=0.2@0.5,shrink=1@0.5".to_string()),
             deadline_ms: Some(10_000),
+            prove: false,
             trace: TraceArgs::default(),
         })
         .unwrap();

@@ -53,6 +53,14 @@ pub struct CompileOptions {
     /// themselves never touch the clock, so logical-clock traces stay
     /// byte-identical across same-seed runs.
     pub trace: Trace,
+    /// Run translation validation as an extra post-pass: every chosen plan
+    /// is lowered functionally and its compute-shift program symbolically
+    /// interpreted (`t10-prove`) to certify it computes the operator —
+    /// exactly-once coverage, rotation provenance, reduction flow. Plans
+    /// the functional lowering cannot express (padded partitions) are
+    /// skipped, not failed. Off by default: the structural post-pass is
+    /// mandatory, the semantic one is opt-in (`t10 compile --prove`).
+    pub prove: bool,
 }
 
 impl CompileOptions {
@@ -505,6 +513,24 @@ impl Compiler {
             );
         }
         crate::verify::require(report)?;
+        // Opt-in semantic post-pass: translation-validate every chosen
+        // plan. Refutations surface as the same typed verification error
+        // the structural pass uses.
+        if opts.prove {
+            let mut prove_report = t10_verify::Report::new();
+            prove_report.stats.rules_checked = t10_verify::RuleId::SEMANTIC.len();
+            for (i, node) in graph.nodes().iter().enumerate() {
+                let choice = &reconciled.choices[i];
+                let active = &node_pareto[i].plans()[choice.active];
+                match crate::semantics::prove_plan(&node.op, &active.plan, &opts.trace) {
+                    crate::semantics::ProveOutcome::Checked(p) => {
+                        prove_report.merge(p.report.tag_node(i));
+                    }
+                    crate::semantics::ProveOutcome::Skipped { .. } => {}
+                }
+            }
+            crate::verify::require(prove_report)?;
+        }
         if trace.enabled() {
             let end = trace.now_us();
             trace.span(

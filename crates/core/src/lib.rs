@@ -45,6 +45,11 @@
 //! assert!(compiled.estimated_time > 0.0);
 //! ```
 
+// Partition grids, factor vectors, and slot tables are validated by
+// `Plan::build` and the search's feasibility checks; the compiler's
+// inner loops index within those validated bounds. The analysis crates
+// (`t10-verify`, `t10-prove`) stay index-hardened.
+#![allow(clippy::indexing_slicing)]
 // Tests may unwrap freely; library code must not (workspace lint).
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
@@ -59,6 +64,7 @@ pub mod reconcile;
 pub mod recovery;
 pub mod rtensor;
 pub mod search;
+pub mod semantics;
 pub mod verify;
 pub mod viz;
 
@@ -68,6 +74,7 @@ pub use error::CompileError;
 pub use plan::{Plan, PlanConfig, TemporalChoice};
 pub use recovery::{MigrationMap, Recovered, RecoveryController, RecoveryPolicy, RecoveryUnit};
 pub use search::{ParetoSet, SearchConfig, SearchStats};
+pub use semantics::{prove_plan, OperatorSemantics, ProveOutcome};
 pub use verify::{verify_lowering, verify_plan};
 
 /// Result alias used throughout the compiler.

@@ -461,7 +461,16 @@ impl RecoveryController {
             .with_faults(faults)
             .with_reserved(spec.shift_buffer)
             .with_trace(self.trace.clone());
-        crate::verify::require(verifier.verify_program(&unit.program))
+        crate::verify::require(verifier.verify_program(&unit.program))?;
+        // Translation validation of the (possibly migrated) unit: a
+        // recompiled program whose rotation rings no longer deliver every
+        // shard, or whose partial outputs are not reduced exactly once, is
+        // refused before it can produce silently wrong numerics. Vacuous
+        // for timing-only programs.
+        let proof = t10_prove::Prover::new()
+            .with_trace(self.trace.clone())
+            .prove_program(&unit.program, &unit.output_buffers);
+        crate::verify::require(proof.report)
     }
 
     /// Builds a simulator for one unit: fault plan installed, checkpoint

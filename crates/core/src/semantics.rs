@@ -1,0 +1,130 @@
+//! Canonical index-space semantics of operators, and the glue that proves
+//! a chosen plan against them.
+//!
+//! [`OperatorSemantics::of`] distils a [`t10_ir::Operator`] into the facts
+//! translation validation is defined over: the iteration space, which axes
+//! reduce, which axes each operand is *shared* along (the axes a rotation
+//! ring must stream past every core), and the output shape. [`prove_plan`]
+//! then lowers an (operator, plan) pair functionally and hands the
+//! resulting program to `t10-prove`'s symbolic dataflow engine — plans the
+//! functional lowering cannot express (padded partitions) are reported as
+//! [`ProveOutcome::Skipped`] rather than silently passed.
+
+use t10_ir::{AxisId, Operator};
+use t10_prove::{ProofOutcome, Prover};
+use t10_trace::Trace;
+
+use crate::lower::lower_functional;
+use crate::plan::Plan;
+
+/// The index-space facts an operator's compiled program must respect.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OperatorSemantics {
+    /// Total iteration points (`Π` axis sizes): the exactly-once coverage
+    /// obligation.
+    pub iteration_points: u128,
+    /// Axes absent from the output — iteration points along them merge
+    /// into one output element via the operator's reduction.
+    pub reduction_axes: Vec<AxisId>,
+    /// Per input slot, the axes absent from that operand: the sub-tensor
+    /// is shared by every core whose partition differs only along them
+    /// (paper §4.1), so a valid plan must rotate it past all of them.
+    pub shared_axes: Vec<Vec<AxisId>>,
+    /// Output shape implied by the axes.
+    pub output_shape: Vec<usize>,
+    /// Whether any operand dimension is data-dependent (gather): those
+    /// dimensions cannot be proved statically and are skipped.
+    pub has_indirect: bool,
+}
+
+impl OperatorSemantics {
+    /// Extracts the canonical semantics of one operator.
+    pub fn of(op: &Operator) -> Self {
+        Self {
+            iteration_points: op.expr.iteration_points(),
+            reduction_axes: op.expr.axes_missing_from_output(),
+            shared_axes: (0..op.expr.num_inputs())
+                .map(|s| op.expr.axes_missing_from_input(s))
+                .collect(),
+            output_shape: op.expr.output_shape(),
+            has_indirect: op.has_indirect_access(),
+        }
+    }
+}
+
+/// The result of proving one (operator, plan) pair.
+#[derive(Debug)]
+pub enum ProveOutcome {
+    /// The plan was lowered functionally and interpreted symbolically.
+    /// (Boxed: a proof outcome carries the full report and certificate,
+    /// dwarfing the skip arm.)
+    Checked(Box<ProofOutcome>),
+    /// The plan cannot be expressed by the functional lowering (padded
+    /// partitions); nothing was claimed and nothing proved.
+    Skipped {
+        /// Why the lowering declined.
+        reason: String,
+    },
+}
+
+impl ProveOutcome {
+    /// Whether a semantic obligation was refuted (skips never refute).
+    pub fn refuted(&self) -> bool {
+        match self {
+            ProveOutcome::Checked(p) => !p.proved(),
+            ProveOutcome::Skipped { .. } => false,
+        }
+    }
+
+    /// The proof outcome, when the plan was actually checked.
+    pub fn proof(&self) -> Option<&ProofOutcome> {
+        match self {
+            ProveOutcome::Checked(p) => Some(p),
+            ProveOutcome::Skipped { .. } => None,
+        }
+    }
+}
+
+/// Proves that the compute-shift program a plan lowers to computes the
+/// operator: exactly-once coverage, rotation provenance (σ/`rp` end to
+/// end), output placement, reduction flow, and the dataflow lints.
+pub fn prove_plan(op: &Operator, plan: &Plan, trace: &Trace) -> ProveOutcome {
+    match lower_functional(op, plan) {
+        Err(e) => ProveOutcome::Skipped {
+            reason: e.to_string(),
+        },
+        Ok(f) => ProveOutcome::Checked(Box::new(
+            Prover::new()
+                .with_trace(trace.clone())
+                .prove_program(&f.program, &f.output_buffers),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t10_ir::builders;
+
+    #[test]
+    fn matmul_semantics_are_canonical() {
+        let op = builders::matmul(0, 1, 2, 8, 16, 4).expect("matmul");
+        let s = OperatorSemantics::of(&op);
+        assert_eq!(s.iteration_points, 8 * 16 * 4);
+        assert_eq!(s.reduction_axes.len(), 1, "k reduces");
+        assert_eq!(s.output_shape, vec![8, 4]);
+        // A[m,k] is shared along n; B[k,n] is shared along m.
+        assert_eq!(s.shared_axes.len(), 2);
+        assert_eq!(s.shared_axes[0].len(), 1);
+        assert_eq!(s.shared_axes[1].len(), 1);
+        assert!(!s.has_indirect);
+    }
+
+    #[test]
+    fn elementwise_semantics_have_no_sharing() {
+        let op = builders::binary(0, 1, 2, vec![8, 8], t10_ir::Combine::Add).expect("binary add");
+        let s = OperatorSemantics::of(&op);
+        assert!(s.reduction_axes.is_empty());
+        assert!(s.shared_axes.iter().all(Vec::is_empty));
+    }
+}

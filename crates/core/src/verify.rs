@@ -38,7 +38,7 @@ const COVERAGE_ENUM_LIMIT: usize = 1 << 20;
 /// effective, fault-aware capacity); `num_cores` the physical core count.
 pub fn verify_plan(op: &Operator, plan: &Plan, capacity: usize, num_cores: usize) -> Report {
     let mut report = Report::new();
-    report.stats.rules_checked = RuleId::ALL.len();
+    report.stats.rules_checked = RuleId::STRUCTURAL.len();
     if plan.cores_used > num_cores {
         report.push(
             Diagnostic::error(
@@ -201,7 +201,7 @@ pub fn verify_plan(op: &Operator, plan: &Plan, capacity: usize, num_cores: usize
 /// coverage).
 pub fn verify_lowering(op: &Operator, plan: &Plan, lowering: &FunctionalLowering) -> Report {
     let mut report = Report::new();
-    report.stats.rules_checked = RuleId::ALL.len();
+    report.stats.rules_checked = RuleId::STRUCTURAL.len();
     let grid = CoreGrid::new(&plan.config.f_op);
 
     // RING07: map each input buffer back to its (slot, core) and require

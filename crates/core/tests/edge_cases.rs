@@ -1,6 +1,6 @@
 //! Edge-case and failure-injection tests of the compiler pipeline.
 
-#![allow(clippy::unwrap_used)]
+#![allow(clippy::unwrap_used, clippy::indexing_slicing)]
 
 use t10_core::compiler::Compiler;
 use t10_core::cost::CostModel;

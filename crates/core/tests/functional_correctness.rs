@@ -7,7 +7,7 @@
 //! unary epilogue — against MatMul, Conv2d, elementwise, pooling, reduce, and
 //! gather operators.
 
-#![allow(clippy::unwrap_used)]
+#![allow(clippy::unwrap_used, clippy::indexing_slicing)]
 
 use proptest::prelude::*;
 use t10_core::lower::lower_functional;

@@ -1,6 +1,6 @@
 //! Property-based tests of the compiler's core data structures.
 
-#![allow(clippy::unwrap_used)]
+#![allow(clippy::unwrap_used, clippy::indexing_slicing)]
 
 use proptest::prelude::*;
 use t10_core::cost::CostModel;

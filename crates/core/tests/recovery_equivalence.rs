@@ -8,7 +8,7 @@
 //! retry from a checkpoint, recompile for the surviving machine, migrate
 //! sub-tensors — the extracted outputs must match `reference::execute`.
 
-#![allow(clippy::unwrap_used)]
+#![allow(clippy::unwrap_used, clippy::indexing_slicing)]
 
 use t10_core::lower::lower_functional;
 use t10_core::search::SearchConfig;

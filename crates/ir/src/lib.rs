@@ -23,6 +23,11 @@
 //!   truth for functional tests of compiled execution plans;
 //! * [`builders`] — convenience constructors for all common DNN operators.
 
+// Shapes, axis maps, and index expressions are validated when the
+// `TensorExpr`/`Graph` is constructed; indexing after that point is
+// bounds-correct by construction. The analysis crates (`t10-verify`,
+// `t10-prove`) stay index-hardened; see the workspace lints.
+#![allow(clippy::indexing_slicing)]
 // Tests may unwrap freely; library code must not (workspace lint).
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 

@@ -1,0 +1,231 @@
+//! Machine-readable proof certificates.
+//!
+//! A certificate records *what was proved* (per-operator coverage, the
+//! rotation/read obligations discharged, the flow check) and *what was
+//! found* (dead shifts, dead buffers, hazards, violated rules), in a
+//! stable, hand-rolled JSON schema CI can assert against without a JSON
+//! library.
+
+use t10_trace::json::escape_into;
+
+/// Overall verdict of a proof run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CertStatus {
+    /// Every obligation discharged; the program computes the operator.
+    Proved,
+    /// At least one semantic obligation failed.
+    Refuted,
+    /// The program carries no functional tasks (timing-only); nothing to
+    /// prove and nothing claimed.
+    Vacuous,
+}
+
+impl CertStatus {
+    /// Stable lowercase label used in the JSON schema.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CertStatus::Proved => "proved",
+            CertStatus::Refuted => "refuted",
+            CertStatus::Vacuous => "vacuous",
+        }
+    }
+}
+
+/// Per-operator coverage verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpCert {
+    /// Index into the program's operator table.
+    pub op: usize,
+    /// Operator family label (e.g. `MatMul`).
+    pub kind: String,
+    /// Size of the logical iteration space.
+    pub iteration_points: u128,
+    /// Number of Cartesian boxes compute tasks claimed.
+    pub boxes: u64,
+    /// Whether coverage was additionally checked by exact enumeration
+    /// (spaces up to the enumeration limit) rather than hash-only.
+    pub exact: bool,
+    /// Whether every iteration point was produced exactly once.
+    pub covered_exactly_once: bool,
+}
+
+/// Bytes shifted into a buffer and never read (DF01).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadShift {
+    /// Superstep of the last unread delivery.
+    pub step: usize,
+    /// Receiving buffer.
+    pub buffer: usize,
+    /// Bytes of that delivery.
+    pub bytes: u64,
+}
+
+/// A delivery overwritten before any read (DF03).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hazard {
+    /// Buffer involved.
+    pub buffer: usize,
+    /// Superstep that delivered the data.
+    pub delivered_step: usize,
+    /// Superstep that overwrote it unread.
+    pub clobbered_step: usize,
+}
+
+/// The complete certificate for one proved program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramCert {
+    /// Overall verdict.
+    pub status: CertStatus,
+    /// Per-operator coverage verdicts (operators with compute tasks).
+    pub ops: Vec<OpCert>,
+    /// Rotation shifts whose provenance was tracked.
+    pub rotations: u64,
+    /// Operand coordinates membership-checked against resident windows.
+    pub reads_checked: u64,
+    /// Data-dependent (gather) dimensions skipped — not provable
+    /// statically.
+    pub indirect_dims_skipped: u64,
+    /// Whether the cross-core reduction flow balance was checked.
+    pub flow_checked: bool,
+    /// Dead shifts found (empty = proven absent).
+    pub dead_shifts: Vec<DeadShift>,
+    /// Total bytes across `dead_shifts`.
+    pub dead_shift_bytes: u64,
+    /// Buffers allocated but never used (DF02).
+    pub dead_buffers: Vec<usize>,
+    /// Write-after-delivery hazards (DF03).
+    pub hazards: Vec<Hazard>,
+    /// Sorted, de-duplicated ids of every violated rule.
+    pub violations: Vec<&'static str>,
+}
+
+impl ProgramCert {
+    /// An empty certificate with the given status.
+    pub fn empty(status: CertStatus) -> Self {
+        Self {
+            status,
+            ops: Vec::new(),
+            rotations: 0,
+            reads_checked: 0,
+            indirect_dims_skipped: 0,
+            flow_checked: false,
+            dead_shifts: Vec::new(),
+            dead_shift_bytes: 0,
+            dead_buffers: Vec::new(),
+            hazards: Vec::new(),
+            violations: Vec::new(),
+        }
+    }
+
+    /// Deterministic JSON rendering of the certificate.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"status\":\"");
+        out.push_str(self.status.label());
+        out.push_str("\",\"ops\":[");
+        for (i, op) in self.ops.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"op\":{},\"kind\":\"", op.op));
+            escape_into(&mut out, &op.kind);
+            out.push_str(&format!(
+                "\",\"iteration_points\":{},\"boxes\":{},\"exact\":{},\
+                 \"covered_exactly_once\":{}}}",
+                op.iteration_points, op.boxes, op.exact, op.covered_exactly_once
+            ));
+        }
+        out.push_str(&format!(
+            "],\"rotations\":{},\"reads_checked\":{},\"indirect_dims_skipped\":{},\
+             \"flow_checked\":{},\"dead_shifts\":[",
+            self.rotations, self.reads_checked, self.indirect_dims_skipped, self.flow_checked
+        ));
+        for (i, d) in self.dead_shifts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"step\":{},\"buffer\":{},\"bytes\":{}}}",
+                d.step, d.buffer, d.bytes
+            ));
+        }
+        out.push_str(&format!(
+            "],\"dead_shift_bytes\":{},\"dead_buffers\":[",
+            self.dead_shift_bytes
+        ));
+        for (i, b) in self.dead_buffers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&b.to_string());
+        }
+        out.push_str("],\"hazards\":[");
+        for (i, h) in self.hazards.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"buffer\":{},\"delivered_step\":{},\"clobbered_step\":{}}}",
+                h.buffer, h.delivered_step, h.clobbered_step
+            ));
+        }
+        out.push_str("],\"violations\":[");
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(v);
+            out.push('"');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn certificate_json_is_stable_and_parseable() {
+        let mut c = ProgramCert::empty(CertStatus::Proved);
+        c.ops.push(OpCert {
+            op: 0,
+            kind: "MatMul".into(),
+            iteration_points: 4096,
+            boxes: 64,
+            exact: true,
+            covered_exactly_once: true,
+        });
+        c.rotations = 48;
+        c.reads_checked = 128;
+        c.flow_checked = true;
+        c.dead_shifts.push(DeadShift {
+            step: 3,
+            buffer: 7,
+            bytes: 256,
+        });
+        c.dead_shift_bytes = 256;
+        c.violations.push("DF01");
+        let json = c.to_json();
+        let parsed = t10_trace::json::parse(&json).expect("valid JSON");
+        assert_eq!(
+            parsed.get("status").and_then(|v| v.as_str()),
+            Some("proved")
+        );
+        assert_eq!(
+            parsed
+                .get("dead_shift_bytes")
+                .and_then(|v| v.as_f64())
+                .map(|v| v as u64),
+            Some(256)
+        );
+        assert_eq!(
+            parsed.get("ops").and_then(|v| v.as_arr()).map(|a| a.len()),
+            Some(1)
+        );
+        // Same input, same bytes: the schema is deterministic.
+        assert_eq!(json, c.to_json());
+    }
+}

@@ -1,0 +1,389 @@
+//! The symbolic domain: per-dimension coordinate windows and the
+//! multiset-coverage hash.
+//!
+//! A buffer's contents are abstracted to *which global coordinates* it
+//! holds along each dimension, in storage (FIFO) order — exactly the
+//! `coords` the functional simulator's buffers carry, but interpreted
+//! symbolically without any element data. Rotation shifts retire
+//! coordinates from the front of a window and append the received slab at
+//! the back, mirroring `t10_sim`'s `FuncBuffer::rotate`.
+
+use std::collections::HashSet;
+
+/// One buffer dimension's coordinate window, in storage order.
+///
+/// Most windows are contiguous global ranges (`Range`); rotating windows
+/// that have wrapped around their ring extent (e.g. `{10, 11, 0, 1}`)
+/// fall back to the explicit `List` form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Window {
+    /// Consecutive coordinates `start .. start + len`.
+    Range {
+        /// First coordinate.
+        start: usize,
+        /// Number of coordinates.
+        len: usize,
+    },
+    /// Arbitrary coordinates in storage order.
+    List(Vec<usize>),
+}
+
+impl Window {
+    /// Builds a window from an explicit coordinate list, normalising
+    /// consecutive runs to the `Range` form.
+    pub fn from_coords(coords: &[usize]) -> Self {
+        let consecutive = coords
+            .windows(2)
+            .all(|w| matches!(w, [a, b] if *b == a.wrapping_add(1)));
+        match (coords.first(), consecutive) {
+            (Some(&start), true) => Window::Range {
+                start,
+                len: coords.len(),
+            },
+            (Some(_), false) => Window::List(coords.to_vec()),
+            (None, _) => Window::Range { start: 0, len: 0 },
+        }
+    }
+
+    /// Number of coordinates held.
+    pub fn len(&self) -> usize {
+        match self {
+            Window::Range { len, .. } => *len,
+            Window::List(v) => v.len(),
+        }
+    }
+
+    /// Whether the window holds no coordinates.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates the coordinates in storage order.
+    pub fn iter(&self) -> WindowIter<'_> {
+        match self {
+            Window::Range { start, len } => WindowIter::Range(*start..start.saturating_add(*len)),
+            Window::List(v) => WindowIter::List(v.iter()),
+        }
+    }
+
+    /// Membership test for one coordinate.
+    pub fn contains(&self, c: usize) -> bool {
+        match self {
+            Window::Range { start, len } => c >= *start && c - *start < *len,
+            Window::List(v) => v.contains(&c),
+        }
+    }
+
+    /// The first `count` coordinates (the slab a rotation retires), or
+    /// `None` when the window is shorter than `count`.
+    pub fn front(&self, count: usize) -> Option<Window> {
+        if count > self.len() {
+            return None;
+        }
+        Some(match self {
+            Window::Range { start, .. } => Window::Range {
+                start: *start,
+                len: count,
+            },
+            Window::List(v) => Window::from_coords(v.get(..count).unwrap_or(&[])),
+        })
+    }
+
+    /// The window after a rotation: the front `count` coordinates are
+    /// dropped and `slab` is appended at the back (FIFO), mirroring the
+    /// simulator's `FuncBuffer::rotate`. `None` when `count` exceeds the
+    /// window length.
+    pub fn rotated(&self, count: usize, slab: &Window) -> Option<Window> {
+        if count > self.len() {
+            return None;
+        }
+        let mut coords: Vec<usize> = self.iter().skip(count).collect();
+        coords.extend(slab.iter());
+        Some(Window::from_coords(&coords))
+    }
+
+    /// First coordinate of `self` absent from `hay`, or `None` when
+    /// `self ⊆ hay`.
+    pub fn first_missing_in(&self, hay: &Window) -> Option<usize> {
+        // A large List haystack probed many times is worth a set.
+        if let Window::List(v) = hay {
+            if v.len() > 32 && self.len() > 8 {
+                let set: HashSet<usize> = v.iter().copied().collect();
+                return self.iter().find(|c| !set.contains(c));
+            }
+        }
+        self.iter().find(|&c| !hay.contains(c))
+    }
+
+    /// Whether the two windows cover the same coordinate *set*
+    /// (order-insensitive; accumulate endpoints may be permuted).
+    pub fn same_coords(&self, other: &Window) -> bool {
+        if self.len() != other.len() {
+            return false;
+        }
+        match (self, other) {
+            (Window::Range { start: a, .. }, Window::Range { start: b, .. }) => a == b,
+            _ => {
+                let mut a: Vec<usize> = self.iter().collect();
+                let mut b: Vec<usize> = other.iter().collect();
+                a.sort_unstable();
+                b.sort_unstable();
+                a == b
+            }
+        }
+    }
+
+    /// A short human rendering for diagnostics: `[a..b]` or `{x, y, …}`.
+    pub fn render(&self) -> String {
+        match self {
+            Window::Range { start, len } => format!("[{}..{}]", start, start + len),
+            Window::List(v) => {
+                let mut s = String::from("{");
+                for (i, c) in v.iter().take(6).enumerate() {
+                    if i > 0 {
+                        s.push_str(", ");
+                    }
+                    s.push_str(&c.to_string());
+                }
+                if v.len() > 6 {
+                    s.push_str(", …");
+                }
+                s.push('}');
+                s
+            }
+        }
+    }
+}
+
+/// Iterator over a [`Window`]'s coordinates.
+pub enum WindowIter<'a> {
+    /// Over a contiguous range.
+    Range(std::ops::Range<usize>),
+    /// Over an explicit list.
+    List(std::slice::Iter<'a, usize>),
+}
+
+impl Iterator for WindowIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        match self {
+            WindowIter::Range(r) => r.next(),
+            WindowIter::List(it) => it.next().copied(),
+        }
+    }
+}
+
+/// Number of independent hash lanes; a collision must fool both.
+pub const LANES: usize = 2;
+
+/// Per-lane seeds for the coordinate hash.
+const SEEDS: [u64; LANES] = [0x9e37_79b9_7f4a_7c15, 0xd1b5_4a32_d192_ed03];
+
+/// SplitMix64 finalizer: the workhorse mixing function.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The per-axis, per-coordinate hash weight. Forced odd so products over
+/// axes never collapse to zero.
+fn weight(lane: usize, axis: usize, coord: usize) -> u64 {
+    let seed = SEEDS.get(lane).copied().unwrap_or(1);
+    splitmix64(seed ^ ((axis as u64) << 40) ^ (coord as u64)) | 1
+}
+
+/// A multiset hash over an operator's iteration space.
+///
+/// Each iteration point `p` hashes to `Π_a weight(a, p_a)` per lane; a set
+/// of points hashes to the wrapping *sum* of point hashes. Because compute
+/// tasks cover Cartesian boxes of per-axis windows, a box's sum factorises
+/// as `Π_a Σ_{c ∈ window_a} weight(a, c)` — evaluated in O(axes) per box
+/// via per-axis prefix sums, never by enumeration. The whole space covered
+/// exactly once therefore hashes to `Π_a (Σ_{c < size_a} weight(a, c))`.
+#[derive(Debug)]
+pub struct CoverageHash {
+    /// `prefix[a][i]` = per-lane `Σ_{c < i} weight(a, c)`, length `size+1`.
+    prefix: Vec<Vec<[u64; LANES]>>,
+}
+
+impl CoverageHash {
+    /// Builds the per-axis prefix tables for the given axis sizes.
+    pub fn new(sizes: &[usize]) -> Self {
+        let prefix = sizes
+            .iter()
+            .enumerate()
+            .map(|(a, &n)| {
+                let mut acc = [0u64; LANES];
+                let mut table = Vec::with_capacity(n + 1);
+                table.push(acc);
+                for c in 0..n {
+                    for (lane, slot) in acc.iter_mut().enumerate() {
+                        *slot = slot.wrapping_add(weight(lane, a, c));
+                    }
+                    table.push(acc);
+                }
+                table
+            })
+            .collect();
+        Self { prefix }
+    }
+
+    /// Hash of the full iteration space covered exactly once.
+    pub fn space(&self) -> [u64; LANES] {
+        let mut out = [1u64; LANES];
+        for table in &self.prefix {
+            let total = table.last().copied().unwrap_or([0; LANES]);
+            for (lane, slot) in out.iter_mut().enumerate() {
+                *slot = slot.wrapping_mul(total.get(lane).copied().unwrap_or(0));
+            }
+        }
+        out
+    }
+
+    /// Per-lane `Σ weight(axis, c)` over a window's coordinates.
+    fn window_sum(&self, axis: usize, w: &Window) -> [u64; LANES] {
+        if let (Window::Range { start, len }, Some(table)) = (w, self.prefix.get(axis)) {
+            let end = start.saturating_add(*len);
+            if let (Some(hi), Some(lo)) = (table.get(end), table.get(*start)) {
+                let mut out = [0u64; LANES];
+                for (lane, slot) in out.iter_mut().enumerate() {
+                    let h = hi.get(lane).copied().unwrap_or(0);
+                    let l = lo.get(lane).copied().unwrap_or(0);
+                    *slot = h.wrapping_sub(l);
+                }
+                return out;
+            }
+        }
+        // Explicit (or out-of-range) coordinates: sum weights directly.
+        let mut out = [0u64; LANES];
+        for c in w.iter() {
+            for (lane, slot) in out.iter_mut().enumerate() {
+                *slot = slot.wrapping_add(weight(lane, axis, c));
+            }
+        }
+        out
+    }
+
+    /// Hash of a Cartesian box of per-axis windows (each point once).
+    pub fn box_hash(&self, windows: &[Window]) -> [u64; LANES] {
+        let mut out = [1u64; LANES];
+        for (a, w) in windows.iter().enumerate() {
+            let s = self.window_sum(a, w);
+            for (lane, slot) in out.iter_mut().enumerate() {
+                *slot = slot.wrapping_mul(s.get(lane).copied().unwrap_or(0));
+            }
+        }
+        out
+    }
+}
+
+/// A flow accumulator: how many iteration-point contributions (and their
+/// multiset hash) have reached a buffer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlowAcc {
+    /// Exact count of contributions.
+    pub count: u128,
+    /// Per-lane multiset hash of the contributions.
+    pub lanes: [u64; LANES],
+}
+
+impl FlowAcc {
+    /// Adds a box of `count` points hashing to `lanes`.
+    pub fn add(&mut self, count: u128, lanes: [u64; LANES]) {
+        self.count = self.count.wrapping_add(count);
+        for (lane, slot) in self.lanes.iter_mut().enumerate() {
+            *slot = slot.wrapping_add(lanes.get(lane).copied().unwrap_or(0));
+        }
+    }
+
+    /// Merges another accumulator (a cross-core reduction shift).
+    pub fn merge(&mut self, other: &FlowAcc) {
+        self.add(other.count, other.lanes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_coords_normalises_runs() {
+        assert_eq!(
+            Window::from_coords(&[4, 5, 6]),
+            Window::Range { start: 4, len: 3 }
+        );
+        assert_eq!(Window::from_coords(&[4, 6, 5]), Window::List(vec![4, 6, 5]));
+        assert!(Window::from_coords(&[]).is_empty());
+    }
+
+    #[test]
+    fn rotation_mirrors_fifo_semantics() {
+        // {10, 11, 0, 1} rotated by 2 receiving {2, 3} -> {0, 1, 2, 3}.
+        let w = Window::List(vec![10, 11, 0, 1]);
+        let slab = Window::Range { start: 2, len: 2 };
+        let r = w.rotated(2, &slab).expect("rotation fits");
+        assert_eq!(r, Window::Range { start: 0, len: 4 });
+        assert!(w.rotated(5, &slab).is_none());
+    }
+
+    #[test]
+    fn front_and_membership() {
+        let w = Window::Range { start: 8, len: 4 };
+        assert_eq!(w.front(2), Some(Window::Range { start: 8, len: 2 }));
+        assert!(w.contains(11));
+        assert!(!w.contains(12));
+        let needles = Window::List(vec![9, 12]);
+        assert_eq!(needles.first_missing_in(&w), Some(12));
+        let inside = Window::List(vec![9, 10]);
+        assert_eq!(inside.first_missing_in(&w), None);
+    }
+
+    #[test]
+    fn same_coords_is_order_insensitive() {
+        let a = Window::List(vec![3, 1, 2]);
+        let b = Window::Range { start: 1, len: 3 };
+        assert!(a.same_coords(&b));
+        assert!(!a.same_coords(&Window::Range { start: 0, len: 3 }));
+    }
+
+    #[test]
+    fn box_hashes_sum_to_the_space() {
+        let sizes = [4usize, 6];
+        let h = CoverageHash::new(&sizes);
+        // Tile the 4x6 space into four 2x3 boxes: sums must equal space().
+        let mut acc = FlowAcc::default();
+        for r in [0usize, 2] {
+            for c in [0usize, 3] {
+                let b = [
+                    Window::Range { start: r, len: 2 },
+                    Window::Range { start: c, len: 3 },
+                ];
+                acc.add(6, h.box_hash(&b));
+            }
+        }
+        assert_eq!(acc.count, 24);
+        assert_eq!(acc.lanes, h.space());
+    }
+
+    #[test]
+    fn duplicated_box_perturbs_the_hash() {
+        let h = CoverageHash::new(&[4]);
+        let full = [Window::Range { start: 0, len: 4 }];
+        let dup = [Window::Range { start: 1, len: 1 }];
+        let mut acc = FlowAcc::default();
+        acc.add(4, h.box_hash(&full));
+        acc.add(1, h.box_hash(&dup));
+        assert_ne!(acc.lanes, h.space());
+    }
+
+    #[test]
+    fn list_windows_hash_like_ranges() {
+        let h = CoverageHash::new(&[8]);
+        let a = h.box_hash(&[Window::List(vec![5, 3, 4])]);
+        let b = h.box_hash(&[Window::Range { start: 3, len: 3 }]);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,996 @@
+//! Translation validation for compiled compute-shift programs.
+//!
+//! `t10-verify` proves *structural* invariants (capacity, ring shape, BSP
+//! race-freedom); this crate closes the remaining gap: that a compiled
+//! [`Program`] actually **computes the operator**. A symbolic dataflow
+//! engine abstractly interprets the program superstep by superstep over
+//! per-buffer coordinate windows ([`domain::Window`]) — the same
+//! provenance the functional simulator tracks concretely — and discharges
+//! three families of obligations:
+//!
+//! * **coverage / uniqueness** (`PROVE01/02`) — every logical iteration
+//!   point is claimed by exactly one compute task, checked by exact
+//!   enumeration for small spaces and by a two-lane multiset hash (sums of
+//!   per-point products factorised over Cartesian boxes) for large ones;
+//! * **rotation provenance** (`PROVE03/04/06`) — every operand coordinate a
+//!   compute task reads is resident in the core's window at that superstep
+//!   (validating the diagonal placement σ and rotating pace `rp` end to
+//!   end), every write lands inside the declared output shard, and
+//!   cross-core accumulations join buffers covering identical coordinates;
+//! * **reduction flow** (`PROVE05`) and **dataflow lints** (`DF01–03`) —
+//!   partial contributions reaching the live outputs balance the
+//!   contributions produced, shifted bytes are read before being dropped,
+//!   and no buffer is allocated for nothing.
+//!
+//! Because device programs are loop-free (a finite superstep list), one
+//! forward pass over the steps *is* the dataflow fixpoint. The verdict and
+//! the discharged obligations are summarised in a machine-readable
+//! [`ProgramCert`].
+
+pub mod cert;
+pub mod domain;
+
+pub use cert::{CertStatus, DeadShift, Hazard, OpCert, ProgramCert};
+pub use domain::{CoverageHash, FlowAcc, Window, LANES};
+
+use std::collections::HashMap;
+
+use t10_device::program::{BufferId, FuncTask, Program, ShiftKind};
+use t10_ir::IndexExpr;
+use t10_trace::{Trace, Value, PID_PROVE};
+use t10_verify::{Diagnostic, Report, RuleId};
+
+/// Largest iteration space (points) checked by exact enumeration on top of
+/// the multiset hash; mirrors `t10-core`'s coverage enumeration limit.
+pub const ENUM_LIMIT: u128 = 1 << 20;
+
+/// Hard cap on points enumerated per operator (duplicates can exceed the
+/// space size); beyond it the prover falls back to hash-only verdicts.
+const ENUM_BUDGET: u128 = ENUM_LIMIT * 4;
+
+/// Largest operand read-set materialised per dimension when an index
+/// expression combines several axes (conv windows); larger sets are
+/// skipped and counted in the certificate.
+const READ_SET_LIMIT: usize = 1 << 16;
+
+/// Diagnostics reported per rule before suppressing repeats.
+const MAX_DIAGS_PER_RULE: usize = 8;
+
+/// The result of proving one program: a standard diagnostics [`Report`]
+/// (merged into `t10 check` output) plus the [`ProgramCert`].
+#[derive(Debug)]
+pub struct ProofOutcome {
+    /// Diagnostics in `t10-verify`'s format (`PROVE*` errors, `DF*`
+    /// warnings).
+    pub report: Report,
+    /// The machine-readable certificate.
+    pub cert: ProgramCert,
+}
+
+impl ProofOutcome {
+    /// Whether every semantic obligation held (lints do not refute).
+    pub fn proved(&self) -> bool {
+        self.report.is_ok()
+    }
+}
+
+/// The translation validator.
+#[derive(Debug, Default)]
+pub struct Prover {
+    trace: Trace,
+}
+
+impl Prover {
+    /// A prover with default limits and no tracing.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attaches a trace handle; proof runs record a `prove_program` span
+    /// and a violation counter on [`PID_PROVE`].
+    #[must_use]
+    pub fn with_trace(mut self, trace: Trace) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Abstractly interprets `program` and discharges every semantic
+    /// obligation. `live_out` names the buffers whose contents are the
+    /// program's result (they are exempt from dead-delivery lints and are
+    /// the sinks of the reduction-flow balance).
+    pub fn prove_program(&self, program: &Program, live_out: &[BufferId]) -> ProofOutcome {
+        let t0 = self.trace.now_us();
+        let outcome = Engine::new(program, live_out).run();
+        if self.trace.enabled() {
+            let dur = self.trace.now_us() - t0;
+            self.trace.span(
+                "prove_program",
+                "prove",
+                PID_PROVE,
+                0,
+                t0,
+                dur,
+                vec![
+                    ("steps", Value::U64(program.steps.len() as u64)),
+                    ("status", Value::Str(outcome.cert.status.label().into())),
+                    (
+                        "violations",
+                        Value::U64(outcome.report.diagnostics.len() as u64),
+                    ),
+                ],
+            );
+            self.trace.counter(
+                "prove.violations",
+                "prove",
+                PID_PROVE,
+                0,
+                self.trace.now_us(),
+                vec![("count", Value::U64(outcome.report.diagnostics.len() as u64))],
+            );
+        }
+        outcome
+    }
+}
+
+/// Symbolic state of one buffer.
+#[derive(Debug, Clone)]
+struct BufState {
+    /// Per-dimension coordinate windows, storage order.
+    dims: Vec<Window>,
+    /// Bytes per element, for shift byte accounting.
+    elem_bytes: u64,
+    /// Whether anything ever read the buffer.
+    read: bool,
+    /// Whether anything ever wrote it (compute or shift).
+    written: bool,
+    /// The last exchange delivery not yet read.
+    pending: Option<Pending>,
+    /// Contribution flow that reached this buffer.
+    acc: FlowAcc,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    step: usize,
+    bytes: u64,
+}
+
+/// Per-operator coverage accumulation.
+struct OpCoverage {
+    hash: CoverageHash,
+    acc: FlowAcc,
+    boxes: u64,
+    /// Claimed boxes, retained for spaces up to [`ENUM_LIMIT`] so a hash
+    /// mismatch can be localized to a concrete iteration point. The clean
+    /// path never enumerates: the multiset hash alone accepts in O(boxes).
+    claimed: Option<Vec<Vec<Window>>>,
+}
+
+/// Result of projecting an index expression through the axis windows.
+enum ReadSet {
+    /// The concrete coordinate set read along the dimension.
+    Coords(Window),
+    /// Data-dependent (gather) dimension — not statically provable.
+    Indirect,
+    /// Affine sum-set too large to materialise.
+    TooLarge,
+}
+
+struct Engine<'a> {
+    program: &'a Program,
+    live_out: Vec<BufferId>,
+    bufs: Vec<BufState>,
+    cov: HashMap<usize, OpCoverage>,
+    report: Report,
+    cert: ProgramCert,
+    rule_counts: HashMap<&'static str, usize>,
+}
+
+impl<'a> Engine<'a> {
+    fn new(program: &'a Program, live_out: &[BufferId]) -> Self {
+        let bufs = program
+            .buffers
+            .iter()
+            .map(|b| BufState {
+                dims: b.coords.iter().map(|c| Window::from_coords(c)).collect(),
+                elem_bytes: (b.bytes / b.elements().max(1)).max(1) as u64,
+                read: false,
+                written: false,
+                pending: None,
+                acc: FlowAcc::default(),
+            })
+            .collect();
+        Self {
+            program,
+            live_out: live_out.to_vec(),
+            bufs,
+            cov: HashMap::new(),
+            report: Report::new(),
+            cert: ProgramCert::empty(CertStatus::Vacuous),
+            rule_counts: HashMap::new(),
+        }
+    }
+
+    fn push(&mut self, d: Diagnostic) {
+        let n = self.rule_counts.entry(d.rule.id()).or_insert(0);
+        *n += 1;
+        if *n <= MAX_DIAGS_PER_RULE {
+            self.report.push(d);
+        }
+    }
+
+    fn run(mut self) -> ProofOutcome {
+        let has_func = self
+            .program
+            .steps
+            .iter()
+            .any(|s| s.compute.iter().any(|v| v.func.is_some()));
+        self.fill_stats();
+        if !has_func {
+            // Timing-only program: nothing is claimed, nothing to refute.
+            return ProofOutcome {
+                report: self.report,
+                cert: self.cert,
+            };
+        }
+        for (t, step) in self.program.steps.iter().enumerate() {
+            for vtx in &step.compute {
+                if let Some(f) = vtx.func.clone() {
+                    self.compute(t, vtx.core, &f);
+                }
+            }
+            self.exchange(t, &step.exchange);
+        }
+        self.finalize();
+        ProofOutcome {
+            report: self.report,
+            cert: self.cert,
+        }
+    }
+
+    fn fill_stats(&mut self) {
+        self.report.stats.rules_checked = RuleId::SEMANTIC.len();
+        self.report.stats.steps = self.program.steps.len();
+        self.report.stats.buffers = self.program.buffers.len();
+        self.report.stats.shifts = self.program.steps.iter().map(|s| s.exchange.len()).sum();
+        self.report.stats.vertices = self
+            .program
+            .steps
+            .iter()
+            .map(|s| s.compute.iter().filter(|v| v.func.is_some()).count())
+            .sum();
+    }
+
+    /// Interprets one compute vertex: coverage claim, operand residency,
+    /// output placement, flow accounting.
+    fn compute(&mut self, t: usize, core: usize, f: &FuncTask) {
+        if f.apply_unary {
+            // The epilogue reads and rewrites its whole output in place.
+            if let Some(buf) = self.bufs.get_mut(f.output) {
+                buf.read = true;
+                buf.written = true;
+                buf.pending = None;
+            }
+            return;
+        }
+        let Some(op) = self.program.ops.get(f.op) else {
+            return; // dangling op reference: structural BSP02
+        };
+        let expr = op.expr.clone();
+        if f.axis_coords.len() != expr.axes.len() {
+            self.push(
+                Diagnostic::error(
+                    RuleId::ProveOperandProvenance,
+                    format!(
+                        "superstep {t} core {core}: vertex iterates {} axis lists for an \
+                         operator with {} axes",
+                        f.axis_coords.len(),
+                        expr.axes.len()
+                    ),
+                )
+                .at_step(t)
+                .at_core(core),
+            );
+            return;
+        }
+        if f.axis_coords.iter().any(Vec::is_empty) {
+            return; // empty sub-task, the simulator skips it too
+        }
+        let windows: Vec<Window> = f
+            .axis_coords
+            .iter()
+            .map(|c| Window::from_coords(c))
+            .collect();
+        for (w, axis) in windows.iter().zip(expr.axes.iter()) {
+            if let Some(c) = w.iter().find(|&c| c >= axis.size) {
+                self.push(
+                    Diagnostic::error(
+                        RuleId::ProveCoverageDuplicated,
+                        format!(
+                            "superstep {t} core {core}: axis {} iterates coordinate {c} \
+                             outside its size {}",
+                            axis.name, axis.size
+                        ),
+                    )
+                    .at_step(t)
+                    .at_core(core),
+                );
+            }
+        }
+        self.claim_box(f.op, &expr, &windows);
+
+        // Operand residency: each coordinate the task reads must be in the
+        // input buffer's current window (σ/rp provenance, end to end).
+        for (slot, dims) in expr.inputs.iter().enumerate() {
+            let Some(&bid) = f.inputs.get(slot) else {
+                self.push(
+                    Diagnostic::error(
+                        RuleId::ProveOperandProvenance,
+                        format!(
+                            "superstep {t} core {core}: vertex provides {} input buffers \
+                             for an operator with {} input slots",
+                            f.inputs.len(),
+                            expr.inputs.len()
+                        ),
+                    )
+                    .at_step(t)
+                    .at_core(core),
+                );
+                break;
+            };
+            let Some(state) = self.bufs.get(bid) else {
+                continue; // dangling buffer: structural BSP02
+            };
+            let hay_dims = state.dims.clone();
+            for (d, e) in dims.iter().enumerate() {
+                match read_window(e, &windows) {
+                    ReadSet::Indirect => self.cert.indirect_dims_skipped += 1,
+                    ReadSet::TooLarge => self.cert.indirect_dims_skipped += 1,
+                    ReadSet::Coords(req) => {
+                        self.cert.reads_checked += req.len() as u64;
+                        let Some(hay) = hay_dims.get(d) else {
+                            self.push(
+                                Diagnostic::error(
+                                    RuleId::ProveOperandProvenance,
+                                    format!(
+                                        "superstep {t} core {core}: operand slot {slot} \
+                                         addresses dimension {d} of a {}-dimensional buffer",
+                                        hay_dims.len()
+                                    ),
+                                )
+                                .at_step(t)
+                                .at_core(core)
+                                .at_buffer(bid),
+                            );
+                            continue;
+                        };
+                        if let Some(missing) = req.first_missing_in(hay) {
+                            self.push(
+                                Diagnostic::error(
+                                    RuleId::ProveOperandProvenance,
+                                    format!(
+                                        "superstep {t} core {core}: operand slot {slot} dim \
+                                         {d} needs coordinate {missing} but the resident \
+                                         window covers {}",
+                                        hay.render()
+                                    ),
+                                )
+                                .at_step(t)
+                                .at_core(core)
+                                .at_buffer(bid)
+                                .hint(
+                                    "the rotation ring did not deliver this shard by this \
+                                     superstep — σ placement and pace rp disagree with the \
+                                     compute schedule (§4.2)",
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+            if let Some(state) = self.bufs.get_mut(bid) {
+                state.read = true;
+                state.pending = None;
+            }
+        }
+
+        // Output placement: writes must land inside the declared shard.
+        let out_dims: Option<Vec<Window>> = self.bufs.get(f.output).map(|s| s.dims.clone());
+        if let Some(out_dims) = out_dims {
+            for (d, e) in expr.output.iter().enumerate() {
+                let ReadSet::Coords(req) = read_window(e, &windows) else {
+                    continue;
+                };
+                let Some(hay) = out_dims.get(d) else {
+                    self.push(
+                        Diagnostic::error(
+                            RuleId::ProveOutputPlacement,
+                            format!(
+                                "superstep {t} core {core}: output addresses dimension {d} \
+                                 of a {}-dimensional buffer",
+                                out_dims.len()
+                            ),
+                        )
+                        .at_step(t)
+                        .at_core(core)
+                        .at_buffer(f.output),
+                    );
+                    continue;
+                };
+                if let Some(missing) = req.first_missing_in(hay) {
+                    self.push(
+                        Diagnostic::error(
+                            RuleId::ProveOutputPlacement,
+                            format!(
+                                "superstep {t} core {core}: output dim {d} writes \
+                                 coordinate {missing} outside the declared shard {}",
+                                hay.render()
+                            ),
+                        )
+                        .at_step(t)
+                        .at_core(core)
+                        .at_buffer(f.output)
+                        .hint("the output partition must own every coordinate it computes"),
+                    );
+                }
+            }
+        }
+        let count: u128 = windows.iter().map(|w| w.len() as u128).product();
+        let lanes = self
+            .cov
+            .get(&f.op)
+            .map(|c| c.hash.box_hash(&windows))
+            .unwrap_or([0; LANES]);
+        if let Some(out) = self.bufs.get_mut(f.output) {
+            // Accumulation in place is a read-modify-write of the shard.
+            out.read = true;
+            out.written = true;
+            out.pending = None;
+            out.acc.add(count, lanes);
+        }
+    }
+
+    /// Adds one Cartesian box to the operator's coverage accumulator.
+    fn claim_box(&mut self, op_idx: usize, expr: &t10_ir::TensorExpr, windows: &[Window]) {
+        let sizes: Vec<usize> = expr.axes.iter().map(|a| a.size).collect();
+        let points = expr.iteration_points();
+        let cov = self.cov.entry(op_idx).or_insert_with(|| OpCoverage {
+            hash: CoverageHash::new(&sizes),
+            acc: FlowAcc::default(),
+            boxes: 0,
+            claimed: (points <= ENUM_LIMIT).then(Vec::new),
+        });
+        cov.boxes += 1;
+        let count: u128 = windows.iter().map(|w| w.len() as u128).product();
+        let lanes = cov.hash.box_hash(windows);
+        cov.acc.add(count, lanes);
+        if let Some(claimed) = cov.claimed.as_mut() {
+            claimed.push(windows.to_vec());
+        }
+    }
+
+    /// Interprets one exchange phase: payloads are collected from the
+    /// pre-phase state (BSP), then applied.
+    fn exchange(&mut self, t: usize, shifts: &[t10_device::program::ShiftOp]) {
+        enum Payload {
+            Slab {
+                dim: usize,
+                count: usize,
+                slab: Window,
+                bytes: u64,
+            },
+            Whole {
+                dims: Vec<Window>,
+                acc: FlowAcc,
+                bytes: u64,
+                merge: bool,
+            },
+        }
+        let mut payloads: Vec<Option<Payload>> = Vec::with_capacity(shifts.len());
+        for s in shifts {
+            let payload = self.bufs.get(s.src).and_then(|src| {
+                let elems: u64 = src.dims.iter().map(|w| w.len() as u64).product();
+                match s.kind {
+                    ShiftKind::RotateSlices { dim, count } => {
+                        let w = src.dims.get(dim)?;
+                        let slab = w.front(count)?;
+                        let bytes = if w.is_empty() {
+                            0
+                        } else {
+                            elems / w.len() as u64 * count as u64 * src.elem_bytes
+                        };
+                        self.cert.rotations += 1;
+                        Some(Payload::Slab {
+                            dim,
+                            count,
+                            slab,
+                            bytes,
+                        })
+                    }
+                    ShiftKind::Copy => Some(Payload::Whole {
+                        dims: src.dims.clone(),
+                        acc: src.acc,
+                        bytes: elems * src.elem_bytes,
+                        merge: false,
+                    }),
+                    ShiftKind::Accumulate { .. } => Some(Payload::Whole {
+                        dims: src.dims.clone(),
+                        acc: src.acc,
+                        bytes: elems * src.elem_bytes,
+                        merge: true,
+                    }),
+                }
+            });
+            if payload.is_some() {
+                if let Some(src) = self.bufs.get_mut(s.src) {
+                    // Sending is a read: the data was consumed downstream.
+                    src.read = true;
+                    src.pending = None;
+                }
+            }
+            payloads.push(payload);
+        }
+        for (s, payload) in shifts.iter().zip(payloads) {
+            let Some(payload) = payload else { continue };
+            // An unread delivery overwritten by a replacing shift is lost
+            // data (accumulates merge, so they consume rather than
+            // clobber).
+            let merge = matches!(payload, Payload::Whole { merge: true, .. });
+            if !merge {
+                if let Some(prev) = self.bufs.get(s.dst).and_then(|b| b.pending) {
+                    if prev.step < t {
+                        self.cert.hazards.push(Hazard {
+                            buffer: s.dst,
+                            delivered_step: prev.step,
+                            clobbered_step: t,
+                        });
+                        self.push(
+                            Diagnostic::warning(
+                                RuleId::ClobberedExchange,
+                                format!(
+                                    "buffer {} received {} B at superstep {} and is \
+                                     overwritten at superstep {t} before any read",
+                                    s.dst, prev.bytes, prev.step
+                                ),
+                            )
+                            .at_step(t)
+                            .at_buffer(s.dst)
+                            .hint("a delivery no compute task consumes is wasted bandwidth"),
+                        );
+                    }
+                }
+            }
+            let bytes = match &payload {
+                Payload::Slab { bytes, .. } | Payload::Whole { bytes, .. } => *bytes,
+            };
+            // Accumulate alignment is checked against the pre-write state
+            // (and diagnosed before the mutable borrow below).
+            if let Payload::Whole {
+                dims, merge: true, ..
+            } = &payload
+            {
+                let aligned = self.bufs.get(s.dst).is_some_and(|dst| {
+                    dims.len() == dst.dims.len()
+                        && dims.iter().zip(&dst.dims).all(|(a, b)| a.same_coords(b))
+                });
+                if !aligned {
+                    let rendered = self
+                        .bufs
+                        .get(s.dst)
+                        .map(|dst| {
+                            dst.dims
+                                .iter()
+                                .map(Window::render)
+                                .collect::<Vec<_>>()
+                                .join("×")
+                        })
+                        .unwrap_or_default();
+                    self.push(
+                        Diagnostic::error(
+                            RuleId::ProveAccumulateAlignment,
+                            format!(
+                                "superstep {t}: accumulate {}→{} merges windows {} into \
+                                 {rendered} covering different coordinates",
+                                s.src,
+                                s.dst,
+                                dims.iter()
+                                    .map(Window::render)
+                                    .collect::<Vec<_>>()
+                                    .join("×"),
+                            ),
+                        )
+                        .at_step(t)
+                        .at_buffer(s.dst)
+                        .hint(
+                            "cross-core reduction endpoints must shard the output \
+                             identically (§4.4)",
+                        ),
+                    );
+                }
+            }
+            let Some(dst) = self.bufs.get_mut(s.dst) else {
+                continue;
+            };
+            match payload {
+                Payload::Slab {
+                    dim, count, slab, ..
+                } => {
+                    if let Some(w) = dst.dims.get(dim) {
+                        if let Some(next) = w.rotated(count, &slab) {
+                            if let Some(slot) = dst.dims.get_mut(dim) {
+                                *slot = next;
+                            }
+                        }
+                        // count > window length: structural RING06
+                    }
+                }
+                Payload::Whole {
+                    dims,
+                    acc,
+                    merge: false,
+                    ..
+                } => {
+                    dst.dims = dims;
+                    dst.acc = acc;
+                }
+                Payload::Whole {
+                    acc, merge: true, ..
+                } => {
+                    dst.acc.merge(&acc);
+                }
+            }
+            dst.pending = Some(Pending { step: t, bytes });
+            dst.written = true;
+        }
+    }
+
+    /// End-of-program obligations: coverage, flow balance, liveness lints.
+    fn finalize(&mut self) {
+        let mut op_indices: Vec<usize> = self.cov.keys().copied().collect();
+        op_indices.sort_unstable();
+        for idx in &op_indices {
+            self.finalize_op(*idx);
+        }
+        self.check_flow(&op_indices);
+
+        // DF01: deliveries never read (and not the program's result).
+        for (b, state) in self.bufs.iter().enumerate() {
+            let Some(p) = state.pending else { continue };
+            if self.live_out.contains(&b) {
+                continue;
+            }
+            self.cert.dead_shifts.push(DeadShift {
+                step: p.step,
+                buffer: b,
+                bytes: p.bytes,
+            });
+            self.cert.dead_shift_bytes += p.bytes;
+        }
+        let dead_shifts = self.cert.dead_shifts.clone();
+        for d in dead_shifts.iter().take(MAX_DIAGS_PER_RULE) {
+            self.push(
+                Diagnostic::warning(
+                    RuleId::DeadShift,
+                    format!(
+                        "{} B shifted into buffer {} at superstep {} are never read",
+                        d.bytes, d.buffer, d.step
+                    ),
+                )
+                .at_step(d.step)
+                .at_buffer(d.buffer)
+                .hint("delete the shift or schedule a consumer; the bytes are pure overhead"),
+            );
+        }
+
+        // DF02: declared, never touched, not the result.
+        for (b, (state, decl)) in self.bufs.iter().zip(&self.program.buffers).enumerate() {
+            if state.read || state.written || self.live_out.contains(&b) || decl.coords.is_empty() {
+                continue;
+            }
+            self.cert.dead_buffers.push(b);
+        }
+        let dead_buffers = self.cert.dead_buffers.clone();
+        for &b in dead_buffers.iter().take(MAX_DIAGS_PER_RULE) {
+            let label = self
+                .program
+                .buffers
+                .get(b)
+                .map(|d| d.label.clone())
+                .unwrap_or_default();
+            let bytes = self.program.buffers.get(b).map(|d| d.bytes).unwrap_or(0);
+            self.push(
+                Diagnostic::warning(
+                    RuleId::DeadBuffer,
+                    format!("buffer {b} ({label}, {bytes} B) is allocated but never used"),
+                )
+                .at_buffer(b)
+                .hint("drop the declaration to reclaim scratchpad capacity"),
+            );
+        }
+
+        // Unlike `Report::violated_rules`, the certificate also lists
+        // lint warnings (DF01–03): CI gates on them without refuting.
+        let mut rules: Vec<&'static str> = self
+            .report
+            .diagnostics
+            .iter()
+            .map(|d| d.rule.id())
+            .collect();
+        rules.sort_unstable();
+        rules.dedup();
+        self.cert.violations = rules;
+        self.cert.status = if self.report.is_ok() {
+            CertStatus::Proved
+        } else {
+            CertStatus::Refuted
+        };
+    }
+
+    /// Coverage verdict for one operator.
+    fn finalize_op(&mut self, idx: usize) {
+        let Some(op) = self.program.ops.get(idx) else {
+            return;
+        };
+        let expr = op.expr.clone();
+        let kind = format!("{:?}", op.kind);
+        let expected = expr.iteration_points();
+        let sizes: Vec<usize> = expr.axes.iter().map(|a| a.size).collect();
+        // Extract the verdict data first; `self.push` needs `&mut self`.
+        // The clean path accepts on the multiset hash alone; a mismatch is
+        // localized to a concrete iteration point by enumerating the
+        // retained boxes (spaces up to the enumeration limit).
+        let (covered, exact, boxes, acc, dup, missing) = {
+            let Some(cov) = self.cov.get(&idx) else {
+                return;
+            };
+            let covered = cov.acc.count == expected && cov.acc.lanes == cov.hash.space();
+            let mut exact = cov.claimed.is_some();
+            let mut dup: Option<(Vec<usize>, u32)> = None;
+            let mut missing: Option<Vec<usize>> = None;
+            if let (false, Some(claimed)) = (covered, &cov.claimed) {
+                match enumerate_multiplicities(claimed, &sizes, expected) {
+                    Some(mult) => {
+                        if let Some((linear, &m)) = mult.iter().enumerate().find(|(_, &m)| m > 1) {
+                            dup = Some((decode_linear(linear as u64, &sizes), m));
+                        }
+                        if let Some(linear) = mult.iter().position(|&m| m == 0) {
+                            missing = Some(decode_linear(linear as u64, &sizes));
+                        }
+                    }
+                    None => exact = false, // runaway duplication blew the budget
+                }
+            }
+            (covered, exact, cov.boxes, cov.acc, dup, missing)
+        };
+        self.cert.ops.push(OpCert {
+            op: idx,
+            kind,
+            iteration_points: expected,
+            boxes,
+            exact,
+            covered_exactly_once: covered,
+        });
+        if covered {
+            return;
+        }
+        let mut localized = false;
+        if let Some((coords, mult)) = dup {
+            self.push(
+                Diagnostic::error(
+                    RuleId::ProveCoverageDuplicated,
+                    format!("operator {idx}: iteration point {coords:?} is computed {mult} times"),
+                )
+                .hint("two compute tasks claim the same logical output element"),
+            );
+            localized = true;
+        }
+        if let Some(coords) = missing {
+            self.push(
+                Diagnostic::error(
+                    RuleId::ProveCoverageMissing,
+                    format!("operator {idx}: iteration point {coords:?} is never computed"),
+                )
+                .hint("no compute task claims this logical output element"),
+            );
+            localized = true;
+        }
+        if localized {
+            return;
+        }
+        if acc.count < expected {
+            self.push(
+                Diagnostic::error(
+                    RuleId::ProveCoverageMissing,
+                    format!(
+                        "operator {idx}: compute tasks claim {} of {expected} iteration points",
+                        acc.count
+                    ),
+                )
+                .hint("part of the iteration space is never computed"),
+            );
+        } else if acc.count > expected {
+            self.push(
+                Diagnostic::error(
+                    RuleId::ProveCoverageDuplicated,
+                    format!(
+                        "operator {idx}: compute tasks claim {} points for a space of {expected}",
+                        acc.count
+                    ),
+                )
+                .hint("some iteration points are computed more than once"),
+            );
+        } else {
+            self.push(
+                Diagnostic::error(
+                    RuleId::ProveCoverageDuplicated,
+                    format!(
+                        "operator {idx}: {expected} points claimed but the coverage multiset \
+                         differs from the iteration space (some duplicated, others missing)"
+                    ),
+                )
+                .hint("the multiset hash refutes exactly-once coverage"),
+            );
+        }
+    }
+
+    /// PROVE05: contributions reaching the live outputs balance the
+    /// contributions produced. Only meaningful when a single operator owns
+    /// the compute tasks (per-operator lowerings; multi-operator programs
+    /// interleave transitions that re-home contributions).
+    fn check_flow(&mut self, op_indices: &[usize]) {
+        let (&[idx], false) = (op_indices, self.live_out.is_empty()) else {
+            return;
+        };
+        let Some(cov) = self.cov.get(&idx) else {
+            return;
+        };
+        let mut reached = FlowAcc::default();
+        for &b in &self.live_out {
+            if let Some(state) = self.bufs.get(b) {
+                reached.merge(&state.acc);
+            }
+        }
+        self.cert.flow_checked = true;
+        if reached != cov.acc {
+            self.push(
+                Diagnostic::error(
+                    RuleId::ProveReductionFlow,
+                    format!(
+                        "operator {idx}: {} contribution(s) were produced but {} reach the \
+                         live outputs",
+                        cov.acc.count, reached.count
+                    ),
+                )
+                .hint(
+                    "a cross-core reduction shift is missing, duplicated, or misrouted — \
+                     partial outputs are not merged exactly once (§4.4)",
+                ),
+            );
+        }
+    }
+}
+
+/// Projects one index expression through the per-axis iteration windows
+/// into the coordinate set read along that tensor dimension.
+fn read_window(e: &IndexExpr, axis_windows: &[Window]) -> ReadSet {
+    if e.is_indirect() {
+        return ReadSet::Indirect;
+    }
+    if e.terms.is_empty() {
+        return ReadSet::Coords(Window::Range {
+            start: e.offset,
+            len: 1,
+        });
+    }
+    if let [t] = e.terms[..] {
+        let Some(w) = axis_windows.get(t.axis) else {
+            return ReadSet::TooLarge;
+        };
+        if t.stride == 1 {
+            return ReadSet::Coords(match w {
+                Window::Range { start, len } => Window::Range {
+                    start: start + e.offset,
+                    len: *len,
+                },
+                Window::List(v) => {
+                    Window::from_coords(&v.iter().map(|c| c + e.offset).collect::<Vec<_>>())
+                }
+            });
+        }
+        let coords: Vec<usize> = w.iter().map(|c| e.offset + t.stride * c).collect();
+        return ReadSet::Coords(Window::from_coords(&coords));
+    }
+    // Compound expression (conv windows): fold the per-term sum-sets.
+    let mut values: Vec<usize> = vec![e.offset];
+    for t in &e.terms {
+        let Some(w) = axis_windows.get(t.axis) else {
+            return ReadSet::TooLarge;
+        };
+        if values.len().saturating_mul(w.len()) > READ_SET_LIMIT {
+            return ReadSet::TooLarge;
+        }
+        let mut next = Vec::with_capacity(values.len() * w.len());
+        for &v in &values {
+            for c in w.iter() {
+                next.push(v + t.stride * c);
+            }
+        }
+        next.sort_unstable();
+        next.dedup();
+        values = next;
+    }
+    ReadSet::Coords(Window::from_coords(&values))
+}
+
+/// Enumerates claimed boxes into a per-point multiplicity table (mixed
+/// radix linear indices over the axis sizes). Out-of-space coordinates
+/// were diagnosed during interpretation and are clamped out here. Returns
+/// `None` when runaway duplication exceeds the enumeration budget.
+fn enumerate_multiplicities(
+    claimed: &[Vec<Window>],
+    sizes: &[usize],
+    expected: u128,
+) -> Option<Vec<u32>> {
+    let mut mult = vec![0u32; usize::try_from(expected).ok()?];
+    let mut enumerated: u128 = 0;
+    for windows in claimed {
+        let lists: Vec<Vec<usize>> = windows
+            .iter()
+            .zip(sizes)
+            .map(|(w, &n)| w.iter().filter(|&c| c < n).collect())
+            .collect();
+        if lists.len() != sizes.len() || lists.iter().any(Vec::is_empty) {
+            continue;
+        }
+        let count: u128 = lists.iter().map(|l| l.len() as u128).product();
+        enumerated = enumerated.saturating_add(count);
+        if enumerated > ENUM_BUDGET {
+            return None;
+        }
+        let mut pos = vec![0usize; lists.len()];
+        'points: loop {
+            let mut linear: usize = 0;
+            for ((p, list), &n) in pos.iter().zip(&lists).zip(sizes) {
+                let c = list.get(*p).copied().unwrap_or(0);
+                linear = linear * n + c;
+            }
+            if let Some(slot) = mult.get_mut(linear) {
+                *slot = slot.saturating_add(1);
+            }
+            // Advance the mixed-radix odometer, last axis fastest.
+            let mut i = lists.len();
+            loop {
+                let Some(d) = i.checked_sub(1) else {
+                    break 'points;
+                };
+                i = d;
+                let len = lists.get(d).map(Vec::len).unwrap_or(0);
+                if let Some(p) = pos.get_mut(d) {
+                    *p += 1;
+                    if *p < len {
+                        break;
+                    }
+                    *p = 0;
+                }
+                if d == 0 {
+                    break 'points;
+                }
+            }
+        }
+    }
+    Some(mult)
+}
+
+/// Decodes a mixed-radix linear index back into per-axis coordinates.
+fn decode_linear(mut linear: u64, sizes: &[usize]) -> Vec<usize> {
+    let mut coords = vec![0usize; sizes.len()];
+    for (slot, &n) in coords.iter_mut().zip(sizes).rev() {
+        let n = n.max(1) as u64;
+        *slot = (linear % n) as usize;
+        linear /= n;
+    }
+    coords
+}
+
+#[cfg(test)]
+mod tests;

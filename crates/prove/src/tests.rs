@@ -1,0 +1,382 @@
+//! Unit tests: a hand-rolled two-core rotation program, mutated one
+//! obligation at a time, must trip exactly the matching rule.
+
+#![allow(clippy::unwrap_used, clippy::indexing_slicing)]
+
+use super::*;
+use t10_device::program::{
+    BufferDecl, FuncTask, Phase, Program, ShiftKind, ShiftOp, SubTaskDesc, Superstep, VertexTask,
+};
+use t10_ir::{Axis, Combine, IndexExpr, OpKind, Operator, Reduce, TensorExpr};
+
+fn desc() -> SubTaskDesc {
+    SubTaskDesc {
+        kind: OpKind::MatMul,
+        out_elems: 1,
+        red_elems: 1,
+        window: 1,
+        in_bytes: 0,
+        out_bytes: 0,
+    }
+}
+
+fn buffer(core: usize, label: &str, coords: Vec<Vec<usize>>) -> BufferDecl {
+    let elems: usize = coords.iter().map(Vec::len).product();
+    BufferDecl {
+        core,
+        label: label.into(),
+        bytes: 4 * elems.max(1),
+        coords,
+        init: 0.0,
+    }
+}
+
+fn vertex(
+    core: usize,
+    axis_coords: Vec<Vec<usize>>,
+    inputs: Vec<usize>,
+    output: usize,
+) -> VertexTask {
+    VertexTask {
+        core,
+        desc: desc(),
+        func: Some(FuncTask {
+            op: 0,
+            axis_coords,
+            inputs,
+            output,
+            apply_unary: false,
+        }),
+    }
+}
+
+/// `out[i] = Σ_j x[j] · W[i,j]` on two cores: `i` spatially partitioned,
+/// the shared `x` rotating between the cores over two supersteps.
+///
+/// Buffers: 0/1 = x shard on core 0/1, 2/3 = W row, 4/5 = out.
+fn ring_program() -> (Program, Vec<BufferId>) {
+    let expr = TensorExpr::new(
+        vec![Axis::spatial("i", 2), Axis::reduction("j", 2)],
+        vec![
+            vec![IndexExpr::axis(1)],
+            vec![IndexExpr::axis(0), IndexExpr::axis(1)],
+        ],
+        vec![IndexExpr::axis(0)],
+    )
+    .unwrap();
+    let op = Operator {
+        kind: OpKind::MatMul,
+        expr,
+        combine: Combine::Mul,
+        reduce: Reduce::Sum,
+        unary: None,
+        inputs: vec![0, 1],
+        output: 2,
+    };
+    let mut p = Program::new();
+    p.add_op(op);
+    p.add_buffer(buffer(0, "x0", vec![vec![0]]));
+    p.add_buffer(buffer(1, "x1", vec![vec![1]]));
+    p.add_buffer(buffer(0, "w0", vec![vec![0], vec![0, 1]]));
+    p.add_buffer(buffer(1, "w1", vec![vec![1], vec![0, 1]]));
+    p.add_buffer(buffer(0, "out0", vec![vec![0]]));
+    p.add_buffer(buffer(1, "out1", vec![vec![1]]));
+
+    let mut s0 = Superstep::new(Some(0), Phase::Execute);
+    s0.compute
+        .push(vertex(0, vec![vec![0], vec![0]], vec![0, 2], 4));
+    s0.compute
+        .push(vertex(1, vec![vec![1], vec![1]], vec![1, 3], 5));
+    let rot = ShiftKind::RotateSlices { dim: 0, count: 1 };
+    s0.exchange.push(ShiftOp {
+        src: 0,
+        dst: 1,
+        kind: rot,
+    });
+    s0.exchange.push(ShiftOp {
+        src: 1,
+        dst: 0,
+        kind: rot,
+    });
+    p.steps.push(s0);
+
+    let mut s1 = Superstep::new(Some(0), Phase::Execute);
+    s1.compute
+        .push(vertex(0, vec![vec![0], vec![1]], vec![0, 2], 4));
+    s1.compute
+        .push(vertex(1, vec![vec![1], vec![0]], vec![1, 3], 5));
+    p.steps.push(s1);
+
+    (p, vec![4, 5])
+}
+
+/// `out[0] = Σ_j x[j]` with `j` spatially partitioned: each core computes
+/// a partial into its own copy, then an accumulate merges 1 → 0.
+///
+/// Buffers: 0/1 = x shard, 2/3 = partial out (3 merges into 2).
+fn reduction_program() -> (Program, Vec<BufferId>) {
+    let expr = TensorExpr::new(
+        vec![Axis::spatial("i", 1), Axis::reduction("j", 2)],
+        vec![vec![IndexExpr::axis(0), IndexExpr::axis(1)]],
+        vec![IndexExpr::axis(0)],
+    )
+    .unwrap();
+    let op = Operator {
+        kind: OpKind::Reduce,
+        expr,
+        combine: Combine::First,
+        reduce: Reduce::Sum,
+        unary: None,
+        inputs: vec![0],
+        output: 1,
+    };
+    let mut p = Program::new();
+    p.add_op(op);
+    p.add_buffer(buffer(0, "x0", vec![vec![0], vec![0]]));
+    p.add_buffer(buffer(1, "x1", vec![vec![0], vec![1]]));
+    p.add_buffer(buffer(0, "part0", vec![vec![0]]));
+    p.add_buffer(buffer(1, "part1", vec![vec![0]]));
+
+    let mut s0 = Superstep::new(Some(0), Phase::Execute);
+    s0.compute
+        .push(vertex(0, vec![vec![0], vec![0]], vec![0], 2));
+    s0.compute
+        .push(vertex(1, vec![vec![0], vec![1]], vec![1], 3));
+    p.steps.push(s0);
+
+    let mut s1 = Superstep::new(Some(0), Phase::Execute);
+    s1.exchange.push(ShiftOp {
+        src: 3,
+        dst: 2,
+        kind: ShiftKind::Accumulate {
+            reduce: Reduce::Sum,
+        },
+    });
+    p.steps.push(s1);
+
+    (p, vec![2])
+}
+
+fn rules(outcome: &ProofOutcome) -> Vec<&'static str> {
+    outcome.cert.violations.clone()
+}
+
+#[test]
+fn clean_ring_program_proves() {
+    let (p, live) = ring_program();
+    let out = Prover::new().prove_program(&p, &live);
+    assert!(out.proved(), "diags: {:?}", out.report.diagnostics);
+    assert_eq!(out.cert.status, CertStatus::Proved);
+    assert_eq!(out.cert.ops.len(), 1);
+    assert!(out.cert.ops[0].covered_exactly_once);
+    assert!(out.cert.ops[0].exact);
+    assert_eq!(out.cert.ops[0].iteration_points, 4);
+    assert!(out.cert.flow_checked);
+    assert_eq!(out.cert.rotations, 2);
+    assert!(out.cert.dead_shifts.is_empty());
+    assert!(out.cert.dead_buffers.is_empty());
+    assert!(out.cert.hazards.is_empty());
+    assert!(out.cert.reads_checked > 0);
+}
+
+#[test]
+fn timing_only_program_is_vacuous() {
+    let (mut p, live) = ring_program();
+    for s in &mut p.steps {
+        for v in &mut s.compute {
+            v.func = None;
+        }
+    }
+    let out = Prover::new().prove_program(&p, &live);
+    assert!(out.proved());
+    assert_eq!(out.cert.status, CertStatus::Vacuous);
+    assert!(out.cert.ops.is_empty());
+}
+
+#[test]
+fn swapped_shift_destinations_refute_provenance_only() {
+    let (mut p, live) = ring_program();
+    let (a, b) = (p.steps[0].exchange[0].dst, p.steps[0].exchange[1].dst);
+    p.steps[0].exchange[0].dst = b;
+    p.steps[0].exchange[1].dst = a;
+    let out = Prover::new().prove_program(&p, &live);
+    assert!(!out.proved());
+    assert_eq!(rules(&out), vec!["PROVE03"]);
+    assert_eq!(out.cert.status, CertStatus::Refuted);
+}
+
+#[test]
+fn dropped_rotation_step_refutes_provenance_only() {
+    let (mut p, live) = ring_program();
+    p.steps[0].exchange.clear();
+    let out = Prover::new().prove_program(&p, &live);
+    assert_eq!(rules(&out), vec!["PROVE03"]);
+}
+
+#[test]
+fn duplicated_compute_task_refutes_uniqueness_only() {
+    let (mut p, live) = ring_program();
+    let dup = p.steps[1].compute[0].clone();
+    p.steps[1].compute.push(dup);
+    let out = Prover::new().prove_program(&p, &live);
+    assert_eq!(rules(&out), vec!["PROVE02"]);
+    assert!(out
+        .report
+        .diagnostics
+        .iter()
+        .any(|d| d.message.contains("computed 2 times")));
+}
+
+#[test]
+fn removed_compute_task_refutes_coverage_only() {
+    // Remove a step-0 vertex: nothing has been delivered yet, so no DF01
+    // rides along (dropping a *final* consumer would orphan a delivery).
+    let (mut p, live) = ring_program();
+    p.steps[0].compute.remove(0);
+    let out = Prover::new().prove_program(&p, &live);
+    assert_eq!(rules(&out), vec!["PROVE01"]);
+    assert!(out
+        .report
+        .diagnostics
+        .iter()
+        .any(|d| d.message.contains("never computed")));
+}
+
+#[test]
+fn misplaced_output_shard_refutes_placement_only() {
+    let (mut p, live) = ring_program();
+    // Core 0's out buffer claims to own i=1 while its vertices write i=0.
+    p.buffers[4].coords = vec![vec![1]];
+    let out = Prover::new().prove_program(&p, &live);
+    assert!(rules(&out).contains(&"PROVE04"), "got {:?}", rules(&out));
+    assert!(!rules(&out).contains(&"PROVE03"));
+}
+
+#[test]
+fn out_of_space_coordinate_is_refuted() {
+    let (mut p, live) = ring_program();
+    if let Some(f) = p.steps[1].compute[0].func.as_mut() {
+        f.axis_coords[1] = vec![7]; // axis j has size 2
+    }
+    let out = Prover::new().prove_program(&p, &live);
+    assert!(!out.proved());
+    assert!(rules(&out).contains(&"PROVE02"));
+}
+
+#[test]
+fn clean_reduction_flow_proves() {
+    let (p, live) = reduction_program();
+    let out = Prover::new().prove_program(&p, &live);
+    assert!(out.proved(), "diags: {:?}", out.report.diagnostics);
+    assert!(out.cert.flow_checked);
+}
+
+#[test]
+fn dropped_accumulate_refutes_reduction_flow() {
+    let (mut p, live) = reduction_program();
+    p.steps[1].exchange.clear();
+    let out = Prover::new().prove_program(&p, &live);
+    assert_eq!(rules(&out), vec!["PROVE05"]);
+}
+
+#[test]
+fn misaligned_accumulate_refutes_alignment() {
+    let (mut p, live) = reduction_program();
+    // Partial 1 suddenly covers a different output coordinate.
+    p.buffers[3].coords = vec![vec![5]];
+    let out = Prover::new().prove_program(&p, &live);
+    assert!(rules(&out).contains(&"PROVE06"), "got {:?}", rules(&out));
+}
+
+#[test]
+fn dead_copy_lints_df01_with_byte_count() {
+    let (mut p, live) = ring_program();
+    // A copy of w0 (8 B) into a scratch buffer nothing ever reads.
+    let scratch = p.add_buffer(buffer(1, "scratch", vec![vec![0], vec![0, 1]]));
+    let mut s = Superstep::new(Some(0), Phase::Execute);
+    s.exchange.push(ShiftOp {
+        src: 2,
+        dst: scratch,
+        kind: ShiftKind::Copy,
+    });
+    p.steps.push(s);
+    let out = Prover::new().prove_program(&p, &live);
+    assert!(out.proved(), "lints must not refute");
+    assert_eq!(rules(&out), vec!["DF01"]);
+    assert_eq!(out.cert.dead_shifts.len(), 1);
+    assert_eq!(out.cert.dead_shift_bytes, 8);
+    assert_eq!(out.cert.dead_shifts[0].buffer, scratch);
+}
+
+#[test]
+fn unused_buffer_lints_df02() {
+    let (mut p, live) = ring_program();
+    p.add_buffer(buffer(1, "inert", vec![vec![9]]));
+    let out = Prover::new().prove_program(&p, &live);
+    assert!(out.proved());
+    assert_eq!(rules(&out), vec!["DF02"]);
+    assert_eq!(out.cert.dead_buffers, vec![6]);
+}
+
+#[test]
+fn overwritten_delivery_lints_df03() {
+    let (mut p, mut live) = ring_program();
+    let scratch = p.add_buffer(buffer(1, "scratch", vec![vec![0], vec![0, 1]]));
+    live.push(scratch); // keep DF01 out of the picture
+    for _ in 0..2 {
+        let mut s = Superstep::new(Some(0), Phase::Execute);
+        s.exchange.push(ShiftOp {
+            src: 2,
+            dst: scratch,
+            kind: ShiftKind::Copy,
+        });
+        p.steps.push(s);
+    }
+    let out = Prover::new().prove_program(&p, &live);
+    assert!(out.proved());
+    assert_eq!(rules(&out), vec!["DF03"]);
+    assert_eq!(out.cert.hazards.len(), 1);
+    assert_eq!(out.cert.hazards[0].buffer, scratch);
+}
+
+#[test]
+fn certificate_json_round_trips_through_the_shared_parser() {
+    let (p, live) = ring_program();
+    let out = Prover::new().prove_program(&p, &live);
+    let json = out.cert.to_json();
+    let parsed = t10_trace::json::parse(&json).expect("valid JSON");
+    assert_eq!(
+        parsed.get("status").and_then(|v| v.as_str()),
+        Some("proved")
+    );
+    assert_eq!(
+        parsed
+            .get("violations")
+            .and_then(|v| v.as_arr())
+            .map(<[_]>::len),
+        Some(0)
+    );
+}
+
+#[test]
+fn prove_records_a_trace_span() {
+    let (p, live) = ring_program();
+    let trace = t10_trace::Trace::logical();
+    let _ = Prover::new()
+        .with_trace(trace.clone())
+        .prove_program(&p, &live);
+    let events = trace.snapshot();
+    assert!(events
+        .iter()
+        .any(|e| e.name == "prove_program" && e.pid == PID_PROVE));
+    assert!(events.iter().any(|e| e.name == "prove.violations"));
+}
+
+#[test]
+fn prover_report_counts_semantic_rules() {
+    let (p, live) = ring_program();
+    let out = Prover::new().prove_program(&p, &live);
+    assert_eq!(out.report.stats.rules_checked, RuleId::SEMANTIC.len());
+    assert_eq!(out.report.stats.steps, 2);
+    assert_eq!(out.report.stats.vertices, 4);
+}

@@ -16,6 +16,11 @@
 //! an exchange phase (inter-core shifts), separated by a synchronization
 //! barrier (paper §5, Figure 11).
 
+// The machine executes programs the static verifier has accepted
+// (dangling buffer/core references are CAP01/BSP02 refutations), so
+// per-superstep indexing is bounds-correct by that gate. The analysis
+// crates (`t10-verify`, `t10-prove`) stay index-hardened.
+#![allow(clippy::indexing_slicing)]
 // Library paths must fail with typed errors, never panic: a mid-run fault
 // is survivable only if it surfaces as a Result the recovery controller can
 // catch. Tests may unwrap freely.

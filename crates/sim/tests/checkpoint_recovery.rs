@@ -6,7 +6,7 @@
 //! pin that invariant down, plus the honest memory accounting for the
 //! checkpoint staging reservation and the determinism of seeded timelines.
 
-#![allow(clippy::unwrap_used)]
+#![allow(clippy::unwrap_used, clippy::indexing_slicing)]
 
 use proptest::prelude::*;
 use t10_device::program::{

@@ -1,6 +1,6 @@
 //! Property-based tests of the simulator substrates.
 
-#![allow(clippy::unwrap_used)]
+#![allow(clippy::unwrap_used, clippy::indexing_slicing)]
 
 use proptest::prelude::*;
 use t10_sim::{FuncBuffer, MemoryTracker};

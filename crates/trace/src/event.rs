@@ -16,6 +16,10 @@ pub const PID_RECOVERY: u32 = 2;
 /// Chrome "process" id of the static verifier (trace-time timestamps).
 pub const PID_VERIFY: u32 = 3;
 
+/// Chrome "process" id of the translation-validation prover (trace-time
+/// timestamps).
+pub const PID_PROVE: u32 = 4;
+
 /// Track ("thread") id for chip-wide aggregate events on [`PID_SIM`].
 /// Per-core tracks use the core index directly, so this sits far above any
 /// realistic core count.

@@ -38,6 +38,10 @@
 //! argument construction behind [`Trace::enabled`], so the hot paths of the
 //! simulator and search pay nothing when tracing is off.
 
+// The writers iterate buffers they sized themselves; the JSON parser
+// is slice-driven with explicit cursor checks. The analysis crates
+// (`t10-verify`, `t10-prove`) stay index-hardened.
+#![allow(clippy::indexing_slicing)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod accuracy;
@@ -50,7 +54,7 @@ pub mod summary;
 pub use accuracy::{AccuracyReport, AccuracySample};
 pub use chrome::{parse_chrome_trace, write_chrome_trace};
 pub use event::{
-    Event, EventKind, Value, CHIP_TID, PID_COMPILER, PID_RECOVERY, PID_SIM, PID_VERIFY,
+    Event, EventKind, Value, CHIP_TID, PID_COMPILER, PID_PROVE, PID_RECOVERY, PID_SIM, PID_VERIFY,
 };
 pub use metrics::Metrics;
 pub use summary::{accuracy_samples, core_utilization, render_summary, step_costs, CoreUtil};

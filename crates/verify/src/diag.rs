@@ -65,11 +65,44 @@ pub enum RuleId {
     /// cross-chip bytes exceed the total, bytes move with no active cores,
     /// or the summary disagrees with the explicit ring traffic.
     ByteConservation,
+    /// PROVE01 — coverage: some iteration point of the operator's canonical
+    /// index space is never computed by any vertex (an output element would
+    /// be missing contributions).
+    ProveCoverageMissing,
+    /// PROVE02 — uniqueness: an iteration point is computed more than once
+    /// (a contribution would be accumulated twice).
+    ProveCoverageDuplicated,
+    /// PROVE03 — rotation provenance: a compute vertex reads an operand
+    /// element its buffer does not hold at that superstep under the
+    /// symbolic rotation state (the σ/rp schedule and the shifts disagree).
+    ProveOperandProvenance,
+    /// PROVE04 — output placement: a compute vertex writes output
+    /// coordinates outside its output buffer's declared shard.
+    ProveOutputPlacement,
+    /// PROVE05 — reduction flow: the partial-output contributions do not
+    /// reach the final root buffers exactly once (a partial sum is lost, or
+    /// accumulated into a root twice).
+    ProveReductionFlow,
+    /// PROVE06 — accumulate alignment: a cross-core accumulate merges
+    /// buffers whose coordinate sets differ, so elements would be reduced
+    /// against the wrong partners.
+    ProveAccumulateAlignment,
+    /// DF01 — dead shift: bytes moved into a buffer are never read by any
+    /// compute vertex or later shift before the program ends (wasted
+    /// inter-core traffic; warning).
+    DeadShift,
+    /// DF02 — dead buffer: a declared buffer is never read or written by
+    /// any task or shift (wasted SRAM; warning).
+    DeadBuffer,
+    /// DF03 — clobbered exchange: data delivered by a shift is overwritten
+    /// by a later shift before anything reads it — a cross-superstep
+    /// write-after-write-without-read hazard (warning).
+    ClobberedExchange,
 }
 
 impl RuleId {
     /// Every rule, in id order. The inventory the verifier proves.
-    pub const ALL: [RuleId; 16] = [
+    pub const ALL: [RuleId; 25] = [
         RuleId::CoreOutOfRange,
         RuleId::SramOverflow,
         RuleId::PlanMemOverflow,
@@ -86,6 +119,50 @@ impl RuleId {
         RuleId::OutputCoverage,
         RuleId::NonfiniteTime,
         RuleId::ByteConservation,
+        RuleId::ProveCoverageMissing,
+        RuleId::ProveCoverageDuplicated,
+        RuleId::ProveOperandProvenance,
+        RuleId::ProveOutputPlacement,
+        RuleId::ProveReductionFlow,
+        RuleId::ProveAccumulateAlignment,
+        RuleId::DeadShift,
+        RuleId::DeadBuffer,
+        RuleId::ClobberedExchange,
+    ];
+
+    /// The structural rules (CAP/RING/BSP/COST): what [`crate::Verifier`]
+    /// and the plan-level checks prove without interpreting the program.
+    pub const STRUCTURAL: [RuleId; 16] = [
+        RuleId::CoreOutOfRange,
+        RuleId::SramOverflow,
+        RuleId::PlanMemOverflow,
+        RuleId::PaceDividesExtent,
+        RuleId::PaceAlignment,
+        RuleId::FactorSharing,
+        RuleId::RotateFanOut,
+        RuleId::BrokenRing,
+        RuleId::PaceMismatch,
+        RuleId::SigmaMismatch,
+        RuleId::DuplicateWriter,
+        RuleId::DanglingReference,
+        RuleId::ComputeShiftOverlap,
+        RuleId::OutputCoverage,
+        RuleId::NonfiniteTime,
+        RuleId::ByteConservation,
+    ];
+
+    /// The semantic rules (PROVE/DF): what the `t10-prove` translation
+    /// validator proves by abstract interpretation of the program.
+    pub const SEMANTIC: [RuleId; 9] = [
+        RuleId::ProveCoverageMissing,
+        RuleId::ProveCoverageDuplicated,
+        RuleId::ProveOperandProvenance,
+        RuleId::ProveOutputPlacement,
+        RuleId::ProveReductionFlow,
+        RuleId::ProveAccumulateAlignment,
+        RuleId::DeadShift,
+        RuleId::DeadBuffer,
+        RuleId::ClobberedExchange,
     ];
 
     /// The stable string id.
@@ -107,6 +184,15 @@ impl RuleId {
             RuleId::OutputCoverage => "BSP04",
             RuleId::NonfiniteTime => "COST01",
             RuleId::ByteConservation => "COST02",
+            RuleId::ProveCoverageMissing => "PROVE01",
+            RuleId::ProveCoverageDuplicated => "PROVE02",
+            RuleId::ProveOperandProvenance => "PROVE03",
+            RuleId::ProveOutputPlacement => "PROVE04",
+            RuleId::ProveReductionFlow => "PROVE05",
+            RuleId::ProveAccumulateAlignment => "PROVE06",
+            RuleId::DeadShift => "DF01",
+            RuleId::DeadBuffer => "DF02",
+            RuleId::ClobberedExchange => "DF03",
         }
     }
 
@@ -129,6 +215,15 @@ impl RuleId {
             RuleId::OutputCoverage => "output coordinates not covered exactly once",
             RuleId::NonfiniteTime => "superstep prices to a non-finite time",
             RuleId::ByteConservation => "exchange summary bytes not conserved",
+            RuleId::ProveCoverageMissing => "iteration points never computed",
+            RuleId::ProveCoverageDuplicated => "iteration point computed more than once",
+            RuleId::ProveOperandProvenance => "operand element not resident when read",
+            RuleId::ProveOutputPlacement => "write outside the declared output shard",
+            RuleId::ProveReductionFlow => "partial outputs not reduced exactly once",
+            RuleId::ProveAccumulateAlignment => "accumulate endpoints cover different coords",
+            RuleId::DeadShift => "shifted bytes never read",
+            RuleId::DeadBuffer => "buffer allocated but never used",
+            RuleId::ClobberedExchange => "delivered data overwritten before any read",
         }
     }
 
@@ -146,6 +241,12 @@ impl RuleId {
             }
             RuleId::OutputCoverage => "§4.4",
             RuleId::NonfiniteTime | RuleId::ByteConservation => "§4.3",
+            RuleId::ProveCoverageMissing | RuleId::ProveCoverageDuplicated => "§4.2",
+            RuleId::ProveOperandProvenance
+            | RuleId::ProveOutputPlacement
+            | RuleId::ProveReductionFlow
+            | RuleId::ProveAccumulateAlignment => "§4.4",
+            RuleId::DeadShift | RuleId::DeadBuffer | RuleId::ClobberedExchange => "§4.3",
         }
     }
 }

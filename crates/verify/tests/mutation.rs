@@ -315,8 +315,10 @@ fn empty_program_is_vacuously_ok() {
     assert_eq!(report.stats.steps, 0);
 }
 
-/// Rule coverage bookkeeping: the mutations above collectively exercise one
-/// refutation for every rule family the inventory declares.
+/// Rule coverage bookkeeping: every rule family the inventory declares has
+/// a refuting mutation — CAP/RING/BSP/COST above, PROVE/DF in the
+/// `t10-prove` unit suite and the prover-targeted corruption tests in
+/// `tests/integration_prove.rs`.
 #[test]
 fn every_rule_family_has_a_refuting_mutation() {
     let families: std::collections::BTreeSet<&str> = t10_verify::RuleId::ALL
@@ -325,12 +327,42 @@ fn every_rule_family_has_a_refuting_mutation() {
         .collect();
     assert_eq!(
         families.into_iter().collect::<Vec<_>>(),
-        vec!["BSP", "CAP", "COST", "RING"]
+        vec!["BSP", "CAP", "COST", "DF", "PROVE", "RING"]
     );
-    // 16 rules, stable ids, no duplicates.
+    // Stable ids, no duplicates; STRUCTURAL ∪ SEMANTIC partitions ALL.
     let ids: std::collections::BTreeSet<&str> =
         t10_verify::RuleId::ALL.iter().map(|r| r.id()).collect();
     assert_eq!(ids.len(), t10_verify::RuleId::ALL.len());
+    assert_eq!(
+        t10_verify::RuleId::STRUCTURAL.len() + t10_verify::RuleId::SEMANTIC.len(),
+        t10_verify::RuleId::ALL.len()
+    );
+    for r in t10_verify::RuleId::STRUCTURAL {
+        assert!(
+            !t10_verify::RuleId::SEMANTIC.contains(&r),
+            "{} in both",
+            r.id()
+        );
+    }
+}
+
+/// The rule registry is documented: every diagnostic id in the inventory
+/// (CAP/RING/BSP/COST/PROVE/DF) appears in DESIGN.md's rule tables, with a
+/// stable one-line summary and paper anchor. A rule added without
+/// documentation fails here.
+#[test]
+fn every_rule_id_is_documented_in_design_md() {
+    let design = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../DESIGN.md"))
+        .expect("DESIGN.md at the repo root");
+    for r in t10_verify::RuleId::ALL {
+        assert!(
+            design.contains(&format!("| {} |", r.id())),
+            "rule {} ({}) is not documented in DESIGN.md's rule inventory",
+            r.id(),
+            r.title()
+        );
+        assert!(!r.title().is_empty() && !r.paper().is_empty());
+    }
 }
 
 /// A superstep whose exchange phase is a plain `Copy` into a fresh buffer

@@ -6,6 +6,8 @@
 //! cargo run --release --example custom_model model.t10 # your own file
 //! ```
 
+#![allow(clippy::indexing_slicing)]
+
 use t10_core::compiler::Compiler;
 use t10_core::search::SearchConfig;
 use t10_core::viz;

@@ -6,6 +6,8 @@
 //! cargo run --release --example operator_explorer -- 512 512 512
 //! ```
 
+#![allow(clippy::indexing_slicing)]
+
 use t10_core::cost::CostModel;
 use t10_core::search::{search_operator, SearchConfig};
 use t10_core::viz;

@@ -4,6 +4,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
+#![allow(clippy::indexing_slicing)]
+
 use t10_core::compiler::Compiler;
 use t10_core::search::SearchConfig;
 use t10_device::ChipSpec;

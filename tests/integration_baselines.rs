@@ -1,7 +1,7 @@
 //! T10 vs the VGM baselines: the paper's qualitative claims must hold on
 //! the simulated hardware.
 
-#![allow(clippy::unwrap_used)]
+#![allow(clippy::unwrap_used, clippy::indexing_slicing)]
 
 use t10_baselines::vgm::vgm_bytes_per_core;
 use t10_baselines::{compile_graph_popart, compile_graph_roller};

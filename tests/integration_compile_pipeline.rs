@@ -1,6 +1,6 @@
 //! Whole-pipeline integration: graph → search → reconcile → program → sim.
 
-#![allow(clippy::unwrap_used)]
+#![allow(clippy::unwrap_used, clippy::indexing_slicing)]
 
 use t10_core::compiler::Compiler;
 use t10_core::search::SearchConfig;

@@ -5,7 +5,7 @@
 //! proving the compiler's optimizations are lossless end-to-end (paper
 //! §6.1: "T10 only applies lossless optimizations").
 
-#![allow(clippy::unwrap_used)]
+#![allow(clippy::unwrap_used, clippy::indexing_slicing)]
 
 use t10_core::cost::CostModel;
 use t10_core::lower::lower_functional;

@@ -1,7 +1,7 @@
 //! Model-zoo integration: the Table 2 networks compile and the small ones
 //! execute numerically.
 
-#![allow(clippy::unwrap_used)]
+#![allow(clippy::unwrap_used, clippy::indexing_slicing)]
 
 use t10_core::compiler::Compiler;
 use t10_core::search::SearchConfig;

@@ -7,7 +7,7 @@
 //! plus the wiring the verifier rides in on: the compiler's mandatory
 //! post-pass, the recovery controller's recompile gate, and the trace.
 
-#![allow(clippy::unwrap_used)]
+#![allow(clippy::unwrap_used, clippy::indexing_slicing)]
 
 use std::time::{Duration, Instant};
 
@@ -127,6 +127,7 @@ fn compile_trace_carries_verifier_spans() {
         faults: None,
         warm_start: None,
         trace: trace.clone(),
+        prove: false,
     };
     Compiler::new(ChipSpec::ipu_mk2(), bench_search_config())
         .compile_graph_with(&g, &opts)
