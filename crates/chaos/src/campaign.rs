@@ -1,0 +1,330 @@
+//! Campaigns: many seeded timelines, one verdict per case, one
+//! machine-readable summary.
+//!
+//! A campaign derives one seed per case ([`crate::rng::mix`]), generates a
+//! timeline under the configured [`Profile`], runs it through the
+//! [harness](crate::harness), judges it with the [oracle](crate::oracle),
+//! and — for violations — [shrinks](crate::shrink) the timeline to a
+//! minimal reproducer judged by "same violation class".
+//!
+//! Everything in the [`CampaignReport`] except `compile_wall_us` is a pure
+//! function of the campaign seed, so `campaign_json` output is
+//! byte-identical across same-seed reruns; wall-clock compile latencies
+//! feed only the `BENCH_recovery.json` perf baseline.
+
+use t10_core::CompileError;
+use t10_trace::{Value, PID_CHAOS};
+
+use crate::grammar::{Grammar, Profile};
+use crate::harness::{healthy_frontiers, run_chain, RunConfig};
+use crate::oracle::{Oracle, Outcome};
+use crate::rng::mix;
+use crate::shrink::{shrink, ShrinkOutcome};
+use crate::target::chaos_zoo;
+use crate::Result;
+
+/// Campaign-level knobs.
+#[derive(Clone)]
+pub struct CampaignConfig {
+    /// Master seed; case `i` uses `mix(seed, i)`.
+    pub seed: u64,
+    /// Number of timelines to run.
+    pub count: usize,
+    /// Which region of the fault space to sample.
+    pub profile: Profile,
+    /// Per-case harness configuration (cores, policy, mutation, trace).
+    pub run: RunConfig,
+    /// Whether to shrink violating timelines to minimal reproducers.
+    pub shrink_violations: bool,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            count: 20,
+            profile: Profile::Mixed,
+            run: RunConfig::default(),
+            shrink_violations: true,
+        }
+    }
+}
+
+/// One campaign case's verdict and statistics.
+pub struct CaseOutcome {
+    /// Case ordinal within the campaign.
+    pub index: usize,
+    /// The chain the case ran.
+    pub chain: String,
+    /// The case's derived timeline seed.
+    pub timeline_seed: u64,
+    /// The generated timeline as a replayable `--fault-timeline` spec.
+    pub spec: String,
+    /// Scheduled fault events.
+    pub events: usize,
+    /// The oracle's verdict.
+    pub outcome: Outcome,
+    /// Total recovery events the run performed (0 when it errored).
+    pub recoveries: usize,
+    /// Recovery recompiles the run performed.
+    pub recompiles: usize,
+    /// Recovery overhead vs the healthy run, percent of healthy sim time
+    /// (completed runs only).
+    pub overhead_pct: Option<f64>,
+    /// The minimized reproducer, when the case violated and shrinking ran.
+    pub shrunk: Option<ShrinkOutcome>,
+}
+
+/// The whole campaign's summary.
+pub struct CampaignReport {
+    /// Master seed.
+    pub seed: u64,
+    /// Profile name.
+    pub profile: &'static str,
+    /// Cases run.
+    pub count: usize,
+    /// Healthy chip size.
+    pub cores: usize,
+    /// Cases that healed on the full chip.
+    pub healed: usize,
+    /// Cases that completed correctly on a shrunk chip.
+    pub degraded_ok: usize,
+    /// Cases where giving up was the explained outcome.
+    pub unrecoverable_expected: usize,
+    /// Cases the oracle flagged.
+    pub violations: usize,
+    /// Recovery-overhead percentiles over completed cases, percent of the
+    /// healthy run's simulated time (backoff waits excluded).
+    pub overhead_p50: f64,
+    /// 90th percentile.
+    pub overhead_p90: f64,
+    /// 99th percentile.
+    pub overhead_p99: f64,
+    /// Mean checkpoint cost over completed cases, percent of total time.
+    pub checkpoint_cost_pct: f64,
+    /// Per-case verdicts.
+    pub cases: Vec<CaseOutcome>,
+    /// Wall-clock compile latencies (µs) across all cases, initial and
+    /// recovery recompiles. **Not deterministic**; excluded from
+    /// [`crate::report::campaign_json`].
+    pub compile_wall_us: Vec<f64>,
+}
+
+impl CampaignReport {
+    /// True when no case was judged an oracle violation.
+    pub fn clean(&self) -> bool {
+        self.violations == 0
+    }
+}
+
+/// A percentile (0–1) of an unsorted sample by nearest-rank, 0 when empty.
+pub fn percentile(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted
+        .get(rank.min(sorted.len() - 1))
+        .copied()
+        .unwrap_or(0.0)
+}
+
+/// Runs a whole campaign. Fails only if a *healthy* baseline cannot be
+/// built (a broken compiler is not a chaos finding); per-case failures are
+/// verdicts, not errors.
+pub fn run_campaign(cfg: &CampaignConfig) -> Result<CampaignReport> {
+    let zoo = chaos_zoo()?;
+    let trace = &cfg.run.trace;
+    if trace.enabled() {
+        trace.meta("process_name", PID_CHAOS, 0, "chaos");
+    }
+
+    // Healthy baselines: one functional run + Pareto frontier per chain.
+    let mut baselines = Vec::with_capacity(zoo.len());
+    for chain in &zoo {
+        let warm = healthy_frontiers(chain, cfg.run.cores)?;
+        let healthy = run_chain(chain, None, &cfg.run, Some(&warm))?;
+        let reference = chain.reference_output()?;
+        if !healthy
+            .output
+            .approx_eq(&reference, crate::oracle::REPLAN_TOLERANCE)
+        {
+            return Err(CompileError::internal(format!(
+                "healthy baseline for {} diverges from the reference executor",
+                chain.name
+            )));
+        }
+        let steps: usize = healthy.reports.iter().map(|r| r.steps).sum();
+        baselines.push((chain, warm, healthy, reference, steps));
+    }
+
+    let mut cases = Vec::with_capacity(cfg.count);
+    let mut overheads = Vec::new();
+    let mut checkpoint_cost = Vec::new();
+    let mut compile_wall_us = Vec::new();
+    let (mut healed, mut degraded, mut expected, mut violations) = (0, 0, 0, 0);
+
+    for i in 0..cfg.count {
+        let Some((chain, warm, healthy, reference, steps)) = baselines.get(i % baselines.len())
+        else {
+            break;
+        };
+        let tseed = mix(cfg.seed, i as u64);
+        let grammar = Grammar::new(cfg.run.cores, *steps, cfg.run.policy.checkpoint_every);
+        let timeline = grammar.generate(cfg.profile, tseed);
+        let spec = timeline.to_spec();
+        let events = timeline.events().len();
+        let oracle = Oracle {
+            chain,
+            healthy,
+            reference,
+            cores: cfg.run.cores,
+        };
+        let result = run_chain(chain, Some(timeline.clone()), &cfg.run, Some(warm));
+        if let Ok(run) = &result {
+            compile_wall_us.extend_from_slice(&run.compile_wall_us);
+        }
+        let outcome = oracle.judge(&result);
+        let (recoveries, recompiles, overhead_pct) = match &result {
+            Ok(run) => {
+                // Overhead over sim execution time, backoff excluded: the
+                // policy's backoff is wall-delay orders of magnitude above
+                // these chains' simulated microseconds.
+                let healthy_t = healthy.total_time().max(f64::MIN_POSITIVE);
+                let pct = (run.execution_time() - healthy.total_time()) / healthy_t * 100.0;
+                checkpoint_cost
+                    .push(run.checkpoint_time() / run.execution_time().max(1e-30) * 100.0);
+                (run.recoveries(), run.recompiles(), Some(pct))
+            }
+            Err(_) => (0, 0, None),
+        };
+        if let Some(pct) = overhead_pct {
+            overheads.push(pct);
+        }
+        match &outcome {
+            Outcome::Healed => healed += 1,
+            Outcome::DegradedOk => degraded += 1,
+            Outcome::UnrecoverableExpected => expected += 1,
+            Outcome::Violation(_) => violations += 1,
+        }
+
+        let shrunk = match &outcome {
+            Outcome::Violation(kind) if cfg.shrink_violations => {
+                Some(shrink(tseed, timeline.events(), |candidate| {
+                    let rerun = run_chain(chain, Some(candidate.clone()), &cfg.run, Some(warm));
+                    matches!(
+                        oracle.judge(&rerun),
+                        Outcome::Violation(k) if k.same_kind(kind)
+                    )
+                }))
+            }
+            _ => None,
+        };
+
+        if trace.enabled() {
+            trace.instant(
+                "case",
+                "chaos",
+                PID_CHAOS,
+                0,
+                trace.now_us(),
+                vec![
+                    ("index", Value::U64(i as u64)),
+                    ("chain", Value::Str(chain.name.to_string())),
+                    ("seed", Value::U64(tseed)),
+                    ("outcome", Value::Str(outcome.label().to_string())),
+                    ("events", Value::U64(events as u64)),
+                    ("recoveries", Value::U64(recoveries as u64)),
+                ],
+            );
+        }
+
+        cases.push(CaseOutcome {
+            index: i,
+            chain: chain.name.to_string(),
+            timeline_seed: tseed,
+            spec,
+            events,
+            outcome,
+            recoveries,
+            recompiles,
+            overhead_pct,
+            shrunk,
+        });
+    }
+
+    let report = CampaignReport {
+        seed: cfg.seed,
+        profile: cfg.profile.name(),
+        count: cfg.count,
+        cores: cfg.run.cores,
+        healed,
+        degraded_ok: degraded,
+        unrecoverable_expected: expected,
+        violations,
+        overhead_p50: percentile(&overheads, 0.50),
+        overhead_p90: percentile(&overheads, 0.90),
+        overhead_p99: percentile(&overheads, 0.99),
+        checkpoint_cost_pct: if checkpoint_cost.is_empty() {
+            0.0
+        } else {
+            checkpoint_cost.iter().sum::<f64>() / checkpoint_cost.len() as f64
+        },
+        cases,
+        compile_wall_us,
+    };
+    if trace.enabled() {
+        trace.counter(
+            "campaign",
+            "chaos",
+            PID_CHAOS,
+            0,
+            trace.now_us(),
+            vec![
+                ("healed", Value::U64(report.healed as u64)),
+                ("degraded_ok", Value::U64(report.degraded_ok as u64)),
+                (
+                    "unrecoverable_expected",
+                    Value::U64(report.unrecoverable_expected as u64),
+                ),
+                ("violations", Value::U64(report.violations as u64)),
+            ],
+        );
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs = vec![10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&xs, 0.0), 10.0);
+        assert_eq!(percentile(&xs, 1.0), 40.0);
+        assert_eq!(percentile(&xs, 0.5), 30.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn small_campaign_is_clean_and_deterministic() {
+        let cfg = CampaignConfig {
+            seed: 11,
+            count: 6,
+            ..CampaignConfig::default()
+        };
+        let a = run_campaign(&cfg).unwrap();
+        let b = run_campaign(&cfg).unwrap();
+        assert!(a.clean(), "oracle violations in a healthy stack");
+        assert_eq!(a.healed + a.degraded_ok + a.unrecoverable_expected, 6);
+        assert_eq!(
+            crate::report::campaign_json(&a),
+            crate::report::campaign_json(&b),
+            "same seed, same report bytes"
+        );
+    }
+}

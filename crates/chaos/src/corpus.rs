@@ -1,0 +1,110 @@
+//! Corpus replay: re-run saved fault timelines through the oracle.
+//!
+//! A corpus file is plain text: `#` comment lines and blank lines are
+//! ignored; every remaining line is one `--fault-timeline` spec (usually a
+//! minimized reproducer a past campaign shrank, pinned so the bug it found
+//! stays dead). Replay runs every corpus timeline against every chain in
+//! the chaos zoo and judges each run with the same three-part oracle a
+//! campaign uses, so a regression shows up as an `ORACLE-VIOLATION` verdict
+//! rather than a silent behavior change.
+
+use t10_sim::{FaultTimeline, TimelineParseError};
+
+use crate::harness::{healthy_frontiers, run_chain, RunConfig};
+use crate::oracle::{Oracle, Outcome};
+use crate::target::chaos_zoo;
+use crate::Result;
+
+/// Parses a corpus file's text into timelines. Lines starting with `#`
+/// (after trimming) and blank lines are skipped.
+pub fn parse_corpus(
+    text: &str,
+    cores: usize,
+) -> std::result::Result<Vec<FaultTimeline>, TimelineParseError> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        out.push(FaultTimeline::parse(line, cores)?);
+    }
+    Ok(out)
+}
+
+/// One corpus timeline's verdict on one chain.
+pub struct ReplayOutcome {
+    /// The replayed timeline, as its spec.
+    pub spec: String,
+    /// The chain it ran against.
+    pub chain: String,
+    /// The oracle's verdict.
+    pub outcome: Outcome,
+}
+
+/// Replays every timeline against every chaos-zoo chain and judges each
+/// run. Fails only if a healthy baseline cannot be built.
+pub fn replay(timelines: &[FaultTimeline], cfg: &RunConfig) -> Result<Vec<ReplayOutcome>> {
+    let zoo = chaos_zoo()?;
+    let mut outcomes = Vec::with_capacity(timelines.len() * zoo.len());
+    for chain in &zoo {
+        let warm = healthy_frontiers(chain, cfg.cores)?;
+        let healthy = run_chain(chain, None, cfg, Some(&warm))?;
+        let reference = chain.reference_output()?;
+        let oracle = Oracle {
+            chain,
+            healthy: &healthy,
+            reference: &reference,
+            cores: cfg.cores,
+        };
+        for tl in timelines {
+            let run = run_chain(chain, Some(tl.clone()), cfg, Some(&warm));
+            outcomes.push(ReplayOutcome {
+                spec: tl.to_spec(),
+                chain: chain.name.to_string(),
+                outcome: oracle.judge(&run),
+            });
+        }
+    }
+    Ok(outcomes)
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::indexing_slicing)]
+    use super::*;
+
+    #[test]
+    fn corpus_text_skips_comments_and_blanks() {
+        let text = "# a reproducer\n\nseed=7,drop=2@1\n  # another\nkill=1@3\n";
+        let tls = parse_corpus(text, 8).unwrap();
+        assert_eq!(tls.len(), 2);
+        assert_eq!(tls[0].to_spec(), "seed=7,drop=2@1");
+    }
+
+    #[test]
+    fn bad_corpus_line_surfaces_the_typed_error() {
+        let err = parse_corpus("drop=2@99", 8).unwrap_err();
+        assert!(matches!(
+            err,
+            TimelineParseError::CoreOutOfRange { core: 99, .. }
+        ));
+    }
+
+    #[test]
+    fn replayed_corpus_is_judged_clean_on_a_healthy_stack() {
+        let tls = parse_corpus("seed=7,drop=2@1\ndown=1@2", 8).unwrap();
+        let cfg = RunConfig::default();
+        let outcomes = replay(&tls, &cfg).unwrap();
+        assert_eq!(outcomes.len(), 2 * chaos_zoo().unwrap().len());
+        for o in &outcomes {
+            assert!(
+                !matches!(o.outcome, Outcome::Violation(_)),
+                "{} on {}: {:?}",
+                o.spec,
+                o.chain,
+                o.outcome
+            );
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! The timeline grammar: seeded generation of adversarial fault schedules.
+//!
+//! A [`Grammar`] turns a seed into a [`FaultTimeline`] under one of six
+//! [`Profile`]s. The uniform profile samples the whole fault space; the
+//! adversarial profiles target the places recovery is most likely to break:
+//! checkpoint barriers (a storm of transients at one snapshot boundary),
+//! migration windows (a second fault right where a re-planned unit
+//! restarts), already-degraded resources (kill the core that was slowed
+//! first), and recovery itself (a transient storm queued at the same
+//! barrier as a fatal fault, so it lands on the freshly recompiled unit).
+//!
+//! Generation is pure: same grammar, same profile, same seed → the same
+//! timeline, which is what makes every campaign case replayable from its
+//! reported `--fault-timeline` spec.
+
+use t10_sim::{FaultEventKind, FaultTimeline};
+
+use crate::rng::XorShift;
+
+/// Which region of the fault space to sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Profile {
+    /// Uniform kinds, steps, and cores — the unbiased baseline.
+    Uniform,
+    /// A burst of transient faults at a single checkpoint barrier.
+    BarrierStorm,
+    /// A persistent fault, then more faults inside the migration window
+    /// right after the re-planned unit restarts.
+    MigrationCross,
+    /// Degrade a resource first, then kill the same resource.
+    DegradedTarget,
+    /// A fatal fault with a transient storm queued at the same barrier, so
+    /// the storm lands during recovery.
+    RecoveryStorm,
+    /// Every case draws one of the profiles above at random.
+    Mixed,
+}
+
+impl Profile {
+    /// Every concrete profile (excluding [`Profile::Mixed`] itself).
+    pub const CONCRETE: [Profile; 5] = [
+        Profile::Uniform,
+        Profile::BarrierStorm,
+        Profile::MigrationCross,
+        Profile::DegradedTarget,
+        Profile::RecoveryStorm,
+    ];
+
+    /// The profile's CLI / report name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Profile::Uniform => "uniform",
+            Profile::BarrierStorm => "barrier-storm",
+            Profile::MigrationCross => "migration-cross",
+            Profile::DegradedTarget => "degraded-target",
+            Profile::RecoveryStorm => "recovery-storm",
+            Profile::Mixed => "mixed",
+        }
+    }
+
+    /// Parses a CLI profile name.
+    pub fn parse(s: &str) -> Option<Profile> {
+        match s {
+            "uniform" => Some(Profile::Uniform),
+            "barrier-storm" => Some(Profile::BarrierStorm),
+            "migration-cross" => Some(Profile::MigrationCross),
+            "degraded-target" => Some(Profile::DegradedTarget),
+            "recovery-storm" => Some(Profile::RecoveryStorm),
+            "mixed" => Some(Profile::Mixed),
+            _ => None,
+        }
+    }
+}
+
+/// Tunable bounds for timeline generation.
+#[derive(Debug, Clone)]
+pub struct Grammar {
+    /// Cores on the target chip (events address cores `0..cores`).
+    pub cores: usize,
+    /// Global supersteps the healthy run takes; event steps are drawn from
+    /// `[0, horizon)` so every event can actually fire.
+    pub horizon: usize,
+    /// The recovery policy's checkpoint interval (barrier-storm profiles
+    /// aim at its multiples).
+    pub checkpoint_every: usize,
+    /// Ceiling on core-death events per timeline (kept below `cores − 1`
+    /// so most campaigns exercise healing rather than guaranteed death).
+    pub max_kills: usize,
+}
+
+impl Grammar {
+    /// A grammar for a `cores`-core chip whose healthy run takes `horizon`
+    /// supersteps, checkpointing every `checkpoint_every`.
+    pub fn new(cores: usize, horizon: usize, checkpoint_every: usize) -> Self {
+        Self {
+            cores,
+            horizon: horizon.max(2),
+            checkpoint_every: checkpoint_every.max(1),
+            max_kills: cores.saturating_sub(2).min(2),
+        }
+    }
+
+    /// Generates one timeline for `profile` from `seed`.
+    pub fn generate(&self, profile: Profile, seed: u64) -> FaultTimeline {
+        let mut rng = XorShift::new(seed);
+        let profile = match profile {
+            Profile::Mixed => {
+                let i = rng.below(Profile::CONCRETE.len());
+                *Profile::CONCRETE.get(i).unwrap_or(&Profile::Uniform)
+            }
+            p => p,
+        };
+        let mut events: Vec<(usize, FaultEventKind)> = Vec::new();
+        let mut kills = 0usize;
+        match profile {
+            Profile::Uniform => {
+                let n = 1 + rng.below(4);
+                for _ in 0..n {
+                    let step = rng.below(self.horizon);
+                    let kind = self.any_kind(&mut rng, &mut kills);
+                    events.push((step, kind));
+                }
+            }
+            Profile::BarrierStorm => {
+                // Aim the storm at a checkpoint multiple: the snapshot for
+                // this barrier is charged *after* due events fire, so the
+                // storm replays against the previous checkpoint every time.
+                let barriers = (self.horizon / self.checkpoint_every).max(1);
+                let barrier = self.checkpoint_every * rng.below(barriers);
+                let n = 3 + rng.below(4);
+                for _ in 0..n {
+                    events.push((barrier, self.transient(&mut rng)));
+                }
+            }
+            Profile::MigrationCross => {
+                let s0 = 1 + rng.below(self.horizon / 2);
+                events.push((s0, self.persistent(&mut rng, &mut kills)));
+                // The re-planned unit restarts with step offset s0, so
+                // events at s0..s0+2 land inside the migration window.
+                let n = 1 + rng.below(3);
+                for _ in 0..n {
+                    let step = s0 + rng.below(3);
+                    let kind = if rng.unit() < 0.3 {
+                        self.persistent(&mut rng, &mut kills)
+                    } else {
+                        self.transient(&mut rng)
+                    };
+                    events.push((step, kind));
+                }
+            }
+            Profile::DegradedTarget => {
+                let core = rng.below(self.cores);
+                let s0 = rng.below(self.horizon / 2 + 1);
+                let degrade = if rng.unit() < 0.5 {
+                    FaultEventKind::LinkDegrade {
+                        core,
+                        multiplier: *rng.pick(&[0.25, 0.5, 0.75]).unwrap_or(&0.5),
+                    }
+                } else {
+                    FaultEventKind::CoreSlow {
+                        core,
+                        multiplier: *rng.pick(&[1.5, 2.0, 3.0]).unwrap_or(&2.0),
+                    }
+                };
+                events.push((s0, degrade));
+                // Then kill the thing we just weakened.
+                let s1 = s0 + 1 + rng.below(self.horizon / 2 + 1);
+                let fatal = if self.max_kills > 0 && rng.unit() < 0.5 {
+                    FaultEventKind::CoreDead { core }
+                } else {
+                    FaultEventKind::LinkDown { core }
+                };
+                events.push((s1, fatal));
+            }
+            Profile::RecoveryStorm => {
+                let s0 = 1 + rng.below(self.horizon / 2);
+                events.push((s0, self.persistent(&mut rng, &mut kills)));
+                // Same-barrier transients queue behind the fatal event and
+                // fire one per attempt against the recompiled unit.
+                let n = 2 + rng.below(3);
+                for _ in 0..n {
+                    events.push((s0, self.transient(&mut rng)));
+                }
+            }
+            Profile::Mixed => unreachable!("resolved above"),
+        }
+        FaultTimeline::from_events(
+            seed,
+            events
+                .into_iter()
+                .map(|(step, kind)| t10_sim::FaultEvent { step, kind }),
+        )
+    }
+
+    fn transient(&self, rng: &mut XorShift) -> FaultEventKind {
+        let core = rng.below(self.cores);
+        if rng.unit() < 0.5 {
+            FaultEventKind::TransientLinkDrop { core }
+        } else {
+            FaultEventKind::TransientStall { core }
+        }
+    }
+
+    fn persistent(&self, rng: &mut XorShift, kills: &mut usize) -> FaultEventKind {
+        let core = rng.below(self.cores);
+        if *kills < self.max_kills && rng.unit() < 0.4 {
+            *kills += 1;
+            FaultEventKind::CoreDead { core }
+        } else {
+            FaultEventKind::LinkDown { core }
+        }
+    }
+
+    fn any_kind(&self, rng: &mut XorShift, kills: &mut usize) -> FaultEventKind {
+        let core = rng.below(self.cores);
+        match rng.below(6) {
+            0 => FaultEventKind::TransientLinkDrop { core },
+            1 => FaultEventKind::TransientStall { core },
+            2 => FaultEventKind::LinkDegrade {
+                core,
+                multiplier: *rng.pick(&[0.25, 0.5, 0.75]).unwrap_or(&0.5),
+            },
+            3 => FaultEventKind::CoreSlow {
+                core,
+                multiplier: *rng.pick(&[1.5, 2.0, 3.0]).unwrap_or(&2.0),
+            },
+            4 => FaultEventKind::LinkDown { core },
+            _ => {
+                if *kills < self.max_kills {
+                    *kills += 1;
+                    FaultEventKind::CoreDead { core }
+                } else {
+                    FaultEventKind::LinkDown { core }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::indexing_slicing)]
+    use super::*;
+
+    fn grammar() -> Grammar {
+        Grammar::new(8, 12, 4)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let g = grammar();
+        for profile in Profile::CONCRETE.into_iter().chain([Profile::Mixed]) {
+            for seed in 0..32 {
+                let a = g.generate(profile, seed);
+                let b = g.generate(profile, seed);
+                assert_eq!(a, b, "{} seed {seed}", profile.name());
+            }
+        }
+    }
+
+    #[test]
+    fn events_respect_the_grammar_bounds() {
+        let g = grammar();
+        for seed in 0..64 {
+            let tl = g.generate(Profile::Mixed, seed);
+            assert!(!tl.events().is_empty());
+            let kills = tl
+                .events()
+                .iter()
+                .filter(|e| matches!(e.kind, FaultEventKind::CoreDead { .. }))
+                .count();
+            assert!(kills <= g.max_kills, "seed {seed}: {kills} kills");
+            for ev in tl.events() {
+                assert!(ev.kind.core() < g.cores);
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_storm_targets_one_checkpoint_multiple() {
+        let g = grammar();
+        for seed in 0..32 {
+            let tl = g.generate(Profile::BarrierStorm, seed);
+            let steps: Vec<usize> = tl.events().iter().map(|e| e.step).collect();
+            assert!(steps.windows(2).all(|w| w[0] == w[1]), "one barrier");
+            assert_eq!(steps[0] % g.checkpoint_every, 0, "on a checkpoint");
+            assert!(tl.events().iter().all(|e| e.kind.is_transient()));
+        }
+    }
+
+    #[test]
+    fn generated_timelines_round_trip_their_spec() {
+        let g = grammar();
+        for seed in 0..32 {
+            let tl = g.generate(Profile::Mixed, seed);
+            let spec = tl.to_spec();
+            let back = t10_sim::FaultTimeline::parse(&spec, g.cores).unwrap();
+            assert_eq!(back, tl, "seed {seed}: {spec}");
+        }
+    }
+
+    #[test]
+    fn profile_names_round_trip() {
+        for p in Profile::CONCRETE.into_iter().chain([Profile::Mixed]) {
+            assert_eq!(Profile::parse(p.name()), Some(p));
+        }
+        assert_eq!(Profile::parse("bogus"), None);
+    }
+}

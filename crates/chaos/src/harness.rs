@@ -1,0 +1,277 @@
+//! Executes an [`OpChain`] through the full compile → run → recover path,
+//! exactly as the CLI's `run` subcommand does: operator by operator under a
+//! [`RecoveryController`], threading the surviving chip, fault plan,
+//! timeline, and global step numbering from one operator to the next.
+//!
+//! Campaigns run hundreds of these, so the harness accepts precomputed
+//! healthy Pareto frontiers ([`healthy_frontiers`]) and warm-starts every
+//! initial compile from them while the machine is still pristine — the
+//! search is skipped verbatim and a case costs little more than its
+//! functional execution.
+
+use std::time::Instant;
+
+use t10_core::lower::lower_functional;
+use t10_core::search::{ParetoSet, SearchConfig};
+use t10_core::{
+    CompileError, CompileOptions, Compiler, RecoveryAudit, RecoveryController, RecoveryMutation,
+    RecoveryPolicy, RecoveryUnit,
+};
+use t10_device::ChipSpec;
+use t10_ir::Tensor;
+use t10_sim::{FaultPlan, FaultTimeline, RunReport, SimulatorMode};
+use t10_trace::Trace;
+
+use crate::target::{single_node_graph, OpChain};
+use crate::Result;
+
+/// How the harness executes a chain.
+#[derive(Clone)]
+pub struct RunConfig {
+    /// Cores on the (initially healthy) chip.
+    pub cores: usize,
+    /// The recovery policy in force.
+    pub policy: RecoveryPolicy,
+    /// Intentionally-buggy controller behavior (tests only).
+    pub mutation: RecoveryMutation,
+    /// Structured-event sink threaded through controller and simulators.
+    pub trace: Trace,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self {
+            cores: 8,
+            policy: RecoveryPolicy {
+                // Storm profiles queue more faults than the production
+                // default of 3; give healing room to actually heal.
+                max_retries: 8,
+                ..RecoveryPolicy::default()
+            },
+            mutation: RecoveryMutation::default(),
+            trace: Trace::disabled(),
+        }
+    }
+}
+
+/// Everything one chain execution produced, oracle-visible.
+pub struct ChainRun {
+    /// The chain's final output tensor.
+    pub output: Tensor,
+    /// Per-operator run reports.
+    pub reports: Vec<RunReport>,
+    /// Per-operator recovery audits.
+    pub audits: Vec<RecoveryAudit>,
+    /// Cores surviving at the end of the chain.
+    pub final_cores: usize,
+    /// Wall-clock latency of every compile the run performed (initial and
+    /// recovery recompiles), in microseconds. **Not deterministic** — used
+    /// only for the perf-trajectory baseline, never in campaign reports.
+    pub compile_wall_us: Vec<f64>,
+}
+
+impl ChainRun {
+    /// Total simulated seconds across the chain.
+    pub fn total_time(&self) -> f64 {
+        self.reports.iter().map(|r| r.total_time).sum()
+    }
+
+    /// Total simulated seconds spent taking checkpoints.
+    pub fn checkpoint_time(&self) -> f64 {
+        self.reports.iter().map(|r| r.checkpoint_time).sum()
+    }
+
+    /// Total seconds spent waiting out retry backoff.
+    pub fn backoff_time(&self) -> f64 {
+        self.reports
+            .iter()
+            .filter_map(|r| r.recovery.as_ref())
+            .map(|r| r.backoff_time)
+            .sum()
+    }
+
+    /// Simulated execution seconds excluding backoff waits. The policy's
+    /// backoff is wall-delay (milliseconds) while these chains simulate in
+    /// microseconds; overhead comparisons only make sense without it.
+    pub fn execution_time(&self) -> f64 {
+        self.total_time() - self.backoff_time()
+    }
+
+    /// Total recovery events (transient retries + re-plans).
+    pub fn recoveries(&self) -> usize {
+        self.audits.iter().map(RecoveryAudit::recoveries).sum()
+    }
+
+    /// Total recovery recompiles.
+    pub fn recompiles(&self) -> usize {
+        self.audits
+            .iter()
+            .flat_map(|a| a.retries.iter())
+            .filter(|r| !r.transient)
+            .count()
+    }
+
+    /// Total transient retries.
+    pub fn transient_retries(&self) -> usize {
+        self.audits
+            .iter()
+            .flat_map(|a| a.retries.iter())
+            .filter(|r| r.transient)
+            .count()
+    }
+}
+
+/// Compiles every operator of `chain` once on the healthy chip and returns
+/// the Pareto frontiers, for warm-starting campaign cases.
+pub fn healthy_frontiers(chain: &OpChain, cores: usize) -> Result<Vec<Vec<ParetoSet>>> {
+    let spec = ChipSpec::ipu_with_cores(cores);
+    let compiler = Compiler::new(spec, SearchConfig::fast());
+    let mut frontiers = Vec::with_capacity(chain.ops.len());
+    for op in &chain.ops {
+        let graph = single_node_graph(op)?;
+        let (pareto, _) = compiler.compile_node(&graph, 0)?;
+        frontiers.push(vec![pareto]);
+    }
+    Ok(frontiers)
+}
+
+/// Runs `chain` under `timeline`, recovering as needed. `warm` optionally
+/// holds per-operator healthy frontiers; they are offered to each
+/// operator's *initial* compile only while the machine is pristine (full
+/// cores, clean fault plan) — a degraded machine always searches fresh.
+pub fn run_chain(
+    chain: &OpChain,
+    timeline: Option<FaultTimeline>,
+    cfg: &RunConfig,
+    warm: Option<&[Vec<ParetoSet>]>,
+) -> Result<ChainRun> {
+    let controller = RecoveryController::new(SimulatorMode::Functional, cfg.policy.clone())
+        .with_trace(cfg.trace.clone())
+        .with_mutation(cfg.mutation);
+    let mut spec = ChipSpec::ipu_with_cores(cfg.cores);
+    let pristine_faults = FaultPlan::new(cfg.cores);
+    let mut faults = pristine_faults.clone();
+    let mut timeline = timeline;
+    let mut offset = 0usize;
+    let mut reports = Vec::new();
+    let mut audits = Vec::new();
+    let mut compile_wall_us = Vec::new();
+    let mut act = chain.input.clone();
+
+    for (i, op) in chain.ops.iter().enumerate() {
+        let graph = single_node_graph(op)?;
+        let weight = chain
+            .weights
+            .get(i)
+            .ok_or_else(|| CompileError::internal(format!("no weight for op {i}")))?;
+        let inputs = vec![act.clone(), weight.clone()];
+        let pristine = spec.num_cores == cfg.cores && faults == pristine_faults;
+        let healthy_warm = if pristine {
+            warm.and_then(|w| w.get(i)).map(Vec::as_slice)
+        } else {
+            None
+        };
+        let mut walls: Vec<f64> = Vec::new();
+        let recovered = controller.execute(
+            &spec,
+            faults.clone(),
+            timeline.take(),
+            offset,
+            &inputs,
+            |spec, faults, controller_warm| {
+                let t0 = Instant::now();
+                let compiler = Compiler::new(spec.clone(), SearchConfig::fast());
+                let opts = CompileOptions {
+                    deadline: None,
+                    faults: Some(faults.clone()),
+                    warm_start: controller_warm.or(healthy_warm).map(<[_]>::to_vec),
+                    ..CompileOptions::default()
+                };
+                let (pareto, _) = compiler.compile_node_with(&graph, 0, &opts)?;
+                let unit = pareto
+                    .plans()
+                    .iter()
+                    .find_map(|sp| {
+                        lower_functional(op, &sp.plan).ok().map(|f| RecoveryUnit {
+                            program: f.program,
+                            pareto: vec![pareto.clone()],
+                            input_buffers: f.input_buffers,
+                            output_buffers: f.output_buffers,
+                        })
+                    })
+                    .ok_or_else(|| CompileError::infeasible("no functionally-lowerable plan"));
+                walls.push(t0.elapsed().as_secs_f64() * 1e6);
+                unit
+            },
+        )?;
+        compile_wall_us.append(&mut walls);
+        act = recovered
+            .sim
+            .extract(&recovered.unit.output_buffers, &op.expr.output_shape())?;
+        reports.push(recovered.report);
+        audits.push(recovered.audit);
+        spec = recovered.spec;
+        faults = recovered.faults;
+        timeline = recovered.timeline;
+        offset = recovered.next_step_offset;
+    }
+    Ok(ChainRun {
+        output: act,
+        reports,
+        audits,
+        final_cores: spec.num_cores,
+        compile_wall_us,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::indexing_slicing)]
+    use super::*;
+    use crate::target::chaos_zoo;
+
+    #[test]
+    fn healthy_chain_matches_reference_and_is_bitwise_reproducible() {
+        let zoo = chaos_zoo().unwrap();
+        let chain = &zoo[0];
+        let cfg = RunConfig::default();
+        let warm = healthy_frontiers(chain, cfg.cores).unwrap();
+        let a = run_chain(chain, None, &cfg, Some(&warm)).unwrap();
+        let b = run_chain(chain, None, &cfg, Some(&warm)).unwrap();
+        assert!(
+            a.output.approx_eq(&b.output, 0.0),
+            "healthy runs are bitwise"
+        );
+        let want = chain.reference_output().unwrap();
+        assert!(a.output.approx_eq(&want, 1e-4));
+        assert_eq!(a.recoveries(), 0);
+        assert_eq!(a.final_cores, cfg.cores);
+    }
+
+    #[test]
+    fn warm_started_run_matches_cold_run_bitwise() {
+        let zoo = chaos_zoo().unwrap();
+        let chain = &zoo[1];
+        let cfg = RunConfig::default();
+        let warm = healthy_frontiers(chain, cfg.cores).unwrap();
+        let cold = run_chain(chain, None, &cfg, None).unwrap();
+        let hot = run_chain(chain, None, &cfg, Some(&warm)).unwrap();
+        assert!(cold.output.approx_eq(&hot.output, 0.0));
+    }
+
+    #[test]
+    fn faulted_chain_recovers_and_audits_stay_clean() {
+        let zoo = chaos_zoo().unwrap();
+        let chain = &zoo[0];
+        let cfg = RunConfig::default();
+        let tl = FaultTimeline::parse("down=1@2,drop=3@1", cfg.cores).unwrap();
+        let run = run_chain(chain, Some(tl), &cfg, None).unwrap();
+        assert!(run.recoveries() >= 2);
+        assert!(run.recompiles() >= 1);
+        for audit in &run.audits {
+            assert!(audit.invariant_violations().is_empty());
+        }
+        let want = chain.reference_output().unwrap();
+        assert!(run.output.approx_eq(&want, 1e-4));
+    }
+}

@@ -1,0 +1,60 @@
+//! Adversarial fault-space exploration for the T10 recovery stack.
+//!
+//! PRs 1–2 gave the simulator seeded fault injection and a self-healing
+//! [`RecoveryController`](t10_core::RecoveryController); PRs 4–5 gated
+//! every (re)compiled plan behind `t10-verify` + `t10-prove`. This crate is
+//! the engine that *attacks* that stack: it generates randomized
+//! [`FaultTimeline`](t10_sim::FaultTimeline)s from a tunable [grammar],
+//! executes each through the full run+recovery path, and judges the result
+//! with a three-part differential [oracle]:
+//!
+//! 1. **output equivalence** — a healed run that never recompiled must be
+//!    bit-identical to the healthy functional run (replay recomputes the
+//!    same f32 operations on the same state); a run that re-planned must
+//!    match the naive reference executor within tolerance (a new plan
+//!    reassociates floating-point reductions);
+//! 2. **certified recompiles** — every unit the controller ran, initial
+//!    compile and every recovery recompile, passed the static verifier and
+//!    the translation validator;
+//! 3. **recovery invariants** — the retry cap was respected, no checkpoint
+//!    regression occurred (every restore targets a logged checkpoint, no
+//!    later snapshot lands before a rewind point), and the
+//!    [`RunReport`](t10_sim::RunReport) accounting agrees with the
+//!    controller's [`RecoveryAudit`](t10_core::RecoveryAudit).
+//!
+//! Timelines that trip the oracle are [shrunk][shrink] to minimal
+//! reproducers — drop, then advance, fault events while the same violation
+//! persists — and emitted as replayable `--fault-timeline` specs. Whole
+//! [campaigns][campaign] report a machine-readable summary (outcome
+//! taxonomy, recovery-overhead percentiles, shrink steps) onto the
+//! [`PID_CHAOS`](t10_trace::PID_CHAOS) trace track.
+//!
+//! The crate is the dynamic counterpart to `t10-prove`'s static translation
+//! validation: the prover certifies that one compiled program is faithful,
+//! the chaos engine certifies that the *system around it* — checkpointing,
+//! rollback, recompilation, migration — preserves that faithfulness under
+//! fire.
+
+pub mod campaign;
+pub mod corpus;
+pub mod grammar;
+pub mod harness;
+pub mod oracle;
+pub mod report;
+pub mod rng;
+pub mod shrink;
+pub mod target;
+
+pub use campaign::{run_campaign, CampaignConfig, CampaignReport, CaseOutcome};
+pub use corpus::{parse_corpus, replay, ReplayOutcome};
+pub use grammar::{Grammar, Profile};
+pub use harness::{healthy_frontiers, run_chain, ChainRun, RunConfig};
+pub use oracle::{Oracle, Outcome, ViolationKind};
+pub use report::{bench_json, campaign_json};
+pub use rng::{mix, XorShift};
+pub use shrink::{shrink, ShrinkOutcome};
+pub use target::{chaos_zoo, single_node_graph, OpChain};
+
+/// Result alias over the compiler's error type (IR and device errors
+/// convert into it).
+pub type Result<T> = std::result::Result<T, t10_core::CompileError>;

@@ -1,0 +1,299 @@
+//! The three-part differential oracle: output equivalence, certified
+//! recompiles, recovery invariants.
+//!
+//! The oracle never trusts the run's own claim of success. It re-derives
+//! the verdict from evidence: the healthy functional run (bitwise baseline
+//! for replay-only recoveries), the naive reference executor (tolerance
+//! baseline once a re-plan reassociated floating point), the controller's
+//! [`RecoveryAudit`] (certification and invariant evidence), and the
+//! [`RunReport`](t10_sim::RunReport) accounting.
+
+use t10_core::CompileError;
+use t10_ir::Tensor;
+
+use crate::harness::ChainRun;
+use crate::target::OpChain;
+
+/// Why a run was judged an oracle violation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ViolationKind {
+    /// The healed output does not match its baseline: bitwise against the
+    /// healthy run when no recompile happened, within `1e-4` of the
+    /// reference executor otherwise.
+    OutputDiverged {
+        /// Max absolute elementwise difference observed.
+        diff: f32,
+        /// Whether the bitwise (no-recompile) baseline applied.
+        bitwise: bool,
+    },
+    /// A unit ran without passing the verify/prove gate.
+    UncertifiedUnit,
+    /// More recoveries happened than the policy's cap allows.
+    RetryCapExceeded,
+    /// The checkpoint/restore history is inconsistent (restore to an
+    /// unlogged snapshot, or a snapshot behind a rewind point).
+    CheckpointRegression,
+    /// The `RunReport` recovery statistics disagree with the audit.
+    AccountingMismatch,
+    /// The run failed with an error the fault schedule cannot explain.
+    UnexpectedError {
+        /// The error's display form.
+        detail: String,
+    },
+}
+
+impl ViolationKind {
+    /// Stable label for reports and CI grep.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::OutputDiverged { .. } => "output-diverged",
+            Self::UncertifiedUnit => "uncertified-unit",
+            Self::RetryCapExceeded => "retry-cap-exceeded",
+            Self::CheckpointRegression => "checkpoint-regression",
+            Self::AccountingMismatch => "accounting-mismatch",
+            Self::UnexpectedError { .. } => "unexpected-error",
+        }
+    }
+
+    /// Same violation class, payloads ignored — the shrinker's judgement
+    /// of "does this smaller timeline still fail the same way".
+    pub fn same_kind(&self, other: &ViolationKind) -> bool {
+        self.label() == other.label()
+    }
+}
+
+/// The campaign outcome taxonomy.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// Completed on the full chip; output and invariants check out.
+    Healed,
+    /// Completed correctly, but core death shrank the chip.
+    DegradedOk,
+    /// The controller gave up in a way the fault schedule explains: the
+    /// retry budget was genuinely exhausted, the last core died, or the
+    /// degraded machine could no longer fit the program.
+    UnrecoverableExpected,
+    /// The oracle caught the recovery stack misbehaving.
+    Violation(ViolationKind),
+}
+
+impl Outcome {
+    /// Stable label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Healed => "healed",
+            Self::DegradedOk => "degraded-ok",
+            Self::UnrecoverableExpected => "unrecoverable-expected",
+            Self::Violation(_) => "ORACLE-VIOLATION",
+        }
+    }
+}
+
+/// Judges chain runs against a fixed healthy baseline.
+pub struct Oracle<'a> {
+    /// The chain under test.
+    pub chain: &'a OpChain,
+    /// The healthy functional run (bitwise baseline, healthy timing).
+    pub healthy: &'a ChainRun,
+    /// The reference executor's output (tolerance baseline).
+    pub reference: &'a Tensor,
+    /// Cores the healthy chip has.
+    pub cores: usize,
+}
+
+/// Tolerance for post-recompile comparisons: a re-planned matmul
+/// reassociates its reduction, so bit-identity is only owed when the
+/// original plan replayed.
+pub const REPLAN_TOLERANCE: f32 = 1e-4;
+
+impl Oracle<'_> {
+    /// Applies all three oracle parts to a finished (or failed) run.
+    pub fn judge(&self, result: &Result<ChainRun, CompileError>) -> Outcome {
+        let run = match result {
+            Ok(run) => run,
+            Err(CompileError::Unrecoverable { .. }) => return Outcome::UnrecoverableExpected,
+            // A shrunk or degraded machine can genuinely stop fitting the
+            // program; the controller surfaces that as a typed resource
+            // error rather than healing. Anything else is unexplained.
+            Err(CompileError::OutOfMemory { .. }) | Err(CompileError::PlanInfeasible { .. }) => {
+                return Outcome::UnrecoverableExpected
+            }
+            Err(e) => {
+                return Outcome::Violation(ViolationKind::UnexpectedError {
+                    detail: e.to_string(),
+                })
+            }
+        };
+
+        // Part 3a: recovery invariants, re-derived from the audit evidence.
+        for audit in &run.audits {
+            if audit.retries.len() > audit.max_retries {
+                return Outcome::Violation(ViolationKind::RetryCapExceeded);
+            }
+            if audit.units.iter().any(|u| !u.verified || !u.proved) {
+                return Outcome::Violation(ViolationKind::UncertifiedUnit);
+            }
+            if !audit.invariant_violations().is_empty() {
+                return Outcome::Violation(ViolationKind::CheckpointRegression);
+            }
+        }
+
+        // Part 3b: the public RunReport must agree with the audit.
+        if !accounting_consistent(run) {
+            return Outcome::Violation(ViolationKind::AccountingMismatch);
+        }
+
+        // Part 1: output equivalence against the right baseline.
+        let bitwise = run.recompiles() == 0;
+        let (baseline, tol) = if bitwise {
+            (&self.healthy.output, 0.0)
+        } else {
+            (self.reference, REPLAN_TOLERANCE)
+        };
+        if !run.output.approx_eq(baseline, tol) {
+            return Outcome::Violation(ViolationKind::OutputDiverged {
+                diff: run.output.max_abs_diff(baseline),
+                bitwise,
+            });
+        }
+
+        if run.final_cores < self.cores {
+            Outcome::DegradedOk
+        } else {
+            Outcome::Healed
+        }
+    }
+}
+
+/// Part 3b: every operator's `RunReport.recovery` statistics must match
+/// what the audit saw the controller do.
+fn accounting_consistent(run: &ChainRun) -> bool {
+    if run.reports.len() != run.audits.len() {
+        return false;
+    }
+    for (report, audit) in run.reports.iter().zip(&run.audits) {
+        let Some(rec) = &report.recovery else {
+            // The controller always folds a RecoveryReport in.
+            return false;
+        };
+        let transients = audit.retries.iter().filter(|r| r.transient).count();
+        let replans = audit.retries.iter().filter(|r| !r.transient).count();
+        if rec.transient_retries != transients
+            || rec.recompiles != replans
+            || rec.events.len() != audit.retries.len()
+        {
+            return false;
+        }
+        let audit_backoff: f64 = audit.retries.iter().map(|r| r.backoff).sum();
+        if (rec.backoff_time - audit_backoff).abs() > 1e-12 {
+            return false;
+        }
+        let audit_lost: usize = audit.retries.iter().map(|r| r.supersteps_lost).sum();
+        if rec.supersteps_lost != audit_lost {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::indexing_slicing)]
+    use super::*;
+    use crate::harness::{run_chain, RunConfig};
+    use crate::target::chaos_zoo;
+    use t10_sim::FaultTimeline;
+
+    fn fixture() -> (crate::target::OpChain, ChainRun, Tensor, RunConfig) {
+        let mut zoo = chaos_zoo().unwrap();
+        let chain = zoo.remove(0);
+        let cfg = RunConfig::default();
+        let healthy = run_chain(&chain, None, &cfg, None).unwrap();
+        let reference = chain.reference_output().unwrap();
+        (chain, healthy, reference, cfg)
+    }
+
+    #[test]
+    fn healthy_run_judges_healed() {
+        let (chain, healthy, reference, cfg) = fixture();
+        let oracle = Oracle {
+            chain: &chain,
+            healthy: &healthy,
+            reference: &reference,
+            cores: cfg.cores,
+        };
+        let again = run_chain(&chain, None, &cfg, None);
+        assert_eq!(oracle.judge(&again), Outcome::Healed);
+    }
+
+    #[test]
+    fn transient_recovery_judges_healed_core_death_degraded_ok() {
+        let (chain, healthy, reference, cfg) = fixture();
+        let oracle = Oracle {
+            chain: &chain,
+            healthy: &healthy,
+            reference: &reference,
+            cores: cfg.cores,
+        };
+        let tl = FaultTimeline::parse("drop=2@1", cfg.cores).unwrap();
+        let run = run_chain(&chain, Some(tl), &cfg, None);
+        assert_eq!(oracle.judge(&run), Outcome::Healed);
+
+        let tl = FaultTimeline::parse("kill=1@3", cfg.cores).unwrap();
+        let run = run_chain(&chain, Some(tl), &cfg, None);
+        assert_eq!(oracle.judge(&run), Outcome::DegradedOk);
+    }
+
+    #[test]
+    fn exhausted_budget_is_expected_not_a_violation() {
+        let (chain, healthy, reference, mut cfg) = fixture();
+        cfg.policy.max_retries = 0;
+        let oracle = Oracle {
+            chain: &chain,
+            healthy: &healthy,
+            reference: &reference,
+            cores: cfg.cores,
+        };
+        let tl = FaultTimeline::parse("down=1@2", cfg.cores).unwrap();
+        let run = run_chain(&chain, Some(tl), &cfg, None);
+        assert_eq!(oracle.judge(&run), Outcome::UnrecoverableExpected);
+    }
+
+    #[test]
+    fn corrupt_salvage_is_caught_as_output_divergence() {
+        let (chain, healthy, reference, mut cfg) = fixture();
+        cfg.mutation = t10_core::RecoveryMutation::CorruptSalvage;
+        let oracle = Oracle {
+            chain: &chain,
+            healthy: &healthy,
+            reference: &reference,
+            cores: cfg.cores,
+        };
+        let tl = FaultTimeline::parse("down=1@2", cfg.cores).unwrap();
+        let run = run_chain(&chain, Some(tl), &cfg, None);
+        match oracle.judge(&run) {
+            Outcome::Violation(ViolationKind::OutputDiverged { bitwise, .. }) => {
+                assert!(!bitwise, "a re-plan happened, tolerance baseline applies");
+            }
+            other => panic!("expected OutputDiverged, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn skipped_verification_is_caught_as_uncertified_unit() {
+        let (chain, healthy, reference, mut cfg) = fixture();
+        cfg.mutation = t10_core::RecoveryMutation::SkipVerification;
+        let oracle = Oracle {
+            chain: &chain,
+            healthy: &healthy,
+            reference: &reference,
+            cores: cfg.cores,
+        };
+        let tl = FaultTimeline::parse("down=1@2", cfg.cores).unwrap();
+        let run = run_chain(&chain, Some(tl), &cfg, None);
+        assert_eq!(
+            oracle.judge(&run),
+            Outcome::Violation(ViolationKind::UncertifiedUnit)
+        );
+    }
+}

@@ -1,0 +1,180 @@
+//! Hand-rolled, deterministic JSON writers for campaign summaries and the
+//! recovery perf-trajectory baseline.
+//!
+//! Same discipline as the rest of the workspace's JSON output: fixed field
+//! order, no maps with unstable iteration, no wall-clock values in the
+//! campaign report — so `campaign_json` is byte-identical across same-seed
+//! reruns and diffable in CI. Wall-clock compile latencies appear only in
+//! [`bench_json`] (`BENCH_recovery.json`), which tracks machine-dependent
+//! perf and is *expected* to drift.
+
+use crate::campaign::{percentile, CampaignReport};
+use crate::oracle::Outcome;
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// The deterministic campaign summary (no wall-clock values).
+pub fn campaign_json(r: &CampaignReport) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"t10.chaos.campaign.v1\",\n");
+    s.push_str(&format!("  \"seed\": {},\n", r.seed));
+    s.push_str(&format!("  \"profile\": \"{}\",\n", esc(r.profile)));
+    s.push_str(&format!("  \"count\": {},\n", r.count));
+    s.push_str(&format!("  \"cores\": {},\n", r.cores));
+    s.push_str("  \"outcomes\": {\n");
+    s.push_str(&format!("    \"healed\": {},\n", r.healed));
+    s.push_str(&format!("    \"degraded_ok\": {},\n", r.degraded_ok));
+    s.push_str(&format!(
+        "    \"unrecoverable_expected\": {},\n",
+        r.unrecoverable_expected
+    ));
+    s.push_str(&format!("    \"violations\": {}\n", r.violations));
+    s.push_str("  },\n");
+    s.push_str("  \"recovery_overhead_pct\": {\n");
+    s.push_str(&format!("    \"p50\": {},\n", f(r.overhead_p50)));
+    s.push_str(&format!("    \"p90\": {},\n", f(r.overhead_p90)));
+    s.push_str(&format!("    \"p99\": {}\n", f(r.overhead_p99)));
+    s.push_str("  },\n");
+    s.push_str(&format!(
+        "  \"checkpoint_cost_pct\": {},\n",
+        f(r.checkpoint_cost_pct)
+    ));
+    s.push_str("  \"cases\": [\n");
+    for (i, c) in r.cases.iter().enumerate() {
+        s.push_str("    {");
+        s.push_str(&format!("\"index\": {}, ", c.index));
+        s.push_str(&format!("\"chain\": \"{}\", ", esc(&c.chain)));
+        s.push_str(&format!("\"timeline_seed\": {}, ", c.timeline_seed));
+        s.push_str(&format!("\"events\": {}, ", c.events));
+        s.push_str(&format!("\"outcome\": \"{}\", ", c.outcome.label()));
+        if let Outcome::Violation(kind) = &c.outcome {
+            s.push_str(&format!("\"violation\": \"{}\", ", kind.label()));
+        }
+        s.push_str(&format!("\"recoveries\": {}, ", c.recoveries));
+        s.push_str(&format!("\"recompiles\": {}, ", c.recompiles));
+        match c.overhead_pct {
+            Some(pct) => s.push_str(&format!("\"overhead_pct\": {}, ", f(pct))),
+            None => s.push_str("\"overhead_pct\": null, "),
+        }
+        s.push_str(&format!("\"spec\": \"{}\"", esc(&c.spec)));
+        if let Some(sh) = &c.shrunk {
+            s.push_str(&format!(
+                ", \"shrunk\": {{\"spec\": \"{}\", \"events\": {}, \
+                 \"reductions\": {}, \"attempts\": {}}}",
+                esc(&sh.spec),
+                sh.events,
+                sh.reductions,
+                sh.attempts
+            ));
+        }
+        s.push('}');
+        if i + 1 < r.cases.len() {
+            s.push(',');
+        }
+        s.push('\n');
+    }
+    s.push_str("  ]\n");
+    s.push_str("}\n");
+    s
+}
+
+/// The `BENCH_recovery.json` perf-trajectory baseline: recovery overhead
+/// percentiles (deterministic sim time) plus compile-latency percentiles
+/// and checkpoint cost (machine-dependent wall time).
+pub fn bench_json(r: &CampaignReport) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"t10.bench.recovery.v1\",\n");
+    s.push_str(&format!("  \"campaign_seed\": {},\n", r.seed));
+    s.push_str(&format!("  \"profile\": \"{}\",\n", esc(r.profile)));
+    s.push_str(&format!("  \"count\": {},\n", r.count));
+    s.push_str(&format!("  \"cores\": {},\n", r.cores));
+    s.push_str("  \"recovery_overhead_pct\": {\n");
+    s.push_str(&format!("    \"p50\": {},\n", f(r.overhead_p50)));
+    s.push_str(&format!("    \"p90\": {},\n", f(r.overhead_p90)));
+    s.push_str(&format!("    \"p99\": {}\n", f(r.overhead_p99)));
+    s.push_str("  },\n");
+    s.push_str(&format!(
+        "  \"checkpoint_cost_pct\": {},\n",
+        f(r.checkpoint_cost_pct)
+    ));
+    s.push_str("  \"compile_latency_us\": {\n");
+    s.push_str(&format!(
+        "    \"p50\": {},\n",
+        f(percentile(&r.compile_wall_us, 0.50))
+    ));
+    s.push_str(&format!(
+        "    \"p99\": {},\n",
+        f(percentile(&r.compile_wall_us, 0.99))
+    ));
+    s.push_str(&format!("    \"samples\": {}\n", r.compile_wall_us.len()));
+    s.push_str("  }\n");
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+
+    #[test]
+    fn escapes_json_strings() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(esc("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(f(f64::NAN), "null");
+        assert_eq!(f(f64::INFINITY), "null");
+        assert_eq!(f(1.5), "1.5");
+    }
+
+    #[test]
+    fn empty_campaign_serializes() {
+        let r = CampaignReport {
+            seed: 3,
+            profile: "uniform",
+            count: 0,
+            cores: 8,
+            healed: 0,
+            degraded_ok: 0,
+            unrecoverable_expected: 0,
+            violations: 0,
+            overhead_p50: 0.0,
+            overhead_p90: 0.0,
+            overhead_p99: 0.0,
+            checkpoint_cost_pct: 0.0,
+            cases: Vec::new(),
+            compile_wall_us: Vec::new(),
+        };
+        let j = campaign_json(&r);
+        assert!(j.contains("\"schema\": \"t10.chaos.campaign.v1\""));
+        assert!(j.contains("\"violations\": 0"));
+        let b = bench_json(&r);
+        assert!(b.contains("\"schema\": \"t10.bench.recovery.v1\""));
+        assert!(b.contains("\"samples\": 0"));
+    }
+}

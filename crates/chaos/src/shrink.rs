@@ -1,0 +1,193 @@
+//! Delta-debugging for fault timelines: reduce a failing schedule to a
+//! minimal replayable reproducer while the same oracle violation persists.
+//!
+//! Three passes, each run to a fixed point:
+//!
+//! 1. **chunk drop** (ddmin) — remove halves, then quarters, … of the
+//!    event list;
+//! 2. **single drop** — remove each remaining event individually;
+//! 3. **advance** — halve each surviving event's step repeatedly, pulling
+//!    the reproducer toward superstep 0.
+//!
+//! The judge is a caller-supplied predicate (`still_fails`), typically
+//! "the oracle reports the *same violation class*" — shrinking must not
+//! wander from one bug to a different one. Every candidate the shrinker
+//! tries is a fresh [`FaultTimeline`] built by
+//! [`FaultTimeline::from_events`], so the final reproducer serializes
+//! straight back to a `--fault-timeline` spec via
+//! [`FaultTimeline::to_spec`].
+
+use t10_sim::{FaultEvent, FaultTimeline};
+
+/// The shrinker's result: the minimal timeline plus effort accounting.
+#[derive(Debug, Clone)]
+pub struct ShrinkOutcome {
+    /// The minimized timeline.
+    pub timeline: FaultTimeline,
+    /// The replayable `--fault-timeline` spec of the minimized timeline.
+    pub spec: String,
+    /// Events surviving in the reproducer.
+    pub events: usize,
+    /// Successful reductions (adopted candidates).
+    pub reductions: usize,
+    /// Total candidates executed.
+    pub attempts: usize,
+}
+
+/// Shrinks `events` (the failing timeline's schedule, seed `seed`) while
+/// `still_fails` holds. `still_fails` is guaranteed to have returned `true`
+/// for the returned timeline.
+pub fn shrink<F>(seed: u64, events: &[FaultEvent], mut still_fails: F) -> ShrinkOutcome
+where
+    F: FnMut(&FaultTimeline) -> bool,
+{
+    let mut current: Vec<FaultEvent> = events.to_vec();
+    let mut reductions = 0usize;
+    let mut attempts = 0usize;
+    let mut check = |evs: &[FaultEvent], attempts: &mut usize| {
+        *attempts += 1;
+        still_fails(&FaultTimeline::from_events(seed, evs.iter().copied()))
+    };
+
+    // Pass 1+2: ddmin. Granularity starts at halves and refines; when a
+    // chunk's removal still fails, adopt and restart coarse.
+    let mut n = 2usize;
+    while current.len() >= 2 && n <= current.len() {
+        let chunk = current.len().div_ceil(n);
+        let mut reduced = false;
+        let mut start = 0usize;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            let candidate: Vec<FaultEvent> = current
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i < start || *i >= end)
+                .map(|(_, e)| *e)
+                .collect();
+            if !candidate.is_empty() && check(&candidate, &mut attempts) {
+                current = candidate;
+                reductions += 1;
+                reduced = true;
+                n = 2;
+                break;
+            }
+            start = end;
+        }
+        if !reduced {
+            if chunk == 1 {
+                break;
+            }
+            n = (n * 2).min(current.len());
+        }
+    }
+    // Single-event drop to a fixed point (covers what ddmin's final
+    // granularity missed after adoptions).
+    loop {
+        let mut dropped = false;
+        for i in 0..current.len() {
+            if current.len() == 1 {
+                break;
+            }
+            let candidate: Vec<FaultEvent> = current
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, e)| *e)
+                .collect();
+            if check(&candidate, &mut attempts) {
+                current = candidate;
+                reductions += 1;
+                dropped = true;
+                break;
+            }
+        }
+        if !dropped {
+            break;
+        }
+    }
+
+    // Pass 3: advance surviving events toward step 0.
+    for i in 0..current.len() {
+        while let Some(ev) = current.get(i).copied() {
+            if ev.step == 0 {
+                break;
+            }
+            let mut candidate = current.clone();
+            if let Some(slot) = candidate.get_mut(i) {
+                slot.step /= 2;
+            }
+            if check(&candidate, &mut attempts) {
+                current = candidate;
+                reductions += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    let timeline = FaultTimeline::from_events(seed, current.iter().copied());
+    ShrinkOutcome {
+        spec: timeline.to_spec(),
+        events: current.len(),
+        timeline,
+        reductions,
+        attempts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::indexing_slicing)]
+    use super::*;
+    use t10_sim::FaultEventKind;
+
+    fn ev(step: usize, core: usize) -> FaultEvent {
+        FaultEvent {
+            step,
+            kind: FaultEventKind::TransientLinkDrop { core },
+        }
+    }
+
+    #[test]
+    fn shrinks_to_the_single_culprit() {
+        // The "bug" fires iff an event targets core 3.
+        let events: Vec<FaultEvent> = (0..8).map(|i| ev(i + 2, i)).collect();
+        let out = shrink(7, &events, |tl| {
+            tl.events().iter().any(|e| e.kind.core() == 3)
+        });
+        assert_eq!(out.events, 1);
+        assert_eq!(out.timeline.events()[0].kind.core(), 3);
+        // The advance pass pulled it to step 0.
+        assert_eq!(out.timeline.events()[0].step, 0);
+        assert!(out.reductions >= 1);
+        assert!(out.attempts >= out.reductions);
+        assert!(out.spec.starts_with("seed=7,"));
+    }
+
+    #[test]
+    fn keeps_a_required_pair_together() {
+        // The bug needs BOTH core 1 and core 5 present.
+        let events: Vec<FaultEvent> = (0..8).map(|i| ev(4, i)).collect();
+        let out = shrink(0, &events, |tl| {
+            let cores: Vec<usize> = tl.events().iter().map(|e| e.kind.core()).collect();
+            cores.contains(&1) && cores.contains(&5)
+        });
+        assert_eq!(out.events, 2);
+        let mut cores: Vec<usize> = out
+            .timeline
+            .events()
+            .iter()
+            .map(|e| e.kind.core())
+            .collect();
+        cores.sort_unstable();
+        assert_eq!(cores, vec![1, 5]);
+    }
+
+    #[test]
+    fn result_round_trips_through_the_spec_grammar() {
+        let events = vec![ev(3, 1), ev(5, 2)];
+        let out = shrink(9, &events, |tl| !tl.events().is_empty());
+        let back = FaultTimeline::parse(&out.spec, 8).unwrap();
+        assert_eq!(back.events(), out.timeline.events());
+    }
+}

@@ -1,0 +1,129 @@
+//! Campaign targets: small operator chains the chaos engine runs under
+//! fire.
+//!
+//! The zoo deliberately stays small (8-core chips, ≈16–64 element
+//! dimensions): a campaign executes hundreds of full compile + functional
+//! run + recovery cycles, and the fault-space coverage comes from the
+//! timeline grammar, not from model size. Every chain is a straight-line
+//! sequence of two-input operators (activation, weight), executed
+//! operator-by-operator exactly like the Table-2 recovery demos.
+
+use t10_ir::{builders, reference, DType, Graph, Operator, Tensor, Unary, ValueKind};
+
+use crate::Result;
+
+/// A straight-line operator chain plus its concrete inputs.
+pub struct OpChain {
+    /// Stable name, used in reports and for chain selection.
+    pub name: &'static str,
+    /// The operators, in execution order. `ops[i]` consumes the previous
+    /// activation and `weights[i]`.
+    pub ops: Vec<Operator>,
+    /// The chain's input activation.
+    pub input: Tensor,
+    /// One weight tensor per operator.
+    pub weights: Vec<Tensor>,
+}
+
+impl OpChain {
+    /// The healthy ground truth: the chain through the naive reference
+    /// executor.
+    pub fn reference_output(&self) -> Result<Tensor> {
+        let mut act = self.input.clone();
+        for (op, w) in self.ops.iter().zip(&self.weights) {
+            act = reference::execute(op, &[&act, w])?;
+        }
+        Ok(act)
+    }
+}
+
+/// Wraps one operator in a single-node graph so the intra-operator search
+/// (and its warm-start path) can run on it.
+pub fn single_node_graph(op: &Operator) -> Result<Graph> {
+    let mut g = Graph::new("node");
+    let n_in = op.expr.num_inputs();
+    for slot in 0..n_in {
+        let kind = if slot == 0 {
+            ValueKind::Input
+        } else {
+            ValueKind::Weight
+        };
+        g.add_value(
+            format!("in{slot}"),
+            op.expr.input_shape(slot),
+            DType::F32,
+            kind,
+        );
+    }
+    g.add_value("out", op.expr.output_shape(), DType::F32, ValueKind::Output);
+    let mut op = op.clone();
+    op.inputs = (0..n_in).collect();
+    op.output = n_in;
+    g.add_node("n", op)?;
+    Ok(g)
+}
+
+/// The chaos model zoo: three chains covering a two-layer FFN, a single
+/// fused matmul+relu, and a wide single-layer projection.
+pub fn chaos_zoo() -> Result<Vec<OpChain>> {
+    let mut chains = Vec::new();
+
+    // Two-layer FFN — the Table-2 recovery demo shape.
+    let mut fc1 = builders::matmul(0, 1, 2, 16, 32, 32)?;
+    fc1.unary = Some(Unary::Relu);
+    let fc2 = builders::matmul(2, 3, 4, 16, 32, 16)?;
+    chains.push(OpChain {
+        name: "ffn2",
+        ops: vec![fc1, fc2],
+        input: Tensor::pattern(vec![16, 32], 0.3),
+        weights: vec![
+            Tensor::pattern(vec![32, 32], 0.7),
+            Tensor::pattern(vec![32, 16], 0.5),
+        ],
+    });
+
+    // One fused matmul+relu.
+    let mut mlp = builders::matmul(0, 1, 2, 16, 32, 16)?;
+    mlp.unary = Some(Unary::Relu);
+    chains.push(OpChain {
+        name: "mlp1",
+        ops: vec![mlp],
+        input: Tensor::pattern(vec![16, 32], 0.4),
+        weights: vec![Tensor::pattern(vec![32, 16], 0.6)],
+    });
+
+    // A wide projection: long reduction dimension, more rotation steps.
+    let wide = builders::matmul(0, 1, 2, 8, 64, 16)?;
+    chains.push(OpChain {
+        name: "wide",
+        ops: vec![wide],
+        input: Tensor::pattern(vec![8, 64], 0.2),
+        weights: vec![Tensor::pattern(vec![64, 16], 0.8)],
+    });
+
+    Ok(chains)
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+
+    #[test]
+    fn zoo_chains_have_consistent_shapes() {
+        for chain in chaos_zoo().unwrap() {
+            assert_eq!(chain.ops.len(), chain.weights.len());
+            let out = chain.reference_output().unwrap();
+            assert!(out.elements() > 0, "{}: empty output", chain.name);
+        }
+    }
+
+    #[test]
+    fn single_node_graphs_build_for_every_op() {
+        for chain in chaos_zoo().unwrap() {
+            for op in &chain.ops {
+                single_node_graph(op).unwrap();
+            }
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Property: a fault landing on the exact superstep a checkpoint is due —
+//! the charge-before-snapshot edge — is oracle-clean.
+//!
+//! The simulator fires due timeline events *before* charging the barrier's
+//! auto-checkpoint, so a fatal fault at a checkpoint multiple must roll
+//! back to the *previous* snapshot, never to one "taken" at the faulted
+//! barrier itself. The differential oracle's checkpoint-regression
+//! invariant plus output equivalence pin that edge down across checkpoint
+//! intervals, barrier indices, and fault kinds.
+
+#![allow(clippy::unwrap_used, clippy::indexing_slicing)]
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use t10_chaos::{
+    chaos_zoo, healthy_frontiers, run_chain, ChainRun, OpChain, Oracle, Outcome, RunConfig,
+};
+use t10_ir::Tensor;
+use t10_sim::{FaultEvent, FaultEventKind, FaultTimeline};
+
+struct Fixture {
+    chain: OpChain,
+    healthy: ChainRun,
+    reference: Tensor,
+    horizon: usize,
+}
+
+/// One healthy baseline, shared by every sampled case. The functional
+/// output is checkpoint-interval-independent (replay is bit-identical), so
+/// a default-policy baseline judges runs under any `checkpoint_every`.
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let mut zoo = chaos_zoo().unwrap();
+        let chain = zoo.remove(0);
+        let cfg = RunConfig::default();
+        let warm = healthy_frontiers(&chain, cfg.cores).unwrap();
+        let healthy = run_chain(&chain, None, &cfg, Some(&warm)).unwrap();
+        let reference = chain.reference_output().unwrap();
+        let horizon = healthy.reports.iter().map(|r| r.steps).sum();
+        Fixture {
+            chain,
+            healthy,
+            reference,
+            horizon,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A fatal fault at `checkpoint_every * k` — due exactly when the
+    /// barrier's snapshot would be charged — recovers without tripping any
+    /// oracle part (no checkpoint regression, no output divergence).
+    #[test]
+    fn fatal_fault_on_the_checkpoint_superstep_is_oracle_clean(
+        every in 1usize..5,
+        barrier in 0usize..6,
+        core in 0usize..8,
+        kill in 0usize..2,
+    ) {
+        let fix = fixture();
+        let step = every * barrier;
+        prop_assume!(step < fix.horizon);
+        let kind = if kill == 1 {
+            FaultEventKind::CoreDead { core }
+        } else {
+            FaultEventKind::LinkDown { core }
+        };
+        let tl = FaultTimeline::from_events(0, [FaultEvent { step, kind }]);
+
+        let mut cfg = RunConfig::default();
+        cfg.policy.checkpoint_every = every;
+        let oracle = Oracle {
+            chain: &fix.chain,
+            healthy: &fix.healthy,
+            reference: &fix.reference,
+            cores: cfg.cores,
+        };
+        let result = run_chain(&fix.chain, Some(tl), &cfg, None);
+        let outcome = oracle.judge(&result);
+        prop_assert!(
+            !matches!(outcome, Outcome::Violation(_)),
+            "every={every} barrier={barrier} core={core} kill={kill}: {outcome:?}"
+        );
+        // The fault fired, so the controller must actually have re-planned.
+        if let Ok(run) = &result {
+            prop_assert!(run.recompiles() >= 1);
+            for audit in &run.audits {
+                prop_assert!(audit.invariant_violations().is_empty());
+            }
+        }
+    }
+
+    /// A transient fault at the same edge replays from the previous
+    /// snapshot and stays bit-identical to the healthy run.
+    #[test]
+    fn transient_fault_on_the_checkpoint_superstep_replays_bitwise(
+        every in 1usize..5,
+        barrier in 0usize..6,
+        core in 0usize..8,
+    ) {
+        let fix = fixture();
+        let step = every * barrier;
+        prop_assume!(step < fix.horizon);
+        let tl = FaultTimeline::from_events(
+            0,
+            [FaultEvent { step, kind: FaultEventKind::TransientLinkDrop { core } }],
+        );
+        let mut cfg = RunConfig::default();
+        cfg.policy.checkpoint_every = every;
+        let oracle = Oracle {
+            chain: &fix.chain,
+            healthy: &fix.healthy,
+            reference: &fix.reference,
+            cores: cfg.cores,
+        };
+        let result = run_chain(&fix.chain, Some(tl), &cfg, None);
+        prop_assert_eq!(oracle.judge(&result), Outcome::Healed);
+        let run = result.unwrap();
+        prop_assert_eq!(run.recompiles(), 0);
+        prop_assert!(run.output.approx_eq(&fix.healthy.output, 0.0));
+    }
+}

@@ -1,0 +1,134 @@
+//! Acceptance demo: an intentionally-buggy recovery mutation is caught by
+//! the oracle and shrunk to a minimal replayable reproducer of at most
+//! three fault events.
+//!
+//! The mutation (`CorruptSalvage`) perturbs one salvaged input element
+//! during persistent-fault migration — exactly the kind of subtle recovery
+//! bug the differential oracle exists to catch. A noisy timeline (one
+//! persistent fault buried under transients and degrades) trips the oracle;
+//! ddmin-style shrinking must strip the noise down to the persistent fault
+//! that actually reaches the buggy salvage path.
+
+#![allow(clippy::unwrap_used, clippy::indexing_slicing)]
+
+use t10_chaos::{
+    chaos_zoo, healthy_frontiers, run_chain, shrink, CampaignConfig, Oracle, Outcome, Profile,
+    RunConfig,
+};
+use t10_core::RecoveryMutation;
+use t10_sim::{FaultEvent, FaultEventKind, FaultTimeline};
+
+#[test]
+fn injected_salvage_bug_shrinks_to_at_most_three_events() {
+    let mut zoo = chaos_zoo().unwrap();
+    let chain = zoo.remove(0);
+    let cfg = RunConfig {
+        mutation: RecoveryMutation::CorruptSalvage,
+        ..RunConfig::default()
+    };
+    let healthy_cfg = RunConfig::default();
+    let warm = healthy_frontiers(&chain, cfg.cores).unwrap();
+    let healthy = run_chain(&chain, None, &healthy_cfg, Some(&warm)).unwrap();
+    let reference = chain.reference_output().unwrap();
+    let oracle = Oracle {
+        chain: &chain,
+        healthy: &healthy,
+        reference: &reference,
+        cores: cfg.cores,
+    };
+
+    // One culprit (the persistent fault that triggers salvage) buried in
+    // six events of noise that recovery absorbs or replays cleanly.
+    let noisy = vec![
+        FaultEvent {
+            step: 0,
+            kind: FaultEventKind::TransientStall { core: 1 },
+        },
+        FaultEvent {
+            step: 1,
+            kind: FaultEventKind::CoreSlow {
+                core: 2,
+                multiplier: 2.0,
+            },
+        },
+        FaultEvent {
+            step: 1,
+            kind: FaultEventKind::TransientLinkDrop { core: 3 },
+        },
+        FaultEvent {
+            step: 2,
+            kind: FaultEventKind::LinkDown { core: 4 },
+        },
+        FaultEvent {
+            step: 3,
+            kind: FaultEventKind::LinkDegrade {
+                core: 5,
+                multiplier: 0.5,
+            },
+        },
+        FaultEvent {
+            step: 3,
+            kind: FaultEventKind::TransientStall { core: 0 },
+        },
+        FaultEvent {
+            step: 4,
+            kind: FaultEventKind::TransientLinkDrop { core: 6 },
+        },
+    ];
+    let timeline = FaultTimeline::from_events(99, noisy.clone());
+    let result = run_chain(&chain, Some(timeline), &cfg, None);
+    let outcome = oracle.judge(&result);
+    let Outcome::Violation(kind) = outcome else {
+        panic!("the corrupted salvage must trip the oracle, got {outcome:?}");
+    };
+
+    let minimized = shrink(99, &noisy, |candidate| {
+        let rerun = run_chain(&chain, Some(candidate.clone()), &cfg, None);
+        matches!(oracle.judge(&rerun), Outcome::Violation(k) if k.same_kind(&kind))
+    });
+    assert!(
+        minimized.events <= 3,
+        "minimal reproducer has {} events: {}",
+        minimized.events,
+        minimized.spec
+    );
+    assert!(minimized.events >= 1);
+    assert!(minimized.reductions > 0, "shrinking must actually reduce");
+
+    // The reproducer is replayable from its emitted `--fault-timeline`
+    // spec and still fails the same way.
+    let replay = FaultTimeline::parse(&minimized.spec, cfg.cores).unwrap();
+    let rerun = run_chain(&chain, Some(replay), &cfg, None);
+    match oracle.judge(&rerun) {
+        Outcome::Violation(k) => assert!(k.same_kind(&kind)),
+        other => panic!("replayed reproducer no longer fails: {other:?}"),
+    }
+}
+
+#[test]
+fn campaign_shrinks_mutation_findings_into_its_report() {
+    // End-to-end: a campaign over the buggy controller reports violations
+    // and attaches minimized reproducers to each violating case.
+    let cfg = CampaignConfig {
+        seed: 5,
+        count: 4,
+        profile: Profile::MigrationCross,
+        run: RunConfig {
+            mutation: RecoveryMutation::CorruptSalvage,
+            ..RunConfig::default()
+        },
+        shrink_violations: true,
+    };
+    let report = t10_chaos::run_campaign(&cfg).unwrap();
+    assert!(!report.clean(), "corrupted salvage must surface violations");
+    let shrunk: Vec<_> = report
+        .cases
+        .iter()
+        .filter_map(|c| c.shrunk.as_ref())
+        .collect();
+    assert!(!shrunk.is_empty(), "violating cases must carry reproducers");
+    for sh in shrunk {
+        assert!(sh.events <= 3, "{} events: {}", sh.events, sh.spec);
+        assert!(FaultTimeline::parse(&sh.spec, cfg.run.cores).is_ok());
+    }
+}

@@ -13,7 +13,7 @@ use t10_bench::harness::{bench_search_config, Platform};
 use t10_bench::table::{fmt_bytes, fmt_time};
 use t10_bench::Table;
 use t10_core::compiler::emit_accuracy_events;
-use t10_core::recovery::{RecoveryController, RecoveryPolicy, RecoveryUnit};
+use t10_core::recovery::{RecoveryController, RecoveryMutation, RecoveryPolicy, RecoveryUnit};
 use t10_core::search::{search_operator, SearchConfig};
 use t10_core::{
     prove_plan, viz, CompileError, CompileOptions, CompiledGraph, Compiler, ProveOutcome,
@@ -38,6 +38,10 @@ usage:
   t10 bench   <model|file.t10> [--batch N] [--cores N]
   t10 explore <M> <K> <N> [--cores N]
   t10 trace   <trace.json>
+  t10 chaos   [--campaign-seed N] [--count N] [--profile NAME] [--cores N]
+              [--checkpoint-every N] [--max-retries K] [--shrink]
+              [--report-json FILE] [--bench-json FILE] [--corpus DIR]
+              [--mutate NAME] [--trace-out FILE] [--trace-clock wall|logical]
 
 trace opts (`compile` and `run`):
   --trace-out FILE    write a Chrome trace-event JSON (load in Perfetto,
@@ -68,10 +72,24 @@ coverage, rotation provenance, reduction flow, dataflow lints — and
 `--prove-cert FILE` writes the machine-readable proof certificates.
 `compile --prove` runs the same validator as an opt-in compile post-pass.
 
+`chaos` runs a seeded adversarial fault-injection campaign against the
+recovery stack: each case generates a randomized fault timeline under a
+profile (uniform, barrier-storm, migration-cross, degraded-target,
+recovery-storm, mixed — the default), executes it through the full
+compile/run/recover path, and judges the result with a differential oracle
+(output equivalence, certified recompiles, recovery invariants).
+`--shrink` minimizes violating timelines to replayable `--fault-timeline`
+reproducers; `--corpus DIR` first replays saved `.timeline` reproducers so
+past findings stay fixed; `--report-json` writes the deterministic campaign
+summary (byte-identical across same-seed reruns), `--bench-json` the
+wall-clock perf baseline. `--mutate corrupt-salvage|uncap-retries|
+skip-verification` injects a known recovery bug to demonstrate the oracle.
+
 exit codes: 1 generic, 2 usage, 3 infeasible plan, 4 out of memory,
   5 deadline exceeded, 6 worker panicked, 7 device/IR fault,
   8 run completed after recovering from mid-run faults, 9 unrecoverable,
-  10 static verification refuted the artifact";
+  10 static verification refuted the artifact,
+  11 chaos campaign found oracle violations";
 
 /// A CLI failure: a message plus the process exit code to report.
 ///
@@ -256,6 +274,39 @@ pub enum Cli {
         /// Path to a `--trace-out` JSON file.
         file: String,
     },
+    /// Run a seeded adversarial fault-injection campaign against the
+    /// recovery stack, judged by the differential oracle.
+    Chaos {
+        /// Master campaign seed; case `i` derives its timeline seed from it.
+        campaign_seed: u64,
+        /// Number of campaign cases.
+        count: usize,
+        /// Fault-space profile name (`uniform`, `barrier-storm`,
+        /// `migration-cross`, `degraded-target`, `recovery-storm`, `mixed`).
+        profile: String,
+        /// Cores on the healthy chip. The chaos default is 8, not the chip
+        /// default 1472: a campaign runs hundreds of compiles.
+        cores: usize,
+        /// Recovery budget override (retries + re-plans per operator).
+        max_retries: Option<usize>,
+        /// Checkpoint interval override, in supersteps.
+        checkpoint_every: Option<usize>,
+        /// Write the deterministic campaign summary JSON here. Written
+        /// before the exit verdict, so CI can archive it on failure too.
+        report_json: Option<String>,
+        /// Write the wall-clock perf-trajectory baseline JSON here.
+        bench_json: Option<String>,
+        /// Replay saved `.timeline` reproducers from this directory first.
+        corpus: Option<String>,
+        /// Shrink violating timelines to minimal reproducers.
+        shrink: bool,
+        /// Inject an intentionally-buggy recovery behavior
+        /// (`corrupt-salvage`, `uncap-retries`, `skip-verification`) to
+        /// demonstrate the oracle and the shrinker.
+        mutate: Option<String>,
+        /// Structured-event outputs (`--trace-out`/`--trace-clock` only).
+        trace: TraceArgs,
+    },
 }
 
 impl Cli {
@@ -263,7 +314,7 @@ impl Cli {
     pub fn parse(args: &[String]) -> Result<Self, String> {
         let mut pos: Vec<&str> = Vec::new();
         let mut batch = 1usize;
-        let mut cores = 1472usize;
+        let mut cores: Option<usize> = None;
         let mut fuse = false;
         let mut faults: Option<String> = None;
         let mut deadline_ms: Option<u64> = None;
@@ -274,6 +325,14 @@ impl Cli {
         let mut prove = false;
         let mut prove_cert: Option<String> = None;
         let mut trace = TraceArgs::default();
+        let mut campaign_seed: Option<u64> = None;
+        let mut count: Option<usize> = None;
+        let mut profile: Option<String> = None;
+        let mut report_json: Option<String> = None;
+        let mut bench_json: Option<String> = None;
+        let mut corpus: Option<String> = None;
+        let mut shrink = false;
+        let mut mutate: Option<String> = None;
         let mut it = args.iter();
         while let Some(a) = it.next() {
             match a.as_str() {
@@ -285,11 +344,12 @@ impl Cli {
                         .map_err(|_| "bad --batch value")?;
                 }
                 "--cores" => {
-                    cores = it
-                        .next()
-                        .ok_or("--cores needs a value")?
-                        .parse()
-                        .map_err(|_| "bad --cores value")?;
+                    cores = Some(
+                        it.next()
+                            .ok_or("--cores needs a value")?
+                            .parse()
+                            .map_err(|_| "bad --cores value")?,
+                    );
                 }
                 "--fuse" => fuse = true,
                 "--faults" => {
@@ -350,6 +410,38 @@ impl Cli {
                             .map_err(|_| "bad --trace-cores value")?,
                     );
                 }
+                "--campaign-seed" => {
+                    campaign_seed = Some(
+                        it.next()
+                            .ok_or("--campaign-seed needs a value")?
+                            .parse()
+                            .map_err(|_| "bad --campaign-seed value")?,
+                    );
+                }
+                "--count" => {
+                    count = Some(
+                        it.next()
+                            .ok_or("--count needs a value")?
+                            .parse()
+                            .map_err(|_| "bad --count value")?,
+                    );
+                }
+                "--profile" => {
+                    profile = Some(it.next().ok_or("--profile needs a value")?.clone());
+                }
+                "--report-json" => {
+                    report_json = Some(it.next().ok_or("--report-json needs a path")?.clone());
+                }
+                "--bench-json" => {
+                    bench_json = Some(it.next().ok_or("--bench-json needs a path")?.clone());
+                }
+                "--corpus" => {
+                    corpus = Some(it.next().ok_or("--corpus needs a directory")?.clone());
+                }
+                "--shrink" => shrink = true,
+                "--mutate" => {
+                    mutate = Some(it.next().ok_or("--mutate needs a value")?.clone());
+                }
                 flag if flag.starts_with("--") => {
                     return Err(format!("unknown flag {flag}"));
                 }
@@ -373,16 +465,45 @@ impl Cli {
         if deadline_ms.is_some() && sub != Some("compile") {
             return Err("--deadline-ms only applies to `compile`".into());
         }
-        if (fault_timeline.is_some() || checkpoint_every.is_some() || max_retries.is_some())
+        if fault_timeline.is_some() && sub != Some("run") {
+            return Err("--fault-timeline only applies to `run`".into());
+        }
+        if (checkpoint_every.is_some() || max_retries.is_some())
             && sub != Some("run")
+            && sub != Some("chaos")
         {
             return Err(
-                "--fault-timeline, --checkpoint-every and --max-retries only apply to `run`".into(),
+                "--checkpoint-every and --max-retries only apply to `run` and `chaos`".into(),
             );
         }
-        if (trace != TraceArgs::default()) && sub != Some("compile") && sub != Some("run") {
-            return Err("trace options only apply to `compile` and `run`".into());
+        if (trace != TraceArgs::default())
+            && sub != Some("compile")
+            && sub != Some("run")
+            && sub != Some("chaos")
+        {
+            return Err("trace options only apply to `compile`, `run` and `chaos`".into());
         }
+        if sub == Some("chaos") && (trace.metrics_out.is_some() || trace.trace_cores.is_some()) {
+            return Err("`chaos` supports only --trace-out and --trace-clock".into());
+        }
+        let chaos_only = campaign_seed.is_some()
+            || count.is_some()
+            || profile.is_some()
+            || report_json.is_some()
+            || bench_json.is_some()
+            || corpus.is_some()
+            || shrink
+            || mutate.is_some();
+        if chaos_only && sub != Some("chaos") {
+            return Err(
+                "campaign flags (--campaign-seed, --count, --profile, --report-json, \
+                        --bench-json, --corpus, --shrink, --mutate) only apply to `chaos`"
+                    .into(),
+            );
+        }
+        // `chaos` runs hundreds of compiles per campaign; its default chip
+        // is small. Every other command defaults to the full IPU Mk2.
+        let cores = cores.unwrap_or(if sub == Some("chaos") { 8 } else { 1472 });
         match pos.as_slice() {
             ["zoo"] => Ok(Cli::Zoo),
             ["compile", target] => Ok(Cli::Compile {
@@ -418,6 +539,20 @@ impl Cli {
             }),
             ["trace", file] => Ok(Cli::Trace {
                 file: file.to_string(),
+            }),
+            ["chaos"] => Ok(Cli::Chaos {
+                campaign_seed: campaign_seed.unwrap_or(0),
+                count: count.unwrap_or(20),
+                profile: profile.unwrap_or_else(|| "mixed".to_string()),
+                cores,
+                max_retries,
+                checkpoint_every,
+                report_json,
+                bench_json,
+                corpus,
+                shrink,
+                mutate,
+                trace,
             }),
             ["bench", target] => Ok(Cli::Bench {
                 target: target.to_string(),
@@ -870,7 +1005,10 @@ pub fn run(cli: &Cli) -> Result<i32, CliError> {
                 None => FaultPlan::new(spec.num_cores),
             };
             let timeline = match fault_timeline {
-                Some(s) => Some(FaultTimeline::parse(s, spec.num_cores).map_err(CliError::usage)?),
+                Some(s) => Some(
+                    FaultTimeline::parse(s, spec.num_cores)
+                        .map_err(|e| CliError::usage(e.to_string()))?,
+                ),
                 None => None,
             };
             let mut policy = RecoveryPolicy::default();
@@ -1186,6 +1324,173 @@ pub fn run(cli: &Cli) -> Result<i32, CliError> {
                 for level in 0..lean.plan.rotations.len() {
                     print!("{}", viz::rotation_schedule(&op, &lean.plan, level));
                 }
+            }
+            Ok(0)
+        }
+        Cli::Chaos {
+            campaign_seed,
+            count,
+            profile,
+            cores,
+            max_retries,
+            checkpoint_every,
+            report_json,
+            bench_json,
+            corpus,
+            shrink,
+            mutate,
+            trace: targs,
+        } => {
+            let profile = t10_chaos::Profile::parse(profile).ok_or_else(|| {
+                CliError::usage(format!(
+                    "unknown profile `{profile}` (try uniform, barrier-storm, \
+                     migration-cross, degraded-target, recovery-storm, mixed)"
+                ))
+            })?;
+            let mutation = match mutate.as_deref() {
+                None => RecoveryMutation::None,
+                Some("corrupt-salvage") => RecoveryMutation::CorruptSalvage,
+                Some("uncap-retries") => RecoveryMutation::UncapRetries,
+                Some("skip-verification") => RecoveryMutation::SkipVerification,
+                Some(other) => {
+                    return Err(CliError::usage(format!(
+                        "unknown mutation `{other}` (try corrupt-salvage, \
+                         uncap-retries, skip-verification)"
+                    )))
+                }
+            };
+            let trace = targs.make_trace();
+            let mut run_cfg = t10_chaos::RunConfig {
+                cores: *cores,
+                mutation,
+                trace: trace.clone(),
+                ..t10_chaos::RunConfig::default()
+            };
+            if let Some(n) = checkpoint_every {
+                run_cfg.policy.checkpoint_every = (*n).max(1);
+            }
+            if let Some(k) = max_retries {
+                run_cfg.policy.max_retries = *k;
+            }
+
+            // Replay the pinned corpus first: a regression on a past
+            // minimized reproducer is the cheapest possible finding.
+            let mut corpus_violations = 0usize;
+            if let Some(dir) = corpus {
+                let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+                    .map_err(|e| format!("{dir}: {e}"))?
+                    .filter_map(|e| e.ok())
+                    .map(|e| e.path())
+                    .filter(|p| p.extension().is_some_and(|x| x == "timeline"))
+                    .collect();
+                paths.sort();
+                let mut timelines = Vec::new();
+                for path in &paths {
+                    let text = std::fs::read_to_string(path)
+                        .map_err(|e| format!("{}: {e}", path.display()))?;
+                    timelines.extend(
+                        t10_chaos::parse_corpus(&text, run_cfg.cores)
+                            .map_err(|e| CliError::usage(format!("{}: {e}", path.display())))?,
+                    );
+                }
+                let outcomes = t10_chaos::replay(&timelines, &run_cfg)?;
+                for o in &outcomes {
+                    if let t10_chaos::Outcome::Violation(kind) = &o.outcome {
+                        corpus_violations += 1;
+                        println!(
+                            "corpus: REGRESSION {} on {}: {}",
+                            o.spec,
+                            o.chain,
+                            kind.label()
+                        );
+                    }
+                }
+                println!(
+                    "corpus: {} reproducer(s) x {} chain(s) replayed, {} regression(s)",
+                    timelines.len(),
+                    if timelines.is_empty() {
+                        0
+                    } else {
+                        outcomes.len() / timelines.len()
+                    },
+                    corpus_violations,
+                );
+            }
+
+            let cfg = t10_chaos::CampaignConfig {
+                seed: *campaign_seed,
+                count: *count,
+                profile,
+                run: run_cfg,
+                shrink_violations: *shrink,
+            };
+            let report = t10_chaos::run_campaign(&cfg)?;
+            println!(
+                "campaign: seed {} profile {} cores {}: {} case(s) -> \
+                 {} healed, {} degraded-ok, {} unrecoverable-expected, {} violation(s)",
+                report.seed,
+                report.profile,
+                report.cores,
+                report.count,
+                report.healed,
+                report.degraded_ok,
+                report.unrecoverable_expected,
+                report.violations,
+            );
+            println!(
+                "recovery overhead: p50 {:.1}%  p90 {:.1}%  p99 {:.1}%  \
+                 (checkpoint cost {:.2}% of run time)",
+                report.overhead_p50,
+                report.overhead_p90,
+                report.overhead_p99,
+                report.checkpoint_cost_pct,
+            );
+            for c in &report.cases {
+                let t10_chaos::Outcome::Violation(kind) = &c.outcome else {
+                    continue;
+                };
+                println!(
+                    "case {} ({}): ORACLE-VIOLATION {} -- replay with --fault-timeline '{}'",
+                    c.index,
+                    c.chain,
+                    kind.label(),
+                    c.spec,
+                );
+                if let Some(sh) = &c.shrunk {
+                    println!(
+                        "  shrunk to {} event(s) in {} attempt(s): '{}'",
+                        sh.events, sh.attempts, sh.spec,
+                    );
+                }
+            }
+            // Reports are written before the exit verdict so CI can archive
+            // them on failure too.
+            if let Some(path) = report_json {
+                std::fs::write(path, t10_chaos::campaign_json(&report))
+                    .map_err(|e| format!("{path}: {e}"))?;
+                println!("campaign report -> {path}");
+            }
+            if let Some(path) = bench_json {
+                std::fs::write(path, t10_chaos::bench_json(&report))
+                    .map_err(|e| format!("{path}: {e}"))?;
+                println!("recovery perf baseline -> {path}");
+            }
+            if let Some(path) = &targs.trace_out {
+                let json = write_chrome_trace(&trace.snapshot());
+                let parsed = parse_chrome_trace(&json)
+                    .map_err(|e| format!("internal: emitted trace does not parse: {e}"))?;
+                if write_chrome_trace(&parsed) != json {
+                    return Err("internal: trace round-trip mismatch".to_string().into());
+                }
+                std::fs::write(path, &json).map_err(|e| format!("{path}: {e}"))?;
+                println!("trace: {} events -> {path}", trace.len());
+            }
+            let total_violations = report.violations + corpus_violations;
+            if total_violations > 0 {
+                return Err(CliError {
+                    message: format!("chaos: {total_violations} oracle violation(s)"),
+                    code: 11,
+                });
             }
             Ok(0)
         }
@@ -1829,5 +2134,165 @@ mod tests {
         .unwrap_err();
         assert_eq!(err.code, 2);
         assert!(err.message.contains("fault timeline"));
+    }
+
+    #[test]
+    fn parses_chaos_with_flags() {
+        let c = Cli::parse(&s(&[
+            "chaos",
+            "--campaign-seed",
+            "42",
+            "--count",
+            "50",
+            "--profile",
+            "barrier-storm",
+            "--shrink",
+            "--report-json",
+            "r.json",
+            "--bench-json",
+            "b.json",
+            "--corpus",
+            "corpus/",
+            "--max-retries",
+            "6",
+            "--checkpoint-every",
+            "2",
+            "--mutate",
+            "uncap-retries",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Cli::Chaos {
+                campaign_seed: 42,
+                count: 50,
+                profile: "barrier-storm".to_string(),
+                cores: 8,
+                max_retries: Some(6),
+                checkpoint_every: Some(2),
+                report_json: Some("r.json".to_string()),
+                bench_json: Some("b.json".to_string()),
+                corpus: Some("corpus/".to_string()),
+                shrink: true,
+                mutate: Some("uncap-retries".to_string()),
+                trace: TraceArgs::default(),
+            }
+        );
+        // Defaults: seed 0, 20 cases, mixed profile, a small 8-core chip.
+        match Cli::parse(&s(&["chaos"])).unwrap() {
+            Cli::Chaos {
+                campaign_seed,
+                count,
+                profile,
+                cores,
+                shrink,
+                ..
+            } => {
+                assert_eq!(campaign_seed, 0);
+                assert_eq!(count, 20);
+                assert_eq!(profile, "mixed");
+                assert_eq!(cores, 8);
+                assert!(!shrink);
+            }
+            other => panic!("unexpected parse {other:?}"),
+        }
+        // Campaign flags are rejected elsewhere, not silently dropped.
+        assert!(Cli::parse(&s(&["run", "x", "--campaign-seed", "3"])).is_err());
+        assert!(Cli::parse(&s(&["bench", "x", "--count", "5"])).is_err());
+        assert!(Cli::parse(&s(&["zoo", "--shrink"])).is_err());
+        assert!(Cli::parse(&s(&["compile", "x", "--report-json", "r.json"])).is_err());
+        // Chaos takes no positional target, and only a trace-out sink.
+        assert!(Cli::parse(&s(&["chaos", "ResNet"])).is_err());
+        assert!(Cli::parse(&s(&["chaos", "--metrics-out", "m.json"])).is_err());
+        assert!(Cli::parse(&s(&["chaos", "--trace-cores", "4"])).is_err());
+        assert!(Cli::parse(&s(&["chaos", "--count", "many"])).is_err());
+    }
+
+    struct ChaosArgs {
+        count: usize,
+        profile: &'static str,
+        report_json: Option<String>,
+        bench_json: Option<String>,
+        corpus: Option<String>,
+        shrink: bool,
+        mutate: Option<&'static str>,
+    }
+
+    impl ChaosArgs {
+        fn new(count: usize) -> Self {
+            Self {
+                count,
+                profile: "mixed",
+                report_json: None,
+                bench_json: None,
+                corpus: None,
+                shrink: false,
+                mutate: None,
+            }
+        }
+
+        fn cli(self) -> Cli {
+            Cli::Chaos {
+                campaign_seed: 7,
+                count: self.count,
+                profile: self.profile.to_string(),
+                cores: 8,
+                max_retries: None,
+                checkpoint_every: None,
+                report_json: self.report_json,
+                bench_json: self.bench_json,
+                corpus: self.corpus,
+                shrink: self.shrink,
+                mutate: self.mutate.map(str::to_string),
+                trace: TraceArgs::default(),
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_command_runs_a_clean_campaign_and_writes_reports() {
+        let dir = std::env::temp_dir().join("t10_cli_chaos_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let report_path = dir.join("campaign.json");
+        let bench_path = dir.join("bench.json");
+        let corpus_dir = dir.join("corpus");
+        std::fs::create_dir_all(&corpus_dir).unwrap();
+        std::fs::write(
+            corpus_dir.join("seed.timeline"),
+            "# pinned reproducer corpus (test)\nseed=7,drop=2@1\n",
+        )
+        .unwrap();
+        let mut args = ChaosArgs::new(4);
+        args.report_json = Some(report_path.to_string_lossy().to_string());
+        args.bench_json = Some(bench_path.to_string_lossy().to_string());
+        args.corpus = Some(corpus_dir.to_string_lossy().to_string());
+        let code = run(&args.cli()).unwrap();
+        assert_eq!(code, 0, "a healthy stack has no oracle violations");
+        let report = std::fs::read_to_string(&report_path).unwrap();
+        assert!(report.contains("\"schema\": \"t10.chaos.campaign.v1\""));
+        assert!(report.contains("\"violations\": 0"));
+        let bench = std::fs::read_to_string(&bench_path).unwrap();
+        assert!(bench.contains("\"schema\": \"t10.bench.recovery.v1\""));
+    }
+
+    #[test]
+    fn chaos_command_with_buggy_mutation_exits_11() {
+        // `migration-cross` always schedules a persistent fault, so the
+        // corrupted salvage is guaranteed to reach the recompiled unit.
+        let mut args = ChaosArgs::new(2);
+        args.profile = "migration-cross";
+        args.shrink = true;
+        args.mutate = Some("corrupt-salvage");
+        let err = run(&args.cli()).unwrap_err();
+        assert_eq!(err.code, 11);
+        assert!(err.message.contains("oracle violation"));
+        // An unknown mutation name is a usage error, not a campaign run.
+        let mut bad = ChaosArgs::new(1);
+        bad.mutate = Some("frobnicate");
+        assert_eq!(run(&bad.cli()).unwrap_err().code, 2);
+        // So is an unknown profile.
+        let mut bad = ChaosArgs::new(1);
+        bad.profile = "bogus";
+        assert_eq!(run(&bad.cli()).unwrap_err().code, 2);
     }
 }

@@ -8,17 +8,21 @@
 //! t10 bench   <model|file.t10> [opts]   compare T10 / Roller / Ansor / PopART
 //! t10 explore <M> <K> <N> [opts]        Pareto frontier of one MatMul
 //! t10 trace   <trace.json>              summarize a recorded trace file
+//! t10 chaos   [opts]                    adversarial fault-injection campaign
 //!
 //! options: --batch N (default 1)  --cores N (default 1472)  --fuse
 //!          --faults SPEC  --deadline-ms N  --fault-timeline SPEC
 //!          --checkpoint-every N  --max-retries K
 //!          --trace-out FILE  --metrics-out FILE
 //!          --trace-clock wall|logical  --trace-cores N  --json FILE
+//!          --campaign-seed N  --count N  --profile NAME  --shrink
+//!          --report-json FILE  --bench-json FILE  --corpus DIR  --mutate NAME
 //!
 //! Exit codes distinguish failure classes: 1 generic, 2 usage, 3 infeasible
 //! plan, 4 out of memory, 5 deadline exceeded, 6 worker panicked,
 //! 7 device/IR fault, 8 run recovered from mid-run faults, 9 unrecoverable,
-//! 10 static verification refuted the artifact.
+//! 10 static verification refuted the artifact, 11 chaos campaign found
+//! oracle violations.
 //! ```
 
 use t10_cli::{run, Cli};

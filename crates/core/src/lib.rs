@@ -72,7 +72,10 @@ pub use compiler::{CompileOptions, CompiledGraph, Compiler};
 pub use cost::CostModel;
 pub use error::CompileError;
 pub use plan::{Plan, PlanConfig, TemporalChoice};
-pub use recovery::{MigrationMap, Recovered, RecoveryController, RecoveryPolicy, RecoveryUnit};
+pub use recovery::{
+    MigrationMap, Recovered, RecoveryAudit, RecoveryController, RecoveryMutation, RecoveryPolicy,
+    RecoveryUnit, RetryAudit, UnitAudit,
+};
 pub use search::{ParetoSet, SearchConfig, SearchStats};
 pub use semantics::{prove_plan, OperatorSemantics, ProveOutcome};
 pub use verify::{verify_lowering, verify_plan};

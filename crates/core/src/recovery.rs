@@ -31,7 +31,8 @@ use t10_device::ChipSpec;
 use t10_ir::Tensor;
 use t10_sim::timeline::FaultEventKind;
 use t10_sim::{
-    FaultPlan, FaultTimeline, LinkFault, RecoveryReport, RunReport, Simulator, SimulatorMode,
+    FaultPlan, FaultTimeline, LinkFault, RecoveryReport, RunReport, RunStateEvent, RunStateLog,
+    Simulator, SimulatorMode,
 };
 use t10_trace::{Trace, Value, PID_RECOVERY};
 
@@ -51,6 +52,12 @@ pub struct RecoveryPolicy {
     pub backoff_base: f64,
     /// Backoff ceiling in seconds.
     pub backoff_cap: f64,
+    /// Jitter fraction applied to each backoff, in `[0, 1]`: the capped
+    /// exponential delay is scaled by `1 − j/2 + j·u` with `u ∈ [0, 1)`
+    /// derived deterministically from the fault's global step and the retry
+    /// ordinal, so repeated faults at the *same* barrier desynchronize
+    /// (mean delay is preserved, and same-seed runs stay byte-identical).
+    pub backoff_jitter: f64,
 }
 
 impl Default for RecoveryPolicy {
@@ -60,8 +67,151 @@ impl Default for RecoveryPolicy {
             checkpoint_every: 4,
             backoff_base: 1e-3,
             backoff_cap: 8e-3,
+            backoff_jitter: 0.25,
         }
     }
+}
+
+/// Deterministic jitter source: a splitmix64 finalizer over the (global
+/// step, retry ordinal) pair, mapped to `[0, 1)`. Pure function of run
+/// state — no wall clock, no shared RNG — so recovery stays replayable.
+fn jitter_unit(step: usize, retry: usize) -> f64 {
+    let mut x = (step as u64)
+        .wrapping_shl(32)
+        .wrapping_add(retry as u64)
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// One verification-gate decision for a (re)compiled unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnitAudit {
+    /// 0 for the initial compile, `n` for the n-th recovery recompile.
+    pub index: usize,
+    /// Whether the unit passed the static verifier (`t10-verify`).
+    pub verified: bool,
+    /// Whether the unit passed translation validation (`t10-prove`).
+    pub proved: bool,
+}
+
+/// One recovery decision: a transient retry or a persistent re-plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryAudit {
+    /// Global superstep at which the fault fired.
+    pub step: usize,
+    /// Transient (rollback + replay) vs persistent (recompile + migrate).
+    pub transient: bool,
+    /// Backoff charged for this retry, in seconds (0 for re-plans).
+    pub backoff: f64,
+    /// Supersteps of work discarded by this recovery.
+    pub supersteps_lost: usize,
+}
+
+/// Introspectable history of everything the controller did to a run, built
+/// for the chaos oracle: every verification-gate decision, every
+/// retry/re-plan with its backoff, and the simulators' append-only
+/// [`RunStateLog`]s concatenated in occurrence order.
+///
+/// [`RecoveryAudit::invariant_violations`] checks the recovery invariants
+/// the tentpole oracle enforces; a healthy controller always returns an
+/// empty list (the intentionally-buggy [`RecoveryMutation`]s exist to trip
+/// it in tests).
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryAudit {
+    /// Verification-gate decisions, initial compile first.
+    pub units: Vec<UnitAudit>,
+    /// Recovery decisions in occurrence order.
+    pub retries: Vec<RetryAudit>,
+    /// Checkpoint/restore/absorb/fatal history across all simulators.
+    pub state_events: RunStateLog,
+    /// The retry cap in force (from [`RecoveryPolicy::max_retries`]).
+    pub max_retries: usize,
+}
+
+impl RecoveryAudit {
+    /// Total recovery events recorded (transient retries + re-plans).
+    pub fn recoveries(&self) -> usize {
+        self.retries.len()
+    }
+
+    /// Checks the recovery invariants and describes every violation:
+    ///
+    /// * the retry cap was respected (`retries ≤ max_retries`);
+    /// * every (re)compiled unit passed both the verifier and the prover;
+    /// * no checkpoint regression — every restore targets a previously
+    ///   logged checkpoint at or before the failing step, and no later
+    ///   checkpoint lands before the step a restore rewound to.
+    pub fn invariant_violations(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        if self.retries.len() > self.max_retries {
+            out.push(format!(
+                "retry cap exceeded: {} recoveries against a budget of {}",
+                self.retries.len(),
+                self.max_retries
+            ));
+        }
+        for u in &self.units {
+            if !u.verified || !u.proved {
+                out.push(format!(
+                    "unit {} ran uncertified (verified={}, proved={})",
+                    u.index, u.verified, u.proved
+                ));
+            }
+        }
+        let mut ck_steps: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
+        let mut floor = 0usize;
+        for ev in &self.state_events {
+            match *ev {
+                RunStateEvent::Checkpoint { step, .. } => {
+                    if step < floor {
+                        out.push(format!(
+                            "checkpoint regression: snapshot at step {step} after a \
+                             restore rewound to step {floor}"
+                        ));
+                    }
+                    ck_steps.insert(step);
+                }
+                RunStateEvent::Restore { from, to } => {
+                    if to > from {
+                        out.push(format!(
+                            "restore moved forward: from step {from} to step {to}"
+                        ));
+                    }
+                    if !ck_steps.contains(&to) {
+                        out.push(format!(
+                            "restore targeted step {to}, which no logged checkpoint covers"
+                        ));
+                    }
+                    floor = to;
+                }
+                RunStateEvent::Absorbed { .. } | RunStateEvent::Fatal { .. } => {}
+            }
+        }
+        out
+    }
+}
+
+/// Intentionally-buggy controller behaviors, used by the chaos tests to
+/// demonstrate that the differential oracle catches real recovery defects
+/// and that failing timelines shrink to minimal reproducers. Never enabled
+/// on any production path.
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecoveryMutation {
+    /// The controller behaves correctly.
+    #[default]
+    None,
+    /// Perturbs the first salvaged input element after a persistent fault,
+    /// so the healed output silently diverges from the healthy reference.
+    CorruptSalvage,
+    /// Ignores `max_retries`, so a fault storm burns unbounded recoveries
+    /// (terminates only because timeline events are consumed once).
+    UncapRetries,
+    /// Skips the verify/prove gate on every (re)compiled unit.
+    SkipVerification,
 }
 
 /// One compiled, runnable unit: the program plus the metadata recovery
@@ -185,6 +335,8 @@ pub struct Recovered {
     pub timeline: Option<FaultTimeline>,
     /// Global superstep numbering for the next unit.
     pub next_step_offset: usize,
+    /// Everything the controller did to this run, for the chaos oracle.
+    pub audit: RecoveryAudit,
 }
 
 /// Supervises execution of compiled units, recovering from mid-run faults.
@@ -193,6 +345,7 @@ pub struct RecoveryController {
     policy: RecoveryPolicy,
     trace: Trace,
     trace_cores: Option<usize>,
+    mutation: RecoveryMutation,
 }
 
 impl RecoveryController {
@@ -203,7 +356,15 @@ impl RecoveryController {
             policy,
             trace: Trace::disabled(),
             trace_cores: None,
+            mutation: RecoveryMutation::default(),
         }
+    }
+
+    /// Installs an intentionally-buggy behavior (chaos tests only).
+    #[doc(hidden)]
+    pub fn with_mutation(mut self, mutation: RecoveryMutation) -> Self {
+        self.mutation = mutation;
+        self
     }
 
     /// Attaches a structured event sink. The same handle is passed to every
@@ -256,8 +417,12 @@ impl RecoveryController {
         let mut spec = spec.clone();
         let mut faults = faults;
         let mut inputs: Vec<Tensor> = inputs.to_vec();
+        let mut audit = RecoveryAudit {
+            max_retries: self.policy.max_retries,
+            ..RecoveryAudit::default()
+        };
         let mut unit = recompile(&spec, &faults, None)?;
-        self.verify_unit(&spec, &faults, &unit)?;
+        audit.units.push(self.certify(&spec, &faults, &unit, 0)?);
         let mut sim = self.build_sim(&spec, &faults, timeline, step_offset, &unit, &inputs)?;
         let mut rr = RecoveryReport::default();
         loop {
@@ -269,6 +434,7 @@ impl RecoveryController {
                     report.recovery = Some(rr);
                     let next_step_offset = sim.global_step();
                     let timeline = sim.take_fault_timeline();
+                    audit.state_events.extend(sim.take_run_state_log());
                     return Ok(Recovered {
                         report,
                         sim,
@@ -277,6 +443,7 @@ impl RecoveryController {
                         faults,
                         timeline,
                         next_step_offset,
+                        audit,
                     });
                 }
                 Err(e) => e,
@@ -286,7 +453,9 @@ impl RecoveryController {
                 // no amount of retrying fixes.
                 return Err(err.into());
             };
-            if rr.recoveries() >= self.policy.max_retries {
+            if self.mutation != RecoveryMutation::UncapRetries
+                && rr.recoveries() >= self.policy.max_retries
+            {
                 return Err(CompileError::unrecoverable(format!(
                     "recovery budget of {} exhausted at {}",
                     self.policy.max_retries,
@@ -296,11 +465,14 @@ impl RecoveryController {
             rr.events.push(ev.describe());
             if ev.kind.is_transient() {
                 // The machine is intact: roll back to the last checkpoint,
-                // back off, replay.
+                // back off, replay. The deterministic jitter keeps repeated
+                // faults at one barrier from lock-stepping their delays.
                 rr.transient_retries += 1;
-                let backoff = (self.policy.backoff_base
-                    * 2f64.powi(rr.transient_retries as i32 - 1))
-                .min(self.policy.backoff_cap);
+                let raw = (self.policy.backoff_base * 2f64.powi(rr.transient_retries as i32 - 1))
+                    .min(self.policy.backoff_cap);
+                let j = self.policy.backoff_jitter.clamp(0.0, 1.0);
+                let u = jitter_unit(sim.global_step(), rr.transient_retries);
+                let backoff = raw * (1.0 - j * 0.5 + j * u);
                 rr.backoff_time += backoff;
                 let ck = sim
                     .last_checkpoint()
@@ -308,6 +480,12 @@ impl RecoveryController {
                     .ok_or_else(|| CompileError::internal("no checkpoint to retry from"))?;
                 let lost = sim.cursor() - ck.step();
                 rr.supersteps_lost += lost;
+                audit.retries.push(RetryAudit {
+                    step: sim.global_step(),
+                    transient: true,
+                    backoff,
+                    supersteps_lost: lost,
+                });
                 if self.trace.enabled() {
                     let now_us = sim.elapsed_sim_time() * 1e6;
                     self.trace.instant(
@@ -345,6 +523,12 @@ impl RecoveryController {
             rr.recompiles += 1;
             rr.supersteps_lost += sim.cursor();
             let fault_global = sim.global_step();
+            audit.retries.push(RetryAudit {
+                step: fault_global,
+                transient: false,
+                backoff: 0.0,
+                supersteps_lost: sim.cursor(),
+            });
             let replan_ts_us = sim.elapsed_sim_time() * 1e6;
             if self.trace.enabled() {
                 self.trace.instant(
@@ -373,6 +557,11 @@ impl RecoveryController {
                     salvaged.push(sim.extract(ids, inputs[slot].shape())?);
                 }
                 inputs = salvaged;
+                if self.mutation == RecoveryMutation::CorruptSalvage {
+                    if let Some(v) = inputs.first_mut().and_then(|t| t.data_mut().first_mut()) {
+                        *v += 1.0;
+                    }
+                }
             }
             let mut timeline = sim.take_fault_timeline();
             match ev.kind {
@@ -408,9 +597,12 @@ impl RecoveryController {
                     )))
                 }
             }
+            audit.state_events.extend(sim.take_run_state_log());
             let prev = std::mem::take(&mut unit.pareto);
             let new_unit = recompile(&spec, &faults, Some(&prev))?;
-            self.verify_unit(&spec, &faults, &new_unit)?;
+            audit
+                .units
+                .push(self.certify(&spec, &faults, &new_unit, rr.recompiles)?);
             let migration = MigrationMap::between(
                 &unit.program,
                 &unit.input_buffers,
@@ -471,6 +663,32 @@ impl RecoveryController {
             .with_trace(self.trace.clone())
             .prove_program(&unit.program, &unit.output_buffers);
         crate::verify::require(proof.report)
+    }
+
+    /// Runs the verify/prove gate and records the decision for the audit.
+    /// Under [`RecoveryMutation::SkipVerification`] the gate is bypassed and
+    /// the unit is honestly recorded as uncertified — which is exactly what
+    /// the chaos oracle's second clause exists to catch.
+    fn certify(
+        &self,
+        spec: &ChipSpec,
+        faults: &FaultPlan,
+        unit: &RecoveryUnit,
+        index: usize,
+    ) -> Result<UnitAudit> {
+        if self.mutation == RecoveryMutation::SkipVerification {
+            return Ok(UnitAudit {
+                index,
+                verified: false,
+                proved: false,
+            });
+        }
+        self.verify_unit(spec, faults, unit)?;
+        Ok(UnitAudit {
+            index,
+            verified: true,
+            proved: true,
+        })
     }
 
     /// Builds a simulator for one unit: fault plan installed, checkpoint

@@ -13,7 +13,8 @@
 use t10_core::lower::lower_functional;
 use t10_core::search::SearchConfig;
 use t10_core::{
-    CompileError, CompileOptions, Compiler, RecoveryController, RecoveryPolicy, RecoveryUnit,
+    CompileError, CompileOptions, Compiler, Recovered, RecoveryController, RecoveryMutation,
+    RecoveryPolicy, RecoveryUnit,
 };
 use t10_device::ChipSpec;
 use t10_ir::{builders, reference, DType, Graph, Operator, Tensor, Unary, ValueKind};
@@ -82,7 +83,9 @@ fn run_ffn_traced(
     let mut spec = ChipSpec::ipu_with_cores(CORES);
     let mut faults = FaultPlan::new(CORES);
     let mut timeline = match timeline_spec {
-        Some(s) => Some(FaultTimeline::parse(s, CORES).map_err(CompileError::internal)?),
+        Some(s) => Some(
+            FaultTimeline::parse(s, CORES).map_err(|e| CompileError::internal(e.to_string()))?,
+        ),
         None => None,
     };
     let mut offset = 0usize;
@@ -132,6 +135,61 @@ fn run_ffn_traced(
         offset = recovered.next_step_offset;
     }
     Ok((activations.pop().unwrap(), reports, spec))
+}
+
+/// Runs just the first FFN operator under a (possibly mutated) controller
+/// and returns the extracted output plus the full [`Recovered`] state —
+/// audit included — for introspection tests.
+fn run_one(
+    timeline_spec: Option<&str>,
+    policy: RecoveryPolicy,
+    mutation: RecoveryMutation,
+) -> Result<(Tensor, Recovered), CompileError> {
+    let op = ffn_ops().remove(0);
+    let x = Tensor::pattern(vec![16, 32], 0.3);
+    let w1 = Tensor::pattern(vec![32, 32], 0.7);
+    let controller =
+        RecoveryController::new(SimulatorMode::Functional, policy).with_mutation(mutation);
+    let graph = single_node_graph(&op);
+    let spec = ChipSpec::ipu_with_cores(CORES);
+    let timeline = match timeline_spec {
+        Some(s) => Some(
+            FaultTimeline::parse(s, CORES).map_err(|e| CompileError::internal(e.to_string()))?,
+        ),
+        None => None,
+    };
+    let recovered = controller.execute(
+        &spec,
+        FaultPlan::new(CORES),
+        timeline,
+        0,
+        &[x, w1],
+        |spec, faults, warm| {
+            let compiler = Compiler::new(spec.clone(), SearchConfig::fast());
+            let opts = CompileOptions {
+                deadline: None,
+                faults: Some(faults.clone()),
+                warm_start: warm.map(<[_]>::to_vec),
+                ..CompileOptions::default()
+            };
+            let (pareto, _) = compiler.compile_node_with(&graph, 0, &opts)?;
+            for sp in pareto.plans() {
+                if let Ok(f) = lower_functional(&op, &sp.plan) {
+                    return Ok(RecoveryUnit {
+                        program: f.program,
+                        pareto: vec![pareto.clone()],
+                        input_buffers: f.input_buffers,
+                        output_buffers: f.output_buffers,
+                    });
+                }
+            }
+            Err(CompileError::infeasible("no functionally-lowerable plan"))
+        },
+    )?;
+    let out = recovered
+        .sim
+        .extract(&recovered.unit.output_buffers, &op.expr.output_shape())?;
+    Ok((out, recovered))
 }
 
 /// The healthy reference: the same FFN through the naive executor.
@@ -300,6 +358,138 @@ fn exhausted_retry_budget_is_unrecoverable() {
     assert!(
         matches!(err, CompileError::Unrecoverable { .. }),
         "expected Unrecoverable, got {err}"
+    );
+}
+
+#[test]
+fn transient_storm_at_one_barrier_cannot_livelock_the_retry_loop() {
+    // Ten transient faults all queued at the same superstep: each replay
+    // reaches the barrier again and trips the next one. Because events are
+    // consumed exactly once, the loop must drain the storm and finish —
+    // and the jittered backoff must stay inside its envelope while
+    // desynchronizing the capped region (no lock-stepped delays).
+    let policy = RecoveryPolicy {
+        max_retries: 16,
+        ..RecoveryPolicy::default()
+    };
+    let storm = "drop=2@0,drop=2@1,drop=2@2,drop=2@3,drop=2@4,drop=2@5,\
+                 drop=2@6,drop=2@7,stall=2@0,stall=2@1";
+    let (out, recovered) = run_one(Some(storm), policy.clone(), RecoveryMutation::None).unwrap();
+
+    let rec = recovered.report.recovery.as_ref().unwrap();
+    assert_eq!(rec.transient_retries, 10, "every storm event was retried");
+    assert_eq!(rec.recompiles, 0, "transient faults never force a re-plan");
+    assert!(recovered.audit.invariant_violations().is_empty());
+
+    let op = ffn_ops().remove(0);
+    let x = Tensor::pattern(vec![16, 32], 0.3);
+    let w1 = Tensor::pattern(vec![32, 32], 0.7);
+    let want = reference::execute(&op, &[&x, &w1]).unwrap();
+    assert!(out.approx_eq(&want, 1e-4), "storm survivors stay correct");
+
+    // Jitter envelope: each delay is raw · (1 − j/2 + j·u), u ∈ [0, 1).
+    let j = policy.backoff_jitter;
+    let backoffs: Vec<f64> = recovered.audit.retries.iter().map(|r| r.backoff).collect();
+    assert_eq!(backoffs.len(), 10);
+    for (i, &b) in backoffs.iter().enumerate() {
+        let raw = (policy.backoff_base * 2f64.powi(i as i32)).min(policy.backoff_cap);
+        assert!(
+            b >= raw * (1.0 - j * 0.5) && b < raw * (1.0 + j * 0.5),
+            "retry {i}: backoff {b} outside jitter envelope of raw {raw}"
+        );
+    }
+    // Once the exponential hits the cap the raw delays are identical; the
+    // jitter must spread them so the storm cannot lock-step.
+    let capped = &backoffs[4..];
+    assert!(
+        capped.windows(2).any(|w| w[0] != w[1]),
+        "capped backoffs are lock-stepped: {capped:?}"
+    );
+}
+
+#[test]
+fn recovery_audit_records_certified_units_and_clean_invariants() {
+    // A link death mid-run: initial compile + one recovery recompile, both
+    // gated through verify/prove, with the state log showing the
+    // checkpoint → fatal → restore sequence.
+    let (out, recovered) = run_one(
+        Some("down=1@2"),
+        RecoveryPolicy::default(),
+        RecoveryMutation::None,
+    )
+    .unwrap();
+    let audit = &recovered.audit;
+    assert_eq!(audit.units.len(), 2, "initial compile + one recompile");
+    assert!(audit.units.iter().all(|u| u.verified && u.proved));
+    assert_eq!(audit.recoveries(), 1);
+    assert!(!audit.retries[0].transient, "a dead link is persistent");
+    assert!(audit.invariant_violations().is_empty());
+
+    use t10_sim::RunStateEvent;
+    let has = |f: fn(&RunStateEvent) -> bool| audit.state_events.iter().any(f);
+    assert!(has(|e| matches!(e, RunStateEvent::Checkpoint { .. })));
+    assert!(has(|e| matches!(
+        e,
+        RunStateEvent::Fatal {
+            transient: false,
+            ..
+        }
+    )));
+    assert!(has(|e| matches!(e, RunStateEvent::Restore { .. })));
+
+    let op = ffn_ops().remove(0);
+    let x = Tensor::pattern(vec![16, 32], 0.3);
+    let w1 = Tensor::pattern(vec![32, 32], 0.7);
+    let want = reference::execute(&op, &[&x, &w1]).unwrap();
+    assert!(out.approx_eq(&want, 1e-4));
+}
+
+#[test]
+fn buggy_mutations_trip_the_audit_invariants() {
+    // UncapRetries: a storm longer than the budget completes anyway (events
+    // are consumed once), but the audit calls out the busted cap.
+    let policy = RecoveryPolicy {
+        max_retries: 2,
+        ..RecoveryPolicy::default()
+    };
+    let storm = "drop=2@0,drop=2@1,drop=2@2,drop=2@3,drop=2@4";
+    let (_, recovered) =
+        run_one(Some(storm), policy.clone(), RecoveryMutation::UncapRetries).unwrap();
+    let violations = recovered.audit.invariant_violations();
+    assert!(
+        violations.iter().any(|v| v.contains("retry cap exceeded")),
+        "expected a retry-cap violation, got {violations:?}"
+    );
+
+    // SkipVerification: the recompile gate is bypassed and the audit
+    // records the uncertified unit.
+    let (_, recovered) = run_one(
+        Some("down=1@2"),
+        RecoveryPolicy::default(),
+        RecoveryMutation::SkipVerification,
+    )
+    .unwrap();
+    let violations = recovered.audit.invariant_violations();
+    assert!(
+        violations.iter().any(|v| v.contains("uncertified")),
+        "expected an uncertified-unit violation, got {violations:?}"
+    );
+
+    // CorruptSalvage: the healed output silently diverges — exactly the
+    // defect the differential oracle's first clause exists to catch.
+    let (out, _) = run_one(
+        Some("down=1@2"),
+        RecoveryPolicy::default(),
+        RecoveryMutation::CorruptSalvage,
+    )
+    .unwrap();
+    let op = ffn_ops().remove(0);
+    let x = Tensor::pattern(vec![16, 32], 0.3);
+    let w1 = Tensor::pattern(vec![32, 32], 0.7);
+    let want = reference::execute(&op, &[&x, &w1]).unwrap();
+    assert!(
+        !out.approx_eq(&want, 1e-4),
+        "corrupted salvage must diverge from the reference"
     );
 }
 

@@ -36,9 +36,10 @@ pub mod timeline;
 pub use buffer::FuncBuffer;
 pub use fault::{FaultPlan, FaultSummary, LinkFault};
 pub use machine::{Checkpoint, Simulator, SimulatorMode};
+pub use machine::{RunStateEvent, RunStateLog};
 pub use memory::MemoryTracker;
 pub use report::{NodeBreakdown, RecoveryReport, RunReport, StepTrace};
-pub use timeline::{FaultEvent, FaultEventKind, FaultTimeline};
+pub use timeline::{FaultEvent, FaultEventKind, FaultTimeline, TimelineParseError};
 
 pub(crate) use t10_device::iface::DeviceError;
 

@@ -1,5 +1,6 @@
 //! The simulator: executes abstract device programs on a modeled chip.
 
+use serde::{Deserialize, Serialize};
 use t10_device::iface::{DeviceError, DeviceInterface};
 use t10_device::program::{
     BufferDecl, BufferId, ExchangeSummary, Program, ShiftKind, ShiftOp, VertexTask,
@@ -52,6 +53,47 @@ impl Checkpoint {
     }
 }
 
+/// One entry in the simulator's append-only run-state log: the externally
+/// observable checkpoint/restore/fault history a chaos oracle audits.
+///
+/// Unlike [`RunReport`] accumulators, the log is **never rolled back** by
+/// [`Simulator::restore`] — it records what actually happened, including the
+/// work a rollback discarded, so invariants like "no checkpoint regression"
+/// and "every restore targets a checkpoint that was really taken" are
+/// checkable after the fact. All steps are global (offset + cursor).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RunStateEvent {
+    /// A consistent snapshot was taken at this global step.
+    Checkpoint {
+        /// Global superstep of the barrier the snapshot was taken at.
+        step: usize,
+        /// Live scratchpad bytes drained.
+        bytes: u64,
+    },
+    /// Execution rolled back from `from` to a checkpoint at `to`.
+    Restore {
+        /// Global step execution had reached when the rollback started.
+        from: usize,
+        /// Global step of the re-installed checkpoint.
+        to: usize,
+    },
+    /// A non-fatal timeline event was folded into the fault plan in-run.
+    Absorbed {
+        /// Global step of the absorbing barrier.
+        step: usize,
+    },
+    /// A fatal timeline event aborted execution at this step.
+    Fatal {
+        /// Global step of the aborting barrier.
+        step: usize,
+        /// Whether the fault clears on retry.
+        transient: bool,
+    },
+}
+
+/// The simulator's append-only observable history.
+pub type RunStateLog = Vec<RunStateEvent>;
+
 /// Default number of cores that get dedicated span tracks in a structured
 /// trace (see [`Simulator::with_trace_cores`]).
 pub const DEFAULT_TRACE_CORES: usize = 16;
@@ -91,6 +133,10 @@ pub struct Simulator {
     cursor: usize,
     /// The report accumulated so far (survives abort/restore/resume).
     acc: RunReport,
+    /// Append-only observable history (checkpoints, restores, faults);
+    /// never rolled back, so a post-hoc oracle can audit what really
+    /// happened.
+    state_log: RunStateLog,
     /// Global superstep numbering starts here: after a re-plan, the new
     /// program continues the old run's timeline rather than restarting it.
     step_offset: usize,
@@ -122,6 +168,7 @@ impl Simulator {
             pending_fault: None,
             cursor: 0,
             acc: RunReport::default(),
+            state_log: Vec::new(),
             step_offset: 0,
         }
     }
@@ -298,6 +345,10 @@ impl Simulator {
         self.acc.checkpoint_bytes += bytes;
         self.acc.checkpoint_time += secs;
         self.acc.total_time += secs;
+        self.state_log.push(RunStateEvent::Checkpoint {
+            step: self.global_step(),
+            bytes,
+        });
         let ck = Checkpoint {
             step: self.cursor,
             report: self.acc.clone(),
@@ -320,6 +371,10 @@ impl Simulator {
                 self.decls.len()
             ));
         }
+        self.state_log.push(RunStateEvent::Restore {
+            from: self.global_step(),
+            to: self.step_offset + ck.step,
+        });
         self.bufs = ck.bufs.clone();
         self.mem = ck.mem.clone();
         self.acc = ck.report.clone();
@@ -327,6 +382,19 @@ impl Simulator {
         self.last_ck = Some(ck.clone());
         self.pending_fault = None;
         Ok(())
+    }
+
+    /// The append-only observable history: every checkpoint, restore,
+    /// absorbed event, and fatal fault, in occurrence order. Survives
+    /// rollbacks (a restore is itself an entry, not an eraser).
+    pub fn run_state_log(&self) -> &RunStateLog {
+        &self.state_log
+    }
+
+    /// Drains the run-state log (the recovery controller folds each
+    /// discarded simulator's history into its audit before re-planning).
+    pub fn take_run_state_log(&mut self) -> RunStateLog {
+        std::mem::take(&mut self.state_log)
     }
 
     /// The chip being simulated.
@@ -518,6 +586,10 @@ impl Simulator {
                         );
                     }
                     self.pending_fault = Some(ev);
+                    self.state_log.push(RunStateEvent::Fatal {
+                        step: global,
+                        transient: ev.kind.is_transient(),
+                    });
                     return Err(DeviceError::runtime_fault(
                         global,
                         ev.kind.is_transient(),
@@ -614,6 +686,9 @@ impl Simulator {
             _ => plan,
         });
         self.acc.timeline_events += 1;
+        self.state_log.push(RunStateEvent::Absorbed {
+            step: self.global_step(),
+        });
     }
 
     /// Prices one compute phase, returning `(faulted, healthy)` seconds.

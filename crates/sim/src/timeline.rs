@@ -28,6 +28,101 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Why a timeline specification was rejected at parse time.
+///
+/// Every event is validated against the chip it will run on (core ids in
+/// range, multipliers in their legal domains) *before* a simulator sees it,
+/// mirroring the `FaultPlan::parse` hardening: a typo in a `--fault-timeline`
+/// flag is a typed usage error, never a mid-run panic or a silently ignored
+/// event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TimelineParseError {
+    /// `seed=` value did not parse as an unsigned integer.
+    BadSeed {
+        /// The offending value text.
+        value: String,
+    },
+    /// An entry was not of the form `key=value`.
+    NotKeyValue {
+        /// The offending entry text.
+        entry: String,
+    },
+    /// An entry key is not part of the grammar.
+    UnknownKey {
+        /// The offending key.
+        key: String,
+    },
+    /// A step field did not parse as an unsigned integer.
+    BadStep {
+        /// The offending value text.
+        value: String,
+    },
+    /// A core field did not parse as an unsigned integer.
+    BadCore {
+        /// The offending value text.
+        value: String,
+    },
+    /// An event addresses a core (and its link) outside the chip.
+    CoreOutOfRange {
+        /// The addressed core.
+        core: usize,
+        /// How many cores the chip has.
+        num_cores: usize,
+    },
+    /// A numeric field did not parse, or was not finite.
+    BadNumber {
+        /// The offending value text.
+        value: String,
+    },
+    /// A multiplier was outside its legal domain.
+    BadMultiplier {
+        /// Which entry kind carried it.
+        kind: &'static str,
+        /// The offending value.
+        value: f64,
+        /// The legal domain, for the error message.
+        expected: &'static str,
+    },
+    /// A `random=` entry was not `COUNT@MAXSTEP`, or had MAXSTEP = 0 with a
+    /// nonzero count.
+    BadRandom {
+        /// The offending value text.
+        value: String,
+    },
+}
+
+impl std::fmt::Display for TimelineParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BadSeed { value } => write!(f, "fault timeline: bad seed {value:?}"),
+            Self::NotKeyValue { entry } => {
+                write!(f, "fault timeline: entry {entry:?} is not key=value")
+            }
+            Self::UnknownKey { key } => write!(f, "fault timeline: unknown key {key:?}"),
+            Self::BadStep { value } => write!(f, "fault timeline: bad step {value:?}"),
+            Self::BadCore { value } => write!(f, "fault timeline: bad core id {value:?}"),
+            Self::CoreOutOfRange { core, num_cores } => write!(
+                f,
+                "fault timeline: core {core} out of range ({num_cores} cores)"
+            ),
+            Self::BadNumber { value } => write!(f, "fault timeline: bad number {value:?}"),
+            Self::BadMultiplier {
+                kind,
+                value,
+                expected,
+            } => write!(
+                f,
+                "fault timeline: {kind} multiplier {value} not in {expected}"
+            ),
+            Self::BadRandom { value } => {
+                write!(f, "fault timeline: bad random entry {value:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TimelineParseError {}
+
 /// What happens at one fault event.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum FaultEventKind {
@@ -112,6 +207,25 @@ pub struct FaultEvent {
 }
 
 impl FaultEvent {
+    /// The event as a `--fault-timeline` spec entry, e.g. `drop=3@1`.
+    /// [`FaultTimeline::parse`] accepts exactly this syntax back, which is
+    /// what makes shrunk chaos reproducers replayable from the CLI.
+    pub fn spec_entry(&self) -> String {
+        let s = self.step;
+        match self.kind {
+            FaultEventKind::TransientLinkDrop { core } => format!("drop={s}@{core}"),
+            FaultEventKind::TransientStall { core } => format!("stall={s}@{core}"),
+            FaultEventKind::LinkDown { core } => format!("down={s}@{core}"),
+            FaultEventKind::LinkDegrade { core, multiplier } => {
+                format!("degrade={s}@{core}@{multiplier}")
+            }
+            FaultEventKind::CoreSlow { core, multiplier } => {
+                format!("slow={s}@{core}@{multiplier}")
+            }
+            FaultEventKind::CoreDead { core } => format!("kill={s}@{core}"),
+        }
+    }
+
     /// Human-readable one-liner for reports and error details.
     pub fn describe(&self) -> String {
         let s = self.step;
@@ -176,9 +290,32 @@ impl FaultTimeline {
         }
     }
 
+    /// A timeline holding exactly `events` (sorted by step, stable), with
+    /// random-event generation seeded by `seed`. This is the chaos engine's
+    /// entry point: generated and shrunk timelines are explicit event lists,
+    /// not grammar strings.
+    pub fn from_events(seed: u64, events: impl IntoIterator<Item = FaultEvent>) -> Self {
+        let mut tl = Self::seeded(seed);
+        for ev in events {
+            tl = tl.push(ev.step, ev.kind);
+        }
+        tl
+    }
+
     /// The seed the timeline was built with.
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// Serializes every event (fired and pending) back into the spec
+    /// grammar that [`FaultTimeline::parse`] accepts, seed included:
+    /// `seed=7,drop=3@1,down=8@2`. Round-trips: parsing the result yields a
+    /// timeline with the same events and seed (the cursor resets, making
+    /// the spec a fresh replay of the whole schedule).
+    pub fn to_spec(&self) -> String {
+        let mut parts = vec![format!("seed={}", self.seed)];
+        parts.extend(self.events.iter().map(FaultEvent::spec_entry));
+        parts.join(",")
     }
 
     /// Schedules one event, keeping the list sorted by step (stable: equal
@@ -311,7 +448,7 @@ impl FaultTimeline {
     /// * `random=COUNT@MAXSTEP` — COUNT seeded-random survivable events
     ///
     /// Example: `seed=7,drop=3@1,down=8@2,random=4@32`
-    pub fn parse(spec: &str, num_cores: usize) -> std::result::Result<Self, String> {
+    pub fn parse(spec: &str, num_cores: usize) -> std::result::Result<Self, TimelineParseError> {
         let entries: Vec<&str> = spec
             .split(',')
             .map(str::trim)
@@ -320,16 +457,18 @@ impl FaultTimeline {
         let mut seed = 0u64;
         for e in &entries {
             if let Some(v) = e.strip_prefix("seed=") {
-                seed = v
-                    .parse::<u64>()
-                    .map_err(|_| format!("fault timeline: bad seed {v:?}"))?;
+                seed = v.parse::<u64>().map_err(|_| TimelineParseError::BadSeed {
+                    value: v.to_string(),
+                })?;
             }
         }
         let mut tl = Self::seeded(seed);
         for e in entries {
             let (key, val) = e
                 .split_once('=')
-                .ok_or_else(|| format!("fault timeline: entry {e:?} is not key=value"))?;
+                .ok_or_else(|| TimelineParseError::NotKeyValue {
+                    entry: e.to_string(),
+                })?;
             match key {
                 "seed" => {}
                 "drop" => {
@@ -351,9 +490,11 @@ impl FaultTimeline {
                 "degrade" => {
                     let (step, core, m) = parse_step_core_num(val, num_cores)?;
                     if m <= 0.0 || m > 1.0 {
-                        return Err(format!(
-                            "fault timeline: degrade multiplier {m} not in (0, 1]"
-                        ));
+                        return Err(TimelineParseError::BadMultiplier {
+                            kind: "degrade",
+                            value: m,
+                            expected: "(0, 1]",
+                        });
                     }
                     tl = tl.push(
                         step,
@@ -366,7 +507,11 @@ impl FaultTimeline {
                 "slow" => {
                     let (step, core, m) = parse_step_core_num(val, num_cores)?;
                     if m < 1.0 {
-                        return Err(format!("fault timeline: slow multiplier {m} must be ≥ 1"));
+                        return Err(TimelineParseError::BadMultiplier {
+                            kind: "slow",
+                            value: m,
+                            expected: "[1, ∞)",
+                        });
                     }
                     tl = tl.push(
                         step,
@@ -377,41 +522,45 @@ impl FaultTimeline {
                     );
                 }
                 "random" => {
-                    let (count, max_step) = val
-                        .split_once('@')
-                        .ok_or_else(|| format!("fault timeline: {val:?} is not COUNT@MAXSTEP"))?;
-                    let count: usize = count
-                        .parse()
-                        .map_err(|_| format!("fault timeline: bad count {count:?}"))?;
-                    let max_step: usize = max_step
-                        .parse()
-                        .map_err(|_| format!("fault timeline: bad max step {max_step:?}"))?;
+                    let bad = || TimelineParseError::BadRandom {
+                        value: val.to_string(),
+                    };
+                    let (count, max_step) = val.split_once('@').ok_or_else(bad)?;
+                    let count: usize = count.parse().map_err(|_| bad())?;
+                    let max_step: usize = max_step.parse().map_err(|_| bad())?;
                     if max_step == 0 && count > 0 {
-                        return Err("fault timeline: random needs MAXSTEP ≥ 1".into());
+                        return Err(bad());
                     }
                     tl = tl.random_events(count, max_step, num_cores);
                 }
-                other => return Err(format!("fault timeline: unknown key {other:?}")),
+                other => {
+                    return Err(TimelineParseError::UnknownKey {
+                        key: other.to_string(),
+                    })
+                }
             }
         }
         Ok(tl)
     }
 }
 
-fn parse_step_core(s: &str, num_cores: usize) -> std::result::Result<(usize, usize), String> {
+fn parse_step_core(
+    s: &str,
+    num_cores: usize,
+) -> std::result::Result<(usize, usize), TimelineParseError> {
     let (step, core) = s
         .split_once('@')
-        .ok_or_else(|| format!("fault timeline: {s:?} is not STEP@CORE"))?;
-    let step: usize = step
-        .parse()
-        .map_err(|_| format!("fault timeline: bad step {step:?}"))?;
-    let core: usize = core
-        .parse()
-        .map_err(|_| format!("fault timeline: bad core id {core:?}"))?;
+        .ok_or_else(|| TimelineParseError::NotKeyValue {
+            entry: s.to_string(),
+        })?;
+    let step: usize = step.parse().map_err(|_| TimelineParseError::BadStep {
+        value: step.to_string(),
+    })?;
+    let core: usize = core.parse().map_err(|_| TimelineParseError::BadCore {
+        value: core.to_string(),
+    })?;
     if core >= num_cores {
-        return Err(format!(
-            "fault timeline: core {core} out of range ({num_cores} cores)"
-        ));
+        return Err(TimelineParseError::CoreOutOfRange { core, num_cores });
     }
     Ok((step, core))
 }
@@ -419,16 +568,20 @@ fn parse_step_core(s: &str, num_cores: usize) -> std::result::Result<(usize, usi
 fn parse_step_core_num(
     s: &str,
     num_cores: usize,
-) -> std::result::Result<(usize, usize, f64), String> {
+) -> std::result::Result<(usize, usize, f64), TimelineParseError> {
     let (head, num) = s
         .rsplit_once('@')
-        .ok_or_else(|| format!("fault timeline: {s:?} is not STEP@CORE@VALUE"))?;
+        .ok_or_else(|| TimelineParseError::NotKeyValue {
+            entry: s.to_string(),
+        })?;
     let (step, core) = parse_step_core(head, num_cores)?;
-    let v: f64 = num
-        .parse()
-        .map_err(|_| format!("fault timeline: bad number {num:?}"))?;
+    let v: f64 = num.parse().map_err(|_| TimelineParseError::BadNumber {
+        value: num.to_string(),
+    })?;
     if !v.is_finite() {
-        return Err(format!("fault timeline: non-finite number {num:?}"));
+        return Err(TimelineParseError::BadNumber {
+            value: num.to_string(),
+        });
     }
     Ok((step, core, v))
 }
@@ -497,6 +650,75 @@ mod tests {
         assert!(FaultTimeline::parse("random=2@0", 8).is_err());
         assert!(FaultTimeline::parse("bogus=1@2", 8).is_err());
         assert!(FaultTimeline::parse("seed=-1", 8).is_err());
+    }
+
+    #[test]
+    fn parse_errors_are_typed() {
+        // Events addressed outside the chip are a typed, inspectable error
+        // (not a stringly one): the CLI and the chaos engine both match on
+        // the variant.
+        assert_eq!(
+            FaultTimeline::parse("drop=3@9", 8).unwrap_err(),
+            TimelineParseError::CoreOutOfRange {
+                core: 9,
+                num_cores: 8
+            }
+        );
+        assert_eq!(
+            FaultTimeline::parse("kill=1@8", 8).unwrap_err(),
+            TimelineParseError::CoreOutOfRange {
+                core: 8,
+                num_cores: 8
+            }
+        );
+        assert!(matches!(
+            FaultTimeline::parse("bogus=1@2", 8).unwrap_err(),
+            TimelineParseError::UnknownKey { .. }
+        ));
+        assert!(matches!(
+            FaultTimeline::parse("slow=3@1@0.5", 8).unwrap_err(),
+            TimelineParseError::BadMultiplier { kind: "slow", .. }
+        ));
+        assert!(matches!(
+            FaultTimeline::parse("degrade=3@1@NaN", 8).unwrap_err(),
+            TimelineParseError::BadNumber { .. }
+        ));
+        // Errors render with the entry that caused them.
+        let msg = FaultTimeline::parse("drop=3@9", 8).unwrap_err().to_string();
+        assert!(msg.contains("core 9"), "{msg}");
+    }
+
+    #[test]
+    fn to_spec_round_trips_through_parse() {
+        let tl = FaultTimeline::seeded(7)
+            .push(3, FaultEventKind::TransientLinkDrop { core: 1 })
+            .push(
+                5,
+                FaultEventKind::LinkDegrade {
+                    core: 2,
+                    multiplier: 0.5,
+                },
+            )
+            .push(
+                6,
+                FaultEventKind::CoreSlow {
+                    core: 0,
+                    multiplier: 2.5,
+                },
+            )
+            .push(8, FaultEventKind::CoreDead { core: 3 })
+            .push(9, FaultEventKind::TransientStall { core: 2 })
+            .push(9, FaultEventKind::LinkDown { core: 1 });
+        let spec = tl.to_spec();
+        assert_eq!(
+            spec,
+            "seed=7,drop=3@1,degrade=5@2@0.5,slow=6@0@2.5,kill=8@3,stall=9@2,down=9@1"
+        );
+        let back = FaultTimeline::parse(&spec, 8).unwrap();
+        assert_eq!(back, tl, "spec round-trip reproduces the timeline");
+        // from_events is the third corner of the triangle.
+        let rebuilt = FaultTimeline::from_events(7, tl.events().iter().copied());
+        assert_eq!(rebuilt, tl);
     }
 
     #[test]

@@ -20,6 +20,10 @@ pub const PID_VERIFY: u32 = 3;
 /// timestamps).
 pub const PID_PROVE: u32 = 4;
 
+/// Chrome "process" id of the chaos campaign engine (trace-time
+/// timestamps): per-case verdict instants and campaign summary counters.
+pub const PID_CHAOS: u32 = 5;
+
 /// Track ("thread") id for chip-wide aggregate events on [`PID_SIM`].
 /// Per-core tracks use the core index directly, so this sits far above any
 /// realistic core count.
