@@ -1,0 +1,476 @@
+//! Cache-fault campaign: adversarial corruption of the persistent plan
+//! store, judged by a differential oracle.
+//!
+//! Each case compiles a chain from the chaos zoo cold (no cache) to get a
+//! byte-level baseline, populates a fresh on-disk cache, injects one seeded
+//! fault into the cache directory — truncation, a bit flip, a scribbled
+//! header, a wrong format version, a stale key under the wrong filename, a
+//! torn temp-file write, or a deleted entry — and recompiles warm. The
+//! oracle demands, for every case:
+//!
+//! 1. the warm compile succeeds (a corrupt cache costs recompilation,
+//!    never a failed compile);
+//! 2. the warm plans are byte-identical to the cold baseline (a corrupt
+//!    entry is never served, a served entry is never wrong);
+//! 3. exactly the injected corruption is quarantined — corrupting faults
+//!    quarantine one entry, benign faults (torn temp files, plain
+//!    deletions) quarantine nothing.
+//!
+//! The campaign is fully seeded: case `i` derives its chain, fault mode,
+//! and fault position from `mix(seed, i)`, so reports are deterministic
+//! and every case is replayable from its index.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use t10_core::search::SearchConfig;
+use t10_core::{CompileOptions, Compiler, PlanCache};
+use t10_device::ChipSpec;
+use t10_store::DiskPlanCache;
+
+use crate::rng::{mix, XorShift};
+use crate::target::{chaos_zoo, single_node_graph};
+use crate::Result;
+
+/// Configuration for one cache-fault campaign.
+#[derive(Debug, Clone)]
+pub struct CacheCampaignConfig {
+    /// Master seed; case `i` uses `mix(seed, i)`.
+    pub seed: u64,
+    /// Number of cases.
+    pub count: usize,
+    /// Chip size (the chaos default of 8 cores keeps campaigns fast).
+    pub cores: usize,
+}
+
+impl Default for CacheCampaignConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            count: 20,
+            cores: 8,
+        }
+    }
+}
+
+/// The injected fault classes, exercised in seeded rotation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheFault {
+    /// Truncate one entry at a seeded byte boundary.
+    Truncate,
+    /// Flip one seeded bit of one entry.
+    BitFlip,
+    /// Overwrite one entry with non-UTF-8 garbage.
+    GarbageHeader,
+    /// Rewrite one entry's magic line to a future format version.
+    WrongVersion,
+    /// Copy one entry's bytes over another entry's filename: the envelope
+    /// decodes, but the embedded key disagrees with the address.
+    StaleKey,
+    /// Leave a torn temp file behind, as a writer killed mid-write would.
+    TornWrite,
+    /// Delete one entry outright — a clean miss, not a corruption.
+    DeleteEntry,
+}
+
+impl CacheFault {
+    const ALL: [CacheFault; 7] = [
+        CacheFault::Truncate,
+        CacheFault::BitFlip,
+        CacheFault::GarbageHeader,
+        CacheFault::WrongVersion,
+        CacheFault::StaleKey,
+        CacheFault::TornWrite,
+        CacheFault::DeleteEntry,
+    ];
+
+    /// Stable label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Truncate => "truncate",
+            Self::BitFlip => "bit-flip",
+            Self::GarbageHeader => "garbage-header",
+            Self::WrongVersion => "wrong-version",
+            Self::StaleKey => "stale-key",
+            Self::TornWrite => "torn-write",
+            Self::DeleteEntry => "delete-entry",
+        }
+    }
+
+    /// How many quarantined entries this fault must produce when the whole
+    /// directory is re-read.
+    fn expected_quarantined(&self) -> usize {
+        match self {
+            Self::TornWrite | Self::DeleteEntry => 0,
+            _ => 1,
+        }
+    }
+}
+
+/// One way a case can fail the oracle.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CacheViolation {
+    /// The warm compile's plans differ from the cold baseline — a cache
+    /// entry leaked wrong bytes into a released artifact.
+    WarmPlanDiverged,
+    /// The warm compile failed outright; cache faults must only ever cost
+    /// recompilation.
+    CompileFailed {
+        /// The compile error's display form.
+        detail: String,
+    },
+    /// The corrupted entry was not quarantined (or the wrong number of
+    /// entries were).
+    QuarantineMismatch {
+        /// Quarantined entries the fault class demands.
+        expected: usize,
+        /// Quarantined entries observed.
+        actual: usize,
+    },
+}
+
+impl CacheViolation {
+    /// Stable label for reports and CI grep.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::WarmPlanDiverged => "warm-plan-diverged",
+            Self::CompileFailed { .. } => "cache-compile-failed",
+            Self::QuarantineMismatch { .. } => "quarantine-mismatch",
+        }
+    }
+}
+
+/// One case's outcome.
+#[derive(Debug, Clone)]
+pub struct CacheCase {
+    /// Case index (also the seed derivation input).
+    pub index: usize,
+    /// Chain name from the chaos zoo.
+    pub chain: &'static str,
+    /// Injected fault class.
+    pub fault: CacheFault,
+    /// Entries on disk before injection.
+    pub entries: usize,
+    /// Entries quarantined by the warm compile.
+    pub quarantined: usize,
+    /// Disk hits served to the warm compile.
+    pub disk_hits: usize,
+    /// Oracle violations (empty = the case passed).
+    pub violations: Vec<CacheViolation>,
+}
+
+/// A finished cache-fault campaign.
+#[derive(Debug, Clone)]
+pub struct CacheCampaignReport {
+    /// Master seed.
+    pub seed: u64,
+    /// Cases run.
+    pub count: usize,
+    /// Chip size.
+    pub cores: usize,
+    /// Per-case outcomes.
+    pub cases: Vec<CacheCase>,
+    /// Total violations across all cases.
+    pub violations: usize,
+}
+
+fn fresh_dir(seed: u64, index: usize) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "t10-chaos-cache-{}-{seed}-{index}",
+        std::process::id()
+    ))
+}
+
+fn plan_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = fs::read_dir(dir)
+        .into_iter()
+        .flatten()
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "plan"))
+        .collect();
+    files.sort();
+    files
+}
+
+/// Injects `fault` into the cache directory, returning false if the
+/// directory had no entries to attack (the case is then vacuous).
+fn inject(fault: CacheFault, dir: &Path, rng: &mut XorShift) -> std::io::Result<bool> {
+    let files = plan_files(dir);
+    let Some(victim) = files.get(rng.below(files.len().max(1))).cloned() else {
+        return Ok(false);
+    };
+    match fault {
+        CacheFault::Truncate => {
+            let bytes = fs::read(&victim)?;
+            // Cut strictly inside the file so the fault is a real partial
+            // write, not a deletion.
+            let cut = 1 + rng.below(bytes.len().saturating_sub(1).max(1));
+            fs::write(&victim, bytes.get(..cut).unwrap_or(&bytes))?;
+        }
+        CacheFault::BitFlip => {
+            let mut bytes = fs::read(&victim)?;
+            let bit = rng.below(bytes.len() * 8);
+            if let Some(b) = bytes.get_mut(bit / 8) {
+                *b ^= 1 << (bit % 8);
+            }
+            fs::write(&victim, &bytes)?;
+        }
+        CacheFault::GarbageHeader => {
+            fs::write(&victim, b"\x00\xff\xfe rogue process scribble \xfd\x00")?;
+        }
+        CacheFault::WrongVersion => {
+            let text = fs::read(&victim)?;
+            let text = String::from_utf8_lossy(&text).replacen("t10-store v1", "t10-store v9", 1);
+            fs::write(&victim, text.as_bytes())?;
+        }
+        CacheFault::StaleKey => {
+            // Serve entry A's bytes at entry B's address: the envelope
+            // decodes, but the embedded key disagrees. With a single entry
+            // there is no other address, so degrade to a payload flip.
+            if let Some(other) = files.iter().find(|p| **p != victim) {
+                fs::copy(other, &victim)?;
+            } else {
+                let mut bytes = fs::read(&victim)?;
+                if let Some(b) = bytes.last_mut() {
+                    *b ^= 0x01;
+                }
+                fs::write(&victim, &bytes)?;
+            }
+        }
+        CacheFault::TornWrite => {
+            let bytes = fs::read(&victim)?;
+            let cut = rng.below(bytes.len().max(1));
+            let tmp = dir.join(format!(".tmp-{}-killed", std::process::id()));
+            fs::write(tmp, bytes.get(..cut).unwrap_or(&bytes))?;
+        }
+        CacheFault::DeleteEntry => {
+            fs::remove_file(&victim)?;
+        }
+    }
+    Ok(true)
+}
+
+/// Runs the campaign. Every case compiles its chain cold (uncached
+/// baseline), populates a fresh cache, injects one fault, recompiles warm,
+/// and judges the result.
+pub fn run_cache_campaign(cfg: &CacheCampaignConfig) -> Result<CacheCampaignReport> {
+    let spec = ChipSpec::ipu_with_cores(cfg.cores);
+    let compiler = Compiler::try_new(spec, SearchConfig::fast())?;
+    let chains = chaos_zoo()?;
+    let mut cases = Vec::with_capacity(cfg.count);
+    let mut total_violations = 0usize;
+
+    for index in 0..cfg.count {
+        let mut rng = XorShift::new(mix(cfg.seed, index as u64));
+        let chain = rng
+            .pick(&chains)
+            .ok_or_else(|| t10_core::CompileError::internal("empty chaos zoo"))?;
+        let fault = *rng.pick(&CacheFault::ALL).unwrap_or(&CacheFault::BitFlip);
+
+        let graphs: Vec<_> = chain
+            .ops
+            .iter()
+            .map(single_node_graph)
+            .collect::<Result<_>>()?;
+        let fingerprint = |compiled: &[t10_core::CompiledGraph]| {
+            compiled
+                .iter()
+                .map(|c| format!("{:?}|{:?}", c.program, c.reconciled))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+
+        // Cold baseline, no cache anywhere near it.
+        let mut baseline = Vec::new();
+        for g in &graphs {
+            baseline.push(compiler.compile_graph_with(g, &CompileOptions::default())?);
+        }
+        let baseline_fp = fingerprint(&baseline);
+
+        // Populate a fresh cache directory.
+        let dir = fresh_dir(cfg.seed, index);
+        let _ = fs::remove_dir_all(&dir);
+        let store = Arc::new(
+            DiskPlanCache::open(&dir)
+                .map_err(|e| t10_core::CompileError::internal(e.to_string()))?
+                .without_sync(),
+        );
+        let opts = CompileOptions {
+            cache: Some(store.clone() as Arc<dyn PlanCache>),
+            ..CompileOptions::default()
+        };
+        for g in &graphs {
+            compiler.compile_graph_with(g, &opts)?;
+        }
+        let entries = plan_files(&dir).len();
+
+        // Inject the fault, then recompile warm through a *fresh* store
+        // instance (a service restart) so nothing is memoized in memory.
+        inject(fault, &dir, &mut rng)
+            .map_err(|e| t10_core::CompileError::internal(e.to_string()))?;
+        let store2 = Arc::new(
+            DiskPlanCache::open(&dir)
+                .map_err(|e| t10_core::CompileError::internal(e.to_string()))?
+                .without_sync(),
+        );
+        let opts2 = CompileOptions {
+            cache: Some(store2.clone() as Arc<dyn PlanCache>),
+            ..CompileOptions::default()
+        };
+        let mut violations = Vec::new();
+        let mut warm = Vec::new();
+        let mut disk_hits = 0usize;
+        for g in &graphs {
+            match compiler.compile_graph_with(g, &opts2) {
+                Ok(c) => {
+                    disk_hits += c.cache_stats.disk_hits;
+                    warm.push(c);
+                }
+                Err(e) => {
+                    violations.push(CacheViolation::CompileFailed {
+                        detail: e.to_string(),
+                    });
+                    break;
+                }
+            }
+        }
+        let quarantined = store2.counters().quarantined;
+        if warm.len() == graphs.len() {
+            if fingerprint(&warm) != baseline_fp {
+                violations.push(CacheViolation::WarmPlanDiverged);
+            }
+            let expected = fault.expected_quarantined();
+            if quarantined != expected {
+                violations.push(CacheViolation::QuarantineMismatch {
+                    expected,
+                    actual: quarantined,
+                });
+            }
+        }
+        let _ = fs::remove_dir_all(&dir);
+
+        total_violations += violations.len();
+        cases.push(CacheCase {
+            index,
+            chain: chain.name,
+            fault,
+            entries,
+            quarantined,
+            disk_hits,
+            violations,
+        });
+    }
+
+    Ok(CacheCampaignReport {
+        seed: cfg.seed,
+        count: cfg.count,
+        cores: cfg.cores,
+        cases,
+        violations: total_violations,
+    })
+}
+
+/// Renders the deterministic campaign report (schema `t10.chaos.cache.v1`):
+/// byte-identical across same-seed reruns, so CI can diff it.
+#[must_use]
+pub fn cache_campaign_json(report: &CacheCampaignReport) -> String {
+    let mut out = String::from("{\n  \"schema\": \"t10.chaos.cache.v1\",\n");
+    out.push_str(&format!("  \"seed\": {},\n", report.seed));
+    out.push_str(&format!("  \"count\": {},\n", report.count));
+    out.push_str(&format!("  \"cores\": {},\n", report.cores));
+    out.push_str(&format!("  \"violations\": {},\n", report.violations));
+    out.push_str("  \"cases\": [\n");
+    for (i, c) in report.cases.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"index\": {}, \"chain\": \"{}\", \"fault\": \"{}\", \
+             \"entries\": {}, \"quarantined\": {}, \"disk_hits\": {}, \
+             \"violations\": [{}]}}{}\n",
+            c.index,
+            c.chain,
+            c.fault.label(),
+            c.entries,
+            c.quarantined,
+            c.disk_hits,
+            c.violations
+                .iter()
+                .map(|v| format!("\"{}\"", v.label()))
+                .collect::<Vec<_>>()
+                .join(", "),
+            if i + 1 < report.cases.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+
+    #[test]
+    fn campaign_is_clean_and_deterministic() {
+        let cfg = CacheCampaignConfig {
+            seed: 11,
+            count: 8,
+            cores: 8,
+        };
+        let a = run_cache_campaign(&cfg).unwrap();
+        assert_eq!(a.violations, 0, "{:?}", a.cases);
+        assert_eq!(a.cases.len(), 8);
+        // Every case found entries to attack, and warm compiles drew from
+        // the surviving ones.
+        assert!(a.cases.iter().all(|c| c.entries > 0));
+        assert!(a.cases.iter().any(|c| c.disk_hits > 0));
+        // Corrupting faults quarantined exactly one entry each.
+        for c in &a.cases {
+            assert_eq!(
+                c.quarantined,
+                c.fault.expected_quarantined(),
+                "case {} ({})",
+                c.index,
+                c.fault.label()
+            );
+        }
+        // Same seed, same report bytes.
+        let b = run_cache_campaign(&cfg).unwrap();
+        assert_eq!(cache_campaign_json(&a), cache_campaign_json(&b));
+    }
+
+    #[test]
+    fn every_fault_class_is_reachable() {
+        let cfg = CacheCampaignConfig {
+            seed: 3,
+            count: 40,
+            cores: 8,
+        };
+        let report = run_cache_campaign(&cfg).unwrap();
+        assert_eq!(report.violations, 0);
+        let seen: std::collections::BTreeSet<&str> =
+            report.cases.iter().map(|c| c.fault.label()).collect();
+        assert_eq!(seen.len(), CacheFault::ALL.len(), "{seen:?}");
+    }
+
+    #[test]
+    fn report_json_carries_the_schema() {
+        let report = run_cache_campaign(&CacheCampaignConfig {
+            seed: 1,
+            count: 2,
+            cores: 8,
+        })
+        .unwrap();
+        let doc = cache_campaign_json(&report);
+        let v = t10_trace::json::parse(&doc).unwrap();
+        assert_eq!(
+            v.get("schema").and_then(|s| s.as_str()),
+            Some("t10.chaos.cache.v1")
+        );
+        assert_eq!(v.get("violations").and_then(|x| x.as_f64()), Some(0.0));
+        assert_eq!(
+            v.get("cases").and_then(|c| c.as_arr()).map(<[_]>::len),
+            Some(2)
+        );
+    }
+}

@@ -35,6 +35,7 @@
 //! rollback, recompilation, migration — preserves that faithfulness under
 //! fire.
 
+pub mod cachefault;
 pub mod campaign;
 pub mod corpus;
 pub mod grammar;
@@ -45,6 +46,10 @@ pub mod rng;
 pub mod shrink;
 pub mod target;
 
+pub use cachefault::{
+    cache_campaign_json, run_cache_campaign, CacheCampaignConfig, CacheCampaignReport, CacheFault,
+    CacheViolation,
+};
 pub use campaign::{run_campaign, CampaignConfig, CampaignReport, CaseOutcome};
 pub use corpus::{parse_corpus, replay, ReplayOutcome};
 pub use grammar::{Grammar, Profile};

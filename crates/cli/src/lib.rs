@@ -7,6 +7,9 @@
 // Tests may unwrap freely; library code must not (workspace lint).
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
+pub mod serve;
+
+use std::sync::Arc;
 use std::time::Duration;
 
 use t10_bench::harness::{bench_search_config, Platform};
@@ -16,7 +19,7 @@ use t10_core::compiler::emit_accuracy_events;
 use t10_core::recovery::{RecoveryController, RecoveryMutation, RecoveryPolicy, RecoveryUnit};
 use t10_core::search::{search_operator, SearchConfig};
 use t10_core::{
-    prove_plan, viz, CompileError, CompileOptions, CompiledGraph, Compiler, ProveOutcome,
+    prove_plan, viz, CompileError, CompileOptions, CompiledGraph, Compiler, PlanCache, ProveOutcome,
 };
 use t10_device::ChipSpec;
 use t10_ir::Graph;
@@ -29,13 +32,18 @@ pub const USAGE: &str = "\
 usage:
   t10 zoo
   t10 compile <model|file.t10> [--batch N] [--cores N] [--fuse]
-              [--faults SPEC] [--deadline-ms N] [--prove] [trace opts]
+              [--faults SPEC] [--deadline-ms N] [--prove]
+              [--cache DIR] [--jobs N] [trace opts]
   t10 run     <model|file.t10> [--batch N] [--cores N] [--fuse]
               [--faults SPEC] [--fault-timeline SPEC]
               [--checkpoint-every N] [--max-retries K] [trace opts]
   t10 check   <model|file.t10|all> [--batch N] [--cores N] [--fuse]
               [--faults SPEC] [--json FILE] [--prove] [--prove-cert FILE]
+  t10 serve   [--requests FILE] [--cache DIR] [--workers N] [--jobs N]
+              [--queue N] [--cores N] [--deadline-ms N]
   t10 bench   <model|file.t10> [--batch N] [--cores N]
+  t10 compilebench [model|file.t10 ...] [--out FILE] [--cores N]
+              [--jobs N] [--cache DIR]
   t10 explore <M> <K> <N> [--cores N]
   t10 trace   <trace.json>
   t10 chaos   [--campaign-seed N] [--count N] [--profile NAME] [--cores N]
@@ -77,7 +85,12 @@ recovery stack: each case generates a randomized fault timeline under a
 profile (uniform, barrier-storm, migration-cross, degraded-target,
 recovery-storm, mixed — the default), executes it through the full
 compile/run/recover path, and judges the result with a differential oracle
-(output equivalence, certified recompiles, recovery invariants).
+(output equivalence, certified recompiles, recovery invariants). The
+`cache-fault` profile instead attacks the persistent plan store: each case
+populates an on-disk cache, injects one corruption (truncation, bit flip,
+garbage header, version skew, stale key, torn temp file, deletion), then
+reopens the store as a restarted service and demands a byte-identical warm
+plan plus exact quarantine accounting.
 `--shrink` minimizes violating timelines to replayable `--fault-timeline`
 reproducers; `--corpus DIR` first replays saved `.timeline` reproducers so
 past findings stay fixed; `--report-json` writes the deterministic campaign
@@ -85,11 +98,25 @@ summary (byte-identical across same-seed reruns), `--bench-json` the
 wall-clock perf baseline. `--mutate corrupt-salvage|uncap-retries|
 skip-verification` injects a known recovery bug to demonstrate the oracle.
 
+`serve` is the long-lived compile service: it reads one compile request per
+line (`compile <model> [--batch N] [--cores N] [--faults SPEC]
+[--deadline-ms N]`) from `--requests FILE` or stdin, pushes them through a
+bounded admission queue (`--queue`, rejected requests get a typed JSON
+response with a capped-jittered `retry_after_ms` backoff hint), and drains
+the queue with `--workers` threads, each compile fanning its per-operator
+searches across `--jobs` threads. When the queue is ≥ 3/4 full, new
+admissions degrade to the fast search preset (flagged in the response;
+degraded plans use distinct cache keys). `--cache DIR` persists Pareto
+frontiers in the crash-safe on-disk plan store: corrupt or torn entries are
+quarantined and recompiled, never served. `compilebench` measures cold-vs-
+warm compile latency, cache hit rate, and the parallel-search speedup.
+
 exit codes: 1 generic, 2 usage, 3 infeasible plan, 4 out of memory,
   5 deadline exceeded, 6 worker panicked, 7 device/IR fault,
   8 run completed after recovering from mid-run faults, 9 unrecoverable,
   10 static verification refuted the artifact,
-  11 chaos campaign found oracle violations";
+  11 chaos campaign found oracle violations,
+  12 file read/write failed, 13 serve finished with rejected/failed requests";
 
 /// A CLI failure: a message plus the process exit code to report.
 ///
@@ -111,6 +138,43 @@ impl CliError {
             code: 2,
         }
     }
+
+    /// An internal invariant failure (exit code 1).
+    pub fn internal(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            code: 1,
+        }
+    }
+
+    /// A file read/write failure on a user-supplied path (exit code 12),
+    /// distinct from generic failures so scripts can tell "the model is
+    /// infeasible" from "the path was wrong".
+    pub fn file_io(path: &str, detail: &str) -> Self {
+        Self {
+            message: format!("{path}: {detail}"),
+            code: 12,
+        }
+    }
+
+    /// A file-system failure whose message already names the path (exit
+    /// code 12) — the store's typed errors arrive pre-formatted.
+    pub fn file_io_msg(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            code: 12,
+        }
+    }
+}
+
+/// Reads a file, mapping failure to the typed file-I/O exit code (12).
+pub fn read_file(path: &str) -> Result<String, CliError> {
+    std::fs::read_to_string(path).map_err(|e| CliError::file_io(path, &e.to_string()))
+}
+
+/// Writes a file, mapping failure to the typed file-I/O exit code (12).
+pub fn write_file(path: &str, content: &str) -> Result<(), CliError> {
+    std::fs::write(path, content).map_err(|e| CliError::file_io(path, &e.to_string()))
 }
 
 impl From<String> for CliError {
@@ -199,6 +263,12 @@ pub enum Cli {
         /// Run the translation-validation post-pass (`t10-prove`) on every
         /// node's functional lowering before releasing the artifact.
         prove: bool,
+        /// Persistent plan-cache directory (`--cache`), if any. Hits skip
+        /// the per-operator search; corrupt entries are quarantined and
+        /// recompiled.
+        cache: Option<String>,
+        /// Per-operator search parallelism (`--jobs`); 0/1 = sequential.
+        jobs: usize,
         /// Structured-event outputs.
         trace: TraceArgs,
     },
@@ -269,6 +339,38 @@ pub enum Cli {
         /// Core count.
         cores: usize,
     },
+    /// Run the long-lived compile service over a batch of request lines.
+    Serve {
+        /// Requests file (`-` or absent = stdin), one request per line.
+        requests: Option<String>,
+        /// Persistent plan-cache directory, if any.
+        cache: Option<String>,
+        /// Worker threads draining the admission queue.
+        workers: usize,
+        /// Per-compile operator-search parallelism.
+        jobs: usize,
+        /// Admission-queue capacity; requests beyond it are rejected with
+        /// a typed backoff hint.
+        queue: usize,
+        /// Default chip size for requests without `--cores`.
+        cores: usize,
+        /// Default per-request compile deadline, milliseconds.
+        deadline_ms: Option<u64>,
+    },
+    /// Benchmark cold-vs-warm compile latency, cache hit rate, and the
+    /// parallel-search speedup.
+    CompileBench {
+        /// Targets (zoo names or `.t10` files); empty = the whole zoo.
+        targets: Vec<String>,
+        /// Output JSON path (schema `t10.bench.compile.v1`).
+        out: Option<String>,
+        /// Core count.
+        cores: usize,
+        /// Parallel-search thread count for the speedup measurement.
+        jobs: usize,
+        /// Cache directory override (a unique temp directory when absent).
+        cache: Option<String>,
+    },
     /// Summarize a previously recorded Chrome trace file.
     Trace {
         /// Path to a `--trace-out` JSON file.
@@ -282,7 +384,8 @@ pub enum Cli {
         /// Number of campaign cases.
         count: usize,
         /// Fault-space profile name (`uniform`, `barrier-storm`,
-        /// `migration-cross`, `degraded-target`, `recovery-storm`, `mixed`).
+        /// `migration-cross`, `degraded-target`, `recovery-storm`, `mixed`),
+        /// or `cache-fault` for the plan-store corruption campaign.
         profile: String,
         /// Cores on the healthy chip. The chaos default is 8, not the chip
         /// default 1472: a campaign runs hundreds of compiles.
@@ -333,6 +436,12 @@ impl Cli {
         let mut corpus: Option<String> = None;
         let mut shrink = false;
         let mut mutate: Option<String> = None;
+        let mut cache: Option<String> = None;
+        let mut jobs: Option<usize> = None;
+        let mut requests: Option<String> = None;
+        let mut workers: Option<usize> = None;
+        let mut queue: Option<usize> = None;
+        let mut out: Option<String> = None;
         let mut it = args.iter();
         while let Some(a) = it.next() {
             match a.as_str() {
@@ -442,6 +551,39 @@ impl Cli {
                 "--mutate" => {
                     mutate = Some(it.next().ok_or("--mutate needs a value")?.clone());
                 }
+                "--cache" => {
+                    cache = Some(it.next().ok_or("--cache needs a directory")?.clone());
+                }
+                "--jobs" => {
+                    jobs = Some(
+                        it.next()
+                            .ok_or("--jobs needs a value")?
+                            .parse()
+                            .map_err(|_| "bad --jobs value")?,
+                    );
+                }
+                "--requests" => {
+                    requests = Some(it.next().ok_or("--requests needs a path")?.clone());
+                }
+                "--workers" => {
+                    workers = Some(
+                        it.next()
+                            .ok_or("--workers needs a value")?
+                            .parse()
+                            .map_err(|_| "bad --workers value")?,
+                    );
+                }
+                "--queue" => {
+                    queue = Some(
+                        it.next()
+                            .ok_or("--queue needs a value")?
+                            .parse()
+                            .map_err(|_| "bad --queue value")?,
+                    );
+                }
+                "--out" => {
+                    out = Some(it.next().ok_or("--out needs a path")?.clone());
+                }
                 flag if flag.starts_with("--") => {
                     return Err(format!("unknown flag {flag}"));
                 }
@@ -462,8 +604,22 @@ impl Cli {
         if prove_cert.is_some() && (sub != Some("check") || !prove) {
             return Err("--prove-cert requires `check --prove`".into());
         }
-        if deadline_ms.is_some() && sub != Some("compile") {
-            return Err("--deadline-ms only applies to `compile`".into());
+        if deadline_ms.is_some() && sub != Some("compile") && sub != Some("serve") {
+            return Err("--deadline-ms only applies to `compile` and `serve`".into());
+        }
+        let takes_cache =
+            sub == Some("compile") || sub == Some("serve") || sub == Some("compilebench");
+        if cache.is_some() && !takes_cache {
+            return Err("--cache only applies to `compile`, `serve` and `compilebench`".into());
+        }
+        if jobs.is_some() && !takes_cache {
+            return Err("--jobs only applies to `compile`, `serve` and `compilebench`".into());
+        }
+        if (requests.is_some() || workers.is_some() || queue.is_some()) && sub != Some("serve") {
+            return Err("--requests, --workers and --queue only apply to `serve`".into());
+        }
+        if out.is_some() && sub != Some("compilebench") {
+            return Err("--out only applies to `compilebench`".into());
         }
         if fault_timeline.is_some() && sub != Some("run") {
             return Err("--fault-timeline only applies to `run`".into());
@@ -514,7 +670,25 @@ impl Cli {
                 faults,
                 deadline_ms,
                 prove,
+                cache,
+                jobs: jobs.unwrap_or(1),
                 trace,
+            }),
+            ["serve"] => Ok(Cli::Serve {
+                requests,
+                cache,
+                workers: workers.unwrap_or(2),
+                jobs: jobs.unwrap_or(1),
+                queue: queue.unwrap_or(16),
+                cores,
+                deadline_ms,
+            }),
+            ["compilebench", targets @ ..] => Ok(Cli::CompileBench {
+                targets: targets.iter().map(|t| t.to_string()).collect(),
+                out,
+                cores,
+                jobs: jobs.unwrap_or(1),
+                cache,
             }),
             ["run", target] => Ok(Cli::Run {
                 target: target.to_string(),
@@ -572,23 +746,26 @@ impl Cli {
 }
 
 /// Resolves a target to a graph: a zoo name or a `.t10` model file.
-pub fn resolve_model(target: &str, batch: usize) -> Result<Graph, String> {
+///
+/// Errors are typed: an unreadable file is exit 12 (file I/O), an unknown
+/// name is exit 2 (usage), a malformed model is exit 1.
+pub fn resolve_model(target: &str, batch: usize) -> Result<Graph, CliError> {
     if let Some(spec) = all_models()
         .into_iter()
         .find(|m| m.name.eq_ignore_ascii_case(target))
     {
-        return (spec.build)(batch).map_err(|e| e.to_string());
+        return (spec.build)(batch).map_err(|e| CliError::from(e.to_string()));
     }
     if target.ends_with(".t10") {
-        let src = std::fs::read_to_string(target).map_err(|e| format!("{target}: {e}"))?;
-        return textfmt::parse(&src).map_err(|e| e.to_string());
+        let src = read_file(target)?;
+        return textfmt::parse(&src).map_err(|e| CliError::from(e.to_string()));
     }
-    Err(format!(
+    Err(CliError::usage(format!(
         "unknown model `{target}` (try `t10 zoo`, or pass a .t10 file)"
-    ))
+    )))
 }
 
-fn chip(cores: usize) -> ChipSpec {
+pub(crate) fn chip(cores: usize) -> ChipSpec {
     if cores == 1472 {
         ChipSpec::ipu_mk2()
     } else {
@@ -664,12 +841,12 @@ fn write_trace_outputs(
         if write_chrome_trace(&parsed) != json {
             return Err("internal: trace round-trip mismatch".to_string().into());
         }
-        std::fs::write(path, &json).map_err(|e| format!("{path}: {e}"))?;
+        write_file(path, &json)?;
         println!("trace: {} events -> {path}", trace.len());
     }
     if let Some(path) = &targs.metrics_out {
         let m = run_metrics(graph, compiled, r, !targs.logical_clock);
-        std::fs::write(path, m.to_json()).map_err(|e| format!("{path}: {e}"))?;
+        write_file(path, &m.to_json())?;
         println!("metrics: {} values -> {path}", m.len());
     }
     Ok(())
@@ -920,6 +1097,8 @@ pub fn run(cli: &Cli) -> Result<i32, CliError> {
             faults,
             deadline_ms,
             prove,
+            cache,
+            jobs,
             trace: targs,
         } => {
             let mut g = resolve_model(target, *batch)?;
@@ -933,6 +1112,13 @@ pub fn run(cli: &Cli) -> Result<i32, CliError> {
                 Some(s) => Some(FaultPlan::parse(s, spec.num_cores).map_err(CliError::usage)?),
                 None => None,
             };
+            let store = match cache {
+                Some(dir) => Some(Arc::new(
+                    t10_store::DiskPlanCache::open(dir)
+                        .map_err(|e| CliError::file_io_msg(e.to_string()))?,
+                )),
+                None => None,
+            };
             let trace = targs.make_trace();
             let opts = CompileOptions {
                 deadline: deadline_ms.map(Duration::from_millis),
@@ -940,6 +1126,8 @@ pub fn run(cli: &Cli) -> Result<i32, CliError> {
                 warm_start: None,
                 trace: trace.clone(),
                 prove: *prove,
+                cache: store.clone().map(|s| s as Arc<dyn PlanCache>),
+                op_parallelism: *jobs,
             };
             let platform = Platform::new(spec.clone());
             let compiled = platform
@@ -952,6 +1140,16 @@ pub fn run(cli: &Cli) -> Result<i32, CliError> {
                 g.parameter_count() as f64 / 1e6,
                 compiled.compile_seconds
             );
+            if let Some(store) = &store {
+                let cs = &compiled.cache_stats;
+                println!(
+                    "cache: {} disk hit(s), {} recorded, {} stale, {} quarantined",
+                    cs.disk_hits,
+                    cs.recorded,
+                    cs.stale_entries,
+                    store.counters().quarantined,
+                );
+            }
             let mut sim = Simulator::new(spec, SimulatorMode::Timing).with_trace(trace.clone());
             if let Some(cap) = targs.trace_cores {
                 sim = sim.with_trace_cores(cap);
@@ -1037,6 +1235,8 @@ pub fn run(cli: &Cli) -> Result<i32, CliError> {
                         warm_start: warm.map(<[_]>::to_vec),
                         trace: trace.clone(),
                         prove: false,
+                        cache: None,
+                        op_parallelism: 0,
                     };
                     let compiled = Compiler::new(spec.clone(), cfg.clone())
                         .compile_graph_with(&graph, &opts)?;
@@ -1150,6 +1350,8 @@ pub fn run(cli: &Cli) -> Result<i32, CliError> {
                         warm_start: None,
                         trace: Trace::disabled(),
                         prove: false,
+                        cache: None,
+                        op_parallelism: 0,
                     };
                     // The compile itself runs the mandatory structural
                     // post-pass; a refuted artifact surfaces here as
@@ -1258,13 +1460,11 @@ pub fn run(cli: &Cli) -> Result<i32, CliError> {
                 if all_ok { "all ok" } else { "VIOLATIONS FOUND" },
             );
             if let Some(path) = json {
-                std::fs::write(path, check_diagnostics_json(&outcomes))
-                    .map_err(|e| format!("{path}: {e}"))?;
+                write_file(path, &check_diagnostics_json(&outcomes))?;
                 println!("diagnostics: {} target(s) -> {path}", outcomes.len());
             }
             if let Some(path) = prove_cert {
-                std::fs::write(path, check_certificates_json(&outcomes))
-                    .map_err(|e| format!("{path}: {e}"))?;
+                write_file(path, &check_certificates_json(&outcomes))?;
                 println!("certificates: {} target(s) -> {path}", outcomes.len());
             }
             check_verdict(&outcomes).map_err(|e| *e)
@@ -1298,8 +1498,38 @@ pub fn run(cli: &Cli) -> Result<i32, CliError> {
             t.print();
             Ok(0)
         }
+        Cli::Serve {
+            requests,
+            cache,
+            workers,
+            jobs,
+            queue,
+            cores,
+            deadline_ms,
+        } => serve::serve(&serve::ServeOptions {
+            requests: requests.clone(),
+            cache: cache.clone(),
+            workers: *workers,
+            jobs: *jobs,
+            queue: *queue,
+            cores: *cores,
+            deadline_ms: *deadline_ms,
+        }),
+        Cli::CompileBench {
+            targets,
+            out,
+            cores,
+            jobs,
+            cache,
+        } => serve::compile_bench(&serve::CompileBenchOptions {
+            targets: targets.clone(),
+            out: out.clone(),
+            cores: *cores,
+            jobs: *jobs,
+            cache: cache.clone(),
+        }),
         Cli::Trace { file } => {
-            let src = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+            let src = read_file(file)?;
             let events =
                 parse_chrome_trace(&src).map_err(|e| CliError::usage(format!("{file}: {e}")))?;
             print!("{}", render_summary(&events));
@@ -1341,10 +1571,67 @@ pub fn run(cli: &Cli) -> Result<i32, CliError> {
             mutate,
             trace: targs,
         } => {
+            // The cache-fault profile attacks the persistent plan store
+            // instead of fault timelines; it shares the campaign knobs
+            // (--campaign-seed/--count/--cores/--report-json) but none of
+            // the timeline machinery, so intercept it before Profile::parse.
+            if profile == "cache-fault" {
+                if *shrink
+                    || mutate.is_some()
+                    || corpus.is_some()
+                    || bench_json.is_some()
+                    || checkpoint_every.is_some()
+                    || max_retries.is_some()
+                    || targs.trace_out.is_some()
+                {
+                    return Err(CliError::usage(
+                        "--profile cache-fault corrupts the plan store, not timelines; \
+                         drop --shrink/--mutate/--corpus/--bench-json/--checkpoint-every/\
+                         --max-retries/--trace-out",
+                    ));
+                }
+                let cfg = t10_chaos::CacheCampaignConfig {
+                    seed: *campaign_seed,
+                    count: *count,
+                    cores: *cores,
+                };
+                let report = t10_chaos::run_cache_campaign(&cfg)?;
+                println!(
+                    "cache campaign: seed {} cores {}: {} case(s) -> {} violation(s)",
+                    report.seed, report.cores, report.count, report.violations,
+                );
+                for c in &report.cases {
+                    for v in &c.violations {
+                        println!(
+                            "case {} ({}): CACHE-VIOLATION {} under {} \
+                             ({} entries, {} quarantined, {} warm hit(s))",
+                            c.index,
+                            c.chain,
+                            v.label(),
+                            c.fault.label(),
+                            c.entries,
+                            c.quarantined,
+                            c.disk_hits,
+                        );
+                    }
+                }
+                if let Some(path) = report_json {
+                    write_file(path, &t10_chaos::cache_campaign_json(&report))?;
+                    println!("cache campaign report -> {path}");
+                }
+                if report.violations > 0 {
+                    return Err(CliError {
+                        message: format!("chaos: {} cache oracle violation(s)", report.violations),
+                        code: 11,
+                    });
+                }
+                return Ok(0);
+            }
             let profile = t10_chaos::Profile::parse(profile).ok_or_else(|| {
                 CliError::usage(format!(
                     "unknown profile `{profile}` (try uniform, barrier-storm, \
-                     migration-cross, degraded-target, recovery-storm, mixed)"
+                     migration-cross, degraded-target, recovery-storm, \
+                     cache-fault, mixed)"
                 ))
             })?;
             let mutation = match mutate.as_deref() {
@@ -1378,7 +1665,7 @@ pub fn run(cli: &Cli) -> Result<i32, CliError> {
             let mut corpus_violations = 0usize;
             if let Some(dir) = corpus {
                 let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
-                    .map_err(|e| format!("{dir}: {e}"))?
+                    .map_err(|e| CliError::file_io(dir, &e.to_string()))?
                     .filter_map(|e| e.ok())
                     .map(|e| e.path())
                     .filter(|p| p.extension().is_some_and(|x| x == "timeline"))
@@ -1386,8 +1673,7 @@ pub fn run(cli: &Cli) -> Result<i32, CliError> {
                 paths.sort();
                 let mut timelines = Vec::new();
                 for path in &paths {
-                    let text = std::fs::read_to_string(path)
-                        .map_err(|e| format!("{}: {e}", path.display()))?;
+                    let text = read_file(&path.to_string_lossy())?;
                     timelines.extend(
                         t10_chaos::parse_corpus(&text, run_cfg.cores)
                             .map_err(|e| CliError::usage(format!("{}: {e}", path.display())))?,
@@ -1466,13 +1752,11 @@ pub fn run(cli: &Cli) -> Result<i32, CliError> {
             // Reports are written before the exit verdict so CI can archive
             // them on failure too.
             if let Some(path) = report_json {
-                std::fs::write(path, t10_chaos::campaign_json(&report))
-                    .map_err(|e| format!("{path}: {e}"))?;
+                write_file(path, &t10_chaos::campaign_json(&report))?;
                 println!("campaign report -> {path}");
             }
             if let Some(path) = bench_json {
-                std::fs::write(path, t10_chaos::bench_json(&report))
-                    .map_err(|e| format!("{path}: {e}"))?;
+                write_file(path, &t10_chaos::bench_json(&report))?;
                 println!("recovery perf baseline -> {path}");
             }
             if let Some(path) = &targs.trace_out {
@@ -1482,7 +1766,7 @@ pub fn run(cli: &Cli) -> Result<i32, CliError> {
                 if write_chrome_trace(&parsed) != json {
                     return Err("internal: trace round-trip mismatch".to_string().into());
                 }
-                std::fs::write(path, &json).map_err(|e| format!("{path}: {e}"))?;
+                write_file(path, &json)?;
                 println!("trace: {} events -> {path}", trace.len());
             }
             let total_violations = report.violations + corpus_violations;
@@ -1526,6 +1810,8 @@ mod tests {
                 faults: None,
                 deadline_ms: None,
                 prove: false,
+                cache: None,
+                jobs: 1,
                 trace: TraceArgs::default(),
             }
         );
@@ -1643,6 +1929,8 @@ mod tests {
             faults: Some("bogus=1".to_string()),
             deadline_ms: None,
             prove: false,
+            cache: None,
+            jobs: 1,
             trace: TraceArgs::default(),
         })
         .unwrap_err();
@@ -1892,6 +2180,8 @@ mod tests {
             faults: None,
             deadline_ms: None,
             prove: true,
+            cache: None,
+            jobs: 1,
             trace: TraceArgs::default(),
         })
         .unwrap();
@@ -1915,6 +2205,8 @@ mod tests {
             faults: Some("seed=3,degrade=0.2@0.5,shrink=1@0.5".to_string()),
             deadline_ms: Some(10_000),
             prove: false,
+            cache: None,
+            jobs: 1,
             trace: TraceArgs::default(),
         })
         .unwrap();
@@ -2294,5 +2586,326 @@ mod tests {
         let mut bad = ChaosArgs::new(1);
         bad.profile = "bogus";
         assert_eq!(run(&bad.cli()).unwrap_err().code, 2);
+    }
+
+    #[test]
+    fn chaos_cache_fault_profile_runs_and_rejects_timeline_flags() {
+        let dir = std::env::temp_dir().join("t10_cli_chaos_cache_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let report_path = dir.join("cache_campaign.json");
+        let mut args = ChaosArgs::new(4);
+        args.profile = "cache-fault";
+        args.report_json = Some(report_path.to_string_lossy().to_string());
+        let code = run(&args.cli()).unwrap();
+        assert_eq!(code, 0, "a healthy store survives every injected fault");
+        let report = std::fs::read_to_string(&report_path).unwrap();
+        assert!(report.contains("\"schema\": \"t10.chaos.cache.v1\""));
+        assert!(report.contains("\"violations\": 0"));
+        // Timeline-only machinery does not combine with the store campaign.
+        let mut bad = ChaosArgs::new(1);
+        bad.profile = "cache-fault";
+        bad.shrink = true;
+        assert_eq!(run(&bad.cli()).unwrap_err().code, 2);
+        let mut bad = ChaosArgs::new(1);
+        bad.profile = "cache-fault";
+        bad.mutate = Some("corrupt-salvage");
+        assert_eq!(run(&bad.cli()).unwrap_err().code, 2);
+    }
+
+    #[test]
+    fn parses_serve_and_compilebench_with_flags() {
+        let c = Cli::parse(&s(&[
+            "serve",
+            "--requests",
+            "reqs.txt",
+            "--cache",
+            "plans/",
+            "--workers",
+            "3",
+            "--jobs",
+            "2",
+            "--queue",
+            "5",
+            "--cores",
+            "64",
+            "--deadline-ms",
+            "250",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Cli::Serve {
+                requests: Some("reqs.txt".to_string()),
+                cache: Some("plans/".to_string()),
+                workers: 3,
+                jobs: 2,
+                queue: 5,
+                cores: 64,
+                deadline_ms: Some(250),
+            }
+        );
+        // Defaults: stdin requests, no cache, 2 workers, queue 16.
+        assert_eq!(
+            Cli::parse(&s(&["serve"])).unwrap(),
+            Cli::Serve {
+                requests: None,
+                cache: None,
+                workers: 2,
+                jobs: 1,
+                queue: 16,
+                cores: 1472,
+                deadline_ms: None,
+            }
+        );
+        let c = Cli::parse(&s(&[
+            "compilebench",
+            "resnet",
+            "bert",
+            "--out",
+            "b.json",
+            "--jobs",
+            "4",
+            "--cache",
+            "plans/",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Cli::CompileBench {
+                targets: vec!["resnet".to_string(), "bert".to_string()],
+                out: Some("b.json".to_string()),
+                cores: 1472,
+                jobs: 4,
+                cache: Some("plans/".to_string()),
+            }
+        );
+        // Service/bench flags are rejected elsewhere, not silently dropped.
+        assert!(Cli::parse(&s(&["run", "x", "--cache", "plans/"])).is_err());
+        assert!(Cli::parse(&s(&["check", "x", "--jobs", "2"])).is_err());
+        assert!(Cli::parse(&s(&["compile", "x", "--workers", "2"])).is_err());
+        assert!(Cli::parse(&s(&["compile", "x", "--queue", "4"])).is_err());
+        assert!(Cli::parse(&s(&["compile", "x", "--requests", "r.txt"])).is_err());
+        assert!(Cli::parse(&s(&["compile", "x", "--out", "b.json"])).is_err());
+        assert!(Cli::parse(&s(&["serve", "x"])).is_err());
+        assert!(Cli::parse(&s(&["serve", "--workers"])).is_err());
+        assert!(Cli::parse(&s(&["serve", "--queue", "many"])).is_err());
+        // --deadline-ms now also applies to serve, still not to run.
+        assert!(Cli::parse(&s(&["run", "x", "--deadline-ms", "50"])).is_err());
+    }
+
+    #[test]
+    fn unreadable_files_exit_with_the_file_io_code() {
+        // A missing .t10 model: exit 12, not a generic failure.
+        let err = resolve_model("/nonexistent/nowhere.t10", 1).unwrap_err();
+        assert_eq!(err.code, 12);
+        // A missing trace file too.
+        let err = run(&Cli::Trace {
+            file: "/nonexistent/trace.json".to_string(),
+        })
+        .unwrap_err();
+        assert_eq!(err.code, 12);
+        // An unknown model name stays a usage error.
+        assert_eq!(resolve_model("nope", 1).unwrap_err().code, 2);
+        // An unwritable output path: exit 12.
+        let err = write_file("/nonexistent/dir/out.json", "x").unwrap_err();
+        assert_eq!(err.code, 12);
+    }
+
+    fn fresh_cli_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("t10_cli_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn compile_with_cache_warms_across_invocations() {
+        let dir = fresh_cli_dir("compile_cache");
+        let model = dir.join("cached.t10");
+        std::fs::write(
+            &model,
+            "model cli-cache-test\ninput x 64 64\nlinear a x 64 relu\nlinear b a 64\noutput b\n",
+        )
+        .unwrap();
+        let cache_dir = dir.join("plans");
+        let invoke = || {
+            run(&Cli::Compile {
+                target: model.to_string_lossy().to_string(),
+                batch: 1,
+                cores: 16,
+                fuse: false,
+                faults: None,
+                deadline_ms: None,
+                prove: false,
+                cache: Some(cache_dir.to_string_lossy().to_string()),
+                jobs: 2,
+                trace: TraceArgs::default(),
+            })
+            .unwrap()
+        };
+        assert_eq!(invoke(), 0);
+        let entries = std::fs::read_dir(&cache_dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.path().extension().is_some_and(|x| x == "plan"))
+            .count();
+        assert!(entries > 0, "cold compile populated the cache");
+        // Second invocation (fresh store instance) hits the same entries.
+        assert_eq!(invoke(), 0);
+    }
+
+    #[test]
+    fn serve_answers_every_request_and_isolates_failures() {
+        let dir = fresh_cli_dir("serve");
+        let model = dir.join("served.t10");
+        std::fs::write(
+            &model,
+            "model cli-serve-test\ninput x 64 64\nlinear a x 64 relu\noutput a\n",
+        )
+        .unwrap();
+        let cache_dir = dir.join("plans");
+        let input = format!(
+            "# comment lines and blanks are skipped\n\n\
+             compile {m} --cores 16\n\
+             compile {m} --cores 16 --faults seed=3,shrink=1@0.5\n\
+             compile /nonexistent/missing.t10 --cores 16\n\
+             compile {m} --cores 16 --warp 9\n\
+             frobnicate {m}\n\
+             compile {m} --cores 16\n",
+            m = model.to_string_lossy()
+        );
+        // One worker keeps processing strictly in request order: with two,
+        // the repeat of request 0 could start before request 0 finished
+        // recording its entries, and the disk-hit assertion would race.
+        let o = serve::ServeOptions {
+            requests: None,
+            cache: Some(cache_dir.to_string_lossy().to_string()),
+            workers: 1,
+            jobs: 1,
+            queue: 16,
+            cores: 16,
+            deadline_ms: Some(60_000),
+        };
+        let responses = serve::serve_requests(&input, &o).unwrap();
+        assert_eq!(responses.len(), 6);
+        // Responses come back in request order, every id answered.
+        for (i, r) in responses.iter().enumerate() {
+            assert_eq!(r.id(), i);
+        }
+        // Healthy compiles succeed; the bad path is exit 12; the bad flag
+        // and bad verb are usage errors — and none of them killed the rest.
+        assert!(matches!(&responses[0], serve::Response::Ok { .. }));
+        assert!(matches!(&responses[1], serve::Response::Ok { .. }));
+        assert!(
+            matches!(&responses[2], serve::Response::Error { code: 12, .. }),
+            "{:?}",
+            responses[2]
+        );
+        assert!(matches!(
+            &responses[3],
+            serve::Response::Error { code: 2, .. }
+        ));
+        assert!(matches!(
+            &responses[4],
+            serve::Response::Error { code: 2, .. }
+        ));
+        assert!(matches!(&responses[5], serve::Response::Ok { .. }));
+        // The repeat of request 0 was served from the persistent cache.
+        match &responses[5] {
+            serve::Response::Ok { disk_hits, .. } => assert!(*disk_hits > 0),
+            other => panic!("unexpected {other:?}"),
+        }
+        // The faulted compile never reused healthy entries.
+        match &responses[1] {
+            serve::Response::Ok {
+                disk_hits,
+                recorded,
+                ..
+            } => {
+                assert_eq!(*disk_hits, 0);
+                assert!(*recorded > 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_rejects_overflow_with_backoff_hints_under_a_tiny_queue() {
+        let dir = fresh_cli_dir("serve_reject");
+        let model = dir.join("storm.t10");
+        std::fs::write(
+            &model,
+            "model cli-storm-test\ninput x 64 64\nlinear a x 64\noutput a\n",
+        )
+        .unwrap();
+        // One worker, one queue slot, a burst of requests: admission control
+        // must reject some (how many depends on timing) and every rejection
+        // must carry a positive retry hint. Nothing hangs, nothing is lost.
+        let input = format!("compile {m} --cores 16\n", m = model.to_string_lossy()).repeat(8);
+        let o = serve::ServeOptions {
+            requests: None,
+            cache: None,
+            workers: 1,
+            jobs: 1,
+            queue: 1,
+            cores: 16,
+            deadline_ms: None,
+        };
+        let responses = serve::serve_requests(&input, &o).unwrap();
+        assert_eq!(responses.len(), 8);
+        let (mut ok, mut rejected) = (0usize, 0usize);
+        for r in &responses {
+            match r {
+                serve::Response::Ok { .. } => ok += 1,
+                serve::Response::Rejected { retry_after_ms, .. } => {
+                    rejected += 1;
+                    assert!(*retry_after_ms > 0);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(ok + rejected, 8);
+        assert!(ok >= 1, "at least the first admitted request compiles");
+    }
+
+    #[test]
+    fn compilebench_writes_the_schema_document() {
+        let dir = fresh_cli_dir("compilebench");
+        let model = dir.join("bench.t10");
+        std::fs::write(
+            &model,
+            "model cli-bench-test\ninput x 64 64\nlinear a x 64 relu\nlinear b a 64\noutput b\n",
+        )
+        .unwrap();
+        let out = dir.join("BENCH_compile.json");
+        let code = run(&Cli::CompileBench {
+            targets: vec![model.to_string_lossy().to_string()],
+            out: Some(out.to_string_lossy().to_string()),
+            cores: 16,
+            jobs: 2,
+            cache: None,
+        })
+        .unwrap();
+        assert_eq!(code, 0);
+        let doc = std::fs::read_to_string(&out).unwrap();
+        let v = t10_trace::json::parse(&doc).unwrap();
+        assert_eq!(
+            v.get("schema").and_then(|x| x.as_str()),
+            Some("t10.bench.compile.v1")
+        );
+        assert_eq!(v.get("models").and_then(|x| x.as_f64()), Some(1.0));
+        assert!(v.get("cold_ms").and_then(|c| c.get("p50")).is_some());
+        assert!(v.get("warm_ms").and_then(|c| c.get("p50")).is_some());
+        // Warm compiles resolve every recorded frontier from disk.
+        assert_eq!(v.get("warm_hit_rate").and_then(|x| x.as_f64()), Some(1.0));
+        let per_model = v.get("per_model").and_then(|x| x.as_arr()).unwrap();
+        assert_eq!(per_model.len(), 1);
+        assert!(
+            per_model[0]
+                .get("disk_hits")
+                .and_then(|x| x.as_f64())
+                .unwrap()
+                > 0.0
+        );
     }
 }

@@ -6,6 +6,10 @@
 //! t10 run     <model|file.t10> [opts]   execute under a mid-run fault timeline
 //! t10 check   <model|file.t10|all> [opts]  statically verify compiled artifacts
 //! t10 bench   <model|file.t10> [opts]   compare T10 / Roller / Ansor / PopART
+//! t10 serve   [opts]                    long-lived compile service (requests
+//!                                       from --requests FILE or stdin)
+//! t10 compilebench [targets] [opts]     cold/warm compile latency + cache
+//!                                       hit rate + parallel-search speedup
 //! t10 explore <M> <K> <N> [opts]        Pareto frontier of one MatMul
 //! t10 trace   <trace.json>              summarize a recorded trace file
 //! t10 chaos   [opts]                    adversarial fault-injection campaign
@@ -13,7 +17,8 @@
 //! options: --batch N (default 1)  --cores N (default 1472)  --fuse
 //!          --faults SPEC  --deadline-ms N  --fault-timeline SPEC
 //!          --checkpoint-every N  --max-retries K
-//!          --trace-out FILE  --metrics-out FILE
+//!          --cache DIR  --jobs N  --requests FILE  --workers N  --queue N
+//!          --out FILE  --trace-out FILE  --metrics-out FILE
 //!          --trace-clock wall|logical  --trace-cores N  --json FILE
 //!          --campaign-seed N  --count N  --profile NAME  --shrink
 //!          --report-json FILE  --bench-json FILE  --corpus DIR  --mutate NAME
@@ -22,7 +27,8 @@
 //! plan, 4 out of memory, 5 deadline exceeded, 6 worker panicked,
 //! 7 device/IR fault, 8 run recovered from mid-run faults, 9 unrecoverable,
 //! 10 static verification refuted the artifact, 11 chaos campaign found
-//! oracle violations.
+//! oracle violations, 12 file read/write failed, 13 serve finished with
+//! rejected or failed requests.
 //! ```
 
 use t10_cli::{run, Cli};

@@ -1,0 +1,779 @@
+//! `t10 serve` — the resilient, long-lived compile service — and
+//! `t10 compilebench`, the cold/warm compile-latency benchmark.
+//!
+//! The service accepts a batch of compile requests (one per line, from
+//! `--requests FILE` or stdin), pushes them through **bounded-queue
+//! admission control**, and drains the accepted queue with a pool of
+//! worker threads, each compile fanning its per-operator Pareto searches
+//! out across `--jobs` threads. Every response is a single JSON line
+//! keyed by request id, emitted in request order:
+//!
+//! * admitted + compiled → `"status":"ok"` with latency estimate,
+//!   cache-hit counters, and the degradation flag;
+//! * the queue was full → `"status":"rejected"` with a typed reason and a
+//!   capped, deterministically-jittered `retry_after_ms` backoff hint;
+//! * the compile failed → `"status":"error"` with the same typed exit
+//!   code the `t10 compile` command would have returned.
+//!
+//! Failure isolation is the point: a request that panics a search worker,
+//! misses its deadline, or doesn't fit on the chip fails *that request*;
+//! the service and every other request carry on. Under pressure (queue ≥
+//! 3/4 full at admission — the cache-miss-storm case) new requests are
+//! admitted in **degraded mode**: they compile with the fast search
+//! preset, trading plan quality for latency. Degraded compiles use a
+//! different cache key (the key digests the search config), so they can
+//! never poison the full-quality plan cache.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use t10_bench::harness::bench_search_config;
+use t10_core::cache::fnv64;
+use t10_core::search::SearchConfig;
+use t10_core::{CompileOptions, Compiler, PlanCache};
+use t10_device::ChipSpec;
+use t10_sim::FaultPlan;
+use t10_store::DiskPlanCache;
+use t10_trace::Trace;
+
+use crate::{compile_exit_code, resolve_model, CliError};
+
+/// Ceiling for the backoff hint's exponential component, in milliseconds.
+const RETRY_CAP_MS: u64 = 3_200;
+/// First-rejection backoff hint, in milliseconds.
+const RETRY_BASE_MS: u64 = 50;
+
+/// `t10 serve` options (parsed from the command line).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOptions {
+    /// Request file (`-` / absent = stdin).
+    pub requests: Option<String>,
+    /// Plan-cache directory, if persistent caching is wanted.
+    pub cache: Option<String>,
+    /// Worker threads draining the request queue.
+    pub workers: usize,
+    /// Per-compile operator-search parallelism (`CompileOptions::op_parallelism`).
+    pub jobs: usize,
+    /// Admission-queue capacity; requests beyond it are rejected.
+    pub queue: usize,
+    /// Default chip size for requests that don't pass `--cores`.
+    pub cores: usize,
+    /// Default per-request compile deadline.
+    pub deadline_ms: Option<u64>,
+}
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Request id (line number, 0-based over non-comment lines).
+    pub id: usize,
+    /// Zoo model name or `.t10` path.
+    pub target: String,
+    /// Batch size.
+    pub batch: usize,
+    /// Chip size override.
+    pub cores: Option<usize>,
+    /// Fault spec, compiled against the degraded chip.
+    pub faults: Option<String>,
+    /// Per-request deadline override.
+    pub deadline_ms: Option<u64>,
+}
+
+/// One response line; rendered as a single JSON object.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The request compiled.
+    Ok {
+        /// Request id.
+        id: usize,
+        /// Resolved model name.
+        model: String,
+        /// Operator count after any transforms.
+        operators: usize,
+        /// Compiler-estimated execution latency, microseconds.
+        estimated_us: f64,
+        /// Wall-clock compile time, milliseconds.
+        compile_ms: f64,
+        /// Plan-cache disk hits during this compile.
+        disk_hits: usize,
+        /// Frontiers recorded to the cache during this compile.
+        recorded: usize,
+        /// Whether the request was admitted in degraded (fast-search) mode.
+        degraded: bool,
+    },
+    /// Admission control turned the request away: the queue was full.
+    Rejected {
+        /// Request id.
+        id: usize,
+        /// Suggested client backoff before retrying, milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The request was admitted but its compile failed.
+    Error {
+        /// Request id.
+        id: usize,
+        /// The exit code `t10 compile` would have returned for this error.
+        code: i32,
+        /// Human-readable failure description.
+        message: String,
+    },
+}
+
+impl Response {
+    /// The request id this response answers.
+    pub fn id(&self) -> usize {
+        match self {
+            Response::Ok { id, .. }
+            | Response::Rejected { id, .. }
+            | Response::Error { id, .. } => *id,
+        }
+    }
+
+    /// Renders the response as one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        match self {
+            Response::Ok {
+                id,
+                model,
+                operators,
+                estimated_us,
+                compile_ms,
+                disk_hits,
+                recorded,
+                degraded,
+            } => {
+                out.push_str(&format!("{{\"id\":{id},\"status\":\"ok\",\"model\":\""));
+                t10_trace::json::escape_into(&mut out, model);
+                out.push_str(&format!(
+                    "\",\"operators\":{operators},\"estimated_us\":{estimated_us:.3},\
+                     \"compile_ms\":{compile_ms:.3},\"cache\":{{\"disk_hits\":{disk_hits},\
+                     \"recorded\":{recorded}}},\"degraded\":{degraded}}}"
+                ));
+            }
+            Response::Rejected { id, retry_after_ms } => {
+                out.push_str(&format!(
+                    "{{\"id\":{id},\"status\":\"rejected\",\"reason\":\"queue-full\",\
+                     \"retry_after_ms\":{retry_after_ms}}}"
+                ));
+            }
+            Response::Error { id, code, message } => {
+                out.push_str(&format!(
+                    "{{\"id\":{id},\"status\":\"error\",\"code\":{code},\"message\":\""
+                ));
+                t10_trace::json::escape_into(&mut out, message);
+                out.push_str("\"}");
+            }
+        }
+        out
+    }
+}
+
+/// Parses one request line: `compile <model|file.t10> [--batch N]
+/// [--cores N] [--faults SPEC] [--deadline-ms N]`.
+pub fn parse_request(line: &str, id: usize) -> Result<Request, String> {
+    let mut it = line.split_whitespace();
+    match it.next() {
+        Some("compile") => {}
+        Some(other) => return Err(format!("unknown request verb `{other}` (only `compile`)")),
+        None => return Err("empty request".to_string()),
+    }
+    let target = it.next().ok_or("compile needs a model")?.to_string();
+    let mut req = Request {
+        id,
+        target,
+        batch: 1,
+        cores: None,
+        faults: None,
+        deadline_ms: None,
+    };
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag {
+            "--batch" => req.batch = val()?.parse().map_err(|_| "bad --batch value")?,
+            "--cores" => req.cores = Some(val()?.parse().map_err(|_| "bad --cores value")?),
+            "--faults" => req.faults = Some(val()?.to_string()),
+            "--deadline-ms" => {
+                req.deadline_ms = Some(val()?.parse().map_err(|_| "bad --deadline-ms value")?);
+            }
+            other => return Err(format!("unknown request flag {other}")),
+        }
+    }
+    Ok(req)
+}
+
+/// The backoff hint attached to the `consecutive`-th rejection in a row
+/// (0-based): capped doubling from [`RETRY_BASE_MS`], plus a deterministic
+/// per-request jitter (≤ 25% of the slot) so a rejected fleet does not
+/// retry in lockstep.
+pub fn retry_after_ms(consecutive: u32, id: u64) -> u64 {
+    let slot = RETRY_BASE_MS
+        .saturating_mul(1u64 << consecutive.min(6))
+        .min(RETRY_CAP_MS);
+    let jitter = fnv64(&id.to_le_bytes()) % (slot / 4 + 1);
+    slot + jitter
+}
+
+/// A compiler pool keyed by (chip size, degraded tier): calibration is paid
+/// once per distinct chip, then shared by every request and worker.
+struct CompilerPool {
+    compilers: Mutex<HashMap<(usize, bool), Arc<Compiler>>>,
+}
+
+impl CompilerPool {
+    fn new() -> Self {
+        Self {
+            compilers: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn get(&self, cores: usize, degraded: bool) -> Result<Arc<Compiler>, CliError> {
+        let mut map = self
+            .compilers
+            .lock()
+            .map_err(|_| CliError::internal("compiler pool poisoned"))?;
+        if let Some(c) = map.get(&(cores, degraded)) {
+            return Ok(c.clone());
+        }
+        let cfg = if degraded {
+            SearchConfig::fast()
+        } else {
+            bench_search_config()
+        };
+        let spec = crate::chip(cores);
+        let compiler = Arc::new(Compiler::try_new(spec, cfg).map_err(CliError::from)?);
+        map.insert((cores, degraded), compiler.clone());
+        Ok(compiler)
+    }
+}
+
+/// One admitted job: the request plus its admission-time degradation flag.
+struct Job {
+    req: Request,
+    degraded: bool,
+}
+
+/// The bounded admission queue: jobs + a closed flag under one lock, and a
+/// condvar workers sleep on.
+struct JobQueue {
+    state: Mutex<(VecDeque<Job>, bool)>,
+    ready: Condvar,
+}
+
+impl JobQueue {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new((VecDeque::new(), false)),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Tries to admit a job; `Err(len)` when the queue is at capacity.
+    /// On success reports whether the service is under pressure (≥ 3/4
+    /// full after the push) — the admission-time degradation signal.
+    fn try_push(&self, req: Request, capacity: usize) -> Result<bool, usize> {
+        let Ok(mut st) = self.state.lock() else {
+            return Err(capacity);
+        };
+        if st.0.len() >= capacity {
+            return Err(st.0.len());
+        }
+        let degraded = 4 * (st.0.len() + 1) >= 3 * capacity && capacity > 1;
+        st.0.push_back(Job { req, degraded });
+        self.ready.notify_one();
+        Ok(degraded)
+    }
+
+    fn close(&self) {
+        if let Ok(mut st) = self.state.lock() {
+            st.1 = true;
+        }
+        self.ready.notify_all();
+    }
+
+    fn pop(&self) -> Option<Job> {
+        let mut st = self.state.lock().ok()?;
+        loop {
+            if let Some(job) = st.0.pop_front() {
+                return Some(job);
+            }
+            if st.1 {
+                return None;
+            }
+            st = self.ready.wait(st).ok()?;
+        }
+    }
+}
+
+/// Compiles one admitted job into its response. Every failure path becomes
+/// a typed [`Response::Error`]; nothing here can take the service down.
+fn handle(
+    job: &Job,
+    o: &ServeOptions,
+    pool: &CompilerPool,
+    store: Option<&Arc<DiskPlanCache>>,
+) -> Response {
+    let id = job.req.id;
+    let fail = |e: CliError| Response::Error {
+        id,
+        code: e.code,
+        message: e.message,
+    };
+    let graph = match resolve_model(&job.req.target, job.req.batch) {
+        Ok(g) => g,
+        Err(e) => return fail(e),
+    };
+    let cores = job.req.cores.unwrap_or(o.cores);
+    let spec: ChipSpec = crate::chip(cores);
+    let faults = match &job.req.faults {
+        Some(s) => match FaultPlan::parse(s, spec.num_cores) {
+            Ok(f) => Some(f),
+            Err(e) => return fail(CliError::usage(e)),
+        },
+        None => None,
+    };
+    let compiler = match pool.get(cores, job.degraded) {
+        Ok(c) => c,
+        Err(e) => return fail(e),
+    };
+    let opts = CompileOptions {
+        deadline: job
+            .req
+            .deadline_ms
+            .or(o.deadline_ms)
+            .map(Duration::from_millis),
+        faults,
+        warm_start: None,
+        trace: Trace::disabled(),
+        prove: false,
+        cache: store.map(|s| s.clone() as Arc<dyn PlanCache>),
+        op_parallelism: o.jobs,
+    };
+    match compiler.compile_graph_with(&graph, &opts) {
+        Ok(compiled) => Response::Ok {
+            id,
+            model: graph.name().to_string(),
+            operators: graph.nodes().len(),
+            estimated_us: compiled.estimated_time * 1e6,
+            compile_ms: compiled.compile_seconds * 1e3,
+            disk_hits: compiled.cache_stats.disk_hits,
+            recorded: compiled.cache_stats.recorded,
+            degraded: job.degraded,
+        },
+        Err(e) => Response::Error {
+            id,
+            code: compile_exit_code(&e),
+            message: e.to_string(),
+        },
+    }
+}
+
+/// Runs the service over `input` (the request lines), returning every
+/// response in request order. Library entry point so tests can drive the
+/// whole pipeline — admission, workers, degradation — without a process.
+pub fn serve_requests(input: &str, o: &ServeOptions) -> Result<Vec<Response>, CliError> {
+    let store = match &o.cache {
+        Some(dir) => Some(Arc::new(
+            DiskPlanCache::open(dir).map_err(|e| CliError::file_io_msg(e.to_string()))?,
+        )),
+        None => None,
+    };
+    let requests: Vec<Result<Request, String>> = input
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .enumerate()
+        .map(|(id, line)| parse_request(line, id))
+        .collect();
+    let n = requests.len();
+    let slots: Vec<Mutex<Option<Response>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let queue = JobQueue::new();
+    let pool = CompilerPool::new();
+    let workers = o.workers.max(1);
+    let capacity = o.queue.max(1);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                while let Some(job) = queue.pop() {
+                    let resp = handle(&job, o, &pool, store.as_ref());
+                    if let Ok(mut slot) = slots[resp.id()].lock() {
+                        *slot = Some(resp);
+                    }
+                }
+            });
+        }
+
+        // Admission: parse failures answer immediately; full queue rejects
+        // with a backoff hint that doubles (capped) while the queue stays
+        // full and resets on the first successful admission.
+        let mut consecutive_rejections: u32 = 0;
+        for (id, parsed) in requests.into_iter().enumerate() {
+            let resp = match parsed {
+                Err(msg) => Some(Response::Error {
+                    id,
+                    code: 2,
+                    message: msg,
+                }),
+                Ok(req) => match queue.try_push(req, capacity) {
+                    Ok(_degraded) => {
+                        consecutive_rejections = 0;
+                        None
+                    }
+                    Err(_len) => {
+                        let hint = retry_after_ms(consecutive_rejections, id as u64);
+                        consecutive_rejections = consecutive_rejections.saturating_add(1);
+                        Some(Response::Rejected {
+                            id,
+                            retry_after_ms: hint,
+                        })
+                    }
+                },
+            };
+            if let Some(resp) = resp {
+                if let Ok(mut slot) = slots[id].lock() {
+                    *slot = Some(resp);
+                }
+            }
+        }
+        queue.close();
+    });
+
+    let mut responses = Vec::with_capacity(n);
+    for (id, slot) in slots.into_iter().enumerate() {
+        let resp = slot
+            .into_inner()
+            .ok()
+            .flatten()
+            .unwrap_or_else(|| Response::Error {
+                id,
+                code: 1,
+                message: "internal: request produced no response".to_string(),
+            });
+        responses.push(resp);
+    }
+    Ok(responses)
+}
+
+/// The `t10 serve` command: run the service, print one JSON line per
+/// response plus a summary, and exit 0 only if every request compiled
+/// (13 otherwise, so scripts can tell a degraded batch from a clean one).
+pub fn serve(o: &ServeOptions) -> Result<i32, CliError> {
+    let input = match o.requests.as_deref() {
+        Some("-") | None => {
+            let mut buf = String::new();
+            std::io::Read::read_to_string(&mut std::io::stdin(), &mut buf)
+                .map_err(|e| CliError::file_io("stdin", &e.to_string()))?;
+            buf
+        }
+        Some(path) => crate::read_file(path)?,
+    };
+    let responses = serve_requests(&input, o)?;
+    let (mut ok, mut rejected, mut failed, mut degraded) = (0usize, 0usize, 0usize, 0usize);
+    for r in &responses {
+        println!("{}", r.to_json());
+        match r {
+            Response::Ok {
+                degraded: was_degraded,
+                ..
+            } => {
+                ok += 1;
+                degraded += usize::from(*was_degraded);
+            }
+            Response::Rejected { .. } => rejected += 1,
+            Response::Error { .. } => failed += 1,
+        }
+    }
+    eprintln!(
+        "serve: {} request(s): {ok} ok ({degraded} degraded), {rejected} rejected, {failed} failed",
+        responses.len(),
+    );
+    Ok(if rejected + failed > 0 { 13 } else { 0 })
+}
+
+/// `t10 compilebench` options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileBenchOptions {
+    /// Targets to measure (zoo names or `.t10` files); empty = the zoo.
+    pub targets: Vec<String>,
+    /// Output JSON path (`BENCH_compile.json` convention); stdout summary
+    /// is always printed.
+    pub out: Option<String>,
+    /// Chip size.
+    pub cores: usize,
+    /// Parallel-search thread count for the speedup measurement.
+    pub jobs: usize,
+    /// Cache directory (a unique temp directory when absent).
+    pub cache: Option<String>,
+}
+
+/// One model's cold/warm measurement.
+struct BenchRow {
+    name: String,
+    operators: usize,
+    cold_ms: f64,
+    warm_ms: f64,
+    disk_hits: usize,
+    recorded: usize,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// The `t10 compilebench` command: cold-vs-warm compile latency over the
+/// model zoo, cache hit rates, and the parallel-search speedup, written as
+/// a `t10.bench.compile.v1` document.
+pub fn compile_bench(o: &CompileBenchOptions) -> Result<i32, CliError> {
+    let cache_dir = match &o.cache {
+        Some(d) => std::path::PathBuf::from(d),
+        None => std::env::temp_dir().join(format!("t10-compilebench-{}", std::process::id())),
+    };
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let store = Arc::new(
+        DiskPlanCache::open(&cache_dir).map_err(|e| CliError::file_io_msg(e.to_string()))?,
+    );
+    let compiler = Compiler::try_new(crate::chip(o.cores), bench_search_config())?;
+
+    let targets: Vec<String> = if o.targets.is_empty() {
+        t10_models::all_models()
+            .into_iter()
+            .map(|m| m.name.to_string())
+            .collect()
+    } else {
+        o.targets.clone()
+    };
+    let graphs: Vec<t10_ir::Graph> = targets
+        .iter()
+        .map(|t| resolve_model(t, 1))
+        .collect::<Result<_, _>>()?;
+
+    let mut rows: Vec<BenchRow> = Vec::new();
+    let compile_with = |opts: &CompileOptions, g: &t10_ir::Graph| {
+        let t0 = std::time::Instant::now();
+        let compiled = compiler.compile_graph_with(g, opts)?;
+        Ok::<_, CliError>((t0.elapsed().as_secs_f64() * 1e3, compiled))
+    };
+    for g in &graphs {
+        let opts = CompileOptions {
+            cache: Some(store.clone() as Arc<dyn PlanCache>),
+            op_parallelism: o.jobs,
+            ..CompileOptions::default()
+        };
+        let (cold_ms, cold) = compile_with(&opts, g)?;
+        let (warm_ms, warm) = compile_with(&opts, g)?;
+        rows.push(BenchRow {
+            name: g.name().to_string(),
+            operators: g.nodes().len(),
+            cold_ms,
+            warm_ms,
+            disk_hits: warm.cache_stats.disk_hits,
+            recorded: cold.cache_stats.recorded,
+        });
+    }
+
+    // Parallel-search speedup over the same targets, uncached: 1 thread vs
+    // `--jobs` threads over the per-operator axis.
+    let speedup_input = &graphs;
+    let timed = |par: usize| -> Result<f64, CliError> {
+        let opts = CompileOptions {
+            op_parallelism: par,
+            ..CompileOptions::default()
+        };
+        let t0 = std::time::Instant::now();
+        for g in speedup_input.iter() {
+            compiler.compile_graph_with(g, &opts)?;
+        }
+        Ok(t0.elapsed().as_secs_f64() * 1e3)
+    };
+    let seq_ms = timed(1)?;
+    let par_ms = timed(o.jobs.max(1))?;
+    let speedup = if par_ms > 0.0 { seq_ms / par_ms } else { 1.0 };
+
+    let mut cold: Vec<f64> = rows.iter().map(|r| r.cold_ms).collect();
+    let mut warm: Vec<f64> = rows.iter().map(|r| r.warm_ms).collect();
+    cold.sort_by(f64::total_cmp);
+    warm.sort_by(f64::total_cmp);
+    let hits: usize = rows.iter().map(|r| r.disk_hits).sum();
+    let recorded: usize = rows.iter().map(|r| r.recorded).sum();
+    let hit_rate = if hits + recorded > 0 {
+        // Warm compiles re-resolve every recorded frontier from disk.
+        hits as f64 / recorded as f64
+    } else {
+        0.0
+    };
+
+    let mut doc = String::from("{\n  \"schema\": \"t10.bench.compile.v1\",\n");
+    doc.push_str(&format!("  \"cores\": {},\n", o.cores));
+    doc.push_str(&format!("  \"search_threads\": {},\n", o.jobs.max(1)));
+    doc.push_str(&format!("  \"models\": {},\n", rows.len()));
+    doc.push_str(&format!(
+        "  \"cold_ms\": {{\"p50\": {:.3}, \"p90\": {:.3}, \"max\": {:.3}}},\n",
+        percentile(&cold, 0.5),
+        percentile(&cold, 0.9),
+        percentile(&cold, 1.0),
+    ));
+    doc.push_str(&format!(
+        "  \"warm_ms\": {{\"p50\": {:.3}, \"p90\": {:.3}, \"max\": {:.3}}},\n",
+        percentile(&warm, 0.5),
+        percentile(&warm, 0.9),
+        percentile(&warm, 1.0),
+    ));
+    doc.push_str(&format!("  \"warm_hit_rate\": {hit_rate:.4},\n"));
+    doc.push_str(&format!(
+        "  \"parallel_search\": {{\"threads\": {}, \"sequential_ms\": {seq_ms:.3}, \
+         \"parallel_ms\": {par_ms:.3}, \"speedup\": {speedup:.3}}},\n",
+        o.jobs.max(1),
+    ));
+    doc.push_str("  \"per_model\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        doc.push_str(&format!(
+            "    {{\"name\": \"{}\", \"operators\": {}, \"cold_ms\": {:.3}, \
+             \"warm_ms\": {:.3}, \"disk_hits\": {}, \"recorded\": {}}}{}\n",
+            r.name,
+            r.operators,
+            r.cold_ms,
+            r.warm_ms,
+            r.disk_hits,
+            r.recorded,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    doc.push_str("  ]\n}\n");
+
+    println!(
+        "compilebench: {} model(s) at {} cores: cold p50 {:.1} ms, warm p50 {:.1} ms, \
+         warm hit rate {:.0}%, parallel x{} speedup {:.2}",
+        rows.len(),
+        o.cores,
+        percentile(&cold, 0.5),
+        percentile(&warm, 0.5),
+        hit_rate * 100.0,
+        o.jobs.max(1),
+        speedup,
+    );
+    if let Some(path) = &o.out {
+        crate::write_file(path, &doc)?;
+        println!("compile bench -> {path}");
+    }
+    if o.cache.is_none() {
+        let _ = std::fs::remove_dir_all(&cache_dir);
+    }
+    Ok(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_request_lines() {
+        let r = parse_request(
+            "compile resnet --batch 2 --cores 64 --faults seed=1 --deadline-ms 250",
+            3,
+        )
+        .unwrap();
+        assert_eq!(
+            r,
+            Request {
+                id: 3,
+                target: "resnet".to_string(),
+                batch: 2,
+                cores: Some(64),
+                faults: Some("seed=1".to_string()),
+                deadline_ms: Some(250),
+            }
+        );
+        assert!(parse_request("", 0).is_err());
+        assert!(parse_request("decompile x", 0).is_err());
+        assert!(parse_request("compile", 0).is_err());
+        assert!(parse_request("compile x --batch", 0).is_err());
+        assert!(parse_request("compile x --warp 9", 0).is_err());
+    }
+
+    #[test]
+    fn retry_hints_double_to_a_cap_with_bounded_jitter() {
+        // Slot sequence 50, 100, ..., capped at 3200; jitter ≤ slot/4.
+        let mut prev_slot = 0u64;
+        for consecutive in 0..10u32 {
+            let slot = (RETRY_BASE_MS << consecutive.min(6)).min(RETRY_CAP_MS);
+            let hint = retry_after_ms(consecutive, 42);
+            assert!(
+                hint >= slot && hint <= slot + slot / 4,
+                "{consecutive}: {hint}"
+            );
+            assert!(slot >= prev_slot);
+            prev_slot = slot;
+        }
+        // Deterministic per id, but different ids de-synchronize.
+        assert_eq!(retry_after_ms(3, 7), retry_after_ms(3, 7));
+        let distinct: std::collections::BTreeSet<u64> =
+            (0..16).map(|id| retry_after_ms(6, id)).collect();
+        assert!(distinct.len() > 1, "jitter must spread the fleet");
+    }
+
+    #[test]
+    fn responses_render_as_json_lines() {
+        let ok = Response::Ok {
+            id: 0,
+            model: "mlp".to_string(),
+            operators: 2,
+            estimated_us: 12.5,
+            compile_ms: 3.25,
+            disk_hits: 1,
+            recorded: 0,
+            degraded: false,
+        };
+        let line = ok.to_json();
+        let v = t10_trace::json::parse(&line).unwrap();
+        assert_eq!(v.get("status").and_then(|s| s.as_str()), Some("ok"));
+        assert_eq!(
+            v.get("cache")
+                .and_then(|c| c.get("disk_hits"))
+                .and_then(|h| h.as_f64()),
+            Some(1.0)
+        );
+        let rej = Response::Rejected {
+            id: 4,
+            retry_after_ms: 62,
+        };
+        let v = t10_trace::json::parse(&rej.to_json()).unwrap();
+        assert_eq!(v.get("reason").and_then(|s| s.as_str()), Some("queue-full"));
+        let err = Response::Error {
+            id: 9,
+            code: 5,
+            message: "deadline \"exceeded\"".to_string(),
+        };
+        let v = t10_trace::json::parse(&err.to_json()).unwrap();
+        assert_eq!(v.get("code").and_then(|c| c.as_f64()), Some(5.0));
+    }
+
+    #[test]
+    fn queue_pressure_flags_degraded_admissions() {
+        let q = JobQueue::new();
+        let req = |id| Request {
+            id,
+            target: "x".to_string(),
+            batch: 1,
+            cores: None,
+            faults: None,
+            deadline_ms: None,
+        };
+        // Capacity 4: admissions 1 and 2 are healthy, 3 and 4 are under
+        // pressure (≥ 3/4 full), 5 is rejected.
+        assert_eq!(q.try_push(req(0), 4), Ok(false));
+        assert_eq!(q.try_push(req(1), 4), Ok(false));
+        assert_eq!(q.try_push(req(2), 4), Ok(true));
+        assert_eq!(q.try_push(req(3), 4), Ok(true));
+        assert_eq!(q.try_push(req(4), 4), Err(4));
+        // A single-slot queue never degrades (it rejects instead).
+        let q1 = JobQueue::new();
+        assert_eq!(q1.try_push(req(0), 1), Ok(false));
+        assert_eq!(q1.try_push(req(1), 1), Err(1));
+    }
+}

@@ -1,0 +1,464 @@
+//! Persistent plan-cache interface: keys, codec, and the cache trait.
+//!
+//! The ROADMAP's compile-service arc keys cached search results by
+//! *(operator signature, ChipSpec, fault state)* so a fleet compiling
+//! millions of recurring shapes hits cache instead of re-running the Pareto
+//! search. This module owns the compiler-side half of that contract:
+//!
+//! * [`plan_cache_key`] — the full cache key. Beyond the operator signature
+//!   the key digests the chip datasheet, the fault state the compile plans
+//!   against, and the search configuration, so an entry tuned for a healthy
+//!   chip can never be served to a degraded one (or vice versa), and a
+//!   `fast()` frontier can never masquerade as a `strict()` one.
+//! * [`encode_frontier`] / [`decode_frontier`] — a versioned text codec for
+//!   a Pareto frontier's *configurations* (the search's free variables).
+//!   Cached entries store only [`PlanConfig`]s: plans, costs, and programs
+//!   are re-derived deterministically on every hit, so a hit flows through
+//!   the exact same build → reconcile → verify(+prove) pipeline as a cold
+//!   compile and byte-identical artifacts fall out by construction.
+//! * [`PlanCache`] — the object-safe trait the compiler consults. The
+//!   interface is deliberately infallible: a backend that hits corruption
+//!   quarantines internally and reports a miss, so the compiler always
+//!   falls through to recompilation and can never serve a bad entry.
+//!
+//! The disk backend (atomic writes, integrity checksums, quarantine) lives
+//! in the `t10-store` crate; this module has no I/O.
+
+use t10_sim::FaultPlan;
+
+use crate::plan::{PlanConfig, TemporalChoice};
+use crate::search::{SearchConfig, SearchStats};
+use t10_device::ChipSpec;
+use t10_ir::Operator;
+
+/// Codec version tag; bump on any format change so stale entries decode to
+/// `None` (a miss) instead of misparsing.
+const FRONTIER_VERSION: &str = "t10-frontier v1";
+
+/// 64-bit FNV-1a over a byte string — the workspace's stable, dependency-free
+/// digest for cache keys and integrity checks. Not cryptographic; it guards
+/// against corruption and accidental collisions, not adversaries.
+#[must_use]
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    fnv64_seeded(0xcbf2_9ce4_8422_2325, bytes)
+}
+
+/// FNV-1a with a caller-chosen offset basis, for deriving independent
+/// digests of the same bytes (e.g. a two-lane filename hash).
+#[must_use]
+pub fn fnv64_seeded(offset: u64, bytes: &[u8]) -> u64 {
+    let mut h = offset;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The full persistent-cache key for one operator search.
+///
+/// Layout: `v1|op=<fnv>|chip=<fnv>|fault=<fnv>|search=<fnv>` — each
+/// component digested separately so a mismatch is attributable. The raw
+/// renderings feeding the digests are stable, explicit field listings (not
+/// `Debug` of foreign types), so the key survives refactors that don't
+/// change planning-relevant state.
+#[must_use]
+pub fn plan_cache_key(
+    op: &Operator,
+    dtype_bytes: &[usize],
+    out_dtype_bytes: usize,
+    spec: &ChipSpec,
+    faults: Option<&FaultPlan>,
+    cfg: &SearchConfig,
+) -> String {
+    let op_sig = operator_signature(op, dtype_bytes, out_dtype_bytes);
+    format!(
+        "v1|op={:016x}|chip={:016x}|fault={:016x}|search={:016x}",
+        fnv64(op_sig.as_bytes()),
+        fnv64(chip_digest_string(spec).as_bytes()),
+        fnv64(fault_digest_string(faults).as_bytes()),
+        fnv64(search_digest_string(cfg).as_bytes()),
+    )
+}
+
+/// The operator half of the cache key: kind, expression, combinators, and
+/// element sizes — exactly what [`crate::compiler`]'s in-process memo keys
+/// on, shared so the two caches can never disagree about operator identity.
+#[must_use]
+pub fn operator_signature(op: &Operator, dtype_bytes: &[usize], out_dtype_bytes: usize) -> String {
+    format!(
+        "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{}",
+        op.kind, op.expr, op.combine, op.reduce, op.unary, dtype_bytes, out_dtype_bytes
+    )
+}
+
+/// Stable rendering of every ChipSpec field that influences planning or
+/// costing. Any datasheet change — core count, SRAM, bandwidths, AMP
+/// quanta — re-keys the cache.
+#[must_use]
+pub fn chip_digest_string(spec: &ChipSpec) -> String {
+    format!(
+        "chip|{}|cores={}|per_chip={}|sram={}|link={:e}|interchip={:e}|sync={:e}|flops={:e}\
+         |membw={:e}|vtx={:e}|offchip={:e}|amp={}x{}|shiftbuf={}|msg={:e}",
+        spec.name,
+        spec.num_cores,
+        spec.cores_per_chip,
+        spec.sram_per_core,
+        spec.link_bw,
+        spec.interchip_bw,
+        spec.sync_latency,
+        spec.flops_per_core,
+        spec.local_mem_bw,
+        spec.vertex_overhead,
+        spec.offchip_bw,
+        spec.amp_out,
+        spec.amp_red,
+        spec.shift_buffer,
+        spec.exchange_msg_overhead,
+    )
+}
+
+/// Stable rendering of the fault state a compile plans against. A healthy
+/// chip (or no fault plan at all) renders as `fault|healthy`, so the two
+/// spellings of "nothing is wrong" share cache entries; any degraded core,
+/// link, or shrunk SRAM produces a distinct digest.
+#[must_use]
+pub fn fault_digest_string(faults: Option<&FaultPlan>) -> String {
+    match faults {
+        None => "fault|healthy".to_string(),
+        Some(f) if f.is_healthy() => "fault|healthy".to_string(),
+        Some(f) => format!("fault|{}", f.digest_string()),
+    }
+}
+
+/// Stable rendering of the search knobs that shape a frontier. The
+/// wall-clock deadline is deliberately excluded (it is per-run, and
+/// truncated frontiers are never recorded); `collect_samples` is excluded
+/// because it does not change the frontier. `threads` *is* included: plans
+/// with identical (memory, time) cost can tie, and which one survives the
+/// Pareto merge depends on chunking, so byte-identical warm replays require
+/// the same worker split.
+#[must_use]
+pub fn search_digest_string(cfg: &SearchConfig) -> String {
+    format!(
+        "search|util={:e}|pad={:e}|cand={}|max={}|threads={}|memcap={:?}",
+        cfg.min_core_utilization,
+        cfg.padding_threshold,
+        cfg.max_candidates_per_axis,
+        cfg.max_configs,
+        cfg.threads,
+        cfg.mem_cap_override,
+    )
+}
+
+/// Serializes a frontier's plan configurations, in frontier order
+/// (memory-ascending), one line per plan:
+///
+/// ```text
+/// t10-frontier v1
+/// stats complete=1.2e3 filtered=42
+/// plans=2
+/// f_op=4,2,1 temporal=.:1;0:4
+/// f_op=8,1,1 temporal=.:1;.:1
+/// ```
+///
+/// `.` marks "no temporal dimension" ([`TemporalChoice::none`]). The
+/// search-space statistics ride along so a cache-hit compile reports the
+/// same telemetry the original search did. Truncated frontiers must never
+/// be recorded (the compiler enforces this), so the codec carries no
+/// truncation flag; per-plan cost samples are intentionally dropped.
+#[must_use]
+pub fn encode_frontier(configs: &[PlanConfig], stats: &SearchStats) -> String {
+    let mut out = String::new();
+    out.push_str(FRONTIER_VERSION);
+    out.push('\n');
+    out.push_str(&format!(
+        "stats complete={:e} filtered={}\n",
+        stats.complete_space, stats.filtered_space
+    ));
+    out.push_str(&format!("plans={}\n", configs.len()));
+    for c in configs {
+        out.push_str("f_op=");
+        for (i, f) in c.f_op.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&f.to_string());
+        }
+        out.push_str(" temporal=");
+        for (i, t) in c.temporal.iter().enumerate() {
+            if i > 0 {
+                out.push(';');
+            }
+            match t.dim {
+                Some(d) => out.push_str(&format!("{d}:{}", t.factor)),
+                None => out.push_str(&format!(".:{}", t.factor)),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses an [`encode_frontier`] payload. Returns `None` on any malformation
+/// — wrong version, bad counts, unparseable fields — which callers treat as
+/// a cache miss (stale entry), never an error.
+#[must_use]
+pub fn decode_frontier(payload: &str) -> Option<(Vec<PlanConfig>, SearchStats)> {
+    let mut lines = payload.lines();
+    if lines.next()? != FRONTIER_VERSION {
+        return None;
+    }
+    let stats_line = lines.next()?.strip_prefix("stats complete=")?;
+    let (complete, filtered) = stats_line.split_once(" filtered=")?;
+    let complete_space: f64 = complete.parse().ok()?;
+    let filtered_space: usize = filtered.parse().ok()?;
+    if !complete_space.is_finite() || complete_space < 0.0 {
+        return None;
+    }
+    let count: usize = lines.next()?.strip_prefix("plans=")?.parse().ok()?;
+    let mut configs = Vec::with_capacity(count);
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let rest = line.strip_prefix("f_op=")?;
+        let (fop_str, temporal_str) = rest.split_once(" temporal=")?;
+        let f_op: Vec<usize> = fop_str
+            .split(',')
+            .map(str::parse)
+            .collect::<Result<_, _>>()
+            .ok()?;
+        let mut temporal = Vec::new();
+        if !temporal_str.is_empty() {
+            for part in temporal_str.split(';') {
+                let (dim, factor) = part.split_once(':')?;
+                let factor: usize = factor.parse().ok()?;
+                let choice = if dim == "." {
+                    if factor != 1 {
+                        return None;
+                    }
+                    TemporalChoice::none()
+                } else {
+                    TemporalChoice::rotate(dim.parse().ok()?, factor)
+                };
+                temporal.push(choice);
+            }
+        }
+        configs.push(PlanConfig { f_op, temporal });
+    }
+    if configs.len() != count {
+        return None;
+    }
+    let stats = SearchStats {
+        complete_space,
+        filtered_space,
+        optimized_space: configs.len(),
+        truncated: false,
+        samples: Vec::new(),
+    };
+    Some((configs, stats))
+}
+
+/// A persistent plan cache the compiler can consult per operator search.
+///
+/// The interface is infallible by design: `lookup` returns `None` for
+/// misses *and* for any backend failure (corruption, I/O errors, stale
+/// formats) — the backend quarantines or drops the entry internally and the
+/// compiler falls through to a fresh search. `record` is fire-and-forget; a
+/// failed write costs a future cache miss, never a failed compile.
+pub trait PlanCache: Send + Sync {
+    /// The stored payload for `key`, if a valid entry exists.
+    fn lookup(&self, key: &str) -> Option<String>;
+
+    /// Stores `payload` under `key` (best effort).
+    fn record(&self, key: &str, payload: &str);
+}
+
+/// Per-compile cache telemetry, carried on [`crate::CompiledGraph`] so
+/// callers (CLI, serve loop, benchmarks) can report hit rates without
+/// re-deriving them from traces.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Node searches answered from the persistent cache.
+    pub disk_hits: usize,
+    /// Node searches that consulted the persistent cache and missed.
+    pub disk_misses: usize,
+    /// Entries that decoded but rebuilt to an empty/unusable frontier and
+    /// were treated as misses (stale format or shape drift).
+    pub stale_entries: usize,
+    /// Fresh search results written back to the persistent cache.
+    pub recorded: usize,
+    /// Node searches answered by the in-process memo (identical operators
+    /// within one graph, §6.3).
+    pub memo_hits: usize,
+}
+
+impl CacheStats {
+    /// Hit rate over persistent-cache consultations, or `None` when the
+    /// cache was never consulted.
+    #[must_use]
+    pub fn hit_rate(&self) -> Option<f64> {
+        let total = self.disk_hits + self.disk_misses;
+        if total == 0 {
+            None
+        } else {
+            Some(self.disk_hits as f64 / total as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t10_ir::builders;
+
+    fn op() -> Operator {
+        builders::matmul(0, 1, 2, 64, 32, 16).unwrap()
+    }
+
+    #[test]
+    fn fnv_is_stable_and_seed_sensitive() {
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(fnv64(b"abc"), fnv64_seeded(1, b"abc"));
+    }
+
+    #[test]
+    fn key_distinguishes_every_component() {
+        let spec = ChipSpec::ipu_with_cores(16);
+        let cfg = SearchConfig::fast();
+        let base = plan_cache_key(&op(), &[2, 2], 2, &spec, None, &cfg);
+
+        // Same inputs -> same key.
+        assert_eq!(base, plan_cache_key(&op(), &[2, 2], 2, &spec, None, &cfg));
+
+        // Different operator shape.
+        let other = builders::matmul(0, 1, 2, 64, 32, 32).unwrap();
+        assert_ne!(base, plan_cache_key(&other, &[2, 2], 2, &spec, None, &cfg));
+
+        // Different dtypes.
+        assert_ne!(base, plan_cache_key(&op(), &[4, 4], 4, &spec, None, &cfg));
+
+        // Different chip.
+        let spec2 = ChipSpec::ipu_with_cores(32);
+        assert_ne!(base, plan_cache_key(&op(), &[2, 2], 2, &spec2, None, &cfg));
+
+        // Different search config.
+        let strict = SearchConfig::strict();
+        assert_ne!(
+            base,
+            plan_cache_key(&op(), &[2, 2], 2, &spec, None, &strict)
+        );
+    }
+
+    #[test]
+    fn degraded_chip_never_hits_a_healthy_key() {
+        // The ROADMAP-specified key regression: an entry compiled for a
+        // healthy chip must not be addressable from a degraded one.
+        let spec = ChipSpec::ipu_with_cores(16);
+        let cfg = SearchConfig::fast();
+        let healthy = plan_cache_key(&op(), &[2, 2], 2, &spec, None, &cfg);
+
+        let degraded = FaultPlan::seeded(16, 7).shrink_sram(3, 0.5);
+        let degraded_key = plan_cache_key(&op(), &[2, 2], 2, &spec, Some(&degraded), &cfg);
+        assert_ne!(healthy, degraded_key);
+
+        // Link loss also re-keys (it changes costing via reroutes).
+        let lossy = FaultPlan::seeded(16, 7).lose_links(0.2);
+        assert_ne!(
+            healthy,
+            plan_cache_key(&op(), &[2, 2], 2, &spec, Some(&lossy), &cfg)
+        );
+
+        // But an explicitly healthy plan is the same as no plan at all.
+        let noop = FaultPlan::new(16);
+        assert_eq!(
+            healthy,
+            plan_cache_key(&op(), &[2, 2], 2, &spec, Some(&noop), &cfg)
+        );
+    }
+
+    #[test]
+    fn frontier_codec_round_trips() {
+        let configs = vec![
+            PlanConfig {
+                f_op: vec![4, 2, 1],
+                temporal: vec![TemporalChoice::none(), TemporalChoice::rotate(0, 4)],
+            },
+            PlanConfig {
+                f_op: vec![8, 1, 1],
+                temporal: vec![TemporalChoice::none(), TemporalChoice::none()],
+            },
+            PlanConfig {
+                f_op: vec![1],
+                temporal: vec![],
+            },
+        ];
+        let stats = SearchStats {
+            complete_space: 1234.5,
+            filtered_space: 42,
+            optimized_space: configs.len(),
+            truncated: false,
+            samples: Vec::new(),
+        };
+        let text = encode_frontier(&configs, &stats);
+        let (decoded, dstats) = decode_frontier(&text).unwrap();
+        assert_eq!(decoded, configs);
+        assert_eq!(dstats, stats);
+        // Encoding the decoded entry is byte-identical (codec fixpoint).
+        assert_eq!(encode_frontier(&decoded, &dstats), text);
+    }
+
+    #[test]
+    fn frontier_codec_rejects_malformed_payloads() {
+        const STATS: &str = "stats complete=1e2 filtered=7\n";
+        assert_eq!(decode_frontier(""), None);
+        assert_eq!(
+            decode_frontier(&format!("t10-frontier v0\n{STATS}plans=0\n")),
+            None
+        );
+        // Missing stats line.
+        assert_eq!(decode_frontier("t10-frontier v1\nplans=0\n"), None);
+        // Non-finite search-space size.
+        assert_eq!(
+            decode_frontier("t10-frontier v1\nstats complete=inf filtered=7\nplans=0\n"),
+            None
+        );
+        // Fewer plans than declared.
+        assert_eq!(
+            decode_frontier(&format!("t10-frontier v1\n{STATS}plans=2\n")),
+            None
+        );
+        assert_eq!(
+            decode_frontier(&format!(
+                "t10-frontier v1\n{STATS}plans=1\nf_op=x temporal=.:1\n"
+            )),
+            None
+        );
+        assert_eq!(
+            decode_frontier(&format!(
+                "t10-frontier v1\n{STATS}plans=1\nf_op=2 temporal=0:x\n"
+            )),
+            None
+        );
+        // A "none" choice with a factor is contradictory.
+        assert_eq!(
+            decode_frontier(&format!(
+                "t10-frontier v1\n{STATS}plans=1\nf_op=2 temporal=.:4\n"
+            )),
+            None
+        );
+        // Valid entries still parse when a trailing newline is doubled.
+        let ok = format!("t10-frontier v1\n{STATS}plans=1\nf_op=2,2 temporal=.:1;3:2\n\n");
+        let (decoded, dstats) = decode_frontier(&ok).unwrap();
+        assert_eq!(
+            decoded,
+            vec![PlanConfig {
+                f_op: vec![2, 2],
+                temporal: vec![TemporalChoice::none(), TemporalChoice::rotate(3, 2)],
+            }]
+        );
+        assert_eq!(dstats.filtered_space, 7);
+    }
+}

@@ -7,6 +7,8 @@
 //! supersteps that the simulator prices.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
@@ -14,19 +16,21 @@ use t10_device::program::Program;
 use t10_device::ChipSpec;
 use t10_ir::{Graph, NodeId, Operator, ValueKind};
 use t10_sim::{FaultPlan, RunReport};
-use t10_trace::{Trace, Value, CHIP_TID, PID_COMPILER, PID_SIM};
+use t10_trace::{Trace, Value, CHIP_TID, PID_COMPILER, PID_SIM, PID_STORE};
 
+use crate::cache::{decode_frontier, encode_frontier, plan_cache_key, CacheStats, PlanCache};
 use crate::cost::CostModel;
 use crate::lower::{lower_timing, setup_step, transition_step};
+use crate::plan::Plan;
 use crate::reconcile::{reconcile_traced, weight_bytes_per_core, OpForSchedule, Reconciled};
-use crate::search::{search_operator, ParetoSet, SearchConfig, SearchStats};
+use crate::search::{search_operator, ParetoSet, ScoredPlan, SearchConfig, SearchStats};
 use crate::{compile_err, CompileError, Result};
 
 /// Per-run compilation knobs, beyond the persistent [`SearchConfig`].
 ///
 /// The defaults reproduce the unconstrained compile exactly: no deadline,
 /// no faults, full nominal capacity.
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct CompileOptions {
     /// Wall-clock budget for the whole compile. The search becomes
     /// *anytime*: workers stop enumerating once the budget passes and the
@@ -61,6 +65,37 @@ pub struct CompileOptions {
     /// skipped, not failed. Off by default: the structural post-pass is
     /// mandatory, the semantic one is opt-in (`t10 compile --prove`).
     pub prove: bool,
+    /// Persistent plan cache consulted per distinct operator search and fed
+    /// with fresh (complete, non-truncated) frontiers. A hit skips the
+    /// Pareto search but nothing downstream: the cached configurations are
+    /// re-built, re-costed, reconciled, and re-certified by the mandatory
+    /// structural verifier — plus the semantic prover, regardless of
+    /// [`CompileOptions::prove`] — so a poisoned or stale cache can never
+    /// ship an uncertified program. Backend failures degrade to misses.
+    pub cache: Option<Arc<dyn PlanCache>>,
+    /// Worker threads for the *per-operator* axis of the search (distinct
+    /// operators are searched concurrently; each search may itself be
+    /// threaded via [`SearchConfig::threads`]). `0` and `1` both mean
+    /// sequential. Parallelism never changes results: searches land in a
+    /// fixed node order, trace events are emitted after the join, and the
+    /// first error in node order wins.
+    pub op_parallelism: usize,
+}
+
+impl std::fmt::Debug for CompileOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Manual because `dyn PlanCache` has no Debug; everything else
+        // renders normally.
+        f.debug_struct("CompileOptions")
+            .field("deadline", &self.deadline)
+            .field("faults", &self.faults)
+            .field("warm_start", &self.warm_start)
+            .field("trace", &self.trace)
+            .field("prove", &self.prove)
+            .field("cache", &self.cache.as_ref().map(|_| "dyn PlanCache"))
+            .field("op_parallelism", &self.op_parallelism)
+            .finish()
+    }
 }
 
 impl CompileOptions {
@@ -76,6 +111,14 @@ impl CompileOptions {
     pub fn with_faults(faults: FaultPlan) -> Self {
         Self {
             faults: Some(faults),
+            ..Self::default()
+        }
+    }
+
+    /// Options with a persistent plan cache only.
+    pub fn with_cache(cache: Arc<dyn PlanCache>) -> Self {
+        Self {
+            cache: Some(cache),
             ..Self::default()
         }
     }
@@ -104,6 +147,8 @@ pub struct CompiledGraph {
     pub estimated_time: f64,
     /// Wall-clock compilation time, seconds (Figure 16/19).
     pub compile_seconds: f64,
+    /// Persistent/in-process cache telemetry for this compile.
+    pub cache_stats: CacheStats,
 }
 
 impl Compiler {
@@ -114,8 +159,15 @@ impl Compiler {
     /// Panics if cost-model calibration fails, which would indicate a bug in
     /// the calibration sampling rather than a user error.
     pub fn new(spec: ChipSpec, cfg: SearchConfig) -> Self {
-        let cost = CostModel::calibrate(&spec, 192, 7).expect("cost-model calibration");
-        Self { spec, cost, cfg }
+        Self::try_new(spec, cfg).expect("cost-model calibration")
+    }
+
+    /// Creates a compiler, surfacing calibration failure as a typed error
+    /// instead of panicking — the entry point for long-lived callers (the
+    /// compile service) that must not die on a bad chip description.
+    pub fn try_new(spec: ChipSpec, cfg: SearchConfig) -> Result<Self> {
+        let cost = CostModel::calibrate(&spec, 192, 7)?;
+        Ok(Self { spec, cost, cfg })
     }
 
     /// Creates a compiler reusing an existing cost model.
@@ -283,46 +335,254 @@ impl Compiler {
             trace.meta("thread_name", PID_COMPILER, CHIP_TID, "reconciler");
         }
         let base_cfg = self.base_config(opts, t0)?;
-        // Intra-operator search, cached across identical operators.
-        let mut cache: HashMap<String, (ParetoSet, SearchStats)> = HashMap::new();
-        let mut node_pareto = Vec::with_capacity(graph.nodes().len());
-        let mut node_stats = Vec::with_capacity(graph.nodes().len());
-        for (i, node) in graph.nodes().iter().enumerate() {
+        let nodes = graph.nodes();
+        let mut cache_stats = CacheStats::default();
+
+        // Intra-operator search in three passes — resolve, search, stitch —
+        // so distinct operators can search on worker threads while trace
+        // events, cache writes, and error selection all stay in node order
+        // (parallelism must never change what the compile produces).
+        //
+        // Pass 1 — resolve every node to a warm-start frontier or a cache
+        // key; distinct nodes with the same key share one `uniques` slot
+        // (the §6.3 in-process memo).
+        enum Resolved {
+            Warm(ParetoSet),
+            Keyed { unique: usize, memo: bool },
+        }
+        struct UniqueSearch<'g> {
+            key: String,
+            op: &'g Operator,
+            dtypes: Vec<usize>,
+            out_dtype: usize,
+            result: Option<(ParetoSet, SearchStats)>,
+            from_disk: bool,
+        }
+        let mut resolved: Vec<Resolved> = Vec::with_capacity(nodes.len());
+        let mut uniques: Vec<UniqueSearch> = Vec::new();
+        let mut by_key: HashMap<String, usize> = HashMap::new();
+        for (i, node) in nodes.iter().enumerate() {
             if let Some(warm) = self.warm_plans(opts, i, &base_cfg) {
-                if trace.enabled() {
-                    let ts = trace.now_us();
-                    trace.span(
-                        format!("search:{}", node.name),
-                        "compiler",
-                        PID_COMPILER,
-                        i as u32,
-                        ts,
-                        0.0,
-                        vec![
-                            ("warm", Value::Bool(true)),
-                            ("kept", Value::U64(warm.len() as u64)),
-                        ],
-                    );
-                    emit_pareto_snapshot(trace, i, &node.name, &warm);
-                }
-                node_pareto.push(warm);
-                node_stats.push(SearchStats::default());
+                resolved.push(Resolved::Warm(warm));
                 continue;
             }
             let (dtypes, out_dtype) = node_dtypes(graph, &node.op);
-            let key = op_cache_key(&node.op, &dtypes, out_dtype);
-            let search_start = trace.now_us();
-            let cached = cache.contains_key(&key);
-            let entry = match cache.get(&key) {
-                Some(hit) => hit.clone(),
+            let key = op_cache_key(
+                &node.op,
+                &dtypes,
+                out_dtype,
+                &self.spec,
+                opts.faults.as_ref(),
+                &base_cfg,
+            );
+            match by_key.get(&key) {
+                Some(&unique) => {
+                    cache_stats.memo_hits += 1;
+                    resolved.push(Resolved::Keyed { unique, memo: true });
+                }
                 None => {
-                    let r = self.search_with_fallback(&node.op, &dtypes, out_dtype, &base_cfg)?;
-                    cache.insert(key, r.clone());
-                    r
+                    let unique = uniques.len();
+                    by_key.insert(key.clone(), unique);
+                    uniques.push(UniqueSearch {
+                        key,
+                        op: &node.op,
+                        dtypes,
+                        out_dtype,
+                        result: None,
+                        from_disk: false,
+                    });
+                    resolved.push(Resolved::Keyed {
+                        unique,
+                        memo: false,
+                    });
+                }
+            }
+        }
+
+        // Pass 2 — consult the persistent cache. A hit's configurations are
+        // re-built and re-costed on *this* chip (bit-identical to what the
+        // search scores for the same configs); anything that no longer
+        // decodes, builds, or passes the admission filters marks the entry
+        // stale and falls through to a fresh search.
+        if let Some(cache) = &opts.cache {
+            for u in &mut uniques {
+                match cache.lookup(&u.key) {
+                    Some(payload) => {
+                        match self.rebuild_frontier(
+                            &payload,
+                            u.op,
+                            &u.dtypes,
+                            u.out_dtype,
+                            &base_cfg,
+                        ) {
+                            Some(r) => {
+                                cache_stats.disk_hits += 1;
+                                u.from_disk = true;
+                                u.result = Some(r);
+                            }
+                            None => {
+                                cache_stats.disk_misses += 1;
+                                cache_stats.stale_entries += 1;
+                            }
+                        }
+                    }
+                    None => cache_stats.disk_misses += 1,
+                }
+            }
+        }
+
+        // Pass 3 — search the remaining uniques, across `op_parallelism`
+        // workers when asked. Workers pull indices from a shared counter
+        // and park results in per-index slots; they never touch the trace
+        // clock, and the first error in node order wins after the join.
+        let pending: Vec<usize> = uniques
+            .iter()
+            .enumerate()
+            .filter(|(_, u)| u.result.is_none())
+            .map(|(i, _)| i)
+            .collect();
+        type SearchSlot = Mutex<Option<Result<(ParetoSet, SearchStats)>>>;
+        let workers = opts.op_parallelism.max(1).min(pending.len().max(1));
+        if workers > 1 {
+            let next = AtomicUsize::new(0);
+            let slots: Vec<SearchSlot> = pending.iter().map(|_| Mutex::new(None)).collect();
+            let (uniques_ref, pending_ref, slots_ref, next_ref, cfg_ref) =
+                (&uniques, &pending, &slots, &next, &base_cfg);
+            let mut worker_panic: Option<String> = None;
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for _ in 0..workers {
+                    handles.push(scope.spawn(move || loop {
+                        let j = next_ref.fetch_add(1, Ordering::Relaxed);
+                        let Some(&u) = pending_ref.get(j) else { break };
+                        let us = &uniques_ref[u];
+                        let r = self.search_with_fallback(us.op, &us.dtypes, us.out_dtype, cfg_ref);
+                        if let Ok(mut slot) = slots_ref[j].lock() {
+                            *slot = Some(r);
+                        }
+                    }));
+                }
+                for h in handles {
+                    // Same policy as the inner search: a panicking worker
+                    // surfaces as a typed error, not a process abort.
+                    if let Err(payload) = h.join() {
+                        let detail = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| (*s).to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "non-string panic payload".to_string());
+                        worker_panic.get_or_insert(detail);
+                    }
+                }
+            });
+            if let Some(detail) = worker_panic {
+                return Err(CompileError::worker_panicked(detail));
+            }
+            for (j, &u) in pending.iter().enumerate() {
+                let r = slots[j]
+                    .lock()
+                    .map_err(|_| CompileError::internal("search result slot poisoned"))?
+                    .take()
+                    .ok_or_else(|| CompileError::internal("operator search returned no result"))?;
+                uniques[u].result = Some(r?);
+            }
+        } else {
+            for &u in &pending {
+                let (op, out_dtype) = (uniques[u].op, uniques[u].out_dtype);
+                let dtypes = uniques[u].dtypes.clone();
+                let r = self.search_with_fallback(op, &dtypes, out_dtype, &base_cfg)?;
+                uniques[u].result = Some(r);
+            }
+        }
+
+        // Fresh, complete frontiers feed the persistent cache. Truncated
+        // frontiers (deadline-cut or enumeration-capped) are never recorded:
+        // they are an artifact of this run's budget, not reusable knowledge.
+        if let Some(cache) = &opts.cache {
+            for u in &uniques {
+                if u.from_disk {
+                    continue;
+                }
+                if let Some((pareto, search_stats)) = &u.result {
+                    if !search_stats.truncated && !pareto.is_empty() {
+                        let configs: Vec<_> = pareto
+                            .plans()
+                            .iter()
+                            .map(|sp| sp.plan.config.clone())
+                            .collect();
+                        cache.record(&u.key, &encode_frontier(&configs, search_stats));
+                        cache_stats.recorded += 1;
+                    }
+                }
+            }
+            if trace.enabled() {
+                trace.meta("process_name", PID_STORE, 0, "t10 plan store (trace time)");
+                trace.counter(
+                    "plan_cache",
+                    "store",
+                    PID_STORE,
+                    0,
+                    trace.now_us(),
+                    vec![
+                        ("hits", Value::U64(cache_stats.disk_hits as u64)),
+                        ("misses", Value::U64(cache_stats.disk_misses as u64)),
+                        ("stale", Value::U64(cache_stats.stale_entries as u64)),
+                        ("recorded", Value::U64(cache_stats.recorded as u64)),
+                    ],
+                );
+            }
+        }
+
+        // Stitch in node order: emit trace events deterministically and run
+        // the empty-frontier (deadline vs infeasible) checks exactly as the
+        // sequential compiler did.
+        let mut node_pareto = Vec::with_capacity(nodes.len());
+        let mut node_stats = Vec::with_capacity(nodes.len());
+        let mut node_from_disk = vec![false; nodes.len()];
+        for (i, node) in nodes.iter().enumerate() {
+            let (pareto, stats, memo, from_disk) = match &resolved[i] {
+                Resolved::Warm(warm) => {
+                    if trace.enabled() {
+                        let ts = trace.now_us();
+                        trace.span(
+                            format!("search:{}", node.name),
+                            "compiler",
+                            PID_COMPILER,
+                            i as u32,
+                            ts,
+                            0.0,
+                            vec![
+                                ("warm", Value::Bool(true)),
+                                ("kept", Value::U64(warm.len() as u64)),
+                            ],
+                        );
+                        emit_pareto_snapshot(trace, i, &node.name, warm);
+                    }
+                    node_pareto.push(warm.clone());
+                    node_stats.push(SearchStats::default());
+                    continue;
+                }
+                Resolved::Keyed { unique, memo } => {
+                    let u = &uniques[*unique];
+                    let (pareto, stats) = u.result.as_ref().ok_or_else(|| {
+                        CompileError::internal("operator search slot left unresolved")
+                    })?;
+                    (pareto, stats, *memo, u.from_disk)
                 }
             };
             if trace.enabled() {
+                let search_start = trace.now_us();
                 let end = trace.now_us();
+                let mut args = vec![
+                    ("enumerated", Value::U64(stats.complete_space as u64)),
+                    ("filtered", Value::U64(stats.filtered_space as u64)),
+                    ("kept", Value::U64(pareto.len() as u64)),
+                    ("truncated", Value::Bool(stats.truncated)),
+                    ("cached", Value::Bool(memo)),
+                ];
+                if opts.cache.is_some() {
+                    args.push(("disk", Value::Bool(from_disk)));
+                }
                 trace.span(
                     format!("search:{}", node.name),
                     "compiler",
@@ -330,17 +590,11 @@ impl Compiler {
                     i as u32,
                     search_start,
                     end - search_start,
-                    vec![
-                        ("enumerated", Value::U64(entry.1.complete_space as u64)),
-                        ("filtered", Value::U64(entry.1.filtered_space as u64)),
-                        ("kept", Value::U64(entry.0.len() as u64)),
-                        ("truncated", Value::Bool(entry.1.truncated)),
-                        ("cached", Value::Bool(cached)),
-                    ],
+                    args,
                 );
-                emit_pareto_snapshot(trace, i, &node.name, &entry.0);
+                emit_pareto_snapshot(trace, i, &node.name, pareto);
             }
-            if entry.0.is_empty() {
+            if pareto.is_empty() {
                 // With an expired deadline, infeasibility was never
                 // established — the search was cut short.
                 if let Some(budget) = opts.deadline {
@@ -359,8 +613,9 @@ impl Compiler {
                     node.name
                 ));
             }
-            node_pareto.push(entry.0);
-            node_stats.push(entry.1);
+            node_from_disk[i] = from_disk;
+            node_pareto.push(pareto.clone());
+            node_stats.push(stats.clone());
         }
 
         // Inter-operator reconciliation.
@@ -412,7 +667,14 @@ impl Compiler {
                 let mut retry_stats = Vec::with_capacity(graph.nodes().len());
                 for (i, node) in graph.nodes().iter().enumerate() {
                     let (dtypes, out_dtype) = node_dtypes(graph, &node.op);
-                    let key = op_cache_key(&node.op, &dtypes, out_dtype);
+                    let key = op_cache_key(
+                        &node.op,
+                        &dtypes,
+                        out_dtype,
+                        &self.spec,
+                        opts.faults.as_ref(),
+                        &em,
+                    );
                     let search_start = trace.now_us();
                     let cached = cache.contains_key(&key);
                     let entry = match cache.get(&key) {
@@ -451,6 +713,9 @@ impl Compiler {
                 }
                 node_pareto = retry_pareto;
                 node_stats = retry_stats;
+                // The emergency frontiers are freshly searched; no node's
+                // plans originate from the persistent cache any more.
+                node_from_disk = vec![false; nodes.len()];
                 ops = build_ops(&node_pareto);
                 reconcile_traced(&ops, &self.cost, capacity, trace)?
             }
@@ -513,13 +778,20 @@ impl Compiler {
             );
         }
         crate::verify::require(report)?;
-        // Opt-in semantic post-pass: translation-validate every chosen
-        // plan. Refutations surface as the same typed verification error
-        // the structural pass uses.
-        if opts.prove {
+        // Semantic post-pass: translation-validate chosen plans. Opt-in for
+        // freshly searched plans (`opts.prove`), but *mandatory* for any
+        // node whose frontier came out of the persistent cache — a cache
+        // hit must carry the full verify+prove certificate before it is
+        // served, so a poisoned or stale store can never ship an
+        // uncertified program. Refutations surface as the same typed
+        // verification error the structural pass uses.
+        if opts.prove || node_from_disk.iter().any(|&b| b) {
             let mut prove_report = t10_verify::Report::new();
             prove_report.stats.rules_checked = t10_verify::RuleId::SEMANTIC.len();
             for (i, node) in graph.nodes().iter().enumerate() {
+                if !opts.prove && !node_from_disk[i] {
+                    continue;
+                }
                 let choice = &reconciled.choices[i];
                 let active = &node_pareto[i].plans()[choice.active];
                 match crate::semantics::prove_plan(&node.op, &active.plan, &opts.trace) {
@@ -558,7 +830,51 @@ impl Compiler {
             node_pareto,
             node_stats,
             compile_seconds: t0.elapsed().as_secs_f64(),
+            cache_stats,
         })
+    }
+
+    /// Rebuilds a cached frontier payload into scored plans on this chip.
+    ///
+    /// Every configuration is re-built and re-costed exactly as the search
+    /// scores it, and the search's admission filters (padding threshold,
+    /// memory cap, step bound) re-apply — so a rebuilt frontier is
+    /// bit-identical to what a fresh search would keep for the same
+    /// configurations. `None` (the entry is stale) when the payload does
+    /// not decode, any configuration no longer builds or passes the
+    /// filters, or the frontier comes out empty.
+    fn rebuild_frontier(
+        &self,
+        payload: &str,
+        op: &Operator,
+        dtypes: &[usize],
+        out_dtype: usize,
+        cfg: &SearchConfig,
+    ) -> Option<(ParetoSet, SearchStats)> {
+        let (configs, mut stats) = decode_frontier(payload)?;
+        if configs.is_empty() {
+            return None;
+        }
+        let mem_cap = self.effective_capacity(cfg);
+        let mut pareto = ParetoSet::default();
+        for config in configs {
+            let plan = Plan::build(op, dtypes, out_dtype, config).ok()?;
+            if plan.padding_efficiency < cfg.padding_threshold
+                || plan.mem_per_core > mem_cap
+                || plan.total_steps > 1 << 20
+            {
+                return None;
+            }
+            let cost = self.cost.estimate_plan(op, &plan);
+            let setup_time = self.cost.estimate_setup(&plan);
+            pareto.insert(ScoredPlan {
+                plan,
+                cost,
+                setup_time,
+            });
+        }
+        stats.optimized_space = pareto.len();
+        Some((pareto, stats))
     }
 }
 
@@ -665,11 +981,21 @@ pub fn node_dtypes(graph: &Graph, op: &Operator) -> (Vec<usize>, usize) {
     (dtypes, out)
 }
 
-fn op_cache_key(op: &Operator, dtypes: &[usize], out_dtype: usize) -> String {
-    format!(
-        "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{}",
-        op.kind, op.expr, op.combine, op.reduce, op.unary, dtypes, out_dtype
-    )
+/// The cache key for one operator search — in-process memo and persistent
+/// store share it, so the two layers can never disagree about entry
+/// identity. Beyond the operator signature it digests the [`ChipSpec`], the
+/// fault state, and the search configuration (the ROADMAP-specified key):
+/// an entry computed for a healthy chip is unreachable from a degraded one,
+/// and a relaxed search's frontier can never answer a strict query.
+fn op_cache_key(
+    op: &Operator,
+    dtypes: &[usize],
+    out_dtype: usize,
+    spec: &ChipSpec,
+    faults: Option<&FaultPlan>,
+    cfg: &SearchConfig,
+) -> String {
+    plan_cache_key(op, dtypes, out_dtype, spec, faults, cfg)
 }
 
 #[cfg(test)]
@@ -822,6 +1148,164 @@ mod tests {
         assert_eq!(
             t10_trace::write_chrome_trace(&events),
             t10_trace::write_chrome_trace(&trace2.snapshot())
+        );
+    }
+
+    #[test]
+    fn cache_key_separates_healthy_and_degraded_chips() {
+        // Regression for the latent in-process bug: before the key carried
+        // a ChipSpec + fault digest, a compile for a degraded chip could
+        // hit an entry searched for the healthy chip (same operator bytes,
+        // different capacity), silently reusing an over-budget frontier.
+        let op = builders::matmul(0, 1, 2, 64, 64, 64).unwrap();
+        let spec = ChipSpec::ipu_with_cores(16);
+        let cfg = SearchConfig::fast();
+        let healthy = op_cache_key(&op, &[2, 2], 2, &spec, None, &cfg);
+        let degraded_plan = FaultPlan::new(16).shrink_sram(3, 0.5);
+        let degraded = op_cache_key(&op, &[2, 2], 2, &spec, Some(&degraded_plan), &cfg);
+        assert_ne!(healthy, degraded);
+
+        // Different chips and different search configs also re-key.
+        let other_spec = ChipSpec::ipu_with_cores(32);
+        assert_ne!(
+            healthy,
+            op_cache_key(&op, &[2, 2], 2, &other_spec, None, &cfg)
+        );
+        assert_ne!(
+            healthy,
+            op_cache_key(&op, &[2, 2], 2, &spec, None, &SearchConfig::emergency())
+        );
+        // And an explicitly healthy fault plan shares the healthy key.
+        assert_eq!(
+            healthy,
+            op_cache_key(&op, &[2, 2], 2, &spec, Some(&FaultPlan::new(16)), &cfg)
+        );
+    }
+
+    /// In-memory [`PlanCache`] used by the tests below; the crash-safe disk
+    /// backend lives in `t10-store`.
+    #[derive(Default)]
+    struct MemCache {
+        entries: Mutex<HashMap<String, String>>,
+        hits: std::sync::atomic::AtomicUsize,
+    }
+
+    impl PlanCache for MemCache {
+        fn lookup(&self, key: &str) -> Option<String> {
+            let hit = self.entries.lock().unwrap().get(key).cloned();
+            if hit.is_some() {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+            }
+            hit
+        }
+        fn record(&self, key: &str, payload: &str) {
+            self.entries
+                .lock()
+                .unwrap()
+                .insert(key.to_string(), payload.to_string());
+        }
+    }
+
+    #[test]
+    fn warm_cache_compile_is_byte_identical_to_cold() {
+        let g = two_layer_graph(64, 64, 64);
+        let c = Compiler::new(ChipSpec::ipu_with_cores(16), SearchConfig::fast());
+        let cache = Arc::new(MemCache::default());
+
+        let compile = |use_cache: bool| {
+            let opts = CompileOptions {
+                cache: use_cache.then(|| cache.clone() as Arc<dyn PlanCache>),
+                ..CompileOptions::default()
+            };
+            c.compile_graph_with(&g, &opts).unwrap()
+        };
+
+        let cold = compile(true);
+        assert_eq!(cold.cache_stats.disk_hits, 0);
+        assert!(cold.cache_stats.recorded > 0);
+
+        let warm = compile(true);
+        assert!(warm.cache_stats.disk_hits > 0);
+        assert_eq!(warm.cache_stats.recorded, 0);
+        assert!(cache.hits.load(Ordering::Relaxed) > 0);
+
+        // Everything the compile produces — program, frontiers, schedule,
+        // stats — is byte-identical between the populated-cache compile and
+        // the cold one (only wall-clock compile_seconds may differ).
+        assert_eq!(format!("{:?}", warm.program), format!("{:?}", cold.program));
+        assert_eq!(warm.node_pareto, cold.node_pareto);
+        assert_eq!(warm.node_stats, cold.node_stats);
+        assert_eq!(
+            format!("{:?}", warm.reconciled),
+            format!("{:?}", cold.reconciled)
+        );
+
+        // A cacheless compile agrees too (the cache changes nothing).
+        let plain = compile(false);
+        assert_eq!(
+            format!("{:?}", plain.program),
+            format!("{:?}", cold.program)
+        );
+    }
+
+    #[test]
+    fn corrupt_cache_entries_fall_through_to_recompile() {
+        let g = two_layer_graph(64, 64, 64);
+        let c = Compiler::new(ChipSpec::ipu_with_cores(16), SearchConfig::fast());
+        let cache = Arc::new(MemCache::default());
+        let opts = CompileOptions::with_cache(cache.clone());
+        let cold = c.compile_graph_with(&g, &opts).unwrap();
+
+        // Poison every entry with undecodable bytes: the compile must
+        // succeed identically via fresh searches, counting stale entries.
+        let keys: Vec<String> = cache.entries.lock().unwrap().keys().cloned().collect();
+        for k in &keys {
+            cache.record(k, "t10-frontier v1\ngarbage");
+        }
+        let healed = c.compile_graph_with(&g, &opts).unwrap();
+        assert_eq!(healed.cache_stats.disk_hits, 0);
+        assert!(healed.cache_stats.stale_entries > 0);
+        assert_eq!(
+            format!("{:?}", healed.program),
+            format!("{:?}", cold.program)
+        );
+    }
+
+    #[test]
+    fn parallel_op_search_matches_sequential() {
+        // A graph with several distinct operators so the per-operator axis
+        // actually fans out.
+        let mut g = Graph::new("mixed");
+        let a = g.add_value("a", vec![64, 48], DType::F16, ValueKind::Input);
+        let w1 = g.add_value("w1", vec![48, 32], DType::F16, ValueKind::Weight);
+        let h = g.add_value("h", vec![64, 32], DType::F16, ValueKind::Activation);
+        let w2 = g.add_value("w2", vec![32, 64], DType::F16, ValueKind::Weight);
+        let o = g.add_value("o", vec![64, 64], DType::F16, ValueKind::Output);
+        g.add_node("fc1", builders::matmul(a, w1, h, 64, 48, 32).unwrap())
+            .unwrap();
+        g.add_node("fc2", builders::matmul(h, w2, o, 64, 32, 64).unwrap())
+            .unwrap();
+        let c = Compiler::new(ChipSpec::ipu_with_cores(16), SearchConfig::fast());
+
+        let compile = |threads: usize| {
+            let trace = Trace::logical();
+            let opts = CompileOptions {
+                op_parallelism: threads,
+                trace: trace.clone(),
+                ..CompileOptions::default()
+            };
+            let out = c.compile_graph_with(&g, &opts).unwrap();
+            (out, trace)
+        };
+        let (seq, seq_trace) = compile(1);
+        let (par, par_trace) = compile(4);
+        assert_eq!(format!("{:?}", par.program), format!("{:?}", seq.program));
+        assert_eq!(par.node_pareto, seq.node_pareto);
+        // Even the logical-clock traces agree: workers never touch the
+        // trace clock, and all events are emitted in node order.
+        assert_eq!(
+            t10_trace::write_chrome_trace(&seq_trace.snapshot()),
+            t10_trace::write_chrome_trace(&par_trace.snapshot())
         );
     }
 

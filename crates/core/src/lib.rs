@@ -53,6 +53,7 @@
 // Tests may unwrap freely; library code must not (workspace lint).
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
+pub mod cache;
 pub mod compiler;
 pub mod cost;
 pub mod error;
@@ -68,6 +69,7 @@ pub mod semantics;
 pub mod verify;
 pub mod viz;
 
+pub use cache::{plan_cache_key, CacheStats, PlanCache};
 pub use compiler::{CompileOptions, CompiledGraph, Compiler};
 pub use cost::CostModel;
 pub use error::CompileError;

@@ -231,6 +231,35 @@ impl FaultPlan {
         }
     }
 
+    /// A stable rendering of the *effective* fault state — which links,
+    /// slowdowns, and SRAM fractions are degraded — for cache keying.
+    /// Deliberately excludes `seed`/`rng_state`: two plans that degrade the
+    /// same hardware the same way are the same machine, however they were
+    /// sampled, and the sampled entries themselves are already seed-exact.
+    pub fn digest_string(&self) -> String {
+        let mut s = format!("n={}", self.num_cores());
+        for (c, fault) in self.links.iter().enumerate() {
+            match fault {
+                Some(LinkFault::Degraded { multiplier }) => {
+                    s.push_str(&format!(";L{c}=deg{multiplier:e}"));
+                }
+                Some(LinkFault::Lost) => s.push_str(&format!(";L{c}=lost")),
+                None => {}
+            }
+        }
+        for (c, &m) in self.slowdowns.iter().enumerate() {
+            if m != 1.0 {
+                s.push_str(&format!(";C{c}=slow{m:e}"));
+            }
+        }
+        for (c, &f) in self.sram_frac.iter().enumerate() {
+            if f != 1.0 {
+                s.push_str(&format!(";S{c}=frac{f:e}"));
+            }
+        }
+        s
+    }
+
     /// Aggregate statistics for the run report.
     pub fn summary(&self) -> FaultSummary {
         FaultSummary {
@@ -528,6 +557,30 @@ mod tests {
         assert_eq!(q.compute_multiplier(2), 2.0);
         assert_eq!(q.sram_capacity(2, 1000, 0), 500);
         assert_eq!(q.summary().lost_links, 0);
+    }
+
+    #[test]
+    fn digest_names_faults_not_seeds() {
+        // Same effective machine under different seeds digests identically.
+        let a = FaultPlan::seeded(8, 1).shrink_sram(3, 0.5);
+        let b = FaultPlan::seeded(8, 99).shrink_sram(3, 0.5);
+        assert_eq!(a.digest_string(), b.digest_string());
+
+        // Healthy plans digest to just the core count.
+        assert_eq!(FaultPlan::new(4).digest_string(), "n=4");
+
+        // Every fault class shows up and distinguishes the digest.
+        let p = FaultPlan::new(4)
+            .set_link_fault(1, Some(LinkFault::Lost))
+            .set_link_fault(2, Some(LinkFault::Degraded { multiplier: 0.5 }))
+            .set_slowdown(0, 2.0)
+            .shrink_sram(3, 0.25);
+        let d = p.digest_string();
+        assert!(d.contains("L1=lost"), "{d}");
+        assert!(d.contains("L2=deg"), "{d}");
+        assert!(d.contains("C0=slow"), "{d}");
+        assert!(d.contains("S3=frac"), "{d}");
+        assert_ne!(d, FaultPlan::new(4).digest_string());
     }
 
     #[test]

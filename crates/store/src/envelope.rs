@@ -1,0 +1,203 @@
+//! The versioned on-disk envelope wrapping every store entry.
+//!
+//! ```text
+//! t10-store v1
+//! key=v1|op=…|chip=…|fault=…|search=…
+//! check=9e107d9d372bb682
+//! len=137
+//! ---
+//! <payload bytes, exactly `len` of them>
+//! ```
+//!
+//! The format is deliberately strict: exact magic, fixed header order, a
+//! declared payload length that must match the remaining bytes exactly (no
+//! trailing garbage), and an FNV-1a checksum over the payload. Anything
+//! that deviates parses to a typed [`EnvelopeFault`] — the store maps it to
+//! a [`crate::StoreError`], quarantines the file, and reports a miss, so a
+//! torn, truncated, or bit-flipped entry can never be served.
+
+use t10_core::cache::fnv64;
+
+/// First line of every entry; bump the version on any format change.
+pub const MAGIC: &str = "t10-store v1";
+
+/// A path-less envelope defect; [`crate::DiskPlanCache`] attaches the path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EnvelopeFault {
+    /// Wrong or missing magic line.
+    Version { found: String },
+    /// Payload shorter than declared.
+    Truncated { expected: usize, actual: usize },
+    /// Payload checksum differs from the declared one.
+    Checksum { expected: u64, actual: u64 },
+    /// Structural defect (bad UTF-8, missing header line, trailing bytes,
+    /// unparseable field).
+    Malformed { detail: String },
+}
+
+/// Wraps `payload` for `key`. The key must be newline-free (cache keys are
+/// by construction); the caller validates.
+#[must_use]
+pub fn encode(key: &str, payload: &str) -> String {
+    format!(
+        "{MAGIC}\nkey={key}\ncheck={:016x}\nlen={}\n---\n{payload}",
+        fnv64(payload.as_bytes()),
+        payload.len(),
+    )
+}
+
+/// Parses and validates one entry, returning `(key, payload)`.
+pub fn decode(bytes: &[u8]) -> Result<(String, String), EnvelopeFault> {
+    let text = std::str::from_utf8(bytes).map_err(|e| EnvelopeFault::Malformed {
+        detail: format!("not UTF-8: {e}"),
+    })?;
+    let (magic, rest) = split_line(text, "magic")?;
+    if magic != MAGIC {
+        return Err(EnvelopeFault::Version {
+            found: magic.chars().take(40).collect(),
+        });
+    }
+    let (key_line, rest) = split_line(rest, "key")?;
+    let key = key_line
+        .strip_prefix("key=")
+        .ok_or_else(|| malformed("key line missing key= prefix"))?;
+    let (check_line, rest) = split_line(rest, "check")?;
+    let check_hex = check_line
+        .strip_prefix("check=")
+        .ok_or_else(|| malformed("check line missing check= prefix"))?;
+    // Canonical form only: exactly 16 lowercase hex digits. (Bare
+    // `from_str_radix` would also accept uppercase and `+`-prefixed
+    // strings, making some corruptions parse back to the same value.)
+    if check_hex.len() != 16
+        || !check_hex
+            .bytes()
+            .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+    {
+        return Err(malformed("checksum is not 16 lowercase hex digits"));
+    }
+    let expected_check =
+        u64::from_str_radix(check_hex, 16).map_err(|_| malformed("checksum is not hexadecimal"))?;
+    let (len_line, rest) = split_line(rest, "len")?;
+    let len_text = len_line
+        .strip_prefix("len=")
+        .ok_or_else(|| malformed("len line missing len= prefix"))?;
+    // Same canonicality rule: digits only (`parse` alone tolerates a
+    // leading `+`).
+    if len_text.is_empty() || !len_text.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(malformed("len is not a byte count"));
+    }
+    let expected_len: usize = len_text
+        .parse()
+        .map_err(|_| malformed("len is not a byte count"))?;
+    let (sep, payload) = split_line(rest, "separator")?;
+    if sep != "---" {
+        return Err(malformed("missing --- separator"));
+    }
+    match payload.len() {
+        actual if actual < expected_len => Err(EnvelopeFault::Truncated {
+            expected: expected_len,
+            actual,
+        }),
+        actual if actual > expected_len => Err(malformed("trailing bytes after payload")),
+        _ => {
+            let actual_check = fnv64(payload.as_bytes());
+            if actual_check != expected_check {
+                return Err(EnvelopeFault::Checksum {
+                    expected: expected_check,
+                    actual: actual_check,
+                });
+            }
+            Ok((key.to_string(), payload.to_string()))
+        }
+    }
+}
+
+fn split_line<'a>(s: &'a str, what: &str) -> Result<(&'a str, &'a str), EnvelopeFault> {
+    s.split_once('\n')
+        .ok_or_else(|| malformed(&format!("header truncated before {what} line")))
+}
+
+fn malformed(detail: &str) -> EnvelopeFault {
+    EnvelopeFault::Malformed {
+        detail: detail.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KEY: &str = "v1|op=0123|chip=4567|fault=89ab|search=cdef";
+
+    #[test]
+    fn round_trip_is_bit_identical() {
+        for payload in ["", "x", "line1\nline2\n", "t10-frontier v1\nplans=0\n"] {
+            let env = encode(KEY, payload);
+            let (k, p) = decode(env.as_bytes()).unwrap();
+            assert_eq!(k, KEY);
+            assert_eq!(p, payload);
+            // Re-encoding reproduces the exact bytes.
+            assert_eq!(encode(&k, &p), env);
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_magic() {
+        let env = encode(KEY, "abc").replacen("t10-store v1", "t10-store v2", 1);
+        assert!(matches!(
+            decode(env.as_bytes()),
+            Err(EnvelopeFault::Version { .. })
+        ));
+        assert!(matches!(
+            decode(b"garbage\nkey=a\ncheck=0\nlen=0\n---\n"),
+            Err(EnvelopeFault::Version { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation_and_trailing_bytes() {
+        let env = encode(KEY, "hello world");
+        // Cut one byte off: declared len no longer matches.
+        let cut = &env.as_bytes()[..env.len() - 1];
+        assert_eq!(
+            decode(cut),
+            Err(EnvelopeFault::Truncated {
+                expected: 11,
+                actual: 10
+            })
+        );
+        // One byte too many: strict no-trailing rule.
+        let mut long = env.clone().into_bytes();
+        long.push(b'!');
+        assert!(matches!(
+            decode(&long),
+            Err(EnvelopeFault::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_checksum_and_structure_defects() {
+        let env = encode(KEY, "hello world");
+        // Flip a payload byte while keeping the length.
+        let mut bad = env.clone().into_bytes();
+        let n = bad.len();
+        bad[n - 1] ^= 0x01;
+        assert!(matches!(decode(&bad), Err(EnvelopeFault::Checksum { .. })));
+        // Non-hex checksum.
+        let env2 = encode(KEY, "x").replacen("check=", "check=zz", 1);
+        assert!(matches!(
+            decode(env2.as_bytes()),
+            Err(EnvelopeFault::Malformed { .. })
+        ));
+        // Header cut mid-way.
+        assert!(matches!(
+            decode(b"t10-store v1\nkey=a"),
+            Err(EnvelopeFault::Malformed { .. })
+        ));
+        // Not UTF-8.
+        assert!(matches!(
+            decode(&[0x74, 0xff, 0xfe]),
+            Err(EnvelopeFault::Malformed { .. })
+        ));
+    }
+}

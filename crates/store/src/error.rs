@@ -1,0 +1,168 @@
+//! Typed failure taxonomy for the on-disk plan store.
+//!
+//! Every way an entry can be bad gets its own variant, because the callers
+//! react differently: the cache layer quarantines and falls through to
+//! recompilation on any of them, the chaos campaign asserts the *right*
+//! variant surfaced for each injected fault, and the CI robustness job
+//! greps quarantine reports by [`StoreError::label`].
+
+use std::path::PathBuf;
+
+/// A failure detected while reading, validating, or writing a store entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The underlying filesystem operation failed (permissions, disk full,
+    /// unreadable file). Carries the OS error text.
+    Io { path: PathBuf, detail: String },
+    /// The entry's envelope declares a different format version than this
+    /// build writes — a stale entry from an older/newer store.
+    VersionMismatch { path: PathBuf, found: String },
+    /// The payload is shorter than the envelope's declared length — a torn
+    /// write or a truncated file.
+    Truncated {
+        path: PathBuf,
+        expected: usize,
+        actual: usize,
+    },
+    /// The payload checksum does not match the envelope's — bit rot, a
+    /// partial overwrite, or tampering.
+    ChecksumMismatch {
+        path: PathBuf,
+        expected: u64,
+        actual: u64,
+    },
+    /// The entry's embedded key is not the key it was addressed by — a
+    /// renamed/moved file or a (astronomically unlikely) filename-hash
+    /// collision.
+    KeyMismatch {
+        path: PathBuf,
+        expected: String,
+        found: String,
+    },
+    /// The envelope structure itself does not parse (missing header lines,
+    /// non-UTF-8 bytes, trailing garbage, unparseable fields).
+    Malformed { path: PathBuf, detail: String },
+}
+
+impl StoreError {
+    /// A short, stable machine-readable tag, used in quarantine file names
+    /// and chaos/CI reports.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Io { .. } => "io",
+            Self::VersionMismatch { .. } => "version-mismatch",
+            Self::Truncated { .. } => "truncated",
+            Self::ChecksumMismatch { .. } => "checksum-mismatch",
+            Self::KeyMismatch { .. } => "key-mismatch",
+            Self::Malformed { .. } => "malformed",
+        }
+    }
+
+    /// The path of the offending entry, when one exists.
+    #[must_use]
+    pub fn path(&self) -> &PathBuf {
+        match self {
+            Self::Io { path, .. }
+            | Self::VersionMismatch { path, .. }
+            | Self::Truncated { path, .. }
+            | Self::ChecksumMismatch { path, .. }
+            | Self::KeyMismatch { path, .. }
+            | Self::Malformed { path, .. } => path,
+        }
+    }
+
+    /// The human-readable message (without any prefix).
+    #[must_use]
+    pub fn message(&self) -> String {
+        match self {
+            Self::Io { path, detail } => format!("{}: {detail}", path.display()),
+            Self::VersionMismatch { path, found } => format!(
+                "{}: unsupported store version {found:?} (expected {:?})",
+                path.display(),
+                crate::envelope::MAGIC,
+            ),
+            Self::Truncated {
+                path,
+                expected,
+                actual,
+            } => format!(
+                "{}: payload truncated ({actual} of {expected} bytes)",
+                path.display()
+            ),
+            Self::ChecksumMismatch {
+                path,
+                expected,
+                actual,
+            } => format!(
+                "{}: payload checksum {actual:016x} does not match envelope {expected:016x}",
+                path.display()
+            ),
+            Self::KeyMismatch {
+                path,
+                expected,
+                found,
+            } => format!(
+                "{}: entry holds key {found:?}, addressed as {expected:?}",
+                path.display()
+            ),
+            Self::Malformed { path, detail } => {
+                format!("{}: malformed envelope: {detail}", path.display())
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "store error [{}]: {}", self.label(), self.message())
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_messages_are_distinct() {
+        let p = PathBuf::from("/cache/ab.plan");
+        let errs = [
+            StoreError::Io {
+                path: p.clone(),
+                detail: "denied".into(),
+            },
+            StoreError::VersionMismatch {
+                path: p.clone(),
+                found: "t10-store v9".into(),
+            },
+            StoreError::Truncated {
+                path: p.clone(),
+                expected: 100,
+                actual: 42,
+            },
+            StoreError::ChecksumMismatch {
+                path: p.clone(),
+                expected: 1,
+                actual: 2,
+            },
+            StoreError::KeyMismatch {
+                path: p.clone(),
+                expected: "a".into(),
+                found: "b".into(),
+            },
+            StoreError::Malformed {
+                path: p.clone(),
+                detail: "no header".into(),
+            },
+        ];
+        let labels: std::collections::BTreeSet<_> = errs.iter().map(StoreError::label).collect();
+        assert_eq!(labels.len(), errs.len());
+        for e in &errs {
+            assert_eq!(e.path(), &p);
+            assert!(e.to_string().contains(e.label()), "{e}");
+        }
+        assert!(errs[2].message().contains("42 of 100"));
+    }
+}

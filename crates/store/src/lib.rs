@@ -1,0 +1,479 @@
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::indexing_slicing))]
+//! Crash-safe, content-addressed persistent plan cache (t10-store).
+//!
+//! The disk backend behind `t10 compile --cache` and `t10 serve`: it
+//! persists Pareto-frontier configurations per
+//! [`t10_core::cache::plan_cache_key`] so a fleet compiling recurring
+//! shapes hits cache instead of re-running the search, across processes
+//! and restarts.
+//!
+//! Design rules, in order of importance:
+//!
+//! 1. **Never serve a bad entry.** Every entry carries a versioned envelope
+//!    with an integrity checksum and its own key; anything that fails
+//!    validation is moved to a quarantine directory with a typed
+//!    [`StoreError`] and reported as a miss — the compiler falls through to
+//!    a fresh search (and every *hit* is still re-certified by the
+//!    verify+prove gate upstream, so even a validation escape cannot ship
+//!    an uncertified program).
+//! 2. **Never tear an entry.** Writes go to a unique temp file in the same
+//!    directory, are flushed, then atomically renamed into place. A crash
+//!    mid-write leaves a stray `.tmp-*` file (ignored and swept on open),
+//!    never a half-written entry under a live name.
+//! 3. **Never fail a compile.** The [`PlanCache`] interface the compiler
+//!    consumes is infallible: backend errors cost a cache miss (and a
+//!    counter tick), not a failed request.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use t10_core::cache::{fnv64, fnv64_seeded, PlanCache};
+use t10_trace::{Trace, Value, PID_STORE};
+
+pub mod envelope;
+mod error;
+
+pub use error::StoreError;
+
+/// Second filename-hash lane: the same FNV-1a stream under a scrambled
+/// offset basis, giving 128 filename bits total.
+const FILENAME_SEED2: u64 = 0xcbf2_9ce4_8422_2325 ^ 0x9E37_79B9_7F4A_7C15;
+
+/// Snapshot of the store's activity counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreCounters {
+    /// Lookups answered with a validated entry.
+    pub hits: usize,
+    /// Lookups with no entry on disk.
+    pub misses: usize,
+    /// Entries sidelined after failing validation.
+    pub quarantined: usize,
+    /// Entries successfully written.
+    pub recorded: usize,
+    /// Writes that failed (I/O errors); each costs a future miss only.
+    pub write_failures: usize,
+}
+
+/// The crash-safe on-disk plan cache.
+///
+/// Entries live as `<fnv128-of-key>.plan` files under the root; corrupt
+/// entries are moved to `<root>/quarantine/` (never deleted — they are the
+/// evidence an operator inspects after an incident). The store is safe for
+/// concurrent use by threads *and* processes sharing one directory: writes
+/// are atomic renames and readers only ever observe complete entries.
+pub struct DiskPlanCache {
+    root: PathBuf,
+    quarantine: PathBuf,
+    sync_writes: bool,
+    trace: Trace,
+    nonce: AtomicU64,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    quarantined: AtomicUsize,
+    recorded: AtomicUsize,
+    write_failures: AtomicUsize,
+}
+
+impl DiskPlanCache {
+    /// Opens (creating if needed) a store rooted at `root`, and sweeps any
+    /// stray temp files a crashed writer left behind.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        let root = root.into();
+        let quarantine = root.join("quarantine");
+        for dir in [&root, &quarantine] {
+            fs::create_dir_all(dir).map_err(|e| StoreError::Io {
+                path: dir.clone(),
+                detail: e.to_string(),
+            })?;
+        }
+        let store = Self {
+            root,
+            quarantine,
+            sync_writes: true,
+            trace: Trace::default(),
+            nonce: AtomicU64::new(0),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+            quarantined: AtomicUsize::new(0),
+            recorded: AtomicUsize::new(0),
+            write_failures: AtomicUsize::new(0),
+        };
+        store.sweep_temp_files();
+        Ok(store)
+    }
+
+    /// Attaches a trace sink; quarantine events land on the store track.
+    #[must_use]
+    pub fn with_trace(mut self, trace: Trace) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Disables the per-write `fsync` (for tests and benchmarks; the rename
+    /// is still atomic, but a machine crash may lose the newest entries).
+    #[must_use]
+    pub fn without_sync(mut self) -> Self {
+        self.sync_writes = false;
+        self
+    }
+
+    /// The store's root directory.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The quarantine directory.
+    #[must_use]
+    pub fn quarantine_dir(&self) -> &Path {
+        &self.quarantine
+    }
+
+    /// The entry file a key addresses.
+    #[must_use]
+    pub fn entry_path(&self, key: &str) -> PathBuf {
+        let b = key.as_bytes();
+        self.root.join(format!(
+            "{:016x}{:016x}.plan",
+            fnv64(b),
+            fnv64_seeded(FILENAME_SEED2, b)
+        ))
+    }
+
+    /// Strict lookup: `Ok(Some(payload))` for a validated entry, `Ok(None)`
+    /// for a miss, and a typed error after quarantining anything invalid.
+    /// Most callers want the infallible [`PlanCache::lookup`] instead; this
+    /// is the API the property tests, chaos campaign, and CI assert on.
+    pub fn load(&self, key: &str) -> Result<Option<String>, StoreError> {
+        let path = self.entry_path(key);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => {
+                return Err(StoreError::Io {
+                    path,
+                    detail: e.to_string(),
+                })
+            }
+        };
+        let parsed = envelope::decode(&bytes).map_err(|fault| match fault {
+            envelope::EnvelopeFault::Version { found } => StoreError::VersionMismatch {
+                path: path.clone(),
+                found,
+            },
+            envelope::EnvelopeFault::Truncated { expected, actual } => StoreError::Truncated {
+                path: path.clone(),
+                expected,
+                actual,
+            },
+            envelope::EnvelopeFault::Checksum { expected, actual } => {
+                StoreError::ChecksumMismatch {
+                    path: path.clone(),
+                    expected,
+                    actual,
+                }
+            }
+            envelope::EnvelopeFault::Malformed { detail } => StoreError::Malformed {
+                path: path.clone(),
+                detail,
+            },
+        });
+        match parsed {
+            Ok((stored_key, payload)) => {
+                if stored_key != key {
+                    let err = StoreError::KeyMismatch {
+                        path: path.clone(),
+                        expected: key.to_string(),
+                        found: stored_key,
+                    };
+                    self.quarantine_entry(&path, &err);
+                    return Err(err);
+                }
+                Ok(Some(payload))
+            }
+            Err(err) => {
+                self.quarantine_entry(&path, &err);
+                Err(err)
+            }
+        }
+    }
+
+    /// Atomically writes `payload` under `key`: unique temp file, flush
+    /// (+`fsync` unless disabled), rename into place. An interrupted write
+    /// can only ever leave a stray temp file, never a torn entry.
+    pub fn store(&self, key: &str, payload: &str) -> Result<(), StoreError> {
+        if key.contains('\n') {
+            return Err(StoreError::Malformed {
+                path: self.root.clone(),
+                detail: "cache key contains a newline".to_string(),
+            });
+        }
+        let final_path = self.entry_path(key);
+        let tmp_path = self.root.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            self.nonce.fetch_add(1, Ordering::Relaxed)
+        ));
+        let io_err = |path: &Path, e: std::io::Error| StoreError::Io {
+            path: path.to_path_buf(),
+            detail: e.to_string(),
+        };
+        let mut f = fs::File::create(&tmp_path).map_err(|e| io_err(&tmp_path, e))?;
+        let write_result = f
+            .write_all(envelope::encode(key, payload).as_bytes())
+            .and_then(|()| {
+                if self.sync_writes {
+                    f.sync_all()
+                } else {
+                    Ok(())
+                }
+            });
+        drop(f);
+        if let Err(e) = write_result {
+            let _ = fs::remove_file(&tmp_path);
+            return Err(io_err(&tmp_path, e));
+        }
+        fs::rename(&tmp_path, &final_path).map_err(|e| {
+            let _ = fs::remove_file(&tmp_path);
+            io_err(&final_path, e)
+        })
+    }
+
+    /// Current counter values.
+    #[must_use]
+    pub fn counters(&self) -> StoreCounters {
+        StoreCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            recorded: self.recorded.load(Ordering::Relaxed),
+            write_failures: self.write_failures.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of live entries on disk.
+    #[must_use]
+    pub fn entry_count(&self) -> usize {
+        count_files(&self.root, "plan")
+    }
+
+    /// Quarantined files, sorted by name (the CI robustness job uploads
+    /// this listing as its incident report).
+    #[must_use]
+    pub fn quarantined_files(&self) -> Vec<PathBuf> {
+        let mut out: Vec<PathBuf> = fs::read_dir(&self.quarantine)
+            .into_iter()
+            .flatten()
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.is_file())
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Moves a failed entry into quarantine, tagging the file name with the
+    /// error label so reports are self-describing. Removal never fails the
+    /// caller: if the rename itself errors the entry is deleted instead —
+    /// evidence is nice to keep, serving a known-bad entry is not an option.
+    fn quarantine_entry(&self, path: &Path, err: &StoreError) {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "entry".to_string());
+        let dest = self.quarantine.join(format!("{name}.{}", err.label()));
+        if fs::rename(path, &dest).is_err() {
+            let _ = fs::remove_file(path);
+        }
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
+        if self.trace.enabled() {
+            self.trace.instant(
+                "quarantine".to_string(),
+                "store",
+                PID_STORE,
+                0,
+                self.trace.now_us(),
+                vec![
+                    ("entry", Value::Str(name)),
+                    ("reason", Value::Str(err.label().to_string())),
+                ],
+            );
+        }
+    }
+
+    /// Deletes stray `.tmp-*` files — the only residue a crashed writer can
+    /// leave. Entries under live names are never touched.
+    fn sweep_temp_files(&self) {
+        for entry in fs::read_dir(&self.root).into_iter().flatten().flatten() {
+            let name = entry.file_name();
+            if name.to_string_lossy().starts_with(".tmp-") {
+                let _ = fs::remove_file(entry.path());
+            }
+        }
+    }
+}
+
+impl PlanCache for DiskPlanCache {
+    fn lookup(&self, key: &str) -> Option<String> {
+        match self.load(key) {
+            Ok(Some(payload)) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(payload)
+            }
+            Ok(None) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            // Validation failures were quarantined (and counted) in load();
+            // they degrade to a miss so the compiler re-searches.
+            Err(_) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn record(&self, key: &str, payload: &str) {
+        match self.store(key, payload) {
+            Ok(()) => {
+                self.recorded.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.write_failures.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+fn count_files(dir: &Path, ext: &str) -> usize {
+    fs::read_dir(dir)
+        .into_iter()
+        .flatten()
+        .flatten()
+        .filter(|e| e.path().extension().is_some_and(|x| x == ext))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn fresh_dir(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let d = std::env::temp_dir().join(format!(
+            "t10-store-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    const KEY: &str = "v1|op=0011223344556677|chip=8899aabbccddeeff|fault=0f0f|search=f0f0";
+
+    #[test]
+    fn round_trip_is_bit_identical() {
+        let store = DiskPlanCache::open(fresh_dir("roundtrip")).unwrap();
+        let payload =
+            "t10-frontier v1\nstats complete=1e3 filtered=9\nplans=1\nf_op=4,4 temporal=.:1;0:2\n";
+        store.store(KEY, payload).unwrap();
+        assert_eq!(store.load(KEY).unwrap().as_deref(), Some(payload));
+        assert_eq!(store.entry_count(), 1);
+
+        // Overwrite is atomic and replaces the payload.
+        store.store(KEY, "t10-frontier v1\nplans=0\n").unwrap();
+        assert_eq!(
+            store.load(KEY).unwrap().as_deref(),
+            Some("t10-frontier v1\nplans=0\n")
+        );
+        assert_eq!(store.entry_count(), 1);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn missing_entry_is_a_clean_miss() {
+        let store = DiskPlanCache::open(fresh_dir("miss")).unwrap();
+        assert_eq!(store.load(KEY).unwrap(), None);
+        assert_eq!(store.lookup(KEY), None);
+        assert_eq!(store.counters().misses, 1);
+        assert_eq!(store.counters().quarantined, 0);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn infallible_interface_counts_hits_and_records() {
+        let store = DiskPlanCache::open(fresh_dir("iface")).unwrap();
+        store.record(KEY, "payload-a");
+        assert_eq!(store.lookup(KEY).as_deref(), Some("payload-a"));
+        let c = store.counters();
+        assert_eq!((c.recorded, c.hits, c.write_failures), (1, 1, 0));
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn key_mismatch_is_detected_and_quarantined() {
+        let store = DiskPlanCache::open(fresh_dir("keymismatch")).unwrap();
+        store.store(KEY, "payload").unwrap();
+        // Move the entry to a different key's address — as if an operator
+        // shuffled cache files around.
+        let other = "v1|op=ffff|chip=eeee|fault=dddd|search=cccc";
+        fs::rename(store.entry_path(KEY), store.entry_path(other)).unwrap();
+        let err = store.load(other).unwrap_err();
+        assert!(matches!(err, StoreError::KeyMismatch { .. }), "{err}");
+        // The bad entry is gone from the live set and sits in quarantine.
+        assert_eq!(store.load(other).unwrap(), None);
+        let q = store.quarantined_files();
+        assert_eq!(q.len(), 1);
+        assert!(q[0].to_string_lossy().ends_with(".key-mismatch"), "{q:?}");
+        assert_eq!(store.counters().quarantined, 1);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn stray_temp_files_are_swept_on_open() {
+        let root = fresh_dir("sweep");
+        {
+            let store = DiskPlanCache::open(&root).unwrap();
+            store.store(KEY, "payload").unwrap();
+        }
+        // A writer died mid-write: a partial temp file remains.
+        fs::write(root.join(".tmp-999-0"), b"t10-store v1\nkey=par").unwrap();
+        let store = DiskPlanCache::open(&root).unwrap();
+        assert!(!root.join(".tmp-999-0").exists());
+        // The live entry survived the sweep.
+        assert_eq!(store.load(KEY).unwrap().as_deref(), Some("payload"));
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn newline_keys_are_rejected() {
+        let store = DiskPlanCache::open(fresh_dir("nlkey")).unwrap();
+        let err = store.store("bad\nkey", "p").unwrap_err();
+        assert_eq!(err.label(), "malformed");
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn quarantine_emits_trace_instants() {
+        let trace = Trace::logical();
+        let store = DiskPlanCache::open(fresh_dir("trace"))
+            .unwrap()
+            .with_trace(trace.clone());
+        store.store(KEY, "payload").unwrap();
+        // Truncate the entry behind the store's back.
+        let path = store.entry_path(KEY);
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        assert!(store.load(KEY).is_err());
+        let events = trace.snapshot();
+        let q = events.iter().find(|e| e.name == "quarantine").unwrap();
+        assert_eq!(q.pid, PID_STORE);
+        assert!(q
+            .args
+            .iter()
+            .any(|(k, v)| *k == "reason" && *v == Value::Str("truncated".to_string())));
+        let _ = fs::remove_dir_all(store.root());
+    }
+}

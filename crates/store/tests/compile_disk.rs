@@ -1,0 +1,157 @@
+//! End-to-end: the compiler over a real on-disk cache.
+//!
+//! The compile-service contract: a warm compile served from disk — even by
+//! a *different* store instance, as after a process restart — is
+//! byte-identical to a cold compile, and a cache directory corrupted on
+//! disk costs only recompilation, never a wrong program.
+
+#![allow(clippy::unwrap_used, clippy::indexing_slicing)]
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use t10_core::compiler::{CompileOptions, CompiledGraph, Compiler};
+use t10_core::search::SearchConfig;
+use t10_device::ChipSpec;
+use t10_ir::{builders, DType, Graph, ValueKind};
+use t10_store::DiskPlanCache;
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let d = std::env::temp_dir().join(format!(
+        "t10-store-compile-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = fs::remove_dir_all(&d);
+    d
+}
+
+fn mlp() -> Graph {
+    let mut g = Graph::new("mlp");
+    let a = g.add_value("a", vec![64, 64], DType::F16, ValueKind::Input);
+    let w1 = g.add_value("w1", vec![64, 48], DType::F16, ValueKind::Weight);
+    let h = g.add_value("h", vec![64, 48], DType::F16, ValueKind::Activation);
+    let w2 = g.add_value("w2", vec![48, 32], DType::F16, ValueKind::Weight);
+    let o = g.add_value("o", vec![64, 32], DType::F16, ValueKind::Output);
+    g.add_node("fc1", builders::matmul(a, w1, h, 64, 64, 48).unwrap())
+        .unwrap();
+    g.add_node("fc2", builders::matmul(h, w2, o, 64, 48, 32).unwrap())
+        .unwrap();
+    g
+}
+
+fn fingerprint(c: &CompiledGraph) -> String {
+    format!("{:?}|{:?}|{:?}", c.program, c.node_pareto, c.reconciled)
+}
+
+#[test]
+fn warm_disk_compile_survives_a_restart_byte_identically() {
+    let root = fresh_dir("restart");
+    let g = mlp();
+    let compiler = Compiler::new(ChipSpec::ipu_with_cores(16), SearchConfig::fast());
+
+    // Cold compile populates the directory.
+    let store = Arc::new(DiskPlanCache::open(&root).unwrap().without_sync());
+    let cold = compiler
+        .compile_graph_with(&g, &CompileOptions::with_cache(store.clone()))
+        .unwrap();
+    assert!(cold.cache_stats.recorded > 0);
+    assert!(store.entry_count() > 0);
+
+    // "Restart": a brand-new store instance over the same directory.
+    let store2 = Arc::new(DiskPlanCache::open(&root).unwrap().without_sync());
+    let warm = compiler
+        .compile_graph_with(&g, &CompileOptions::with_cache(store2.clone()))
+        .unwrap();
+    assert!(warm.cache_stats.disk_hits > 0);
+    assert_eq!(warm.cache_stats.recorded, 0);
+    assert_eq!(store2.counters().hits, warm.cache_stats.disk_hits);
+    assert_eq!(fingerprint(&warm), fingerprint(&cold));
+    let _ = fs::remove_dir_all(root);
+}
+
+#[test]
+fn corrupted_cache_directory_only_costs_recompilation() {
+    let root = fresh_dir("corrupt");
+    let g = mlp();
+    let compiler = Compiler::new(ChipSpec::ipu_with_cores(16), SearchConfig::fast());
+
+    let store = Arc::new(DiskPlanCache::open(&root).unwrap().without_sync());
+    let opts = CompileOptions::with_cache(store.clone());
+    let cold = compiler.compile_graph_with(&g, &opts).unwrap();
+
+    // Vandalise every entry on disk a different way: truncate the first,
+    // bit-flip the second, and so on.
+    let mut entries: Vec<PathBuf> = fs::read_dir(&root)
+        .unwrap()
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "plan"))
+        .collect();
+    entries.sort();
+    assert!(!entries.is_empty());
+    for (i, path) in entries.iter().enumerate() {
+        let mut bytes = fs::read(path).unwrap();
+        match i % 3 {
+            0 => bytes.truncate(bytes.len() / 2),
+            1 => {
+                let last = bytes.len() - 1;
+                bytes[last] ^= 0x40;
+            }
+            _ => bytes = b"scribbled over by a rogue process".to_vec(),
+        }
+        fs::write(path, &bytes).unwrap();
+    }
+
+    // The compile heals: identical program, every bad entry quarantined,
+    // and the directory is repopulated for the next caller.
+    let healed = compiler.compile_graph_with(&g, &opts).unwrap();
+    assert_eq!(fingerprint(&healed), fingerprint(&cold));
+    assert_eq!(healed.cache_stats.disk_hits, 0);
+    assert!(healed.cache_stats.recorded > 0);
+    assert_eq!(store.counters().quarantined, entries.len());
+    assert_eq!(store.quarantined_files().len(), entries.len());
+
+    let warm = compiler.compile_graph_with(&g, &opts).unwrap();
+    assert!(warm.cache_stats.disk_hits > 0);
+    assert_eq!(fingerprint(&warm), fingerprint(&cold));
+    let _ = fs::remove_dir_all(root);
+}
+
+#[test]
+fn degraded_chip_compiles_never_reuse_healthy_entries() {
+    use t10_sim::FaultPlan;
+
+    let root = fresh_dir("faultkey");
+    let g = mlp();
+    let compiler = Compiler::new(ChipSpec::ipu_with_cores(16), SearchConfig::fast());
+    let store = Arc::new(DiskPlanCache::open(&root).unwrap().without_sync());
+
+    let healthy = compiler
+        .compile_graph_with(&g, &CompileOptions::with_cache(store.clone()))
+        .unwrap();
+    assert!(healthy.cache_stats.recorded > 0);
+
+    // A degraded chip must miss every healthy-chip entry: its keys embed
+    // the fault digest, so it searches fresh and records its own entries.
+    let mut opts = CompileOptions::with_cache(store.clone());
+    opts.faults = Some(FaultPlan::seeded(16, 7).shrink_sram(3, 0.5));
+    let degraded = compiler.compile_graph_with(&g, &opts).unwrap();
+    assert_eq!(degraded.cache_stats.disk_hits, 0);
+    assert!(degraded.cache_stats.recorded > 0);
+    assert_eq!(store.counters().quarantined, 0);
+
+    // Both populations now coexist; each variant hits only its own.
+    let healthy_again = compiler
+        .compile_graph_with(&g, &CompileOptions::with_cache(store.clone()))
+        .unwrap();
+    assert!(healthy_again.cache_stats.disk_hits > 0);
+    assert_eq!(fingerprint(&healthy_again), fingerprint(&healthy));
+    let degraded_again = compiler.compile_graph_with(&g, &opts).unwrap();
+    assert!(degraded_again.cache_stats.disk_hits > 0);
+    assert_eq!(fingerprint(&degraded_again), fingerprint(&degraded));
+    let _ = fs::remove_dir_all(root);
+}

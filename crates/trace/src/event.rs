@@ -24,6 +24,11 @@ pub const PID_PROVE: u32 = 4;
 /// timestamps): per-case verdict instants and campaign summary counters.
 pub const PID_CHAOS: u32 = 5;
 
+/// Chrome "process" id of the persistent plan store (trace-time
+/// timestamps): per-compile hit/miss/stale counters and quarantine
+/// instants from the disk cache.
+pub const PID_STORE: u32 = 6;
+
 /// Track ("thread") id for chip-wide aggregate events on [`PID_SIM`].
 /// Per-core tracks use the core index directly, so this sits far above any
 /// realistic core count.

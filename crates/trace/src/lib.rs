@@ -55,7 +55,7 @@ pub use accuracy::{AccuracyReport, AccuracySample};
 pub use chrome::{parse_chrome_trace, write_chrome_trace};
 pub use event::{
     Event, EventKind, Value, CHIP_TID, PID_CHAOS, PID_COMPILER, PID_PROVE, PID_RECOVERY, PID_SIM,
-    PID_VERIFY,
+    PID_STORE, PID_VERIFY,
 };
 pub use metrics::Metrics;
 pub use summary::{accuracy_samples, core_utilization, render_summary, step_costs, CoreUtil};

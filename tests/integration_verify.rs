@@ -128,6 +128,8 @@ fn compile_trace_carries_verifier_spans() {
         warm_start: None,
         trace: trace.clone(),
         prove: false,
+        cache: None,
+        op_parallelism: 0,
     };
     Compiler::new(ChipSpec::ipu_mk2(), bench_search_config())
         .compile_graph_with(&g, &opts)
