@@ -108,6 +108,11 @@ pub struct CampaignReport {
     /// recovery recompiles. **Not deterministic**; excluded from
     /// [`crate::report::campaign_json`].
     pub compile_wall_us: Vec<f64>,
+    /// Final telemetry snapshot over the whole campaign (baselines, cases,
+    /// shrink reruns). Recorded under a logical clock, so every field is a
+    /// pure function of the campaign seed and safe to embed in the
+    /// deterministic report.
+    pub metrics_snapshot: t10_metrics::Snapshot,
 }
 
 impl CampaignReport {
@@ -140,6 +145,18 @@ pub fn run_campaign(cfg: &CampaignConfig) -> Result<CampaignReport> {
     if trace.enabled() {
         trace.meta("process_name", PID_CHAOS, 0, "chaos");
     }
+    // A fresh logical-clock registry per campaign: recovery counters and
+    // tick-delta histograms become pure functions of the seed, and the
+    // embedded snapshot stays byte-identical across same-seed reruns.
+    let metrics = t10_metrics::Registry::logical();
+    let run_cfg = RunConfig {
+        metrics: metrics.clone(),
+        ..cfg.run.clone()
+    };
+    let cfg = &CampaignConfig {
+        run: run_cfg,
+        ..cfg.clone()
+    };
 
     // Healthy baselines: one functional run + Pareto frontier per chain.
     let mut baselines = Vec::with_capacity(zoo.len());
@@ -274,6 +291,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> Result<CampaignReport> {
         },
         cases,
         compile_wall_us,
+        metrics_snapshot: metrics.snapshot(),
     };
     if trace.enabled() {
         trace.counter(

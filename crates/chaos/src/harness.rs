@@ -36,6 +36,10 @@ pub struct RunConfig {
     pub mutation: RecoveryMutation,
     /// Structured-event sink threaded through controller and simulators.
     pub trace: Trace,
+    /// Metric registry threaded through controller and compiles.
+    /// [`crate::run_campaign`] replaces this with its own logical-clock
+    /// registry so campaign snapshots stay deterministic.
+    pub metrics: t10_metrics::Registry,
 }
 
 impl Default for RunConfig {
@@ -50,6 +54,7 @@ impl Default for RunConfig {
             },
             mutation: RecoveryMutation::default(),
             trace: Trace::disabled(),
+            metrics: t10_metrics::Registry::disabled(),
         }
     }
 }
@@ -147,7 +152,8 @@ pub fn run_chain(
 ) -> Result<ChainRun> {
     let controller = RecoveryController::new(SimulatorMode::Functional, cfg.policy.clone())
         .with_trace(cfg.trace.clone())
-        .with_mutation(cfg.mutation);
+        .with_mutation(cfg.mutation)
+        .with_metrics(cfg.metrics.clone());
     let mut spec = ChipSpec::ipu_with_cores(cfg.cores);
     let pristine_faults = FaultPlan::new(cfg.cores);
     let mut faults = pristine_faults.clone();
@@ -185,6 +191,7 @@ pub fn run_chain(
                     deadline: None,
                     faults: Some(faults.clone()),
                     warm_start: controller_warm.or(healthy_warm).map(<[_]>::to_vec),
+                    metrics: cfg.metrics.clone(),
                     ..CompileOptions::default()
                 };
                 let (pareto, _) = compiler.compile_node_with(&graph, 0, &opts)?;

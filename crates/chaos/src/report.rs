@@ -60,6 +60,13 @@ pub fn campaign_json(r: &CampaignReport) -> String {
         "  \"checkpoint_cost_pct\": {},\n",
         f(r.checkpoint_cost_pct)
     ));
+    // The campaign's telemetry snapshot, as a nested `t10.metrics.v1`
+    // document. It is recorded under a logical clock, so it carries no
+    // wall-clock values and stays byte-identical across same-seed reruns.
+    s.push_str(&format!(
+        "  \"metrics\": {},\n",
+        r.metrics_snapshot.to_json_compact()
+    ));
     s.push_str("  \"cases\": [\n");
     for (i, c) in r.cases.iter().enumerate() {
         s.push_str("    {");
@@ -169,10 +176,13 @@ mod tests {
             checkpoint_cost_pct: 0.0,
             cases: Vec::new(),
             compile_wall_us: Vec::new(),
+            metrics_snapshot: t10_metrics::Snapshot::new("logical"),
         };
         let j = campaign_json(&r);
         assert!(j.contains("\"schema\": \"t10.chaos.campaign.v1\""));
         assert!(j.contains("\"violations\": 0"));
+        assert!(j.contains("\"metrics\": {"));
+        assert!(j.contains("\"schema\": \"t10.metrics.v1\""));
         let b = bench_json(&r);
         assert!(b.contains("\"schema\": \"t10.bench.recovery.v1\""));
         assert!(b.contains("\"samples\": 0"));

@@ -1,0 +1,380 @@
+//! `t10 bench-diff` — a bench-trajectory regression gate.
+//!
+//! Compares a fresh benchmark document against a committed baseline and
+//! exits 14 when any tracked metric regressed beyond the threshold. Two
+//! schemas are understood, dispatched on the `schema` field:
+//!
+//! * `t10.bench.compile.v1` (`t10 compilebench --json`) — cold/warm
+//!   latency percentiles and parallel-search time are higher-is-worse;
+//!   `warm_hit_rate` and parallel `speedup` are lower-is-worse;
+//! * `t10.bench.recovery.v1` (`t10 chaos --bench-json`) — recovery
+//!   overhead and checkpoint-cost percentages plus recompile-latency
+//!   percentiles, all higher-is-worse.
+//!
+//! A metric present in the baseline but absent from the current run (or
+//! vice versa) is reported but never fails the gate: schema growth across
+//! stacked PRs must not brick CI. Only a *tracked, comparable* metric
+//! moving the wrong way by more than `--threshold-pct` does.
+
+use t10_trace::json::{self, Json};
+
+use crate::CliError;
+
+/// `t10 bench-diff` options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchDiffOptions {
+    /// Baseline document path (the committed BENCH_*.json).
+    pub baseline: String,
+    /// Current document path (the freshly produced run).
+    pub current: String,
+    /// Allowed relative movement in the bad direction, percent.
+    pub threshold_pct: f64,
+}
+
+/// Direction in which a metric can regress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    /// Latency / overhead: regression when current exceeds baseline.
+    HigherIsWorse,
+    /// Hit rates / speedups: regression when current falls below baseline.
+    LowerIsWorse,
+}
+
+/// One tracked metric: a dotted path into the JSON document.
+struct Tracked {
+    path: &'static str,
+    direction: Direction,
+}
+
+const fn up(path: &'static str) -> Tracked {
+    Tracked {
+        path,
+        direction: Direction::HigherIsWorse,
+    }
+}
+
+const fn down(path: &'static str) -> Tracked {
+    Tracked {
+        path,
+        direction: Direction::LowerIsWorse,
+    }
+}
+
+fn tracked_metrics(schema: &str) -> Option<Vec<Tracked>> {
+    match schema {
+        "t10.bench.compile.v1" => Some(vec![
+            up("cold_ms.p50"),
+            up("cold_ms.p90"),
+            up("warm_ms.p50"),
+            up("warm_ms.p90"),
+            up("parallel_search.parallel_ms"),
+            down("warm_hit_rate"),
+            down("parallel_search.speedup"),
+        ]),
+        "t10.bench.recovery.v1" => Some(vec![
+            up("recovery_overhead_pct.p50"),
+            up("recovery_overhead_pct.p90"),
+            up("recovery_overhead_pct.p99"),
+            up("checkpoint_cost_pct"),
+            up("compile_latency_us.p50"),
+            up("compile_latency_us.p99"),
+        ]),
+        _ => None,
+    }
+}
+
+fn lookup(doc: &Json, path: &str) -> Option<f64> {
+    let mut node = doc;
+    for part in path.split('.') {
+        node = node.get(part)?;
+    }
+    node.as_f64()
+}
+
+/// Outcome of comparing one metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffRow {
+    /// Dotted path of the metric.
+    pub path: String,
+    /// Baseline value, when present.
+    pub baseline: Option<f64>,
+    /// Current value, when present.
+    pub current: Option<f64>,
+    /// Relative movement in the bad direction, percent (positive = worse).
+    pub delta_pct: Option<f64>,
+    /// Whether this row fails the gate.
+    pub regressed: bool,
+}
+
+/// Result of a bench-diff comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffReport {
+    /// The shared schema of the two documents.
+    pub schema: String,
+    /// One row per tracked metric.
+    pub rows: Vec<DiffRow>,
+}
+
+impl DiffReport {
+    /// True when any tracked metric regressed beyond the threshold.
+    #[must_use]
+    pub fn regressed(&self) -> bool {
+        self.rows.iter().any(|r| r.regressed)
+    }
+}
+
+/// Compares two parsed bench documents. Errors when the schemas differ,
+/// are missing, or are not a known bench schema.
+pub fn compare(baseline: &Json, current: &Json, threshold_pct: f64) -> Result<DiffReport, String> {
+    let base_schema = baseline
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("baseline document has no schema field")?;
+    let cur_schema = current
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("current document has no schema field")?;
+    if base_schema != cur_schema {
+        return Err(format!(
+            "schema mismatch: baseline {base_schema}, current {cur_schema}"
+        ));
+    }
+    let tracked = tracked_metrics(base_schema)
+        .ok_or_else(|| format!("unknown bench schema: {base_schema}"))?;
+
+    let rows = tracked
+        .iter()
+        .map(|t| {
+            let base = lookup(baseline, t.path);
+            let cur = lookup(current, t.path);
+            let (delta_pct, regressed) = match (base, cur) {
+                (Some(b), Some(c)) => {
+                    // Movement in the bad direction relative to baseline.
+                    // A zero baseline regresses only if current is worse at
+                    // all (any finite threshold can't scale from zero).
+                    let bad = match t.direction {
+                        Direction::HigherIsWorse => c - b,
+                        Direction::LowerIsWorse => b - c,
+                    };
+                    let delta = if b.abs() > f64::EPSILON {
+                        bad / b.abs() * 100.0
+                    } else if bad > 0.0 {
+                        f64::INFINITY
+                    } else {
+                        0.0
+                    };
+                    (Some(delta), delta > threshold_pct)
+                }
+                _ => (None, false),
+            };
+            DiffRow {
+                path: t.path.to_string(),
+                baseline: base,
+                current: cur,
+                delta_pct,
+                regressed,
+            }
+        })
+        .collect();
+    Ok(DiffReport {
+        schema: base_schema.to_string(),
+        rows,
+    })
+}
+
+fn fmt_opt(v: Option<f64>) -> String {
+    v.map_or_else(|| "-".to_string(), json::fmt_f64)
+}
+
+/// The `t10 bench-diff` command. Exit 0 when within threshold, 14 on
+/// regression.
+pub fn bench_diff(o: &BenchDiffOptions) -> Result<i32, CliError> {
+    let base_src = crate::read_file(&o.baseline)?;
+    let cur_src = crate::read_file(&o.current)?;
+    let base =
+        json::parse(&base_src).map_err(|e| CliError::from(format!("{}: {e}", o.baseline)))?;
+    let cur = json::parse(&cur_src).map_err(|e| CliError::from(format!("{}: {e}", o.current)))?;
+    let report = compare(&base, &cur, o.threshold_pct).map_err(CliError::from)?;
+
+    println!(
+        "bench-diff: {} vs {} ({}, threshold {}%)",
+        o.baseline, o.current, report.schema, o.threshold_pct
+    );
+    let mut t = t10_bench::Table::new(vec!["metric", "baseline", "current", "delta", "status"]);
+    for row in &report.rows {
+        t.row(vec![
+            row.path.clone(),
+            fmt_opt(row.baseline),
+            fmt_opt(row.current),
+            row.delta_pct.map_or_else(
+                || "-".to_string(),
+                |d| {
+                    if d.is_infinite() {
+                        "+inf%".to_string()
+                    } else {
+                        format!("{d:+.1}%")
+                    }
+                },
+            ),
+            match (
+                row.regressed,
+                row.baseline.is_some() && row.current.is_some(),
+            ) {
+                (true, _) => "REGRESSED".to_string(),
+                (false, true) => "ok".to_string(),
+                (false, false) => "skipped".to_string(),
+            },
+        ]);
+    }
+    t.print();
+
+    if report.regressed() {
+        println!(
+            "bench-diff: regression beyond {}% threshold",
+            o.threshold_pct
+        );
+        Ok(14)
+    } else {
+        println!("bench-diff: within threshold");
+        Ok(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const COMPILE_BASE: &str = r#"{
+        "schema": "t10.bench.compile.v1",
+        "cold_ms": {"p50": 100.0, "p90": 200.0},
+        "warm_ms": {"p50": 10.0, "p90": 20.0},
+        "warm_hit_rate": 1.0,
+        "parallel_search": {"parallel_ms": 150.0, "speedup": 2.0}
+    }"#;
+
+    fn parse(src: &str) -> Json {
+        json::parse(src).unwrap()
+    }
+
+    #[test]
+    fn identical_documents_pass() {
+        let doc = parse(COMPILE_BASE);
+        let report = compare(&doc, &doc, 25.0).unwrap();
+        assert!(!report.regressed());
+        assert!(report.rows.iter().all(|r| r.delta_pct == Some(0.0)));
+    }
+
+    #[test]
+    fn higher_latency_regresses_and_improvement_passes() {
+        let base = parse(COMPILE_BASE);
+        let slow = parse(&COMPILE_BASE.replace("\"p50\": 100.0", "\"p50\": 140.0"));
+        let report = compare(&base, &slow, 25.0).unwrap();
+        assert!(report.regressed());
+        let row = report
+            .rows
+            .iter()
+            .find(|r| r.path == "cold_ms.p50")
+            .unwrap();
+        assert!((row.delta_pct.unwrap() - 40.0).abs() < 1e-9);
+
+        // The reverse direction is an improvement, not a regression.
+        let report = compare(&slow, &base, 25.0).unwrap();
+        assert!(!report.regressed());
+    }
+
+    #[test]
+    fn lower_hit_rate_regresses() {
+        let base = parse(COMPILE_BASE);
+        let worse =
+            parse(&COMPILE_BASE.replace("\"warm_hit_rate\": 1.0", "\"warm_hit_rate\": 0.5"));
+        let report = compare(&base, &worse, 25.0).unwrap();
+        let row = report
+            .rows
+            .iter()
+            .find(|r| r.path == "warm_hit_rate")
+            .unwrap();
+        assert!(row.regressed);
+        // A higher hit rate than baseline never regresses.
+        let report = compare(&worse, &base, 25.0).unwrap();
+        assert!(!report.regressed());
+    }
+
+    #[test]
+    fn threshold_is_respected() {
+        let base = parse(COMPILE_BASE);
+        let slow = parse(&COMPILE_BASE.replace("\"p50\": 100.0", "\"p50\": 120.0"));
+        assert!(compare(&base, &slow, 25.0)
+            .unwrap()
+            .rows
+            .iter()
+            .all(|r| !r.regressed));
+        assert!(compare(&base, &slow, 10.0).unwrap().regressed());
+    }
+
+    #[test]
+    fn missing_metric_is_skipped_not_failed() {
+        let base = parse(COMPILE_BASE);
+        let partial =
+            parse(r#"{"schema": "t10.bench.compile.v1", "cold_ms": {"p50": 100.0, "p90": 200.0}}"#);
+        let report = compare(&base, &partial, 25.0).unwrap();
+        assert!(!report.regressed());
+        let row = report
+            .rows
+            .iter()
+            .find(|r| r.path == "warm_hit_rate")
+            .unwrap();
+        assert_eq!(row.current, None);
+        assert_eq!(row.delta_pct, None);
+    }
+
+    #[test]
+    fn recovery_schema_is_tracked() {
+        let base = parse(
+            r#"{
+                "schema": "t10.bench.recovery.v1",
+                "recovery_overhead_pct": {"p50": 7.0, "p90": 14.0, "p99": 40.0},
+                "checkpoint_cost_pct": 25.0,
+                "compile_latency_us": {"p50": 180.0, "p99": 420.0}
+            }"#,
+        );
+        let worse = parse(
+            r#"{
+                "schema": "t10.bench.recovery.v1",
+                "recovery_overhead_pct": {"p50": 7.0, "p90": 14.0, "p99": 80.0},
+                "checkpoint_cost_pct": 25.0,
+                "compile_latency_us": {"p50": 180.0, "p99": 420.0}
+            }"#,
+        );
+        let report = compare(&base, &worse, 25.0).unwrap();
+        assert!(report.regressed());
+        assert_eq!(report.schema, "t10.bench.recovery.v1");
+    }
+
+    #[test]
+    fn schema_mismatch_and_unknown_schema_error() {
+        let compile = parse(COMPILE_BASE);
+        let recovery = parse(r#"{"schema": "t10.bench.recovery.v1"}"#);
+        assert!(compare(&compile, &recovery, 25.0)
+            .unwrap_err()
+            .contains("schema mismatch"));
+        let unknown = parse(r#"{"schema": "t10.bench.other.v9"}"#);
+        assert!(compare(&unknown, &unknown, 25.0)
+            .unwrap_err()
+            .contains("unknown bench schema"));
+    }
+
+    #[test]
+    fn committed_baselines_pass_against_themselves() {
+        // The real committed documents must parse and self-compare clean —
+        // the CI gate depends on this.
+        for name in ["BENCH_compile.json", "BENCH_recovery.json"] {
+            let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join(name);
+            let src = std::fs::read_to_string(&path).unwrap();
+            let doc = json::parse(&src).unwrap();
+            let report = compare(&doc, &doc, 25.0).unwrap();
+            assert!(!report.regressed(), "{name} regressed against itself");
+        }
+    }
+}

@@ -7,7 +7,10 @@
 // Tests may unwrap freely; library code must not (workspace lint).
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
+pub mod benchdiff;
+pub mod metrics_http;
 pub mod serve;
+pub mod stats;
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -41,6 +44,11 @@ usage:
               [--faults SPEC] [--json FILE] [--prove] [--prove-cert FILE]
   t10 serve   [--requests FILE] [--cache DIR] [--workers N] [--jobs N]
               [--queue N] [--cores N] [--deadline-ms N]
+              [--metrics-addr HOST:PORT] [--metrics-flush FILE]
+              [--metrics-clock wall|logical] [--metrics-linger-ms N]
+  t10 stats   <snapshot.json> [--slo-availability PCT]
+              [--slo-latency-ms N] [--slo-latency-pct PCT]
+  t10 bench-diff <baseline.json> <current.json> [--threshold-pct PCT]
   t10 bench   <model|file.t10> [--batch N] [--cores N]
   t10 compilebench [model|file.t10 ...] [--out FILE] [--cores N]
               [--jobs N] [--cache DIR]
@@ -111,12 +119,27 @@ frontiers in the crash-safe on-disk plan store: corrupt or torn entries are
 quarantined and recompiled, never served. `compilebench` measures cold-vs-
 warm compile latency, cache hit rate, and the parallel-search speedup.
 
+`serve` telemetry: `--metrics-addr` exposes the live registry over HTTP
+(`/metrics` Prometheus text 0.0.4, `/metrics.json` the `t10.metrics.v1`
+document; `--metrics-linger-ms` keeps the endpoint up after the batch
+drains). `--metrics-flush FILE` writes periodic snapshots plus a final
+authoritative one. `--metrics-clock logical` swaps wall microseconds for a
+deterministic counter: same-seed runs produce byte-identical snapshots
+(and serve drains single-threaded to keep ordering fixed). `t10 stats`
+renders a snapshot as histogram and SLO tables — availability is the
+non-rejected admission fraction, latency objectives come with error-budget
+burn rates — and exits 1 when an objective is missed. `t10 bench-diff`
+compares a fresh `t10.bench.compile.v1`/`t10.bench.recovery.v1` document
+against a committed baseline and exits 14 when a tracked metric regressed
+beyond `--threshold-pct` (default 25).
+
 exit codes: 1 generic, 2 usage, 3 infeasible plan, 4 out of memory,
   5 deadline exceeded, 6 worker panicked, 7 device/IR fault,
   8 run completed after recovering from mid-run faults, 9 unrecoverable,
   10 static verification refuted the artifact,
   11 chaos campaign found oracle violations,
-  12 file read/write failed, 13 serve finished with rejected/failed requests";
+  12 file read/write failed, 13 serve finished with rejected/failed requests,
+  14 bench-diff found a regression beyond threshold";
 
 /// A CLI failure: a message plus the process exit code to report.
 ///
@@ -356,6 +379,38 @@ pub enum Cli {
         cores: usize,
         /// Default per-request compile deadline, milliseconds.
         deadline_ms: Option<u64>,
+        /// Bind a live metrics HTTP endpoint here (`/metrics`,
+        /// `/metrics.json`).
+        metrics_addr: Option<String>,
+        /// Write periodic + final `t10.metrics.v1` snapshots here.
+        metrics_flush: Option<String>,
+        /// Use the deterministic logical metrics clock instead of wall
+        /// microseconds (forces single-threaded draining).
+        metrics_logical: bool,
+        /// Keep the metrics endpoint alive this long after the batch
+        /// drains, for scrapers.
+        metrics_linger_ms: u64,
+    },
+    /// Summarize a metrics snapshot as histogram + SLO tables.
+    Stats {
+        /// Snapshot file (`t10.metrics.v1`).
+        file: String,
+        /// Availability objective override, percent.
+        slo_availability: Option<f64>,
+        /// End-to-end latency threshold override, milliseconds.
+        slo_latency_ms: Option<u64>,
+        /// Latency objective override, percent within threshold.
+        slo_latency_pct: Option<f64>,
+    },
+    /// Compare a fresh bench document against a committed baseline and
+    /// fail (exit 14) on regression beyond the threshold.
+    BenchDiff {
+        /// Baseline document path.
+        baseline: String,
+        /// Current document path.
+        current: String,
+        /// Allowed relative movement in the bad direction, percent.
+        threshold_pct: f64,
     },
     /// Benchmark cold-vs-warm compile latency, cache hit rate, and the
     /// parallel-search speedup.
@@ -442,6 +497,15 @@ impl Cli {
         let mut workers: Option<usize> = None;
         let mut queue: Option<usize> = None;
         let mut out: Option<String> = None;
+        let mut metrics_addr: Option<String> = None;
+        let mut metrics_flush: Option<String> = None;
+        let mut metrics_logical = false;
+        let mut metrics_clock_set = false;
+        let mut metrics_linger_ms: Option<u64> = None;
+        let mut slo_availability: Option<f64> = None;
+        let mut slo_latency_ms: Option<u64> = None;
+        let mut slo_latency_pct: Option<f64> = None;
+        let mut threshold_pct: Option<f64> = None;
         let mut it = args.iter();
         while let Some(a) = it.next() {
             match a.as_str() {
@@ -584,6 +648,60 @@ impl Cli {
                 "--out" => {
                     out = Some(it.next().ok_or("--out needs a path")?.clone());
                 }
+                "--metrics-addr" => {
+                    metrics_addr = Some(it.next().ok_or("--metrics-addr needs HOST:PORT")?.clone());
+                }
+                "--metrics-flush" => {
+                    metrics_flush = Some(it.next().ok_or("--metrics-flush needs a path")?.clone());
+                }
+                "--metrics-clock" => {
+                    metrics_clock_set = true;
+                    match it.next().ok_or("--metrics-clock needs a value")?.as_str() {
+                        "wall" => metrics_logical = false,
+                        "logical" => metrics_logical = true,
+                        other => return Err(format!("bad --metrics-clock value `{other}`")),
+                    }
+                }
+                "--metrics-linger-ms" => {
+                    metrics_linger_ms = Some(
+                        it.next()
+                            .ok_or("--metrics-linger-ms needs a value")?
+                            .parse()
+                            .map_err(|_| "bad --metrics-linger-ms value")?,
+                    );
+                }
+                "--slo-availability" => {
+                    slo_availability = Some(
+                        it.next()
+                            .ok_or("--slo-availability needs a percentage")?
+                            .parse()
+                            .map_err(|_| "bad --slo-availability value")?,
+                    );
+                }
+                "--slo-latency-ms" => {
+                    slo_latency_ms = Some(
+                        it.next()
+                            .ok_or("--slo-latency-ms needs a value")?
+                            .parse()
+                            .map_err(|_| "bad --slo-latency-ms value")?,
+                    );
+                }
+                "--slo-latency-pct" => {
+                    slo_latency_pct = Some(
+                        it.next()
+                            .ok_or("--slo-latency-pct needs a percentage")?
+                            .parse()
+                            .map_err(|_| "bad --slo-latency-pct value")?,
+                    );
+                }
+                "--threshold-pct" => {
+                    threshold_pct = Some(
+                        it.next()
+                            .ok_or("--threshold-pct needs a percentage")?
+                            .parse()
+                            .map_err(|_| "bad --threshold-pct value")?,
+                    );
+                }
                 flag if flag.starts_with("--") => {
                     return Err(format!("unknown flag {flag}"));
                 }
@@ -620,6 +738,28 @@ impl Cli {
         }
         if out.is_some() && sub != Some("compilebench") {
             return Err("--out only applies to `compilebench`".into());
+        }
+        if (metrics_addr.is_some()
+            || metrics_flush.is_some()
+            || metrics_clock_set
+            || metrics_linger_ms.is_some())
+            && sub != Some("serve")
+        {
+            return Err("--metrics-addr, --metrics-flush, --metrics-clock and \
+                        --metrics-linger-ms only apply to `serve`"
+                .into());
+        }
+        if (slo_availability.is_some() || slo_latency_ms.is_some() || slo_latency_pct.is_some())
+            && sub != Some("stats")
+        {
+            return Err(
+                "--slo-availability, --slo-latency-ms and --slo-latency-pct only \
+                        apply to `stats`"
+                    .into(),
+            );
+        }
+        if threshold_pct.is_some() && sub != Some("bench-diff") {
+            return Err("--threshold-pct only applies to `bench-diff`".into());
         }
         if fault_timeline.is_some() && sub != Some("run") {
             return Err("--fault-timeline only applies to `run`".into());
@@ -682,6 +822,21 @@ impl Cli {
                 queue: queue.unwrap_or(16),
                 cores,
                 deadline_ms,
+                metrics_addr,
+                metrics_flush,
+                metrics_logical,
+                metrics_linger_ms: metrics_linger_ms.unwrap_or(0),
+            }),
+            ["stats", file] => Ok(Cli::Stats {
+                file: file.to_string(),
+                slo_availability,
+                slo_latency_ms,
+                slo_latency_pct,
+            }),
+            ["bench-diff", baseline, current] => Ok(Cli::BenchDiff {
+                baseline: baseline.to_string(),
+                current: current.to_string(),
+                threshold_pct: threshold_pct.unwrap_or(25.0),
             }),
             ["compilebench", targets @ ..] => Ok(Cli::CompileBench {
                 targets: targets.iter().map(|t| t.to_string()).collect(),
@@ -1128,6 +1283,7 @@ pub fn run(cli: &Cli) -> Result<i32, CliError> {
                 prove: *prove,
                 cache: store.clone().map(|s| s as Arc<dyn PlanCache>),
                 op_parallelism: *jobs,
+                metrics: t10_metrics::Registry::disabled(),
             };
             let platform = Platform::new(spec.clone());
             let compiled = platform
@@ -1237,6 +1393,7 @@ pub fn run(cli: &Cli) -> Result<i32, CliError> {
                         prove: false,
                         cache: None,
                         op_parallelism: 0,
+                        metrics: t10_metrics::Registry::disabled(),
                     };
                     let compiled = Compiler::new(spec.clone(), cfg.clone())
                         .compile_graph_with(&graph, &opts)?;
@@ -1352,6 +1509,7 @@ pub fn run(cli: &Cli) -> Result<i32, CliError> {
                         prove: false,
                         cache: None,
                         op_parallelism: 0,
+                        metrics: t10_metrics::Registry::disabled(),
                     };
                     // The compile itself runs the mandatory structural
                     // post-pass; a refuted artifact surfaces here as
@@ -1506,6 +1664,10 @@ pub fn run(cli: &Cli) -> Result<i32, CliError> {
             queue,
             cores,
             deadline_ms,
+            metrics_addr,
+            metrics_flush,
+            metrics_logical,
+            metrics_linger_ms,
         } => serve::serve(&serve::ServeOptions {
             requests: requests.clone(),
             cache: cache.clone(),
@@ -1514,6 +1676,30 @@ pub fn run(cli: &Cli) -> Result<i32, CliError> {
             queue: *queue,
             cores: *cores,
             deadline_ms: *deadline_ms,
+            metrics_addr: metrics_addr.clone(),
+            metrics_flush: metrics_flush.clone(),
+            metrics_logical: *metrics_logical,
+            metrics_linger_ms: *metrics_linger_ms,
+        }),
+        Cli::Stats {
+            file,
+            slo_availability,
+            slo_latency_ms,
+            slo_latency_pct,
+        } => stats::stats(&stats::StatsOptions {
+            file: file.clone(),
+            slo_availability: *slo_availability,
+            slo_latency_ms: *slo_latency_ms,
+            slo_latency_pct: *slo_latency_pct,
+        }),
+        Cli::BenchDiff {
+            baseline,
+            current,
+            threshold_pct,
+        } => benchdiff::bench_diff(&benchdiff::BenchDiffOptions {
+            baseline: baseline.clone(),
+            current: current.clone(),
+            threshold_pct: *threshold_pct,
         }),
         Cli::CompileBench {
             targets,
@@ -2642,6 +2828,10 @@ mod tests {
                 queue: 5,
                 cores: 64,
                 deadline_ms: Some(250),
+                metrics_addr: None,
+                metrics_flush: None,
+                metrics_logical: false,
+                metrics_linger_ms: 0,
             }
         );
         // Defaults: stdin requests, no cache, 2 workers, queue 16.
@@ -2655,8 +2845,91 @@ mod tests {
                 queue: 16,
                 cores: 1472,
                 deadline_ms: None,
+                metrics_addr: None,
+                metrics_flush: None,
+                metrics_logical: false,
+                metrics_linger_ms: 0,
             }
         );
+        // Telemetry flags parse on serve and are rejected elsewhere.
+        match Cli::parse(&s(&[
+            "serve",
+            "--metrics-addr",
+            "127.0.0.1:0",
+            "--metrics-flush",
+            "snap.json",
+            "--metrics-clock",
+            "logical",
+            "--metrics-linger-ms",
+            "1500",
+        ]))
+        .unwrap()
+        {
+            Cli::Serve {
+                metrics_addr,
+                metrics_flush,
+                metrics_logical,
+                metrics_linger_ms,
+                ..
+            } => {
+                assert_eq!(metrics_addr.as_deref(), Some("127.0.0.1:0"));
+                assert_eq!(metrics_flush.as_deref(), Some("snap.json"));
+                assert!(metrics_logical);
+                assert_eq!(metrics_linger_ms, 1500);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        assert!(Cli::parse(&s(&["serve", "--metrics-clock", "sundial"])).is_err());
+        assert!(Cli::parse(&s(&["compile", "x", "--metrics-addr", "127.0.0.1:0"])).is_err());
+        assert!(Cli::parse(&s(&["chaos", "--metrics-clock", "wall"])).is_err());
+        // stats / bench-diff subcommands and their flag gating.
+        assert_eq!(
+            Cli::parse(&s(&[
+                "stats",
+                "snap.json",
+                "--slo-availability",
+                "99.9",
+                "--slo-latency-ms",
+                "50",
+                "--slo-latency-pct",
+                "95",
+            ]))
+            .unwrap(),
+            Cli::Stats {
+                file: "snap.json".to_string(),
+                slo_availability: Some(99.9),
+                slo_latency_ms: Some(50),
+                slo_latency_pct: Some(95.0),
+            }
+        );
+        assert_eq!(
+            Cli::parse(&s(&["bench-diff", "base.json", "cur.json"])).unwrap(),
+            Cli::BenchDiff {
+                baseline: "base.json".to_string(),
+                current: "cur.json".to_string(),
+                threshold_pct: 25.0,
+            }
+        );
+        assert_eq!(
+            Cli::parse(&s(&[
+                "bench-diff",
+                "base.json",
+                "cur.json",
+                "--threshold-pct",
+                "5",
+            ]))
+            .unwrap(),
+            Cli::BenchDiff {
+                baseline: "base.json".to_string(),
+                current: "cur.json".to_string(),
+                threshold_pct: 5.0,
+            }
+        );
+        assert!(Cli::parse(&s(&["stats"])).is_err());
+        assert!(Cli::parse(&s(&["bench-diff", "only-one.json"])).is_err());
+        assert!(Cli::parse(&s(&["serve", "--slo-availability", "99"])).is_err());
+        assert!(Cli::parse(&s(&["stats", "snap.json", "--threshold-pct", "5"])).is_err());
+        assert!(Cli::parse(&s(&["compile", "x", "--threshold-pct", "5"])).is_err());
         let c = Cli::parse(&s(&[
             "compilebench",
             "resnet",
@@ -2785,8 +3058,13 @@ mod tests {
             queue: 16,
             cores: 16,
             deadline_ms: Some(60_000),
+            metrics_addr: None,
+            metrics_flush: None,
+            metrics_logical: false,
+            metrics_linger_ms: 0,
         };
-        let responses = serve::serve_requests(&input, &o).unwrap();
+        let responses =
+            serve::serve_requests(&input, &o, &t10_metrics::Registry::disabled()).unwrap();
         assert_eq!(responses.len(), 6);
         // Responses come back in request order, every id answered.
         for (i, r) in responses.iter().enumerate() {
@@ -2850,8 +3128,13 @@ mod tests {
             queue: 1,
             cores: 16,
             deadline_ms: None,
+            metrics_addr: None,
+            metrics_flush: None,
+            metrics_logical: false,
+            metrics_linger_ms: 0,
         };
-        let responses = serve::serve_requests(&input, &o).unwrap();
+        let responses =
+            serve::serve_requests(&input, &o, &t10_metrics::Registry::disabled()).unwrap();
         assert_eq!(responses.len(), 8);
         let (mut ok, mut rejected) = (0usize, 0usize);
         for r in &responses {

@@ -1,0 +1,127 @@
+//! Minimal metrics HTTP endpoint for `t10 serve --metrics-addr`.
+//!
+//! A plain `std::net::TcpListener` loop on a background thread — no HTTP
+//! stack, because the surface is two read-only GET routes:
+//!
+//! * `GET /metrics` — Prometheus text exposition (format 0.0.4);
+//! * `GET /metrics.json` — the `t10.metrics.v1` snapshot document;
+//!
+//! anything else answers 404. Every response snapshots the live registry
+//! at request time, so a scraper polling during a serve batch watches the
+//! histograms fill in. Snapshotting never reads the registry clock, so
+//! scraping cannot perturb logical-clock determinism.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::Duration;
+
+use t10_metrics::{prometheus, Registry};
+
+use crate::CliError;
+
+/// A running exposition endpoint. The acceptor thread is detached; it
+/// lives until the process exits (the serve command's linger window
+/// bounds how long that usefully is).
+pub struct MetricsServer {
+    /// The actually-bound address (resolves `:0` to the chosen port).
+    pub addr: SocketAddr,
+}
+
+/// Binds `addr` and serves the registry on a detached background thread.
+pub fn spawn(addr: &str, registry: Registry) -> Result<MetricsServer, CliError> {
+    let listener = TcpListener::bind(addr)
+        .map_err(|e| CliError::usage(format!("--metrics-addr {addr}: {e}")))?;
+    let bound = listener
+        .local_addr()
+        .map_err(|e| CliError::internal(format!("metrics listener address: {e}")))?;
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { continue };
+            // One request per connection, serially: scrape traffic is one
+            // client every few seconds, and a serial loop cannot be wedged
+            // open by a half-closed socket holding a worker.
+            let _ = answer(stream, &registry);
+        }
+    });
+    Ok(MetricsServer { addr: bound })
+}
+
+fn answer(mut stream: TcpStream, registry: &Registry) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_millis(500)))?;
+    let mut buf = [0u8; 1024];
+    let n = stream.read(&mut buf)?;
+    let request = String::from_utf8_lossy(buf.get(..n).unwrap_or(&[]));
+    let path = request
+        .lines()
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .unwrap_or("/");
+    let (status, content_type, body) = match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            prometheus::render(&registry.snapshot()),
+        ),
+        "/metrics.json" => ("200 OK", "application/json", registry.snapshot().to_json()),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found; routes: /metrics, /metrics.json\n".to_string(),
+        ),
+    };
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t10_metrics::names;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_both_formats_and_404() {
+        let registry = Registry::logical();
+        registry
+            .counter(names::SERVE_ADMISSION_TOTAL, &[("outcome", "accepted")])
+            .add(3);
+        registry.histogram(names::SERVE_E2E_US, &[]).observe(900);
+        let server = spawn("127.0.0.1:0", registry.clone()).unwrap();
+
+        let text = get(server.addr, "/metrics");
+        assert!(text.starts_with("HTTP/1.1 200 OK"), "{text}");
+        assert!(text.contains("# TYPE t10_serve_admission_total counter"));
+        assert!(text.contains("t10_serve_admission_total{outcome=\"accepted\"} 3"));
+
+        let json = get(server.addr, "/metrics.json");
+        assert!(json.contains("application/json"));
+        let body = json.split("\r\n\r\n").nth(1).unwrap();
+        let snap = t10_metrics::Snapshot::parse(body).unwrap();
+        assert_eq!(snap.counter_sum(names::SERVE_ADMISSION_TOTAL), 3);
+        assert_eq!(snap.histogram_merged(names::SERVE_E2E_US).count, 1);
+
+        // A scrape between observations sees the live state move.
+        registry.histogram(names::SERVE_E2E_US, &[]).observe(1);
+        let json2 = get(server.addr, "/metrics.json");
+        assert!(json2.contains("\"count\": 2"));
+
+        let missing = get(server.addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+    }
+}

@@ -33,11 +33,16 @@ use t10_core::cache::fnv64;
 use t10_core::search::SearchConfig;
 use t10_core::{CompileOptions, Compiler, PlanCache};
 use t10_device::ChipSpec;
+use t10_metrics::{names, Registry};
 use t10_sim::FaultPlan;
 use t10_store::DiskPlanCache;
 use t10_trace::Trace;
 
 use crate::{compile_exit_code, resolve_model, CliError};
+
+/// How often the background flusher rewrites `--metrics-flush` while the
+/// batch is running (a final snapshot always lands at completion).
+const METRICS_FLUSH_PERIOD: Duration = Duration::from_millis(500);
 
 /// Ceiling for the backoff hint's exponential component, in milliseconds.
 const RETRY_CAP_MS: u64 = 3_200;
@@ -61,6 +66,24 @@ pub struct ServeOptions {
     pub cores: usize,
     /// Default per-request compile deadline.
     pub deadline_ms: Option<u64>,
+    /// Metrics exposition address (`host:port`); `None` = no endpoint.
+    /// Serves Prometheus text at `/metrics` and the `t10.metrics.v1` JSON
+    /// snapshot at `/metrics.json`, live while the batch runs.
+    pub metrics_addr: Option<String>,
+    /// Snapshot file path: rewritten every [`METRICS_FLUSH_PERIOD`] while
+    /// running and once more at completion.
+    pub metrics_flush: Option<String>,
+    /// Run the registry on the deterministic logical clock. The service
+    /// then processes the batch **single-threaded** in a fixed
+    /// admit-all-then-drain order, so every duration is a tick delta and
+    /// same-input runs produce byte-identical snapshots (admission
+    /// rejections and degraded mode still exercise: the whole batch is
+    /// admitted before any request compiles).
+    pub metrics_logical: bool,
+    /// Keep the `--metrics-addr` endpoint alive this many milliseconds
+    /// after the responses are written, so a scraper can collect the
+    /// final state of a short batch.
+    pub metrics_linger_ms: u64,
 }
 
 /// One parsed request line.
@@ -101,6 +124,10 @@ pub enum Response {
         recorded: usize,
         /// Whether the request was admitted in degraded (fast-search) mode.
         degraded: bool,
+        /// Time spent waiting in the admission queue, milliseconds
+        /// (registry-clock: wall by default, tick deltas under
+        /// `--metrics-clock logical`).
+        queue_wait_ms: f64,
     },
     /// Admission control turned the request away: the queue was full.
     Rejected {
@@ -117,6 +144,11 @@ pub enum Response {
         code: i32,
         /// Human-readable failure description.
         message: String,
+        /// Queue wait before the failing compile, milliseconds (0 for
+        /// requests that never queued, e.g. parse errors).
+        queue_wait_ms: f64,
+        /// Whether the request had been admitted in degraded mode.
+        degraded: bool,
     },
 }
 
@@ -143,12 +175,14 @@ impl Response {
                 disk_hits,
                 recorded,
                 degraded,
+                queue_wait_ms,
             } => {
                 out.push_str(&format!("{{\"id\":{id},\"status\":\"ok\",\"model\":\""));
                 t10_trace::json::escape_into(&mut out, model);
                 out.push_str(&format!(
                     "\",\"operators\":{operators},\"estimated_us\":{estimated_us:.3},\
-                     \"compile_ms\":{compile_ms:.3},\"cache\":{{\"disk_hits\":{disk_hits},\
+                     \"compile_ms\":{compile_ms:.3},\"queue_wait_ms\":{queue_wait_ms:.3},\
+                     \"cache\":{{\"disk_hits\":{disk_hits},\
                      \"recorded\":{recorded}}},\"degraded\":{degraded}}}"
                 ));
             }
@@ -158,12 +192,20 @@ impl Response {
                      \"retry_after_ms\":{retry_after_ms}}}"
                 ));
             }
-            Response::Error { id, code, message } => {
+            Response::Error {
+                id,
+                code,
+                message,
+                queue_wait_ms,
+                degraded,
+            } => {
                 out.push_str(&format!(
                     "{{\"id\":{id},\"status\":\"error\",\"code\":{code},\"message\":\""
                 ));
                 t10_trace::json::escape_into(&mut out, message);
-                out.push_str("\"}");
+                out.push_str(&format!(
+                    "\",\"queue_wait_ms\":{queue_wait_ms:.3},\"degraded\":{degraded}}}"
+                ));
             }
         }
         out
@@ -248,10 +290,13 @@ impl CompilerPool {
     }
 }
 
-/// One admitted job: the request plus its admission-time degradation flag.
+/// One admitted job: the request, its admission-time degradation flag, and
+/// its arrival timestamp in registry-clock microseconds (for queue-wait and
+/// end-to-end latency histograms).
 struct Job {
     req: Request,
     degraded: bool,
+    arrival_us: u64,
 }
 
 /// The bounded admission queue: jobs + a closed flag under one lock, and a
@@ -271,8 +316,14 @@ impl JobQueue {
 
     /// Tries to admit a job; `Err(len)` when the queue is at capacity.
     /// On success reports whether the service is under pressure (≥ 3/4
-    /// full after the push) — the admission-time degradation signal.
-    fn try_push(&self, req: Request, capacity: usize) -> Result<bool, usize> {
+    /// full after the push) — the admission-time degradation signal — and
+    /// the queue depth after the push (for the depth gauges).
+    fn try_push(
+        &self,
+        req: Request,
+        capacity: usize,
+        arrival_us: u64,
+    ) -> Result<(bool, usize), usize> {
         let Ok(mut st) = self.state.lock() else {
             return Err(capacity);
         };
@@ -280,9 +331,13 @@ impl JobQueue {
             return Err(st.0.len());
         }
         let degraded = 4 * (st.0.len() + 1) >= 3 * capacity && capacity > 1;
-        st.0.push_back(Job { req, degraded });
+        st.0.push_back(Job {
+            req,
+            degraded,
+            arrival_us,
+        });
         self.ready.notify_one();
-        Ok(degraded)
+        Ok((degraded, st.0.len()))
     }
 
     fn close(&self) {
@@ -292,11 +347,13 @@ impl JobQueue {
         self.ready.notify_all();
     }
 
-    fn pop(&self) -> Option<Job> {
+    /// Waits for a job; returns it with the queue depth left behind.
+    fn pop(&self) -> Option<(Job, usize)> {
         let mut st = self.state.lock().ok()?;
         loop {
             if let Some(job) = st.0.pop_front() {
-                return Some(job);
+                let remaining = st.0.len();
+                return Some((job, remaining));
             }
             if st.1 {
                 return None;
@@ -313,12 +370,16 @@ fn handle(
     o: &ServeOptions,
     pool: &CompilerPool,
     store: Option<&Arc<DiskPlanCache>>,
+    metrics: &Registry,
+    queue_wait_ms: f64,
 ) -> Response {
     let id = job.req.id;
     let fail = |e: CliError| Response::Error {
         id,
         code: e.code,
         message: e.message,
+        queue_wait_ms,
+        degraded: job.degraded,
     };
     let graph = match resolve_model(&job.req.target, job.req.batch) {
         Ok(g) => g,
@@ -349,6 +410,7 @@ fn handle(
         prove: false,
         cache: store.map(|s| s.clone() as Arc<dyn PlanCache>),
         op_parallelism: o.jobs,
+        metrics: metrics.clone(),
     };
     match compiler.compile_graph_with(&graph, &opts) {
         Ok(compiled) => Response::Ok {
@@ -360,22 +422,113 @@ fn handle(
             disk_hits: compiled.cache_stats.disk_hits,
             recorded: compiled.cache_stats.recorded,
             degraded: job.degraded,
+            queue_wait_ms,
         },
         Err(e) => Response::Error {
             id,
             code: compile_exit_code(&e),
             message: e.to_string(),
+            queue_wait_ms,
+            degraded: job.degraded,
         },
     }
 }
 
+/// Per-session gauge handles plus the registry, shared by admission and
+/// the drain path.
+struct ServeMetrics {
+    registry: Registry,
+    depth: t10_metrics::Gauge,
+    peak: t10_metrics::Gauge,
+    occupancy: t10_metrics::Gauge,
+    capacity: usize,
+}
+
+impl ServeMetrics {
+    fn new(registry: &Registry, capacity: usize) -> Self {
+        Self {
+            registry: registry.clone(),
+            depth: registry.gauge(names::SERVE_QUEUE_DEPTH, &[]),
+            peak: registry.gauge(names::SERVE_QUEUE_DEPTH_PEAK, &[]),
+            occupancy: registry.gauge(names::SERVE_QUEUE_OCCUPANCY_PCT, &[]),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Publishes a queue-depth observation to all three gauges.
+    fn queue_level(&self, len: usize) {
+        self.depth.set(len as i64);
+        self.peak.set_max(len as i64);
+        self.occupancy.set((100 * len / self.capacity) as i64);
+    }
+
+    fn admission(&self, outcome: &str) {
+        self.registry
+            .counter(names::SERVE_ADMISSION_TOTAL, &[("outcome", outcome)])
+            .inc();
+    }
+
+    fn response(&self, resp: &Response) {
+        let status = match resp {
+            Response::Ok { .. } => "ok",
+            Response::Rejected { .. } => "rejected",
+            Response::Error { .. } => "error",
+        };
+        self.registry
+            .counter(names::SERVE_RESPONSES_TOTAL, &[("status", status)])
+            .inc();
+    }
+}
+
+/// Dequeues, times, and compiles one job: queue-wait, per-tier compile,
+/// and end-to-end histograms all land here, on the registry clock —
+/// wall microseconds normally, deterministic tick deltas under the
+/// logical clock (where this runs single-threaded in a fixed order).
+fn process_job(
+    job: &Job,
+    remaining: usize,
+    o: &ServeOptions,
+    pool: &CompilerPool,
+    store: Option<&Arc<DiskPlanCache>>,
+    m: &ServeMetrics,
+) -> Response {
+    m.queue_level(remaining);
+    let reg = &m.registry;
+    let tier = if job.degraded { "fast" } else { "full" };
+    let dequeued_us = reg.now_us();
+    let wait_us = dequeued_us.saturating_sub(job.arrival_us);
+    reg.histogram(names::SERVE_QUEUE_WAIT_US, &[("tier", tier)])
+        .observe(wait_us);
+    let resp = handle(job, o, pool, store, reg, wait_us as f64 / 1e3);
+    let done_us = reg.now_us();
+    reg.histogram(names::SERVE_COMPILE_US, &[("tier", tier)])
+        .observe(done_us.saturating_sub(dequeued_us));
+    reg.histogram(names::SERVE_E2E_US, &[])
+        .observe(done_us.saturating_sub(job.arrival_us));
+    m.response(&resp);
+    resp
+}
+
 /// Runs the service over `input` (the request lines), returning every
 /// response in request order. Library entry point so tests can drive the
-/// whole pipeline — admission, workers, degradation — without a process.
-pub fn serve_requests(input: &str, o: &ServeOptions) -> Result<Vec<Response>, CliError> {
+/// whole pipeline — admission, workers, degradation, metrics — without a
+/// process. Pass [`Registry::disabled`] when telemetry is not wanted.
+///
+/// With a **logical-clock** registry the batch runs single-threaded in a
+/// fixed order: the whole input is admitted first (so a full queue still
+/// rejects and a ≥ 3/4-full queue still degrades), then drained in
+/// admission order. Every clock read is then a deterministic tick, so
+/// same-input runs produce byte-identical snapshots.
+pub fn serve_requests(
+    input: &str,
+    o: &ServeOptions,
+    metrics: &Registry,
+) -> Result<Vec<Response>, CliError> {
     let store = match &o.cache {
         Some(dir) => Some(Arc::new(
-            DiskPlanCache::open(dir).map_err(|e| CliError::file_io_msg(e.to_string()))?,
+            DiskPlanCache::open(dir)
+                .map_err(|e| CliError::file_io_msg(e.to_string()))?
+                .with_metrics(metrics.clone()),
         )),
         None => None,
     };
@@ -392,53 +545,87 @@ pub fn serve_requests(input: &str, o: &ServeOptions) -> Result<Vec<Response>, Cl
     let pool = CompilerPool::new();
     let workers = o.workers.max(1);
     let capacity = o.queue.max(1);
+    let m = ServeMetrics::new(metrics, capacity);
+    let deterministic = metrics.enabled() && !metrics.is_wall();
 
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
-                while let Some(job) = queue.pop() {
-                    let resp = handle(&job, o, &pool, store.as_ref());
-                    if let Ok(mut slot) = slots[resp.id()].lock() {
-                        *slot = Some(resp);
+    // Admission: parse failures answer immediately; full queue rejects
+    // with a backoff hint that doubles (capped) while the queue stays
+    // full and resets on the first successful admission.
+    let admit_all = |consecutive_rejections: &mut u32| {
+        for (id, parsed) in requests.iter().enumerate() {
+            let resp = match parsed {
+                Err(msg) => {
+                    m.admission("parse-error");
+                    Some(Response::Error {
+                        id,
+                        code: 2,
+                        message: msg.clone(),
+                        queue_wait_ms: 0.0,
+                        degraded: false,
+                    })
+                }
+                Ok(req) => {
+                    let arrival_us = metrics.now_us();
+                    match queue.try_push(req.clone(), capacity, arrival_us) {
+                        Ok((degraded, len)) => {
+                            m.queue_level(len);
+                            m.admission(if degraded {
+                                "accepted-degraded"
+                            } else {
+                                "accepted"
+                            });
+                            *consecutive_rejections = 0;
+                            None
+                        }
+                        Err(_len) => {
+                            m.admission("rejected-queue-full");
+                            let hint = retry_after_ms(*consecutive_rejections, id as u64);
+                            *consecutive_rejections = consecutive_rejections.saturating_add(1);
+                            Some(Response::Rejected {
+                                id,
+                                retry_after_ms: hint,
+                            })
+                        }
                     }
                 }
-            });
-        }
-
-        // Admission: parse failures answer immediately; full queue rejects
-        // with a backoff hint that doubles (capped) while the queue stays
-        // full and resets on the first successful admission.
-        let mut consecutive_rejections: u32 = 0;
-        for (id, parsed) in requests.into_iter().enumerate() {
-            let resp = match parsed {
-                Err(msg) => Some(Response::Error {
-                    id,
-                    code: 2,
-                    message: msg,
-                }),
-                Ok(req) => match queue.try_push(req, capacity) {
-                    Ok(_degraded) => {
-                        consecutive_rejections = 0;
-                        None
-                    }
-                    Err(_len) => {
-                        let hint = retry_after_ms(consecutive_rejections, id as u64);
-                        consecutive_rejections = consecutive_rejections.saturating_add(1);
-                        Some(Response::Rejected {
-                            id,
-                            retry_after_ms: hint,
-                        })
-                    }
-                },
             };
             if let Some(resp) = resp {
+                m.response(&resp);
                 if let Ok(mut slot) = slots[id].lock() {
                     *slot = Some(resp);
                 }
             }
         }
         queue.close();
-    });
+    };
+
+    if deterministic {
+        // Logical clock: admit the full burst, then drain in-line. One
+        // thread, fixed clock-read order, byte-identical snapshots.
+        let mut consecutive = 0u32;
+        admit_all(&mut consecutive);
+        while let Some((job, remaining)) = queue.pop() {
+            let resp = process_job(&job, remaining, o, &pool, store.as_ref(), &m);
+            if let Ok(mut slot) = slots[resp.id()].lock() {
+                *slot = Some(resp);
+            }
+        }
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    while let Some((job, remaining)) = queue.pop() {
+                        let resp = process_job(&job, remaining, o, &pool, store.as_ref(), &m);
+                        if let Ok(mut slot) = slots[resp.id()].lock() {
+                            *slot = Some(resp);
+                        }
+                    }
+                });
+            }
+            let mut consecutive = 0u32;
+            admit_all(&mut consecutive);
+        });
+    }
 
     let mut responses = Vec::with_capacity(n);
     for (id, slot) in slots.into_iter().enumerate() {
@@ -450,6 +637,8 @@ pub fn serve_requests(input: &str, o: &ServeOptions) -> Result<Vec<Response>, Cl
                 id,
                 code: 1,
                 message: "internal: request produced no response".to_string(),
+                queue_wait_ms: 0.0,
+                degraded: false,
             });
         responses.push(resp);
     }
@@ -459,7 +648,44 @@ pub fn serve_requests(input: &str, o: &ServeOptions) -> Result<Vec<Response>, Cl
 /// The `t10 serve` command: run the service, print one JSON line per
 /// response plus a summary, and exit 0 only if every request compiled
 /// (13 otherwise, so scripts can tell a degraded batch from a clean one).
+///
+/// The metric registry is always on — wall clock by default, logical
+/// under `--metrics-clock logical` — and exposed three ways: live HTTP
+/// (`--metrics-addr`, `/metrics` + `/metrics.json`), periodic + final
+/// file snapshots (`--metrics-flush`), and the `t10 stats` summarizer
+/// over either snapshot source.
 pub fn serve(o: &ServeOptions) -> Result<i32, CliError> {
+    let metrics = if o.metrics_logical {
+        Registry::logical()
+    } else {
+        Registry::wall()
+    };
+    let endpoint = match &o.metrics_addr {
+        Some(addr) => {
+            let server = crate::metrics_http::spawn(addr, metrics.clone())?;
+            eprintln!(
+                "serve: metrics on http://{}/metrics (and /metrics.json)",
+                server.addr
+            );
+            Some(server)
+        }
+        None => None,
+    };
+    // Background flusher: rewrite the snapshot file periodically while the
+    // batch runs so an operator can watch a long batch fill in; stopped
+    // (and joined) before the authoritative final write below.
+    let flush_stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let flusher = o.metrics_flush.clone().map(|path| {
+        let registry = metrics.clone();
+        let stop = flush_stop.clone();
+        std::thread::spawn(move || {
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let _ = std::fs::write(&path, registry.snapshot().to_json());
+                std::thread::sleep(METRICS_FLUSH_PERIOD);
+            }
+        })
+    });
+
     let input = match o.requests.as_deref() {
         Some("-") | None => {
             let mut buf = String::new();
@@ -469,7 +695,18 @@ pub fn serve(o: &ServeOptions) -> Result<i32, CliError> {
         }
         Some(path) => crate::read_file(path)?,
     };
-    let responses = serve_requests(&input, o)?;
+    let served = serve_requests(&input, o, &metrics);
+
+    flush_stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    if let Some(h) = flusher {
+        let _ = h.join();
+    }
+    if let Some(path) = &o.metrics_flush {
+        crate::write_file(path, &metrics.snapshot().to_json())?;
+        eprintln!("serve: metrics snapshot -> {path}");
+    }
+
+    let responses = served?;
     let (mut ok, mut rejected, mut failed, mut degraded) = (0usize, 0usize, 0usize, 0usize);
     for r in &responses {
         println!("{}", r.to_json());
@@ -489,6 +726,13 @@ pub fn serve(o: &ServeOptions) -> Result<i32, CliError> {
         "serve: {} request(s): {ok} ok ({degraded} degraded), {rejected} rejected, {failed} failed",
         responses.len(),
     );
+    if endpoint.is_some() && o.metrics_linger_ms > 0 {
+        eprintln!(
+            "serve: metrics endpoint lingering {} ms for final scrapes",
+            o.metrics_linger_ms
+        );
+        std::thread::sleep(Duration::from_millis(o.metrics_linger_ms));
+    }
     Ok(if rejected + failed > 0 { 13 } else { 0 })
 }
 
@@ -728,10 +972,13 @@ mod tests {
             disk_hits: 1,
             recorded: 0,
             degraded: false,
+            queue_wait_ms: 1.75,
         };
         let line = ok.to_json();
         let v = t10_trace::json::parse(&line).unwrap();
         assert_eq!(v.get("status").and_then(|s| s.as_str()), Some("ok"));
+        assert_eq!(v.get("queue_wait_ms").and_then(|q| q.as_f64()), Some(1.75));
+        assert_eq!(v.get("degraded").and_then(|d| d.as_bool()), Some(false));
         assert_eq!(
             v.get("cache")
                 .and_then(|c| c.get("disk_hits"))
@@ -748,9 +995,13 @@ mod tests {
             id: 9,
             code: 5,
             message: "deadline \"exceeded\"".to_string(),
+            queue_wait_ms: 0.5,
+            degraded: true,
         };
         let v = t10_trace::json::parse(&err.to_json()).unwrap();
         assert_eq!(v.get("code").and_then(|c| c.as_f64()), Some(5.0));
+        assert_eq!(v.get("queue_wait_ms").and_then(|q| q.as_f64()), Some(0.5));
+        assert_eq!(v.get("degraded").and_then(|d| d.as_bool()), Some(true));
     }
 
     #[test]
@@ -765,15 +1016,22 @@ mod tests {
             deadline_ms: None,
         };
         // Capacity 4: admissions 1 and 2 are healthy, 3 and 4 are under
-        // pressure (≥ 3/4 full), 5 is rejected.
-        assert_eq!(q.try_push(req(0), 4), Ok(false));
-        assert_eq!(q.try_push(req(1), 4), Ok(false));
-        assert_eq!(q.try_push(req(2), 4), Ok(true));
-        assert_eq!(q.try_push(req(3), 4), Ok(true));
-        assert_eq!(q.try_push(req(4), 4), Err(4));
+        // pressure (≥ 3/4 full), 5 is rejected. The second slot reports the
+        // post-push depth for the gauges.
+        assert_eq!(q.try_push(req(0), 4, 0), Ok((false, 1)));
+        assert_eq!(q.try_push(req(1), 4, 1), Ok((false, 2)));
+        assert_eq!(q.try_push(req(2), 4, 2), Ok((true, 3)));
+        assert_eq!(q.try_push(req(3), 4, 3), Ok((true, 4)));
+        assert_eq!(q.try_push(req(4), 4, 4), Err(4));
+        // Jobs pop in admission order with their arrival stamps intact.
+        let (job, remaining) = q.pop().unwrap();
+        assert_eq!(job.req.id, 0);
+        assert_eq!(job.arrival_us, 0);
+        assert!(!job.degraded);
+        assert_eq!(remaining, 3);
         // A single-slot queue never degrades (it rejects instead).
         let q1 = JobQueue::new();
-        assert_eq!(q1.try_push(req(0), 1), Ok(false));
-        assert_eq!(q1.try_push(req(1), 1), Err(1));
+        assert_eq!(q1.try_push(req(0), 1, 0), Ok((false, 1)));
+        assert_eq!(q1.try_push(req(1), 1, 1), Err(1));
     }
 }

@@ -1,0 +1,233 @@
+//! `t10 stats` — summarize a `t10.metrics.v1` snapshot as an SLO table.
+//!
+//! Reads a snapshot written by `t10 serve --metrics-flush` (or scraped
+//! from `/metrics.json`), renders the latency histograms (count, mean,
+//! exact p50/p90/p99 under the log2 bucketing), and evaluates the SLO
+//! suite: availability (non-rejected fraction of admission decisions) and
+//! latency objectives, each with its error-budget burn rate. Exit 0 when
+//! every objective is met, 1 otherwise — so a smoke-test script can gate
+//! on the service's health directly.
+
+use t10_bench::Table;
+use t10_metrics::slo::{self, LatencyObjective};
+use t10_metrics::{names, SloConfig, Snapshot};
+
+use crate::CliError;
+
+/// `t10 stats` options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsOptions {
+    /// Snapshot file path.
+    pub file: String,
+    /// Availability objective override, percent (default 99).
+    pub slo_availability: Option<f64>,
+    /// End-to-end latency threshold override, milliseconds.
+    pub slo_latency_ms: Option<u64>,
+    /// Latency objective override, percent of requests within the
+    /// threshold (default 99).
+    pub slo_latency_pct: Option<f64>,
+}
+
+fn fmt_us(us: u64) -> String {
+    if us == u64::MAX {
+        "+Inf".to_string()
+    } else if us >= 1_000_000 {
+        format!("{:.2} s", us as f64 / 1e6)
+    } else if us >= 1_000 {
+        format!("{:.2} ms", us as f64 / 1e3)
+    } else {
+        format!("{us} us")
+    }
+}
+
+fn fmt_quantile(q: Option<u64>) -> String {
+    q.map_or_else(|| "-".to_string(), fmt_us)
+}
+
+/// Builds the SLO suite from the CLI overrides.
+pub fn slo_config(o: &StatsOptions) -> SloConfig {
+    let mut config = SloConfig::default();
+    if let Some(pct) = o.slo_availability {
+        config.availability_objective = (pct / 100.0).clamp(0.0, 1.0);
+    }
+    let objective_pct = o.slo_latency_pct.unwrap_or(99.0);
+    if let Some(ms) = o.slo_latency_ms {
+        config.latency = vec![LatencyObjective {
+            histogram: names::SERVE_E2E_US.to_string(),
+            threshold_us: ms.saturating_mul(1_000),
+            objective: (objective_pct / 100.0).clamp(0.0, 1.0),
+        }];
+    } else if o.slo_latency_pct.is_some() {
+        for obj in &mut config.latency {
+            obj.objective = (objective_pct / 100.0).clamp(0.0, 1.0);
+        }
+    }
+    config
+}
+
+/// The `t10 stats` command.
+pub fn stats(o: &StatsOptions) -> Result<i32, CliError> {
+    let src = crate::read_file(&o.file)?;
+    let snap = Snapshot::parse(&src)
+        .map_err(|e| CliError::from(format!("{}: not a t10.metrics.v1 snapshot: {e}", o.file)))?;
+
+    println!("metrics snapshot: {} (clock: {})", o.file, snap.clock);
+    let admissions = snap.counter_sum(names::SERVE_ADMISSION_TOTAL);
+    if admissions > 0 {
+        let degraded = snap
+            .counter(
+                names::SERVE_ADMISSION_TOTAL,
+                &[("outcome", "accepted-degraded")],
+            )
+            .unwrap_or(0);
+        let rejected = snap
+            .counter(
+                names::SERVE_ADMISSION_TOTAL,
+                &[("outcome", "rejected-queue-full")],
+            )
+            .unwrap_or(0);
+        println!(
+            "admissions: {admissions} ({degraded} degraded, {rejected} rejected); \
+             peak queue depth {}",
+            snap.gauge(names::SERVE_QUEUE_DEPTH_PEAK, &[]).unwrap_or(0)
+        );
+    }
+
+    // Histograms: one row per (name, label-set) series, then the SLO table.
+    if !snap.histograms.is_empty() {
+        let mut t = Table::new(vec!["histogram", "count", "mean", "p50", "p90", "p99"]);
+        for (key, h) in &snap.histograms {
+            t.row(vec![
+                key.render(),
+                h.count.to_string(),
+                if h.count == 0 {
+                    "-".to_string()
+                } else {
+                    fmt_us(h.mean() as u64)
+                },
+                fmt_quantile(h.p50()),
+                fmt_quantile(h.p90()),
+                fmt_quantile(h.p99()),
+            ]);
+        }
+        t.print();
+    }
+
+    let report = slo::evaluate(&snap, &slo_config(o));
+    let mut t = Table::new(vec![
+        "objective",
+        "target",
+        "attained",
+        "events",
+        "bad",
+        "burn rate",
+        "status",
+    ]);
+    for row in &report.rows {
+        t.row(vec![
+            row.name.clone(),
+            format!("{:.2}%", row.objective * 100.0),
+            row.attained
+                .map_or_else(|| "-".to_string(), |a| format!("{:.2}%", a * 100.0)),
+            row.events.to_string(),
+            row.bad.to_string(),
+            row.burn_rate
+                .map_or_else(|| "-".to_string(), |b| format!("{b:.2}x")),
+            if row.met { "met" } else { "MISSED" }.to_string(),
+        ]);
+    }
+    t.print();
+
+    if report.all_met() {
+        println!("slo: all objectives met");
+        Ok(0)
+    } else {
+        println!("slo: objectives missed");
+        Ok(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t10_metrics::Registry;
+
+    fn write_snapshot(tag: &str, build: impl Fn(&Registry)) -> String {
+        let r = Registry::logical();
+        build(&r);
+        let path =
+            std::env::temp_dir().join(format!("t10-stats-{tag}-{}.json", std::process::id()));
+        std::fs::write(&path, r.snapshot().to_json()).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    fn opts(file: String) -> StatsOptions {
+        StatsOptions {
+            file,
+            slo_availability: None,
+            slo_latency_ms: None,
+            slo_latency_pct: None,
+        }
+    }
+
+    #[test]
+    fn healthy_snapshot_exits_zero() {
+        let file = write_snapshot("healthy", |r| {
+            r.counter(names::SERVE_ADMISSION_TOTAL, &[("outcome", "accepted")])
+                .add(100);
+            let h = r.histogram(names::SERVE_E2E_US, &[]);
+            for _ in 0..100 {
+                h.observe(800);
+            }
+        });
+        assert_eq!(stats(&opts(file)).unwrap(), 0);
+    }
+
+    #[test]
+    fn missed_availability_exits_one() {
+        let file = write_snapshot("missed", |r| {
+            r.counter(names::SERVE_ADMISSION_TOTAL, &[("outcome", "accepted")])
+                .add(90);
+            r.counter(
+                names::SERVE_ADMISSION_TOTAL,
+                &[("outcome", "rejected-queue-full")],
+            )
+            .add(10);
+        });
+        assert_eq!(stats(&opts(file)).unwrap(), 1);
+    }
+
+    #[test]
+    fn slo_overrides_change_the_verdict() {
+        let file = write_snapshot("override", |r| {
+            r.counter(names::SERVE_ADMISSION_TOTAL, &[("outcome", "accepted")])
+                .add(9);
+            r.counter(
+                names::SERVE_ADMISSION_TOTAL,
+                &[("outcome", "rejected-queue-full")],
+            )
+            .add(1);
+            let h = r.histogram(names::SERVE_E2E_US, &[]);
+            for _ in 0..9 {
+                h.observe(5_000); // 5ms
+            }
+        });
+        // 90% availability misses the default 99% objective...
+        assert_eq!(stats(&opts(file.clone())).unwrap(), 1);
+        // ...but meets a relaxed 85% one with a 10ms latency threshold.
+        let mut o = opts(file);
+        o.slo_availability = Some(85.0);
+        o.slo_latency_ms = Some(10);
+        o.slo_latency_pct = Some(90.0);
+        assert_eq!(stats(&o).unwrap(), 0);
+    }
+
+    #[test]
+    fn rejects_non_snapshot_files() {
+        let path =
+            std::env::temp_dir().join(format!("t10-stats-garbage-{}.json", std::process::id()));
+        std::fs::write(&path, "{\"schema\": \"t10.bench.compile.v1\"}").unwrap();
+        let err = stats(&opts(path.to_string_lossy().into_owned())).unwrap_err();
+        assert!(err.message.contains("not a t10.metrics.v1 snapshot"));
+    }
+}

@@ -15,6 +15,7 @@ use serde::{Deserialize, Serialize};
 use t10_device::program::Program;
 use t10_device::ChipSpec;
 use t10_ir::{Graph, NodeId, Operator, ValueKind};
+use t10_metrics::{names as metric_names, Registry};
 use t10_sim::{FaultPlan, RunReport};
 use t10_trace::{Trace, Value, CHIP_TID, PID_COMPILER, PID_SIM, PID_STORE};
 
@@ -80,6 +81,14 @@ pub struct CompileOptions {
     /// fixed node order, trace events are emitted after the join, and the
     /// first error in node order wins.
     pub op_parallelism: usize,
+    /// Service metric registry. Operator-resolution counters
+    /// (`t10_compiler_ops_total` by `source=warm|memo|disk|searched`) are
+    /// recorded under any clock; per-operator search latency and
+    /// parallel-utilization series are **wall-gated**
+    /// ([`t10_metrics::Registry::is_wall`]) because workers measure with
+    /// `Instant` off the registry clock — logical-clock snapshots stay
+    /// byte-identical, exactly like the trace guarantee above.
+    pub metrics: Registry,
 }
 
 impl std::fmt::Debug for CompileOptions {
@@ -94,6 +103,7 @@ impl std::fmt::Debug for CompileOptions {
             .field("prove", &self.prove)
             .field("cache", &self.cache.as_ref().map(|_| "dyn PlanCache"))
             .field("op_parallelism", &self.op_parallelism)
+            .field("metrics", &self.metrics)
             .finish()
     }
 }
@@ -441,14 +451,20 @@ impl Compiler {
             .filter(|(_, u)| u.result.is_none())
             .map(|(i, _)| i)
             .collect();
-        type SearchSlot = Mutex<Option<Result<(ParetoSet, SearchStats)>>>;
+        type SearchSlot = Mutex<Option<(Result<(ParetoSet, SearchStats)>, Duration)>>;
         let workers = opts.op_parallelism.max(1).min(pending.len().max(1));
+        if !pending.is_empty() {
+            opts.metrics
+                .gauge(metric_names::COMPILER_SEARCH_JOBS, &[])
+                .set(workers as i64);
+        }
         if workers > 1 {
             let next = AtomicUsize::new(0);
             let slots: Vec<SearchSlot> = pending.iter().map(|_| Mutex::new(None)).collect();
             let (uniques_ref, pending_ref, slots_ref, next_ref, cfg_ref) =
                 (&uniques, &pending, &slots, &next, &base_cfg);
             let mut worker_panic: Option<String> = None;
+            let fanout_t0 = Instant::now();
             std::thread::scope(|scope| {
                 let mut handles = Vec::new();
                 for _ in 0..workers {
@@ -456,9 +472,14 @@ impl Compiler {
                         let j = next_ref.fetch_add(1, Ordering::Relaxed);
                         let Some(&u) = pending_ref.get(j) else { break };
                         let us = &uniques_ref[u];
+                        // Workers time their own search with `Instant`, never
+                        // the registry clock; the main thread observes the
+                        // durations after the join (wall-gated).
+                        let st = Instant::now();
                         let r = self.search_with_fallback(us.op, &us.dtypes, us.out_dtype, cfg_ref);
+                        let took = st.elapsed();
                         if let Ok(mut slot) = slots_ref[j].lock() {
-                            *slot = Some(r);
+                            *slot = Some((r, took));
                         }
                     }));
                 }
@@ -475,22 +496,46 @@ impl Compiler {
                     }
                 }
             });
+            let fanout_wall = fanout_t0.elapsed();
             if let Some(detail) = worker_panic {
                 return Err(CompileError::worker_panicked(detail));
             }
+            let search_us = opts.metrics.is_wall().then(|| {
+                opts.metrics
+                    .histogram(metric_names::COMPILER_OP_SEARCH_US, &[("mode", "parallel")])
+            });
+            let mut busy = Duration::ZERO;
             for (j, &u) in pending.iter().enumerate() {
-                let r = slots[j]
+                let (r, took) = slots[j]
                     .lock()
                     .map_err(|_| CompileError::internal("search result slot poisoned"))?
                     .take()
                     .ok_or_else(|| CompileError::internal("operator search returned no result"))?;
+                busy += took;
+                if let Some(h) = &search_us {
+                    h.observe(took.as_micros() as u64);
+                }
                 uniques[u].result = Some(r?);
             }
+            if opts.metrics.is_wall() && !fanout_wall.is_zero() {
+                let pct = 100.0 * busy.as_secs_f64() / (workers as f64 * fanout_wall.as_secs_f64());
+                opts.metrics
+                    .gauge(metric_names::COMPILER_PARALLEL_UTILIZATION_PCT, &[])
+                    .set(pct.clamp(0.0, 100.0) as i64);
+            }
         } else {
+            let search_us = opts.metrics.is_wall().then(|| {
+                opts.metrics
+                    .histogram(metric_names::COMPILER_OP_SEARCH_US, &[("mode", "seq")])
+            });
             for &u in &pending {
                 let (op, out_dtype) = (uniques[u].op, uniques[u].out_dtype);
                 let dtypes = uniques[u].dtypes.clone();
+                let st = Instant::now();
                 let r = self.search_with_fallback(op, &dtypes, out_dtype, &base_cfg)?;
+                if let Some(h) = &search_us {
+                    h.observe(st.elapsed().as_micros() as u64);
+                }
                 uniques[u].result = Some(r);
             }
         }
@@ -539,9 +584,16 @@ impl Compiler {
         let mut node_pareto = Vec::with_capacity(nodes.len());
         let mut node_stats = Vec::with_capacity(nodes.len());
         let mut node_from_disk = vec![false; nodes.len()];
+        // Resolution-source counters land here, in node order, so they are
+        // deterministic under any registry clock.
+        let ops_total = |source: &str| {
+            opts.metrics
+                .counter(metric_names::COMPILER_OPS_TOTAL, &[("source", source)])
+        };
         for (i, node) in nodes.iter().enumerate() {
             let (pareto, stats, memo, from_disk) = match &resolved[i] {
                 Resolved::Warm(warm) => {
+                    ops_total("warm").inc();
                     if trace.enabled() {
                         let ts = trace.now_us();
                         trace.span(
@@ -570,6 +622,17 @@ impl Compiler {
                     (pareto, stats, *memo, u.from_disk)
                 }
             };
+            // A memo node shared another node's search; the unique's own
+            // provenance (disk vs fresh search) is counted once, on the
+            // node that owns it.
+            ops_total(if memo {
+                "memo"
+            } else if from_disk {
+                "disk"
+            } else {
+                "searched"
+            })
+            .inc();
             if trace.enabled() {
                 let search_start = trace.now_us();
                 let end = trace.now_us();

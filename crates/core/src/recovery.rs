@@ -29,6 +29,7 @@ use std::collections::BTreeMap;
 use t10_device::program::{BufferId, Program};
 use t10_device::ChipSpec;
 use t10_ir::Tensor;
+use t10_metrics::{names as metric_names, Registry};
 use t10_sim::timeline::FaultEventKind;
 use t10_sim::{
     FaultPlan, FaultTimeline, LinkFault, RecoveryReport, RunReport, RunStateEvent, RunStateLog,
@@ -344,6 +345,7 @@ pub struct RecoveryController {
     mode: SimulatorMode,
     policy: RecoveryPolicy,
     trace: Trace,
+    metrics: Registry,
     trace_cores: Option<usize>,
     mutation: RecoveryMutation,
 }
@@ -355,6 +357,7 @@ impl RecoveryController {
             mode,
             policy,
             trace: Trace::disabled(),
+            metrics: Registry::disabled(),
             trace_cores: None,
             mutation: RecoveryMutation::default(),
         }
@@ -374,6 +377,16 @@ impl RecoveryController {
     /// deterministic under a fixed seed.
     pub fn with_trace(mut self, trace: Trace) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Attaches a metric registry: transient retries, rollbacks, and
+    /// persistent-fault recompiles land on the `t10_recovery_*` counters,
+    /// and each recompile's latency on `t10_recovery_recompile_us` in
+    /// registry-clock microseconds (deterministic tick deltas under a
+    /// logical clock — the controller reads the clock single-threaded).
+    pub fn with_metrics(mut self, metrics: Registry) -> Self {
+        self.metrics = metrics;
         self
     }
 
@@ -468,6 +481,9 @@ impl RecoveryController {
                 // back off, replay. The deterministic jitter keeps repeated
                 // faults at one barrier from lock-stepping their delays.
                 rr.transient_retries += 1;
+                self.metrics
+                    .counter(metric_names::RECOVERY_RETRIES_TOTAL, &[])
+                    .inc();
                 let raw = (self.policy.backoff_base * 2f64.powi(rr.transient_retries as i32 - 1))
                     .min(self.policy.backoff_cap);
                 let j = self.policy.backoff_jitter.clamp(0.0, 1.0);
@@ -514,6 +530,9 @@ impl RecoveryController {
                     );
                 }
                 sim.restore(&ck)?;
+                self.metrics
+                    .counter(metric_names::RECOVERY_ROLLBACKS_TOTAL, &[])
+                    .inc();
                 continue;
             }
             // Persistent fault: the plan is dead. Everything this unit
@@ -521,6 +540,9 @@ impl RecoveryController {
             // discarded; the inputs, though, reconstruct from the last
             // consistent snapshot and migrate to the new placement.
             rr.recompiles += 1;
+            self.metrics
+                .counter(metric_names::RECOVERY_RECOMPILES_TOTAL, &[])
+                .inc();
             rr.supersteps_lost += sim.cursor();
             let fault_global = sim.global_step();
             audit.retries.push(RetryAudit {
@@ -549,6 +571,9 @@ impl RecoveryController {
                 .cloned()
                 .ok_or_else(|| CompileError::internal("no checkpoint to re-plan from"))?;
             sim.restore(&ck)?;
+            self.metrics
+                .counter(metric_names::RECOVERY_ROLLBACKS_TOTAL, &[])
+                .inc();
             if self.mode == SimulatorMode::Functional {
                 // Rotation permutes input windows without destroying them,
                 // so the full global input reassembles at any barrier.
@@ -599,7 +624,11 @@ impl RecoveryController {
             }
             audit.state_events.extend(sim.take_run_state_log());
             let prev = std::mem::take(&mut unit.pareto);
+            let recompile_t0 = self.metrics.now_us();
             let new_unit = recompile(&spec, &faults, Some(&prev))?;
+            self.metrics
+                .histogram(metric_names::RECOVERY_RECOMPILE_US, &[])
+                .observe(self.metrics.now_us().saturating_sub(recompile_t0));
             audit
                 .units
                 .push(self.certify(&spec, &faults, &new_unit, rr.recompiles)?);

@@ -1,0 +1,301 @@
+//! Deterministic log2-bucketed latency histograms.
+//!
+//! A [`HistogramCore`] is a fixed array of power-of-two buckets over `u64`
+//! observations (microseconds, by convention): bucket 0 holds the value 0,
+//! bucket `b` holds values in `[2^(b-1), 2^b - 1]`, and the last bucket is
+//! the `+Inf` overflow lane. Bucketing is pure integer arithmetic
+//! (`leading_zeros`), so the same observation stream always produces the
+//! same buckets on every platform — the property the byte-identical
+//! snapshot guarantee rests on. All mutation is lock-free atomics; the sum
+//! saturates instead of wrapping so a hostile observation stream can never
+//! make totals go backwards.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: value 0, 38 power-of-two lanes (up to ~2^38 µs ≈ 76
+/// hours), and the `+Inf` overflow lane. Fixed so snapshots from any two
+/// processes merge bucket-for-bucket.
+pub const BUCKETS: usize = 40;
+
+/// The bucket index an observation lands in.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        ((64 - value.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+}
+
+/// The inclusive upper bound of a bucket (`u64::MAX` for the overflow
+/// lane): bucket 0 covers `{0}`, bucket `b` covers `[2^(b-1), 2^b - 1]`.
+#[inline]
+pub fn bucket_upper_bound(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else if index >= BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << index) - 1
+    }
+}
+
+/// The live, lock-free histogram behind a registry handle.
+#[derive(Debug)]
+pub struct HistogramCore {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for HistogramCore {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl HistogramCore {
+    /// A histogram with no observations.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation. Count and sum saturate at `u64::MAX`
+    /// rather than wrapping.
+    pub fn observe(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // `fetch_add` wraps; saturate explicitly so totals are monotonic.
+        let _ = self
+            .sum
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                Some(s.saturating_add(value))
+            });
+    }
+
+    /// An immutable copy of the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (slot, bucket) in buckets.iter_mut().zip(&self.buckets) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A frozen histogram: bucket counts, total count, and (saturating) sum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (see [`bucket_upper_bound`]).
+    pub buckets: [u64; BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Saturating sum of all observed values.
+    pub sum: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Merges another snapshot into this one (bucket-wise saturating
+    /// addition). Merging is commutative and associative:
+    /// `merge(a, b) == merge(b, a)`.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine = mine.saturating_add(*theirs);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// The exact quantile under the bucketing: the upper bound of the
+    /// bucket containing the `ceil(q * count)`-th smallest observation.
+    /// Deterministic integer arithmetic throughout — same buckets, same
+    /// answer, on every platform. Returns `None` with zero observations.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // ceil(q * count) without floating-point rounding surprises for
+        // counts below 2^53; clamp to [1, count].
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(c);
+            if seen >= rank {
+                return Some(bucket_upper_bound(i));
+            }
+        }
+        // count says there are observations but the buckets disagree —
+        // only reachable through a hand-forged snapshot; answer +Inf lane.
+        Some(bucket_upper_bound(BUCKETS - 1))
+    }
+
+    /// Median (see [`HistogramSnapshot::quantile`]).
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> Option<u64> {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(0.99)
+    }
+
+    /// Mean observed value (0 with no observations).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Observations with values strictly greater than `threshold`,
+    /// counting whole buckets: a bucket is "over" iff its upper bound
+    /// exceeds the threshold. Conservative for SLO attainment (a boundary
+    /// bucket counts against the objective), and exact whenever the
+    /// threshold is a bucket boundary (`2^k - 1`).
+    pub fn count_over(&self, threshold: u64) -> u64 {
+        let mut over = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if bucket_upper_bound(i) > threshold {
+                over = over.saturating_add(c);
+            }
+        }
+        over
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(2), 3);
+        assert_eq!(bucket_upper_bound(BUCKETS - 1), u64::MAX);
+        // Every representable value lands in the bucket whose bound covers
+        // it: bound(index(v)) >= v and (for non-overflow lanes) the
+        // previous bucket's bound is below v.
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1000, 1 << 20, (1 << 38) + 5] {
+            let i = bucket_index(v);
+            assert!(bucket_upper_bound(i) >= v, "{v}");
+            if i > 0 && i < BUCKETS - 1 {
+                assert!(bucket_upper_bound(i - 1) < v, "{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_observations() {
+        let h = HistogramCore::new();
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.sum, 0);
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.p99(), None);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.count_over(0), 0);
+    }
+
+    #[test]
+    fn single_bucket_percentiles() {
+        // Every observation in one bucket: all percentiles answer that
+        // bucket's bound.
+        let h = HistogramCore::new();
+        for _ in 0..100 {
+            h.observe(5); // bucket [4,7]
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.sum, 500);
+        assert_eq!(s.p50(), Some(7));
+        assert_eq!(s.p90(), Some(7));
+        assert_eq!(s.p99(), Some(7));
+        assert_eq!(s.quantile(0.0), Some(7));
+        assert_eq!(s.quantile(1.0), Some(7));
+    }
+
+    #[test]
+    fn percentiles_split_across_buckets() {
+        let h = HistogramCore::new();
+        for _ in 0..90 {
+            h.observe(1);
+        }
+        for _ in 0..10 {
+            h.observe(1000); // bucket [512,1023]
+        }
+        let s = h.snapshot();
+        assert_eq!(s.p50(), Some(1));
+        assert_eq!(s.p90(), Some(1));
+        assert_eq!(s.p99(), Some(1023));
+        assert_eq!(s.count_over(1), 10);
+        assert_eq!(s.count_over(1023), 0);
+    }
+
+    #[test]
+    fn u64_overflow_saturates() {
+        let h = HistogramCore::new();
+        h.observe(u64::MAX);
+        h.observe(u64::MAX);
+        h.observe(7);
+        let s = h.snapshot();
+        assert_eq!(s.sum, u64::MAX, "sum saturates instead of wrapping");
+        assert_eq!(s.count, 3);
+        assert_eq!(s.buckets[BUCKETS - 1], 2);
+        // Merging saturated snapshots saturates too.
+        let mut a = s;
+        a.merge(&s);
+        assert_eq!(a.sum, u64::MAX);
+        assert_eq!(a.count, 6);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let ha = HistogramCore::new();
+        let hb = HistogramCore::new();
+        for v in [0u64, 1, 3, 900, 1 << 30] {
+            ha.observe(v);
+        }
+        for v in [2u64, 2, 1 << 12, u64::MAX] {
+            hb.observe(v);
+        }
+        let (a, b) = (ha.snapshot(), hb.snapshot());
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge(a,b) == merge(b,a)");
+        assert_eq!(ab.count, 9);
+    }
+}

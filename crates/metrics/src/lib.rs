@@ -1,0 +1,467 @@
+//! Live service telemetry for the T10 stack (t10-metrics).
+//!
+//! A low-overhead typed metric [`Registry`] — monotonic [`Counter`]s,
+//! [`Gauge`]s, and deterministic log2-bucketed latency [`Histogram`]s with
+//! exact p50/p90/p99 extraction — threaded through every serving-path
+//! layer:
+//!
+//! * **`t10 serve`** records per-request end-to-end and queue-wait latency
+//!   histograms, admission accept/reject/degrade counters by reason, live
+//!   queue-depth and occupancy gauges, and per-tier compile latency;
+//! * **t10-store** counts cache hits, misses, records, and quarantines by
+//!   failure class;
+//! * **the compiler** records per-operator search latency, warm-vs-cold
+//!   resolution counters, and parallel-search utilization;
+//! * **recovery** counts retries, rollbacks, and recompiles, and times
+//!   recompiles.
+//!
+//! # Clock domains
+//!
+//! Like [`t10_trace::Trace`], a registry owns one of two clocks, read via
+//! [`Registry::now_us`]:
+//!
+//! * **wall** — monotonic microseconds since creation, for real latency;
+//! * **logical** — a counter incremented on every read. Durations become
+//!   deterministic tick deltas, so same-seed runs produce **byte-identical
+//!   snapshots** — the property `t10 serve --metrics-clock logical` and the
+//!   chaos campaign's embedded snapshots rely on.
+//!
+//! Instrumented layers must only read the clock from deterministic call
+//! sites (single-threaded, fixed order) for the guarantee to hold; worker
+//! threads measure with [`std::time::Instant`] and report wall-gated
+//! metrics instead (see [`Registry::is_wall`]).
+//!
+//! # Cost when disabled
+//!
+//! [`Registry::disabled`] (also [`Default`]) allocates nothing; every
+//! handle it vends is a no-op and every record call is a branch on an
+//! `Option`, mirroring [`t10_trace::Trace::disabled`].
+//!
+//! # Exposition
+//!
+//! [`Registry::snapshot`] freezes everything into a mergeable
+//! [`Snapshot`], rendered as a sorted-key JSON document (schema
+//! `t10.metrics.v1`, [`Snapshot::to_json`]) or Prometheus text exposition
+//! ([`prometheus::render`]). [`slo`] evaluates availability and latency
+//! objectives (with error-budget burn rates) over a snapshot — the engine
+//! behind `t10 stats`.
+
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+// Bucket arrays are fixed-size and index arithmetic is bounds-clamped at
+// construction; the exposition writers iterate collections they sized.
+#![allow(clippy::indexing_slicing)]
+
+pub mod histogram;
+pub mod names;
+pub mod prometheus;
+pub mod slo;
+pub mod snapshot;
+
+pub use histogram::{bucket_upper_bound, HistogramSnapshot, BUCKETS};
+pub use slo::{SloConfig, SloReport, SloRow};
+pub use snapshot::Snapshot;
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use histogram::HistogramCore;
+
+/// A metric's identity: name plus sorted `(label, value)` pairs.
+///
+/// Ordering is lexicographic on `(name, labels)`, which fixes the order of
+/// every exposition format.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    /// Metric name (`t10_<layer>_<noun>_<unit>` by convention).
+    pub name: String,
+    /// Sorted label pairs.
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    /// Builds a key, sorting the labels.
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        Self {
+            name: name.to_string(),
+            labels,
+        }
+    }
+
+    /// The flat `name{k="v",...}` form used as the snapshot JSON key and
+    /// the Prometheus series name.
+    pub fn render(&self) -> String {
+        if self.labels.is_empty() {
+            return self.name.clone();
+        }
+        let mut out = String::with_capacity(self.name.len() + 16 * self.labels.len());
+        out.push_str(&self.name);
+        out.push('{');
+        for (i, (k, v)) in self.labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(k);
+            out.push_str("=\"");
+            // Label values are plain identifiers throughout the stack;
+            // escape the JSON-significant characters anyway.
+            for c in v.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses the flat `name{k="v",...}` form back into a key (inverse of
+    /// [`MetricKey::render`] for the escape-free labels the stack emits).
+    pub fn parse(flat: &str) -> Self {
+        let Some(brace) = flat.find('{') else {
+            return Self {
+                name: flat.to_string(),
+                labels: Vec::new(),
+            };
+        };
+        let name = flat[..brace].to_string();
+        let body = flat[brace + 1..].trim_end_matches('}');
+        let mut labels = Vec::new();
+        for pair in body.split(',') {
+            if let Some((k, v)) = pair.split_once('=') {
+                labels.push((k.to_string(), v.trim_matches('"').to_string()));
+            }
+        }
+        labels.sort();
+        Self { name, labels }
+    }
+}
+
+/// The registry clock: wall microseconds or a deterministic logical
+/// counter (mirroring `t10-trace`'s split).
+#[derive(Debug)]
+enum Clock {
+    Wall(Instant),
+    Logical(AtomicU64),
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    clock: Option<Clock>,
+    counters: Mutex<BTreeMap<MetricKey, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<MetricKey, Arc<AtomicI64>>>,
+    histograms: Mutex<BTreeMap<MetricKey, Arc<HistogramCore>>>,
+}
+
+/// A shared, cloneable metric registry. Cloning is cheap (an `Arc`); all
+/// clones feed the same metrics. The disabled registry holds nothing.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Registry {
+    /// A no-op registry: nothing is allocated, nothing is recorded.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// An enabled registry with a monotonic wall clock.
+    pub fn wall() -> Self {
+        Self {
+            inner: Some(Arc::new(Inner {
+                clock: Some(Clock::Wall(Instant::now())),
+                ..Inner::default()
+            })),
+        }
+    }
+
+    /// An enabled registry whose clock is a logical counter: every
+    /// [`Registry::now_us`] read returns the next integer, so durations are
+    /// deterministic tick deltas and snapshots are byte-identical across
+    /// same-seed runs.
+    pub fn logical() -> Self {
+        Self {
+            inner: Some(Arc::new(Inner {
+                clock: Some(Clock::Logical(AtomicU64::new(0))),
+                ..Inner::default()
+            })),
+        }
+    }
+
+    /// Whether metrics are being recorded.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Whether the clock is wall time. Wall-only metrics (worker-thread
+    /// latencies measured off the registry clock) gate on this so logical
+    /// snapshots stay deterministic.
+    pub fn is_wall(&self) -> bool {
+        matches!(
+            self.inner.as_deref(),
+            Some(Inner {
+                clock: Some(Clock::Wall(_)),
+                ..
+            })
+        )
+    }
+
+    /// The clock name for the snapshot header.
+    pub fn clock_name(&self) -> &'static str {
+        match self.inner.as_deref() {
+            None => "disabled",
+            Some(Inner {
+                clock: Some(Clock::Wall(_)),
+                ..
+            }) => "wall",
+            Some(_) => "logical",
+        }
+    }
+
+    /// The current timestamp in (wall or logical) microseconds; 0 when
+    /// disabled. Logical reads advance the counter.
+    pub fn now_us(&self) -> u64 {
+        match self.inner.as_deref().and_then(|i| i.clock.as_ref()) {
+            None => 0,
+            Some(Clock::Wall(t0)) => t0.elapsed().as_micros() as u64,
+            Some(Clock::Logical(n)) => n.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// A counter handle (created at zero on first use). Handles are cheap
+    /// to clone and lock-free to update; fetch them once per hot path.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        Counter {
+            cell: self.inner.as_ref().map(|inner| {
+                let key = MetricKey::new(name, labels);
+                let mut map = inner.counters.lock().unwrap_or_else(|e| e.into_inner());
+                map.entry(key).or_default().clone()
+            }),
+        }
+    }
+
+    /// A gauge handle (created at zero on first use).
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        Gauge {
+            cell: self.inner.as_ref().map(|inner| {
+                let key = MetricKey::new(name, labels);
+                let mut map = inner.gauges.lock().unwrap_or_else(|e| e.into_inner());
+                map.entry(key).or_default().clone()
+            }),
+        }
+    }
+
+    /// A histogram handle (created empty on first use).
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        Histogram {
+            core: self.inner.as_ref().map(|inner| {
+                let key = MetricKey::new(name, labels);
+                let mut map = inner.histograms.lock().unwrap_or_else(|e| e.into_inner());
+                map.entry(key).or_default().clone()
+            }),
+        }
+    }
+
+    /// Freezes every metric into a mergeable, serializable [`Snapshot`].
+    /// Taking a snapshot never reads the clock, so it cannot perturb
+    /// logical-clock determinism.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut snap = Snapshot::new(self.clock_name());
+        let Some(inner) = &self.inner else {
+            return snap;
+        };
+        {
+            let map = inner.counters.lock().unwrap_or_else(|e| e.into_inner());
+            for (key, cell) in map.iter() {
+                snap.counters
+                    .insert(key.clone(), cell.load(Ordering::Relaxed));
+            }
+        }
+        {
+            let map = inner.gauges.lock().unwrap_or_else(|e| e.into_inner());
+            for (key, cell) in map.iter() {
+                snap.gauges
+                    .insert(key.clone(), cell.load(Ordering::Relaxed));
+            }
+        }
+        {
+            let map = inner.histograms.lock().unwrap_or_else(|e| e.into_inner());
+            for (key, core) in map.iter() {
+                snap.histograms.insert(key.clone(), core.snapshot());
+            }
+        }
+        snap
+    }
+}
+
+/// A monotonic counter handle. No-op when vended by a disabled registry.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    cell: Option<Arc<AtomicU64>>,
+}
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` (saturating).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.cell {
+            let _ = cell.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_add(n))
+            });
+        }
+    }
+
+    /// Current value (0 when disabled).
+    pub fn get(&self) -> u64 {
+        self.cell.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// A gauge handle: a settable signed level (queue depth, occupancy).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    cell: Option<Arc<AtomicI64>>,
+}
+
+impl Gauge {
+    /// Sets the level.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if let Some(cell) = &self.cell {
+            cell.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Adjusts the level by a signed delta.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        if let Some(cell) = &self.cell {
+            cell.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Raises the level to `v` if it is currently lower (peak tracking).
+    #[inline]
+    pub fn set_max(&self, v: i64) {
+        if let Some(cell) = &self.cell {
+            cell.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 when disabled).
+    pub fn get(&self) -> i64 {
+        self.cell.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// A histogram handle over `u64` observations (microseconds by
+/// convention).
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    core: Option<Arc<HistogramCore>>,
+}
+
+impl Histogram {
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        if let Some(core) = &self.core {
+            core.observe(value);
+        }
+    }
+
+    /// Current state (empty when disabled).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.core.as_ref().map(|c| c.snapshot()).unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let r = Registry::disabled();
+        assert!(!r.enabled());
+        assert_eq!(r.now_us(), 0);
+        let c = r.counter("x_total", &[]);
+        c.inc();
+        assert_eq!(c.get(), 0);
+        let g = r.gauge("x_depth", &[]);
+        g.set(9);
+        assert_eq!(g.get(), 0);
+        let h = r.histogram("x_us", &[]);
+        h.observe(5);
+        assert_eq!(h.snapshot().count, 0);
+        assert!(r.snapshot().is_empty());
+    }
+
+    #[test]
+    fn logical_clock_ticks_deterministically() {
+        let r = Registry::logical();
+        assert_eq!(r.now_us(), 0);
+        assert_eq!(r.now_us(), 1);
+        assert!(!r.is_wall());
+        assert_eq!(r.clock_name(), "logical");
+        let r2 = Registry::logical();
+        assert_eq!(r2.now_us(), 0);
+    }
+
+    #[test]
+    fn handles_share_cells_across_clones() {
+        let r = Registry::wall();
+        assert!(r.is_wall());
+        let c1 = r.counter("hits_total", &[("tier", "full")]);
+        let c2 = r.clone().counter("hits_total", &[("tier", "full")]);
+        c1.inc();
+        c2.add(2);
+        assert_eq!(c1.get(), 3);
+        // Different labels are different series.
+        let other = r.counter("hits_total", &[("tier", "fast")]);
+        assert_eq!(other.get(), 0);
+    }
+
+    #[test]
+    fn label_order_is_canonical() {
+        let a = MetricKey::new("m", &[("b", "2"), ("a", "1")]);
+        let b = MetricKey::new("m", &[("a", "1"), ("b", "2")]);
+        assert_eq!(a, b);
+        assert_eq!(a.render(), "m{a=\"1\",b=\"2\"}");
+        assert_eq!(MetricKey::parse(&a.render()), a);
+        let bare = MetricKey::new("plain_total", &[]);
+        assert_eq!(bare.render(), "plain_total");
+        assert_eq!(MetricKey::parse("plain_total"), bare);
+    }
+
+    #[test]
+    fn gauge_set_max_tracks_peaks() {
+        let r = Registry::logical();
+        let g = r.gauge("depth", &[]);
+        g.set(3);
+        g.set_max(1);
+        assert_eq!(g.get(), 3);
+        g.set_max(8);
+        assert_eq!(g.get(), 8);
+        g.add(-2);
+        assert_eq!(g.get(), 6);
+    }
+}

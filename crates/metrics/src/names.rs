@@ -1,0 +1,102 @@
+//! Canonical metric names for the serving stack.
+//!
+//! Naming scheme: `t10_<layer>_<noun>_<unit>` — counters end in `_total`,
+//! histograms in a unit (`_us`), gauges in a level noun. Every layer pulls
+//! its names from here so `t10 stats`, the SLO evaluator, and CI scrapers
+//! agree with the emitters; the inventory is pinned by a test.
+
+/// serve: requests seen by the admission loop, labeled
+/// `outcome=accepted|accepted-degraded|rejected-queue-full|parse-error`.
+pub const SERVE_ADMISSION_TOTAL: &str = "t10_serve_admission_total";
+/// serve: responses emitted, labeled `status=ok|error|rejected`.
+pub const SERVE_RESPONSES_TOTAL: &str = "t10_serve_responses_total";
+/// serve: time from admission to dequeue, labeled `tier=full|fast`.
+pub const SERVE_QUEUE_WAIT_US: &str = "t10_serve_queue_wait_us";
+/// serve: compile time inside the worker, labeled `tier=full|fast`.
+pub const SERVE_COMPILE_US: &str = "t10_serve_compile_us";
+/// serve: arrival-to-response end-to-end latency (admitted requests).
+pub const SERVE_E2E_US: &str = "t10_serve_e2e_us";
+/// serve: live admission-queue depth.
+pub const SERVE_QUEUE_DEPTH: &str = "t10_serve_queue_depth";
+/// serve: high-water queue depth over the session.
+pub const SERVE_QUEUE_DEPTH_PEAK: &str = "t10_serve_queue_depth_peak";
+/// serve: live queue occupancy, percent of capacity.
+pub const SERVE_QUEUE_OCCUPANCY_PCT: &str = "t10_serve_queue_occupancy_pct";
+
+/// store: lookups, labeled `result=hit|miss`.
+pub const STORE_LOOKUPS_TOTAL: &str = "t10_store_lookups_total";
+/// store: entries quarantined, labeled `class=<StoreError label>`.
+pub const STORE_QUARANTINED_TOTAL: &str = "t10_store_quarantined_total";
+/// store: entries written.
+pub const STORE_RECORDED_TOTAL: &str = "t10_store_recorded_total";
+/// store: failed writes (each costs a future miss only).
+pub const STORE_WRITE_FAILURES_TOTAL: &str = "t10_store_write_failures_total";
+
+/// compiler: operator searches resolved, labeled
+/// `source=warm|memo|disk|searched`.
+pub const COMPILER_OPS_TOTAL: &str = "t10_compiler_ops_total";
+/// compiler: per-operator Pareto search latency (wall clock only — worker
+/// threads never touch the registry clock), labeled `mode=parallel|seq`.
+pub const COMPILER_OP_SEARCH_US: &str = "t10_compiler_op_search_us";
+/// compiler: worker threads used by the last per-operator search fan-out.
+pub const COMPILER_SEARCH_JOBS: &str = "t10_compiler_search_jobs";
+/// compiler: busy-time utilization of the last parallel search fan-out,
+/// percent of `workers x wall time` (wall clock only).
+pub const COMPILER_PARALLEL_UTILIZATION_PCT: &str = "t10_compiler_parallel_utilization_pct";
+
+/// recovery: transient retries (rollback + replay).
+pub const RECOVERY_RETRIES_TOTAL: &str = "t10_recovery_retries_total";
+/// recovery: checkpoint rollbacks performed.
+pub const RECOVERY_ROLLBACKS_TOTAL: &str = "t10_recovery_rollbacks_total";
+/// recovery: persistent-fault recompiles.
+pub const RECOVERY_RECOMPILES_TOTAL: &str = "t10_recovery_recompiles_total";
+/// recovery: recompile latency in registry-clock microseconds.
+pub const RECOVERY_RECOMPILE_US: &str = "t10_recovery_recompile_us";
+
+/// Every name above, for exposition tests and scrapers.
+pub const ALL: &[&str] = &[
+    SERVE_ADMISSION_TOTAL,
+    SERVE_RESPONSES_TOTAL,
+    SERVE_QUEUE_WAIT_US,
+    SERVE_COMPILE_US,
+    SERVE_E2E_US,
+    SERVE_QUEUE_DEPTH,
+    SERVE_QUEUE_DEPTH_PEAK,
+    SERVE_QUEUE_OCCUPANCY_PCT,
+    STORE_LOOKUPS_TOTAL,
+    STORE_QUARANTINED_TOTAL,
+    STORE_RECORDED_TOTAL,
+    STORE_WRITE_FAILURES_TOTAL,
+    COMPILER_OPS_TOTAL,
+    COMPILER_OP_SEARCH_US,
+    COMPILER_SEARCH_JOBS,
+    COMPILER_PARALLEL_UTILIZATION_PCT,
+    RECOVERY_RETRIES_TOTAL,
+    RECOVERY_ROLLBACKS_TOTAL,
+    RECOVERY_RECOMPILES_TOTAL,
+    RECOVERY_RECOMPILE_US,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_follow_the_scheme_and_are_unique() {
+        let mut seen = std::collections::BTreeSet::new();
+        for name in ALL {
+            assert!(name.starts_with("t10_"), "{name}: missing t10_ prefix");
+            assert!(
+                name.ends_with("_total")
+                    || name.ends_with("_us")
+                    || name.ends_with("_depth")
+                    || name.ends_with("_peak")
+                    || name.ends_with("_pct")
+                    || name.ends_with("_jobs"),
+                "{name}: unknown unit suffix"
+            );
+            assert!(seen.insert(name), "{name}: duplicate");
+        }
+        assert_eq!(ALL.len(), 20);
+    }
+}

@@ -1,0 +1,162 @@
+//! Prometheus text exposition (format version 0.0.4) for a [`Snapshot`].
+//!
+//! Counters and gauges render as plain series; histograms render as the
+//! conventional cumulative `_bucket{le="..."}` series plus `_sum` and
+//! `_count`. Output order is the snapshot's sorted key order, so equal
+//! snapshots render to equal bytes.
+
+use std::collections::BTreeSet;
+
+use crate::histogram::{bucket_upper_bound, BUCKETS};
+use crate::snapshot::Snapshot;
+use crate::MetricKey;
+
+/// Renders the whole snapshot as Prometheus text exposition.
+pub fn render(snap: &Snapshot) -> String {
+    let mut out = String::with_capacity(1024);
+    let mut typed: BTreeSet<&str> = BTreeSet::new();
+
+    for (key, v) in &snap.counters {
+        if typed.insert(&key.name) {
+            type_line(&mut out, &key.name, "counter");
+        }
+        out.push_str(&key.render());
+        out.push(' ');
+        out.push_str(&v.to_string());
+        out.push('\n');
+    }
+    for (key, v) in &snap.gauges {
+        if typed.insert(&key.name) {
+            type_line(&mut out, &key.name, "gauge");
+        }
+        out.push_str(&key.render());
+        out.push(' ');
+        out.push_str(&v.to_string());
+        out.push('\n');
+    }
+    for (key, h) in &snap.histograms {
+        if typed.insert(&key.name) {
+            type_line(&mut out, &key.name, "histogram");
+        }
+        let mut cumulative = 0u64;
+        for (i, &c) in h.buckets.iter().enumerate() {
+            cumulative = cumulative.saturating_add(c);
+            // Empty interior lanes are elided to keep the exposition
+            // readable; the terminal +Inf bucket always renders so the
+            // series is well-formed even when empty.
+            if c == 0 && i < BUCKETS - 1 {
+                continue;
+            }
+            let le = if i == BUCKETS - 1 {
+                "+Inf".to_string()
+            } else {
+                bucket_upper_bound(i).to_string()
+            };
+            series_with(&mut out, key, "_bucket", &[("le", &le)]);
+            out.push(' ');
+            out.push_str(&cumulative.to_string());
+            out.push('\n');
+        }
+        series_with(&mut out, key, "_sum", &[]);
+        out.push(' ');
+        out.push_str(&h.sum.to_string());
+        out.push('\n');
+        series_with(&mut out, key, "_count", &[]);
+        out.push(' ');
+        out.push_str(&h.count.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+fn type_line(out: &mut String, name: &str, kind: &str) {
+    out.push_str("# TYPE ");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(kind);
+    out.push('\n');
+}
+
+/// Writes `name<suffix>{labels...,extra...}` (labels merged in sorted
+/// order, matching the canonical key form).
+fn series_with(out: &mut String, key: &MetricKey, suffix: &str, extra: &[(&str, &str)]) {
+    out.push_str(&key.name);
+    out.push_str(suffix);
+    let mut labels: Vec<(&str, &str)> = key
+        .labels
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.as_str()))
+        .collect();
+    labels.extend_from_slice(extra);
+    labels.sort();
+    if labels.is_empty() {
+        return;
+    }
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(v);
+        out.push('"');
+    }
+    out.push('}');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    #[test]
+    fn renders_all_three_kinds() {
+        let r = Registry::logical();
+        r.counter("t10_serve_admission_total", &[("outcome", "accepted")])
+            .add(4);
+        r.gauge("t10_serve_queue_depth", &[]).set(2);
+        let h = r.histogram("t10_serve_queue_wait_us", &[("tier", "full")]);
+        h.observe(0);
+        h.observe(3);
+        h.observe(3);
+        h.observe(900);
+        let text = render(&r.snapshot());
+
+        assert!(text.contains("# TYPE t10_serve_admission_total counter\n"));
+        assert!(text.contains("t10_serve_admission_total{outcome=\"accepted\"} 4\n"));
+        assert!(text.contains("# TYPE t10_serve_queue_depth gauge\n"));
+        assert!(text.contains("t10_serve_queue_depth 2\n"));
+        assert!(text.contains("# TYPE t10_serve_queue_wait_us histogram\n"));
+        // Cumulative buckets: {0}=1, [2,3]=+2 -> 3, [512,1023]=+1 -> 4.
+        assert!(text.contains("t10_serve_queue_wait_us_bucket{le=\"0\",tier=\"full\"} 1\n"));
+        assert!(text.contains("t10_serve_queue_wait_us_bucket{le=\"3\",tier=\"full\"} 3\n"));
+        assert!(text.contains("t10_serve_queue_wait_us_bucket{le=\"1023\",tier=\"full\"} 4\n"));
+        assert!(text.contains("t10_serve_queue_wait_us_bucket{le=\"+Inf\",tier=\"full\"} 4\n"));
+        assert!(text.contains("t10_serve_queue_wait_us_sum{tier=\"full\"} 906\n"));
+        assert!(text.contains("t10_serve_queue_wait_us_count{tier=\"full\"} 4\n"));
+        // One TYPE line per metric name, rendered before its first series.
+        assert_eq!(text.matches("# TYPE t10_serve_queue_wait_us ").count(), 1);
+    }
+
+    #[test]
+    fn empty_histogram_still_has_inf_bucket() {
+        let r = Registry::wall();
+        let _ = r.histogram("t10_serve_e2e_us", &[]);
+        let text = render(&r.snapshot());
+        assert!(text.contains("t10_serve_e2e_us_bucket{le=\"+Inf\"} 0\n"));
+        assert!(text.contains("t10_serve_e2e_us_sum 0\n"));
+        assert!(text.contains("t10_serve_e2e_us_count 0\n"));
+    }
+
+    #[test]
+    fn equal_snapshots_render_identically() {
+        let build = || {
+            let r = Registry::logical();
+            r.counter("a_total", &[]).inc();
+            r.histogram("b_us", &[("tier", "fast")]).observe(7);
+            render(&r.snapshot())
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -1,0 +1,252 @@
+//! Service-level objective evaluation over a metrics [`Snapshot`] — the
+//! engine behind `t10 stats`.
+//!
+//! Two objective families:
+//!
+//! * **Availability** — the fraction of admission decisions that were not
+//!   rejections (`t10_serve_admission_total`, outcomes other than
+//!   `rejected-*` and `parse-error`), versus a target like 99%.
+//! * **Latency** — the fraction of observations in a named histogram at or
+//!   under a threshold (via [`HistogramSnapshot::count_over`], which
+//!   counts whole buckets and is exact when the threshold is a `2^k - 1`
+//!   bucket boundary), versus a target like "99% of requests ≤ 250ms".
+//!
+//! Each row reports attainment and the **error-budget burn rate**: the
+//! observed bad fraction divided by the budget the objective allows
+//! (`1 - objective`). Burn 1.0 means the budget is being consumed exactly
+//! as fast as it accrues; above 1.0 the objective will be missed.
+
+use crate::names;
+use crate::snapshot::Snapshot;
+
+/// One latency objective: a histogram, a threshold, and a target fraction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyObjective {
+    /// Histogram metric name (all label sets are merged).
+    pub histogram: String,
+    /// Inclusive threshold in microseconds.
+    pub threshold_us: u64,
+    /// Required fraction of observations at or under the threshold
+    /// (0..=1).
+    pub objective: f64,
+}
+
+/// The SLO suite to evaluate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloConfig {
+    /// Required non-rejected fraction of admission decisions (0..=1).
+    pub availability_objective: f64,
+    /// Latency objectives, evaluated in order.
+    pub latency: Vec<LatencyObjective>,
+}
+
+impl Default for SloConfig {
+    /// 99% availability; 99% of end-to-end serve latency within ~262ms
+    /// (the 2^18-1 µs bucket boundary, where bucket math is exact).
+    fn default() -> Self {
+        Self {
+            availability_objective: 0.99,
+            latency: vec![LatencyObjective {
+                histogram: names::SERVE_E2E_US.to_string(),
+                threshold_us: (1 << 18) - 1,
+                objective: 0.99,
+            }],
+        }
+    }
+}
+
+/// One evaluated objective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloRow {
+    /// What the objective covers (`availability` or the histogram name
+    /// with its threshold).
+    pub name: String,
+    /// Required good fraction.
+    pub objective: f64,
+    /// Observed good fraction (`None` with no eligible events).
+    pub attained: Option<f64>,
+    /// Events the objective was evaluated over.
+    pub events: u64,
+    /// Events that violated the objective.
+    pub bad: u64,
+    /// Error-budget burn rate: bad-fraction / (1 - objective). `None`
+    /// with no events or a 100% objective.
+    pub burn_rate: Option<f64>,
+    /// Whether the objective is currently met (vacuously true with no
+    /// events).
+    pub met: bool,
+}
+
+/// The full evaluation result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloReport {
+    /// One row per objective, availability first.
+    pub rows: Vec<SloRow>,
+}
+
+impl SloReport {
+    /// Whether every objective is met.
+    pub fn all_met(&self) -> bool {
+        self.rows.iter().all(|r| r.met)
+    }
+}
+
+fn make_row(name: String, objective: f64, events: u64, bad: u64) -> SloRow {
+    let objective = objective.clamp(0.0, 1.0);
+    if events == 0 {
+        return SloRow {
+            name,
+            objective,
+            attained: None,
+            events,
+            bad,
+            burn_rate: None,
+            met: true,
+        };
+    }
+    let bad_fraction = bad as f64 / events as f64;
+    let attained = 1.0 - bad_fraction;
+    let budget = 1.0 - objective;
+    let burn_rate = (budget > 0.0).then(|| bad_fraction / budget);
+    SloRow {
+        name,
+        objective,
+        attained: Some(attained),
+        events,
+        bad,
+        burn_rate,
+        met: attained >= objective,
+    }
+}
+
+/// Evaluates the SLO suite against a snapshot.
+pub fn evaluate(snap: &Snapshot, config: &SloConfig) -> SloReport {
+    let mut rows = Vec::with_capacity(1 + config.latency.len());
+
+    // Availability: every admission decision is an event; rejections and
+    // parse errors are the bad ones. Degraded acceptance still counts as
+    // available — the request was served.
+    let total = snap.counter_sum(names::SERVE_ADMISSION_TOTAL);
+    let bad: u64 = snap
+        .counters
+        .iter()
+        .filter(|(k, _)| {
+            k.name == names::SERVE_ADMISSION_TOTAL
+                && k.labels.iter().any(|(lk, lv)| {
+                    lk == "outcome" && (lv.starts_with("rejected") || lv == "parse-error")
+                })
+        })
+        .fold(0u64, |acc, (_, v)| acc.saturating_add(*v));
+    rows.push(make_row(
+        "availability".to_string(),
+        config.availability_objective,
+        total,
+        bad,
+    ));
+
+    for obj in &config.latency {
+        let h = snap.histogram_merged(&obj.histogram);
+        let bad = h.count_over(obj.threshold_us);
+        rows.push(make_row(
+            format!("{} <= {}us", obj.histogram, obj.threshold_us),
+            obj.objective,
+            h.count,
+            bad,
+        ));
+    }
+
+    SloReport { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn loaded_snapshot(accepted: u64, rejected: u64, fast_us: u64, slow: u64) -> Snapshot {
+        let r = Registry::logical();
+        r.counter(names::SERVE_ADMISSION_TOTAL, &[("outcome", "accepted")])
+            .add(accepted);
+        r.counter(
+            names::SERVE_ADMISSION_TOTAL,
+            &[("outcome", "rejected-queue-full")],
+        )
+        .add(rejected);
+        let h = r.histogram(names::SERVE_E2E_US, &[]);
+        for _ in 0..accepted.saturating_sub(slow) {
+            h.observe(fast_us);
+        }
+        for _ in 0..slow {
+            h.observe(u64::MAX / 2);
+        }
+        r.snapshot()
+    }
+
+    #[test]
+    fn availability_counts_rejections_as_bad() {
+        let snap = loaded_snapshot(98, 2, 100, 0);
+        let report = evaluate(&snap, &SloConfig::default());
+        let avail = &report.rows[0];
+        assert_eq!(avail.name, "availability");
+        assert_eq!(avail.events, 100);
+        assert_eq!(avail.bad, 2);
+        assert_eq!(avail.attained, Some(0.98));
+        assert!(!avail.met, "98% attained < 99% objective");
+        // 2% bad against a 1% budget burns at 2x.
+        let burn = avail.burn_rate.unwrap();
+        assert!((burn - 2.0).abs() < 1e-9, "burn {burn}");
+        assert!(!report.all_met());
+    }
+
+    #[test]
+    fn degraded_acceptance_is_still_available() {
+        let r = Registry::logical();
+        r.counter(names::SERVE_ADMISSION_TOTAL, &[("outcome", "accepted")])
+            .add(5);
+        r.counter(
+            names::SERVE_ADMISSION_TOTAL,
+            &[("outcome", "accepted-degraded")],
+        )
+        .add(5);
+        let report = evaluate(&r.snapshot(), &SloConfig::default());
+        assert_eq!(report.rows[0].bad, 0);
+        assert!(report.rows[0].met);
+    }
+
+    #[test]
+    fn latency_objective_uses_bucket_math() {
+        // All requests fast: met. 2 of 100 slow against 99%: missed.
+        let fast = evaluate(&loaded_snapshot(100, 0, 100, 0), &SloConfig::default());
+        assert!(fast.all_met());
+        assert_eq!(fast.rows[1].events, 100);
+        assert_eq!(fast.rows[1].bad, 0);
+
+        let slow = evaluate(&loaded_snapshot(100, 0, 100, 2), &SloConfig::default());
+        assert!(!slow.rows[1].met);
+        assert_eq!(slow.rows[1].bad, 2);
+        assert!(slow.rows[1].burn_rate.unwrap() > 1.0);
+    }
+
+    #[test]
+    fn empty_snapshot_is_vacuously_met() {
+        let report = evaluate(&Registry::logical().snapshot(), &SloConfig::default());
+        assert!(report.all_met());
+        for row in &report.rows {
+            assert_eq!(row.events, 0);
+            assert_eq!(row.attained, None);
+            assert_eq!(row.burn_rate, None);
+        }
+    }
+
+    #[test]
+    fn perfect_objective_has_no_budget() {
+        let snap = loaded_snapshot(10, 0, 100, 0);
+        let config = SloConfig {
+            availability_objective: 1.0,
+            latency: vec![],
+        };
+        let report = evaluate(&snap, &config);
+        assert!(report.rows[0].met);
+        assert_eq!(report.rows[0].burn_rate, None, "no budget to burn");
+    }
+}

@@ -1,0 +1,351 @@
+//! Frozen, mergeable metric snapshots and the `t10.metrics.v1` JSON
+//! document.
+//!
+//! A [`Snapshot`] is everything a registry knew at one instant. Snapshots
+//! from different processes (or different scrape moments) merge
+//! commutatively: counters and gauges add, histograms add bucket-wise —
+//! the cross-shard aggregation story for a fleet of serve processes.
+//!
+//! The JSON document is hand-rolled with sorted keys and a fixed field
+//! order, so a snapshot taken under the logical clock is **byte-identical**
+//! across same-seed runs — diffable in tests and CI, like the trace files.
+
+use std::collections::BTreeMap;
+
+use t10_trace::json::{self, Json};
+
+use crate::histogram::{HistogramSnapshot, BUCKETS};
+use crate::MetricKey;
+
+/// Schema identifier written into (and demanded from) every document.
+pub const SCHEMA: &str = "t10.metrics.v1";
+
+/// A frozen registry: every counter, gauge, and histogram at one instant.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// Which clock the registry ran (`wall`, `logical`, `disabled`, or
+    /// `mixed` after merging snapshots from different clock domains).
+    pub clock: String,
+    /// Counter values by key.
+    pub counters: BTreeMap<MetricKey, u64>,
+    /// Gauge levels by key.
+    pub gauges: BTreeMap<MetricKey, i64>,
+    /// Histograms by key.
+    pub histograms: BTreeMap<MetricKey, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// An empty snapshot for the given clock.
+    pub fn new(clock: &str) -> Self {
+        Self {
+            clock: clock.to_string(),
+            ..Self::default()
+        }
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Sum of every counter whose metric name equals `name`, across all
+    /// label sets.
+    pub fn counter_sum(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.name == name)
+            .fold(0u64, |acc, (_, v)| acc.saturating_add(*v))
+    }
+
+    /// The counter value for one exact series (`None` if never created).
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        self.counters.get(&MetricKey::new(name, labels)).copied()
+    }
+
+    /// The gauge level for one exact series.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<i64> {
+        self.gauges.get(&MetricKey::new(name, labels)).copied()
+    }
+
+    /// All histograms under one metric name merged across label sets (an
+    /// empty histogram if none exist).
+    pub fn histogram_merged(&self, name: &str) -> HistogramSnapshot {
+        let mut merged = HistogramSnapshot::default();
+        for (_, h) in self.histograms.iter().filter(|(k, _)| k.name == name) {
+            merged.merge(h);
+        }
+        merged
+    }
+
+    /// Merges `other` into this snapshot: counters and gauges add
+    /// (saturating), histograms add bucket-wise. Commutative and
+    /// associative over the metric content; the clock field becomes
+    /// `mixed` when the domains differ.
+    pub fn merge(&mut self, other: &Snapshot) {
+        if self.clock != other.clock {
+            self.clock = "mixed".to_string();
+        }
+        for (key, v) in &other.counters {
+            let slot = self.counters.entry(key.clone()).or_insert(0);
+            *slot = slot.saturating_add(*v);
+        }
+        for (key, v) in &other.gauges {
+            let slot = self.gauges.entry(key.clone()).or_insert(0);
+            *slot = slot.saturating_add(*v);
+        }
+        for (key, h) in &other.histograms {
+            self.histograms.entry(key.clone()).or_default().merge(h);
+        }
+    }
+
+    /// Renders the `t10.metrics.v1` document: sorted keys, fixed field
+    /// order, trailing newline. Byte-identical for equal snapshots.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\n  \"schema\": \"");
+        out.push_str(SCHEMA);
+        out.push_str("\",\n  \"clock\": \"");
+        json::escape_into(&mut out, &self.clock);
+        out.push_str("\",\n  \"counters\": {");
+        for (i, (key, v)) in self.counters.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    \"");
+            json::escape_into(&mut out, &key.render());
+            out.push_str("\": ");
+            out.push_str(&v.to_string());
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"gauges\": {");
+        for (i, (key, v)) in self.gauges.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    \"");
+            json::escape_into(&mut out, &key.render());
+            out.push_str("\": ");
+            out.push_str(&v.to_string());
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"histograms\": {");
+        for (i, (key, h)) in self.histograms.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    \"");
+            json::escape_into(&mut out, &key.render());
+            out.push_str("\": {\"count\": ");
+            out.push_str(&h.count.to_string());
+            out.push_str(", \"sum\": ");
+            out.push_str(&h.sum.to_string());
+            out.push_str(", \"buckets\": [");
+            // Trailing zero buckets are elided (the parser zero-fills), so
+            // mostly-empty histograms stay one short line.
+            let last = h.buckets.iter().rposition(|&c| c != 0).map_or(0, |i| i + 1);
+            for (j, c) in h.buckets.iter().take(last).enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&c.to_string());
+            }
+            out.push_str("]}");
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// The same document on a single line (for embedding inside other
+    /// deterministic JSON reports, e.g. the chaos campaign summary).
+    pub fn to_json_compact(&self) -> String {
+        let mut out = String::new();
+        for line in self.to_json().lines() {
+            out.push_str(line.trim_start());
+        }
+        out
+    }
+
+    /// Parses a `t10.metrics.v1` document.
+    ///
+    /// Values round-trip exactly up to 2^53 (the JSON number lane is f64);
+    /// saturated `u64::MAX` totals parse back clamped, which only matters
+    /// for snapshots that already overflowed.
+    pub fn parse(src: &str) -> Result<Self, String> {
+        let doc = json::parse(src)?;
+        let schema = doc
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or("missing schema field")?;
+        if schema != SCHEMA {
+            return Err(format!("expected schema {SCHEMA}, found {schema}"));
+        }
+        let clock = doc
+            .get("clock")
+            .and_then(Json::as_str)
+            .unwrap_or("unknown")
+            .to_string();
+        let mut snap = Snapshot::new(&clock);
+        if let Some(Json::Obj(members)) = doc.get("counters") {
+            for (flat, v) in members {
+                let v = v
+                    .as_f64()
+                    .ok_or_else(|| format!("counter {flat}: not a number"))?;
+                snap.counters.insert(MetricKey::parse(flat), clamp_u64(v));
+            }
+        }
+        if let Some(Json::Obj(members)) = doc.get("gauges") {
+            for (flat, v) in members {
+                let v = v
+                    .as_f64()
+                    .ok_or_else(|| format!("gauge {flat}: not a number"))?;
+                snap.gauges.insert(MetricKey::parse(flat), v as i64);
+            }
+        }
+        if let Some(Json::Obj(members)) = doc.get("histograms") {
+            for (flat, h) in members {
+                let count = h.get("count").and_then(Json::as_f64);
+                let sum = h.get("sum").and_then(Json::as_f64);
+                let buckets = h.get("buckets").and_then(Json::as_arr);
+                let (Some(count), Some(sum), Some(buckets)) = (count, sum, buckets) else {
+                    return Err(format!("histogram {flat}: missing count/sum/buckets"));
+                };
+                if buckets.len() > BUCKETS {
+                    return Err(format!(
+                        "histogram {flat}: {} buckets (max {BUCKETS})",
+                        buckets.len()
+                    ));
+                }
+                let mut hs = HistogramSnapshot {
+                    count: clamp_u64(count),
+                    sum: clamp_u64(sum),
+                    ..HistogramSnapshot::default()
+                };
+                for (i, b) in buckets.iter().enumerate() {
+                    let b = b
+                        .as_f64()
+                        .ok_or_else(|| format!("histogram {flat}: bucket {i} not a number"))?;
+                    hs.buckets[i] = clamp_u64(b);
+                }
+                snap.histograms.insert(MetricKey::parse(flat), hs);
+            }
+        }
+        Ok(snap)
+    }
+}
+
+fn clamp_u64(v: f64) -> u64 {
+    if v.is_finite() && v > 0.0 {
+        if v >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            v as u64
+        }
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn sample() -> Snapshot {
+        let r = Registry::logical();
+        r.counter("t10_serve_admission_total", &[("outcome", "accepted")])
+            .add(5);
+        r.counter(
+            "t10_serve_admission_total",
+            &[("outcome", "rejected-queue-full")],
+        )
+        .add(2);
+        r.gauge("t10_serve_queue_depth", &[]).set(3);
+        let h = r.histogram("t10_serve_queue_wait_us", &[("tier", "full")]);
+        for v in [0u64, 1, 5, 900, 70_000] {
+            h.observe(v);
+        }
+        r.snapshot()
+    }
+
+    #[test]
+    fn json_round_trips_and_is_deterministic() {
+        let snap = sample();
+        let doc = snap.to_json();
+        assert_eq!(doc, sample().to_json(), "same state, same bytes");
+        let parsed = Snapshot::parse(&doc).unwrap();
+        assert_eq!(parsed, snap);
+        assert_eq!(parsed.to_json(), doc);
+        assert!(doc.contains("\"schema\": \"t10.metrics.v1\""));
+        assert!(doc.contains("\"clock\": \"logical\""));
+        // Compact embedding is one line of the same content.
+        let compact = snap.to_json_compact();
+        assert_eq!(compact.lines().count(), 1);
+        assert_eq!(Snapshot::parse(&compact).unwrap(), snap);
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let snap = Registry::logical().snapshot();
+        let parsed = Snapshot::parse(&snap.to_json()).unwrap();
+        assert!(parsed.is_empty());
+        assert_eq!(parsed.to_json(), snap.to_json());
+    }
+
+    #[test]
+    fn parse_rejects_wrong_schema_and_garbage() {
+        assert!(Snapshot::parse("{}").is_err());
+        assert!(Snapshot::parse("{\"schema\": \"t10.bench.compile.v1\"}").is_err());
+        assert!(Snapshot::parse("not json").is_err());
+        assert!(Snapshot::parse(
+            "{\"schema\": \"t10.metrics.v1\", \"clock\": \"wall\", \
+             \"counters\": {\"x\": \"nan\"}, \"gauges\": {}, \"histograms\": {}}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn merge_is_commutative_across_snapshots() {
+        let a = sample();
+        let rb = Registry::logical();
+        rb.counter("t10_serve_admission_total", &[("outcome", "accepted")])
+            .add(7);
+        rb.gauge("t10_serve_queue_depth", &[]).set(2);
+        rb.histogram("t10_serve_queue_wait_us", &[("tier", "fast")])
+            .observe(12);
+        let b = rb.snapshot();
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge(a,b) == merge(b,a)");
+        assert_eq!(ab.to_json(), ba.to_json());
+        assert_eq!(
+            ab.counter("t10_serve_admission_total", &[("outcome", "accepted")]),
+            Some(12)
+        );
+        assert_eq!(ab.counter_sum("t10_serve_admission_total"), 14);
+        assert_eq!(ab.gauge("t10_serve_queue_depth", &[]), Some(5));
+        assert_eq!(ab.histogram_merged("t10_serve_queue_wait_us").count, 6);
+    }
+
+    #[test]
+    fn same_seed_logical_runs_produce_byte_identical_snapshots() {
+        // Two independent registries driven through an identical
+        // deterministic call sequence — including clock reads for
+        // durations — must serialize to the same bytes.
+        let run = || {
+            let r = Registry::logical();
+            let wait = r.histogram("t10_serve_queue_wait_us", &[("tier", "full")]);
+            let admitted = r.counter("t10_serve_admission_total", &[("outcome", "accepted")]);
+            for _ in 0..3 {
+                let t0 = r.now_us();
+                admitted.inc();
+                let t1 = r.now_us();
+                wait.observe(t1 - t0);
+            }
+            r.snapshot().to_json()
+        };
+        assert_eq!(run(), run());
+    }
+}

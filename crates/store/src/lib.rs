@@ -30,6 +30,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use t10_core::cache::{fnv64, fnv64_seeded, PlanCache};
+use t10_metrics::{names, Registry};
 use t10_trace::{Trace, Value, PID_STORE};
 
 pub mod envelope;
@@ -68,6 +69,7 @@ pub struct DiskPlanCache {
     quarantine: PathBuf,
     sync_writes: bool,
     trace: Trace,
+    metrics: Registry,
     nonce: AtomicU64,
     hits: AtomicUsize,
     misses: AtomicUsize,
@@ -93,6 +95,7 @@ impl DiskPlanCache {
             quarantine,
             sync_writes: true,
             trace: Trace::default(),
+            metrics: Registry::disabled(),
             nonce: AtomicU64::new(0),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
@@ -108,6 +111,16 @@ impl DiskPlanCache {
     #[must_use]
     pub fn with_trace(mut self, trace: Trace) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Attaches a metric registry: lookups (`result=hit|miss`), records,
+    /// write failures, and quarantines (`class=<error label>`) land on the
+    /// `t10_store_*` series. Counter-only, so snapshots stay deterministic
+    /// under any registry clock.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: Registry) -> Self {
+        self.metrics = metrics;
         self
     }
 
@@ -288,6 +301,9 @@ impl DiskPlanCache {
             let _ = fs::remove_file(path);
         }
         self.quarantined.fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .counter(names::STORE_QUARANTINED_TOTAL, &[("class", err.label())])
+            .inc();
         if self.trace.enabled() {
             self.trace.instant(
                 "quarantine".to_string(),
@@ -320,16 +336,25 @@ impl PlanCache for DiskPlanCache {
         match self.load(key) {
             Ok(Some(payload)) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                self.metrics
+                    .counter(names::STORE_LOOKUPS_TOTAL, &[("result", "hit")])
+                    .inc();
                 Some(payload)
             }
             Ok(None) => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                self.metrics
+                    .counter(names::STORE_LOOKUPS_TOTAL, &[("result", "miss")])
+                    .inc();
                 None
             }
             // Validation failures were quarantined (and counted) in load();
             // they degrade to a miss so the compiler re-searches.
             Err(_) => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                self.metrics
+                    .counter(names::STORE_LOOKUPS_TOTAL, &[("result", "miss")])
+                    .inc();
                 None
             }
         }
@@ -339,9 +364,13 @@ impl PlanCache for DiskPlanCache {
         match self.store(key, payload) {
             Ok(()) => {
                 self.recorded.fetch_add(1, Ordering::Relaxed);
+                self.metrics.counter(names::STORE_RECORDED_TOTAL, &[]).inc();
             }
             Err(_) => {
                 self.write_failures.fetch_add(1, Ordering::Relaxed);
+                self.metrics
+                    .counter(names::STORE_WRITE_FAILURES_TOTAL, &[])
+                    .inc();
             }
         }
     }

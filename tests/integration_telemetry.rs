@@ -1,0 +1,210 @@
+//! Live-service telemetry, end to end: serve under load fills the latency
+//! histograms, the logical clock makes snapshots byte-identical, the flush
+//! file feeds `t10 stats`, and `t10 bench-diff` gates on regressions.
+
+#![allow(clippy::unwrap_used, clippy::indexing_slicing)]
+
+use t10_cli::serve::{self, ServeOptions};
+use t10_cli::{benchdiff, stats};
+use t10_metrics::{names, prometheus, Registry};
+
+fn fresh_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("t10-telemetry-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write_model(dir: &std::path::Path) -> String {
+    let model = dir.join("telemetry.t10");
+    std::fs::write(
+        &model,
+        "model telemetry-test\ninput x 64 64\nlinear a x 64 relu\noutput a\n",
+    )
+    .unwrap();
+    model.to_string_lossy().into_owned()
+}
+
+fn options(burst: &ServeBurst) -> ServeOptions {
+    ServeOptions {
+        requests: None,
+        cache: None,
+        workers: burst.workers,
+        jobs: 1,
+        queue: burst.queue,
+        cores: 16,
+        deadline_ms: None,
+        metrics_addr: None,
+        metrics_flush: None,
+        metrics_logical: false,
+        metrics_linger_ms: 0,
+    }
+}
+
+struct ServeBurst {
+    workers: usize,
+    queue: usize,
+}
+
+/// Same requests, logical clock, two fresh registries: the snapshots must
+/// be byte-identical — tick-delta histograms included.
+#[test]
+fn same_seed_logical_serve_snapshots_are_byte_identical() {
+    let dir = fresh_dir("logical");
+    let model = write_model(&dir);
+    // More requests than queue slots: rejections and the degraded tier are
+    // part of the deterministic story, not just the happy path.
+    let input = format!("compile {model} --cores 16\n").repeat(6);
+    let o = options(&ServeBurst {
+        workers: 2,
+        queue: 4,
+    });
+
+    let run = || {
+        let registry = Registry::logical();
+        let responses = serve::serve_requests(&input, &o, &registry).unwrap();
+        (responses.len(), registry.snapshot())
+    };
+    let (n_a, snap_a) = run();
+    let (n_b, snap_b) = run();
+    assert_eq!(n_a, 6);
+    assert_eq!(n_b, 6);
+    assert_eq!(
+        snap_a.to_json(),
+        snap_b.to_json(),
+        "logical-clock snapshots must be byte-identical"
+    );
+    assert_eq!(prometheus::render(&snap_a), prometheus::render(&snap_b));
+    assert_eq!(snap_a.clock, "logical");
+
+    // The burst overflows the 4-slot queue, so admission control shows all
+    // three outcomes deterministically: admit-all happens before draining.
+    assert_eq!(snap_a.counter_sum(names::SERVE_ADMISSION_TOTAL), 6);
+    assert_eq!(
+        snap_a.counter(
+            names::SERVE_ADMISSION_TOTAL,
+            &[("outcome", "rejected-queue-full")],
+        ),
+        Some(2)
+    );
+    assert!(
+        snap_a
+            .counter(
+                names::SERVE_ADMISSION_TOTAL,
+                &[("outcome", "accepted-degraded")],
+            )
+            .unwrap_or(0)
+            > 0,
+        "a nearly-full queue must degrade admissions"
+    );
+
+    // Queue-wait and compile histograms are non-empty with non-zero ticks:
+    // every dequeued request waited through the admit-all phase.
+    let wait = snap_a.histogram_merged(names::SERVE_QUEUE_WAIT_US);
+    assert_eq!(wait.count, 4, "every admitted request records queue wait");
+    assert!(wait.sum > 0, "logical queue-wait ticks are non-zero");
+    let compile = snap_a.histogram_merged(names::SERVE_COMPILE_US);
+    assert_eq!(compile.count, 4);
+    assert!(compile.sum > 0);
+    assert_eq!(snap_a.histogram_merged(names::SERVE_E2E_US).count, 4);
+}
+
+/// Wall-clock serve under a threaded worker pool still answers everything
+/// and fills the histograms in both exposition formats.
+#[test]
+fn wall_clock_serve_fills_histograms_in_both_formats() {
+    let dir = fresh_dir("wall");
+    let model = write_model(&dir);
+    let input = format!("compile {model} --cores 16\n").repeat(5);
+    let o = options(&ServeBurst {
+        workers: 2,
+        queue: 16,
+    });
+    let registry = Registry::wall();
+    let responses = serve::serve_requests(&input, &o, &registry).unwrap();
+    assert_eq!(responses.len(), 5);
+    for r in &responses {
+        assert!(matches!(r, serve::Response::Ok { .. }), "{r:?}");
+    }
+
+    let snap = registry.snapshot();
+    assert_eq!(snap.clock, "wall");
+    assert_eq!(snap.histogram_merged(names::SERVE_QUEUE_WAIT_US).count, 5);
+    let e2e = snap.histogram_merged(names::SERVE_E2E_US);
+    assert_eq!(e2e.count, 5);
+    assert!(e2e.sum > 0, "wall-clock compiles take measurable time");
+
+    // JSON round-trips; Prometheus text carries the same series.
+    let reparsed = t10_metrics::Snapshot::parse(&snap.to_json()).unwrap();
+    assert_eq!(reparsed.histogram_merged(names::SERVE_E2E_US).count, 5);
+    let text = prometheus::render(&snap);
+    assert!(text.contains("# TYPE t10_serve_e2e_us histogram"));
+    assert!(text.contains("t10_serve_e2e_us_count 5"));
+    assert!(text.contains("t10_serve_queue_wait_us_bucket"));
+    assert!(text.contains("le=\"+Inf\""));
+}
+
+/// The full CLI loop: `serve --metrics-flush` writes a snapshot that
+/// `t10 stats` summarizes with every SLO met.
+#[test]
+fn serve_flush_feeds_stats_and_meets_slos() {
+    let dir = fresh_dir("flush");
+    let model = write_model(&dir);
+    let requests = dir.join("requests.txt");
+    std::fs::write(&requests, format!("compile {model} --cores 16\n").repeat(3)).unwrap();
+    let flush = dir.join("snapshot.json");
+    let mut o = options(&ServeBurst {
+        workers: 1,
+        queue: 16,
+    });
+    o.requests = Some(requests.to_string_lossy().into_owned());
+    o.metrics_flush = Some(flush.to_string_lossy().into_owned());
+    o.metrics_logical = true;
+    assert_eq!(serve::serve(&o).unwrap(), 0);
+
+    let code = stats::stats(&stats::StatsOptions {
+        file: flush.to_string_lossy().into_owned(),
+        slo_availability: None,
+        slo_latency_ms: None,
+        slo_latency_pct: None,
+    })
+    .unwrap();
+    assert_eq!(code, 0, "a healthy batch meets the default SLOs");
+}
+
+/// A synthetically regressed bench document trips the gate with exit 14;
+/// the committed baselines pass against themselves.
+#[test]
+fn bench_diff_gates_on_synthetic_regression() {
+    let dir = fresh_dir("benchdiff");
+    let base_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_compile.json");
+    let base = std::fs::read_to_string(&base_path).unwrap();
+    let regressed = dir.join("regressed.json");
+    // Double every cold p50 by textual surgery on the committed document.
+    let doc = t10_trace::json::parse(&base).unwrap();
+    let p50 = doc
+        .get("cold_ms")
+        .and_then(|c| c.get("p50"))
+        .and_then(|v| v.as_f64())
+        .unwrap();
+    let needle = format!("\"p50\": {p50}");
+    assert!(base.contains(&needle), "baseline formatting changed");
+    std::fs::write(
+        &regressed,
+        base.replacen(&needle, &format!("\"p50\": {}", p50 * 2.0), 1),
+    )
+    .unwrap();
+
+    let gate = |current: &std::path::Path| {
+        benchdiff::bench_diff(&benchdiff::BenchDiffOptions {
+            baseline: base_path.to_string_lossy().into_owned(),
+            current: current.to_string_lossy().into_owned(),
+            threshold_pct: 25.0,
+        })
+        .unwrap()
+    };
+    assert_eq!(gate(&base_path), 0, "the baseline passes against itself");
+    assert_eq!(gate(&regressed), 14, "a 2x cold p50 trips the gate");
+}

@@ -123,13 +123,8 @@ fn compile_trace_carries_verifier_spans() {
     .unwrap();
     let trace = Trace::logical();
     let opts = CompileOptions {
-        deadline: None,
-        faults: None,
-        warm_start: None,
         trace: trace.clone(),
-        prove: false,
-        cache: None,
-        op_parallelism: 0,
+        ..CompileOptions::default()
     };
     Compiler::new(ChipSpec::ipu_mk2(), bench_search_config())
         .compile_graph_with(&g, &opts)
