@@ -204,6 +204,10 @@ pub fn run_chain(
                             pareto: vec![pareto.clone()],
                             input_buffers: f.input_buffers,
                             output_buffers: f.output_buffers,
+                            // Single-operator unit: no inter-operator
+                            // boundaries to certify.
+                            graph_edges: vec![],
+                            boundaries: vec![],
                         })
                     })
                     .ok_or_else(|| CompileError::infeasible("no functionally-lowerable plan"));

@@ -67,6 +67,8 @@ fn tracked_metrics(schema: &str) -> Option<Vec<Tracked>> {
             up("cold_ms.p90"),
             up("warm_ms.p50"),
             up("warm_ms.p90"),
+            up("graph_check_ms.p50"),
+            up("graph_check_ms.p90"),
             up("parallel_search.parallel_ms"),
             down("warm_hit_rate"),
             down("parallel_search.speedup"),
@@ -248,6 +250,7 @@ mod tests {
         "schema": "t10.bench.compile.v1",
         "cold_ms": {"p50": 100.0, "p90": 200.0},
         "warm_ms": {"p50": 10.0, "p90": 20.0},
+        "graph_check_ms": {"p50": 1.0, "p90": 2.0},
         "warm_hit_rate": 1.0,
         "parallel_search": {"parallel_ms": 150.0, "speedup": 2.0}
     }"#;
@@ -309,6 +312,26 @@ mod tests {
             .iter()
             .all(|r| !r.regressed));
         assert!(compare(&base, &slow, 10.0).unwrap().regressed());
+    }
+
+    #[test]
+    fn graph_check_latency_is_tracked() {
+        // The whole-graph verification pass is pure analysis; a latency
+        // cliff there is a real regression the gate must catch.
+        let base = parse(COMPILE_BASE);
+        let slow = parse(&COMPILE_BASE.replace("\"p50\": 1.0", "\"p50\": 2.0"));
+        let report = compare(&base, &slow, 25.0).unwrap();
+        let row = report
+            .rows
+            .iter()
+            .find(|r| r.path == "graph_check_ms.p50")
+            .unwrap();
+        assert!(row.regressed);
+        assert!((row.delta_pct.unwrap() - 100.0).abs() < 1e-9);
+        // Absent in an old baseline: skipped, never failed.
+        let old =
+            parse(r#"{"schema": "t10.bench.compile.v1", "cold_ms": {"p50": 100.0, "p90": 200.0}}"#);
+        assert!(!compare(&old, &slow, 25.0).unwrap().regressed());
     }
 
     #[test]

@@ -341,6 +341,10 @@ pub enum Cli {
         /// Write the machine-readable proof certificates to this path
         /// (requires `--prove`).
         prove_cert: Option<String>,
+        /// Also run the graph-level analysis standalone and report it:
+        /// per-boundary contract table (GRAPH01-08) plus the advisory FUSE
+        /// fusion-candidate lints folded into the diagnostics.
+        graph: bool,
     },
     /// Compare T10 against the VGM baselines.
     Bench {
@@ -481,6 +485,7 @@ impl Cli {
         let mut max_retries: Option<usize> = None;
         let mut json: Option<String> = None;
         let mut prove = false;
+        let mut graph_check = false;
         let mut prove_cert: Option<String> = None;
         let mut trace = TraceArgs::default();
         let mut campaign_seed: Option<u64> = None;
@@ -560,6 +565,7 @@ impl Cli {
                     json = Some(it.next().ok_or("--json needs a path")?.clone());
                 }
                 "--prove" => prove = true,
+                "--graph" => graph_check = true,
                 "--prove-cert" => {
                     prove_cert = Some(it.next().ok_or("--prove-cert needs a path")?.clone());
                 }
@@ -722,6 +728,9 @@ impl Cli {
         if prove_cert.is_some() && (sub != Some("check") || !prove) {
             return Err("--prove-cert requires `check --prove`".into());
         }
+        if graph_check && sub != Some("check") {
+            return Err("--graph only applies to `check`".into());
+        }
         if deadline_ms.is_some() && sub != Some("compile") && sub != Some("serve") {
             return Err("--deadline-ms only applies to `compile` and `serve`".into());
         }
@@ -865,6 +874,7 @@ impl Cli {
                 json,
                 prove,
                 prove_cert,
+                graph: graph_check,
             }),
             ["trace", file] => Ok(Cli::Trace {
                 file: file.to_string(),
@@ -1402,6 +1412,8 @@ pub fn run(cli: &Cli) -> Result<i32, CliError> {
                         pareto: compiled.node_pareto.clone(),
                         input_buffers: vec![],
                         output_buffers: vec![],
+                        graph_edges: compiled.graph_edges.clone(),
+                        boundaries: compiled.boundaries.clone(),
                     };
                     last_compiled = Some(compiled);
                     Ok(unit)
@@ -1468,6 +1480,7 @@ pub fn run(cli: &Cli) -> Result<i32, CliError> {
             json,
             prove,
             prove_cert,
+            graph,
         } => {
             let spec = chip(*cores);
             let fault_plan = match faults {
@@ -1495,6 +1508,10 @@ pub fn run(cli: &Cli) -> Result<i32, CliError> {
             ]);
             let mut outcomes: Vec<CheckOutcome> = Vec::new();
             let mut total_verify = Duration::ZERO;
+            let mut edge_table = Table::new(vec![
+                "model", "edge", "value", "bytes", "step", "mode", "status",
+            ]);
+            let mut edge_count = 0usize;
             for name in &names {
                 let compiled: Result<(Graph, CompiledGraph), CliError> = (|| {
                     let mut g = resolve_model(name, *batch)?;
@@ -1583,8 +1600,67 @@ pub fn run(cli: &Cli) -> Result<i32, CliError> {
                         proved_col.push_str(&format!(" ({skipped} skipped)"));
                     }
                     // Structural + semantic passes together prove the full
-                    // rule inventory.
-                    report.stats.rules_checked = t10_verify::RuleId::ALL.len();
+                    // rule inventory (graph rules counted below).
+                    report.stats.rules_checked =
+                        t10_verify::RuleId::ALL.len() - t10_verify::RuleId::GRAPH.len();
+                }
+                // Graph-level pass, standalone on the released artifact:
+                // every boundary contract re-proved (GRAPH01-08), and the
+                // advisory FUSE fusion lints folded into the diagnostics.
+                if *graph {
+                    let verifier = match fault_plan.as_ref() {
+                        Some(f) => t10_verify::Verifier::new(&spec).with_faults(f),
+                        None => t10_verify::Verifier::new(&spec),
+                    };
+                    let analysis = t10_verify::graph::check(
+                        &verifier,
+                        &compiled.program,
+                        &compiled.graph_edges,
+                        &compiled.boundaries,
+                    );
+                    for c in &compiled.boundaries {
+                        let bad = analysis
+                            .report
+                            .diagnostics
+                            .iter()
+                            .any(|d| d.location.edge == Some(c.edge()));
+                        edge_count += 1;
+                        edge_table.row(vec![
+                            g.name().to_string(),
+                            format!("{}->{}", c.producer, c.consumer),
+                            c.value.to_string(),
+                            fmt_bytes(c.transition_bytes as usize),
+                            c.transition_step.to_string(),
+                            if c.piggybacked {
+                                "piggyback".into()
+                            } else {
+                                "dedicated".into()
+                            },
+                            if bad { "FAIL".into() } else { "ok".into() },
+                        ]);
+                    }
+                    for cand in &analysis.candidates {
+                        println!(
+                            "{name}: fusion candidate {}: ~{} and {} superstep(s) saved{}",
+                            cand.chain
+                                .iter()
+                                .map(|n| n.to_string())
+                                .collect::<Vec<_>>()
+                                .join("->"),
+                            fmt_bytes(cand.bytes_saved as usize),
+                            cand.steps_saved,
+                            if cand.pace_compatible {
+                                " (pace-compatible rings)"
+                            } else {
+                                ""
+                            },
+                        );
+                    }
+                    let fuse_diags = analysis.fuse_diagnostics();
+                    let mut graph_report = analysis.report;
+                    graph_report.diagnostics.extend(fuse_diags);
+                    report.merge(graph_report);
+                    report.stats.rules_checked += t10_verify::RuleId::GRAPH.len();
                 }
                 let dt = t0.elapsed();
                 total_verify += dt;
@@ -1610,6 +1686,10 @@ pub fn run(cli: &Cli) -> Result<i32, CliError> {
                 outcomes.push(CheckOutcome::checked(g.name().to_string(), report, certs));
             }
             t.print();
+            if *graph && edge_count > 0 {
+                println!("boundary contracts ({edge_count} edge(s)):");
+                edge_table.print();
+            }
             let all_ok = outcomes.iter().all(CheckOutcome::is_ok);
             println!(
                 "checked {} target(s) in {:.1} ms total verify time: {}",
@@ -2148,6 +2228,7 @@ mod tests {
                 json: Some("diag.json".to_string()),
                 prove: false,
                 prove_cert: None,
+                graph: false,
             }
         );
         // --json is check-only; trace flags don't apply to check.
@@ -2171,6 +2252,12 @@ mod tests {
         assert!(Cli::parse(&s(&["run", "x", "--prove"])).is_err());
         assert!(Cli::parse(&s(&["check", "x", "--prove-cert", "c.json"])).is_err());
         assert!(Cli::parse(&s(&["check", "x", "--prove-cert"])).is_err());
+        // --graph is check-only.
+        assert!(matches!(
+            Cli::parse(&s(&["check", "x", "--graph"])).unwrap(),
+            Cli::Check { graph: true, .. }
+        ));
+        assert!(Cli::parse(&s(&["compile", "x", "--graph"])).is_err());
     }
 
     #[test]
@@ -2194,6 +2281,9 @@ mod tests {
             json: Some(json_path.to_string_lossy().to_string()),
             prove: true,
             prove_cert: Some(cert_path.to_string_lossy().to_string()),
+            // With --prove and --graph together the full rule inventory is
+            // exercised, which the rules_checked assertion below pins.
+            graph: true,
         })
         .unwrap();
         assert_eq!(code, 0);
@@ -2306,6 +2396,7 @@ mod tests {
             json: None,
             prove: false,
             prove_cert: None,
+            graph: false,
         })
         .unwrap();
         assert_eq!(code, 0);

@@ -758,6 +758,9 @@ struct BenchRow {
     operators: usize,
     cold_ms: f64,
     warm_ms: f64,
+    /// Standalone whole-graph verification latency (boundary contracts +
+    /// fusion lints) over the released artifact.
+    graph_check_ms: f64,
     disk_hits: usize,
     recorded: usize,
 }
@@ -811,11 +814,30 @@ pub fn compile_bench(o: &CompileBenchOptions) -> Result<i32, CliError> {
         };
         let (cold_ms, cold) = compile_with(&opts, g)?;
         let (warm_ms, warm) = compile_with(&opts, g)?;
+        // Re-run the graph-level pass standalone (the compile above
+        // already ran it as a post-pass) so the bench isolates its cost:
+        // the `t10 check --graph` latency CI gates on.
+        let verifier = t10_verify::Verifier::new(compiler.spec());
+        let t0 = std::time::Instant::now();
+        let analysis = t10_verify::graph::check(
+            &verifier,
+            &warm.program,
+            &warm.graph_edges,
+            &warm.boundaries,
+        );
+        let graph_check_ms = t0.elapsed().as_secs_f64() * 1e3;
+        if !analysis.report.is_ok() {
+            return Err(CliError::internal(format!(
+                "{}: graph re-check refuted a released artifact",
+                g.name()
+            )));
+        }
         rows.push(BenchRow {
             name: g.name().to_string(),
             operators: g.nodes().len(),
             cold_ms,
             warm_ms,
+            graph_check_ms,
             disk_hits: warm.cache_stats.disk_hits,
             recorded: cold.cache_stats.recorded,
         });
@@ -841,8 +863,10 @@ pub fn compile_bench(o: &CompileBenchOptions) -> Result<i32, CliError> {
 
     let mut cold: Vec<f64> = rows.iter().map(|r| r.cold_ms).collect();
     let mut warm: Vec<f64> = rows.iter().map(|r| r.warm_ms).collect();
+    let mut graph_check: Vec<f64> = rows.iter().map(|r| r.graph_check_ms).collect();
     cold.sort_by(f64::total_cmp);
     warm.sort_by(f64::total_cmp);
+    graph_check.sort_by(f64::total_cmp);
     let hits: usize = rows.iter().map(|r| r.disk_hits).sum();
     let recorded: usize = rows.iter().map(|r| r.recorded).sum();
     let hit_rate = if hits + recorded > 0 {
@@ -868,6 +892,12 @@ pub fn compile_bench(o: &CompileBenchOptions) -> Result<i32, CliError> {
         percentile(&warm, 0.9),
         percentile(&warm, 1.0),
     ));
+    doc.push_str(&format!(
+        "  \"graph_check_ms\": {{\"p50\": {:.3}, \"p90\": {:.3}, \"max\": {:.3}}},\n",
+        percentile(&graph_check, 0.5),
+        percentile(&graph_check, 0.9),
+        percentile(&graph_check, 1.0),
+    ));
     doc.push_str(&format!("  \"warm_hit_rate\": {hit_rate:.4},\n"));
     doc.push_str(&format!(
         "  \"parallel_search\": {{\"threads\": {}, \"sequential_ms\": {seq_ms:.3}, \
@@ -878,11 +908,13 @@ pub fn compile_bench(o: &CompileBenchOptions) -> Result<i32, CliError> {
     for (i, r) in rows.iter().enumerate() {
         doc.push_str(&format!(
             "    {{\"name\": \"{}\", \"operators\": {}, \"cold_ms\": {:.3}, \
-             \"warm_ms\": {:.3}, \"disk_hits\": {}, \"recorded\": {}}}{}\n",
+             \"warm_ms\": {:.3}, \"graph_check_ms\": {:.3}, \"disk_hits\": {}, \
+             \"recorded\": {}}}{}\n",
             r.name,
             r.operators,
             r.cold_ms,
             r.warm_ms,
+            r.graph_check_ms,
             r.disk_hits,
             r.recorded,
             if i + 1 < rows.len() { "," } else { "" },
@@ -909,6 +941,117 @@ pub fn compile_bench(o: &CompileBenchOptions) -> Result<i32, CliError> {
         let _ = std::fs::remove_dir_all(&cache_dir);
     }
     Ok(0)
+}
+
+/// Concurrency model tests of the admission queue: the real [`JobQueue`]
+/// state machine driven by real threads, with no clocks, no IO, and no
+/// model compilation, so the same tests run under plain `cargo test` and
+/// under Miri's data-race/UB checker in CI
+/// (`cargo +nightly miri test -p t10-cli concurrency_model`).
+#[cfg(test)]
+mod concurrency_model {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn req(id: usize) -> Request {
+        Request {
+            id,
+            target: "m".to_string(),
+            batch: 1,
+            cores: None,
+            faults: None,
+            deadline_ms: None,
+        }
+    }
+
+    #[test]
+    fn admission_never_overfills_and_drains_exactly_once() {
+        const CAP: usize = 4;
+        const PRODUCERS: usize = 3;
+        const PER_PRODUCER: usize = 8;
+        let q = Arc::new(JobQueue::new());
+        let admitted = Arc::new(AtomicUsize::new(0));
+        let drained: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let q = Arc::clone(&q);
+                let drained = Arc::clone(&drained);
+                s.spawn(move || {
+                    while let Some((job, _left)) = q.pop() {
+                        drained.lock().unwrap().push(job.req.id);
+                    }
+                });
+            }
+            let producers: Vec<_> = (0..PRODUCERS)
+                .map(|p| {
+                    let q = Arc::clone(&q);
+                    let admitted = Arc::clone(&admitted);
+                    s.spawn(move || {
+                        for k in 0..PER_PRODUCER {
+                            match q.try_push(req(p * 100 + k), CAP, 0) {
+                                Ok((_, depth)) => {
+                                    assert!(depth <= CAP, "queue overfilled to {depth}");
+                                    admitted.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Err(len) => assert!(len >= CAP, "rejected below capacity"),
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for p in producers {
+                p.join().unwrap();
+            }
+            q.close();
+        });
+        // Every admitted job was drained exactly once, none invented.
+        let mut ids = drained.lock().unwrap().clone();
+        assert_eq!(ids.len(), admitted.load(Ordering::Relaxed));
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), admitted.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn pressure_flag_trips_at_three_quarters() {
+        let q = JobQueue::new();
+        // Capacity 4: pushes land at depths 1..=4; 3/4 pressure starts at 3.
+        let flags: Vec<bool> = (0..4)
+            .map(|i| q.try_push(req(i), 4, 0).unwrap().0)
+            .collect();
+        assert_eq!(flags, [false, false, true, true]);
+        assert!(q.try_push(req(9), 4, 0).is_err(), "fifth push must reject");
+    }
+
+    #[test]
+    fn pop_is_fifo_and_reports_remaining_depth() {
+        let q = JobQueue::new();
+        for i in 0..3 {
+            q.try_push(req(i), 8, 0).unwrap();
+        }
+        q.close();
+        for expect in 0..3 {
+            let (job, left) = q.pop().unwrap();
+            assert_eq!(job.req.id, expect);
+            assert_eq!(left, 2 - expect);
+        }
+        assert!(q.pop().is_none(), "closed and empty");
+    }
+
+    #[test]
+    fn close_wakes_blocked_workers() {
+        let q = Arc::new(JobQueue::new());
+        std::thread::scope(|s| {
+            // Workers block on the empty queue; close() must wake them all
+            // (a lost notify here deadlocks the scope join).
+            for _ in 0..3 {
+                let q = Arc::clone(&q);
+                s.spawn(move || assert!(q.pop().is_none()));
+            }
+            q.close();
+        });
+    }
 }
 
 #[cfg(test)]

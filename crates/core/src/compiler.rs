@@ -12,6 +12,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
+use t10_device::boundary::{BoundaryContract, GraphEdge};
 use t10_device::program::Program;
 use t10_device::ChipSpec;
 use t10_ir::{Graph, NodeId, Operator, ValueKind};
@@ -159,6 +160,13 @@ pub struct CompiledGraph {
     pub compile_seconds: f64,
     /// Persistent/in-process cache telemetry for this compile.
     pub cache_stats: CacheStats,
+    /// Dataflow edges of the compiled graph (producer → consumer), carried
+    /// so recovery re-certification can rerun the graph-level pass without
+    /// the IR graph.
+    pub graph_edges: Vec<GraphEdge>,
+    /// One typed §5 handoff contract per dataflow edge, proved by the
+    /// mandatory graph-level post-pass.
+    pub boundaries: Vec<BoundaryContract>,
 }
 
 impl Compiler {
@@ -790,6 +798,7 @@ impl Compiler {
         // excluded (inputs are warm; §6.1 measures on-chip execution).
         let mut program = Program::new();
         let last = graph.nodes().len().saturating_sub(1);
+        let mut transition_at: Vec<Option<(usize, bool)>> = vec![None; graph.nodes().len()];
         for (i, node) in graph.nodes().iter().enumerate() {
             let choice = &reconciled.choices[i];
             let active = &node_pareto[i].plans()[choice.active];
@@ -817,11 +826,17 @@ impl Compiler {
                 match program.steps.last_mut() {
                     Some(lastss) if lastss.exchange_summary.is_none() => {
                         lastss.exchange_summary = t.exchange_summary;
+                        transition_at[i] = Some((program.steps.len() - 1, true));
                     }
-                    _ => program.steps.push(t),
+                    _ => {
+                        program.steps.push(t);
+                        transition_at[i] = Some((program.steps.len() - 1, false));
+                    }
                 }
             }
         }
+        let (graph_edges, boundaries) =
+            crate::contracts::derive(graph, &node_pareto, &reconciled, &ops, &transition_at);
         // Mandatory static post-pass (pure analysis, no simulation): prove
         // the assembled program and every chosen plan before handing the
         // compile out. A violation here is a compiler bug or a corrupted
@@ -841,6 +856,21 @@ impl Compiler {
             );
         }
         crate::verify::require(report)?;
+        // Graph-level post-pass: prove every boundary contract against the
+        // assembled program — layout handoff, byte conservation, residency
+        // during the transition window, dataflow coverage. FUSE lints are
+        // advisory and recorded as metrics only; they never gate a compile.
+        let analysis = t10_verify::graph::check(&verifier, &program, &graph_edges, &boundaries);
+        opts.metrics
+            .counter(metric_names::VERIFY_GRAPH_EDGES_TOTAL, &[])
+            .add(analysis.edges_checked as u64);
+        opts.metrics
+            .counter(metric_names::VERIFY_FUSE_CANDIDATES_TOTAL, &[])
+            .add(analysis.candidates.len() as u64);
+        opts.metrics
+            .counter(metric_names::VERIFY_FUSE_BYTES_SAVED_TOTAL, &[])
+            .add(analysis.bytes_saved());
+        crate::verify::require(analysis.report)?;
         // Semantic post-pass: translation-validate chosen plans. Opt-in for
         // freshly searched plans (`opts.prove`), but *mandatory* for any
         // node whose frontier came out of the persistent cache — a cache
@@ -894,6 +924,8 @@ impl Compiler {
             node_stats,
             compile_seconds: t0.elapsed().as_secs_f64(),
             cache_stats,
+            graph_edges,
+            boundaries,
         })
     }
 

@@ -1,0 +1,189 @@
+//! Boundary-contract derivation: the compiler side of graph-level analysis.
+//!
+//! The assembly loop in [`crate::compiler`] lowers one inter-operator
+//! layout transition (§5) per producer node and either piggybacks it on
+//! the node's last superstep or emits a dedicated `Phase::Transition`
+//! step. This module turns that implicit handoff into typed
+//! [`BoundaryContract`]s — one per dataflow edge — that
+//! `t10_verify::graph` proves against the assembled program: layout
+//! compatibility, byte conservation, transition-window residency, and
+//! dataflow coverage.
+
+use t10_device::boundary::{BoundaryContract, GraphEdge, OpClass};
+use t10_ir::{Graph, IndexExpr, Node, OpKind, ValueKind};
+
+use crate::plan::Plan;
+use crate::reconcile::{weight_bytes_per_core, OpForSchedule, Reconciled};
+use crate::search::ParetoSet;
+
+/// Fusion class of an operator kind, as the FUSE lints consume it.
+///
+/// Matmul and convolution anchor fusion chains; gathers break them
+/// (data-dependent access cannot ride a rotation ring); everything else
+/// is glue that may sit in a chain's interior.
+#[must_use]
+pub fn op_class(kind: OpKind) -> OpClass {
+    match kind {
+        OpKind::MatMul | OpKind::Conv2d => OpClass::ComputeIntensive,
+        OpKind::Gather => OpClass::MemoryBound,
+        OpKind::Elementwise | OpKind::Reduce | OpKind::Pool => OpClass::Elementwise,
+    }
+}
+
+/// The ring signature `(rings, pace)` a plan sustains for one input slot,
+/// or for its stationary output when `slot` is `None` (the innermost
+/// rotation level — the ring a fused intermediate would ride).
+///
+/// `(0, 0)` when nothing rotates: a stationary operand has no ring, and
+/// the pair is kept jointly zero so a contract never claims rings without
+/// a pace (GRAPH08 treats that as malformed).
+fn ring_signature(plan: &Plan, slot: Option<usize>) -> (usize, usize) {
+    let (rings, pace) = match slot {
+        Some(s) => {
+            let pace = plan
+                .rotations
+                .iter()
+                .find(|level| level.slots.contains(&s))
+                .map_or(0, |level| level.rp);
+            (plan.slots.get(s).map_or(0, |sp| sp.rings), pace)
+        }
+        None => match plan.rotations.last() {
+            Some(level) => {
+                let rings = level
+                    .slots
+                    .first()
+                    .and_then(|&s| plan.slots.get(s))
+                    .map_or(0, |sp| sp.rings);
+                (rings, level.rp)
+            }
+            None => (0, 0),
+        },
+    };
+    if rings == 0 || pace == 0 {
+        (0, 0)
+    } else {
+        (rings, pace)
+    }
+}
+
+/// Whether `exprs` addresses the stored value identically: one stride-1
+/// zero-offset axis per dimension, with the accessed extent equal to the
+/// stored extent. Only then is per-byte coverage arithmetic exact across a
+/// boundary — windowed accesses (conv/pool halos), cropped interiors of
+/// padded values, and data-dependent gathers all legitimately touch fewer
+/// or more bytes than `cores x partition`, so such boundaries are proved
+/// at placement granularity instead (see `t10_verify::graph`).
+fn identity_access(node: &Node, exprs: &[IndexExpr], shape: &[usize]) -> bool {
+    exprs.len() == shape.len()
+        && exprs.iter().zip(shape).all(|(e, &extent)| {
+            e.single_axis().is_some() && e.dim_size(&node.op.expr.axes) == extent
+        })
+}
+
+/// Derives the graph's dataflow edges and one boundary contract per edge.
+///
+/// `transition_at[i]` is the superstep carrying node `i`'s §5 transition
+/// (`(step index, piggybacked)`), as recorded by the assembly loop; `None`
+/// for the last node, which has no downstream boundary. Edges whose
+/// producer has no transition step (impossible for compiler-assembled
+/// programs) are still emitted so the graph pass reports the hole instead
+/// of silently narrowing coverage.
+#[must_use]
+pub fn derive(
+    graph: &Graph,
+    node_pareto: &[ParetoSet],
+    reconciled: &Reconciled,
+    ops: &[OpForSchedule],
+    transition_at: &[Option<(usize, bool)>],
+) -> (Vec<GraphEdge>, Vec<BoundaryContract>) {
+    let mut edges = Vec::new();
+    let mut contracts = Vec::new();
+    let chosen = |i: usize| -> Option<&Plan> {
+        let choice = reconciled.choices.get(i)?;
+        Some(&node_pareto.get(i)?.plans().get(choice.active)?.plan)
+    };
+    // Producer map: which node writes each value.
+    let mut producer_of = std::collections::BTreeMap::new();
+    for (i, node) in graph.nodes().iter().enumerate() {
+        producer_of.insert(node.op.output, i);
+    }
+    for (j, node) in graph.nodes().iter().enumerate() {
+        for (s, &v) in node.op.inputs.iter().enumerate() {
+            if graph.value(v).kind == ValueKind::Weight {
+                continue;
+            }
+            let Some(&i) = producer_of.get(&v) else {
+                continue; // graph input: loaded off-chip, not a boundary
+            };
+            let tensor_bytes = graph.value(v).bytes() as u64;
+            edges.push(GraphEdge {
+                producer: i,
+                consumer: j,
+                value: v,
+                consumer_slot: s,
+                tensor_bytes,
+            });
+            let (Some(pplan), Some(cplan)) = (chosen(i), chosen(j)) else {
+                continue;
+            };
+            let Some(&Some((step, piggybacked))) = transition_at.get(i) else {
+                continue;
+            };
+            let (producer_rings, producer_pace) = ring_signature(pplan, None);
+            let (consumer_rings, consumer_pace) = ring_signature(cplan, Some(s));
+            let setup = ops
+                .get(j)
+                .map_or(0, |op| weight_bytes_per_core(cplan, &op.weight_slots));
+            contracts.push(BoundaryContract {
+                producer: i,
+                consumer: j,
+                value: v,
+                tensor_bytes,
+                producer_dtype_bytes: pplan.out.dtype_bytes,
+                consumer_dtype_bytes: cplan.slots.get(s).map_or(0, |sp| sp.dtype_bytes),
+                producer_cores: pplan.cores_used,
+                producer_partition_bytes: pplan.out.partition_bytes,
+                producer_rings,
+                producer_pace,
+                consumer_cores: cplan.cores_used,
+                consumer_slot: s,
+                consumer_partition_bytes: cplan.slots.get(s).map_or(0, |sp| sp.partition_bytes),
+                consumer_rings,
+                consumer_pace,
+                consumer_per_shift_bytes: cplan.slots.get(s).map_or(0, |sp| sp.per_shift_bytes),
+                consumer_setup_bytes: setup,
+                transition_step: step,
+                piggybacked,
+                transition_bytes: pplan.out.partition_bytes as u64 * pplan.cores_used as u64,
+                dense_layout: identity_access(
+                    graph.node(i),
+                    &graph.node(i).op.expr.output,
+                    &graph.value(v).shape,
+                ) && node
+                    .op
+                    .expr
+                    .inputs
+                    .get(s)
+                    .is_some_and(|exprs| identity_access(node, exprs, &graph.value(v).shape)),
+                producer_class: op_class(graph.node(i).op.kind),
+                consumer_class: op_class(node.op.kind),
+            });
+        }
+    }
+    (edges, contracts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_class_maps_every_kind() {
+        assert_eq!(op_class(OpKind::MatMul), OpClass::ComputeIntensive);
+        assert_eq!(op_class(OpKind::Conv2d), OpClass::ComputeIntensive);
+        assert_eq!(op_class(OpKind::Gather), OpClass::MemoryBound);
+        assert_eq!(op_class(OpKind::Elementwise), OpClass::Elementwise);
+        assert_eq!(op_class(OpKind::Reduce), OpClass::Elementwise);
+        assert_eq!(op_class(OpKind::Pool), OpClass::Elementwise);
+    }
+}

@@ -55,6 +55,7 @@
 
 pub mod cache;
 pub mod compiler;
+pub mod contracts;
 pub mod cost;
 pub mod error;
 pub mod hbm;

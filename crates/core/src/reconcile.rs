@@ -41,6 +41,29 @@ pub struct OpForSchedule {
     pub sharded_idle_bytes: usize,
 }
 
+/// Idle-footprint lookup with a typed failure instead of an indexing
+/// panic. `reconcile` sits on the serve hot path: a schedule index that
+/// escaped its table (a poisoned cache entry, a future refactor slip)
+/// must surface as a `CompileError` the service can report, not a worker
+/// panic (exit 6) that takes the request down.
+fn idle_option_bytes(idle_bytes: &[Vec<usize>], op: usize, option: usize) -> Result<usize> {
+    idle_bytes
+        .get(op)
+        .and_then(|v| v.get(option))
+        .copied()
+        .ok_or_else(|| {
+            compile_err!("reconcile: idle option {option} out of range for operator {op}")
+        })
+}
+
+/// Operator-name lookup for diagnostics and trace events, with a typed
+/// failure instead of an indexing panic.
+fn op_name(ops: &[OpForSchedule], i: usize) -> Result<&str> {
+    ops.get(i)
+        .map(|o| o.name.as_str())
+        .ok_or_else(|| compile_err!("reconcile: operator index {i} out of range"))
+}
+
 /// Per-core bytes of a plan's weight partitions (its idle-layout footprint).
 pub fn weight_bytes_per_core(plan: &Plan, weight_slots: &[bool]) -> usize {
     plan.slots
@@ -166,11 +189,10 @@ pub fn reconcile_traced(
         if !visited.insert(idle.clone()) {
             break;
         }
-        let idle_mem: usize = idle
-            .iter()
-            .enumerate()
-            .map(|(i, &p)| idle_bytes[i][p])
-            .sum();
+        let mut idle_mem = 0usize;
+        for (i, &p) in idle.iter().enumerate() {
+            idle_mem += idle_option_bytes(&idle_bytes, i, p)?;
+        }
         if idle_mem > capacity {
             break;
         }
@@ -183,7 +205,12 @@ pub fn reconcile_traced(
         let mut exec_total = 0.0;
         let mut setup_total = 0.0;
         for (i, op) in ops.iter().enumerate() {
-            let avail = capacity - idle_mem + idle_bytes[i][idle[i]];
+            let pinned = idle
+                .get(i)
+                .copied()
+                .ok_or_else(|| compile_err!("reconcile: no idle choice for operator {i}"))?;
+            let own = idle_option_bytes(&idle_bytes, i, pinned)?;
+            let avail = capacity - idle_mem + own;
             let Some((active_idx, active)) = op
                 .pareto
                 .plans()
@@ -203,7 +230,7 @@ pub fn reconcile_traced(
                 infeasible_op = Some((&op.name, avail, needed));
                 break;
             };
-            let setup = if active_idx == idle[i] {
+            let setup = if active_idx == pinned {
                 0.0
             } else {
                 cost.predict_exchange(weight_bytes_per_core(&active.plan, &op.weight_slots) as u64)
@@ -211,11 +238,11 @@ pub fn reconcile_traced(
             exec_total += active.cost.exec_time;
             setup_total += setup;
             choices.push(ScheduleChoice {
-                idle: idle[i],
+                idle: pinned,
                 active: active_idx,
                 setup_time: setup,
                 exec_time: active.cost.exec_time,
-                idle_bytes: idle_bytes[i][idle[i]],
+                idle_bytes: own,
             });
         }
         if !feasible {
@@ -268,10 +295,12 @@ pub fn reconcile_traced(
         let mut best_ratio = f64::NEG_INFINITY;
         let mut pick: Option<(usize, usize)> = None;
         for (i, c) in choices.iter().enumerate() {
-            if c.active == idle[i] || c.setup_time <= 0.0 {
+            if c.active == c.idle || c.setup_time <= 0.0 {
                 continue;
             }
-            let dm = idle_bytes[i][c.active] as i64 - idle_bytes[i][idle[i]] as i64;
+            // `c.idle_bytes` already carries this round's pinned footprint,
+            // so only the upgrade target needs a fresh (fallible) lookup.
+            let dm = idle_option_bytes(&idle_bytes, i, c.active)? as i64 - c.idle_bytes as i64;
             let ratio = if dm <= 0 {
                 f64::INFINITY
             } else {
@@ -292,7 +321,7 @@ pub fn reconcile_traced(
                         CHIP_TID,
                         trace.now_us(),
                         vec![
-                            ("op", Value::Str(ops[i].name.clone())),
+                            ("op", Value::Str(op_name(ops, i)?.to_string())),
                             // -ΔT_S/ΔM_I in seconds per byte; a free upgrade
                             // (ΔM_I ≤ 0) is scored +∞ and clamps for export.
                             ("ratio", Value::F64(best_ratio.min(1e30))),
@@ -423,6 +452,55 @@ mod tests {
         let (cost, _) = setup(8);
         let r = reconcile(&[], &cost, 1000).unwrap();
         assert_eq!(r.total_time, 0.0);
+    }
+
+    // Regression tests for the former indexing panics on the reconcile hot
+    // path: each converted site now reports a typed `CompileError` through
+    // the fallible lookups below instead of taking the worker down.
+
+    #[test]
+    fn idle_lookup_rejects_out_of_range_option() {
+        // Former `idle_bytes[i][p]` / `idle_bytes[i][idle[i]]` panics.
+        let table = vec![vec![10, 20], vec![30]];
+        assert_eq!(idle_option_bytes(&table, 0, 1).unwrap(), 20);
+        let err = idle_option_bytes(&table, 0, 2).unwrap_err();
+        assert!(err.to_string().contains("idle option 2"), "{err}");
+    }
+
+    #[test]
+    fn idle_lookup_rejects_out_of_range_operator() {
+        // Former `idle_bytes[i][c.active]` panic with a stale operator index.
+        let table = vec![vec![10]];
+        let err = idle_option_bytes(&table, 5, 0).unwrap_err();
+        assert!(err.to_string().contains("operator 5"), "{err}");
+    }
+
+    #[test]
+    fn op_name_lookup_is_fallible() {
+        // Former `ops[i].name` panic in the reconcile_pick trace emission.
+        let (_, ops) = setup(8);
+        assert_eq!(op_name(&ops, 0).unwrap(), "mm0");
+        let err = op_name(&ops, 99).unwrap_err();
+        assert!(err.to_string().contains("operator index 99"), "{err}");
+    }
+
+    #[test]
+    fn schedule_choice_carries_its_idle_footprint() {
+        // The ratio scan now trusts `ScheduleChoice::idle_bytes` instead of
+        // re-indexing: it must equal the pinned idle option's bytes.
+        let (cost, ops) = setup(16);
+        let cap = cost.spec().sram_per_core - cost.spec().shift_buffer;
+        let r = reconcile(&ops, &cost, cap).unwrap();
+        for (i, c) in r.choices.iter().enumerate() {
+            let mut options: Vec<usize> = ops[i]
+                .pareto
+                .plans()
+                .iter()
+                .map(|p| weight_bytes_per_core(&p.plan, &ops[i].weight_slots))
+                .collect();
+            options.push(ops[i].sharded_idle_bytes);
+            assert_eq!(c.idle_bytes, options[c.idle]);
+        }
     }
 
     #[test]

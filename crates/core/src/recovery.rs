@@ -26,6 +26,7 @@
 
 use std::collections::BTreeMap;
 
+use t10_device::boundary::{BoundaryContract, GraphEdge};
 use t10_device::program::{BufferId, Program};
 use t10_device::ChipSpec;
 use t10_ir::Tensor;
@@ -233,6 +234,12 @@ pub struct RecoveryUnit {
     pub input_buffers: Vec<Vec<BufferId>>,
     /// Buffers holding final output values.
     pub output_buffers: Vec<BufferId>,
+    /// Dataflow edges of the compiled graph, for graph-level
+    /// re-certification after a recompile. Empty disables the graph pass
+    /// (timing-only or hand-built units).
+    pub graph_edges: Vec<GraphEdge>,
+    /// Boundary contracts matching `graph_edges`.
+    pub boundaries: Vec<BoundaryContract>,
 }
 
 /// Where live sub-tensor state must move when a re-plan changes placement:
@@ -683,6 +690,18 @@ impl RecoveryController {
             .with_reserved(spec.shift_buffer)
             .with_trace(self.trace.clone());
         crate::verify::require(verifier.verify_program(&unit.program))?;
+        // Graph-level re-certification: the recompiled program must still
+        // honor every boundary contract — a warm-started re-plan that
+        // changed a producer's output partitioning without re-deriving the
+        // consumer handoff is refused here (GRAPH01-08), not discovered as
+        // a garbled tensor downstream.
+        let analysis = t10_verify::graph::check(
+            &verifier,
+            &unit.program,
+            &unit.graph_edges,
+            &unit.boundaries,
+        );
+        crate::verify::require(analysis.report)?;
         // Translation validation of the (possibly migrated) unit: a
         // recompiled program whose rotation rings no longer deliver every
         // shard, or whose partial outputs are not reduced exactly once, is

@@ -1,0 +1,93 @@
+//! Concurrency model tests of the compiler's scoped-thread search fan-out
+//! (`compile_graph`'s parallel branch): the exact claim/slot protocol —
+//! an `AtomicUsize::fetch_add` work counter, one `Mutex<Option<_>>` slot
+//! per job, join-then-collect with panic containment — reproduced over
+//! plain data so the same tests run under `cargo test` and under Miri's
+//! data-race/UB checker in CI
+//! (`cargo +nightly miri test -p t10-core --test fanout_model`).
+//!
+//! These are *model* tests: they prove the synchronization protocol, not
+//! the search it transports. The real fan-out is exercised end-to-end by
+//! the compiler tests; under Miri that path is prohibitively slow, which
+//! is exactly why the protocol is worth checking in isolation.
+
+#![allow(clippy::unwrap_used, clippy::indexing_slicing)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+#[test]
+fn work_claiming_fills_every_slot_exactly_once() {
+    const JOBS: usize = 17;
+    for workers in [1usize, 2, 4] {
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<usize>>> = (0..JOBS).map(|_| Mutex::new(None)).collect();
+        let claims = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let j = next.fetch_add(1, Ordering::Relaxed);
+                    if j >= JOBS {
+                        break;
+                    }
+                    claims.fetch_add(1, Ordering::Relaxed);
+                    let mut slot = slots[j].lock().unwrap();
+                    assert!(slot.is_none(), "job {j} claimed twice");
+                    *slot = Some(j * j);
+                });
+            }
+        });
+        assert_eq!(claims.load(Ordering::Relaxed), JOBS, "workers={workers}");
+        for (j, s) in slots.iter().enumerate() {
+            assert_eq!(s.lock().unwrap().take(), Some(j * j), "workers={workers}");
+        }
+    }
+}
+
+#[test]
+fn a_panicking_worker_is_contained_and_reported() {
+    // Mirrors the compiler's join policy: every handle is joined, the
+    // first panic payload is kept as a string, and the surviving workers
+    // drain the remaining jobs — one bad operator search must not strand
+    // the rest of the batch.
+    const JOBS: usize = 9;
+    const POISON: usize = 2;
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<usize>>> = (0..JOBS).map(|_| Mutex::new(None)).collect();
+    let mut worker_panic: Option<String> = None;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            handles.push(scope.spawn(|| loop {
+                let j = next.fetch_add(1, Ordering::Relaxed);
+                if j >= JOBS {
+                    break;
+                }
+                assert!(j != POISON, "seeded worker panic");
+                if let Ok(mut slot) = slots[j].lock() {
+                    *slot = Some(j);
+                }
+            }));
+        }
+        for h in handles {
+            if let Err(payload) = h.join() {
+                let detail = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                worker_panic.get_or_insert(detail);
+            }
+        }
+    });
+    let detail = worker_panic.expect("the seeded panic must surface through join");
+    assert!(detail.contains("seeded worker panic"), "{detail}");
+    for (j, s) in slots.iter().enumerate() {
+        let got = s.lock().unwrap().take();
+        if j == POISON {
+            assert_eq!(got, None, "poisoned job must stay unfilled");
+        } else {
+            assert_eq!(got, Some(j), "job {j} lost after a sibling panic");
+        }
+    }
+}

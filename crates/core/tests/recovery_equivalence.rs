@@ -118,6 +118,8 @@ fn run_ffn_traced(
                             pareto: vec![pareto.clone()],
                             input_buffers: f.input_buffers,
                             output_buffers: f.output_buffers,
+                            graph_edges: vec![],
+                            boundaries: vec![],
                         });
                     }
                 }
@@ -180,6 +182,8 @@ fn run_one(
                         pareto: vec![pareto.clone()],
                         input_buffers: f.input_buffers,
                         output_buffers: f.output_buffers,
+                        graph_edges: vec![],
+                        boundaries: vec![],
                     });
                 }
             }

@@ -1,0 +1,186 @@
+//! Inter-operator boundary contracts.
+//!
+//! At every operator boundary the compiler inserts an all-to-all layout
+//! transition (paper §5): the producer's stationary output partitions are
+//! scattered into the partitioning the consumer's plan expects. That
+//! handoff used to be an implicit convention between `lower` and the
+//! assembly loop; a [`BoundaryContract`] states it as typed, checkable
+//! data. The graph-level verifier (`t10-verify::graph`) proves every
+//! contract against the program and the graph's dataflow edges.
+//!
+//! Contracts live in `t10-device` (next to [`crate::program::Program`])
+//! so the compiler can construct them and the verifier can consume them
+//! without either crate depending on the other.
+
+use serde::{Deserialize, Serialize};
+
+/// Coarse fusion-relevant classification of an operator.
+///
+/// The graph verifier's FUSE lints look for chains of [`ComputeIntensive`]
+/// anchors joined through [`Elementwise`] interiors; [`MemoryBound`] ops
+/// (gathers, data-dependent access) break chains because their operands
+/// cannot ride a rotation ring.
+///
+/// [`ComputeIntensive`]: OpClass::ComputeIntensive
+/// [`Elementwise`]: OpClass::Elementwise
+/// [`MemoryBound`]: OpClass::MemoryBound
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OpClass {
+    /// Matmul/conv family: high arithmetic intensity, worth fusing around.
+    ComputeIntensive,
+    /// Cheap elementwise/reduction glue that can sit between anchors.
+    Elementwise,
+    /// Gather-style data-dependent access; never part of a fused chain.
+    MemoryBound,
+}
+
+/// One dataflow edge of the operator graph, as the graph-level verifier
+/// needs it: which node produced the value, which node consumes it, and
+/// how many logical bytes the tensor holds. Derived once from the IR
+/// graph and carried alongside the contracts so recovery re-certification
+/// does not need the graph itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GraphEdge {
+    /// Producer node index.
+    pub producer: usize,
+    /// Consumer node index.
+    pub consumer: usize,
+    /// The value (tensor) id flowing across the edge.
+    pub value: usize,
+    /// Which of the consumer's input slots receives the value. Part of the
+    /// edge identity: one node may consume the same value in two slots
+    /// (e.g. squaring via `mul(x, x)`), and each slot is its own handoff.
+    pub consumer_slot: usize,
+    /// Logical tensor size in bytes.
+    pub tensor_bytes: u64,
+}
+
+/// The typed handoff agreement for one producer→consumer boundary.
+///
+/// Everything the graph verifier proves (layout-handoff compatibility,
+/// byte conservation, transition-window residency) is stated here in
+/// plain numbers derived from the two plans and the lowered transition,
+/// so the check needs no access to the plans themselves.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BoundaryContract {
+    /// Producer node index.
+    pub producer: usize,
+    /// Consumer node index.
+    pub consumer: usize,
+    /// The value (tensor) id handed off.
+    pub value: usize,
+    /// Logical tensor size in bytes.
+    pub tensor_bytes: u64,
+    /// Element size on the producer side.
+    pub producer_dtype_bytes: usize,
+    /// Element size the consumer's slot expects.
+    pub consumer_dtype_bytes: usize,
+    /// Cores holding producer output partitions.
+    pub producer_cores: usize,
+    /// Producer output partition size per core, bytes (padding included).
+    pub producer_partition_bytes: usize,
+    /// Rotation rings on the producer side (0 = fully stationary plan).
+    pub producer_rings: usize,
+    /// Producer rotating pace `rp` (0 when nothing rotates).
+    pub producer_pace: usize,
+    /// Cores the consumer's plan spreads this input over.
+    pub consumer_cores: usize,
+    /// Which of the consumer's input slots receives the value.
+    pub consumer_slot: usize,
+    /// Consumer input partition size per core, bytes (padding included).
+    pub consumer_partition_bytes: usize,
+    /// Rotation rings of the consumer slot (0 = stationary operand).
+    pub consumer_rings: usize,
+    /// Consumer slot rotating pace `rp` (0 when stationary).
+    pub consumer_pace: usize,
+    /// Ring traffic quantum of the consumer slot, bytes per shift.
+    pub consumer_per_shift_bytes: usize,
+    /// Consumer setup bytes per core (weights prefetched at the boundary).
+    pub consumer_setup_bytes: usize,
+    /// Index of the superstep whose exchange carries this transition.
+    pub transition_step: usize,
+    /// True when the transition rode the producer's final execute step
+    /// instead of a dedicated `Phase::Transition` superstep.
+    pub piggybacked: bool,
+    /// Bytes the lowered transition claims to move, in aggregate.
+    pub transition_bytes: u64,
+    /// Whether both placements are affine-dense (no windowed/compound or
+    /// data-dependent dims). Only then is per-byte coverage arithmetic
+    /// exact, so the tensor-size conservation rules apply; windowed
+    /// placements (conv halos) are proved at placement granularity.
+    pub dense_layout: bool,
+    /// Fusion class of the producer operator.
+    pub producer_class: OpClass,
+    /// Fusion class of the consumer operator.
+    pub consumer_class: OpClass,
+}
+
+impl BoundaryContract {
+    /// The edge this contract covers.
+    #[must_use]
+    pub fn edge(&self) -> (usize, usize) {
+        (self.producer, self.consumer)
+    }
+
+    /// Aggregate bytes the producer side presents for the handoff.
+    #[must_use]
+    pub fn producer_coverage_bytes(&self) -> u64 {
+        self.producer_partition_bytes as u64 * self.producer_cores as u64
+    }
+
+    /// Aggregate bytes the consumer side expects to receive.
+    #[must_use]
+    pub fn consumer_coverage_bytes(&self) -> u64 {
+        self.consumer_partition_bytes as u64 * self.consumer_cores as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_aggregates_per_core_partitions() {
+        let c = BoundaryContract {
+            producer: 0,
+            consumer: 1,
+            value: 7,
+            tensor_bytes: 4096,
+            producer_dtype_bytes: 2,
+            consumer_dtype_bytes: 2,
+            producer_cores: 4,
+            producer_partition_bytes: 1024,
+            producer_rings: 0,
+            producer_pace: 0,
+            consumer_cores: 8,
+            consumer_slot: 0,
+            consumer_partition_bytes: 512,
+            consumer_rings: 8,
+            consumer_pace: 1,
+            consumer_per_shift_bytes: 512,
+            consumer_setup_bytes: 0,
+            transition_step: 3,
+            piggybacked: true,
+            transition_bytes: 4096,
+            dense_layout: true,
+            producer_class: OpClass::ComputeIntensive,
+            consumer_class: OpClass::ComputeIntensive,
+        };
+        assert_eq!(c.producer_coverage_bytes(), 4096);
+        assert_eq!(c.consumer_coverage_bytes(), 4096);
+        assert_eq!(c.edge(), (0, 1));
+    }
+
+    #[test]
+    fn edge_is_copy_and_comparable() {
+        let e = GraphEdge {
+            producer: 2,
+            consumer: 3,
+            value: 9,
+            consumer_slot: 1,
+            tensor_bytes: 128,
+        };
+        let e2 = e;
+        assert_eq!(e, e2);
+    }
+}

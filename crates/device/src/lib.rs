@@ -23,12 +23,14 @@
 // Tests may unwrap freely; library code must not (workspace lint).
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
+pub mod boundary;
 pub mod gpu;
 pub mod iface;
 pub mod program;
 pub mod spec;
 pub mod truth;
 
+pub use boundary::{BoundaryContract, GraphEdge, OpClass};
 pub use gpu::GpuSpec;
 pub use iface::DeviceInterface;
 pub use program::{

@@ -44,6 +44,13 @@ pub const COMPILER_SEARCH_JOBS: &str = "t10_compiler_search_jobs";
 /// percent of `workers x wall time` (wall clock only).
 pub const COMPILER_PARALLEL_UTILIZATION_PCT: &str = "t10_compiler_parallel_utilization_pct";
 
+/// verify: boundary edges checked by the graph-level analysis pass.
+pub const VERIFY_GRAPH_EDGES_TOTAL: &str = "t10_verify_graph_edges_total";
+/// verify: fusion candidates surfaced by the FUSE lints.
+pub const VERIFY_FUSE_CANDIDATES_TOTAL: &str = "t10_verify_fuse_candidates_total";
+/// verify: estimated transition bytes fused chains would elide.
+pub const VERIFY_FUSE_BYTES_SAVED_TOTAL: &str = "t10_verify_fuse_bytes_saved_total";
+
 /// recovery: transient retries (rollback + replay).
 pub const RECOVERY_RETRIES_TOTAL: &str = "t10_recovery_retries_total";
 /// recovery: checkpoint rollbacks performed.
@@ -71,6 +78,9 @@ pub const ALL: &[&str] = &[
     COMPILER_OP_SEARCH_US,
     COMPILER_SEARCH_JOBS,
     COMPILER_PARALLEL_UTILIZATION_PCT,
+    VERIFY_GRAPH_EDGES_TOTAL,
+    VERIFY_FUSE_CANDIDATES_TOTAL,
+    VERIFY_FUSE_BYTES_SAVED_TOTAL,
     RECOVERY_RETRIES_TOTAL,
     RECOVERY_ROLLBACKS_TOTAL,
     RECOVERY_RECOMPILES_TOTAL,
@@ -97,6 +107,6 @@ mod tests {
             );
             assert!(seen.insert(name), "{name}: duplicate");
         }
-        assert_eq!(ALL.len(), 20);
+        assert_eq!(ALL.len(), 23);
     }
 }

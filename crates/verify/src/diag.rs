@@ -98,11 +98,53 @@ pub enum RuleId {
     /// by a later shift before anything reads it — a cross-superstep
     /// write-after-write-without-read hazard (warning).
     ClobberedExchange,
+    /// GRAPH01 — layout handoff mismatch: the producer's output placement
+    /// cannot reconstruct the consumer's expected input partitioning
+    /// through the boundary's all-to-all (coverage or dtype disagree).
+    GraphLayoutHandoff,
+    /// GRAPH02 — per-core transition bytes not conserved: the bytes leaving
+    /// each producer core (or landing on each consumer core) disagree with
+    /// the boundary contract's per-core partition size.
+    GraphCoreConservation,
+    /// GRAPH03 — aggregate transition bytes not conserved: the total bytes
+    /// the transition moves disagree with the contract (partition bytes ×
+    /// cores) or fall short of the logical tensor size.
+    GraphByteConservation,
+    /// GRAPH04 — transition-window SRAM overflow: producer outputs +
+    /// consumer setup + the reserved checkpoint staging buffer exceed some
+    /// core's usable SRAM during the handoff window.
+    GraphResidency,
+    /// GRAPH05 — dropped edge: a graph dataflow edge has no boundary
+    /// contract, so no transition carries the intermediate to its consumer.
+    GraphDroppedEdge,
+    /// GRAPH06 — duplicate handoff: more than one boundary contract covers
+    /// the same producer→consumer edge; the intermediate would be moved
+    /// (and SRAM charged) twice.
+    GraphDuplicateHandoff,
+    /// GRAPH07 — orphaned or inconsistent transition: a contract references
+    /// an edge the graph does not have, runs against topological order, or
+    /// points at a superstep that is not its transition.
+    GraphOrphanTransition,
+    /// GRAPH08 — contract self-consistency: a boundary contract is
+    /// internally malformed (zero cores, zero partition bytes for a
+    /// nonzero tensor, pace or ring counts of zero).
+    GraphContractMalformed,
+    /// FUSE01 — fusion candidate (warning): a chain of compute-intensive
+    /// operators whose intermediate round-trips through a full transition
+    /// that ring-carried fusion could elide.
+    FuseChainCandidate,
+    /// FUSE02 — pace-compatible rings (warning): producer and consumer
+    /// rotation rings agree on pace and ring count, so the intermediate
+    /// could ride the rotation ring without re-synchronization.
+    FusePaceCompatible,
+    /// FUSE03 — fusion savings estimate (warning): estimated bytes and
+    /// supersteps saved by fusing a candidate chain.
+    FuseSavingsEstimate,
 }
 
 impl RuleId {
     /// Every rule, in id order. The inventory the verifier proves.
-    pub const ALL: [RuleId; 25] = [
+    pub const ALL: [RuleId; 36] = [
         RuleId::CoreOutOfRange,
         RuleId::SramOverflow,
         RuleId::PlanMemOverflow,
@@ -128,6 +170,17 @@ impl RuleId {
         RuleId::DeadShift,
         RuleId::DeadBuffer,
         RuleId::ClobberedExchange,
+        RuleId::GraphLayoutHandoff,
+        RuleId::GraphCoreConservation,
+        RuleId::GraphByteConservation,
+        RuleId::GraphResidency,
+        RuleId::GraphDroppedEdge,
+        RuleId::GraphDuplicateHandoff,
+        RuleId::GraphOrphanTransition,
+        RuleId::GraphContractMalformed,
+        RuleId::FuseChainCandidate,
+        RuleId::FusePaceCompatible,
+        RuleId::FuseSavingsEstimate,
     ];
 
     /// The structural rules (CAP/RING/BSP/COST): what [`crate::Verifier`]
@@ -165,6 +218,23 @@ impl RuleId {
         RuleId::ClobberedExchange,
     ];
 
+    /// The graph-level rules (GRAPH/FUSE): what [`crate::graph`] proves by
+    /// abstractly interpreting a whole compiled graph boundary-by-boundary.
+    /// GRAPH rules refute; FUSE rules are warn-only fusion lints.
+    pub const GRAPH: [RuleId; 11] = [
+        RuleId::GraphLayoutHandoff,
+        RuleId::GraphCoreConservation,
+        RuleId::GraphByteConservation,
+        RuleId::GraphResidency,
+        RuleId::GraphDroppedEdge,
+        RuleId::GraphDuplicateHandoff,
+        RuleId::GraphOrphanTransition,
+        RuleId::GraphContractMalformed,
+        RuleId::FuseChainCandidate,
+        RuleId::FusePaceCompatible,
+        RuleId::FuseSavingsEstimate,
+    ];
+
     /// The stable string id.
     pub fn id(&self) -> &'static str {
         match self {
@@ -193,6 +263,17 @@ impl RuleId {
             RuleId::DeadShift => "DF01",
             RuleId::DeadBuffer => "DF02",
             RuleId::ClobberedExchange => "DF03",
+            RuleId::GraphLayoutHandoff => "GRAPH01",
+            RuleId::GraphCoreConservation => "GRAPH02",
+            RuleId::GraphByteConservation => "GRAPH03",
+            RuleId::GraphResidency => "GRAPH04",
+            RuleId::GraphDroppedEdge => "GRAPH05",
+            RuleId::GraphDuplicateHandoff => "GRAPH06",
+            RuleId::GraphOrphanTransition => "GRAPH07",
+            RuleId::GraphContractMalformed => "GRAPH08",
+            RuleId::FuseChainCandidate => "FUSE01",
+            RuleId::FusePaceCompatible => "FUSE02",
+            RuleId::FuseSavingsEstimate => "FUSE03",
         }
     }
 
@@ -224,6 +305,17 @@ impl RuleId {
             RuleId::DeadShift => "shifted bytes never read",
             RuleId::DeadBuffer => "buffer allocated but never used",
             RuleId::ClobberedExchange => "delivered data overwritten before any read",
+            RuleId::GraphLayoutHandoff => "boundary layout handoff mismatch",
+            RuleId::GraphCoreConservation => "per-core transition bytes not conserved",
+            RuleId::GraphByteConservation => "aggregate transition bytes not conserved",
+            RuleId::GraphResidency => "transition window exceeds core SRAM",
+            RuleId::GraphDroppedEdge => "graph edge has no boundary transition",
+            RuleId::GraphDuplicateHandoff => "edge covered by more than one transition",
+            RuleId::GraphOrphanTransition => "transition matches no graph edge",
+            RuleId::GraphContractMalformed => "boundary contract internally inconsistent",
+            RuleId::FuseChainCandidate => "compute chain is a fusion candidate",
+            RuleId::FusePaceCompatible => "boundary rings are pace-compatible",
+            RuleId::FuseSavingsEstimate => "estimated fusion savings for a chain",
         }
     }
 
@@ -247,6 +339,17 @@ impl RuleId {
             | RuleId::ProveReductionFlow
             | RuleId::ProveAccumulateAlignment => "§4.4",
             RuleId::DeadShift | RuleId::DeadBuffer | RuleId::ClobberedExchange => "§4.3",
+            RuleId::GraphLayoutHandoff
+            | RuleId::GraphCoreConservation
+            | RuleId::GraphByteConservation
+            | RuleId::GraphResidency
+            | RuleId::GraphDroppedEdge
+            | RuleId::GraphDuplicateHandoff
+            | RuleId::GraphOrphanTransition
+            | RuleId::GraphContractMalformed => "§5",
+            RuleId::FuseChainCandidate
+            | RuleId::FusePaceCompatible
+            | RuleId::FuseSavingsEstimate => "§5",
         }
     }
 }
@@ -289,6 +392,9 @@ pub struct Location {
     pub core: Option<usize>,
     /// Buffer id within the program.
     pub buffer: Option<usize>,
+    /// Graph edge `(producer node, consumer node)` for boundary findings.
+    #[serde(default)]
+    pub edge: Option<(usize, usize)>,
 }
 
 /// One typed, machine-readable finding.
@@ -350,6 +456,12 @@ impl Diagnostic {
         self
     }
 
+    /// Attaches a graph-edge location (producer → consumer node ids).
+    pub fn at_edge(mut self, producer: usize, consumer: usize) -> Self {
+        self.location.edge = Some((producer, consumer));
+        self
+    }
+
     /// Attaches a fix hint.
     pub fn hint(mut self, hint: impl Into<String>) -> Self {
         self.hint = hint.into();
@@ -370,6 +482,9 @@ impl Diagnostic {
         }
         if let Some(b) = self.location.buffer {
             loc.push_str(&format!(" buffer {b}"));
+        }
+        if let Some((p, c)) = self.location.edge {
+            loc.push_str(&format!(" edge {p}->{c}"));
         }
         let at = if loc.is_empty() {
             String::new()
@@ -521,6 +636,12 @@ impl Report {
                     None => out.push_str(&format!("\"{key}\":null,")),
                 }
             }
+            match d.location.edge {
+                Some((p, c)) => {
+                    out.push_str(&format!("\"edge\":{{\"producer\":{p},\"consumer\":{c}}},"))
+                }
+                None => out.push_str("\"edge\":null,"),
+            }
             out.push_str("\"hint\":\"");
             escape_into(&mut out, &d.hint);
             out.push_str("\"}");
@@ -542,6 +663,39 @@ mod tests {
         assert_eq!(ids.len(), RuleId::ALL.len());
         assert_eq!(RuleId::SramOverflow.id(), "CAP02");
         assert_eq!(RuleId::BrokenRing.id(), "RING05");
+        assert_eq!(RuleId::GraphLayoutHandoff.id(), "GRAPH01");
+        assert_eq!(RuleId::GraphContractMalformed.id(), "GRAPH08");
+        assert_eq!(RuleId::FuseSavingsEstimate.id(), "FUSE03");
+    }
+
+    #[test]
+    fn families_partition_the_inventory() {
+        // STRUCTURAL + SEMANTIC + GRAPH cover ALL with no overlap, and the
+        // GRAPH family introduces no prefix collision with the older ones.
+        let mut union: Vec<RuleId> = RuleId::STRUCTURAL
+            .iter()
+            .chain(RuleId::SEMANTIC.iter())
+            .chain(RuleId::GRAPH.iter())
+            .copied()
+            .collect();
+        union.sort();
+        let mut all = RuleId::ALL.to_vec();
+        all.sort();
+        assert_eq!(union, all);
+        for r in &RuleId::GRAPH {
+            let id = r.id();
+            assert!(
+                id.starts_with("GRAPH") || id.starts_with("FUSE"),
+                "{id}: graph-family rule with a foreign prefix"
+            );
+        }
+        for r in RuleId::STRUCTURAL.iter().chain(RuleId::SEMANTIC.iter()) {
+            let id = r.id();
+            assert!(
+                !id.starts_with("GRAPH") && !id.starts_with("FUSE"),
+                "{id}: per-operator rule squatting on the graph prefixes"
+            );
+        }
     }
 
     #[test]
@@ -564,6 +718,22 @@ mod tests {
         assert!(line.contains("[BSP01]"));
         assert!(line.contains("step 4"));
         assert!(line.contains("buffer 7"));
+    }
+
+    #[test]
+    fn edge_location_renders_and_serializes() {
+        let d = Diagnostic::error(RuleId::GraphLayoutHandoff, "bad handoff").at_edge(3, 5);
+        assert!(d.render().contains("edge 3->5"));
+        let mut r = Report::new();
+        r.push(d);
+        let parsed = t10_trace::json::parse(&r.to_json()).expect("parses");
+        let diags = parsed
+            .get("diagnostics")
+            .and_then(|v| v.as_arr())
+            .expect("array");
+        let edge = diags[0].get("edge").expect("edge key");
+        assert_eq!(edge.get("producer").and_then(|v| v.as_f64()), Some(3.0));
+        assert_eq!(edge.get("consumer").and_then(|v| v.as_f64()), Some(5.0));
     }
 
     #[test]

@@ -1,0 +1,591 @@
+//! Graph-level verification: boundary contracts, transition conservation,
+//! handoff residency, dataflow coverage, and fusion-feasibility lints.
+//!
+//! The per-operator rule families (CAP/RING/BSP/COST, PROVE/DF) each prove
+//! one program in isolation; the one thing they cannot see is the seam
+//! *between* programs — the all-to-all layout transition the compiler
+//! inserts at every operator boundary (paper §5). This module abstractly
+//! interprets a whole compiled graph boundary-by-boundary against the
+//! typed [`BoundaryContract`]s the compiler now emits:
+//!
+//! * **GRAPH01** — layout handoff: the producer's output placement and the
+//!   consumer's expected partitioning must both reconstruct the logical
+//!   tensor through the all-to-all (coverage and element size agree);
+//! * **GRAPH02** — per-core conservation: the transition superstep's
+//!   exchange summary must move exactly the contract's per-core partition
+//!   out of (and into) each active core;
+//! * **GRAPH03** — aggregate conservation: total transition bytes equal
+//!   partition × cores and cover the tensor;
+//!
+//! The tensor-size comparisons in GRAPH01/GRAPH03 apply only to contracts
+//! marked [`BoundaryContract::dense_layout`]: for windowed placements
+//! (conv halos, pooling) per-byte coverage arithmetic is inexact, and
+//! those boundaries are proved at placement granularity instead
+//! (partition × cores vs the lowered transition, which is always exact);
+//! * **GRAPH04** — residency: producer outputs plus consumer setup must
+//!   fit every core's usable SRAM during the handoff window (capacities
+//!   are fault- and reservation-aware, mirroring the simulator);
+//! * **GRAPH05/06/07** — dataflow sanity: every graph edge has exactly one
+//!   contract, no duplicated handoffs, no contract that matches no edge,
+//!   runs against topological order, or points at the wrong superstep;
+//! * **GRAPH08** — contract self-consistency (zero cores, empty
+//!   partitions for a nonzero tensor, rotating slots with no pace).
+//!
+//! On the same facts it emits the warn-only **FUSE01–FUSE03** lints: the
+//! machine-checked work-list a future compute-shift fuser consumes. A
+//! candidate is an anchor-to-anchor region — a compute-intensive operator
+//! whose output reaches exactly one other compute-intensive operator
+//! through elementwise glue that never leaks outside the region — whose
+//! interior transitions could be elided by letting the intermediate ride
+//! the rotation rings.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use t10_device::boundary::{BoundaryContract, GraphEdge, OpClass};
+use t10_device::program::{Phase, Program};
+use t10_trace::{Value, PID_VERIFY};
+
+use crate::{Diagnostic, Report, RuleId, Verifier};
+
+/// Upper bound on elementwise interior ops considered for one candidate;
+/// regions larger than this are not fusion material and are skipped.
+const MAX_CHAIN_INTERIOR: usize = 32;
+
+/// One fusion candidate: an anchor-to-anchor chain whose interior
+/// transitions a fuser could elide.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuseCandidate {
+    /// Node ids in the chain, anchors first and last, interior sorted.
+    pub chain: Vec<usize>,
+    /// Transition bytes elided if the intermediate rides the rings.
+    pub bytes_saved: u64,
+    /// Dedicated transition supersteps elided.
+    pub steps_saved: usize,
+    /// Whether the two anchors' rotation rings agree on pace and count.
+    pub pace_compatible: bool,
+}
+
+/// The outcome of a graph-level pass: GRAPH findings plus the fusion
+/// work-list. FUSE lints are kept out of [`GraphAnalysis::report`] so the
+/// mandatory compile post-pass stays quiet about them; callers that want
+/// them as diagnostics fold in [`GraphAnalysis::fuse_diagnostics`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphAnalysis {
+    /// GRAPH01–GRAPH08 findings.
+    pub report: Report,
+    /// Dataflow edges examined.
+    pub edges_checked: usize,
+    /// Fusion candidates, in anchor order.
+    pub candidates: Vec<FuseCandidate>,
+}
+
+impl GraphAnalysis {
+    /// Total estimated bytes saved across all candidates.
+    #[must_use]
+    pub fn bytes_saved(&self) -> u64 {
+        self.candidates.iter().map(|c| c.bytes_saved).sum()
+    }
+
+    /// Total dedicated transition supersteps elided across all candidates.
+    #[must_use]
+    pub fn steps_saved(&self) -> usize {
+        self.candidates.iter().map(|c| c.steps_saved).sum()
+    }
+
+    /// Renders the candidates as FUSE01–FUSE03 warning diagnostics.
+    #[must_use]
+    pub fn fuse_diagnostics(&self) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for c in &self.candidates {
+            let (Some(&first), Some(&last)) = (c.chain.first(), c.chain.last()) else {
+                continue;
+            };
+            let path = c
+                .chain
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("->");
+            out.push(
+                Diagnostic::warning(
+                    RuleId::FuseChainCandidate,
+                    format!(
+                        "chain {path}: {} op(s) whose intermediates could ride the ring",
+                        c.chain.len()
+                    ),
+                )
+                .at_edge(first, last)
+                .hint("a compute-shift fuser can merge this chain into one program"),
+            );
+            if c.pace_compatible {
+                out.push(
+                    Diagnostic::warning(
+                        RuleId::FusePaceCompatible,
+                        format!("chain {path}: anchor rotation rings agree on pace and count"),
+                    )
+                    .at_edge(first, last),
+                );
+            }
+            if c.bytes_saved > 0 {
+                out.push(
+                    Diagnostic::warning(
+                        RuleId::FuseSavingsEstimate,
+                        format!(
+                            "chain {path}: fusing saves an estimated {} transition byte(s) \
+                             and {} superstep(s)",
+                            c.bytes_saved, c.steps_saved
+                        ),
+                    )
+                    .at_edge(first, last),
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Runs the graph-level rule inventory over a compiled graph's boundary
+/// contracts. Pure analysis, linear in edges + contracts + program size.
+pub fn check(
+    v: &Verifier,
+    program: &Program,
+    edges: &[GraphEdge],
+    contracts: &[BoundaryContract],
+) -> GraphAnalysis {
+    let t0 = v.trace().now_us();
+    let mut report = Report::new();
+    report.stats.rules_checked = RuleId::GRAPH.len();
+
+    // Dataflow coverage: every edge exactly one contract (GRAPH05/06),
+    // every contract a real edge (GRAPH07, with the per-contract checks).
+    // The consumer slot is part of the edge identity: a node consuming the
+    // same value twice (e.g. `mul(x, x)`) has two handoffs, one per slot.
+    let edge_set: BTreeSet<(usize, usize, usize, usize)> = edges
+        .iter()
+        .map(|e| (e.producer, e.consumer, e.value, e.consumer_slot))
+        .collect();
+    let mut cover: BTreeMap<(usize, usize, usize, usize), usize> = BTreeMap::new();
+    for c in contracts {
+        *cover
+            .entry((c.producer, c.consumer, c.value, c.consumer_slot))
+            .or_insert(0) += 1;
+    }
+    for e in edges {
+        match cover.get(&(e.producer, e.consumer, e.value, e.consumer_slot)) {
+            None | Some(0) => report.push(
+                Diagnostic::error(
+                    RuleId::GraphDroppedEdge,
+                    format!(
+                        "value {} ({} B) flows {} -> {} but no transition carries it",
+                        e.value, e.tensor_bytes, e.producer, e.consumer
+                    ),
+                )
+                .at_edge(e.producer, e.consumer)
+                .at_node(e.consumer)
+                .hint("the assembly loop must emit a boundary contract per dataflow edge"),
+            ),
+            Some(1) => {}
+            Some(n) => report.push(
+                Diagnostic::error(
+                    RuleId::GraphDuplicateHandoff,
+                    format!(
+                        "value {} is handed {} -> {} by {n} transitions; bytes would move \
+                         and SRAM be charged {n} times",
+                        e.value, e.producer, e.consumer
+                    ),
+                )
+                .at_edge(e.producer, e.consumer)
+                .at_node(e.consumer),
+            ),
+        }
+    }
+
+    let min_capacity = v.capacities().iter().copied().min().unwrap_or(0);
+    for c in contracts {
+        check_contract(c, program, &edge_set, min_capacity, &mut report);
+    }
+
+    let candidates = fuse_candidates(contracts);
+
+    if v.trace().enabled() {
+        let t1 = v.trace().now_us();
+        v.trace().span(
+            "verify_graph",
+            "verify",
+            PID_VERIFY,
+            0,
+            t0,
+            (t1 - t0).max(0.0),
+            vec![
+                ("edges", Value::U64(edges.len() as u64)),
+                ("contracts", Value::U64(contracts.len() as u64)),
+                ("fuse_candidates", Value::U64(candidates.len() as u64)),
+                (
+                    "fuse_bytes_saved",
+                    Value::U64(candidates.iter().map(|c| c.bytes_saved).sum()),
+                ),
+                ("errors", Value::U64(report.error_count() as u64)),
+                ("ok", Value::Bool(report.is_ok())),
+            ],
+        );
+    }
+
+    GraphAnalysis {
+        report,
+        edges_checked: edges.len(),
+        candidates,
+    }
+}
+
+/// Proves one contract: GRAPH08 self-consistency, GRAPH07 edge/step
+/// anchoring, GRAPH01 handoff coverage, GRAPH02/03 conservation, GRAPH04
+/// residency. A malformed contract short-circuits (its numbers cannot be
+/// trusted for the downstream rules).
+fn check_contract(
+    c: &BoundaryContract,
+    program: &Program,
+    edge_set: &BTreeSet<(usize, usize, usize, usize)>,
+    min_capacity: usize,
+    report: &mut Report,
+) {
+    let at = |d: Diagnostic| d.at_edge(c.producer, c.consumer).at_node(c.producer);
+
+    // GRAPH08 — internal consistency.
+    let malformed = if c.producer_cores == 0 || c.consumer_cores == 0 {
+        Some("a side of the boundary uses zero cores".to_string())
+    } else if c.producer_dtype_bytes == 0 || c.consumer_dtype_bytes == 0 {
+        Some("zero-sized elements".to_string())
+    } else if c.tensor_bytes > 0
+        && (c.producer_partition_bytes == 0 || c.consumer_partition_bytes == 0)
+    {
+        Some(format!(
+            "empty per-core partitions for a {} B tensor",
+            c.tensor_bytes
+        ))
+    } else if c.producer_rings > 0 && c.producer_pace == 0 {
+        Some("producer rotates with pace 0".to_string())
+    } else if c.consumer_rings > 0 && c.consumer_pace == 0 {
+        Some("consumer slot rotates with pace 0".to_string())
+    } else {
+        None
+    };
+    if let Some(why) = malformed {
+        report.push(at(Diagnostic::error(
+            RuleId::GraphContractMalformed,
+            format!("contract for value {} is inconsistent: {why}", c.value),
+        )));
+        return;
+    }
+
+    // GRAPH07 — the contract must anchor to a real edge, respect
+    // topological order, and point at its own transition superstep.
+    if !edge_set.contains(&(c.producer, c.consumer, c.value, c.consumer_slot)) {
+        report.push(at(Diagnostic::error(
+            RuleId::GraphOrphanTransition,
+            format!(
+                "transition hands value {} across {} -> {}, an edge the graph does not have",
+                c.value, c.producer, c.consumer
+            ),
+        )));
+        return;
+    }
+    if c.producer >= c.consumer {
+        report.push(at(Diagnostic::error(
+            RuleId::GraphOrphanTransition,
+            format!(
+                "handoff {} -> {} runs against topological order",
+                c.producer, c.consumer
+            ),
+        )));
+        return;
+    }
+    let Some(step) = program.steps.get(c.transition_step) else {
+        report.push(
+            at(Diagnostic::error(
+                RuleId::GraphOrphanTransition,
+                format!(
+                    "transition step {} is out of range ({} steps)",
+                    c.transition_step,
+                    program.steps.len()
+                ),
+            ))
+            .at_step(c.transition_step),
+        );
+        return;
+    };
+    let anchored = if c.piggybacked {
+        step.node == Some(c.producer)
+    } else {
+        step.phase == Phase::Transition && step.node == Some(c.producer)
+    };
+    if !anchored {
+        report.push(
+            at(Diagnostic::error(
+                RuleId::GraphOrphanTransition,
+                format!(
+                    "superstep {} (phase {:?}, node {:?}) is not node {}'s transition",
+                    c.transition_step, step.phase, step.node, c.producer
+                ),
+            ))
+            .at_step(c.transition_step),
+        );
+        return;
+    }
+
+    // GRAPH01 — layout handoff: both placements reconstruct the tensor.
+    if c.producer_dtype_bytes != c.consumer_dtype_bytes {
+        report.push(at(Diagnostic::error(
+            RuleId::GraphLayoutHandoff,
+            format!(
+                "element size changes across the boundary: producer {} B, consumer {} B",
+                c.producer_dtype_bytes, c.consumer_dtype_bytes
+            ),
+        )));
+    }
+    if c.dense_layout && c.producer_coverage_bytes() < c.tensor_bytes {
+        report.push(at(Diagnostic::error(
+            RuleId::GraphLayoutHandoff,
+            format!(
+                "producer placement holds {} B ({} cores x {} B) of a {} B tensor",
+                c.producer_coverage_bytes(),
+                c.producer_cores,
+                c.producer_partition_bytes,
+                c.tensor_bytes
+            ),
+        )
+        .hint(
+            "the output partitioning must cover the tensor before the all-to-all",
+        )));
+    }
+    if c.dense_layout && c.consumer_coverage_bytes() < c.tensor_bytes {
+        report.push(at(Diagnostic::error(
+            RuleId::GraphLayoutHandoff,
+            format!(
+                "consumer slot {} expects {} B ({} cores x {} B) of a {} B tensor",
+                c.consumer_slot,
+                c.consumer_coverage_bytes(),
+                c.consumer_cores,
+                c.consumer_partition_bytes,
+                c.tensor_bytes
+            ),
+        )
+        .hint(
+            "the input partitioning must reconstruct the tensor after the all-to-all",
+        )));
+    }
+
+    // GRAPH03 — aggregate conservation.
+    if c.transition_bytes != c.producer_coverage_bytes() {
+        report.push(
+            at(Diagnostic::error(
+                RuleId::GraphByteConservation,
+                format!(
+                    "transition moves {} B but the producer presents {} B",
+                    c.transition_bytes,
+                    c.producer_coverage_bytes()
+                ),
+            ))
+            .at_step(c.transition_step),
+        );
+    } else if c.dense_layout && c.transition_bytes < c.tensor_bytes {
+        report.push(
+            at(Diagnostic::error(
+                RuleId::GraphByteConservation,
+                format!(
+                    "transition moves {} B, less than the {} B tensor",
+                    c.transition_bytes, c.tensor_bytes
+                ),
+            ))
+            .at_step(c.transition_step),
+        );
+    }
+
+    // GRAPH02 — per-core conservation against the program's own summary.
+    match &step.exchange_summary {
+        Some(es) => {
+            if es.max_core_out != c.producer_partition_bytes as u64
+                || es.max_core_in != c.producer_partition_bytes as u64
+            {
+                report.push(
+                    at(Diagnostic::error(
+                        RuleId::GraphCoreConservation,
+                        format!(
+                            "per-core transition traffic out {} B / in {} B disagrees with \
+                             the {} B partition leaving each producer core",
+                            es.max_core_out, es.max_core_in, c.producer_partition_bytes
+                        ),
+                    ))
+                    .at_step(c.transition_step),
+                );
+            }
+            if es.active_cores != c.producer_cores {
+                report.push(
+                    at(Diagnostic::error(
+                        RuleId::GraphCoreConservation,
+                        format!(
+                            "transition involves {} cores but the producer placed \
+                             partitions on {}",
+                            es.active_cores, c.producer_cores
+                        ),
+                    ))
+                    .at_step(c.transition_step),
+                );
+            }
+            if es.total_bytes != c.transition_bytes {
+                report.push(
+                    at(Diagnostic::error(
+                        RuleId::GraphCoreConservation,
+                        format!(
+                            "superstep exchange moves {} B, contract claims {} B",
+                            es.total_bytes, c.transition_bytes
+                        ),
+                    ))
+                    .at_step(c.transition_step),
+                );
+            }
+        }
+        None => {
+            if c.tensor_bytes > 0 {
+                report.push(
+                    at(Diagnostic::error(
+                        RuleId::GraphCoreConservation,
+                        format!(
+                            "transition superstep {} moves no bytes for a {} B tensor",
+                            c.transition_step, c.tensor_bytes
+                        ),
+                    ))
+                    .at_step(c.transition_step),
+                );
+            }
+        }
+    }
+
+    // GRAPH04 — handoff-window residency: the producer's resident output
+    // partition and the consumer's setup prefetch co-exist on a core while
+    // the all-to-all runs. Capacities already exclude the shift buffer and
+    // any checkpoint staging reservation.
+    let window = c
+        .producer_partition_bytes
+        .saturating_add(c.consumer_setup_bytes);
+    if window > min_capacity {
+        report.push(at(Diagnostic::error(
+            RuleId::GraphResidency,
+            format!(
+                "handoff window needs {window} B/core ({} B producer output + {} B \
+                 consumer setup) but the tightest core has {min_capacity} B",
+                c.producer_partition_bytes, c.consumer_setup_bytes
+            ),
+        )
+        .hint(
+            "shrink the producer's output partition or defer the consumer's setup",
+        )));
+    }
+}
+
+/// Extracts fusion candidates from the boundary contracts alone.
+///
+/// An anchor is a compute-intensive node. From each anchor, walk forward
+/// through elementwise glue; a candidate exists when the walk reaches
+/// exactly one other anchor and no interior value escapes the region
+/// (every interior producer/consumer stays inside). Memory-bound nodes
+/// and leaking regions break chains.
+fn fuse_candidates(contracts: &[BoundaryContract]) -> Vec<FuseCandidate> {
+    // Node classes, as stated by the contracts (first statement wins; the
+    // compiler emits consistent classes per node).
+    let mut class: BTreeMap<usize, OpClass> = BTreeMap::new();
+    for c in contracts {
+        class.entry(c.producer).or_insert(c.producer_class);
+        class.entry(c.consumer).or_insert(c.consumer_class);
+    }
+    let eligible = |n: usize| class.get(&n).is_some_and(|k| *k != OpClass::MemoryBound);
+    let anchor = |n: usize| class.get(&n) == Some(&OpClass::ComputeIntensive);
+
+    let mut out_edges: BTreeMap<usize, Vec<&BoundaryContract>> = BTreeMap::new();
+    let mut in_edges: BTreeMap<usize, Vec<&BoundaryContract>> = BTreeMap::new();
+    for c in contracts {
+        out_edges.entry(c.producer).or_default().push(c);
+        in_edges.entry(c.consumer).or_default().push(c);
+    }
+
+    let anchors: Vec<usize> = class.keys().copied().filter(|&n| anchor(n)).collect();
+
+    let mut candidates = Vec::new();
+    'anchors: for &a in &anchors {
+        let mut interior: BTreeSet<usize> = BTreeSet::new();
+        let mut reached: BTreeSet<usize> = BTreeSet::new();
+        let mut queue: Vec<usize> = vec![a];
+        let mut seen: BTreeSet<usize> = BTreeSet::new();
+        while let Some(n) = queue.pop() {
+            if !seen.insert(n) {
+                continue;
+            }
+            for c in out_edges.get(&n).map_or(&[][..], |v| v.as_slice()) {
+                let m = c.consumer;
+                if !eligible(m) {
+                    // A memory-bound consumer leaks the value off the ring.
+                    continue 'anchors;
+                }
+                if anchor(m) {
+                    reached.insert(m);
+                } else {
+                    if interior.insert(m) && interior.len() > MAX_CHAIN_INTERIOR {
+                        continue 'anchors;
+                    }
+                    queue.push(m);
+                }
+            }
+        }
+        // Exactly one downstream anchor, and a closed interior: every
+        // interior node's inputs come from the region and all its outputs
+        // stay in it (checked above by the BFS structure — inputs below).
+        if reached.len() != 1 {
+            continue;
+        }
+        let Some(&b) = reached.first() else { continue };
+        let region_ok = interior.iter().all(|&m| {
+            in_edges.get(&m).is_some_and(|ins| {
+                ins.iter()
+                    .all(|c| c.producer == a || interior.contains(&c.producer))
+            })
+        });
+        if !region_ok {
+            continue;
+        }
+        // Savings: each chain producer's transition is elided once, however
+        // many interior consumers it feeds.
+        let mut elided: BTreeMap<usize, (u64, Option<usize>)> = BTreeMap::new();
+        let mut pace = false;
+        for c in contracts {
+            let from_chain = c.producer == a || interior.contains(&c.producer);
+            let to_chain = c.consumer == b || interior.contains(&c.consumer);
+            if !(from_chain && to_chain) {
+                continue;
+            }
+            let step = (!c.piggybacked).then_some(c.transition_step);
+            elided.insert(c.producer, (c.transition_bytes, step));
+            if c.producer == a || c.consumer == b {
+                // Anchor-side pace compatibility: the producing anchor's
+                // rings and the consuming anchor's slot rings must agree.
+                pace = pace
+                    || (c.producer_rings > 0
+                        && c.producer_rings == c.consumer_rings
+                        && c.producer_pace == c.consumer_pace);
+            }
+        }
+        if elided.is_empty() {
+            continue;
+        }
+        let bytes_saved: u64 = elided.values().map(|(b, _)| *b).sum();
+        let dedicated: BTreeSet<usize> = elided.values().filter_map(|(_, s)| *s).collect();
+        let mut chain = vec![a];
+        chain.extend(interior.iter().copied());
+        chain.push(b);
+        candidates.push(FuseCandidate {
+            chain,
+            bytes_saved,
+            steps_saved: dedicated.len(),
+            pace_compatible: pace,
+        });
+    }
+    candidates
+}

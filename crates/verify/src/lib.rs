@@ -34,9 +34,11 @@ pub mod bsp;
 pub mod capacity;
 pub mod cost;
 pub mod diag;
+pub mod graph;
 pub mod ring;
 
 pub use diag::{Diagnostic, Location, Report, RuleId, Severity, Stats};
+pub use graph::{FuseCandidate, GraphAnalysis};
 
 use t10_device::program::Program;
 use t10_device::ChipSpec;
@@ -107,6 +109,11 @@ impl Verifier {
     /// The full per-core capacity vector the proof runs against.
     pub fn capacities(&self) -> &[usize] {
         &self.capacities
+    }
+
+    /// The trace sink (disabled unless [`Verifier::with_trace`] was used).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
     }
 
     /// Runs the program-level rule inventory. Pure analysis: no superstep

@@ -1,0 +1,300 @@
+//! Mutation fuzzing of the graph-level verifier: build a clean three-node
+//! chain (matmul → elementwise → matmul) with its boundary contracts and
+//! transition supersteps, seed one targeted corruption at a time, and
+//! require that each mutant is refuted by exactly the matching GRAPH rule
+//! while every per-operator rule stays silent — the whole point of the
+//! graph layer is that these bugs are invisible to the per-program pass.
+
+#![allow(clippy::unwrap_used, clippy::indexing_slicing)]
+
+use t10_device::boundary::{BoundaryContract, GraphEdge, OpClass};
+use t10_device::program::{ExchangeSummary, Phase, Program, Superstep};
+use t10_device::ChipSpec;
+use t10_verify::{graph, Verifier};
+
+fn spec4() -> ChipSpec {
+    let mut spec = ChipSpec::ipu_with_cores(4);
+    spec.sram_per_core = 4096;
+    spec.shift_buffer = 256;
+    spec
+}
+
+fn summary(total: u64, per_core: u64) -> ExchangeSummary {
+    ExchangeSummary {
+        total_bytes: total,
+        max_core_out: per_core,
+        max_core_in: per_core,
+        cross_chip_bytes: 0,
+        offchip_bytes: 0,
+        active_cores: 4,
+        max_core_messages: 4,
+    }
+}
+
+/// Node 0 (matmul) → value 10 → node 1 (elementwise) → value 11 →
+/// node 2 (matmul), with a dedicated transition superstep per boundary.
+fn fixture() -> (Program, Vec<GraphEdge>, Vec<BoundaryContract>) {
+    let mut p = Program::new();
+    p.steps.push(Superstep::new(Some(0), Phase::Execute));
+    let mut t0 = Superstep::new(Some(0), Phase::Transition);
+    t0.exchange_summary = Some(summary(256, 64));
+    p.steps.push(t0);
+    p.steps.push(Superstep::new(Some(1), Phase::Execute));
+    let mut t1 = Superstep::new(Some(1), Phase::Transition);
+    t1.exchange_summary = Some(summary(256, 64));
+    p.steps.push(t1);
+    p.steps.push(Superstep::new(Some(2), Phase::Execute));
+
+    let edges = vec![
+        GraphEdge {
+            producer: 0,
+            consumer: 1,
+            value: 10,
+            consumer_slot: 0,
+            tensor_bytes: 256,
+        },
+        GraphEdge {
+            producer: 1,
+            consumer: 2,
+            value: 11,
+            consumer_slot: 0,
+            tensor_bytes: 256,
+        },
+    ];
+    let contract = |producer, consumer, value, step, pclass, cclass| BoundaryContract {
+        producer,
+        consumer,
+        value,
+        tensor_bytes: 256,
+        producer_dtype_bytes: 2,
+        consumer_dtype_bytes: 2,
+        producer_cores: 4,
+        producer_partition_bytes: 64,
+        producer_rings: 2,
+        producer_pace: 2,
+        consumer_cores: 4,
+        consumer_slot: 0,
+        consumer_partition_bytes: 64,
+        consumer_rings: 2,
+        consumer_pace: 2,
+        consumer_per_shift_bytes: 32,
+        consumer_setup_bytes: 0,
+        transition_step: step,
+        piggybacked: false,
+        transition_bytes: 256,
+        dense_layout: true,
+        producer_class: pclass,
+        consumer_class: cclass,
+    };
+    let contracts = vec![
+        contract(0, 1, 10, 1, OpClass::ComputeIntensive, OpClass::Elementwise),
+        contract(1, 2, 11, 3, OpClass::Elementwise, OpClass::ComputeIntensive),
+    ];
+    (p, edges, contracts)
+}
+
+/// Runs the graph pass and asserts exactly `rules` are violated while the
+/// per-operator structural pass stays clean.
+fn expect_exactly(
+    rules: &[&str],
+    p: &Program,
+    edges: &[GraphEdge],
+    contracts: &[BoundaryContract],
+) -> graph::GraphAnalysis {
+    let v = Verifier::new(&spec4());
+    let per_op = v.verify_program(p);
+    assert!(
+        per_op.is_ok(),
+        "per-operator rules must stay silent, got {:?}",
+        per_op.diagnostics
+    );
+    let analysis = graph::check(&v, p, edges, contracts);
+    assert_eq!(
+        analysis.report.violated_rules(),
+        rules,
+        "diagnostics: {:?}",
+        analysis.report.diagnostics
+    );
+    analysis
+}
+
+#[test]
+fn clean_chain_proves_out() {
+    let (p, edges, contracts) = fixture();
+    let analysis = expect_exactly(&[], &p, &edges, &contracts);
+    assert_eq!(analysis.edges_checked, 2);
+    assert!(analysis.report.is_ok());
+}
+
+#[test]
+fn swapped_boundary_layout_is_graph01() {
+    // The consumer's plan expects a quarter of the partition it should:
+    // the handoff can no longer reconstruct the tensor.
+    let (p, edges, mut contracts) = fixture();
+    contracts[0].consumer_partition_bytes = 32;
+    expect_exactly(&["GRAPH01"], &p, &edges, &contracts);
+}
+
+#[test]
+fn inflated_transition_bytes_is_graph02() {
+    // The program's transition superstep moves more than the contract's
+    // per-core partitions — inflated consistently so COST02 stays silent.
+    let (mut p, edges, contracts) = fixture();
+    p.steps[1].exchange_summary = Some(summary(320, 80));
+    expect_exactly(&["GRAPH02"], &p, &edges, &contracts);
+}
+
+#[test]
+fn missing_transition_traffic_is_graph02() {
+    let (mut p, edges, contracts) = fixture();
+    p.steps[1].exchange_summary = None;
+    expect_exactly(&["GRAPH02"], &p, &edges, &contracts);
+}
+
+#[test]
+fn aggregate_mismatch_is_graph03() {
+    // Contract and summary agree per core (GRAPH02 silent) but the claimed
+    // partitions no longer aggregate to the transition's total.
+    let (mut p, edges, mut contracts) = fixture();
+    contracts[0].producer_partition_bytes = 128;
+    p.steps[1].exchange_summary = Some(ExchangeSummary {
+        max_core_out: 128,
+        max_core_in: 128,
+        ..summary(256, 64)
+    });
+    expect_exactly(&["GRAPH03"], &p, &edges, &contracts);
+}
+
+#[test]
+fn oversized_handoff_window_is_graph04() {
+    let (p, edges, mut contracts) = fixture();
+    contracts[0].consumer_setup_bytes = 4000; // 64 + 4000 > 4096 - 256
+    expect_exactly(&["GRAPH04"], &p, &edges, &contracts);
+}
+
+#[test]
+fn dropped_edge_is_graph05() {
+    let (p, edges, mut contracts) = fixture();
+    contracts.remove(1);
+    expect_exactly(&["GRAPH05"], &p, &edges, &contracts);
+}
+
+#[test]
+fn double_handoff_is_graph06() {
+    let (p, edges, mut contracts) = fixture();
+    let dup = contracts[0].clone();
+    contracts.push(dup);
+    expect_exactly(&["GRAPH06"], &p, &edges, &contracts);
+}
+
+#[test]
+fn orphan_transition_is_graph07() {
+    // An extra contract for an edge the graph does not have.
+    let (p, edges, mut contracts) = fixture();
+    let mut orphan = contracts[0].clone();
+    orphan.consumer = 2; // (0, 2, 10) is not a dataflow edge
+    contracts.push(orphan);
+    expect_exactly(&["GRAPH07"], &p, &edges, &contracts);
+}
+
+#[test]
+fn wrong_superstep_anchor_is_graph07() {
+    // The contract points at node 1's transition instead of its own.
+    let (p, edges, mut contracts) = fixture();
+    contracts[0].transition_step = 3;
+    expect_exactly(&["GRAPH07"], &p, &edges, &contracts);
+}
+
+#[test]
+fn malformed_contract_is_graph08() {
+    let (p, edges, mut contracts) = fixture();
+    contracts[0].producer_cores = 0;
+    expect_exactly(&["GRAPH08"], &p, &edges, &contracts);
+}
+
+#[test]
+fn same_value_in_two_slots_is_two_handoffs_not_a_duplicate() {
+    // Squaring via mul(x, x): node 2 consumes value 11 in both slots.
+    // Each slot is its own edge and contract; GRAPH06 must stay silent.
+    let (p, mut edges, mut contracts) = fixture();
+    edges.push(GraphEdge {
+        producer: 1,
+        consumer: 2,
+        value: 11,
+        consumer_slot: 1,
+        tensor_bytes: 256,
+    });
+    let mut second_slot = contracts[1].clone();
+    second_slot.consumer_slot = 1;
+    contracts.push(second_slot);
+    expect_exactly(&[], &p, &edges, &contracts);
+}
+
+#[test]
+fn windowed_layouts_skip_tensor_coverage_but_keep_placement_rules() {
+    // A conv-style (non-dense) boundary: per-byte coverage arithmetic is
+    // inexact, so under-coverage of the logical tensor is not a finding…
+    let (p, edges, mut contracts) = fixture();
+    contracts[0].dense_layout = false;
+    contracts[0].consumer_partition_bytes = 32; // GRAPH01 if dense
+    expect_exactly(&[], &p, &edges, &contracts);
+    // …but placement-granularity conservation still is: a transition that
+    // disagrees with partition x cores fires GRAPH03 regardless.
+    contracts[0].transition_bytes = 512;
+    let v = Verifier::new(&spec4());
+    let analysis = graph::check(&v, &p, &edges, &contracts);
+    assert!(analysis.report.violated_rules().contains(&"GRAPH03"));
+}
+
+#[test]
+fn fuse_chain_surfaces_with_savings() {
+    let (p, edges, contracts) = fixture();
+    let analysis = expect_exactly(&[], &p, &edges, &contracts);
+    assert_eq!(analysis.candidates.len(), 1);
+    let c = &analysis.candidates[0];
+    assert_eq!(c.chain, vec![0, 1, 2]);
+    assert_eq!(c.bytes_saved, 512); // both boundary transitions elided
+    assert_eq!(c.steps_saved, 2); // both were dedicated supersteps
+    assert!(c.pace_compatible);
+    let diags = analysis.fuse_diagnostics();
+    let rules: Vec<&str> = diags.iter().map(|d| d.rule.id()).collect();
+    assert_eq!(rules, vec!["FUSE01", "FUSE02", "FUSE03"]);
+    assert!(diags
+        .iter()
+        .all(|d| d.severity == t10_verify::Severity::Warning));
+    assert!(diags.iter().all(|d| d.location.edge == Some((0, 2))));
+}
+
+#[test]
+fn pace_mismatch_drops_fuse02_only() {
+    let (p, edges, mut contracts) = fixture();
+    contracts[0].producer_pace = 4;
+    contracts[1].consumer_pace = 4;
+    let analysis = expect_exactly(&[], &p, &edges, &contracts);
+    assert_eq!(analysis.candidates.len(), 1);
+    assert!(!analysis.candidates[0].pace_compatible);
+    let rules: Vec<&str> = analysis
+        .fuse_diagnostics()
+        .iter()
+        .map(|d| d.rule.id())
+        .collect();
+    assert_eq!(rules, vec!["FUSE01", "FUSE03"]);
+}
+
+#[test]
+fn memory_bound_consumer_breaks_the_chain() {
+    let (p, edges, mut contracts) = fixture();
+    contracts[1].consumer_class = OpClass::MemoryBound;
+    let analysis = expect_exactly(&[], &p, &edges, &contracts);
+    assert!(analysis.candidates.is_empty());
+}
+
+#[test]
+fn graph_pass_records_trace_span() {
+    let (p, edges, contracts) = fixture();
+    let trace = t10_trace::Trace::logical();
+    let v = Verifier::new(&spec4()).with_trace(trace.clone());
+    let _ = graph::check(&v, &p, &edges, &contracts);
+    let events = trace.snapshot();
+    assert!(events.iter().any(|e| e.name == "verify_graph"));
+}

@@ -167,6 +167,10 @@ fn recovery_rejects_oversized_recompiled_unit() {
             pareto: vec![],
             input_buffers: vec![],
             output_buffers: vec![],
+            // Hand-built single-program unit: no inter-operator
+            // boundaries to certify.
+            graph_edges: vec![],
+            boundaries: vec![],
         })
     });
     let err = match result {
