@@ -194,10 +194,25 @@ fn plan_files(dir: &Path) -> Vec<PathBuf> {
     files
 }
 
+/// The campaign's attack surface: the *exact* (shape-keyed) plan entries.
+/// Family-level certificate entries (embedded key carries `|fam=`) are
+/// excluded — a same-shape warm compile legitimately never reads them
+/// (the exact key hits first), so corrupting one would make quarantine
+/// accounting depend on which file the rng drew instead of on store
+/// behavior. Family-entry corruption on the path that *does* read them is
+/// pinned separately by
+/// `corrupt_family_entry_quarantines_on_cross_shape_lookup`.
+fn exact_plan_files(dir: &Path) -> Vec<PathBuf> {
+    plan_files(dir)
+        .into_iter()
+        .filter(|p| fs::read(p).is_ok_and(|b| !String::from_utf8_lossy(&b).contains("|fam=")))
+        .collect()
+}
+
 /// Injects `fault` into the cache directory, returning false if the
 /// directory had no entries to attack (the case is then vacuous).
 fn inject(fault: CacheFault, dir: &Path, rng: &mut XorShift) -> std::io::Result<bool> {
-    let files = plan_files(dir);
+    let files = exact_plan_files(dir);
     let Some(victim) = files.get(rng.below(files.len().max(1))).cloned() else {
         return Ok(false);
     };
@@ -451,6 +466,48 @@ mod tests {
         let seen: std::collections::BTreeSet<&str> =
             report.cases.iter().map(|c| c.fault.label()).collect();
         assert_eq!(seen.len(), CacheFault::ALL.len(), "{seen:?}");
+    }
+
+    #[test]
+    fn corrupt_family_entry_quarantines_on_cross_shape_lookup() {
+        // The campaign above attacks exact entries only; this pins the
+        // family-entry path it excludes: a *cross-shape* compile misses
+        // the exact key, reads the corrupted family certificate, and the
+        // store quarantines it while the compile degrades to a fresh
+        // search — corruption costs a recompile, never a wrong plan.
+        use t10_ir::builders;
+        let spec = ChipSpec::ipu_with_cores(8);
+        let compiler = Compiler::try_new(spec, SearchConfig::fast()).unwrap();
+        let seed = single_node_graph(&builders::matmul(0, 1, 2, 64, 32, 32).unwrap()).unwrap();
+        let cross = single_node_graph(&builders::matmul(0, 1, 2, 128, 32, 32).unwrap()).unwrap();
+
+        let dir =
+            std::env::temp_dir().join(format!("t10-chaos-cache-famquar-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let store = Arc::new(DiskPlanCache::open(&dir).unwrap().without_sync());
+        let opts = CompileOptions {
+            cache: Some(store as Arc<dyn PlanCache>),
+            ..CompileOptions::default()
+        };
+        compiler.compile_graph_with(&seed, &opts).unwrap();
+
+        let family: Vec<PathBuf> = plan_files(&dir)
+            .into_iter()
+            .filter(|p| fs::read(p).is_ok_and(|b| String::from_utf8_lossy(&b).contains("|fam=")))
+            .collect();
+        assert_eq!(family.len(), 1, "expected exactly one family entry");
+        fs::write(family.first().unwrap(), b"\x00\xff rogue scribble").unwrap();
+
+        let store2 = Arc::new(DiskPlanCache::open(&dir).unwrap().without_sync());
+        let opts2 = CompileOptions {
+            cache: Some(store2.clone() as Arc<dyn PlanCache>),
+            ..CompileOptions::default()
+        };
+        let warm = compiler.compile_graph_with(&cross, &opts2).unwrap();
+        assert_eq!(warm.cache_stats.family_hits, 0, "corrupt entry served");
+        assert_eq!(store2.counters().quarantined, 1);
+        assert!(!warm.program.steps.is_empty());
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -70,7 +70,10 @@ fn tracked_metrics(schema: &str) -> Option<Vec<Tracked>> {
             up("graph_check_ms.p50"),
             up("graph_check_ms.p90"),
             up("parallel_search.parallel_ms"),
+            up("symbolic_check_ms.p50"),
+            up("symbolic_check_ms.p90"),
             down("warm_hit_rate"),
+            down("cross_shape_hit_rate"),
             down("parallel_search.speedup"),
         ]),
         "t10.bench.recovery.v1" => Some(vec![
@@ -251,7 +254,9 @@ mod tests {
         "cold_ms": {"p50": 100.0, "p90": 200.0},
         "warm_ms": {"p50": 10.0, "p90": 20.0},
         "graph_check_ms": {"p50": 1.0, "p90": 2.0},
+        "symbolic_check_ms": {"p50": 0.5, "p90": 0.8},
         "warm_hit_rate": 1.0,
+        "cross_shape_hit_rate": 1.0,
         "parallel_search": {"parallel_ms": 150.0, "speedup": 2.0}
     }"#;
 
@@ -332,6 +337,40 @@ mod tests {
         let old =
             parse(r#"{"schema": "t10.bench.compile.v1", "cold_ms": {"p50": 100.0, "p90": 200.0}}"#);
         assert!(!compare(&old, &slow, 25.0).unwrap().regressed());
+    }
+
+    #[test]
+    fn symbolic_metrics_are_tracked_and_optional() {
+        // A symbolic-check latency cliff or a cross-shape hit-rate drop is
+        // a regression the gate must catch…
+        let base = parse(COMPILE_BASE);
+        let slow = parse(&COMPILE_BASE.replace("\"p50\": 0.5", "\"p50\": 1.5"));
+        let report = compare(&base, &slow, 25.0).unwrap();
+        let row = report
+            .rows
+            .iter()
+            .find(|r| r.path == "symbolic_check_ms.p50")
+            .unwrap();
+        assert!(row.regressed);
+
+        let worse = parse(&COMPILE_BASE.replace(
+            "\"cross_shape_hit_rate\": 1.0",
+            "\"cross_shape_hit_rate\": 0.3",
+        ));
+        let report = compare(&base, &worse, 25.0).unwrap();
+        let row = report
+            .rows
+            .iter()
+            .find(|r| r.path == "cross_shape_hit_rate")
+            .unwrap();
+        assert!(row.regressed);
+
+        // …but a document produced without `--cross-shape` (or an old
+        // committed baseline) simply skips both metrics.
+        let old =
+            parse(r#"{"schema": "t10.bench.compile.v1", "cold_ms": {"p50": 100.0, "p90": 200.0}}"#);
+        assert!(!compare(&old, &base, 25.0).unwrap().regressed());
+        assert!(!compare(&base, &old, 25.0).unwrap().regressed());
     }
 
     #[test]

@@ -42,6 +42,7 @@ usage:
               [--checkpoint-every N] [--max-retries K] [trace opts]
   t10 check   <model|file.t10|all> [--batch N] [--cores N] [--fuse]
               [--faults SPEC] [--json FILE] [--prove] [--prove-cert FILE]
+              [--graph] [--symbolic]
   t10 serve   [--requests FILE] [--cache DIR] [--workers N] [--jobs N]
               [--queue N] [--cores N] [--deadline-ms N]
               [--metrics-addr HOST:PORT] [--metrics-flush FILE]
@@ -51,7 +52,7 @@ usage:
   t10 bench-diff <baseline.json> <current.json> [--threshold-pct PCT]
   t10 bench   <model|file.t10> [--batch N] [--cores N]
   t10 compilebench [model|file.t10 ...] [--out FILE] [--cores N]
-              [--jobs N] [--cache DIR]
+              [--jobs N] [--cache DIR] [--cross-shape]
   t10 explore <M> <K> <N> [--cores N]
   t10 trace   <trace.json>
   t10 chaos   [--campaign-seed N] [--count N] [--profile NAME] [--cores N]
@@ -87,6 +88,13 @@ translation validator over every node's functional lowering — exactly-once
 coverage, rotation provenance, reduction flow, dataflow lints — and
 `--prove-cert FILE` writes the machine-readable proof certificates.
 `compile --prove` runs the same validator as an opt-in compile post-pass.
+`--symbolic` additionally derives each node's shape-parametric family
+certificate (`t10.cert.symbolic.v1`): a validity region over named symbolic
+dimensions, the symbolic SRAM high-water and ring-pace expressions, and the
+closed/residual rule split. The certificate is validated (SYM01-07), the
+compiled shape is checked against the region, and violations carry the
+violated region in the JSON diagnostics; any SYM error exits 10 like every
+other refutation.
 
 `chaos` runs a seeded adversarial fault-injection campaign against the
 recovery stack: each case generates a randomized fault timeline under a
@@ -117,7 +125,11 @@ admissions degrade to the fast search preset (flagged in the response;
 degraded plans use distinct cache keys). `--cache DIR` persists Pareto
 frontiers in the crash-safe on-disk plan store: corrupt or torn entries are
 quarantined and recompiled, never served. `compilebench` measures cold-vs-
-warm compile latency, cache hit rate, and the parallel-search speedup.
+warm compile latency, cache hit rate, and the parallel-search speedup;
+`--cross-shape` additionally re-resolves each target at batch 4 and
+measures the family-cache warm start (exact keys all miss; the symbolic
+certificates recorded at batch 1 cover the new shape) against a cold
+batch-4 compile, plus the standalone symbolic-check latency.
 
 `serve` telemetry: `--metrics-addr` exposes the live registry over HTTP
 (`/metrics` Prometheus text 0.0.4, `/metrics.json` the `t10.metrics.v1`
@@ -345,6 +357,11 @@ pub enum Cli {
         /// per-boundary contract table (GRAPH01-08) plus the advisory FUSE
         /// fusion-candidate lints folded into the diagnostics.
         graph: bool,
+        /// Also run the shape-parametric symbolic pass: derive each node's
+        /// family certificate from the released frontier, validate it
+        /// (SYM01-07), check region coverage, and fold the concrete verdict
+        /// through the closed/residual classification.
+        symbolic: bool,
     },
     /// Compare T10 against the VGM baselines.
     Bench {
@@ -429,6 +446,10 @@ pub enum Cli {
         jobs: usize,
         /// Cache directory override (a unique temp directory when absent).
         cache: Option<String>,
+        /// Also measure cross-shape family reuse (batch 1 -> batch 4 via
+        /// symbolic certificates) and the standalone symbolic-check
+        /// latency.
+        cross_shape: bool,
     },
     /// Summarize a previously recorded Chrome trace file.
     Trace {
@@ -486,6 +507,8 @@ impl Cli {
         let mut json: Option<String> = None;
         let mut prove = false;
         let mut graph_check = false;
+        let mut symbolic = false;
+        let mut cross_shape = false;
         let mut prove_cert: Option<String> = None;
         let mut trace = TraceArgs::default();
         let mut campaign_seed: Option<u64> = None;
@@ -566,6 +589,8 @@ impl Cli {
                 }
                 "--prove" => prove = true,
                 "--graph" => graph_check = true,
+                "--symbolic" => symbolic = true,
+                "--cross-shape" => cross_shape = true,
                 "--prove-cert" => {
                     prove_cert = Some(it.next().ok_or("--prove-cert needs a path")?.clone());
                 }
@@ -731,6 +756,12 @@ impl Cli {
         if graph_check && sub != Some("check") {
             return Err("--graph only applies to `check`".into());
         }
+        if symbolic && sub != Some("check") {
+            return Err("--symbolic only applies to `check`".into());
+        }
+        if cross_shape && sub != Some("compilebench") {
+            return Err("--cross-shape only applies to `compilebench`".into());
+        }
         if deadline_ms.is_some() && sub != Some("compile") && sub != Some("serve") {
             return Err("--deadline-ms only applies to `compile` and `serve`".into());
         }
@@ -853,6 +884,7 @@ impl Cli {
                 cores,
                 jobs: jobs.unwrap_or(1),
                 cache,
+                cross_shape,
             }),
             ["run", target] => Ok(Cli::Run {
                 target: target.to_string(),
@@ -875,6 +907,7 @@ impl Cli {
                 prove,
                 prove_cert,
                 graph: graph_check,
+                symbolic,
             }),
             ["trace", file] => Ok(Cli::Trace {
                 file: file.to_string(),
@@ -1481,6 +1514,7 @@ pub fn run(cli: &Cli) -> Result<i32, CliError> {
             prove,
             prove_cert,
             graph,
+            symbolic,
         } => {
             let spec = chip(*cores);
             let fault_plan = match faults {
@@ -1599,10 +1633,11 @@ pub fn run(cli: &Cli) -> Result<i32, CliError> {
                     if skipped > 0 {
                         proved_col.push_str(&format!(" ({skipped} skipped)"));
                     }
-                    // Structural + semantic passes together prove the full
-                    // rule inventory (graph rules counted below).
-                    report.stats.rules_checked =
-                        t10_verify::RuleId::ALL.len() - t10_verify::RuleId::GRAPH.len();
+                    // Structural + semantic passes together; the graph and
+                    // symbolic families are counted by their own passes.
+                    report.stats.rules_checked = t10_verify::RuleId::ALL.len()
+                        - t10_verify::RuleId::GRAPH.len()
+                        - t10_verify::RuleId::SYMBOLIC.len();
                 }
                 // Graph-level pass, standalone on the released artifact:
                 // every boundary contract re-proved (GRAPH01-08), and the
@@ -1661,6 +1696,82 @@ pub fn run(cli: &Cli) -> Result<i32, CliError> {
                     graph_report.diagnostics.extend(fuse_diags);
                     report.merge(graph_report);
                     report.stats.rules_checked += t10_verify::RuleId::GRAPH.len();
+                }
+                // Shape-parametric pass (`--symbolic`): derive each node's
+                // family certificate from the released frontier, validate
+                // it, check the compiled shape against the validity region,
+                // and fold the active plan's concrete verdict through the
+                // closed/residual classification. Only SYM-family findings
+                // are merged — the concrete diagnostics already sit in the
+                // report, so on a clean artifact `--symbolic` adds rules,
+                // never duplicate noise. SYM errors exit 10 like any other
+                // refutation, with the violated region in the JSON.
+                if *symbolic {
+                    let capacity = match fault_plan.as_ref() {
+                        Some(f) => f.min_capacity(spec.sram_per_core, spec.shift_buffer),
+                        None => spec.sram_per_core.saturating_sub(spec.shift_buffer),
+                    } as u64;
+                    let mut families = 0usize;
+                    let mut sample_region = String::new();
+                    for (i, node) in g.nodes().iter().enumerate() {
+                        let Some(pareto) = compiled.node_pareto.get(i) else {
+                            continue;
+                        };
+                        let configs: Vec<_> = pareto
+                            .plans()
+                            .iter()
+                            .map(|sp| sp.plan.config.clone())
+                            .collect();
+                        if configs.is_empty() {
+                            continue;
+                        }
+                        let (dtypes, out_dtype) = t10_core::compiler::node_dtypes(&g, &node.op);
+                        let mut sym = t10_verify::Report::new();
+                        match t10_core::symbolic::derive_cert(
+                            &node.op, &dtypes, out_dtype, &configs, capacity,
+                        ) {
+                            Ok(cert) => {
+                                families += 1;
+                                if sample_region.is_empty() {
+                                    sample_region = cert.region.render();
+                                }
+                                sym.merge(t10_core::symbolic::validate_cert(
+                                    &cert, &node.op, &dtypes, out_dtype, &configs, capacity,
+                                ));
+                                sym.merge(t10_core::symbolic::check_coverage(&cert, &node.op));
+                                let active = compiled
+                                    .reconciled
+                                    .choices
+                                    .get(i)
+                                    .and_then(|c| pareto.plans().get(c.active));
+                                if let Some(active) = active {
+                                    let concrete = t10_core::verify_plan(
+                                        &node.op,
+                                        &active.plan,
+                                        capacity as usize,
+                                        spec.num_cores,
+                                    );
+                                    let folded =
+                                        t10_core::symbolic::fold_concrete_report(&cert, concrete);
+                                    sym.diagnostics
+                                        .extend(folded.diagnostics.into_iter().filter(|d| {
+                                            d.rule.family() == t10_verify::RuleFamily::Symbolic
+                                        }));
+                                }
+                            }
+                            Err(e) => sym.push(e.diagnostic()),
+                        }
+                        report.merge(sym.tag_node(i));
+                    }
+                    report.stats.rules_checked += t10_verify::RuleId::SYMBOLIC.len();
+                    if sample_region.is_empty() {
+                        println!("{name}: symbolic: no family certificate derivable");
+                    } else {
+                        println!(
+                            "{name}: symbolic: {families} family certificate(s), \
+                             e.g. {sample_region}"
+                        );
+                    }
                 }
                 let dt = t0.elapsed();
                 total_verify += dt;
@@ -1787,12 +1898,14 @@ pub fn run(cli: &Cli) -> Result<i32, CliError> {
             cores,
             jobs,
             cache,
+            cross_shape,
         } => serve::compile_bench(&serve::CompileBenchOptions {
             targets: targets.clone(),
             out: out.clone(),
             cores: *cores,
             jobs: *jobs,
             cache: cache.clone(),
+            cross_shape: *cross_shape,
         }),
         Cli::Trace { file } => {
             let src = read_file(file)?;
@@ -2229,6 +2342,7 @@ mod tests {
                 prove: false,
                 prove_cert: None,
                 graph: false,
+                symbolic: false,
             }
         );
         // --json is check-only; trace flags don't apply to check.
@@ -2258,6 +2372,13 @@ mod tests {
             Cli::Check { graph: true, .. }
         ));
         assert!(Cli::parse(&s(&["compile", "x", "--graph"])).is_err());
+        // --symbolic is check-only.
+        assert!(matches!(
+            Cli::parse(&s(&["check", "x", "--symbolic"])).unwrap(),
+            Cli::Check { symbolic: true, .. }
+        ));
+        assert!(Cli::parse(&s(&["compile", "x", "--symbolic"])).is_err());
+        assert!(Cli::parse(&s(&["run", "x", "--symbolic"])).is_err());
     }
 
     #[test]
@@ -2281,9 +2402,11 @@ mod tests {
             json: Some(json_path.to_string_lossy().to_string()),
             prove: true,
             prove_cert: Some(cert_path.to_string_lossy().to_string()),
-            // With --prove and --graph together the full rule inventory is
-            // exercised, which the rules_checked assertion below pins.
+            // With --prove, --graph and --symbolic together the full rule
+            // inventory is exercised, which the rules_checked assertion
+            // below pins.
             graph: true,
+            symbolic: true,
         })
         .unwrap();
         assert_eq!(code, 0);
@@ -2397,6 +2520,9 @@ mod tests {
             prove: false,
             prove_cert: None,
             graph: false,
+            // The symbolic pass derives against the same degraded capacity
+            // the compiler planned for, so the certificate proves out too.
+            symbolic: true,
         })
         .unwrap();
         assert_eq!(code, 0);
@@ -3041,8 +3167,18 @@ mod tests {
                 cores: 1472,
                 jobs: 4,
                 cache: Some("plans/".to_string()),
+                cross_shape: false,
             }
         );
+        // --cross-shape is compilebench-only.
+        assert!(matches!(
+            Cli::parse(&s(&["compilebench", "--cross-shape"])).unwrap(),
+            Cli::CompileBench {
+                cross_shape: true,
+                ..
+            }
+        ));
+        assert!(Cli::parse(&s(&["compile", "x", "--cross-shape"])).is_err());
         // Service/bench flags are rejected elsewhere, not silently dropped.
         assert!(Cli::parse(&s(&["run", "x", "--cache", "plans/"])).is_err());
         assert!(Cli::parse(&s(&["check", "x", "--jobs", "2"])).is_err());
@@ -3258,6 +3394,7 @@ mod tests {
             cores: 16,
             jobs: 2,
             cache: None,
+            cross_shape: false,
         })
         .unwrap();
         assert_eq!(code, 0);
@@ -3267,6 +3404,10 @@ mod tests {
             v.get("schema").and_then(|x| x.as_str()),
             Some("t10.bench.compile.v1")
         );
+        // Without --cross-shape the optional metrics stay absent, so
+        // committed baselines that predate them keep diffing cleanly.
+        assert!(v.get("symbolic_check_ms").is_none());
+        assert!(v.get("cross_shape_hit_rate").is_none());
         assert_eq!(v.get("models").and_then(|x| x.as_f64()), Some(1.0));
         assert!(v.get("cold_ms").and_then(|c| c.get("p50")).is_some());
         assert!(v.get("warm_ms").and_then(|c| c.get("p50")).is_some());
@@ -3280,6 +3421,134 @@ mod tests {
                 .and_then(|x| x.as_f64())
                 .unwrap()
                 > 0.0
+        );
+    }
+
+    #[test]
+    fn compilebench_cross_shape_warm_starts_from_the_family_cache() {
+        // Batch 1 records family certificates; batch 4 misses every exact
+        // key but sits inside the widened validity regions, so the second
+        // compile warm-starts from the family entries — strictly cheaper
+        // than the cold batch-4 compile it is measured against.
+        let dir = fresh_cli_dir("compilebench_xshape");
+        let out = dir.join("BENCH_compile.json");
+        let code = run(&Cli::CompileBench {
+            targets: vec!["resnet".to_string()],
+            out: Some(out.to_string_lossy().to_string()),
+            cores: 64,
+            jobs: 1,
+            cache: None,
+            cross_shape: true,
+        })
+        .unwrap();
+        assert_eq!(code, 0);
+        let doc = std::fs::read_to_string(&out).unwrap();
+        let v = t10_trace::json::parse(&doc).unwrap();
+        assert!(v
+            .get("symbolic_check_ms")
+            .and_then(|c| c.get("p50"))
+            .is_some());
+        let rate = v
+            .get("cross_shape_hit_rate")
+            .and_then(|x| x.as_f64())
+            .unwrap();
+        assert!(rate > 0.0, "no family hits at batch 4 (rate {rate})");
+        let xs = v.get("cross_shape").unwrap();
+        let cold = xs.get("cold_ms").and_then(|x| x.as_f64()).unwrap();
+        let warm = xs.get("family_warm_ms").and_then(|x| x.as_f64()).unwrap();
+        assert!(
+            warm < cold,
+            "family warm start ({warm:.1} ms) not cheaper than cold ({cold:.1} ms)"
+        );
+    }
+
+    #[test]
+    fn symbolic_instantiation_matches_the_concrete_checker_across_the_zoo() {
+        // The differential guarantee behind `--symbolic`: instantiating a
+        // family certificate at a concrete shape folds the concrete
+        // checker's verdict through *unchanged* — the non-SYM diagnostics
+        // are byte-identical to what the plain checker emits, and SYM
+        // escalations are only ever added on top. Swept over every zoo
+        // model at pinned shapes (each at a core count where it is
+        // feasible), both on the healthy capacity (clean reports) and on
+        // a starved one (non-empty reports), so the pass-through property
+        // is exercised on real refutations, not just on silence.
+        use t10_core::compiler::{CompileOptions, Compiler};
+        use t10_core::search::SearchConfig;
+        use t10_verify::RuleFamily;
+
+        let sweep: [(&str, usize, &[usize]); 4] = [
+            ("resnet", 64, &[1, 2, 4]),
+            ("nerf", 1472, &[1, 4]),
+            ("vit", 1472, &[1]),
+            ("bert", 1472, &[1]),
+        ];
+        let concrete_lines = |r: &t10_verify::Report| {
+            r.diagnostics
+                .iter()
+                .filter(|d| d.rule.family() != RuleFamily::Symbolic)
+                .map(t10_verify::Diagnostic::render)
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let mut families = 0usize;
+        let mut refutations = 0usize;
+        for (target, cores, batches) in sweep {
+            for &batch in batches {
+                let g = resolve_model(target, batch).unwrap();
+                let spec = t10_device::ChipSpec::ipu_with_cores(cores);
+                let compiler = Compiler::new(spec.clone(), SearchConfig::fast());
+                let compiled = compiler
+                    .compile_graph_with(&g, &CompileOptions::default())
+                    .unwrap();
+                let capacity = (spec.sram_per_core - spec.shift_buffer) as u64;
+                for (i, node) in g.nodes().iter().enumerate() {
+                    let Some(pareto) = compiled.node_pareto.get(i) else {
+                        continue;
+                    };
+                    let configs: Vec<_> = pareto
+                        .plans()
+                        .iter()
+                        .map(|sp| sp.plan.config.clone())
+                        .collect();
+                    let (dtypes, out_dtype) = t10_core::compiler::node_dtypes(&g, &node.op);
+                    let Ok(cert) = t10_core::symbolic::derive_cert(
+                        &node.op, &dtypes, out_dtype, &configs, capacity,
+                    ) else {
+                        continue;
+                    };
+                    let Some(active) = compiled
+                        .reconciled
+                        .choices
+                        .get(i)
+                        .and_then(|c| pareto.plans().get(c.active))
+                    else {
+                        continue;
+                    };
+                    families += 1;
+                    // Healthy capacity: the concrete checker is clean and
+                    // the fold must add nothing but (absent) SYM findings.
+                    for cap in [capacity as usize, 1024] {
+                        let concrete =
+                            t10_core::verify_plan(&node.op, &active.plan, cap, spec.num_cores);
+                        if !concrete.is_ok() {
+                            refutations += 1;
+                        }
+                        let folded =
+                            t10_core::symbolic::fold_concrete_report(&cert, concrete.clone());
+                        assert_eq!(
+                            concrete_lines(&folded),
+                            concrete_lines(&concrete),
+                            "{target} b{batch} node {i}: fold changed concrete diagnostics"
+                        );
+                    }
+                }
+            }
+        }
+        assert!(families > 50, "sweep too thin: {families} certificate(s)");
+        assert!(
+            refutations > 0,
+            "starved capacity never refuted: the pass-through case is vacuous"
         );
     }
 }

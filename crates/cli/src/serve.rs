@@ -750,6 +750,11 @@ pub struct CompileBenchOptions {
     pub jobs: usize,
     /// Cache directory (a unique temp directory when absent).
     pub cache: Option<String>,
+    /// Also measure cross-shape family reuse: each target is re-resolved at
+    /// batch 4 and compiled once cold (no cache) and once against the
+    /// family entries the batch-1 pass recorded, plus the standalone
+    /// symbolic-certification latency (`t10 check --symbolic`).
+    pub cross_shape: bool,
 }
 
 /// One model's cold/warm measurement.
@@ -843,6 +848,86 @@ pub fn compile_bench(o: &CompileBenchOptions) -> Result<i32, CliError> {
         });
     }
 
+    // Cross-shape family reuse (`--cross-shape`): the batch-1 pass above
+    // recorded one family-level entry (symbolic certificate + frontier)
+    // per fresh operator. Re-resolving each target at batch 4 misses every
+    // exact cache key but lands inside the recorded validity regions, so
+    // the compile warm-starts from the family cache — re-building,
+    // re-costing and re-certifying the cached configurations instead of
+    // searching — and only the residual rules re-run per shape. The
+    // standalone symbolic-certification latency (`t10 check --symbolic`)
+    // is timed on the served artifact.
+    struct CrossShapeRow {
+        cold_ms: f64,
+        family_ms: f64,
+        symbolic_check_ms: f64,
+        hit_rate: f64,
+    }
+    let mut cross: Vec<CrossShapeRow> = Vec::new();
+    if o.cross_shape {
+        for (ti, t) in targets.iter().enumerate() {
+            let g4 = resolve_model(t, 4)?;
+            // The cold leg compiles against an *empty* store so both legs
+            // pay identical recording costs and the comparison isolates
+            // what the family warm start saves: the per-operator search.
+            let cold_store = Arc::new(
+                DiskPlanCache::open(cache_dir.join(format!("cross-cold-{ti}")))
+                    .map_err(|e| CliError::file_io_msg(e.to_string()))?,
+            );
+            let cold_opts = CompileOptions {
+                cache: Some(cold_store as Arc<dyn PlanCache>),
+                op_parallelism: o.jobs,
+                ..CompileOptions::default()
+            };
+            let (cold_ms, _) = compile_with(&cold_opts, &g4)?;
+            let opts = CompileOptions {
+                cache: Some(store.clone() as Arc<dyn PlanCache>),
+                op_parallelism: o.jobs,
+                ..CompileOptions::default()
+            };
+            let (family_ms, warm) = compile_with(&opts, &g4)?;
+            let hit_rate = warm.cache_stats.cross_shape_hit_rate().unwrap_or(0.0);
+            let spec = compiler.spec();
+            let capacity = spec.sram_per_core.saturating_sub(spec.shift_buffer) as u64;
+            let t0 = std::time::Instant::now();
+            for (i, node) in g4.nodes().iter().enumerate() {
+                let Some(pareto) = warm.node_pareto.get(i) else {
+                    continue;
+                };
+                let configs: Vec<_> = pareto
+                    .plans()
+                    .iter()
+                    .map(|sp| sp.plan.config.clone())
+                    .collect();
+                if configs.is_empty() {
+                    continue;
+                }
+                let (dtypes, out_dtype) = t10_core::compiler::node_dtypes(&g4, &node.op);
+                if let Ok(cert) = t10_core::symbolic::derive_cert(
+                    &node.op, &dtypes, out_dtype, &configs, capacity,
+                ) {
+                    let valid = t10_core::symbolic::validate_cert(
+                        &cert, &node.op, &dtypes, out_dtype, &configs, capacity,
+                    );
+                    let covered = t10_core::symbolic::check_coverage(&cert, &node.op);
+                    if !valid.is_ok() || !covered.is_ok() {
+                        return Err(CliError::internal(format!(
+                            "{}: symbolic re-check refuted a released artifact",
+                            g4.name()
+                        )));
+                    }
+                }
+            }
+            let symbolic_check_ms = t0.elapsed().as_secs_f64() * 1e3;
+            cross.push(CrossShapeRow {
+                cold_ms,
+                family_ms,
+                symbolic_check_ms,
+                hit_rate,
+            });
+        }
+    }
+
     // Parallel-search speedup over the same targets, uncached: 1 thread vs
     // `--jobs` threads over the per-operator axis.
     let speedup_input = &graphs;
@@ -899,6 +984,29 @@ pub fn compile_bench(o: &CompileBenchOptions) -> Result<i32, CliError> {
         percentile(&graph_check, 1.0),
     ));
     doc.push_str(&format!("  \"warm_hit_rate\": {hit_rate:.4},\n"));
+    if o.cross_shape {
+        let mut sym: Vec<f64> = cross.iter().map(|r| r.symbolic_check_ms).collect();
+        sym.sort_by(f64::total_cmp);
+        let cold4: f64 = cross.iter().map(|r| r.cold_ms).sum();
+        let fam4: f64 = cross.iter().map(|r| r.family_ms).sum();
+        let xs_rate = if cross.is_empty() {
+            0.0
+        } else {
+            cross.iter().map(|r| r.hit_rate).sum::<f64>() / cross.len() as f64
+        };
+        doc.push_str(&format!(
+            "  \"symbolic_check_ms\": {{\"p50\": {:.3}, \"p90\": {:.3}, \"max\": {:.3}}},\n",
+            percentile(&sym, 0.5),
+            percentile(&sym, 0.9),
+            percentile(&sym, 1.0),
+        ));
+        doc.push_str(&format!("  \"cross_shape_hit_rate\": {xs_rate:.4},\n"));
+        doc.push_str(&format!(
+            "  \"cross_shape\": {{\"batch\": 4, \"cold_ms\": {cold4:.3}, \
+             \"family_warm_ms\": {fam4:.3}, \"speedup\": {:.3}}},\n",
+            if fam4 > 0.0 { cold4 / fam4 } else { 1.0 },
+        ));
+    }
     doc.push_str(&format!(
         "  \"parallel_search\": {{\"threads\": {}, \"sequential_ms\": {seq_ms:.3}, \
          \"parallel_ms\": {par_ms:.3}, \"speedup\": {speedup:.3}}},\n",
@@ -933,6 +1041,17 @@ pub fn compile_bench(o: &CompileBenchOptions) -> Result<i32, CliError> {
         o.jobs.max(1),
         speedup,
     );
+    if o.cross_shape && !cross.is_empty() {
+        let cold4: f64 = cross.iter().map(|r| r.cold_ms).sum();
+        let fam4: f64 = cross.iter().map(|r| r.family_ms).sum();
+        let xs_rate = cross.iter().map(|r| r.hit_rate).sum::<f64>() / cross.len() as f64;
+        println!(
+            "cross-shape (batch 1 -> 4): cold {cold4:.1} ms, family-warm {fam4:.1} ms \
+             (x{:.2}), family hit rate {:.0}%",
+            if fam4 > 0.0 { cold4 / fam4 } else { 1.0 },
+            xs_rate * 100.0,
+        );
+    }
     if let Some(path) = &o.out {
         crate::write_file(path, &doc)?;
         println!("compile bench -> {path}");

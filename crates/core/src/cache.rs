@@ -92,6 +92,77 @@ pub fn operator_signature(op: &Operator, dtype_bytes: &[usize], out_dtype_bytes:
     )
 }
 
+/// The *shape-erased* operator signature: everything
+/// [`operator_signature`] captures except the axis extents and indirect
+/// dimension sizes. Two operators share a family exactly when they differ
+/// only in shape — same kind, combinators, dtypes, axis names/kinds, and
+/// index-expression structure (strides, offsets, indirection markers).
+/// Family-level cache entries and `t10.cert.symbolic.v1` certificates key
+/// on this string's digest.
+#[must_use]
+pub fn family_signature(op: &Operator, dtype_bytes: &[usize], out_dtype_bytes: usize) -> String {
+    let mut axes = String::new();
+    for a in &op.expr.axes {
+        axes.push_str(&format!("{}:{:?};", a.name, a.kind));
+    }
+    let mut accesses = String::new();
+    for dims in op
+        .expr
+        .inputs
+        .iter()
+        .chain(std::iter::once(&op.expr.output))
+    {
+        accesses.push('[');
+        for e in dims {
+            if e.is_indirect() {
+                accesses.push_str("ind;");
+                continue;
+            }
+            for t in &e.terms {
+                accesses.push_str(&format!("{}*{},", t.stride, t.axis));
+            }
+            accesses.push_str(&format!("+{};", e.offset));
+        }
+        accesses.push(']');
+    }
+    format!(
+        "fam|{:?}|{:?}|{:?}|{:?}|{axes}|{accesses}|{:?}|{}",
+        op.kind, op.combine, op.reduce, op.unary, dtype_bytes, out_dtype_bytes
+    )
+}
+
+/// Hex digest of the family signature, as recorded in parametric
+/// certificates (`family=` line) and checked by SYM06.
+#[must_use]
+pub fn family_digest(op: &Operator, dtype_bytes: &[usize], out_dtype_bytes: usize) -> String {
+    format!(
+        "{:016x}",
+        fnv64(family_signature(op, dtype_bytes, out_dtype_bytes).as_bytes())
+    )
+}
+
+/// The family-level persistent-cache key: like [`plan_cache_key`] but with
+/// the shape-erased operator digest in the operator slot (`fam=` instead of
+/// `op=`), so a family entry can never shadow an exact-shape entry and the
+/// chip/fault/search guards still apply unchanged.
+#[must_use]
+pub fn family_cache_key(
+    op: &Operator,
+    dtype_bytes: &[usize],
+    out_dtype_bytes: usize,
+    spec: &ChipSpec,
+    faults: Option<&FaultPlan>,
+    cfg: &SearchConfig,
+) -> String {
+    format!(
+        "v1|fam={}|chip={:016x}|fault={:016x}|search={:016x}",
+        family_digest(op, dtype_bytes, out_dtype_bytes),
+        fnv64(chip_digest_string(spec).as_bytes()),
+        fnv64(fault_digest_string(faults).as_bytes()),
+        fnv64(search_digest_string(cfg).as_bytes()),
+    )
+}
+
 /// Stable rendering of every ChipSpec field that influences planning or
 /// costing. Any datasheet change — core count, SRAM, bandwidths, AMP
 /// quanta — re-keys the cache.
@@ -292,6 +363,15 @@ pub struct CacheStats {
     /// Node searches answered by the in-process memo (identical operators
     /// within one graph, §6.3).
     pub memo_hits: usize,
+    /// Node searches warm-started from a *family* certificate at a shape
+    /// the exact-key cache had never seen (cross-shape reuse).
+    pub family_hits: usize,
+    /// Family certificates consulted but refused: validation or residual
+    /// checks failed (SYM02–SYM07), or no cached configuration survived the
+    /// divisibility filters at the new shape.
+    pub residual_failures: usize,
+    /// Family certificates derived and written back after a fresh search.
+    pub family_recorded: usize,
 }
 
 impl CacheStats {
@@ -304,6 +384,19 @@ impl CacheStats {
             None
         } else {
             Some(self.disk_hits as f64 / total as f64)
+        }
+    }
+
+    /// Cross-shape hit rate: of the exact-key misses that consulted a
+    /// family certificate, how many warm-started from it. `None` when no
+    /// family lookup ever ran.
+    #[must_use]
+    pub fn cross_shape_hit_rate(&self) -> Option<f64> {
+        let total = self.family_hits + self.residual_failures;
+        if total == 0 {
+            None
+        } else {
+            Some(self.family_hits as f64 / total as f64)
         }
     }
 }
@@ -377,6 +470,62 @@ mod tests {
             healthy,
             plan_cache_key(&op(), &[2, 2], 2, &spec, Some(&noop), &cfg)
         );
+    }
+
+    #[test]
+    fn family_key_erases_shape_and_nothing_else() {
+        let spec = ChipSpec::ipu_with_cores(16);
+        let cfg = SearchConfig::fast();
+        let base = family_cache_key(&op(), &[2, 2], 2, &spec, None, &cfg);
+
+        // Same operator at a different shape: same family.
+        let scaled = builders::matmul(0, 1, 2, 256, 32, 16).unwrap();
+        assert_eq!(
+            base,
+            family_cache_key(&scaled, &[2, 2], 2, &spec, None, &cfg)
+        );
+
+        // A gather's indirect table size is shape, too.
+        let g1 = builders::gather(0, 1, 2, 1000, 32, 8).unwrap();
+        let g2 = builders::gather(0, 1, 2, 30_522, 32, 8).unwrap();
+        assert_eq!(
+            family_cache_key(&g1, &[2, 2], 2, &spec, None, &cfg),
+            family_cache_key(&g2, &[2, 2], 2, &spec, None, &cfg)
+        );
+
+        // Different dtypes, chip, or search config split the family.
+        assert_ne!(base, family_cache_key(&op(), &[4, 4], 4, &spec, None, &cfg));
+        let spec2 = ChipSpec::ipu_with_cores(32);
+        assert_ne!(
+            base,
+            family_cache_key(&op(), &[2, 2], 2, &spec2, None, &cfg)
+        );
+        let strict = SearchConfig::strict();
+        assert_ne!(
+            base,
+            family_cache_key(&op(), &[2, 2], 2, &spec, None, &strict)
+        );
+
+        // A structurally different operator (gather vs matmul) is a
+        // different family even with matching dtypes.
+        assert_ne!(base, family_cache_key(&g1, &[2, 2], 2, &spec, None, &cfg));
+
+        // Family keys and exact keys live in disjoint namespaces.
+        assert!(base.starts_with("v1|fam="));
+        assert!(plan_cache_key(&op(), &[2, 2], 2, &spec, None, &cfg).starts_with("v1|op="));
+        assert_eq!(
+            family_digest(&op(), &[2, 2], 2),
+            family_digest(&scaled, &[2, 2], 2)
+        );
+    }
+
+    #[test]
+    fn cross_shape_hit_rate_accounting() {
+        let mut s = CacheStats::default();
+        assert_eq!(s.cross_shape_hit_rate(), None);
+        s.family_hits = 3;
+        s.residual_failures = 1;
+        assert_eq!(s.cross_shape_hit_rate(), Some(0.75));
     }
 
     #[test]

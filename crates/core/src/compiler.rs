@@ -20,7 +20,9 @@ use t10_metrics::{names as metric_names, Registry};
 use t10_sim::{FaultPlan, RunReport};
 use t10_trace::{Trace, Value, CHIP_TID, PID_COMPILER, PID_SIM, PID_STORE};
 
-use crate::cache::{decode_frontier, encode_frontier, plan_cache_key, CacheStats, PlanCache};
+use crate::cache::{
+    decode_frontier, encode_frontier, family_cache_key, plan_cache_key, CacheStats, PlanCache,
+};
 use crate::cost::CostModel;
 use crate::lower::{lower_timing, setup_step, transition_step};
 use crate::plan::Plan;
@@ -370,6 +372,7 @@ impl Compiler {
         }
         struct UniqueSearch<'g> {
             key: String,
+            family_key: String,
             op: &'g Operator,
             dtypes: Vec<usize>,
             out_dtype: usize,
@@ -401,8 +404,17 @@ impl Compiler {
                 None => {
                     let unique = uniques.len();
                     by_key.insert(key.clone(), unique);
+                    let family_key = family_cache_key(
+                        &node.op,
+                        &dtypes,
+                        out_dtype,
+                        &self.spec,
+                        opts.faults.as_ref(),
+                        &base_cfg,
+                    );
                     uniques.push(UniqueSearch {
                         key,
+                        family_key,
                         op: &node.op,
                         dtypes,
                         out_dtype,
@@ -445,6 +457,36 @@ impl Compiler {
                         }
                     }
                     None => cache_stats.disk_misses += 1,
+                }
+                // Family-level fallback (cross-shape reuse): an exact miss
+                // or stale exact entry may still warm-start from a covering
+                // `t10.cert.symbolic.v1` certificate recorded for the
+                // shape-erased operator family. The certificate is
+                // validated (SYM02/03/04/06), the shape's coverage checked
+                // (SYM05), and every configuration re-built at the new
+                // extents — the residual re-check; divisibility residuals a
+                // new shape refuses drop individual configurations, not the
+                // whole entry. `from_disk` stays true so the mandatory
+                // verify + prove re-certification gate applies unchanged.
+                if u.result.is_none() {
+                    if let Some(payload) = cache.lookup(&u.family_key) {
+                        match self.family_warm(&payload, u.op, &u.dtypes, u.out_dtype, &base_cfg) {
+                            Some(r) => {
+                                cache_stats.family_hits += 1;
+                                opts.metrics
+                                    .counter(metric_names::COMPILER_FAMILY_HITS_TOTAL, &[])
+                                    .inc();
+                                u.from_disk = true;
+                                u.result = Some(r);
+                            }
+                            None => {
+                                cache_stats.residual_failures += 1;
+                                opts.metrics
+                                    .counter(metric_names::COMPILER_RESIDUAL_FAILURES_TOTAL, &[])
+                                    .inc();
+                            }
+                        }
+                    }
                 }
             }
         }
@@ -565,6 +607,52 @@ impl Compiler {
                             .collect();
                         cache.record(&u.key, &encode_frontier(&configs, search_stats));
                         cache_stats.recorded += 1;
+                        // Record the family-level entry alongside: derive
+                        // the parametric certificate (validity region
+                        // widened from this shape while the most frugal
+                        // configuration still fits) and store it with the
+                        // same frontier under the shape-erased key. Same-
+                        // family operators with different shapes share one
+                        // key, and no single box region can be proven
+                        // around widely separated shapes, so the entry is
+                        // a *union of boxes*: a valid box that already
+                        // covers this shape keeps the entry untouched,
+                        // otherwise a box widened around this shape is
+                        // appended (bounded by `MAX_FAMILY_BOXES`).
+                        let capacity = self.effective_capacity(&base_cfg) as u64;
+                        let mut boxes = cache
+                            .lookup(&u.family_key)
+                            .and_then(|p| crate::symbolic::decode_family_entries(&p))
+                            .unwrap_or_default();
+                        let covered_already = boxes.iter().any(|(old, old_configs, _)| {
+                            crate::symbolic::validate_cert(
+                                old,
+                                u.op,
+                                &u.dtypes,
+                                u.out_dtype,
+                                old_configs,
+                                capacity,
+                            )
+                            .is_ok()
+                                && crate::symbolic::check_coverage(old, u.op).is_ok()
+                        });
+                        if covered_already || boxes.len() >= crate::symbolic::MAX_FAMILY_BOXES {
+                            // Nothing to do: a standing box already proves
+                            // this shape, or the union is at capacity.
+                        } else if let Ok(cert) = crate::symbolic::derive_cert(
+                            u.op,
+                            &u.dtypes,
+                            u.out_dtype,
+                            &configs,
+                            capacity,
+                        ) {
+                            boxes.push((cert, configs.clone(), search_stats.clone()));
+                            cache.record(
+                                &u.family_key,
+                                &crate::symbolic::encode_family_entries(&boxes),
+                            );
+                            cache_stats.family_recorded += 1;
+                        }
                     }
                 }
             }
@@ -970,6 +1058,83 @@ impl Compiler {
         }
         stats.optimized_space = pareto.len();
         Some((pareto, stats))
+    }
+
+    /// Instantiates a family-level cache entry at this operator's concrete
+    /// shape, or `None` when the entry cannot safely serve it.
+    ///
+    /// The gate has three stages, in order:
+    ///
+    /// 1. **certificate validation** — decode, family digest (SYM06),
+    ///    region well-formedness and dimension names (SYM03), re-derived
+    ///    upper-corner high-water (SYM02), residual completeness (SYM04);
+    /// 2. **coverage** — the concrete shape must lie inside the validity
+    ///    region (SYM05);
+    /// 3. **residual re-check** — every configuration is re-built and
+    ///    re-admitted at the new extents. Unlike [`Self::rebuild_frontier`],
+    ///    a configuration the new shape refuses (a divisibility residual:
+    ///    `f_t ∤ extent`, `rp ∤ tile`) drops out *individually* — fixed
+    ///    factors rarely divide every shape in a region — and only an empty
+    ///    surviving frontier rejects the entry.
+    ///
+    /// Anything served from here still carries `from_disk = true`, so the
+    /// mandatory structural verify and semantic prove re-certification run
+    /// before the compile is handed out (belt and suspenders).
+    fn family_warm(
+        &self,
+        payload: &str,
+        op: &Operator,
+        dtypes: &[usize],
+        out_dtype: usize,
+        cfg: &SearchConfig,
+    ) -> Option<(ParetoSet, SearchStats)> {
+        let boxes = crate::symbolic::decode_family_entries(payload)?;
+        let mem_cap = self.effective_capacity(cfg);
+        // The entry is a union of boxes; the first box whose certificate
+        // validates, whose region covers this shape, and whose frontier
+        // survives the residual re-check at the new extents serves it.
+        for (cert, configs, mut stats) in boxes {
+            if !crate::symbolic::validate_cert(
+                &cert,
+                op,
+                dtypes,
+                out_dtype,
+                &configs,
+                mem_cap as u64,
+            )
+            .is_ok()
+            {
+                continue;
+            }
+            if !crate::symbolic::check_coverage(&cert, op).is_ok() {
+                continue;
+            }
+            let mut pareto = ParetoSet::default();
+            for config in configs {
+                let Ok(plan) = Plan::build(op, dtypes, out_dtype, config) else {
+                    continue;
+                };
+                if plan.padding_efficiency < cfg.padding_threshold
+                    || plan.mem_per_core > mem_cap
+                    || plan.total_steps > 1 << 20
+                {
+                    continue;
+                }
+                let cost = self.cost.estimate_plan(op, &plan);
+                let setup_time = self.cost.estimate_setup(&plan);
+                pareto.insert(ScoredPlan {
+                    plan,
+                    cost,
+                    setup_time,
+                });
+            }
+            if pareto.is_empty() {
+                continue;
+            }
+            stats.optimized_space = pareto.len();
+            return Some((pareto, stats));
+        }
+        None
     }
 }
 

@@ -67,10 +67,11 @@ pub mod recovery;
 pub mod rtensor;
 pub mod search;
 pub mod semantics;
+pub mod symbolic;
 pub mod verify;
 pub mod viz;
 
-pub use cache::{plan_cache_key, CacheStats, PlanCache};
+pub use cache::{family_cache_key, family_digest, plan_cache_key, CacheStats, PlanCache};
 pub use compiler::{CompileOptions, CompiledGraph, Compiler};
 pub use cost::CostModel;
 pub use error::CompileError;

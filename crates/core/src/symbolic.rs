@@ -1,0 +1,805 @@
+//! Shape-parametric symbolic certification: the operator-side derivation.
+//!
+//! `t10_verify::symbolic` supplies the pure abstract domain (intervals,
+//! monotone expressions, regions, the `t10.cert.symbolic.v1` codec);
+//! `t10_prove::family` classifies the semantic rules. This module connects
+//! both to concrete compiler state: it derives the **symbolic SRAM
+//! high-water expression** of a plan configuration by mirroring
+//! [`Plan::build`]'s `mem_per_core` derivation term-for-term over symbolic
+//! extents, widens a validity region around the compiled shape, and owns
+//! certificate derivation, validation, and instantiation for the
+//! family-level cache path.
+//!
+//! The symbolic dimensions of a family are the operator's axes (in axis
+//! order, named by their axis names) followed by one dimension per indirect
+//! input dimension (gather tables, named `ind{slot}d{dim}`) — exactly the
+//! extents [`crate::cache::family_signature`] erases.
+//!
+//! Soundness leans on two facts proven in `t10_verify::symbolic`:
+//! every footprint expression is built from monotone constructors, so its
+//! maximum over a region sits at the upper corner; and the pointwise
+//! minimum of monotone functions is monotone, so proving that the *most
+//! frugal* configuration fits at the upper corner proves that at every
+//! shape in the region at least one cached configuration fits.
+
+use t10_ir::{IndexExpr, Operator};
+use t10_prove::family as prove_family;
+use t10_verify::symbolic::{
+    closed_structural, residual_structural, Region, SymDim, SymError, SymExpr, SymbolicCert,
+};
+use t10_verify::{Diagnostic, Report, RuleId};
+
+use crate::cache::{decode_frontier, encode_frontier, family_digest};
+use crate::plan::PlanConfig;
+use crate::search::SearchStats;
+
+/// Separator between the certificate and the frontier payload inside one
+/// family-level cache entry.
+const FAMILY_SEPARATOR: &str = "---frontier---\n";
+
+/// Separator between certificate *boxes* inside one family-level cache
+/// entry. A family's proven validity is a union of boxes: the family key
+/// erases every extent, so shapes as different as a 112×112/3-channel and
+/// a 7×7/512-channel convolution share one key, and the footprint bound
+/// makes a single box around both corners unprovable. Each box carries
+/// its own certificate and seed frontier; lookup serves from any covering
+/// box, recording appends a box when none covers the new shape.
+const BOX_SEPARATOR: &str = "\n===box===\n";
+
+/// How many boxes one family entry may accumulate before recording stops
+/// appending. Bounds payload growth under an adversarial shape stream; a
+/// shape no box covers simply pays a fresh search.
+pub const MAX_FAMILY_BOXES: usize = 8;
+
+/// How many times region widening may double one dimension's upper bound.
+/// Six rounds cover a 64× extent range (`batch ∈ [1, 64]` from a batch-1
+/// compile) — ample for the cross-shape reuse the family cache targets
+/// while keeping derivation cost bounded.
+const WIDEN_ROUNDS: u32 = 6;
+
+/// The symbolic dimension names of an operator's family: axis names in
+/// axis order, then `ind{slot}d{dim}` per indirect input dimension.
+pub fn family_dim_names(op: &Operator) -> Vec<String> {
+    let mut names: Vec<String> = op.expr.axes.iter().map(|a| a.name.clone()).collect();
+    for (s, dims) in op.expr.inputs.iter().enumerate() {
+        for (d, e) in dims.iter().enumerate() {
+            if e.is_indirect() {
+                names.push(format!("ind{s}d{d}"));
+            }
+        }
+    }
+    names
+}
+
+/// The concrete extent assignment of an operator under its own shape, in
+/// [`family_dim_names`] order.
+pub fn family_extents(op: &Operator) -> Vec<u64> {
+    let mut extents: Vec<u64> = op.expr.axes.iter().map(|a| a.size as u64).collect();
+    for dims in &op.expr.inputs {
+        for e in dims {
+            if let Some(size) = e.indirect_size {
+                extents.push(size as u64);
+            }
+        }
+    }
+    extents
+}
+
+/// Index of the symbolic dimension carrying input slot `s`, dimension `d`'s
+/// indirect extent (after the axis block).
+fn indirect_dim_index(op: &Operator, slot: usize, dim: usize) -> usize {
+    let mut idx = op.expr.axes.len();
+    for (s, dims) in op.expr.inputs.iter().enumerate() {
+        for (d, e) in dims.iter().enumerate() {
+            if e.is_indirect() {
+                if s == slot && d == dim {
+                    return idx;
+                }
+                idx += 1;
+            }
+        }
+    }
+    idx
+}
+
+/// Symbolic per-core tile of axis `a`: `ceil(L_a / F_op[a])`, mirroring
+/// [`crate::rtensor::tiles`].
+fn tile_expr(axis: usize, f_op: usize) -> SymExpr {
+    SymExpr::DivCeil(Box::new(SymExpr::Dim(axis)), (f_op.max(1)) as u64)
+}
+
+/// Symbolic per-core extent of one tensor dimension, mirroring
+/// [`crate::rtensor::dim_extent`]: `Σ stride·(tile_a − 1) + 1` for affine
+/// dimensions (the offset does not enter the extent), the full indirect
+/// size for indirect ones.
+fn extent_expr(op: &Operator, slot: usize, dim: usize, e: &IndexExpr, f_op: &[usize]) -> SymExpr {
+    if e.is_indirect() {
+        return SymExpr::Dim(indirect_dim_index(op, slot, dim));
+    }
+    let mut terms: Vec<SymExpr> = e
+        .terms
+        .iter()
+        .map(|t| {
+            SymExpr::Prod(vec![
+                SymExpr::Const(t.stride as u64),
+                SymExpr::SatSub(Box::new(tile_expr(t.axis, f_op[t.axis])), 1),
+            ])
+        })
+        .collect();
+    terms.push(SymExpr::Const(1));
+    SymExpr::Sum(terms)
+}
+
+/// The symbolic SRAM high-water of one plan configuration, in bytes:
+/// `Σ_slots partition_bytes + out partition_bytes`, mirroring
+/// [`Plan::build`]'s `mem_per_core` term-for-term. A rotating slot's
+/// partition keeps `ceil(extent / f_t)` slices of the temporal dimension
+/// and the full extent of every other dimension.
+///
+/// [`Plan::build`]: crate::plan::Plan::build
+pub fn footprint_expr(
+    op: &Operator,
+    dtype_bytes: &[usize],
+    out_dtype_bytes: usize,
+    config: &PlanConfig,
+) -> SymExpr {
+    let expr = &op.expr;
+    let mut total: Vec<SymExpr> = Vec::with_capacity(expr.num_inputs() + 1);
+    for (s, (dims, t)) in expr.inputs.iter().zip(&config.temporal).enumerate() {
+        let mut factors: Vec<SymExpr> =
+            vec![SymExpr::Const(*dtype_bytes.get(s).unwrap_or(&1) as u64)];
+        for (d, e) in dims.iter().enumerate() {
+            let ext = extent_expr(op, s, d, e, &config.f_op);
+            if t.factor > 1 && t.dim == Some(d) {
+                // plen = ceil(extent / f_t); the partition holds plen
+                // slices of this dimension instead of the full extent.
+                factors.push(SymExpr::DivCeil(Box::new(ext), t.factor as u64));
+            } else {
+                factors.push(ext);
+            }
+        }
+        total.push(SymExpr::Prod(factors));
+    }
+    let mut out_factors: Vec<SymExpr> = vec![SymExpr::Const(out_dtype_bytes as u64)];
+    for (d, e) in expr.output.iter().enumerate() {
+        // The output never rotates; slot index is only used for indirect
+        // lookups, which a valid output access cannot contain.
+        out_factors.push(extent_expr(op, usize::MAX, d, e, &config.f_op));
+    }
+    total.push(SymExpr::Prod(out_factors));
+    SymExpr::Sum(total)
+}
+
+/// Renders the symbolic ring-pace expression of one configuration: per
+/// rotation group, `rp = min` over the group's partition lengths
+/// (`ceil(extent / f_t)`, §4.2 alignment), groups joined by `; `. `"-"`
+/// when the configuration has no rotation.
+pub fn pace_expr_render(op: &Operator, config: &PlanConfig, region: &Region) -> String {
+    // Group rotating slots by rotation axis exactly as `Plan::build` does.
+    let mut groups: Vec<(Option<usize>, Vec<String>)> = Vec::new();
+    for (s, (dims, t)) in op.expr.inputs.iter().zip(&config.temporal).enumerate() {
+        if t.factor <= 1 {
+            continue;
+        }
+        let Some(d) = t.dim else { continue };
+        let Some(e) = dims.get(d) else { continue };
+        let plen = SymExpr::DivCeil(
+            Box::new(extent_expr(op, s, d, e, &config.f_op)),
+            t.factor as u64,
+        )
+        .render(region);
+        let axis = e.single_axis();
+        if axis.is_some() {
+            if let Some(g) = groups.iter_mut().find(|(a, _)| *a == axis) {
+                g.1.push(plen);
+                continue;
+            }
+        }
+        groups.push((axis, vec![plen]));
+    }
+    if groups.is_empty() {
+        return "-".to_string();
+    }
+    groups
+        .iter()
+        .map(|(_, plens)| {
+            if plens.len() == 1 {
+                plens[0].clone()
+            } else {
+                format!("min({})", plens.join(", "))
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("; ")
+}
+
+/// The family's high-water at one corner, over pre-built footprint
+/// expressions: the **minimum** across the cached configurations — at any
+/// shape where this fits the capacity, at least one configuration is
+/// servable. Expressions are built once per configuration (not per corner
+/// probe): the region-widening loop evaluates many corners.
+fn min_eval(exprs: &[SymExpr], assign: &[u64]) -> Result<(u64, usize), SymError> {
+    let mut best: Option<(u64, usize)> = None;
+    for (i, expr) in exprs.iter().enumerate() {
+        let v = expr.eval(assign)?;
+        if best.map(|(b, _)| v < b).unwrap_or(true) {
+            best = Some((v, i));
+        }
+    }
+    best.ok_or(SymError::Overflow {
+        op: "min",
+        lhs: 0,
+        rhs: 0,
+    })
+}
+
+/// [`min_eval`] building the expressions in place (validation runs it for
+/// a single corner, so pre-building buys nothing there).
+fn min_footprint_at(
+    op: &Operator,
+    dtype_bytes: &[usize],
+    out_dtype_bytes: usize,
+    configs: &[PlanConfig],
+    assign: &[u64],
+) -> Result<(u64, usize), SymError> {
+    let exprs: Vec<SymExpr> = configs
+        .iter()
+        .map(|c| footprint_expr(op, dtype_bytes, out_dtype_bytes, c))
+        .collect();
+    min_eval(&exprs, assign)
+}
+
+/// Derives a `t10.cert.symbolic.v1` certificate for an operator family from
+/// the frontier configurations a concrete compile produced.
+///
+/// The validity region starts at the compiled shape and widens each
+/// dimension's upper bound by doubling (up to [`WIDEN_ROUNDS`] times) while
+/// the most frugal configuration still fits `capacity` at the region's
+/// upper corner; lower bounds drop to 1 (capacity bounds are monotone, so
+/// anything below the proven corner is covered). Closed/residual rule sets
+/// come from the structural closure (`t10_verify::symbolic`) and the
+/// semantic classification (`t10_prove::family`).
+pub fn derive_cert(
+    op: &Operator,
+    dtype_bytes: &[usize],
+    out_dtype_bytes: usize,
+    configs: &[PlanConfig],
+    capacity: u64,
+) -> Result<SymbolicCert, SymError> {
+    let names = family_dim_names(op);
+    let concrete = family_extents(op);
+    let mut his = concrete.clone();
+    let exprs: Vec<SymExpr> = configs
+        .iter()
+        .map(|c| footprint_expr(op, dtype_bytes, out_dtype_bytes, c))
+        .collect();
+    // Widen one dimension at a time against the current upper corner; the
+    // accepted corner is re-proven as a whole below, so the order only
+    // affects how generous each dimension's bound comes out, not soundness.
+    for d in 0..his.len() {
+        for _ in 0..WIDEN_ROUNDS {
+            let Some(doubled) = his[d].checked_mul(2) else {
+                break;
+            };
+            let mut corner = his.clone();
+            corner[d] = doubled;
+            match min_eval(&exprs, &corner) {
+                Ok((peak, _)) if peak <= capacity => his[d] = doubled,
+                _ => break,
+            }
+        }
+    }
+    let region = Region::new(
+        names
+            .iter()
+            .zip(&his)
+            .map(|(n, &hi)| SymDim::new(n.clone(), 1, hi))
+            .collect(),
+    );
+    let (peak_hi, frugal) = min_eval(&exprs, &region.hi_corner())?;
+    let frugal_cfg = &configs[frugal];
+    let sem = prove_family::classify(op);
+    let mut closed = closed_structural();
+    closed.extend(sem.closed);
+    let mut residual = residual_structural();
+    residual.extend(sem.residual);
+    let peak_expr = footprint_expr(op, dtype_bytes, out_dtype_bytes, frugal_cfg).render(&region);
+    let pace_expr = pace_expr_render(op, frugal_cfg, &region);
+    Ok(SymbolicCert {
+        family: family_digest(op, dtype_bytes, out_dtype_bytes),
+        region,
+        capacity,
+        peak_hi,
+        peak_expr,
+        pace_expr,
+        closed,
+        residual,
+    })
+}
+
+/// Validates a (possibly cache-loaded, possibly corrupted) certificate
+/// against the operator family it claims to cover.
+///
+/// Checks, each mapped to exactly one SYM rule so the mutation suite can
+/// pin them individually:
+///
+/// * **SYM06** — the recorded family digest does not match this operator's
+///   shape-erased signature (stale or transplanted entry);
+/// * **SYM03** — malformed region (empty, inverted, zero lower bound,
+///   duplicate names, wrong arity/names for this family) or overlapping
+///   closed/residual sets;
+/// * **SYM02** — the recorded region outgrew the proof: the re-derived
+///   high-water of the most frugal configuration at the region's upper
+///   corner exceeds the capacity (a *widened region* corruption changes
+///   the corner, so re-deriving catches it even when `peak_hi` was left
+///   consistent);
+/// * **SYM04** — a rule this family requires to be re-checked per
+///   instantiation is missing from the residual set (a *dropped residual*
+///   corruption);
+/// * **SYM01** — symbolic arithmetic overflowed while re-deriving.
+pub fn validate_cert(
+    cert: &SymbolicCert,
+    op: &Operator,
+    dtype_bytes: &[usize],
+    out_dtype_bytes: usize,
+    configs: &[PlanConfig],
+    capacity: u64,
+) -> Report {
+    let mut report = cert.validate_shape();
+    let expected = family_digest(op, dtype_bytes, out_dtype_bytes);
+    if cert.family != expected {
+        report.push(
+            Diagnostic::error(
+                RuleId::SymFamilyKeyMismatch,
+                format!(
+                    "certificate covers family {} but the operator's family is {expected}",
+                    cert.family
+                ),
+            )
+            .hint("the family entry is stale or transplanted; recompile to refresh it"),
+        );
+    }
+    let names = family_dim_names(op);
+    let cert_names: Vec<&str> = cert.region.dims.iter().map(|d| d.name.as_str()).collect();
+    if cert_names != names.iter().map(String::as_str).collect::<Vec<_>>() {
+        report.push(Diagnostic::error(
+            RuleId::SymRegionMalformed,
+            format!(
+                "region dimensions [{}] do not name this family's dimensions [{}]",
+                cert_names.join(", "),
+                names.join(", ")
+            ),
+        ));
+    } else if !configs.is_empty() {
+        match min_footprint_at(
+            op,
+            dtype_bytes,
+            out_dtype_bytes,
+            configs,
+            &cert.region.hi_corner(),
+        ) {
+            Ok((peak, _)) => {
+                if peak > capacity {
+                    report.push(
+                        Diagnostic::error(
+                            RuleId::SymRegionUnprovable,
+                            format!(
+                                "re-derived SRAM high-water {peak} B at the upper corner of {} \
+                                 exceeds per-core capacity {capacity} B",
+                                cert.region.render()
+                            ),
+                        )
+                        .hint("the recorded validity region is wider than the footprint proof"),
+                    );
+                }
+            }
+            Err(e) => report.push(e.diagnostic()),
+        }
+    }
+    let mut required = residual_structural();
+    required.extend(prove_family::classify(op).residual);
+    for r in required {
+        if !cert.residual.contains(&r) {
+            report.push(
+                Diagnostic::error(
+                    RuleId::SymResidualIncomplete,
+                    format!(
+                        "rule {} must be re-checked per instantiation but is missing from the \
+                         residual set",
+                        r.id()
+                    ),
+                )
+                .hint("a family certificate may narrow the region, never the residual set"),
+            );
+        }
+    }
+    report
+}
+
+/// Checks that a certificate's validity region covers one concrete shape.
+///
+/// * **SYM03** when the shape's dimension count disagrees with the region;
+/// * **SYM05** when the shape falls outside the region — the diagnostic
+///   carries both the violated region and the concrete extents so JSON
+///   consumers see exactly which bound failed.
+pub fn check_coverage(cert: &SymbolicCert, op: &Operator) -> Report {
+    let mut report = Report::new();
+    report.stats.rules_checked = RuleId::SYMBOLIC.len();
+    let extents = family_extents(op);
+    match cert.region.covers(&extents) {
+        None => report.push(Diagnostic::error(
+            RuleId::SymRegionMalformed,
+            format!(
+                "shape has {} family dimensions but the region has {}",
+                extents.len(),
+                cert.region.dims.len()
+            ),
+        )),
+        Some(false) => {
+            let shape = extents
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join(", ");
+            report.push(
+                Diagnostic::error(
+                    RuleId::SymRegionNotCovering,
+                    format!(
+                        "shape ({shape}) lies outside the validity region {}",
+                        cert.region.render()
+                    ),
+                )
+                .hint("compile this shape cold once; the family cache will widen on record"),
+            );
+        }
+        Some(true) => {}
+    }
+    report
+}
+
+/// Folds a *concrete* rule report into the symbolic verdict for one
+/// instantiation of a family certificate:
+///
+/// * a concrete **error** on a rule the certificate claims *closed* is a
+///   soundness breach — the family proof was supposed to cover this shape —
+///   and surfaces as **SYM02** alongside the original diagnostic;
+/// * a concrete **error** on a *residual* rule is the expected re-check
+///   refusing this instantiation, and surfaces as **SYM07**.
+///
+/// Diagnostics on rules outside the certificate (graph-level rules, other
+/// SYM rules) pass through untouched, so on a clean artifact the folded
+/// report is byte-identical to the concrete one — the differential
+/// guarantee the zoo sweep pins.
+pub fn fold_concrete_report(cert: &SymbolicCert, concrete: Report) -> Report {
+    let mut out = Report::new();
+    out.stats = concrete.stats;
+    let mut escalations: Vec<Diagnostic> = Vec::new();
+    for d in &concrete.diagnostics {
+        if d.severity == t10_verify::Severity::Error {
+            if cert.closed.contains(&d.rule) {
+                escalations.push(
+                    Diagnostic::error(
+                        RuleId::SymRegionUnprovable,
+                        format!(
+                            "closed rule {} was refuted concretely inside the validity region {}",
+                            d.rule.id(),
+                            cert.region.render()
+                        ),
+                    )
+                    .hint("the family proof is unsound for this shape; discard the certificate"),
+                );
+            } else if cert.residual.contains(&d.rule) {
+                escalations.push(Diagnostic::error(
+                    RuleId::SymResidualRefuted,
+                    format!(
+                        "residual rule {} refuted this instantiation: {}",
+                        d.rule.id(),
+                        d.message
+                    ),
+                ));
+            }
+        }
+    }
+    for d in concrete.diagnostics {
+        out.push(d);
+    }
+    for d in escalations {
+        out.push(d);
+    }
+    out
+}
+
+/// Serializes one family-level cache entry: the certificate followed by the
+/// frontier configurations it covers.
+pub fn encode_family_entry(
+    cert: &SymbolicCert,
+    configs: &[PlanConfig],
+    stats: &SearchStats,
+) -> String {
+    format!(
+        "{}{FAMILY_SEPARATOR}{}",
+        cert.encode(),
+        encode_frontier(configs, stats)
+    )
+}
+
+/// Parses a family-level cache entry. `None` on any malformation — the
+/// caller treats that as a cache miss (never an error). A multi-box
+/// payload decodes to its first box; use [`decode_family_entries`] to see
+/// the whole union.
+pub fn decode_family_entry(payload: &str) -> Option<(SymbolicCert, Vec<PlanConfig>, SearchStats)> {
+    let first = payload.split(BOX_SEPARATOR).next()?;
+    let (cert_text, frontier_text) = first.split_once(FAMILY_SEPARATOR)?;
+    let cert = SymbolicCert::decode(cert_text)?;
+    let (configs, stats) = decode_frontier(frontier_text)?;
+    Some((cert, configs, stats))
+}
+
+/// Serialises a whole family entry — the union of certificate boxes.
+pub fn encode_family_entries(entries: &[(SymbolicCert, Vec<PlanConfig>, SearchStats)]) -> String {
+    entries
+        .iter()
+        .map(|(cert, configs, stats)| encode_family_entry(cert, configs, stats))
+        .collect::<Vec<_>>()
+        .join(BOX_SEPARATOR)
+}
+
+/// Parses every certificate box of a family entry. `None` if *any* box is
+/// malformed: a payload that is partially garbage is not trusted at all,
+/// and the caller treats the whole entry as a miss.
+pub fn decode_family_entries(
+    payload: &str,
+) -> Option<Vec<(SymbolicCert, Vec<PlanConfig>, SearchStats)>> {
+    let mut boxes = Vec::new();
+    for part in payload.split(BOX_SEPARATOR) {
+        let (cert_text, frontier_text) = part.split_once(FAMILY_SEPARATOR)?;
+        let cert = SymbolicCert::decode(cert_text)?;
+        let (configs, stats) = decode_frontier(frontier_text)?;
+        boxes.push((cert, configs, stats));
+    }
+    if boxes.is_empty() {
+        None
+    } else {
+        Some(boxes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{Plan, TemporalChoice};
+    use t10_ir::builders::{self, Conv2dCfg};
+
+    fn configs_for(op: &Operator) -> Vec<PlanConfig> {
+        // A couple of hand-rolled feasible configurations per operator,
+        // mirroring what a tiny search would keep.
+        match op.expr.axes.len() {
+            2 => vec![PlanConfig {
+                f_op: vec![2, 1],
+                temporal: vec![TemporalChoice::none(); op.expr.num_inputs()],
+            }],
+            3 => vec![
+                PlanConfig {
+                    f_op: vec![2, 1, 2],
+                    temporal: vec![TemporalChoice::none(), TemporalChoice::none()],
+                },
+                PlanConfig {
+                    f_op: vec![2, 1, 3],
+                    temporal: vec![TemporalChoice::rotate(1, 3), TemporalChoice::rotate(0, 2)],
+                },
+            ],
+            _ => vec![PlanConfig {
+                f_op: vec![1; op.expr.axes.len()],
+                temporal: vec![TemporalChoice::none(); op.expr.num_inputs()],
+            }],
+        }
+    }
+
+    /// The load-bearing equality: the symbolic footprint evaluated at the
+    /// operator's own extents is exactly `Plan::build`'s `mem_per_core`.
+    #[test]
+    fn footprint_expr_matches_plan_build() {
+        let cases: Vec<(Operator, Vec<usize>, usize)> = vec![
+            (
+                builders::matmul(0, 1, 2, 64, 36, 48).unwrap(),
+                vec![2, 2],
+                2,
+            ),
+            (builders::matmul(0, 1, 2, 2, 6, 3).unwrap(), vec![2, 2], 2),
+            (
+                builders::conv2d(
+                    0,
+                    1,
+                    2,
+                    Conv2dCfg {
+                        batch: 1,
+                        c_in: 4,
+                        c_out: 8,
+                        h_out: 16,
+                        w_out: 16,
+                        kh: 3,
+                        kw: 3,
+                        stride: 1,
+                    },
+                )
+                .unwrap(),
+                vec![2, 2],
+                2,
+            ),
+            (
+                builders::gather(0, 1, 2, 1000, 32, 8).unwrap(),
+                vec![4, 4],
+                4,
+            ),
+        ];
+        for (op, dtypes, out_dtype) in cases {
+            let extents = family_extents(&op);
+            for config in configs_for(&op) {
+                let plan = match Plan::build(&op, &dtypes, out_dtype, config.clone()) {
+                    Ok(p) => p,
+                    Err(_) => continue,
+                };
+                let sym = footprint_expr(&op, &dtypes, out_dtype, &config)
+                    .eval(&extents)
+                    .unwrap();
+                assert_eq!(
+                    sym, plan.mem_per_core as u64,
+                    "{:?} under {:?}",
+                    op.kind, config
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn family_dims_cover_axes_and_indirects() {
+        let mm = builders::matmul(0, 1, 2, 8, 8, 8).unwrap();
+        assert_eq!(family_dim_names(&mm), vec!["m", "k", "n"]);
+        assert_eq!(family_extents(&mm), vec![8, 8, 8]);
+        let g = builders::gather(0, 1, 2, 1000, 32, 8).unwrap();
+        let names = family_dim_names(&g);
+        assert_eq!(names.len(), family_extents(&g).len());
+        assert!(names.iter().any(|n| n.starts_with("ind")));
+        assert!(family_extents(&g).contains(&1000));
+    }
+
+    #[test]
+    fn derive_validate_instantiate_round_trip() {
+        let op = builders::matmul(0, 1, 2, 64, 36, 48).unwrap();
+        let (dtypes, out): (Vec<usize>, usize) = (vec![2, 2], 2);
+        let configs = configs_for(&op);
+        let capacity = 512 * 1024;
+        let cert = derive_cert(&op, &dtypes, out, &configs, capacity).unwrap();
+        assert_eq!(cert.family, family_digest(&op, &dtypes, out));
+        assert!(cert.peak_hi <= capacity);
+        // Region contains the compiled shape and widened past it.
+        assert_eq!(cert.region.covers(&family_extents(&op)), Some(true));
+        assert!(cert.region.dims.iter().any(|d| d.bounds.hi > d.bounds.lo));
+        assert!(validate_cert(&cert, &op, &dtypes, out, &configs, capacity).is_ok());
+        // A larger same-family shape inside the region is covered; the
+        // certificate transfers.
+        let big = builders::matmul(0, 1, 2, 128, 36, 48).unwrap();
+        assert_eq!(family_digest(&big, &dtypes, out), cert.family);
+        if cert.region.covers(&family_extents(&big)) == Some(true) {
+            assert!(check_coverage(&cert, &big).is_ok());
+        }
+        // A shape past the region is SYM05 with the region in the message.
+        let huge = builders::matmul(0, 1, 2, 1 << 20, 36, 48).unwrap();
+        let report = check_coverage(&cert, &huge);
+        assert_eq!(report.violated_rules(), vec!["SYM05"]);
+        assert!(report.diagnostics[0].message.contains("m ∈ [1,"));
+    }
+
+    #[test]
+    fn widened_region_is_refuted_by_rederivation() {
+        let op = builders::matmul(0, 1, 2, 64, 36, 48).unwrap();
+        let (dtypes, out): (Vec<usize>, usize) = (vec![2, 2], 2);
+        let configs = configs_for(&op);
+        let capacity = 256 * 1024;
+        let mut cert = derive_cert(&op, &dtypes, out, &configs, capacity).unwrap();
+        // Corrupt: widen every bound far past the proof but keep peak_hi,
+        // so only re-derivation at the new corner can catch it.
+        for d in &mut cert.region.dims {
+            d.bounds.hi = d.bounds.hi.saturating_mul(1 << 12);
+        }
+        let report = validate_cert(&cert, &op, &dtypes, out, &configs, capacity);
+        assert_eq!(report.violated_rules(), vec!["SYM02"]);
+    }
+
+    #[test]
+    fn dropped_residual_rule_is_sym04() {
+        let op = builders::matmul(0, 1, 2, 64, 36, 48).unwrap();
+        let (dtypes, out): (Vec<usize>, usize) = (vec![2, 2], 2);
+        let configs = configs_for(&op);
+        let capacity = 512 * 1024;
+        let mut cert = derive_cert(&op, &dtypes, out, &configs, capacity).unwrap();
+        cert.residual.retain(|r| *r != RuleId::PaceDividesExtent);
+        let report = validate_cert(&cert, &op, &dtypes, out, &configs, capacity);
+        assert_eq!(report.violated_rules(), vec!["SYM04"]);
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.message.contains("RING01")));
+    }
+
+    #[test]
+    fn stale_family_key_is_sym06() {
+        let op = builders::matmul(0, 1, 2, 64, 36, 48).unwrap();
+        let (dtypes, out): (Vec<usize>, usize) = (vec![2, 2], 2);
+        let configs = configs_for(&op);
+        let capacity = 512 * 1024;
+        let mut cert = derive_cert(&op, &dtypes, out, &configs, capacity).unwrap();
+        cert.family = "deadbeefdeadbeef".to_string();
+        let report = validate_cert(&cert, &op, &dtypes, out, &configs, capacity);
+        assert_eq!(report.violated_rules(), vec!["SYM06"]);
+    }
+
+    #[test]
+    fn concrete_fold_escalates_by_classification() {
+        let op = builders::matmul(0, 1, 2, 64, 36, 48).unwrap();
+        let (dtypes, out): (Vec<usize>, usize) = (vec![2, 2], 2);
+        let configs = configs_for(&op);
+        let cert = derive_cert(&op, &dtypes, out, &configs, 512 * 1024).unwrap();
+        // Clean report folds to itself (the differential guarantee).
+        let clean = fold_concrete_report(&cert, Report::new());
+        assert!(clean.diagnostics.is_empty());
+        // Residual failure → SYM07 alongside the original.
+        let mut residual = Report::new();
+        residual.push(Diagnostic::error(
+            RuleId::PaceDividesExtent,
+            "rp 3 does not divide extent 8",
+        ));
+        let folded = fold_concrete_report(&cert, residual);
+        assert_eq!(folded.violated_rules(), vec!["RING01", "SYM07"]);
+        // Closed-rule failure inside the region → SYM02 soundness breach.
+        let mut closed = Report::new();
+        closed.push(Diagnostic::error(RuleId::PlanMemOverflow, "does not fit"));
+        let folded = fold_concrete_report(&cert, closed);
+        assert!(folded.violated_rules().contains(&"SYM02"));
+    }
+
+    #[test]
+    fn family_entry_codec_round_trips() {
+        let op = builders::matmul(0, 1, 2, 64, 36, 48).unwrap();
+        let (dtypes, out): (Vec<usize>, usize) = (vec![2, 2], 2);
+        let configs = configs_for(&op);
+        let cert = derive_cert(&op, &dtypes, out, &configs, 512 * 1024).unwrap();
+        let stats = SearchStats::default();
+        let payload = encode_family_entry(&cert, &configs, &stats);
+        let (cert2, configs2, _) = decode_family_entry(&payload).unwrap();
+        assert_eq!(cert2, cert);
+        assert_eq!(configs2, configs);
+        assert_eq!(decode_family_entry("garbage"), None);
+        assert_eq!(
+            decode_family_entry(&payload.replace("t10.cert", "t11.cert")),
+            None
+        );
+    }
+
+    #[test]
+    fn multi_box_family_entry_codec_round_trips() {
+        let op = builders::matmul(0, 1, 2, 64, 36, 48).unwrap();
+        let (dtypes, out): (Vec<usize>, usize) = (vec![2, 2], 2);
+        let configs = configs_for(&op);
+        let a = derive_cert(&op, &dtypes, out, &configs, 512 * 1024).unwrap();
+        let b = derive_cert(&op, &dtypes, out, &configs, 256 * 1024).unwrap();
+        let entries = vec![
+            (a.clone(), configs.clone(), SearchStats::default()),
+            (b.clone(), configs.clone(), SearchStats::default()),
+        ];
+        let payload = encode_family_entries(&entries);
+        let boxes = decode_family_entries(&payload).unwrap();
+        assert_eq!(boxes.len(), 2);
+        assert_eq!(boxes[0].0, a);
+        assert_eq!(boxes[1].0, b);
+        // The single-box decoder sees the first box of a union.
+        assert_eq!(decode_family_entry(&payload).unwrap().0, a);
+        // One corrupt box poisons the whole entry — partial trust is no
+        // trust.
+        let corrupt = payload.replacen("t10.cert", "t11.cert", 1);
+        assert_eq!(decode_family_entries(&corrupt), None);
+        // A single-box payload is a one-element union.
+        let single = encode_family_entry(&a, &configs, &SearchStats::default());
+        assert_eq!(decode_family_entries(&single).unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,294 @@
+//! Mutation suite for the shape-parametric family cache (ISSUE 10
+//! acceptance): each seeded family-certificate corruption must trip
+//! *exactly* its SYM rule at validation time, and the compiler must refuse
+//! the corrupted entry and fall back to a fresh search that produces the
+//! byte-identical artifact a cold compile would.
+//!
+//! The corruptions mirror real failure modes of a persistent store:
+//!
+//! * **widened region** — the validity region outgrew the footprint proof
+//!   (hand-edited entry, or a recording bug) → SYM02;
+//! * **dropped residual rule** — a rule that must re-run per instantiation
+//!   vanished from the residual set → SYM04;
+//! * **stale family key** — the entry was transplanted across operator
+//!   families → SYM06;
+//! * plus coverage (SYM05) and malformation (SYM03) probes on the same
+//!   genuinely-recorded certificate.
+
+#![allow(clippy::unwrap_used, clippy::indexing_slicing)]
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use t10_core::cache::{family_cache_key, PlanCache};
+use t10_core::compiler::{CompileOptions, Compiler};
+use t10_core::search::SearchConfig;
+use t10_core::symbolic::{
+    check_coverage, decode_family_entries, decode_family_entry, encode_family_entry,
+    family_extents, validate_cert,
+};
+use t10_device::ChipSpec;
+use t10_ir::{builders, DType, Graph, Operator, ValueKind};
+use t10_verify::symbolic::SymbolicCert;
+use t10_verify::RuleId;
+
+/// In-memory cache with direct entry access so the suite can corrupt
+/// payloads in place.
+#[derive(Default)]
+struct MemCache {
+    entries: Mutex<HashMap<String, String>>,
+}
+
+impl PlanCache for MemCache {
+    fn lookup(&self, key: &str) -> Option<String> {
+        self.entries.lock().unwrap().get(key).cloned()
+    }
+    fn record(&self, key: &str, payload: &str) {
+        self.entries
+            .lock()
+            .unwrap()
+            .insert(key.to_string(), payload.to_string());
+    }
+}
+
+fn matmul_graph(m: usize, k: usize, n: usize) -> Graph {
+    let mut g = Graph::new("fc");
+    let a = g.add_value("a", vec![m, k], DType::F16, ValueKind::Input);
+    let w = g.add_value("w", vec![k, n], DType::F16, ValueKind::Weight);
+    let c = g.add_value("c", vec![m, n], DType::F16, ValueKind::Output);
+    g.add_node("fc", builders::matmul(a, w, c, m, k, n).unwrap())
+        .unwrap();
+    g
+}
+
+struct Harness {
+    compiler: Compiler,
+    cache: Arc<MemCache>,
+    spec: ChipSpec,
+    cfg: SearchConfig,
+}
+
+impl Harness {
+    fn new() -> Self {
+        let spec = ChipSpec::ipu_with_cores(16);
+        let cfg = SearchConfig::fast();
+        Self {
+            compiler: Compiler::new(spec.clone(), cfg.clone()),
+            cache: Arc::new(MemCache::default()),
+            spec,
+            cfg,
+        }
+    }
+
+    fn compile(&self, g: &Graph) -> t10_core::CompiledGraph {
+        let opts = CompileOptions {
+            cache: Some(self.cache.clone() as Arc<dyn PlanCache>),
+            ..CompileOptions::default()
+        };
+        self.compiler.compile_graph_with(g, &opts).unwrap()
+    }
+
+    fn capacity(&self) -> u64 {
+        (self.spec.sram_per_core - self.spec.shift_buffer) as u64
+    }
+
+    fn family_key(&self, op: &Operator) -> String {
+        family_cache_key(op, &[2, 2], 2, &self.spec, None, &self.cfg)
+    }
+
+    /// The genuinely-recorded family entry for `op`, decoded.
+    fn recorded_entry(
+        &self,
+        op: &Operator,
+    ) -> (
+        SymbolicCert,
+        Vec<t10_core::PlanConfig>,
+        t10_core::search::SearchStats,
+    ) {
+        let payload = self.cache.lookup(&self.family_key(op)).unwrap();
+        decode_family_entry(&payload).unwrap()
+    }
+
+    /// Replaces the family entry for `op` with a corrupted certificate.
+    fn corrupt(&self, op: &Operator, mutate: impl FnOnce(&mut SymbolicCert)) -> SymbolicCert {
+        let (mut cert, configs, stats) = self.recorded_entry(op);
+        mutate(&mut cert);
+        self.cache.record(
+            &self.family_key(op),
+            &encode_family_entry(&cert, &configs, &stats),
+        );
+        cert
+    }
+}
+
+/// The happy path the mutations perturb: a 64-row compile records a family
+/// entry; a 128-row compile of the same family warm-starts from it. The
+/// served frontier is the seed shape's configurations re-built, re-costed,
+/// and re-certified (verify + prove, the `from_disk` gate) at the new
+/// extents — a warm start, so the test pins validity and the hit
+/// accounting, not byte-identity with a cold search.
+#[test]
+fn cross_shape_family_warm_start_serves_and_recertifies() {
+    let h = Harness::new();
+    let seed = h.compile(&matmul_graph(64, 64, 48));
+    assert!(seed.cache_stats.family_recorded > 0);
+    assert_eq!(seed.cache_stats.family_hits, 0);
+
+    // New shape, same family: the exact key misses, the family entry
+    // covers it (the region widened past 128 from the 64-row compile).
+    let big = matmul_graph(128, 64, 48);
+    let warm = h.compile(&big);
+    assert_eq!(warm.cache_stats.disk_hits, 0, "exact key must not hit");
+    assert!(warm.cache_stats.family_hits > 0, "family entry must serve");
+    assert_eq!(warm.cache_stats.residual_failures, 0);
+    assert_eq!(warm.cache_stats.cross_shape_hit_rate(), Some(1.0));
+    // compile_graph_with only returns after the mandatory structural
+    // verify and (because the frontier is disk-sourced) the semantic prove
+    // pass accepted every chosen plan at the *new* shape.
+    assert!(warm.estimated_time > 0.0);
+    assert!(!warm.program.steps.is_empty());
+}
+
+#[test]
+fn widened_region_mutation_trips_exactly_sym02() {
+    let h = Harness::new();
+    h.compile(&matmul_graph(64, 64, 48));
+    let op = builders::matmul(0, 1, 2, 128, 64, 48).unwrap();
+    // Widen every bound far past the proof but keep peak_hi consistent, so
+    // only re-derivation at the corrupted corner can catch it.
+    let cert = h.corrupt(&op, |c| {
+        for d in &mut c.region.dims {
+            d.bounds.hi = d.bounds.hi.saturating_mul(1 << 16);
+        }
+    });
+    let (_, configs, _) = h.recorded_entry(&op);
+    let report = validate_cert(&cert, &op, &[2, 2], 2, &configs, h.capacity());
+    assert_eq!(report.violated_rules(), vec!["SYM02"]);
+
+    // The compiler refuses the entry and falls back to a fresh search.
+    let healed = h.compile(&matmul_graph(128, 64, 48));
+    assert_eq!(healed.cache_stats.family_hits, 0);
+    assert!(healed.cache_stats.residual_failures > 0);
+    let cold = Harness::new().compile(&matmul_graph(128, 64, 48));
+    assert_eq!(
+        format!("{:?}", healed.program),
+        format!("{:?}", cold.program)
+    );
+}
+
+#[test]
+fn dropped_residual_rule_mutation_trips_exactly_sym04() {
+    let h = Harness::new();
+    h.compile(&matmul_graph(64, 64, 48));
+    let op = builders::matmul(0, 1, 2, 128, 64, 48).unwrap();
+    let cert = h.corrupt(&op, |c| {
+        c.residual
+            .retain(|r| !matches!(r, RuleId::PaceDividesExtent | RuleId::FactorSharing));
+    });
+    let (_, configs, _) = h.recorded_entry(&op);
+    let report = validate_cert(&cert, &op, &[2, 2], 2, &configs, h.capacity());
+    assert_eq!(report.violated_rules(), vec!["SYM04"]);
+
+    let healed = h.compile(&matmul_graph(128, 64, 48));
+    assert_eq!(healed.cache_stats.family_hits, 0);
+    assert!(healed.cache_stats.residual_failures > 0);
+}
+
+#[test]
+fn stale_family_key_mutation_trips_exactly_sym06() {
+    let h = Harness::new();
+    h.compile(&matmul_graph(64, 64, 48));
+    let op = builders::matmul(0, 1, 2, 128, 64, 48).unwrap();
+    let cert = h.corrupt(&op, |c| {
+        c.family = "deadbeefdeadbeef".to_string();
+    });
+    let (_, configs, _) = h.recorded_entry(&op);
+    let report = validate_cert(&cert, &op, &[2, 2], 2, &configs, h.capacity());
+    assert_eq!(report.violated_rules(), vec!["SYM06"]);
+
+    let healed = h.compile(&matmul_graph(128, 64, 48));
+    assert_eq!(healed.cache_stats.family_hits, 0);
+    assert!(healed.cache_stats.residual_failures > 0);
+}
+
+#[test]
+fn out_of_region_shape_is_sym05_with_the_violated_region() {
+    let h = Harness::new();
+    h.compile(&matmul_graph(64, 64, 48));
+    let op = builders::matmul(0, 1, 2, 64, 64, 48).unwrap();
+    let (cert, _, _) = h.recorded_entry(&op);
+    // The recorded shape itself is covered.
+    assert!(check_coverage(&cert, &op).is_ok());
+    // A shape past every widened bound is refused with the region rendered
+    // into the diagnostic (the JSON contract for `t10 check --symbolic`).
+    let far = builders::matmul(0, 1, 2, 1 << 22, 64, 48).unwrap();
+    assert_eq!(cert.region.covers(&family_extents(&far)), Some(false));
+    let report = check_coverage(&cert, &far);
+    assert_eq!(report.violated_rules(), vec!["SYM05"]);
+    let msg = &report.diagnostics[0].message;
+    assert!(msg.contains("outside the validity region"));
+    assert!(msg.contains("m ∈ [1,"), "region missing from: {msg}");
+}
+
+#[test]
+fn malformed_region_mutation_trips_sym03() {
+    let h = Harness::new();
+    h.compile(&matmul_graph(64, 64, 48));
+    let op = builders::matmul(0, 1, 2, 128, 64, 48).unwrap();
+    let cert = h.corrupt(&op, |c| {
+        // Invert one interval: lo > hi.
+        c.region.dims[0].bounds.lo = c.region.dims[0].bounds.hi + 1;
+    });
+    let (_, configs, _) = h.recorded_entry(&op);
+    let report = validate_cert(&cert, &op, &[2, 2], 2, &configs, h.capacity());
+    assert!(report.violated_rules().contains(&"SYM03"));
+
+    let healed = h.compile(&matmul_graph(128, 64, 48));
+    assert_eq!(healed.cache_stats.family_hits, 0);
+    assert!(healed.cache_stats.residual_failures > 0);
+}
+
+/// One family key, shapes too far apart for a single box: the entry
+/// accumulates a second certificate box instead of churning the first,
+/// and afterwards *both* seed shapes' neighbourhoods warm-start.
+#[test]
+fn family_entry_grows_boxes_for_uncovered_shapes_and_serves_from_each() {
+    let h = Harness::new();
+    h.compile(&matmul_graph(64, 64, 48));
+    let op = builders::matmul(0, 1, 2, 64, 64, 48).unwrap();
+    let (cert, _, _) = h.recorded_entry(&op);
+    let hi = usize::try_from(cert.region.dims[0].bounds.hi).unwrap();
+
+    // A shape past the widened region refuses the standing box (counted
+    // as a residual failure), pays a fresh search, and appends its own
+    // box to the same entry.
+    let far = h.compile(&matmul_graph(hi * 2, 64, 48));
+    assert_eq!(far.cache_stats.family_hits, 0);
+    assert!(far.cache_stats.residual_failures > 0);
+    assert!(far.cache_stats.family_recorded > 0);
+    let payload = h.cache.lookup(&h.family_key(&op)).unwrap();
+    assert_eq!(decode_family_entries(&payload).unwrap().len(), 2);
+
+    // Both boxes serve: a shape only the first covers…
+    let near_warm = h.compile(&matmul_graph(128, 64, 48));
+    assert!(near_warm.cache_stats.family_hits > 0);
+    assert_eq!(near_warm.cache_stats.residual_failures, 0);
+    // …and a shape only the second covers.
+    let far_warm = h.compile(&matmul_graph(hi * 4, 64, 48));
+    assert!(far_warm.cache_stats.family_hits > 0);
+    assert_eq!(far_warm.cache_stats.residual_failures, 0);
+}
+
+/// An undecodable family payload is a miss, never a panic or a wrong
+/// answer — and the cross-shape hit-rate accounting reflects the refusal.
+#[test]
+fn garbage_family_payload_degrades_to_fresh_search() {
+    let h = Harness::new();
+    h.compile(&matmul_graph(64, 64, 48));
+    let op = builders::matmul(0, 1, 2, 128, 64, 48).unwrap();
+    h.cache.record(&h.family_key(&op), "not a certificate");
+    let healed = h.compile(&matmul_graph(128, 64, 48));
+    assert_eq!(healed.cache_stats.family_hits, 0);
+    assert!(healed.cache_stats.residual_failures > 0);
+    assert_eq!(healed.cache_stats.cross_shape_hit_rate(), Some(0.0));
+}

@@ -43,6 +43,13 @@ pub const COMPILER_SEARCH_JOBS: &str = "t10_compiler_search_jobs";
 /// compiler: busy-time utilization of the last parallel search fan-out,
 /// percent of `workers x wall time` (wall clock only).
 pub const COMPILER_PARALLEL_UTILIZATION_PCT: &str = "t10_compiler_parallel_utilization_pct";
+/// compiler: cross-shape warm starts served from a family-level cache
+/// entry (symbolic certificate validated, coverage + residual checks
+/// passed).
+pub const COMPILER_FAMILY_HITS_TOTAL: &str = "t10_compiler_family_hits_total";
+/// compiler: family-level entries found but refused — certificate
+/// validation, coverage, or the per-shape residual re-check failed.
+pub const COMPILER_RESIDUAL_FAILURES_TOTAL: &str = "t10_compiler_residual_failures_total";
 
 /// verify: boundary edges checked by the graph-level analysis pass.
 pub const VERIFY_GRAPH_EDGES_TOTAL: &str = "t10_verify_graph_edges_total";
@@ -78,6 +85,8 @@ pub const ALL: &[&str] = &[
     COMPILER_OP_SEARCH_US,
     COMPILER_SEARCH_JOBS,
     COMPILER_PARALLEL_UTILIZATION_PCT,
+    COMPILER_FAMILY_HITS_TOTAL,
+    COMPILER_RESIDUAL_FAILURES_TOTAL,
     VERIFY_GRAPH_EDGES_TOTAL,
     VERIFY_FUSE_CANDIDATES_TOTAL,
     VERIFY_FUSE_BYTES_SAVED_TOTAL,
@@ -107,6 +116,6 @@ mod tests {
             );
             assert!(seen.insert(name), "{name}: duplicate");
         }
-        assert_eq!(ALL.len(), 23);
+        assert_eq!(ALL.len(), 25);
     }
 }

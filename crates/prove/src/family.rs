@@ -1,0 +1,147 @@
+//! Shape-parametric closure classification of the semantic rules.
+//!
+//! The structural closure story lives in `t10_verify::symbolic`
+//! (capacity-class rules are monotone in the extents, divisibility is
+//! not). This module answers the same question for the PROVE/DF inventory:
+//! which semantic obligations, once discharged at one shape, transfer to
+//! every shape in a family's validity region, and which must re-run per
+//! instantiation.
+//!
+//! The classification is *structural*, read off the operator's index
+//! expressions, not its extents:
+//!
+//! * **Coverage and placement** (`PROVE01/02/04`) are closed for
+//!   shape-generic access patterns — every dimension of every input and
+//!   the output a single stride-1 axis with no offset and no indirection.
+//!   For those, the compute-task tiling is a bijection onto the iteration
+//!   space by construction at *every* extent assignment, so one proof
+//!   covers the family. A compound (`h + kh`), strided, offset, or
+//!   data-dependent (gather) dimension breaks the argument: whether the
+//!   enumeration windows tile without seams depends on the concrete
+//!   extents, so the rules fall back to residual.
+//! * **Rotation provenance, reduction flow, and accumulate alignment**
+//!   (`PROVE03/05/06`) are always residual: they quantify over the
+//!   concrete σ/rp schedule and superstep list, which changes with every
+//!   instantiated step count.
+//! * **Dataflow lints** (`DF01–03`) are always residual: they are cheap,
+//!   warn-only, and their liveness windows are schedule-dependent.
+
+use t10_ir::Operator;
+use t10_verify::RuleId;
+
+/// How the semantic inventory splits for one operator family.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FamilyClassification {
+    /// Semantic rules proven once for the whole validity region.
+    pub closed: Vec<RuleId>,
+    /// Semantic rules re-checked at every instantiation.
+    pub residual: Vec<RuleId>,
+}
+
+/// Whether every dimension of every tensor access is a single stride-1
+/// axis with no offset and no indirection — the access-pattern class whose
+/// coverage bijection is extent-independent.
+pub fn is_shape_generic(op: &Operator) -> bool {
+    op.expr
+        .inputs
+        .iter()
+        .chain(std::iter::once(&op.expr.output))
+        .all(|dims| dims.iter().all(|e| e.single_axis().is_some()))
+}
+
+/// Classifies the semantic inventory for one operator.
+pub fn classify(op: &Operator) -> FamilyClassification {
+    let coverage_closed = is_shape_generic(op);
+    let mut closed = Vec::new();
+    let mut residual = Vec::new();
+    for r in RuleId::SEMANTIC {
+        let is_closed = coverage_closed
+            && matches!(
+                r,
+                RuleId::ProveCoverageMissing
+                    | RuleId::ProveCoverageDuplicated
+                    | RuleId::ProveOutputPlacement
+            );
+        if is_closed {
+            closed.push(r);
+        } else {
+            residual.push(r);
+        }
+    }
+    FamilyClassification { closed, residual }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use t10_ir::builders::{self, Conv2dCfg};
+
+    #[test]
+    fn matmul_coverage_is_closed() {
+        let op = builders::matmul(0, 1, 2, 8, 16, 8).unwrap();
+        assert!(is_shape_generic(&op));
+        let c = classify(&op);
+        assert!(c.closed.contains(&RuleId::ProveCoverageMissing));
+        assert!(c.closed.contains(&RuleId::ProveCoverageDuplicated));
+        assert!(c.closed.contains(&RuleId::ProveOutputPlacement));
+        assert!(c.residual.contains(&RuleId::ProveOperandProvenance));
+        assert!(c.residual.contains(&RuleId::ProveReductionFlow));
+        assert!(c.residual.contains(&RuleId::DeadShift));
+    }
+
+    #[test]
+    fn compound_axis_demotes_coverage_to_residual() {
+        let op = builders::conv2d(
+            0,
+            1,
+            2,
+            Conv2dCfg {
+                batch: 1,
+                c_in: 2,
+                c_out: 2,
+                h_out: 8,
+                w_out: 8,
+                kh: 3,
+                kw: 3,
+                stride: 1,
+            },
+        )
+        .unwrap();
+        assert!(!is_shape_generic(&op));
+        let c = classify(&op);
+        assert!(c.closed.is_empty());
+        assert!(c.residual.contains(&RuleId::ProveCoverageMissing));
+    }
+
+    #[test]
+    fn indirection_demotes_coverage_to_residual() {
+        let op = builders::gather(0, 1, 2, 1000, 32, 8).unwrap();
+        assert!(!is_shape_generic(&op));
+        assert!(classify(&op).closed.is_empty());
+    }
+
+    #[test]
+    fn classification_partitions_the_semantic_inventory() {
+        for op in [
+            builders::matmul(0, 1, 2, 4, 4, 4).unwrap(),
+            builders::gather(0, 1, 2, 64, 16, 8).unwrap(),
+        ] {
+            let c = classify(&op);
+            let mut both = c.closed.clone();
+            both.extend(c.residual.iter().copied());
+            both.sort();
+            let mut all = RuleId::SEMANTIC.to_vec();
+            all.sort();
+            assert_eq!(both, all);
+            // Schedule-dependent rules never leave the residual set.
+            for r in [
+                RuleId::ProveOperandProvenance,
+                RuleId::ProveReductionFlow,
+                RuleId::ProveAccumulateAlignment,
+            ] {
+                assert!(c.residual.contains(&r), "{} escaped residual", r.id());
+            }
+        }
+    }
+}

@@ -29,6 +29,7 @@
 
 pub mod cert;
 pub mod domain;
+pub mod family;
 
 pub use cert::{CertStatus, DeadShift, Hazard, OpCert, ProgramCert};
 pub use domain::{CoverageHash, FlowAcc, Window, LANES};

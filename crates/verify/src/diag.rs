@@ -140,11 +140,93 @@ pub enum RuleId {
     /// FUSE03 — fusion savings estimate (warning): estimated bytes and
     /// supersteps saved by fusing a candidate chain.
     FuseSavingsEstimate,
+    /// SYM01 — interval-arithmetic overflow: a symbolic extent expression
+    /// does not fit checked u64 arithmetic at some corner of the region, so
+    /// no family-level claim can be made.
+    SymOverflow,
+    /// SYM02 — region not provable: the symbolic SRAM high-water evaluated
+    /// at the region's upper corner exceeds the per-core capacity for every
+    /// cached configuration, so the certificate claims a wider validity
+    /// region than the closed rules support.
+    SymRegionUnprovable,
+    /// SYM03 — region malformed: an empty, inverted (`lo > hi`), or
+    /// zero-extent dimension interval, or a certificate whose dimension list
+    /// disagrees with the operator's axes.
+    SymRegionMalformed,
+    /// SYM04 — residual set incomplete: the certificate omits a rule the
+    /// operator's structure requires re-checking per instantiation (e.g. a
+    /// divisibility rule on a rotating axis), so reuse would skip a check.
+    SymResidualIncomplete,
+    /// SYM05 — region not covering: the requested concrete shape falls
+    /// outside the certificate's validity region; the family proof says
+    /// nothing about it.
+    SymRegionNotCovering,
+    /// SYM06 — family-key mismatch: the certificate's recorded shape-erased
+    /// operator digest disagrees with the operator it is being applied to
+    /// (a stale or mis-filed family entry).
+    SymFamilyKeyMismatch,
+    /// SYM07 — residual check refuted: a rule the certificate deferred to
+    /// instantiation time failed at the concrete shape.
+    SymResidualRefuted,
+}
+
+/// Which analysis pass owns a rule — the single source of truth for family
+/// membership. The per-family const arrays below are derived views, pinned
+/// to this classification by `families_partition_the_inventory`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RuleFamily {
+    /// CAP/RING/BSP/COST — structural program/plan checks (`t10-verify`
+    /// plus the plan-level pass in `t10_core::verify`).
+    Structural,
+    /// PROVE/DF — the `t10-prove` translation validator.
+    Semantic,
+    /// GRAPH/FUSE — whole-graph boundary analysis (`t10_verify::graph`).
+    Graph,
+    /// SYM — shape-parametric family certification
+    /// (`t10_verify::symbolic` + `t10_core::symbolic`).
+    Symbolic,
+}
+
+impl RuleFamily {
+    /// Lower-case label for tables and docs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RuleFamily::Structural => "structural",
+            RuleFamily::Semantic => "semantic",
+            RuleFamily::Graph => "graph",
+            RuleFamily::Symbolic => "symbolic",
+        }
+    }
+}
+
+/// One row of the canonical rule registry: everything tooling needs to know
+/// about a rule in one place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuleMeta {
+    /// The rule.
+    pub rule: RuleId,
+    /// Stable string id (`"CAP02"`, `"SYM05"`, …).
+    pub code: &'static str,
+    /// Which analysis pass owns it.
+    pub family: RuleFamily,
+    /// One-line description.
+    pub title: &'static str,
+    /// Paper section the invariant comes from.
+    pub paper: &'static str,
+}
+
+/// The canonical rule table, in id order. The three historical per-family
+/// registries (verify structural, prove, graph) and the new symbolic family
+/// all project out of this one table; `rule_ids_are_unique_and_stable` and
+/// the DESIGN.md documentation test run against it, so a new rule cannot
+/// collide with or shadow an existing id.
+pub fn registry() -> Vec<RuleMeta> {
+    RuleId::ALL.iter().map(|r| r.meta()).collect()
 }
 
 impl RuleId {
     /// Every rule, in id order. The inventory the verifier proves.
-    pub const ALL: [RuleId; 36] = [
+    pub const ALL: [RuleId; 43] = [
         RuleId::CoreOutOfRange,
         RuleId::SramOverflow,
         RuleId::PlanMemOverflow,
@@ -181,6 +263,13 @@ impl RuleId {
         RuleId::FuseChainCandidate,
         RuleId::FusePaceCompatible,
         RuleId::FuseSavingsEstimate,
+        RuleId::SymOverflow,
+        RuleId::SymRegionUnprovable,
+        RuleId::SymRegionMalformed,
+        RuleId::SymResidualIncomplete,
+        RuleId::SymRegionNotCovering,
+        RuleId::SymFamilyKeyMismatch,
+        RuleId::SymResidualRefuted,
     ];
 
     /// The structural rules (CAP/RING/BSP/COST): what [`crate::Verifier`]
@@ -235,6 +324,79 @@ impl RuleId {
         RuleId::FuseSavingsEstimate,
     ];
 
+    /// The symbolic-certification rules (SYM): what
+    /// [`crate::symbolic`] and `t10_core::symbolic` prove when validating
+    /// and instantiating shape-parametric family certificates.
+    pub const SYMBOLIC: [RuleId; 7] = [
+        RuleId::SymOverflow,
+        RuleId::SymRegionUnprovable,
+        RuleId::SymRegionMalformed,
+        RuleId::SymResidualIncomplete,
+        RuleId::SymRegionNotCovering,
+        RuleId::SymFamilyKeyMismatch,
+        RuleId::SymResidualRefuted,
+    ];
+
+    /// The canonical registry row for this rule.
+    pub fn meta(&self) -> RuleMeta {
+        RuleMeta {
+            rule: *self,
+            code: self.id(),
+            family: self.family(),
+            title: self.title(),
+            paper: self.paper(),
+        }
+    }
+
+    /// Which analysis pass owns this rule.
+    pub fn family(&self) -> RuleFamily {
+        match self {
+            RuleId::CoreOutOfRange
+            | RuleId::SramOverflow
+            | RuleId::PlanMemOverflow
+            | RuleId::PaceDividesExtent
+            | RuleId::PaceAlignment
+            | RuleId::FactorSharing
+            | RuleId::RotateFanOut
+            | RuleId::BrokenRing
+            | RuleId::PaceMismatch
+            | RuleId::SigmaMismatch
+            | RuleId::DuplicateWriter
+            | RuleId::DanglingReference
+            | RuleId::ComputeShiftOverlap
+            | RuleId::OutputCoverage
+            | RuleId::NonfiniteTime
+            | RuleId::ByteConservation => RuleFamily::Structural,
+            RuleId::ProveCoverageMissing
+            | RuleId::ProveCoverageDuplicated
+            | RuleId::ProveOperandProvenance
+            | RuleId::ProveOutputPlacement
+            | RuleId::ProveReductionFlow
+            | RuleId::ProveAccumulateAlignment
+            | RuleId::DeadShift
+            | RuleId::DeadBuffer
+            | RuleId::ClobberedExchange => RuleFamily::Semantic,
+            RuleId::GraphLayoutHandoff
+            | RuleId::GraphCoreConservation
+            | RuleId::GraphByteConservation
+            | RuleId::GraphResidency
+            | RuleId::GraphDroppedEdge
+            | RuleId::GraphDuplicateHandoff
+            | RuleId::GraphOrphanTransition
+            | RuleId::GraphContractMalformed
+            | RuleId::FuseChainCandidate
+            | RuleId::FusePaceCompatible
+            | RuleId::FuseSavingsEstimate => RuleFamily::Graph,
+            RuleId::SymOverflow
+            | RuleId::SymRegionUnprovable
+            | RuleId::SymRegionMalformed
+            | RuleId::SymResidualIncomplete
+            | RuleId::SymRegionNotCovering
+            | RuleId::SymFamilyKeyMismatch
+            | RuleId::SymResidualRefuted => RuleFamily::Symbolic,
+        }
+    }
+
     /// The stable string id.
     pub fn id(&self) -> &'static str {
         match self {
@@ -274,6 +436,13 @@ impl RuleId {
             RuleId::FuseChainCandidate => "FUSE01",
             RuleId::FusePaceCompatible => "FUSE02",
             RuleId::FuseSavingsEstimate => "FUSE03",
+            RuleId::SymOverflow => "SYM01",
+            RuleId::SymRegionUnprovable => "SYM02",
+            RuleId::SymRegionMalformed => "SYM03",
+            RuleId::SymResidualIncomplete => "SYM04",
+            RuleId::SymRegionNotCovering => "SYM05",
+            RuleId::SymFamilyKeyMismatch => "SYM06",
+            RuleId::SymResidualRefuted => "SYM07",
         }
     }
 
@@ -316,6 +485,13 @@ impl RuleId {
             RuleId::FuseChainCandidate => "compute chain is a fusion candidate",
             RuleId::FusePaceCompatible => "boundary rings are pace-compatible",
             RuleId::FuseSavingsEstimate => "estimated fusion savings for a chain",
+            RuleId::SymOverflow => "symbolic extent arithmetic overflows u64",
+            RuleId::SymRegionUnprovable => "validity region exceeds what the closed rules prove",
+            RuleId::SymRegionMalformed => "validity region empty, inverted, or mis-dimensioned",
+            RuleId::SymResidualIncomplete => "residual rule set misses a required re-check",
+            RuleId::SymRegionNotCovering => "requested shape outside the validity region",
+            RuleId::SymFamilyKeyMismatch => "certificate family digest disagrees with operator",
+            RuleId::SymResidualRefuted => "residual check failed at a concrete shape",
         }
     }
 
@@ -350,6 +526,13 @@ impl RuleId {
             RuleId::FuseChainCandidate
             | RuleId::FusePaceCompatible
             | RuleId::FuseSavingsEstimate => "§5",
+            RuleId::SymOverflow
+            | RuleId::SymRegionUnprovable
+            | RuleId::SymRegionMalformed
+            | RuleId::SymResidualIncomplete
+            | RuleId::SymRegionNotCovering
+            | RuleId::SymFamilyKeyMismatch
+            | RuleId::SymResidualRefuted => "§6.3",
         }
     }
 }
@@ -657,7 +840,12 @@ mod tests {
 
     #[test]
     fn rule_ids_are_unique_and_stable() {
-        let mut ids: Vec<&str> = RuleId::ALL.iter().map(|r| r.id()).collect();
+        // The canonical registry is the uniqueness gate: every rule has a
+        // row, every code is distinct, and the anchors below pin the stable
+        // ids so an accidental renumber fails loudly.
+        let rows = registry();
+        assert_eq!(rows.len(), RuleId::ALL.len());
+        let mut ids: Vec<&str> = rows.iter().map(|m| m.code).collect();
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), RuleId::ALL.len());
@@ -666,35 +854,67 @@ mod tests {
         assert_eq!(RuleId::GraphLayoutHandoff.id(), "GRAPH01");
         assert_eq!(RuleId::GraphContractMalformed.id(), "GRAPH08");
         assert_eq!(RuleId::FuseSavingsEstimate.id(), "FUSE03");
+        assert_eq!(RuleId::SymOverflow.id(), "SYM01");
+        assert_eq!(RuleId::SymResidualRefuted.id(), "SYM07");
+        for m in &rows {
+            assert!(!m.title.is_empty(), "{}: empty title", m.code);
+            assert!(m.paper.starts_with('§'), "{}: no paper anchor", m.code);
+        }
     }
 
     #[test]
     fn families_partition_the_inventory() {
-        // STRUCTURAL + SEMANTIC + GRAPH cover ALL with no overlap, and the
-        // GRAPH family introduces no prefix collision with the older ones.
+        // STRUCTURAL + SEMANTIC + GRAPH + SYMBOLIC cover ALL with no
+        // overlap, agree with the canonical `family()` classification, and
+        // each family keeps to its own id prefixes.
         let mut union: Vec<RuleId> = RuleId::STRUCTURAL
             .iter()
             .chain(RuleId::SEMANTIC.iter())
             .chain(RuleId::GRAPH.iter())
+            .chain(RuleId::SYMBOLIC.iter())
             .copied()
             .collect();
         union.sort();
         let mut all = RuleId::ALL.to_vec();
         all.sort();
         assert_eq!(union, all);
-        for r in &RuleId::GRAPH {
-            let id = r.id();
-            assert!(
-                id.starts_with("GRAPH") || id.starts_with("FUSE"),
-                "{id}: graph-family rule with a foreign prefix"
-            );
+        for (fam, rules) in [
+            (RuleFamily::Structural, &RuleId::STRUCTURAL[..]),
+            (RuleFamily::Semantic, &RuleId::SEMANTIC[..]),
+            (RuleFamily::Graph, &RuleId::GRAPH[..]),
+            (RuleFamily::Symbolic, &RuleId::SYMBOLIC[..]),
+        ] {
+            for r in rules {
+                assert_eq!(r.family(), fam, "{}: family const disagrees", r.id());
+            }
         }
-        for r in RuleId::STRUCTURAL.iter().chain(RuleId::SEMANTIC.iter()) {
-            let id = r.id();
+        for m in registry() {
+            let expected: &[&str] = match m.family {
+                RuleFamily::Structural => &["CAP", "RING", "BSP", "COST"],
+                RuleFamily::Semantic => &["PROVE", "DF"],
+                RuleFamily::Graph => &["GRAPH", "FUSE"],
+                RuleFamily::Symbolic => &["SYM"],
+            };
             assert!(
-                !id.starts_with("GRAPH") && !id.starts_with("FUSE"),
-                "{id}: per-operator rule squatting on the graph prefixes"
+                expected.iter().any(|p| m.code.starts_with(p)),
+                "{}: foreign prefix for family {:?}",
+                m.code,
+                m.family
             );
+            // No prefix may leak across families (SYM must not collide with
+            // an existing id, and vice versa).
+            for other in registry() {
+                if other.family != m.family {
+                    assert_ne!(other.code, m.code);
+                }
+            }
+        }
+        // "SYM" is not a prefix of any non-symbolic id and no non-symbolic
+        // prefix matches a SYM code.
+        for m in registry() {
+            if m.family != RuleFamily::Symbolic {
+                assert!(!m.code.starts_with("SYM"), "{}: squats on SYM", m.code);
+            }
         }
     }
 

@@ -36,8 +36,11 @@ pub mod cost;
 pub mod diag;
 pub mod graph;
 pub mod ring;
+pub mod symbolic;
 
-pub use diag::{Diagnostic, Location, Report, RuleId, Severity, Stats};
+pub use diag::{
+    registry, Diagnostic, Location, Report, RuleFamily, RuleId, RuleMeta, Severity, Stats,
+};
 pub use graph::{FuseCandidate, GraphAnalysis};
 
 use t10_device::program::Program;

@@ -1,0 +1,769 @@
+//! Shape-parametric symbolic certification: the abstract domain.
+//!
+//! The concrete rule inventory proves one compiled artifact at one concrete
+//! shape. This module supplies the domain for proving a *family* of shapes
+//! at once (paper §6.3 — the compile-time lever): named symbolic dimensions
+//! with interval bounds (`batch ∈ [1, 64]`), checked interval arithmetic,
+//! monotone symbolic expressions over the dimension extents (SRAM
+//! high-water, ring pace), and the versioned parametric certificate
+//! (`t10.cert.symbolic.v1`) that records a validity region plus the rules
+//! that remain *residual* (re-checked per instantiation).
+//!
+//! The layering mirrors the rest of the verifier: this module is pure — it
+//! knows intervals, expressions, regions, and certificates, but no plans or
+//! operators. `t10_core::symbolic` derives the expressions from a concrete
+//! `Operator` + `PlanConfig` and owns region derivation and instantiation;
+//! `t10_prove::family` classifies the semantic rules. Everything here
+//! reports through the same [`Diagnostic`] vocabulary under the SYM rules.
+//!
+//! Soundness shape: every expression constructor is monotone non-decreasing
+//! in every dimension extent ([`SymExpr`] has no subtraction of a
+//! dimension), so the interval value of an expression over a region is
+//! obtained by evaluating at the region's corner points — and a capacity
+//! bound proven at the upper corner holds for every shape in the region.
+//! Rules whose invariant has that form are *closed* under the interval;
+//! divisibility and schedule equalities are not, and stay residual.
+
+use crate::diag::{Diagnostic, Report, RuleId};
+
+/// Typed failure of symbolic extent arithmetic. Every failure maps to one
+/// SYM01 diagnostic; none abort the process (satellite: overflow edges are
+/// checked, not wrapped or panicked).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SymError {
+    /// A checked `u64` operation overflowed.
+    Overflow {
+        /// Which operation (`"add"`, `"mul"`, …).
+        op: &'static str,
+        /// Left operand.
+        lhs: u64,
+        /// Right operand.
+        rhs: u64,
+    },
+    /// Division (ceil) by zero.
+    DivisionByZero {
+        /// The dividend.
+        lhs: u64,
+    },
+}
+
+impl SymError {
+    /// The SYM01 diagnostic for this failure.
+    pub fn diagnostic(&self) -> Diagnostic {
+        let msg = match self {
+            SymError::Overflow { op, lhs, rhs } => {
+                format!("symbolic {op}({lhs}, {rhs}) overflows u64")
+            }
+            SymError::DivisionByZero { lhs } => {
+                format!("symbolic div_ceil({lhs}, 0) is undefined")
+            }
+        };
+        Diagnostic::error(RuleId::SymOverflow, msg)
+            .hint("shrink the symbolic region or the axis extents feeding it")
+    }
+}
+
+impl std::fmt::Display for SymError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SymError::Overflow { op, lhs, rhs } => {
+                write!(f, "symbolic {op}({lhs}, {rhs}) overflows u64")
+            }
+            SymError::DivisionByZero { lhs } => {
+                write!(f, "symbolic div_ceil({lhs}, 0) is undefined")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SymError {}
+
+/// Checked addition.
+pub fn checked_add(a: u64, b: u64) -> Result<u64, SymError> {
+    a.checked_add(b).ok_or(SymError::Overflow {
+        op: "add",
+        lhs: a,
+        rhs: b,
+    })
+}
+
+/// Checked multiplication.
+pub fn checked_mul(a: u64, b: u64) -> Result<u64, SymError> {
+    a.checked_mul(b).ok_or(SymError::Overflow {
+        op: "mul",
+        lhs: a,
+        rhs: b,
+    })
+}
+
+/// Checked ceiling division (`ceil(a / b)`); `b = 0` is a typed error, not
+/// a panic.
+pub fn checked_div_ceil(a: u64, b: u64) -> Result<u64, SymError> {
+    if b == 0 {
+        return Err(SymError::DivisionByZero { lhs: a });
+    }
+    Ok(a.div_ceil(b))
+}
+
+/// A closed interval `[lo, hi]` of `u64` extents. All arithmetic is
+/// checked: any overflow surfaces as a [`SymError`] (→ SYM01), never a wrap
+/// or a panic, including at the `u64::MAX` boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// Inclusive lower bound.
+    pub lo: u64,
+    /// Inclusive upper bound.
+    pub hi: u64,
+}
+
+impl Interval {
+    /// The interval `[lo, hi]`; inverted bounds are rejected by
+    /// [`Region::validate`], not silently swapped.
+    pub fn new(lo: u64, hi: u64) -> Self {
+        Self { lo, hi }
+    }
+
+    /// The degenerate interval `[v, v]`.
+    pub fn point(v: u64) -> Self {
+        Self { lo: v, hi: v }
+    }
+
+    /// Whether `v` lies inside the interval.
+    pub fn contains(&self, v: u64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Whether the interval is well-formed (`lo <= hi`).
+    pub fn is_well_formed(&self) -> bool {
+        self.lo <= self.hi
+    }
+
+    /// Interval sum (exact for monotone operands).
+    pub fn add(&self, other: &Interval) -> Result<Interval, SymError> {
+        Ok(Interval {
+            lo: checked_add(self.lo, other.lo)?,
+            hi: checked_add(self.hi, other.hi)?,
+        })
+    }
+
+    /// Interval product (operands are extents, always non-negative).
+    pub fn mul(&self, other: &Interval) -> Result<Interval, SymError> {
+        Ok(Interval {
+            lo: checked_mul(self.lo, other.lo)?,
+            hi: checked_mul(self.hi, other.hi)?,
+        })
+    }
+
+    /// Interval ceiling division by a positive constant.
+    pub fn div_ceil(&self, k: u64) -> Result<Interval, SymError> {
+        Ok(Interval {
+            lo: checked_div_ceil(self.lo, k)?,
+            hi: checked_div_ceil(self.hi, k)?,
+        })
+    }
+
+    /// Saturating decrement of both bounds (used for `stride * (tile - 1)`
+    /// halo terms; tiles are ≥ 1 so saturation only fires on malformed
+    /// input, which stays sound: it can only shrink the claimed extent's
+    /// lower bound, never the upper).
+    pub fn saturating_sub(&self, k: u64) -> Interval {
+        Interval {
+            lo: self.lo.saturating_sub(k),
+            hi: self.hi.saturating_sub(k),
+        }
+    }
+}
+
+/// A named symbolic dimension with its interval of extents, e.g.
+/// `batch ∈ [1, 64]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymDim {
+    /// Axis name the dimension binds (`"b"`, `"seq"`, …).
+    pub name: String,
+    /// Extent bounds.
+    pub bounds: Interval,
+}
+
+impl SymDim {
+    /// A symbolic dimension `name ∈ [lo, hi]`.
+    pub fn new(name: impl Into<String>, lo: u64, hi: u64) -> Self {
+        Self {
+            name: name.into(),
+            bounds: Interval::new(lo, hi),
+        }
+    }
+
+    /// `name ∈ [lo, hi]` — the rendering used in diagnostics and docs.
+    pub fn render(&self) -> String {
+        format!("{} ∈ [{}, {}]", self.name, self.bounds.lo, self.bounds.hi)
+    }
+}
+
+/// The validity region of a family certificate: one interval per symbolic
+/// dimension, in axis order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Region {
+    /// The symbolic dimensions.
+    pub dims: Vec<SymDim>,
+}
+
+impl Region {
+    /// A region over the given dimensions.
+    pub fn new(dims: Vec<SymDim>) -> Self {
+        Self { dims }
+    }
+
+    /// `batch ∈ [1, 64], seq ∈ [32, 512]` — used in SYM02/SYM05 messages so
+    /// JSON diagnostics carry the violated region.
+    pub fn render(&self) -> String {
+        self.dims
+            .iter()
+            .map(SymDim::render)
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+
+    /// Structural well-formedness: non-empty, no inverted intervals, no
+    /// zero-extent lower bounds (axes have size ≥ 1), no duplicate names.
+    /// Violations are SYM03 diagnostics.
+    pub fn validate(&self) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        if self.dims.is_empty() {
+            out.push(Diagnostic::error(
+                RuleId::SymRegionMalformed,
+                "validity region has no symbolic dimensions",
+            ));
+            return out;
+        }
+        let mut names: Vec<&str> = Vec::new();
+        for d in &self.dims {
+            if !d.bounds.is_well_formed() {
+                out.push(Diagnostic::error(
+                    RuleId::SymRegionMalformed,
+                    format!("inverted interval {}", d.render()),
+                ));
+            }
+            if d.bounds.lo == 0 {
+                out.push(Diagnostic::error(
+                    RuleId::SymRegionMalformed,
+                    format!("zero-extent lower bound in {}", d.render()),
+                ));
+            }
+            if names.contains(&d.name.as_str()) {
+                out.push(Diagnostic::error(
+                    RuleId::SymRegionMalformed,
+                    format!("duplicate symbolic dimension '{}'", d.name),
+                ));
+            }
+            names.push(&d.name);
+        }
+        out
+    }
+
+    /// Whether a concrete per-dimension extent assignment lies inside the
+    /// region. `None` when the arity disagrees (a SYM03-class mismatch the
+    /// caller reports).
+    pub fn covers(&self, extents: &[u64]) -> Option<bool> {
+        if extents.len() != self.dims.len() {
+            return None;
+        }
+        Some(
+            self.dims
+                .iter()
+                .zip(extents)
+                .all(|(d, &e)| d.bounds.contains(e)),
+        )
+    }
+
+    /// The lower-corner assignment (every dimension at `lo`).
+    pub fn lo_corner(&self) -> Vec<u64> {
+        self.dims.iter().map(|d| d.bounds.lo).collect()
+    }
+
+    /// The upper-corner assignment (every dimension at `hi`).
+    pub fn hi_corner(&self) -> Vec<u64> {
+        self.dims.iter().map(|d| d.bounds.hi).collect()
+    }
+}
+
+/// A symbolic extent expression over the region's dimensions.
+///
+/// The constructor set is deliberately closed under monotonicity: constants,
+/// dimension references, sums, products, ceiling division by a positive
+/// constant, and saturating decrement by a constant are all monotone
+/// non-decreasing in every dimension. That is the closure theorem the
+/// family proof leans on: `eval` at the region's upper corner bounds the
+/// expression over the whole region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SymExpr {
+    /// A constant extent.
+    Const(u64),
+    /// The extent of symbolic dimension `i` (index into [`Region::dims`]).
+    Dim(usize),
+    /// Sum of sub-expressions.
+    Sum(Vec<SymExpr>),
+    /// Product of sub-expressions.
+    Prod(Vec<SymExpr>),
+    /// `ceil(e / k)` for a constant `k > 0` (tiling: `ceil(L / F_op)`).
+    DivCeil(Box<SymExpr>, u64),
+    /// `max(e - k, 0)` for a constant `k` (halo terms: `stride * (tile-1)`).
+    SatSub(Box<SymExpr>, u64),
+}
+
+impl SymExpr {
+    /// Evaluates at a concrete dimension assignment with checked
+    /// arithmetic. A missing dimension index is an overflow-class error
+    /// (the expression does not belong to this region).
+    pub fn eval(&self, assign: &[u64]) -> Result<u64, SymError> {
+        match self {
+            SymExpr::Const(v) => Ok(*v),
+            SymExpr::Dim(i) => assign.get(*i).copied().ok_or(SymError::Overflow {
+                op: "dim",
+                lhs: *i as u64,
+                rhs: assign.len() as u64,
+            }),
+            SymExpr::Sum(terms) => {
+                let mut acc = 0u64;
+                for t in terms {
+                    acc = checked_add(acc, t.eval(assign)?)?;
+                }
+                Ok(acc)
+            }
+            SymExpr::Prod(factors) => {
+                let mut acc = 1u64;
+                for t in factors {
+                    acc = checked_mul(acc, t.eval(assign)?)?;
+                }
+                Ok(acc)
+            }
+            SymExpr::DivCeil(e, k) => checked_div_ceil(e.eval(assign)?, *k),
+            SymExpr::SatSub(e, k) => Ok(e.eval(assign)?.saturating_sub(*k)),
+        }
+    }
+
+    /// Interval value over a region: by monotonicity this is exactly
+    /// `[eval(lo corner), eval(hi corner)]`.
+    pub fn eval_interval(&self, region: &Region) -> Result<Interval, SymError> {
+        Ok(Interval {
+            lo: self.eval(&region.lo_corner())?,
+            hi: self.eval(&region.hi_corner())?,
+        })
+    }
+
+    /// Compact deterministic rendering (`(8 * ceil(batch/4))`), recorded in
+    /// certificates so the symbolic high-water and pace are auditable.
+    pub fn render(&self, region: &Region) -> String {
+        match self {
+            SymExpr::Const(v) => v.to_string(),
+            SymExpr::Dim(i) => region
+                .dims
+                .get(*i)
+                .map(|d| d.name.clone())
+                .unwrap_or_else(|| format!("dim{i}")),
+            SymExpr::Sum(terms) => {
+                let parts: Vec<String> = terms.iter().map(|t| t.render(region)).collect();
+                format!("({})", parts.join(" + "))
+            }
+            SymExpr::Prod(factors) => {
+                let parts: Vec<String> = factors.iter().map(|t| t.render(region)).collect();
+                format!("({})", parts.join(" * "))
+            }
+            SymExpr::DivCeil(e, k) => format!("ceil({}/{k})", e.render(region)),
+            SymExpr::SatSub(e, k) => format!("({} - {k})", e.render(region)),
+        }
+    }
+}
+
+/// Structural rules *closed* under the interval domain: their invariant is
+/// a `≤` bound on a monotone function of the extents (capacity class), so
+/// one proof at the region's upper corner covers every shape in the region.
+pub fn closed_structural() -> Vec<RuleId> {
+    vec![
+        RuleId::CoreOutOfRange,
+        RuleId::SramOverflow,
+        RuleId::PlanMemOverflow,
+    ]
+}
+
+/// Structural rules that stay *residual*: divisibility (`rp | extent`,
+/// `factor | sharing`), schedule equalities, and conservation checks are
+/// not interval-closed — holding at both corners says nothing about the
+/// interior — so they re-run at every instantiation.
+pub fn residual_structural() -> Vec<RuleId> {
+    let closed = closed_structural();
+    RuleId::STRUCTURAL
+        .iter()
+        .copied()
+        .filter(|r| !closed.contains(r))
+        .collect()
+}
+
+/// Codec version tag for parametric certificates; bump on format change so
+/// stale family entries decode to `None` (a miss), never misparse.
+pub const CERT_VERSION: &str = "t10.cert.symbolic.v1";
+
+/// A shape-parametric family certificate.
+///
+/// Records what was proven once for the whole family (the closed rules,
+/// over `region`) and what every instantiation must still re-check (the
+/// residual rules). `peak_hi` is the symbolic SRAM high-water evaluated at
+/// the region's upper corner for the family's most memory-frugal
+/// configuration; validation re-derives it and refuses certificates whose
+/// region outgrew what the closed rules prove (SYM02).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymbolicCert {
+    /// FNV-1a digest (hex) of the shape-erased operator signature.
+    pub family: String,
+    /// The validity region.
+    pub region: Region,
+    /// Per-core capacity (bytes) the family was proven against.
+    pub capacity: u64,
+    /// Symbolic SRAM high-water at the region's upper corner (bytes), for
+    /// the most frugal surviving configuration.
+    pub peak_hi: u64,
+    /// Rendered symbolic SRAM high-water expression (auditing).
+    pub peak_expr: String,
+    /// Rendered symbolic ring-pace expression (auditing; `"-"` for plans
+    /// with no rotation).
+    pub pace_expr: String,
+    /// Rules proven for the whole region.
+    pub closed: Vec<RuleId>,
+    /// Rules re-checked per instantiation.
+    pub residual: Vec<RuleId>,
+}
+
+/// Looks up a rule by its stable string id.
+fn rule_by_code(code: &str) -> Option<RuleId> {
+    RuleId::ALL.iter().copied().find(|r| r.id() == code)
+}
+
+fn render_rules(rules: &[RuleId]) -> String {
+    rules.iter().map(|r| r.id()).collect::<Vec<_>>().join(",")
+}
+
+fn parse_rules(s: &str) -> Option<Vec<RuleId>> {
+    if s.is_empty() {
+        return Some(Vec::new());
+    }
+    s.split(',').map(rule_by_code).collect()
+}
+
+impl SymbolicCert {
+    /// Serializes the certificate:
+    ///
+    /// ```text
+    /// t10.cert.symbolic.v1
+    /// family=00a1b2c3d4e5f607
+    /// capacity=607232
+    /// peak_hi=524288
+    /// peak=(2 * ceil(batch/4) * 128)
+    /// pace=ceil(seq/8)
+    /// dims=2
+    /// dim name=batch lo=1 hi=64
+    /// dim name=seq lo=32 hi=512
+    /// closed=CAP01,CAP02,CAP03
+    /// residual=RING01,RING03,...
+    /// ```
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        out.push_str(CERT_VERSION);
+        out.push('\n');
+        out.push_str(&format!("family={}\n", self.family));
+        out.push_str(&format!("capacity={}\n", self.capacity));
+        out.push_str(&format!("peak_hi={}\n", self.peak_hi));
+        out.push_str(&format!("peak={}\n", self.peak_expr));
+        out.push_str(&format!("pace={}\n", self.pace_expr));
+        out.push_str(&format!("dims={}\n", self.region.dims.len()));
+        for d in &self.region.dims {
+            out.push_str(&format!(
+                "dim name={} lo={} hi={}\n",
+                d.name, d.bounds.lo, d.bounds.hi
+            ));
+        }
+        out.push_str(&format!("closed={}\n", render_rules(&self.closed)));
+        out.push_str(&format!("residual={}\n", render_rules(&self.residual)));
+        out
+    }
+
+    /// Parses an [`SymbolicCert::encode`] payload. `None` on any
+    /// malformation — callers treat that as a stale family entry (a miss)
+    /// or a SYM03 refutation, depending on context.
+    pub fn decode(payload: &str) -> Option<Self> {
+        let mut lines = payload.lines();
+        if lines.next()? != CERT_VERSION {
+            return None;
+        }
+        let family = lines.next()?.strip_prefix("family=")?.to_string();
+        let capacity: u64 = lines.next()?.strip_prefix("capacity=")?.parse().ok()?;
+        let peak_hi: u64 = lines.next()?.strip_prefix("peak_hi=")?.parse().ok()?;
+        let peak_expr = lines.next()?.strip_prefix("peak=")?.to_string();
+        let pace_expr = lines.next()?.strip_prefix("pace=")?.to_string();
+        let ndims: usize = lines.next()?.strip_prefix("dims=")?.parse().ok()?;
+        let mut dims = Vec::with_capacity(ndims);
+        for _ in 0..ndims {
+            let rest = lines.next()?.strip_prefix("dim name=")?;
+            let (name, rest) = rest.split_once(" lo=")?;
+            let (lo, hi) = rest.split_once(" hi=")?;
+            dims.push(SymDim::new(name, lo.parse().ok()?, hi.parse().ok()?));
+        }
+        let closed = parse_rules(lines.next()?.strip_prefix("closed=")?)?;
+        let residual = parse_rules(lines.next()?.strip_prefix("residual=")?)?;
+        Some(Self {
+            family,
+            region: Region::new(dims),
+            capacity,
+            peak_hi,
+            peak_expr,
+            pace_expr,
+            closed,
+            residual,
+        })
+    }
+
+    /// Certificate-local validation (no operator needed): region
+    /// well-formedness (SYM03), the recorded upper-corner high-water
+    /// against the recorded capacity (SYM02), and closed/residual
+    /// disjointness (SYM03). Operator-dependent checks — family digest
+    /// (SYM06), residual completeness (SYM04), re-derived high-water —
+    /// live in `t10_core::symbolic` where the operator is in scope.
+    pub fn validate_shape(&self) -> Report {
+        let mut report = Report::new();
+        report.stats.rules_checked = RuleId::SYMBOLIC.len();
+        for d in self.region.validate() {
+            report.push(d);
+        }
+        if self.peak_hi > self.capacity {
+            report.push(
+                Diagnostic::error(
+                    RuleId::SymRegionUnprovable,
+                    format!(
+                        "symbolic SRAM high-water {} B at the upper corner of {} exceeds \
+                         per-core capacity {} B",
+                        self.peak_hi,
+                        self.region.render(),
+                        self.capacity
+                    ),
+                )
+                .hint("shrink the validity region until the family fits"),
+            );
+        }
+        for r in &self.closed {
+            if self.residual.contains(r) {
+                report.push(Diagnostic::error(
+                    RuleId::SymRegionMalformed,
+                    format!("rule {} is both closed and residual", r.id()),
+                ));
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checked_ops_at_the_boundaries() {
+        // Satellite requirement: 0, 1, and u64::MAX edges are typed
+        // errors, not wraps or panics.
+        let bounds = [0u64, 1, 2, u64::MAX - 1, u64::MAX];
+        for &a in &bounds {
+            for &b in &bounds {
+                match checked_add(a, b) {
+                    Ok(v) => assert_eq!(v, a.wrapping_add(b)),
+                    Err(SymError::Overflow { op, lhs, rhs }) => {
+                        assert_eq!(op, "add");
+                        assert_eq!((lhs, rhs), (a, b));
+                        assert!(a.checked_add(b).is_none());
+                    }
+                    Err(e) => panic!("unexpected {e:?}"),
+                }
+                match checked_mul(a, b) {
+                    Ok(v) => assert_eq!(Some(v), a.checked_mul(b)),
+                    Err(_) => assert!(a.checked_mul(b).is_none()),
+                }
+                match checked_div_ceil(a, b) {
+                    Ok(v) => {
+                        assert_ne!(b, 0);
+                        assert_eq!(v, a.div_ceil(b));
+                    }
+                    Err(SymError::DivisionByZero { lhs }) => {
+                        assert_eq!(b, 0);
+                        assert_eq!(lhs, a);
+                    }
+                    Err(e) => panic!("unexpected {e:?}"),
+                }
+            }
+        }
+        assert!(checked_add(u64::MAX, 1).is_err());
+        assert!(checked_mul(u64::MAX, 2).is_err());
+        assert_eq!(checked_add(u64::MAX, 0), Ok(u64::MAX));
+        assert_eq!(checked_mul(u64::MAX, 1), Ok(u64::MAX));
+        assert_eq!(checked_div_ceil(0, 1), Ok(0));
+        assert_eq!(checked_div_ceil(u64::MAX, 1), Ok(u64::MAX));
+    }
+
+    #[test]
+    fn overflow_maps_to_sym01() {
+        let err = checked_mul(u64::MAX, 3).unwrap_err();
+        let d = err.diagnostic();
+        assert_eq!(d.rule, RuleId::SymOverflow);
+        assert!(d.message.contains("mul"));
+    }
+
+    #[test]
+    fn interval_arithmetic_is_checked() {
+        let a = Interval::new(1, 4);
+        let b = Interval::new(2, 8);
+        assert_eq!(a.add(&b).unwrap(), Interval::new(3, 12));
+        assert_eq!(a.mul(&b).unwrap(), Interval::new(2, 32));
+        assert_eq!(
+            Interval::new(3, 9).div_ceil(4).unwrap(),
+            Interval::new(1, 3)
+        );
+        assert_eq!(Interval::new(0, 5).saturating_sub(2), Interval::new(0, 3));
+        assert!(Interval::new(1, u64::MAX).mul(&b).is_err());
+        assert!(Interval::point(u64::MAX).add(&Interval::point(1)).is_err());
+        assert!(Interval::new(1, 2).div_ceil(0).is_err());
+    }
+
+    #[test]
+    fn expressions_are_monotone_over_the_region() {
+        // peak = 4 * ceil(batch/2) * (seq - 1 + 3): check the interval
+        // equals the corner evaluations and brackets interior points.
+        let region = Region::new(vec![
+            SymDim::new("batch", 1, 64),
+            SymDim::new("seq", 32, 512),
+        ]);
+        let e = SymExpr::Prod(vec![
+            SymExpr::Const(4),
+            SymExpr::DivCeil(Box::new(SymExpr::Dim(0)), 2),
+            SymExpr::Sum(vec![
+                SymExpr::SatSub(Box::new(SymExpr::Dim(1)), 1),
+                SymExpr::Const(3),
+            ]),
+        ]);
+        let iv = e.eval_interval(&region).unwrap();
+        assert_eq!(iv.lo, e.eval(&[1, 32]).unwrap());
+        assert_eq!(iv.hi, e.eval(&[64, 512]).unwrap());
+        for b in [1u64, 2, 17, 64] {
+            for s in [32u64, 33, 256, 512] {
+                let v = e.eval(&[b, s]).unwrap();
+                assert!(iv.contains(v), "{v} outside {iv:?} at batch={b} seq={s}");
+            }
+        }
+        assert_eq!(e.render(&region), "(4 * ceil(batch/2) * ((seq - 1) + 3))");
+    }
+
+    #[test]
+    fn region_validation_flags_malformations() {
+        assert!(Region::default()
+            .validate()
+            .iter()
+            .any(|d| d.rule == RuleId::SymRegionMalformed));
+        let inverted = Region::new(vec![SymDim::new("b", 8, 2)]);
+        assert!(inverted
+            .validate()
+            .iter()
+            .any(|d| d.message.contains("inverted")));
+        let zero = Region::new(vec![SymDim::new("b", 0, 2)]);
+        assert!(zero
+            .validate()
+            .iter()
+            .any(|d| d.message.contains("zero-extent")));
+        let dup = Region::new(vec![SymDim::new("b", 1, 2), SymDim::new("b", 1, 4)]);
+        assert!(dup
+            .validate()
+            .iter()
+            .any(|d| d.message.contains("duplicate")));
+        let ok = Region::new(vec![SymDim::new("b", 1, 64)]);
+        assert!(ok.validate().is_empty());
+        assert_eq!(ok.covers(&[64]), Some(true));
+        assert_eq!(ok.covers(&[65]), Some(false));
+        assert_eq!(ok.covers(&[1, 2]), None);
+    }
+
+    #[test]
+    fn structural_closure_partitions_the_family() {
+        let mut both = closed_structural();
+        both.extend(residual_structural());
+        both.sort();
+        let mut all = RuleId::STRUCTURAL.to_vec();
+        all.sort();
+        assert_eq!(both, all);
+        assert!(closed_structural().contains(&RuleId::PlanMemOverflow));
+        assert!(residual_structural().contains(&RuleId::PaceDividesExtent));
+        assert!(residual_structural().contains(&RuleId::FactorSharing));
+    }
+
+    fn cert() -> SymbolicCert {
+        SymbolicCert {
+            family: "00a1b2c3d4e5f607".to_string(),
+            region: Region::new(vec![
+                SymDim::new("batch", 1, 64),
+                SymDim::new("seq", 32, 512),
+            ]),
+            capacity: 607_232,
+            peak_hi: 524_288,
+            peak_expr: "(4 * ceil(batch/2))".to_string(),
+            pace_expr: "ceil(seq/8)".to_string(),
+            closed: closed_structural(),
+            residual: residual_structural(),
+        }
+    }
+
+    #[test]
+    fn cert_codec_round_trips() {
+        let c = cert();
+        let text = c.encode();
+        assert!(text.starts_with(CERT_VERSION));
+        let back = SymbolicCert::decode(&text).unwrap();
+        assert_eq!(back, c);
+        // Codec fixpoint.
+        assert_eq!(back.encode(), text);
+    }
+
+    #[test]
+    fn cert_codec_rejects_malformations() {
+        assert_eq!(SymbolicCert::decode(""), None);
+        let text = cert().encode();
+        assert_eq!(
+            SymbolicCert::decode(&text.replace(CERT_VERSION, "t10.cert.symbolic.v0")),
+            None
+        );
+        assert_eq!(
+            SymbolicCert::decode(&text.replace("capacity=", "cap=")),
+            None
+        );
+        assert_eq!(
+            SymbolicCert::decode(&text.replace("dims=2", "dims=3")),
+            None
+        );
+        assert_eq!(
+            SymbolicCert::decode(&text.replace("closed=CAP01", "closed=NOPE01")),
+            None
+        );
+    }
+
+    #[test]
+    fn widened_region_refutes_sym02() {
+        let mut c = cert();
+        assert!(c.validate_shape().is_ok());
+        // A corruption that widens the claimed region past the proof.
+        c.peak_hi = c.capacity + 1;
+        let report = c.validate_shape();
+        assert_eq!(report.violated_rules(), vec!["SYM02"]);
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.message.contains("batch ∈ [1, 64]")));
+    }
+
+    #[test]
+    fn overlapping_closed_residual_is_sym03() {
+        let mut c = cert();
+        c.residual.push(RuleId::PlanMemOverflow); // also closed
+        assert_eq!(c.validate_shape().violated_rules(), vec!["SYM03"]);
+    }
+}

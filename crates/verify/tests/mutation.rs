@@ -318,7 +318,9 @@ fn empty_program_is_vacuously_ok() {
 /// Rule coverage bookkeeping: every rule family the inventory declares has
 /// a refuting mutation — CAP/RING/BSP/COST above, PROVE/DF in the
 /// `t10-prove` unit suite and the prover-targeted corruption tests in
-/// `tests/integration_prove.rs`, GRAPH/FUSE in `tests/graph_mutation.rs`.
+/// `tests/integration_prove.rs`, GRAPH/FUSE in `tests/graph_mutation.rs`,
+/// SYM in `t10-core`'s `tests/symbolic_mutation.rs` family-certificate
+/// corruption suite.
 #[test]
 fn every_rule_family_has_a_refuting_mutation() {
     let families: std::collections::BTreeSet<&str> = t10_verify::RuleId::ALL
@@ -327,17 +329,18 @@ fn every_rule_family_has_a_refuting_mutation() {
         .collect();
     assert_eq!(
         families.into_iter().collect::<Vec<_>>(),
-        vec!["BSP", "CAP", "COST", "DF", "FUSE", "GRAPH", "PROVE", "RING"]
+        vec!["BSP", "CAP", "COST", "DF", "FUSE", "GRAPH", "PROVE", "RING", "SYM"]
     );
-    // Stable ids, no duplicates; STRUCTURAL ∪ SEMANTIC ∪ GRAPH partitions
-    // ALL (disjointness is proved in the diag unit suite).
+    // Stable ids, no duplicates; STRUCTURAL ∪ SEMANTIC ∪ GRAPH ∪ SYMBOLIC
+    // partitions ALL (disjointness is proved in the diag unit suite).
     let ids: std::collections::BTreeSet<&str> =
         t10_verify::RuleId::ALL.iter().map(|r| r.id()).collect();
     assert_eq!(ids.len(), t10_verify::RuleId::ALL.len());
     assert_eq!(
         t10_verify::RuleId::STRUCTURAL.len()
             + t10_verify::RuleId::SEMANTIC.len()
-            + t10_verify::RuleId::GRAPH.len(),
+            + t10_verify::RuleId::GRAPH.len()
+            + t10_verify::RuleId::SYMBOLIC.len(),
         t10_verify::RuleId::ALL.len()
     );
     for r in t10_verify::RuleId::STRUCTURAL {
